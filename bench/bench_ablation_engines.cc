@@ -1,0 +1,90 @@
+// Ablation: tree-walking interpreter vs compiled XSLTVM (paper ref [13]) —
+// both functional engines over the same DOM, plus the XSLT->XQuery rewrite
+// compile cost itself (stylesheet compilation + partial evaluation, the
+// one-time price the paper pays at query compile time).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "rewrite/xslt_rewriter.h"
+#include "xml/parser.h"
+#include "xslt/interpreter.h"
+#include "xslt/vm.h"
+
+namespace xdb::bench {
+namespace {
+
+const char* kStylesheet =
+    "<xsl:stylesheet version=\"1.0\" "
+    "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+    "<xsl:template match=\"table\"><out><xsl:apply-templates select=\"row\"/>"
+    "</out></xsl:template>"
+    "<xsl:template match=\"row\">"
+    "<xsl:if test=\"zip &gt; 50000\"><r id=\"{id}\"><xsl:value-of "
+    "select=\"lastname\"/></r></xsl:if></xsl:template>"
+    "<xsl:template match=\"text()\"/></xsl:stylesheet>";
+
+std::unique_ptr<xml::Document>* InputDoc(int rows) {
+  static auto* cache = new std::map<int, std::unique_ptr<xml::Document>>();
+  auto it = cache->find(rows);
+  if (it == cache->end()) {
+    XmlDb* db = GetDb("db", rows);
+    auto xml = db->MaterializeView("db_view");
+    if (!xml.ok()) abort();
+    auto doc = xml::ParseDocument((*xml)[0]);
+    if (!doc.ok()) abort();
+    it = cache->emplace(rows, doc.MoveValue()).first;
+  }
+  return &it->second;
+}
+
+void BM_Engine_Interpreter(benchmark::State& state) {
+  auto ss = xslt::Stylesheet::Parse(kStylesheet);
+  if (!ss.ok()) abort();
+  xml::Document* doc = InputDoc(static_cast<int>(state.range(0)))->get();
+  xslt::Interpreter interp(**ss);
+  for (auto _ : state) {
+    auto out = interp.Transform(doc->root());
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+void BM_Engine_Vm(benchmark::State& state) {
+  auto ss = xslt::Stylesheet::Parse(kStylesheet);
+  if (!ss.ok()) abort();
+  auto compiled = xslt::CompiledStylesheet::Compile(**ss);
+  if (!compiled.ok()) abort();
+  xml::Document* doc = InputDoc(static_cast<int>(state.range(0)))->get();
+  xslt::Vm vm(**compiled);
+  for (auto _ : state) {
+    auto out = vm.Transform(doc->root());
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+// Compile-time cost of the partial-evaluation rewrite itself.
+void BM_Compile_XsltRewrite(benchmark::State& state) {
+  XmlDb* db = GetDb("db", 100);
+  auto view = db->catalog()->GetView("db_view");
+  if (!view.ok()) abort();
+  auto ss = xslt::Stylesheet::Parse(kStylesheet);
+  auto compiled = xslt::CompiledStylesheet::Compile(**ss);
+  for (auto _ : state) {
+    rewrite::RewriteReport report;
+    auto q = rewrite::RewriteXsltToXQuery(**compiled, &(*view)->info->structure,
+                                          {}, &report);
+    if (!q.ok()) state.SkipWithError(q.status().ToString().c_str());
+    benchmark::DoNotOptimize(q);
+  }
+}
+
+BENCHMARK(BM_Engine_Interpreter)->Arg(2000)->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Engine_Vm)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Compile_XsltRewrite)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace xdb::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Ablation: where does the rewrite win come from? Runs 'dbonerow' through
+// every pipeline stage combination DESIGN.md calls out:
+//
+//   functional            XSLTVM over the materialized DOM (plan C, baseline)
+//   straightforward       the [9] translation: XQuery functions + dispatch
+//                         chains, evaluated over the materialized DOM
+//   inline_noSQL          partial-evaluation inline XQuery, still evaluated
+//                         over the materialized DOM (plan B)
+//   sql_noindex           full SQL/XML rewrite, index selection disabled
+//   sql_full              full SQL/XML rewrite with B-tree index selection
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace xdb::bench {
+namespace {
+
+constexpr int kScale = 8000;
+
+const xsltmark::BenchCase& DbOneRow() {
+  const auto* c = xsltmark::FindCase("dbonerow");
+  if (c == nullptr) abort();
+  return *c;
+}
+
+void Run(benchmark::State& state, const ExecOptions& options) {
+  XmlDb* db = GetDb("db", kScale);
+  ExecStats stats;
+  for (auto _ : state) {
+    auto r = db->TransformView("db_view", DbOneRow().stylesheet, options, &stats);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(std::string(ExecutionPathName(stats.path)) +
+                 (stats.used_index ? "+index" : ""));
+}
+
+void BM_Pipeline_Functional(benchmark::State& state) {
+  Run(state, NoRewriteArm());
+}
+
+void BM_Pipeline_Straightforward(benchmark::State& state) {
+  // The [9] baseline: force the straightforward translation and evaluate the
+  // XQuery functionally (no SQL stage: it cannot translate function-heavy
+  // queries anyway).
+  ExecOptions o;
+  o.xslt.force_straightforward = true;
+  o.enable_sql_rewrite = false;
+  Run(state, o);
+}
+
+void BM_Pipeline_InlineNoSql(benchmark::State& state) {
+  ExecOptions o;
+  o.enable_sql_rewrite = false;
+  Run(state, o);
+}
+
+void BM_Pipeline_SqlNoIndex(benchmark::State& state) {
+  ExecOptions o;
+  o.sql.enable_index_selection = false;
+  Run(state, o);
+}
+
+void BM_Pipeline_SqlFull(benchmark::State& state) { Run(state, RewriteArm()); }
+
+BENCHMARK(BM_Pipeline_Functional)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Pipeline_Straightforward)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Pipeline_InlineNoSql)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Pipeline_SqlNoIndex)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Pipeline_SqlFull)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xdb::bench
+
+BENCHMARK_MAIN();

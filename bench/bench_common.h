@@ -1,0 +1,43 @@
+// Shared helpers for the benchmark binaries: cached dataset setup per
+// (family, scale) so google-benchmark iterations measure only query
+// execution, never data generation.
+#ifndef XDB_BENCH_BENCH_COMMON_H_
+#define XDB_BENCH_BENCH_COMMON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "xsltmark/suite.h"
+
+namespace xdb::bench {
+
+/// Returns a lazily created, cached database for (family, rows).
+inline XmlDb* GetDb(const std::string& family, int rows) {
+  static auto* cache = new std::map<std::pair<std::string, int>,
+                                    std::unique_ptr<XmlDb>>();
+  auto key = std::make_pair(family, rows);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    auto db = std::make_unique<XmlDb>();
+    Status s = xsltmark::SetupFamily(db.get(), family, rows);
+    if (!s.ok()) {
+      fprintf(stderr, "setup failed: %s\n", s.ToString().c_str());
+      abort();
+    }
+    it = cache->emplace(key, std::move(db)).first;
+  }
+  return it->second.get();
+}
+
+/// ExecOptions for the paper's two arms.
+inline ExecOptions RewriteArm() { return ExecOptions(); }
+inline ExecOptions NoRewriteArm() {
+  ExecOptions o;
+  o.enable_rewrite = false;
+  return o;
+}
+
+}  // namespace xdb::bench
+
+#endif  // XDB_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,59 @@
+// Figure 2: 'dbonerow' — XSLT rewrite vs no rewrite as the document grows.
+//
+// The paper stores 8/16/32/64 MB documents object-relationally and shows the
+// no-rewrite time growing with document size while the rewrite time stays
+// nearly flat (B-tree probe on the value predicate). We reproduce the same
+// 4-point doubling sweep with row counts as the scale analog (each person
+// row publishes ~120 bytes of XML; the absolute sizes are scaled down so a
+// full benchmark run stays laptop-friendly — the curve shape, not the
+// absolute document size, is what the figure demonstrates).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace xdb::bench {
+namespace {
+
+const xsltmark::BenchCase& DbOneRow() {
+  const auto* c = xsltmark::FindCase("dbonerow");
+  if (c == nullptr) abort();
+  return *c;
+}
+
+void BM_DbOneRow_Rewrite(benchmark::State& state) {
+  XmlDb* db = GetDb("db", static_cast<int>(state.range(0)));
+  ExecStats stats;
+  for (auto _ : state) {
+    auto r = db->TransformView("db_view", DbOneRow().stylesheet, RewriteArm(),
+                               &stats);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rows"] = static_cast<double>(state.range(0));
+  state.counters["used_index"] = stats.used_index ? 1 : 0;
+  state.SetLabel(ExecutionPathName(stats.path));
+}
+
+void BM_DbOneRow_NoRewrite(benchmark::State& state) {
+  XmlDb* db = GetDb("db", static_cast<int>(state.range(0)));
+  ExecStats stats;
+  for (auto _ : state) {
+    auto r = db->TransformView("db_view", DbOneRow().stylesheet, NoRewriteArm(),
+                               &stats);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rows"] = static_cast<double>(state.range(0));
+  state.SetLabel(ExecutionPathName(stats.path));
+}
+
+// The four doubling scale points of Figure 2 (8M/16M/32M/64M analogs).
+BENCHMARK(BM_DbOneRow_Rewrite)->Arg(2000)->Arg(4000)->Arg(8000)->Arg(16000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DbOneRow_NoRewrite)->Arg(2000)->Arg(4000)->Arg(8000)->Arg(16000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xdb::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Figure 3: 'avts', 'chart', 'metric', 'total' — rewrite vs no rewrite for
+// cases WITHOUT a value predicate (no index help). The paper's point: even
+// here the rewrite wins, from template inlining, skipped materialization and
+// streamed construction/aggregation.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace xdb::bench {
+namespace {
+
+constexpr int kScale = 8000;
+
+void RunCase(benchmark::State& state, const char* name, bool rewrite) {
+  const auto* c = xsltmark::FindCase(name);
+  if (c == nullptr) {
+    state.SkipWithError("unknown case");
+    return;
+  }
+  XmlDb* db = GetDb(c->family, kScale);
+  ExecOptions options = rewrite ? RewriteArm() : NoRewriteArm();
+  ExecStats stats;
+  for (auto _ : state) {
+    auto r = db->TransformView(xsltmark::FamilyViewName(c->family),
+                               c->stylesheet, options, &stats);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(ExecutionPathName(stats.path));
+}
+
+void BM_Avts_Rewrite(benchmark::State& s) { RunCase(s, "avts", true); }
+void BM_Avts_NoRewrite(benchmark::State& s) { RunCase(s, "avts", false); }
+void BM_Chart_Rewrite(benchmark::State& s) { RunCase(s, "chart", true); }
+void BM_Chart_NoRewrite(benchmark::State& s) { RunCase(s, "chart", false); }
+void BM_Metric_Rewrite(benchmark::State& s) { RunCase(s, "metric", true); }
+void BM_Metric_NoRewrite(benchmark::State& s) { RunCase(s, "metric", false); }
+void BM_Total_Rewrite(benchmark::State& s) { RunCase(s, "total", true); }
+void BM_Total_NoRewrite(benchmark::State& s) { RunCase(s, "total", false); }
+
+BENCHMARK(BM_Avts_Rewrite)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Avts_NoRewrite)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Chart_Rewrite)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Chart_NoRewrite)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Metric_Rewrite)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Metric_NoRewrite)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Total_Rewrite)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Total_NoRewrite)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xdb::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// The paper's §5 second experiment: how many of the 40 XSLTMark cases
+// compile in full inline mode (paper: 23/40, "more than 50%").
+//
+// Not a timing benchmark: this binary compiles every case against its
+// dataset's structural information and prints the per-case rewrite mode plus
+// the aggregate statistic.
+#include <cstdio>
+
+#include "xsltmark/suite.h"
+
+int main() {
+  using xdb::xsltmark::AllCases;
+  using xdb::xsltmark::SetupFamily;
+
+  int inline_count = 0;
+  int non_inline = 0;
+  int unrewritable = 0;
+
+  std::printf("%-14s %-18s %-10s %-16s %s\n", "case", "category", "family",
+              "rewrite mode", "notes");
+  std::printf("%s\n", std::string(90, '-').c_str());
+
+  for (const auto& c : AllCases()) {
+    xdb::XmlDb db;
+    xdb::Status s = SetupFamily(&db, c.family, 10);
+    if (!s.ok()) {
+      std::printf("%-14s setup failed: %s\n", c.name.c_str(),
+                  s.ToString().c_str());
+      return 1;
+    }
+    auto result = xdb::xsltmark::CompileCase(c, &db);
+    if (!result.ok()) {
+      std::printf("%-14s compile failed: %s\n", c.name.c_str(),
+                  result.status().ToString().c_str());
+      return 1;
+    }
+    const char* mode;
+    std::string note;
+    if (!result->rewritable) {
+      ++unrewritable;
+      mode = "functional";
+      note = result->error;
+      if (note.size() > 46) note = note.substr(0, 43) + "...";
+    } else if (result->report.mode ==
+               xdb::rewrite::RewriteReport::Mode::kInline) {
+      ++inline_count;
+      mode = result->report.builtin_only ? "inline(builtin)" : "inline";
+    } else {
+      ++non_inline;
+      mode = "non-inline";
+      note = "recursive template execution graph";
+    }
+    std::printf("%-14s %-18s %-10s %-16s %s\n", c.name.c_str(),
+                c.category.c_str(), c.family.c_str(), mode, note.c_str());
+  }
+
+  int total = inline_count + non_inline + unrewritable;
+  std::printf("%s\n", std::string(90, '-').c_str());
+  std::printf("inline mode:        %2d / %d cases (paper: 23 / 40)\n",
+              inline_count, total);
+  std::printf("non-inline mode:    %2d / %d cases\n", non_inline, total);
+  std::printf("functional (no XQuery translation): %2d / %d cases\n",
+              unrewritable, total);
+  std::printf("inline fraction:    %.0f%% (paper: 'more than 50%%')\n",
+              100.0 * inline_count / total);
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Substrate microbenchmarks: B+tree, XML parsing, XPath evaluation —
+// the building blocks whose costs the end-to-end numbers decompose into.
+#include <benchmark/benchmark.h>
+
+#include "rel/btree.h"
+#include "xml/parser.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xdb::bench {
+namespace {
+
+void BM_BTree_Insert(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    rel::BTreeIndex index;
+    for (int i = 0; i < n; ++i) {
+      index.Insert(rel::Datum(static_cast<int64_t>((i * 2654435761u) % 1000000)),
+                   i);
+    }
+    benchmark::DoNotOptimize(index.entry_count());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_BTree_PointLookup(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  rel::BTreeIndex index;
+  for (int i = 0; i < n; ++i) {
+    index.Insert(rel::Datum(static_cast<int64_t>(i)), i);
+  }
+  int64_t key = n / 2;
+  for (auto _ : state) {
+    std::vector<int64_t> out;
+    index.Lookup(rel::Datum(key), &out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+void BM_BTree_RangeScan(benchmark::State& state) {
+  const int n = 100000;
+  rel::BTreeIndex index;
+  for (int i = 0; i < n; ++i) {
+    index.Insert(rel::Datum(static_cast<int64_t>(i)), i);
+  }
+  const int width = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::vector<int64_t> out;
+    rel::Bound lo{rel::Datum(static_cast<int64_t>(n / 2)), true};
+    rel::Bound hi{rel::Datum(static_cast<int64_t>(n / 2 + width)), false};
+    index.Scan(&lo, &hi, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * width);
+}
+
+std::string MakeDoc(int rows) {
+  std::string s = "<table>";
+  for (int i = 0; i < rows; ++i) {
+    s += "<row><id>" + std::to_string(i) + "</id><v>" +
+         std::to_string(i * 37 % 1000) + "</v></row>";
+  }
+  s += "</table>";
+  return s;
+}
+
+void BM_Xml_Parse(benchmark::State& state) {
+  std::string doc = MakeDoc(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto parsed = xml::ParseDocument(doc);
+    if (!parsed.ok()) state.SkipWithError("parse failed");
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(doc.size()));
+}
+
+void BM_XPath_PredicateScan(benchmark::State& state) {
+  auto doc = xml::ParseDocument(MakeDoc(static_cast<int>(state.range(0))));
+  if (!doc.ok()) abort();
+  auto expr = xpath::ParseXPath("/table/row[v > 900]");
+  if (!expr.ok()) abort();
+  xpath::Evaluator evaluator;
+  xpath::EvalContext ctx;
+  ctx.node = (*doc)->root();
+  for (auto _ : state) {
+    auto r = evaluator.EvaluateNodeSet(**expr, ctx);
+    if (!r.ok()) state.SkipWithError("eval failed");
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+BENCHMARK(BM_BTree_Insert)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_BTree_PointLookup)->Arg(100000)->Arg(1000000);
+BENCHMARK(BM_BTree_RangeScan)->Arg(10)->Arg(1000);
+BENCHMARK(BM_Xml_Parse)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_XPath_PredicateScan)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace xdb::bench
+
+BENCHMARK_MAIN();

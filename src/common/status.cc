@@ -1,0 +1,37 @@
+#include "common/status.h"
+
+namespace xdb {
+
+namespace {
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kTypeError:
+      return "TypeError";
+    case StatusCode::kRewriteError:
+      return "RewriteError";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  out += ": ";
+  out += msg_;
+  return out;
+}
+
+}  // namespace xdb

@@ -1,0 +1,142 @@
+// Lightweight Status / Result<T> error model, in the style of Apache Arrow
+// and RocksDB. All fallible operations in the library return Status or
+// Result<T>; exceptions are not used for control flow.
+#ifndef XDB_COMMON_STATUS_H_
+#define XDB_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace xdb {
+
+/// Broad classification of an error. Kept deliberately coarse; the detailed
+/// context lives in the message string.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kParseError,        // XML / XPath / XQuery / stylesheet syntax error
+  kNotImplemented,    // feature outside the supported subset
+  kNotFound,          // catalog lookup miss (table, view, index, template)
+  kTypeError,         // dynamic type mismatch during evaluation
+  kRewriteError,      // rewrite pipeline could not produce a plan
+  kInternal,          // invariant violation inside the library
+};
+
+/// \brief Outcome of a fallible operation that produces no value.
+///
+/// A default-constructed Status is OK. Error statuses carry a code and a
+/// human-readable message. Status is cheap to copy (small string optimization
+/// covers most messages) and cheap to move.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status RewriteError(std::string msg) {
+    return Status(StatusCode::kRewriteError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Mirrors arrow::Result. Access via ValueOrDie()/operator* after checking
+/// ok(), or move the value out with MoveValue().
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, as in Arrow.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : value_(std::move(status)) {
+    assert(!std::get<Status>(value_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(value_);
+  }
+
+  const T& ValueOrDie() const {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T& ValueOrDie() {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T MoveValue() {
+    assert(ok());
+    return std::move(std::get<T>(value_));
+  }
+
+  const T& operator*() const { return ValueOrDie(); }
+  T& operator*() { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+// Propagate an error Status from an expression that yields Status.
+#define XDB_RETURN_NOT_OK(expr)                    \
+  do {                                             \
+    ::xdb::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+// Evaluate an expression yielding Result<T>; on error propagate the Status,
+// otherwise bind the moved value to `lhs`.
+#define XDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)  \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = tmp.MoveValue()
+
+#define XDB_CONCAT_INNER(a, b) a##b
+#define XDB_CONCAT(a, b) XDB_CONCAT_INNER(a, b)
+
+#define XDB_ASSIGN_OR_RETURN(lhs, expr) \
+  XDB_ASSIGN_OR_RETURN_IMPL(XDB_CONCAT(_xdb_result_, __LINE__), lhs, expr)
+
+}  // namespace xdb
+
+#endif  // XDB_COMMON_STATUS_H_

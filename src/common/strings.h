@@ -1,0 +1,46 @@
+// Small string helpers shared across modules.
+#ifndef XDB_COMMON_STRINGS_H_
+#define XDB_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xdb {
+
+/// Returns true for the XML whitespace characters (space, tab, CR, LF).
+inline bool IsXmlWhitespace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+/// Returns true if every character of `s` is XML whitespace (including empty).
+bool IsAllWhitespace(std::string_view s);
+
+/// Strips leading and trailing XML whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// Collapses runs of whitespace to a single space and trims the ends
+/// (XPath fn:normalize-space semantics).
+std::string NormalizeSpace(std::string_view s);
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Formats a double using XPath number-to-string rules: integers render
+/// without a decimal point, NaN renders "NaN", infinities "Infinity".
+std::string FormatXPathNumber(double d);
+
+/// True if `s` starts with / ends with the given prefix or suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Escapes XML text content (& < >) or attribute values (adds " escaping).
+std::string EscapeXmlText(std::string_view s);
+std::string EscapeXmlAttribute(std::string_view s);
+
+}  // namespace xdb
+
+#endif  // XDB_COMMON_STRINGS_H_

@@ -1,0 +1,382 @@
+#include "core/xmldb.h"
+
+#include "rewrite/compose.h"
+#include "rewrite/static_type.h"
+#include "xml/serializer.h"
+#include "xquery/evaluator.h"
+#include "xquery/parser.h"
+#include "xslt/vm.h"
+
+namespace xdb {
+
+using rel::Datum;
+using rel::ExecCtx;
+using rel::Table;
+using rel::XmlView;
+
+const char* ExecutionPathName(ExecutionPath path) {
+  switch (path) {
+    case ExecutionPath::kSqlRewritten:
+      return "sql-rewritten";
+    case ExecutionPath::kXQueryRewritten:
+      return "xquery-rewritten";
+    case ExecutionPath::kFunctional:
+      return "functional";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string SerializeDatum(const Datum& d) {
+  if (d.type() != rel::DataType::kXml || d.AsXml() == nullptr) return d.ToString();
+  xml::Node* n = d.AsXml();
+  if (n->local_name() == rel::kFragmentName ||
+      n->type() == xml::NodeType::kDocument) {
+    return xml::SerializeAll(n->children());
+  }
+  return xml::Serialize(n);
+}
+
+// Applies a compiled stylesheet to an XMLType value (functional path).
+Result<Datum> ApplyStylesheet(const xslt::CompiledStylesheet& compiled,
+                              const Datum& in, xml::Document* arena) {
+  if (in.type() != rel::DataType::kXml || in.AsXml() == nullptr) {
+    return Status::TypeError("XMLTransform input is not XMLType");
+  }
+  xml::Document wrapper;
+  xml::Node* source = in.AsXml();
+  if (source->type() != xml::NodeType::kDocument && source->parent() == nullptr) {
+    if (source->local_name() == rel::kFragmentName) {
+      for (xml::Node* c : source->children()) {
+        wrapper.root()->AppendChild(wrapper.ImportNode(c));
+      }
+    } else {
+      wrapper.root()->AppendChild(wrapper.ImportNode(source));
+    }
+    source = wrapper.root();
+  }
+  xslt::Vm vm(compiled);
+  XDB_ASSIGN_OR_RETURN(auto result_doc, vm.Transform(source));
+  xml::Node* frag = arena->CreateElement(rel::kFragmentName);
+  for (xml::Node* child : result_doc->root()->children()) {
+    frag->AppendChild(arena->ImportNode(child));
+  }
+  return Datum(frag);
+}
+
+// Evaluates a parsed XQuery against an XMLType value (plan B).
+Result<std::string> ApplyXQuery(const xquery::Query& query, const Datum& in) {
+  xml::Document wrapper;
+  xml::Node* ctx = in.AsXml();
+  if (ctx->type() != xml::NodeType::kDocument) {
+    if (ctx->local_name() == rel::kFragmentName) {
+      for (xml::Node* c : ctx->children()) {
+        wrapper.root()->AppendChild(wrapper.ImportNode(c));
+      }
+    } else {
+      wrapper.root()->AppendChild(wrapper.ImportNode(ctx));
+    }
+    ctx = wrapper.root();
+  }
+  xquery::QueryEvaluator qe;
+  XDB_ASSIGN_OR_RETURN(auto doc, qe.EvaluateToDocument(query, ctx));
+  return xml::Serialize(doc->root());
+}
+
+}  // namespace
+
+Status XmlDb::Insert(const std::string& table, rel::Row row) {
+  XDB_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(table));
+  return t->Insert(std::move(row));
+}
+
+Status XmlDb::CreateIndex(const std::string& table, const std::string& column) {
+  XDB_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(table));
+  return t->CreateIndex(column);
+}
+
+Result<const XmlView*> XmlDb::ResolveChain(
+    const XmlView* view, std::vector<const XmlView*>* xslt_views) const {
+  const XmlView* cur = view;
+  std::vector<const XmlView*> reversed;
+  while (cur->is_xslt()) {
+    reversed.push_back(cur);
+    XDB_ASSIGN_OR_RETURN(cur, catalog_.GetView(cur->upstream_view));
+  }
+  if (!cur->is_publishing()) {
+    return Status::Internal("view chain does not end in a publishing view");
+  }
+  // Application order: innermost (closest to the publishing view) first.
+  xslt_views->assign(reversed.rbegin(), reversed.rend());
+  return cur;
+}
+
+Result<Datum> XmlDb::ViewValueForRow(const XmlView* view, int64_t row_id,
+                                     ExecCtx* ctx) {
+  std::vector<const XmlView*> xslt_views;
+  XDB_ASSIGN_OR_RETURN(const XmlView* pub, ResolveChain(view, &xslt_views));
+  XDB_ASSIGN_OR_RETURN(Table * base, catalog_.GetTable(pub->base_table));
+  const rel::Row& row = base->row(row_id);
+  ctx->rows.push_back(&row);
+  auto value = pub->publish_expr->Eval(*ctx);
+  ctx->rows.pop_back();
+  XDB_RETURN_NOT_OK(value.status());
+  Datum v = value.MoveValue();
+  for (const XmlView* xv : xslt_views) {
+    XDB_ASSIGN_OR_RETURN(v, ApplyStylesheet(*xv->compiled_stylesheet, v,
+                                            ctx->arena));
+  }
+  return v;
+}
+
+Result<std::vector<std::string>> XmlDb::MaterializeView(const std::string& view) {
+  XDB_ASSIGN_OR_RETURN(const XmlView* v, catalog_.GetView(view));
+  std::vector<const XmlView*> xslt_views;
+  XDB_ASSIGN_OR_RETURN(const XmlView* pub, ResolveChain(v, &xslt_views));
+  XDB_ASSIGN_OR_RETURN(Table * base, catalog_.GetTable(pub->base_table));
+  std::vector<std::string> out;
+  for (size_t i = 0; i < base->row_count(); ++i) {
+    xml::Document arena;
+    ExecCtx ctx;
+    ctx.arena = &arena;
+    XDB_ASSIGN_OR_RETURN(Datum d,
+                         ViewValueForRow(v, static_cast<int64_t>(i), &ctx));
+    out.push_back(SerializeDatum(d));
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> XmlDb::TransformView(
+    const std::string& view, std::string_view stylesheet_text,
+    const ExecOptions& options, ExecStats* stats) {
+  ExecStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = ExecStats();
+
+  XDB_ASSIGN_OR_RETURN(const XmlView* v, catalog_.GetView(view));
+  XDB_ASSIGN_OR_RETURN(auto parsed, xslt::Stylesheet::Parse(stylesheet_text));
+  XDB_ASSIGN_OR_RETURN(auto compiled, xslt::CompiledStylesheet::Compile(*parsed));
+
+  std::vector<const XmlView*> xslt_views;
+  XDB_ASSIGN_OR_RETURN(const XmlView* pub, ResolveChain(v, &xslt_views));
+  XDB_ASSIGN_OR_RETURN(Table * base, catalog_.GetTable(pub->base_table));
+
+  // ---- rewrite pipeline -----------------------------------------------------
+  if (options.enable_rewrite && xslt_views.size() <= 1) {
+    // Resolve the effective query: either the user stylesheet rewritten over
+    // the publishing structure directly, or — for an XSLT view chain (§3.2) —
+    // the upstream stylesheet rewritten first, its result structure derived
+    // by static typing, the user stylesheet rewritten against *that*, and
+    // both queries composed.
+    Result<xquery::Query> query = Status::Internal("unset");
+    if (xslt_views.empty()) {
+      query = rewrite::RewriteXsltToXQuery(*compiled, &pub->info->structure,
+                                           options.xslt, &stats->xslt_report);
+    } else {
+      rewrite::RewriteReport upstream_report;
+      auto q1 = rewrite::RewriteXsltToXQuery(
+          *xslt_views[0]->compiled_stylesheet, &pub->info->structure,
+          options.xslt, &upstream_report);
+      if (!q1.ok()) {
+        query = q1.status();
+      } else {
+        auto inferred =
+            rewrite::InferResultStructure(*q1, pub->info->structure);
+        if (!inferred.ok()) {
+          query = inferred.status();
+        } else {
+          auto q2 = rewrite::RewriteXsltToXQuery(*compiled, &*inferred,
+                                                 options.xslt,
+                                                 &stats->xslt_report);
+          if (!q2.ok()) {
+            query = q2.status();
+          } else {
+            query = rewrite::ComposeQueries(*q1, *q2);
+          }
+        }
+      }
+    }
+    if (query.ok()) {
+      stats->xquery_text = query->ToString();
+      if (options.enable_sql_rewrite) {
+        auto sql = rewrite::RewriteXQueryToSql(*query, *pub, catalog_, options.sql);
+        if (sql.ok()) {
+          stats->path = ExecutionPath::kSqlRewritten;
+          stats->used_index = sql->used_index;
+          stats->predicates_pushed = sql->predicates_pushed;
+          stats->sql_text = sql->expr->ToSql();
+          std::vector<std::string> out;
+          for (size_t i = 0; i < base->row_count(); ++i) {
+            xml::Document arena;
+            ExecCtx ctx;
+            ctx.arena = &arena;
+            const rel::Row& row = base->row(static_cast<int64_t>(i));
+            ctx.rows.push_back(&row);
+            auto d = sql->expr->Eval(ctx);
+            ctx.rows.pop_back();
+            XDB_RETURN_NOT_OK(d.status());
+            out.push_back(SerializeDatum(*d));
+          }
+          return out;
+        }
+        stats->fallback_reason = sql.status().message();
+      }
+      // Plan B: rewritten XQuery over the materialized *publishing* value
+      // (for view chains, the composed query re-applies the upstream
+      // transformation itself).
+      stats->path = ExecutionPath::kXQueryRewritten;
+      std::vector<std::string> out;
+      for (size_t i = 0; i < base->row_count(); ++i) {
+        xml::Document arena;
+        ExecCtx ctx;
+        ctx.arena = &arena;
+        const rel::Row& row = base->row(static_cast<int64_t>(i));
+        ctx.rows.push_back(&row);
+        auto value = pub->publish_expr->Eval(ctx);
+        ctx.rows.pop_back();
+        XDB_RETURN_NOT_OK(value.status());
+        XDB_ASSIGN_OR_RETURN(std::string s, ApplyXQuery(*query, *value));
+        out.push_back(std::move(s));
+      }
+      return out;
+    }
+    stats->fallback_reason = query.status().message();
+  } else if (options.enable_rewrite) {
+    stats->fallback_reason =
+        "multi-level XSLT view chains are evaluated functionally";
+  }
+
+  // ---- plan C: functional (the paper's "no rewrite") --------------------------
+  stats->path = ExecutionPath::kFunctional;
+  std::vector<std::string> out;
+  for (size_t i = 0; i < base->row_count(); ++i) {
+    xml::Document arena;
+    ExecCtx ctx;
+    ctx.arena = &arena;
+    XDB_ASSIGN_OR_RETURN(Datum value,
+                         ViewValueForRow(v, static_cast<int64_t>(i), &ctx));
+    XDB_ASSIGN_OR_RETURN(Datum result, ApplyStylesheet(*compiled, value, &arena));
+    out.push_back(SerializeDatum(result));
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> XmlDb::QueryView(const std::string& view,
+                                                  std::string_view xquery_text,
+                                                  const ExecOptions& options,
+                                                  ExecStats* stats) {
+  ExecStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = ExecStats();
+
+  XDB_ASSIGN_OR_RETURN(const XmlView* v, catalog_.GetView(view));
+  XDB_ASSIGN_OR_RETURN(xquery::Query user_query, xquery::ParseQuery(xquery_text));
+
+  std::vector<const XmlView*> xslt_views;
+  XDB_ASSIGN_OR_RETURN(const XmlView* pub, ResolveChain(v, &xslt_views));
+  XDB_ASSIGN_OR_RETURN(Table * base, catalog_.GetTable(pub->base_table));
+
+  if (options.enable_rewrite && xslt_views.size() <= 1) {
+    // Compose through a single XSLT view (Example 2), or use the user query
+    // directly over a publishing view.
+    Status compose_status = Status::OK();
+    std::unique_ptr<xquery::Query> composed;
+    if (xslt_views.empty()) {
+      composed = std::make_unique<xquery::Query>();
+      for (const auto& decl : user_query.variables) {
+        composed->variables.push_back(
+            xquery::VarDecl{decl.name, decl.expr->Clone()});
+      }
+      for (const auto& f : user_query.functions) {
+        xquery::FunctionDecl nf;
+        nf.name = f.name;
+        nf.params = f.params;
+        nf.body = f.body->Clone();
+        composed->functions.push_back(std::move(nf));
+      }
+      composed->body = user_query.body->Clone();
+    } else {
+      auto view_query = rewrite::RewriteXsltToXQuery(
+          *xslt_views[0]->compiled_stylesheet, &pub->info->structure,
+          options.xslt, &stats->xslt_report);
+      if (view_query.ok()) {
+        auto c = rewrite::ComposeQueries(*view_query, user_query);
+        if (c.ok()) {
+          composed = std::make_unique<xquery::Query>(c.MoveValue());
+        } else {
+          compose_status = c.status();
+        }
+      } else {
+        compose_status = view_query.status();
+      }
+    }
+    if (composed != nullptr) {
+      stats->xquery_text = composed->ToString();
+      if (options.enable_sql_rewrite) {
+        auto sql =
+            rewrite::RewriteXQueryToSql(*composed, *pub, catalog_, options.sql);
+        if (sql.ok()) {
+          stats->path = ExecutionPath::kSqlRewritten;
+          stats->used_index = sql->used_index;
+          stats->predicates_pushed = sql->predicates_pushed;
+          stats->sql_text = sql->expr->ToSql();
+          std::vector<std::string> out;
+          for (size_t i = 0; i < base->row_count(); ++i) {
+            xml::Document arena;
+            ExecCtx ctx;
+            ctx.arena = &arena;
+            const rel::Row& row = base->row(static_cast<int64_t>(i));
+            ctx.rows.push_back(&row);
+            auto d = sql->expr->Eval(ctx);
+            ctx.rows.pop_back();
+            XDB_RETURN_NOT_OK(d.status());
+            out.push_back(SerializeDatum(*d));
+          }
+          return out;
+        }
+        stats->fallback_reason = sql.status().message();
+      }
+      // Plan B: composed XQuery over the publishing view's value.
+      stats->path = ExecutionPath::kXQueryRewritten;
+      std::vector<std::string> out;
+      for (size_t i = 0; i < base->row_count(); ++i) {
+        xml::Document arena;
+        ExecCtx ctx;
+        ctx.arena = &arena;
+        // The composed query navigates from the *publishing* value.
+        std::vector<const XmlView*> none;
+        XDB_ASSIGN_OR_RETURN(const XmlView* p2, ResolveChain(pub, &none));
+        (void)p2;
+        const rel::Row& row = base->row(static_cast<int64_t>(i));
+        ctx.rows.push_back(&row);
+        auto value = pub->publish_expr->Eval(ctx);
+        ctx.rows.pop_back();
+        XDB_RETURN_NOT_OK(value.status());
+        XDB_ASSIGN_OR_RETURN(std::string s, ApplyXQuery(*composed, *value));
+        out.push_back(std::move(s));
+      }
+      return out;
+    }
+    stats->fallback_reason = compose_status.message();
+  } else if (options.enable_rewrite) {
+    stats->fallback_reason = "multi-level XSLT view chains are evaluated "
+                             "functionally";
+  }
+
+  // Functional: user XQuery over the fully materialized view value.
+  stats->path = ExecutionPath::kFunctional;
+  std::vector<std::string> out;
+  for (size_t i = 0; i < base->row_count(); ++i) {
+    xml::Document arena;
+    ExecCtx ctx;
+    ctx.arena = &arena;
+    XDB_ASSIGN_OR_RETURN(Datum d,
+                         ViewValueForRow(v, static_cast<int64_t>(i), &ctx));
+    XDB_ASSIGN_OR_RETURN(std::string s, ApplyXQuery(user_query, d));
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace xdb

@@ -1,0 +1,122 @@
+// XmlDb: the public facade reproducing the paper's system surface —
+// XMLType publishing views over relational tables, XSLT views, and the
+// XMLTransform() / XMLQuery() query entry points with the full rewrite
+// pipeline behind them:
+//
+//   XSLT ──rewrite(§3-4)──► XQuery ──rewrite([3,4])──► SQL/XML over tables
+//
+// Each stage can be switched off (the "no rewrite" baselines of §5) or can
+// fall back gracefully when a construct is outside the translatable subset:
+//   plan A: full SQL/XML execution (index-driven, no XML materialization)
+//   plan B: XQuery execution over the materialized view value
+//   plan C: functional XSLT (XSLTVM over the DOM) — the paper's baseline
+#ifndef XDB_CORE_XMLDB_H_
+#define XDB_CORE_XMLDB_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rel/catalog.h"
+#include "rewrite/xquery_rewriter.h"
+#include "rewrite/xslt_rewriter.h"
+
+namespace xdb {
+
+/// Which pipeline stage finally executed a query.
+enum class ExecutionPath {
+  kSqlRewritten,      ///< plan A: pure relational execution
+  kXQueryRewritten,   ///< plan B: rewritten XQuery over materialized XML
+  kFunctional,        ///< plan C: functional XSLT / XQuery evaluation
+};
+
+const char* ExecutionPathName(ExecutionPath path);
+
+/// Per-execution statistics and artifacts (inspected by tests, examples and
+/// EXPERIMENTS.md generators).
+struct ExecStats {
+  ExecutionPath path = ExecutionPath::kFunctional;
+  rewrite::RewriteReport xslt_report;
+  bool used_index = false;
+  int predicates_pushed = 0;
+  std::string xquery_text;   ///< the intermediate XQuery (when produced)
+  std::string sql_text;      ///< the final relational expression (when produced)
+  std::string fallback_reason;  ///< why a stage was skipped (diagnostics)
+};
+
+struct ExecOptions {
+  /// Master switch: false = the paper's "no rewrite" baseline (functional
+  /// XSLT over the materialized DOM).
+  bool enable_rewrite = true;
+  /// Allow the XQuery -> SQL/XML stage.
+  bool enable_sql_rewrite = true;
+  rewrite::XsltRewriteOptions xslt;
+  rewrite::SqlRewriteOptions sql;
+};
+
+/// \brief One database instance.
+class XmlDb {
+ public:
+  XmlDb() = default;
+
+  rel::Catalog* catalog() { return &catalog_; }
+
+  // ---- DDL convenience ------------------------------------------------------
+  Result<rel::Table*> CreateTable(const std::string& name, rel::Schema schema) {
+    return catalog_.CreateTable(name, std::move(schema));
+  }
+  Status Insert(const std::string& table, rel::Row row);
+  Status CreateIndex(const std::string& table, const std::string& column);
+  Result<rel::XmlView*> CreatePublishingView(
+      const std::string& name, const std::string& base_table,
+      std::unique_ptr<rel::PublishSpec> spec,
+      const std::string& xml_column = "xml_content") {
+    return catalog_.CreatePublishingView(name, base_table, std::move(spec),
+                                         xml_column);
+  }
+  Result<rel::XmlView*> CreateXsltView(const std::string& name,
+                                       const std::string& upstream_view,
+                                       std::string_view stylesheet_text,
+                                       const std::string& xml_column = "xslt_rslt") {
+    return catalog_.CreateXsltView(name, upstream_view, stylesheet_text,
+                                   xml_column);
+  }
+
+  // ---- query entry points ----------------------------------------------------
+
+  /// SELECT XMLTransform(view.xml_column, stylesheet) FROM view:
+  /// one serialized XML result per base-table row.
+  Result<std::vector<std::string>> TransformView(const std::string& view,
+                                                 std::string_view stylesheet_text,
+                                                 const ExecOptions& options = {},
+                                                 ExecStats* stats = nullptr);
+
+  /// SELECT XMLQuery(query PASSING view.xml_column RETURNING CONTENT)
+  /// FROM view. Works on publishing views and on XSLT views (where the
+  /// combined optimization of §2.2 composes the rewritten queries).
+  Result<std::vector<std::string>> QueryView(const std::string& view,
+                                             std::string_view xquery_text,
+                                             const ExecOptions& options = {},
+                                             ExecStats* stats = nullptr);
+
+  /// Materializes the view's XML values (functional evaluation; used by the
+  /// baselines and by tests).
+  Result<std::vector<std::string>> MaterializeView(const std::string& view);
+
+ private:
+  // Functional view value for one base row (follows XSLT-view chains).
+  Result<rel::Datum> ViewValueForRow(const rel::XmlView* view, int64_t row_id,
+                                     rel::ExecCtx* ctx);
+  // Resolves a view chain down to its publishing view, collecting the XSLT
+  // stylesheets applied on top (outermost last).
+  Result<const rel::XmlView*> ResolveChain(
+      const rel::XmlView* view,
+      std::vector<const rel::XmlView*>* xslt_views) const;
+
+  rel::Catalog catalog_;
+};
+
+}  // namespace xdb
+
+#endif  // XDB_CORE_XMLDB_H_

@@ -1,0 +1,160 @@
+#include "rel/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xdb::rel {
+
+BTreeIndex::BTreeIndex(int fanout) : fanout_(std::max(fanout, 4)) {
+  root_ = std::make_unique<Node>();
+}
+
+namespace {
+// First position in keys whose key >= `key` (lower bound).
+size_t LowerBound(const std::vector<Datum>& keys, const Datum& key) {
+  size_t lo = 0, hi = keys.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (keys[mid].Compare(key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+// First position in keys whose key > `key` (upper bound).
+size_t UpperBound(const std::vector<Datum>& keys, const Datum& key) {
+  size_t lo = 0, hi = keys.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (keys[mid].Compare(key) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+}  // namespace
+
+std::unique_ptr<BTreeIndex::SplitResult> BTreeIndex::InsertInto(Node* node,
+                                                                const Datum& key,
+                                                                int64_t row_id) {
+  if (node->leaf) {
+    size_t pos = UpperBound(node->keys, key);  // duplicates append after
+    node->keys.insert(node->keys.begin() + pos, key);
+    node->values.insert(node->values.begin() + pos, row_id);
+    if (static_cast<int>(node->keys.size()) <= fanout_) return nullptr;
+    // Split leaf.
+    auto right = std::make_unique<Node>();
+    right->leaf = true;
+    size_t mid = node->keys.size() / 2;
+    right->keys.assign(node->keys.begin() + mid, node->keys.end());
+    right->values.assign(node->values.begin() + mid, node->values.end());
+    node->keys.resize(mid);
+    node->values.resize(mid);
+    right->next = node->next;
+    node->next = right.get();
+    ++nodes_;
+    auto split = std::make_unique<SplitResult>();
+    split->separator = right->keys.front();
+    split->right = std::move(right);
+    return split;
+  }
+  // Internal node: descend into the child for this key. Children partition
+  // as: child[i] covers keys < keys[i]; equal keys go right (consistent with
+  // separators being the first key of the right sibling).
+  size_t idx = UpperBound(node->keys, key);
+  auto split = InsertInto(node->children[idx].get(), key, row_id);
+  if (split == nullptr) return nullptr;
+  node->keys.insert(node->keys.begin() + idx, split->separator);
+  node->children.insert(node->children.begin() + idx + 1, std::move(split->right));
+  if (static_cast<int>(node->keys.size()) <= fanout_) return nullptr;
+  // Split internal node: middle key moves up.
+  auto right = std::make_unique<Node>();
+  right->leaf = false;
+  size_t mid = node->keys.size() / 2;
+  Datum up = node->keys[mid];
+  right->keys.assign(node->keys.begin() + mid + 1, node->keys.end());
+  for (size_t i = mid + 1; i < node->children.size(); ++i) {
+    right->children.push_back(std::move(node->children[i]));
+  }
+  node->keys.resize(mid);
+  node->children.resize(mid + 1);
+  ++nodes_;
+  auto result = std::make_unique<SplitResult>();
+  result->separator = std::move(up);
+  result->right = std::move(right);
+  return result;
+}
+
+void BTreeIndex::Insert(const Datum& key, int64_t row_id) {
+  auto split = InsertInto(root_.get(), key, row_id);
+  if (split != nullptr) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->keys.push_back(std::move(split->separator));
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split->right));
+    root_ = std::move(new_root);
+    ++nodes_;
+    ++height_;
+  }
+  ++entries_;
+}
+
+const BTreeIndex::Node* BTreeIndex::FindLeaf(const Datum& key) const {
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    // Descend left on equality so duplicates in earlier leaves are found:
+    // separators equal to the key may have equal keys in the left subtree's
+    // rightmost leaf only if inserted before the split; LowerBound keeps us
+    // safe by descending into the first child whose range can contain key.
+    size_t idx = LowerBound(node->keys, key);
+    node = node->children[idx].get();
+  }
+  return node;
+}
+
+const BTreeIndex::Node* BTreeIndex::LeftmostLeaf() const {
+  const Node* node = root_.get();
+  while (!node->leaf) node = node->children.front().get();
+  return node;
+}
+
+void BTreeIndex::Scan(const Bound* lo, const Bound* hi,
+                      std::vector<int64_t>* out) const {
+  const Node* leaf = lo != nullptr ? FindLeaf(lo->key) : LeftmostLeaf();
+  // Position within the first leaf.
+  size_t pos = 0;
+  if (lo != nullptr) {
+    pos = lo->inclusive ? LowerBound(leaf->keys, lo->key)
+                        : UpperBound(leaf->keys, lo->key);
+  }
+  while (leaf != nullptr) {
+    for (; pos < leaf->keys.size(); ++pos) {
+      // Keys equal to an exclusive lower bound can spill into later leaves
+      // (duplicates span leaf boundaries), so the lower bound must be
+      // re-checked per key, not only at the start position.
+      if (lo != nullptr) {
+        int cmp = leaf->keys[pos].Compare(lo->key);
+        if (cmp < 0 || (cmp == 0 && !lo->inclusive)) continue;
+      }
+      if (hi != nullptr) {
+        int cmp = leaf->keys[pos].Compare(hi->key);
+        if (cmp > 0 || (cmp == 0 && !hi->inclusive)) return;
+      }
+      out->push_back(leaf->values[pos]);
+    }
+    leaf = leaf->next;
+    pos = 0;
+  }
+}
+
+void BTreeIndex::Lookup(const Datum& key, std::vector<int64_t>* out) const {
+  Bound b{key, true};
+  Scan(&b, &b, out);
+}
+
+}  // namespace xdb::rel

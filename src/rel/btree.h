@@ -1,0 +1,73 @@
+// An in-memory B+tree index: the access path that makes the paper's rewrite
+// pay off (Figure 2's flat curve is a B-tree range probe on the predicate
+// column instead of a full scan + DOM walk).
+//
+// Keys are Datum values ordered by Datum::Compare; duplicates are allowed.
+// Leaves hold (key, row_id) pairs and are chained for range scans.
+#ifndef XDB_REL_BTREE_H_
+#define XDB_REL_BTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rel/datum.h"
+
+namespace xdb::rel {
+
+/// Bound specification for one end of a range scan.
+struct Bound {
+  Datum key;
+  bool inclusive = true;
+};
+
+/// \brief B+tree over (Datum key -> int64 row id).
+class BTreeIndex {
+ public:
+  /// `fanout` = max entries per node (>= 4). Default tuned for cache lines.
+  explicit BTreeIndex(int fanout = 64);
+
+  void Insert(const Datum& key, int64_t row_id);
+
+  /// Appends row ids whose key lies within [lo, hi] (null pointer = open
+  /// end) in key order.
+  void Scan(const Bound* lo, const Bound* hi, std::vector<int64_t>* out) const;
+
+  /// Point lookup convenience.
+  void Lookup(const Datum& key, std::vector<int64_t>* out) const;
+
+  size_t entry_count() const { return entries_; }
+  int height() const { return height_; }
+  /// Number of nodes (diagnostics).
+  size_t node_count() const { return nodes_; }
+
+ private:
+  struct Node {
+    bool leaf = true;
+    std::vector<Datum> keys;
+    std::vector<std::unique_ptr<Node>> children;  // internal: keys.size()+1
+    std::vector<int64_t> values;                  // leaf: parallel to keys
+    Node* next = nullptr;                         // leaf chain
+  };
+
+  struct SplitResult {
+    Datum separator;                // first key of the new right node
+    std::unique_ptr<Node> right;
+  };
+
+  // Inserts into `node`; returns a split description when the node overflowed.
+  std::unique_ptr<SplitResult> InsertInto(Node* node, const Datum& key,
+                                          int64_t row_id);
+  const Node* FindLeaf(const Datum& key) const;
+  const Node* LeftmostLeaf() const;
+
+  int fanout_;
+  std::unique_ptr<Node> root_;
+  size_t entries_ = 0;
+  size_t nodes_ = 1;
+  int height_ = 1;
+};
+
+}  // namespace xdb::rel
+
+#endif  // XDB_REL_BTREE_H_

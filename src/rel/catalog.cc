@@ -1,0 +1,73 @@
+#include "rel/catalog.h"
+
+namespace xdb::rel {
+
+Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  if (tables_.count(name) > 0) {
+    return Status::InvalidArgument("table '" + name + "' already exists");
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema));
+  Table* raw = table.get();
+  tables_[name] = std::move(table);
+  return raw;
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table '" + name + "'");
+  return it->second.get();
+}
+
+Result<XmlView*> Catalog::CreatePublishingView(const std::string& name,
+                                               const std::string& base_table,
+                                               std::unique_ptr<PublishSpec> spec,
+                                               const std::string& xml_column) {
+  if (views_.count(name) > 0) {
+    return Status::InvalidArgument("view '" + name + "' already exists");
+  }
+  auto view = std::make_unique<XmlView>();
+  view->name = name;
+  view->xml_column = xml_column;
+  view->base_table = base_table;
+  XDB_ASSIGN_OR_RETURN(view->publish_expr,
+                       BuildPublishExpr(*spec, *this, base_table));
+  XDB_ASSIGN_OR_RETURN(PublishInfo info, DerivePublishStructure(*spec));
+  view->info = std::make_unique<PublishInfo>(std::move(info));
+  view->publish = std::move(spec);
+  XmlView* raw = view.get();
+  views_[name] = std::move(view);
+  return raw;
+}
+
+Result<XmlView*> Catalog::CreateXsltView(const std::string& name,
+                                         const std::string& upstream_view,
+                                         std::string_view stylesheet_text,
+                                         const std::string& xml_column) {
+  if (views_.count(name) > 0) {
+    return Status::InvalidArgument("view '" + name + "' already exists");
+  }
+  if (views_.count(upstream_view) == 0) {
+    return Status::NotFound("no view '" + upstream_view + "'");
+  }
+  auto view = std::make_unique<XmlView>();
+  view->name = name;
+  view->xml_column = xml_column;
+  view->upstream_view = upstream_view;
+  XDB_ASSIGN_OR_RETURN(auto parsed, xslt::Stylesheet::Parse(stylesheet_text));
+  view->stylesheet = std::shared_ptr<const xslt::Stylesheet>(std::move(parsed));
+  XDB_ASSIGN_OR_RETURN(auto compiled,
+                       xslt::CompiledStylesheet::Compile(*view->stylesheet));
+  view->compiled_stylesheet =
+      std::shared_ptr<const xslt::CompiledStylesheet>(std::move(compiled));
+  XmlView* raw = view.get();
+  views_[name] = std::move(view);
+  return raw;
+}
+
+Result<const XmlView*> Catalog::GetView(const std::string& name) const {
+  auto it = views_.find(name);
+  if (it == views_.end()) return Status::NotFound("no view '" + name + "'");
+  return it->second.get();
+}
+
+}  // namespace xdb::rel

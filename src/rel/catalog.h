@@ -1,0 +1,66 @@
+// Catalog: tables, indexes and XML views. Two view flavours mirror the
+// paper's examples: publishing views (SQL/XML over relational data, Table 3)
+// and XSLT views (XMLTransform over another view, Table 9).
+#ifndef XDB_REL_CATALOG_H_
+#define XDB_REL_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "rel/publish.h"
+#include "rel/table.h"
+#include "xslt/vm.h"
+
+namespace xdb::rel {
+
+/// An XMLType view column definition.
+struct XmlView {
+  std::string name;
+  std::string xml_column = "xml_content";
+
+  // -- publishing view over a base table ------------------------------------
+  std::string base_table;                // non-empty => publishing view
+  std::unique_ptr<PublishSpec> publish;  // spec tree
+  std::unique_ptr<PublishInfo> info;     // derived structure + provenance
+  RelExprPtr publish_expr;               // compiled expression
+
+  // -- XSLT view over another view (Table 9) --------------------------------
+  std::string upstream_view;  // non-empty => XSLT view
+  std::shared_ptr<const xslt::Stylesheet> stylesheet;
+  std::shared_ptr<const xslt::CompiledStylesheet> compiled_stylesheet;
+
+  bool is_publishing() const { return !base_table.empty(); }
+  bool is_xslt() const { return !upstream_view.empty(); }
+};
+
+/// \brief Owns all persistent objects of one database instance.
+class Catalog {
+ public:
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+  Result<Table*> GetTable(const std::string& name) const;
+
+  /// Registers a publishing view; derives structure and compiles the
+  /// publishing expression.
+  Result<XmlView*> CreatePublishingView(const std::string& name,
+                                        const std::string& base_table,
+                                        std::unique_ptr<PublishSpec> spec,
+                                        const std::string& xml_column);
+
+  /// Registers an XSLT view over `upstream_view`.
+  Result<XmlView*> CreateXsltView(const std::string& name,
+                                  const std::string& upstream_view,
+                                  std::string_view stylesheet_text,
+                                  const std::string& xml_column);
+
+  Result<const XmlView*> GetView(const std::string& name) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<std::string, std::unique_ptr<XmlView>> views_;
+};
+
+}  // namespace xdb::rel
+
+#endif  // XDB_REL_CATALOG_H_

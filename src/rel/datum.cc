@@ -1,0 +1,89 @@
+#include "rel/datum.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "xml/serializer.h"
+
+namespace xdb::rel {
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kInt:
+      return "INT";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "VARCHAR";
+    case DataType::kXml:
+      return "XMLTYPE";
+  }
+  return "?";
+}
+
+double Datum::ToDouble() const {
+  switch (type()) {
+    case DataType::kNull:
+      return std::nan("");
+    case DataType::kInt:
+      return static_cast<double>(AsInt());
+    case DataType::kDouble:
+      return AsDouble();
+    case DataType::kString: {
+      char* end = nullptr;
+      const std::string& s = AsString();
+      double d = std::strtod(s.c_str(), &end);
+      if (end == s.c_str()) return std::nan("");
+      return d;
+    }
+    case DataType::kXml:
+      return std::nan("");
+  }
+  return std::nan("");
+}
+
+std::string Datum::ToString() const {
+  switch (type()) {
+    case DataType::kNull:
+      return "";
+    case DataType::kInt:
+      return std::to_string(AsInt());
+    case DataType::kDouble:
+      return FormatXPathNumber(AsDouble());
+    case DataType::kString:
+      return AsString();
+    case DataType::kXml:
+      return AsXml() != nullptr ? xml::Serialize(AsXml()) : "";
+  }
+  return "";
+}
+
+int Datum::Compare(const Datum& other) const {
+  bool lnull = is_null(), rnull = other.is_null();
+  if (lnull || rnull) return lnull == rnull ? 0 : (lnull ? -1 : 1);
+
+  auto numeric = [](const Datum& d) {
+    return d.type() == DataType::kInt || d.type() == DataType::kDouble;
+  };
+  if (numeric(*this) && numeric(other)) {
+    // Avoid double rounding for large ints: compare ints directly.
+    if (type() == DataType::kInt && other.type() == DataType::kInt) {
+      int64_t a = AsInt(), b = other.AsInt();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = ToDouble(), b = other.ToDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (numeric(*this) != numeric(other)) {
+    // Mixed: try numeric comparison, else numeric sorts first.
+    double a = ToDouble(), b = other.ToDouble();
+    if (!std::isnan(a) && !std::isnan(b)) return a < b ? -1 : (a > b ? 1 : 0);
+    return numeric(*this) ? -1 : 1;
+  }
+  return ToString().compare(other.ToString());
+}
+
+}  // namespace xdb::rel

@@ -1,0 +1,73 @@
+// Relational value model. A Datum is one column value of a row: NULL, a
+// 64-bit integer, a double, a string, or an XMLType value (a pointer to an
+// XML node owned by some document arena).
+#ifndef XDB_REL_DATUM_H_
+#define XDB_REL_DATUM_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+#include "xml/dom.h"
+
+namespace xdb::rel {
+
+enum class DataType { kNull, kInt, kDouble, kString, kXml };
+
+const char* DataTypeName(DataType t);
+
+/// \brief One relational value.
+class Datum {
+ public:
+  Datum() : v_(std::monostate{}) {}
+  explicit Datum(int64_t i) : v_(i) {}
+  explicit Datum(double d) : v_(d) {}
+  explicit Datum(std::string s) : v_(std::move(s)) {}
+  explicit Datum(const char* s) : v_(std::string(s)) {}
+  explicit Datum(xml::Node* x) : v_(x) {}
+
+  static Datum Null() { return Datum(); }
+
+  DataType type() const {
+    switch (v_.index()) {
+      case 0:
+        return DataType::kNull;
+      case 1:
+        return DataType::kInt;
+      case 2:
+        return DataType::kDouble;
+      case 3:
+        return DataType::kString;
+      default:
+        return DataType::kXml;
+    }
+  }
+  bool is_null() const { return type() == DataType::kNull; }
+
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+  xml::Node* AsXml() const { return std::get<xml::Node*>(v_); }
+
+  /// Numeric view (int/double promoted; string parsed; NULL -> NaN).
+  double ToDouble() const;
+  /// Text rendering (XML values serialize to markup).
+  std::string ToString() const;
+
+  /// Total order for B-tree keys and ORDER BY: NULLs first, then numeric,
+  /// then string (cross-type numeric/string compares numerically when both
+  /// parse, else lexically). XML values are not orderable (compares by
+  /// serialized text).
+  int Compare(const Datum& other) const;
+
+  bool operator==(const Datum& other) const { return Compare(other) == 0; }
+  bool operator<(const Datum& other) const { return Compare(other) < 0; }
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string, xml::Node*> v_;
+};
+
+}  // namespace xdb::rel
+
+#endif  // XDB_REL_DATUM_H_

@@ -1,0 +1,386 @@
+#include "rel/exec.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xdb::rel {
+
+Result<std::vector<Row>> ExecuteAll(const PlanNode& plan, ExecCtx& ctx) {
+  XDB_ASSIGN_OR_RETURN(auto cursor, plan.Open(ctx));
+  std::vector<Row> rows;
+  Row row;
+  for (;;) {
+    XDB_ASSIGN_OR_RETURN(bool has, cursor->Next(ctx, &row));
+    if (!has) break;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::string ExplainPlan(const PlanNode& plan) {
+  std::string out;
+  plan.Explain(0, &out);
+  return out;
+}
+
+namespace {
+std::string Pad(int indent) { return std::string(static_cast<size_t>(indent) * 2, ' '); }
+
+class RowVectorCursor : public Cursor {
+ public:
+  explicit RowVectorCursor(std::vector<Row> rows) : rows_(std::move(rows)) {}
+  Result<bool> Next(ExecCtx&, Row* row) override {
+    if (i_ >= rows_.size()) return false;
+    *row = rows_[i_++];
+    return true;
+  }
+
+ private:
+  std::vector<Row> rows_;
+  size_t i_ = 0;
+};
+}  // namespace
+
+// ---- SeqScan ---------------------------------------------------------------
+
+namespace {
+class SeqScanCursor : public Cursor {
+ public:
+  explicit SeqScanCursor(const Table* table) : table_(table) {}
+  Result<bool> Next(ExecCtx&, Row* row) override {
+    if (id_ >= static_cast<int64_t>(table_->row_count())) return false;
+    *row = table_->row(id_++);
+    return true;
+  }
+
+ private:
+  const Table* table_;
+  int64_t id_ = 0;
+};
+}  // namespace
+
+Result<std::unique_ptr<Cursor>> SeqScanNode::Open(ExecCtx&) const {
+  return std::unique_ptr<Cursor>(new SeqScanCursor(table_));
+}
+
+void SeqScanNode::Explain(int indent, std::string* out) const {
+  *out += Pad(indent) + "SeqScan(" + table_->name() + ")\n";
+}
+
+// ---- IndexRangeScan ---------------------------------------------------------
+
+namespace {
+class IndexScanCursor : public Cursor {
+ public:
+  IndexScanCursor(const Table* table, std::vector<int64_t> ids)
+      : table_(table), ids_(std::move(ids)) {}
+  Result<bool> Next(ExecCtx&, Row* row) override {
+    if (i_ >= ids_.size()) return false;
+    *row = table_->row(ids_[i_++]);
+    return true;
+  }
+
+ private:
+  const Table* table_;
+  std::vector<int64_t> ids_;
+  size_t i_ = 0;
+};
+}  // namespace
+
+Result<std::unique_ptr<Cursor>> IndexRangeScanNode::Open(ExecCtx& ctx) const {
+  const BTreeIndex* index = table_->GetIndex(column_);
+  if (index == nullptr) {
+    return Status::NotFound("no index on " + table_->name() + "." + column_);
+  }
+  Bound lo, hi;
+  Bound* lo_ptr = nullptr;
+  Bound* hi_ptr = nullptr;
+  if (lo_ != nullptr) {
+    XDB_ASSIGN_OR_RETURN(lo.key, lo_->Eval(ctx));
+    lo.inclusive = lo_inclusive_;
+    lo_ptr = &lo;
+  }
+  if (hi_ != nullptr) {
+    XDB_ASSIGN_OR_RETURN(hi.key, hi_->Eval(ctx));
+    hi.inclusive = hi_inclusive_;
+    hi_ptr = &hi;
+  }
+  std::vector<int64_t> ids;
+  index->Scan(lo_ptr, hi_ptr, &ids);
+  if (rowid_order_) std::sort(ids.begin(), ids.end());
+  return std::unique_ptr<Cursor>(new IndexScanCursor(table_, std::move(ids)));
+}
+
+void IndexRangeScanNode::Explain(int indent, std::string* out) const {
+  *out += Pad(indent) + "IndexRangeScan(" + table_->name() + "." + column_;
+  if (lo_ != nullptr) {
+    *out += std::string(lo_inclusive_ ? " >= " : " > ") + lo_->ToSql();
+  }
+  if (hi_ != nullptr) {
+    *out += std::string(hi_inclusive_ ? " <= " : " < ") + hi_->ToSql();
+  }
+  *out += ")\n";
+}
+
+// ---- Filter ------------------------------------------------------------------
+
+namespace {
+class FilterCursor : public Cursor {
+ public:
+  FilterCursor(std::unique_ptr<Cursor> child, const RelExpr* pred)
+      : child_(std::move(child)), pred_(pred) {}
+  Result<bool> Next(ExecCtx& ctx, Row* row) override {
+    for (;;) {
+      XDB_ASSIGN_OR_RETURN(bool has, child_->Next(ctx, row));
+      if (!has) return false;
+      ctx.rows.push_back(row);
+      auto v = pred_->Eval(ctx);
+      ctx.rows.pop_back();
+      if (!v.ok()) return v.status();
+      if (!v->is_null() && v->ToDouble() != 0) return true;
+    }
+  }
+
+ private:
+  std::unique_ptr<Cursor> child_;
+  const RelExpr* pred_;
+};
+}  // namespace
+
+Result<std::unique_ptr<Cursor>> FilterNode::Open(ExecCtx& ctx) const {
+  XDB_ASSIGN_OR_RETURN(auto child, child_->Open(ctx));
+  return std::unique_ptr<Cursor>(new FilterCursor(std::move(child), predicate_.get()));
+}
+
+void FilterNode::Explain(int indent, std::string* out) const {
+  *out += Pad(indent) + "Filter(" + predicate_->ToSql() + ")\n";
+  child_->Explain(indent + 1, out);
+}
+
+// ---- Project ------------------------------------------------------------------
+
+namespace {
+class ProjectCursor : public Cursor {
+ public:
+  ProjectCursor(std::unique_ptr<Cursor> child, const std::vector<RelExprPtr>* exprs)
+      : child_(std::move(child)), exprs_(exprs) {}
+  Result<bool> Next(ExecCtx& ctx, Row* row) override {
+    Row input;
+    XDB_ASSIGN_OR_RETURN(bool has, child_->Next(ctx, &input));
+    if (!has) return false;
+    row->clear();
+    ctx.rows.push_back(&input);
+    for (const RelExprPtr& e : *exprs_) {
+      auto v = e->Eval(ctx);
+      if (!v.ok()) {
+        ctx.rows.pop_back();
+        return v.status();
+      }
+      row->push_back(v.MoveValue());
+    }
+    ctx.rows.pop_back();
+    return true;
+  }
+
+ private:
+  std::unique_ptr<Cursor> child_;
+  const std::vector<RelExprPtr>* exprs_;
+};
+}  // namespace
+
+Result<std::unique_ptr<Cursor>> ProjectNode::Open(ExecCtx& ctx) const {
+  XDB_ASSIGN_OR_RETURN(auto child, child_->Open(ctx));
+  return std::unique_ptr<Cursor>(new ProjectCursor(std::move(child), &exprs_));
+}
+
+void ProjectNode::Explain(int indent, std::string* out) const {
+  *out += Pad(indent) + "Project(";
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    if (i > 0) *out += ", ";
+    *out += exprs_[i]->ToSql();
+  }
+  *out += ")\n";
+  child_->Explain(indent + 1, out);
+}
+
+// ---- XmlAgg --------------------------------------------------------------------
+
+Result<std::unique_ptr<Cursor>> XmlAggNode::Open(ExecCtx& ctx) const {
+  XDB_ASSIGN_OR_RETURN(auto child, child_->Open(ctx));
+  struct Item {
+    Datum value;
+    Datum key;
+    size_t original;
+  };
+  std::vector<Item> items;
+  Row row;
+  for (;;) {
+    XDB_ASSIGN_OR_RETURN(bool has, child->Next(ctx, &row));
+    if (!has) break;
+    Item item;
+    item.value = row.empty() ? Datum::Null() : row[0];
+    item.original = items.size();
+    if (order_by_ != nullptr) {
+      ctx.rows.push_back(&row);
+      auto k = order_by_->Eval(ctx);
+      ctx.rows.pop_back();
+      if (!k.ok()) return k.status();
+      item.key = k.MoveValue();
+    }
+    items.push_back(std::move(item));
+  }
+  if (order_by_ != nullptr) {
+    std::stable_sort(items.begin(), items.end(), [this](const Item& a, const Item& b) {
+      int cmp = a.key.Compare(b.key);
+      if (descending_) cmp = -cmp;
+      if (cmp != 0) return cmp < 0;
+      return a.original < b.original;
+    });
+  }
+  xml::Node* frag = ctx.arena->CreateElement(kFragmentName);
+  for (const Item& item : items) {
+    const Datum& v = item.value;
+    if (v.is_null()) continue;
+    if (v.type() == DataType::kXml && v.AsXml() != nullptr) {
+      xml::Node* n = v.AsXml();
+      if (n->local_name() == kFragmentName) {
+        for (xml::Node* c : n->children()) {
+          frag->AppendChild(ctx.arena->ImportNode(c));
+        }
+      } else {
+        frag->AppendChild(ctx.arena->ImportNode(n));
+      }
+    } else {
+      frag->AppendChild(ctx.arena->CreateText(v.ToString()));
+    }
+  }
+  std::vector<Row> result;
+  result.push_back(Row{Datum(frag)});
+  return std::unique_ptr<Cursor>(new RowVectorCursor(std::move(result)));
+}
+
+void XmlAggNode::Explain(int indent, std::string* out) const {
+  *out += Pad(indent) + "XMLAgg(";
+  if (order_by_ != nullptr) {
+    *out += "ORDER BY " + order_by_->ToSql();
+    if (descending_) *out += " DESC";
+  }
+  *out += ")\n";
+  child_->Explain(indent + 1, out);
+}
+
+// ---- ScalarAgg -----------------------------------------------------------------
+
+Result<std::unique_ptr<Cursor>> ScalarAggNode::Open(ExecCtx& ctx) const {
+  XDB_ASSIGN_OR_RETURN(auto child, child_->Open(ctx));
+  double sum = 0;
+  int64_t count = 0;
+  Datum min_v, max_v;
+  Row row;
+  for (;;) {
+    XDB_ASSIGN_OR_RETURN(bool has, child->Next(ctx, &row));
+    if (!has) break;
+    Datum v;
+    if (arg_ != nullptr) {
+      ctx.rows.push_back(&row);
+      auto r = arg_->Eval(ctx);
+      ctx.rows.pop_back();
+      if (!r.ok()) return r.status();
+      v = r.MoveValue();
+    } else if (!row.empty()) {
+      v = row[0];
+    }
+    if (v.is_null()) continue;
+    ++count;
+    double d = v.ToDouble();
+    if (!std::isnan(d)) sum += d;
+    if (min_v.is_null() || v.Compare(min_v) < 0) min_v = v;
+    if (max_v.is_null() || v.Compare(max_v) > 0) max_v = v;
+  }
+  Datum out;
+  switch (kind_) {
+    case AggKind::kSum:
+      out = Datum(sum);
+      break;
+    case AggKind::kCount:
+      out = Datum(count);
+      break;
+    case AggKind::kMin:
+      out = min_v;
+      break;
+    case AggKind::kMax:
+      out = max_v;
+      break;
+  }
+  std::vector<Row> result;
+  result.push_back(Row{std::move(out)});
+  return std::unique_ptr<Cursor>(new RowVectorCursor(std::move(result)));
+}
+
+void ScalarAggNode::Explain(int indent, std::string* out) const {
+  const char* name = kind_ == AggKind::kSum
+                         ? "SUM"
+                         : (kind_ == AggKind::kCount
+                                ? "COUNT"
+                                : (kind_ == AggKind::kMin ? "MIN" : "MAX"));
+  *out += Pad(indent) + std::string(name) + "(" +
+          (arg_ != nullptr ? arg_->ToSql() : "*") + ")\n";
+  child_->Explain(indent + 1, out);
+}
+
+// ---- Sort ----------------------------------------------------------------------
+
+Result<std::unique_ptr<Cursor>> SortNode::Open(ExecCtx& ctx) const {
+  XDB_ASSIGN_OR_RETURN(auto child, child_->Open(ctx));
+  struct Entry {
+    Row row;
+    std::vector<Datum> keys;
+    size_t original;
+  };
+  std::vector<Entry> entries;
+  Row row;
+  for (;;) {
+    XDB_ASSIGN_OR_RETURN(bool has, child->Next(ctx, &row));
+    if (!has) break;
+    Entry e;
+    e.row = row;
+    e.original = entries.size();
+    ctx.rows.push_back(&e.row);
+    for (const Key& k : keys_) {
+      auto v = k.expr->Eval(ctx);
+      if (!v.ok()) {
+        ctx.rows.pop_back();
+        return v.status();
+      }
+      e.keys.push_back(v.MoveValue());
+    }
+    ctx.rows.pop_back();
+    entries.push_back(std::move(e));
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [this](const Entry& a, const Entry& b) {
+                     for (size_t i = 0; i < keys_.size(); ++i) {
+                       int cmp = a.keys[i].Compare(b.keys[i]);
+                       if (keys_[i].descending) cmp = -cmp;
+                       if (cmp != 0) return cmp < 0;
+                     }
+                     return a.original < b.original;
+                   });
+  std::vector<Row> rows;
+  rows.reserve(entries.size());
+  for (Entry& e : entries) rows.push_back(std::move(e.row));
+  return std::unique_ptr<Cursor>(new RowVectorCursor(std::move(rows)));
+}
+
+void SortNode::Explain(int indent, std::string* out) const {
+  *out += Pad(indent) + "Sort(";
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (i > 0) *out += ", ";
+    *out += keys_[i].expr->ToSql();
+    if (keys_[i].descending) *out += " DESC";
+  }
+  *out += ")\n";
+  child_->Explain(indent + 1, out);
+}
+
+}  // namespace xdb::rel

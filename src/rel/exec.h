@@ -1,0 +1,176 @@
+// Volcano-style iterator executor (Graefe [10], which the paper leans on for
+// "classical declarative query processing"): each plan node opens a cursor
+// that pulls rows one at a time. Aggregation nodes (XMLAgg, scalar
+// aggregates) consume their child eagerly and emit a single row.
+#ifndef XDB_REL_EXEC_H_
+#define XDB_REL_EXEC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rel/expr.h"
+#include "rel/table.h"
+
+namespace xdb::rel {
+
+/// Pull cursor over a plan subtree.
+class Cursor {
+ public:
+  virtual ~Cursor() = default;
+  /// Produces the next row into *row; returns false at end of stream.
+  virtual Result<bool> Next(ExecCtx& ctx, Row* row) = 0;
+};
+
+/// \brief A physical plan operator.
+class PlanNode {
+ public:
+  virtual ~PlanNode() = default;
+  virtual Result<std::unique_ptr<Cursor>> Open(ExecCtx& ctx) const = 0;
+  /// One-line-per-node plan rendering (EXPLAIN style).
+  virtual void Explain(int indent, std::string* out) const = 0;
+  /// Number of output columns.
+  virtual size_t output_arity() const = 0;
+};
+
+using PlanPtr = std::unique_ptr<PlanNode>;
+
+/// Executes a plan to completion, materializing all rows.
+Result<std::vector<Row>> ExecuteAll(const PlanNode& plan, ExecCtx& ctx);
+
+/// Renders the whole plan tree.
+std::string ExplainPlan(const PlanNode& plan);
+
+// ---------------------------------------------------------------------------
+
+/// Full scan of a base table.
+class SeqScanNode : public PlanNode {
+ public:
+  explicit SeqScanNode(const Table* table) : table_(table) {}
+  Result<std::unique_ptr<Cursor>> Open(ExecCtx& ctx) const override;
+  void Explain(int indent, std::string* out) const override;
+  size_t output_arity() const override { return table_->schema().column_count(); }
+  const Table* table() const { return table_; }
+
+ private:
+  const Table* table_;
+};
+
+/// B+tree range scan: bounds are expressions evaluated at open time (they
+/// may reference outer rows — a correlated index probe). With
+/// `rowid_order`, matching rows are emitted in row-id (heap/document) order
+/// instead of key order — needed when the consumer must preserve the XML
+/// view's document order.
+class IndexRangeScanNode : public PlanNode {
+ public:
+  IndexRangeScanNode(const Table* table, std::string column, RelExprPtr lo,
+                     bool lo_inclusive, RelExprPtr hi, bool hi_inclusive,
+                     bool rowid_order = false)
+      : table_(table),
+        column_(std::move(column)),
+        lo_(std::move(lo)),
+        lo_inclusive_(lo_inclusive),
+        hi_(std::move(hi)),
+        hi_inclusive_(hi_inclusive),
+        rowid_order_(rowid_order) {}
+  Result<std::unique_ptr<Cursor>> Open(ExecCtx& ctx) const override;
+  void Explain(int indent, std::string* out) const override;
+  size_t output_arity() const override { return table_->schema().column_count(); }
+
+ private:
+  const Table* table_;
+  std::string column_;
+  RelExprPtr lo_;
+  bool lo_inclusive_;
+  RelExprPtr hi_;
+  bool hi_inclusive_;
+  bool rowid_order_;
+};
+
+/// Filters child rows by a boolean predicate.
+class FilterNode : public PlanNode {
+ public:
+  FilterNode(PlanPtr child, RelExprPtr predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+  Result<std::unique_ptr<Cursor>> Open(ExecCtx& ctx) const override;
+  void Explain(int indent, std::string* out) const override;
+  size_t output_arity() const override { return child_->output_arity(); }
+
+ private:
+  PlanPtr child_;
+  RelExprPtr predicate_;
+};
+
+/// Computes output expressions per child row. The child row is pushed as
+/// level 0 for the expressions (outer rows shift up one level).
+class ProjectNode : public PlanNode {
+ public:
+  ProjectNode(PlanPtr child, std::vector<RelExprPtr> exprs)
+      : child_(std::move(child)), exprs_(std::move(exprs)) {}
+  Result<std::unique_ptr<Cursor>> Open(ExecCtx& ctx) const override;
+  void Explain(int indent, std::string* out) const override;
+  size_t output_arity() const override { return exprs_.size(); }
+  const std::vector<RelExprPtr>& exprs() const { return exprs_; }
+
+ private:
+  PlanPtr child_;
+  std::vector<RelExprPtr> exprs_;
+};
+
+/// XMLAgg: concatenates the single XML column of all child rows into one
+/// XML fragment row, optionally ordered by a sort expression.
+class XmlAggNode : public PlanNode {
+ public:
+  XmlAggNode(PlanPtr child, RelExprPtr order_by, bool descending)
+      : child_(std::move(child)),
+        order_by_(std::move(order_by)),
+        descending_(descending) {}
+  Result<std::unique_ptr<Cursor>> Open(ExecCtx& ctx) const override;
+  void Explain(int indent, std::string* out) const override;
+  size_t output_arity() const override { return 1; }
+
+ private:
+  PlanPtr child_;
+  RelExprPtr order_by_;  // may be null; evaluated against child rows
+  bool descending_;
+};
+
+/// Scalar aggregates over the child's first column.
+enum class AggKind { kSum, kCount, kMin, kMax };
+
+class ScalarAggNode : public PlanNode {
+ public:
+  ScalarAggNode(PlanPtr child, AggKind kind, RelExprPtr arg)
+      : child_(std::move(child)), kind_(kind), arg_(std::move(arg)) {}
+  Result<std::unique_ptr<Cursor>> Open(ExecCtx& ctx) const override;
+  void Explain(int indent, std::string* out) const override;
+  size_t output_arity() const override { return 1; }
+
+ private:
+  PlanPtr child_;
+  AggKind kind_;
+  RelExprPtr arg_;  // evaluated per child row (child row at level 0)
+};
+
+/// Sorts child rows by key expressions.
+class SortNode : public PlanNode {
+ public:
+  struct Key {
+    RelExprPtr expr;
+    bool descending = false;
+  };
+  SortNode(PlanPtr child, std::vector<Key> keys)
+      : child_(std::move(child)), keys_(std::move(keys)) {}
+  Result<std::unique_ptr<Cursor>> Open(ExecCtx& ctx) const override;
+  void Explain(int indent, std::string* out) const override;
+  size_t output_arity() const override { return child_->output_arity(); }
+
+ private:
+  PlanPtr child_;
+  std::vector<Key> keys_;
+};
+
+}  // namespace xdb::rel
+
+#endif  // XDB_REL_EXEC_H_

@@ -1,0 +1,351 @@
+#include "rel/expr.h"
+
+#include <cmath>
+
+#include "rel/exec.h"
+#include "xml/serializer.h"
+#include "xquery/evaluator.h"
+#include "xslt/vm.h"
+
+namespace xdb::rel {
+
+using xml::Node;
+
+bool IsXmlFragment(const Datum& d) {
+  return d.type() == DataType::kXml && d.AsXml() != nullptr &&
+         d.AsXml()->local_name() == kFragmentName;
+}
+
+Result<Datum> ColumnRefExpr::Eval(ExecCtx& ctx) const {
+  if (static_cast<size_t>(level) >= ctx.rows.size()) {
+    return Status::Internal("column reference level out of range: " + display);
+  }
+  const Row& row = ctx.RowAt(level);
+  if (static_cast<size_t>(column) >= row.size()) {
+    return Status::Internal("column index out of range: " + display);
+  }
+  return row[static_cast<size_t>(column)];
+}
+
+std::string ConstExpr::ToSql() const {
+  switch (value.type()) {
+    case DataType::kString:
+      return "'" + value.AsString() + "'";
+    case DataType::kNull:
+      return "NULL";
+    default:
+      return value.ToString();
+  }
+}
+
+const char* RelOpName(RelOp op) {
+  switch (op) {
+    case RelOp::kEq:
+      return "=";
+    case RelOp::kNe:
+      return "<>";
+    case RelOp::kLt:
+      return "<";
+    case RelOp::kLe:
+      return "<=";
+    case RelOp::kGt:
+      return ">";
+    case RelOp::kGe:
+      return ">=";
+    case RelOp::kAnd:
+      return "AND";
+    case RelOp::kOr:
+      return "OR";
+    case RelOp::kPlus:
+      return "+";
+    case RelOp::kMinus:
+      return "-";
+    case RelOp::kMul:
+      return "*";
+    case RelOp::kDiv:
+      return "/";
+    case RelOp::kConcat:
+      return "||";
+  }
+  return "?";
+}
+
+Result<Datum> BinaryRelExpr::Eval(ExecCtx& ctx) const {
+  XDB_ASSIGN_OR_RETURN(Datum l, lhs->Eval(ctx));
+  // Short-circuit logic ops (SQL three-valued logic approximated two-valued:
+  // NULL comparisons yield false).
+  if (op == RelOp::kAnd) {
+    if (l.is_null() || l.ToDouble() == 0) return Datum(static_cast<int64_t>(0));
+    XDB_ASSIGN_OR_RETURN(Datum r, rhs->Eval(ctx));
+    return Datum(static_cast<int64_t>(!r.is_null() && r.ToDouble() != 0 ? 1 : 0));
+  }
+  if (op == RelOp::kOr) {
+    if (!l.is_null() && l.ToDouble() != 0) return Datum(static_cast<int64_t>(1));
+    XDB_ASSIGN_OR_RETURN(Datum r, rhs->Eval(ctx));
+    return Datum(static_cast<int64_t>(!r.is_null() && r.ToDouble() != 0 ? 1 : 0));
+  }
+  XDB_ASSIGN_OR_RETURN(Datum r, rhs->Eval(ctx));
+  switch (op) {
+    case RelOp::kEq:
+    case RelOp::kNe:
+    case RelOp::kLt:
+    case RelOp::kLe:
+    case RelOp::kGt:
+    case RelOp::kGe: {
+      if (l.is_null() || r.is_null()) return Datum(static_cast<int64_t>(0));
+      int cmp = l.Compare(r);
+      bool v = false;
+      switch (op) {
+        case RelOp::kEq:
+          v = cmp == 0;
+          break;
+        case RelOp::kNe:
+          v = cmp != 0;
+          break;
+        case RelOp::kLt:
+          v = cmp < 0;
+          break;
+        case RelOp::kLe:
+          v = cmp <= 0;
+          break;
+        case RelOp::kGt:
+          v = cmp > 0;
+          break;
+        default:
+          v = cmp >= 0;
+          break;
+      }
+      return Datum(static_cast<int64_t>(v ? 1 : 0));
+    }
+    case RelOp::kPlus:
+      return Datum(l.ToDouble() + r.ToDouble());
+    case RelOp::kMinus:
+      return Datum(l.ToDouble() - r.ToDouble());
+    case RelOp::kMul:
+      return Datum(l.ToDouble() * r.ToDouble());
+    case RelOp::kDiv:
+      return Datum(l.ToDouble() / r.ToDouble());
+    case RelOp::kConcat: {
+      // XML operands stringify to their text value rather than markup here:
+      // '||' is the paper's Table 7 string concatenation over column data.
+      auto text = [](const Datum& d) {
+        if (d.type() == DataType::kXml && d.AsXml() != nullptr) {
+          return d.AsXml()->StringValue();
+        }
+        return d.ToString();
+      };
+      return Datum(text(l) + text(r));
+    }
+    default:
+      return Status::Internal("unexpected binary op");
+  }
+}
+
+std::string BinaryRelExpr::ToSql() const {
+  return lhs->ToSql() + " " + RelOpName(op) + " " + rhs->ToSql();
+}
+
+Result<Datum> CaseRelExpr::Eval(ExecCtx& ctx) const {
+  for (const Branch& b : branches) {
+    XDB_ASSIGN_OR_RETURN(Datum c, b.cond->Eval(ctx));
+    if (!c.is_null() && c.ToDouble() != 0) return b.value->Eval(ctx);
+  }
+  if (else_value != nullptr) return else_value->Eval(ctx);
+  return Datum::Null();
+}
+
+std::string CaseRelExpr::ToSql() const {
+  std::string out = "CASE";
+  for (const Branch& b : branches) {
+    out += " WHEN " + b.cond->ToSql() + " THEN " + b.value->ToSql();
+  }
+  if (else_value != nullptr) out += " ELSE " + else_value->ToSql();
+  return out + " END";
+}
+
+namespace {
+// Appends datum content to an element under construction.
+void AppendContent(Node* elem, const Datum& d, xml::Document* arena) {
+  if (d.is_null()) return;
+  if (d.type() == DataType::kXml) {
+    Node* n = d.AsXml();
+    if (n == nullptr) return;
+    if (n->local_name() == kFragmentName || n->type() == xml::NodeType::kDocument) {
+      for (Node* child : n->children()) {
+        elem->AppendChild(arena->ImportNode(child));
+      }
+    } else {
+      elem->AppendChild(arena->ImportNode(n));
+    }
+    return;
+  }
+  std::string text = d.ToString();
+  if (!text.empty()) elem->AppendChild(arena->CreateText(text));
+}
+}  // namespace
+
+Result<Datum> XmlElementExpr::Eval(ExecCtx& ctx) const {
+  Node* elem = ctx.arena->CreateElement(name);
+  for (const auto& [attr_name, expr] : attributes) {
+    XDB_ASSIGN_OR_RETURN(Datum v, expr->Eval(ctx));
+    elem->SetAttribute(attr_name, v.ToString());
+  }
+  for (const RelExprPtr& child : children) {
+    XDB_ASSIGN_OR_RETURN(Datum v, child->Eval(ctx));
+    AppendContent(elem, v, ctx.arena);
+  }
+  return Datum(elem);
+}
+
+std::string XmlElementExpr::ToSql() const {
+  std::string out = "XMLElement(\"" + name + "\"";
+  if (!attributes.empty()) {
+    out += ", XMLAttributes(";
+    for (size_t i = 0; i < attributes.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += attributes[i].second->ToSql() + " AS \"" + attributes[i].first + "\"";
+    }
+    out += ")";
+  }
+  for (const RelExprPtr& child : children) {
+    out += ", " + child->ToSql();
+  }
+  return out + ")";
+}
+
+Result<Datum> XmlConcatExpr::Eval(ExecCtx& ctx) const {
+  Node* frag = ctx.arena->CreateElement(kFragmentName);
+  for (const RelExprPtr& child : children) {
+    XDB_ASSIGN_OR_RETURN(Datum v, child->Eval(ctx));
+    AppendContent(frag, v, ctx.arena);
+  }
+  return Datum(frag);
+}
+
+std::string XmlConcatExpr::ToSql() const {
+  std::string out = "XMLConcat(";
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += children[i]->ToSql();
+  }
+  return out + ")";
+}
+
+ScalarSubqueryExpr::ScalarSubqueryExpr(std::unique_ptr<PlanNode> plan)
+    : RelExpr(RelExprKind::kScalarSubquery), plan(std::move(plan)) {}
+ScalarSubqueryExpr::~ScalarSubqueryExpr() = default;
+
+Result<Datum> ScalarSubqueryExpr::Eval(ExecCtx& ctx) const {
+  XDB_ASSIGN_OR_RETURN(auto cursor, plan->Open(ctx));
+  Row row;
+  XDB_ASSIGN_OR_RETURN(bool has, cursor->Next(ctx, &row));
+  if (!has) return Datum::Null();
+  return row.empty() ? Datum::Null() : row[0];
+}
+
+std::string ScalarSubqueryExpr::ToSql() const {
+  std::string inner;
+  plan->Explain(1, &inner);
+  return "(SELECT\n" + inner + ")";
+}
+
+XmlQueryExpr::XmlQueryExpr(std::shared_ptr<const xquery::Query> query,
+                           RelExprPtr input, std::string query_text)
+    : RelExpr(RelExprKind::kXmlQuery),
+      query(std::move(query)),
+      input(std::move(input)),
+      query_text(std::move(query_text)) {}
+XmlQueryExpr::~XmlQueryExpr() = default;
+
+Result<Datum> XmlQueryExpr::Eval(ExecCtx& ctx) const {
+  XDB_ASSIGN_OR_RETURN(Datum in, input->Eval(ctx));
+  if (in.type() != DataType::kXml || in.AsXml() == nullptr) {
+    return Status::TypeError("XMLQuery: PASSING value is not XMLType");
+  }
+  // SQL/XML semantics: the PASSING value behaves as a document, so "./dept"
+  // reaches a passed <dept> element. Wrap detached values in a temporary
+  // document; results are deep-copied out before the wrapper dies.
+  xml::Document wrapper;
+  Node* context_node = in.AsXml();
+  if (context_node->type() != xml::NodeType::kDocument) {
+    if (context_node->local_name() == kFragmentName) {
+      for (Node* c : context_node->children()) {
+        wrapper.root()->AppendChild(wrapper.ImportNode(c));
+      }
+    } else {
+      wrapper.root()->AppendChild(wrapper.ImportNode(context_node));
+    }
+    context_node = wrapper.root();
+  }
+  xquery::QueryEvaluator evaluator;
+  XDB_ASSIGN_OR_RETURN(xquery::Sequence seq,
+                       evaluator.Evaluate(*query, context_node, ctx.arena));
+  // RETURNING CONTENT: wrap as fragment.
+  Node* frag = ctx.arena->CreateElement(kFragmentName);
+  bool prev_atomic = false;
+  for (const xquery::Item& item : seq) {
+    if (std::holds_alternative<Node*>(item)) {
+      Node* n = std::get<Node*>(item);
+      if (n->type() == xml::NodeType::kDocument) {
+        for (Node* c : n->children()) frag->AppendChild(ctx.arena->ImportNode(c));
+      } else if (n->document() == ctx.arena && n->parent() == nullptr) {
+        frag->AppendChild(n);
+      } else {
+        frag->AppendChild(ctx.arena->ImportNode(n));
+      }
+      prev_atomic = false;
+    } else {
+      std::string text = xquery::ItemStringValue(item);
+      if (prev_atomic) text = " " + text;
+      if (!text.empty()) frag->AppendChild(ctx.arena->CreateText(text));
+      prev_atomic = true;
+    }
+  }
+  return Datum(frag);
+}
+
+std::string XmlQueryExpr::ToSql() const {
+  return "XMLQuery('" + query_text + "' PASSING " + input->ToSql() +
+         " RETURNING CONTENT)";
+}
+
+XmlTransformExpr::XmlTransformExpr(
+    std::shared_ptr<const xslt::CompiledStylesheet> stylesheet, RelExprPtr input)
+    : RelExpr(RelExprKind::kXmlTransform),
+      stylesheet(std::move(stylesheet)),
+      input(std::move(input)) {}
+XmlTransformExpr::~XmlTransformExpr() = default;
+
+Result<Datum> XmlTransformExpr::Eval(ExecCtx& ctx) const {
+  XDB_ASSIGN_OR_RETURN(Datum in, input->Eval(ctx));
+  if (in.type() != DataType::kXml || in.AsXml() == nullptr) {
+    return Status::TypeError("XMLTransform: input is not XMLType");
+  }
+  // Functional evaluation: the XSLTVM walks the DOM of the input value.
+  // Wrap detached values in a document so match="/" behaves as usual.
+  xml::Document wrapper;
+  Node* source = in.AsXml();
+  if (source->type() != xml::NodeType::kDocument && source->parent() == nullptr) {
+    if (source->local_name() == kFragmentName) {
+      for (Node* c : source->children()) {
+        wrapper.root()->AppendChild(wrapper.ImportNode(c));
+      }
+    } else {
+      wrapper.root()->AppendChild(wrapper.ImportNode(source));
+    }
+    source = wrapper.root();
+  }
+  xslt::Vm vm(*stylesheet);
+  XDB_ASSIGN_OR_RETURN(auto result_doc, vm.Transform(source));
+  Node* frag = ctx.arena->CreateElement(kFragmentName);
+  for (Node* child : result_doc->root()->children()) {
+    frag->AppendChild(ctx.arena->ImportNode(child));
+  }
+  return Datum(frag);
+}
+
+std::string XmlTransformExpr::ToSql() const {
+  return "XMLTransform(" + input->ToSql() + ", <stylesheet>)";
+}
+
+}  // namespace xdb::rel

@@ -1,0 +1,211 @@
+// Scalar expressions over rows, including the SQL/XML publishing operators
+// (XMLElement, XMLAttributes via element attrs, XMLConcat, XMLQuery,
+// XMLTransform) and correlated scalar subqueries. The publishing-function
+// expression tree doubles as the view's publishing specification: the
+// structure deriver and the XQuery->SQL/XML rewriter walk it.
+#ifndef XDB_REL_EXPR_H_
+#define XDB_REL_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rel/datum.h"
+#include "rel/table.h"
+
+namespace xdb::xquery {
+class QueryEvaluator;
+struct Query;
+}  // namespace xdb::xquery
+namespace xdb::xslt {
+class Vm;
+class CompiledStylesheet;
+}  // namespace xdb::xslt
+
+namespace xdb::rel {
+
+class PlanNode;
+
+/// Evaluation context: the row stack (innermost last; ColumnRef levels count
+/// from the innermost) plus the XML construction arena.
+struct ExecCtx {
+  xml::Document* arena = nullptr;
+  std::vector<const Row*> rows;
+
+  const Row& RowAt(int level) const {
+    return *rows[rows.size() - 1 - static_cast<size_t>(level)];
+  }
+};
+
+enum class RelExprKind {
+  kColumnRef,
+  kConst,
+  kBinary,
+  kCase,
+  kXmlElement,
+  kXmlConcat,
+  kScalarSubquery,
+  kXmlQuery,
+  kXmlTransform,
+};
+
+class RelExpr {
+ public:
+  explicit RelExpr(RelExprKind kind) : kind_(kind) {}
+  virtual ~RelExpr() = default;
+  RelExprKind kind() const { return kind_; }
+
+  virtual Result<Datum> Eval(ExecCtx& ctx) const = 0;
+  /// SQL-ish rendering for plan explanations and golden tests.
+  virtual std::string ToSql() const = 0;
+
+ private:
+  RelExprKind kind_;
+};
+
+using RelExprPtr = std::unique_ptr<RelExpr>;
+
+class ColumnRefExpr : public RelExpr {
+ public:
+  ColumnRefExpr(int level, int column, std::string display)
+      : RelExpr(RelExprKind::kColumnRef),
+        level(level),
+        column(column),
+        display(std::move(display)) {}
+  Result<Datum> Eval(ExecCtx& ctx) const override;
+  std::string ToSql() const override { return display; }
+
+  int level;    ///< 0 = innermost row, 1 = enclosing query's row, ...
+  int column;   ///< column index within that row
+  std::string display;  ///< e.g. "EMP.SAL"
+};
+
+class ConstExpr : public RelExpr {
+ public:
+  explicit ConstExpr(Datum value)
+      : RelExpr(RelExprKind::kConst), value(std::move(value)) {}
+  Result<Datum> Eval(ExecCtx&) const override { return value; }
+  std::string ToSql() const override;
+  Datum value;
+};
+
+enum class RelOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kPlus,
+  kMinus,
+  kMul,
+  kDiv,
+  kConcat,  // string ||
+};
+const char* RelOpName(RelOp op);
+
+class BinaryRelExpr : public RelExpr {
+ public:
+  BinaryRelExpr(RelOp op, RelExprPtr lhs, RelExprPtr rhs)
+      : RelExpr(RelExprKind::kBinary),
+        op(op),
+        lhs(std::move(lhs)),
+        rhs(std::move(rhs)) {}
+  Result<Datum> Eval(ExecCtx& ctx) const override;
+  std::string ToSql() const override;
+  RelOp op;
+  RelExprPtr lhs;
+  RelExprPtr rhs;
+};
+
+/// CASE WHEN cond THEN value [WHEN ...] [ELSE value] END.
+class CaseRelExpr : public RelExpr {
+ public:
+  struct Branch {
+    RelExprPtr cond;
+    RelExprPtr value;
+  };
+  CaseRelExpr() : RelExpr(RelExprKind::kCase) {}
+  Result<Datum> Eval(ExecCtx& ctx) const override;
+  std::string ToSql() const override;
+  std::vector<Branch> branches;
+  RelExprPtr else_value;  // may be null => NULL
+};
+
+/// XMLElement("name", XMLAttributes(...), child1, child2, ...).
+/// Children producing XML splice in as nodes (fragments flatten); atomic
+/// values become text content.
+class XmlElementExpr : public RelExpr {
+ public:
+  explicit XmlElementExpr(std::string name)
+      : RelExpr(RelExprKind::kXmlElement), name(std::move(name)) {}
+  Result<Datum> Eval(ExecCtx& ctx) const override;
+  std::string ToSql() const override;
+
+  std::string name;
+  std::vector<std::pair<std::string, RelExprPtr>> attributes;
+  std::vector<RelExprPtr> children;
+};
+
+/// XMLConcat(e1, e2, ...) — an XML fragment value.
+class XmlConcatExpr : public RelExpr {
+ public:
+  XmlConcatExpr() : RelExpr(RelExprKind::kXmlConcat) {}
+  Result<Datum> Eval(ExecCtx& ctx) const override;
+  std::string ToSql() const override;
+  std::vector<RelExprPtr> children;
+};
+
+/// Correlated scalar subquery: executes `plan` with the current row stack
+/// visible to inner ColumnRefs (level >= 1); yields the single value of the
+/// single output column (NULL when the subquery produces no rows).
+class ScalarSubqueryExpr : public RelExpr {
+ public:
+  explicit ScalarSubqueryExpr(std::unique_ptr<PlanNode> plan);
+  ~ScalarSubqueryExpr() override;
+  Result<Datum> Eval(ExecCtx& ctx) const override;
+  std::string ToSql() const override;
+  std::unique_ptr<PlanNode> plan;
+};
+
+/// XMLQuery(query PASSING input RETURNING CONTENT) — functional evaluation
+/// of an XQuery against an XMLType value.
+class XmlQueryExpr : public RelExpr {
+ public:
+  XmlQueryExpr(std::shared_ptr<const xquery::Query> query, RelExprPtr input,
+               std::string query_text);
+  ~XmlQueryExpr() override;
+  Result<Datum> Eval(ExecCtx& ctx) const override;
+  std::string ToSql() const override;
+  std::shared_ptr<const xquery::Query> query;
+  RelExprPtr input;
+  std::string query_text;  // for display
+};
+
+/// XMLTransform(input, stylesheet) — functional XSLT evaluation via the
+/// XSLTVM over the materialized DOM (the paper's no-rewrite baseline).
+class XmlTransformExpr : public RelExpr {
+ public:
+  XmlTransformExpr(std::shared_ptr<const xslt::CompiledStylesheet> stylesheet,
+                   RelExprPtr input);
+  ~XmlTransformExpr() override;
+  Result<Datum> Eval(ExecCtx& ctx) const override;
+  std::string ToSql() const override;
+  std::shared_ptr<const xslt::CompiledStylesheet> stylesheet;
+  RelExprPtr input;
+};
+
+/// Name of the synthetic element wrapping XML fragments (XMLConcat/XMLAgg
+/// results). Fragment children splice into enclosing constructors and into
+/// final result materialization.
+inline constexpr std::string_view kFragmentName = "#frag";
+
+/// True when the datum is an XML fragment wrapper.
+bool IsXmlFragment(const Datum& d);
+
+}  // namespace xdb::rel
+
+#endif  // XDB_REL_EXPR_H_

@@ -1,0 +1,223 @@
+#include "rel/publish.h"
+
+#include "rel/catalog.h"
+
+namespace xdb::rel {
+
+std::unique_ptr<PublishSpec> PublishSpec::Element(std::string name) {
+  auto s = std::make_unique<PublishSpec>();
+  s->kind = Kind::kElement;
+  s->name = std::move(name);
+  return s;
+}
+
+std::unique_ptr<PublishSpec> PublishSpec::Column(std::string column) {
+  auto s = std::make_unique<PublishSpec>();
+  s->kind = Kind::kColumn;
+  s->column = std::move(column);
+  return s;
+}
+
+std::unique_ptr<PublishSpec> PublishSpec::Text(std::string text) {
+  auto s = std::make_unique<PublishSpec>();
+  s->kind = Kind::kText;
+  s->text = std::move(text);
+  return s;
+}
+
+std::unique_ptr<PublishSpec> PublishSpec::Nested(
+    std::string child_table, std::string outer_key, std::string inner_key,
+    std::unique_ptr<PublishSpec> row_elem) {
+  auto s = std::make_unique<PublishSpec>();
+  s->kind = Kind::kNested;
+  s->child_table = std::move(child_table);
+  s->outer_key = std::move(outer_key);
+  s->inner_key = std::move(inner_key);
+  s->row_element = std::move(row_elem);
+  return s;
+}
+
+std::unique_ptr<PublishSpec> PublishSpec::Clone() const {
+  auto s = std::make_unique<PublishSpec>();
+  s->kind = kind;
+  s->name = name;
+  s->attr_columns = attr_columns;
+  for (const auto& c : children) s->children.push_back(c->Clone());
+  s->column = column;
+  s->text = text;
+  s->child_table = child_table;
+  s->outer_key = outer_key;
+  s->inner_key = inner_key;
+  s->order_by_column = order_by_column;
+  if (row_element) s->row_element = row_element->Clone();
+  return s;
+}
+
+namespace {
+
+/// Scope stack entry during compilation: the table whose row is visible at
+/// the given expression nesting level.
+struct Scope {
+  const Table* table;
+};
+
+class PublishCompiler {
+ public:
+  explicit PublishCompiler(const Catalog& catalog) : catalog_(catalog) {}
+
+  Result<RelExprPtr> Compile(const PublishSpec& spec, const Table* base) {
+    scopes_.push_back(Scope{base});
+    auto result = CompileNode(spec);
+    scopes_.pop_back();
+    return result;
+  }
+
+  Result<RelExprPtr> CompileInScope(const PublishSpec& spec,
+                                    const std::vector<const Table*>& tables) {
+    scopes_.clear();
+    for (const Table* t : tables) scopes_.push_back(Scope{t});
+    return CompileNode(spec);
+  }
+
+ private:
+  Result<RelExprPtr> ColumnRef(const std::string& column, size_t start_level = 0) {
+    // Resolve innermost-first, starting at `start_level` (used to skip the
+    // inner scope when both tables share a key column name, e.g. deptno).
+    for (size_t i = start_level; i < scopes_.size(); ++i) {
+      const Scope& s = scopes_[scopes_.size() - 1 - i];
+      int ci = s.table->schema().ColumnIndex(column);
+      if (ci >= 0) {
+        return RelExprPtr(std::make_unique<ColumnRefExpr>(
+            static_cast<int>(i), ci, s.table->name() + "." + column));
+      }
+    }
+    return Status::NotFound("publishing spec references unknown column '" + column +
+                            "'");
+  }
+
+  Result<RelExprPtr> CompileNode(const PublishSpec& spec) {
+    switch (spec.kind) {
+      case PublishSpec::Kind::kElement: {
+        auto elem = std::make_unique<XmlElementExpr>(spec.name);
+        for (const auto& [attr, col] : spec.attr_columns) {
+          XDB_ASSIGN_OR_RETURN(RelExprPtr e, ColumnRef(col));
+          elem->attributes.emplace_back(attr, std::move(e));
+        }
+        for (const auto& child : spec.children) {
+          XDB_ASSIGN_OR_RETURN(RelExprPtr e, CompileNode(*child));
+          elem->children.push_back(std::move(e));
+        }
+        return RelExprPtr(std::move(elem));
+      }
+      case PublishSpec::Kind::kColumn:
+        return ColumnRef(spec.column);
+      case PublishSpec::Kind::kText:
+        return RelExprPtr(std::make_unique<ConstExpr>(Datum(spec.text)));
+      case PublishSpec::Kind::kNested: {
+        XDB_ASSIGN_OR_RETURN(Table * child, catalog_.GetTable(spec.child_table));
+        // Correlation predicate: child.inner_key = outer.outer_key.
+        int inner_ci = child->schema().ColumnIndex(spec.inner_key);
+        if (inner_ci < 0) {
+          return Status::NotFound("nested publish: no column '" + spec.inner_key +
+                                  "' in " + spec.child_table);
+        }
+        // Outer key resolves against the *enclosing* scopes (level >= 1):
+        // the filter row sits at level 0 inside the subquery.
+        scopes_.push_back(Scope{child});
+        XDB_ASSIGN_OR_RETURN(RelExprPtr outer_ref, ColumnRef(spec.outer_key, 1));
+        auto inner_ref = std::make_unique<ColumnRefExpr>(
+            0, inner_ci, spec.child_table + "." + spec.inner_key);
+        auto pred = std::make_unique<BinaryRelExpr>(RelOp::kEq, std::move(inner_ref),
+                                                    std::move(outer_ref));
+        PlanPtr scan(new SeqScanNode(child));
+        PlanPtr filtered(new FilterNode(std::move(scan), std::move(pred)));
+        XDB_ASSIGN_OR_RETURN(RelExprPtr row_expr, CompileNode(*spec.row_element));
+        std::vector<RelExprPtr> exprs;
+        exprs.push_back(std::move(row_expr));
+        RelExprPtr order_expr;
+        if (!spec.order_by_column.empty()) {
+          // Project the order key alongside the XML value; XMLAgg orders by
+          // the projected row's second column.
+          XDB_ASSIGN_OR_RETURN(RelExprPtr key, ColumnRef(spec.order_by_column));
+          exprs.push_back(std::move(key));
+          order_expr = std::make_unique<ColumnRefExpr>(
+              0, 1, spec.child_table + "." + spec.order_by_column);
+        }
+        PlanPtr projected(new ProjectNode(std::move(filtered), std::move(exprs)));
+        scopes_.pop_back();
+        PlanPtr agg(new XmlAggNode(std::move(projected), std::move(order_expr),
+                                   /*descending=*/false));
+        return RelExprPtr(std::make_unique<ScalarSubqueryExpr>(std::move(agg)));
+      }
+    }
+    return Status::Internal("unknown publish spec kind");
+  }
+
+  const Catalog& catalog_;
+  std::vector<Scope> scopes_;
+};
+
+void DeriveNode(const PublishSpec& spec, schema::ElementStructure* parent,
+                std::vector<const PublishSpec*>* nested_chain, PublishInfo* info) {
+  switch (spec.kind) {
+    case PublishSpec::Kind::kElement: {
+      schema::ElementStructure* e = info->structure.NewElement(spec.name);
+      for (const auto& [attr, col] : spec.attr_columns) e->attributes.push_back(attr);
+      info->bindings[e] = PublishBinding{&spec, *nested_chain};
+      if (parent != nullptr) {
+        parent->children.push_back(schema::ChildRef{e, 1, 1, false});
+      } else {
+        info->structure.set_root(e);
+      }
+      for (const auto& child : spec.children) {
+        DeriveNode(*child, e, nested_chain, info);
+      }
+      break;
+    }
+    case PublishSpec::Kind::kColumn:
+    case PublishSpec::Kind::kText:
+      if (parent != nullptr) parent->has_text = true;
+      break;
+    case PublishSpec::Kind::kNested: {
+      nested_chain->push_back(&spec);
+      // The repeating row element.
+      size_t before = parent->children.size();
+      DeriveNode(*spec.row_element, parent, nested_chain, info);
+      // Mark it 0..unbounded.
+      if (parent->children.size() > before) {
+        parent->children[before].min_occurs = 0;
+        parent->children[before].max_occurs = -1;
+      }
+      nested_chain->pop_back();
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Result<RelExprPtr> BuildPublishExpr(const PublishSpec& spec, const Catalog& catalog,
+                                    const std::string& base_table) {
+  XDB_ASSIGN_OR_RETURN(Table * base, catalog.GetTable(base_table));
+  PublishCompiler compiler(catalog);
+  return compiler.Compile(spec, base);
+}
+
+Result<RelExprPtr> CompilePublishSubtree(
+    const PublishSpec& spec, const Catalog& catalog,
+    const std::vector<const Table*>& scope_tables) {
+  PublishCompiler compiler(catalog);
+  return compiler.CompileInScope(spec, scope_tables);
+}
+
+Result<PublishInfo> DerivePublishStructure(const PublishSpec& spec) {
+  if (spec.kind != PublishSpec::Kind::kElement) {
+    return Status::InvalidArgument("publishing spec root must be an element");
+  }
+  PublishInfo info;
+  std::vector<const PublishSpec*> chain;
+  DeriveNode(spec, nullptr, &chain, &info);
+  return info;
+}
+
+}  // namespace xdb::rel

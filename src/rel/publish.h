@@ -1,0 +1,110 @@
+// Declarative SQL/XML publishing specification: how an XMLType view column
+// is generated from relational data (the paper's Table 3 CREATE VIEW with
+// XMLElement / XMLAgg publishing functions).
+//
+// One spec serves three consumers:
+//   1. BuildPublishExpr  — compiles it to the executable RelExpr tree
+//      (XMLElement + correlated XMLAgg scalar subquery) for functional
+//      evaluation of the view;
+//   2. DerivePublishStructure — derives the structural information (§3.2,
+//      bullet "generated from relational data") that drives XSLT partial
+//      evaluation, with provenance maps back into the spec;
+//   3. the XQuery->SQL/XML rewriter — maps path navigation and predicates
+//      over that structure onto base-table columns and nested scopes.
+#ifndef XDB_REL_PUBLISH_H_
+#define XDB_REL_PUBLISH_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rel/exec.h"
+#include "rel/expr.h"
+#include "schema/structure.h"
+
+namespace xdb::rel {
+
+class Catalog;
+
+/// One node of a publishing spec.
+struct PublishSpec {
+  enum class Kind {
+    kElement,  ///< XMLElement(name, ...attrs, ...children)
+    kColumn,   ///< column value as text content
+    kText,     ///< literal text
+    kNested,   ///< correlated XMLAgg over a detail table
+  };
+  Kind kind = Kind::kElement;
+
+  // kElement
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attr_columns;  // attr -> column
+  std::vector<std::unique_ptr<PublishSpec>> children;
+
+  // kColumn
+  std::string column;
+
+  // kText
+  std::string text;
+
+  // kNested: for each outer row, aggregate one `row_element` per matching row
+  // of `child_table` (outer.outer_key = child.inner_key), ordered by
+  // order_by_column when set.
+  std::string child_table;
+  std::string outer_key;
+  std::string inner_key;
+  std::string order_by_column;
+  std::unique_ptr<PublishSpec> row_element;
+
+  // -- builders ------------------------------------------------------------
+  static std::unique_ptr<PublishSpec> Element(std::string name);
+  static std::unique_ptr<PublishSpec> Column(std::string column);
+  static std::unique_ptr<PublishSpec> Text(std::string text);
+  static std::unique_ptr<PublishSpec> Nested(std::string child_table,
+                                             std::string outer_key,
+                                             std::string inner_key,
+                                             std::unique_ptr<PublishSpec> row_elem);
+
+  PublishSpec* AddChild(std::unique_ptr<PublishSpec> child) {
+    children.push_back(std::move(child));
+    return children.back().get();
+  }
+
+  std::unique_ptr<PublishSpec> Clone() const;
+};
+
+/// Provenance of one derived element declaration.
+struct PublishBinding {
+  const PublishSpec* spec = nullptr;
+  /// kNested ancestors from outermost to innermost: the relational scopes
+  /// (base table excluded) enclosing this element's construction.
+  std::vector<const PublishSpec*> nested_chain;
+};
+
+/// Structure + provenance derived from a publishing spec.
+struct PublishInfo {
+  schema::StructuralInfo structure;
+  std::map<const schema::ElementStructure*, PublishBinding> bindings;
+};
+
+/// Compiles the spec into the executable per-row XML expression over
+/// `base_table`. Column names resolve against the scope's table schema
+/// (base table at nesting level 0, kNested child tables below).
+Result<RelExprPtr> BuildPublishExpr(const PublishSpec& spec, const Catalog& catalog,
+                                    const std::string& base_table);
+
+/// Derives structural information with provenance.
+Result<PublishInfo> DerivePublishStructure(const PublishSpec& spec);
+
+/// Compiles a publishing subtree inside an explicit relational scope chain:
+/// `scope_tables` lists the visible row scopes from outermost (base table) to
+/// innermost. Used by the XQuery->SQL/XML rewriter to reconstruct copied
+/// elements (e.g. `{$emp/ename}` re-emits XMLElement("ename", ENAME)).
+Result<RelExprPtr> CompilePublishSubtree(const PublishSpec& spec,
+                                         const Catalog& catalog,
+                                         const std::vector<const Table*>& scope_tables);
+
+}  // namespace xdb::rel
+
+#endif  // XDB_REL_PUBLISH_H_

@@ -1,0 +1,45 @@
+#include "rel/table.h"
+
+namespace xdb::rel {
+
+int Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Table::Insert(Row row) {
+  if (row.size() != schema_.column_count()) {
+    return Status::InvalidArgument("table " + name_ + ": row arity " +
+                                   std::to_string(row.size()) + " != schema " +
+                                   std::to_string(schema_.column_count()));
+  }
+  int64_t id = static_cast<int64_t>(rows_.size());
+  for (auto& [col, index] : indexes_) {
+    int ci = schema_.ColumnIndex(col);
+    index->Insert(row[static_cast<size_t>(ci)], id);
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status Table::CreateIndex(const std::string& column) {
+  int ci = schema_.ColumnIndex(column);
+  if (ci < 0) {
+    return Status::NotFound("table " + name_ + ": no column '" + column + "'");
+  }
+  auto index = std::make_unique<BTreeIndex>();
+  for (size_t id = 0; id < rows_.size(); ++id) {
+    index->Insert(rows_[id][static_cast<size_t>(ci)], static_cast<int64_t>(id));
+  }
+  indexes_[column] = std::move(index);
+  return Status::OK();
+}
+
+const BTreeIndex* Table::GetIndex(const std::string& column) const {
+  auto it = indexes_.find(column);
+  return it != indexes_.end() ? it->second.get() : nullptr;
+}
+
+}  // namespace xdb::rel

@@ -1,0 +1,72 @@
+// Heap tables with positional row ids, plus per-column B+tree indexes.
+#ifndef XDB_REL_TABLE_H_
+#define XDB_REL_TABLE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rel/btree.h"
+#include "rel/datum.h"
+
+namespace xdb::rel {
+
+/// One row of column values.
+using Row = std::vector<Datum>;
+
+struct Column {
+  std::string name;
+  DataType type = DataType::kString;
+};
+
+/// \brief Relation schema: ordered named, typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t column_count() const { return columns_.size(); }
+  /// Index of `name`, or -1.
+  int ColumnIndex(const std::string& name) const;
+  const Column& column(size_t i) const { return columns_[i]; }
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// \brief A heap table: schema + row storage + secondary indexes.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Appends a row (must match schema arity); maintains indexes.
+  Status Insert(Row row);
+
+  size_t row_count() const { return rows_.size(); }
+  const Row& row(int64_t id) const { return rows_[static_cast<size_t>(id)]; }
+
+  /// Builds (or rebuilds) a B+tree index on `column`.
+  Status CreateIndex(const std::string& column);
+  /// The index on `column`, or nullptr.
+  const BTreeIndex* GetIndex(const std::string& column) const;
+  bool HasIndex(const std::string& column) const {
+    return GetIndex(column) != nullptr;
+  }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::map<std::string, std::unique_ptr<BTreeIndex>> indexes_;  // by column
+};
+
+}  // namespace xdb::rel
+
+#endif  // XDB_REL_TABLE_H_

@@ -1,0 +1,236 @@
+#include "rewrite/compose.h"
+
+#include <set>
+
+namespace xdb::rewrite {
+
+using xquery::ElementCtorQExpr;
+using xquery::FlworQExpr;
+using xquery::IfQExpr;
+using xquery::QExpr;
+using xquery::QExprKind;
+using xquery::QExprPtr;
+using xquery::Query;
+using xquery::SequenceQExpr;
+
+namespace {
+
+/// Rewrites one XPath expression: relative and absolute paths become
+/// $root-rooted; variables named in `renames` get the prefix.
+xpath::ExprPtr RebaseXPath(const xpath::Expr& e, const std::string& root_var,
+                           const std::set<std::string>& renames,
+                           const std::string& prefix) {
+  using namespace xpath;
+  switch (e.kind()) {
+    case ExprKind::kLiteral:
+    case ExprKind::kNumber:
+      return e.Clone();
+    case ExprKind::kVariableRef: {
+      const auto& v = static_cast<const VariableRefExpr&>(e);
+      if (renames.count(v.name) > 0) {
+        return std::make_unique<VariableRefExpr>(prefix + v.name);
+      }
+      return e.Clone();
+    }
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      return std::make_unique<UnaryExpr>(
+          RebaseXPath(*u.operand, root_var, renames, prefix));
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      return std::make_unique<BinaryExpr>(
+          b.op, RebaseXPath(*b.lhs, root_var, renames, prefix),
+          RebaseXPath(*b.rhs, root_var, renames, prefix));
+    }
+    case ExprKind::kFunctionCall: {
+      const auto& f = static_cast<const FunctionCallExpr&>(e);
+      std::vector<ExprPtr> args;
+      for (const auto& a : f.args) {
+        args.push_back(RebaseXPath(*a, root_var, renames, prefix));
+      }
+      return std::make_unique<FunctionCallExpr>(f.name, std::move(args));
+    }
+    case ExprKind::kPath: {
+      const auto& p = static_cast<const PathExpr&>(e);
+      auto out = std::make_unique<PathExpr>();
+      if (p.start != nullptr) {
+        out->start = RebaseXPath(*p.start, root_var, renames, prefix);
+      } else {
+        // Context-rooted (relative or absolute): re-root at $root_var.
+        out->start = std::make_unique<VariableRefExpr>(root_var);
+      }
+      for (const auto& sp : p.start_predicates) {
+        out->start_predicates.push_back(
+            RebaseXPath(*sp, root_var, renames, prefix));
+      }
+      for (const Step& s : p.steps) {
+        Step ns;
+        ns.axis = s.axis;
+        ns.test = s.test;
+        for (const auto& pred : s.predicates) {
+          ns.predicates.push_back(RebaseXPath(*pred, root_var, renames, prefix));
+        }
+        out->steps.push_back(std::move(ns));
+      }
+      // "$v/." simplifies to "$v".
+      if (out->steps.size() == 1 && out->steps[0].axis == Axis::kSelf &&
+          out->steps[0].test.kind == NodeTest::Kind::kAnyNode &&
+          out->steps[0].predicates.empty() && out->start_predicates.empty()) {
+        return std::move(out->start);
+      }
+      return out;
+    }
+  }
+  return e.Clone();
+}
+
+Result<QExprPtr> RebaseQ(const QExpr& e, const std::string& root_var,
+                         std::set<std::string> renames,
+                         const std::string& prefix) {
+  switch (e.kind()) {
+    case QExprKind::kXPath: {
+      const auto& x = static_cast<const xquery::XPathQExpr&>(e);
+      return xquery::MakeXPath(RebaseXPath(*x.expr, root_var, renames, prefix));
+    }
+    case QExprKind::kTextLiteral:
+      return e.Clone();
+    case QExprKind::kTextCtor: {
+      const auto& t = static_cast<const xquery::TextCtorQExpr&>(e);
+      XDB_ASSIGN_OR_RETURN(QExprPtr v, RebaseQ(*t.value, root_var, renames, prefix));
+      return QExprPtr(std::make_unique<xquery::TextCtorQExpr>(std::move(v)));
+    }
+    case QExprKind::kSequence: {
+      const auto& s = static_cast<const SequenceQExpr&>(e);
+      auto out = std::make_unique<SequenceQExpr>();
+      for (const auto& i : s.items) {
+        XDB_ASSIGN_OR_RETURN(QExprPtr r, RebaseQ(*i, root_var, renames, prefix));
+        out->items.push_back(std::move(r));
+      }
+      return QExprPtr(std::move(out));
+    }
+    case QExprKind::kIf: {
+      const auto& f = static_cast<const IfQExpr&>(e);
+      XDB_ASSIGN_OR_RETURN(QExprPtr c, RebaseQ(*f.cond, root_var, renames, prefix));
+      XDB_ASSIGN_OR_RETURN(QExprPtr t,
+                           RebaseQ(*f.then_expr, root_var, renames, prefix));
+      QExprPtr el;
+      if (f.else_expr != nullptr) {
+        XDB_ASSIGN_OR_RETURN(el, RebaseQ(*f.else_expr, root_var, renames, prefix));
+      }
+      return QExprPtr(std::make_unique<IfQExpr>(std::move(c), std::move(t),
+                                                std::move(el)));
+    }
+    case QExprKind::kFlwor: {
+      const auto& f = static_cast<const FlworQExpr&>(e);
+      auto out = std::make_unique<FlworQExpr>();
+      for (const auto& c : f.clauses) {
+        FlworQExpr::Clause nc;
+        nc.kind = c.kind;
+        XDB_ASSIGN_OR_RETURN(nc.expr, RebaseQ(*c.expr, root_var, renames, prefix));
+        renames.insert(c.var);  // bound var renamed from here on
+        nc.var = prefix + c.var;
+        out->clauses.push_back(std::move(nc));
+      }
+      if (f.where != nullptr) {
+        XDB_ASSIGN_OR_RETURN(out->where,
+                             RebaseQ(*f.where, root_var, renames, prefix));
+      }
+      for (const auto& o : f.order_by) {
+        FlworQExpr::OrderSpec spec;
+        XDB_ASSIGN_OR_RETURN(spec.key, RebaseQ(*o.key, root_var, renames, prefix));
+        spec.descending = o.descending;
+        out->order_by.push_back(std::move(spec));
+      }
+      XDB_ASSIGN_OR_RETURN(out->return_expr,
+                           RebaseQ(*f.return_expr, root_var, renames, prefix));
+      return QExprPtr(std::move(out));
+    }
+    case QExprKind::kElementCtor: {
+      const auto& c = static_cast<const ElementCtorQExpr&>(e);
+      auto out = std::make_unique<ElementCtorQExpr>(c.name);
+      out->compact = c.compact;
+      for (const auto& a : c.attributes) {
+        ElementCtorQExpr::Attr na;
+        na.name = a.name;
+        for (const auto& p : a.value_parts) {
+          XDB_ASSIGN_OR_RETURN(QExprPtr r, RebaseQ(*p, root_var, renames, prefix));
+          na.value_parts.push_back(std::move(r));
+        }
+        out->attributes.push_back(std::move(na));
+      }
+      for (const auto& child : c.children) {
+        XDB_ASSIGN_OR_RETURN(QExprPtr r,
+                             RebaseQ(*child, root_var, renames, prefix));
+        out->children.push_back(std::move(r));
+      }
+      return QExprPtr(std::move(out));
+    }
+    case QExprKind::kAttributeCtor: {
+      const auto& a = static_cast<const xquery::AttributeCtorQExpr&>(e);
+      XDB_ASSIGN_OR_RETURN(QExprPtr v, RebaseQ(*a.value, root_var, renames, prefix));
+      return QExprPtr(
+          std::make_unique<xquery::AttributeCtorQExpr>(a.name, std::move(v)));
+    }
+    case QExprKind::kInstanceOf: {
+      const auto& io = static_cast<const xquery::InstanceOfQExpr&>(e);
+      XDB_ASSIGN_OR_RETURN(QExprPtr v, RebaseQ(*io.expr, root_var, renames, prefix));
+      return QExprPtr(std::make_unique<xquery::InstanceOfQExpr>(
+          std::move(v), io.element_name, io.type_kind));
+    }
+    case QExprKind::kFunctionCall: {
+      const auto& f = static_cast<const xquery::FunctionCallQExpr&>(e);
+      std::vector<QExprPtr> args;
+      for (const auto& a : f.args) {
+        XDB_ASSIGN_OR_RETURN(QExprPtr r, RebaseQ(*a, root_var, renames, prefix));
+        args.push_back(std::move(r));
+      }
+      return QExprPtr(
+          std::make_unique<xquery::FunctionCallQExpr>(f.name, std::move(args)));
+    }
+  }
+  return Status::Internal("compose: unknown expression kind");
+}
+
+}  // namespace
+
+Result<QExprPtr> RebaseUserQuery(const QExpr& user, const std::string& var,
+                                 const std::string& prefix) {
+  return RebaseQ(user, var, {}, prefix);
+}
+
+Result<Query> ComposeQueries(const Query& view_query, const Query& user_query) {
+  if (!view_query.functions.empty() || !user_query.functions.empty()) {
+    return Status::RewriteError(
+        "compose: queries with function declarations are not composable");
+  }
+  Query out;
+  for (const auto& v : view_query.variables) {
+    out.variables.push_back(xquery::VarDecl{v.name, v.expr->Clone()});
+  }
+  const std::string view_var = "composedView";
+  // The view's XSLT result is a document *fragment*; XMLQuery semantics treat
+  // the passed value as a document, so "./table" selects among its top-level
+  // items. A wrapper element reproduces that: $composedView/table is a child
+  // step into the wrapper.
+  auto wrapper = std::make_unique<ElementCtorQExpr>("xdbsViewRoot");
+  wrapper->children.push_back(view_query.body->Clone());
+  out.variables.push_back(xquery::VarDecl{view_var, std::move(wrapper)});
+
+  std::set<std::string> renames;
+  std::string prefix = "u_";
+  for (const auto& v : user_query.variables) {
+    renames.insert(v.name);
+  }
+  // User prolog variables: rebased and renamed (each may reference earlier
+  // prolog variables, so the rename set is already fully seeded).
+  for (const auto& v : user_query.variables) {
+    XDB_ASSIGN_OR_RETURN(QExprPtr e, RebaseQ(*v.expr, view_var, renames, prefix));
+    out.variables.push_back(xquery::VarDecl{prefix + v.name, std::move(e)});
+  }
+  XDB_ASSIGN_OR_RETURN(out.body,
+                       RebaseQ(*user_query.body, view_var, renames, prefix));
+  return out;
+}
+
+}  // namespace xdb::rewrite

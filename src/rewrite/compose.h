@@ -1,0 +1,32 @@
+// Query composition for the paper's combined optimization (Example 2,
+// Tables 9-11): an XQuery posed against an XSLT view composes with the
+// view's own rewritten XQuery —
+//
+//     let $view := ( <view query body> )
+//     return <user body with "." re-rooted at $view>
+//
+// — after which the XQuery->SQL/XML rewriter collapses the whole thing into
+// one relational query ("recursively optimises", §2.2).
+#ifndef XDB_REWRITE_COMPOSE_H_
+#define XDB_REWRITE_COMPOSE_H_
+
+#include "common/status.h"
+#include "xquery/ast.h"
+
+namespace xdb::rewrite {
+
+/// Returns `user` with every context-rooted path (relative or absolute)
+/// re-rooted at `$var`, and every variable it declares renamed with `prefix`
+/// to avoid capture against the view query's $varNNN names.
+Result<xquery::QExprPtr> RebaseUserQuery(const xquery::QExpr& user,
+                                         const std::string& var,
+                                         const std::string& prefix);
+
+/// Composes: prolog of `view_query`, a binding of its body to a fresh
+/// variable, then `user_query`'s (rebased) body.
+Result<xquery::Query> ComposeQueries(const xquery::Query& view_query,
+                                     const xquery::Query& user_query);
+
+}  // namespace xdb::rewrite
+
+#endif  // XDB_REWRITE_COMPOSE_H_

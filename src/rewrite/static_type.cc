@@ -1,0 +1,299 @@
+#include "rewrite/static_type.h"
+
+#include <map>
+#include <memory>
+#include <set>
+
+namespace xdb::rewrite {
+
+using schema::ChildRef;
+using schema::ElementStructure;
+using schema::StructuralInfo;
+using xquery::ElementCtorQExpr;
+using xquery::FlworQExpr;
+using xquery::QExpr;
+using xquery::QExprKind;
+using xquery::Query;
+using xquery::SequenceQExpr;
+
+namespace {
+
+/// The inferred "type" of an expression used in navigation position: either
+/// a node (set) of the *input* structure or opaque.
+struct NavType {
+  enum class Kind { kNone, kDocument, kInputElement, kAtomic };
+  Kind kind = Kind::kNone;
+  const ElementStructure* decl = nullptr;  // kInputElement / kDocument root
+  bool repeating = false;
+};
+
+struct TypeEnv {
+  std::map<std::string, NavType> vars;
+  std::shared_ptr<TypeEnv> parent;
+  const NavType* Lookup(const std::string& name) const {
+    auto it = vars.find(name);
+    if (it != vars.end()) return &it->second;
+    return parent ? parent->Lookup(name) : nullptr;
+  }
+};
+using TypeEnvPtr = std::shared_ptr<TypeEnv>;
+
+/// One inferred output particle: an element declaration in the OUTPUT
+/// structure (or text), with cardinality.
+struct Particle {
+  ElementStructure* elem = nullptr;  // null = text content
+  int min_occurs = 1;
+  int max_occurs = 1;
+};
+
+class Inference {
+ public:
+  Inference(const StructuralInfo& input, StructuralInfo* output)
+      : input_(input), output_(output) {}
+
+  Result<std::vector<Particle>> InferBody(const QExpr& e, const TypeEnvPtr& env,
+                                          bool optional, bool repeating) {
+    switch (e.kind()) {
+      case QExprKind::kTextLiteral:
+      case QExprKind::kTextCtor:
+        return std::vector<Particle>{Particle{nullptr, optional ? 0 : 1,
+                                              repeating ? -1 : 1}};
+      case QExprKind::kElementCtor: {
+        const auto& c = static_cast<const ElementCtorQExpr&>(e);
+        ElementStructure* elem = output_->NewElement(c.name);
+        for (const auto& attr : c.attributes) {
+          elem->attributes.push_back(attr.name);
+        }
+        for (const auto& child : c.children) {
+          if (child->kind() == QExprKind::kAttributeCtor) {
+            elem->attributes.push_back(
+                static_cast<const xquery::AttributeCtorQExpr&>(*child).name);
+            continue;
+          }
+          XDB_ASSIGN_OR_RETURN(std::vector<Particle> parts,
+                               InferBody(*child, env, false, false));
+          XDB_RETURN_NOT_OK(Attach(elem, parts));
+        }
+        return std::vector<Particle>{
+            Particle{elem, optional ? 0 : 1, repeating ? -1 : 1}};
+      }
+      case QExprKind::kSequence: {
+        const auto& s = static_cast<const SequenceQExpr&>(e);
+        std::vector<Particle> out;
+        for (const auto& item : s.items) {
+          XDB_ASSIGN_OR_RETURN(std::vector<Particle> parts,
+                               InferBody(*item, env, optional, repeating));
+          out.insert(out.end(), parts.begin(), parts.end());
+        }
+        return out;
+      }
+      case QExprKind::kIf: {
+        const auto& f = static_cast<const xquery::IfQExpr&>(e);
+        XDB_ASSIGN_OR_RETURN(std::vector<Particle> out,
+                             InferBody(*f.then_expr, env, true, repeating));
+        if (f.else_expr != nullptr) {
+          XDB_ASSIGN_OR_RETURN(std::vector<Particle> parts,
+                               InferBody(*f.else_expr, env, true, repeating));
+          out.insert(out.end(), parts.begin(), parts.end());
+        }
+        return out;
+      }
+      case QExprKind::kFlwor: {
+        const auto& f = static_cast<const FlworQExpr&>(e);
+        TypeEnvPtr inner = std::make_shared<TypeEnv>();
+        inner->parent = env;
+        bool iterates = false;
+        for (const auto& clause : f.clauses) {
+          XDB_ASSIGN_OR_RETURN(NavType t, InferNav(*clause.expr, inner));
+          if (clause.kind == FlworQExpr::Clause::Kind::kFor) {
+            if (t.repeating) iterates = true;
+            t.repeating = false;  // the bound var is a single item
+          }
+          inner->vars[clause.var] = t;
+        }
+        bool opt = optional || iterates || f.where != nullptr;
+        return InferBody(*f.return_expr, inner, opt, repeating || iterates);
+      }
+      case QExprKind::kXPath: {
+        // Navigation copies of input nodes, or atomic values (text).
+        XDB_ASSIGN_OR_RETURN(NavType t, InferNav(e, env));
+        if (t.kind == NavType::Kind::kInputElement && t.decl != nullptr) {
+          ElementStructure* copied = CopyInputDecl(t.decl);
+          return std::vector<Particle>{
+              Particle{copied, optional || t.repeating ? 0 : 1,
+                       repeating || t.repeating ? -1 : 1}};
+        }
+        return std::vector<Particle>{
+            Particle{nullptr, optional ? 0 : 1, repeating ? -1 : 1}};
+      }
+      case QExprKind::kInstanceOf:
+        return std::vector<Particle>{Particle{nullptr, optional ? 0 : 1, 1}};
+      case QExprKind::kFunctionCall:
+        return Status::RewriteError(
+            "static typing: user function calls defeat structure inference");
+      case QExprKind::kAttributeCtor:
+        return Status::RewriteError(
+            "static typing: stray attribute constructor");
+    }
+    return Status::Internal("static typing: unknown expression kind");
+  }
+
+  // Infers what an expression denotes when used for navigation/binding.
+  Result<NavType> InferNav(const QExpr& e, const TypeEnvPtr& env) {
+    if (e.kind() != QExprKind::kXPath) {
+      NavType t;
+      t.kind = NavType::Kind::kAtomic;
+      return t;
+    }
+    const auto& x = static_cast<const xquery::XPathQExpr&>(e);
+    return InferNavXPath(*x.expr, env);
+  }
+
+  Result<NavType> InferNavXPath(const xpath::Expr& e, const TypeEnvPtr& env) {
+    using namespace xpath;
+    NavType t;
+    switch (e.kind()) {
+      case ExprKind::kVariableRef: {
+        const auto& v = static_cast<const VariableRefExpr&>(e);
+        const NavType* bound = env->Lookup(v.name);
+        if (bound != nullptr) return *bound;
+        t.kind = NavType::Kind::kAtomic;
+        return t;
+      }
+      case ExprKind::kPath: {
+        const auto& p = static_cast<const PathExpr&>(e);
+        NavType cur;
+        if (p.start != nullptr) {
+          XDB_ASSIGN_OR_RETURN(cur, InferNavXPath(*p.start, env));
+        } else {
+          cur.kind = NavType::Kind::kDocument;
+          cur.decl = input_.root();
+        }
+        for (const Step& step : p.steps) {
+          if (step.axis == Axis::kSelf) continue;
+          if (step.axis == Axis::kDescendantOrSelf &&
+              step.test.kind == NodeTest::Kind::kAnyNode) {
+            // "//": give up precision; atomic-ish opaque.
+            cur.kind = NavType::Kind::kAtomic;
+            return cur;
+          }
+          if (step.axis != Axis::kChild ||
+              step.test.kind != NodeTest::Kind::kName) {
+            cur.kind = NavType::Kind::kAtomic;
+            return cur;
+          }
+          if (cur.kind == NavType::Kind::kDocument) {
+            if (cur.decl != nullptr && cur.decl->name == step.test.local) {
+              cur.kind = NavType::Kind::kInputElement;
+              continue;
+            }
+            cur.kind = NavType::Kind::kAtomic;
+            return cur;
+          }
+          if (cur.kind != NavType::Kind::kInputElement || cur.decl == nullptr) {
+            cur.kind = NavType::Kind::kAtomic;
+            return cur;
+          }
+          const ChildRef* child = cur.decl->FindChild(step.test.local);
+          if (child == nullptr) {
+            cur.kind = NavType::Kind::kAtomic;
+            return cur;
+          }
+          cur.decl = child->elem;
+          cur.repeating = cur.repeating || child->repeating() || child->optional();
+        }
+        return cur;
+      }
+      default:
+        t.kind = NavType::Kind::kAtomic;
+        return t;
+    }
+  }
+
+  // Deep-copies an input declaration subtree into the output structure.
+  ElementStructure* CopyInputDecl(const ElementStructure* decl) {
+    auto it = copied_.find(decl);
+    if (it != copied_.end()) return it->second;
+    ElementStructure* out = output_->NewElement(decl->name);
+    copied_[decl] = out;
+    out->group = decl->group;
+    out->attributes = decl->attributes;
+    out->has_text = decl->has_text;
+    for (const ChildRef& c : decl->children) {
+      if (c.recursive_edge) {
+        out->children.push_back(
+            ChildRef{CopyInputDecl(c.elem), c.min_occurs, c.max_occurs, true});
+      } else {
+        out->children.push_back(ChildRef{CopyInputDecl(c.elem), c.min_occurs,
+                                         c.max_occurs, false});
+      }
+    }
+    return out;
+  }
+
+  // Attaches particles as children of `parent` (text particles set has_text).
+  Status Attach(ElementStructure* parent, std::vector<Particle>& parts) {
+    for (Particle& p : parts) {
+      if (p.elem == nullptr) {
+        parent->has_text = true;
+        continue;
+      }
+      parent->children.push_back(
+          ChildRef{p.elem, p.min_occurs, p.max_occurs, false});
+    }
+    return Status::OK();
+  }
+
+ private:
+  const StructuralInfo& input_;
+  StructuralInfo* output_;
+  std::map<const ElementStructure*, ElementStructure*> copied_;
+};
+
+}  // namespace
+
+Result<StructuralInfo> InferResultStructure(const Query& query,
+                                            const StructuralInfo& input) {
+  if (!query.functions.empty()) {
+    return Status::RewriteError(
+        "static typing: queries with functions (non-inline mode) are not "
+        "inferable");
+  }
+  StructuralInfo output;
+  Inference inference(input, &output);
+
+  TypeEnvPtr env = std::make_shared<TypeEnv>();
+  for (const auto& decl : query.variables) {
+    XDB_ASSIGN_OR_RETURN(NavType t, inference.InferNav(*decl.expr, env));
+    env->vars[decl.name] = t;
+  }
+  XDB_ASSIGN_OR_RETURN(std::vector<Particle> tops,
+                       inference.InferBody(*query.body, env, false, false));
+
+  // Single certain element root, or a fragment wrapper.
+  std::vector<Particle> elems;
+  bool has_text = false;
+  for (Particle& p : tops) {
+    if (p.elem == nullptr) {
+      has_text = true;
+    } else {
+      elems.push_back(p);
+    }
+  }
+  if (elems.size() == 1 && !has_text && elems[0].min_occurs == 1 &&
+      elems[0].max_occurs == 1) {
+    output.set_root(elems[0].elem);
+    return output;
+  }
+  ElementStructure* wrapper =
+      output.NewElement(std::string(kFragmentRootName));
+  wrapper->has_text = has_text;
+  for (Particle& p : elems) {
+    wrapper->children.push_back(
+        ChildRef{p.elem, p.min_occurs, p.max_occurs, false});
+  }
+  output.set_root(wrapper);
+  return output;
+}
+
+}  // namespace xdb::rewrite

@@ -1,0 +1,32 @@
+// Static typing of XQuery results (paper §3.2): "If the input XMLType is
+// computed from another XSLT transform ... we rewrite the XSLT into XQuery
+// recursively first and then derive the structural information of the XSLT
+// result based on the static typing result of the equivalent XQuery query."
+//
+// InferResultStructure walks a (rewritten) query's constructors, FLWOR
+// iterations and input-copying navigations and produces the structural
+// information of the query's *output*, which then drives the partial
+// evaluation of the next stylesheet in an XSLT view chain.
+#ifndef XDB_REWRITE_STATIC_TYPE_H_
+#define XDB_REWRITE_STATIC_TYPE_H_
+
+#include "common/status.h"
+#include "schema/structure.h"
+#include "xquery/ast.h"
+
+namespace xdb::rewrite {
+
+/// Synthetic fragment root name (see schema::kFragmentRootName).
+inline constexpr std::string_view kFragmentRootName = schema::kFragmentRootName;
+
+/// Infers the structure of `query`'s result given the structure of its
+/// context item ("."). Returns a StructuralInfo whose root is either the
+/// single possible top-level element or a kFragmentRootName wrapper.
+/// RewriteError when the query's shape defeats the inference (user function
+/// calls, dynamic element names, ...).
+Result<schema::StructuralInfo> InferResultStructure(
+    const xquery::Query& query, const schema::StructuralInfo& input);
+
+}  // namespace xdb::rewrite
+
+#endif  // XDB_REWRITE_STATIC_TYPE_H_

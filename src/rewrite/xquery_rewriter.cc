@@ -1,0 +1,1400 @@
+#include "rewrite/xquery_rewriter.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "rel/publish.h"
+
+namespace xdb::rewrite {
+
+using rel::AggKind;
+using rel::BinaryRelExpr;
+using rel::Catalog;
+using rel::ColumnRefExpr;
+using rel::ConstExpr;
+using rel::Datum;
+using rel::FilterNode;
+using rel::IndexRangeScanNode;
+using rel::PlanPtr;
+using rel::ProjectNode;
+using rel::PublishBinding;
+using rel::PublishSpec;
+using rel::RelExpr;
+using rel::RelExprPtr;
+using rel::RelOp;
+using rel::ScalarAggNode;
+using rel::ScalarSubqueryExpr;
+using rel::SeqScanNode;
+using rel::Table;
+using rel::XmlAggNode;
+using rel::XmlConcatExpr;
+using rel::XmlElementExpr;
+using rel::XmlView;
+using schema::ChildRef;
+using schema::ElementStructure;
+using xquery::ElementCtorQExpr;
+using xquery::FlworQExpr;
+using xquery::QExpr;
+using xquery::QExprKind;
+using xquery::QExprPtr;
+using xquery::Query;
+using xquery::SequenceQExpr;
+using xquery::TextLiteralQExpr;
+
+namespace {
+
+Status Untranslatable(const std::string& what) {
+  return Status::RewriteError("XQuery->SQL rewrite: " + what);
+}
+
+// ---------------------------------------------------------------------------
+// Symbolic values
+// ---------------------------------------------------------------------------
+
+struct SymEnv;
+
+struct SymVal {
+  enum class Kind {
+    kUnbound,
+    kDocument,     ///< the view's XML value as a document
+    kElement,      ///< a specific (single-occurrence) element of the structure
+    kElementSeq,   ///< repeating elements (possibly with a leaf suffix)
+    kAtomic,       ///< an atomic value described by `src` under `env`
+    kAttribute,    ///< an attribute of `decl` named `attr`
+    kConstructed,  ///< an element constructor expression under `env`
+    kFlworSeq,     ///< a FLWOR-produced sequence under `env`
+  };
+  Kind kind = Kind::kUnbound;
+  const ElementStructure* decl = nullptr;  // kDocument/kElement: the decl;
+                                           // kElementSeq: the repeating decl
+  std::vector<const ElementStructure*> suffix;  // kElementSeq: path below decl
+  std::vector<const xpath::Expr*> preds;        // kElementSeq: predicates
+  std::string attr;                             // kAttribute
+  const QExpr* src = nullptr;                   // kAtomic/kConstructed/kFlworSeq
+  std::shared_ptr<SymEnv> env;
+};
+
+struct SymEnv {
+  std::map<std::string, SymVal> vars;
+  std::shared_ptr<SymEnv> parent;
+
+  const SymVal* Lookup(const std::string& name) const {
+    auto it = vars.find(name);
+    if (it != vars.end()) return &it->second;
+    return parent != nullptr ? parent->Lookup(name) : nullptr;
+  }
+};
+
+using SymEnvPtr = std::shared_ptr<SymEnv>;
+
+SymEnvPtr Extend(SymEnvPtr parent) {
+  auto env = std::make_shared<SymEnv>();
+  env->parent = std::move(parent);
+  return env;
+}
+
+// ---------------------------------------------------------------------------
+// Translator
+// ---------------------------------------------------------------------------
+
+class SqlTranslator {
+ public:
+  SqlTranslator(const XmlView& view, const Catalog& catalog,
+                const SqlRewriteOptions& options, SqlRewriteResult* result)
+      : view_(view), catalog_(catalog), options_(options), result_(result) {}
+
+  Status Init() {
+    if (!view_.is_publishing()) {
+      return Untranslatable("view is not a publishing view");
+    }
+    XDB_ASSIGN_OR_RETURN(Table * base, catalog_.GetTable(view_.base_table));
+    base_ = base;
+    scope_tables_.push_back(base_);
+    return Status::OK();
+  }
+
+  Result<RelExprPtr> Translate(const Query& query) {
+    auto env = std::make_shared<SymEnv>();
+    SymVal doc;
+    doc.kind = SymVal::Kind::kDocument;
+    doc.decl = view_.info->structure.root();
+    context_ = doc;
+    if (!query.functions.empty()) {
+      return Untranslatable("queries with function declarations (non-inline "
+                            "rewrite mode) stay at the XQuery stage");
+    }
+    for (const auto& decl : query.variables) {
+      XDB_ASSIGN_OR_RETURN(SymVal v, EvalSym(*decl.expr, env));
+      env->vars[decl.name] = std::move(v);
+    }
+    return TranslateValue(*query.body, env);
+  }
+
+ private:
+  // ---- scope machinery ------------------------------------------------------
+
+  // Relational scope chain: entered Nested specs, innermost last.
+  const PublishBinding* BindingOf(const ElementStructure* decl) const {
+    auto it = view_.info->bindings.find(decl);
+    return it != view_.info->bindings.end() ? &it->second : nullptr;
+  }
+
+  // Column reference for a column owned by the scope at nesting length L
+  // (0 = base table). Fails when that scope is not currently entered.
+  Result<RelExprPtr> ColumnAt(size_t chain_len, const std::string& column) {
+    if (chain_len > scope_chain_.size()) {
+      return Untranslatable("value of repeating content used outside its "
+                            "iteration scope");
+    }
+    const Table* table = chain_len == 0 ? base_ : scope_tables_[chain_len];
+    int ci = table->schema().ColumnIndex(column);
+    if (ci < 0) {
+      return Untranslatable("no column '" + column + "' in " + table->name());
+    }
+    int level = static_cast<int>(scope_chain_.size() - chain_len);
+    return RelExprPtr(std::make_unique<ColumnRefExpr>(
+        level, ci, table->name() + "." + column));
+  }
+
+  // Verifies decl's binding chain is a prefix of (or equal to) the current
+  // scope chain and returns its length.
+  Result<size_t> ChainLenOf(const ElementStructure* decl) {
+    const PublishBinding* binding = BindingOf(decl);
+    if (binding == nullptr) return Untranslatable("element without provenance");
+    const auto& chain = binding->nested_chain;
+    if (chain.size() > scope_chain_.size()) {
+      return Untranslatable("repeating element referenced outside a FLWOR "
+                            "iteration");
+    }
+    for (size_t i = 0; i < chain.size(); ++i) {
+      if (chain[i] != scope_chain_[i]) {
+        return Untranslatable("element referenced from an unrelated scope");
+      }
+    }
+    return chain.size();
+  }
+
+  // String value of a leaf element: concatenation of its Column/Text parts.
+  Result<RelExprPtr> LeafValue(const ElementStructure* decl) {
+    const PublishBinding* binding = BindingOf(decl);
+    if (binding == nullptr) return Untranslatable("element without provenance");
+    XDB_ASSIGN_OR_RETURN(size_t chain_len, ChainLenOf(decl));
+    RelExprPtr out;
+    for (const auto& part : binding->spec->children) {
+      RelExprPtr piece;
+      if (part->kind == PublishSpec::Kind::kColumn) {
+        XDB_ASSIGN_OR_RETURN(piece, ColumnAt(chain_len, part->column));
+      } else if (part->kind == PublishSpec::Kind::kText) {
+        piece = std::make_unique<ConstExpr>(Datum(part->text));
+      } else {
+        return Untranslatable("string value of complex content");
+      }
+      out = out == nullptr
+                ? std::move(piece)
+                : std::make_unique<BinaryRelExpr>(RelOp::kConcat, std::move(out),
+                                                  std::move(piece));
+    }
+    if (out == nullptr) out = std::make_unique<ConstExpr>(Datum(""));
+    return out;
+  }
+
+  // Attribute value of an element.
+  Result<RelExprPtr> AttrValue(const ElementStructure* decl,
+                               const std::string& attr) {
+    const PublishBinding* binding = BindingOf(decl);
+    if (binding == nullptr) return Untranslatable("element without provenance");
+    XDB_ASSIGN_OR_RETURN(size_t chain_len, ChainLenOf(decl));
+    for (const auto& [name, col] : binding->spec->attr_columns) {
+      if (name == attr) return ColumnAt(chain_len, col);
+    }
+    return Untranslatable("no attribute '" + attr + "' on " + decl->name);
+  }
+
+  // ---- symbolic evaluation ----------------------------------------------------
+
+  Result<SymVal> EvalSym(const QExpr& e, const SymEnvPtr& env) {
+    switch (e.kind()) {
+      case QExprKind::kXPath: {
+        const auto& x = static_cast<const xquery::XPathQExpr&>(e);
+        return EvalSymXPath(*x.expr, env, &e);
+      }
+      case QExprKind::kElementCtor: {
+        SymVal v;
+        v.kind = SymVal::Kind::kConstructed;
+        v.src = &e;
+        v.env = env;
+        return v;
+      }
+      case QExprKind::kFlwor: {
+        const auto& f = static_cast<const FlworQExpr&>(e);
+        bool has_for = false;
+        for (const auto& c : f.clauses) {
+          if (c.kind == FlworQExpr::Clause::Kind::kFor) has_for = true;
+        }
+        if (!has_for) {
+          // Pure let-chain: bind and look through.
+          SymEnvPtr inner = Extend(env);
+          for (const auto& c : f.clauses) {
+            XDB_ASSIGN_OR_RETURN(SymVal v, EvalSym(*c.expr, inner));
+            inner->vars[c.var] = std::move(v);
+          }
+          return EvalSym(*f.return_expr, inner);
+        }
+        SymVal v;
+        v.kind = SymVal::Kind::kFlworSeq;
+        v.src = &e;
+        v.env = env;
+        return v;
+      }
+      case QExprKind::kSequence: {
+        const auto& s = static_cast<const SequenceQExpr&>(e);
+        if (s.items.size() == 1) return EvalSym(*s.items[0], env);
+        SymVal v;
+        v.kind = SymVal::Kind::kAtomic;
+        v.src = &e;
+        v.env = env;
+        return v;
+      }
+      default: {
+        SymVal v;
+        v.kind = SymVal::Kind::kAtomic;
+        v.src = &e;
+        v.env = env;
+        return v;
+      }
+    }
+  }
+
+  Result<SymVal> EvalSymXPath(const xpath::Expr& e, const SymEnvPtr& env,
+                              const QExpr* wrapper) {
+    using namespace xpath;
+    if (e.kind() == ExprKind::kVariableRef) {
+      const auto& var = static_cast<const VariableRefExpr&>(e);
+      const SymVal* bound = env->Lookup(var.name);
+      if (bound == nullptr) return Untranslatable("unbound variable $" + var.name);
+      return *bound;
+    }
+    if (e.kind() == ExprKind::kPath) {
+      return NavigatePath(static_cast<const PathExpr&>(e), env);
+    }
+    SymVal v;
+    v.kind = SymVal::Kind::kAtomic;
+    v.src = wrapper;
+    v.env = env;
+    return v;
+  }
+
+  Result<SymVal> NavigatePath(const xpath::PathExpr& path, const SymEnvPtr& env) {
+    using namespace xpath;
+    SymVal cur;
+    if (path.start != nullptr) {
+      XDB_ASSIGN_OR_RETURN(
+          cur, EvalSymXPath(*path.start, env, /*wrapper=*/nullptr));
+    } else {
+      cur = context_;  // "." or an absolute path: the view value
+    }
+    if (!path.start_predicates.empty()) {
+      if (cur.kind != SymVal::Kind::kElementSeq) {
+        return Untranslatable("filter predicate on non-repeating value");
+      }
+      for (const auto& p : path.start_predicates) cur.preds.push_back(p.get());
+    }
+    bool descendant = false;
+    for (const Step& step : path.steps) {
+      if (step.axis == Axis::kDescendantOrSelf &&
+          step.test.kind == NodeTest::Kind::kAnyNode && step.predicates.empty()) {
+        descendant = true;
+        continue;
+      }
+      if (step.axis == Axis::kSelf && step.test.kind == NodeTest::Kind::kAnyNode) {
+        continue;  // "."
+      }
+      XDB_ASSIGN_OR_RETURN(cur, NavigateStep(cur, step, descendant, env));
+      descendant = false;
+    }
+    return cur;
+  }
+
+  Result<SymVal> NavigateStep(SymVal cur, const xpath::Step& step,
+                              bool descendant, const SymEnvPtr& env) {
+    using namespace xpath;
+    if (step.axis == Axis::kAttribute) {
+      if (step.test.kind != NodeTest::Kind::kName) {
+        return Untranslatable("unsupported attribute navigation");
+      }
+      if (cur.kind == SymVal::Kind::kElement) {
+        SymVal v;
+        v.kind = SymVal::Kind::kAttribute;
+        v.decl = cur.decl;
+        v.attr = step.test.local;
+        (void)env;
+        return v;
+      }
+      if (cur.kind == SymVal::Kind::kConstructed) {
+        // Attribute of a constructed element: its (single) value part.
+        const auto* ctor = static_cast<const ElementCtorQExpr*>(cur.src);
+        for (const auto& attr : ctor->attributes) {
+          if (attr.name != step.test.local) continue;
+          if (attr.value_parts.size() != 1) {
+            return Untranslatable("multi-part constructed attribute value");
+          }
+          SymVal v;
+          v.kind = SymVal::Kind::kAtomic;
+          v.src = attr.value_parts[0].get();
+          v.env = cur.env;
+          return v;
+        }
+        return Untranslatable("no attribute '" + step.test.local +
+                              "' on constructed element");
+      }
+      return Untranslatable("unsupported attribute navigation");
+    }
+    if (step.axis != Axis::kChild) {
+      return Untranslatable("axis '" + std::string(AxisName(step.axis)) +
+                            "' is outside the translatable subset");
+    }
+    if (step.test.kind != NodeTest::Kind::kName) {
+      return Untranslatable("non-name node test in navigation");
+    }
+    const std::string& name = step.test.local;
+
+    switch (cur.kind) {
+      case SymVal::Kind::kDocument: {
+        if (cur.decl != nullptr && cur.decl->name == name && !descendant) {
+          SymVal v;
+          v.kind = SymVal::Kind::kElement;
+          v.decl = cur.decl;
+          if (!step.predicates.empty()) {
+            return Untranslatable("predicate on the root element");
+          }
+          return v;
+        }
+        if (descendant) {
+          SymVal root;
+          root.kind = SymVal::Kind::kElement;
+          root.decl = cur.decl;
+          return DescendantNavigate(root, name, step);
+        }
+        return Untranslatable("no child '" + name + "' under document");
+      }
+      case SymVal::Kind::kElement: {
+        if (descendant) return DescendantNavigate(cur, name, step);
+        const ChildRef* child = cur.decl->FindChild(name);
+        if (child == nullptr) {
+          return Untranslatable("no child '" + name + "' under " +
+                                cur.decl->name);
+        }
+        return MakeChildSym(*child, step);
+      }
+      case SymVal::Kind::kElementSeq: {
+        // Extend the leaf suffix below the repeating element.
+        const ElementStructure* tail =
+            cur.suffix.empty() ? cur.decl : cur.suffix.back();
+        const ChildRef* child = tail->FindChild(name);
+        if (child == nullptr || descendant) {
+          return Untranslatable("unsupported navigation below repeating "
+                                "content");
+        }
+        if (child->repeating()) {
+          return Untranslatable("nested repetition in one navigation");
+        }
+        if (!step.predicates.empty()) {
+          return Untranslatable("predicate below repeating content");
+        }
+        cur.suffix.push_back(child->elem);
+        return cur;
+      }
+      case SymVal::Kind::kConstructed:
+        return NavigateConstructed(cur, name);
+      default:
+        return Untranslatable("navigation into a non-node value");
+    }
+  }
+
+  Result<SymVal> MakeChildSym(const ChildRef& child, const xpath::Step& step) {
+    SymVal v;
+    if (child.repeating() || child.optional()) {
+      v.kind = SymVal::Kind::kElementSeq;
+      v.decl = child.elem;
+      for (const auto& p : step.predicates) v.preds.push_back(p.get());
+      return v;
+    }
+    if (!step.predicates.empty()) {
+      return Untranslatable("predicate on a non-repeating child");
+    }
+    v.kind = SymVal::Kind::kElement;
+    v.decl = child.elem;
+    return v;
+  }
+
+  // "//name" below `cur`: the unique reachable decl named `name`.
+  Result<SymVal> DescendantNavigate(const SymVal& cur, const std::string& name,
+                                    const xpath::Step& step) {
+    std::vector<const ChildRef*> path;
+    bool found = false;
+    std::function<bool(const ElementStructure*)> dfs =
+        [&](const ElementStructure* e) -> bool {
+      for (const ChildRef& c : e->children) {
+        if (c.recursive_edge) continue;
+        path.push_back(&c);
+        if (c.elem->name == name) {
+          if (found) return false;  // ambiguous
+          found = true;
+          return true;
+        }
+        if (dfs(c.elem)) return true;
+        path.pop_back();
+      }
+      return false;
+    };
+    if (cur.decl == nullptr || !dfs(cur.decl)) {
+      return Untranslatable("'//" + name + "' has no unique target");
+    }
+    // Count repeating crossings.
+    const ChildRef* repeat = nullptr;
+    for (const ChildRef* c : path) {
+      if (c->repeating() || c->optional()) {
+        if (repeat != nullptr) {
+          return Untranslatable("'//" + name + "' crosses nested repetition");
+        }
+        repeat = c;
+      }
+    }
+    SymVal v;
+    if (repeat == nullptr) {
+      if (!step.predicates.empty()) {
+        return Untranslatable("predicate on non-repeating '//' target");
+      }
+      v.kind = SymVal::Kind::kElement;
+      v.decl = path.back()->elem;
+      return v;
+    }
+    v.kind = SymVal::Kind::kElementSeq;
+    v.decl = repeat->elem;
+    bool below = false;
+    for (const ChildRef* c : path) {
+      if (below) v.suffix.push_back(c->elem);
+      if (c == repeat) below = true;
+    }
+    for (const auto& p : step.predicates) v.preds.push_back(p.get());
+    if (!v.suffix.empty() && !step.predicates.empty()) {
+      return Untranslatable("predicate below repeating content");
+    }
+    return v;
+  }
+
+  // Navigation into a constructed element: find the unique child production
+  // named `name` among the constructor's content.
+  Result<SymVal> NavigateConstructed(const SymVal& cur, const std::string& name) {
+    const auto* ctor = static_cast<const ElementCtorQExpr*>(cur.src);
+    std::vector<SymVal> matches;
+    XDB_RETURN_NOT_OK(CollectMatches(ctor->children, cur.env, name, &matches));
+    if (matches.size() != 1) {
+      return Untranslatable("navigation '" + name +
+                            "' into constructed content is not unique (" +
+                            std::to_string(matches.size()) + " matches)");
+    }
+    return matches[0];
+  }
+
+  Status CollectMatches(const std::vector<QExprPtr>& items, const SymEnvPtr& env,
+                        const std::string& name, std::vector<SymVal>* out) {
+    for (const auto& item : items) {
+      XDB_RETURN_NOT_OK(CollectMatchesOne(*item, env, name, out));
+    }
+    return Status::OK();
+  }
+
+  Status CollectMatchesOne(const QExpr& e, const SymEnvPtr& env,
+                           const std::string& name, std::vector<SymVal>* out) {
+    switch (e.kind()) {
+      case QExprKind::kElementCtor: {
+        const auto& ctor = static_cast<const ElementCtorQExpr&>(e);
+        if (ctor.name == name) {
+          SymVal v;
+          v.kind = SymVal::Kind::kConstructed;
+          v.src = &e;
+          v.env = env;
+          out->push_back(std::move(v));
+        }
+        return Status::OK();
+      }
+      case QExprKind::kSequence: {
+        const auto& s = static_cast<const SequenceQExpr&>(e);
+        return CollectMatches(s.items, env, name, out);
+      }
+      case QExprKind::kFlwor: {
+        const auto& f = static_cast<const FlworQExpr&>(e);
+        bool has_for = false;
+        for (const auto& c : f.clauses) {
+          if (c.kind == FlworQExpr::Clause::Kind::kFor) has_for = true;
+        }
+        if (!has_for) {
+          SymEnvPtr inner = Extend(env);
+          for (const auto& c : f.clauses) {
+            XDB_ASSIGN_OR_RETURN(SymVal v, EvalSym(*c.expr, inner));
+            inner->vars[c.var] = std::move(v);
+          }
+          return CollectMatchesOne(*f.return_expr, inner, name, out);
+        }
+        // A for-loop producing `name` elements per iteration.
+        if (ProducesElement(*f.return_expr, name)) {
+          SymVal v;
+          v.kind = SymVal::Kind::kFlworSeq;
+          v.src = &e;
+          v.env = env;
+          out->push_back(std::move(v));
+        }
+        return Status::OK();
+      }
+      case QExprKind::kXPath: {
+        const auto& x = static_cast<const xquery::XPathQExpr&>(e);
+        auto sym = EvalSymXPath(*x.expr, env, &e);
+        if (!sym.ok()) return Status::OK();  // opaque content: no match
+        if ((sym->kind == SymVal::Kind::kElement ||
+             sym->kind == SymVal::Kind::kElementSeq) &&
+            sym->decl != nullptr) {
+          const ElementStructure* target =
+              sym->suffix.empty() ? sym->decl : sym->suffix.back();
+          if (target->name == name) out->push_back(std::move(*sym));
+        }
+        return Status::OK();
+      }
+      case QExprKind::kTextCtor:
+      case QExprKind::kTextLiteral:
+        return Status::OK();
+      default:
+        return Status::OK();  // if/instance-of/...: no structural match
+    }
+  }
+
+  // Does the expression (through let-wrappers) construct an element `name`?
+  static bool ProducesElement(const QExpr& e, const std::string& name) {
+    switch (e.kind()) {
+      case QExprKind::kElementCtor:
+        return static_cast<const ElementCtorQExpr&>(e).name == name;
+      case QExprKind::kSequence: {
+        const auto& s = static_cast<const SequenceQExpr&>(e);
+        for (const auto& i : s.items) {
+          if (ProducesElement(*i, name)) return true;
+        }
+        return false;
+      }
+      case QExprKind::kFlwor:
+        return ProducesElement(*static_cast<const FlworQExpr&>(e).return_expr,
+                               name);
+      default:
+        return false;
+    }
+  }
+
+  // ---- value translation -----------------------------------------------------
+
+  Result<RelExprPtr> TranslateValue(const QExpr& e, const SymEnvPtr& env) {
+    switch (e.kind()) {
+      case QExprKind::kTextLiteral:
+        return RelExprPtr(std::make_unique<ConstExpr>(
+            Datum(static_cast<const TextLiteralQExpr&>(e).text)));
+      case QExprKind::kTextCtor:
+        return TranslateValue(*static_cast<const xquery::TextCtorQExpr&>(e).value,
+                              env);
+      case QExprKind::kSequence: {
+        const auto& s = static_cast<const SequenceQExpr&>(e);
+        auto concat = std::make_unique<XmlConcatExpr>();
+        for (const auto& item : s.items) {
+          XDB_ASSIGN_OR_RETURN(RelExprPtr c, TranslateValue(*item, env));
+          concat->children.push_back(std::move(c));
+        }
+        return RelExprPtr(std::move(concat));
+      }
+      case QExprKind::kElementCtor:
+        return TranslateCtor(static_cast<const ElementCtorQExpr&>(e), env);
+      case QExprKind::kIf: {
+        const auto& f = static_cast<const xquery::IfQExpr&>(e);
+        auto c = std::make_unique<rel::CaseRelExpr>();
+        rel::CaseRelExpr::Branch branch;
+        XDB_ASSIGN_OR_RETURN(branch.cond, TranslateScalar(*f.cond, env));
+        XDB_ASSIGN_OR_RETURN(branch.value, TranslateValue(*f.then_expr, env));
+        c->branches.push_back(std::move(branch));
+        if (f.else_expr != nullptr) {
+          XDB_ASSIGN_OR_RETURN(c->else_value, TranslateValue(*f.else_expr, env));
+        }
+        return RelExprPtr(std::move(c));
+      }
+      case QExprKind::kFlwor:
+        return TranslateFlwor(static_cast<const FlworQExpr&>(e), env);
+      case QExprKind::kXPath: {
+        // Node-valued navigation copies (rebuild); otherwise scalar.
+        const auto& x = static_cast<const xquery::XPathQExpr&>(e);
+        auto sym = EvalSymXPath(*x.expr, env, &e);
+        if (sym.ok()) {
+          if (sym->kind == SymVal::Kind::kElement) {
+            return RebuildElement(sym->decl);
+          }
+          if (sym->kind == SymVal::Kind::kElementSeq) {
+            return RebuildSequence(*sym);
+          }
+          if (sym->kind == SymVal::Kind::kConstructed) {
+            return TranslateCtor(
+                *static_cast<const ElementCtorQExpr*>(sym->src), sym->env);
+          }
+        }
+        return TranslateScalar(e, env);
+      }
+      case QExprKind::kAttributeCtor:
+        return Untranslatable("computed attribute outside element constructor");
+      default:
+        return Untranslatable("expression kind outside the translatable subset");
+    }
+  }
+
+  Result<RelExprPtr> TranslateCtor(const ElementCtorQExpr& ctor,
+                                   const SymEnvPtr& env) {
+    auto elem = std::make_unique<XmlElementExpr>(ctor.name);
+    for (const auto& attr : ctor.attributes) {
+      RelExprPtr value;
+      for (const auto& part : attr.value_parts) {
+        XDB_ASSIGN_OR_RETURN(RelExprPtr piece, TranslateScalar(*part, env));
+        value = value == nullptr
+                    ? std::move(piece)
+                    : std::make_unique<BinaryRelExpr>(
+                          RelOp::kConcat, std::move(value), std::move(piece));
+      }
+      if (value == nullptr) value = std::make_unique<ConstExpr>(Datum(""));
+      elem->attributes.emplace_back(attr.name, std::move(value));
+    }
+    for (const auto& child : ctor.children) {
+      if (child->kind() == QExprKind::kAttributeCtor) {
+        const auto& a = static_cast<const xquery::AttributeCtorQExpr&>(*child);
+        XDB_ASSIGN_OR_RETURN(RelExprPtr value, TranslateScalar(*a.value, env));
+        elem->attributes.emplace_back(a.name, std::move(value));
+        continue;
+      }
+      XDB_ASSIGN_OR_RETURN(RelExprPtr c, TranslateValue(*child, env));
+      elem->children.push_back(std::move(c));
+    }
+    return RelExprPtr(std::move(elem));
+  }
+
+  // Rebuilds a copied element from its publishing spec within current scope.
+  Result<RelExprPtr> RebuildElement(const ElementStructure* decl) {
+    const PublishBinding* binding = BindingOf(decl);
+    if (binding == nullptr) return Untranslatable("copy of unmapped element");
+    XDB_ASSIGN_OR_RETURN(size_t chain_len, ChainLenOf(decl));
+    std::vector<const Table*> tables(scope_tables_.begin(),
+                                     scope_tables_.begin() + chain_len + 1);
+    // Elements below the current scope rebuild with the full subtree
+    // (including their own nested aggregations).
+    return rel::CompilePublishSubtree(*binding->spec, catalog_, tables);
+  }
+
+  // Rebuilds a repeating sequence copy: XMLAgg over the repeat scope.
+  Result<RelExprPtr> RebuildSequence(const SymVal& seq) {
+    return TranslateSeqAggregate(
+        seq, [this, &seq]() -> Result<RelExprPtr> {
+          const ElementStructure* target =
+              seq.suffix.empty() ? seq.decl : seq.suffix.back();
+          return RebuildElement(target);
+        },
+        /*agg=*/std::nullopt, nullptr);
+  }
+
+  // ---- scalars -----------------------------------------------------------------
+
+  Result<RelExprPtr> TranslateScalar(const QExpr& e, const SymEnvPtr& env) {
+    switch (e.kind()) {
+      case QExprKind::kTextLiteral:
+        return RelExprPtr(std::make_unique<ConstExpr>(
+            Datum(static_cast<const TextLiteralQExpr&>(e).text)));
+      case QExprKind::kTextCtor:
+        return TranslateScalar(
+            *static_cast<const xquery::TextCtorQExpr&>(e).value, env);
+      case QExprKind::kXPath:
+        return TranslateScalarXPath(
+            *static_cast<const xquery::XPathQExpr&>(e).expr, env);
+      case QExprKind::kIf: {
+        const auto& f = static_cast<const xquery::IfQExpr&>(e);
+        auto c = std::make_unique<rel::CaseRelExpr>();
+        rel::CaseRelExpr::Branch branch;
+        XDB_ASSIGN_OR_RETURN(branch.cond, TranslateScalar(*f.cond, env));
+        XDB_ASSIGN_OR_RETURN(branch.value, TranslateScalar(*f.then_expr, env));
+        c->branches.push_back(std::move(branch));
+        if (f.else_expr != nullptr) {
+          XDB_ASSIGN_OR_RETURN(c->else_value, TranslateScalar(*f.else_expr, env));
+        }
+        return RelExprPtr(std::move(c));
+      }
+      default:
+        return Untranslatable("non-scalar expression in scalar position");
+    }
+  }
+
+  Result<RelExprPtr> TranslateScalarXPath(const xpath::Expr& e,
+                                          const SymEnvPtr& env) {
+    using namespace xpath;
+    switch (e.kind()) {
+      case ExprKind::kLiteral:
+        return RelExprPtr(std::make_unique<ConstExpr>(
+            Datum(static_cast<const LiteralExpr&>(e).value)));
+      case ExprKind::kNumber:
+        return RelExprPtr(std::make_unique<ConstExpr>(
+            Datum(static_cast<const NumberExpr&>(e).value)));
+      case ExprKind::kUnary: {
+        const auto& u = static_cast<const UnaryExpr&>(e);
+        XDB_ASSIGN_OR_RETURN(RelExprPtr inner,
+                             TranslateScalarXPath(*u.operand, env));
+        return RelExprPtr(std::make_unique<BinaryRelExpr>(
+            RelOp::kMinus, std::make_unique<ConstExpr>(Datum(0.0)),
+            std::move(inner)));
+      }
+      case ExprKind::kBinary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        RelOp op;
+        switch (b.op) {
+          case BinaryOp::kEq:
+            op = RelOp::kEq;
+            break;
+          case BinaryOp::kNe:
+            op = RelOp::kNe;
+            break;
+          case BinaryOp::kLt:
+            op = RelOp::kLt;
+            break;
+          case BinaryOp::kLe:
+            op = RelOp::kLe;
+            break;
+          case BinaryOp::kGt:
+            op = RelOp::kGt;
+            break;
+          case BinaryOp::kGe:
+            op = RelOp::kGe;
+            break;
+          case BinaryOp::kAnd:
+            op = RelOp::kAnd;
+            break;
+          case BinaryOp::kOr:
+            op = RelOp::kOr;
+            break;
+          case BinaryOp::kPlus:
+            op = RelOp::kPlus;
+            break;
+          case BinaryOp::kMinus:
+            op = RelOp::kMinus;
+            break;
+          case BinaryOp::kMultiply:
+            op = RelOp::kMul;
+            break;
+          case BinaryOp::kDiv:
+            op = RelOp::kDiv;
+            break;
+          default:
+            return Untranslatable("operator in scalar translation");
+        }
+        XDB_ASSIGN_OR_RETURN(RelExprPtr l, TranslateScalarXPath(*b.lhs, env));
+        XDB_ASSIGN_OR_RETURN(RelExprPtr r, TranslateScalarXPath(*b.rhs, env));
+        return RelExprPtr(
+            std::make_unique<BinaryRelExpr>(op, std::move(l), std::move(r)));
+      }
+      case ExprKind::kFunctionCall: {
+        const auto& f = static_cast<const FunctionCallExpr&>(e);
+        std::string name = f.name;
+        if (name.rfind("fn:", 0) == 0) name = name.substr(3);
+        if ((name == "string" || name == "data" || name == "normalize-space") &&
+            f.args.size() == 1) {
+          return TranslateScalarXPath(*f.args[0], env);
+        }
+        if (name == "concat") {
+          RelExprPtr out;
+          for (const auto& a : f.args) {
+            XDB_ASSIGN_OR_RETURN(RelExprPtr piece,
+                                 TranslateScalarXPath(*a, env));
+            out = out == nullptr ? std::move(piece)
+                                 : std::make_unique<BinaryRelExpr>(
+                                       RelOp::kConcat, std::move(out),
+                                       std::move(piece));
+          }
+          return out != nullptr
+                     ? std::move(out)
+                     : RelExprPtr(std::make_unique<ConstExpr>(Datum("")));
+        }
+        if (name == "number" && f.args.size() == 1) {
+          return TranslateScalarXPath(*f.args[0], env);
+        }
+        if (name == "true") {
+          return RelExprPtr(std::make_unique<ConstExpr>(Datum(int64_t{1})));
+        }
+        if (name == "false") {
+          return RelExprPtr(std::make_unique<ConstExpr>(Datum(int64_t{0})));
+        }
+        if (name == "not" && f.args.size() == 1) {
+          XDB_ASSIGN_OR_RETURN(RelExprPtr inner,
+                               TranslateScalarXPath(*f.args[0], env));
+          return RelExprPtr(std::make_unique<BinaryRelExpr>(
+              RelOp::kEq, std::move(inner),
+              std::make_unique<ConstExpr>(Datum(int64_t{0}))));
+        }
+        if ((name == "sum" || name == "count") && f.args.size() == 1) {
+          XDB_ASSIGN_OR_RETURN(SymVal seq,
+                               EvalSymXPath(*f.args[0], env, nullptr));
+          if (seq.kind != SymVal::Kind::kElementSeq) {
+            return Untranslatable(name + "() over non-repeating content");
+          }
+          AggKind agg = name == "sum" ? AggKind::kSum : AggKind::kCount;
+          return TranslateSeqAggregate(
+              seq,
+              [this, &seq]() -> Result<RelExprPtr> {
+                const ElementStructure* target =
+                    seq.suffix.empty() ? seq.decl : seq.suffix.back();
+                return LeafValue(target);
+              },
+              agg, nullptr);
+        }
+        return Untranslatable("function " + f.name + "() in scalar position");
+      }
+      case ExprKind::kVariableRef:
+      case ExprKind::kPath: {
+        XDB_ASSIGN_OR_RETURN(SymVal sym, EvalSymXPath(e, env, nullptr));
+        switch (sym.kind) {
+          case SymVal::Kind::kElement:
+            return LeafValue(sym.decl);
+          case SymVal::Kind::kAttribute:
+            return AttrValue(sym.decl, sym.attr);
+          case SymVal::Kind::kAtomic:
+            if (sym.src != nullptr) return TranslateScalar(*sym.src, sym.env);
+            return Untranslatable("opaque atomic value");
+          case SymVal::Kind::kElementSeq: {
+            // Existential use (e.g. in a condition) is out of scope here; a
+            // scalar use takes the first item's value only when singleton.
+            return Untranslatable("repeating content in scalar position");
+          }
+          default:
+            return Untranslatable("non-scalar navigation result");
+        }
+      }
+    }
+    return Untranslatable("expression in scalar translation");
+  }
+
+  // ---- FLWOR -----------------------------------------------------------------
+
+  struct PendingClause {
+    bool is_for;
+    std::string var;
+    const QExpr* expr;
+  };
+
+  Result<RelExprPtr> TranslateFlwor(const FlworQExpr& f, const SymEnvPtr& env) {
+    std::vector<PendingClause> clauses;
+    for (const auto& c : f.clauses) {
+      clauses.push_back(PendingClause{
+          c.kind == FlworQExpr::Clause::Kind::kFor, c.var, c.expr.get()});
+    }
+    std::vector<const QExpr*> conjuncts;
+    if (f.where != nullptr) conjuncts.push_back(f.where.get());
+    const FlworQExpr::OrderSpec* order =
+        f.order_by.empty() ? nullptr : &f.order_by[0];
+    if (f.order_by.size() > 1) {
+      return Untranslatable("multiple order-by keys");
+    }
+    return TranslatePending(clauses, 0, conjuncts, order, *f.return_expr, env);
+  }
+
+  Result<RelExprPtr> TranslatePending(std::vector<PendingClause>& clauses,
+                                      size_t idx,
+                                      std::vector<const QExpr*>& conjuncts,
+                                      const FlworQExpr::OrderSpec* order,
+                                      const QExpr& ret, SymEnvPtr env) {
+    while (idx < clauses.size() && !clauses[idx].is_for) {
+      SymEnvPtr inner = Extend(env);
+      XDB_ASSIGN_OR_RETURN(SymVal v, EvalSym(*clauses[idx].expr, env));
+      inner->vars[clauses[idx].var] = std::move(v);
+      env = inner;
+      ++idx;
+    }
+    if (idx == clauses.size()) {
+      if (!conjuncts.empty()) {
+        // A residual where over a let-only tail becomes CASE.
+        auto c = std::make_unique<rel::CaseRelExpr>();
+        rel::CaseRelExpr::Branch branch;
+        RelExprPtr cond;
+        for (const QExpr* w : conjuncts) {
+          XDB_ASSIGN_OR_RETURN(RelExprPtr one, TranslateScalar(*w, env));
+          cond = cond == nullptr ? std::move(one)
+                                 : std::make_unique<BinaryRelExpr>(
+                                       RelOp::kAnd, std::move(cond),
+                                       std::move(one));
+        }
+        branch.cond = std::move(cond);
+        XDB_ASSIGN_OR_RETURN(branch.value, TranslateValue(ret, env));
+        c->branches.push_back(std::move(branch));
+        return RelExprPtr(std::move(c));
+      }
+      return TranslateValue(ret, env);
+    }
+
+    const PendingClause& clause = clauses[idx];
+    XDB_ASSIGN_OR_RETURN(SymVal seq, EvalSym(*clause.expr, env));
+    if (seq.kind == SymVal::Kind::kFlworSeq) {
+      // Splice the producing FLWOR in front (Example 2's composition).
+      const auto& inner = *static_cast<const FlworQExpr*>(seq.src);
+      std::vector<PendingClause> merged;
+      merged.reserve(clauses.size() + inner.clauses.size() + 1);
+      for (size_t i = 0; i < idx; ++i) merged.push_back(clauses[i]);
+      for (const auto& c : inner.clauses) {
+        merged.push_back(PendingClause{
+            c.kind == FlworQExpr::Clause::Kind::kFor, c.var, c.expr.get()});
+      }
+      merged.push_back(PendingClause{false, clause.var, inner.return_expr.get()});
+      for (size_t i = idx + 1; i < clauses.size(); ++i) {
+        merged.push_back(clauses[i]);
+      }
+      if (inner.where != nullptr) conjuncts.push_back(inner.where.get());
+      // The inner FLWOR's closure env must be in effect for its clauses; the
+      // splice is only sound when it equals the current env chain, which is
+      // the case for view-composition (the inner FLWOR was built under the
+      // same prolog). Conservatively proceed with the inner env.
+      return TranslatePending(merged, idx, conjuncts, order, ret, seq.env);
+    }
+    if (seq.kind != SymVal::Kind::kElementSeq) {
+      return Untranslatable("for-clause over non-repeating content");
+    }
+
+    // Enter the relational scope and translate the remainder per row.
+    const ElementStructure* target =
+        seq.suffix.empty() ? seq.decl : seq.suffix.back();
+    auto build_value = [&]() -> Result<RelExprPtr> {
+      SymEnvPtr inner = Extend(env);
+      SymVal bound;
+      bound.kind = SymVal::Kind::kElement;
+      bound.decl = target;
+      inner->vars[clause.var] = std::move(bound);
+      std::vector<const QExpr*> no_conjuncts;  // consumed below as filters
+      return TranslatePending(clauses, idx + 1, no_conjuncts, nullptr, ret,
+                              inner);
+    };
+    // `where` conjuncts that reference the loop variable translate inside the
+    // scope as filters.
+    return TranslateSeqAggregate(seq, build_value, std::nullopt, order,
+                                 &conjuncts, &clause.var);
+  }
+
+  // ---- the core scope-entry + aggregation builder ----------------------------
+
+  // Builds: ScalarSubquery( XmlAgg|ScalarAgg ( Project [value]
+  //           ( Filter* ( IndexRangeScan | SeqScan(child_table) )) ) )
+  Result<RelExprPtr> TranslateSeqAggregate(
+      const SymVal& seq, const std::function<Result<RelExprPtr>()>& build_value,
+      std::optional<AggKind> agg, const FlworQExpr::OrderSpec* order,
+      std::vector<const QExpr*>* where_conjuncts = nullptr,
+      const std::string* loop_var = nullptr) {
+    const PublishBinding* binding = BindingOf(seq.decl);
+    if (binding == nullptr || binding->nested_chain.empty()) {
+      return Untranslatable("repeating element without a nested scope");
+    }
+    const PublishSpec* nested = binding->nested_chain.back();
+    // The chain above the nested spec must match the current scope.
+    if (binding->nested_chain.size() != scope_chain_.size() + 1) {
+      return Untranslatable("iteration scope depth mismatch");
+    }
+    for (size_t i = 0; i < scope_chain_.size(); ++i) {
+      if (binding->nested_chain[i] != scope_chain_[i]) {
+        return Untranslatable("iteration from an unrelated scope");
+      }
+    }
+    XDB_ASSIGN_OR_RETURN(Table * child, catalog_.GetTable(nested->child_table));
+
+    // Enter scope.
+    scope_chain_.push_back(nested);
+    scope_tables_.push_back(child);
+    auto cleanup = [&]() {
+      scope_chain_.pop_back();
+      scope_tables_.pop_back();
+    };
+
+    // Gather predicates: navigation predicates (relative to the repeating
+    // element) + where conjuncts.
+    struct Pred {
+      RelExprPtr expr;
+      const xpath::Expr* source = nullptr;  // for index analysis
+    };
+    std::vector<Pred> filters;
+    auto translate_preds = [&]() -> Status {
+      for (const xpath::Expr* p : seq.preds) {
+        Pred pred;
+        XDB_ASSIGN_OR_RETURN(pred.expr, TranslateRelativePredicate(*p, seq.decl));
+        pred.source = p;
+        filters.push_back(std::move(pred));
+        ++result_->predicates_pushed;
+      }
+      if (where_conjuncts != nullptr && loop_var != nullptr) {
+        SymEnvPtr env = std::make_shared<SymEnv>();
+        SymVal bound;
+        bound.kind = SymVal::Kind::kElement;
+        bound.decl = seq.decl;
+        env->vars[*loop_var] = std::move(bound);
+        for (const QExpr* w : *where_conjuncts) {
+          Pred pred;
+          XDB_ASSIGN_OR_RETURN(pred.expr, TranslateScalar(*w, env));
+          filters.push_back(std::move(pred));
+          ++result_->predicates_pushed;
+        }
+      }
+      return Status::OK();
+    };
+    Status st = translate_preds();
+    if (!st.ok()) {
+      cleanup();
+      return st;
+    }
+
+    // Document order: the view's publish order. An explicit user order or a
+    // spec order column re-establishes order after any access path; otherwise
+    // the index scan emits rows in row-id (heap/document) order.
+    bool need_rowid_order = !agg.has_value() && order == nullptr &&
+                            nested->order_by_column.empty();
+
+    // Index selection: a navigation predicate of shape leaf CMP const over an
+    // indexed column becomes the scan's range bounds.
+    PlanPtr scan;
+    int index_pred = -1;
+    if (options_.enable_index_selection) {
+      for (size_t i = 0; i < filters.size(); ++i) {
+        if (filters[i].source == nullptr) continue;
+        auto bounds = AnalyzeIndexablePredicate(*filters[i].source, seq.decl,
+                                                child, need_rowid_order);
+        if (bounds.has_value()) {
+          scan = std::move(bounds->plan);
+          index_pred = static_cast<int>(i);
+          result_->used_index = true;
+          break;
+        }
+      }
+    }
+    if (scan == nullptr) scan = PlanPtr(new SeqScanNode(child));
+
+    // Correlation predicate.
+    {
+      int inner_ci = child->schema().ColumnIndex(nested->inner_key);
+      auto outer = ColumnAtOuter(nested->outer_key);
+      if (!outer.ok() || inner_ci < 0) {
+        cleanup();
+        return !outer.ok() ? outer.status()
+                           : Untranslatable("bad correlation key");
+      }
+      auto corr = std::make_unique<BinaryRelExpr>(
+          RelOp::kEq,
+          std::make_unique<ColumnRefExpr>(0, inner_ci,
+                                          child->name() + "." + nested->inner_key),
+          outer.MoveValue());
+      scan = PlanPtr(new FilterNode(std::move(scan), std::move(corr)));
+    }
+    for (size_t i = 0; i < filters.size(); ++i) {
+      if (static_cast<int>(i) == index_pred) continue;
+      scan = PlanPtr(new FilterNode(std::move(scan), std::move(filters[i].expr)));
+    }
+
+    // Value expression per row (COUNT needs no value).
+    RelExprPtr value_expr;
+    if (!(agg.has_value() && *agg == AggKind::kCount)) {
+      auto value = build_value();
+      if (!value.ok()) {
+        cleanup();
+        return value.status();
+      }
+      value_expr = value.MoveValue();
+    }
+
+    if (agg.has_value()) {
+      PlanPtr plan(
+          new ScalarAggNode(std::move(scan), *agg, std::move(value_expr)));
+      cleanup();
+      return RelExprPtr(std::make_unique<ScalarSubqueryExpr>(std::move(plan)));
+    }
+
+    std::vector<RelExprPtr> exprs;
+    exprs.push_back(std::move(value_expr));
+    RelExprPtr order_ref;
+    bool order_desc = false;
+    if (order != nullptr) {
+      SymEnvPtr env = std::make_shared<SymEnv>();
+      if (loop_var != nullptr) {
+        SymVal bound;
+        bound.kind = SymVal::Kind::kElement;
+        bound.decl = seq.decl;
+        env->vars[*loop_var] = std::move(bound);
+      }
+      auto key = TranslateScalar(*order->key, env);
+      if (!key.ok()) {
+        cleanup();
+        return key.status();
+      }
+      exprs.push_back(key.MoveValue());
+      order_ref = std::make_unique<ColumnRefExpr>(0, 1, "sort_key");
+      order_desc = order->descending;
+    } else if (!nested->order_by_column.empty()) {
+      // The view's document order is defined by the spec's order column;
+      // re-establish it regardless of the access path.
+      int oc = child->schema().ColumnIndex(nested->order_by_column);
+      if (oc < 0) {
+        cleanup();
+        return Untranslatable("bad spec order column");
+      }
+      exprs.push_back(std::make_unique<ColumnRefExpr>(
+          0, oc, child->name() + "." + nested->order_by_column));
+      order_ref = std::make_unique<ColumnRefExpr>(0, 1, "doc_order");
+    }
+    PlanPtr projected(new ProjectNode(std::move(scan), std::move(exprs)));
+    PlanPtr aggd(new XmlAggNode(std::move(projected), std::move(order_ref),
+                                order_desc));
+    cleanup();
+    return RelExprPtr(std::make_unique<ScalarSubqueryExpr>(std::move(aggd)));
+  }
+
+  // Outer correlation key: resolve in the *current* scope chain (scope depth
+  // includes the just-entered child at level 0).
+  Result<RelExprPtr> ColumnAtOuter(const std::string& column) {
+    for (size_t level = 1; level < scope_tables_.size() + 1; ++level) {
+      size_t pos = scope_tables_.size() - 1 - level;
+      if (pos >= scope_tables_.size()) break;  // unsigned wrap guard
+      const Table* t = scope_tables_[pos];
+      int ci = t->schema().ColumnIndex(column);
+      if (ci >= 0) {
+        return RelExprPtr(std::make_unique<ColumnRefExpr>(
+            static_cast<int>(level), ci, t->name() + "." + column));
+      }
+    }
+    return Untranslatable("correlation key '" + column + "' not in scope");
+  }
+
+  // Predicate relative to the repeating element (translated inside its scope).
+  Result<RelExprPtr> TranslateRelativePredicate(const xpath::Expr& e,
+                                                const ElementStructure* decl) {
+    using namespace xpath;
+    switch (e.kind()) {
+      case ExprKind::kLiteral:
+        return RelExprPtr(std::make_unique<ConstExpr>(
+            Datum(static_cast<const LiteralExpr&>(e).value)));
+      case ExprKind::kNumber:
+        return RelExprPtr(std::make_unique<ConstExpr>(
+            Datum(static_cast<const NumberExpr&>(e).value)));
+      case ExprKind::kBinary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        RelOp op;
+        switch (b.op) {
+          case BinaryOp::kEq:
+            op = RelOp::kEq;
+            break;
+          case BinaryOp::kNe:
+            op = RelOp::kNe;
+            break;
+          case BinaryOp::kLt:
+            op = RelOp::kLt;
+            break;
+          case BinaryOp::kLe:
+            op = RelOp::kLe;
+            break;
+          case BinaryOp::kGt:
+            op = RelOp::kGt;
+            break;
+          case BinaryOp::kGe:
+            op = RelOp::kGe;
+            break;
+          case BinaryOp::kAnd:
+            op = RelOp::kAnd;
+            break;
+          case BinaryOp::kOr:
+            op = RelOp::kOr;
+            break;
+          case BinaryOp::kPlus:
+            op = RelOp::kPlus;
+            break;
+          case BinaryOp::kMinus:
+            op = RelOp::kMinus;
+            break;
+          case BinaryOp::kMultiply:
+            op = RelOp::kMul;
+            break;
+          case BinaryOp::kDiv:
+            op = RelOp::kDiv;
+            break;
+          default:
+            return Untranslatable("predicate operator");
+        }
+        XDB_ASSIGN_OR_RETURN(RelExprPtr l, TranslateRelativePredicate(*b.lhs, decl));
+        XDB_ASSIGN_OR_RETURN(RelExprPtr r, TranslateRelativePredicate(*b.rhs, decl));
+        return RelExprPtr(
+            std::make_unique<BinaryRelExpr>(op, std::move(l), std::move(r)));
+      }
+      case ExprKind::kPath: {
+        const auto& p = static_cast<const PathExpr&>(e);
+        if (p.start != nullptr || p.absolute) {
+          return Untranslatable("non-relative path in pushed predicate");
+        }
+        const ElementStructure* cur = decl;
+        for (const Step& step : p.steps) {
+          if (step.axis == Axis::kSelf &&
+              step.test.kind == NodeTest::Kind::kAnyNode) {
+            continue;  // "."
+          }
+          if (step.axis != Axis::kChild ||
+              step.test.kind != NodeTest::Kind::kName ||
+              !step.predicates.empty()) {
+            return Untranslatable("complex path in pushed predicate");
+          }
+          const ChildRef* child = cur->FindChild(step.test.local);
+          if (child == nullptr || child->repeating()) {
+            return Untranslatable("predicate path outside the row scope");
+          }
+          cur = child->elem;
+        }
+        return LeafValue(cur);
+      }
+      case ExprKind::kFunctionCall: {
+        const auto& f = static_cast<const FunctionCallExpr&>(e);
+        std::string name = f.name;
+        if (name.rfind("fn:", 0) == 0) name = name.substr(3);
+        if ((name == "string" || name == "number") && f.args.size() == 1) {
+          return TranslateRelativePredicate(*f.args[0], decl);
+        }
+        if (name == "not" && f.args.size() == 1) {
+          XDB_ASSIGN_OR_RETURN(RelExprPtr inner,
+                               TranslateRelativePredicate(*f.args[0], decl));
+          return RelExprPtr(std::make_unique<BinaryRelExpr>(
+              RelOp::kEq, std::move(inner),
+              std::make_unique<ConstExpr>(Datum(int64_t{0}))));
+        }
+        return Untranslatable("function in pushed predicate");
+      }
+      default:
+        return Untranslatable("expression in pushed predicate");
+    }
+  }
+
+  // Recognizes `leaf CMP const` (or reversed) over an indexed column and
+  // builds the IndexRangeScan.
+  struct IndexBounds {
+    PlanPtr plan;
+  };
+  std::optional<IndexBounds> AnalyzeIndexablePredicate(
+      const xpath::Expr& e, const ElementStructure* decl, const Table* child,
+      bool rowid_order) {
+    using namespace xpath;
+    if (e.kind() != ExprKind::kBinary) return std::nullopt;
+    const auto& b = static_cast<const BinaryExpr&>(e);
+    auto leaf_column = [&](const Expr& side) -> std::optional<std::string> {
+      if (side.kind() != ExprKind::kPath) return std::nullopt;
+      const auto& p = static_cast<const PathExpr&>(side);
+      if (p.start != nullptr || p.absolute || p.steps.size() != 1) {
+        return std::nullopt;
+      }
+      const Step& s = p.steps[0];
+      if (s.axis != Axis::kChild || s.test.kind != NodeTest::Kind::kName ||
+          !s.predicates.empty()) {
+        return std::nullopt;
+      }
+      const ChildRef* c = decl->FindChild(s.test.local);
+      if (c == nullptr || c->repeating()) return std::nullopt;
+      // The leaf must be a single Column spec.
+      const PublishBinding* binding = BindingOf(c->elem);
+      if (binding == nullptr || binding->spec->children.size() != 1 ||
+          binding->spec->children[0]->kind != PublishSpec::Kind::kColumn) {
+        return std::nullopt;
+      }
+      return binding->spec->children[0]->column;
+    };
+    auto const_of = [](const Expr& side) -> std::optional<Datum> {
+      if (side.kind() == ExprKind::kNumber) {
+        return Datum(static_cast<const NumberExpr&>(side).value);
+      }
+      if (side.kind() == ExprKind::kLiteral) {
+        return Datum(static_cast<const LiteralExpr&>(side).value);
+      }
+      return std::nullopt;
+    };
+
+    std::optional<std::string> col = leaf_column(*b.lhs);
+    std::optional<Datum> konst = const_of(*b.rhs);
+    BinaryOp op = b.op;
+    if (!col.has_value() || !konst.has_value()) {
+      col = leaf_column(*b.rhs);
+      konst = const_of(*b.lhs);
+      // Reverse the comparison.
+      switch (op) {
+        case BinaryOp::kLt:
+          op = BinaryOp::kGt;
+          break;
+        case BinaryOp::kLe:
+          op = BinaryOp::kGe;
+          break;
+        case BinaryOp::kGt:
+          op = BinaryOp::kLt;
+          break;
+        case BinaryOp::kGe:
+          op = BinaryOp::kLe;
+          break;
+        default:
+          break;
+      }
+    }
+    if (!col.has_value() || !konst.has_value()) return std::nullopt;
+    if (!child->HasIndex(*col)) return std::nullopt;
+
+    auto konst_expr = [&]() {
+      return std::make_unique<ConstExpr>(*konst);
+    };
+    PlanPtr plan;
+    switch (op) {
+      case BinaryOp::kEq:
+        plan = PlanPtr(new IndexRangeScanNode(child, *col, konst_expr(), true,
+                                              konst_expr(), true, rowid_order));
+        break;
+      case BinaryOp::kGt:
+        plan = PlanPtr(new IndexRangeScanNode(child, *col, konst_expr(), false,
+                                              nullptr, true, rowid_order));
+        break;
+      case BinaryOp::kGe:
+        plan = PlanPtr(new IndexRangeScanNode(child, *col, konst_expr(), true,
+                                              nullptr, true, rowid_order));
+        break;
+      case BinaryOp::kLt:
+        plan = PlanPtr(new IndexRangeScanNode(child, *col, nullptr, true,
+                                              konst_expr(), false, rowid_order));
+        break;
+      case BinaryOp::kLe:
+        plan = PlanPtr(new IndexRangeScanNode(child, *col, nullptr, true,
+                                              konst_expr(), true, rowid_order));
+        break;
+      default:
+        return std::nullopt;
+    }
+    return IndexBounds{std::move(plan)};
+  }
+
+  const XmlView& view_;
+  const Catalog& catalog_;
+  SqlRewriteOptions options_;
+  SqlRewriteResult* result_;
+  const Table* base_ = nullptr;
+  SymVal context_;
+  std::vector<const PublishSpec*> scope_chain_;
+  std::vector<const Table*> scope_tables_;
+
+};
+
+}  // namespace
+
+Result<SqlRewriteResult> RewriteXQueryToSql(const Query& query,
+                                            const XmlView& view,
+                                            const Catalog& catalog,
+                                            const SqlRewriteOptions& options) {
+  SqlRewriteResult result;
+  result.base_table = view.base_table;
+  SqlTranslator translator(view, catalog, options, &result);
+  XDB_RETURN_NOT_OK(translator.Init());
+  XDB_ASSIGN_OR_RETURN(result.expr, translator.Translate(query));
+  return result;
+}
+
+}  // namespace xdb::rewrite

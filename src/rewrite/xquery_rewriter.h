@@ -1,0 +1,50 @@
+// XQuery -> SQL/XML rewrite over publishing views (the paper's [3,4]
+// substrate, Tables 7 and 11): an XQuery whose context item is the XML value
+// of a SQL/XML publishing view is translated — by symbolic evaluation over
+// the view's derived structure and provenance — into a pure relational
+// expression over the base tables. Path navigation becomes column
+// references, FLWOR iteration over repeating content becomes a correlated
+// XMLAgg scalar subquery, value predicates are pushed into the subquery
+// (where the optimizer selects a B-tree index when one exists), and element
+// constructors become SQL/XML publishing functions.
+//
+// Queries outside the translatable shape return a RewriteError; the caller
+// (the combined optimizer) then keeps the XQuery execution stage instead.
+#ifndef XDB_REWRITE_XQUERY_REWRITER_H_
+#define XDB_REWRITE_XQUERY_REWRITER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "rel/catalog.h"
+#include "xquery/ast.h"
+
+namespace xdb::rewrite {
+
+struct SqlRewriteResult {
+  /// The per-base-row value expression of the rewritten query
+  /// (SELECT <expr> FROM <base_table>).
+  rel::RelExprPtr expr;
+  std::string base_table;
+  /// True when at least one pushed predicate was turned into a B-tree
+  /// index range probe.
+  bool used_index = false;
+  /// Number of predicates pushed into relational filters.
+  int predicates_pushed = 0;
+};
+
+struct SqlRewriteOptions {
+  /// Allow IndexRangeScan selection for pushed column-vs-constant predicates.
+  bool enable_index_selection = true;
+};
+
+/// Rewrites `query` (whose "." is the XML column of the publishing view) into
+/// a relational expression over the view's base table.
+Result<SqlRewriteResult> RewriteXQueryToSql(const xquery::Query& query,
+                                            const rel::XmlView& view,
+                                            const rel::Catalog& catalog,
+                                            const SqlRewriteOptions& options = {});
+
+}  // namespace xdb::rewrite
+
+#endif  // XDB_REWRITE_XQUERY_REWRITER_H_

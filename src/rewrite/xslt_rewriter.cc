@@ -1,0 +1,1443 @@
+#include "rewrite/xslt_rewriter.h"
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "common/strings.h"
+#include "schema/sample_doc.h"
+#include "xpath/parser.h"
+#include "xquery/parser.h"
+
+namespace xdb::rewrite {
+
+using schema::StructuralInfo;
+using xml::Node;
+using xml::NodeType;
+using xquery::ElementCtorQExpr;
+using xquery::FlworQExpr;
+using xquery::IfQExpr;
+using xquery::InstanceOfQExpr;
+using xquery::MakeStringLiteral;
+using xquery::MakeVarRef;
+using xquery::MakeXPath;
+using xquery::QExpr;
+using xquery::QExprKind;
+using xquery::QExprPtr;
+using xquery::Query;
+using xquery::SequenceQExpr;
+using xquery::TextLiteralQExpr;
+using xslt::CompiledParam;
+using xslt::CompiledStylesheet;
+using xslt::Instruction;
+using xslt::Stylesheet;
+using xslt::TemplateRule;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// XPath rebasing: rewrites a stylesheet-relative XPath so that the XSLT
+// context node becomes an explicit XQuery variable reference, and current()
+// becomes the enclosing template's context variable.
+// ---------------------------------------------------------------------------
+
+class Rebaser {
+ public:
+  Rebaser(std::string ctx_var, std::string current_var)
+      : ctx_var_(std::move(ctx_var)), current_var_(std::move(current_var)) {}
+
+  Result<xpath::ExprPtr> Rebase(const xpath::Expr& e) const {
+    using namespace xpath;
+    switch (e.kind()) {
+      case ExprKind::kLiteral:
+      case ExprKind::kNumber:
+      case ExprKind::kVariableRef:
+        return e.Clone();
+      case ExprKind::kUnary: {
+        const auto& u = static_cast<const UnaryExpr&>(e);
+        XDB_ASSIGN_OR_RETURN(ExprPtr inner, Rebase(*u.operand));
+        return ExprPtr(std::make_unique<UnaryExpr>(std::move(inner)));
+      }
+      case ExprKind::kBinary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        XDB_ASSIGN_OR_RETURN(ExprPtr l, Rebase(*b.lhs));
+        XDB_ASSIGN_OR_RETURN(ExprPtr r, Rebase(*b.rhs));
+        return ExprPtr(std::make_unique<BinaryExpr>(b.op, std::move(l), std::move(r)));
+      }
+      case ExprKind::kFunctionCall: {
+        const auto& f = static_cast<const FunctionCallExpr&>(e);
+        if (f.name == "current" && f.args.empty()) {
+          return ExprPtr(std::make_unique<VariableRefExpr>(current_var_));
+        }
+        if (f.name == "position" || f.name == "last") {
+          return Status::RewriteError(
+              "XSLT rewrite: position()/last() depend on the dynamic context "
+              "and are outside the translatable subset");
+        }
+        std::vector<ExprPtr> args;
+        for (const auto& a : f.args) {
+          XDB_ASSIGN_OR_RETURN(ExprPtr ra, Rebase(*a));
+          args.push_back(std::move(ra));
+        }
+        // Context-dependent zero-argument core functions get an explicit arg.
+        if (args.empty() &&
+            (f.name == "string" || f.name == "normalize-space" ||
+             f.name == "string-length" || f.name == "number" || f.name == "name" ||
+             f.name == "local-name" || f.name == "namespace-uri")) {
+          args.push_back(std::make_unique<VariableRefExpr>(ctx_var_));
+        }
+        return ExprPtr(
+            std::make_unique<FunctionCallExpr>(f.name, std::move(args)));
+      }
+      case ExprKind::kPath: {
+        const auto& p = static_cast<const PathExpr&>(e);
+        auto out = std::make_unique<PathExpr>();
+        out->absolute = p.absolute;
+        if (p.start != nullptr) {
+          XDB_ASSIGN_OR_RETURN(out->start, Rebase(*p.start));
+        } else if (!p.absolute) {
+          out->start = std::make_unique<VariableRefExpr>(ctx_var_);
+        }
+        for (const auto& sp : p.start_predicates) {
+          XDB_ASSIGN_OR_RETURN(ExprPtr rp, Rebase(*sp));
+          out->start_predicates.push_back(std::move(rp));
+        }
+        for (const Step& s : p.steps) {
+          // Step predicates stay relative to their own step context.
+          out->steps.push_back(s.CloneStep());
+        }
+        // "$v/." simplifies to "$v".
+        if (out->start != nullptr && out->steps.size() == 1 &&
+            out->steps[0].axis == Axis::kSelf &&
+            out->steps[0].test.kind == NodeTest::Kind::kAnyNode &&
+            out->steps[0].predicates.empty() && out->start_predicates.empty()) {
+          return std::move(out->start);
+        }
+        return ExprPtr(std::move(out));
+      }
+    }
+    return Status::Internal("rebase: unknown expr kind");
+  }
+
+ private:
+  std::string ctx_var_;
+  std::string current_var_;
+};
+
+// fn:string(<rebased>)
+Result<xpath::ExprPtr> StringOf(const xpath::Expr& select, const Rebaser& rb) {
+  XDB_ASSIGN_OR_RETURN(xpath::ExprPtr inner, rb.Rebase(select));
+  std::vector<xpath::ExprPtr> args;
+  args.push_back(std::move(inner));
+  return xpath::ExprPtr(
+      std::make_unique<xpath::FunctionCallExpr>("fn:string", std::move(args)));
+}
+
+// ---------------------------------------------------------------------------
+// Trace recording (the paper's trace-table + execution graph)
+// ---------------------------------------------------------------------------
+
+struct DispatchEntry {
+  std::vector<Stylesheet::StructuralMatch> candidates;
+  bool builtin_fallback = true;
+};
+
+class GraphBuilder : public xslt::TraceListener {
+ public:
+  using Key = std::tuple<int, const Node*, std::string>;
+
+  void OnDispatch(int site_id, Node* node, const std::string& mode,
+                  const std::vector<Stylesheet::StructuralMatch>& candidates,
+                  bool builtin_fallback) override {
+    DispatchEntry& entry = dispatches_[Key{site_id, node, mode}];
+    entry.candidates = candidates;
+    entry.builtin_fallback = builtin_fallback;
+    // Union per (site, mode) for non-inline generation.
+    auto& site_union = site_unions_[{site_id, mode}];
+    for (const auto& c : candidates) {
+      bool present = false;
+      for (const auto& u : site_union.candidates) {
+        if (u.index == c.index) present = true;
+      }
+      if (!present) site_union.candidates.push_back(c);
+    }
+    site_union.builtin_fallback =
+        site_union.builtin_fallback || builtin_fallback || candidates.empty();
+  }
+  void OnActivationBegin(int template_index, Node*) override {
+    if (template_index >= 0) activated_.insert(template_index);
+  }
+  void OnActivationEnd(int) override {}
+  void OnRecursion(int, Node*) override { recursion_ = true; }
+
+  const DispatchEntry* Find(int site, const Node* node,
+                            const std::string& mode) const {
+    auto it = dispatches_.find(Key{site, node, mode});
+    return it != dispatches_.end() ? &it->second : nullptr;
+  }
+  const DispatchEntry* FindUnion(int site, const std::string& mode) const {
+    auto it = site_unions_.find({site, mode});
+    return it != site_unions_.end() ? &it->second : nullptr;
+  }
+  const std::set<int>& activated() const { return activated_; }
+  bool recursion() const { return recursion_; }
+
+ private:
+  std::map<Key, DispatchEntry> dispatches_;
+  std::map<std::pair<int, std::string>, DispatchEntry> site_unions_;
+  std::set<int> activated_;
+  bool recursion_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Pattern test synthesis (straightforward / non-inline dispatch, and the
+// residual value-predicate tests of the inline mode)
+// ---------------------------------------------------------------------------
+
+// Builds the test expression for "does $var match this pattern alternative".
+// `structural_known` marks steps whose structural part is proven by context
+// (inline mode / unique parents, §3.5): for those only value predicates are
+// emitted. Returns null QExpr when no test at all is required (always true).
+struct PatternTestResult {
+  QExprPtr test;  // null = unconditionally true
+  int parent_tests_removed = 0;
+  int residual_predicates = 0;
+};
+
+Result<PatternTestResult> BuildPatternTest(const xpath::PathExpr& path,
+                                           const std::string& var,
+                                           const StructuralInfo* structure,
+                                           bool assume_structure_matches,
+                                           bool enable_parent_removal) {
+  using namespace xpath;
+  PatternTestResult out;
+  if (path.steps.empty()) {
+    // match="/": test the document node.
+    if (assume_structure_matches) return out;
+    out.test = std::make_unique<InstanceOfQExpr>(
+        MakeVarRef(var), "", InstanceOfQExpr::TypeKind::kDocument);
+    return out;
+  }
+  int last = static_cast<int>(path.steps.size()) - 1;
+  const Step& last_step = path.steps[last];
+
+  // Attribute patterns: only the simple single-step form is translatable in
+  // dispatch position.
+  if (last_step.axis == Axis::kAttribute) {
+    if (path.steps.size() > 1 || !last_step.predicates.empty()) {
+      if (!assume_structure_matches) {
+        return Status::RewriteError(
+            "XSLT rewrite: multi-step attribute pattern in dispatch position");
+      }
+      return out;  // structure already proves it
+    }
+    if (assume_structure_matches) return out;
+    std::string name =
+        last_step.test.kind == NodeTest::Kind::kName ? last_step.test.local : "";
+    out.test = std::make_unique<InstanceOfQExpr>(
+        MakeVarRef(var), name, InstanceOfQExpr::TypeKind::kAttribute);
+    return out;
+  }
+
+  // Element / text / comment patterns: build
+  //   fn:exists($var/self::TEST[preds][parent::P[preds]...])
+  // skipping structural parts that are proven.
+  std::string xpath_text = "$" + var + "/self::" + last_step.test.ToString();
+  bool any_component = !assume_structure_matches;
+
+  auto append_predicates = [&](const Step& step, std::string* into) {
+    for (const auto& pred : step.predicates) {
+      *into += "[" + pred->ToString() + "]";
+      ++out.residual_predicates;
+      any_component = true;
+    }
+  };
+  append_predicates(last_step, &xpath_text);
+
+  // Ancestor chain.
+  std::string chain;  // nested predicate text appended to the self step
+  std::string element_name =
+      last_step.test.kind == NodeTest::Kind::kName ? last_step.test.local : "";
+  int i = last - 1;
+  int open_brackets = 0;
+  bool after_descendant_marker = false;
+  while (i >= 0) {
+    const Step& step = path.steps[i];
+    if (step.axis == Axis::kDescendantOrSelf &&
+        step.test.kind == NodeTest::Kind::kAnyNode && step.predicates.empty()) {
+      after_descendant_marker = true;
+      --i;
+      continue;
+    }
+    bool structural_only = step.predicates.empty();
+    bool removable = false;
+    if (assume_structure_matches) {
+      removable = structural_only;
+    } else if (enable_parent_removal && structure != nullptr &&
+               structural_only && !after_descendant_marker &&
+               step.test.kind == NodeTest::Kind::kName && !element_name.empty()) {
+      // §3.5: a parent::P test is redundant when P is the only possible
+      // parent of the current element in the structure.
+      auto parents = structure->ParentsOf(element_name);
+      removable = parents.size() == 1 && *parents.begin() == step.test.local;
+    }
+    if (removable) {
+      ++out.parent_tests_removed;
+      element_name =
+          step.test.kind == NodeTest::Kind::kName ? step.test.local : "";
+      --i;
+      continue;
+    }
+    const char* axis = after_descendant_marker ? "ancestor::" : "parent::";
+    chain += std::string("[") + axis + step.test.ToString();
+    ++open_brackets;
+    append_predicates(step, &chain);
+    any_component = true;
+    after_descendant_marker = false;
+    element_name = step.test.kind == NodeTest::Kind::kName ? step.test.local : "";
+    --i;
+  }
+  if (path.absolute && !assume_structure_matches) {
+    // Anchor the chain at the document: the topmost tested ancestor (or the
+    // node itself, for single-step absolute patterns) must have no element
+    // parent.
+    chain += "[fn:empty(parent::*)]";
+    any_component = true;
+  }
+  for (int b = 0; b < open_brackets; ++b) chain += "]";
+  xpath_text += chain;
+  if (!any_component) return out;  // fully proven
+
+  XDB_ASSIGN_OR_RETURN(xpath::ExprPtr parsed,
+                       xpath::ParseXPath("fn:exists(" + xpath_text + ")"));
+  out.test = MakeXPath(std::move(parsed));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// The rewriter engine
+// ---------------------------------------------------------------------------
+
+constexpr int kBuiltinSite = -1;
+constexpr int kMaxInlineDepth = 200;
+
+/// Translation context for one body.
+struct TransCtx {
+  std::string ctx_var;        ///< XQuery variable holding the context node
+  const Node* sample = nullptr;  ///< sample node (inline mode only)
+  std::string mode;           ///< current XSLT mode
+  int depth = 0;
+};
+
+enum class GenMode { kStraightforward, kNonInline, kInline };
+
+class RewriterEngine {
+ public:
+  RewriterEngine(const CompiledStylesheet& cs, const StructuralInfo* structure,
+                 const XsltRewriteOptions& options, RewriteReport* report)
+      : cs_(cs),
+        ss_(cs.source()),
+        structure_(structure),
+        options_(options),
+        report_(report) {}
+
+  Result<Query> Run() {
+    report_->templates_total = static_cast<int>(ss_.templates().size());
+
+    if (structure_ == nullptr || options_.force_straightforward) {
+      gen_mode_ = GenMode::kStraightforward;
+      report_->mode = RewriteReport::Mode::kStraightforward;
+      return GenerateStraightforward();
+    }
+
+    // Partial evaluation: sample document + traced VM run.
+    sample_doc_ = schema::GenerateSampleDocument(*structure_);
+    xslt::Vm vm(cs_);
+    XDB_RETURN_NOT_OK(vm.TraceRun(sample_doc_->root(), &graph_));
+    report_->recursion_detected = graph_.recursion();
+
+    // §3.6: built-in-template-only compaction.
+    if (options_.enable_builtin_compaction && graph_.activated().empty()) {
+      report_->mode = RewriteReport::Mode::kInline;
+      report_->builtin_only = true;
+      report_->dead_templates_removed = report_->templates_total;
+      return GenerateBuiltinOnly();
+    }
+
+    if (!graph_.recursion() && options_.enable_inline) {
+      gen_mode_ = GenMode::kInline;
+      report_->mode = RewriteReport::Mode::kInline;
+      auto q = GenerateInline();
+      if (q.ok()) return q;
+      // Inline translation hit an untranslatable construct; fall back.
+      if (q.status().code() != StatusCode::kRewriteError) return q;
+    }
+    gen_mode_ = GenMode::kNonInline;
+    report_->mode = RewriteReport::Mode::kNonInline;
+    return GenerateNonInline();
+  }
+
+ private:
+  std::string FreshVar() {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "var%03d", var_counter_++);
+    return buf;
+  }
+
+  // Wraps an atomic-producing expression in text { ... } so adjacent values
+  // concatenate without XQuery's sequence-space rule (XSLT text semantics).
+  static QExprPtr WrapText(QExprPtr e) {
+    return std::make_unique<xquery::TextCtorQExpr>(std::move(e));
+  }
+
+  static QExprPtr Combine(std::vector<QExprPtr> items) {
+    if (items.empty()) return std::make_unique<SequenceQExpr>();
+    if (items.size() == 1) return std::move(items[0]);
+    return std::make_unique<SequenceQExpr>(std::move(items));
+  }
+
+  // Merges runs of adjacent text/value-of items into fn:concat(...) so that
+  // XSLT's no-space text concatenation is preserved (Table 8's
+  // fn:concat("Department name: ", fn:string(...))).
+  static std::vector<QExprPtr> MergeAtomicRuns(std::vector<QExprPtr> items,
+                                               std::vector<bool> atomic) {
+    std::vector<QExprPtr> out;
+    size_t i = 0;
+    while (i < items.size()) {
+      if (!atomic[i]) {
+        out.push_back(std::move(items[i]));
+        ++i;
+        continue;
+      }
+      size_t j = i;
+      while (j < items.size() && atomic[j]) ++j;
+      if (j - i == 1) {
+        // A lone atomic: literal text stays literal (constructor-friendly);
+        // computed values become text nodes.
+        if (items[i]->kind() == QExprKind::kTextLiteral) {
+          out.push_back(std::move(items[i]));
+        } else {
+          out.push_back(WrapText(std::move(items[i])));
+        }
+      } else {
+        std::vector<xpath::ExprPtr> args;
+        for (size_t k = i; k < j; ++k) {
+          if (items[k]->kind() == QExprKind::kTextLiteral) {
+            args.push_back(std::make_unique<xpath::LiteralExpr>(
+                static_cast<TextLiteralQExpr*>(items[k].get())->text));
+          } else {
+            args.push_back(
+                std::move(static_cast<xquery::XPathQExpr*>(items[k].get())->expr));
+          }
+        }
+        out.push_back(WrapText(MakeXPath(std::make_unique<xpath::FunctionCallExpr>(
+            "fn:concat", std::move(args)))));
+      }
+      i = j;
+    }
+    return out;
+  }
+
+  // ---- body translation ---------------------------------------------------
+
+  Result<std::vector<QExprPtr>> TranslateBody(const std::vector<Instruction>& body,
+                                              TransCtx& tc, size_t from = 0) {
+    std::vector<QExprPtr> items;
+    std::vector<bool> atomic;
+    for (size_t i = from; i < body.size(); ++i) {
+      const Instruction& instr = body[i];
+      if (instr.op == Instruction::Op::kVariable) {
+        // let $name := value return (rest of the body)
+        XDB_ASSIGN_OR_RETURN(QExprPtr value, TranslateVariableValue(instr, tc));
+        XDB_ASSIGN_OR_RETURN(std::vector<QExprPtr> rest,
+                             TranslateBody(body, tc, i + 1));
+        auto flwor = std::make_unique<FlworQExpr>();
+        flwor->clauses.push_back(FlworQExpr::Clause{
+            FlworQExpr::Clause::Kind::kLet, instr.text, std::move(value)});
+        flwor->return_expr = Combine(std::move(rest));
+        items.push_back(std::move(flwor));
+        atomic.push_back(false);
+        return MergeAtomicRuns(std::move(items), std::move(atomic));
+      }
+      XDB_ASSIGN_OR_RETURN(QExprPtr item, TranslateInstruction(instr, tc));
+      if (item == nullptr) continue;
+      bool is_atomic = instr.op == Instruction::Op::kText ||
+                       instr.op == Instruction::Op::kValueOf ||
+                       instr.op == Instruction::Op::kNumber;
+      items.push_back(std::move(item));
+      atomic.push_back(is_atomic);
+    }
+    return MergeAtomicRuns(std::move(items), std::move(atomic));
+  }
+
+  Result<QExprPtr> TranslateVariableValue(const Instruction& instr, TransCtx& tc) {
+    Rebaser rb(tc.ctx_var, tc.ctx_var);
+    if (instr.expr != nullptr) {
+      XDB_ASSIGN_OR_RETURN(xpath::ExprPtr e, rb.Rebase(*instr.expr));
+      return MakeXPath(std::move(e));
+    }
+    XDB_ASSIGN_OR_RETURN(std::vector<QExprPtr> content,
+                         TranslateBody(instr.body, tc));
+    return Combine(std::move(content));
+  }
+
+  Result<QExprPtr> TranslateParamValue(const CompiledParam& p, TransCtx& tc) {
+    Rebaser rb(tc.ctx_var, tc.ctx_var);
+    if (p.select != nullptr) {
+      XDB_ASSIGN_OR_RETURN(xpath::ExprPtr e, rb.Rebase(*p.select));
+      return MakeXPath(std::move(e));
+    }
+    if (!p.body.empty()) {
+      XDB_ASSIGN_OR_RETURN(std::vector<QExprPtr> content,
+                           TranslateBody(p.body, tc));
+      return Combine(std::move(content));
+    }
+    return MakeStringLiteral("");
+  }
+
+  Result<QExprPtr> TranslateInstruction(const Instruction& instr, TransCtx& tc) {
+    Rebaser rb(tc.ctx_var, tc.ctx_var);
+    switch (instr.op) {
+      case Instruction::Op::kText:
+        return QExprPtr(std::make_unique<TextLiteralQExpr>(instr.text));
+      case Instruction::Op::kValueOf: {
+        XDB_ASSIGN_OR_RETURN(xpath::ExprPtr e, StringOf(*instr.expr, rb));
+        return MakeXPath(std::move(e));
+      }
+      case Instruction::Op::kLiteralElement: {
+        auto elem = std::make_unique<ElementCtorQExpr>(instr.text);
+        for (const auto& attr : instr.attrs) {
+          ElementCtorQExpr::Attr qattr;
+          qattr.name = attr.qname;
+          for (const auto& part : attr.value.parts()) {
+            if (part.expr == nullptr) {
+              qattr.value_parts.push_back(
+                  std::make_unique<TextLiteralQExpr>(part.literal));
+            } else {
+              XDB_ASSIGN_OR_RETURN(xpath::ExprPtr e, rb.Rebase(*part.expr));
+              qattr.value_parts.push_back(MakeXPath(std::move(e)));
+            }
+          }
+          elem->attributes.push_back(std::move(qattr));
+        }
+        XDB_ASSIGN_OR_RETURN(elem->children, TranslateBody(instr.body, tc));
+        return QExprPtr(std::move(elem));
+      }
+      case Instruction::Op::kForEach:
+        return TranslateForEach(instr, tc);
+      case Instruction::Op::kIf: {
+        XDB_ASSIGN_OR_RETURN(xpath::ExprPtr test, rb.Rebase(*instr.expr));
+        XDB_ASSIGN_OR_RETURN(std::vector<QExprPtr> body,
+                             TranslateBody(instr.body, tc));
+        return QExprPtr(std::make_unique<IfQExpr>(
+            MakeXPath(std::move(test)), Combine(std::move(body)), nullptr));
+      }
+      case Instruction::Op::kChoose:
+        return TranslateChoose(instr, tc);
+      case Instruction::Op::kCopyOf: {
+        XDB_ASSIGN_OR_RETURN(xpath::ExprPtr e, rb.Rebase(*instr.expr));
+        return MakeXPath(std::move(e));
+      }
+      case Instruction::Op::kCopy: {
+        if (gen_mode_ == GenMode::kInline && tc.sample != nullptr) {
+          if (tc.sample->is_element()) {
+            auto elem =
+                std::make_unique<ElementCtorQExpr>(tc.sample->qualified_name());
+            XDB_ASSIGN_OR_RETURN(elem->children, TranslateBody(instr.body, tc));
+            return QExprPtr(std::move(elem));
+          }
+          if (tc.sample->is_text()) {
+            XDB_ASSIGN_OR_RETURN(
+                xpath::ExprPtr e,
+                xpath::ParseXPath("fn:string($" + tc.ctx_var + ")"));
+            return WrapText(MakeXPath(std::move(e)));
+          }
+        }
+        return Status::RewriteError(
+            "XSLT rewrite: xsl:copy requires known context structure");
+      }
+      case Instruction::Op::kAttribute: {
+        if (!instr.name_avt.IsConstant()) {
+          return Status::RewriteError(
+              "XSLT rewrite: computed attribute names are not translatable");
+        }
+        XDB_ASSIGN_OR_RETURN(std::vector<QExprPtr> content,
+                             TranslateBody(instr.body, tc));
+        return QExprPtr(std::make_unique<xquery::AttributeCtorQExpr>(
+            instr.name_avt.ConstantValue(), Combine(std::move(content))));
+      }
+      case Instruction::Op::kElementDyn: {
+        if (!instr.name_avt.IsConstant()) {
+          return Status::RewriteError(
+              "XSLT rewrite: computed element names are not translatable");
+        }
+        auto elem =
+            std::make_unique<ElementCtorQExpr>(instr.name_avt.ConstantValue());
+        XDB_ASSIGN_OR_RETURN(elem->children, TranslateBody(instr.body, tc));
+        return QExprPtr(std::move(elem));
+      }
+      case Instruction::Op::kNumber: {
+        if (instr.expr != nullptr) {
+          XDB_ASSIGN_OR_RETURN(xpath::ExprPtr e, StringOf(*instr.expr, rb));
+          return MakeXPath(std::move(e));
+        }
+        if (gen_mode_ == GenMode::kInline && tc.sample != nullptr &&
+            tc.sample->is_element()) {
+          XDB_ASSIGN_OR_RETURN(
+              xpath::ExprPtr e,
+              xpath::ParseXPath("fn:string(count($" + tc.ctx_var +
+                                "/preceding-sibling::" +
+                                tc.sample->local_name() + ") + 1)"));
+          return MakeXPath(std::move(e));
+        }
+        return Status::RewriteError(
+            "XSLT rewrite: positional xsl:number needs known structure");
+      }
+      case Instruction::Op::kApplyTemplates:
+        return TranslateApplyTemplates(instr, tc);
+      case Instruction::Op::kCallTemplate:
+        return TranslateCallTemplate(instr, tc);
+      case Instruction::Op::kComment:
+      case Instruction::Op::kProcessingInstr:
+        return Status::RewriteError(
+            "XSLT rewrite: comment/PI constructors are outside the XQuery "
+            "subset");
+      case Instruction::Op::kNoop:
+        return QExprPtr(nullptr);
+      case Instruction::Op::kVariable:
+      case Instruction::Op::kWhen:
+      case Instruction::Op::kOtherwise:
+        return Status::Internal("unexpected instruction in body translation");
+    }
+    return Status::Internal("unknown instruction op");
+  }
+
+  Result<QExprPtr> TranslateChoose(const Instruction& instr, TransCtx& tc) {
+    Rebaser rb(tc.ctx_var, tc.ctx_var);
+    QExprPtr chain;  // built back-to-front
+    for (auto it = instr.body.rbegin(); it != instr.body.rend(); ++it) {
+      XDB_ASSIGN_OR_RETURN(std::vector<QExprPtr> body, TranslateBody(it->body, tc));
+      if (it->op == Instruction::Op::kOtherwise) {
+        chain = Combine(std::move(body));
+      } else {
+        XDB_ASSIGN_OR_RETURN(xpath::ExprPtr test, rb.Rebase(*it->expr));
+        chain = std::make_unique<IfQExpr>(MakeXPath(std::move(test)),
+                                          Combine(std::move(body)),
+                                          std::move(chain));
+      }
+    }
+    if (chain == nullptr) chain = std::make_unique<SequenceQExpr>();
+    return chain;
+  }
+
+  Result<QExprPtr> TranslateForEach(const Instruction& instr, TransCtx& tc) {
+    Rebaser rb(tc.ctx_var, tc.ctx_var);
+    std::string loop_var = FreshVar();
+    XDB_ASSIGN_OR_RETURN(xpath::ExprPtr select, rb.Rebase(*instr.expr));
+    auto flwor = std::make_unique<FlworQExpr>();
+    flwor->clauses.push_back(FlworQExpr::Clause{FlworQExpr::Clause::Kind::kFor,
+                                                loop_var,
+                                                MakeXPath(std::move(select))});
+    XDB_RETURN_NOT_OK(AddSortKeys(instr, loop_var, flwor.get()));
+
+    TransCtx sub = tc;
+    sub.ctx_var = loop_var;
+    sub.depth = tc.depth + 1;
+    if (gen_mode_ == GenMode::kInline && tc.sample != nullptr) {
+      // Representative sample node for the loop body.
+      XDB_ASSIGN_OR_RETURN(xpath::NodeSet targets,
+                           StructuralTargets(instr, tc.sample));
+      if (targets.empty()) {
+        // Structurally unreachable loop: specialize to the empty sequence.
+        return QExprPtr(std::make_unique<SequenceQExpr>());
+      }
+      sub.sample = targets.front();
+    } else {
+      sub.sample = nullptr;
+    }
+    XDB_ASSIGN_OR_RETURN(std::vector<QExprPtr> body,
+                         TranslateBody(instr.body, sub));
+    flwor->return_expr = Combine(std::move(body));
+    return QExprPtr(std::move(flwor));
+  }
+
+  Status AddSortKeys(const Instruction& instr, const std::string& loop_var,
+                     FlworQExpr* flwor) {
+    Rebaser rb(loop_var, loop_var);
+    for (const auto& key : instr.sorts) {
+      XDB_ASSIGN_OR_RETURN(xpath::ExprPtr k, rb.Rebase(*key.select));
+      if (key.numeric) {
+        std::vector<xpath::ExprPtr> args;
+        args.push_back(std::move(k));
+        k = std::make_unique<xpath::FunctionCallExpr>("number", std::move(args));
+      }
+      flwor->order_by.push_back(
+          FlworQExpr::OrderSpec{MakeXPath(std::move(k)), key.descending});
+    }
+    return Status::OK();
+  }
+
+  // The structurally selected sample nodes of an apply-templates/for-each.
+  Result<xpath::NodeSet> StructuralTargets(const Instruction& instr,
+                                           const Node* sample) {
+    const xpath::Expr* select = instr.structural_expr.get();
+    xpath::EvalContext ctx;
+    ctx.node = const_cast<Node*>(sample);
+    if (select == nullptr) {
+      xpath::NodeSet children;
+      for (Node* c : sample->children()) children.push_back(c);
+      return children;
+    }
+    return sample_evaluator_.EvaluateNodeSet(*select, ctx);
+  }
+
+  // ---- apply-templates ----------------------------------------------------
+
+  Result<QExprPtr> TranslateApplyTemplates(const Instruction& instr, TransCtx& tc) {
+    std::string mode = instr.has_mode ? instr.mode : "";
+    switch (gen_mode_) {
+      case GenMode::kStraightforward:
+      case GenMode::kNonInline:
+        return DispatchViaFunctions(instr, tc, mode);
+      case GenMode::kInline:
+        return InlineApplyTemplates(instr, tc, mode);
+    }
+    return Status::Internal("bad mode");
+  }
+
+  Result<QExprPtr> DispatchViaFunctions(const Instruction& instr, TransCtx& tc,
+                                        const std::string& mode) {
+    if (!instr.params.empty()) {
+      return Status::RewriteError(
+          "XSLT rewrite: with-param through apply-templates is only supported "
+          "in inline mode");
+    }
+    Rebaser rb(tc.ctx_var, tc.ctx_var);
+    xpath::ExprPtr select;
+    if (instr.expr != nullptr) {
+      XDB_ASSIGN_OR_RETURN(select, rb.Rebase(*instr.expr));
+    } else {
+      XDB_ASSIGN_OR_RETURN(select,
+                           xpath::ParseXPath("$" + tc.ctx_var + "/node()"));
+    }
+    std::string loop_var = FreshVar();
+    auto flwor = std::make_unique<FlworQExpr>();
+    flwor->clauses.push_back(FlworQExpr::Clause{FlworQExpr::Clause::Kind::kFor,
+                                                loop_var,
+                                                MakeXPath(std::move(select))});
+    XDB_RETURN_NOT_OK(AddSortKeys(instr, loop_var, flwor.get()));
+    XDB_ASSIGN_OR_RETURN(flwor->return_expr,
+                         DispatchCall(instr.site_id, loop_var, mode));
+    return QExprPtr(std::move(flwor));
+  }
+
+  // A call to the per-mode dispatch machinery for one node variable.
+  Result<QExprPtr> DispatchCall(int site_id, const std::string& var,
+                                const std::string& mode) {
+    if (gen_mode_ == GenMode::kStraightforward) {
+      needed_dispatch_modes_.insert(mode);
+      std::vector<QExprPtr> args;
+      args.push_back(MakeVarRef(var));
+      return QExprPtr(std::make_unique<xquery::FunctionCallQExpr>(
+          DispatchFnName(mode), std::move(args)));
+    }
+    // Non-inline: inline the (trace-restricted) conditional chain here.
+    const DispatchEntry* entry = graph_.FindUnion(site_id, mode);
+    if (entry == nullptr) {
+      // Site never reached in the trace: dead code.
+      return QExprPtr(std::make_unique<SequenceQExpr>());
+    }
+    return BuildDispatchChain(entry->candidates, entry->builtin_fallback, var,
+                              mode, /*assume_structure=*/false);
+  }
+
+  std::string DispatchFnName(const std::string& mode) {
+    return "local:dispatch" + ModeSuffix(mode);
+  }
+  std::string BuiltinFnName(const std::string& mode) {
+    return "local:builtin" + ModeSuffix(mode);
+  }
+  std::string ModeSuffix(const std::string& mode) {
+    if (mode.empty()) return "";
+    auto [it, inserted] = mode_ids_.emplace(mode, mode_ids_.size() + 1);
+    return "_m" + std::to_string(it->second);
+  }
+
+  // Conditional chain over candidate templates, ending in builtin handling.
+  Result<QExprPtr> BuildDispatchChain(
+      const std::vector<Stylesheet::StructuralMatch>& candidates,
+      bool builtin_fallback, const std::string& var, const std::string& mode,
+      bool assume_structure) {
+    QExprPtr chain;
+    if (builtin_fallback || candidates.empty()) {
+      needed_builtin_modes_.insert(mode);
+      std::vector<QExprPtr> args;
+      args.push_back(MakeVarRef(var));
+      chain = std::make_unique<xquery::FunctionCallQExpr>(BuiltinFnName(mode),
+                                                          std::move(args));
+    } else {
+      chain = std::make_unique<SequenceQExpr>();  // unreachable else-branch
+    }
+    for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+      XDB_ASSIGN_OR_RETURN(QExprPtr call, TemplateCall(it->index, var));
+      XDB_ASSIGN_OR_RETURN(QExprPtr test,
+                           CandidateTest(it->index, var, assume_structure));
+      if (test == nullptr) {
+        chain = std::move(call);  // unconditional
+      } else {
+        ++report_->dispatch_conditionals;
+        chain = std::make_unique<IfQExpr>(std::move(test), std::move(call),
+                                          std::move(chain));
+      }
+    }
+    return chain;
+  }
+
+  // The best (lowest-cost) test that decides whether `var` matches template
+  // `idx`'s pattern; null when always true.
+  Result<QExprPtr> CandidateTest(int idx, const std::string& var,
+                                 bool assume_structure) {
+    const TemplateRule& rule = ss_.templates()[idx];
+    if (rule.match == nullptr) return QExprPtr(nullptr);
+    // Multiple alternatives OR together; we emit the chain as nested ifs over
+    // one test each, so build one combined exists() when possible.
+    QExprPtr combined;
+    for (const auto& alt : rule.match->alternatives()) {
+      XDB_ASSIGN_OR_RETURN(
+          PatternTestResult t,
+          BuildPatternTest(*alt.path, var, structure_, assume_structure,
+                           options_.enable_parent_test_removal));
+      report_->parent_tests_removed += t.parent_tests_removed;
+      report_->residual_predicate_tests += t.residual_predicates;
+      if (t.test == nullptr) return QExprPtr(nullptr);  // one alt always true
+      if (combined == nullptr) {
+        combined = std::move(t.test);
+      } else {
+        // OR at the XPath level when both are xpath; otherwise keep first
+        // (conservative: may dispatch less precisely than the union).
+        if (combined->kind() == QExprKind::kXPath &&
+            t.test->kind() == QExprKind::kXPath) {
+          auto* l = static_cast<xquery::XPathQExpr*>(combined.get());
+          auto* r = static_cast<xquery::XPathQExpr*>(t.test.get());
+          combined = MakeXPath(std::make_unique<xpath::BinaryExpr>(
+              xpath::BinaryOp::kOr, std::move(l->expr), std::move(r->expr)));
+        }
+      }
+    }
+    return combined;
+  }
+
+  // local:tmplN($var, <defaults...>)
+  Result<QExprPtr> TemplateCall(int idx, const std::string& var) {
+    needed_templates_.insert(idx);
+    const xslt::CompiledTemplate& tmpl = cs_.templates()[idx];
+    std::vector<QExprPtr> args;
+    args.push_back(MakeVarRef(var));
+    TransCtx tc;
+    tc.ctx_var = var;
+    for (const CompiledParam& p : tmpl.params) {
+      XDB_ASSIGN_OR_RETURN(QExprPtr dflt, TranslateParamValue(p, tc));
+      args.push_back(std::move(dflt));
+    }
+    return QExprPtr(std::make_unique<xquery::FunctionCallQExpr>(
+        TemplateFnName(idx), std::move(args)));
+  }
+
+  std::string TemplateFnName(int idx) {
+    return "local:tmpl" + std::to_string(idx);
+  }
+
+  Result<QExprPtr> TranslateCallTemplate(const Instruction& instr, TransCtx& tc) {
+    if (gen_mode_ == GenMode::kInline) {
+      return InlineTemplateWithParams(instr.target_template, instr.params, tc,
+                                      tc.sample, tc.ctx_var);
+    }
+    needed_templates_.insert(instr.target_template);
+    const xslt::CompiledTemplate& tmpl = cs_.templates()[instr.target_template];
+    std::vector<QExprPtr> args;
+    args.push_back(MakeVarRef(tc.ctx_var));
+    for (const CompiledParam& declared : tmpl.params) {
+      const CompiledParam* provided = nullptr;
+      for (const CompiledParam& wp : instr.params) {
+        if (wp.name == declared.name) provided = &wp;
+      }
+      XDB_ASSIGN_OR_RETURN(QExprPtr value,
+                           TranslateParamValue(provided ? *provided : declared, tc));
+      args.push_back(std::move(value));
+    }
+    return QExprPtr(std::make_unique<xquery::FunctionCallQExpr>(
+        TemplateFnName(instr.target_template), std::move(args)));
+  }
+
+  // ---- inline mode ----------------------------------------------------------
+
+  Result<QExprPtr> InlineApplyTemplates(const Instruction& instr, TransCtx& tc,
+                                        const std::string& mode) {
+    if (tc.sample == nullptr) {
+      return Status::RewriteError(
+          "XSLT rewrite: lost sample context during inline translation");
+    }
+    if (tc.depth > kMaxInlineDepth) {
+      return Status::Internal("XSLT rewrite: inline depth exceeded");
+    }
+    XDB_ASSIGN_OR_RETURN(xpath::NodeSet targets, StructuralTargets(instr, tc.sample));
+    return InlineDispatchTargets(instr.site_id, instr.expr.get(), &instr, targets,
+                                 tc, mode);
+  }
+
+  // Generates the per-target let/for + chain code for a set of structurally
+  // selected sample nodes (§3.3/§3.4).
+  Result<QExprPtr> InlineDispatchTargets(int site_id, const xpath::Expr* select,
+                                         const Instruction* instr,
+                                         const xpath::NodeSet& targets,
+                                         TransCtx& tc, const std::string& mode) {
+    Rebaser rb(tc.ctx_var, tc.ctx_var);
+    // Does the select already pin a single element name?
+    std::string pinned_name;
+    if (select != nullptr && select->kind() == xpath::ExprKind::kPath) {
+      const auto& p = static_cast<const xpath::PathExpr&>(*select);
+      if (!p.steps.empty() &&
+          p.steps.back().test.kind == xpath::NodeTest::Kind::kName) {
+        pinned_name = p.steps.back().test.local;
+      }
+    }
+
+    // Group targets: one group per element name (or node kind).
+    struct Group {
+      std::string nav_label;  // element name, "#text", "@name"
+      const Node* representative;
+      size_t count = 0;
+    };
+    std::vector<Group> groups;
+    for (const Node* m : targets) {
+      std::string label;
+      if (m->is_element()) {
+        label = m->local_name();
+      } else if (m->is_text()) {
+        label = "#text";
+      } else if (m->is_attribute()) {
+        label = "@" + m->local_name();
+      } else {
+        continue;  // comments/PIs: built-in does nothing
+      }
+      bool found = false;
+      for (Group& g : groups) {
+        if (g.nav_label == label) {
+          ++g.count;
+          found = true;
+        }
+      }
+      if (!found) groups.push_back(Group{label, m, 1});
+    }
+    if (groups.empty()) return QExprPtr(std::make_unique<SequenceQExpr>());
+
+    // Model group of the parent (annotations on the sample node's children
+    // apply when iterating default child::node()).
+    std::string parent_group =
+        tc.sample != nullptr
+            ? tc.sample->GetAttribute(schema::kAttrGroup)
+            : "";
+    bool heterogeneous_default = select == nullptr && groups.size() > 1;
+
+    // Per-group generation.
+    auto gen_group = [&](const Group& g) -> Result<QExprPtr> {
+      // Navigation expression.
+      xpath::ExprPtr nav;
+      if (!pinned_name.empty() && g.representative->is_element() &&
+          g.representative->local_name() == pinned_name) {
+        XDB_ASSIGN_OR_RETURN(nav, rb.Rebase(*select));  // keeps predicates
+      } else if (g.nav_label == "#text") {
+        XDB_ASSIGN_OR_RETURN(nav,
+                             xpath::ParseXPath("$" + tc.ctx_var + "/text()"));
+      } else if (g.nav_label[0] == '@') {
+        XDB_ASSIGN_OR_RETURN(
+            nav, xpath::ParseXPath("$" + tc.ctx_var + "/" + g.nav_label));
+      } else {
+        XDB_ASSIGN_OR_RETURN(
+            nav, xpath::ParseXPath("$" + tc.ctx_var + "/" + g.nav_label));
+      }
+      // Cardinality (§3.4): certain singletons become let, everything else a
+      // for loop. A target is repeating/optional when it or any ancestor on
+      // the navigation path (up to the context sample node) is annotated --
+      // e.g. ".//sal" repeats because it passes through the repeating emp.
+      bool repeating = g.count > 1 || g.nav_label == "#text";
+      for (const Node* a = g.representative; a != nullptr && a != tc.sample;
+           a = a->parent()) {
+        if (a->HasAttribute(schema::kAttrMaxOccurs) ||
+            a->HasAttribute(schema::kAttrMinOccurs) ||
+            a->HasAttribute(schema::kAttrRecursive)) {
+          repeating = true;
+        }
+      }
+      if (select != nullptr) {
+        // An explicit select may carry predicates: even a (1,1) child can be
+        // filtered out at runtime, so use a for loop unless predicate-free.
+        if (!pinned_name.empty()) {
+          const auto& p = static_cast<const xpath::PathExpr&>(*select);
+          for (const auto& st : p.steps) {
+            if (!st.predicates.empty()) repeating = true;
+          }
+        }
+      }
+      if (!options_.enable_cardinality) repeating = true;
+
+      std::string var = FreshVar();
+      XDB_ASSIGN_OR_RETURN(
+          QExprPtr body,
+          InlineChainFor(site_id, g.representative, var, mode, tc.depth + 1,
+                         instr));
+      auto flwor = std::make_unique<FlworQExpr>();
+      flwor->clauses.push_back(FlworQExpr::Clause{
+          repeating ? FlworQExpr::Clause::Kind::kFor
+                    : FlworQExpr::Clause::Kind::kLet,
+          var, MakeXPath(std::move(nav))});
+      if (instr != nullptr && repeating) {
+        XDB_RETURN_NOT_OK(AddSortKeys(*instr, var, flwor.get()));
+      }
+      flwor->return_expr = std::move(body);
+      return QExprPtr(std::move(flwor));
+    };
+
+    // Choice model group (Table 13): if ($v/n1) then ... else if ($v/n2) ...
+    if (heterogeneous_default && parent_group == "choice") {
+      QExprPtr chain = std::make_unique<SequenceQExpr>();
+      for (auto it = groups.rbegin(); it != groups.rend(); ++it) {
+        XDB_ASSIGN_OR_RETURN(QExprPtr code, gen_group(*it));
+        if (it->nav_label == "#text" || it->nav_label[0] == '@') {
+          // text/attrs: no existence-alternative semantics; just append.
+          std::vector<QExprPtr> both;
+          both.push_back(std::move(code));
+          both.push_back(std::move(chain));
+          chain = Combine(std::move(both));
+          continue;
+        }
+        XDB_ASSIGN_OR_RETURN(
+            xpath::ExprPtr exists,
+            xpath::ParseXPath("$" + tc.ctx_var + "/" + it->nav_label));
+        chain = std::make_unique<IfQExpr>(MakeXPath(std::move(exists)),
+                                          std::move(code), std::move(chain));
+      }
+      return chain;
+    }
+
+    // "all" model group (Table 12): order unknown, iterate node() with
+    // instance-of tests.
+    if (heterogeneous_default && parent_group == "all") {
+      std::string var = FreshVar();
+      QExprPtr chain = std::make_unique<SequenceQExpr>();
+      for (auto it = groups.rbegin(); it != groups.rend(); ++it) {
+        XDB_ASSIGN_OR_RETURN(
+            QExprPtr code,
+            InlineChainFor(site_id, it->representative, var, mode, tc.depth + 1,
+                           instr));
+        QExprPtr test;
+        if (it->nav_label == "#text") {
+          test = std::make_unique<InstanceOfQExpr>(
+              MakeVarRef(var), "", InstanceOfQExpr::TypeKind::kText);
+        } else {
+          test = std::make_unique<InstanceOfQExpr>(
+              MakeVarRef(var), it->nav_label, InstanceOfQExpr::TypeKind::kElement);
+        }
+        chain = std::make_unique<IfQExpr>(std::move(test), std::move(code),
+                                          std::move(chain));
+      }
+      auto flwor = std::make_unique<FlworQExpr>();
+      XDB_ASSIGN_OR_RETURN(xpath::ExprPtr nav,
+                           xpath::ParseXPath("$" + tc.ctx_var + "/node()"));
+      flwor->clauses.push_back(FlworQExpr::Clause{FlworQExpr::Clause::Kind::kFor,
+                                                  var, MakeXPath(std::move(nav))});
+      flwor->return_expr = std::move(chain);
+      return QExprPtr(std::move(flwor));
+    }
+
+    // Sequence model group (Table 14/15): per-child code in declared order.
+    std::vector<QExprPtr> items;
+    for (const Group& g : groups) {
+      XDB_ASSIGN_OR_RETURN(QExprPtr code, gen_group(g));
+      items.push_back(std::move(code));
+    }
+    return Combine(std::move(items));
+  }
+
+  // Candidate chain for one sample node bound to `var` (§4.3, Tables 18/19).
+  Result<QExprPtr> InlineChainFor(int site_id, const Node* m,
+                                  const std::string& var,
+                                  const std::string& mode, int depth,
+                                  const Instruction* instr) {
+    const DispatchEntry* entry = graph_.Find(site_id, m, mode);
+    if (entry == nullptr) {
+      // Not dispatched in the trace (e.g. unreachable); built-in as fallback.
+      return InlineBuiltin(m, var, mode, depth);
+    }
+    QExprPtr chain;
+    if (entry->builtin_fallback) {
+      XDB_ASSIGN_OR_RETURN(chain, InlineBuiltin(m, var, mode, depth));
+    } else {
+      chain = std::make_unique<SequenceQExpr>();
+    }
+    for (auto it = entry->candidates.rbegin(); it != entry->candidates.rend();
+         ++it) {
+      static const std::vector<CompiledParam> kNoParams;
+      const std::vector<CompiledParam>& wp =
+          instr != nullptr ? instr->params : kNoParams;
+      XDB_ASSIGN_OR_RETURN(QExprPtr body,
+                           InlineTemplateWithParams(it->index, wp,
+                                                    /*caller=*/nullptr, m, var,
+                                                    mode, depth));
+      if (!it->conditional) {
+        chain = std::move(body);
+        continue;
+      }
+      XDB_ASSIGN_OR_RETURN(QExprPtr test,
+                           CandidateTest(it->index, var, /*assume_structure=*/true));
+      if (test == nullptr) {
+        chain = std::move(body);
+      } else {
+        chain = std::make_unique<IfQExpr>(std::move(test), std::move(body),
+                                          std::move(chain));
+      }
+    }
+    return chain;
+  }
+
+  // Inline a template body for sample node `m`, context variable `var`,
+  // binding declared params from `with_params` (caller context tc) or
+  // defaults (callee context).
+  Result<QExprPtr> InlineTemplateWithParams(
+      int idx, const std::vector<CompiledParam>& with_params, TransCtx* caller,
+      const Node* m, const std::string& var, const std::string& mode = "",
+      int depth = 0) {
+    const xslt::CompiledTemplate& tmpl = cs_.templates()[idx];
+    const TemplateRule& rule = ss_.templates()[idx];
+    if (depth > kMaxInlineDepth) {
+      return Status::Internal("XSLT rewrite: inline depth exceeded");
+    }
+    inlined_.insert(idx);
+
+    TransCtx body_tc;
+    body_tc.ctx_var = var;
+    body_tc.sample = m;
+    body_tc.mode = rule.mode;
+    body_tc.depth = depth + 1;
+
+    XDB_ASSIGN_OR_RETURN(std::vector<QExprPtr> body,
+                         TranslateBody(tmpl.body, body_tc));
+    QExprPtr result = Combine(std::move(body));
+
+    // Bind params back-to-front as lets.
+    for (auto it = tmpl.params.rbegin(); it != tmpl.params.rend(); ++it) {
+      const CompiledParam* provided = nullptr;
+      for (const CompiledParam& wp : with_params) {
+        if (wp.name == it->name) provided = &wp;
+      }
+      QExprPtr value;
+      if (provided != nullptr && caller != nullptr) {
+        XDB_ASSIGN_OR_RETURN(value, TranslateParamValue(*provided, *caller));
+      } else if (provided != nullptr) {
+        TransCtx caller_tc;
+        caller_tc.ctx_var = var;  // apply-templates caller ctx approximated
+        caller_tc.sample = m;
+        XDB_ASSIGN_OR_RETURN(value, TranslateParamValue(*provided, caller_tc));
+      } else {
+        XDB_ASSIGN_OR_RETURN(value, TranslateParamValue(*it, body_tc));
+      }
+      auto flwor = std::make_unique<FlworQExpr>();
+      flwor->clauses.push_back(FlworQExpr::Clause{FlworQExpr::Clause::Kind::kLet,
+                                                  it->name, std::move(value)});
+      flwor->return_expr = std::move(result);
+      result = std::move(flwor);
+    }
+    (void)mode;
+    return result;
+  }
+
+  // Overload used by call-template inlining (caller context known).
+  Result<QExprPtr> InlineTemplateWithParams(int idx,
+                                            const std::vector<CompiledParam>& wp,
+                                            TransCtx& caller, const Node* m,
+                                            const std::string& var) {
+    return InlineTemplateWithParams(idx, wp, &caller, m, var, caller.mode,
+                                    caller.depth + 1);
+  }
+
+  // Built-in template behaviour, inlined for a specific sample node.
+  Result<QExprPtr> InlineBuiltin(const Node* m, const std::string& var,
+                                 const std::string& mode, int depth) {
+    if (depth > kMaxInlineDepth) {
+      return Status::Internal("XSLT rewrite: inline depth exceeded");
+    }
+    switch (m->type()) {
+      case NodeType::kText:
+      case NodeType::kAttribute: {
+        XDB_ASSIGN_OR_RETURN(xpath::ExprPtr e,
+                             xpath::ParseXPath("fn:string($" + var + ")"));
+        return WrapText(MakeXPath(std::move(e)));
+      }
+      case NodeType::kDocument:
+      case NodeType::kElement: {
+        if (m->GetAttribute(schema::kAttrRecursive) == "true") {
+          return Status::RewriteError(
+              "XSLT rewrite: recursive structure reached built-in expansion");
+        }
+        xpath::NodeSet children;
+        for (Node* c : m->children()) children.push_back(c);
+        TransCtx tc;
+        tc.ctx_var = var;
+        tc.sample = m;
+        tc.mode = mode;
+        tc.depth = depth;
+        return InlineDispatchTargets(kBuiltinSite, nullptr, nullptr, children, tc,
+                                     mode);
+      }
+      default:
+        return QExprPtr(std::make_unique<SequenceQExpr>());
+    }
+  }
+
+  // ---- top-level generators -------------------------------------------------
+
+  Result<Query> GenerateBuiltinOnly() {
+    Query q;
+    XDB_ASSIGN_OR_RETURN(QExprPtr root, ParseBody(R"q(
+      fn:string-join(
+        for $var001 in $var000//text()
+        return fn:string($var001), ""))q"));
+    q.variables.push_back(xquery::VarDecl{"var000", MakeXPath(
+        xpath::ParseXPath(".").MoveValue())});
+    q.body = std::move(root);
+    return q;
+  }
+
+  Result<QExprPtr> ParseBody(const std::string& text) {
+    XDB_ASSIGN_OR_RETURN(QExprPtr e, xquery::ParseExpression(text));
+    return e;
+  }
+
+  Result<Query> GenerateInline() {
+    Query q;
+    q.variables.push_back(xquery::VarDecl{
+        "var000", MakeXPath(xpath::ParseXPath(".").MoveValue())});
+    var_counter_ = 2;
+    // Root dispatch: the document node of the sample document through the
+    // built-in rule machinery (matches the VM's Run()).
+    Node* doc_root = sample_doc_->root();
+    XDB_ASSIGN_OR_RETURN(QExprPtr body,
+                         InlineChainFor(kBuiltinSite, doc_root, "var000", "", 0,
+                                        nullptr));
+    q.body = std::move(body);
+    report_->templates_translated = static_cast<int>(inlined_.size());
+    if (options_.enable_dead_template_removal) {
+      report_->dead_templates_removed =
+          report_->templates_total - static_cast<int>(graph_.activated().size());
+    }
+    return q;
+  }
+
+  Result<Query> GenerateNonInline() {
+    var_counter_ = 2;
+    needed_templates_.clear();
+    // §3.7: only templates the trace activated are candidates; the dispatch
+    // chains may still reference them lazily, so emit functions on demand.
+    Query q;
+    q.variables.push_back(xquery::VarDecl{
+        "var000", MakeXPath(xpath::ParseXPath(".").MoveValue())});
+    XDB_ASSIGN_OR_RETURN(q.body, DispatchCall(kBuiltinSite, "var000", ""));
+
+    XDB_RETURN_NOT_OK(EmitTemplateFunctions(&q));
+    XDB_RETURN_NOT_OK(EmitBuiltinFunctions(&q, /*straightforward=*/false));
+    report_->templates_translated = static_cast<int>(emitted_templates_.size());
+    if (options_.enable_dead_template_removal) {
+      report_->dead_templates_removed =
+          report_->templates_total - report_->templates_translated;
+    }
+    return q;
+  }
+
+  Result<Query> GenerateStraightforward() {
+    var_counter_ = 2;
+    Query q;
+    q.variables.push_back(xquery::VarDecl{
+        "var000", MakeXPath(xpath::ParseXPath(".").MoveValue())});
+    needed_dispatch_modes_.insert("");
+    {
+      std::vector<QExprPtr> args;
+      args.push_back(MakeVarRef("var000"));
+      q.body = std::make_unique<xquery::FunctionCallQExpr>(DispatchFnName(""),
+                                                           std::move(args));
+    }
+    // All templates become functions in the [9] baseline.
+    for (const TemplateRule& rule : ss_.templates()) {
+      needed_templates_.insert(rule.index);
+    }
+    XDB_RETURN_NOT_OK(EmitTemplateFunctions(&q));
+    XDB_RETURN_NOT_OK(EmitDispatchFunctions(&q));
+    XDB_RETURN_NOT_OK(EmitBuiltinFunctions(&q, /*straightforward=*/true));
+    report_->templates_translated = static_cast<int>(emitted_templates_.size());
+    return q;
+  }
+
+  Status EmitTemplateFunctions(Query* q) {
+    // Translating a template body may request more templates; iterate to a
+    // fixed point.
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      std::set<int> pending = needed_templates_;
+      for (int idx : pending) {
+        if (emitted_templates_.count(idx) > 0) continue;
+        emitted_templates_.insert(idx);
+        progress = true;
+        const xslt::CompiledTemplate& tmpl = cs_.templates()[idx];
+        xquery::FunctionDecl f;
+        f.name = TemplateFnName(idx);
+        f.params.push_back("n");
+        for (const CompiledParam& p : tmpl.params) f.params.push_back(p.name);
+        TransCtx tc;
+        tc.ctx_var = "n";
+        tc.mode = ss_.templates()[idx].mode;
+        XDB_ASSIGN_OR_RETURN(std::vector<QExprPtr> body,
+                             TranslateBody(tmpl.body, tc));
+        f.body = Combine(std::move(body));
+        q->functions.push_back(std::move(f));
+      }
+    }
+    return Status::OK();
+  }
+
+  Status EmitDispatchFunctions(Query* q) {
+    for (const std::string& mode : needed_dispatch_modes_) {
+      xquery::FunctionDecl f;
+      f.name = DispatchFnName(mode);
+      f.params.push_back("n");
+      // All templates of this mode, best priority first, later-index first.
+      std::vector<Stylesheet::StructuralMatch> candidates;
+      std::vector<std::pair<double, int>> ordered;
+      for (const TemplateRule& rule : ss_.templates()) {
+        if (rule.match == nullptr || rule.mode != mode) continue;
+        double best = -1e9;
+        for (const auto& alt : rule.match->alternatives()) {
+          best = std::max(best, rule.PriorityOf(alt));
+        }
+        ordered.emplace_back(best, rule.index);
+      }
+      std::sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& b) {
+        if (a.first != b.first) return a.first > b.first;
+        return a.second > b.second;
+      });
+      for (const auto& [prio, idx] : ordered) {
+        candidates.push_back(Stylesheet::StructuralMatch{idx, true, prio});
+      }
+      XDB_ASSIGN_OR_RETURN(f.body,
+                           BuildDispatchChain(candidates, /*builtin=*/true, "n",
+                                              mode, /*assume_structure=*/false));
+      q->functions.push_back(std::move(f));
+    }
+    return Status::OK();
+  }
+
+  Status EmitBuiltinFunctions(Query* q, bool straightforward) {
+    // Built-in translation may (in straightforward mode) reference dispatch
+    // functions that in turn need more builtins; the mode set is small, so a
+    // snapshot loop suffices.
+    std::set<std::string> done;
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      std::set<std::string> pending = needed_builtin_modes_;
+      if (straightforward) {
+        pending.insert(needed_dispatch_modes_.begin(),
+                       needed_dispatch_modes_.end());
+      }
+      for (const std::string& mode : pending) {
+        if (done.count(mode) > 0) continue;
+        done.insert(mode);
+        progress = true;
+        xquery::FunctionDecl f;
+        f.name = BuiltinFnName(mode);
+        f.params.push_back("n");
+        // if ($n instance of text()) then fn:string($n)
+        // else if ($n instance of attribute()) then fn:string($n)
+        // else for $c in $n/node() return <dispatch>
+        std::string var = FreshVar();
+        QExprPtr recurse;
+        if (straightforward) {
+          needed_dispatch_modes_.insert(mode);
+          std::vector<QExprPtr> args;
+          args.push_back(MakeVarRef(var));
+          recurse = std::make_unique<xquery::FunctionCallQExpr>(
+              DispatchFnName(mode), std::move(args));
+        } else {
+          const DispatchEntry* entry = graph_.FindUnion(kBuiltinSite, mode);
+          if (entry != nullptr) {
+            XDB_ASSIGN_OR_RETURN(
+                recurse, BuildDispatchChain(entry->candidates, true, var, mode,
+                                            false));
+          } else {
+            std::vector<QExprPtr> args;
+            args.push_back(MakeVarRef(var));
+            recurse = std::make_unique<xquery::FunctionCallQExpr>(
+                BuiltinFnName(mode), std::move(args));
+          }
+        }
+        auto flwor = std::make_unique<FlworQExpr>();
+        XDB_ASSIGN_OR_RETURN(xpath::ExprPtr nav, xpath::ParseXPath("$n/node()"));
+        flwor->clauses.push_back(FlworQExpr::Clause{
+            FlworQExpr::Clause::Kind::kFor, var, MakeXPath(std::move(nav))});
+        flwor->return_expr = std::move(recurse);
+
+        XDB_ASSIGN_OR_RETURN(xpath::ExprPtr str_n,
+                             xpath::ParseXPath("fn:string($n)"));
+        QExprPtr text_branch = WrapText(MakeXPath(std::move(str_n)));
+        XDB_ASSIGN_OR_RETURN(xpath::ExprPtr str_n2,
+                             xpath::ParseXPath("fn:string($n)"));
+        QExprPtr attr_branch = WrapText(MakeXPath(std::move(str_n2)));
+
+        QExprPtr attr_if = std::make_unique<IfQExpr>(
+            std::make_unique<InstanceOfQExpr>(MakeVarRef("n"), "",
+                                              InstanceOfQExpr::TypeKind::kAttribute),
+            std::move(attr_branch), std::move(flwor));
+        f.body = std::make_unique<IfQExpr>(
+            std::make_unique<InstanceOfQExpr>(MakeVarRef("n"), "",
+                                              InstanceOfQExpr::TypeKind::kText),
+            std::move(text_branch), std::move(attr_if));
+        q->functions.push_back(std::move(f));
+      }
+    }
+    return Status::OK();
+  }
+
+  const CompiledStylesheet& cs_;
+  const Stylesheet& ss_;
+  const StructuralInfo* structure_;
+  XsltRewriteOptions options_;
+  RewriteReport* report_;
+
+  GenMode gen_mode_ = GenMode::kStraightforward;
+  std::unique_ptr<xml::Document> sample_doc_;
+  GraphBuilder graph_;
+  xpath::Evaluator sample_evaluator_;
+  int var_counter_ = 2;
+
+  std::set<int> needed_templates_;
+  std::set<int> emitted_templates_;
+  std::set<int> inlined_;
+  std::set<std::string> needed_dispatch_modes_;
+  std::set<std::string> needed_builtin_modes_;
+  std::map<std::string, size_t> mode_ids_;
+};
+
+}  // namespace
+
+Result<Query> RewriteXsltToXQuery(const CompiledStylesheet& stylesheet,
+                                  const StructuralInfo* structure,
+                                  const XsltRewriteOptions& options,
+                                  RewriteReport* report) {
+  RewriteReport local_report;
+  if (report == nullptr) report = &local_report;
+  *report = RewriteReport();
+  RewriterEngine engine(stylesheet, structure, options, report);
+  return engine.Run();
+}
+
+}  // namespace xdb::rewrite

@@ -1,0 +1,98 @@
+// XSLT -> XQuery rewrite: the paper's primary contribution (§3-§4).
+//
+// Two strategies:
+//
+//  * Straightforward translation (Fokoue et al. [9], the paper's baseline):
+//    every template becomes an XQuery function; <xsl:apply-templates> becomes
+//    a per-mode dispatch function built from a chain of conditional pattern
+//    tests (instance-of + reversed-step existence tests); the built-in rules
+//    become recursive functions. Correct without any structural knowledge,
+//    but the dispatch chains are long and data-independent work is repeated.
+//
+//  * Partial-evaluation rewrite (the paper's approach, §4): generate the
+//    annotated sample document from the input's structural information, run
+//    the XSLTVM over it in trace mode, build the template execution graph,
+//    and specialize:
+//      - acyclic graph  -> INLINE mode: one main expression, all activated
+//        template bodies inlined at their call sites (§3.3), child dispatch
+//        arranged by model group and cardinality (§3.4, Tables 12-15),
+//        backward-axis tests eliminated (§3.5), value predicates kept as
+//        residual conditionals (§4.3, Tables 18-19);
+//      - cyclic graph   -> NON-INLINE mode: functions only for templates the
+//        trace actually instantiated (§3.7), call-site dispatch chains
+//        restricted to the trace-call-list, parent-axis tests dropped when
+//        the structure proves a unique parent (§3.5);
+//      - no user template ever activated -> built-in-only compaction (§3.6,
+//        Tables 20-21).
+#ifndef XDB_REWRITE_XSLT_REWRITER_H_
+#define XDB_REWRITE_XSLT_REWRITER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "schema/structure.h"
+#include "xquery/ast.h"
+#include "xslt/vm.h"
+
+namespace xdb::rewrite {
+
+/// Outcome statistics, used by tests, EXPERIMENTS.md and the ablation
+/// benchmarks.
+struct RewriteReport {
+  enum class Mode { kInline, kNonInline, kStraightforward };
+  Mode mode = Mode::kStraightforward;
+  /// §3.6: the entire query collapsed to the built-in-only compact form.
+  bool builtin_only = false;
+  /// Trace found a recursive template activation.
+  bool recursion_detected = false;
+  int templates_total = 0;
+  /// Templates that received a translation (inlined or emitted as functions).
+  int templates_translated = 0;
+  /// §3.7: templates dropped because the trace never instantiated them.
+  int dead_templates_removed = 0;
+  /// §3.5: reversed-step (parent/ancestor) tests eliminated.
+  int parent_tests_removed = 0;
+  /// Residual value-predicate conditionals kept (Tables 18/19).
+  int residual_predicate_tests = 0;
+  /// Dispatch conditionals emitted (straightforward/non-inline modes).
+  int dispatch_conditionals = 0;
+
+  const char* ModeName() const {
+    switch (mode) {
+      case Mode::kInline:
+        return "inline";
+      case Mode::kNonInline:
+        return "non-inline";
+      case Mode::kStraightforward:
+        return "straightforward";
+    }
+    return "?";
+  }
+};
+
+/// Optimization switches (defaults reproduce the paper; individual flags are
+/// turned off by the ablation benchmarks).
+struct XsltRewriteOptions {
+  /// Ignore structural information entirely (forces the [9] baseline).
+  bool force_straightforward = false;
+  bool enable_inline = true;                ///< §3.3 / §4.4 inline mode
+  bool enable_cardinality = true;           ///< §3.4 let-vs-for refinement
+  bool enable_parent_test_removal = true;   ///< §3.5
+  bool enable_builtin_compaction = true;    ///< §3.6
+  bool enable_dead_template_removal = true; ///< §3.7
+};
+
+/// Rewrites `stylesheet` into an equivalent XQuery.
+///
+/// With `structure` present, applies the partial-evaluation rewrite; without
+/// it (nullptr), falls back to the straightforward translation. Returns a
+/// RewriteError when the stylesheet uses constructs outside the translatable
+/// subset (callers then evaluate the stylesheet functionally instead).
+Result<xquery::Query> RewriteXsltToXQuery(
+    const xslt::CompiledStylesheet& stylesheet,
+    const schema::StructuralInfo* structure,
+    const XsltRewriteOptions& options = {}, RewriteReport* report = nullptr);
+
+}  // namespace xdb::rewrite
+
+#endif  // XDB_REWRITE_XSLT_REWRITER_H_

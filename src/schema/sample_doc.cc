@@ -1,0 +1,72 @@
+#include "schema/sample_doc.h"
+
+#include <string>
+
+#include "common/strings.h"
+
+namespace xdb::schema {
+
+namespace {
+
+void BuildSample(const ElementStructure* decl, const ChildRef* ref,
+                 xml::Node* parent, xml::Document* doc) {
+  xml::Node* elem = doc->CreateElement(decl->name);
+  parent->AppendChild(elem);
+
+  if (ref != nullptr) {
+    if (ref->recursive_edge) {
+      elem->SetAttribute(kAttrRecursive, "true");
+    }
+    if (ref->optional()) {
+      elem->SetAttribute(kAttrMinOccurs, std::to_string(ref->min_occurs));
+    }
+    if (ref->repeating()) {
+      elem->SetAttribute(kAttrMaxOccurs, ref->max_occurs == -1
+                                             ? "unbounded"
+                                             : std::to_string(ref->max_occurs));
+    }
+  }
+  if (!decl->children.empty() && decl->group != ModelGroup::kSequence) {
+    elem->SetAttribute(kAttrGroup, ModelGroupName(decl->group));
+  }
+  for (const std::string& attr : decl->attributes) {
+    elem->SetAttribute(attr, kSampleTextValue);
+  }
+  if (decl->has_text) {
+    elem->SetAttribute(kAttrText, "true");
+    elem->AppendChild(doc->CreateText(kSampleTextValue));
+  }
+  if (ref != nullptr && ref->recursive_edge) {
+    return;  // do not expand recursive content
+  }
+  for (const ChildRef& child : decl->children) {
+    BuildSample(child.elem, &child, elem, doc);
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<xml::Document> GenerateSampleDocument(const StructuralInfo& info) {
+  auto doc = std::make_unique<xml::Document>();
+  if (info.root() != nullptr) {
+    if (info.root()->name == kFragmentRootName) {
+      // Fragment structure: the "root" is synthetic; its children are the
+      // possible top-level items, placed directly under the document node
+      // (mirroring how fragments are wrapped in a document at runtime).
+      for (const ChildRef& child : info.root()->children) {
+        BuildSample(child.elem, &child, doc->root(), doc.get());
+      }
+    } else {
+      BuildSample(info.root(), nullptr, doc->root(), doc.get());
+    }
+  }
+  return doc;
+}
+
+bool IsAnnotationAttribute(std::string_view attr_qname) {
+  return StartsWith(attr_qname, kSamplePrefix) &&
+         attr_qname.size() > kSamplePrefix.size() &&
+         attr_qname[kSamplePrefix.size()] == ':';
+}
+
+}  // namespace xdb::schema

@@ -1,0 +1,43 @@
+// Sample-document generation (paper §4.2): builds a special XML document
+// that captures all the *structural* information of the input XMLType but
+// none of the content values. Model-group and cardinality facts that a
+// one-occurrence instance cannot express are carried by annotation
+// attributes in a reserved namespace, exactly as the paper describes for
+// Oracle's XDB namespace.
+#ifndef XDB_SCHEMA_SAMPLE_DOC_H_
+#define XDB_SCHEMA_SAMPLE_DOC_H_
+
+#include <memory>
+
+#include "schema/structure.h"
+#include "xml/dom.h"
+
+namespace xdb::schema {
+
+/// Reserved annotation namespace and prefix.
+inline constexpr std::string_view kSampleNs = "http://xdb.example.org/xdb/sample";
+inline constexpr std::string_view kSamplePrefix = "xdbs";
+
+/// Annotation attribute names (QNames carry the kSamplePrefix prefix).
+inline constexpr std::string_view kAttrGroup = "xdbs:group";           // choice|all
+inline constexpr std::string_view kAttrMinOccurs = "xdbs:minOccurs";   // "0"
+inline constexpr std::string_view kAttrMaxOccurs = "xdbs:maxOccurs";   // "unbounded"|N
+inline constexpr std::string_view kAttrRecursive = "xdbs:recursive";   // "true"
+inline constexpr std::string_view kAttrText = "xdbs:text";             // "true"
+
+/// Placeholder value used for sample text nodes and attribute values. The
+/// partial evaluator never relies on it (content predicates are assumed
+/// true, §4.3), but it keeps the sample document well-formed and non-empty.
+inline constexpr std::string_view kSampleTextValue = "?";
+
+/// Generates the annotated sample document for `info`. Each declared child
+/// appears exactly once; repeating/optional/choice/recursive facts are
+/// recorded via the annotation attributes above.
+std::unique_ptr<xml::Document> GenerateSampleDocument(const StructuralInfo& info);
+
+/// True when `attr_qname` is one of the reserved annotation attributes.
+bool IsAnnotationAttribute(std::string_view attr_qname);
+
+}  // namespace xdb::schema
+
+#endif  // XDB_SCHEMA_SAMPLE_DOC_H_

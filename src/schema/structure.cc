@@ -1,0 +1,106 @@
+#include "schema/structure.h"
+
+#include <map>
+
+namespace xdb::schema {
+
+const char* ModelGroupName(ModelGroup g) {
+  switch (g) {
+    case ModelGroup::kSequence:
+      return "sequence";
+    case ModelGroup::kChoice:
+      return "choice";
+    case ModelGroup::kAll:
+      return "all";
+  }
+  return "?";
+}
+
+const ChildRef* ElementStructure::FindChild(const std::string& child_name) const {
+  for (const ChildRef& c : children) {
+    if (c.elem->name == child_name) return &c;
+  }
+  return nullptr;
+}
+
+ElementStructure* StructuralInfo::NewElement(std::string name) {
+  pool_.push_back(std::make_unique<ElementStructure>());
+  pool_.back()->name = std::move(name);
+  return pool_.back().get();
+}
+
+namespace {
+template <typename Fn>
+void Visit(const ElementStructure* e, std::set<const ElementStructure*>* seen,
+           Fn&& fn) {
+  if (e == nullptr || !seen->insert(e).second) return;
+  fn(e);
+  for (const ChildRef& c : e->children) {
+    if (!c.recursive_edge) Visit(c.elem, seen, fn);
+  }
+}
+}  // namespace
+
+std::vector<const ElementStructure*> StructuralInfo::FindAll(
+    const std::string& name) const {
+  std::vector<const ElementStructure*> out;
+  std::set<const ElementStructure*> seen;
+  Visit(root_, &seen, [&](const ElementStructure* e) {
+    if (e->name == name) out.push_back(e);
+  });
+  return out;
+}
+
+const ElementStructure* StructuralInfo::FindUnique(const std::string& name) const {
+  auto all = FindAll(name);
+  return all.size() == 1 ? all[0] : nullptr;
+}
+
+std::set<std::string> StructuralInfo::ParentsOf(const std::string& name) const {
+  std::set<std::string> parents;
+  std::set<const ElementStructure*> seen;
+  Visit(root_, &seen, [&](const ElementStructure* e) {
+    for (const ChildRef& c : e->children) {
+      if (c.elem->name == name) parents.insert(e->name);
+    }
+  });
+  return parents;
+}
+
+bool StructuralInfo::HasRecursion() const {
+  bool recursive = false;
+  std::set<const ElementStructure*> seen;
+  Visit(root_, &seen, [&](const ElementStructure* e) {
+    for (const ChildRef& c : e->children) {
+      if (c.recursive_edge) recursive = true;
+    }
+  });
+  return recursive;
+}
+
+StructuralInfo StructuralInfo::Clone() const {
+  StructuralInfo copy;
+  std::map<const ElementStructure*, ElementStructure*> mapping;
+  // First pass: clone every declaration reachable from the root.
+  std::set<const ElementStructure*> seen;
+  Visit(root_, &seen, [&](const ElementStructure* e) {
+    ElementStructure* n = copy.NewElement(e->name);
+    n->group = e->group;
+    n->attributes = e->attributes;
+    n->has_text = e->has_text;
+    mapping[e] = n;
+  });
+  // Second pass: wire children (including recursive edges).
+  for (const auto& [orig, clone] : mapping) {
+    for (const ChildRef& c : orig->children) {
+      auto it = mapping.find(c.elem);
+      if (it == mapping.end()) continue;  // unreachable target
+      clone->children.push_back(
+          ChildRef{it->second, c.min_occurs, c.max_occurs, c.recursive_edge});
+    }
+  }
+  if (root_ != nullptr) copy.set_root(mapping[root_]);
+  return copy;
+}
+
+}  // namespace xdb::schema

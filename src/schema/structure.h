@@ -1,0 +1,145 @@
+// Structural information about XML documents — the "X" of the paper's
+// partial evaluation F(X, Y): everything about the shape of the input
+// (element names, child model groups, cardinalities, recursion) but nothing
+// about the content values.
+//
+// In the paper this information comes from (a) registered XML Schemas/DTDs,
+// (b) the relational schema beneath a SQL/XML publishing view, (c) static
+// typing of an upstream XQuery, or (d) a recursively rewritten upstream XSLT.
+// All four producers in this repo emit this same model.
+#ifndef XDB_SCHEMA_STRUCTURE_H_
+#define XDB_SCHEMA_STRUCTURE_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xdb::schema {
+
+/// XML Schema model group of an element's children (§3.4 of the paper).
+enum class ModelGroup {
+  kSequence,  ///< children appear in declared order
+  kChoice,    ///< exactly one of the declared children appears
+  kAll,       ///< all children appear, in any order
+};
+
+const char* ModelGroupName(ModelGroup g);
+
+/// Name of the synthetic root used when a structure describes a document
+/// *fragment* with several possible top-level elements (e.g. the statically
+/// typed result of an XSLT view). The sample-document generator emits such a
+/// root's children directly under the document node.
+inline constexpr std::string_view kFragmentRootName = "#fragment";
+
+struct ElementStructure;
+
+/// One child slot in a parent's content model.
+struct ChildRef {
+  ElementStructure* elem = nullptr;
+  int min_occurs = 1;
+  int max_occurs = 1;  ///< -1 = unbounded
+  /// True when `elem` points back to an ancestor declaration (recursive
+  /// content model). Traversals must not follow recursive edges.
+  bool recursive_edge = false;
+
+  bool repeating() const { return max_occurs == -1 || max_occurs > 1; }
+  bool optional() const { return min_occurs == 0; }
+};
+
+/// Structure of one element declaration.
+struct ElementStructure {
+  std::string name;
+  ModelGroup group = ModelGroup::kSequence;
+  std::vector<ChildRef> children;
+  std::vector<std::string> attributes;
+  /// Element can carry character data (simple content or mixed).
+  bool has_text = false;
+
+  bool IsLeaf() const { return children.empty(); }
+  const ChildRef* FindChild(const std::string& child_name) const;
+};
+
+/// \brief Owns a forest of element declarations with a designated root.
+///
+/// Declarations are arena-owned; raw pointers remain valid for the lifetime
+/// of the StructuralInfo. Copyable via Clone().
+class StructuralInfo {
+ public:
+  StructuralInfo() = default;
+  StructuralInfo(StructuralInfo&&) = default;
+  StructuralInfo& operator=(StructuralInfo&&) = default;
+  StructuralInfo(const StructuralInfo&) = delete;
+  StructuralInfo& operator=(const StructuralInfo&) = delete;
+
+  /// Allocates a new element declaration owned by this StructuralInfo.
+  ElementStructure* NewElement(std::string name);
+
+  void set_root(ElementStructure* root) { root_ = root; }
+  const ElementStructure* root() const { return root_; }
+  ElementStructure* mutable_root() { return root_; }
+
+  /// All declarations with the given name reachable from the root.
+  std::vector<const ElementStructure*> FindAll(const std::string& name) const;
+  /// The unique declaration with `name`, or nullptr when absent/ambiguous.
+  const ElementStructure* FindUnique(const std::string& name) const;
+
+  /// Names of elements that can be the parent of an element named `name`.
+  /// Used by §3.5: when |ParentsOf(x)| == 1 the backward parent-axis test in
+  /// a translated pattern is provably redundant.
+  std::set<std::string> ParentsOf(const std::string& name) const;
+
+  /// True when any reachable content model contains a recursive edge. The
+  /// partial evaluator falls back to non-inline mode in that case (§4/§7.2).
+  bool HasRecursion() const;
+
+  /// Deep copy (recursion edges preserved).
+  StructuralInfo Clone() const;
+
+  size_t declaration_count() const { return pool_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<ElementStructure>> pool_;
+  ElementStructure* root_ = nullptr;
+};
+
+/// Convenience builder for tests and examples:
+///   StructureBuilder b;
+///   auto* dept = b.Element("dept");
+///   b.AddText(b.AddChild(dept, "dname"));
+///   auto* emps = b.AddChild(dept, "employees");
+///   b.AddChild(emps, "emp", 0, -1);
+///   StructuralInfo info = b.Build(dept);
+class StructureBuilder {
+ public:
+  ElementStructure* Element(std::string name) {
+    return info_.NewElement(std::move(name));
+  }
+  ElementStructure* AddChild(ElementStructure* parent, std::string name,
+                             int min_occurs = 1, int max_occurs = 1) {
+    ElementStructure* child = info_.NewElement(std::move(name));
+    parent->children.push_back(ChildRef{child, min_occurs, max_occurs, false});
+    return child;
+  }
+  ElementStructure* AddText(ElementStructure* e) {
+    e->has_text = true;
+    return e;
+  }
+  void AddRecursiveChild(ElementStructure* parent, ElementStructure* ancestor,
+                         int min_occurs = 0, int max_occurs = -1) {
+    parent->children.push_back(ChildRef{ancestor, min_occurs, max_occurs, true});
+  }
+  StructuralInfo Build(ElementStructure* root) {
+    info_.set_root(root);
+    return std::move(info_);
+  }
+
+ private:
+  StructuralInfo info_;
+};
+
+}  // namespace xdb::schema
+
+#endif  // XDB_SCHEMA_STRUCTURE_H_

@@ -1,0 +1,219 @@
+#include "schema/xsd_parser.h"
+
+#include <map>
+#include <vector>
+
+#include "common/strings.h"
+#include "xml/dom.h"
+#include "xml/parser.h"
+
+namespace xdb::schema {
+
+namespace {
+
+constexpr std::string_view kXsdNs = "http://www.w3.org/2001/XMLSchema";
+
+bool IsXsd(const xml::Node* n, std::string_view local) {
+  return n->is_element() && n->local_name() == local &&
+         (n->namespace_uri() == kXsdNs || n->namespace_uri().empty());
+}
+
+struct Occurs {
+  int min = 1;
+  int max = 1;
+};
+
+Result<Occurs> ReadOccurs(const xml::Node* n) {
+  Occurs o;
+  std::string min = n->GetAttribute("minOccurs");
+  std::string max = n->GetAttribute("maxOccurs");
+  if (!min.empty()) o.min = std::atoi(min.c_str());
+  if (!max.empty()) {
+    o.max = (max == "unbounded") ? -1 : std::atoi(max.c_str());
+  }
+  if (o.min < 0 || (o.max != -1 && o.max < o.min)) {
+    return Status::ParseError("XSD: invalid minOccurs/maxOccurs");
+  }
+  return o;
+}
+
+class XsdBuilder {
+ public:
+  explicit XsdBuilder(const xml::Node* schema_root) : schema_(schema_root) {}
+
+  Result<StructuralInfo> Build() {
+    // Index global elements and named complex types.
+    for (const xml::Node* child : schema_->children()) {
+      if (IsXsd(child, "element")) {
+        std::string name = child->GetAttribute("name");
+        if (name.empty()) return Status::ParseError("XSD: global element w/o name");
+        global_elements_[name] = child;
+      } else if (IsXsd(child, "complexType")) {
+        std::string name = child->GetAttribute("name");
+        if (name.empty()) return Status::ParseError("XSD: global type w/o name");
+        named_types_[name] = child;
+      }
+    }
+    if (global_elements_.empty()) {
+      return Status::ParseError("XSD: no global element declaration");
+    }
+    // Root: first global element in document order.
+    const xml::Node* root_decl = nullptr;
+    for (const xml::Node* child : schema_->children()) {
+      if (IsXsd(child, "element")) {
+        root_decl = child;
+        break;
+      }
+    }
+    XDB_ASSIGN_OR_RETURN(ElementStructure * root, BuildElement(root_decl));
+    info_.set_root(root);
+    return std::move(info_);
+  }
+
+ private:
+  // Builds (or reuses, for recursion) the structure of one element decl.
+  Result<ElementStructure*> BuildElement(const xml::Node* decl) {
+    std::string name = decl->GetAttribute("name");
+    std::string ref = decl->GetAttribute("ref");
+    if (!ref.empty()) {
+      auto it = global_elements_.find(StripPrefix(ref));
+      if (it == global_elements_.end()) {
+        return Status::ParseError("XSD: unresolved element ref '" + ref + "'");
+      }
+      return BuildElement(it->second);
+    }
+    if (name.empty()) return Status::ParseError("XSD: element without name");
+
+    // Recursion / sharing: one structure per declaration node.
+    auto done = built_.find(decl);
+    if (done != built_.end()) return done->second;
+    if (in_progress_.count(decl) > 0) {
+      // Cycle: hand back the placeholder; the caller marks the edge recursive.
+      return in_progress_[decl];
+    }
+
+    ElementStructure* e = info_.NewElement(name);
+    in_progress_[decl] = e;
+
+    const xml::Node* type_node = nullptr;
+    std::string type_attr = StripPrefix(decl->GetAttribute("type"));
+    if (!type_attr.empty()) {
+      auto nt = named_types_.find(type_attr);
+      if (nt != named_types_.end()) {
+        type_node = nt->second;
+      } else {
+        // Built-in simple type (xs:string, xs:int, ...): text-only element.
+        e->has_text = true;
+      }
+    } else {
+      for (const xml::Node* child : decl->children()) {
+        if (IsXsd(child, "complexType")) {
+          type_node = child;
+          break;
+        }
+        if (IsXsd(child, "simpleType")) {
+          e->has_text = true;
+        }
+      }
+      if (type_node == nullptr && !e->has_text && decl->children().empty()) {
+        // <xs:element name="x"/> — treat as text-capable (anyType-ish).
+        e->has_text = true;
+      }
+    }
+
+    if (type_node != nullptr) {
+      XDB_RETURN_NOT_OK(FillComplexType(e, type_node));
+    }
+    in_progress_.erase(decl);
+    built_[decl] = e;
+    return e;
+  }
+
+  Status FillComplexType(ElementStructure* e, const xml::Node* type_node) {
+    if (type_node->GetAttribute("mixed") == "true") e->has_text = true;
+    for (const xml::Node* child : type_node->children()) {
+      if (IsXsd(child, "sequence")) {
+        e->group = ModelGroup::kSequence;
+        XDB_RETURN_NOT_OK(FillParticles(e, child));
+      } else if (IsXsd(child, "choice")) {
+        e->group = ModelGroup::kChoice;
+        XDB_RETURN_NOT_OK(FillParticles(e, child));
+      } else if (IsXsd(child, "all")) {
+        e->group = ModelGroup::kAll;
+        XDB_RETURN_NOT_OK(FillParticles(e, child));
+      } else if (IsXsd(child, "attribute")) {
+        e->attributes.push_back(child->GetAttribute("name"));
+      } else if (IsXsd(child, "simpleContent")) {
+        e->has_text = true;
+        for (const xml::Node* ext : child->children()) {
+          if (IsXsd(ext, "extension")) {
+            for (const xml::Node* attr : ext->children()) {
+              if (IsXsd(attr, "attribute")) {
+                e->attributes.push_back(attr->GetAttribute("name"));
+              }
+            }
+          }
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  Status FillParticles(ElementStructure* e, const xml::Node* group_node) {
+    for (const xml::Node* particle : group_node->children()) {
+      if (!IsXsd(particle, "element")) continue;
+      XDB_ASSIGN_OR_RETURN(Occurs occ, ReadOccurs(particle));
+      XDB_ASSIGN_OR_RETURN(ElementStructure * child, BuildElement(particle));
+      bool recursive = built_.find(FindDeclFor(particle)) == built_.end() &&
+                       IsInProgressTarget(child);
+      e->children.push_back(ChildRef{child, occ.min, occ.max, recursive});
+    }
+    return Status::OK();
+  }
+
+  // Helper: is `s` currently an in-progress placeholder (recursion target)?
+  bool IsInProgressTarget(const ElementStructure* s) const {
+    for (const auto& [decl, es] : in_progress_) {
+      if (es == s) return true;
+    }
+    return false;
+  }
+
+  // For a particle that may be a ref, the declaration node BuildElement used.
+  const xml::Node* FindDeclFor(const xml::Node* particle) const {
+    std::string ref = particle->GetAttribute("ref");
+    if (!ref.empty()) {
+      auto it = global_elements_.find(StripPrefix(ref));
+      if (it != global_elements_.end()) return it->second;
+    }
+    return particle;
+  }
+
+  static std::string StripPrefix(const std::string& qname) {
+    size_t colon = qname.find(':');
+    return colon == std::string::npos ? qname : qname.substr(colon + 1);
+  }
+
+  const xml::Node* schema_;
+  StructuralInfo info_;
+  std::map<std::string, const xml::Node*> global_elements_;
+  std::map<std::string, const xml::Node*> named_types_;
+  std::map<const xml::Node*, ElementStructure*> built_;
+  std::map<const xml::Node*, ElementStructure*> in_progress_;
+};
+
+}  // namespace
+
+Result<StructuralInfo> ParseXsd(std::string_view xsd_text) {
+  xml::ParseOptions opts;
+  opts.strip_whitespace_text = true;
+  XDB_ASSIGN_OR_RETURN(auto doc, xml::ParseDocument(xsd_text, opts));
+  const xml::Node* root = doc->document_element();
+  if (!IsXsd(root, "schema")) {
+    return Status::ParseError("XSD: document element is not xs:schema");
+  }
+  XsdBuilder builder(root);
+  return builder.Build();
+}
+
+}  // namespace xdb::schema

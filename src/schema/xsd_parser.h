@@ -1,0 +1,25 @@
+// Parser for the XML Schema subset the paper's setting relies on: global and
+// local element declarations, anonymous and named complex types, sequence /
+// choice / all model groups, minOccurs / maxOccurs, mixed content, element
+// references, and simple (text) types. Recursive content models (an element
+// whose type reaches itself via refs or named types) are detected and
+// represented with recursive edges.
+#ifndef XDB_SCHEMA_XSD_PARSER_H_
+#define XDB_SCHEMA_XSD_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "schema/structure.h"
+
+namespace xdb::schema {
+
+/// Parses an XSD document text into StructuralInfo. The schema must declare
+/// exactly one global element that is not referenced by any other element —
+/// that element becomes the root; if several qualify, the first global
+/// element is the root.
+Result<StructuralInfo> ParseXsd(std::string_view xsd_text);
+
+}  // namespace xdb::schema
+
+#endif  // XDB_SCHEMA_XSD_PARSER_H_

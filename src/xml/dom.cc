@@ -1,0 +1,226 @@
+#include "xml/dom.h"
+
+#include <cassert>
+
+namespace xdb::xml {
+
+void SplitQName(std::string_view qname, std::string* prefix, std::string* local) {
+  size_t colon = qname.find(':');
+  if (colon == std::string_view::npos) {
+    prefix->clear();
+    local->assign(qname);
+  } else {
+    prefix->assign(qname.substr(0, colon));
+    local->assign(qname.substr(colon + 1));
+  }
+}
+
+std::string Node::qualified_name() const {
+  if (prefix_.empty()) return local_name_;
+  return prefix_ + ":" + local_name_;
+}
+
+std::string Node::StringValue() const {
+  switch (type_) {
+    case NodeType::kText:
+    case NodeType::kAttribute:
+    case NodeType::kComment:
+    case NodeType::kProcessingInstruction:
+      return value_;
+    case NodeType::kElement:
+    case NodeType::kDocument: {
+      std::string out;
+      // Iterative pre-order walk collecting text nodes.
+      std::vector<const Node*> stack(children_.rbegin(), children_.rend());
+      while (!stack.empty()) {
+        const Node* n = stack.back();
+        stack.pop_back();
+        if (n->type_ == NodeType::kText) {
+          out += n->value_;
+        } else if (n->type_ == NodeType::kElement) {
+          for (auto it = n->children_.rbegin(); it != n->children_.rend(); ++it) {
+            stack.push_back(*it);
+          }
+        }
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+void Node::AppendChild(Node* child) {
+  assert(child->doc_ == doc_);
+  assert(child->parent_ == nullptr);
+  assert(type_ == NodeType::kElement || type_ == NodeType::kDocument);
+  child->parent_ = this;
+  child->index_in_parent_ = static_cast<int>(children_.size());
+  children_.push_back(child);
+}
+
+Node* Node::SetAttribute(std::string_view qname, std::string_view value) {
+  assert(type_ == NodeType::kElement);
+  if (Node* existing = FindAttribute(qname)) {
+    existing->value_.assign(value);
+    return existing;
+  }
+  Node* attr = doc_->NewNode(NodeType::kAttribute);
+  SplitQName(qname, &attr->prefix_, &attr->local_name_);
+  attr->value_.assign(value);
+  attr->parent_ = this;
+  attr->index_in_parent_ = static_cast<int>(attributes_.size());
+  attributes_.push_back(attr);
+  return attr;
+}
+
+Node* Node::FindAttribute(std::string_view qname) const {
+  std::string prefix, local;
+  SplitQName(qname, &prefix, &local);
+  for (Node* attr : attributes_) {
+    if (attr->local_name_ == local && attr->prefix_ == prefix) return attr;
+  }
+  return nullptr;
+}
+
+std::string Node::GetAttribute(std::string_view qname) const {
+  const Node* attr = FindAttribute(qname);
+  return attr ? attr->value_ : std::string();
+}
+
+Node* Node::FirstChildElement(std::string_view local_name) const {
+  for (Node* child : children_) {
+    if (child->is_element() &&
+        (local_name.empty() || child->local_name_ == local_name)) {
+      return child;
+    }
+  }
+  return nullptr;
+}
+
+Node* Node::NextSiblingElement(std::string_view local_name) const {
+  if (parent_ == nullptr || index_in_parent_ < 0) return nullptr;
+  const auto& siblings = parent_->children_;
+  for (size_t i = index_in_parent_ + 1; i < siblings.size(); ++i) {
+    Node* s = siblings[i];
+    if (s->is_element() && (local_name.empty() || s->local_name_ == local_name)) {
+      return s;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+// Builds the path of (child-index) steps from the document node down to `n`.
+// Attributes contribute a step just below their element, flagged so they sort
+// before all element children.
+struct PathStep {
+  int index;
+  bool is_attribute;
+};
+
+void BuildPath(const Node* n, std::vector<PathStep>* path) {
+  path->clear();
+  while (n->parent() != nullptr) {
+    path->push_back({n->index_in_parent(), n->is_attribute()});
+    n = n->parent();
+  }
+}
+}  // namespace
+
+int Node::CompareDocumentOrder(const Node* other) const {
+  if (this == other) return 0;
+  std::vector<PathStep> a, b;
+  BuildPath(this, &a);
+  BuildPath(other, &b);
+  // Paths were built leaf->root; compare from the root end.
+  auto ia = a.rbegin(), ib = b.rbegin();
+  for (; ia != a.rend() && ib != b.rend(); ++ia, ++ib) {
+    if (ia->is_attribute != ib->is_attribute) {
+      // At the same depth under the same parent, attributes precede children.
+      return ia->is_attribute ? -1 : 1;
+    }
+    if (ia->index != ib->index) return ia->index < ib->index ? -1 : 1;
+  }
+  // One path is a prefix of the other: the ancestor comes first.
+  if (ia == a.rend() && ib == b.rend()) return 0;
+  return ia == a.rend() ? -1 : 1;
+}
+
+Document::Document() { root_ = NewNode(NodeType::kDocument); }
+
+Node* Document::NewNode(NodeType type) {
+  nodes_.emplace_back(Node(this, type));
+  return &nodes_.back();
+}
+
+Node* Document::document_element() const {
+  return root_->FirstChildElement();
+}
+
+Node* Document::CreateElement(std::string_view qname, std::string_view ns_uri) {
+  Node* n = NewNode(NodeType::kElement);
+  SplitQName(qname, &n->prefix_, &n->local_name_);
+  n->ns_uri_.assign(ns_uri);
+  return n;
+}
+
+Node* Document::CreateText(std::string_view text) {
+  Node* n = NewNode(NodeType::kText);
+  n->value_.assign(text);
+  return n;
+}
+
+Node* Document::CreateComment(std::string_view text) {
+  Node* n = NewNode(NodeType::kComment);
+  n->value_.assign(text);
+  return n;
+}
+
+Node* Document::CreateProcessingInstruction(std::string_view target,
+                                            std::string_view data) {
+  Node* n = NewNode(NodeType::kProcessingInstruction);
+  n->local_name_.assign(target);
+  n->value_.assign(data);
+  return n;
+}
+
+Node* Document::ImportNode(const Node* node) {
+  Node* copy = nullptr;
+  switch (node->type()) {
+    case NodeType::kElement: {
+      copy = CreateElement(node->qualified_name(), node->namespace_uri());
+      for (const Node* attr : node->attributes()) {
+        copy->SetAttribute(attr->qualified_name(), attr->value());
+      }
+      for (const Node* child : node->children()) {
+        copy->AppendChild(ImportNode(child));
+      }
+      break;
+    }
+    case NodeType::kText:
+      copy = CreateText(node->value());
+      break;
+    case NodeType::kComment:
+      copy = CreateComment(node->value());
+      break;
+    case NodeType::kProcessingInstruction:
+      copy = CreateProcessingInstruction(node->local_name(), node->value());
+      break;
+    case NodeType::kAttribute: {
+      // An imported attribute becomes a detached attribute-less element's
+      // problem; callers wanting attribute copies use SetAttribute directly.
+      copy = CreateText(node->value());
+      break;
+    }
+    case NodeType::kDocument: {
+      copy = CreateElement("imported-document");
+      for (const Node* child : node->children()) {
+        copy->AppendChild(ImportNode(child));
+      }
+      break;
+    }
+  }
+  return copy;
+}
+
+}  // namespace xdb::xml

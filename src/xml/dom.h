@@ -1,0 +1,153 @@
+// A compact, namespace-aware XML document object model.
+//
+// All nodes are owned by their Document (arena-style: a std::deque of node
+// records gives stable addresses without per-node heap churn). Raw Node*
+// pointers are used throughout the library and remain valid for the lifetime
+// of the owning Document. The model covers the XPath 1.0 data model subset
+// needed by the paper: document, element, attribute, text, comment and
+// processing-instruction nodes.
+#ifndef XDB_XML_DOM_H_
+#define XDB_XML_DOM_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xdb::xml {
+
+class Document;
+
+enum class NodeType {
+  kDocument,
+  kElement,
+  kAttribute,
+  kText,
+  kComment,
+  kProcessingInstruction,
+};
+
+/// \brief One node in an XML tree.
+///
+/// Elements carry a QName split into prefix / local name plus the resolved
+/// namespace URI (resolved at parse or construction time). Attributes hang
+/// off their owner element and are not part of the child list, matching the
+/// XPath data model.
+class Node {
+ public:
+  NodeType type() const { return type_; }
+  Document* document() const { return doc_; }
+  Node* parent() const { return parent_; }
+
+  /// Local part of the node name ("template" for xsl:template).
+  const std::string& local_name() const { return local_name_; }
+  /// Namespace prefix as written in the source document ("" if none).
+  const std::string& prefix() const { return prefix_; }
+  /// Resolved namespace URI ("" if none).
+  const std::string& namespace_uri() const { return ns_uri_; }
+  /// QName as written: "prefix:local" or "local".
+  std::string qualified_name() const;
+
+  /// Text / comment / PI / attribute value. Empty for elements.
+  const std::string& value() const { return value_; }
+  void set_value(std::string v) { value_ = std::move(v); }
+
+  const std::vector<Node*>& children() const { return children_; }
+  const std::vector<Node*>& attributes() const { return attributes_; }
+
+  bool is_element() const { return type_ == NodeType::kElement; }
+  bool is_text() const { return type_ == NodeType::kText; }
+  bool is_attribute() const { return type_ == NodeType::kAttribute; }
+
+  /// XPath string-value: concatenation of all descendant text for
+  /// elements/documents; the stored value for leaf node kinds.
+  std::string StringValue() const;
+
+  /// Appends `child` to this element/document node. The child must belong to
+  /// the same Document and must not already have a parent.
+  void AppendChild(Node* child);
+
+  /// Adds (or replaces) an attribute on this element.
+  Node* SetAttribute(std::string_view qname, std::string_view value);
+
+  /// Returns the attribute node with the given QName, or nullptr.
+  Node* FindAttribute(std::string_view qname) const;
+  /// Returns the attribute's value, or "" when absent.
+  std::string GetAttribute(std::string_view qname) const;
+  bool HasAttribute(std::string_view qname) const {
+    return FindAttribute(qname) != nullptr;
+  }
+
+  /// First child element with the given local name, or nullptr.
+  Node* FirstChildElement(std::string_view local_name = "") const;
+  /// Next sibling element with the given local name, or nullptr.
+  Node* NextSiblingElement(std::string_view local_name = "") const;
+  /// This node's position in its parent's child list (-1 for attributes/roots).
+  int index_in_parent() const { return index_in_parent_; }
+
+  /// Strict document-order comparison: negative / zero / positive when this
+  /// node is before / same as / after `other`. Both nodes must belong to the
+  /// same document. Attributes order before their element's children.
+  int CompareDocumentOrder(const Node* other) const;
+
+ private:
+  friend class Document;
+  Node(Document* doc, NodeType type) : doc_(doc), type_(type) {}
+
+  Document* doc_;
+  NodeType type_;
+  std::string prefix_;
+  std::string local_name_;
+  std::string ns_uri_;
+  std::string value_;
+  Node* parent_ = nullptr;
+  int index_in_parent_ = -1;
+  std::vector<Node*> children_;
+  std::vector<Node*> attributes_;  // kAttribute nodes, owner element = parent_
+};
+
+/// \brief Owner of a tree of nodes.
+///
+/// CreateX factory methods allocate nodes inside the document arena; the
+/// returned pointers are valid until the Document is destroyed.
+class Document {
+ public:
+  Document();
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+
+  /// The document node (root of the tree, XPath "/").
+  Node* root() const { return root_; }
+  /// The single top-level element, or nullptr for an empty document.
+  Node* document_element() const;
+
+  /// Creates an element node. `qname` may carry a prefix; `ns_uri` is the
+  /// resolved namespace URI for that prefix (empty when unbound).
+  Node* CreateElement(std::string_view qname, std::string_view ns_uri = "");
+  Node* CreateText(std::string_view text);
+  Node* CreateComment(std::string_view text);
+  Node* CreateProcessingInstruction(std::string_view target, std::string_view data);
+
+  /// Deep-copies `node` (from any document) into this document; returns the
+  /// new copy, unattached.
+  Node* ImportNode(const Node* node);
+
+  /// Number of nodes allocated in this document (diagnostics / tests).
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  friend class Node;
+  Node* NewNode(NodeType type);
+
+  std::deque<Node> nodes_;
+  Node* root_;
+};
+
+/// Splits a QName into (prefix, local). No validation.
+void SplitQName(std::string_view qname, std::string* prefix, std::string* local);
+
+}  // namespace xdb::xml
+
+#endif  // XDB_XML_DOM_H_

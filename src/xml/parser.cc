@@ -1,0 +1,340 @@
+#include "xml/parser.h"
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace xdb::xml {
+
+namespace {
+
+/// One in-scope namespace binding frame. Bindings are pushed per element and
+/// popped when the element closes.
+struct NsBinding {
+  std::string prefix;  // "" for the default namespace
+  std::string uri;
+};
+
+class Parser {
+ public:
+  Parser(std::string_view input, const ParseOptions& options)
+      : in_(input), options_(options) {}
+
+  Result<std::unique_ptr<Document>> Parse() {
+    doc_ = std::make_unique<Document>();
+    // Standard bindings: "xml" is always bound.
+    ns_stack_.push_back({"xml", "http://www.w3.org/XML/1998/namespace"});
+    SkipMisc();
+    if (!AtEnd() && Peek() == '<') {
+      XDB_RETURN_NOT_OK(ParseContent(doc_->root()));
+    }
+    SkipMisc();
+    if (!AtEnd()) {
+      return Error("trailing content after document element");
+    }
+    if (doc_->document_element() == nullptr) {
+      return Error("no document element");
+    }
+    return std::move(doc_);
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < in_.size() ? in_[pos_ + ahead] : '\0';
+  }
+  bool LookingAt(std::string_view s) const {
+    return in_.substr(pos_, s.size()) == s;
+  }
+  void Advance(size_t n = 1) {
+    for (size_t i = 0; i < n && pos_ < in_.size(); ++i) {
+      if (in_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+  }
+
+  Status Error(std::string msg) {
+    return Status::ParseError("XML parse error at line " + std::to_string(line_) +
+                              ": " + std::move(msg));
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && IsXmlWhitespace(Peek())) Advance();
+  }
+
+  // Skips whitespace, comments, PIs and an XML declaration / DOCTYPE at the
+  // document level.
+  void SkipMisc() {
+    for (;;) {
+      SkipWhitespace();
+      if (LookingAt("<?")) {
+        size_t end = in_.find("?>", pos_);
+        if (end == std::string_view::npos) {
+          pos_ = in_.size();
+          return;
+        }
+        Advance(end + 2 - pos_);
+      } else if (LookingAt("<!--")) {
+        size_t end = in_.find("-->", pos_);
+        if (end == std::string_view::npos) {
+          pos_ = in_.size();
+          return;
+        }
+        Advance(end + 3 - pos_);
+      } else if (LookingAt("<!DOCTYPE")) {
+        // Skip to matching '>' (internal subsets with [] are skipped too).
+        int depth = 0;
+        while (!AtEnd()) {
+          char c = Peek();
+          if (c == '[') ++depth;
+          if (c == ']') --depth;
+          if (c == '>' && depth == 0) {
+            Advance();
+            break;
+          }
+          Advance();
+        }
+      } else {
+        return;
+      }
+    }
+  }
+
+  static bool IsNameStart(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':' || static_cast<unsigned char>(c) >= 0x80;
+  }
+  static bool IsNameChar(char c) {
+    return IsNameStart(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+  }
+
+  Result<std::string> ParseName() {
+    if (AtEnd() || !IsNameStart(Peek())) return Error("expected name");
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) Advance();
+    return std::string(in_.substr(start, pos_ - start));
+  }
+
+  // Decodes entity and character references in `raw` into `out`.
+  Status DecodeText(std::string_view raw, std::string* out) {
+    out->reserve(out->size() + raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      char c = raw[i];
+      if (c != '&') {
+        out->push_back(c);
+        continue;
+      }
+      size_t semi = raw.find(';', i + 1);
+      if (semi == std::string_view::npos) {
+        return Error("unterminated entity reference");
+      }
+      std::string_view ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "lt") {
+        out->push_back('<');
+      } else if (ent == "gt") {
+        out->push_back('>');
+      } else if (ent == "amp") {
+        out->push_back('&');
+      } else if (ent == "apos") {
+        out->push_back('\'');
+      } else if (ent == "quot") {
+        out->push_back('"');
+      } else if (!ent.empty() && ent[0] == '#') {
+        long code = 0;
+        if (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X')) {
+          code = std::strtol(std::string(ent.substr(2)).c_str(), nullptr, 16);
+        } else {
+          code = std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
+        }
+        AppendUtf8(code, out);
+      } else {
+        return Error("unknown entity '&" + std::string(ent) + ";'");
+      }
+      i = semi;
+    }
+    return Status::OK();
+  }
+
+  static void AppendUtf8(long cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  std::string ResolveNamespace(std::string_view prefix) const {
+    for (auto it = ns_stack_.rbegin(); it != ns_stack_.rend(); ++it) {
+      if (it->prefix == prefix) return it->uri;
+    }
+    return "";
+  }
+
+  // Parses the children of `parent` until the matching close tag (or EOF at
+  // document level).
+  Status ParseContent(Node* parent) {
+    const bool at_doc_level = parent->type() == NodeType::kDocument;
+    std::string text_buf;
+    auto flush_text = [&]() {
+      if (text_buf.empty()) return;
+      bool strip = options_.strip_whitespace_text && IsAllWhitespace(text_buf) &&
+                   options_.preserve_whitespace_elements.count(
+                       parent->local_name()) == 0;
+      if (!strip && !at_doc_level) {
+        parent->AppendChild(doc_->CreateText(text_buf));
+      }
+      text_buf.clear();
+    };
+
+    while (!AtEnd()) {
+      if (Peek() != '<') {
+        size_t start = pos_;
+        while (!AtEnd() && Peek() != '<') Advance();
+        XDB_RETURN_NOT_OK(DecodeText(in_.substr(start, pos_ - start), &text_buf));
+        continue;
+      }
+      if (LookingAt("</")) {
+        flush_text();
+        return Status::OK();  // caller consumes the close tag
+      }
+      if (LookingAt("<!--")) {
+        flush_text();
+        size_t end = in_.find("-->", pos_ + 4);
+        if (end == std::string_view::npos) return Error("unterminated comment");
+        parent->AppendChild(
+            doc_->CreateComment(in_.substr(pos_ + 4, end - pos_ - 4)));
+        Advance(end + 3 - pos_);
+        continue;
+      }
+      if (LookingAt("<![CDATA[")) {
+        size_t end = in_.find("]]>", pos_ + 9);
+        if (end == std::string_view::npos) return Error("unterminated CDATA");
+        text_buf.append(in_.substr(pos_ + 9, end - pos_ - 9));
+        Advance(end + 3 - pos_);
+        continue;
+      }
+      if (LookingAt("<?")) {
+        flush_text();
+        size_t end = in_.find("?>", pos_ + 2);
+        if (end == std::string_view::npos) return Error("unterminated PI");
+        std::string_view body = in_.substr(pos_ + 2, end - pos_ - 2);
+        size_t sp = 0;
+        while (sp < body.size() && !IsXmlWhitespace(body[sp])) ++sp;
+        std::string_view target = body.substr(0, sp);
+        std::string_view data = TrimWhitespace(body.substr(sp));
+        if (target != "xml" && !at_doc_level) {
+          parent->AppendChild(doc_->CreateProcessingInstruction(target, data));
+        }
+        Advance(end + 2 - pos_);
+        continue;
+      }
+      // Element start tag.
+      flush_text();
+      XDB_RETURN_NOT_OK(ParseElement(parent));
+      if (at_doc_level) {
+        // Exactly one document element; trailing misc handled by caller.
+        SkipMisc();
+        if (!AtEnd() && Peek() == '<' && !LookingAt("</")) {
+          return Error("multiple document elements");
+        }
+        return Status::OK();
+      }
+    }
+    flush_text();
+    if (!at_doc_level) return Error("unexpected end of input inside element");
+    return Status::OK();
+  }
+
+  Status ParseElement(Node* parent) {
+    Advance();  // '<'
+    XDB_ASSIGN_OR_RETURN(std::string qname, ParseName());
+
+    // Collect attributes first so namespace declarations on this element are
+    // in scope for its own name resolution.
+    size_t ns_mark = ns_stack_.size();
+    std::vector<std::pair<std::string, std::string>> attrs;
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated start tag");
+      if (Peek() == '>' || LookingAt("/>")) break;
+      XDB_ASSIGN_OR_RETURN(std::string aname, ParseName());
+      SkipWhitespace();
+      if (Peek() != '=') return Error("expected '=' after attribute name");
+      Advance();
+      SkipWhitespace();
+      char quote = Peek();
+      if (quote != '"' && quote != '\'') return Error("expected quoted value");
+      Advance();
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != quote) Advance();
+      if (AtEnd()) return Error("unterminated attribute value");
+      std::string value;
+      XDB_RETURN_NOT_OK(DecodeText(in_.substr(start, pos_ - start), &value));
+      Advance();  // closing quote
+      if (aname == "xmlns") {
+        ns_stack_.push_back({"", value});
+      } else if (StartsWith(aname, "xmlns:")) {
+        ns_stack_.push_back({aname.substr(6), value});
+      }
+      attrs.emplace_back(std::move(aname), std::move(value));
+    }
+
+    std::string prefix, local;
+    SplitQName(qname, &prefix, &local);
+    Node* elem = doc_->CreateElement(qname, ResolveNamespace(prefix));
+    for (auto& [aname, avalue] : attrs) {
+      elem->SetAttribute(aname, avalue);
+    }
+    parent->AppendChild(elem);
+
+    if (LookingAt("/>")) {
+      Advance(2);
+      ns_stack_.resize(ns_mark);
+      return Status::OK();
+    }
+    Advance();  // '>'
+    XDB_RETURN_NOT_OK(ParseContent(elem));
+    // Close tag.
+    if (!LookingAt("</")) return Error("expected close tag for <" + qname + ">");
+    Advance(2);
+    XDB_ASSIGN_OR_RETURN(std::string close_name, ParseName());
+    if (close_name != qname) {
+      return Error("mismatched close tag </" + close_name + "> for <" + qname + ">");
+    }
+    SkipWhitespace();
+    if (Peek() != '>') return Error("malformed close tag");
+    Advance();
+    ns_stack_.resize(ns_mark);
+    return Status::OK();
+  }
+
+  std::string_view in_;
+  ParseOptions options_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  std::unique_ptr<Document> doc_;
+  std::vector<NsBinding> ns_stack_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Document>> ParseDocument(std::string_view input,
+                                                const ParseOptions& options) {
+  Parser parser(input, options);
+  return parser.Parse();
+}
+
+}  // namespace xdb::xml

@@ -1,0 +1,38 @@
+// Recursive-descent, namespace-aware XML 1.0 parser producing xml::Document.
+//
+// Supported: elements, attributes, character data, CDATA sections, comments,
+// processing instructions, the five predefined entities plus numeric
+// character references, xmlns / xmlns:prefix namespace declarations, and an
+// optional XML declaration. DTDs are skipped (structural information enters
+// the system through src/schema instead, as in the paper).
+#ifndef XDB_XML_PARSER_H_
+#define XDB_XML_PARSER_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/dom.h"
+
+namespace xdb::xml {
+
+struct ParseOptions {
+  /// Drop text nodes consisting solely of whitespace between elements.
+  /// XSLT stylesheets are parsed with this on (per XSLT 1.0 §3.4); data
+  /// documents default to keeping whitespace.
+  bool strip_whitespace_text = false;
+  /// Local names of elements whose whitespace-only text children are kept
+  /// even when strip_whitespace_text is on (XSLT uses {"text"} so that
+  /// <xsl:text> </xsl:text> survives).
+  std::set<std::string> preserve_whitespace_elements;
+};
+
+/// Parses `input` into a new Document.
+Result<std::unique_ptr<Document>> ParseDocument(std::string_view input,
+                                                const ParseOptions& options = {});
+
+}  // namespace xdb::xml
+
+#endif  // XDB_XML_PARSER_H_

@@ -1,0 +1,97 @@
+#include "xml/serializer.h"
+
+#include "common/strings.h"
+
+namespace xdb::xml {
+
+namespace {
+
+void SerializeNode(const Node* node, const SerializeOptions& opts, int depth,
+                   std::string* out) {
+  auto indent = [&](int d) {
+    if (!opts.indent) return;
+    if (!out->empty() && out->back() != '\n') out->push_back('\n');
+    out->append(static_cast<size_t>(d) * 2, ' ');
+  };
+
+  switch (node->type()) {
+    case NodeType::kDocument:
+      for (const Node* child : node->children()) {
+        SerializeNode(child, opts, depth, out);
+      }
+      break;
+    case NodeType::kElement: {
+      indent(depth);
+      out->push_back('<');
+      out->append(node->qualified_name());
+      for (const Node* attr : node->attributes()) {
+        out->push_back(' ');
+        out->append(attr->qualified_name());
+        out->append("=\"");
+        out->append(EscapeXmlAttribute(attr->value()));
+        out->push_back('"');
+      }
+      if (node->children().empty()) {
+        out->append("/>");
+        break;
+      }
+      out->push_back('>');
+      bool has_element_child = false;
+      for (const Node* child : node->children()) {
+        if (child->is_element()) has_element_child = true;
+        SerializeNode(child, opts, depth + 1, out);
+      }
+      if (opts.indent && has_element_child) indent(depth);
+      out->append("</");
+      out->append(node->qualified_name());
+      out->push_back('>');
+      break;
+    }
+    case NodeType::kText:
+      out->append(EscapeXmlText(node->value()));
+      break;
+    case NodeType::kAttribute:
+      // A bare attribute serializes as its value (XPath string-value).
+      out->append(EscapeXmlText(node->value()));
+      break;
+    case NodeType::kComment:
+      indent(depth);
+      out->append("<!--");
+      out->append(node->value());
+      out->append("-->");
+      break;
+    case NodeType::kProcessingInstruction:
+      indent(depth);
+      out->append("<?");
+      out->append(node->local_name());
+      if (!node->value().empty()) {
+        out->push_back(' ');
+        out->append(node->value());
+      }
+      out->append("?>");
+      break;
+  }
+}
+
+}  // namespace
+
+std::string Serialize(const Node* node, const SerializeOptions& options) {
+  std::string out;
+  if (options.xml_declaration) {
+    out = "<?xml version=\"1.0\"?>";
+    if (options.indent) out.push_back('\n');
+  }
+  SerializeNode(node, options, 0, &out);
+  return out;
+}
+
+std::string SerializeAll(const std::vector<Node*>& nodes,
+                         const SerializeOptions& options) {
+  std::string out;
+  for (const Node* n : nodes) {
+    SerializeNode(n, options, 0, &out);
+  }
+  return out;
+}
+
+}  // namespace xdb::xml

@@ -1,0 +1,30 @@
+// XML serializer: renders a node (or a sequence of nodes) back to text.
+#ifndef XDB_XML_SERIALIZER_H_
+#define XDB_XML_SERIALIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "xml/dom.h"
+
+namespace xdb::xml {
+
+struct SerializeOptions {
+  /// Pretty-print with two-space indentation; off emits the canonical
+  /// single-line form used in golden tests.
+  bool indent = false;
+  /// Emit an "<?xml version=...?>" declaration before a document node.
+  bool xml_declaration = false;
+};
+
+/// Serializes the subtree rooted at `node`. For a document node, serializes
+/// all its children.
+std::string Serialize(const Node* node, const SerializeOptions& options = {});
+
+/// Serializes a node sequence (e.g. an XPath node-set result) back-to-back.
+std::string SerializeAll(const std::vector<Node*>& nodes,
+                         const SerializeOptions& options = {});
+
+}  // namespace xdb::xml
+
+#endif  // XDB_XML_SERIALIZER_H_

@@ -1,0 +1,199 @@
+#include "xpath/ast.h"
+
+#include "common/strings.h"
+
+namespace xdb::xpath {
+
+const char* AxisName(Axis axis) {
+  switch (axis) {
+    case Axis::kChild:
+      return "child";
+    case Axis::kDescendant:
+      return "descendant";
+    case Axis::kParent:
+      return "parent";
+    case Axis::kAncestor:
+      return "ancestor";
+    case Axis::kFollowingSibling:
+      return "following-sibling";
+    case Axis::kPrecedingSibling:
+      return "preceding-sibling";
+    case Axis::kFollowing:
+      return "following";
+    case Axis::kPreceding:
+      return "preceding";
+    case Axis::kAttribute:
+      return "attribute";
+    case Axis::kSelf:
+      return "self";
+    case Axis::kDescendantOrSelf:
+      return "descendant-or-self";
+    case Axis::kAncestorOrSelf:
+      return "ancestor-or-self";
+  }
+  return "?";
+}
+
+bool IsReverseAxis(Axis axis) {
+  switch (axis) {
+    case Axis::kParent:
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf:
+    case Axis::kPrecedingSibling:
+    case Axis::kPreceding:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string NodeTest::ToString() const {
+  switch (kind) {
+    case Kind::kName:
+      return prefix.empty() ? local : prefix + ":" + local;
+    case Kind::kAnyName:
+      return prefix.empty() ? "*" : prefix + ":*";
+    case Kind::kText:
+      return "text()";
+    case Kind::kComment:
+      return "comment()";
+    case Kind::kProcessingInstruction:
+      return pi_target.empty() ? "processing-instruction()"
+                               : "processing-instruction('" + pi_target + "')";
+    case Kind::kAnyNode:
+      return "node()";
+  }
+  return "?";
+}
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kOr:
+      return "or";
+    case BinaryOp::kAnd:
+      return "and";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "!=";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kPlus:
+      return "+";
+    case BinaryOp::kMinus:
+      return "-";
+    case BinaryOp::kMultiply:
+      return "*";
+    case BinaryOp::kDiv:
+      return "div";
+    case BinaryOp::kMod:
+      return "mod";
+    case BinaryOp::kUnion:
+      return "|";
+  }
+  return "?";
+}
+
+std::string LiteralExpr::ToString() const {
+  // Prefer double quotes; fall back to single quotes when the value contains
+  // a double quote (XPath 1.0 has no escaping inside literals).
+  if (value.find('"') == std::string::npos) return "\"" + value + "\"";
+  return "'" + value + "'";
+}
+
+std::string NumberExpr::ToString() const { return FormatXPathNumber(value); }
+
+std::string BinaryExpr::ToString() const {
+  return lhs->ToString() + " " + BinaryOpName(op) + " " + rhs->ToString();
+}
+
+std::string FunctionCallExpr::ToString() const {
+  std::string out = name + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i]->ToString();
+  }
+  out += ")";
+  return out;
+}
+
+ExprPtr FunctionCallExpr::Clone() const {
+  std::vector<ExprPtr> cloned;
+  cloned.reserve(args.size());
+  for (const auto& a : args) cloned.push_back(a->Clone());
+  return std::make_unique<FunctionCallExpr>(name, std::move(cloned));
+}
+
+std::string Step::ToString() const {
+  std::string out;
+  // Use abbreviated syntax where it exists.
+  if (axis == Axis::kChild) {
+    out = test.ToString();
+  } else if (axis == Axis::kAttribute) {
+    out = "@" + test.ToString();
+  } else if (axis == Axis::kSelf && test.kind == NodeTest::Kind::kAnyNode) {
+    out = ".";
+  } else if (axis == Axis::kParent && test.kind == NodeTest::Kind::kAnyNode) {
+    out = "..";
+  } else {
+    out = std::string(AxisName(axis)) + "::" + test.ToString();
+  }
+  for (const auto& p : predicates) {
+    out += "[" + p->ToString() + "]";
+  }
+  return out;
+}
+
+Step Step::CloneStep() const {
+  Step s;
+  s.axis = axis;
+  s.test = test;
+  for (const auto& p : predicates) s.predicates.push_back(p->Clone());
+  return s;
+}
+
+std::string PathExpr::ToString() const {
+  std::string out;
+  std::string sep;  // separator to emit before the next rendered step
+  if (start != nullptr) {
+    bool parenthesize = start->kind() == ExprKind::kBinary;
+    if (parenthesize) out += "(";
+    out += start->ToString();
+    if (parenthesize) out += ")";
+    for (const auto& p : start_predicates) out += "[" + p->ToString() + "]";
+    sep = "/";
+  } else if (absolute) {
+    if (steps.empty()) return "/";
+    sep = "/";
+  }
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const Step& s = steps[i];
+    bool is_marker = s.axis == Axis::kDescendantOrSelf &&
+                     s.test.kind == NodeTest::Kind::kAnyNode &&
+                     s.predicates.empty();
+    if (is_marker && i + 1 < steps.size() && !sep.empty()) {
+      sep = "//";  // abbreviate ".../descendant-or-self::node()/..." as "//"
+      continue;
+    }
+    out += sep + s.ToString();
+    sep = "/";
+  }
+  return out;
+}
+
+ExprPtr PathExpr::Clone() const {
+  auto p = std::make_unique<PathExpr>();
+  p->absolute = absolute;
+  if (start) p->start = start->Clone();
+  for (const auto& sp : start_predicates) p->start_predicates.push_back(sp->Clone());
+  for (const auto& s : steps) p->steps.push_back(s.CloneStep());
+  return p;
+}
+
+}  // namespace xdb::xpath

@@ -1,0 +1,182 @@
+// XPath 1.0 abstract syntax. The AST is deliberately open (public fields,
+// kind tags) because the rewrite module inspects and transforms expressions:
+// the XSLT->XQuery rewriter analyses select/match paths, and the
+// XQuery->SQL/XML rewriter maps path steps onto relational columns.
+#ifndef XDB_XPATH_AST_H_
+#define XDB_XPATH_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace xdb::xpath {
+
+enum class Axis {
+  kChild,
+  kDescendant,
+  kParent,
+  kAncestor,
+  kFollowingSibling,
+  kPrecedingSibling,
+  kFollowing,
+  kPreceding,
+  kAttribute,
+  kSelf,
+  kDescendantOrSelf,
+  kAncestorOrSelf,
+};
+
+/// Renders the axis in XPath syntax ("child", "descendant-or-self", ...).
+const char* AxisName(Axis axis);
+/// True for axes that walk backwards/upwards in the document (§3.5 of the
+/// paper eliminates tests on these when structure makes them redundant).
+bool IsReverseAxis(Axis axis);
+
+/// A node test within a step: name test, wildcard, or kind test.
+struct NodeTest {
+  enum class Kind { kName, kAnyName, kText, kComment, kProcessingInstruction, kAnyNode };
+  Kind kind = Kind::kAnyNode;
+  std::string prefix;     // for kName: namespace prefix as written
+  std::string local;      // for kName: local name
+  std::string pi_target;  // for kProcessingInstruction with a literal target
+
+  std::string ToString() const;
+};
+
+enum class ExprKind {
+  kLiteral,
+  kNumber,
+  kVariableRef,
+  kBinary,
+  kUnary,
+  kFunctionCall,
+  kPath,
+};
+
+/// Base class for all XPath expressions.
+class Expr {
+ public:
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+  virtual ~Expr() = default;
+  ExprKind kind() const { return kind_; }
+  /// Renders the expression back to XPath syntax (stable, used in golden
+  /// tests and in the emitted XQuery text).
+  virtual std::string ToString() const = 0;
+  /// Deep copy.
+  virtual std::unique_ptr<Expr> Clone() const = 0;
+
+ private:
+  ExprKind kind_;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+class LiteralExpr : public Expr {
+ public:
+  explicit LiteralExpr(std::string value)
+      : Expr(ExprKind::kLiteral), value(std::move(value)) {}
+  std::string ToString() const override;
+  ExprPtr Clone() const override { return std::make_unique<LiteralExpr>(value); }
+  std::string value;
+};
+
+class NumberExpr : public Expr {
+ public:
+  explicit NumberExpr(double value) : Expr(ExprKind::kNumber), value(value) {}
+  std::string ToString() const override;
+  ExprPtr Clone() const override { return std::make_unique<NumberExpr>(value); }
+  double value;
+};
+
+class VariableRefExpr : public Expr {
+ public:
+  explicit VariableRefExpr(std::string name)
+      : Expr(ExprKind::kVariableRef), name(std::move(name)) {}
+  std::string ToString() const override { return "$" + name; }
+  ExprPtr Clone() const override { return std::make_unique<VariableRefExpr>(name); }
+  std::string name;  // without the leading '$'
+};
+
+enum class BinaryOp {
+  kOr,
+  kAnd,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kMultiply,
+  kDiv,
+  kMod,
+  kUnion,
+};
+
+const char* BinaryOpName(BinaryOp op);
+
+class BinaryExpr : public Expr {
+ public:
+  BinaryExpr(BinaryOp op, ExprPtr lhs, ExprPtr rhs)
+      : Expr(ExprKind::kBinary), op(op), lhs(std::move(lhs)), rhs(std::move(rhs)) {}
+  std::string ToString() const override;
+  ExprPtr Clone() const override {
+    return std::make_unique<BinaryExpr>(op, lhs->Clone(), rhs->Clone());
+  }
+  BinaryOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+class UnaryExpr : public Expr {
+ public:
+  explicit UnaryExpr(ExprPtr operand)
+      : Expr(ExprKind::kUnary), operand(std::move(operand)) {}
+  std::string ToString() const override { return "-" + operand->ToString(); }
+  ExprPtr Clone() const override {
+    return std::make_unique<UnaryExpr>(operand->Clone());
+  }
+  ExprPtr operand;
+};
+
+class FunctionCallExpr : public Expr {
+ public:
+  FunctionCallExpr(std::string name, std::vector<ExprPtr> args)
+      : Expr(ExprKind::kFunctionCall), name(std::move(name)), args(std::move(args)) {}
+  std::string ToString() const override;
+  ExprPtr Clone() const override;
+  std::string name;  // possibly prefixed, e.g. "fn:string"
+  std::vector<ExprPtr> args;
+};
+
+/// One location step: axis::node-test[pred]...[pred].
+struct Step {
+  Axis axis = Axis::kChild;
+  NodeTest test;
+  std::vector<ExprPtr> predicates;
+
+  std::string ToString() const;
+  Step CloneStep() const;
+};
+
+/// A (possibly filtered, possibly rooted) location path. This single class
+/// covers XPath's LocationPath, FilterExpr and PathExpr productions:
+///   - absolute=true, start=null        => /a/b
+///   - absolute=false, start=null       => a/b, @x, ..
+///   - start!=null                      => $v/a, func()[1]/b, (expr)/c
+///   - start!=null, steps empty         => pure filter expr: $v[1], (e)[2]
+struct PathExpr : public Expr {
+  PathExpr() : Expr(ExprKind::kPath) {}
+  std::string ToString() const override;
+  ExprPtr Clone() const override;
+
+  bool absolute = false;
+  ExprPtr start;                          // may be null
+  std::vector<ExprPtr> start_predicates;  // predicates on the start expr
+  std::vector<Step> steps;
+};
+
+}  // namespace xdb::xpath
+
+#endif  // XDB_XPATH_AST_H_

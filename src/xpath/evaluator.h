@@ -1,0 +1,103 @@
+// XPath 1.0 evaluator over the xml DOM, with the full core function library
+// and an extensible function registry (the XSLT engine registers current()
+// and generate-id(); the XQuery evaluator reuses the registry for fn:*).
+#ifndef XDB_XPATH_EVALUATOR_H_
+#define XDB_XPATH_EVALUATOR_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xpath/ast.h"
+#include "xpath/value.h"
+
+namespace xdb::xpath {
+
+/// Lexically scoped variable bindings, chained through parent frames.
+class VariableEnv {
+ public:
+  explicit VariableEnv(const VariableEnv* parent = nullptr) : parent_(parent) {}
+
+  void Set(const std::string& name, Value value) {
+    vars_[name] = std::move(value);
+  }
+  /// Looks up `name` in this frame, then outward. nullptr when unbound.
+  const Value* Lookup(const std::string& name) const {
+    auto it = vars_.find(name);
+    if (it != vars_.end()) return &it->second;
+    return parent_ ? parent_->Lookup(name) : nullptr;
+  }
+  const VariableEnv* parent() const { return parent_; }
+
+ private:
+  std::map<std::string, Value> vars_;
+  const VariableEnv* parent_;
+};
+
+/// Dynamic context for one expression evaluation.
+struct EvalContext {
+  xml::Node* node = nullptr;  ///< context node
+  size_t position = 1;        ///< context position (1-based)
+  size_t size = 1;            ///< context size
+  const VariableEnv* env = nullptr;
+  /// XSLT's current() node: the node being processed by the innermost
+  /// template/for-each, as opposed to the predicate-local context node.
+  xml::Node* current = nullptr;
+};
+
+/// \brief Evaluates XPath expression trees.
+///
+/// Thread-compatible: one Evaluator can be shared across sequential
+/// evaluations; the registry is fixed after construction/registration.
+class Evaluator {
+ public:
+  /// Signature for extension functions. `args` are already evaluated.
+  using ExtensionFn =
+      std::function<Result<Value>(std::vector<Value>& args, const EvalContext& ctx)>;
+
+  Evaluator();
+
+  /// Registers (or overrides) a function under `name` (may be prefixed).
+  /// `min_args`/`max_args` bound the accepted argument count (max -1 =
+  /// unbounded).
+  void RegisterFunction(const std::string& name, int min_args, int max_args,
+                        ExtensionFn fn);
+
+  Result<Value> Evaluate(const Expr& expr, const EvalContext& ctx) const;
+
+  /// Evaluates and converts to a node-set (TypeError otherwise).
+  Result<NodeSet> EvaluateNodeSet(const Expr& expr, const EvalContext& ctx) const;
+  Result<std::string> EvaluateString(const Expr& expr, const EvalContext& ctx) const;
+  Result<bool> EvaluateBool(const Expr& expr, const EvalContext& ctx) const;
+  Result<double> EvaluateNumber(const Expr& expr, const EvalContext& ctx) const;
+
+  /// Collects the nodes selected by `step`'s axis+node-test from `origin`
+  /// in axis order (before predicates). Exposed for the pattern matcher.
+  static void CollectAxis(xml::Node* origin, const Step& step, NodeSet* out);
+  /// True when `node` passes `test` for an axis whose principal node kind is
+  /// elements (or attributes when `attribute_axis` is set).
+  static bool MatchesNodeTest(const xml::Node* node, const NodeTest& test,
+                              bool attribute_axis);
+
+ private:
+  Result<Value> EvalBinary(const BinaryExpr& e, const EvalContext& ctx) const;
+  Result<Value> EvalFunction(const FunctionCallExpr& e, const EvalContext& ctx) const;
+  Result<Value> EvalPath(const PathExpr& e, const EvalContext& ctx) const;
+  Result<NodeSet> ApplyStep(const NodeSet& input, const Step& step,
+                            const EvalContext& ctx) const;
+  Result<NodeSet> FilterByPredicate(NodeSet candidates, const Expr& pred,
+                                    bool reverse_axis, const EvalContext& ctx) const;
+
+  struct FunctionEntry {
+    int min_args;
+    int max_args;
+    ExtensionFn fn;
+  };
+  std::map<std::string, FunctionEntry> functions_;
+};
+
+}  // namespace xdb::xpath
+
+#endif  // XDB_XPATH_EVALUATOR_H_

@@ -1,0 +1,641 @@
+#include "xpath/parser.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace xdb::xpath {
+
+namespace {
+
+enum class TokKind {
+  kEnd,
+  kName,       // NCName or QName (text_)
+  kNumber,     // numeric literal (number_)
+  kLiteral,    // quoted string (text_)
+  kVariable,   // $qname (text_ = name without '$')
+  kSlash,
+  kDoubleSlash,
+  kLBracket,
+  kRBracket,
+  kLParen,
+  kRParen,
+  kDot,
+  kDotDot,
+  kAt,
+  kComma,
+  kDoubleColon,
+  kPipe,
+  kPlus,
+  kMinus,
+  kStar,  // '*' (wildcard or multiply; parser decides)
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  double number = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view in) : in_(in) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    for (;;) {
+      SkipWs();
+      if (pos_ >= in_.size()) {
+        out.push_back({TokKind::kEnd, "", 0});
+        return out;
+      }
+      char c = in_[pos_];
+      switch (c) {
+        case '/':
+          if (Peek(1) == '/') {
+            out.push_back({TokKind::kDoubleSlash, "//", 0});
+            pos_ += 2;
+          } else {
+            out.push_back({TokKind::kSlash, "/", 0});
+            ++pos_;
+          }
+          continue;
+        case '[':
+          out.push_back({TokKind::kLBracket, "[", 0});
+          ++pos_;
+          continue;
+        case ']':
+          out.push_back({TokKind::kRBracket, "]", 0});
+          ++pos_;
+          continue;
+        case '(':
+          out.push_back({TokKind::kLParen, "(", 0});
+          ++pos_;
+          continue;
+        case ')':
+          out.push_back({TokKind::kRParen, ")", 0});
+          ++pos_;
+          continue;
+        case '@':
+          out.push_back({TokKind::kAt, "@", 0});
+          ++pos_;
+          continue;
+        case ',':
+          out.push_back({TokKind::kComma, ",", 0});
+          ++pos_;
+          continue;
+        case '|':
+          out.push_back({TokKind::kPipe, "|", 0});
+          ++pos_;
+          continue;
+        case '+':
+          out.push_back({TokKind::kPlus, "+", 0});
+          ++pos_;
+          continue;
+        case '-':
+          out.push_back({TokKind::kMinus, "-", 0});
+          ++pos_;
+          continue;
+        case '*':
+          out.push_back({TokKind::kStar, "*", 0});
+          ++pos_;
+          continue;
+        case '=':
+          out.push_back({TokKind::kEq, "=", 0});
+          ++pos_;
+          continue;
+        case '!':
+          if (Peek(1) != '=') {
+            return Status::ParseError("XPath: unexpected '!'");
+          }
+          out.push_back({TokKind::kNe, "!=", 0});
+          pos_ += 2;
+          continue;
+        case '<':
+          if (Peek(1) == '=') {
+            out.push_back({TokKind::kLe, "<=", 0});
+            pos_ += 2;
+          } else {
+            out.push_back({TokKind::kLt, "<", 0});
+            ++pos_;
+          }
+          continue;
+        case '>':
+          if (Peek(1) == '=') {
+            out.push_back({TokKind::kGe, ">=", 0});
+            pos_ += 2;
+          } else {
+            out.push_back({TokKind::kGt, ">", 0});
+            ++pos_;
+          }
+          continue;
+        case ':':
+          if (Peek(1) == ':') {
+            out.push_back({TokKind::kDoubleColon, "::", 0});
+            pos_ += 2;
+            continue;
+          }
+          return Status::ParseError("XPath: unexpected ':'");
+        case '.':
+          if (Peek(1) == '.') {
+            out.push_back({TokKind::kDotDot, "..", 0});
+            pos_ += 2;
+            continue;
+          }
+          if (IsDigit(Peek(1))) break;  // number like .5
+          out.push_back({TokKind::kDot, ".", 0});
+          ++pos_;
+          continue;
+        case '"':
+        case '\'': {
+          size_t end = in_.find(c, pos_ + 1);
+          if (end == std::string_view::npos) {
+            return Status::ParseError("XPath: unterminated string literal");
+          }
+          out.push_back(
+              {TokKind::kLiteral, std::string(in_.substr(pos_ + 1, end - pos_ - 1)), 0});
+          pos_ = end + 1;
+          continue;
+        }
+        case '$': {
+          ++pos_;
+          XDB_ASSIGN_OR_RETURN(std::string name, LexQName());
+          out.push_back({TokKind::kVariable, std::move(name), 0});
+          continue;
+        }
+        default:
+          break;
+      }
+      if (IsDigit(c) || c == '.') {
+        size_t start = pos_;
+        while (pos_ < in_.size() && IsDigit(in_[pos_])) ++pos_;
+        if (pos_ < in_.size() && in_[pos_] == '.') {
+          ++pos_;
+          while (pos_ < in_.size() && IsDigit(in_[pos_])) ++pos_;
+        }
+        double v = std::strtod(std::string(in_.substr(start, pos_ - start)).c_str(),
+                               nullptr);
+        out.push_back({TokKind::kNumber, "", v});
+        continue;
+      }
+      if (IsNameStart(c)) {
+        XDB_ASSIGN_OR_RETURN(std::string name, LexQName());
+        out.push_back({TokKind::kName, std::move(name), 0});
+        continue;
+      }
+      return Status::ParseError(std::string("XPath: unexpected character '") + c +
+                                "'");
+    }
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < in_.size() ? in_[pos_ + ahead] : '\0';
+  }
+  void SkipWs() {
+    while (pos_ < in_.size() && IsXmlWhitespace(in_[pos_])) ++pos_;
+  }
+  static bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+  static bool IsNameStart(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           static_cast<unsigned char>(c) >= 0x80;
+  }
+  static bool IsNameChar(char c) {
+    return IsNameStart(c) || IsDigit(c) || c == '-' || c == '.';
+  }
+
+  // Lexes NCName(':'(NCName|'*'))? — "a", "a:b", "a:*".
+  Result<std::string> LexQName() {
+    if (pos_ >= in_.size() || !IsNameStart(in_[pos_])) {
+      return Status::ParseError("XPath: expected name");
+    }
+    size_t start = pos_;
+    while (pos_ < in_.size() && IsNameChar(in_[pos_])) ++pos_;
+    // "a:b" — but not "a::b" (axis) and not "a:" alone.
+    if (pos_ < in_.size() && in_[pos_] == ':' && Peek(1) != ':') {
+      if (Peek(1) == '*') {
+        pos_ += 2;
+      } else if (IsNameStart(Peek(1))) {
+        ++pos_;
+        while (pos_ < in_.size() && IsNameChar(in_[pos_])) ++pos_;
+      }
+    }
+    return std::string(in_.substr(start, pos_ - start));
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Result<ExprPtr> Parse() {
+    XDB_ASSIGN_OR_RETURN(ExprPtr e, ParseOr());
+    if (Cur().kind != TokKind::kEnd) {
+      return Status::ParseError("XPath: trailing tokens after expression near '" +
+                                Cur().text + "'");
+    }
+    return e;
+  }
+
+ private:
+  const Token& Cur() const { return toks_[i_]; }
+  const Token& Ahead(size_t n = 1) const {
+    return toks_[std::min(i_ + n, toks_.size() - 1)];
+  }
+  void Next() {
+    if (i_ + 1 < toks_.size()) ++i_;
+  }
+  bool Accept(TokKind k) {
+    if (Cur().kind == k) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+  Status Expect(TokKind k, const char* what) {
+    if (!Accept(k)) {
+      return Status::ParseError(std::string("XPath: expected ") + what + " near '" +
+                                Cur().text + "'");
+    }
+    return Status::OK();
+  }
+
+  Result<ExprPtr> ParseOr() {
+    XDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (Cur().kind == TokKind::kName && Cur().text == "or") {
+      Next();
+      XDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = std::make_unique<BinaryExpr>(BinaryOp::kOr, std::move(lhs),
+                                         std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    XDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseEquality());
+    while (Cur().kind == TokKind::kName && Cur().text == "and") {
+      Next();
+      XDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseEquality());
+      lhs = std::make_unique<BinaryExpr>(BinaryOp::kAnd, std::move(lhs),
+                                         std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseEquality() {
+    XDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseRelational());
+    for (;;) {
+      BinaryOp op;
+      if (Cur().kind == TokKind::kEq) {
+        op = BinaryOp::kEq;
+      } else if (Cur().kind == TokKind::kNe) {
+        op = BinaryOp::kNe;
+      } else {
+        return lhs;
+      }
+      Next();
+      XDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseRelational());
+      lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<ExprPtr> ParseRelational() {
+    XDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    for (;;) {
+      BinaryOp op;
+      switch (Cur().kind) {
+        case TokKind::kLt:
+          op = BinaryOp::kLt;
+          break;
+        case TokKind::kLe:
+          op = BinaryOp::kLe;
+          break;
+        case TokKind::kGt:
+          op = BinaryOp::kGt;
+          break;
+        case TokKind::kGe:
+          op = BinaryOp::kGe;
+          break;
+        default:
+          return lhs;
+      }
+      Next();
+      XDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    XDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    for (;;) {
+      BinaryOp op;
+      if (Cur().kind == TokKind::kPlus) {
+        op = BinaryOp::kPlus;
+      } else if (Cur().kind == TokKind::kMinus) {
+        op = BinaryOp::kMinus;
+      } else {
+        return lhs;
+      }
+      Next();
+      XDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    XDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    for (;;) {
+      BinaryOp op;
+      if (Cur().kind == TokKind::kStar) {
+        op = BinaryOp::kMultiply;
+      } else if (Cur().kind == TokKind::kName && Cur().text == "div") {
+        op = BinaryOp::kDiv;
+      } else if (Cur().kind == TokKind::kName && Cur().text == "mod") {
+        op = BinaryOp::kMod;
+      } else {
+        return lhs;
+      }
+      Next();
+      XDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Accept(TokKind::kMinus)) {
+      XDB_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return ExprPtr(std::make_unique<UnaryExpr>(std::move(operand)));
+    }
+    return ParseUnion();
+  }
+
+  Result<ExprPtr> ParseUnion() {
+    XDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParsePath());
+    while (Accept(TokKind::kPipe)) {
+      XDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParsePath());
+      lhs = std::make_unique<BinaryExpr>(BinaryOp::kUnion, std::move(lhs),
+                                         std::move(rhs));
+    }
+    return lhs;
+  }
+
+  static bool IsNodeTypeName(const std::string& s) {
+    return s == "comment" || s == "text" || s == "processing-instruction" ||
+           s == "node";
+  }
+
+  // True when the current token begins a FilterExpr (primary expression)
+  // rather than a location path.
+  bool StartsFilterExpr() const {
+    switch (Cur().kind) {
+      case TokKind::kVariable:
+      case TokKind::kLiteral:
+      case TokKind::kNumber:
+      case TokKind::kLParen:
+        return true;
+      case TokKind::kName:
+        return Ahead().kind == TokKind::kLParen && !IsNodeTypeName(Cur().text);
+      default:
+        return false;
+    }
+  }
+
+  Result<ExprPtr> ParsePath() {
+    auto path = std::make_unique<PathExpr>();
+    if (StartsFilterExpr()) {
+      XDB_ASSIGN_OR_RETURN(path->start, ParsePrimary());
+      while (Cur().kind == TokKind::kLBracket) {
+        XDB_ASSIGN_OR_RETURN(ExprPtr pred, ParsePredicate());
+        path->start_predicates.push_back(std::move(pred));
+      }
+      if (Cur().kind == TokKind::kSlash) {
+        Next();
+        XDB_RETURN_NOT_OK(ParseRelativePath(path.get()));
+      } else if (Cur().kind == TokKind::kDoubleSlash) {
+        Next();
+        path->steps.push_back(DescendantOrSelfStep());
+        XDB_RETURN_NOT_OK(ParseRelativePath(path.get()));
+      } else if (path->start_predicates.empty()) {
+        // Bare primary expression: unwrap, no path semantics needed.
+        return std::move(path->start);
+      }
+      return ExprPtr(std::move(path));
+    }
+    // Location path.
+    if (Cur().kind == TokKind::kSlash) {
+      Next();
+      path->absolute = true;
+      if (!StartsStep()) return ExprPtr(std::move(path));  // bare "/"
+    } else if (Cur().kind == TokKind::kDoubleSlash) {
+      Next();
+      path->absolute = true;
+      path->steps.push_back(DescendantOrSelfStep());
+    }
+    XDB_RETURN_NOT_OK(ParseRelativePath(path.get()));
+    return ExprPtr(std::move(path));
+  }
+
+  bool StartsStep() const {
+    switch (Cur().kind) {
+      case TokKind::kName:
+      case TokKind::kStar:
+      case TokKind::kAt:
+      case TokKind::kDot:
+      case TokKind::kDotDot:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  static Step DescendantOrSelfStep() {
+    Step s;
+    s.axis = Axis::kDescendantOrSelf;
+    s.test.kind = NodeTest::Kind::kAnyNode;
+    return s;
+  }
+
+  Status ParseRelativePath(PathExpr* path) {
+    for (;;) {
+      XDB_ASSIGN_OR_RETURN(Step step, ParseStep());
+      path->steps.push_back(std::move(step));
+      if (Cur().kind == TokKind::kSlash) {
+        Next();
+      } else if (Cur().kind == TokKind::kDoubleSlash) {
+        Next();
+        path->steps.push_back(DescendantOrSelfStep());
+      } else {
+        return Status::OK();
+      }
+    }
+  }
+
+  Result<Axis> ParseAxisName(const std::string& name) {
+    if (name == "child") return Axis::kChild;
+    if (name == "descendant") return Axis::kDescendant;
+    if (name == "parent") return Axis::kParent;
+    if (name == "ancestor") return Axis::kAncestor;
+    if (name == "following-sibling") return Axis::kFollowingSibling;
+    if (name == "preceding-sibling") return Axis::kPrecedingSibling;
+    if (name == "following") return Axis::kFollowing;
+    if (name == "preceding") return Axis::kPreceding;
+    if (name == "attribute") return Axis::kAttribute;
+    if (name == "self") return Axis::kSelf;
+    if (name == "descendant-or-self") return Axis::kDescendantOrSelf;
+    if (name == "ancestor-or-self") return Axis::kAncestorOrSelf;
+    return Status::ParseError("XPath: unknown axis '" + name + "'");
+  }
+
+  Result<Step> ParseStep() {
+    Step step;
+    if (Accept(TokKind::kDot)) {
+      step.axis = Axis::kSelf;
+      step.test.kind = NodeTest::Kind::kAnyNode;
+      return step;
+    }
+    if (Accept(TokKind::kDotDot)) {
+      step.axis = Axis::kParent;
+      step.test.kind = NodeTest::Kind::kAnyNode;
+      return step;
+    }
+    if (Accept(TokKind::kAt)) {
+      step.axis = Axis::kAttribute;
+    } else if (Cur().kind == TokKind::kName && Ahead().kind == TokKind::kDoubleColon) {
+      XDB_ASSIGN_OR_RETURN(step.axis, ParseAxisName(Cur().text));
+      Next();
+      Next();
+    }
+    XDB_RETURN_NOT_OK(ParseNodeTest(&step.test));
+    while (Cur().kind == TokKind::kLBracket) {
+      XDB_ASSIGN_OR_RETURN(ExprPtr pred, ParsePredicate());
+      step.predicates.push_back(std::move(pred));
+    }
+    return step;
+  }
+
+  Status ParseNodeTest(NodeTest* test) {
+    if (Accept(TokKind::kStar)) {
+      test->kind = NodeTest::Kind::kAnyName;
+      return Status::OK();
+    }
+    if (Cur().kind != TokKind::kName) {
+      return Status::ParseError("XPath: expected node test near '" + Cur().text +
+                                "'");
+    }
+    std::string name = Cur().text;
+    if (IsNodeTypeName(name) && Ahead().kind == TokKind::kLParen) {
+      Next();
+      Next();  // '('
+      if (name == "text") {
+        test->kind = NodeTest::Kind::kText;
+      } else if (name == "comment") {
+        test->kind = NodeTest::Kind::kComment;
+      } else if (name == "node") {
+        test->kind = NodeTest::Kind::kAnyNode;
+      } else {
+        test->kind = NodeTest::Kind::kProcessingInstruction;
+        if (Cur().kind == TokKind::kLiteral) {
+          test->pi_target = Cur().text;
+          Next();
+        }
+      }
+      return Expect(TokKind::kRParen, "')'");
+    }
+    Next();
+    test->kind = NodeTest::Kind::kName;
+    size_t colon = name.find(':');
+    if (colon == std::string::npos) {
+      test->local = name;
+    } else {
+      test->prefix = name.substr(0, colon);
+      std::string local = name.substr(colon + 1);
+      if (local == "*") {
+        test->kind = NodeTest::Kind::kAnyName;
+      } else {
+        test->local = local;
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<ExprPtr> ParsePredicate() {
+    XDB_RETURN_NOT_OK(Expect(TokKind::kLBracket, "'['"));
+    XDB_ASSIGN_OR_RETURN(ExprPtr e, ParseOr());
+    XDB_RETURN_NOT_OK(Expect(TokKind::kRBracket, "']'"));
+    return e;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    switch (Cur().kind) {
+      case TokKind::kVariable: {
+        auto e = std::make_unique<VariableRefExpr>(Cur().text);
+        Next();
+        return ExprPtr(std::move(e));
+      }
+      case TokKind::kLiteral: {
+        auto e = std::make_unique<LiteralExpr>(Cur().text);
+        Next();
+        return ExprPtr(std::move(e));
+      }
+      case TokKind::kNumber: {
+        auto e = std::make_unique<NumberExpr>(Cur().number);
+        Next();
+        return ExprPtr(std::move(e));
+      }
+      case TokKind::kLParen: {
+        Next();
+        XDB_ASSIGN_OR_RETURN(ExprPtr e, ParseOr());
+        XDB_RETURN_NOT_OK(Expect(TokKind::kRParen, "')'"));
+        return e;
+      }
+      case TokKind::kName: {
+        std::string name = Cur().text;
+        Next();
+        XDB_RETURN_NOT_OK(Expect(TokKind::kLParen, "'(' after function name"));
+        std::vector<ExprPtr> args;
+        if (Cur().kind != TokKind::kRParen) {
+          for (;;) {
+            XDB_ASSIGN_OR_RETURN(ExprPtr arg, ParseOr());
+            args.push_back(std::move(arg));
+            if (!Accept(TokKind::kComma)) break;
+          }
+        }
+        XDB_RETURN_NOT_OK(Expect(TokKind::kRParen, "')'"));
+        return ExprPtr(
+            std::make_unique<FunctionCallExpr>(std::move(name), std::move(args)));
+      }
+      default:
+        return Status::ParseError("XPath: unexpected token '" + Cur().text + "'");
+    }
+  }
+
+  std::vector<Token> toks_;
+  size_t i_ = 0;
+};
+
+}  // namespace
+
+Result<ExprPtr> ParseXPath(std::string_view input) {
+  Lexer lexer(input);
+  XDB_ASSIGN_OR_RETURN(std::vector<Token> toks, lexer.Tokenize());
+  Parser parser(std::move(toks));
+  auto result = parser.Parse();
+  if (!result.ok()) {
+    return Status::ParseError(result.status().message() + " in \"" +
+                              std::string(input) + "\"");
+  }
+  return result;
+}
+
+}  // namespace xdb::xpath

@@ -1,0 +1,17 @@
+// XPath 1.0 parser (full grammar with abbreviated syntax).
+#ifndef XDB_XPATH_PARSER_H_
+#define XDB_XPATH_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xpath/ast.h"
+
+namespace xdb::xpath {
+
+/// Parses an XPath 1.0 expression.
+Result<ExprPtr> ParseXPath(std::string_view input);
+
+}  // namespace xdb::xpath
+
+#endif  // XDB_XPATH_PARSER_H_

@@ -1,0 +1,209 @@
+#include "xpath/pattern.h"
+
+#include "xpath/parser.h"
+
+namespace xdb::xpath {
+
+using xml::Node;
+using xml::NodeType;
+
+namespace {
+
+bool IsSlashSlashMarker(const Step& step) {
+  return step.axis == Axis::kDescendantOrSelf &&
+         step.test.kind == NodeTest::Kind::kAnyNode && step.predicates.empty();
+}
+
+// The node from which this step would have selected `node` going forward:
+// the parent for child-axis steps, the owner element for attribute steps.
+Node* StepOrigin(Node* node) { return node->parent(); }
+
+// Bundled parameters for the recursive match walk.
+struct MatchArgs {
+  const Evaluator& evaluator;
+  const EvalContext& ctx;
+  bool assume_predicates_true;
+};
+
+// Checks node kind compatibility + node test + predicates for one step.
+Result<bool> TestStep(const Step& step, Node* node, const MatchArgs& args) {
+  const Evaluator& evaluator = args.evaluator;
+  const EvalContext& ctx = args.ctx;
+  const bool attr_axis = step.axis == Axis::kAttribute;
+  if (attr_axis != (node->type() == NodeType::kAttribute)) return false;
+  if (!Evaluator::MatchesNodeTest(node, step.test, attr_axis)) return false;
+  if (step.predicates.empty() || args.assume_predicates_true) return true;
+
+  Node* origin = StepOrigin(node);
+  if (origin == nullptr) return false;
+  // Forward-evaluate the step from the origin and test membership; this gives
+  // correct positional-predicate semantics (e.g. match="item[2]").
+  NodeSet candidates;
+  Evaluator::CollectAxis(origin, step, &candidates);
+  for (const auto& pred : step.predicates) {
+    NodeSet filtered;
+    size_t size = candidates.size();
+    for (size_t i = 0; i < size; ++i) {
+      EvalContext sub = ctx;
+      sub.node = candidates[i];
+      sub.position = i + 1;
+      sub.size = size;
+      XDB_ASSIGN_OR_RETURN(Value v, evaluator.Evaluate(*pred, sub));
+      bool keep = v.type() == Value::Type::kNumber
+                      ? v.ToNumber() == static_cast<double>(sub.position)
+                      : v.ToBoolean();
+      if (keep) filtered.push_back(candidates[i]);
+    }
+    candidates = std::move(filtered);
+  }
+  for (Node* c : candidates) {
+    if (c == node) return true;
+  }
+  return false;
+}
+
+Result<bool> MatchFrom(const std::vector<Step>& steps, int i, bool absolute,
+                       Node* node, const MatchArgs& args);
+
+// Handles the transition from steps[i] (already matched at `node`) to the
+// previous step, walking up the tree.
+Result<bool> MatchUp(const std::vector<Step>& steps, int i, bool absolute,
+                     Node* node, const MatchArgs& args) {
+  if (i == 0) {
+    if (!absolute) return true;
+    // Absolute pattern: the step chain must be anchored at the document node.
+    Node* up = StepOrigin(node);
+    return up != nullptr && up->type() == NodeType::kDocument;
+  }
+  Node* up = StepOrigin(node);
+  if (up == nullptr) return false;
+  int prev = i - 1;
+  if (IsSlashSlashMarker(steps[prev])) {
+    if (prev == 0) {
+      // Pattern "//x": any ancestry suffices (every node is under the root).
+      return true;
+    }
+    for (Node* a = up; a != nullptr; a = a->parent()) {
+      XDB_ASSIGN_OR_RETURN(bool m, MatchFrom(steps, prev - 1, absolute, a, args));
+      if (m) return true;
+    }
+    return false;
+  }
+  return MatchFrom(steps, prev, absolute, up, args);
+}
+
+Result<bool> MatchFrom(const std::vector<Step>& steps, int i, bool absolute,
+                       Node* node, const MatchArgs& args) {
+  XDB_ASSIGN_OR_RETURN(bool ok, TestStep(steps[i], node, args));
+  if (!ok) return false;
+  return MatchUp(steps, i, absolute, node, args);
+}
+
+Status ValidatePatternPath(const PathExpr& path) {
+  if (path.start != nullptr) {
+    return Status::ParseError("pattern may not start with a filter expression");
+  }
+  for (const Step& s : path.steps) {
+    if (s.axis == Axis::kChild || s.axis == Axis::kAttribute) continue;
+    if (IsSlashSlashMarker(s)) continue;
+    return Status::ParseError(std::string("axis '") + AxisName(s.axis) +
+                              "' is not allowed in a match pattern");
+  }
+  return Status::OK();
+}
+
+void FlattenUnion(ExprPtr expr, std::vector<ExprPtr>* out) {
+  if (expr->kind() == ExprKind::kBinary) {
+    auto* bin = static_cast<BinaryExpr*>(expr.get());
+    if (bin->op == BinaryOp::kUnion) {
+      FlattenUnion(std::move(bin->lhs), out);
+      FlattenUnion(std::move(bin->rhs), out);
+      return;
+    }
+  }
+  out->push_back(std::move(expr));
+}
+
+}  // namespace
+
+double PatternDefaultPriority(const PathExpr& path) {
+  // More than one real step, or any predicate => 0.5.
+  int real_steps = 0;
+  bool has_predicates = false;
+  const Step* only = nullptr;
+  for (const Step& s : path.steps) {
+    if (IsSlashSlashMarker(s)) {
+      ++real_steps;  // "//x" counts as a composite pattern
+      continue;
+    }
+    ++real_steps;
+    only = &s;
+    if (!s.predicates.empty()) has_predicates = true;
+  }
+  if (path.steps.empty()) return 0.5;  // match="/" — acts like a whole pattern
+  if (real_steps > 1 || has_predicates || path.absolute) return 0.5;
+  switch (only->test.kind) {
+    case NodeTest::Kind::kName:
+      return 0;
+    case NodeTest::Kind::kProcessingInstruction:
+      return only->test.pi_target.empty() ? -0.5 : 0;
+    case NodeTest::Kind::kAnyName:
+      return only->test.prefix.empty() ? -0.5 : -0.25;
+    case NodeTest::Kind::kText:
+    case NodeTest::Kind::kComment:
+    case NodeTest::Kind::kAnyNode:
+      return -0.5;
+  }
+  return 0.5;
+}
+
+Result<Pattern> Pattern::Parse(std::string_view text) {
+  XDB_ASSIGN_OR_RETURN(ExprPtr expr, ParseXPath(text));
+  Pattern pattern;
+  pattern.text_.assign(text);
+  std::vector<ExprPtr> parts;
+  FlattenUnion(std::move(expr), &parts);
+  for (ExprPtr& part : parts) {
+    if (part->kind() != ExprKind::kPath) {
+      return Status::ParseError("'" + std::string(text) +
+                                "' is not a valid match pattern");
+    }
+    PatternAlternative alt;
+    alt.path.reset(static_cast<PathExpr*>(part.release()));
+    XDB_RETURN_NOT_OK(ValidatePatternPath(*alt.path));
+    alt.default_priority = PatternDefaultPriority(*alt.path);
+    pattern.alternatives_.push_back(std::move(alt));
+  }
+  return pattern;
+}
+
+Result<bool> Pattern::MatchesAlternative(const PathExpr& path, Node* node,
+                                         const Evaluator& evaluator,
+                                         const EvalContext& ctx,
+                                         bool assume_predicates_true) {
+  if (path.steps.empty()) {
+    // match="/"
+    return path.absolute && node->type() == NodeType::kDocument;
+  }
+  if (node->type() == NodeType::kDocument) return false;
+  int last = static_cast<int>(path.steps.size()) - 1;
+  if (IsSlashSlashMarker(path.steps[last])) {
+    // Trailing "//" is not a legal pattern; treat as non-matching.
+    return false;
+  }
+  MatchArgs args{evaluator, ctx, assume_predicates_true};
+  return MatchFrom(path.steps, last, path.absolute, node, args);
+}
+
+Result<bool> Pattern::Matches(Node* node, const Evaluator& evaluator,
+                              const EvalContext& ctx,
+                              bool assume_predicates_true) const {
+  for (const PatternAlternative& alt : alternatives_) {
+    XDB_ASSIGN_OR_RETURN(bool m, MatchesAlternative(*alt.path, node, evaluator, ctx,
+                                                    assume_predicates_true));
+    if (m) return true;
+  }
+  return false;
+}
+
+}  // namespace xdb::xpath

@@ -1,0 +1,69 @@
+// XSLT match patterns (the "Pattern" production of XSLT 1.0 §5.2), matched
+// with the reverse-step testing strategy the paper attributes to [6]: test
+// the last step's node test against the candidate node, then walk *up* the
+// tree validating the remaining steps, instead of evaluating the path forward
+// from every possible context. Section 3.5 of the paper eliminates exactly
+// these upward tests when structural information proves them redundant.
+#ifndef XDB_XPATH_PATTERN_H_
+#define XDB_XPATH_PATTERN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xpath/ast.h"
+#include "xpath/evaluator.h"
+
+namespace xdb::xpath {
+
+/// One alternative of a (possibly union) pattern.
+struct PatternAlternative {
+  std::unique_ptr<PathExpr> path;
+  /// XSLT 1.0 §5.5 default priority: 0 for a plain QName or kind test with a
+  /// literal target, -0.25 for prefix:*, -0.5 for * / node-type tests,
+  /// +0.5 for anything more specific (multiple steps or predicates).
+  double default_priority = 0;
+
+  std::string ToString() const { return path->ToString(); }
+};
+
+/// \brief A compiled XSLT match pattern.
+class Pattern {
+ public:
+  /// Parses `text` as a pattern. Rejects XPath constructs that are not legal
+  /// in patterns (non-downward axes, arithmetic at the top level, ...).
+  static Result<Pattern> Parse(std::string_view text);
+
+  /// True when `node` matches any alternative. `ctx` supplies variable
+  /// bindings for predicate evaluation; its node fields are ignored.
+  /// With `assume_predicates_true`, predicate tests are skipped entirely —
+  /// the conservative structural matching of the paper's partial evaluation
+  /// (§4.3: "assume that the result of matching pattern with a predicate ...
+  /// is always true").
+  Result<bool> Matches(xml::Node* node, const Evaluator& evaluator,
+                       const EvalContext& ctx,
+                       bool assume_predicates_true = false) const;
+
+  /// True when `node` matches the given alternative.
+  static Result<bool> MatchesAlternative(const PathExpr& path, xml::Node* node,
+                                         const Evaluator& evaluator,
+                                         const EvalContext& ctx,
+                                         bool assume_predicates_true = false);
+
+  const std::vector<PatternAlternative>& alternatives() const {
+    return alternatives_;
+  }
+  const std::string& text() const { return text_; }
+
+ private:
+  std::string text_;
+  std::vector<PatternAlternative> alternatives_;
+};
+
+/// Computes the XSLT default priority of a single pattern alternative.
+double PatternDefaultPriority(const PathExpr& path);
+
+}  // namespace xdb::xpath
+
+#endif  // XDB_XPATH_PATTERN_H_

@@ -1,0 +1,173 @@
+#include "xpath/value.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace xdb::xpath {
+
+void SortDocumentOrder(NodeSet* nodes) {
+  std::sort(nodes->begin(), nodes->end(), [](xml::Node* a, xml::Node* b) {
+    return a->CompareDocumentOrder(b) < 0;
+  });
+  nodes->erase(std::unique(nodes->begin(), nodes->end()), nodes->end());
+}
+
+double StringToNumber(const std::string& s) {
+  std::string_view t = TrimWhitespace(s);
+  if (t.empty()) return std::nan("");
+  // XPath numbers: '-'? digits ('.' digits?)? | '-'? '.' digits
+  size_t i = 0;
+  if (t[i] == '-') ++i;
+  bool digits = false;
+  while (i < t.size() && t[i] >= '0' && t[i] <= '9') {
+    ++i;
+    digits = true;
+  }
+  if (i < t.size() && t[i] == '.') {
+    ++i;
+    while (i < t.size() && t[i] >= '0' && t[i] <= '9') {
+      ++i;
+      digits = true;
+    }
+  }
+  if (!digits || i != t.size()) return std::nan("");
+  return std::strtod(std::string(t).c_str(), nullptr);
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case Type::kNodeSet: {
+      const NodeSet& ns = node_set();
+      return ns.empty() ? std::string() : ns.front()->StringValue();
+    }
+    case Type::kString:
+      return std::get<std::string>(v_);
+    case Type::kNumber:
+      return FormatXPathNumber(std::get<double>(v_));
+    case Type::kBoolean:
+      return std::get<bool>(v_) ? "true" : "false";
+  }
+  return {};
+}
+
+double Value::ToNumber() const {
+  switch (type()) {
+    case Type::kNodeSet:
+    case Type::kString:
+      return StringToNumber(ToString());
+    case Type::kNumber:
+      return std::get<double>(v_);
+    case Type::kBoolean:
+      return std::get<bool>(v_) ? 1.0 : 0.0;
+  }
+  return std::nan("");
+}
+
+bool Value::ToBoolean() const {
+  switch (type()) {
+    case Type::kNodeSet:
+      return !node_set().empty();
+    case Type::kString:
+      return !std::get<std::string>(v_).empty();
+    case Type::kNumber: {
+      double d = std::get<double>(v_);
+      return d != 0.0 && !std::isnan(d);
+    }
+    case Type::kBoolean:
+      return std::get<bool>(v_);
+  }
+  return false;
+}
+
+Result<NodeSet> Value::ToNodeSet() const {
+  if (!is_node_set()) {
+    return Status::TypeError(std::string("expected a node-set, got ") +
+                             TypeName(type()));
+  }
+  return node_set();
+}
+
+const char* Value::TypeName(Type type) {
+  switch (type) {
+    case Type::kNodeSet:
+      return "node-set";
+    case Type::kString:
+      return "string";
+    case Type::kNumber:
+      return "number";
+    case Type::kBoolean:
+      return "boolean";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool CompareNumbers(double a, double b, CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNe:
+      return a != b;
+    case CompareOp::kLt:
+      return a < b;
+    case CompareOp::kLe:
+      return a <= b;
+    case CompareOp::kGt:
+      return a > b;
+    case CompareOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+bool CompareAtomic(const Value& lhs, const Value& rhs, CompareOp op) {
+  using T = Value::Type;
+  if (op == CompareOp::kEq || op == CompareOp::kNe) {
+    // §3.4: boolean > number > string in conversion preference.
+    if (lhs.type() == T::kBoolean || rhs.type() == T::kBoolean) {
+      bool eq = lhs.ToBoolean() == rhs.ToBoolean();
+      return op == CompareOp::kEq ? eq : !eq;
+    }
+    if (lhs.type() == T::kNumber || rhs.type() == T::kNumber) {
+      return CompareNumbers(lhs.ToNumber(), rhs.ToNumber(), op);
+    }
+    bool eq = lhs.ToString() == rhs.ToString();
+    return op == CompareOp::kEq ? eq : !eq;
+  }
+  // Relational operators always compare as numbers.
+  return CompareNumbers(lhs.ToNumber(), rhs.ToNumber(), op);
+}
+
+}  // namespace
+
+bool CompareValues(const Value& lhs, const Value& rhs, CompareOp op) {
+  // Existential semantics when node-sets are involved.
+  if (lhs.is_node_set() && rhs.is_node_set()) {
+    for (xml::Node* a : lhs.node_set()) {
+      Value va(a->StringValue());
+      for (xml::Node* b : rhs.node_set()) {
+        if (CompareAtomic(va, Value(b->StringValue()), op)) return true;
+      }
+    }
+    return false;
+  }
+  if (lhs.is_node_set()) {
+    for (xml::Node* a : lhs.node_set()) {
+      if (CompareAtomic(Value(a->StringValue()), rhs, op)) return true;
+    }
+    return false;
+  }
+  if (rhs.is_node_set()) {
+    for (xml::Node* b : rhs.node_set()) {
+      if (CompareAtomic(lhs, Value(b->StringValue()), op)) return true;
+    }
+    return false;
+  }
+  return CompareAtomic(lhs, rhs, op);
+}
+
+}  // namespace xdb::xpath

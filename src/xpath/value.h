@@ -1,0 +1,69 @@
+// XPath 1.0 value model: node-set, string, number, boolean — plus the
+// conversion rules of XPath 1.0 §3.5/§4. The same model is reused by the
+// XQuery evaluator (a node-set doubles as an ordered item sequence there).
+#ifndef XDB_XPATH_VALUE_H_
+#define XDB_XPATH_VALUE_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/dom.h"
+
+namespace xdb::xpath {
+
+/// A set of nodes in document order without duplicates (XPath 1.0 node-set).
+using NodeSet = std::vector<xml::Node*>;
+
+/// Sorts `nodes` into document order and removes duplicates, in place.
+void SortDocumentOrder(NodeSet* nodes);
+
+/// \brief A dynamically typed XPath value.
+class Value {
+ public:
+  enum class Type { kNodeSet, kString, kNumber, kBoolean };
+
+  Value() : v_(NodeSet{}) {}
+  explicit Value(NodeSet nodes) : v_(std::move(nodes)) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(bool b) : v_(b) {}
+
+  static Value SingleNode(xml::Node* n) { return Value(NodeSet{n}); }
+
+  Type type() const { return static_cast<Type>(v_.index()); }
+  bool is_node_set() const { return type() == Type::kNodeSet; }
+
+  const NodeSet& node_set() const { return std::get<NodeSet>(v_); }
+  NodeSet& node_set() { return std::get<NodeSet>(v_); }
+
+  /// XPath string(): node-set -> string-value of first node ("" when empty).
+  std::string ToString() const;
+  /// XPath number(): strings parse per the XPath lexical rules, NaN on failure.
+  double ToNumber() const;
+  /// XPath boolean(): non-empty node-set / non-empty string / non-zero number.
+  bool ToBoolean() const;
+
+  /// Returns the node-set, or a TypeError for non-node-set values.
+  Result<NodeSet> ToNodeSet() const;
+
+  /// Name of `type` for diagnostics ("node-set", "string", ...).
+  static const char* TypeName(Type type);
+
+ private:
+  std::variant<NodeSet, std::string, double, bool> v_;
+};
+
+/// Parses a string as an XPath number (optional sign, digits, optional
+/// fraction); returns NaN for anything else, per XPath 1.0 §4.4.
+double StringToNumber(const std::string& s);
+
+/// Implements the XPath 1.0 comparison semantics for = != < <= > >= including
+/// the existential node-set rules (§3.4).
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+bool CompareValues(const Value& lhs, const Value& rhs, CompareOp op);
+
+}  // namespace xdb::xpath
+
+#endif  // XDB_XPATH_VALUE_H_

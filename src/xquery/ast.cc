@@ -1,0 +1,229 @@
+#include "xquery/ast.h"
+
+#include "common/strings.h"
+
+namespace xdb::xquery {
+
+namespace {
+std::string Indent(int n) { return std::string(static_cast<size_t>(n) * 2, ' '); }
+
+// Escapes literal text for direct-constructor content.
+std::string EscapeContent(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '{':
+        out += "{{";
+        break;
+      case '}':
+        out += "}}";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string XPathQExpr::ToString(int) const { return expr->ToString(); }
+
+std::string TextLiteralQExpr::ToString(int) const { return EscapeContent(text); }
+
+std::string FlworQExpr::ToString(int indent) const {
+  std::string out;
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    const Clause& c = clauses[i];
+    if (i > 0) out += "\n" + Indent(indent);
+    out += c.kind == Clause::Kind::kFor ? "for $" : "let $";
+    out += c.var;
+    out += c.kind == Clause::Kind::kFor ? " in " : " := ";
+    out += c.expr->ToString(indent + 1);
+  }
+  if (where != nullptr) {
+    out += "\n" + Indent(indent) + "where " + where->ToString(indent + 1);
+  }
+  if (!order_by.empty()) {
+    out += "\n" + Indent(indent) + "order by ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += order_by[i].key->ToString(indent + 1);
+      if (order_by[i].descending) out += " descending";
+    }
+  }
+  out += "\n" + Indent(indent) + "return\n";
+  out += Indent(indent + 1) + return_expr->ToString(indent + 1);
+  return out;
+}
+
+QExprPtr FlworQExpr::Clone() const {
+  auto out = std::make_unique<FlworQExpr>();
+  for (const Clause& c : clauses) {
+    out->clauses.push_back(Clause{c.kind, c.var, c.expr->Clone()});
+  }
+  if (where) out->where = where->Clone();
+  for (const OrderSpec& o : order_by) {
+    out->order_by.push_back(OrderSpec{o.key->Clone(), o.descending});
+  }
+  out->return_expr = return_expr->Clone();
+  return out;
+}
+
+std::string IfQExpr::ToString(int indent) const {
+  std::string out = "if (" + cond->ToString(indent) + ") then\n";
+  out += Indent(indent + 1) + then_expr->ToString(indent + 1);
+  out += "\n" + Indent(indent) + "else\n";
+  out += Indent(indent + 1) +
+         (else_expr != nullptr ? else_expr->ToString(indent + 1) : "()");
+  return out;
+}
+
+std::string SequenceQExpr::ToString(int indent) const {
+  if (items.empty()) return "()";
+  std::string out = "(\n";
+  for (size_t i = 0; i < items.size(); ++i) {
+    out += Indent(indent + 1) + items[i]->ToString(indent + 1);
+    if (i + 1 < items.size()) out += ",";
+    out += "\n";
+  }
+  out += Indent(indent) + ")";
+  return out;
+}
+
+QExprPtr SequenceQExpr::Clone() const {
+  auto out = std::make_unique<SequenceQExpr>();
+  for (const auto& i : items) out->items.push_back(i->Clone());
+  return out;
+}
+
+std::string ElementCtorQExpr::ToString(int indent) const {
+  std::string out = "<" + name;
+  for (const Attr& a : attributes) {
+    out += " " + a.name + "=\"";
+    for (const auto& part : a.value_parts) {
+      if (part->kind() == QExprKind::kTextLiteral) {
+        out += EscapeXmlAttribute(
+            static_cast<const TextLiteralQExpr*>(part.get())->text);
+      } else {
+        out += "{" + part->ToString(indent) + "}";
+      }
+    }
+    out += "\"";
+  }
+  if (children.empty()) return out + "/>";
+  out += ">";
+  if (compact) {
+    for (const auto& child : children) {
+      if (child->kind() == QExprKind::kTextLiteral) {
+        out += child->ToString(indent);
+      } else {
+        out += "{" + child->ToString(indent) + "}";
+      }
+    }
+    return out + "</" + name + ">";
+  }
+  out += "\n";
+  for (const auto& child : children) {
+    if (child->kind() == QExprKind::kTextLiteral) {
+      out += Indent(indent + 1) + child->ToString(indent + 1) + "\n";
+    } else if (child->kind() == QExprKind::kElementCtor) {
+      out += Indent(indent + 1) + child->ToString(indent + 1) + "\n";
+    } else {
+      out += Indent(indent + 1) + "{ " + child->ToString(indent + 1) + " }\n";
+    }
+  }
+  out += Indent(indent) + "</" + name + ">";
+  return out;
+}
+
+QExprPtr ElementCtorQExpr::Clone() const {
+  auto out = std::make_unique<ElementCtorQExpr>(name);
+  for (const Attr& a : attributes) {
+    Attr na;
+    na.name = a.name;
+    for (const auto& p : a.value_parts) na.value_parts.push_back(p->Clone());
+    out->attributes.push_back(std::move(na));
+  }
+  for (const auto& c : children) out->children.push_back(c->Clone());
+  out->compact = compact;
+  return out;
+}
+
+std::string TextCtorQExpr::ToString(int indent) const {
+  return "text { " + value->ToString(indent) + " }";
+}
+
+std::string AttributeCtorQExpr::ToString(int indent) const {
+  return "attribute " + name + " { " + value->ToString(indent) + " }";
+}
+
+std::string InstanceOfQExpr::ToString(int indent) const {
+  std::string type;
+  switch (type_kind) {
+    case TypeKind::kElement:
+      type = "element(" + element_name + ")";
+      break;
+    case TypeKind::kText:
+      type = "text()";
+      break;
+    case TypeKind::kAttribute:
+      type = "attribute(" + element_name + ")";
+      break;
+    case TypeKind::kDocument:
+      type = "document-node()";
+      break;
+  }
+  return expr->ToString(indent) + " instance of " + type;
+}
+
+std::string FunctionCallQExpr::ToString(int indent) const {
+  std::string out = name + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i]->ToString(indent);
+  }
+  return out + ")";
+}
+
+QExprPtr FunctionCallQExpr::Clone() const {
+  std::vector<QExprPtr> cloned;
+  for (const auto& a : args) cloned.push_back(a->Clone());
+  return std::make_unique<FunctionCallQExpr>(name, std::move(cloned));
+}
+
+std::string Query::ToString() const {
+  std::string out;
+  for (const VarDecl& v : variables) {
+    out += "declare variable $" + v.name + " := " + v.expr->ToString(0) + ";\n";
+  }
+  for (const FunctionDecl& f : functions) {
+    out += "declare function " + f.name + "(";
+    for (size_t i = 0; i < f.params.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "$" + f.params[i];
+    }
+    out += ")\n{\n  " + f.body->ToString(1) + "\n};\n";
+  }
+  if (body != nullptr) out += body->ToString(0);
+  return out;
+}
+
+QExprPtr MakeXPath(xpath::ExprPtr e) {
+  return std::make_unique<XPathQExpr>(std::move(e));
+}
+
+QExprPtr MakeVarRef(const std::string& name) {
+  return MakeXPath(std::make_unique<xpath::VariableRefExpr>(name));
+}
+
+QExprPtr MakeStringLiteral(const std::string& s) {
+  return MakeXPath(std::make_unique<xpath::LiteralExpr>(s));
+}
+
+}  // namespace xdb::xquery

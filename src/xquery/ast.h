@@ -1,0 +1,241 @@
+// XQuery abstract syntax for the subset the paper's rewrite emits and
+// consumes: FLWOR expressions, direct element constructors with embedded
+// expressions, conditionals, sequence expressions, `instance of element()`
+// tests, user-defined functions (non-inline rewrite mode), and embedded
+// XPath (XQuery's path/arithmetic/function-call core is XPath 1.0, which we
+// reuse wholesale from src/xpath).
+//
+// Like the XPath AST, everything is intentionally open — the XQuery->SQL/XML
+// rewriter pattern-matches and transforms these nodes.
+#ifndef XDB_XQUERY_AST_H_
+#define XDB_XQUERY_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xpath/ast.h"
+
+namespace xdb::xquery {
+
+enum class QExprKind {
+  kXPath,        ///< embedded XPath expression (paths, arithmetic, fn calls)
+  kTextLiteral,  ///< literal text node content inside a constructor
+  kFlwor,
+  kIf,
+  kSequence,
+  kElementCtor,
+  kAttributeCtor,  ///< computed attribute constructor
+  kTextCtor,       ///< computed text constructor: text { expr }
+  kInstanceOf,
+  kFunctionCall,   ///< user-defined (local:*) function call
+};
+
+class QExpr {
+ public:
+  explicit QExpr(QExprKind kind) : kind_(kind) {}
+  virtual ~QExpr() = default;
+  QExprKind kind() const { return kind_; }
+
+  /// Renders XQuery syntax. `indent` is the current indentation depth; the
+  /// printer emits the multi-line style of the paper's Table 8.
+  virtual std::string ToString(int indent = 0) const = 0;
+  virtual std::unique_ptr<QExpr> Clone() const = 0;
+
+ private:
+  QExprKind kind_;
+};
+
+using QExprPtr = std::unique_ptr<QExpr>;
+
+/// Embedded XPath leaf.
+class XPathQExpr : public QExpr {
+ public:
+  explicit XPathQExpr(xpath::ExprPtr expr)
+      : QExpr(QExprKind::kXPath), expr(std::move(expr)) {}
+  std::string ToString(int indent) const override;
+  QExprPtr Clone() const override {
+    return std::make_unique<XPathQExpr>(expr->Clone());
+  }
+  xpath::ExprPtr expr;
+};
+
+/// Literal text inside element content.
+class TextLiteralQExpr : public QExpr {
+ public:
+  explicit TextLiteralQExpr(std::string text)
+      : QExpr(QExprKind::kTextLiteral), text(std::move(text)) {}
+  std::string ToString(int indent) const override;
+  QExprPtr Clone() const override {
+    return std::make_unique<TextLiteralQExpr>(text);
+  }
+  std::string text;
+};
+
+/// FLWOR. Clauses are a mixed ordered list of for/let bindings.
+class FlworQExpr : public QExpr {
+ public:
+  struct Clause {
+    enum class Kind { kFor, kLet };
+    Kind kind;
+    std::string var;  // without '$'
+    QExprPtr expr;
+  };
+  struct OrderSpec {
+    QExprPtr key;
+    bool descending = false;
+  };
+
+  FlworQExpr() : QExpr(QExprKind::kFlwor) {}
+  std::string ToString(int indent) const override;
+  QExprPtr Clone() const override;
+
+  std::vector<Clause> clauses;
+  QExprPtr where;  // may be null
+  std::vector<OrderSpec> order_by;
+  QExprPtr return_expr;
+};
+
+class IfQExpr : public QExpr {
+ public:
+  IfQExpr(QExprPtr cond, QExprPtr then_expr, QExprPtr else_expr)
+      : QExpr(QExprKind::kIf),
+        cond(std::move(cond)),
+        then_expr(std::move(then_expr)),
+        else_expr(std::move(else_expr)) {}
+  std::string ToString(int indent) const override;
+  QExprPtr Clone() const override {
+    return std::make_unique<IfQExpr>(cond->Clone(), then_expr->Clone(),
+                                     else_expr ? else_expr->Clone() : nullptr);
+  }
+  QExprPtr cond;
+  QExprPtr then_expr;
+  QExprPtr else_expr;  // null => "else ()"
+};
+
+/// Comma sequence: (e1, e2, ...).
+class SequenceQExpr : public QExpr {
+ public:
+  SequenceQExpr() : QExpr(QExprKind::kSequence) {}
+  explicit SequenceQExpr(std::vector<QExprPtr> items)
+      : QExpr(QExprKind::kSequence), items(std::move(items)) {}
+  std::string ToString(int indent) const override;
+  QExprPtr Clone() const override;
+  std::vector<QExprPtr> items;
+};
+
+/// Direct element constructor <name attr="...">{content}</name>.
+/// Attribute values are sequences of parts (literal text / expressions),
+/// mirroring attribute value interpolation.
+class ElementCtorQExpr : public QExpr {
+ public:
+  struct Attr {
+    std::string name;
+    std::vector<QExprPtr> value_parts;  // kTextLiteral or other exprs
+  };
+  explicit ElementCtorQExpr(std::string name)
+      : QExpr(QExprKind::kElementCtor), name(std::move(name)) {}
+  std::string ToString(int indent) const override;
+  QExprPtr Clone() const override;
+
+  std::string name;
+  std::vector<Attr> attributes;
+  std::vector<QExprPtr> children;
+  /// Render children inline (single line) — used for small leaf elements.
+  bool compact = false;
+};
+
+/// Computed attribute constructor: attribute name { value }.
+class AttributeCtorQExpr : public QExpr {
+ public:
+  AttributeCtorQExpr(std::string name, QExprPtr value)
+      : QExpr(QExprKind::kAttributeCtor),
+        name(std::move(name)),
+        value(std::move(value)) {}
+  std::string ToString(int indent) const override;
+  QExprPtr Clone() const override {
+    return std::make_unique<AttributeCtorQExpr>(name, value->Clone());
+  }
+  std::string name;
+  QExprPtr value;
+};
+
+/// Computed text constructor `text { expr }`. Evaluates to a text node whose
+/// value is the concatenation of the item string-values (no separators, so a
+/// run of rewritten xsl:value-of results reproduces XSLT's text semantics);
+/// an empty string yields the empty sequence, matching xsl:value-of.
+class TextCtorQExpr : public QExpr {
+ public:
+  explicit TextCtorQExpr(QExprPtr value)
+      : QExpr(QExprKind::kTextCtor), value(std::move(value)) {}
+  std::string ToString(int indent) const override;
+  QExprPtr Clone() const override {
+    return std::make_unique<TextCtorQExpr>(value->Clone());
+  }
+  QExprPtr value;
+};
+
+/// `expr instance of element(name)` / text() / attribute(name) /
+/// document-node(). Empty name = any element / any attribute.
+class InstanceOfQExpr : public QExpr {
+ public:
+  enum class TypeKind { kElement, kText, kAttribute, kDocument };
+  InstanceOfQExpr(QExprPtr expr, std::string element_name,
+                  TypeKind type_kind = TypeKind::kElement)
+      : QExpr(QExprKind::kInstanceOf),
+        expr(std::move(expr)),
+        element_name(std::move(element_name)),
+        type_kind(type_kind) {}
+  std::string ToString(int indent) const override;
+  QExprPtr Clone() const override {
+    return std::make_unique<InstanceOfQExpr>(expr->Clone(), element_name,
+                                             type_kind);
+  }
+  QExprPtr expr;
+  std::string element_name;
+  TypeKind type_kind;
+};
+
+/// Call to a user-defined function (declared in the prolog).
+class FunctionCallQExpr : public QExpr {
+ public:
+  FunctionCallQExpr(std::string name, std::vector<QExprPtr> args)
+      : QExpr(QExprKind::kFunctionCall), name(std::move(name)), args(std::move(args)) {}
+  std::string ToString(int indent) const override;
+  QExprPtr Clone() const override;
+  std::string name;  // e.g. "local:tmpl3"
+  std::vector<QExprPtr> args;
+};
+
+/// Prolog: variable declaration `declare variable $name := expr;`.
+struct VarDecl {
+  std::string name;
+  QExprPtr expr;
+};
+
+/// Prolog: function declaration
+/// `declare function local:name($p1, ...) { body };`.
+struct FunctionDecl {
+  std::string name;
+  std::vector<std::string> params;
+  QExprPtr body;
+};
+
+/// A full query module: prolog declarations + main expression.
+struct Query {
+  std::vector<VarDecl> variables;
+  std::vector<FunctionDecl> functions;
+  QExprPtr body;
+  /// Optional comments attached before the body (the paper annotates the
+  /// generated query with "(: <xsl:template match=...> :)" markers).
+  std::string ToString() const;
+};
+
+/// Helpers for building XPath leaves.
+QExprPtr MakeXPath(xpath::ExprPtr e);
+QExprPtr MakeVarRef(const std::string& name);
+QExprPtr MakeStringLiteral(const std::string& s);
+
+}  // namespace xdb::xquery
+
+#endif  // XDB_XQUERY_AST_H_

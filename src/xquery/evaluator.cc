@@ -1,0 +1,600 @@
+#include "xquery/evaluator.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "common/strings.h"
+#include "xml/serializer.h"
+
+namespace xdb::xquery {
+
+using xml::Node;
+using xml::NodeType;
+using xpath::EvalContext;
+using xpath::NodeSet;
+using xpath::Value;
+using xpath::VariableEnv;
+
+std::string ItemStringValue(const Item& item) {
+  if (std::holds_alternative<Node*>(item)) {
+    return std::get<Node*>(item)->StringValue();
+  }
+  if (std::holds_alternative<std::string>(item)) return std::get<std::string>(item);
+  if (std::holds_alternative<double>(item)) {
+    return FormatXPathNumber(std::get<double>(item));
+  }
+  return std::get<bool>(item) ? "true" : "false";
+}
+
+std::string ItemToString(const Item& item) {
+  if (std::holds_alternative<Node*>(item)) {
+    return xml::Serialize(std::get<Node*>(item));
+  }
+  return ItemStringValue(item);
+}
+
+xpath::Value SequenceToXPathValue(const Sequence& seq, xml::Document* arena) {
+  bool all_nodes = true;
+  for (const Item& i : seq) {
+    if (!std::holds_alternative<Node*>(i)) all_nodes = false;
+  }
+  if (all_nodes) {
+    NodeSet ns;
+    ns.reserve(seq.size());
+    for (const Item& i : seq) ns.push_back(std::get<Node*>(i));
+    return Value(std::move(ns));
+  }
+  if (seq.size() == 1) {
+    const Item& i = seq[0];
+    if (std::holds_alternative<std::string>(i)) {
+      return Value(std::get<std::string>(i));
+    }
+    if (std::holds_alternative<double>(i)) return Value(std::get<double>(i));
+    return Value(std::get<bool>(i));
+  }
+  // Mixed / multi-atomic: materialize atomics as text nodes.
+  NodeSet ns;
+  for (const Item& i : seq) {
+    if (std::holds_alternative<Node*>(i)) {
+      ns.push_back(std::get<Node*>(i));
+    } else {
+      ns.push_back(arena->CreateText(ItemStringValue(i)));
+    }
+  }
+  return Value(std::move(ns));
+}
+
+Result<bool> EffectiveBooleanValue(const Sequence& seq) {
+  if (seq.empty()) return false;
+  if (std::holds_alternative<Node*>(seq[0])) return true;
+  if (seq.size() > 1) {
+    return Status::TypeError("XQuery: effective boolean value of multi-item "
+                             "atomic sequence");
+  }
+  const Item& i = seq[0];
+  if (std::holds_alternative<std::string>(i)) {
+    return !std::get<std::string>(i).empty();
+  }
+  if (std::holds_alternative<double>(i)) {
+    double d = std::get<double>(i);
+    return d != 0 && d == d;  // false for 0 and NaN
+  }
+  return std::get<bool>(i);
+}
+
+namespace {
+
+Sequence ValueToSequence(const Value& v) {
+  Sequence out;
+  switch (v.type()) {
+    case Value::Type::kNodeSet:
+      for (Node* n : v.node_set()) out.emplace_back(n);
+      break;
+    case Value::Type::kString:
+      out.emplace_back(v.ToString());
+      break;
+    case Value::Type::kNumber:
+      out.emplace_back(v.ToNumber());
+      break;
+    case Value::Type::kBoolean:
+      out.emplace_back(v.ToBoolean());
+      break;
+  }
+  return out;
+}
+
+constexpr int kMaxCallDepth = 512;
+
+struct QCtx {
+  Node* context_item;
+  VariableEnv* env;
+  xml::Document* out;
+  const Query* query;
+  int depth = 0;
+};
+
+class QEvalEngine {
+ public:
+  // Copies the base evaluator so per-query user functions can be registered
+  // without leaking closures into the shared evaluator.
+  explicit QEvalEngine(const xpath::Evaluator& base) : xev_(base) {}
+
+  Result<Sequence> Run(const Query& query, Node* context_item,
+                       xml::Document* out) {
+    // Register user-defined functions so XPath expressions can call them
+    // (e.g. `$n * local:fact($n - 1)` in the non-inline rewrite mode).
+    for (const FunctionDecl& f : query.functions) {
+      const FunctionDecl* fd = &f;
+      const Query* qp = &query;
+      xev_.RegisterFunction(
+          f.name, static_cast<int>(f.params.size()),
+          static_cast<int>(f.params.size()),
+          [this, fd, qp, out](std::vector<Value>& args,
+                              const EvalContext& ectx) -> Result<Value> {
+            if (call_depth_ >= kMaxCallDepth) {
+              return Status::Internal("XQuery: function call depth exceeded");
+            }
+            VariableEnv params_frame(FindGlobals(ectx.env));
+            for (size_t i = 0; i < args.size(); ++i) {
+              params_frame.Set(fd->params[i], args[i]);
+            }
+            QCtx sub{ectx.node, &params_frame, out, qp, call_depth_ + 1};
+            ++call_depth_;
+            auto result = Eval(*fd->body, sub);
+            --call_depth_;
+            if (!result.ok()) return result.status();
+            return SequenceToXPathValue(*result, out);
+          });
+    }
+    VariableEnv globals;
+    QCtx ctx{context_item, &globals, out, &query, 0};
+    for (const VarDecl& v : query.variables) {
+      XDB_ASSIGN_OR_RETURN(Sequence s, Eval(*v.expr, ctx));
+      globals.Set(v.name, SequenceToXPathValue(s, out));
+    }
+    return Eval(*query.body, ctx);
+  }
+
+  Result<Sequence> Eval(const QExpr& e, QCtx& ctx) {
+    switch (e.kind()) {
+      case QExprKind::kXPath: {
+        const auto& x = static_cast<const XPathQExpr&>(e);
+        EvalContext xctx;
+        xctx.node = ctx.context_item;
+        xctx.env = ctx.env;
+        xctx.current = ctx.context_item;
+        XDB_ASSIGN_OR_RETURN(Value v, xev_.Evaluate(*x.expr, xctx));
+        return ValueToSequence(v);
+      }
+      case QExprKind::kTextLiteral: {
+        const auto& t = static_cast<const TextLiteralQExpr&>(e);
+        Sequence s;
+        s.emplace_back(t.text);
+        return s;
+      }
+      case QExprKind::kSequence: {
+        const auto& seq = static_cast<const SequenceQExpr&>(e);
+        Sequence out;
+        for (const auto& item : seq.items) {
+          XDB_ASSIGN_OR_RETURN(Sequence s, Eval(*item, ctx));
+          out.insert(out.end(), s.begin(), s.end());
+        }
+        return out;
+      }
+      case QExprKind::kIf: {
+        const auto& f = static_cast<const IfQExpr&>(e);
+        XDB_ASSIGN_OR_RETURN(Sequence cond, Eval(*f.cond, ctx));
+        XDB_ASSIGN_OR_RETURN(bool b, EffectiveBooleanValue(cond));
+        if (b) return Eval(*f.then_expr, ctx);
+        if (f.else_expr != nullptr) return Eval(*f.else_expr, ctx);
+        return Sequence{};
+      }
+      case QExprKind::kFlwor:
+        return EvalFlwor(static_cast<const FlworQExpr&>(e), ctx);
+      case QExprKind::kElementCtor:
+        return EvalElementCtor(static_cast<const ElementCtorQExpr&>(e), ctx);
+      case QExprKind::kAttributeCtor: {
+        const auto& a = static_cast<const AttributeCtorQExpr&>(e);
+        XDB_ASSIGN_OR_RETURN(Sequence v, Eval(*a.value, ctx));
+        // Represent a computed attribute as an attribute node on a detached
+        // carrier element; the enclosing constructor lifts it.
+        Node* carrier = ctx.out->CreateElement("#attr-carrier");
+        Node* attr = carrier->SetAttribute(a.name, AtomizeJoin(v));
+        Sequence s;
+        s.emplace_back(attr);
+        return s;
+      }
+      case QExprKind::kTextCtor: {
+        const auto& t = static_cast<const TextCtorQExpr&>(e);
+        XDB_ASSIGN_OR_RETURN(Sequence v, Eval(*t.value, ctx));
+        std::string text;
+        for (const Item& item : v) text += ItemStringValue(item);
+        Sequence s;
+        if (!text.empty()) s.emplace_back(ctx.out->CreateText(text));
+        return s;
+      }
+      case QExprKind::kInstanceOf: {
+        const auto& io = static_cast<const InstanceOfQExpr&>(e);
+        XDB_ASSIGN_OR_RETURN(Sequence v, Eval(*io.expr, ctx));
+        bool match = false;
+        if (v.size() == 1 && std::holds_alternative<Node*>(v[0])) {
+          Node* n = std::get<Node*>(v[0]);
+          switch (io.type_kind) {
+            case InstanceOfQExpr::TypeKind::kElement:
+              match = n->is_element() && (io.element_name.empty() ||
+                                          n->local_name() == io.element_name);
+              break;
+            case InstanceOfQExpr::TypeKind::kText:
+              match = n->type() == NodeType::kText;
+              break;
+            case InstanceOfQExpr::TypeKind::kAttribute:
+              match = n->is_attribute() && (io.element_name.empty() ||
+                                            n->local_name() == io.element_name);
+              break;
+            case InstanceOfQExpr::TypeKind::kDocument:
+              match = n->type() == NodeType::kDocument;
+              break;
+          }
+        }
+        Sequence s;
+        s.emplace_back(match);
+        return s;
+      }
+      case QExprKind::kFunctionCall:
+        return EvalFunctionCall(static_cast<const FunctionCallQExpr&>(e), ctx);
+    }
+    return Status::Internal("XQuery: unknown expression kind");
+  }
+
+ private:
+  // Joins atomized items with single spaces (attribute/content rule).
+  static std::string AtomizeJoin(const Sequence& seq) {
+    std::string out;
+    for (size_t i = 0; i < seq.size(); ++i) {
+      if (i > 0) out += " ";
+      out += ItemStringValue(seq[i]);
+    }
+    return out;
+  }
+
+  Result<Sequence> EvalFlwor(const FlworQExpr& f, QCtx& ctx) {
+    // Materialize binding tuples, then filter / order / return.
+    struct Tuple {
+      std::vector<Value> bindings;  // aligned with f.clauses
+    };
+    std::vector<Tuple> tuples;
+    std::vector<Value> current(f.clauses.size());
+
+    // Recursive expansion over clauses.
+    std::function<Status(size_t, VariableEnv*)> expand =
+        [&](size_t i, VariableEnv* env) -> Status {
+      if (i == f.clauses.size()) {
+        tuples.push_back(Tuple{current});
+        return Status::OK();
+      }
+      const FlworQExpr::Clause& c = f.clauses[i];
+      QCtx sub = ctx;
+      sub.env = env;
+      XDB_ASSIGN_OR_RETURN(Sequence s, Eval(*c.expr, sub));
+      if (c.kind == FlworQExpr::Clause::Kind::kLet) {
+        VariableEnv frame(env);
+        Value v = SequenceToXPathValue(s, ctx.out);
+        frame.Set(c.var, v);
+        current[i] = std::move(v);
+        return expand(i + 1, &frame);
+      }
+      for (const Item& item : s) {
+        Sequence single{item};
+        Value v = SequenceToXPathValue(single, ctx.out);
+        VariableEnv frame(env);
+        frame.Set(c.var, v);
+        current[i] = std::move(v);
+        XDB_RETURN_NOT_OK(expand(i + 1, &frame));
+      }
+      return Status::OK();
+    };
+    XDB_RETURN_NOT_OK(expand(0, ctx.env));
+
+    // Helper to build an env frame for one tuple.
+    auto make_env = [&](const Tuple& t, VariableEnv* frame) {
+      for (size_t i = 0; i < f.clauses.size(); ++i) {
+        frame->Set(f.clauses[i].var, t.bindings[i]);
+      }
+    };
+
+    // where
+    if (f.where != nullptr) {
+      std::vector<Tuple> kept;
+      for (const Tuple& t : tuples) {
+        VariableEnv frame(ctx.env);
+        make_env(t, &frame);
+        QCtx sub = ctx;
+        sub.env = &frame;
+        XDB_ASSIGN_OR_RETURN(Sequence cond, Eval(*f.where, sub));
+        XDB_ASSIGN_OR_RETURN(bool b, EffectiveBooleanValue(cond));
+        if (b) kept.push_back(t);
+      }
+      tuples = std::move(kept);
+    }
+
+    // order by
+    if (!f.order_by.empty()) {
+      struct Keyed {
+        Tuple tuple;
+        std::vector<std::string> skeys;
+        std::vector<double> nkeys;
+        bool numeric_valid;
+        size_t original;
+      };
+      std::vector<Keyed> keyed;
+      keyed.reserve(tuples.size());
+      for (size_t ti = 0; ti < tuples.size(); ++ti) {
+        Keyed k;
+        k.tuple = tuples[ti];
+        k.original = ti;
+        VariableEnv frame(ctx.env);
+        make_env(k.tuple, &frame);
+        QCtx sub = ctx;
+        sub.env = &frame;
+        for (const auto& spec : f.order_by) {
+          XDB_ASSIGN_OR_RETURN(Sequence kv, Eval(*spec.key, sub));
+          std::string sv = AtomizeJoin(kv);
+          k.skeys.push_back(sv);
+          k.nkeys.push_back(xpath::StringToNumber(sv));
+        }
+        keyed.push_back(std::move(k));
+      }
+      // Numeric comparison when every key parses as a number, else string.
+      std::vector<bool> numeric(f.order_by.size(), true);
+      for (const Keyed& k : keyed) {
+        for (size_t i = 0; i < f.order_by.size(); ++i) {
+          if (k.nkeys[i] != k.nkeys[i]) numeric[i] = false;  // NaN
+        }
+      }
+      std::stable_sort(keyed.begin(), keyed.end(),
+                       [&](const Keyed& a, const Keyed& b) {
+                         for (size_t i = 0; i < f.order_by.size(); ++i) {
+                           int cmp;
+                           if (numeric[i]) {
+                             cmp = a.nkeys[i] < b.nkeys[i]
+                                       ? -1
+                                       : (a.nkeys[i] > b.nkeys[i] ? 1 : 0);
+                           } else {
+                             cmp = a.skeys[i].compare(b.skeys[i]);
+                           }
+                           if (f.order_by[i].descending) cmp = -cmp;
+                           if (cmp != 0) return cmp < 0;
+                         }
+                         return a.original < b.original;
+                       });
+      tuples.clear();
+      for (Keyed& k : keyed) tuples.push_back(std::move(k.tuple));
+    }
+
+    // return
+    Sequence out;
+    for (const Tuple& t : tuples) {
+      VariableEnv frame(ctx.env);
+      make_env(t, &frame);
+      QCtx sub = ctx;
+      sub.env = &frame;
+      XDB_ASSIGN_OR_RETURN(Sequence r, Eval(*f.return_expr, sub));
+      out.insert(out.end(), r.begin(), r.end());
+    }
+    return out;
+  }
+
+  Result<Sequence> EvalElementCtor(const ElementCtorQExpr& e, QCtx& ctx) {
+    Node* elem = ctx.out->CreateElement(e.name);
+    for (const auto& attr : e.attributes) {
+      std::string value;
+      for (const auto& part : attr.value_parts) {
+        if (part->kind() == QExprKind::kTextLiteral) {
+          value += static_cast<const TextLiteralQExpr*>(part.get())->text;
+        } else {
+          XDB_ASSIGN_OR_RETURN(Sequence s, Eval(*part, ctx));
+          value += AtomizeJoin(s);
+        }
+      }
+      elem->SetAttribute(attr.name, value);
+    }
+    for (const auto& child : e.children) {
+      XDB_ASSIGN_OR_RETURN(Sequence s, Eval(*child, ctx));
+      bool prev_atomic = false;
+      for (const Item& item : s) {
+        if (std::holds_alternative<Node*>(item)) {
+          Node* n = std::get<Node*>(item);
+          if (n->is_attribute()) {
+            elem->SetAttribute(n->qualified_name(), n->value());
+          } else if (n->type() == NodeType::kDocument) {
+            for (Node* dc : n->children()) {
+              elem->AppendChild(ctx.out->ImportNode(dc));
+            }
+          } else {
+            elem->AppendChild(ctx.out->ImportNode(n));
+          }
+          prev_atomic = false;
+        } else {
+          std::string text = ItemStringValue(item);
+          if (prev_atomic) text = " " + text;  // adjacent atomics: space
+          if (!text.empty()) elem->AppendChild(ctx.out->CreateText(text));
+          prev_atomic = true;
+        }
+      }
+    }
+    Sequence out;
+    out.emplace_back(elem);
+    return out;
+  }
+
+  Result<Sequence> EvalFunctionCall(const FunctionCallQExpr& call, QCtx& ctx) {
+    // Evaluate arguments first.
+    std::vector<Sequence> args;
+    args.reserve(call.args.size());
+    for (const auto& a : call.args) {
+      XDB_ASSIGN_OR_RETURN(Sequence s, Eval(*a, ctx));
+      args.push_back(std::move(s));
+    }
+    // User-defined function?
+    for (const FunctionDecl& f : ctx.query->functions) {
+      if (f.name != call.name) continue;
+      if (f.params.size() != args.size()) {
+        return Status::InvalidArgument("XQuery: wrong arity for " + call.name);
+      }
+      if (ctx.depth >= kMaxCallDepth || call_depth_ >= kMaxCallDepth) {
+        return Status::Internal("XQuery: function call depth exceeded");
+      }
+      // Rebind globals beneath params: chain via a globals frame.
+      VariableEnv globals_frame(FindGlobals(ctx.env));
+      VariableEnv params_frame(&globals_frame);
+      for (size_t i = 0; i < args.size(); ++i) {
+        params_frame.Set(f.params[i], SequenceToXPathValue(args[i], ctx.out));
+      }
+      QCtx sub = ctx;
+      sub.env = &params_frame;
+      sub.depth = ctx.depth + 1;
+      return Eval(*f.body, sub);
+    }
+    // Built-in functions at the sequence level.
+    std::string name = call.name;
+    if (StartsWith(name, "fn:")) name = name.substr(3);
+    if (name == "string-join") {
+      if (args.size() != 2) {
+        return Status::InvalidArgument("string-join expects 2 arguments");
+      }
+      std::string sep = AtomizeJoin(args[1]);
+      std::string out;
+      for (size_t i = 0; i < args[0].size(); ++i) {
+        if (i > 0) out += sep;
+        out += ItemStringValue(args[0][i]);
+      }
+      Sequence s;
+      s.emplace_back(std::move(out));
+      return s;
+    }
+    if (name == "count") {
+      Sequence s;
+      s.emplace_back(static_cast<double>(args.empty() ? 0 : args[0].size()));
+      return s;
+    }
+    if (name == "exists" || name == "empty") {
+      Sequence s;
+      bool ex = !args.empty() && !args[0].empty();
+      s.emplace_back(name == "exists" ? ex : !ex);
+      return s;
+    }
+    if (name == "string") {
+      Sequence s;
+      s.emplace_back(args.empty() || args[0].empty() ? std::string()
+                                                     : ItemStringValue(args[0][0]));
+      return s;
+    }
+    if (name == "concat") {
+      std::string out;
+      for (const Sequence& a : args) out += AtomizeJoin(a);
+      Sequence s;
+      s.emplace_back(std::move(out));
+      return s;
+    }
+    if (name == "sum") {
+      double total = 0;
+      if (!args.empty()) {
+        for (const Item& i : args[0]) {
+          total += xpath::StringToNumber(ItemStringValue(i));
+        }
+      }
+      Sequence s;
+      s.emplace_back(total);
+      return s;
+    }
+    if (name == "data") {
+      Sequence s;
+      if (!args.empty()) {
+        for (const Item& i : args[0]) s.emplace_back(ItemStringValue(i));
+      }
+      return s;
+    }
+    return Status::NotFound("XQuery: unknown function " + call.name + "()");
+  }
+
+  static const VariableEnv* FindGlobals(const VariableEnv* env) {
+    if (env == nullptr) return nullptr;
+    while (env->parent() != nullptr) env = env->parent();
+    return env;
+  }
+
+  xpath::Evaluator xev_;
+  int call_depth_ = 0;
+};
+
+}  // namespace
+
+QueryEvaluator::QueryEvaluator() {
+  // XQuery fn:* additions usable from embedded XPath expressions.
+  xpath_evaluator_.RegisterFunction(
+      "string-join", 2, 2,
+      [](std::vector<Value>& a, const EvalContext&) -> Result<Value> {
+        XDB_ASSIGN_OR_RETURN(NodeSet ns, a[0].ToNodeSet());
+        std::string sep = a[1].ToString();
+        std::string out;
+        for (size_t i = 0; i < ns.size(); ++i) {
+          if (i > 0) out += sep;
+          out += ns[i]->StringValue();
+        }
+        return Value(std::move(out));
+      });
+  xpath_evaluator_.RegisterFunction(
+      "exists", 1, 1, [](std::vector<Value>& a, const EvalContext&) -> Result<Value> {
+        XDB_ASSIGN_OR_RETURN(NodeSet ns, a[0].ToNodeSet());
+        return Value(!ns.empty());
+      });
+  xpath_evaluator_.RegisterFunction(
+      "empty", 1, 1, [](std::vector<Value>& a, const EvalContext&) -> Result<Value> {
+        XDB_ASSIGN_OR_RETURN(NodeSet ns, a[0].ToNodeSet());
+        return Value(ns.empty());
+      });
+  xpath_evaluator_.RegisterFunction(
+      "data", 1, 1, [](std::vector<Value>& a, const EvalContext&) -> Result<Value> {
+        return Value(a[0].ToString());
+      });
+}
+
+Result<Sequence> QueryEvaluator::Evaluate(const Query& query, Node* context_item,
+                                          xml::Document* result_doc) {
+  QEvalEngine engine(xpath_evaluator_);
+  return engine.Run(query, context_item, result_doc);
+}
+
+Result<std::unique_ptr<xml::Document>> QueryEvaluator::EvaluateToDocument(
+    const Query& query, Node* context_item) {
+  auto doc = std::make_unique<xml::Document>();
+  XDB_ASSIGN_OR_RETURN(Sequence seq, Evaluate(query, context_item, doc.get()));
+  // Materialize: RETURNING CONTENT semantics.
+  bool prev_atomic = false;
+  for (const Item& item : seq) {
+    if (std::holds_alternative<Node*>(item)) {
+      Node* n = std::get<Node*>(item);
+      if (n->type() == NodeType::kDocument) {
+        for (Node* c : n->children()) {
+          doc->root()->AppendChild(doc->ImportNode(c));
+        }
+      } else if (n->is_attribute()) {
+        doc->root()->AppendChild(doc->CreateText(n->value()));
+      } else if (n->document() == doc.get() && n->parent() == nullptr) {
+        doc->root()->AppendChild(n);
+      } else {
+        doc->root()->AppendChild(doc->ImportNode(n));
+      }
+      prev_atomic = false;
+    } else {
+      std::string text = ItemStringValue(item);
+      if (prev_atomic) text = " " + text;
+      if (!text.empty()) doc->root()->AppendChild(doc->CreateText(text));
+      prev_atomic = true;
+    }
+  }
+  return doc;
+}
+
+}  // namespace xdb::xquery

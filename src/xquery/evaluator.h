@@ -1,0 +1,67 @@
+// Dynamic evaluation of the XQuery subset over the xml DOM.
+//
+// Item sequences follow the XQuery data model (nodes + atomic values);
+// embedded XPath leaves are delegated to the xpath::Evaluator with variable
+// bindings bridged into its environment. Constructed nodes are owned by the
+// result document passed to / created by the evaluation entry points.
+#ifndef XDB_XQUERY_EVALUATOR_H_
+#define XDB_XQUERY_EVALUATOR_H_
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/dom.h"
+#include "xpath/evaluator.h"
+#include "xquery/ast.h"
+
+namespace xdb::xquery {
+
+/// One XQuery item.
+using Item = std::variant<xml::Node*, std::string, double, bool>;
+/// An ordered item sequence.
+using Sequence = std::vector<Item>;
+
+/// Renders an item for diagnostics/tests: nodes serialize, atomics print.
+std::string ItemToString(const Item& item);
+/// String value of an item (node string-value / lexical form).
+std::string ItemStringValue(const Item& item);
+
+/// Converts a sequence to an xpath::Value for variable bridging. All-node
+/// sequences become node-sets; single atomics map directly; a multi-atomic
+/// sequence is materialized as text nodes in `arena`.
+xpath::Value SequenceToXPathValue(const Sequence& seq, xml::Document* arena);
+
+/// Effective boolean value (XQuery §2.4.3 subset).
+Result<bool> EffectiveBooleanValue(const Sequence& seq);
+
+/// \brief Evaluates parsed queries.
+class QueryEvaluator {
+ public:
+  QueryEvaluator();
+
+  /// Evaluates `query` with `context_item` as the initial context item
+  /// (the value PASSED into XMLQuery(...) in the paper's examples).
+  /// Returns the result sequence; constructed nodes live in `*result_doc`.
+  Result<Sequence> Evaluate(const Query& query, xml::Node* context_item,
+                            xml::Document* result_doc);
+
+  /// Convenience: evaluates and materializes the sequence as a document
+  /// (nodes copied in order; adjacent atomics joined with spaces) —
+  /// "RETURNING CONTENT" semantics.
+  Result<std::unique_ptr<xml::Document>> EvaluateToDocument(
+      const Query& query, xml::Node* context_item);
+
+  /// Access to the underlying XPath evaluator (to register extra functions).
+  xpath::Evaluator* xpath_evaluator() { return &xpath_evaluator_; }
+
+ private:
+  friend class QEvalEngine;
+  xpath::Evaluator xpath_evaluator_;
+};
+
+}  // namespace xdb::xquery
+
+#endif  // XDB_XQUERY_EVALUATOR_H_

@@ -1,0 +1,947 @@
+#include "xquery/parser.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace xdb::xquery {
+
+using xpath::Axis;
+using xpath::BinaryOp;
+using xpath::ExprPtr;
+using xpath::NodeTest;
+using xpath::Step;
+
+namespace {
+
+class QParser {
+ public:
+  explicit QParser(std::string_view in) : in_(in) {}
+
+  Result<Query> ParseQueryModule() {
+    Query q;
+    Skip();
+    while (LookingAtWord("declare")) {
+      size_t save = pos_;
+      EatWord("declare");
+      if (LookingAtWord("variable")) {
+        EatWord("variable");
+        XDB_RETURN_NOT_OK(Expect('$'));
+        XDB_ASSIGN_OR_RETURN(std::string name, LexQName());
+        XDB_RETURN_NOT_OK(ExpectStr(":="));
+        XDB_ASSIGN_OR_RETURN(QExprPtr e, ParseExprSingle());
+        XDB_RETURN_NOT_OK(Expect(';'));
+        q.variables.push_back(VarDecl{std::move(name), std::move(e)});
+      } else if (LookingAtWord("function")) {
+        EatWord("function");
+        XDB_ASSIGN_OR_RETURN(std::string name, LexQName());
+        XDB_RETURN_NOT_OK(Expect('('));
+        FunctionDecl f;
+        f.name = std::move(name);
+        Skip();
+        if (!LookingAt(")")) {
+          for (;;) {
+            XDB_RETURN_NOT_OK(Expect('$'));
+            XDB_ASSIGN_OR_RETURN(std::string p, LexQName());
+            f.params.push_back(std::move(p));
+            Skip();
+            if (!Accept(',')) break;
+          }
+        }
+        XDB_RETURN_NOT_OK(Expect(')'));
+        XDB_RETURN_NOT_OK(Expect('{'));
+        XDB_ASSIGN_OR_RETURN(f.body, ParseExpr());
+        XDB_RETURN_NOT_OK(Expect('}'));
+        XDB_RETURN_NOT_OK(Expect(';'));
+        q.functions.push_back(std::move(f));
+      } else {
+        pos_ = save;  // not a prolog declaration we know
+        break;
+      }
+      Skip();
+    }
+    XDB_ASSIGN_OR_RETURN(q.body, ParseExpr());
+    Skip();
+    if (pos_ < in_.size()) {
+      return Err("trailing content after query body");
+    }
+    return q;
+  }
+
+  Result<QExprPtr> ParseSingleTop() {
+    XDB_ASSIGN_OR_RETURN(QExprPtr e, ParseExpr());
+    Skip();
+    if (pos_ < in_.size()) return Err("trailing content after expression");
+    return e;
+  }
+
+ private:
+  // ---------- low-level lexing ----------
+  Status Err(const std::string& msg) const {
+    return Status::ParseError("XQuery parse error at offset " +
+                              std::to_string(pos_) + ": " + msg);
+  }
+
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < in_.size() ? in_[pos_ + ahead] : '\0';
+  }
+  bool LookingAt(std::string_view s) const {
+    return in_.substr(pos_, s.size()) == s;
+  }
+
+  void Skip() {
+    for (;;) {
+      while (pos_ < in_.size() && IsXmlWhitespace(in_[pos_])) ++pos_;
+      if (LookingAt("(:")) {
+        int depth = 0;
+        while (pos_ < in_.size()) {
+          if (LookingAt("(:")) {
+            ++depth;
+            pos_ += 2;
+          } else if (LookingAt(":)")) {
+            --depth;
+            pos_ += 2;
+            if (depth == 0) break;
+          } else {
+            ++pos_;
+          }
+        }
+        continue;
+      }
+      return;
+    }
+  }
+
+  static bool IsNameStart(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           static_cast<unsigned char>(c) >= 0x80;
+  }
+  static bool IsNameChar(char c) {
+    return IsNameStart(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+  }
+  static bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+  bool LookingAtWord(std::string_view word) {
+    Skip();
+    if (!LookingAt(word)) return false;
+    char after = Peek(word.size());
+    return !IsNameChar(after);
+  }
+  void EatWord(std::string_view word) { pos_ += word.size(); }
+
+  bool Accept(char c) {
+    Skip();
+    if (Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool AcceptStr(std::string_view s) {
+    Skip();
+    if (LookingAt(s)) {
+      pos_ += s.size();
+      return true;
+    }
+    return false;
+  }
+  Status Expect(char c) {
+    if (!Accept(c)) return Err(std::string("expected '") + c + "'");
+    return Status::OK();
+  }
+  Status ExpectStr(std::string_view s) {
+    if (!AcceptStr(s)) return Err("expected '" + std::string(s) + "'");
+    return Status::OK();
+  }
+
+  Result<std::string> LexQName() {
+    Skip();
+    if (!IsNameStart(Peek())) return Err("expected name");
+    size_t start = pos_;
+    while (pos_ < in_.size() && IsNameChar(in_[pos_])) ++pos_;
+    if (Peek() == ':' && IsNameStart(Peek(1))) {
+      ++pos_;
+      while (pos_ < in_.size() && IsNameChar(in_[pos_])) ++pos_;
+    }
+    return std::string(in_.substr(start, pos_ - start));
+  }
+
+  // ---------- expression grammar ----------
+  Result<QExprPtr> ParseExpr() {
+    XDB_ASSIGN_OR_RETURN(QExprPtr first, ParseExprSingle());
+    Skip();
+    if (Peek() != ',') return first;
+    auto seq = std::make_unique<SequenceQExpr>();
+    seq->items.push_back(std::move(first));
+    while (Accept(',')) {
+      XDB_ASSIGN_OR_RETURN(QExprPtr next, ParseExprSingle());
+      seq->items.push_back(std::move(next));
+    }
+    return QExprPtr(std::move(seq));
+  }
+
+  Result<QExprPtr> ParseExprSingle() {
+    Skip();
+    if (LookingAtWord("for") || LookingAtWord("let")) return ParseFlwor();
+    if (LookingAtWord("if")) {
+      size_t save = pos_;
+      EatWord("if");
+      Skip();
+      if (Peek() == '(') return ParseIf();
+      pos_ = save;
+    }
+    return ParseOr();
+  }
+
+  Result<QExprPtr> ParseFlwor() {
+    auto flwor = std::make_unique<FlworQExpr>();
+    for (;;) {
+      FlworQExpr::Clause clause;
+      if (LookingAtWord("for")) {
+        EatWord("for");
+        clause.kind = FlworQExpr::Clause::Kind::kFor;
+      } else if (LookingAtWord("let")) {
+        EatWord("let");
+        clause.kind = FlworQExpr::Clause::Kind::kLet;
+      } else {
+        break;
+      }
+      // One keyword may introduce several comma-separated bindings.
+      for (;;) {
+        XDB_RETURN_NOT_OK(Expect('$'));
+        XDB_ASSIGN_OR_RETURN(clause.var, LexQName());
+        if (clause.kind == FlworQExpr::Clause::Kind::kFor) {
+          if (!LookingAtWord("in")) return Err("expected 'in'");
+          EatWord("in");
+        } else {
+          XDB_RETURN_NOT_OK(ExpectStr(":="));
+        }
+        XDB_ASSIGN_OR_RETURN(clause.expr, ParseExprSingle());
+        flwor->clauses.push_back(std::move(clause));
+        Skip();
+        if (Peek() == ',' &&
+            !(LookingAtWord("for") || LookingAtWord("let"))) {
+          ++pos_;
+          clause.kind = flwor->clauses.back().kind;
+          continue;
+        }
+        break;
+      }
+    }
+    if (flwor->clauses.empty()) return Err("expected for/let clause");
+    if (LookingAtWord("where")) {
+      EatWord("where");
+      XDB_ASSIGN_OR_RETURN(flwor->where, ParseExprSingle());
+    }
+    if (LookingAtWord("order")) {
+      EatWord("order");
+      if (!LookingAtWord("by")) return Err("expected 'by'");
+      EatWord("by");
+      for (;;) {
+        FlworQExpr::OrderSpec spec;
+        XDB_ASSIGN_OR_RETURN(spec.key, ParseExprSingle());
+        if (LookingAtWord("descending")) {
+          EatWord("descending");
+          spec.descending = true;
+        } else if (LookingAtWord("ascending")) {
+          EatWord("ascending");
+        }
+        flwor->order_by.push_back(std::move(spec));
+        if (!Accept(',')) break;
+      }
+    }
+    if (!LookingAtWord("return")) return Err("expected 'return'");
+    EatWord("return");
+    XDB_ASSIGN_OR_RETURN(flwor->return_expr, ParseExprSingle());
+    return QExprPtr(std::move(flwor));
+  }
+
+  Result<QExprPtr> ParseIf() {
+    XDB_RETURN_NOT_OK(Expect('('));
+    XDB_ASSIGN_OR_RETURN(QExprPtr cond, ParseExpr());
+    XDB_RETURN_NOT_OK(Expect(')'));
+    if (!LookingAtWord("then")) return Err("expected 'then'");
+    EatWord("then");
+    XDB_ASSIGN_OR_RETURN(QExprPtr then_expr, ParseExprSingle());
+    if (!LookingAtWord("else")) return Err("expected 'else'");
+    EatWord("else");
+    XDB_ASSIGN_OR_RETURN(QExprPtr else_expr, ParseExprSingle());
+    return QExprPtr(std::make_unique<IfQExpr>(std::move(cond), std::move(then_expr),
+                                              std::move(else_expr)));
+  }
+
+  // Attempts to fold two XPath operands into an xpath BinaryExpr.
+  Result<QExprPtr> FoldBinary(BinaryOp op, QExprPtr lhs, QExprPtr rhs) {
+    if (lhs->kind() == QExprKind::kXPath && rhs->kind() == QExprKind::kXPath) {
+      auto* l = static_cast<XPathQExpr*>(lhs.get());
+      auto* r = static_cast<XPathQExpr*>(rhs.get());
+      return MakeXPath(std::make_unique<xpath::BinaryExpr>(
+          op, std::move(l->expr), std::move(r->expr)));
+    }
+    return Err(std::string("operator '") + xpath::BinaryOpName(op) +
+               "' is not supported on constructor/FLWOR operands");
+  }
+
+  Result<QExprPtr> ParseOr() {
+    XDB_ASSIGN_OR_RETURN(QExprPtr lhs, ParseAnd());
+    while (LookingAtWord("or")) {
+      EatWord("or");
+      XDB_ASSIGN_OR_RETURN(QExprPtr rhs, ParseAnd());
+      XDB_ASSIGN_OR_RETURN(lhs, FoldBinary(BinaryOp::kOr, std::move(lhs),
+                                           std::move(rhs)));
+    }
+    return lhs;
+  }
+
+  Result<QExprPtr> ParseAnd() {
+    XDB_ASSIGN_OR_RETURN(QExprPtr lhs, ParseComparison());
+    while (LookingAtWord("and")) {
+      EatWord("and");
+      XDB_ASSIGN_OR_RETURN(QExprPtr rhs, ParseComparison());
+      XDB_ASSIGN_OR_RETURN(lhs, FoldBinary(BinaryOp::kAnd, std::move(lhs),
+                                           std::move(rhs)));
+    }
+    return lhs;
+  }
+
+  Result<QExprPtr> ParseComparison() {
+    XDB_ASSIGN_OR_RETURN(QExprPtr lhs, ParseAdditive());
+    Skip();
+    BinaryOp op;
+    if (LookingAt("!=")) {
+      op = BinaryOp::kNe;
+      pos_ += 2;
+    } else if (LookingAt("<=")) {
+      op = BinaryOp::kLe;
+      pos_ += 2;
+    } else if (LookingAt(">=")) {
+      op = BinaryOp::kGe;
+      pos_ += 2;
+    } else if (Peek() == '=') {
+      op = BinaryOp::kEq;
+      ++pos_;
+    } else if (Peek() == '<' && Peek(1) != '/' && !IsNameStart(Peek(1))) {
+      op = BinaryOp::kLt;
+      ++pos_;
+    } else if (Peek() == '>') {
+      op = BinaryOp::kGt;
+      ++pos_;
+    } else if (LookingAtWord("eq")) {
+      EatWord("eq");
+      op = BinaryOp::kEq;
+    } else if (LookingAtWord("ne")) {
+      EatWord("ne");
+      op = BinaryOp::kNe;
+    } else if (LookingAtWord("lt")) {
+      EatWord("lt");
+      op = BinaryOp::kLt;
+    } else if (LookingAtWord("le")) {
+      EatWord("le");
+      op = BinaryOp::kLe;
+    } else if (LookingAtWord("gt")) {
+      EatWord("gt");
+      op = BinaryOp::kGt;
+    } else if (LookingAtWord("ge")) {
+      EatWord("ge");
+      op = BinaryOp::kGe;
+    } else {
+      return lhs;
+    }
+    XDB_ASSIGN_OR_RETURN(QExprPtr rhs, ParseAdditive());
+    return FoldBinary(op, std::move(lhs), std::move(rhs));
+  }
+
+  Result<QExprPtr> ParseAdditive() {
+    XDB_ASSIGN_OR_RETURN(QExprPtr lhs, ParseMultiplicative());
+    for (;;) {
+      Skip();
+      BinaryOp op;
+      if (Peek() == '+') {
+        op = BinaryOp::kPlus;
+        ++pos_;
+      } else if (Peek() == '-') {
+        op = BinaryOp::kMinus;
+        ++pos_;
+      } else {
+        return lhs;
+      }
+      XDB_ASSIGN_OR_RETURN(QExprPtr rhs, ParseMultiplicative());
+      XDB_ASSIGN_OR_RETURN(lhs, FoldBinary(op, std::move(lhs), std::move(rhs)));
+    }
+  }
+
+  Result<QExprPtr> ParseMultiplicative() {
+    XDB_ASSIGN_OR_RETURN(QExprPtr lhs, ParseUnion());
+    for (;;) {
+      Skip();
+      BinaryOp op;
+      if (Peek() == '*') {
+        op = BinaryOp::kMultiply;
+        ++pos_;
+      } else if (LookingAtWord("div")) {
+        EatWord("div");
+        op = BinaryOp::kDiv;
+      } else if (LookingAtWord("mod")) {
+        EatWord("mod");
+        op = BinaryOp::kMod;
+      } else {
+        return lhs;
+      }
+      XDB_ASSIGN_OR_RETURN(QExprPtr rhs, ParseUnion());
+      XDB_ASSIGN_OR_RETURN(lhs, FoldBinary(op, std::move(lhs), std::move(rhs)));
+    }
+  }
+
+  Result<QExprPtr> ParseUnion() {
+    XDB_ASSIGN_OR_RETURN(QExprPtr lhs, ParseInstanceOf());
+    while (Accept('|')) {
+      XDB_ASSIGN_OR_RETURN(QExprPtr rhs, ParseInstanceOf());
+      XDB_ASSIGN_OR_RETURN(lhs, FoldBinary(BinaryOp::kUnion, std::move(lhs),
+                                           std::move(rhs)));
+    }
+    return lhs;
+  }
+
+  Result<QExprPtr> ParseInstanceOf() {
+    XDB_ASSIGN_OR_RETURN(QExprPtr expr, ParseUnary());
+    if (LookingAtWord("instance")) {
+      EatWord("instance");
+      if (!LookingAtWord("of")) return Err("expected 'of'");
+      EatWord("of");
+      Skip();
+      auto named_type = [&](InstanceOfQExpr::TypeKind kind) -> Result<QExprPtr> {
+        XDB_RETURN_NOT_OK(Expect('('));
+        std::string name;
+        Skip();
+        if (Peek() != ')') {
+          XDB_ASSIGN_OR_RETURN(name, LexQName());
+        }
+        XDB_RETURN_NOT_OK(Expect(')'));
+        return QExprPtr(std::make_unique<InstanceOfQExpr>(std::move(expr),
+                                                          std::move(name), kind));
+      };
+      if (LookingAtWord("element")) {
+        EatWord("element");
+        return named_type(InstanceOfQExpr::TypeKind::kElement);
+      }
+      if (LookingAtWord("attribute")) {
+        EatWord("attribute");
+        return named_type(InstanceOfQExpr::TypeKind::kAttribute);
+      }
+      if (LookingAtWord("document-node")) {
+        EatWord("document-node");
+        return named_type(InstanceOfQExpr::TypeKind::kDocument);
+      }
+      if (LookingAtWord("text")) {
+        EatWord("text");
+        XDB_RETURN_NOT_OK(Expect('('));
+        XDB_RETURN_NOT_OK(Expect(')'));
+        return QExprPtr(std::make_unique<InstanceOfQExpr>(
+            std::move(expr), "", InstanceOfQExpr::TypeKind::kText));
+      }
+      return Err("unsupported sequence type in 'instance of'");
+    }
+    return expr;
+  }
+
+  Result<QExprPtr> ParseUnary() {
+    Skip();
+    if (Peek() == '-' && !IsDigit(Peek(1))) {
+      ++pos_;
+      XDB_ASSIGN_OR_RETURN(QExprPtr operand, ParseUnary());
+      if (operand->kind() != QExprKind::kXPath) {
+        return Err("unary '-' on non-XPath operand");
+      }
+      auto* x = static_cast<XPathQExpr*>(operand.get());
+      return MakeXPath(std::make_unique<xpath::UnaryExpr>(std::move(x->expr)));
+    }
+    return ParsePathQ();
+  }
+
+  // ---------- paths & primaries ----------
+  Result<QExprPtr> ParsePathQ() {
+    Skip();
+    if (Peek() == '<') return ParseDirectConstructor();
+    if (LookingAtWord("text")) {
+      size_t save = pos_;
+      EatWord("text");
+      Skip();
+      if (Peek() == '{') {
+        ++pos_;
+        XDB_ASSIGN_OR_RETURN(QExprPtr value, ParseExpr());
+        XDB_RETURN_NOT_OK(Expect('}'));
+        return QExprPtr(std::make_unique<TextCtorQExpr>(std::move(value)));
+      }
+      pos_ = save;
+    }
+    if (LookingAtWord("attribute")) {
+      size_t save = pos_;
+      EatWord("attribute");
+      Skip();
+      if (IsNameStart(Peek())) {
+        XDB_ASSIGN_OR_RETURN(std::string name, LexQName());
+        Skip();
+        if (Peek() == '{') {
+          ++pos_;
+          XDB_ASSIGN_OR_RETURN(QExprPtr value, ParseExpr());
+          XDB_RETURN_NOT_OK(Expect('}'));
+          return QExprPtr(std::make_unique<AttributeCtorQExpr>(std::move(name),
+                                                               std::move(value)));
+        }
+      }
+      pos_ = save;
+    }
+    if (Peek() == '(') {
+      ++pos_;
+      Skip();
+      if (Peek() == ')') {
+        ++pos_;
+        return QExprPtr(std::make_unique<SequenceQExpr>());  // empty sequence
+      }
+      XDB_ASSIGN_OR_RETURN(QExprPtr inner, ParseExpr());
+      XDB_RETURN_NOT_OK(Expect(')'));
+      // A parenthesized XPath expr may continue as a path/predicate.
+      if (inner->kind() == QExprKind::kXPath) {
+        auto* x = static_cast<XPathQExpr*>(inner.get());
+        return ContinuePath(std::move(x->expr));
+      }
+      return inner;
+    }
+    // Plain XPath-style path.
+    XDB_ASSIGN_OR_RETURN(ExprPtr path, ParseXPathPrimaryPath());
+    if (path == nullptr && pending_q_call_ != nullptr) {
+      // A function call with Q-typed arguments (or a local:* call) cannot
+      // continue as a path; hand it back as a Q expression.
+      return QExprPtr(std::move(pending_q_call_));
+    }
+    return ContinuePath(std::move(path));
+  }
+
+  // Wraps `start` in a PathExpr if predicates or steps follow.
+  Result<QExprPtr> ContinuePath(ExprPtr start) {
+    Skip();
+    if (Peek() != '[' && Peek() != '/') return MakeXPath(std::move(start));
+    auto path = std::make_unique<xpath::PathExpr>();
+    path->start = std::move(start);
+    while (Accept('[')) {
+      XDB_ASSIGN_OR_RETURN(ExprPtr pred, ParseXPathPredicate());
+      path->start_predicates.push_back(std::move(pred));
+    }
+    Skip();
+    if (LookingAt("//")) {
+      pos_ += 2;
+      path->steps.push_back(DescendantMarker());
+      XDB_RETURN_NOT_OK(ParseSteps(path.get()));
+    } else if (Peek() == '/') {
+      ++pos_;
+      XDB_RETURN_NOT_OK(ParseSteps(path.get()));
+    }
+    return MakeXPath(ExprPtr(std::move(path)));
+  }
+
+  static Step DescendantMarker() {
+    Step s;
+    s.axis = Axis::kDescendantOrSelf;
+    s.test.kind = NodeTest::Kind::kAnyNode;
+    return s;
+  }
+
+  // Parses a primary that starts an XPath path: variable, literal, number,
+  // function call, '.', '..', '/', name test...
+  Result<ExprPtr> ParseXPathPrimaryPath() {
+    Skip();
+    char c = Peek();
+    if (c == '$') {
+      ++pos_;
+      XDB_ASSIGN_OR_RETURN(std::string name, LexQName());
+      return ExprPtr(std::make_unique<xpath::VariableRefExpr>(name));
+    }
+    if (c == '"' || c == '\'') {
+      size_t end = in_.find(c, pos_ + 1);
+      if (end == std::string_view::npos) return Err("unterminated string literal");
+      std::string v(in_.substr(pos_ + 1, end - pos_ - 1));
+      pos_ = end + 1;
+      return ExprPtr(std::make_unique<xpath::LiteralExpr>(std::move(v)));
+    }
+    if (IsDigit(c) || (c == '.' && IsDigit(Peek(1))) ||
+        (c == '-' && IsDigit(Peek(1)))) {
+      size_t start = pos_;
+      if (c == '-') ++pos_;
+      while (IsDigit(Peek())) ++pos_;
+      if (Peek() == '.') {
+        ++pos_;
+        while (IsDigit(Peek())) ++pos_;
+      }
+      double v =
+          std::strtod(std::string(in_.substr(start, pos_ - start)).c_str(), nullptr);
+      return ExprPtr(std::make_unique<xpath::NumberExpr>(v));
+    }
+    // Location path (possibly absolute), '.', '..', function call.
+    auto path = std::make_unique<xpath::PathExpr>();
+    if (LookingAt("//")) {
+      pos_ += 2;
+      path->absolute = true;
+      path->steps.push_back(DescendantMarker());
+    } else if (c == '/') {
+      ++pos_;
+      path->absolute = true;
+      Skip();
+      if (!StartsStep()) return ExprPtr(std::move(path));  // bare "/"
+    }
+    // Function call?  name '(' — but not node-type tests.
+    if (!path->absolute && IsNameStart(Peek())) {
+      size_t save = pos_;
+      XDB_ASSIGN_OR_RETURN(std::string name, LexQName());
+      Skip();
+      if (Peek() == '(' && !IsNodeTypeName(name)) {
+        ++pos_;
+        return ParseFunctionCallTail(std::move(name));
+      }
+      pos_ = save;
+    }
+    XDB_RETURN_NOT_OK(ParseSteps(path.get()));
+    return ExprPtr(std::move(path));
+  }
+
+  static bool IsNodeTypeName(const std::string& s) {
+    return s == "text" || s == "comment" || s == "node" ||
+           s == "processing-instruction";
+  }
+
+  bool StartsStep() {
+    Skip();
+    char c = Peek();
+    return IsNameStart(c) || c == '*' || c == '@' || c == '.';
+  }
+
+  // After consuming "name(": builds either an xpath FunctionCallExpr (all
+  // args XPath) or a Q-level FunctionCallQExpr.
+  Result<ExprPtr> ParseFunctionCallTail(std::string name) {
+    std::vector<QExprPtr> args;
+    Skip();
+    if (Peek() != ')') {
+      for (;;) {
+        XDB_ASSIGN_OR_RETURN(QExprPtr arg, ParseExprSingle());
+        args.push_back(std::move(arg));
+        if (!Accept(',')) break;
+      }
+    }
+    XDB_RETURN_NOT_OK(Expect(')'));
+    bool all_xpath = true;
+    for (const auto& a : args) {
+      if (a->kind() != QExprKind::kXPath) all_xpath = false;
+    }
+    if (all_xpath) {
+      std::vector<ExprPtr> xargs;
+      for (auto& a : args) {
+        xargs.push_back(std::move(static_cast<XPathQExpr*>(a.get())->expr));
+      }
+      return ExprPtr(
+          std::make_unique<xpath::FunctionCallExpr>(std::move(name), std::move(xargs)));
+    }
+    // Q-level call: wrap into a pseudo-xpath leaf is impossible, so signal via
+    // pending_q_call_ and let ParsePathQ unwrap. (Only reachable for local:*
+    // functions or Q-typed arguments, which never continue as a path.)
+    pending_q_call_ =
+        std::make_unique<FunctionCallQExpr>(std::move(name), std::move(args));
+    return ExprPtr(nullptr);
+  }
+
+  Result<ExprPtr> ParseXPathPredicate() {
+    XDB_ASSIGN_OR_RETURN(QExprPtr e, ParseExpr());
+    if (e->kind() != QExprKind::kXPath) {
+      return Err("only XPath expressions are supported inside predicates");
+    }
+    ExprPtr out = std::move(static_cast<XPathQExpr*>(e.get())->expr);
+    XDB_RETURN_NOT_OK(Expect(']'));
+    return out;
+  }
+
+  Status ParseSteps(xpath::PathExpr* path) {
+    for (;;) {
+      XDB_ASSIGN_OR_RETURN(Step step, ParseStep());
+      path->steps.push_back(std::move(step));
+      Skip();
+      if (LookingAt("//")) {
+        pos_ += 2;
+        path->steps.push_back(DescendantMarker());
+      } else if (Peek() == '/') {
+        ++pos_;
+      } else {
+        return Status::OK();
+      }
+    }
+  }
+
+  Result<Step> ParseStep() {
+    Step step;
+    Skip();
+    if (LookingAt("..")) {
+      pos_ += 2;
+      step.axis = Axis::kParent;
+      step.test.kind = NodeTest::Kind::kAnyNode;
+      return step;
+    }
+    if (Peek() == '.') {
+      ++pos_;
+      step.axis = Axis::kSelf;
+      step.test.kind = NodeTest::Kind::kAnyNode;
+      return step;
+    }
+    if (Peek() == '@') {
+      ++pos_;
+      step.axis = Axis::kAttribute;
+    } else if (IsNameStart(Peek())) {
+      // Possible axis::...
+      size_t save = pos_;
+      XDB_ASSIGN_OR_RETURN(std::string word, LexQName());
+      if (LookingAt("::")) {
+        pos_ += 2;
+        XDB_ASSIGN_OR_RETURN(step.axis, AxisFromName(word));
+      } else {
+        pos_ = save;
+      }
+    }
+    XDB_RETURN_NOT_OK(ParseNodeTest(&step.test));
+    while (Accept('[')) {
+      XDB_ASSIGN_OR_RETURN(ExprPtr pred, ParseXPathPredicate());
+      step.predicates.push_back(std::move(pred));
+    }
+    return step;
+  }
+
+  Result<Axis> AxisFromName(const std::string& name) {
+    if (name == "child") return Axis::kChild;
+    if (name == "descendant") return Axis::kDescendant;
+    if (name == "parent") return Axis::kParent;
+    if (name == "ancestor") return Axis::kAncestor;
+    if (name == "following-sibling") return Axis::kFollowingSibling;
+    if (name == "preceding-sibling") return Axis::kPrecedingSibling;
+    if (name == "following") return Axis::kFollowing;
+    if (name == "preceding") return Axis::kPreceding;
+    if (name == "attribute") return Axis::kAttribute;
+    if (name == "self") return Axis::kSelf;
+    if (name == "descendant-or-self") return Axis::kDescendantOrSelf;
+    if (name == "ancestor-or-self") return Axis::kAncestorOrSelf;
+    return Err("unknown axis '" + name + "'");
+  }
+
+  Status ParseNodeTest(NodeTest* test) {
+    Skip();
+    if (Peek() == '*') {
+      ++pos_;
+      test->kind = NodeTest::Kind::kAnyName;
+      return Status::OK();
+    }
+    if (!IsNameStart(Peek())) return Err("expected node test");
+    XDB_ASSIGN_OR_RETURN(std::string name, LexQName());
+    Skip();
+    if (IsNodeTypeName(name) && Peek() == '(') {
+      ++pos_;
+      if (name == "text") {
+        test->kind = NodeTest::Kind::kText;
+      } else if (name == "comment") {
+        test->kind = NodeTest::Kind::kComment;
+      } else if (name == "node") {
+        test->kind = NodeTest::Kind::kAnyNode;
+      } else {
+        test->kind = NodeTest::Kind::kProcessingInstruction;
+        Skip();
+        if (Peek() == '\'' || Peek() == '"') {
+          char q = Peek();
+          size_t end = in_.find(q, pos_ + 1);
+          if (end == std::string_view::npos) return Err("unterminated PI target");
+          test->pi_target = std::string(in_.substr(pos_ + 1, end - pos_ - 1));
+          pos_ = end + 1;
+        }
+      }
+      return Expect(')');
+    }
+    test->kind = NodeTest::Kind::kName;
+    size_t colon = name.find(':');
+    if (colon == std::string::npos) {
+      test->local = name;
+    } else {
+      test->prefix = name.substr(0, colon);
+      test->local = name.substr(colon + 1);
+    }
+    return Status::OK();
+  }
+
+  // ---------- direct constructors ----------
+  Result<QExprPtr> ParseDirectConstructor() {
+    // Caller saw '<'.
+    ++pos_;  // '<'
+    if (!IsNameStart(Peek())) return Err("expected element name after '<'");
+    XDB_ASSIGN_OR_RETURN(std::string name, LexQName());
+    auto elem = std::make_unique<ElementCtorQExpr>(std::move(name));
+    // Attributes.
+    for (;;) {
+      Skip();
+      if (LookingAt("/>")) {
+        pos_ += 2;
+        return QExprPtr(std::move(elem));
+      }
+      if (Peek() == '>') {
+        ++pos_;
+        break;
+      }
+      if (!IsNameStart(Peek())) return Err("malformed start tag");
+      XDB_ASSIGN_OR_RETURN(std::string aname, LexQName());
+      XDB_RETURN_NOT_OK(Expect('='));
+      Skip();
+      char quote = Peek();
+      if (quote != '"' && quote != '\'') return Err("expected quoted attribute");
+      ++pos_;
+      ElementCtorQExpr::Attr attr;
+      attr.name = std::move(aname);
+      std::string literal;
+      while (pos_ < in_.size() && Peek() != quote) {
+        if (Peek() == '{') {
+          if (Peek(1) == '{') {
+            literal.push_back('{');
+            pos_ += 2;
+            continue;
+          }
+          if (!literal.empty()) {
+            attr.value_parts.push_back(MakeTextLiteral(std::move(literal)));
+            literal.clear();
+          }
+          ++pos_;
+          XDB_ASSIGN_OR_RETURN(QExprPtr e, ParseExpr());
+          XDB_RETURN_NOT_OK(Expect('}'));
+          attr.value_parts.push_back(std::move(e));
+        } else if (Peek() == '}' && Peek(1) == '}') {
+          literal.push_back('}');
+          pos_ += 2;
+        } else if (Peek() == '&') {
+          if (LookingAt("&lt;")) {
+            literal.push_back('<');
+            pos_ += 4;
+          } else if (LookingAt("&gt;")) {
+            literal.push_back('>');
+            pos_ += 4;
+          } else if (LookingAt("&amp;")) {
+            literal.push_back('&');
+            pos_ += 5;
+          } else if (LookingAt("&quot;")) {
+            literal.push_back('"');
+            pos_ += 6;
+          } else if (LookingAt("&apos;")) {
+            literal.push_back('\'');
+            pos_ += 6;
+          } else {
+            return Err("unknown entity in attribute value");
+          }
+        } else {
+          literal.push_back(Peek());
+          ++pos_;
+        }
+      }
+      if (pos_ >= in_.size()) return Err("unterminated attribute value");
+      ++pos_;  // closing quote
+      if (!literal.empty() || attr.value_parts.empty()) {
+        attr.value_parts.push_back(MakeTextLiteral(std::move(literal)));
+      }
+      elem->attributes.push_back(std::move(attr));
+    }
+    // Content.
+    std::string text;
+    auto flush_text = [&]() {
+      if (text.empty()) return;
+      if (!IsAllWhitespace(text)) {  // boundary whitespace stripped
+        elem->children.push_back(MakeTextLiteral(std::move(text)));
+      }
+      text.clear();
+    };
+    while (pos_ < in_.size()) {
+      char c = Peek();
+      if (c == '<') {
+        if (LookingAt("</")) {
+          flush_text();
+          pos_ += 2;
+          XDB_ASSIGN_OR_RETURN(std::string close, LexQName());
+          if (close != elem->name) {
+            return Err("mismatched close tag </" + close + "> for <" + elem->name +
+                       ">");
+          }
+          XDB_RETURN_NOT_OK(Expect('>'));
+          return QExprPtr(std::move(elem));
+        }
+        if (LookingAt("<!--")) {
+          size_t end = in_.find("-->", pos_ + 4);
+          if (end == std::string_view::npos) return Err("unterminated comment");
+          pos_ = end + 3;
+          continue;
+        }
+        flush_text();
+        XDB_ASSIGN_OR_RETURN(QExprPtr child, ParseDirectConstructor());
+        elem->children.push_back(std::move(child));
+      } else if (c == '{') {
+        if (Peek(1) == '{') {
+          text.push_back('{');
+          pos_ += 2;
+          continue;
+        }
+        flush_text();
+        ++pos_;
+        XDB_ASSIGN_OR_RETURN(QExprPtr e, ParseExpr());
+        XDB_RETURN_NOT_OK(Expect('}'));
+        elem->children.push_back(std::move(e));
+      } else if (c == '}' && Peek(1) == '}') {
+        text.push_back('}');
+        pos_ += 2;
+      } else if (c == '&') {
+        // Minimal entity support in constructor content.
+        if (LookingAt("&lt;")) {
+          text.push_back('<');
+          pos_ += 4;
+        } else if (LookingAt("&gt;")) {
+          text.push_back('>');
+          pos_ += 4;
+        } else if (LookingAt("&amp;")) {
+          text.push_back('&');
+          pos_ += 5;
+        } else if (LookingAt("&quot;")) {
+          text.push_back('"');
+          pos_ += 6;
+        } else if (LookingAt("&apos;")) {
+          text.push_back('\'');
+          pos_ += 6;
+        } else {
+          return Err("unknown entity in constructor content");
+        }
+      } else {
+        text.push_back(c);
+        ++pos_;
+      }
+    }
+    return Err("unterminated element constructor <" + elem->name + ">");
+  }
+
+  static QExprPtr MakeTextLiteral(std::string s) {
+    return std::make_unique<TextLiteralQExpr>(std::move(s));
+  }
+
+ public:
+  // Set when ParseFunctionCallTail produced a Q-level call.
+  std::unique_ptr<FunctionCallQExpr> pending_q_call_;
+
+ private:
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text) {
+  QParser p(text);
+  return p.ParseQueryModule();
+}
+
+Result<QExprPtr> ParseExpression(std::string_view text) {
+  QParser p(text);
+  return p.ParseSingleTop();
+}
+
+}  // namespace xdb::xquery

@@ -1,0 +1,22 @@
+// Parser for the XQuery subset (see ast.h). Cursor-based recursive descent:
+// direct element constructors switch the lexical mode, which a token-stream
+// lexer cannot express cleanly.
+#ifndef XDB_XQUERY_PARSER_H_
+#define XDB_XQUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xquery/ast.h"
+
+namespace xdb::xquery {
+
+/// Parses a full query (prolog + body).
+Result<Query> ParseQuery(std::string_view text);
+
+/// Parses a single expression (no prolog).
+Result<QExprPtr> ParseExpression(std::string_view text);
+
+}  // namespace xdb::xquery
+
+#endif  // XDB_XQUERY_PARSER_H_

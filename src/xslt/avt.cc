@@ -1,0 +1,76 @@
+#include "xslt/avt.h"
+
+#include "xpath/parser.h"
+
+namespace xdb::xslt {
+
+Result<Avt> Avt::Parse(std::string_view text) {
+  Avt avt;
+  std::string literal;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '{') {
+      if (i + 1 < text.size() && text[i + 1] == '{') {
+        literal.push_back('{');
+        ++i;
+        continue;
+      }
+      size_t end = text.find('}', i + 1);
+      if (end == std::string_view::npos) {
+        return Status::ParseError("AVT: unbalanced '{' in \"" + std::string(text) +
+                                  "\"");
+      }
+      if (!literal.empty()) {
+        avt.parts_.push_back(Part{std::move(literal), nullptr});
+        literal.clear();
+      }
+      XDB_ASSIGN_OR_RETURN(xpath::ExprPtr expr,
+                           xpath::ParseXPath(text.substr(i + 1, end - i - 1)));
+      avt.parts_.push_back(Part{"", std::move(expr)});
+      i = end;
+    } else if (c == '}') {
+      if (i + 1 < text.size() && text[i + 1] == '}') {
+        literal.push_back('}');
+        ++i;
+        continue;
+      }
+      return Status::ParseError("AVT: unbalanced '}' in \"" + std::string(text) +
+                                "\"");
+    } else {
+      literal.push_back(c);
+    }
+  }
+  if (!literal.empty() || avt.parts_.empty()) {
+    avt.parts_.push_back(Part{std::move(literal), nullptr});
+  }
+  return avt;
+}
+
+Result<std::string> Avt::Evaluate(const xpath::Evaluator& evaluator,
+                                  const xpath::EvalContext& ctx) const {
+  std::string out;
+  for (const Part& part : parts_) {
+    if (part.expr == nullptr) {
+      out += part.literal;
+    } else {
+      XDB_ASSIGN_OR_RETURN(std::string v, evaluator.EvaluateString(*part.expr, ctx));
+      out += v;
+    }
+  }
+  return out;
+}
+
+bool Avt::IsConstant() const {
+  for (const Part& p : parts_) {
+    if (p.expr != nullptr) return false;
+  }
+  return true;
+}
+
+std::string Avt::ConstantValue() const {
+  std::string out;
+  for (const Part& p : parts_) out += p.literal;
+  return out;
+}
+
+}  // namespace xdb::xslt

@@ -1,0 +1,42 @@
+// Attribute value templates (XSLT 1.0 §7.6.2): literal attribute values with
+// embedded {XPath} expressions, "{{"/"}}" escaping to literal braces.
+#ifndef XDB_XSLT_AVT_H_
+#define XDB_XSLT_AVT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xpath/ast.h"
+#include "xpath/evaluator.h"
+
+namespace xdb::xslt {
+
+/// \brief A compiled attribute value template.
+class Avt {
+ public:
+  struct Part {
+    std::string literal;   // used when expr is null
+    xpath::ExprPtr expr;   // used when non-null
+  };
+
+  static Result<Avt> Parse(std::string_view text);
+
+  /// Evaluates all parts and concatenates.
+  Result<std::string> Evaluate(const xpath::Evaluator& evaluator,
+                               const xpath::EvalContext& ctx) const;
+
+  /// True when the AVT is a single literal with no expressions.
+  bool IsConstant() const;
+  /// The constant value (valid only when IsConstant()).
+  std::string ConstantValue() const;
+
+  const std::vector<Part>& parts() const { return parts_; }
+
+ private:
+  std::vector<Part> parts_;
+};
+
+}  // namespace xdb::xslt
+
+#endif  // XDB_XSLT_AVT_H_

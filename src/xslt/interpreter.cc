@@ -1,0 +1,623 @@
+#include "xslt/interpreter.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/strings.h"
+#include "xpath/parser.h"
+#include "xslt/avt.h"
+
+namespace xdb::xslt {
+
+using xml::Node;
+using xml::NodeType;
+using xpath::EvalContext;
+using xpath::Evaluator;
+using xpath::ExprPtr;
+using xpath::NodeSet;
+using xpath::Value;
+using xpath::VariableEnv;
+
+namespace {
+
+constexpr int kMaxDepth = 2000;
+
+/// Per-instantiation execution state.
+struct ExecState {
+  xml::Document* out;
+  Node* sink;          ///< output parent for constructed nodes
+  Node* node;          ///< context node
+  size_t position = 1;
+  size_t size = 1;
+  VariableEnv* env;    ///< innermost variable frame
+  std::string mode;
+  int depth = 0;
+
+  EvalContext XPathCtx() const {
+    EvalContext ctx;
+    ctx.node = node;
+    ctx.position = position;
+    ctx.size = size;
+    ctx.env = env;
+    ctx.current = node;
+    return ctx;
+  }
+};
+
+/// One xsl:sort key specification.
+struct SortKey {
+  const xpath::Expr* select;
+  bool numeric = false;
+  bool descending = false;
+};
+
+/// Implementation engine; exists per Transform() call.
+class Engine {
+ public:
+  Engine(const Stylesheet& ss, Evaluator* evaluator)
+      : ss_(ss), evaluator_(*evaluator) {}
+
+  Status Run(Node* source_root, const TransformParams& params,
+             xml::Document* out) {
+    // Global variable scope.
+    VariableEnv globals;
+    ExecState st;
+    st.out = out;
+    st.sink = out->root();
+    st.node = source_root;
+    st.env = &globals;
+    XDB_RETURN_NOT_OK(BindGlobals(&globals, params, st));
+    return ApplyTemplatesTo(source_root, st, /*params_env=*/nullptr);
+  }
+
+ private:
+  // ---- XPath compilation cache (keyed by attribute owner + attr name) ----
+  Result<const xpath::Expr*> CompiledExpr(const Node* elem, const char* attr) {
+    const Node* attr_node = elem->FindAttribute(attr);
+    if (attr_node == nullptr) {
+      return Status::ParseError("XSLT: <xsl:" + elem->local_name() +
+                                "> requires @" + attr);
+    }
+    auto it = expr_cache_.find(attr_node);
+    if (it != expr_cache_.end()) return it->second.get();
+    XDB_ASSIGN_OR_RETURN(ExprPtr e, xpath::ParseXPath(attr_node->value()));
+    const xpath::Expr* raw = e.get();
+    expr_cache_[attr_node] = std::move(e);
+    return raw;
+  }
+
+  Result<const Avt*> CompiledAvt(const Node* attr_node) {
+    auto it = avt_cache_.find(attr_node);
+    if (it != avt_cache_.end()) return &it->second;
+    XDB_ASSIGN_OR_RETURN(Avt avt, Avt::Parse(attr_node->value()));
+    return &(avt_cache_[attr_node] = std::move(avt));
+  }
+
+  // ---- Globals ----
+  Status BindGlobals(VariableEnv* globals, const TransformParams& params,
+                     const ExecState& st) {
+    for (const GlobalVariable& g : ss_.globals()) {
+      if (g.is_param) {
+        auto it = params.find(g.name);
+        if (it != params.end()) {
+          globals->Set(g.name, it->second);
+          continue;
+        }
+      }
+      ExecState gst = st;
+      gst.env = globals;
+      XDB_ASSIGN_OR_RETURN(Value v, EvaluateVariable(g.element, gst));
+      globals->Set(g.name, std::move(v));
+    }
+    return Status::OK();
+  }
+
+  // Evaluates an xsl:variable/param/with-param: @select, else content as a
+  // result tree fragment, else empty string.
+  Result<Value> EvaluateVariable(const Node* elem, ExecState& st) {
+    if (elem->HasAttribute("select")) {
+      XDB_ASSIGN_OR_RETURN(const xpath::Expr* e, CompiledExpr(elem, "select"));
+      return evaluator_.Evaluate(*e, st.XPathCtx());
+    }
+    if (elem->children().empty()) return Value(std::string());
+    // Result tree fragment: build content into a detached wrapper element.
+    Node* wrapper = st.out->CreateElement("#rtf");
+    ExecState sub = st;
+    sub.sink = wrapper;
+    XDB_RETURN_NOT_OK(ExecBody(elem, sub, /*skip_params=*/false));
+    return Value(NodeSet{wrapper});
+  }
+
+  // ---- Template application ----
+  Status ApplyTemplatesTo(Node* node, ExecState& st, VariableEnv* params_env) {
+    if (st.depth > kMaxDepth) {
+      return Status::Internal("XSLT: maximum template nesting depth exceeded");
+    }
+    XDB_ASSIGN_OR_RETURN(
+        int idx, ss_.FindMatch(node, st.mode, evaluator_, st.XPathCtx()));
+    if (idx < 0) return ExecBuiltin(node, st);
+    return InstantiateTemplate(ss_.templates()[idx], node, st, params_env);
+  }
+
+  Status ExecBuiltin(Node* node, ExecState& st) {
+    switch (BuiltinActionFor(node)) {
+      case BuiltinAction::kApplyToChildren: {
+        const auto& children = node->children();
+        for (size_t i = 0; i < children.size(); ++i) {
+          ExecState sub = st;
+          sub.node = children[i];
+          sub.position = i + 1;
+          sub.size = children.size();
+          sub.depth = st.depth + 1;
+          XDB_RETURN_NOT_OK(ApplyTemplatesTo(children[i], sub, nullptr));
+        }
+        return Status::OK();
+      }
+      case BuiltinAction::kCopyText:
+        st.sink->AppendChild(st.out->CreateText(node->StringValue()));
+        return Status::OK();
+      case BuiltinAction::kNothing:
+        return Status::OK();
+    }
+    return Status::OK();
+  }
+
+  Status InstantiateTemplate(const TemplateRule& rule, Node* node, ExecState& st,
+                             VariableEnv* params_env) {
+    VariableEnv frame(st.env);
+    // Bind declared params: passed value, else default.
+    for (const Node* child : rule.element->children()) {
+      if (!IsXsltElement(child, "param")) continue;
+      std::string pname = child->GetAttribute("name");
+      const Value* passed =
+          params_env != nullptr ? params_env->Lookup(pname) : nullptr;
+      if (passed != nullptr) {
+        frame.Set(pname, *passed);
+      } else {
+        ExecState dst = st;
+        dst.node = node;
+        dst.env = &frame;
+        XDB_ASSIGN_OR_RETURN(Value v, EvaluateVariable(child, dst));
+        frame.Set(pname, std::move(v));
+      }
+    }
+    ExecState sub = st;
+    sub.node = node;
+    sub.env = &frame;
+    sub.depth = st.depth + 1;
+    return ExecBody(rule.element, sub, /*skip_params=*/true);
+  }
+
+  // Executes the children of `container` as a sequence of instructions.
+  Status ExecBody(const Node* container, ExecState& st, bool skip_params) {
+    // Local variables declared in this body extend a fresh frame.
+    VariableEnv frame(st.env);
+    ExecState sub = st;
+    sub.env = &frame;
+    for (const Node* child : container->children()) {
+      if (skip_params && IsXsltElement(child, "param")) continue;
+      XDB_RETURN_NOT_OK(ExecNode(child, sub, &frame));
+    }
+    return Status::OK();
+  }
+
+  Status ExecNode(const Node* instr, ExecState& st, VariableEnv* frame) {
+    switch (instr->type()) {
+      case NodeType::kText:
+        st.sink->AppendChild(st.out->CreateText(instr->value()));
+        return Status::OK();
+      case NodeType::kComment:
+        return Status::OK();  // stylesheet comments produce nothing
+      case NodeType::kProcessingInstruction:
+        return Status::OK();
+      case NodeType::kElement:
+        break;
+      default:
+        return Status::OK();
+    }
+    if (instr->namespace_uri() != kXsltNs) return ExecLiteralElement(instr, st);
+
+    const std::string& op = instr->local_name();
+    if (op == "apply-templates") return ExecApplyTemplates(instr, st);
+    if (op == "call-template") return ExecCallTemplate(instr, st);
+    if (op == "value-of") return ExecValueOf(instr, st);
+    if (op == "for-each") return ExecForEach(instr, st);
+    if (op == "if") return ExecIf(instr, st);
+    if (op == "choose") return ExecChoose(instr, st);
+    if (op == "text") {
+      st.sink->AppendChild(st.out->CreateText(instr->StringValue()));
+      return Status::OK();
+    }
+    if (op == "element") return ExecElement(instr, st);
+    if (op == "attribute") return ExecAttribute(instr, st);
+    if (op == "copy") return ExecCopy(instr, st);
+    if (op == "copy-of") return ExecCopyOf(instr, st);
+    if (op == "variable") {
+      std::string name = instr->GetAttribute("name");
+      XDB_ASSIGN_OR_RETURN(Value v, EvaluateVariable(instr, st));
+      frame->Set(name, std::move(v));
+      return Status::OK();
+    }
+    if (op == "comment") {
+      ExecState sub = st;
+      Node* wrapper = st.out->CreateElement("#c");
+      sub.sink = wrapper;
+      XDB_RETURN_NOT_OK(ExecBody(instr, sub, false));
+      st.sink->AppendChild(st.out->CreateComment(wrapper->StringValue()));
+      return Status::OK();
+    }
+    if (op == "processing-instruction") {
+      XDB_ASSIGN_OR_RETURN(std::string target, EvalAvtAttr(instr, "name", st));
+      ExecState sub = st;
+      Node* wrapper = st.out->CreateElement("#pi");
+      sub.sink = wrapper;
+      XDB_RETURN_NOT_OK(ExecBody(instr, sub, false));
+      st.sink->AppendChild(
+          st.out->CreateProcessingInstruction(target, wrapper->StringValue()));
+      return Status::OK();
+    }
+    if (op == "number") return ExecNumber(instr, st);
+    if (op == "message" || op == "fallback") return Status::OK();
+    if (op == "apply-imports") {
+      return Status::NotImplemented("XSLT: xsl:apply-imports");
+    }
+    if (op == "param") {
+      // A param outside a template header behaves like a variable default.
+      std::string name = instr->GetAttribute("name");
+      if (frame->Lookup(name) == nullptr) {
+        XDB_ASSIGN_OR_RETURN(Value v, EvaluateVariable(instr, st));
+        frame->Set(name, std::move(v));
+      }
+      return Status::OK();
+    }
+    if (op == "sort" || op == "with-param") {
+      return Status::OK();  // handled by their parent instruction
+    }
+    return Status::NotImplemented("XSLT: unsupported instruction <xsl:" + op + ">");
+  }
+
+  Status ExecLiteralElement(const Node* instr, ExecState& st) {
+    Node* elem = st.out->CreateElement(instr->qualified_name(),
+                                       instr->namespace_uri());
+    st.sink->AppendChild(elem);
+    for (const Node* attr : instr->attributes()) {
+      const std::string qname = attr->qualified_name();
+      if (qname == "xmlns" || StartsWith(qname, "xmlns:")) continue;
+      XDB_ASSIGN_OR_RETURN(const Avt* avt, CompiledAvt(attr));
+      XDB_ASSIGN_OR_RETURN(std::string v, avt->Evaluate(evaluator_, st.XPathCtx()));
+      elem->SetAttribute(qname, v);
+    }
+    ExecState sub = st;
+    sub.sink = elem;
+    return ExecBody(instr, sub, false);
+  }
+
+  Result<std::string> EvalAvtAttr(const Node* instr, const char* attr,
+                                  ExecState& st) {
+    const Node* attr_node = instr->FindAttribute(attr);
+    if (attr_node == nullptr) {
+      return Status::ParseError("XSLT: <xsl:" + instr->local_name() +
+                                "> requires @" + attr);
+    }
+    XDB_ASSIGN_OR_RETURN(const Avt* avt, CompiledAvt(attr_node));
+    return avt->Evaluate(evaluator_, st.XPathCtx());
+  }
+
+  Status ExecElement(const Node* instr, ExecState& st) {
+    XDB_ASSIGN_OR_RETURN(std::string name, EvalAvtAttr(instr, "name", st));
+    Node* elem = st.out->CreateElement(name);
+    st.sink->AppendChild(elem);
+    ExecState sub = st;
+    sub.sink = elem;
+    return ExecBody(instr, sub, false);
+  }
+
+  Status ExecAttribute(const Node* instr, ExecState& st) {
+    XDB_ASSIGN_OR_RETURN(std::string name, EvalAvtAttr(instr, "name", st));
+    Node* wrapper = st.out->CreateElement("#attr");
+    ExecState sub = st;
+    sub.sink = wrapper;
+    XDB_RETURN_NOT_OK(ExecBody(instr, sub, false));
+    if (st.sink->is_element()) {
+      st.sink->SetAttribute(name, wrapper->StringValue());
+    }
+    return Status::OK();
+  }
+
+  Status ExecValueOf(const Node* instr, ExecState& st) {
+    XDB_ASSIGN_OR_RETURN(const xpath::Expr* e, CompiledExpr(instr, "select"));
+    XDB_ASSIGN_OR_RETURN(std::string v,
+                         evaluator_.EvaluateString(*e, st.XPathCtx()));
+    if (!v.empty()) st.sink->AppendChild(st.out->CreateText(v));
+    return Status::OK();
+  }
+
+  Status ExecIf(const Node* instr, ExecState& st) {
+    XDB_ASSIGN_OR_RETURN(const xpath::Expr* e, CompiledExpr(instr, "test"));
+    XDB_ASSIGN_OR_RETURN(bool ok, evaluator_.EvaluateBool(*e, st.XPathCtx()));
+    if (ok) return ExecBody(instr, st, false);
+    return Status::OK();
+  }
+
+  Status ExecChoose(const Node* instr, ExecState& st) {
+    for (const Node* branch : instr->children()) {
+      if (IsXsltElement(branch, "when")) {
+        XDB_ASSIGN_OR_RETURN(const xpath::Expr* e, CompiledExpr(branch, "test"));
+        XDB_ASSIGN_OR_RETURN(bool ok, evaluator_.EvaluateBool(*e, st.XPathCtx()));
+        if (ok) return ExecBody(branch, st, false);
+      } else if (IsXsltElement(branch, "otherwise")) {
+        return ExecBody(branch, st, false);
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ExecCopy(const Node* instr, ExecState& st) {
+    Node* node = st.node;
+    switch (node->type()) {
+      case NodeType::kElement: {
+        Node* elem = st.out->CreateElement(node->qualified_name(),
+                                           node->namespace_uri());
+        st.sink->AppendChild(elem);
+        ExecState sub = st;
+        sub.sink = elem;
+        return ExecBody(instr, sub, false);
+      }
+      case NodeType::kText:
+        st.sink->AppendChild(st.out->CreateText(node->value()));
+        return Status::OK();
+      case NodeType::kAttribute:
+        if (st.sink->is_element()) {
+          st.sink->SetAttribute(node->qualified_name(), node->value());
+        }
+        return Status::OK();
+      case NodeType::kComment:
+        st.sink->AppendChild(st.out->CreateComment(node->value()));
+        return Status::OK();
+      case NodeType::kProcessingInstruction:
+        st.sink->AppendChild(st.out->CreateProcessingInstruction(
+            node->local_name(), node->value()));
+        return Status::OK();
+      case NodeType::kDocument:
+        return ExecBody(instr, st, false);
+    }
+    return Status::OK();
+  }
+
+  Status ExecCopyOf(const Node* instr, ExecState& st) {
+    XDB_ASSIGN_OR_RETURN(const xpath::Expr* e, CompiledExpr(instr, "select"));
+    XDB_ASSIGN_OR_RETURN(Value v, evaluator_.Evaluate(*e, st.XPathCtx()));
+    if (!v.is_node_set()) {
+      st.sink->AppendChild(st.out->CreateText(v.ToString()));
+      return Status::OK();
+    }
+    for (Node* n : v.node_set()) {
+      if (n->is_attribute()) {
+        if (st.sink->is_element()) {
+          st.sink->SetAttribute(n->qualified_name(), n->value());
+        }
+      } else if (n->type() == NodeType::kDocument ||
+                 n->local_name() == "#rtf") {
+        for (Node* child : n->children()) {
+          st.sink->AppendChild(st.out->ImportNode(child));
+        }
+      } else {
+        st.sink->AppendChild(st.out->ImportNode(n));
+      }
+    }
+    return Status::OK();
+  }
+
+  // ---- Sorting ----
+  Result<std::vector<SortKey>> CollectSortKeys(const Node* instr) {
+    std::vector<SortKey> keys;
+    for (const Node* child : instr->children()) {
+      if (!IsXsltElement(child, "sort")) continue;
+      SortKey key;
+      if (child->HasAttribute("select")) {
+        XDB_ASSIGN_OR_RETURN(key.select, CompiledExpr(child, "select"));
+      } else {
+        key.select = SelfExpr();
+      }
+      key.numeric = child->GetAttribute("data-type") == "number";
+      key.descending = child->GetAttribute("order") == "descending";
+      keys.push_back(key);
+    }
+    return keys;
+  }
+
+  const xpath::Expr* SelfExpr() {
+    if (self_expr_ == nullptr) self_expr_ = xpath::ParseXPath(".").MoveValue();
+    return self_expr_.get();
+  }
+
+  Status SortNodes(NodeSet* nodes, const std::vector<SortKey>& keys,
+                   ExecState& st) {
+    if (keys.empty()) return Status::OK();
+    struct Entry {
+      Node* node;
+      std::vector<std::string> svals;
+      std::vector<double> nvals;
+      size_t original;
+    };
+    std::vector<Entry> entries;
+    entries.reserve(nodes->size());
+    for (size_t i = 0; i < nodes->size(); ++i) {
+      Entry e;
+      e.node = (*nodes)[i];
+      e.original = i;
+      EvalContext ctx = st.XPathCtx();
+      ctx.node = e.node;
+      ctx.position = i + 1;
+      ctx.size = nodes->size();
+      for (const SortKey& key : keys) {
+        XDB_ASSIGN_OR_RETURN(Value v, evaluator_.Evaluate(*key.select, ctx));
+        if (key.numeric) {
+          e.nvals.push_back(v.ToNumber());
+          e.svals.emplace_back();
+        } else {
+          e.svals.push_back(v.ToString());
+          e.nvals.push_back(0);
+        }
+      }
+      entries.push_back(std::move(e));
+    }
+    std::stable_sort(entries.begin(), entries.end(),
+                     [&keys](const Entry& a, const Entry& b) {
+                       for (size_t k = 0; k < keys.size(); ++k) {
+                         int cmp;
+                         if (keys[k].numeric) {
+                           double x = a.nvals[k], y = b.nvals[k];
+                           cmp = x < y ? -1 : (x > y ? 1 : 0);
+                         } else {
+                           cmp = a.svals[k].compare(b.svals[k]);
+                         }
+                         if (keys[k].descending) cmp = -cmp;
+                         if (cmp != 0) return cmp < 0;
+                       }
+                       return a.original < b.original;
+                     });
+    for (size_t i = 0; i < entries.size(); ++i) (*nodes)[i] = entries[i].node;
+    return Status::OK();
+  }
+
+  // ---- with-param collection ----
+  Result<std::unique_ptr<VariableEnv>> CollectWithParams(const Node* instr,
+                                                         ExecState& st) {
+    auto env = std::make_unique<VariableEnv>();
+    for (const Node* child : instr->children()) {
+      if (!IsXsltElement(child, "with-param")) continue;
+      std::string name = child->GetAttribute("name");
+      XDB_ASSIGN_OR_RETURN(Value v, EvaluateVariable(child, st));
+      env->Set(name, std::move(v));
+    }
+    return env;
+  }
+
+  Status ExecApplyTemplates(const Node* instr, ExecState& st) {
+    NodeSet selected;
+    if (instr->HasAttribute("select")) {
+      XDB_ASSIGN_OR_RETURN(const xpath::Expr* e, CompiledExpr(instr, "select"));
+      XDB_ASSIGN_OR_RETURN(selected, evaluator_.EvaluateNodeSet(*e, st.XPathCtx()));
+    } else {
+      selected = st.node->children();
+    }
+    XDB_ASSIGN_OR_RETURN(std::vector<SortKey> keys, CollectSortKeys(instr));
+    XDB_RETURN_NOT_OK(SortNodes(&selected, keys, st));
+    XDB_ASSIGN_OR_RETURN(auto params, CollectWithParams(instr, st));
+
+    std::string mode = instr->GetAttribute("mode");
+    for (size_t i = 0; i < selected.size(); ++i) {
+      ExecState sub = st;
+      sub.node = selected[i];
+      sub.position = i + 1;
+      sub.size = selected.size();
+      // XSLT 1.0 5.4: no mode attribute means the default (no) mode.
+      sub.mode = instr->HasAttribute("mode") ? mode : "";
+      sub.depth = st.depth + 1;
+      XDB_RETURN_NOT_OK(ApplyTemplatesTo(selected[i], sub, params.get()));
+    }
+    return Status::OK();
+  }
+
+  Status ExecCallTemplate(const Node* instr, ExecState& st) {
+    std::string name = instr->GetAttribute("name");
+    int idx = ss_.FindNamed(name);
+    if (idx < 0) return Status::NotFound("XSLT: no template named '" + name + "'");
+    XDB_ASSIGN_OR_RETURN(auto params, CollectWithParams(instr, st));
+    ExecState sub = st;
+    sub.depth = st.depth + 1;
+    if (sub.depth > kMaxDepth) {
+      return Status::Internal("XSLT: maximum template nesting depth exceeded");
+    }
+    return InstantiateTemplate(ss_.templates()[idx], st.node, sub, params.get());
+  }
+
+  Status ExecForEach(const Node* instr, ExecState& st) {
+    XDB_ASSIGN_OR_RETURN(const xpath::Expr* e, CompiledExpr(instr, "select"));
+    XDB_ASSIGN_OR_RETURN(NodeSet selected,
+                         evaluator_.EvaluateNodeSet(*e, st.XPathCtx()));
+    XDB_ASSIGN_OR_RETURN(std::vector<SortKey> keys, CollectSortKeys(instr));
+    XDB_RETURN_NOT_OK(SortNodes(&selected, keys, st));
+    for (size_t i = 0; i < selected.size(); ++i) {
+      ExecState sub = st;
+      sub.node = selected[i];
+      sub.position = i + 1;
+      sub.size = selected.size();
+      sub.depth = st.depth + 1;
+      XDB_RETURN_NOT_OK(ExecBody(instr, sub, false));
+    }
+    return Status::OK();
+  }
+
+  Status ExecNumber(const Node* instr, ExecState& st) {
+    double value;
+    if (instr->HasAttribute("value")) {
+      XDB_ASSIGN_OR_RETURN(const xpath::Expr* e, CompiledExpr(instr, "value"));
+      XDB_ASSIGN_OR_RETURN(value, evaluator_.EvaluateNumber(*e, st.XPathCtx()));
+    } else {
+      // level="single" over same-named siblings.
+      int count = 1;
+      Node* n = st.node;
+      if (n->parent() != nullptr && n->index_in_parent() >= 0) {
+        for (int i = 0; i < n->index_in_parent(); ++i) {
+          Node* sib = n->parent()->children()[i];
+          if (sib->is_element() && sib->local_name() == n->local_name()) ++count;
+        }
+      }
+      value = count;
+    }
+    st.sink->AppendChild(st.out->CreateText(FormatXPathNumber(value)));
+    return Status::OK();
+  }
+
+  const Stylesheet& ss_;
+  Evaluator& evaluator_;
+  std::unordered_map<const Node*, ExprPtr> expr_cache_;
+  std::unordered_map<const Node*, Avt> avt_cache_;
+  ExprPtr self_expr_;
+};
+
+}  // namespace
+
+Interpreter::Interpreter(const Stylesheet& stylesheet) : stylesheet_(stylesheet) {
+  // XSLT additions to the XPath core library.
+  evaluator_.RegisterFunction(
+      "current", 0, 0,
+      [](std::vector<Value>&, const EvalContext& ctx) -> Result<Value> {
+        Node* n = ctx.current != nullptr ? ctx.current : ctx.node;
+        return n != nullptr ? Value(NodeSet{n}) : Value(NodeSet{});
+      });
+  evaluator_.RegisterFunction(
+      "generate-id", 0, 1,
+      [](std::vector<Value>& a, const EvalContext& ctx) -> Result<Value> {
+        const Node* n = ctx.node;
+        if (!a.empty()) {
+          XDB_ASSIGN_OR_RETURN(NodeSet ns, a[0].ToNodeSet());
+          if (ns.empty()) return Value(std::string());
+          n = ns.front();
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "id%p", static_cast<const void*>(n));
+        return Value(std::string(buf));
+      });
+  evaluator_.RegisterFunction(
+      "system-property", 1, 1,
+      [](std::vector<Value>& a, const EvalContext&) -> Result<Value> {
+        if (a[0].ToString() == "xsl:version") return Value(std::string("1.0"));
+        return Value(std::string());
+      });
+}
+
+Result<std::unique_ptr<xml::Document>> Interpreter::Transform(
+    xml::Node* source_root, const TransformParams& params) {
+  auto out = std::make_unique<xml::Document>();
+  // Processing starts at the owning document's root node.
+  Node* root = source_root;
+  while (root->parent() != nullptr) root = root->parent();
+  Engine engine(stylesheet_, &evaluator_);
+  XDB_RETURN_NOT_OK(engine.Run(root, params, out.get()));
+  return out;
+}
+
+}  // namespace xdb::xslt

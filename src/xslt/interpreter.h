@@ -1,0 +1,44 @@
+// Tree-walking XSLT 1.0 interpreter: the paper's "functional evaluation"
+// baseline. The processor views the input purely as a DOM tree and executes
+// the stylesheet instruction by instruction — no use of storage, index or
+// schema information. Used as the XSLT-no-rewrite comparator and as a
+// reference implementation for differential testing against the XSLTVM.
+#ifndef XDB_XSLT_INTERPRETER_H_
+#define XDB_XSLT_INTERPRETER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "xml/dom.h"
+#include "xpath/evaluator.h"
+#include "xslt/stylesheet.h"
+
+namespace xdb::xslt {
+
+/// Externally supplied values for top-level xsl:param declarations.
+using TransformParams = std::map<std::string, xpath::Value>;
+
+/// \brief Executes a parsed stylesheet against a source document.
+class Interpreter {
+ public:
+  explicit Interpreter(const Stylesheet& stylesheet);
+
+  /// Transforms the document containing `source` (processing starts at the
+  /// document root, per XSLT §5.1). Returns a new result document whose
+  /// top-level children form the result tree (possibly a fragment).
+  Result<std::unique_ptr<xml::Document>> Transform(
+      xml::Node* source_root, const TransformParams& params = {});
+
+ private:
+  struct Frame;  // defined in .cc
+
+  const Stylesheet& stylesheet_;
+  xpath::Evaluator evaluator_;
+};
+
+}  // namespace xdb::xslt
+
+#endif  // XDB_XSLT_INTERPRETER_H_

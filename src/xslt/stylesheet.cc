@@ -1,0 +1,222 @@
+#include "xslt/stylesheet.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "xml/parser.h"
+
+namespace xdb::xslt {
+
+bool IsXsltElement(const xml::Node* n, std::string_view local) {
+  return n != nullptr && n->is_element() && n->namespace_uri() == kXsltNs &&
+         (local.empty() || n->local_name() == local);
+}
+
+BuiltinAction BuiltinActionFor(const xml::Node* node) {
+  switch (node->type()) {
+    case xml::NodeType::kDocument:
+    case xml::NodeType::kElement:
+      return BuiltinAction::kApplyToChildren;
+    case xml::NodeType::kText:
+    case xml::NodeType::kAttribute:
+      return BuiltinAction::kCopyText;
+    case xml::NodeType::kComment:
+    case xml::NodeType::kProcessingInstruction:
+      return BuiltinAction::kNothing;
+  }
+  return BuiltinAction::kNothing;
+}
+
+namespace {
+
+// Known XSLT instruction names, for early diagnostics on misspellings.
+bool IsKnownInstruction(const std::string& local) {
+  static const char* kKnown[] = {
+      "apply-templates", "call-template", "value-of",   "for-each",
+      "if",              "choose",        "when",       "otherwise",
+      "text",            "element",       "attribute",  "copy",
+      "copy-of",         "variable",      "param",      "with-param",
+      "sort",            "comment",       "processing-instruction",
+      "number",          "message",       "apply-imports",
+      "attribute-set",   "key",           "output",     "strip-space",
+      "preserve-space",  "decimal-format", "import",    "include",
+      "template",        "stylesheet",    "transform",  "fallback",
+  };
+  for (const char* k : kKnown) {
+    if (local == k) return true;
+  }
+  return false;
+}
+
+Status ValidateBody(const xml::Node* node) {
+  for (const xml::Node* child : node->children()) {
+    if (!child->is_element()) continue;
+    if (child->namespace_uri() == kXsltNs && !IsKnownInstruction(child->local_name())) {
+      return Status::ParseError("XSLT: unknown instruction <xsl:" +
+                                child->local_name() + ">");
+    }
+    XDB_RETURN_NOT_OK(ValidateBody(child));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Stylesheet>> Stylesheet::Parse(std::string_view text) {
+  xml::ParseOptions opts;
+  opts.strip_whitespace_text = true;
+  opts.preserve_whitespace_elements = {"text"};
+  XDB_ASSIGN_OR_RETURN(auto doc, xml::ParseDocument(text, opts));
+
+  const xml::Node* root = doc->document_element();
+  if (!IsXsltElement(root, "stylesheet") && !IsXsltElement(root, "transform")) {
+    return Status::ParseError(
+        "XSLT: document element must be xsl:stylesheet or xsl:transform");
+  }
+
+  auto ss = std::make_unique<Stylesheet>();
+  ss->doc_ = std::move(doc);
+  ss->root_ = root;
+
+  for (const xml::Node* child : root->children()) {
+    if (!child->is_element()) continue;
+    if (IsXsltElement(child, "template")) {
+      TemplateRule rule;
+      rule.element = child;
+      rule.name = child->GetAttribute("name");
+      rule.mode = child->GetAttribute("mode");
+      std::string match = child->GetAttribute("match");
+      if (match.empty() && rule.name.empty()) {
+        return Status::ParseError("XSLT: template needs match or name");
+      }
+      if (!match.empty()) {
+        XDB_ASSIGN_OR_RETURN(xpath::Pattern p, xpath::Pattern::Parse(match));
+        rule.match = std::make_unique<xpath::Pattern>(std::move(p));
+      }
+      std::string prio = child->GetAttribute("priority");
+      if (!prio.empty()) {
+        rule.has_explicit_priority = true;
+        rule.explicit_priority = std::strtod(prio.c_str(), nullptr);
+      }
+      for (const xml::Node* pc : child->children()) {
+        if (IsXsltElement(pc, "param")) {
+          rule.param_names.push_back(pc->GetAttribute("name"));
+        }
+      }
+      rule.index = static_cast<int>(ss->templates_.size());
+      XDB_RETURN_NOT_OK(ValidateBody(child));
+      ss->templates_.push_back(std::move(rule));
+    } else if (IsXsltElement(child, "variable") || IsXsltElement(child, "param")) {
+      GlobalVariable g;
+      g.name = child->GetAttribute("name");
+      g.is_param = child->local_name() == "param";
+      g.element = child;
+      if (g.name.empty()) {
+        return Status::ParseError("XSLT: top-level variable/param needs a name");
+      }
+      ss->globals_.push_back(std::move(g));
+    } else if (IsXsltElement(child, "output") || IsXsltElement(child, "strip-space") ||
+               IsXsltElement(child, "preserve-space") || IsXsltElement(child, "key") ||
+               IsXsltElement(child, "decimal-format") ||
+               IsXsltElement(child, "attribute-set")) {
+      // Accepted and ignored: serialization hints and features outside the
+      // supported core.
+      continue;
+    } else if (child->namespace_uri() == kXsltNs) {
+      return Status::ParseError("XSLT: unexpected top-level element <xsl:" +
+                                child->local_name() + ">");
+    }
+  }
+  return ss;
+}
+
+Result<int> Stylesheet::FindMatch(xml::Node* node, const std::string& mode,
+                                  const xpath::Evaluator& evaluator,
+                                  const xpath::EvalContext& ctx,
+                                  bool structural_only) const {
+  int best = -1;
+  double best_priority = 0;
+  for (const TemplateRule& rule : templates_) {
+    if (rule.match == nullptr || rule.mode != mode) continue;
+    for (const auto& alt : rule.match->alternatives()) {
+      double priority = rule.PriorityOf(alt);
+      // Later templates win ties, so skip alternatives that cannot improve.
+      if (best >= 0 && priority < best_priority) continue;
+      XDB_ASSIGN_OR_RETURN(
+          bool m, xpath::Pattern::MatchesAlternative(*alt.path, node, evaluator, ctx,
+                                                     structural_only));
+      if (m && (best < 0 || priority >= best_priority)) {
+        best = rule.index;
+        best_priority = priority;
+      }
+    }
+  }
+  return best;
+}
+
+namespace {
+bool AlternativeHasPredicates(const xpath::PatternAlternative& alt) {
+  for (const auto& step : alt.path->steps) {
+    if (!step.predicates.empty()) return true;
+  }
+  return false;
+}
+}  // namespace
+
+Result<std::vector<Stylesheet::StructuralMatch>> Stylesheet::FindStructuralMatches(
+    xml::Node* node, const std::string& mode, const xpath::Evaluator& evaluator,
+    const xpath::EvalContext& ctx) const {
+  std::vector<StructuralMatch> hits;
+  for (const TemplateRule& rule : templates_) {
+    if (rule.match == nullptr || rule.mode != mode) continue;
+    double best_alt = 0;
+    bool matched = false;
+    bool conditional = true;
+    for (const auto& alt : rule.match->alternatives()) {
+      XDB_ASSIGN_OR_RETURN(bool m, xpath::Pattern::MatchesAlternative(
+                                       *alt.path, node, evaluator, ctx, true));
+      if (m) {
+        double p = rule.PriorityOf(alt);
+        best_alt = matched ? std::max(best_alt, p) : p;
+        matched = true;
+        if (!AlternativeHasPredicates(alt)) conditional = false;
+      }
+    }
+    if (matched) hits.push_back(StructuralMatch{rule.index, conditional, best_alt});
+  }
+  // Best first: higher priority, then later document order.
+  std::sort(hits.begin(), hits.end(),
+            [](const StructuralMatch& a, const StructuralMatch& b) {
+              if (a.priority != b.priority) return a.priority > b.priority;
+              return a.index > b.index;
+            });
+  // Truncate after the first unconditional candidate.
+  for (size_t i = 0; i < hits.size(); ++i) {
+    if (!hits[i].conditional) {
+      hits.resize(i + 1);
+      break;
+    }
+  }
+  return hits;
+}
+
+int Stylesheet::FindNamed(const std::string& name) const {
+  for (const TemplateRule& rule : templates_) {
+    if (rule.name == name) return rule.index;
+  }
+  return -1;
+}
+
+bool Stylesheet::HasPatternPredicates() const {
+  for (const TemplateRule& rule : templates_) {
+    if (rule.match == nullptr) continue;
+    for (const auto& alt : rule.match->alternatives()) {
+      for (const auto& step : alt.path->steps) {
+        if (!step.predicates.empty()) return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace xdb::xslt

@@ -1,0 +1,120 @@
+// Parsed XSLT 1.0 stylesheet representation, shared by the tree-walking
+// interpreter, the compiled XSLTVM, and the XSLT->XQuery rewriter.
+#ifndef XDB_XSLT_STYLESHEET_H_
+#define XDB_XSLT_STYLESHEET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/dom.h"
+#include "xpath/pattern.h"
+
+namespace xdb::xslt {
+
+inline constexpr std::string_view kXsltNs = "http://www.w3.org/1999/XSL/Transform";
+
+/// True when `n` is an element in the XSLT namespace with the given local name.
+bool IsXsltElement(const xml::Node* n, std::string_view local = "");
+
+/// One template rule. Union match patterns are kept whole here; the matcher
+/// considers each alternative with its own default priority per XSLT §5.5.
+struct TemplateRule {
+  /// Parsed match pattern (null for purely named templates).
+  std::unique_ptr<xpath::Pattern> match;
+  std::string name;  ///< for <xsl:call-template>; empty if none
+  std::string mode;
+  bool has_explicit_priority = false;
+  double explicit_priority = 0;
+  /// The <xsl:template> element; the instruction body is its children after
+  /// any leading <xsl:param> elements.
+  const xml::Node* element = nullptr;
+  /// Names of declared xsl:param children, in order.
+  std::vector<std::string> param_names;
+  int index = -1;  ///< position in Stylesheet::templates()
+
+  /// The priority of the given alternative: explicit one if set, else the
+  /// alternative's default priority.
+  double PriorityOf(const xpath::PatternAlternative& alt) const {
+    return has_explicit_priority ? explicit_priority : alt.default_priority;
+  }
+};
+
+/// Top-level xsl:variable / xsl:param declaration.
+struct GlobalVariable {
+  std::string name;
+  bool is_param = false;
+  const xml::Node* element = nullptr;  ///< for select attr or content body
+};
+
+/// \brief A parsed stylesheet. Owns the stylesheet document.
+class Stylesheet {
+ public:
+  /// Parses stylesheet text. Supports the XSLT 1.0 core used by the paper
+  /// and XSLTMark: template/apply-templates/call-template, value-of,
+  /// for-each, if, choose, variable/param/with-param, sort, text, element,
+  /// attribute, copy, copy-of, comment, processing-instruction, number
+  /// (basic), literal result elements with AVTs, built-in templates, modes
+  /// and priorities.
+  static Result<std::unique_ptr<Stylesheet>> Parse(std::string_view text);
+
+  const std::vector<TemplateRule>& templates() const { return templates_; }
+  const std::vector<GlobalVariable>& globals() const { return globals_; }
+
+  /// Index of the best matching template for `node` in `mode`, or -1 when
+  /// only the built-in rules apply. Ties break toward the later template in
+  /// document order (XSLT recoverable-error resolution).
+  /// When `structural_only` is set, pattern value predicates are assumed
+  /// true (the partial-evaluation conservatism of §4.3).
+  Result<int> FindMatch(xml::Node* node, const std::string& mode,
+                        const xpath::Evaluator& evaluator,
+                        const xpath::EvalContext& ctx,
+                        bool structural_only = false) const;
+
+  /// One candidate from structural matching. `conditional` means every
+  /// structurally-matching alternative of the template carries a value
+  /// predicate, so at runtime the match may still fail — the translated
+  /// XQuery keeps a residual conditional test (Tables 18/19 of the paper).
+  struct StructuralMatch {
+    int index;
+    bool conditional;
+    double priority;
+  };
+
+  /// All templates whose pattern could match `node` in `mode` under
+  /// structural-only matching, best first, truncated after the first
+  /// unconditional candidate (lower-priority templates can never win once an
+  /// unconditional match exists). Used by the partial evaluator (§4.3).
+  Result<std::vector<StructuralMatch>> FindStructuralMatches(
+      xml::Node* node, const std::string& mode, const xpath::Evaluator& evaluator,
+      const xpath::EvalContext& ctx) const;
+
+  /// Index of the named template, or -1.
+  int FindNamed(const std::string& name) const;
+
+  /// The <xsl:stylesheet> element.
+  const xml::Node* root_element() const { return root_; }
+
+  /// Whether any template pattern carries a value predicate (used by tests
+  /// and by the rewriter's statistics).
+  bool HasPatternPredicates() const;
+
+ private:
+  std::unique_ptr<xml::Document> doc_;
+  const xml::Node* root_ = nullptr;
+  std::vector<TemplateRule> templates_;
+  std::vector<GlobalVariable> globals_;
+};
+
+/// Built-in template behaviour classification for a node (XSLT §5.8).
+enum class BuiltinAction {
+  kApplyToChildren,  ///< document and element nodes
+  kCopyText,         ///< text and attribute nodes
+  kNothing,          ///< comments and processing instructions
+};
+BuiltinAction BuiltinActionFor(const xml::Node* node);
+
+}  // namespace xdb::xslt
+
+#endif  // XDB_XSLT_STYLESHEET_H_

@@ -1,0 +1,865 @@
+#include "xslt/vm.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/strings.h"
+#include "xpath/parser.h"
+
+namespace xdb::xslt {
+
+using xml::Node;
+using xml::NodeType;
+using xpath::EvalContext;
+using xpath::Evaluator;
+using xpath::ExprPtr;
+using xpath::NodeSet;
+using xpath::Value;
+using xpath::VariableEnv;
+
+// ---------------------------------------------------------------------------
+// Predicate stripping (conservative structural approximation)
+// ---------------------------------------------------------------------------
+
+xpath::ExprPtr StripPredicates(const xpath::Expr& e) {
+  using namespace xpath;
+  switch (e.kind()) {
+    case ExprKind::kPath: {
+      const auto& p = static_cast<const PathExpr&>(e);
+      auto out = std::make_unique<PathExpr>();
+      out->absolute = p.absolute;
+      if (p.start) out->start = StripPredicates(*p.start);
+      // start_predicates dropped deliberately.
+      for (const Step& s : p.steps) {
+        Step ns;
+        ns.axis = s.axis;
+        ns.test = s.test;
+        out->steps.push_back(std::move(ns));
+      }
+      return out;
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      if (b.op == BinaryOp::kUnion) {
+        return std::make_unique<BinaryExpr>(BinaryOp::kUnion,
+                                            StripPredicates(*b.lhs),
+                                            StripPredicates(*b.rhs));
+      }
+      return e.Clone();
+    }
+    default:
+      return e.Clone();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Compiler
+// ---------------------------------------------------------------------------
+
+class StylesheetCompiler {
+ public:
+  explicit StylesheetCompiler(const Stylesheet& ss) : ss_(ss) {}
+
+  Result<std::unique_ptr<CompiledStylesheet>> Compile() {
+    auto out = std::make_unique<CompiledStylesheet>();
+    out->source_ = &ss_;
+    for (const TemplateRule& rule : ss_.templates()) {
+      CompiledTemplate ct;
+      ct.rule_index = rule.index;
+      for (const Node* child : rule.element->children()) {
+        if (IsXsltElement(child, "param")) {
+          XDB_ASSIGN_OR_RETURN(CompiledParam p, CompileParam(child));
+          ct.params.push_back(std::move(p));
+        }
+      }
+      XDB_ASSIGN_OR_RETURN(ct.body, CompileBody(rule.element, /*skip_params=*/true));
+      out->templates_.push_back(std::move(ct));
+    }
+    for (const GlobalVariable& g : ss_.globals()) {
+      XDB_ASSIGN_OR_RETURN(CompiledParam p, CompileParam(g.element));
+      out->globals_.push_back(std::move(p));
+      out->global_is_param_.push_back(g.is_param);
+    }
+    out->site_count_ = next_site_;
+    return out;
+  }
+
+ private:
+  Result<CompiledParam> CompileParam(const Node* elem) {
+    CompiledParam p;
+    p.name = elem->GetAttribute("name");
+    if (elem->HasAttribute("select")) {
+      XDB_ASSIGN_OR_RETURN(p.select, xpath::ParseXPath(elem->GetAttribute("select")));
+    } else if (!elem->children().empty()) {
+      XDB_ASSIGN_OR_RETURN(p.body, CompileBody(elem, false));
+    }
+    return p;
+  }
+
+  Result<std::vector<Instruction>> CompileBody(const Node* container,
+                                               bool skip_params) {
+    std::vector<Instruction> out;
+    for (const Node* child : container->children()) {
+      if (child->is_text()) {
+        Instruction instr;
+        instr.op = Instruction::Op::kText;
+        instr.text = child->value();
+        out.push_back(std::move(instr));
+        continue;
+      }
+      if (!child->is_element()) continue;
+      if (skip_params && IsXsltElement(child, "param")) continue;
+      if (IsXsltElement(child, "sort") || IsXsltElement(child, "with-param")) {
+        continue;  // consumed by parent instruction
+      }
+      XDB_ASSIGN_OR_RETURN(Instruction instr, CompileInstruction(child));
+      out.push_back(std::move(instr));
+    }
+    return out;
+  }
+
+  Result<ExprPtr> RequiredExpr(const Node* elem, const char* attr) {
+    if (!elem->HasAttribute(attr)) {
+      return Status::ParseError("XSLT: <xsl:" + elem->local_name() +
+                                "> requires @" + attr);
+    }
+    return xpath::ParseXPath(elem->GetAttribute(attr));
+  }
+
+  Result<std::vector<CompiledSortKey>> CompileSorts(const Node* elem) {
+    std::vector<CompiledSortKey> keys;
+    for (const Node* child : elem->children()) {
+      if (!IsXsltElement(child, "sort")) continue;
+      CompiledSortKey key;
+      if (child->HasAttribute("select")) {
+        XDB_ASSIGN_OR_RETURN(key.select,
+                             xpath::ParseXPath(child->GetAttribute("select")));
+      } else {
+        XDB_ASSIGN_OR_RETURN(key.select, xpath::ParseXPath("."));
+      }
+      key.numeric = child->GetAttribute("data-type") == "number";
+      key.descending = child->GetAttribute("order") == "descending";
+      keys.push_back(std::move(key));
+    }
+    return keys;
+  }
+
+  Result<std::vector<CompiledParam>> CompileWithParams(const Node* elem) {
+    std::vector<CompiledParam> params;
+    for (const Node* child : elem->children()) {
+      if (!IsXsltElement(child, "with-param")) continue;
+      XDB_ASSIGN_OR_RETURN(CompiledParam p, CompileParam(child));
+      params.push_back(std::move(p));
+    }
+    return params;
+  }
+
+  Result<Instruction> CompileInstruction(const Node* elem) {
+    Instruction instr;
+    if (elem->namespace_uri() != kXsltNs) {
+      instr.op = Instruction::Op::kLiteralElement;
+      instr.text = elem->qualified_name();
+      instr.ns_uri = elem->namespace_uri();
+      for (const Node* attr : elem->attributes()) {
+        const std::string qname = attr->qualified_name();
+        if (qname == "xmlns" || StartsWith(qname, "xmlns:")) continue;
+        XDB_ASSIGN_OR_RETURN(Avt avt, Avt::Parse(attr->value()));
+        instr.attrs.push_back(Instruction::AvtAttr{qname, std::move(avt)});
+      }
+      XDB_ASSIGN_OR_RETURN(instr.body, CompileBody(elem, false));
+      return instr;
+    }
+
+    const std::string& op = elem->local_name();
+    if (op == "apply-templates") {
+      instr.op = Instruction::Op::kApplyTemplates;
+      if (elem->HasAttribute("select")) {
+        XDB_ASSIGN_OR_RETURN(instr.expr, RequiredExpr(elem, "select"));
+        instr.structural_expr = StripPredicates(*instr.expr);
+      }
+      instr.has_mode = elem->HasAttribute("mode");
+      instr.mode = elem->GetAttribute("mode");
+      XDB_ASSIGN_OR_RETURN(instr.sorts, CompileSorts(elem));
+      XDB_ASSIGN_OR_RETURN(instr.params, CompileWithParams(elem));
+      instr.site_id = next_site_++;
+      return instr;
+    }
+    if (op == "call-template") {
+      instr.op = Instruction::Op::kCallTemplate;
+      std::string name = elem->GetAttribute("name");
+      instr.target_template = ss_.FindNamed(name);
+      if (instr.target_template < 0) {
+        return Status::NotFound("XSLT: no template named '" + name + "'");
+      }
+      XDB_ASSIGN_OR_RETURN(instr.params, CompileWithParams(elem));
+      instr.site_id = next_site_++;
+      return instr;
+    }
+    if (op == "value-of") {
+      instr.op = Instruction::Op::kValueOf;
+      XDB_ASSIGN_OR_RETURN(instr.expr, RequiredExpr(elem, "select"));
+      instr.structural_expr = StripPredicates(*instr.expr);
+      return instr;
+    }
+    if (op == "for-each") {
+      instr.op = Instruction::Op::kForEach;
+      XDB_ASSIGN_OR_RETURN(instr.expr, RequiredExpr(elem, "select"));
+      instr.structural_expr = StripPredicates(*instr.expr);
+      XDB_ASSIGN_OR_RETURN(instr.sorts, CompileSorts(elem));
+      XDB_ASSIGN_OR_RETURN(instr.body, CompileBody(elem, false));
+      return instr;
+    }
+    if (op == "if") {
+      instr.op = Instruction::Op::kIf;
+      XDB_ASSIGN_OR_RETURN(instr.expr, RequiredExpr(elem, "test"));
+      XDB_ASSIGN_OR_RETURN(instr.body, CompileBody(elem, false));
+      return instr;
+    }
+    if (op == "choose") {
+      instr.op = Instruction::Op::kChoose;
+      for (const Node* branch : elem->children()) {
+        Instruction b;
+        if (IsXsltElement(branch, "when")) {
+          b.op = Instruction::Op::kWhen;
+          XDB_ASSIGN_OR_RETURN(b.expr, RequiredExpr(branch, "test"));
+        } else if (IsXsltElement(branch, "otherwise")) {
+          b.op = Instruction::Op::kOtherwise;
+        } else {
+          continue;
+        }
+        XDB_ASSIGN_OR_RETURN(b.body, CompileBody(branch, false));
+        instr.body.push_back(std::move(b));
+      }
+      return instr;
+    }
+    if (op == "text") {
+      instr.op = Instruction::Op::kText;
+      instr.text = elem->StringValue();
+      return instr;
+    }
+    if (op == "element" || op == "attribute" || op == "processing-instruction") {
+      instr.op = op == "element"
+                     ? Instruction::Op::kElementDyn
+                     : (op == "attribute" ? Instruction::Op::kAttribute
+                                          : Instruction::Op::kProcessingInstr);
+      if (!elem->HasAttribute("name")) {
+        return Status::ParseError("XSLT: <xsl:" + op + "> requires @name");
+      }
+      XDB_ASSIGN_OR_RETURN(instr.name_avt, Avt::Parse(elem->GetAttribute("name")));
+      instr.has_name_avt = true;
+      XDB_ASSIGN_OR_RETURN(instr.body, CompileBody(elem, false));
+      return instr;
+    }
+    if (op == "copy") {
+      instr.op = Instruction::Op::kCopy;
+      XDB_ASSIGN_OR_RETURN(instr.body, CompileBody(elem, false));
+      return instr;
+    }
+    if (op == "copy-of") {
+      instr.op = Instruction::Op::kCopyOf;
+      XDB_ASSIGN_OR_RETURN(instr.expr, RequiredExpr(elem, "select"));
+      instr.structural_expr = StripPredicates(*instr.expr);
+      return instr;
+    }
+    if (op == "variable" || op == "param") {
+      instr.op = Instruction::Op::kVariable;
+      instr.text = elem->GetAttribute("name");
+      if (elem->HasAttribute("select")) {
+        XDB_ASSIGN_OR_RETURN(instr.expr, RequiredExpr(elem, "select"));
+        instr.structural_expr = StripPredicates(*instr.expr);
+      } else {
+        XDB_ASSIGN_OR_RETURN(instr.body, CompileBody(elem, false));
+      }
+      return instr;
+    }
+    if (op == "comment") {
+      instr.op = Instruction::Op::kComment;
+      XDB_ASSIGN_OR_RETURN(instr.body, CompileBody(elem, false));
+      return instr;
+    }
+    if (op == "number") {
+      instr.op = Instruction::Op::kNumber;
+      if (elem->HasAttribute("value")) {
+        XDB_ASSIGN_OR_RETURN(instr.expr, RequiredExpr(elem, "value"));
+      }
+      return instr;
+    }
+    if (op == "message" || op == "fallback") {
+      instr.op = Instruction::Op::kNoop;
+      return instr;
+    }
+    return Status::NotImplemented("XSLTVM: unsupported instruction <xsl:" + op +
+                                  ">");
+  }
+
+  const Stylesheet& ss_;
+  int next_site_ = 0;
+};
+
+Result<std::unique_ptr<CompiledStylesheet>> CompiledStylesheet::Compile(
+    const Stylesheet& stylesheet) {
+  StylesheetCompiler compiler(stylesheet);
+  return compiler.Compile();
+}
+
+// ---------------------------------------------------------------------------
+// Execution engine
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr int kMaxDepth = 2000;
+constexpr int kBuiltinSite = -1;
+
+struct VmState {
+  xml::Document* out;
+  Node* sink;
+  Node* node;
+  size_t position = 1;
+  size_t size = 1;
+  VariableEnv* env;
+  std::string mode;
+  int depth = 0;
+
+  EvalContext XPathCtx() const {
+    EvalContext ctx;
+    ctx.node = node;
+    ctx.position = position;
+    ctx.size = size;
+    ctx.env = env;
+    ctx.current = node;
+    return ctx;
+  }
+};
+
+class VmEngine {
+ public:
+  VmEngine(const CompiledStylesheet& cs, Evaluator* evaluator, bool trace,
+           TraceListener* listener)
+      : cs_(cs), ev_(*evaluator), trace_(trace), listener_(listener) {}
+
+  Status Run(Node* source_root, const TransformParams& params,
+             xml::Document* out) {
+    VariableEnv globals;
+    VmState st;
+    st.out = out;
+    st.sink = out->root();
+    st.node = source_root;
+    st.env = &globals;
+    // Bind globals in declaration order.
+    const auto& gdecls = cs_.globals();
+    for (size_t i = 0; i < gdecls.size(); ++i) {
+      if (cs_.global_is_param()[i]) {
+        auto it = params.find(gdecls[i].name);
+        if (it != params.end()) {
+          globals.Set(gdecls[i].name, it->second);
+          continue;
+        }
+      }
+      XDB_ASSIGN_OR_RETURN(Value v, EvalParamValue(gdecls[i], st));
+      globals.Set(gdecls[i].name, std::move(v));
+    }
+    return DispatchNode(source_root, st, nullptr, kBuiltinSite);
+  }
+
+ private:
+  // The select expression to use given the mode (structural when tracing).
+  const xpath::Expr* SelectExpr(const Instruction& instr) const {
+    if (trace_ && instr.structural_expr != nullptr) {
+      return instr.structural_expr.get();
+    }
+    return instr.expr.get();
+  }
+
+  Result<Value> EvalParamValue(const CompiledParam& p, VmState& st) {
+    if (p.select != nullptr) {
+      const xpath::Expr* e = p.select.get();
+      return ev_.Evaluate(*e, st.XPathCtx());
+    }
+    if (p.body.empty()) return Value(std::string());
+    Node* wrapper = st.out->CreateElement("#rtf");
+    VmState sub = st;
+    sub.sink = wrapper;
+    XDB_RETURN_NOT_OK(ExecBody(p.body, sub));
+    return Value(NodeSet{wrapper});
+  }
+
+  // ---- dispatch ----
+  Status DispatchNode(Node* node, VmState& st, VariableEnv* params_env,
+                      int site_id) {
+    if (st.depth > kMaxDepth) {
+      return Status::Internal("XSLTVM: maximum template nesting depth exceeded");
+    }
+    if (!trace_) {
+      XDB_ASSIGN_OR_RETURN(
+          int idx, cs_.source().FindMatch(node, st.mode, ev_, st.XPathCtx()));
+      if (idx < 0) return ExecBuiltin(node, st);
+      return Instantiate(idx, node, st, params_env);
+    }
+    // Trace mode: explore all structurally possible candidates.
+    XDB_ASSIGN_OR_RETURN(auto candidates, cs_.source().FindStructuralMatches(
+                                              node, st.mode, ev_, st.XPathCtx()));
+    bool builtin_fallback =
+        candidates.empty() || candidates.back().conditional;
+    if (listener_ != nullptr) {
+      listener_->OnDispatch(site_id, node, st.mode, candidates, builtin_fallback);
+    }
+    for (const auto& cand : candidates) {
+      XDB_RETURN_NOT_OK(TracedInstantiate(cand.index, node, st, params_env));
+    }
+    if (builtin_fallback) {
+      if (listener_ != nullptr) listener_->OnActivationBegin(-1, node);
+      XDB_RETURN_NOT_OK(ExecBuiltin(node, st));
+      if (listener_ != nullptr) listener_->OnActivationEnd(-1);
+    }
+    return Status::OK();
+  }
+
+  Status TracedInstantiate(int idx, Node* node, VmState& st,
+                           VariableEnv* params_env) {
+    // Recursion guard: a (template, element-name) pair already on the stack
+    // means a recursive stylesheet; record and stop expanding.
+    std::string key = node->is_element() ? node->local_name() : "#leaf";
+    for (const auto& [t, k] : activation_stack_) {
+      if (t == idx && k == key) {
+        if (listener_ != nullptr) listener_->OnRecursion(idx, node);
+        return Status::OK();
+      }
+    }
+    if (listener_ != nullptr) listener_->OnActivationBegin(idx, node);
+    activation_stack_.emplace_back(idx, key);
+    Status s = Instantiate(idx, node, st, params_env);
+    activation_stack_.pop_back();
+    if (listener_ != nullptr) listener_->OnActivationEnd(idx);
+    return s;
+  }
+
+  Status ExecBuiltin(Node* node, VmState& st) {
+    switch (BuiltinActionFor(node)) {
+      case BuiltinAction::kApplyToChildren: {
+        const auto& children = node->children();
+        for (size_t i = 0; i < children.size(); ++i) {
+          VmState sub = st;
+          sub.node = children[i];
+          sub.position = i + 1;
+          sub.size = children.size();
+          sub.depth = st.depth + 1;
+          XDB_RETURN_NOT_OK(DispatchNode(children[i], sub, nullptr, kBuiltinSite));
+        }
+        return Status::OK();
+      }
+      case BuiltinAction::kCopyText:
+        st.sink->AppendChild(st.out->CreateText(node->StringValue()));
+        return Status::OK();
+      case BuiltinAction::kNothing:
+        return Status::OK();
+    }
+    return Status::OK();
+  }
+
+  Status Instantiate(int idx, Node* node, VmState& st, VariableEnv* params_env) {
+    const CompiledTemplate& tmpl = cs_.templates()[idx];
+    VariableEnv frame(st.env);
+    for (const CompiledParam& p : tmpl.params) {
+      const Value* passed =
+          params_env != nullptr ? params_env->Lookup(p.name) : nullptr;
+      if (passed != nullptr) {
+        frame.Set(p.name, *passed);
+      } else {
+        VmState dst = st;
+        dst.node = node;
+        dst.env = &frame;
+        XDB_ASSIGN_OR_RETURN(Value v, EvalParamValue(p, dst));
+        frame.Set(p.name, std::move(v));
+      }
+    }
+    VmState sub = st;
+    sub.node = node;
+    sub.env = &frame;
+    sub.depth = st.depth + 1;
+    return ExecBody(tmpl.body, sub);
+  }
+
+  Status ExecBody(const std::vector<Instruction>& body, VmState& st) {
+    VariableEnv frame(st.env);
+    VmState sub = st;
+    sub.env = &frame;
+    for (const Instruction& instr : body) {
+      XDB_RETURN_NOT_OK(Exec(instr, sub, &frame));
+    }
+    return Status::OK();
+  }
+
+  Status Exec(const Instruction& instr, VmState& st, VariableEnv* frame) {
+    switch (instr.op) {
+      case Instruction::Op::kText:
+        st.sink->AppendChild(st.out->CreateText(instr.text));
+        return Status::OK();
+      case Instruction::Op::kLiteralElement: {
+        Node* elem = st.out->CreateElement(instr.text, instr.ns_uri);
+        st.sink->AppendChild(elem);
+        for (const auto& attr : instr.attrs) {
+          XDB_ASSIGN_OR_RETURN(std::string v,
+                               attr.value.Evaluate(ev_, st.XPathCtx()));
+          elem->SetAttribute(attr.qname, v);
+        }
+        VmState sub = st;
+        sub.sink = elem;
+        return ExecBody(instr.body, sub);
+      }
+      case Instruction::Op::kValueOf: {
+        XDB_ASSIGN_OR_RETURN(
+            std::string v, ev_.EvaluateString(*SelectExpr(instr), st.XPathCtx()));
+        if (!v.empty()) st.sink->AppendChild(st.out->CreateText(v));
+        return Status::OK();
+      }
+      case Instruction::Op::kApplyTemplates:
+        return ExecApplyTemplates(instr, st);
+      case Instruction::Op::kCallTemplate:
+        return ExecCallTemplate(instr, st);
+      case Instruction::Op::kForEach:
+        return ExecForEach(instr, st);
+      case Instruction::Op::kIf: {
+        if (trace_) return ExecBody(instr.body, st);  // explore unconditionally
+        XDB_ASSIGN_OR_RETURN(bool ok, ev_.EvaluateBool(*instr.expr, st.XPathCtx()));
+        if (ok) return ExecBody(instr.body, st);
+        return Status::OK();
+      }
+      case Instruction::Op::kChoose: {
+        for (const Instruction& branch : instr.body) {
+          if (branch.op == Instruction::Op::kWhen) {
+            if (trace_) {
+              XDB_RETURN_NOT_OK(ExecBody(branch.body, st));  // explore all
+              continue;
+            }
+            XDB_ASSIGN_OR_RETURN(bool ok,
+                                 ev_.EvaluateBool(*branch.expr, st.XPathCtx()));
+            if (ok) return ExecBody(branch.body, st);
+          } else {
+            if (trace_) {
+              XDB_RETURN_NOT_OK(ExecBody(branch.body, st));
+              continue;
+            }
+            return ExecBody(branch.body, st);
+          }
+        }
+        return Status::OK();
+      }
+      case Instruction::Op::kWhen:
+      case Instruction::Op::kOtherwise:
+        return Status::Internal("XSLTVM: stray choose branch");
+      case Instruction::Op::kVariable: {
+        Value v;
+        if (instr.expr != nullptr) {
+          XDB_ASSIGN_OR_RETURN(v, ev_.Evaluate(*SelectExpr(instr), st.XPathCtx()));
+        } else if (!instr.body.empty()) {
+          Node* wrapper = st.out->CreateElement("#rtf");
+          VmState sub = st;
+          sub.sink = wrapper;
+          XDB_RETURN_NOT_OK(ExecBody(instr.body, sub));
+          v = Value(NodeSet{wrapper});
+        } else {
+          v = Value(std::string());
+        }
+        frame->Set(instr.text, std::move(v));
+        return Status::OK();
+      }
+      case Instruction::Op::kAttribute: {
+        XDB_ASSIGN_OR_RETURN(std::string name,
+                             instr.name_avt.Evaluate(ev_, st.XPathCtx()));
+        Node* wrapper = st.out->CreateElement("#attr");
+        VmState sub = st;
+        sub.sink = wrapper;
+        XDB_RETURN_NOT_OK(ExecBody(instr.body, sub));
+        if (st.sink->is_element()) {
+          st.sink->SetAttribute(name, wrapper->StringValue());
+        }
+        return Status::OK();
+      }
+      case Instruction::Op::kElementDyn: {
+        XDB_ASSIGN_OR_RETURN(std::string name,
+                             instr.name_avt.Evaluate(ev_, st.XPathCtx()));
+        Node* elem = st.out->CreateElement(name);
+        st.sink->AppendChild(elem);
+        VmState sub = st;
+        sub.sink = elem;
+        return ExecBody(instr.body, sub);
+      }
+      case Instruction::Op::kCopy:
+        return ExecCopy(instr, st);
+      case Instruction::Op::kCopyOf:
+        return ExecCopyOf(instr, st);
+      case Instruction::Op::kComment: {
+        Node* wrapper = st.out->CreateElement("#c");
+        VmState sub = st;
+        sub.sink = wrapper;
+        XDB_RETURN_NOT_OK(ExecBody(instr.body, sub));
+        st.sink->AppendChild(st.out->CreateComment(wrapper->StringValue()));
+        return Status::OK();
+      }
+      case Instruction::Op::kProcessingInstr: {
+        XDB_ASSIGN_OR_RETURN(std::string target,
+                             instr.name_avt.Evaluate(ev_, st.XPathCtx()));
+        Node* wrapper = st.out->CreateElement("#pi");
+        VmState sub = st;
+        sub.sink = wrapper;
+        XDB_RETURN_NOT_OK(ExecBody(instr.body, sub));
+        st.sink->AppendChild(
+            st.out->CreateProcessingInstruction(target, wrapper->StringValue()));
+        return Status::OK();
+      }
+      case Instruction::Op::kNumber: {
+        double value;
+        if (instr.expr != nullptr) {
+          XDB_ASSIGN_OR_RETURN(value, ev_.EvaluateNumber(*instr.expr, st.XPathCtx()));
+        } else {
+          int count = 1;
+          Node* n = st.node;
+          if (n->parent() != nullptr && n->index_in_parent() >= 0) {
+            for (int i = 0; i < n->index_in_parent(); ++i) {
+              Node* sib = n->parent()->children()[i];
+              if (sib->is_element() && sib->local_name() == n->local_name()) {
+                ++count;
+              }
+            }
+          }
+          value = count;
+        }
+        st.sink->AppendChild(st.out->CreateText(FormatXPathNumber(value)));
+        return Status::OK();
+      }
+      case Instruction::Op::kNoop:
+        return Status::OK();
+    }
+    return Status::Internal("XSLTVM: unknown opcode");
+  }
+
+  Status ExecCopy(const Instruction& instr, VmState& st) {
+    Node* node = st.node;
+    switch (node->type()) {
+      case NodeType::kElement: {
+        Node* elem =
+            st.out->CreateElement(node->qualified_name(), node->namespace_uri());
+        st.sink->AppendChild(elem);
+        VmState sub = st;
+        sub.sink = elem;
+        return ExecBody(instr.body, sub);
+      }
+      case NodeType::kText:
+        st.sink->AppendChild(st.out->CreateText(node->value()));
+        return Status::OK();
+      case NodeType::kAttribute:
+        if (st.sink->is_element()) {
+          st.sink->SetAttribute(node->qualified_name(), node->value());
+        }
+        return Status::OK();
+      case NodeType::kComment:
+        st.sink->AppendChild(st.out->CreateComment(node->value()));
+        return Status::OK();
+      case NodeType::kProcessingInstruction:
+        st.sink->AppendChild(st.out->CreateProcessingInstruction(
+            node->local_name(), node->value()));
+        return Status::OK();
+      case NodeType::kDocument:
+        return ExecBody(instr.body, st);
+    }
+    return Status::OK();
+  }
+
+  Status ExecCopyOf(const Instruction& instr, VmState& st) {
+    XDB_ASSIGN_OR_RETURN(Value v, ev_.Evaluate(*SelectExpr(instr), st.XPathCtx()));
+    if (!v.is_node_set()) {
+      st.sink->AppendChild(st.out->CreateText(v.ToString()));
+      return Status::OK();
+    }
+    for (Node* n : v.node_set()) {
+      if (n->is_attribute()) {
+        if (st.sink->is_element()) {
+          st.sink->SetAttribute(n->qualified_name(), n->value());
+        }
+      } else if (n->type() == NodeType::kDocument || n->local_name() == "#rtf") {
+        for (Node* child : n->children()) {
+          st.sink->AppendChild(st.out->ImportNode(child));
+        }
+      } else {
+        st.sink->AppendChild(st.out->ImportNode(n));
+      }
+    }
+    return Status::OK();
+  }
+
+  Status SortNodes(NodeSet* nodes, const std::vector<CompiledSortKey>& keys,
+                   VmState& st) {
+    if (keys.empty() || trace_) return Status::OK();
+    struct Entry {
+      Node* node;
+      std::vector<std::string> svals;
+      std::vector<double> nvals;
+      size_t original;
+    };
+    std::vector<Entry> entries;
+    entries.reserve(nodes->size());
+    for (size_t i = 0; i < nodes->size(); ++i) {
+      Entry e;
+      e.node = (*nodes)[i];
+      e.original = i;
+      EvalContext ctx = st.XPathCtx();
+      ctx.node = e.node;
+      ctx.position = i + 1;
+      ctx.size = nodes->size();
+      for (const CompiledSortKey& key : keys) {
+        XDB_ASSIGN_OR_RETURN(Value v, ev_.Evaluate(*key.select, ctx));
+        if (key.numeric) {
+          e.nvals.push_back(v.ToNumber());
+          e.svals.emplace_back();
+        } else {
+          e.svals.push_back(v.ToString());
+          e.nvals.push_back(0);
+        }
+      }
+      entries.push_back(std::move(e));
+    }
+    std::stable_sort(entries.begin(), entries.end(),
+                     [&keys](const Entry& a, const Entry& b) {
+                       for (size_t k = 0; k < keys.size(); ++k) {
+                         int cmp;
+                         if (keys[k].numeric) {
+                           double x = a.nvals[k], y = b.nvals[k];
+                           cmp = x < y ? -1 : (x > y ? 1 : 0);
+                         } else {
+                           cmp = a.svals[k].compare(b.svals[k]);
+                         }
+                         if (keys[k].descending) cmp = -cmp;
+                         if (cmp != 0) return cmp < 0;
+                       }
+                       return a.original < b.original;
+                     });
+    for (size_t i = 0; i < entries.size(); ++i) (*nodes)[i] = entries[i].node;
+    return Status::OK();
+  }
+
+  Result<std::unique_ptr<VariableEnv>> EvalWithParams(
+      const std::vector<CompiledParam>& params, VmState& st) {
+    auto env = std::make_unique<VariableEnv>();
+    for (const CompiledParam& p : params) {
+      XDB_ASSIGN_OR_RETURN(Value v, EvalParamValue(p, st));
+      env->Set(p.name, std::move(v));
+    }
+    return env;
+  }
+
+  Status ExecApplyTemplates(const Instruction& instr, VmState& st) {
+    NodeSet selected;
+    if (instr.expr != nullptr) {
+      XDB_ASSIGN_OR_RETURN(selected,
+                           ev_.EvaluateNodeSet(*SelectExpr(instr), st.XPathCtx()));
+    } else {
+      selected = st.node->children();
+    }
+    XDB_RETURN_NOT_OK(SortNodes(&selected, instr.sorts, st));
+    XDB_ASSIGN_OR_RETURN(auto params, EvalWithParams(instr.params, st));
+
+    for (size_t i = 0; i < selected.size(); ++i) {
+      VmState sub = st;
+      sub.node = selected[i];
+      sub.position = i + 1;
+      sub.size = selected.size();
+      // XSLT 1.0 5.4: without a mode attribute, apply-templates processes in
+      // the default (no) mode; it does not inherit the current mode.
+      sub.mode = instr.has_mode ? instr.mode : "";
+      sub.depth = st.depth + 1;
+      XDB_RETURN_NOT_OK(
+          DispatchNode(selected[i], sub, params.get(), instr.site_id));
+    }
+    return Status::OK();
+  }
+
+  Status ExecCallTemplate(const Instruction& instr, VmState& st) {
+    XDB_ASSIGN_OR_RETURN(auto params, EvalWithParams(instr.params, st));
+    VmState sub = st;
+    sub.depth = st.depth + 1;
+    if (sub.depth > kMaxDepth) {
+      return Status::Internal("XSLTVM: maximum template nesting depth exceeded");
+    }
+    if (!trace_) {
+      return Instantiate(instr.target_template, st.node, sub, params.get());
+    }
+    std::vector<Stylesheet::StructuralMatch> single{
+        {instr.target_template, false, 0}};
+    if (listener_ != nullptr) {
+      listener_->OnDispatch(instr.site_id, st.node, st.mode, single, false);
+    }
+    return TracedInstantiate(instr.target_template, st.node, sub, params.get());
+  }
+
+  Status ExecForEach(const Instruction& instr, VmState& st) {
+    XDB_ASSIGN_OR_RETURN(NodeSet selected,
+                         ev_.EvaluateNodeSet(*SelectExpr(instr), st.XPathCtx()));
+    XDB_RETURN_NOT_OK(SortNodes(&selected, instr.sorts, st));
+    for (size_t i = 0; i < selected.size(); ++i) {
+      VmState sub = st;
+      sub.node = selected[i];
+      sub.position = i + 1;
+      sub.size = selected.size();
+      sub.depth = st.depth + 1;
+      XDB_RETURN_NOT_OK(ExecBody(instr.body, sub));
+    }
+    return Status::OK();
+  }
+
+  const CompiledStylesheet& cs_;
+  Evaluator& ev_;
+  bool trace_;
+  TraceListener* listener_;
+  std::vector<std::pair<int, std::string>> activation_stack_;
+};
+
+}  // namespace
+
+Vm::Vm(const CompiledStylesheet& compiled) : compiled_(compiled) {
+  evaluator_.RegisterFunction(
+      "current", 0, 0,
+      [](std::vector<Value>&, const EvalContext& ctx) -> Result<Value> {
+        Node* n = ctx.current != nullptr ? ctx.current : ctx.node;
+        return n != nullptr ? Value(NodeSet{n}) : Value(NodeSet{});
+      });
+  evaluator_.RegisterFunction(
+      "generate-id", 0, 1,
+      [](std::vector<Value>& a, const EvalContext& ctx) -> Result<Value> {
+        const Node* n = ctx.node;
+        if (!a.empty()) {
+          XDB_ASSIGN_OR_RETURN(NodeSet ns, a[0].ToNodeSet());
+          if (ns.empty()) return Value(std::string());
+          n = ns.front();
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "id%p", static_cast<const void*>(n));
+        return Value(std::string(buf));
+      });
+  evaluator_.RegisterFunction(
+      "system-property", 1, 1,
+      [](std::vector<Value>& a, const EvalContext&) -> Result<Value> {
+        if (a[0].ToString() == "xsl:version") return Value(std::string("1.0"));
+        return Value(std::string());
+      });
+}
+
+Result<std::unique_ptr<xml::Document>> Vm::Transform(
+    xml::Node* source_root, const TransformParams& params) {
+  auto out = std::make_unique<xml::Document>();
+  Node* root = source_root;
+  while (root->parent() != nullptr) root = root->parent();
+  VmEngine engine(compiled_, &evaluator_, /*trace=*/false, nullptr);
+  XDB_RETURN_NOT_OK(engine.Run(root, params, out.get()));
+  return out;
+}
+
+Status Vm::TraceRun(xml::Node* sample_root, TraceListener* listener) {
+  auto scratch = std::make_unique<xml::Document>();
+  Node* root = sample_root;
+  while (root->parent() != nullptr) root = root->parent();
+  VmEngine engine(compiled_, &evaluator_, /*trace=*/true, listener);
+  return engine.Run(root, {}, scratch.get());
+}
+
+}  // namespace xdb::xslt

@@ -1,0 +1,173 @@
+// The XSLTVM: a compiled-form XSLT processor modelled on the paper's
+// reference [13] (Novoselsky, "The Oracle XSLT Virtual Machine"). The
+// stylesheet is compiled once into an instruction tree with all XPath
+// expressions, AVTs, sort keys and call targets resolved; the VM then
+// executes instructions against input documents.
+//
+// Two execution modes:
+//   * Normal mode — a fast XSLT processor, semantically identical to the
+//     tree-walking Interpreter (differential-tested).
+//   * Trace mode (§4.3 of the paper) — runs over the annotated *sample*
+//     document, with "trace instructions" firing at every apply-templates /
+//     call-template site. Content-dependent decisions are explored
+//     conservatively: select expressions are evaluated with value predicates
+//     stripped, xsl:if bodies and all xsl:choose branches execute, and
+//     template dispatch yields the full candidate list (conditional matches
+//     kept until the first unconditional one). The resulting trace tables
+//     feed the Execution Graph Builder in src/rewrite.
+#ifndef XDB_XSLT_VM_H_
+#define XDB_XSLT_VM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/dom.h"
+#include "xpath/evaluator.h"
+#include "xslt/avt.h"
+#include "xslt/interpreter.h"  // TransformParams
+#include "xslt/stylesheet.h"
+
+namespace xdb::xslt {
+
+/// Compiled xsl:sort key.
+struct CompiledSortKey {
+  xpath::ExprPtr select;
+  bool numeric = false;
+  bool descending = false;
+};
+
+struct Instruction;
+
+/// Compiled xsl:with-param / xsl:param default.
+struct CompiledParam {
+  std::string name;
+  xpath::ExprPtr select;               // null when content body is used
+  std::vector<Instruction> body;       // RTF content (may be empty)
+};
+
+/// One compiled instruction. A small tagged struct rather than a class
+/// hierarchy: the VM switch-dispatches on `op`, and the rewrite module walks
+/// the same representation when translating template bodies to XQuery.
+struct Instruction {
+  enum class Op {
+    kText,            ///< literal text (text)
+    kLiteralElement,  ///< element with AVT attributes (name, ns_uri, attrs, body)
+    kValueOf,         ///< string value of expr
+    kApplyTemplates,  ///< expr (null = node()), mode, sorts, params, site_id
+    kCallTemplate,    ///< target_template, params, site_id
+    kForEach,         ///< expr, sorts, body
+    kIf,              ///< expr(test), body
+    kChoose,          ///< branches in body: each kWhen/kOtherwise
+    kWhen,            ///< expr(test), body (only inside kChoose)
+    kOtherwise,       ///< body (only inside kChoose)
+    kVariable,        ///< name, expr or body
+    kAttribute,       ///< name_avt, body
+    kElementDyn,      ///< name_avt, body
+    kCopy,            ///< body
+    kCopyOf,          ///< expr
+    kComment,         ///< body
+    kProcessingInstr, ///< name_avt, body
+    kNumber,          ///< expr (may be null => positional count)
+    kNoop,            ///< xsl:message etc.
+  };
+
+  Op op = Op::kNoop;
+  std::string text;            // kText literal / kVariable name
+  std::string ns_uri;          // kLiteralElement namespace
+  xpath::ExprPtr expr;         // select/test/value expression
+  xpath::ExprPtr structural_expr;  // predicate-stripped clone for trace mode
+  Avt name_avt;                // for kAttribute/kElementDyn/kProcessingInstr
+  bool has_name_avt = false;
+  struct AvtAttr {
+    std::string qname;
+    Avt value;
+  };
+  std::vector<AvtAttr> attrs;  // kLiteralElement attributes
+  std::vector<Instruction> body;
+  std::vector<CompiledSortKey> sorts;
+  std::vector<CompiledParam> params;   // with-param list
+  std::string mode;
+  bool has_mode = false;
+  int target_template = -1;    // kCallTemplate
+  int site_id = -1;            // trace site (apply-templates / call-template)
+};
+
+/// A compiled template.
+struct CompiledTemplate {
+  std::vector<CompiledParam> params;  // declared xsl:param defaults
+  std::vector<Instruction> body;
+  int rule_index = -1;  ///< index into Stylesheet::templates()
+};
+
+/// Returns a deep clone of `e` with every predicate removed — the
+/// conservative structural approximation used during trace runs.
+xpath::ExprPtr StripPredicates(const xpath::Expr& e);
+
+/// \brief A stylesheet compiled to VM form.
+class CompiledStylesheet {
+ public:
+  /// Compiles all templates and global declarations.
+  static Result<std::unique_ptr<CompiledStylesheet>> Compile(
+      const Stylesheet& stylesheet);
+
+  const Stylesheet& source() const { return *source_; }
+  const std::vector<CompiledTemplate>& templates() const { return templates_; }
+  const std::vector<CompiledParam>& globals() const { return globals_; }
+  /// True for globals()[i] declared with xsl:param (overridable).
+  const std::vector<bool>& global_is_param() const { return global_is_param_; }
+  /// Total number of trace sites (apply-templates + call-template).
+  int site_count() const { return site_count_; }
+
+ private:
+  const Stylesheet* source_ = nullptr;
+  std::vector<CompiledTemplate> templates_;
+  std::vector<CompiledParam> globals_;
+  std::vector<bool> global_is_param_;
+  int site_count_ = 0;
+
+  friend class StylesheetCompiler;
+};
+
+/// Trace callbacks fired by the VM in trace mode. The dispatch at a site
+/// reports the structurally selected node together with its candidate
+/// template list; activation begin/end events bracket the execution of each
+/// candidate so the listener can reconstruct the template execution graph.
+class TraceListener {
+ public:
+  virtual ~TraceListener() = default;
+  /// One node dispatched at a site. `candidates` come best-first;
+  /// `builtin_fallback` is true when the built-in rule can still apply (no
+  /// unconditional user template matched).
+  virtual void OnDispatch(int site_id, xml::Node* node, const std::string& mode,
+                          const std::vector<Stylesheet::StructuralMatch>& candidates,
+                          bool builtin_fallback) = 0;
+  /// Candidate `template_index` (-1 = built-in) starts executing for `node`.
+  virtual void OnActivationBegin(int template_index, xml::Node* node) = 0;
+  virtual void OnActivationEnd(int template_index) = 0;
+  /// Re-activation of a template already on the activation stack (recursive
+  /// stylesheet); its body is not re-executed.
+  virtual void OnRecursion(int template_index, xml::Node* node) = 0;
+};
+
+/// \brief Executes a compiled stylesheet.
+class Vm {
+ public:
+  explicit Vm(const CompiledStylesheet& compiled);
+
+  /// Normal execution (semantics identical to Interpreter::Transform).
+  Result<std::unique_ptr<xml::Document>> Transform(
+      xml::Node* source_root, const TransformParams& params = {});
+
+  /// Trace execution over a sample document (output is discarded).
+  Status TraceRun(xml::Node* sample_root, TraceListener* listener);
+
+ private:
+  const CompiledStylesheet& compiled_;
+  xpath::Evaluator evaluator_;
+};
+
+}  // namespace xdb::xslt
+
+#endif  // XDB_XSLT_VM_H_

@@ -1,0 +1,511 @@
+#include "xsltmark/suite.h"
+
+#include <cstdio>
+
+namespace xdb::xsltmark {
+
+using rel::DataType;
+using rel::Datum;
+using rel::PublishSpec;
+
+namespace {
+
+// Deterministic pseudo-random generator (no global state, reproducible).
+class Lcg {
+ public:
+  explicit Lcg(uint64_t seed) : state_(seed * 2654435761u + 1) {}
+  uint64_t Next() {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return state_ >> 33;
+  }
+  int Range(int lo, int hi) {  // inclusive
+    return lo + static_cast<int>(Next() % static_cast<uint64_t>(hi - lo + 1));
+  }
+
+ private:
+  uint64_t state_;
+};
+
+const char* kFirstNames[] = {"ALICE", "BOB",  "CARA", "DAN",  "EVE",
+                             "FRED",  "GINA", "HANK", "IRIS", "JACK"};
+const char* kLastNames[] = {"SMITH", "JONES", "BROWN", "TAYLOR", "WILSON",
+                            "DAVIS", "CLARK", "LEWIS", "WALKER", "HALL"};
+const char* kCities[] = {"BOSTON", "AUSTIN", "DENVER", "SEATTLE", "MIAMI"};
+const char* kRegions[] = {"NORTH", "SOUTH", "EAST", "WEST"};
+const char* kProducts[] = {"BOLT", "NUT", "GEAR", "CAM", "ROD", "PIN"};
+const char* kCategories[] = {"tools", "parts", "raw"};
+
+Status SetupDbFamily(XmlDb* db, int rows) {
+  XDB_RETURN_NOT_OK(
+      db->CreateTable("mark_doc", rel::Schema({{"docid", DataType::kInt}}))
+          .status());
+  XDB_RETURN_NOT_OK(db->Insert("mark_doc", {Datum(int64_t{1})}));
+  XDB_RETURN_NOT_OK(
+      db->CreateTable("person", rel::Schema({{"docid", DataType::kInt},
+                                             {"id", DataType::kInt},
+                                             {"firstname", DataType::kString},
+                                             {"lastname", DataType::kString},
+                                             {"city", DataType::kString},
+                                             {"zip", DataType::kInt}}))
+          .status());
+  Lcg rng(7);
+  for (int i = 0; i < rows; ++i) {
+    XDB_RETURN_NOT_OK(db->Insert(
+        "person",
+        {Datum(int64_t{1}), Datum(static_cast<int64_t>(i + 1)),
+         Datum(kFirstNames[rng.Range(0, 9)]), Datum(kLastNames[rng.Range(0, 9)]),
+         Datum(kCities[rng.Range(0, 4)]),
+         Datum(static_cast<int64_t>(10000 + rng.Range(0, 89999)))}));
+  }
+  XDB_RETURN_NOT_OK(db->CreateIndex("person", "id"));
+  XDB_RETURN_NOT_OK(db->CreateIndex("person", "zip"));
+
+  auto row = PublishSpec::Element("row");
+  row->AddChild(PublishSpec::Element("id"))->AddChild(PublishSpec::Column("id"));
+  row->AddChild(PublishSpec::Element("firstname"))
+      ->AddChild(PublishSpec::Column("firstname"));
+  row->AddChild(PublishSpec::Element("lastname"))
+      ->AddChild(PublishSpec::Column("lastname"));
+  row->AddChild(PublishSpec::Element("city"))
+      ->AddChild(PublishSpec::Column("city"));
+  row->AddChild(PublishSpec::Element("zip"))
+      ->AddChild(PublishSpec::Column("zip"));
+  auto table = PublishSpec::Element("table");
+  auto nested = PublishSpec::Nested("person", "docid", "docid", std::move(row));
+  nested->order_by_column = "id";
+  table->children.push_back(std::move(nested));
+  return db->CreatePublishingView("db_view", "mark_doc", std::move(table),
+                                  "content")
+      .status();
+}
+
+Status SetupSalesFamily(XmlDb* db, int rows) {
+  XDB_RETURN_NOT_OK(
+      db->CreateTable("mark_doc", rel::Schema({{"docid", DataType::kInt}}))
+          .status());
+  XDB_RETURN_NOT_OK(db->Insert("mark_doc", {Datum(int64_t{1})}));
+  XDB_RETURN_NOT_OK(
+      db->CreateTable("sale", rel::Schema({{"docid", DataType::kInt},
+                                           {"region", DataType::kString},
+                                           {"product", DataType::kString},
+                                           {"units", DataType::kInt},
+                                           {"price", DataType::kInt}}))
+          .status());
+  Lcg rng(11);
+  for (int i = 0; i < rows; ++i) {
+    XDB_RETURN_NOT_OK(db->Insert(
+        "sale", {Datum(int64_t{1}), Datum(kRegions[rng.Range(0, 3)]),
+                 Datum(kProducts[rng.Range(0, 5)]),
+                 Datum(static_cast<int64_t>(rng.Range(1, 500))),
+                 Datum(static_cast<int64_t>(rng.Range(5, 2000)))}));
+  }
+  XDB_RETURN_NOT_OK(db->CreateIndex("sale", "units"));
+
+  auto rec = PublishSpec::Element("sale");
+  rec->AddChild(PublishSpec::Element("region"))
+      ->AddChild(PublishSpec::Column("region"));
+  rec->AddChild(PublishSpec::Element("product"))
+      ->AddChild(PublishSpec::Column("product"));
+  rec->AddChild(PublishSpec::Element("units"))
+      ->AddChild(PublishSpec::Column("units"));
+  rec->AddChild(PublishSpec::Element("price"))
+      ->AddChild(PublishSpec::Column("price"));
+  auto sales = PublishSpec::Element("sales");
+  auto sale_nested = PublishSpec::Nested("sale", "docid", "docid", std::move(rec));
+  sale_nested->order_by_column = "units";
+  sales->children.push_back(std::move(sale_nested));
+  return db->CreatePublishingView("sales_view", "mark_doc", std::move(sales),
+                                  "content")
+      .status();
+}
+
+Status SetupProductFamily(XmlDb* db, int rows) {
+  XDB_RETURN_NOT_OK(
+      db->CreateTable("mark_doc", rel::Schema({{"docid", DataType::kInt}}))
+          .status());
+  XDB_RETURN_NOT_OK(db->Insert("mark_doc", {Datum(int64_t{1})}));
+  XDB_RETURN_NOT_OK(
+      db->CreateTable("product", rel::Schema({{"docid", DataType::kInt},
+                                              {"pid", DataType::kInt},
+                                              {"name", DataType::kString},
+                                              {"category", DataType::kString},
+                                              {"qty", DataType::kInt},
+                                              {"price", DataType::kInt}}))
+          .status());
+  Lcg rng(13);
+  for (int i = 0; i < rows; ++i) {
+    XDB_RETURN_NOT_OK(db->Insert(
+        "product",
+        {Datum(int64_t{1}), Datum(static_cast<int64_t>(i + 1)),
+         Datum(std::string(kProducts[rng.Range(0, 5)]) + std::to_string(i)),
+         Datum(kCategories[rng.Range(0, 2)]),
+         Datum(static_cast<int64_t>(rng.Range(0, 100))),
+         Datum(static_cast<int64_t>(rng.Range(1, 999)))}));
+  }
+  XDB_RETURN_NOT_OK(db->CreateIndex("product", "price"));
+
+  auto p = PublishSpec::Element("product");
+  p->attr_columns.emplace_back("id", "pid");
+  p->attr_columns.emplace_back("category", "category");
+  p->AddChild(PublishSpec::Element("name"))
+      ->AddChild(PublishSpec::Column("name"));
+  p->AddChild(PublishSpec::Element("qty"))->AddChild(PublishSpec::Column("qty"));
+  p->AddChild(PublishSpec::Element("price"))
+      ->AddChild(PublishSpec::Column("price"));
+  auto inv = PublishSpec::Element("inventory");
+  auto prod_nested = PublishSpec::Nested("product", "docid", "docid", std::move(p));
+  prod_nested->order_by_column = "pid";
+  inv->children.push_back(std::move(prod_nested));
+  return db->CreatePublishingView("product_view", "mark_doc", std::move(inv),
+                                  "content")
+      .status();
+}
+
+Status SetupTreeFamily(XmlDb* db, int rows) {
+  XDB_RETURN_NOT_OK(
+      db->CreateTable("mark_doc", rel::Schema({{"docid", DataType::kInt}}))
+          .status());
+  XDB_RETURN_NOT_OK(db->Insert("mark_doc", {Datum(int64_t{1})}));
+  XDB_RETURN_NOT_OK(
+      db->CreateTable("chapter", rel::Schema({{"docid", DataType::kInt},
+                                              {"cid", DataType::kInt},
+                                              {"title", DataType::kString}}))
+          .status());
+  XDB_RETURN_NOT_OK(
+      db->CreateTable("para", rel::Schema({{"cid", DataType::kInt},
+                                           {"seq", DataType::kInt},
+                                           {"body", DataType::kString}}))
+          .status());
+  int chapters = rows / 10 + 1;
+  Lcg rng(17);
+  for (int c = 0; c < chapters; ++c) {
+    XDB_RETURN_NOT_OK(
+        db->Insert("chapter", {Datum(int64_t{1}), Datum(static_cast<int64_t>(c)),
+                               Datum("Chapter " + std::to_string(c))}));
+    for (int p = 0; p < 10; ++p) {
+      XDB_RETURN_NOT_OK(db->Insert(
+          "para", {Datum(static_cast<int64_t>(c)), Datum(static_cast<int64_t>(p)),
+                   Datum("text " + std::to_string(rng.Range(0, 9999)))}));
+    }
+  }
+  auto para = PublishSpec::Element("para");
+  para->AddChild(PublishSpec::Column("body"));
+  auto chapter = PublishSpec::Element("chapter");
+  chapter->AddChild(PublishSpec::Element("title"))
+      ->AddChild(PublishSpec::Column("title"));
+  auto para_nested = PublishSpec::Nested("para", "cid", "cid", std::move(para));
+  para_nested->order_by_column = "seq";
+  chapter->children.push_back(std::move(para_nested));
+  auto book = PublishSpec::Element("book");
+  auto ch_nested =
+      PublishSpec::Nested("chapter", "docid", "docid", std::move(chapter));
+  ch_nested->order_by_column = "cid";
+  book->children.push_back(std::move(ch_nested));
+  return db->CreatePublishingView("tree_view", "mark_doc", std::move(book),
+                                  "content")
+      .status();
+}
+
+std::string Wrap(const std::string& body) {
+  return "<xsl:stylesheet version=\"1.0\" "
+         "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">" +
+         body + "</xsl:stylesheet>";
+}
+
+std::vector<BenchCase> BuildCases() {
+  std::vector<BenchCase> cases;
+  auto add = [&](const char* name, const char* category, const char* family,
+                 const std::string& body) {
+    cases.push_back(BenchCase{name, category, family, Wrap(body)});
+  };
+
+  // --- value-predicate selection (the Figure 2 cases) -----------------------
+  add("dbonerow", "db access", "db",
+      "<xsl:template match=\"table\">"
+      "<out><xsl:apply-templates select=\"row[id = 9]\"/></out></xsl:template>"
+      "<xsl:template match=\"row\"><hit><xsl:value-of select=\"firstname\"/> "
+      "<xsl:value-of select=\"lastname\"/></hit></xsl:template>"
+      "<xsl:template match=\"text()\"/>");
+  add("dbtail", "db access", "db",
+      "<xsl:template match=\"table\">"
+      "<out><xsl:apply-templates select=\"row[zip &gt; 95000]\"/></out>"
+      "</xsl:template>"
+      "<xsl:template match=\"row\"><r><xsl:value-of select=\"lastname\"/></r>"
+      "</xsl:template><xsl:template match=\"text()\"/>");
+  add("dbaccess", "db access", "db",
+      "<xsl:template match=\"table\"><names><xsl:apply-templates "
+      "select=\"row\"/></names></xsl:template>"
+      "<xsl:template match=\"row\"><n><xsl:value-of select=\"lastname\"/>, "
+      "<xsl:value-of select=\"firstname\"/></n></xsl:template>"
+      "<xsl:template match=\"text()\"/>");
+  add("dbgroup", "db access", "db",
+      "<xsl:template match=\"table\"><bost><xsl:apply-templates "
+      "select=\"row[city = 'BOSTON']\"/></bost></xsl:template>"
+      "<xsl:template match=\"row\"><p><xsl:value-of select=\"id\"/></p>"
+      "</xsl:template><xsl:template match=\"text()\"/>");
+
+  // --- construction ----------------------------------------------------------
+  add("avts", "output generation", "product",
+      "<xsl:template match=\"product\">"
+      "<item key=\"p{@id}\" cat=\"{@category}\" cost=\"{price}\" "
+      "stock=\"{qty}\"/>"
+      "</xsl:template><xsl:template match=\"text()\"/>");
+  add("attsets", "output generation", "product",
+      "<xsl:template match=\"product\">"
+      "<prod a=\"1\" b=\"2\" c=\"3\" d=\"{@id}\"><xsl:value-of select=\"name\"/>"
+      "</prod></xsl:template><xsl:template match=\"text()\"/>");
+  add("creation", "output generation", "product",
+      "<xsl:template match=\"product\">"
+      "<xsl:element name=\"entry\"><xsl:attribute name=\"v\">"
+      "<xsl:value-of select=\"price\"/></xsl:attribute></xsl:element>"
+      "</xsl:template><xsl:template match=\"text()\"/>");
+  add("inventory", "output generation", "product",
+      "<xsl:template match=\"inventory\"><report><heading>stock</heading>"
+      "<xsl:apply-templates select=\"product[qty &gt; 50]\"/></report>"
+      "</xsl:template>"
+      "<xsl:template match=\"product\"><line><xsl:value-of select=\"name\"/>"
+      ":<xsl:value-of select=\"qty\"/></line></xsl:template>"
+      "<xsl:template match=\"text()\"/>");
+  // --- aggregation (the Figure 3 cases) ---------------------------------------
+  add("chart", "aggregation", "sales",
+      "<xsl:template match=\"sales\"><chart>"
+      "<bars><xsl:value-of select=\"count(sale)\"/></bars>"
+      "<height><xsl:value-of select=\"sum(sale/units)\"/></height>"
+      "</chart></xsl:template>");
+  add("total", "aggregation", "sales",
+      "<xsl:template match=\"sales\"><total><xsl:value-of "
+      "select=\"sum(sale/price)\"/></total></xsl:template>");
+  add("metric", "conditional output", "product",
+      "<xsl:template match=\"product\">"
+      "<xsl:choose>"
+      "<xsl:when test=\"qty &gt; 75\"><plenty><xsl:value-of select=\"name\"/>"
+      "</plenty></xsl:when>"
+      "<xsl:when test=\"qty &gt; 25\"><some><xsl:value-of select=\"name\"/>"
+      "</some></xsl:when>"
+      "<xsl:otherwise><few><xsl:value-of select=\"name\"/></few>"
+      "</xsl:otherwise></xsl:choose></xsl:template>"
+      "<xsl:template match=\"text()\"/>");
+  add("summarize", "aggregation", "sales",
+      "<xsl:template match=\"sales\"><summary>"
+      "<n><xsl:value-of select=\"count(sale)\"/></n>"
+      "<u><xsl:value-of select=\"sum(sale/units)\"/></u>"
+      "<p><xsl:value-of select=\"sum(sale/price)\"/></p>"
+      "</summary></xsl:template>");
+
+  // --- plain selection / value-of ----------------------------------------------
+  add("valueof", "selection", "db",
+      "<xsl:template match=\"row\"><v><xsl:value-of select=\"id\"/>:"
+      "<xsl:value-of select=\"city\"/>:<xsl:value-of select=\"zip\"/></v>"
+      "</xsl:template><xsl:template match=\"text()\"/>");
+  add("select", "selection", "db",
+      "<xsl:template match=\"table\"><sel><xsl:apply-templates "
+      "select=\"row/lastname\"/></sel></xsl:template>"
+      "<xsl:template match=\"lastname\"><l><xsl:value-of select=\".\"/></l>"
+      "</xsl:template><xsl:template match=\"text()\"/>");
+  add("union", "patterns", "db",
+      "<xsl:template match=\"firstname | lastname\"><nm><xsl:value-of "
+      "select=\".\"/></nm></xsl:template>"
+      "<xsl:template match=\"id | city | zip\"/>"
+      "<xsl:template match=\"text()\"/>");
+  add("patterns", "patterns", "db",
+      "<xsl:template match=\"row/firstname\"><f/></xsl:template>"
+      "<xsl:template match=\"table/row/lastname\"><l/></xsl:template>"
+      "<xsl:template match=\"text()\"/>");
+  add("priority", "patterns", "db",
+      "<xsl:template match=\"*\" priority=\"-2\"><xsl:apply-templates/>"
+      "</xsl:template>"
+      "<xsl:template match=\"city\" priority=\"3\"><C/></xsl:template>"
+      "<xsl:template match=\"city[. = 'BOSTON']\" priority=\"5\"><B/>"
+      "</xsl:template>"
+      "<xsl:template match=\"text()\"/>");
+  add("decoy", "patterns", "db",
+      // Near-miss templates; the live one uses a comment constructor, which
+      // keeps this case outside the XQuery-translatable subset.
+      "<xsl:template match=\"nothere\"><x/></xsl:template>"
+      "<xsl:template match=\"row\"><xsl:comment>row</xsl:comment>"
+      "</xsl:template><xsl:template match=\"text()\"/>");
+
+  // --- sorting -------------------------------------------------------------------
+  add("sort", "sorting", "db",
+      "<xsl:template match=\"table\"><xsl:for-each select=\"row\">"
+      "<xsl:sort select=\"lastname\"/><s><xsl:value-of select=\"lastname\"/>"
+      "</s></xsl:for-each></xsl:template>");
+  add("stringsort", "sorting", "db",
+      "<xsl:template match=\"table\"><xsl:for-each select=\"row\">"
+      "<xsl:sort select=\"city\" order=\"descending\"/><c><xsl:value-of "
+      "select=\"city\"/></c></xsl:for-each></xsl:template>");
+  add("alphabetize", "sorting", "db",
+      "<xsl:template match=\"table\"><xsl:apply-templates select=\"row\">"
+      "<xsl:sort select=\"firstname\"/></xsl:apply-templates></xsl:template>"
+      "<xsl:template match=\"row\"><a><xsl:value-of select=\"firstname\"/></a>"
+      "</xsl:template><xsl:template match=\"text()\"/>");
+
+  // --- misc inline-friendly -------------------------------------------------------
+  add("identity", "copying", "tree",
+      "<xsl:template match=\"*\"><xsl:copy><xsl:apply-templates/></xsl:copy>"
+      "</xsl:template>"
+      "<xsl:template match=\"text()\"><xsl:value-of select=\".\"/>"
+      "</xsl:template>");
+  add("current", "functions", "sales",
+      "<xsl:template match=\"sale\">"
+      "<xsl:if test=\"units &gt; 400\"><big><xsl:value-of "
+      "select=\"current()/product\"/></big></xsl:if></xsl:template>"
+      "<xsl:template match=\"text()\"/>");
+  add("vendor", "conditional output", "product",
+      "<xsl:template match=\"product\">"
+      "<xsl:if test=\"price &gt; 500\"><premium id=\"{@id}\">"
+      "<xsl:value-of select=\"name\"/></premium></xsl:if></xsl:template>"
+      "<xsl:template match=\"text()\"/>");
+  add("dbquery", "db access", "db",
+      "<xsl:template match=\"table\"><q><xsl:apply-templates "
+      "select=\"row[zip &gt; 50000][city = 'AUSTIN']\"/></q></xsl:template>"
+      "<xsl:template match=\"row\"><z><xsl:value-of select=\"zip\"/></z>"
+      "</xsl:template><xsl:template match=\"text()\"/>");
+
+  // --- recursion-heavy (non-inline rewrite mode) ------------------------------------
+  add("bottles", "recursion", "db",
+      "<xsl:template match=\"/\"><song><xsl:call-template name=\"verse\">"
+      "<xsl:with-param name=\"n\" select=\"9\"/></xsl:call-template></song>"
+      "</xsl:template>"
+      "<xsl:template name=\"verse\"><xsl:param name=\"n\" select=\"0\"/>"
+      "<xsl:if test=\"$n &gt; 0\"><v><xsl:value-of select=\"$n\"/> bottles</v>"
+      "<xsl:call-template name=\"verse\"><xsl:with-param name=\"n\" "
+      "select=\"$n - 1\"/></xsl:call-template></xsl:if></xsl:template>");
+  add("queens", "recursion", "db",
+      "<xsl:template match=\"/\"><xsl:call-template name=\"place\">"
+      "<xsl:with-param name=\"col\" select=\"1\"/></xsl:call-template>"
+      "</xsl:template>"
+      "<xsl:template name=\"place\"><xsl:param name=\"col\" select=\"1\"/>"
+      "<xsl:if test=\"$col &lt;= 4\"><q c=\"{$col}\"/>"
+      "<xsl:call-template name=\"place\"><xsl:with-param name=\"col\" "
+      "select=\"$col + 1\"/></xsl:call-template></xsl:if></xsl:template>");
+  add("functions", "recursion", "db",
+      "<xsl:template match=\"/\"><f><xsl:call-template name=\"fib\">"
+      "<xsl:with-param name=\"n\" select=\"8\"/></xsl:call-template></f>"
+      "</xsl:template>"
+      "<xsl:template name=\"fib\"><xsl:param name=\"n\" select=\"0\"/>"
+      "<xsl:choose><xsl:when test=\"$n &lt; 2\"><xsl:value-of select=\"$n\"/>"
+      "</xsl:when><xsl:otherwise><xsl:call-template name=\"fib\">"
+      "<xsl:with-param name=\"n\" select=\"$n - 1\"/></xsl:call-template>"
+      "</xsl:otherwise></xsl:choose></xsl:template>");
+  add("reverser", "recursion", "db",
+      "<xsl:template match=\"table\"><r><xsl:call-template name=\"rev\">"
+      "<xsl:with-param name=\"s\" select=\"string(row/firstname)\"/>"
+      "</xsl:call-template></r></xsl:template>"
+      "<xsl:template name=\"rev\"><xsl:param name=\"s\" select=\"''\"/>"
+      "<xsl:if test=\"string-length($s) &gt; 0\">"
+      "<xsl:call-template name=\"rev\"><xsl:with-param name=\"s\" "
+      "select=\"substring($s, 2)\"/></xsl:call-template>"
+      "<xsl:value-of select=\"substring($s, 1, 1)\"/></xsl:if></xsl:template>");
+  add("wordcount", "recursion", "tree",
+      "<xsl:template match=\"book\"><wc><xsl:call-template name=\"count\">"
+      "<xsl:with-param name=\"s\" select=\"normalize-space(string(chapter/"
+      "title))\"/></xsl:call-template></wc></xsl:template>"
+      "<xsl:template name=\"count\"><xsl:param name=\"s\" select=\"''\"/>"
+      "<xsl:choose><xsl:when test=\"contains($s, ' ')\">"
+      "<w/><xsl:call-template name=\"count\"><xsl:with-param name=\"s\" "
+      "select=\"substring-after($s, ' ')\"/></xsl:call-template></xsl:when>"
+      "<xsl:when test=\"string-length($s) &gt; 0\"><w/></xsl:when>"
+      "</xsl:choose></xsl:template>");
+  add("encrypt", "recursion", "db",
+      "<xsl:template match=\"table\"><enc><xsl:call-template name=\"rot\">"
+      "<xsl:with-param name=\"s\" select=\"string(row/lastname)\"/>"
+      "</xsl:call-template></enc></xsl:template>"
+      "<xsl:template name=\"rot\"><xsl:param name=\"s\" select=\"''\"/>"
+      "<xsl:if test=\"string-length($s) &gt; 0\">"
+      "<xsl:value-of select=\"translate(substring($s, 1, 1), "
+      "'ABCDEFGHIJKLMNOPQRSTUVWXYZ', 'NOPQRSTUVWXYZABCDEFGHIJKLM')\"/>"
+      "<xsl:call-template name=\"rot\"><xsl:with-param name=\"s\" "
+      "select=\"substring($s, 2)\"/></xsl:call-template></xsl:if>"
+      "</xsl:template>");
+  add("brutal", "recursion", "tree",
+      "<xsl:template match=\"/\"><xsl:call-template name=\"deep\">"
+      "<xsl:with-param name=\"d\" select=\"6\"/></xsl:call-template>"
+      "</xsl:template>"
+      "<xsl:template name=\"deep\"><xsl:param name=\"d\" select=\"0\"/>"
+      "<xsl:choose><xsl:when test=\"$d &gt; 0\"><nest>"
+      "<xsl:call-template name=\"deep\"><xsl:with-param name=\"d\" "
+      "select=\"$d - 1\"/></xsl:call-template></nest></xsl:when>"
+      "<xsl:otherwise><leaf/></xsl:otherwise></xsl:choose></xsl:template>");
+
+  // --- dynamic-context cases (outside the translatable subset) ---------------------
+  add("backwards", "axes", "db",
+      "<xsl:template match=\"table\"><xsl:for-each select=\"row\">"
+      "<xsl:sort select=\"position()\" data-type=\"number\" "
+      "order=\"descending\"/><b><xsl:value-of select=\"id\"/></b>"
+      "</xsl:for-each></xsl:template>");
+  add("games", "functions", "db",
+      "<xsl:template match=\"row\"><g><xsl:value-of select=\"position()\"/>"
+      "</g></xsl:template><xsl:template match=\"text()\"/>");
+  add("oddtemplates", "patterns", "db",
+      "<xsl:template match=\"row\"><xsl:if test=\"position() mod 2 = 1\">"
+      "<odd><xsl:value-of select=\"id\"/></odd></xsl:if></xsl:template>"
+      "<xsl:template match=\"text()\"/>");
+  add("trend", "aggregation", "sales",
+      "<xsl:template match=\"sale\"><xsl:if test=\"position() &gt; 1\">"
+      "<t><xsl:value-of select=\"units\"/></t></xsl:if></xsl:template>"
+      "<xsl:template match=\"text()\"/>");
+  add("axis", "axes", "tree",
+      "<xsl:template match=\"para\"><p n=\"{position()}\"><xsl:value-of "
+      "select=\".\"/></p></xsl:template>"
+      "<xsl:template match=\"title\"/>"
+      "<xsl:template match=\"text()\"/>");
+  add("nodename", "functions", "tree",
+      "<xsl:template match=\"chapter\">"
+      "<xsl:processing-instruction name=\"mark\">c</xsl:processing-instruction>"
+      "<xsl:value-of select=\"title\"/></xsl:template>"
+      "<xsl:template match=\"text()\"/>");
+  add("variables", "variables", "db",
+      "<xsl:template match=\"row\"><xsl:variable name=\"p\" "
+      "select=\"position()\"/><v><xsl:value-of select=\"$p\"/></v>"
+      "</xsl:template><xsl:template match=\"text()\"/>");
+  add("xslbench1", "output generation", "tree",
+      "<xsl:template match=\"book\"><xsl:comment>bench</xsl:comment>"
+      "<xsl:apply-templates select=\"chapter/title\"/></xsl:template>"
+      "<xsl:template match=\"title\"><t><xsl:value-of select=\".\"/></t>"
+      "</xsl:template><xsl:template match=\"text()\"/>");
+
+  return cases;
+}
+
+}  // namespace
+
+const std::vector<BenchCase>& AllCases() {
+  static const std::vector<BenchCase>* cases =
+      new std::vector<BenchCase>(BuildCases());
+  return *cases;
+}
+
+const BenchCase* FindCase(const std::string& name) {
+  for (const BenchCase& c : AllCases()) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+std::string FamilyViewName(const std::string& family) {
+  return family + "_view";
+}
+
+Status SetupFamily(XmlDb* db, const std::string& family, int rows) {
+  if (family == "db") return SetupDbFamily(db, rows);
+  if (family == "sales") return SetupSalesFamily(db, rows);
+  if (family == "product") return SetupProductFamily(db, rows);
+  if (family == "tree") return SetupTreeFamily(db, rows);
+  return Status::NotFound("unknown dataset family '" + family + "'");
+}
+
+Result<CompileResult> CompileCase(const BenchCase& bench_case, XmlDb* db) {
+  XDB_ASSIGN_OR_RETURN(const rel::XmlView* view,
+                       db->catalog()->GetView(FamilyViewName(bench_case.family)));
+  XDB_ASSIGN_OR_RETURN(auto parsed, xslt::Stylesheet::Parse(bench_case.stylesheet));
+  XDB_ASSIGN_OR_RETURN(auto compiled, xslt::CompiledStylesheet::Compile(*parsed));
+  CompileResult result;
+  auto query = rewrite::RewriteXsltToXQuery(*compiled, &view->info->structure, {},
+                                            &result.report);
+  result.rewritable = query.ok();
+  if (!query.ok()) result.error = query.status().message();
+  return result;
+}
+
+}  // namespace xdb::xsltmark

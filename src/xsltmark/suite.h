@@ -1,0 +1,53 @@
+// An XSLTMark-style benchmark suite (paper §5, reference [19]).
+//
+// DataPower's original XSLTMark (40 test cases over ~1-64MB documents) is not
+// redistributable, so this module recreates the suite's *functional areas*
+// with self-contained cases over synthetic datasets: value-predicate row
+// selection (dbonerow and friends), attribute value templates (avts),
+// aggregation (chart/total/summarize), conditional construction (metric),
+// sorting, patterns/priorities, recursion-heavy cases (bottles/queens/...),
+// and so on. Each case names a dataset family; families are generated at a
+// scale factor and stored object-relationally behind a SQL/XML publishing
+// view — exactly the storage the paper's evaluation uses.
+#ifndef XDB_XSLTMARK_SUITE_H_
+#define XDB_XSLTMARK_SUITE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/xmldb.h"
+
+namespace xdb::xsltmark {
+
+/// One benchmark case.
+struct BenchCase {
+  std::string name;
+  std::string category;    ///< XSLTMark functional area
+  std::string family;      ///< dataset family ("db", "sales", "product", "tree")
+  std::string stylesheet;  ///< complete stylesheet text
+};
+
+/// All 40 cases.
+const std::vector<BenchCase>& AllCases();
+/// Look up one case by name (nullptr when absent).
+const BenchCase* FindCase(const std::string& name);
+
+/// Name of the publishing view a family's data lives behind.
+std::string FamilyViewName(const std::string& family);
+
+/// Creates the family's tables, rows (scaled by `rows`), indexes and
+/// publishing view inside `db`. Idempotent per database instance only when
+/// called once; use a fresh XmlDb per (family, scale).
+Status SetupFamily(XmlDb* db, const std::string& family, int rows);
+
+/// Compile-only probe: which rewrite mode does this case reach?
+struct CompileResult {
+  bool rewritable = false;           ///< XSLT -> XQuery succeeded
+  rewrite::RewriteReport report;     ///< valid when rewritable
+  std::string error;                 ///< when not rewritable
+};
+Result<CompileResult> CompileCase(const BenchCase& bench_case, XmlDb* db);
+
+}  // namespace xdb::xsltmark
+
+#endif  // XDB_XSLTMARK_SUITE_H_

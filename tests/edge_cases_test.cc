@@ -1,0 +1,214 @@
+// Focused edge-case coverage for corners not exercised by the main suites.
+#include <gtest/gtest.h>
+
+#include "core/xmldb.h"
+#include "rewrite/compose.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xquery/evaluator.h"
+#include "xquery/parser.h"
+#include "xslt/avt.h"
+
+namespace xdb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// AVT parsing corners
+// ---------------------------------------------------------------------------
+
+TEST(AvtTest, LiteralsAndEscapes) {
+  auto a = xslt::Avt::Parse("plain");
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(a->IsConstant());
+  EXPECT_EQ(a->ConstantValue(), "plain");
+
+  auto b = xslt::Avt::Parse("a{{b}}c");
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b->IsConstant());
+  EXPECT_EQ(b->ConstantValue(), "a{b}c");
+
+  auto c = xslt::Avt::Parse("");
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->IsConstant());
+  EXPECT_EQ(c->ConstantValue(), "");
+}
+
+TEST(AvtTest, MixedParts) {
+  auto a = xslt::Avt::Parse("x{1 + 2}y{\"z\"}");
+  ASSERT_TRUE(a.ok());
+  EXPECT_FALSE(a->IsConstant());
+  ASSERT_EQ(a->parts().size(), 4u);
+
+  xpath::Evaluator ev;
+  xpath::EvalContext ctx;
+  auto v = a->Evaluate(ev, ctx);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "x3yz");
+}
+
+TEST(AvtTest, Errors) {
+  EXPECT_FALSE(xslt::Avt::Parse("unbalanced{").ok());
+  EXPECT_FALSE(xslt::Avt::Parse("unbalanced}").ok());
+  EXPECT_FALSE(xslt::Avt::Parse("{bad syntax[}").ok());
+}
+
+// ---------------------------------------------------------------------------
+// XQuery pretty-printer corners
+// ---------------------------------------------------------------------------
+
+TEST(XQueryPrintTest, AttributeValueEscaping) {
+  auto q = xquery::ParseQuery("<a v=\"he said &quot;hi&quot; &amp; left\"/>");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  std::string printed = q->ToString();
+  auto q2 = xquery::ParseQuery(printed);
+  ASSERT_TRUE(q2.ok()) << printed << "\n" << q2.status().ToString();
+  // Evaluate both; identical output.
+  xquery::QueryEvaluator ev;
+  auto d1 = ev.EvaluateToDocument(*q, nullptr);
+  auto d2 = ev.EvaluateToDocument(*q2, nullptr);
+  ASSERT_TRUE(d1.ok() && d2.ok());
+  EXPECT_EQ(xml::Serialize((*d1)->root()), xml::Serialize((*d2)->root()));
+}
+
+TEST(XQueryPrintTest, BraceEscapingInContent) {
+  auto q = xquery::ParseQuery("<a>left {{ right }}</a>");
+  ASSERT_TRUE(q.ok());
+  xquery::QueryEvaluator ev;
+  auto d = ev.EvaluateToDocument(*q, nullptr);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(xml::Serialize((*d)->root()), "<a>left { right }</a>");
+}
+
+// ---------------------------------------------------------------------------
+// Composition corner: variable capture avoidance
+// ---------------------------------------------------------------------------
+
+TEST(ComposeTest, UserVariablesAreRenamedAgainstCapture) {
+  // Both queries use $var000; composition must keep them apart.
+  auto view_q = xquery::ParseQuery(
+      "declare variable $var000 := .; <v>{fn:string($var000/a)}</v>");
+  auto user_q = xquery::ParseQuery(
+      "declare variable $var000 := .; for $x in $var000/v return <u>{fn:string($x)}</u>");
+  ASSERT_TRUE(view_q.ok() && user_q.ok());
+  auto composed = rewrite::ComposeQueries(*view_q, *user_q);
+  ASSERT_TRUE(composed.ok()) << composed.status().ToString();
+
+  auto doc = xml::ParseDocument("<a>inner</a>");
+  xquery::QueryEvaluator ev;
+  auto out = ev.EvaluateToDocument(*composed, (*doc)->root());
+  ASSERT_TRUE(out.ok()) << out.status().ToString() << "\n"
+                        << composed->ToString();
+  EXPECT_EQ(xml::Serialize((*out)->root()), "<u>inner</u>");
+}
+
+TEST(ComposeTest, FunctionQueriesAreRejected) {
+  auto view_q = xquery::ParseQuery("<v/>");
+  auto user_q =
+      xquery::ParseQuery("declare function local:f($x) { $x }; local:f(.)");
+  ASSERT_TRUE(view_q.ok() && user_q.ok());
+  EXPECT_FALSE(rewrite::ComposeQueries(*view_q, *user_q).ok());
+  EXPECT_FALSE(rewrite::ComposeQueries(*user_q, *view_q).ok());
+}
+
+// ---------------------------------------------------------------------------
+// XmlDb: QueryView order-by and plan equivalence on a publishing view
+// ---------------------------------------------------------------------------
+
+class QueryViewFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    using rel::DataType;
+    using rel::Datum;
+    using rel::PublishSpec;
+    db_.CreateTable("doc", rel::Schema({{"id", DataType::kInt}}));
+    db_.Insert("doc", {Datum(int64_t{1})});
+    db_.CreateTable("item", rel::Schema({{"docid", DataType::kInt},
+                                         {"sku", DataType::kString},
+                                         {"price", DataType::kInt}}));
+    const char* skus[] = {"C", "A", "E", "B", "D"};
+    int prices[] = {30, 10, 50, 20, 40};
+    for (int i = 0; i < 5; ++i) {
+      db_.Insert("item", {Datum(int64_t{1}), Datum(skus[i]),
+                          Datum(static_cast<int64_t>(prices[i]))});
+    }
+    db_.CreateIndex("item", "price");
+    auto item = PublishSpec::Element("item");
+    item->AddChild(PublishSpec::Element("sku"))
+        ->AddChild(PublishSpec::Column("sku"));
+    item->AddChild(PublishSpec::Element("price"))
+        ->AddChild(PublishSpec::Column("price"));
+    auto root = PublishSpec::Element("items");
+    root->children.push_back(
+        PublishSpec::Nested("item", "id", "docid", std::move(item)));
+    db_.CreatePublishingView("items_view", "doc", std::move(root));
+  }
+
+  void ExpectPlansAgree(const char* query, bool expect_sql) {
+    ExecOptions functional;
+    functional.enable_rewrite = false;
+    auto fref = db_.QueryView("items_view", query, functional);
+    ASSERT_TRUE(fref.ok()) << fref.status().ToString();
+    ExecStats stats;
+    auto r = db_.QueryView("items_view", query, {}, &stats);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    if (expect_sql) {
+      EXPECT_EQ(stats.path, ExecutionPath::kSqlRewritten)
+          << stats.fallback_reason;
+    }
+    EXPECT_EQ(*r, *fref) << query << "\n" << stats.xquery_text;
+  }
+
+  XmlDb db_;
+};
+
+TEST_F(QueryViewFixture, OrderByAscendingAndDescending) {
+  ExpectPlansAgree(
+      "for $i in ./items/item order by $i/sku return <s>{fn:string($i/sku)}</s>",
+      true);
+  ExpectPlansAgree(
+      "for $i in ./items/item order by $i/price descending return "
+      "<p>{fn:string($i/price)}</p>",
+      true);
+}
+
+TEST_F(QueryViewFixture, WherePlusOrderByPlusIndex) {
+  ExecStats stats;
+  auto r = db_.QueryView(
+      "items_view",
+      "for $i in ./items/item[price > 20] order by $i/sku return "
+      "<s>{fn:string($i/sku)}</s>",
+      {}, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(stats.path, ExecutionPath::kSqlRewritten) << stats.fallback_reason;
+  EXPECT_TRUE(stats.used_index);
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0], "<s>C</s><s>D</s><s>E</s>");
+}
+
+TEST_F(QueryViewFixture, NestedConstructorsWithConditionals) {
+  ExpectPlansAgree(
+      "<list>{ for $i in ./items/item return "
+      "if ($i/price > 25) then <hi>{fn:string($i/sku)}</hi> "
+      "else <lo>{fn:string($i/sku)}</lo> }</list>",
+      true);
+}
+
+TEST_F(QueryViewFixture, EqualityPredicateUsesIndexPoint) {
+  ExecStats stats;
+  auto r = db_.QueryView("items_view",
+                         "for $i in ./items/item[price = 30] return "
+                         "<hit>{fn:string($i/sku)}</hit>",
+                         {}, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(stats.used_index);
+  EXPECT_EQ((*r)[0], "<hit>C</hit>");
+}
+
+TEST_F(QueryViewFixture, EmptyResultSetsAreEmptyEverywhere) {
+  ExpectPlansAgree(
+      "for $i in ./items/item[price > 999] return <x>{fn:string($i/sku)}</x>",
+      true);
+}
+
+}  // namespace
+}  // namespace xdb

@@ -1,0 +1,318 @@
+// Property-style tests: randomized inputs (seeded, parameterized via
+// TEST_P sweeps) checked against reference models and cross-engine
+// differentials.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "rel/btree.h"
+#include "xpath/parser.h"
+#include "xquery/parser.h"
+#include "rewrite/xslt_rewriter.h"
+#include "schema/structure.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xquery/evaluator.h"
+#include "xslt/interpreter.h"
+#include "xslt/vm.h"
+
+namespace xdb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// B+tree vs std::multimap reference model
+// ---------------------------------------------------------------------------
+
+class BTreePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreePropertyTest, MatchesMultimapReference) {
+  std::mt19937 rng(static_cast<uint32_t>(GetParam()));
+  rel::BTreeIndex index(8);  // small fanout: more splits
+  std::multimap<int64_t, int64_t> reference;
+
+  const int kOps = 3000;
+  for (int op = 0; op < kOps; ++op) {
+    int64_t key = static_cast<int64_t>(rng() % 500);
+    index.Insert(rel::Datum(key), op);
+    reference.emplace(key, op);
+  }
+  ASSERT_EQ(index.entry_count(), reference.size());
+
+  // Point lookups.
+  for (int64_t key = 0; key < 500; key += 7) {
+    std::vector<int64_t> got;
+    index.Lookup(rel::Datum(key), &got);
+    auto [lo, hi] = reference.equal_range(key);
+    std::vector<int64_t> want;
+    for (auto it = lo; it != hi; ++it) want.push_back(it->second);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "key " << key;
+  }
+
+  // Random range scans with all bound-inclusivity combinations.
+  for (int trial = 0; trial < 50; ++trial) {
+    int64_t a = static_cast<int64_t>(rng() % 500);
+    int64_t b = static_cast<int64_t>(rng() % 500);
+    if (a > b) std::swap(a, b);
+    bool lo_inc = (rng() % 2) == 0;
+    bool hi_inc = (rng() % 2) == 0;
+    rel::Bound lo{rel::Datum(a), lo_inc};
+    rel::Bound hi{rel::Datum(b), hi_inc};
+    std::vector<int64_t> got;
+    index.Scan(&lo, &hi, &got);
+
+    std::vector<int64_t> want;
+    for (const auto& [k, v] : reference) {
+      bool above = lo_inc ? k >= a : k > a;
+      bool below = hi_inc ? k <= b : k < b;
+      if (above && below) want.push_back(v);
+    }
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "range [" << a << "," << b << "] inc=" << lo_inc
+                         << hi_inc;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreePropertyTest, ::testing::Range(1, 9));
+
+// ---------------------------------------------------------------------------
+// Datum total order: antisymmetry + transitivity on sampled triples
+// ---------------------------------------------------------------------------
+
+TEST(DatumOrderPropertyTest, SampledTotalOrderLaws) {
+  std::mt19937 rng(99);
+  auto random_datum = [&]() -> rel::Datum {
+    switch (rng() % 4) {
+      case 0:
+        return rel::Datum(static_cast<int64_t>(rng() % 100));
+      case 1:
+        return rel::Datum(static_cast<double>(rng() % 100) / 4.0);
+      case 2:
+        return rel::Datum(std::string(1, static_cast<char>('a' + rng() % 26)));
+      default:
+        return rel::Datum::Null();
+    }
+  };
+  for (int trial = 0; trial < 2000; ++trial) {
+    rel::Datum a = random_datum(), b = random_datum(), c = random_datum();
+    int ab = a.Compare(b), ba = b.Compare(a);
+    EXPECT_EQ(ab == 0, ba == 0);
+    if (ab != 0) EXPECT_EQ(ab > 0, ba < 0);
+    // Transitivity: a<=b && b<=c => a<=c.
+    if (a.Compare(b) <= 0 && b.Compare(c) <= 0) {
+      EXPECT_LE(a.Compare(c), 0) << a.ToString() << " " << b.ToString() << " "
+                                 << c.ToString();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized documents: VM == interpreter == rewritten XQuery
+// ---------------------------------------------------------------------------
+
+schema::StructuralInfo OrdersStructure() {
+  schema::StructureBuilder b;
+  auto* orders = b.Element("orders");
+  b.AddText(b.AddChild(orders, "vendor"));
+  auto* order = b.AddChild(orders, "order", 0, -1);
+  b.AddText(b.AddChild(order, "oid"));
+  b.AddText(b.AddChild(order, "amount"));
+  b.AddText(b.AddChild(order, "status"));
+  return b.Build(orders);
+}
+
+// Generates a random document conforming to OrdersStructure.
+std::string RandomOrdersDoc(uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::string doc = "<orders><vendor>V" + std::to_string(rng() % 10) + "</vendor>";
+  int n = static_cast<int>(rng() % 12);  // possibly zero orders
+  const char* statuses[] = {"open", "shipped", "void"};
+  for (int i = 0; i < n; ++i) {
+    doc += "<order><oid>" + std::to_string(1000 + i) + "</oid><amount>" +
+           std::to_string(rng() % 2000) + "</amount><status>" +
+           statuses[rng() % 3] + "</status></order>";
+  }
+  doc += "</orders>";
+  return doc;
+}
+
+const char* kOrderStylesheets[] = {
+    // 0: predicate selection
+    "<xsl:template match=\"orders\"><big><xsl:apply-templates "
+    "select=\"order[amount &gt; 1000]\"/></big></xsl:template>"
+    "<xsl:template match=\"order\"><o id=\"{oid}\"/></xsl:template>"
+    "<xsl:template match=\"text()\"/>",
+    // 1: choose over content
+    "<xsl:template match=\"order\"><xsl:choose>"
+    "<xsl:when test=\"status = 'open'\"><open><xsl:value-of select=\"oid\"/>"
+    "</open></xsl:when>"
+    "<xsl:when test=\"status = 'shipped'\"><done/></xsl:when>"
+    "<xsl:otherwise><gone/></xsl:otherwise></xsl:choose></xsl:template>"
+    "<xsl:template match=\"text()\"/>",
+    // 2: aggregation + builtins
+    "<xsl:template match=\"orders\"><sum><xsl:value-of "
+    "select=\"sum(order/amount)\"/></sum><n><xsl:value-of "
+    "select=\"count(order)\"/></n></xsl:template>",
+    // 3: sorting
+    "<xsl:template match=\"orders\"><xsl:for-each select=\"order\">"
+    "<xsl:sort select=\"amount\" data-type=\"number\" order=\"descending\"/>"
+    "<a><xsl:value-of select=\"amount\"/></a></xsl:for-each></xsl:template>",
+    // 4: empty stylesheet (built-in only)
+    "",
+};
+
+struct FuzzParam {
+  uint32_t seed;
+  int stylesheet;
+};
+
+class RewriteFuzzTest : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(RewriteFuzzTest, EnginesAndRewriteAgree) {
+  const FuzzParam& p = GetParam();
+  std::string stylesheet_text =
+      std::string("<xsl:stylesheet version=\"1.0\" "
+                  "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">") +
+      kOrderStylesheets[p.stylesheet] + "</xsl:stylesheet>";
+  std::string doc_text = RandomOrdersDoc(p.seed);
+
+  auto ss = xslt::Stylesheet::Parse(stylesheet_text);
+  ASSERT_TRUE(ss.ok()) << ss.status().ToString();
+  auto compiled = xslt::CompiledStylesheet::Compile(**ss);
+  ASSERT_TRUE(compiled.ok());
+  auto doc = xml::ParseDocument(doc_text);
+  ASSERT_TRUE(doc.ok());
+
+  // Engine differential: interpreter vs VM.
+  xslt::Interpreter interp(**ss);
+  auto iout = interp.Transform((*doc)->root());
+  ASSERT_TRUE(iout.ok()) << iout.status().ToString();
+  std::string interp_result = xml::Serialize((*iout)->root());
+
+  xslt::Vm vm(**compiled);
+  auto vout = vm.Transform((*doc)->root());
+  ASSERT_TRUE(vout.ok());
+  EXPECT_EQ(xml::Serialize((*vout)->root()), interp_result) << doc_text;
+
+  // Rewrite differential: inline XQuery vs functional.
+  schema::StructuralInfo info = OrdersStructure();
+  rewrite::RewriteReport report;
+  auto query = rewrite::RewriteXsltToXQuery(**compiled, &info, {}, &report);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  xquery::QueryEvaluator qe;
+  auto qout = qe.EvaluateToDocument(*query, (*doc)->root());
+  ASSERT_TRUE(qout.ok()) << qout.status().ToString() << "\n"
+                         << query->ToString();
+  EXPECT_EQ(xml::Serialize((*qout)->root()), interp_result)
+      << "doc: " << doc_text << "\nquery:\n" << query->ToString();
+}
+
+std::vector<FuzzParam> FuzzMatrix() {
+  std::vector<FuzzParam> params;
+  for (uint32_t seed = 1; seed <= 12; ++seed) {
+    for (int s = 0; s < 5; ++s) params.push_back(FuzzParam{seed, s});
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, RewriteFuzzTest, ::testing::ValuesIn(FuzzMatrix()),
+                         [](const ::testing::TestParamInfo<FuzzParam>& info) {
+                           return "seed" + std::to_string(info.param.seed) + "_ss" +
+                                  std::to_string(info.param.stylesheet);
+                         });
+
+// ---------------------------------------------------------------------------
+// XML round-trip property over random trees
+// ---------------------------------------------------------------------------
+
+class XmlRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(XmlRoundTripTest, ParseSerializeFixedPoint) {
+  std::mt19937 rng(static_cast<uint32_t>(GetParam()) * 17 + 3);
+  // Build a random tree directly in the DOM, serialize, parse, re-serialize.
+  xml::Document doc;
+  std::vector<xml::Node*> stack{doc.CreateElement("root")};
+  doc.root()->AppendChild(stack[0]);
+  for (int i = 0; i < 60; ++i) {
+    xml::Node* top = stack.back();
+    switch (rng() % 5) {
+      case 0: {
+        xml::Node* child = doc.CreateElement("e" + std::to_string(rng() % 7));
+        top->AppendChild(child);
+        stack.push_back(child);
+        break;
+      }
+      case 1:
+        top->AppendChild(doc.CreateText("t&<" + std::to_string(rng() % 100)));
+        break;
+      case 2:
+        top->SetAttribute("a" + std::to_string(rng() % 4),
+                          "v\"" + std::to_string(rng() % 100));
+        break;
+      case 3:
+        top->AppendChild(doc.CreateComment("c" + std::to_string(rng() % 10)));
+        break;
+      default:
+        if (stack.size() > 1) stack.pop_back();
+        break;
+    }
+  }
+  std::string first = xml::Serialize(doc.root());
+  auto reparsed = xml::ParseDocument(first);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << first;
+  EXPECT_EQ(xml::Serialize((*reparsed)->root()), first);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlRoundTripTest, ::testing::Range(1, 11));
+
+// ---------------------------------------------------------------------------
+// Failure injection: malformed inputs never crash, always Status
+// ---------------------------------------------------------------------------
+
+TEST(FailureInjectionTest, TruncatedXmlNeverCrashes) {
+  const std::string good =
+      "<a x=\"1\"><b>text &amp; more</b><!--c--><?p d?><c/></a>";
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    auto r = xml::ParseDocument(good.substr(0, cut));
+    // Any prefix is either valid (rare) or a clean parse error.
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+    }
+  }
+}
+
+TEST(FailureInjectionTest, TruncatedXPathNeverCrashes) {
+  const std::string good = "/a/b[c > 1 and contains(d, 'x')] | //e[2]";
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    auto r = xpath::ParseXPath(good.substr(0, cut));
+    (void)r;  // ok or ParseError; must not crash
+  }
+}
+
+TEST(FailureInjectionTest, TruncatedXQueryNeverCrashes) {
+  const std::string good =
+      "declare variable $v := .; for $x in $v/a where $x/b > 1 order by $x/c "
+      "return <r a=\"{$x}\">{fn:string($x)}</r>";
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    auto r = xquery::ParseQuery(good.substr(0, cut));
+    (void)r;
+  }
+}
+
+TEST(FailureInjectionTest, TruncatedStylesheetNeverCrashes) {
+  const std::string good =
+      "<xsl:stylesheet version=\"1.0\" "
+      "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+      "<xsl:template match=\"a\"><xsl:value-of select=\"b\"/></xsl:template>"
+      "</xsl:stylesheet>";
+  for (size_t cut = 0; cut < good.size(); cut += 3) {
+    auto r = xslt::Stylesheet::Parse(good.substr(0, cut));
+    (void)r;
+  }
+}
+
+}  // namespace
+}  // namespace xdb

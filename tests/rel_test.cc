@@ -1,0 +1,388 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "rel/btree.h"
+#include "rel/catalog.h"
+#include "rel/exec.h"
+#include "rel/expr.h"
+#include "rel/publish.h"
+#include "xml/serializer.h"
+
+namespace xdb::rel {
+namespace {
+
+TEST(DatumTest, TypesAndConversions) {
+  EXPECT_TRUE(Datum().is_null());
+  EXPECT_EQ(Datum(static_cast<int64_t>(7)).ToString(), "7");
+  EXPECT_EQ(Datum(2.5).ToString(), "2.5");
+  EXPECT_EQ(Datum("x").ToString(), "x");
+  EXPECT_DOUBLE_EQ(Datum("3.5").ToDouble(), 3.5);
+  EXPECT_TRUE(std::isnan(Datum("abc").ToDouble()));
+  EXPECT_TRUE(std::isnan(Datum().ToDouble()));
+}
+
+TEST(DatumTest, Ordering) {
+  EXPECT_LT(Datum(static_cast<int64_t>(1)).Compare(Datum(static_cast<int64_t>(2))), 0);
+  EXPECT_EQ(Datum(static_cast<int64_t>(2)).Compare(Datum(2.0)), 0);
+  EXPECT_LT(Datum(1.5).Compare(Datum(static_cast<int64_t>(2))), 0);
+  EXPECT_LT(Datum("a").Compare(Datum("b")), 0);
+  EXPECT_LT(Datum().Compare(Datum("a")), 0);  // NULLs first
+  EXPECT_EQ(Datum("10").Compare(Datum(static_cast<int64_t>(10))), 0);
+}
+
+TEST(BTreeTest, InsertAndPointLookup) {
+  BTreeIndex index(8);
+  for (int i = 0; i < 100; ++i) {
+    index.Insert(Datum(static_cast<int64_t>(i * 3 % 97)), i);
+  }
+  EXPECT_EQ(index.entry_count(), 100u);
+  std::vector<int64_t> out;
+  // 3i = 6 (mod 97) has two solutions in [0, 100): i = 2 and i = 99.
+  index.Lookup(Datum(static_cast<int64_t>(6)), &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 2);
+  EXPECT_EQ(out[1], 99);
+}
+
+TEST(BTreeTest, RangeScanOrderedAndBounded) {
+  BTreeIndex index(8);
+  std::mt19937 rng(42);
+  std::vector<int> keys;
+  for (int i = 0; i < 1000; ++i) keys.push_back(i);
+  std::shuffle(keys.begin(), keys.end(), rng);
+  for (int k : keys) index.Insert(Datum(static_cast<int64_t>(k)), k);
+  EXPECT_GT(index.height(), 1);
+
+  std::vector<int64_t> out;
+  Bound lo{Datum(static_cast<int64_t>(100)), true};
+  Bound hi{Datum(static_cast<int64_t>(110)), false};
+  index.Scan(&lo, &hi, &out);
+  ASSERT_EQ(out.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(out[i], 100 + i);
+
+  out.clear();
+  index.Scan(nullptr, nullptr, &out);
+  ASSERT_EQ(out.size(), 1000u);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
+TEST(BTreeTest, DuplicateKeys) {
+  BTreeIndex index(4);
+  for (int i = 0; i < 200; ++i) {
+    index.Insert(Datum(static_cast<int64_t>(i % 10)), i);
+  }
+  std::vector<int64_t> out;
+  index.Lookup(Datum(static_cast<int64_t>(3)), &out);
+  EXPECT_EQ(out.size(), 20u);
+  for (int64_t id : out) EXPECT_EQ(id % 10, 3);
+}
+
+TEST(BTreeTest, StringKeysAndOpenRanges) {
+  BTreeIndex index(4);
+  const char* words[] = {"delta", "alpha", "echo", "bravo", "charlie"};
+  for (int i = 0; i < 5; ++i) index.Insert(Datum(words[i]), i);
+  std::vector<int64_t> out;
+  Bound lo{Datum("bravo"), false};  // exclusive
+  index.Scan(&lo, nullptr, &out);
+  ASSERT_EQ(out.size(), 3u);  // charlie, delta, echo
+  EXPECT_EQ(out[0], 4);
+  EXPECT_EQ(out[1], 0);
+  EXPECT_EQ(out[2], 2);
+}
+
+TEST(BTreeTest, LargeScaleHeight) {
+  BTreeIndex index(64);
+  for (int i = 0; i < 100000; ++i) {
+    index.Insert(Datum(static_cast<int64_t>(i)), i);
+  }
+  EXPECT_EQ(index.entry_count(), 100000u);
+  EXPECT_GE(index.height(), 3);
+  std::vector<int64_t> out;
+  Bound lo{Datum(static_cast<int64_t>(99990)), true};
+  index.Scan(&lo, nullptr, &out);
+  EXPECT_EQ(out.size(), 10u);
+}
+
+// ---------------------------------------------------------------------------
+
+class RelFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // The paper's Tables 1-2.
+    auto dept = catalog_.CreateTable(
+        "dept", Schema({{"deptno", DataType::kInt},
+                        {"dname", DataType::kString},
+                        {"loc", DataType::kString}}));
+    ASSERT_TRUE(dept.ok());
+    (*dept)->Insert({Datum(int64_t{10}), Datum("ACCOUNTING"), Datum("NEW YORK")});
+    (*dept)->Insert({Datum(int64_t{40}), Datum("OPERATIONS"), Datum("BOSTON")});
+
+    auto emp = catalog_.CreateTable(
+        "emp", Schema({{"empno", DataType::kInt},
+                       {"ename", DataType::kString},
+                       {"job", DataType::kString},
+                       {"sal", DataType::kInt},
+                       {"deptno", DataType::kInt}}));
+    ASSERT_TRUE(emp.ok());
+    (*emp)->Insert({Datum(int64_t{7782}), Datum("CLARK"), Datum("MANAGER"),
+                    Datum(int64_t{2450}), Datum(int64_t{10})});
+    (*emp)->Insert({Datum(int64_t{7934}), Datum("MILLER"), Datum("CLERK"),
+                    Datum(int64_t{1300}), Datum(int64_t{10})});
+    (*emp)->Insert({Datum(int64_t{7954}), Datum("SMITH"), Datum("VP"),
+                    Datum(int64_t{4900}), Datum(int64_t{40})});
+    ASSERT_TRUE((*emp)->CreateIndex("sal").ok());
+  }
+
+  std::unique_ptr<PublishSpec> DeptEmpSpec() {
+    auto dept = PublishSpec::Element("dept");
+    dept->AddChild(PublishSpec::Element("dname"))
+        ->AddChild(PublishSpec::Column("dname"));
+    dept->AddChild(PublishSpec::Element("loc"))
+        ->AddChild(PublishSpec::Column("loc"));
+    auto emp_elem = PublishSpec::Element("emp");
+    emp_elem->AddChild(PublishSpec::Element("empno"))
+        ->AddChild(PublishSpec::Column("empno"));
+    emp_elem->AddChild(PublishSpec::Element("ename"))
+        ->AddChild(PublishSpec::Column("ename"));
+    emp_elem->AddChild(PublishSpec::Element("sal"))
+        ->AddChild(PublishSpec::Column("sal"));
+    auto employees = PublishSpec::Element("employees");
+    employees->AddChild(
+        PublishSpec::Nested("emp", "deptno", "deptno", std::move(emp_elem)));
+    dept->children.push_back(std::move(employees));
+    return dept;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(RelFixture, SeqScanAndFilter) {
+  Table* emp = *catalog_.GetTable("emp");
+  // WHERE sal > 2000
+  auto pred = std::make_unique<BinaryRelExpr>(
+      RelOp::kGt, std::make_unique<ColumnRefExpr>(0, 3, "emp.sal"),
+      std::make_unique<ConstExpr>(Datum(int64_t{2000})));
+  FilterNode plan(PlanPtr(new SeqScanNode(emp)), std::move(pred));
+  xml::Document arena;
+  ExecCtx ctx;
+  ctx.arena = &arena;
+  auto rows = ExecuteAll(plan, ctx);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][1].ToString(), "CLARK");
+  EXPECT_EQ((*rows)[1][1].ToString(), "SMITH");
+}
+
+TEST_F(RelFixture, IndexRangeScan) {
+  Table* emp = *catalog_.GetTable("emp");
+  IndexRangeScanNode plan(emp, "sal",
+                          std::make_unique<ConstExpr>(Datum(int64_t{2000})),
+                          /*lo_inclusive=*/false, nullptr, true);
+  xml::Document arena;
+  ExecCtx ctx;
+  ctx.arena = &arena;
+  auto rows = ExecuteAll(plan, ctx);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 2u);
+  // Index order: by sal ascending.
+  EXPECT_EQ((*rows)[0][1].ToString(), "CLARK");
+  EXPECT_EQ((*rows)[1][1].ToString(), "SMITH");
+}
+
+TEST_F(RelFixture, ProjectAndSort) {
+  Table* emp = *catalog_.GetTable("emp");
+  std::vector<SortNode::Key> keys;
+  keys.push_back(SortNode::Key{std::make_unique<ColumnRefExpr>(0, 3, "emp.sal"),
+                               /*descending=*/true});
+  PlanPtr sorted(new SortNode(PlanPtr(new SeqScanNode(emp)), std::move(keys)));
+  std::vector<RelExprPtr> exprs;
+  exprs.push_back(std::make_unique<ColumnRefExpr>(0, 1, "emp.ename"));
+  ProjectNode plan(std::move(sorted), std::move(exprs));
+  xml::Document arena;
+  ExecCtx ctx;
+  ctx.arena = &arena;
+  auto rows = ExecuteAll(plan, ctx);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[0][0].ToString(), "SMITH");
+  EXPECT_EQ((*rows)[2][0].ToString(), "MILLER");
+}
+
+TEST_F(RelFixture, ScalarAggregates) {
+  Table* emp = *catalog_.GetTable("emp");
+  ScalarAggNode sum(PlanPtr(new SeqScanNode(emp)), AggKind::kSum,
+                    std::make_unique<ColumnRefExpr>(0, 3, "emp.sal"));
+  xml::Document arena;
+  ExecCtx ctx;
+  ctx.arena = &arena;
+  auto rows = ExecuteAll(sum, ctx);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_DOUBLE_EQ((*rows)[0][0].ToDouble(), 8650.0);
+
+  ScalarAggNode cnt(PlanPtr(new SeqScanNode(emp)), AggKind::kCount, nullptr);
+  auto crows = ExecuteAll(cnt, ctx);
+  ASSERT_TRUE(crows.ok());
+  EXPECT_EQ((*crows)[0][0].AsInt(), 3);
+}
+
+TEST_F(RelFixture, XmlElementConstruction) {
+  Table* dept = *catalog_.GetTable("dept");
+  auto elem = std::make_unique<XmlElementExpr>("dept");
+  elem->attributes.emplace_back("no",
+                                std::make_unique<ColumnRefExpr>(0, 0, "deptno"));
+  auto dname = std::make_unique<XmlElementExpr>("dname");
+  dname->children.push_back(std::make_unique<ColumnRefExpr>(0, 1, "dname"));
+  elem->children.push_back(std::move(dname));
+  std::vector<RelExprPtr> exprs;
+  exprs.push_back(std::move(elem));
+  ProjectNode plan(PlanPtr(new SeqScanNode(dept)), std::move(exprs));
+  xml::Document arena;
+  ExecCtx ctx;
+  ctx.arena = &arena;
+  auto rows = ExecuteAll(plan, ctx);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ(xml::Serialize((*rows)[0][0].AsXml()),
+            "<dept no=\"10\"><dname>ACCOUNTING</dname></dept>");
+}
+
+TEST_F(RelFixture, PublishingViewProducesTable4) {
+  auto view = catalog_.CreatePublishingView("dept_emp", "dept", DeptEmpSpec(),
+                                            "dept_content");
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+
+  Table* dept = *catalog_.GetTable("dept");
+  xml::Document arena;
+  ExecCtx ctx;
+  ctx.arena = &arena;
+  std::vector<std::string> results;
+  for (size_t i = 0; i < dept->row_count(); ++i) {
+    const Row& row = dept->row(static_cast<int64_t>(i));
+    ctx.rows.push_back(&row);
+    auto v = (*view)->publish_expr->Eval(ctx);
+    ctx.rows.pop_back();
+    ASSERT_TRUE(v.ok()) << v.status().ToString();
+    results.push_back(xml::Serialize(v->AsXml()));
+  }
+  // Table 4 row 1.
+  EXPECT_EQ(results[0],
+            "<dept><dname>ACCOUNTING</dname><loc>NEW YORK</loc><employees>"
+            "<emp><empno>7782</empno><ename>CLARK</ename><sal>2450</sal></emp>"
+            "<emp><empno>7934</empno><ename>MILLER</ename><sal>1300</sal></emp>"
+            "</employees></dept>");
+  // Table 4 row 2.
+  EXPECT_EQ(results[1],
+            "<dept><dname>OPERATIONS</dname><loc>BOSTON</loc><employees>"
+            "<emp><empno>7954</empno><ename>SMITH</ename><sal>4900</sal></emp>"
+            "</employees></dept>");
+}
+
+TEST_F(RelFixture, PublishStructureDerivation) {
+  auto spec = DeptEmpSpec();
+  auto info = DerivePublishStructure(*spec);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  const schema::StructuralInfo& s = info->structure;
+  EXPECT_EQ(s.root()->name, "dept");
+  ASSERT_EQ(s.root()->children.size(), 3u);
+  EXPECT_TRUE(s.root()->children[0].elem->has_text);  // dname
+  const schema::ElementStructure* employees = s.FindUnique("employees");
+  ASSERT_NE(employees, nullptr);
+  const schema::ChildRef* emp = employees->FindChild("emp");
+  ASSERT_NE(emp, nullptr);
+  EXPECT_TRUE(emp->repeating());
+  // Provenance: emp element binds to the nested spec scope.
+  auto it = info->bindings.find(emp->elem);
+  ASSERT_NE(it, info->bindings.end());
+  ASSERT_EQ(it->second.nested_chain.size(), 1u);
+  EXPECT_EQ(it->second.nested_chain[0]->child_table, "emp");
+  // dept element has no nested scope.
+  auto root_binding = info->bindings.find(s.root());
+  ASSERT_NE(root_binding, info->bindings.end());
+  EXPECT_TRUE(root_binding->second.nested_chain.empty());
+  // §3.5: empno's only parent is emp.
+  EXPECT_EQ(s.ParentsOf("empno").size(), 1u);
+}
+
+TEST_F(RelFixture, XmlTransformFunctionalEvaluation) {
+  // Functional (no-rewrite) path: materialize view XML, run XSLTVM on it.
+  auto view = catalog_.CreatePublishingView("dept_emp", "dept", DeptEmpSpec(),
+                                            "dept_content");
+  ASSERT_TRUE(view.ok());
+  auto ss = xslt::Stylesheet::Parse(
+      "<xsl:stylesheet version=\"1.0\" "
+      "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+      "<xsl:template match=\"dept\"><names><xsl:apply-templates "
+      "select=\"employees/emp[sal &gt; 2000]/ename\"/></names></xsl:template>"
+      "<xsl:template match=\"ename\"><n><xsl:value-of select=\".\"/></n>"
+      "</xsl:template></xsl:stylesheet>");
+  ASSERT_TRUE(ss.ok()) << ss.status().ToString();
+  auto compiled = xslt::CompiledStylesheet::Compile(**ss);
+  ASSERT_TRUE(compiled.ok());
+  std::shared_ptr<const xslt::CompiledStylesheet> shared(std::move(*compiled));
+
+  Table* dept = *catalog_.GetTable("dept");
+  xml::Document arena;
+  ExecCtx ctx;
+  ctx.arena = &arena;
+  const Row& row = dept->row(0);
+  ctx.rows.push_back(&row);
+  auto xml_val = (*view)->publish_expr->Eval(ctx);
+  ASSERT_TRUE(xml_val.ok());
+  XmlTransformExpr transform(shared,
+                             std::make_unique<ConstExpr>(*xml_val));
+  auto out = transform.Eval(ctx);
+  ctx.rows.pop_back();
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  // Fragment wrapper serializes its children.
+  std::string rendered = xml::SerializeAll(out->AsXml()->children());
+  EXPECT_EQ(rendered, "<names><n>CLARK</n></names>");
+}
+
+TEST_F(RelFixture, CorrelatedSubqueryInProject) {
+  // For each dept: (SELECT COUNT(*) FROM emp WHERE emp.deptno = dept.deptno)
+  Table* dept = *catalog_.GetTable("dept");
+  Table* emp = *catalog_.GetTable("emp");
+  auto corr = std::make_unique<BinaryRelExpr>(
+      RelOp::kEq, std::make_unique<ColumnRefExpr>(0, 4, "emp.deptno"),
+      std::make_unique<ColumnRefExpr>(1, 0, "dept.deptno"));
+  PlanPtr inner(new FilterNode(PlanPtr(new SeqScanNode(emp)), std::move(corr)));
+  PlanPtr agg(new ScalarAggNode(std::move(inner), AggKind::kCount, nullptr));
+  std::vector<RelExprPtr> exprs;
+  exprs.push_back(std::make_unique<ColumnRefExpr>(0, 1, "dept.dname"));
+  exprs.push_back(std::make_unique<ScalarSubqueryExpr>(std::move(agg)));
+  ProjectNode plan(PlanPtr(new SeqScanNode(dept)), std::move(exprs));
+  xml::Document arena;
+  ExecCtx ctx;
+  ctx.arena = &arena;
+  auto rows = ExecuteAll(plan, ctx);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][1].AsInt(), 2);  // ACCOUNTING has 2 emps
+  EXPECT_EQ((*rows)[1][1].AsInt(), 1);  // OPERATIONS has 1
+}
+
+TEST_F(RelFixture, ExplainRendersPlan) {
+  Table* emp = *catalog_.GetTable("emp");
+  auto pred = std::make_unique<BinaryRelExpr>(
+      RelOp::kGt, std::make_unique<ColumnRefExpr>(0, 3, "emp.sal"),
+      std::make_unique<ConstExpr>(Datum(int64_t{2000})));
+  FilterNode plan(PlanPtr(new SeqScanNode(emp)), std::move(pred));
+  std::string text = ExplainPlan(plan);
+  EXPECT_NE(text.find("Filter(emp.sal > 2000)"), std::string::npos);
+  EXPECT_NE(text.find("SeqScan(emp)"), std::string::npos);
+}
+
+TEST_F(RelFixture, CatalogErrors) {
+  EXPECT_FALSE(catalog_.GetTable("nope").ok());
+  EXPECT_FALSE(catalog_.GetView("nope").ok());
+  EXPECT_FALSE(catalog_.CreateTable("dept", Schema()).ok());
+  Table* emp = *catalog_.GetTable("emp");
+  EXPECT_FALSE(emp->CreateIndex("nocolumn").ok());
+  EXPECT_FALSE(emp->Insert({Datum(int64_t{1})}).ok());  // arity mismatch
+  EXPECT_FALSE(
+      catalog_.CreateXsltView("v", "missing_upstream", "<xsl/>", "c").ok());
+}
+
+}  // namespace
+}  // namespace xdb::rel

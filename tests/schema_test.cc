@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include "schema/sample_doc.h"
+#include "schema/structure.h"
+#include "schema/xsd_parser.h"
+#include "xml/serializer.h"
+
+namespace xdb::schema {
+namespace {
+
+// Structure of the paper's dept/emp example (Table 4).
+StructuralInfo DeptStructure() {
+  StructureBuilder b;
+  auto* dept = b.Element("dept");
+  b.AddText(b.AddChild(dept, "dname"));
+  b.AddText(b.AddChild(dept, "loc"));
+  auto* employees = b.AddChild(dept, "employees");
+  auto* emp = b.AddChild(employees, "emp", 0, -1);
+  b.AddText(b.AddChild(emp, "empno"));
+  b.AddText(b.AddChild(emp, "ename"));
+  b.AddText(b.AddChild(emp, "sal"));
+  return b.Build(dept);
+}
+
+TEST(StructureTest, BuilderAndLookup) {
+  StructuralInfo info = DeptStructure();
+  ASSERT_NE(info.root(), nullptr);
+  EXPECT_EQ(info.root()->name, "dept");
+  EXPECT_EQ(info.root()->children.size(), 3u);
+  EXPECT_EQ(info.FindAll("emp").size(), 1u);
+  EXPECT_NE(info.FindUnique("sal"), nullptr);
+  EXPECT_EQ(info.FindUnique("nothere"), nullptr);
+  const ChildRef* emp_ref = info.FindUnique("employees")->FindChild("emp");
+  ASSERT_NE(emp_ref, nullptr);
+  EXPECT_TRUE(emp_ref->repeating());
+  EXPECT_TRUE(emp_ref->optional());
+  const ChildRef* dname_ref = info.root()->FindChild("dname");
+  EXPECT_FALSE(dname_ref->repeating());
+}
+
+TEST(StructureTest, ParentsOf) {
+  StructuralInfo info = DeptStructure();
+  auto parents = info.ParentsOf("empno");
+  ASSERT_EQ(parents.size(), 1u);
+  EXPECT_EQ(*parents.begin(), "emp");
+  EXPECT_TRUE(info.ParentsOf("dept").empty());
+}
+
+TEST(StructureTest, RecursionDetection) {
+  StructuralInfo plain = DeptStructure();
+  EXPECT_FALSE(plain.HasRecursion());
+
+  StructureBuilder b;
+  auto* section = b.Element("section");
+  b.AddText(b.AddChild(section, "title"));
+  b.AddRecursiveChild(section, section);
+  StructuralInfo rec = b.Build(section);
+  EXPECT_TRUE(rec.HasRecursion());
+}
+
+TEST(StructureTest, CloneIsDeepAndPreservesRecursion) {
+  StructureBuilder b;
+  auto* node = b.Element("node");
+  b.AddText(b.AddChild(node, "label"));
+  b.AddRecursiveChild(node, node);
+  StructuralInfo orig = b.Build(node);
+
+  StructuralInfo copy = orig.Clone();
+  EXPECT_TRUE(copy.HasRecursion());
+  EXPECT_EQ(copy.root()->name, "node");
+  EXPECT_NE(copy.root(), orig.root());
+  EXPECT_EQ(copy.root()->children.size(), 2u);
+  // Recursive edge points within the copy, not back to the original.
+  EXPECT_EQ(copy.root()->children[1].elem, copy.root());
+}
+
+TEST(XsdParserTest, DeptSchema) {
+  const char* xsd = R"(
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:element name="dept">
+        <xs:complexType>
+          <xs:sequence>
+            <xs:element name="dname" type="xs:string"/>
+            <xs:element name="loc" type="xs:string"/>
+            <xs:element name="employees">
+              <xs:complexType>
+                <xs:sequence>
+                  <xs:element name="emp" minOccurs="0" maxOccurs="unbounded">
+                    <xs:complexType>
+                      <xs:sequence>
+                        <xs:element name="empno" type="xs:int"/>
+                        <xs:element name="ename" type="xs:string"/>
+                        <xs:element name="sal" type="xs:decimal"/>
+                      </xs:sequence>
+                    </xs:complexType>
+                  </xs:element>
+                </xs:sequence>
+              </xs:complexType>
+            </xs:element>
+          </xs:sequence>
+        </xs:complexType>
+      </xs:element>
+    </xs:schema>)";
+  auto r = ParseXsd(xsd);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const StructuralInfo& info = *r;
+  EXPECT_EQ(info.root()->name, "dept");
+  EXPECT_EQ(info.root()->group, ModelGroup::kSequence);
+  ASSERT_EQ(info.root()->children.size(), 3u);
+  EXPECT_TRUE(info.root()->children[0].elem->has_text);
+  const ElementStructure* employees = info.FindUnique("employees");
+  ASSERT_NE(employees, nullptr);
+  const ChildRef* emp = employees->FindChild("emp");
+  ASSERT_NE(emp, nullptr);
+  EXPECT_EQ(emp->min_occurs, 0);
+  EXPECT_EQ(emp->max_occurs, -1);
+  EXPECT_FALSE(info.HasRecursion());
+  EXPECT_EQ(info.ParentsOf("empno").size(), 1u);
+}
+
+TEST(XsdParserTest, ChoiceAndAllGroups) {
+  const char* xsd = R"(
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:element name="payment">
+        <xs:complexType>
+          <xs:choice>
+            <xs:element name="card" type="xs:string"/>
+            <xs:element name="cash" type="xs:string"/>
+          </xs:choice>
+        </xs:complexType>
+      </xs:element>
+    </xs:schema>)";
+  auto r = ParseXsd(xsd);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->root()->group, ModelGroup::kChoice);
+  EXPECT_EQ(r->root()->children.size(), 2u);
+}
+
+TEST(XsdParserTest, NamedTypesAndAttributes) {
+  const char* xsd = R"(
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:element name="order" type="OrderType"/>
+      <xs:complexType name="OrderType">
+        <xs:all>
+          <xs:element name="item" type="xs:string" maxOccurs="10"/>
+        </xs:all>
+        <xs:attribute name="id"/>
+        <xs:attribute name="status"/>
+      </xs:complexType>
+    </xs:schema>)";
+  auto r = ParseXsd(xsd);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->root()->name, "order");
+  EXPECT_EQ(r->root()->group, ModelGroup::kAll);
+  ASSERT_EQ(r->root()->attributes.size(), 2u);
+  EXPECT_EQ(r->root()->attributes[0], "id");
+  EXPECT_EQ(r->root()->FindChild("item")->max_occurs, 10);
+}
+
+TEST(XsdParserTest, RecursiveSchemaViaRef) {
+  const char* xsd = R"(
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:element name="section">
+        <xs:complexType>
+          <xs:sequence>
+            <xs:element name="title" type="xs:string"/>
+            <xs:element ref="section" minOccurs="0" maxOccurs="unbounded"/>
+          </xs:sequence>
+        </xs:complexType>
+      </xs:element>
+    </xs:schema>)";
+  auto r = ParseXsd(xsd);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->HasRecursion());
+  ASSERT_EQ(r->root()->children.size(), 2u);
+  EXPECT_TRUE(r->root()->children[1].recursive_edge);
+  EXPECT_EQ(r->root()->children[1].elem, r->root());
+}
+
+TEST(XsdParserTest, MixedContent) {
+  const char* xsd = R"(
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:element name="para">
+        <xs:complexType mixed="true">
+          <xs:sequence>
+            <xs:element name="b" type="xs:string" minOccurs="0"/>
+          </xs:sequence>
+        </xs:complexType>
+      </xs:element>
+    </xs:schema>)";
+  auto r = ParseXsd(xsd);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->root()->has_text);
+  EXPECT_EQ(r->root()->children.size(), 1u);
+}
+
+TEST(XsdParserTest, Errors) {
+  EXPECT_FALSE(ParseXsd("<notaschema/>").ok());
+  EXPECT_FALSE(ParseXsd(
+                   "<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\"/>")
+                   .ok());
+  EXPECT_FALSE(
+      ParseXsd("<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\">"
+               "<xs:element name=\"a\"><xs:complexType><xs:sequence>"
+               "<xs:element ref=\"missing\"/>"
+               "</xs:sequence></xs:complexType></xs:element></xs:schema>")
+          .ok());
+}
+
+TEST(SampleDocTest, DeptSample) {
+  StructuralInfo info = DeptStructure();
+  auto doc = GenerateSampleDocument(info);
+  xml::Node* dept = doc->document_element();
+  ASSERT_NE(dept, nullptr);
+  EXPECT_EQ(dept->local_name(), "dept");
+  ASSERT_EQ(dept->children().size(), 3u);
+  // dname carries sample text.
+  xml::Node* dname = dept->FirstChildElement("dname");
+  EXPECT_EQ(dname->GetAttribute("xdbs:text"), "true");
+  EXPECT_EQ(dname->StringValue(), "?");
+  // emp appears once with cardinality annotations.
+  xml::Node* emp = dept->FirstChildElement("employees")->FirstChildElement("emp");
+  ASSERT_NE(emp, nullptr);
+  EXPECT_EQ(emp->GetAttribute("xdbs:maxOccurs"), "unbounded");
+  EXPECT_EQ(emp->GetAttribute("xdbs:minOccurs"), "0");
+  ASSERT_EQ(emp->children().size(), 3u);
+}
+
+TEST(SampleDocTest, ChoiceAnnotation) {
+  StructureBuilder b;
+  auto* payment = b.Element("payment");
+  payment->group = ModelGroup::kChoice;
+  b.AddText(b.AddChild(payment, "card"));
+  b.AddText(b.AddChild(payment, "cash"));
+  auto doc = GenerateSampleDocument(b.Build(payment));
+  EXPECT_EQ(doc->document_element()->GetAttribute("xdbs:group"), "choice");
+  // Both alternatives present in the sample (one occurrence each).
+  EXPECT_EQ(doc->document_element()->children().size(), 2u);
+}
+
+TEST(SampleDocTest, RecursiveStructureDoesNotExpand) {
+  StructureBuilder b;
+  auto* section = b.Element("section");
+  b.AddText(b.AddChild(section, "title"));
+  b.AddRecursiveChild(section, section);
+  auto doc = GenerateSampleDocument(b.Build(section));
+  xml::Node* root = doc->document_element();
+  ASSERT_EQ(root->children().size(), 2u);
+  xml::Node* nested = root->children()[1];
+  EXPECT_EQ(nested->local_name(), "section");
+  EXPECT_EQ(nested->GetAttribute("xdbs:recursive"), "true");
+  // The recursive occurrence must not expand its own children.
+  EXPECT_TRUE(nested->children().empty());
+}
+
+TEST(SampleDocTest, AttributesGetSampleValues) {
+  StructureBuilder b;
+  auto* order = b.Element("order");
+  order->attributes = {"id", "status"};
+  auto doc = GenerateSampleDocument(b.Build(order));
+  EXPECT_EQ(doc->document_element()->GetAttribute("id"), "?");
+  EXPECT_EQ(doc->document_element()->GetAttribute("status"), "?");
+}
+
+TEST(SampleDocTest, AnnotationAttributeDetection) {
+  EXPECT_TRUE(IsAnnotationAttribute("xdbs:group"));
+  EXPECT_TRUE(IsAnnotationAttribute("xdbs:maxOccurs"));
+  EXPECT_FALSE(IsAnnotationAttribute("id"));
+  EXPECT_FALSE(IsAnnotationAttribute("xdbsgroup"));
+  EXPECT_FALSE(IsAnnotationAttribute("xdbs"));
+}
+
+TEST(SampleDocTest, XsdToSampleEndToEnd) {
+  const char* xsd = R"(
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:element name="inventory">
+        <xs:complexType>
+          <xs:sequence>
+            <xs:element name="product" maxOccurs="unbounded">
+              <xs:complexType>
+                <xs:sequence>
+                  <xs:element name="name" type="xs:string"/>
+                  <xs:element name="price" type="xs:decimal"/>
+                </xs:sequence>
+              </xs:complexType>
+            </xs:element>
+          </xs:sequence>
+        </xs:complexType>
+      </xs:element>
+    </xs:schema>)";
+  auto info = ParseXsd(xsd);
+  ASSERT_TRUE(info.ok());
+  auto doc = GenerateSampleDocument(*info);
+  std::string xml = xml::Serialize(doc->root());
+  EXPECT_NE(xml.find("<inventory>"), std::string::npos);
+  EXPECT_NE(xml.find("xdbs:maxOccurs=\"unbounded\""), std::string::npos);
+  EXPECT_NE(xml.find("<name "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xdb::schema

@@ -1,0 +1,212 @@
+#include "rewrite/static_type.h"
+
+#include <gtest/gtest.h>
+
+#include "core/xmldb.h"
+#include "rewrite/xslt_rewriter.h"
+#include "xquery/parser.h"
+#include "xslt/vm.h"
+
+namespace xdb::rewrite {
+namespace {
+
+schema::StructuralInfo DeptStructure() {
+  schema::StructureBuilder b;
+  auto* dept = b.Element("dept");
+  b.AddText(b.AddChild(dept, "dname"));
+  b.AddText(b.AddChild(dept, "loc"));
+  auto* employees = b.AddChild(dept, "employees");
+  auto* emp = b.AddChild(employees, "emp", 0, -1);
+  b.AddText(b.AddChild(emp, "empno"));
+  b.AddText(b.AddChild(emp, "ename"));
+  b.AddText(b.AddChild(emp, "sal"));
+  return b.Build(dept);
+}
+
+Result<schema::StructuralInfo> Infer(const char* query_text) {
+  auto q = xquery::ParseQuery(query_text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  schema::StructuralInfo input = DeptStructure();
+  return InferResultStructure(*q, input);
+}
+
+TEST(StaticTypeTest, SingleConstructorRoot) {
+  auto s = Infer("<report><title>hi</title></report>");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(s->root()->name, "report");
+  ASSERT_EQ(s->root()->children.size(), 1u);
+  EXPECT_EQ(s->root()->children[0].elem->name, "title");
+  EXPECT_TRUE(s->root()->children[0].elem->has_text);
+}
+
+TEST(StaticTypeTest, FlworProducesRepeatingChildren) {
+  auto s = Infer(
+      "<table>{ for $e in ./dept/employees/emp return "
+      "<tr>{fn:string($e/ename)}</tr> }</table>");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(s->root()->name, "table");
+  ASSERT_EQ(s->root()->children.size(), 1u);
+  const auto& tr = s->root()->children[0];
+  EXPECT_EQ(tr.elem->name, "tr");
+  EXPECT_TRUE(tr.repeating());
+  EXPECT_TRUE(tr.optional());
+}
+
+TEST(StaticTypeTest, FragmentResultGetsSyntheticRoot) {
+  auto s = Infer("(<a/>, <b/>)");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(s->root()->name, std::string(schema::kFragmentRootName));
+  ASSERT_EQ(s->root()->children.size(), 2u);
+  EXPECT_EQ(s->root()->children[0].elem->name, "a");
+  EXPECT_EQ(s->root()->children[1].elem->name, "b");
+}
+
+TEST(StaticTypeTest, ConditionalChildrenAreOptional) {
+  auto s = Infer("<r>{ if (./dept/dname) then <y/> else <n/> }</r>");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  ASSERT_EQ(s->root()->children.size(), 2u);
+  EXPECT_TRUE(s->root()->children[0].optional());
+  EXPECT_TRUE(s->root()->children[1].optional());
+}
+
+TEST(StaticTypeTest, CopiedInputSubtreesKeepTheirShape) {
+  auto s = Infer("<keep>{ ./dept/employees }</keep>");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  const auto* employees = s->FindUnique("employees");
+  ASSERT_NE(employees, nullptr);
+  const auto* emp = employees->FindChild("emp");
+  ASSERT_NE(emp, nullptr);
+  EXPECT_TRUE(emp->repeating());
+  EXPECT_NE(s->FindUnique("sal"), nullptr);
+}
+
+TEST(StaticTypeTest, AttributesRecorded) {
+  auto s = Infer("<p id=\"1\" k=\"{fn:string(./dept/dname)}\"/>");
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->root()->attributes.size(), 2u);
+  EXPECT_EQ(s->root()->attributes[0], "id");
+}
+
+TEST(StaticTypeTest, UserFunctionsDefeatInference) {
+  auto q = xquery::ParseQuery(
+      "declare function local:f($x) { <r/> }; local:f(1)");
+  ASSERT_TRUE(q.ok());
+  schema::StructuralInfo input = DeptStructure();
+  auto s = InferResultStructure(*q, input);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kRewriteError);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: XSLT transform over an XSLT view (chained rewrite via static
+// typing), checked against functional evaluation.
+// ---------------------------------------------------------------------------
+
+class ChainFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    using rel::DataType;
+    using rel::Datum;
+    using rel::PublishSpec;
+    db_.CreateTable("dept", rel::Schema({{"deptno", DataType::kInt},
+                                         {"dname", DataType::kString},
+                                         {"loc", DataType::kString}}));
+    db_.Insert("dept",
+               {Datum(int64_t{10}), Datum("ACCOUNTING"), Datum("NEW YORK")});
+    db_.Insert("dept", {Datum(int64_t{40}), Datum("OPERATIONS"), Datum("BOSTON")});
+    db_.CreateTable("emp", rel::Schema({{"empno", DataType::kInt},
+                                        {"ename", DataType::kString},
+                                        {"sal", DataType::kInt},
+                                        {"deptno", DataType::kInt}}));
+    db_.Insert("emp", {Datum(int64_t{7782}), Datum("CLARK"), Datum(int64_t{2450}),
+                       Datum(int64_t{10})});
+    db_.Insert("emp", {Datum(int64_t{7934}), Datum("MILLER"),
+                       Datum(int64_t{1300}), Datum(int64_t{10})});
+    db_.Insert("emp", {Datum(int64_t{7954}), Datum("SMITH"), Datum(int64_t{4900}),
+                       Datum(int64_t{40})});
+    db_.CreateIndex("emp", "sal");
+
+    auto dept = PublishSpec::Element("dept");
+    dept->AddChild(PublishSpec::Element("dname"))
+        ->AddChild(PublishSpec::Column("dname"));
+    dept->AddChild(PublishSpec::Element("loc"))
+        ->AddChild(PublishSpec::Column("loc"));
+    auto emp = PublishSpec::Element("emp");
+    emp->AddChild(PublishSpec::Element("ename"))
+        ->AddChild(PublishSpec::Column("ename"));
+    emp->AddChild(PublishSpec::Element("sal"))
+        ->AddChild(PublishSpec::Column("sal"));
+    auto employees = PublishSpec::Element("employees");
+    employees->AddChild(
+        PublishSpec::Nested("emp", "deptno", "deptno", std::move(emp)));
+    dept->children.push_back(std::move(employees));
+    db_.CreatePublishingView("dept_emp", "dept", std::move(dept), "dept_content");
+
+    // First transformation (the view): keep only highly paid employees.
+    db_.CreateXsltView(
+        "rich_vu", "dept_emp",
+        "<xsl:stylesheet version=\"1.0\" "
+        "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+        "<xsl:template match=\"dept\"><roster loc=\"{loc}\">"
+        "<xsl:apply-templates select=\"employees/emp[sal &gt; 2000]\"/>"
+        "</roster></xsl:template>"
+        "<xsl:template match=\"emp\"><member><xsl:value-of select=\"ename\"/>"
+        "</member></xsl:template>"
+        "<xsl:template match=\"text()\"/></xsl:stylesheet>",
+        "rich");
+  }
+
+  XmlDb db_;
+};
+
+TEST_F(ChainFixture, TransformOverXsltViewRewrites) {
+  // Second transformation over the XSLT view's result.
+  const char* second =
+      "<xsl:stylesheet version=\"1.0\" "
+      "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+      "<xsl:template match=\"roster\"><html><h1><xsl:value-of select=\"@loc\"/>"
+      "</h1><xsl:apply-templates select=\"member\"/></html></xsl:template>"
+      "<xsl:template match=\"member\"><li><xsl:value-of select=\".\"/></li>"
+      "</xsl:template>"
+      "<xsl:template match=\"text()\"/></xsl:stylesheet>";
+
+  ExecOptions functional;
+  functional.enable_rewrite = false;
+  auto fref = db_.TransformView("rich_vu", second, functional);
+  ASSERT_TRUE(fref.ok()) << fref.status().ToString();
+
+  ExecStats stats;
+  auto r = db_.TransformView("rich_vu", second, {}, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // The chain rewrites at least to the XQuery stage (static typing of the
+  // upstream query + composition); SQL is a bonus when shapes allow.
+  EXPECT_NE(stats.path, ExecutionPath::kFunctional) << stats.fallback_reason;
+  EXPECT_EQ(*r, *fref) << "xquery:\n" << stats.xquery_text
+                       << "\nfallback: " << stats.fallback_reason;
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_NE((*r)[0].find("<h1>NEW YORK</h1>"), std::string::npos);
+  EXPECT_NE((*r)[0].find("<li>CLARK</li>"), std::string::npos);
+  EXPECT_EQ((*r)[0].find("MILLER"), std::string::npos);
+}
+
+TEST_F(ChainFixture, ChainFallsBackGracefullyOnHardConstructs) {
+  // position() in the second stylesheet: the chain must fall back to
+  // functional evaluation and still be correct.
+  const char* second =
+      "<xsl:stylesheet version=\"1.0\" "
+      "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+      "<xsl:template match=\"member\"><n i=\"{position()}\"/></xsl:template>"
+      "<xsl:template match=\"text()\"/></xsl:stylesheet>";
+  ExecOptions functional;
+  functional.enable_rewrite = false;
+  auto fref = db_.TransformView("rich_vu", second, functional);
+  ASSERT_TRUE(fref.ok());
+  ExecStats stats;
+  auto r = db_.TransformView("rich_vu", second, {}, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(stats.path, ExecutionPath::kFunctional);
+  EXPECT_EQ(*r, *fref);
+}
+
+}  // namespace
+}  // namespace xdb::rewrite

@@ -1,0 +1,115 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace xdb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::TypeError("x").code(), StatusCode::kTypeError);
+  EXPECT_EQ(Status::RewriteError("x").code(), StatusCode::kRewriteError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveValueTransfersOwnership) {
+  Result<std::string> r = std::string("hello world, a longer string");
+  std::string v = r.MoveValue();
+  EXPECT_EQ(v, "hello world, a longer string");
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  XDB_ASSIGN_OR_RETURN(*out, ParsePositive(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(7, &out).ok());
+  EXPECT_EQ(out, 7);
+  Status s = UseAssignOrReturn(-1, &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StringsTest, TrimAndNormalize) {
+  EXPECT_EQ(TrimWhitespace("  a b \n"), "a b");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(NormalizeSpace("  a \t\n b   c "), "a b c");
+  EXPECT_EQ(NormalizeSpace("    "), "");
+  EXPECT_TRUE(IsAllWhitespace(" \t\r\n"));
+  EXPECT_FALSE(IsAllWhitespace(" x "));
+}
+
+TEST(StringsTest, SplitAndJoin) {
+  auto parts = SplitString("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(JoinStrings(parts, "-"), "a-b--c");
+  EXPECT_EQ(SplitString("", ',').size(), 1u);
+}
+
+TEST(StringsTest, FormatXPathNumber) {
+  EXPECT_EQ(FormatXPathNumber(42), "42");
+  EXPECT_EQ(FormatXPathNumber(-3), "-3");
+  EXPECT_EQ(FormatXPathNumber(0), "0");
+  EXPECT_EQ(FormatXPathNumber(2.5), "2.5");
+  EXPECT_EQ(FormatXPathNumber(std::nan("")), "NaN");
+  EXPECT_EQ(FormatXPathNumber(INFINITY), "Infinity");
+  EXPECT_EQ(FormatXPathNumber(-INFINITY), "-Infinity");
+  EXPECT_EQ(FormatXPathNumber(1e14), "100000000000000");
+}
+
+TEST(StringsTest, EscapeXml) {
+  EXPECT_EQ(EscapeXmlText("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+  EXPECT_EQ(EscapeXmlText("\"q\""), "\"q\"");
+  EXPECT_EQ(EscapeXmlAttribute("\"q\"<"), "&quot;q&quot;&lt;");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("xmlns:a", "xmlns:"));
+  EXPECT_FALSE(StartsWith("xml", "xmlns"));
+  EXPECT_TRUE(EndsWith("stylesheet.xsl", ".xsl"));
+  EXPECT_FALSE(EndsWith("a", "ab"));
+}
+
+}  // namespace
+}  // namespace xdb

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "xml/dom.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xdb::xml {
+namespace {
+
+Result<std::unique_ptr<Document>> Parse(std::string_view s,
+                                        bool strip_ws = false) {
+  ParseOptions opts;
+  opts.strip_whitespace_text = strip_ws;
+  return ParseDocument(s, opts);
+}
+
+TEST(DomTest, BuildTreeManually) {
+  Document doc;
+  Node* dept = doc.CreateElement("dept");
+  doc.root()->AppendChild(dept);
+  Node* dname = doc.CreateElement("dname");
+  dname->AppendChild(doc.CreateText("ACCOUNTING"));
+  dept->AppendChild(dname);
+  dept->SetAttribute("id", "10");
+
+  EXPECT_EQ(doc.document_element(), dept);
+  EXPECT_EQ(dept->local_name(), "dept");
+  EXPECT_EQ(dept->GetAttribute("id"), "10");
+  EXPECT_EQ(dept->StringValue(), "ACCOUNTING");
+  EXPECT_EQ(dname->parent(), dept);
+  EXPECT_EQ(dname->index_in_parent(), 0);
+}
+
+TEST(DomTest, QNameSplitting) {
+  Document doc;
+  Node* e = doc.CreateElement("xsl:template", "http://www.w3.org/1999/XSL/Transform");
+  EXPECT_EQ(e->prefix(), "xsl");
+  EXPECT_EQ(e->local_name(), "template");
+  EXPECT_EQ(e->qualified_name(), "xsl:template");
+  EXPECT_EQ(e->namespace_uri(), "http://www.w3.org/1999/XSL/Transform");
+}
+
+TEST(DomTest, DocumentOrderComparison) {
+  auto doc = Parse("<a><b/><c><d/></c><e/></a>").MoveValue();
+  Node* a = doc->document_element();
+  Node* b = a->children()[0];
+  Node* c = a->children()[1];
+  Node* d = c->children()[0];
+  Node* e = a->children()[2];
+  EXPECT_LT(a->CompareDocumentOrder(b), 0);
+  EXPECT_LT(b->CompareDocumentOrder(c), 0);
+  EXPECT_LT(c->CompareDocumentOrder(d), 0);
+  EXPECT_LT(d->CompareDocumentOrder(e), 0);
+  EXPECT_GT(e->CompareDocumentOrder(b), 0);
+  EXPECT_EQ(d->CompareDocumentOrder(d), 0);
+}
+
+TEST(DomTest, AttributesOrderBeforeChildren) {
+  auto doc = Parse("<a x=\"1\"><b/></a>").MoveValue();
+  Node* a = doc->document_element();
+  Node* attr = a->attributes()[0];
+  Node* b = a->children()[0];
+  EXPECT_LT(attr->CompareDocumentOrder(b), 0);
+  EXPECT_GT(b->CompareDocumentOrder(attr), 0);
+}
+
+TEST(DomTest, SiblingNavigation) {
+  auto doc = Parse("<r><a/>text<b/><a/></r>").MoveValue();
+  Node* r = doc->document_element();
+  Node* first_a = r->FirstChildElement("a");
+  ASSERT_NE(first_a, nullptr);
+  Node* b = first_a->NextSiblingElement();
+  EXPECT_EQ(b->local_name(), "b");
+  Node* second_a = first_a->NextSiblingElement("a");
+  EXPECT_EQ(second_a->local_name(), "a");
+  EXPECT_NE(second_a, first_a);
+  EXPECT_EQ(r->FirstChildElement("zz"), nullptr);
+}
+
+TEST(DomTest, ImportNodeDeepCopies) {
+  auto doc = Parse("<r a=\"1\"><c>text</c></r>").MoveValue();
+  Document doc2;
+  Node* copy = doc2.ImportNode(doc->document_element());
+  EXPECT_EQ(copy->document(), &doc2);
+  EXPECT_EQ(copy->GetAttribute("a"), "1");
+  EXPECT_EQ(copy->StringValue(), "text");
+  EXPECT_EQ(Serialize(copy), "<r a=\"1\"><c>text</c></r>");
+}
+
+TEST(ParserTest, SimpleDocument) {
+  auto r = Parse("<dept><dname>ACCOUNTING</dname><loc>NEW YORK</loc></dept>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  Node* dept = (*r)->document_element();
+  ASSERT_EQ(dept->children().size(), 2u);
+  EXPECT_EQ(dept->children()[0]->StringValue(), "ACCOUNTING");
+  EXPECT_EQ(dept->children()[1]->StringValue(), "NEW YORK");
+}
+
+TEST(ParserTest, XmlDeclarationAndComments) {
+  auto r = Parse("<?xml version=\"1.0\"?><!-- before --><r><!-- in -->x</r>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  Node* root = (*r)->document_element();
+  ASSERT_EQ(root->children().size(), 2u);
+  EXPECT_EQ(root->children()[0]->type(), NodeType::kComment);
+  EXPECT_EQ(root->children()[0]->value(), " in ");
+  EXPECT_EQ(root->StringValue(), "x");
+}
+
+TEST(ParserTest, EntitiesAndCharRefs) {
+  auto r = Parse("<r a=\"&lt;&quot;&gt;\">&amp;x&#65;&#x42;</r>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  Node* root = (*r)->document_element();
+  EXPECT_EQ(root->GetAttribute("a"), "<\">");
+  EXPECT_EQ(root->StringValue(), "&xAB");
+}
+
+TEST(ParserTest, CdataSection) {
+  auto r = Parse("<r><![CDATA[<not><parsed>&amp;]]></r>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->document_element()->StringValue(), "<not><parsed>&amp;");
+}
+
+TEST(ParserTest, Namespaces) {
+  auto r = Parse(
+      "<xsl:stylesheet xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+      "<xsl:template match=\"/\"/></xsl:stylesheet>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  Node* ss = (*r)->document_element();
+  EXPECT_EQ(ss->namespace_uri(), "http://www.w3.org/1999/XSL/Transform");
+  EXPECT_EQ(ss->local_name(), "stylesheet");
+  Node* tmpl = ss->FirstChildElement("template");
+  ASSERT_NE(tmpl, nullptr);
+  EXPECT_EQ(tmpl->namespace_uri(), "http://www.w3.org/1999/XSL/Transform");
+}
+
+TEST(ParserTest, DefaultNamespaceScoping) {
+  auto r = Parse("<a xmlns=\"urn:one\"><b xmlns=\"urn:two\"/><c/></a>");
+  ASSERT_TRUE(r.ok());
+  Node* a = (*r)->document_element();
+  EXPECT_EQ(a->namespace_uri(), "urn:one");
+  EXPECT_EQ(a->children()[0]->namespace_uri(), "urn:two");
+  EXPECT_EQ(a->children()[1]->namespace_uri(), "urn:one");
+}
+
+TEST(ParserTest, SelfClosingAndNestedSameName) {
+  auto r = Parse("<a><a><a/></a></a>");
+  ASSERT_TRUE(r.ok());
+  Node* outer = (*r)->document_element();
+  EXPECT_EQ(outer->children()[0]->children()[0]->local_name(), "a");
+}
+
+TEST(ParserTest, WhitespaceStripping) {
+  auto kept = Parse("<r>\n  <a/>\n</r>", false).MoveValue();
+  EXPECT_EQ(kept->document_element()->children().size(), 3u);
+  auto stripped = Parse("<r>\n  <a/>\n</r>", true).MoveValue();
+  EXPECT_EQ(stripped->document_element()->children().size(), 1u);
+}
+
+TEST(ParserTest, DoctypeSkipped) {
+  auto r = Parse("<!DOCTYPE r [<!ELEMENT r (#PCDATA)>]><r>ok</r>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->document_element()->StringValue(), "ok");
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("<a>").ok());
+  EXPECT_FALSE(Parse("<a></b>").ok());
+  EXPECT_FALSE(Parse("<a b></a>").ok());
+  EXPECT_FALSE(Parse("<a>&bogus;</a>").ok());
+  EXPECT_FALSE(Parse("<a/><b/>").ok());
+  EXPECT_FALSE(Parse("just text").ok());
+  EXPECT_FALSE(Parse("<a b=unquoted/>").ok());
+}
+
+TEST(ParserTest, ErrorReportsLineNumber) {
+  auto r = Parse("<a>\n\n<b>\n</a>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 4"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(SerializerTest, RoundTrip) {
+  const std::string src =
+      "<dept no=\"10\"><dname>ACCOUNTING</dname><emp sal=\"2450\"/></dept>";
+  auto doc = Parse(src).MoveValue();
+  EXPECT_EQ(Serialize(doc->root()), src);
+}
+
+TEST(SerializerTest, EscapesSpecialCharacters) {
+  Document doc;
+  Node* e = doc.CreateElement("r");
+  e->SetAttribute("a", "x\"<y");
+  e->AppendChild(doc.CreateText("a<b&"));
+  doc.root()->AppendChild(e);
+  EXPECT_EQ(Serialize(e), "<r a=\"x&quot;&lt;y\">a&lt;b&amp;</r>");
+}
+
+TEST(SerializerTest, IndentedOutput) {
+  auto doc = Parse("<a><b><c/></b></a>").MoveValue();
+  SerializeOptions opts;
+  opts.indent = true;
+  EXPECT_EQ(Serialize(doc->root(), opts), "<a>\n  <b>\n    <c/>\n  </b>\n</a>");
+}
+
+TEST(SerializerTest, SerializeAllConcatenates) {
+  auto doc = Parse("<r><a/><b/></r>").MoveValue();
+  std::vector<Node*> nodes(doc->document_element()->children());
+  EXPECT_EQ(SerializeAll(nodes), "<a/><b/>");
+}
+
+TEST(SerializerTest, CommentAndPi) {
+  auto doc = Parse("<r><!--hey--><?php echo?></r>").MoveValue();
+  EXPECT_EQ(Serialize(doc->root()), "<r><!--hey--><?php echo?></r>");
+}
+
+TEST(ParserTest, LargeDocumentStress) {
+  std::string src = "<root>";
+  for (int i = 0; i < 5000; ++i) {
+    src += "<item id=\"" + std::to_string(i) + "\"><v>" + std::to_string(i * 7) +
+           "</v></item>";
+  }
+  src += "</root>";
+  auto r = Parse(src);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->document_element()->children().size(), 5000u);
+  EXPECT_EQ(Serialize((*r)->root()), src);
+}
+
+}  // namespace
+}  // namespace xdb::xml

@@ -1,0 +1,239 @@
+#include "core/xmldb.h"
+
+#include <gtest/gtest.h>
+
+namespace xdb {
+namespace {
+
+using rel::DataType;
+using rel::Datum;
+using rel::PublishSpec;
+
+// The paper's Table 5 stylesheet, verbatim structure.
+constexpr const char* kPaperStylesheet = R"xsl(<?xml version="1.0"?>
+<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+<xsl:template match="dept">
+<H1>HIGHLY PAID DEPT EMPLOYEES</H1>
+<xsl:apply-templates/>
+</xsl:template>
+<xsl:template match="dname">
+<H2>Department name: <xsl:value-of select="."/></H2>
+</xsl:template>
+<xsl:template match="loc">
+<H2>Department location: <xsl:value-of select="."/></H2>
+</xsl:template>
+<xsl:template match="employees">
+<H2>Employees Table</H2>
+<table border="2">
+<td><b>EmpNo</b></td>
+<td><b>Name</b></td>
+<td><b>Weekly Salary</b></td>
+<xsl:apply-templates select="emp[sal > 2000]"/>
+</table>
+</xsl:template>
+<xsl:template match = "emp">
+<tr>
+<td><xsl:value-of select="empno"/></td>
+<td><xsl:value-of select="ename"/></td>
+<td><xsl:value-of select="sal"/></td>
+</tr>
+</xsl:template>
+<xsl:template match="text()">
+<xsl:value-of select="."/>
+</xsl:template>
+</xsl:stylesheet>)xsl";
+
+class XmlDbFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Tables 1-2.
+    ASSERT_TRUE(db_.CreateTable("dept", rel::Schema({{"deptno", DataType::kInt},
+                                                     {"dname", DataType::kString},
+                                                     {"loc", DataType::kString}}))
+                    .ok());
+    ASSERT_TRUE(db_.Insert("dept", {Datum(int64_t{10}), Datum("ACCOUNTING"),
+                                    Datum("NEW YORK")})
+                    .ok());
+    ASSERT_TRUE(db_.Insert("dept", {Datum(int64_t{40}), Datum("OPERATIONS"),
+                                    Datum("BOSTON")})
+                    .ok());
+    ASSERT_TRUE(db_.CreateTable("emp", rel::Schema({{"empno", DataType::kInt},
+                                                    {"ename", DataType::kString},
+                                                    {"job", DataType::kString},
+                                                    {"sal", DataType::kInt},
+                                                    {"deptno", DataType::kInt}}))
+                    .ok());
+    ASSERT_TRUE(db_.Insert("emp", {Datum(int64_t{7782}), Datum("CLARK"),
+                                   Datum("MANAGER"), Datum(int64_t{2450}),
+                                   Datum(int64_t{10})})
+                    .ok());
+    ASSERT_TRUE(db_.Insert("emp", {Datum(int64_t{7934}), Datum("MILLER"),
+                                   Datum("CLERK"), Datum(int64_t{1300}),
+                                   Datum(int64_t{10})})
+                    .ok());
+    ASSERT_TRUE(db_.Insert("emp", {Datum(int64_t{7954}), Datum("SMITH"),
+                                   Datum("VP"), Datum(int64_t{4900}),
+                                   Datum(int64_t{40})})
+                    .ok());
+    ASSERT_TRUE(db_.CreateIndex("emp", "sal").ok());
+
+    // Table 3: the dept_emp publishing view.
+    auto dept = PublishSpec::Element("dept");
+    dept->AddChild(PublishSpec::Element("dname"))
+        ->AddChild(PublishSpec::Column("dname"));
+    dept->AddChild(PublishSpec::Element("loc"))
+        ->AddChild(PublishSpec::Column("loc"));
+    auto emp_elem = PublishSpec::Element("emp");
+    emp_elem->AddChild(PublishSpec::Element("empno"))
+        ->AddChild(PublishSpec::Column("empno"));
+    emp_elem->AddChild(PublishSpec::Element("ename"))
+        ->AddChild(PublishSpec::Column("ename"));
+    emp_elem->AddChild(PublishSpec::Element("sal"))
+        ->AddChild(PublishSpec::Column("sal"));
+    auto employees = PublishSpec::Element("employees");
+    employees->AddChild(
+        PublishSpec::Nested("emp", "deptno", "deptno", std::move(emp_elem)));
+    dept->children.push_back(std::move(employees));
+    ASSERT_TRUE(db_.CreatePublishingView("dept_emp", "dept", std::move(dept),
+                                         "dept_content")
+                    .ok());
+  }
+
+  XmlDb db_;
+};
+
+TEST_F(XmlDbFixture, MaterializeViewProducesTable4) {
+  auto rows = db_.MaterializeView("dept_emp");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0],
+            "<dept><dname>ACCOUNTING</dname><loc>NEW YORK</loc><employees>"
+            "<emp><empno>7782</empno><ename>CLARK</ename><sal>2450</sal></emp>"
+            "<emp><empno>7934</empno><ename>MILLER</ename><sal>1300</sal></emp>"
+            "</employees></dept>");
+}
+
+TEST_F(XmlDbFixture, PaperExample1AllThreePathsAgree) {
+  ExecOptions functional;
+  functional.enable_rewrite = false;
+  ExecStats fstats;
+  auto fref = db_.TransformView("dept_emp", kPaperStylesheet, functional, &fstats);
+  ASSERT_TRUE(fref.ok()) << fref.status().ToString();
+  EXPECT_EQ(fstats.path, ExecutionPath::kFunctional);
+
+  ExecOptions plan_b;
+  plan_b.enable_sql_rewrite = false;
+  ExecStats bstats;
+  auto bref = db_.TransformView("dept_emp", kPaperStylesheet, plan_b, &bstats);
+  ASSERT_TRUE(bref.ok()) << bref.status().ToString();
+  EXPECT_EQ(bstats.path, ExecutionPath::kXQueryRewritten);
+
+  ExecStats astats;
+  auto aref = db_.TransformView("dept_emp", kPaperStylesheet, {}, &astats);
+  ASSERT_TRUE(aref.ok()) << aref.status().ToString();
+  EXPECT_EQ(astats.path, ExecutionPath::kSqlRewritten);
+  EXPECT_TRUE(astats.used_index);
+  EXPECT_EQ(astats.xslt_report.mode, rewrite::RewriteReport::Mode::kInline);
+
+  ASSERT_EQ(aref->size(), 2u);
+  EXPECT_EQ(*aref, *bref);
+  EXPECT_EQ(*aref, *fref);
+
+  // Table 6 content for row 1.
+  EXPECT_NE((*aref)[0].find("<H1>HIGHLY PAID DEPT EMPLOYEES</H1>"),
+            std::string::npos);
+  EXPECT_NE((*aref)[0].find("<H2>Department name: ACCOUNTING</H2>"),
+            std::string::npos);
+  EXPECT_NE((*aref)[0].find("<tr><td>7782</td><td>CLARK</td><td>2450</td></tr>"),
+            std::string::npos);
+  EXPECT_EQ((*aref)[0].find("MILLER"), std::string::npos);
+  EXPECT_NE((*aref)[1].find("<tr><td>7954</td><td>SMITH</td><td>4900</td></tr>"),
+            std::string::npos);
+}
+
+TEST_F(XmlDbFixture, RewrittenSqlUsesIndexAndPublishingFunctions) {
+  ExecStats stats;
+  auto r = db_.TransformView("dept_emp", kPaperStylesheet, {}, &stats);
+  ASSERT_TRUE(r.ok());
+  // Table 7 shape: XMLElement/XMLConcat publishing functions, no XSLT/XPath.
+  EXPECT_NE(stats.sql_text.find("XMLElement"), std::string::npos);
+  EXPECT_NE(stats.sql_text.find("XMLConcat"), std::string::npos);
+  EXPECT_NE(stats.sql_text.find("SELECT"), std::string::npos);
+  // Table 8 shape for the intermediate XQuery.
+  EXPECT_NE(stats.xquery_text.find("emp[sal > 2000]"), std::string::npos);
+}
+
+TEST_F(XmlDbFixture, QueryViewOverPublishingView) {
+  ExecStats stats;
+  auto r = db_.QueryView(
+      "dept_emp",
+      "for $e in ./dept/employees/emp[sal > 2000] return "
+      "<who>{fn:string($e/ename)}</who>",
+      {}, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(stats.path, ExecutionPath::kSqlRewritten);
+  EXPECT_TRUE(stats.used_index);
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_EQ((*r)[0], "<who>CLARK</who>");
+  EXPECT_EQ((*r)[1], "<who>SMITH</who>");
+}
+
+// ---------------------------------------------------------------------------
+// Example 2 (Tables 9-11): XQuery over an XSLT view, combined optimization.
+// ---------------------------------------------------------------------------
+
+TEST_F(XmlDbFixture, PaperExample2CombinedOptimization) {
+  // Table 9: wrap the Example 1 transformation as an XSLT view.
+  ASSERT_TRUE(
+      db_.CreateXsltView("xslt_vu", "dept_emp", kPaperStylesheet, "xslt_rslt")
+          .ok());
+
+  // Table 10: query the view for the table rows.
+  const char* user_query = "for $tr in ./table/tr return $tr";
+
+  ExecOptions functional;
+  functional.enable_rewrite = false;
+  ExecStats fstats;
+  auto fref = db_.QueryView("xslt_vu", user_query, functional, &fstats);
+  ASSERT_TRUE(fref.ok()) << fref.status().ToString();
+  EXPECT_EQ(fstats.path, ExecutionPath::kFunctional);
+
+  ExecStats stats;
+  auto r = db_.QueryView("xslt_vu", user_query, {}, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Combined optimization all the way to SQL (Table 11).
+  EXPECT_EQ(stats.path, ExecutionPath::kSqlRewritten) << stats.fallback_reason;
+  EXPECT_TRUE(stats.used_index);
+
+  EXPECT_EQ(*r, *fref);
+  ASSERT_EQ(r->size(), 2u);
+  // Table 11's result: one tr per highly paid employee.
+  EXPECT_EQ((*r)[0], "<tr><td>7782</td><td>CLARK</td><td>2450</td></tr>");
+  EXPECT_EQ((*r)[1], "<tr><td>7954</td><td>SMITH</td><td>4900</td></tr>");
+}
+
+TEST_F(XmlDbFixture, FallbackReasonsAreReported) {
+  // position() is untranslatable: falls back to functional with a reason.
+  ExecStats stats;
+  auto r = db_.TransformView(
+      "dept_emp",
+      "<xsl:stylesheet version=\"1.0\" "
+      "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+      "<xsl:template match=\"emp\"><p><xsl:value-of select=\"position()\"/>"
+      "</p></xsl:template><xsl:template match=\"text()\"/></xsl:stylesheet>",
+      {}, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(stats.path, ExecutionPath::kFunctional);
+  EXPECT_FALSE(stats.fallback_reason.empty());
+}
+
+TEST_F(XmlDbFixture, ErrorsPropagate) {
+  EXPECT_FALSE(db_.TransformView("nosuch", kPaperStylesheet).ok());
+  EXPECT_FALSE(db_.TransformView("dept_emp", "<notxslt/>").ok());
+  EXPECT_FALSE(db_.QueryView("dept_emp", "for $x in").ok());
+  EXPECT_FALSE(db_.Insert("nosuch", {}).ok());
+  EXPECT_FALSE(db_.CreateIndex("dept", "nosuch").ok());
+}
+
+}  // namespace
+}  // namespace xdb

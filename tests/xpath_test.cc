@@ -1,0 +1,404 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xml/parser.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+#include "xpath/pattern.h"
+
+namespace xdb::xpath {
+namespace {
+
+class XPathFixture : public ::testing::Test {
+ protected:
+  void Load(std::string_view xml) {
+    auto r = xml::ParseDocument(xml);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    doc_ = r.MoveValue();
+  }
+
+  Value Eval(std::string_view expr, xml::Node* ctx_node = nullptr) {
+    auto parsed = ParseXPath(expr);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EvalContext ctx;
+    ctx.node = ctx_node ? ctx_node : doc_->root();
+    ctx.env = &env_;
+    auto v = evaluator_.Evaluate(**parsed, ctx);
+    EXPECT_TRUE(v.ok()) << expr << " -> " << v.status().ToString();
+    return v.ok() ? *v : Value();
+  }
+
+  std::string EvalString(std::string_view expr, xml::Node* ctx = nullptr) {
+    return Eval(expr, ctx).ToString();
+  }
+  double EvalNumber(std::string_view expr, xml::Node* ctx = nullptr) {
+    return Eval(expr, ctx).ToNumber();
+  }
+  bool EvalBool(std::string_view expr, xml::Node* ctx = nullptr) {
+    return Eval(expr, ctx).ToBoolean();
+  }
+  size_t CountNodes(std::string_view expr, xml::Node* ctx = nullptr) {
+    Value v = Eval(expr, ctx);
+    EXPECT_TRUE(v.is_node_set());
+    return v.is_node_set() ? v.node_set().size() : 0;
+  }
+
+  std::unique_ptr<xml::Document> doc_;
+  Evaluator evaluator_;
+  VariableEnv env_;
+};
+
+constexpr std::string_view kDeptXml =
+    "<dept>"
+    "<dname>ACCOUNTING</dname>"
+    "<loc>NEW YORK</loc>"
+    "<employees>"
+    "<emp><empno>7782</empno><ename>CLARK</ename><sal>2450</sal></emp>"
+    "<emp><empno>7934</empno><ename>MILLER</ename><sal>1300</sal></emp>"
+    "<emp><empno>7954</empno><ename>SMITH</ename><sal>4900</sal></emp>"
+    "</employees>"
+    "</dept>";
+
+TEST_F(XPathFixture, SimpleChildPath) {
+  Load(kDeptXml);
+  EXPECT_EQ(CountNodes("dept"), 1u);
+  EXPECT_EQ(CountNodes("dept/employees/emp"), 3u);
+  EXPECT_EQ(EvalString("dept/dname"), "ACCOUNTING");
+}
+
+TEST_F(XPathFixture, AbsoluteAndRelativePaths) {
+  Load(kDeptXml);
+  xml::Node* emp = doc_->document_element()
+                       ->FirstChildElement("employees")
+                       ->FirstChildElement("emp");
+  EXPECT_EQ(EvalString("/dept/loc", emp), "NEW YORK");
+  EXPECT_EQ(EvalString("ename", emp), "CLARK");
+  EXPECT_EQ(EvalString(".", emp), "7782CLARK2450");
+  EXPECT_EQ(EvalString("..", emp), doc_->document_element()
+                                       ->FirstChildElement("employees")
+                                       ->StringValue());
+}
+
+TEST_F(XPathFixture, DescendantAbbreviation) {
+  Load(kDeptXml);
+  EXPECT_EQ(CountNodes("//emp"), 3u);
+  EXPECT_EQ(CountNodes("//empno"), 3u);
+  EXPECT_EQ(CountNodes("dept//sal"), 3u);
+  EXPECT_EQ(CountNodes("//text()"), 11u);
+}
+
+TEST_F(XPathFixture, Predicates) {
+  Load(kDeptXml);
+  EXPECT_EQ(CountNodes("//emp[sal > 2000]"), 2u);
+  EXPECT_EQ(EvalString("//emp[sal > 2000][1]/ename"), "CLARK");
+  EXPECT_EQ(EvalString("//emp[2]/ename"), "MILLER");
+  EXPECT_EQ(EvalString("//emp[last()]/ename"), "SMITH");
+  EXPECT_EQ(EvalString("//emp[position()=2]/ename"), "MILLER");
+  EXPECT_EQ(CountNodes("//emp[empno='7934']"), 1u);
+  EXPECT_EQ(CountNodes("//emp[false()]"), 0u);
+}
+
+TEST_F(XPathFixture, Axes) {
+  Load(kDeptXml);
+  xml::Node* miller = doc_->document_element()
+                          ->FirstChildElement("employees")
+                          ->children()[1];
+  EXPECT_EQ(EvalString("preceding-sibling::emp/ename", miller), "CLARK");
+  EXPECT_EQ(EvalString("following-sibling::emp/ename", miller), "SMITH");
+  EXPECT_EQ(CountNodes("ancestor::*", miller), 2u);
+  EXPECT_EQ(CountNodes("ancestor-or-self::*", miller), 3u);
+  EXPECT_EQ(EvalString("self::emp/empno", miller), "7934");
+  EXPECT_EQ(CountNodes("self::dept", miller), 0u);
+  EXPECT_EQ(CountNodes("descendant::*", miller), 3u);
+  EXPECT_EQ(CountNodes("preceding::*", miller), 6u);
+  EXPECT_EQ(CountNodes("following::*", miller), 4u);
+}
+
+TEST_F(XPathFixture, Attributes) {
+  Load("<order id=\"17\" status=\"open\"><line qty=\"2\"/><line qty=\"5\"/></order>");
+  EXPECT_EQ(EvalString("order/@id"), "17");
+  EXPECT_EQ(CountNodes("order/@*"), 2u);
+  EXPECT_EQ(CountNodes("//line[@qty > 3]"), 1u);
+  EXPECT_EQ(EvalNumber("order/line[2]/@qty"), 5.0);
+}
+
+TEST_F(XPathFixture, UnionAndDocumentOrder) {
+  Load(kDeptXml);
+  Value v = Eval("//loc | //dname");
+  ASSERT_TRUE(v.is_node_set());
+  ASSERT_EQ(v.node_set().size(), 2u);
+  // dname precedes loc in document order regardless of union order.
+  EXPECT_EQ(v.node_set()[0]->local_name(), "dname");
+  EXPECT_EQ(v.node_set()[1]->local_name(), "loc");
+}
+
+TEST_F(XPathFixture, Arithmetic) {
+  Load(kDeptXml);
+  EXPECT_DOUBLE_EQ(EvalNumber("1 + 2 * 3"), 7.0);
+  EXPECT_DOUBLE_EQ(EvalNumber("(1 + 2) * 3"), 9.0);
+  EXPECT_DOUBLE_EQ(EvalNumber("10 div 4"), 2.5);
+  EXPECT_DOUBLE_EQ(EvalNumber("10 mod 3"), 1.0);
+  EXPECT_DOUBLE_EQ(EvalNumber("-3 + 1"), -2.0);
+  EXPECT_DOUBLE_EQ(EvalNumber("//emp[1]/sal * 2"), 4900.0);
+  EXPECT_TRUE(std::isnan(EvalNumber("'abc' + 1")));
+}
+
+TEST_F(XPathFixture, Comparisons) {
+  Load(kDeptXml);
+  EXPECT_TRUE(EvalBool("2 < 3"));
+  EXPECT_FALSE(EvalBool("2 >= 3"));
+  EXPECT_TRUE(EvalBool("'a' = 'a'"));
+  EXPECT_TRUE(EvalBool("'a' != 'b'"));
+  // Existential node-set comparison: true because SOME sal > 2000.
+  EXPECT_TRUE(EvalBool("//sal > 2000"));
+  EXPECT_TRUE(EvalBool("//sal < 2000"));
+  EXPECT_FALSE(EvalBool("//sal > 10000"));
+  EXPECT_TRUE(EvalBool("//ename = 'MILLER'"));
+  EXPECT_FALSE(EvalBool("//ename = 'NOBODY'"));
+}
+
+TEST_F(XPathFixture, BooleanLogic) {
+  Load(kDeptXml);
+  EXPECT_TRUE(EvalBool("true() and not(false())"));
+  EXPECT_TRUE(EvalBool("false() or 1 = 1"));
+  EXPECT_FALSE(EvalBool("//nosuch"));
+  EXPECT_TRUE(EvalBool("boolean(//emp)"));
+}
+
+TEST_F(XPathFixture, StringFunctions) {
+  Load(kDeptXml);
+  EXPECT_EQ(EvalString("concat('a', 'b', 'c')"), "abc");
+  EXPECT_EQ(EvalString("concat('Department name: ', string(//dname))"),
+            "Department name: ACCOUNTING");
+  EXPECT_TRUE(EvalBool("starts-with('NEW YORK', 'NEW')"));
+  EXPECT_TRUE(EvalBool("contains(//loc, 'YORK')"));
+  EXPECT_EQ(EvalString("substring-before('a=b', '=')"), "a");
+  EXPECT_EQ(EvalString("substring-after('a=b', '=')"), "b");
+  EXPECT_EQ(EvalString("substring('12345', 2, 3)"), "234");
+  EXPECT_EQ(EvalString("substring('12345', 2)"), "2345");
+  EXPECT_DOUBLE_EQ(EvalNumber("string-length('hello')"), 5.0);
+  EXPECT_EQ(EvalString("normalize-space('  a  b ')"), "a b");
+  EXPECT_EQ(EvalString("translate('bar', 'abc', 'ABC')"), "BAr");
+  EXPECT_EQ(EvalString("translate('-b-', '-', '')"), "b");
+}
+
+TEST_F(XPathFixture, NumberFunctions) {
+  Load(kDeptXml);
+  EXPECT_DOUBLE_EQ(EvalNumber("count(//emp)"), 3.0);
+  EXPECT_DOUBLE_EQ(EvalNumber("sum(//sal)"), 8650.0);
+  EXPECT_DOUBLE_EQ(EvalNumber("floor(2.7)"), 2.0);
+  EXPECT_DOUBLE_EQ(EvalNumber("ceiling(2.1)"), 3.0);
+  EXPECT_DOUBLE_EQ(EvalNumber("round(2.5)"), 3.0);
+  EXPECT_DOUBLE_EQ(EvalNumber("round(-2.5)"), -2.0);
+  EXPECT_DOUBLE_EQ(EvalNumber("number('42')"), 42.0);
+  EXPECT_TRUE(std::isnan(EvalNumber("number('x')")));
+}
+
+TEST_F(XPathFixture, NameFunctions) {
+  Load(kDeptXml);
+  xml::Node* dname = doc_->document_element()->FirstChildElement("dname");
+  EXPECT_EQ(EvalString("local-name()", dname), "dname");
+  EXPECT_EQ(EvalString("name(//employees)"), "employees");
+  EXPECT_EQ(EvalString("local-name(//nosuch)"), "");
+}
+
+TEST_F(XPathFixture, Variables) {
+  Load(kDeptXml);
+  env_.Set("threshold", Value(2000.0));
+  env_.Set("who", Value(std::string("MILLER")));
+  EXPECT_EQ(CountNodes("//emp[sal > $threshold]"), 2u);
+  EXPECT_EQ(CountNodes("//emp[ename = $who]"), 1u);
+}
+
+TEST_F(XPathFixture, VariableAsPathStart) {
+  Load(kDeptXml);
+  NodeSet emps = Eval("//emp").node_set();
+  env_.Set("emps", Value(std::move(emps)));
+  EXPECT_EQ(CountNodes("$emps/ename"), 3u);
+  EXPECT_EQ(EvalString("$emps[sal > 4000]/ename"), "SMITH");
+  EXPECT_EQ(EvalString("$emps[2]/ename"), "MILLER");
+}
+
+TEST_F(XPathFixture, UnboundVariableErrors) {
+  Load(kDeptXml);
+  auto parsed = ParseXPath("$nope");
+  EvalContext ctx;
+  ctx.node = doc_->root();
+  ctx.env = &env_;
+  auto v = evaluator_.Evaluate(**parsed, ctx);
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(XPathFixture, VariableEnvChaining) {
+  VariableEnv outer;
+  outer.Set("x", Value(1.0));
+  outer.Set("y", Value(2.0));
+  VariableEnv inner(&outer);
+  inner.Set("x", Value(10.0));
+  EXPECT_DOUBLE_EQ(inner.Lookup("x")->ToNumber(), 10.0);
+  EXPECT_DOUBLE_EQ(inner.Lookup("y")->ToNumber(), 2.0);
+  EXPECT_EQ(inner.Lookup("z"), nullptr);
+}
+
+TEST_F(XPathFixture, NodeTypeTests) {
+  Load("<r>text<!--c--><?pi d?><e/></r>");
+  EXPECT_EQ(CountNodes("r/text()"), 1u);
+  EXPECT_EQ(CountNodes("r/comment()"), 1u);
+  EXPECT_EQ(CountNodes("r/processing-instruction()"), 1u);
+  EXPECT_EQ(CountNodes("r/processing-instruction('pi')"), 1u);
+  EXPECT_EQ(CountNodes("r/processing-instruction('other')"), 0u);
+  EXPECT_EQ(CountNodes("r/node()"), 4u);
+  EXPECT_EQ(CountNodes("r/*"), 1u);
+}
+
+TEST_F(XPathFixture, FilterExprWithPath) {
+  Load(kDeptXml);
+  EXPECT_EQ(EvalString("string(//emp[1]/ename)"), "CLARK");
+  EXPECT_EQ(CountNodes("(//emp)[1]"), 1u);
+  EXPECT_EQ(EvalString("(//emp)[3]/ename"), "SMITH");
+}
+
+TEST_F(XPathFixture, ParseErrors) {
+  EXPECT_FALSE(ParseXPath("").ok());
+  EXPECT_FALSE(ParseXPath("//").ok());
+  EXPECT_FALSE(ParseXPath("a[").ok());
+  EXPECT_FALSE(ParseXPath("a)").ok());
+  EXPECT_FALSE(ParseXPath("'unterminated").ok());
+  EXPECT_FALSE(ParseXPath("foo(").ok());
+  EXPECT_FALSE(ParseXPath("a/bogus::b").ok());
+  EXPECT_FALSE(ParseXPath("1 !").ok());
+}
+
+TEST_F(XPathFixture, ToStringRoundTrip) {
+  // ToString must re-parse to an equivalent expression (stable rendering).
+  for (const char* expr :
+       {"dept/employees/emp[sal > 2000]", "/dept/dname", "//emp", "@id",
+        "emp[sal > 2000]/ename", "count(//emp) + 1", "a | b",
+        "self::node()", "ancestor::emp", "string(.)",
+        "concat(\"a\", \"b\")", "../loc", "emp[2][@x = \"1\"]"}) {
+    auto p1 = ParseXPath(expr);
+    ASSERT_TRUE(p1.ok()) << expr;
+    std::string rendered = (*p1)->ToString();
+    auto p2 = ParseXPath(rendered);
+    ASSERT_TRUE(p2.ok()) << "re-parse of " << rendered;
+    EXPECT_EQ((*p2)->ToString(), rendered) << "unstable rendering for " << expr;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pattern matching
+// ---------------------------------------------------------------------------
+
+class PatternFixture : public XPathFixture {
+ protected:
+  bool Matches(std::string_view pattern, xml::Node* node) {
+    auto p = Pattern::Parse(pattern);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    EvalContext ctx;
+    ctx.env = &env_;
+    auto m = p->Matches(node, evaluator_, ctx);
+    EXPECT_TRUE(m.ok()) << m.status().ToString();
+    return m.ok() && *m;
+  }
+};
+
+TEST_F(PatternFixture, SimpleNamePattern) {
+  Load(kDeptXml);
+  xml::Node* dname = doc_->document_element()->FirstChildElement("dname");
+  EXPECT_TRUE(Matches("dname", dname));
+  EXPECT_FALSE(Matches("loc", dname));
+  EXPECT_TRUE(Matches("*", dname));
+}
+
+TEST_F(PatternFixture, MultiStepPattern) {
+  Load(kDeptXml);
+  xml::Node* empno = doc_->document_element()
+                         ->FirstChildElement("employees")
+                         ->FirstChildElement("emp")
+                         ->FirstChildElement("empno");
+  EXPECT_TRUE(Matches("emp/empno", empno));
+  EXPECT_TRUE(Matches("employees/emp/empno", empno));
+  EXPECT_FALSE(Matches("dept/empno", empno));
+  EXPECT_TRUE(Matches("dept//empno", empno));
+  EXPECT_TRUE(Matches("//empno", empno));
+}
+
+TEST_F(PatternFixture, AbsolutePattern) {
+  Load(kDeptXml);
+  xml::Node* dept = doc_->document_element();
+  EXPECT_TRUE(Matches("/dept", dept));
+  EXPECT_FALSE(Matches("/employees", dept));
+  EXPECT_TRUE(Matches("/", doc_->root()));
+  EXPECT_FALSE(Matches("/", dept));
+  xml::Node* dname = dept->FirstChildElement("dname");
+  EXPECT_TRUE(Matches("/dept/dname", dname));
+  EXPECT_FALSE(Matches("/dname", dname));
+}
+
+TEST_F(PatternFixture, PatternWithPredicate) {
+  Load(kDeptXml);
+  xml::Node* employees = doc_->document_element()->FirstChildElement("employees");
+  xml::Node* clark = employees->children()[0];
+  xml::Node* miller = employees->children()[1];
+  EXPECT_TRUE(Matches("emp[sal > 2000]", clark));
+  EXPECT_FALSE(Matches("emp[sal > 2000]", miller));
+  EXPECT_TRUE(Matches("emp[2]", miller));
+  EXPECT_FALSE(Matches("emp[2]", clark));
+  EXPECT_TRUE(Matches("emp/empno[. = 7782]", clark->FirstChildElement("empno")));
+}
+
+TEST_F(PatternFixture, TextAndNodePatterns) {
+  Load(kDeptXml);
+  xml::Node* text = doc_->document_element()->FirstChildElement("dname")->children()[0];
+  EXPECT_TRUE(Matches("text()", text));
+  EXPECT_TRUE(Matches("node()", text));
+  EXPECT_FALSE(Matches("*", text));
+  EXPECT_TRUE(Matches("dname/text()", text));
+}
+
+TEST_F(PatternFixture, AttributePattern) {
+  Load("<order id=\"17\"><line qty=\"2\"/></order>");
+  xml::Node* qty = doc_->document_element()->FirstChildElement("line")->attributes()[0];
+  EXPECT_TRUE(Matches("@qty", qty));
+  EXPECT_FALSE(Matches("@id", qty));
+  EXPECT_TRUE(Matches("line/@qty", qty));
+  EXPECT_FALSE(Matches("qty", qty));
+}
+
+TEST_F(PatternFixture, UnionPattern) {
+  Load(kDeptXml);
+  xml::Node* dname = doc_->document_element()->FirstChildElement("dname");
+  xml::Node* loc = doc_->document_element()->FirstChildElement("loc");
+  EXPECT_TRUE(Matches("dname | loc", dname));
+  EXPECT_TRUE(Matches("dname | loc", loc));
+  EXPECT_FALSE(Matches("dname | loc", doc_->document_element()));
+}
+
+TEST_F(PatternFixture, InvalidPatterns) {
+  EXPECT_FALSE(Pattern::Parse("ancestor::x").ok());
+  EXPECT_FALSE(Pattern::Parse("$v/x").ok());
+  EXPECT_FALSE(Pattern::Parse("1 + 2").ok());
+  EXPECT_FALSE(Pattern::Parse("..").ok());
+}
+
+TEST_F(PatternFixture, DefaultPriorities) {
+  auto prio = [](std::string_view p) {
+    auto pat = Pattern::Parse(p);
+    EXPECT_TRUE(pat.ok()) << p;
+    return pat->alternatives()[0].default_priority;
+  };
+  EXPECT_DOUBLE_EQ(prio("emp"), 0);
+  EXPECT_DOUBLE_EQ(prio("xsl:emp"), 0);
+  EXPECT_DOUBLE_EQ(prio("text()"), -0.5);
+  EXPECT_DOUBLE_EQ(prio("node()"), -0.5);
+  EXPECT_DOUBLE_EQ(prio("*"), -0.5);
+  EXPECT_DOUBLE_EQ(prio("xsl:*"), -0.25);
+  EXPECT_DOUBLE_EQ(prio("emp/empno"), 0.5);
+  EXPECT_DOUBLE_EQ(prio("emp[1]"), 0.5);
+  EXPECT_DOUBLE_EQ(prio("/"), 0.5);
+}
+
+}  // namespace
+}  // namespace xdb::xpath

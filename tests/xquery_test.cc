@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xquery/evaluator.h"
+#include "xquery/parser.h"
+
+namespace xdb::xquery {
+namespace {
+
+std::string RunQ(std::string_view query, std::string_view input_xml) {
+  auto q = ParseQuery(query);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  if (!q.ok()) return "<parse error>";
+  std::unique_ptr<xml::Document> doc;
+  xml::Node* ctx = nullptr;
+  if (!input_xml.empty()) {
+    auto d = xml::ParseDocument(input_xml);
+    EXPECT_TRUE(d.ok()) << d.status().ToString();
+    if (!d.ok()) return "<doc error>";
+    doc = d.MoveValue();
+    ctx = doc->root();
+  }
+  QueryEvaluator ev;
+  auto out = ev.EvaluateToDocument(*q, ctx);
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  if (!out.ok()) return "<eval error: " + out.status().ToString() + ">";
+  return xml::Serialize((*out)->root());
+}
+
+constexpr std::string_view kDept =
+    "<dept>"
+    "<dname>ACCOUNTING</dname>"
+    "<loc>NEW YORK</loc>"
+    "<employees>"
+    "<emp><empno>7782</empno><ename>CLARK</ename><sal>2450</sal></emp>"
+    "<emp><empno>7934</empno><ename>MILLER</ename><sal>1300</sal></emp>"
+    "<emp><empno>7954</empno><ename>SMITH</ename><sal>4900</sal></emp>"
+    "</employees>"
+    "</dept>";
+
+TEST(XQueryParserTest, BasicForms) {
+  EXPECT_TRUE(ParseQuery("1 + 2").ok());
+  EXPECT_TRUE(ParseQuery("for $x in //a return $x").ok());
+  EXPECT_TRUE(ParseQuery("let $x := 5 return $x * 2").ok());
+  EXPECT_TRUE(ParseQuery("if (1 = 1) then 'y' else 'n'").ok());
+  EXPECT_TRUE(ParseQuery("<a b=\"1\">{2}</a>").ok());
+  EXPECT_TRUE(ParseQuery("(1, 2, 3)").ok());
+  EXPECT_TRUE(ParseQuery("declare variable $v := .; $v/a").ok());
+  EXPECT_TRUE(
+      ParseQuery("declare function local:f($x) { $x + 1 }; local:f(2)").ok());
+  EXPECT_TRUE(ParseQuery("$x instance of element(emp)").ok());
+  EXPECT_TRUE(ParseQuery("(: comment (: nested :) :) 42").ok());
+}
+
+TEST(XQueryParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("for $x in").ok());
+  EXPECT_FALSE(ParseQuery("let $x = 5 return $x").ok());  // '=' not ':='
+  EXPECT_FALSE(ParseQuery("<a>").ok());
+  EXPECT_FALSE(ParseQuery("<a></b>").ok());
+  EXPECT_FALSE(ParseQuery("if (1) then 2").ok());  // missing else
+  EXPECT_FALSE(ParseQuery("1 +").ok());
+  EXPECT_FALSE(ParseQuery("declare variable $v := 1").ok());  // missing ';'
+}
+
+TEST(XQueryEvalTest, ArithmeticAndComparison) {
+  EXPECT_EQ(RunQ("1 + 2 * 3", ""), "7");
+  EXPECT_EQ(RunQ("if (2 > 1) then 'yes' else 'no'", ""), "yes");
+  EXPECT_EQ(RunQ("10 mod 3", ""), "1");
+}
+
+TEST(XQueryEvalTest, Sequences) {
+  EXPECT_EQ(RunQ("(1, 2, 3)", ""), "1 2 3");
+  EXPECT_EQ(RunQ("()", ""), "");
+  EXPECT_EQ(RunQ("(\"a\", \"b\")", ""), "a b");
+}
+
+TEST(XQueryEvalTest, PathsOverInput) {
+  EXPECT_EQ(RunQ("string(/dept/dname)", kDept), "ACCOUNTING");
+  EXPECT_EQ(RunQ("count(//emp)", kDept), "3");
+  EXPECT_EQ(RunQ("//emp[sal > 2000]/ename", kDept),
+            "<ename>CLARK</ename><ename>SMITH</ename>");
+}
+
+TEST(XQueryEvalTest, Flwor) {
+  EXPECT_EQ(RunQ("for $e in //emp return <n>{fn:string($e/ename)}</n>", kDept),
+            "<n>CLARK</n><n>MILLER</n><n>SMITH</n>");
+  EXPECT_EQ(RunQ("for $e in //emp where $e/sal > 2000 return <n>{fn:string($e/"
+                "ename)}</n>",
+                kDept),
+            "<n>CLARK</n><n>SMITH</n>");
+  EXPECT_EQ(RunQ("let $hi := //emp[sal > 2000] return count($hi)", kDept), "2");
+}
+
+TEST(XQueryEvalTest, FlworOrderBy) {
+  EXPECT_EQ(RunQ("for $e in //emp order by $e/sal return <s>{fn:string($e/sal)}"
+                "</s>",
+                kDept),
+            "<s>1300</s><s>2450</s><s>4900</s>");
+  EXPECT_EQ(RunQ("for $e in //emp order by $e/ename descending return "
+                "<n>{fn:string($e/ename)}</n>",
+                kDept),
+            "<n>SMITH</n><n>MILLER</n><n>CLARK</n>");
+}
+
+TEST(XQueryEvalTest, NestedFlworClauses) {
+  EXPECT_EQ(RunQ("for $x in (1, 2) for $y in (10, 20) return $x + $y", ""),
+            "11 21 12 22");
+  EXPECT_EQ(RunQ("for $x in (1, 2) let $d := $x * 10 return $d", ""), "10 20");
+}
+
+TEST(XQueryEvalTest, ElementConstruction) {
+  EXPECT_EQ(RunQ("<r a=\"x{1+1}y\"><c>{3}</c></r>", ""),
+            "<r a=\"x2y\"><c>3</c></r>");
+  EXPECT_EQ(RunQ("<H2>Department name: {fn:string(/dept/dname)}</H2>", kDept),
+            "<H2>Department name: ACCOUNTING</H2>");
+  // Constructed element copies selected nodes.
+  EXPECT_EQ(RunQ("<wrap>{//emp[1]/ename}</wrap>", kDept),
+            "<wrap><ename>CLARK</ename></wrap>");
+}
+
+TEST(XQueryEvalTest, AttributeConstructor) {
+  EXPECT_EQ(RunQ("<t>{attribute border { 2 }}</t>", ""), "<t border=\"2\"/>");
+}
+
+TEST(XQueryEvalTest, InstanceOf) {
+  EXPECT_EQ(RunQ("for $n in /dept/node() return if ($n instance of "
+                "element(dname)) then 'D' else 'x'",
+                kDept),
+            "D x x");
+  EXPECT_EQ(RunQ("/dept/dname/text() instance of text()", kDept), "true");
+  EXPECT_EQ(RunQ("/dept/dname instance of element()", kDept), "true");
+}
+
+TEST(XQueryEvalTest, UserFunctions) {
+  EXPECT_EQ(RunQ("declare function local:dbl($x) { $x * 2 }; local:dbl(21)", ""),
+            "42");
+  EXPECT_EQ(
+      RunQ("declare function local:fact($n) { if ($n <= 1) then 1 else $n * "
+          "local:fact($n - 1) }; local:fact(5)",
+          ""),
+      "120");
+  EXPECT_EQ(RunQ("declare function local:tag($e) { <t>{fn:string($e)}</t> }; "
+                "for $x in //ename return local:tag($x)",
+                kDept),
+            "<t>CLARK</t><t>MILLER</t><t>SMITH</t>");
+}
+
+TEST(XQueryEvalTest, InfiniteRecursionCaught) {
+  auto q = ParseQuery("declare function local:f($x) { local:f($x) }; local:f(1)");
+  ASSERT_TRUE(q.ok());
+  QueryEvaluator ev;
+  xml::Document doc;
+  auto out = ev.Evaluate(*q, doc.root(), &doc);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInternal);
+}
+
+TEST(XQueryEvalTest, DeclaredVariables) {
+  EXPECT_EQ(RunQ("declare variable $var000 := .; fn:string($var000/dept/loc)",
+                kDept),
+            "NEW YORK");
+  EXPECT_EQ(RunQ("declare variable $a := 2; declare variable $b := $a * 3; $b",
+                ""),
+            "6");
+}
+
+TEST(XQueryEvalTest, StringFunctions) {
+  EXPECT_EQ(RunQ("fn:concat(\"a\", \"b\", \"c\")", ""), "abc");
+  EXPECT_EQ(RunQ("fn:string-join(for $t in //ename return fn:string($t), \",\")",
+                kDept),
+            "CLARK,MILLER,SMITH");
+  EXPECT_EQ(RunQ("fn:string-join(//ename, \"-\")", kDept), "CLARK-MILLER-SMITH");
+  EXPECT_EQ(RunQ("fn:exists(//emp)", kDept), "true");
+  EXPECT_EQ(RunQ("fn:exists(//nosuch)", kDept), "false");
+  EXPECT_EQ(RunQ("sum(//sal)", kDept), "8650");
+}
+
+// Table 21 of the paper: compact built-in-only XQuery.
+TEST(XQueryEvalTest, PaperTable21CompactQuery) {
+  std::string out = RunQ(
+      "declare variable $var000 := .;\n"
+      "(: builtin template :)\n"
+      "fn:string-join(\n"
+      "  for $var002 in $var000//text()\n"
+      "  return fn:string($var002), \" \")",
+      kDept);
+  EXPECT_EQ(out, "ACCOUNTING NEW YORK 7782 CLARK 2450 7934 MILLER 1300 7954 "
+                 "SMITH 4900");
+}
+
+// The shape of the paper's Table 8 rewritten query (hand-checked subset).
+TEST(XQueryEvalTest, PaperTable8StyleQuery) {
+  const char* query = R"q(
+declare variable $var000 := .;
+(
+let $var002 := $var000/dept
+return
+  (: <xsl:template match="dept"> :)
+  (
+  <H1>HIGHLY PAID DEPT EMPLOYEES</H1>,
+  (
+  let $var003 := $var002/dname
+  return <H2>{fn:concat("Department name: ", fn:string($var003))}</H2>,
+  let $var003 := $var002/loc
+  return <H2>{fn:concat("Department location: ", fn:string($var003))}</H2>,
+  let $var003 := $var002/employees
+  return
+    (
+    <H2>Employees Table</H2>,
+    <table border="2">{
+      <td><b>EmpNo</b></td>,
+      <td><b>Name</b></td>,
+      <td><b>Weekly Salary</b></td>,
+      (
+      for $var005 in ($var003/emp[sal > 2000])
+      return
+        <tr>
+        <td>{fn:string($var005/empno)}</td>
+        <td>{fn:string($var005/ename)}</td>
+        <td>{fn:string($var005/sal)}</td>
+        </tr>
+      )
+    }</table>
+    )
+  )
+  )
+)
+)q";
+  std::string out = RunQ(query, kDept);
+  EXPECT_NE(out.find("<H1>HIGHLY PAID DEPT EMPLOYEES</H1>"), std::string::npos);
+  EXPECT_NE(out.find("<H2>Department name: ACCOUNTING</H2>"), std::string::npos);
+  EXPECT_NE(out.find("<table border=\"2\">"), std::string::npos);
+  EXPECT_NE(out.find("<tr><td>7782</td><td>CLARK</td><td>2450</td></tr>"),
+            std::string::npos);
+  EXPECT_NE(out.find("<tr><td>7954</td><td>SMITH</td><td>4900</td></tr>"),
+            std::string::npos);
+  // MILLER (sal 1300) filtered out.
+  EXPECT_EQ(out.find("MILLER"), std::string::npos);
+}
+
+// Table 10: XQuery over the XSLT view result.
+TEST(XQueryEvalTest, PaperTable10Query) {
+  const char* input =
+      "<root><table><tr><td>1</td></tr><tr><td>2</td></tr></table></root>";
+  EXPECT_EQ(RunQ("for $tr in ./root/table/tr return $tr", input),
+            "<tr><td>1</td></tr><tr><td>2</td></tr>");
+}
+
+TEST(XQueryAstTest, PrettyPrintRoundTrip) {
+  // ToString output must re-parse to an equivalent query.
+  const char* queries[] = {
+      "for $e in //emp where $e/sal > 2000 order by $e/sal descending return "
+      "<n>{fn:string($e/ename)}</n>",
+      "let $x := (1, 2) return count($x)",
+      "declare variable $v := .; declare function local:f($a, $b) { $a + $b "
+      "}; local:f(1, 2)",
+      "<a x=\"{1}\" y=\"lit\"><b/>{2 + 3}</a>",
+      "if (//x) then <y/> else ()",
+      "$n instance of element(emp)",
+  };
+  for (const char* q : queries) {
+    auto p1 = ParseQuery(q);
+    ASSERT_TRUE(p1.ok()) << q << ": " << p1.status().ToString();
+    std::string printed = p1->ToString();
+    auto p2 = ParseQuery(printed);
+    ASSERT_TRUE(p2.ok()) << "re-parse failed for:\n" << printed
+                         << "\nerror: " << p2.status().ToString();
+    EXPECT_EQ(p2->ToString(), printed) << "unstable print for " << q;
+  }
+}
+
+}  // namespace
+}  // namespace xdb::xquery

@@ -1,0 +1,390 @@
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xslt/interpreter.h"
+#include "xslt/stylesheet.h"
+
+namespace xdb::xslt {
+namespace {
+
+std::string TransformText(std::string_view stylesheet, std::string_view input,
+                          const TransformParams& params = {}) {
+  auto ss = Stylesheet::Parse(stylesheet);
+  EXPECT_TRUE(ss.ok()) << ss.status().ToString();
+  if (!ss.ok()) return "<parse error>";
+  auto doc = xml::ParseDocument(input);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  if (!doc.ok()) return "<doc error>";
+  Interpreter interp(**ss);
+  auto out = interp.Transform((*doc)->root(), params);
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  if (!out.ok()) return "<transform error: " + out.status().ToString() + ">";
+  return xml::Serialize((*out)->root());
+}
+
+std::string Wrap(std::string_view body) {
+  return std::string(
+             "<xsl:stylesheet version=\"1.0\" "
+             "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">") +
+         std::string(body) + "</xsl:stylesheet>";
+}
+
+TEST(StylesheetParseTest, TemplatesAndAttributes) {
+  auto ss = Stylesheet::Parse(Wrap(
+      "<xsl:template match=\"a\" priority=\"2\"/>"
+      "<xsl:template match=\"b\" mode=\"m\"/>"
+      "<xsl:template name=\"util\"><xsl:param name=\"x\"/></xsl:template>"
+      "<xsl:variable name=\"g\" select=\"1\"/>"));
+  ASSERT_TRUE(ss.ok()) << ss.status().ToString();
+  ASSERT_EQ((*ss)->templates().size(), 3u);
+  EXPECT_TRUE((*ss)->templates()[0].has_explicit_priority);
+  EXPECT_DOUBLE_EQ((*ss)->templates()[0].explicit_priority, 2.0);
+  EXPECT_EQ((*ss)->templates()[1].mode, "m");
+  EXPECT_EQ((*ss)->FindNamed("util"), 2);
+  EXPECT_EQ((*ss)->FindNamed("none"), -1);
+  ASSERT_EQ((*ss)->templates()[2].param_names.size(), 1u);
+  EXPECT_EQ((*ss)->globals().size(), 1u);
+}
+
+TEST(StylesheetParseTest, Errors) {
+  EXPECT_FALSE(Stylesheet::Parse("<notxslt/>").ok());
+  EXPECT_FALSE(Stylesheet::Parse(Wrap("<xsl:template/>")).ok());
+  EXPECT_FALSE(Stylesheet::Parse(Wrap("<xsl:bogus/>")).ok());
+  EXPECT_FALSE(
+      Stylesheet::Parse(Wrap("<xsl:template match=\"a\"><xsl:valueof "
+                             "select=\".\"/></xsl:template>"))
+          .ok());
+  EXPECT_FALSE(Stylesheet::Parse(Wrap("<xsl:template match=\"@@bad\"/>")).ok());
+}
+
+TEST(InterpreterTest, EmptyStylesheetUsesBuiltins) {
+  // Built-in templates walk the tree and emit text values (Table 20/21).
+  EXPECT_EQ(TransformText(Wrap(""), "<a><b>1</b><c>2<d>3</d></c></a>"), "123");
+}
+
+TEST(InterpreterTest, ValueOf) {
+  std::string out = TransformText(
+      Wrap("<xsl:template match=\"/\"><r><xsl:value-of select=\"a/b\"/></r>"
+           "</xsl:template>"),
+      "<a><b>hello</b><b>ignored</b></a>");
+  EXPECT_EQ(out, "<r>hello</r>");
+}
+
+TEST(InterpreterTest, LiteralElementsAndAvt) {
+  std::string out = TransformText(
+      Wrap("<xsl:template match=\"item\">"
+           "<td class=\"c{@id}\"><xsl:value-of select=\".\"/></td>"
+           "</xsl:template>"),
+      "<item id=\"7\">X</item>");
+  EXPECT_EQ(out, "<td class=\"c7\">X</td>");
+}
+
+TEST(InterpreterTest, ApplyTemplatesWithSelectAndPredicate) {
+  std::string out = TransformText(
+      Wrap("<xsl:template match=\"employees\">"
+           "<hits><xsl:apply-templates select=\"emp[sal &gt; 2000]\"/></hits>"
+           "</xsl:template>"
+           "<xsl:template match=\"emp\"><e><xsl:value-of select=\"ename\"/></e>"
+           "</xsl:template>"),
+      "<employees>"
+      "<emp><ename>CLARK</ename><sal>2450</sal></emp>"
+      "<emp><ename>MILLER</ename><sal>1300</sal></emp>"
+      "<emp><ename>SMITH</ename><sal>4900</sal></emp>"
+      "</employees>");
+  EXPECT_EQ(out, "<hits><e>CLARK</e><e>SMITH</e></hits>");
+}
+
+TEST(InterpreterTest, TemplatePriorityAndOrder) {
+  // Explicit priority beats default; later template wins ties.
+  std::string out = TransformText(
+      Wrap("<xsl:template match=\"*\">star</xsl:template>"
+           "<xsl:template match=\"a\" priority=\"-1\">low</xsl:template>"),
+      "<a/>");
+  EXPECT_EQ(out, "star");
+  out = TransformText(
+      Wrap("<xsl:template match=\"a\">first</xsl:template>"
+           "<xsl:template match=\"a\">second</xsl:template>"),
+      "<a/>");
+  EXPECT_EQ(out, "second");
+}
+
+TEST(InterpreterTest, Modes) {
+  std::string out = TransformText(
+      Wrap("<xsl:template match=\"/\">"
+           "<xsl:apply-templates select=\"r/x\"/>|"
+           "<xsl:apply-templates select=\"r/x\" mode=\"loud\"/>"
+           "</xsl:template>"
+           "<xsl:template match=\"x\">quiet</xsl:template>"
+           "<xsl:template match=\"x\" mode=\"loud\">LOUD</xsl:template>"),
+      "<r><x/></r>");
+  EXPECT_EQ(out, "quiet|LOUD");
+}
+
+TEST(InterpreterTest, ForEachAndSort) {
+  std::string out = TransformText(
+      Wrap("<xsl:template match=\"/\">"
+           "<xsl:for-each select=\"//n\"><xsl:sort select=\".\" "
+           "data-type=\"number\"/><v><xsl:value-of select=\".\"/></v>"
+           "</xsl:for-each></xsl:template>"),
+      "<r><n>30</n><n>4</n><n>100</n></r>");
+  EXPECT_EQ(out, "<v>4</v><v>30</v><v>100</v>");
+}
+
+TEST(InterpreterTest, SortDescendingText) {
+  std::string out = TransformText(
+      Wrap("<xsl:template match=\"/\">"
+           "<xsl:for-each select=\"//w\"><xsl:sort select=\".\" "
+           "order=\"descending\"/><xsl:value-of select=\".\"/>,"
+           "</xsl:for-each></xsl:template>"),
+      "<r><w>apple</w><w>cherry</w><w>banana</w></r>");
+  EXPECT_EQ(out, "cherry,banana,apple,");
+}
+
+TEST(InterpreterTest, IfAndChoose) {
+  const char* ss =
+      "<xsl:template match=\"n\">"
+      "<xsl:if test=\". &gt; 10\">big </xsl:if>"
+      "<xsl:choose>"
+      "<xsl:when test=\". mod 2 = 0\">even</xsl:when>"
+      "<xsl:otherwise>odd</xsl:otherwise>"
+      "</xsl:choose>;"
+      "</xsl:template>";
+  EXPECT_EQ(TransformText(Wrap(ss), "<r><n>4</n><n>15</n><n>22</n></r>"),
+            "even;big odd;big even;");
+}
+
+TEST(InterpreterTest, VariablesAndParams) {
+  std::string out = TransformText(
+      Wrap("<xsl:template match=\"/\">"
+           "<xsl:variable name=\"x\" select=\"2 + 3\"/>"
+           "<xsl:call-template name=\"show\">"
+           "<xsl:with-param name=\"v\" select=\"$x * 10\"/>"
+           "</xsl:call-template>"
+           "</xsl:template>"
+           "<xsl:template name=\"show\">"
+           "<xsl:param name=\"v\" select=\"0\"/>"
+           "<xsl:param name=\"w\" select=\"'dflt'\"/>"
+           "<out v=\"{$v}\" w=\"{$w}\"/>"
+           "</xsl:template>"),
+      "<r/>");
+  EXPECT_EQ(out, "<out v=\"50\" w=\"dflt\"/>");
+}
+
+TEST(InterpreterTest, GlobalVariablesAndExternalParams) {
+  TransformParams params;
+  params["greeting"] = xpath::Value(std::string("hi"));
+  std::string out = TransformText(
+      Wrap("<xsl:param name=\"greeting\" select=\"'bye'\"/>"
+           "<xsl:variable name=\"who\" select=\"'world'\"/>"
+           "<xsl:template match=\"/\"><xsl:value-of "
+           "select=\"concat($greeting, ' ', $who)\"/></xsl:template>"),
+      "<r/>", params);
+  EXPECT_EQ(out, "hi world");
+}
+
+TEST(InterpreterTest, VariableResultTreeFragment) {
+  std::string out = TransformText(
+      Wrap("<xsl:template match=\"/\">"
+           "<xsl:variable name=\"frag\"><x>a</x><y>b</y></xsl:variable>"
+           "<got><xsl:value-of select=\"$frag\"/></got>"
+           "<copy><xsl:copy-of select=\"$frag\"/></copy>"
+           "</xsl:template>"),
+      "<r/>");
+  EXPECT_EQ(out, "<got>ab</got><copy><x>a</x><y>b</y></copy>");
+}
+
+TEST(InterpreterTest, ElementAndAttributeInstructions) {
+  std::string out = TransformText(
+      Wrap("<xsl:template match=\"item\">"
+           "<xsl:element name=\"{@kind}\">"
+           "<xsl:attribute name=\"n\"><xsl:value-of select=\".\"/></xsl:attribute>"
+           "</xsl:element></xsl:template>"),
+      "<item kind=\"widget\">9</item>");
+  EXPECT_EQ(out, "<widget n=\"9\"/>");
+}
+
+TEST(InterpreterTest, CopyAndCopyOf) {
+  std::string out = TransformText(
+      Wrap("<xsl:template match=\"/\">"
+           "<xsl:copy-of select=\"//keep\"/>"
+           "</xsl:template>"),
+      "<r><keep a=\"1\"><sub>x</sub></keep><drop/><keep a=\"2\"/></r>");
+  EXPECT_EQ(out, "<keep a=\"1\"><sub>x</sub></keep><keep a=\"2\"/>");
+
+  out = TransformText(
+      Wrap("<xsl:template match=\"*\">"
+           "<xsl:copy><xsl:apply-templates/></xsl:copy>"
+           "</xsl:template>"
+           "<xsl:template match=\"text()\"><xsl:value-of select=\".\"/>"
+           "</xsl:template>"),
+      "<a><b>t</b></a>");
+  EXPECT_EQ(out, "<a><b>t</b></a>");
+}
+
+TEST(InterpreterTest, TextInstructionAndWhitespace) {
+  std::string out = TransformText(
+      Wrap("<xsl:template match=\"/\"><xsl:text> </xsl:text>ok</xsl:template>"),
+      "<r/>");
+  EXPECT_EQ(out, " ok");
+}
+
+TEST(InterpreterTest, CommentAndPiOutput) {
+  std::string out = TransformText(
+      Wrap("<xsl:template match=\"/\">"
+           "<xsl:comment>note</xsl:comment>"
+           "<xsl:processing-instruction name=\"target\">data</xsl:processing-instruction>"
+           "</xsl:template>"),
+      "<r/>");
+  EXPECT_EQ(out, "<!--note--><?target data?>");
+}
+
+TEST(InterpreterTest, NumberInstruction) {
+  std::string out = TransformText(
+      Wrap("<xsl:template match=\"/\"><xsl:apply-templates select=\"//i\"/>"
+           "</xsl:template>"
+           "<xsl:template match=\"i\"><xsl:number/>:<xsl:value-of select=\".\"/> "
+           "</xsl:template>"),
+      "<r><i>a</i><i>b</i><i>c</i></r>");
+  // Whitespace-only text nodes are stripped from the stylesheet body.
+  EXPECT_EQ(out, "1:a2:b3:c");
+  out = TransformText(
+      Wrap("<xsl:template match=\"/\"><xsl:number value=\"2 * 21\"/>"
+           "</xsl:template>"),
+      "<r/>");
+  EXPECT_EQ(out, "42");
+}
+
+TEST(InterpreterTest, CurrentFunction) {
+  std::string out = TransformText(
+      Wrap("<xsl:template match=\"emp\">"
+           "<xsl:for-each select=\"../emp[sal > current()/sal]\">higher</xsl:for-each>"
+           "</xsl:template>"
+           "<xsl:template match=\"text()\"/>"),
+      "<emps><emp><sal>100</sal></emp><emp><sal>300</sal></emp></emps>");
+  EXPECT_EQ(out, "higher");
+}
+
+TEST(InterpreterTest, RecursiveNamedTemplate) {
+  // Classic countdown recursion.
+  std::string out = TransformText(
+      Wrap("<xsl:template match=\"/\">"
+           "<xsl:call-template name=\"count\">"
+           "<xsl:with-param name=\"n\" select=\"3\"/></xsl:call-template>"
+           "</xsl:template>"
+           "<xsl:template name=\"count\"><xsl:param name=\"n\"/>"
+           "<xsl:if test=\"$n &gt; 0\"><xsl:value-of select=\"$n\"/>"
+           "<xsl:call-template name=\"count\">"
+           "<xsl:with-param name=\"n\" select=\"$n - 1\"/>"
+           "</xsl:call-template></xsl:if></xsl:template>"),
+      "<r/>");
+  EXPECT_EQ(out, "321");
+}
+
+TEST(InterpreterTest, InfiniteRecursionIsCaught) {
+  auto ss = Stylesheet::Parse(
+      Wrap("<xsl:template match=\"/\"><xsl:call-template name=\"loop\"/>"
+           "</xsl:template>"
+           "<xsl:template name=\"loop\"><xsl:call-template name=\"loop\"/>"
+           "</xsl:template>"));
+  ASSERT_TRUE(ss.ok());
+  auto doc = xml::ParseDocument("<r/>");
+  Interpreter interp(**ss);
+  auto out = interp.Transform((*doc)->root());
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInternal);
+}
+
+TEST(InterpreterTest, TextPatternTemplate) {
+  std::string out = TransformText(
+      Wrap("<xsl:template match=\"text()\">[<xsl:value-of select=\".\"/>]"
+           "</xsl:template>"),
+      "<a><b>x</b><c>y</c></a>");
+  EXPECT_EQ(out, "[x][y]");
+}
+
+TEST(InterpreterTest, AttributePatternViaApply) {
+  std::string out = TransformText(
+      Wrap("<xsl:template match=\"item\">"
+           "<xsl:apply-templates select=\"@*\"/></xsl:template>"
+           "<xsl:template match=\"@id\">id=<xsl:value-of select=\".\"/>"
+           "</xsl:template>"
+           "<xsl:template match=\"@*\">other </xsl:template>"),
+      "<item id=\"5\" x=\"1\"/>");
+  EXPECT_EQ(out, "id=5other ");
+}
+
+// --- The paper's Example 1: Table 5 stylesheet over Table 4 row 1 --------
+
+const char* kPaperStylesheet = R"xsl(<?xml version="1.0"?><xsl:stylesheet version="1.0"
+ xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+<xsl:template match="dept">
+<H1>HIGHLY PAID DEPT EMPLOYEES</H1>
+<xsl:apply-templates/>
+</xsl:template>
+<xsl:template match="dname">
+<H2>Department name: <xsl:value-of select="."/></H2>
+</xsl:template>
+<xsl:template match="loc">
+<H2>Department location: <xsl:value-of select="."/></H2>
+</xsl:template>
+<xsl:template match="employees">
+<H2>Employees Table</H2>
+<table border="2">
+<td><b>EmpNo</b></td>
+<td><b>Name</b></td>
+<td><b>Weekly Salary</b></td>
+<xsl:apply-templates select="emp[sal > 2000]"/>
+</table>
+</xsl:template>
+<xsl:template match = "emp">
+<tr>
+<td><xsl:value-of select="empno"/></td>
+<td><xsl:value-of select="ename"/></td>
+<td><xsl:value-of select="sal"/></td>
+</tr>
+</xsl:template>
+<xsl:template match="text()">
+<xsl:value-of select="."/>
+</xsl:template>
+</xsl:stylesheet>)xsl";
+
+const char* kDeptRow1 =
+    "<dept>"
+    "<dname>ACCOUNTING</dname>"
+    "<loc>NEW YORK</loc>"
+    "<employees>"
+    "<emp><empno>7782</empno><ename>CLARK</ename><sal>2450</sal></emp>"
+    "<emp><empno>7934</empno><ename>MILLER</ename><sal>1300</sal></emp>"
+    "</employees>"
+    "</dept>";
+
+TEST(InterpreterTest, PaperExample1ProducesTable6) {
+  std::string out = TransformText(kPaperStylesheet, kDeptRow1);
+  // Table 6, first row (whitespace-normalized structure).
+  EXPECT_EQ(out,
+            "<H1>HIGHLY PAID DEPT EMPLOYEES</H1>"
+            "<H2>Department name: ACCOUNTING</H2>"
+            "<H2>Department location: NEW YORK</H2>"
+            "<H2>Employees Table</H2>"
+            "<table border=\"2\">"
+            "<td><b>EmpNo</b></td>"
+            "<td><b>Name</b></td>"
+            "<td><b>Weekly Salary</b></td>"
+            "<tr><td>7782</td><td>CLARK</td><td>2450</td></tr>"
+            "</table>");
+}
+
+TEST(InterpreterTest, PaperExample1SecondRow) {
+  std::string out = TransformText(
+      kPaperStylesheet,
+      "<dept><dname>OPERATIONS</dname><loc>BOSTON</loc><employees>"
+      "<emp><empno>7954</empno><ename>SMITH</ename><sal>4900</sal></emp>"
+      "</employees></dept>");
+  EXPECT_NE(out.find("<tr><td>7954</td><td>SMITH</td><td>4900</td></tr>"),
+            std::string::npos);
+  EXPECT_EQ(out.find("MILLER"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xdb::xslt

@@ -1,0 +1,579 @@
+#include "rewrite/xslt_rewriter.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/xsd_parser.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xquery/evaluator.h"
+#include "xslt/vm.h"
+
+namespace xdb::rewrite {
+namespace {
+
+std::string Wrap(std::string_view body) {
+  return std::string(
+             "<xsl:stylesheet version=\"1.0\" "
+             "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">") +
+         std::string(body) + "</xsl:stylesheet>";
+}
+
+schema::StructuralInfo DeptStructure() {
+  schema::StructureBuilder b;
+  auto* dept = b.Element("dept");
+  b.AddText(b.AddChild(dept, "dname"));
+  b.AddText(b.AddChild(dept, "loc"));
+  auto* employees = b.AddChild(dept, "employees");
+  auto* emp = b.AddChild(employees, "emp", 0, -1);
+  b.AddText(b.AddChild(emp, "empno"));
+  b.AddText(b.AddChild(emp, "ename"));
+  b.AddText(b.AddChild(emp, "sal"));
+  return b.Build(dept);
+}
+
+constexpr std::string_view kDeptDoc =
+    "<dept>"
+    "<dname>ACCOUNTING</dname>"
+    "<loc>NEW YORK</loc>"
+    "<employees>"
+    "<emp><empno>7782</empno><ename>CLARK</ename><sal>2450</sal></emp>"
+    "<emp><empno>7934</empno><ename>MILLER</ename><sal>1300</sal></emp>"
+    "<emp><empno>7954</empno><ename>SMITH</ename><sal>4900</sal></emp>"
+    "</employees>"
+    "</dept>";
+
+struct RewriteRun {
+  std::string functional;
+  std::string rewritten;
+  RewriteReport report;
+  std::string query_text;
+  Status status = Status::OK();
+};
+
+RewriteRun RunBoth(std::string_view stylesheet_body,
+                   const schema::StructuralInfo* structure,
+                   std::string_view doc_text,
+                   const XsltRewriteOptions& options = {}) {
+  RewriteRun out;
+  auto ss = xslt::Stylesheet::Parse(Wrap(stylesheet_body));
+  EXPECT_TRUE(ss.ok()) << ss.status().ToString();
+  auto compiled = xslt::CompiledStylesheet::Compile(**ss);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  auto doc = xml::ParseDocument(doc_text);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+
+  // Functional evaluation (VM over DOM).
+  xslt::Vm vm(**compiled);
+  auto fout = vm.Transform((*doc)->root());
+  EXPECT_TRUE(fout.ok()) << fout.status().ToString();
+  if (fout.ok()) out.functional = xml::Serialize((*fout)->root());
+
+  // Rewrite + XQuery evaluation.
+  auto query = RewriteXsltToXQuery(**compiled, structure, options, &out.report);
+  out.status = query.status();
+  if (!query.ok()) return out;
+  out.query_text = query->ToString();
+  xquery::QueryEvaluator qe;
+  auto qout = qe.EvaluateToDocument(*query, (*doc)->root());
+  EXPECT_TRUE(qout.ok()) << qout.status().ToString() << "\nquery:\n"
+                         << out.query_text;
+  if (qout.ok()) out.rewritten = xml::Serialize((*qout)->root());
+  return out;
+}
+
+void ExpectEquivalent(const RewriteRun& run) {
+  ASSERT_TRUE(run.status.ok()) << run.status.ToString();
+  EXPECT_EQ(run.rewritten, run.functional) << "query was:\n" << run.query_text;
+}
+
+// ---------------------------------------------------------------------------
+// Inline mode: the paper's Example 1 / Table 8
+// ---------------------------------------------------------------------------
+
+constexpr std::string_view kPaperBody =
+    "<xsl:template match=\"dept\">"
+    "<H1>HIGHLY PAID DEPT EMPLOYEES</H1>"
+    "<xsl:apply-templates/>"
+    "</xsl:template>"
+    "<xsl:template match=\"dname\">"
+    "<H2>Department name: <xsl:value-of select=\".\"/></H2>"
+    "</xsl:template>"
+    "<xsl:template match=\"loc\">"
+    "<H2>Department location: <xsl:value-of select=\".\"/></H2>"
+    "</xsl:template>"
+    "<xsl:template match=\"employees\">"
+    "<H2>Employees Table</H2>"
+    "<table border=\"2\">"
+    "<td><b>EmpNo</b></td><td><b>Name</b></td><td><b>Weekly Salary</b></td>"
+    "<xsl:apply-templates select=\"emp[sal &gt; 2000]\"/>"
+    "</table>"
+    "</xsl:template>"
+    "<xsl:template match=\"emp\">"
+    "<tr>"
+    "<td><xsl:value-of select=\"empno\"/></td>"
+    "<td><xsl:value-of select=\"ename\"/></td>"
+    "<td><xsl:value-of select=\"sal\"/></td>"
+    "</tr>"
+    "</xsl:template>"
+    "<xsl:template match=\"text()\">"
+    "<xsl:value-of select=\".\"/>"
+    "</xsl:template>";
+
+TEST(XsltRewriteInlineTest, PaperExample1MatchesFunctional) {
+  schema::StructuralInfo info = DeptStructure();
+  RewriteRun run = RunBoth(kPaperBody, &info, kDeptDoc);
+  ExpectEquivalent(run);
+  EXPECT_EQ(run.report.mode, RewriteReport::Mode::kInline);
+  EXPECT_FALSE(run.report.builtin_only);
+  // All six templates participated.
+  EXPECT_EQ(run.report.templates_total, 6);
+}
+
+TEST(XsltRewriteInlineTest, PaperExample1QueryShape) {
+  schema::StructuralInfo info = DeptStructure();
+  RewriteRun run = RunBoth(kPaperBody, &info, kDeptDoc);
+  ASSERT_TRUE(run.status.ok());
+  // Table 8 shape: no function declarations, a let for dept, a filtered for
+  // over emp, fn:concat for text+value-of, and the predicate retained.
+  EXPECT_EQ(run.query_text.find("declare function"), std::string::npos);
+  EXPECT_NE(run.query_text.find("$var000/dept"), std::string::npos);
+  EXPECT_NE(run.query_text.find("emp[sal > 2000]"), std::string::npos);
+  EXPECT_NE(run.query_text.find("fn:concat(\"Department name: \""),
+            std::string::npos)
+      << run.query_text;
+  EXPECT_NE(run.query_text.find("<H1>"), std::string::npos);
+}
+
+TEST(XsltRewriteInlineTest, EmptyishInputDocs) {
+  schema::StructuralInfo info = DeptStructure();
+  // No emps at all; still structurally conformant (emp is 0..unbounded).
+  ExpectEquivalent(RunBoth(kPaperBody, &info,
+                           "<dept><dname>X</dname><loc>Y</loc>"
+                           "<employees/></dept>"));
+}
+
+TEST(XsltRewriteInlineTest, BuiltinOnlyCompaction) {
+  schema::StructuralInfo info = DeptStructure();
+  RewriteRun run = RunBoth("", &info, kDeptDoc);
+  ExpectEquivalent(run);
+  EXPECT_TRUE(run.report.builtin_only);
+  EXPECT_NE(run.query_text.find("fn:string-join"), std::string::npos);
+  EXPECT_NE(run.query_text.find("//text()"), std::string::npos);
+}
+
+TEST(XsltRewriteInlineTest, BuiltinFallbackForUnmatchedElements) {
+  // Only emp has a template; the rest flows through built-ins.
+  schema::StructuralInfo info = DeptStructure();
+  ExpectEquivalent(RunBoth(
+      "<xsl:template match=\"emp\"><e><xsl:value-of select=\"ename\"/></e>"
+      "</xsl:template>",
+      &info, kDeptDoc));
+}
+
+TEST(XsltRewriteInlineTest, ForEachAndSort) {
+  schema::StructuralInfo info = DeptStructure();
+  RewriteRun run = RunBoth(
+      "<xsl:template match=\"dept\">"
+      "<xsl:for-each select=\"employees/emp\">"
+      "<xsl:sort select=\"sal\" data-type=\"number\" order=\"descending\"/>"
+      "<p><xsl:value-of select=\"ename\"/>:<xsl:value-of select=\"sal\"/></p>"
+      "</xsl:for-each></xsl:template>",
+      &info, kDeptDoc);
+  ExpectEquivalent(run);
+  EXPECT_NE(run.query_text.find("order by"), std::string::npos);
+  EXPECT_NE(run.query_text.find("descending"), std::string::npos);
+}
+
+TEST(XsltRewriteInlineTest, ApplyTemplatesWithSort) {
+  schema::StructuralInfo info = DeptStructure();
+  ExpectEquivalent(RunBoth(
+      "<xsl:template match=\"employees\">"
+      "<xsl:apply-templates select=\"emp\"><xsl:sort select=\"ename\"/>"
+      "</xsl:apply-templates></xsl:template>"
+      "<xsl:template match=\"emp\"><n><xsl:value-of select=\"ename\"/></n>"
+      "</xsl:template><xsl:template match=\"text()\"/>",
+      &info, kDeptDoc));
+}
+
+TEST(XsltRewriteInlineTest, VariablesAndCallTemplate) {
+  schema::StructuralInfo info = DeptStructure();
+  ExpectEquivalent(RunBoth(
+      "<xsl:template match=\"dept\">"
+      "<xsl:variable name=\"city\" select=\"loc\"/>"
+      "<xsl:call-template name=\"hdr\">"
+      "<xsl:with-param name=\"where\" select=\"$city\"/>"
+      "</xsl:call-template></xsl:template>"
+      "<xsl:template name=\"hdr\"><xsl:param name=\"where\" select=\"'?'\"/>"
+      "<xsl:param name=\"greet\" select=\"'at'\"/>"
+      "<h><xsl:value-of select=\"concat($greet, ' ', $where)\"/></h>"
+      "</xsl:template>",
+      &info, kDeptDoc));
+}
+
+TEST(XsltRewriteInlineTest, IfAndChooseResidualConditionals) {
+  schema::StructuralInfo info = DeptStructure();
+  RewriteRun run = RunBoth(
+      "<xsl:template match=\"emp\">"
+      "<xsl:choose>"
+      "<xsl:when test=\"sal &gt; 4000\"><hi/></xsl:when>"
+      "<xsl:when test=\"sal &gt; 2000\"><mid/></xsl:when>"
+      "<xsl:otherwise><lo/></xsl:otherwise>"
+      "</xsl:choose></xsl:template>"
+      "<xsl:template match=\"text()\"/>",
+      &info, kDeptDoc);
+  ExpectEquivalent(run);
+  // The content conditionals stay in the residual query (partial evaluation
+  // cannot decide them, §4.1).
+  EXPECT_NE(run.query_text.find("if ("), std::string::npos);
+}
+
+TEST(XsltRewriteInlineTest, PatternValuePredicatesKeptAsResiduals) {
+  // Tables 18/19: conditional templates on the same structural pattern.
+  schema::StructuralInfo info = DeptStructure();
+  RewriteRun run = RunBoth(
+      "<xsl:template match=\"emp/empno[. = 7934]\" priority=\"1\">"
+      "<special/></xsl:template>"
+      "<xsl:template match=\"emp/empno\"><plain/></xsl:template>"
+      "<xsl:template match=\"text()\"/>",
+      &info, kDeptDoc);
+  ExpectEquivalent(run);
+  EXPECT_GE(run.report.residual_predicate_tests, 1);
+  // §3.5: no parent-axis test in the residual condition.
+  EXPECT_EQ(run.query_text.find("parent::"), std::string::npos)
+      << run.query_text;
+}
+
+TEST(XsltRewriteInlineTest, ModesDispatchCorrectly) {
+  schema::StructuralInfo info = DeptStructure();
+  ExpectEquivalent(RunBoth(
+      "<xsl:template match=\"dept\">"
+      "<xsl:apply-templates select=\"dname\"/>"
+      "<xsl:apply-templates select=\"dname\" mode=\"loud\"/>"
+      "</xsl:template>"
+      "<xsl:template match=\"dname\"><q><xsl:value-of select=\".\"/></q>"
+      "</xsl:template>"
+      "<xsl:template match=\"dname\" mode=\"loud\"><Q><xsl:value-of "
+      "select=\".\"/></Q></xsl:template>",
+      &info, kDeptDoc));
+}
+
+TEST(XsltRewriteInlineTest, XslCopyWithKnownStructure) {
+  schema::StructuralInfo info = DeptStructure();
+  ExpectEquivalent(RunBoth(
+      "<xsl:template match=\"dname\"><xsl:copy><xsl:value-of select=\".\"/>"
+      "</xsl:copy></xsl:template>"
+      "<xsl:template match=\"loc|employees\"/>"
+      "<xsl:template match=\"text()\"/>",
+      &info, kDeptDoc));
+}
+
+TEST(XsltRewriteInlineTest, AttributeValueTemplates) {
+  schema::StructuralInfo info = DeptStructure();
+  ExpectEquivalent(RunBoth(
+      "<xsl:template match=\"emp\">"
+      "<row id=\"e{empno}\" pay=\"{sal}\"/>"
+      "</xsl:template><xsl:template match=\"text()\"/>",
+      &info, kDeptDoc));
+}
+
+TEST(XsltRewriteInlineTest, CopyOfSubtrees) {
+  schema::StructuralInfo info = DeptStructure();
+  ExpectEquivalent(RunBoth(
+      "<xsl:template match=\"dept\">"
+      "<keep><xsl:copy-of select=\"employees/emp[sal &gt; 2000]\"/></keep>"
+      "</xsl:template>",
+      &info, kDeptDoc));
+}
+
+TEST(XsltRewriteInlineTest, AggregatesInContent) {
+  schema::StructuralInfo info = DeptStructure();
+  ExpectEquivalent(RunBoth(
+      "<xsl:template match=\"dept\">"
+      "<stats total=\"{sum(employees/emp/sal)}\" n=\"{count(employees/emp)}\"/>"
+      "</xsl:template>",
+      &info, kDeptDoc));
+}
+
+// ---------------------------------------------------------------------------
+// Model groups (Tables 12-14)
+// ---------------------------------------------------------------------------
+
+TEST(XsltRewriteModelGroupTest, ChoiceGroupGeneratesExistenceTests) {
+  const char* xsd = R"(
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:element name="payment">
+        <xs:complexType>
+          <xs:choice>
+            <xs:element name="card" type="xs:string"/>
+            <xs:element name="cash" type="xs:string"/>
+          </xs:choice>
+        </xs:complexType>
+      </xs:element>
+    </xs:schema>)";
+  auto info = schema::ParseXsd(xsd);
+  ASSERT_TRUE(info.ok());
+  const char* body =
+      "<xsl:template match=\"card\"><c1/></xsl:template>"
+      "<xsl:template match=\"cash\"><c2/></xsl:template>";
+  RewriteRun run1 = RunBoth(body, &*info, "<payment><card>111</card></payment>");
+  ExpectEquivalent(run1);
+  RewriteRun run2 = RunBoth(body, &*info, "<payment><cash>20</cash></payment>");
+  ExpectEquivalent(run2);
+  // Table 13: existence conditionals, not instance-of over node().
+  EXPECT_NE(run1.query_text.find("if ("), std::string::npos);
+}
+
+TEST(XsltRewriteModelGroupTest, AllGroupGeneratesInstanceTests) {
+  const char* xsd = R"(
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:element name="r">
+        <xs:complexType>
+          <xs:all>
+            <xs:element name="a" type="xs:string"/>
+            <xs:element name="b" type="xs:string"/>
+          </xs:all>
+        </xs:complexType>
+      </xs:element>
+    </xs:schema>)";
+  auto info = schema::ParseXsd(xsd);
+  ASSERT_TRUE(info.ok());
+  const char* body =
+      "<xsl:template match=\"a\">[a=<xsl:value-of select=\".\"/>]</xsl:template>"
+      "<xsl:template match=\"b\">[b=<xsl:value-of select=\".\"/>]</xsl:template>";
+  // "all" allows any order; both must work.
+  RewriteRun run1 = RunBoth(body, &*info, "<r><a>1</a><b>2</b></r>");
+  ExpectEquivalent(run1);
+  RewriteRun run2 = RunBoth(body, &*info, "<r><b>2</b><a>1</a></r>");
+  ExpectEquivalent(run2);
+  // Table 12: instance-of dispatch inside a node() loop.
+  EXPECT_NE(run1.query_text.find("instance of element(a)"), std::string::npos)
+      << run1.query_text;
+}
+
+TEST(XsltRewriteModelGroupTest, SequenceCardinality) {
+  // Table 15: singleton children use let, repeating children use for.
+  schema::StructuralInfo info = DeptStructure();
+  RewriteRun run = RunBoth(kPaperBody, &info, kDeptDoc);
+  ASSERT_TRUE(run.status.ok());
+  EXPECT_NE(run.query_text.find("let $var"), std::string::npos);
+  EXPECT_NE(run.query_text.find("for $var"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Non-inline mode (recursion)
+// ---------------------------------------------------------------------------
+
+TEST(XsltRewriteNonInlineTest, RecursiveStructureFallsBackToFunctions) {
+  schema::StructureBuilder b;
+  auto* section = b.Element("section");
+  b.AddText(b.AddChild(section, "title"));
+  b.AddRecursiveChild(section, section);
+  schema::StructuralInfo info = b.Build(section);
+
+  RewriteRun run = RunBoth(
+      "<xsl:template match=\"section\"><s>"
+      "<xsl:apply-templates select=\"title\"/>"
+      "<xsl:apply-templates select=\"section\"/>"
+      "</s></xsl:template>"
+      "<xsl:template match=\"title\"><t><xsl:value-of select=\".\"/></t>"
+      "</xsl:template>",
+      &info,
+      "<section><title>A</title>"
+      "<section><title>B</title><section><title>C</title></section></section>"
+      "</section>");
+  ExpectEquivalent(run);
+  EXPECT_EQ(run.report.mode, RewriteReport::Mode::kNonInline);
+  EXPECT_TRUE(run.report.recursion_detected);
+  EXPECT_NE(run.query_text.find("declare function"), std::string::npos);
+}
+
+TEST(XsltRewriteNonInlineTest, DeadTemplatesRemoved) {
+  schema::StructureBuilder b;
+  auto* section = b.Element("section");
+  b.AddText(b.AddChild(section, "title"));
+  b.AddRecursiveChild(section, section);
+  schema::StructuralInfo info = b.Build(section);
+
+  // "never" can't match anything in this structure (§3.7).
+  RewriteRun run = RunBoth(
+      "<xsl:template match=\"section\"><s><xsl:apply-templates "
+      "select=\"section\"/></s></xsl:template>"
+      "<xsl:template match=\"never\"><x/></xsl:template>"
+      "<xsl:template match=\"text()\"/>",
+      &info, "<section><title>A</title><section><title>B</title></section>"
+             "</section>");
+  ExpectEquivalent(run);
+  EXPECT_GE(run.report.dead_templates_removed, 1);
+  EXPECT_EQ(run.query_text.find("never"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Straightforward mode ([9] baseline)
+// ---------------------------------------------------------------------------
+
+TEST(XsltRewriteStraightforwardTest, NoStructureStillCorrect) {
+  RewriteRun run = RunBoth(kPaperBody, nullptr, kDeptDoc);
+  ExpectEquivalent(run);
+  EXPECT_EQ(run.report.mode, RewriteReport::Mode::kStraightforward);
+  // The [9] shape: dispatch + builtin functions, conditional chains.
+  EXPECT_NE(run.query_text.find("local:dispatch"), std::string::npos);
+  EXPECT_NE(run.query_text.find("local:builtin"), std::string::npos);
+  EXPECT_GE(run.report.dispatch_conditionals, 5);
+}
+
+TEST(XsltRewriteStraightforwardTest, ForcedEvenWithStructure) {
+  schema::StructuralInfo info = DeptStructure();
+  XsltRewriteOptions options;
+  options.force_straightforward = true;
+  RewriteRun run = RunBoth(kPaperBody, &info, kDeptDoc, options);
+  ExpectEquivalent(run);
+  EXPECT_EQ(run.report.mode, RewriteReport::Mode::kStraightforward);
+}
+
+TEST(XsltRewriteStraightforwardTest, MultiStepPatternKeepsParentTest) {
+  // Table 17: without structure the parent-axis test must stay.
+  RewriteRun run = RunBoth(
+      "<xsl:template match=\"emp/empno\"><hit/></xsl:template>"
+      "<xsl:template match=\"text()\"/>",
+      nullptr, kDeptDoc);
+  ExpectEquivalent(run);
+  EXPECT_NE(run.query_text.find("parent::emp"), std::string::npos)
+      << run.query_text;
+}
+
+TEST(XsltRewriteStraightforwardTest, RecursiveNamedTemplates) {
+  RewriteRun run = RunBoth(
+      "<xsl:template match=\"/\"><xsl:call-template name=\"count\">"
+      "<xsl:with-param name=\"n\" select=\"3\"/></xsl:call-template>"
+      "</xsl:template>"
+      "<xsl:template name=\"count\"><xsl:param name=\"n\" select=\"0\"/>"
+      "<xsl:if test=\"$n &gt; 0\"><i/><xsl:call-template name=\"count\">"
+      "<xsl:with-param name=\"n\" select=\"$n - 1\"/></xsl:call-template>"
+      "</xsl:if></xsl:template>",
+      nullptr, "<r/>");
+  ExpectEquivalent(run);
+}
+
+TEST(XsltRewriteStraightforwardTest, UntranslatableConstructsReported) {
+  // position() in a select is outside the subset.
+  auto ss = xslt::Stylesheet::Parse(
+      Wrap("<xsl:template match=\"a\"><xsl:value-of select=\"position()\"/>"
+           "</xsl:template>"));
+  ASSERT_TRUE(ss.ok());
+  auto compiled = xslt::CompiledStylesheet::Compile(**ss);
+  ASSERT_TRUE(compiled.ok());
+  RewriteReport report;
+  auto q = RewriteXsltToXQuery(**compiled, nullptr, {}, &report);
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kRewriteError);
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (option flags)
+// ---------------------------------------------------------------------------
+
+TEST(XsltRewriteAblationTest, DisableInlineUsesFunctions) {
+  schema::StructuralInfo info = DeptStructure();
+  XsltRewriteOptions options;
+  options.enable_inline = false;
+  RewriteRun run = RunBoth(kPaperBody, &info, kDeptDoc, options);
+  ExpectEquivalent(run);
+  EXPECT_EQ(run.report.mode, RewriteReport::Mode::kNonInline);
+  EXPECT_NE(run.query_text.find("declare function"), std::string::npos);
+}
+
+TEST(XsltRewriteAblationTest, DisableCardinalityUsesForEverywhere) {
+  schema::StructuralInfo info = DeptStructure();
+  XsltRewriteOptions options;
+  options.enable_cardinality = false;
+  RewriteRun run = RunBoth(kPaperBody, &info, kDeptDoc, options);
+  ExpectEquivalent(run);
+  EXPECT_EQ(run.query_text.find("let $var"), std::string::npos)
+      << run.query_text;
+}
+
+TEST(XsltRewriteAblationTest, DisableBuiltinCompaction) {
+  schema::StructuralInfo info = DeptStructure();
+  XsltRewriteOptions options;
+  options.enable_builtin_compaction = false;
+  RewriteRun run = RunBoth("", &info, kDeptDoc, options);
+  ExpectEquivalent(run);
+  EXPECT_FALSE(run.report.builtin_only);
+  EXPECT_EQ(run.query_text.find("fn:string-join"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Differential sweep across stylesheets and documents
+// ---------------------------------------------------------------------------
+
+struct SweepCase {
+  const char* name;
+  const char* body;
+};
+
+class RewriteSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(RewriteSweepTest, InlineEqualsFunctional) {
+  schema::StructuralInfo info = DeptStructure();
+  RewriteRun run = RunBoth(GetParam().body, &info, kDeptDoc);
+  ExpectEquivalent(run);
+}
+
+TEST_P(RewriteSweepTest, StraightforwardEqualsFunctional) {
+  RewriteRun run = RunBoth(GetParam().body, nullptr, kDeptDoc);
+  ExpectEquivalent(run);
+}
+
+const SweepCase kSweepCases[] = {
+    {"empty", ""},
+    {"single_template",
+     "<xsl:template match=\"ename\"><n><xsl:value-of select=\".\"/></n>"
+     "</xsl:template>"},
+    {"nested_literals",
+     "<xsl:template match=\"dept\"><a><b><c x=\"1\">deep</c></b></a>"
+     "</xsl:template>"},
+    {"wildcard_template",
+     "<xsl:template match=\"*\"><any n=\"{count(*)}\"><xsl:apply-templates "
+     "select=\"*\"/></any></xsl:template>"},
+    {"priority_overrides",
+     "<xsl:template match=\"*\"/>"
+     "<xsl:template match=\"dname\"><d/></xsl:template>"
+     "<xsl:template match=\"dept\"><xsl:apply-templates select=\"*\"/>"
+     "</xsl:template>"},
+    {"value_of_chains",
+     "<xsl:template match=\"emp\"><xsl:value-of select=\"empno\"/>-"
+     "<xsl:value-of select=\"ename\"/>;</xsl:template>"
+     "<xsl:template match=\"text()\"/>"},
+    {"if_tests",
+     "<xsl:template match=\"emp\"><xsl:if test=\"sal &gt; 2000\">"
+     "<rich><xsl:value-of select=\"ename\"/></rich></xsl:if></xsl:template>"
+     "<xsl:template match=\"text()\"/>"},
+    {"for_each_nested",
+     "<xsl:template match=\"dept\"><xsl:for-each select=\"employees\">"
+     "<xsl:for-each select=\"emp\"><x><xsl:value-of select=\"ename\"/></x>"
+     "</xsl:for-each></xsl:for-each></xsl:template>"},
+    {"variables",
+     "<xsl:template match=\"emp\"><xsl:variable name=\"who\" "
+     "select=\"ename\"/><v><xsl:value-of select=\"$who\"/></v></xsl:template>"
+     "<xsl:template match=\"text()\"/>"},
+    {"sum_count",
+     "<xsl:template match=\"dept\"><t><xsl:value-of "
+     "select=\"sum(employees/emp/sal)\"/>/<xsl:value-of "
+     "select=\"count(employees/emp)\"/></t></xsl:template>"},
+    {"text_templates",
+     "<xsl:template match=\"text()\">[<xsl:value-of select=\".\"/>]"
+     "</xsl:template>"},
+    {"descendant_select",
+     "<xsl:template match=\"dept\"><all><xsl:apply-templates select=\".//sal\"/>"
+     "</all></xsl:template>"
+     "<xsl:template match=\"sal\"><s><xsl:value-of select=\".\"/></s>"
+     "</xsl:template><xsl:template match=\"text()\"/>"},
+};
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RewriteSweepTest, ::testing::ValuesIn(kSweepCases),
+                         [](const ::testing::TestParamInfo<SweepCase>& info) {
+                           return std::string(info.param.name);
+                         });
+
+}  // namespace
+}  // namespace xdb::rewrite

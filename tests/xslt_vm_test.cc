@@ -1,0 +1,391 @@
+#include <gtest/gtest.h>
+
+#include "schema/sample_doc.h"
+#include "xpath/parser.h"
+#include "schema/structure.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xslt/interpreter.h"
+#include "xslt/vm.h"
+
+namespace xdb::xslt {
+namespace {
+
+std::string Wrap(std::string_view body) {
+  return std::string(
+             "<xsl:stylesheet version=\"1.0\" "
+             "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">") +
+         std::string(body) + "</xsl:stylesheet>";
+}
+
+std::string VmTransform(std::string_view stylesheet, std::string_view input) {
+  auto ss = Stylesheet::Parse(stylesheet);
+  EXPECT_TRUE(ss.ok()) << ss.status().ToString();
+  auto compiled = CompiledStylesheet::Compile(**ss);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  auto doc = xml::ParseDocument(input);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  Vm vm(**compiled);
+  auto out = vm.Transform((*doc)->root());
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  if (!out.ok()) return "<vm error>";
+  return xml::Serialize((*out)->root());
+}
+
+// Differential harness: VM output must equal interpreter output.
+void ExpectSameAsInterpreter(std::string_view stylesheet, std::string_view input) {
+  auto ss = Stylesheet::Parse(stylesheet);
+  ASSERT_TRUE(ss.ok()) << ss.status().ToString();
+  auto doc = xml::ParseDocument(input);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+
+  Interpreter interp(**ss);
+  auto iout = interp.Transform((*doc)->root());
+  ASSERT_TRUE(iout.ok()) << iout.status().ToString();
+
+  auto compiled = CompiledStylesheet::Compile(**ss);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  Vm vm(**compiled);
+  auto vout = vm.Transform((*doc)->root());
+  ASSERT_TRUE(vout.ok()) << vout.status().ToString();
+
+  EXPECT_EQ(xml::Serialize((*vout)->root()), xml::Serialize((*iout)->root()));
+}
+
+TEST(VmTest, CompileCountsSites) {
+  auto ss = Stylesheet::Parse(Wrap(
+      "<xsl:template match=\"/\"><xsl:apply-templates/>"
+      "<xsl:call-template name=\"n\"/></xsl:template>"
+      "<xsl:template name=\"n\"><xsl:apply-templates select=\"x\"/>"
+      "</xsl:template>"));
+  ASSERT_TRUE(ss.ok());
+  auto compiled = CompiledStylesheet::Compile(**ss);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  EXPECT_EQ((*compiled)->site_count(), 3);
+  EXPECT_EQ((*compiled)->templates().size(), 2u);
+}
+
+TEST(VmTest, BasicTransform) {
+  EXPECT_EQ(VmTransform(Wrap("<xsl:template match=\"/\"><out><xsl:value-of "
+                             "select=\"//b\"/></out></xsl:template>"),
+                        "<a><b>42</b></a>"),
+            "<out>42</out>");
+}
+
+struct DiffCase {
+  const char* name;
+  const char* stylesheet_body;
+  const char* input;
+};
+
+class VmDifferentialTest : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(VmDifferentialTest, MatchesInterpreter) {
+  const DiffCase& c = GetParam();
+  ExpectSameAsInterpreter(Wrap(c.stylesheet_body), c.input);
+}
+
+const DiffCase kDiffCases[] = {
+    {"builtins", "", "<a><b>1</b><c>2</c></a>"},
+    {"value_of",
+     "<xsl:template match=\"/\"><r><xsl:value-of select=\"count(//x)\"/></r>"
+     "</xsl:template>",
+     "<a><x/><x/><y><x/></y></a>"},
+    {"predicates",
+     "<xsl:template match=\"employees\">"
+     "<xsl:apply-templates select=\"emp[sal &gt; 2000]\"/></xsl:template>"
+     "<xsl:template match=\"emp\"><e><xsl:value-of select=\"ename\"/></e>"
+     "</xsl:template><xsl:template match=\"text()\"/>",
+     "<employees><emp><ename>A</ename><sal>2500</sal></emp>"
+     "<emp><ename>B</ename><sal>1000</sal></emp></employees>"},
+    {"for_each_sort",
+     "<xsl:template match=\"/\"><xsl:for-each select=\"//n\">"
+     "<xsl:sort select=\".\" data-type=\"number\" order=\"descending\"/>"
+     "<v><xsl:value-of select=\".\"/></v></xsl:for-each></xsl:template>",
+     "<r><n>3</n><n>10</n><n>7</n></r>"},
+    {"choose",
+     "<xsl:template match=\"n\"><xsl:choose>"
+     "<xsl:when test=\". &gt; 5\">big</xsl:when>"
+     "<xsl:when test=\". &gt; 2\">mid</xsl:when>"
+     "<xsl:otherwise>small</xsl:otherwise></xsl:choose>,</xsl:template>"
+     "<xsl:template match=\"text()\"/>",
+     "<r><n>1</n><n>4</n><n>9</n></r>"},
+    {"variables_params",
+     "<xsl:template match=\"/\"><xsl:variable name=\"x\" select=\"7\"/>"
+     "<xsl:call-template name=\"t\"><xsl:with-param name=\"y\" select=\"$x\"/>"
+     "</xsl:call-template></xsl:template>"
+     "<xsl:template name=\"t\"><xsl:param name=\"y\" select=\"0\"/>"
+     "<o><xsl:value-of select=\"$y * 2\"/></o></xsl:template>",
+     "<r/>"},
+    {"copy_structures",
+     "<xsl:template match=\"*\"><xsl:copy><xsl:apply-templates/></xsl:copy>"
+     "</xsl:template>"
+     "<xsl:template match=\"text()\"><xsl:value-of select=\".\"/></xsl:template>",
+     "<a><b x=\"1\">t<c/></b></a>"},
+    {"copy_of",
+     "<xsl:template match=\"/\"><xsl:copy-of select=\"//keep\"/></xsl:template>",
+     "<r><keep a=\"1\"><s/></keep><drop/><keep/></r>"},
+    {"modes",
+     "<xsl:template match=\"/\"><xsl:apply-templates select=\"//x\"/>"
+     "<xsl:apply-templates select=\"//x\" mode=\"m\"/></xsl:template>"
+     "<xsl:template match=\"x\">a</xsl:template>"
+     "<xsl:template match=\"x\" mode=\"m\">b</xsl:template>",
+     "<r><x/><x/></r>"},
+    {"avts_and_element",
+     "<xsl:template match=\"item\"><xsl:element name=\"e{@n}\">"
+     "<xsl:attribute name=\"v\"><xsl:value-of select=\".\"/></xsl:attribute>"
+     "</xsl:element></xsl:template><xsl:template match=\"text()\"/>",
+     "<r><item n=\"1\">a</item><item n=\"2\">b</item></r>"},
+    {"recursive_named",
+     "<xsl:template match=\"/\"><xsl:call-template name=\"c\">"
+     "<xsl:with-param name=\"n\" select=\"4\"/></xsl:call-template>"
+     "</xsl:template>"
+     "<xsl:template name=\"c\"><xsl:param name=\"n\"/>"
+     "<xsl:if test=\"$n &gt; 0\">*<xsl:call-template name=\"c\">"
+     "<xsl:with-param name=\"n\" select=\"$n - 1\"/></xsl:call-template>"
+     "</xsl:if></xsl:template>",
+     "<r/>"},
+    {"priorities",
+     "<xsl:template match=\"*\">[any]</xsl:template>"
+     "<xsl:template match=\"b\">[b]</xsl:template>"
+     "<xsl:template match=\"r/b\" priority=\"-3\">[rb]</xsl:template>",
+     "<r><a/><b/></r>"},
+    {"number_instruction",
+     "<xsl:template match=\"i\"><xsl:number/>.</xsl:template>"
+     "<xsl:template match=\"text()\"/>",
+     "<r><i/><i/><j/><i/></r>"},
+    {"comment_pi_output",
+     "<xsl:template match=\"/\"><xsl:comment>c</xsl:comment>"
+     "<xsl:processing-instruction name=\"p\">d</xsl:processing-instruction>"
+     "</xsl:template>",
+     "<r/>"},
+    {"rtf_variable",
+     "<xsl:template match=\"/\">"
+     "<xsl:variable name=\"f\"><a>1</a><b>2</b></xsl:variable>"
+     "<s><xsl:value-of select=\"$f\"/></s><c><xsl:copy-of select=\"$f\"/></c>"
+     "</xsl:template>",
+     "<r/>"},
+    {"union_pattern",
+     "<xsl:template match=\"a | b\">hit;</xsl:template>"
+     "<xsl:template match=\"text()\"/>",
+     "<r><a/><c/><b/></r>"},
+};
+
+INSTANTIATE_TEST_SUITE_P(AllCases, VmDifferentialTest,
+                         ::testing::ValuesIn(kDiffCases),
+                         [](const ::testing::TestParamInfo<DiffCase>& info) {
+                           return std::string(info.param.name);
+                         });
+
+// ---------------------------------------------------------------------------
+// Trace mode
+// ---------------------------------------------------------------------------
+
+/// Collects raw trace events for inspection.
+class RecordingListener : public TraceListener {
+ public:
+  struct Dispatch {
+    int site;
+    std::string node_name;
+    std::vector<int> candidates;
+    bool builtin_fallback;
+  };
+  std::vector<Dispatch> dispatches;
+  std::vector<int> activations;
+  int recursion_events = 0;
+
+  void OnDispatch(int site_id, xml::Node* node, const std::string&,
+                  const std::vector<Stylesheet::StructuralMatch>& candidates,
+                  bool builtin_fallback) override {
+    Dispatch d;
+    d.site = site_id;
+    d.node_name = node->is_element() ? node->local_name() : "#" ;
+    for (const auto& c : candidates) d.candidates.push_back(c.index);
+    d.builtin_fallback = builtin_fallback;
+    dispatches.push_back(std::move(d));
+  }
+  void OnActivationBegin(int idx, xml::Node*) override {
+    activations.push_back(idx);
+  }
+  void OnActivationEnd(int) override {}
+  void OnRecursion(int, xml::Node*) override { ++recursion_events; }
+};
+
+schema::StructuralInfo DeptStructure() {
+  schema::StructureBuilder b;
+  auto* dept = b.Element("dept");
+  b.AddText(b.AddChild(dept, "dname"));
+  b.AddText(b.AddChild(dept, "loc"));
+  auto* employees = b.AddChild(dept, "employees");
+  auto* emp = b.AddChild(employees, "emp", 0, -1);
+  b.AddText(b.AddChild(emp, "empno"));
+  b.AddText(b.AddChild(emp, "ename"));
+  b.AddText(b.AddChild(emp, "sal"));
+  return b.Build(dept);
+}
+
+const char* kPaperBody =
+    "<xsl:template match=\"dept\"><H1>X</H1><xsl:apply-templates/>"
+    "</xsl:template>"
+    "<xsl:template match=\"dname\"><H2><xsl:value-of select=\".\"/></H2>"
+    "</xsl:template>"
+    "<xsl:template match=\"loc\"><H2><xsl:value-of select=\".\"/></H2>"
+    "</xsl:template>"
+    "<xsl:template match=\"employees\">"
+    "<xsl:apply-templates select=\"emp[sal &gt; 2000]\"/></xsl:template>"
+    "<xsl:template match=\"emp\"><tr/></xsl:template>"
+    "<xsl:template match=\"text()\"><xsl:value-of select=\".\"/></xsl:template>";
+
+TEST(VmTraceTest, PaperExampleTraceActivations) {
+  auto ss = Stylesheet::Parse(Wrap(kPaperBody));
+  ASSERT_TRUE(ss.ok()) << ss.status().ToString();
+  auto compiled = CompiledStylesheet::Compile(**ss);
+  ASSERT_TRUE(compiled.ok());
+
+  schema::StructuralInfo info = DeptStructure();
+  auto sample = schema::GenerateSampleDocument(info);
+
+  Vm vm(**compiled);
+  RecordingListener listener;
+  ASSERT_TRUE(vm.TraceRun(sample->root(), &listener).ok());
+
+  // Sites: 0 = <apply-templates/> in dept, 1 = select="emp[sal>2000]".
+  // The dept children dispatch must cover dname, loc, employees.
+  std::set<std::string> dept_children;
+  for (const auto& d : listener.dispatches) {
+    if (d.site == 0) dept_children.insert(d.node_name);
+  }
+  EXPECT_TRUE(dept_children.count("dname"));
+  EXPECT_TRUE(dept_children.count("loc"));
+  EXPECT_TRUE(dept_children.count("employees"));
+
+  // The predicate select still reaches emp (predicate assumed true).
+  bool emp_dispatched = false;
+  for (const auto& d : listener.dispatches) {
+    if (d.site == 1 && d.node_name == "emp") emp_dispatched = true;
+  }
+  EXPECT_TRUE(emp_dispatched);
+  EXPECT_EQ(listener.recursion_events, 0);
+}
+
+TEST(VmTraceTest, ConditionalCandidatesKeptUntilUnconditional) {
+  // Table 18: predicate template + unconditional template for same pattern.
+  // Both default to priority 0.5, where XSLT's recovery rule would let the
+  // later (unconditional) template shadow the predicated one; the paper's
+  // scenario requires the predicated template to win when its predicate
+  // holds, so it carries an explicit higher priority.
+  auto ss = Stylesheet::Parse(Wrap(
+      "<xsl:template match=\"emp/empno[. = 3456]\" priority=\"1\">A"
+      "</xsl:template>"
+      "<xsl:template match=\"emp/empno\">B</xsl:template>"));
+  ASSERT_TRUE(ss.ok());
+  auto compiled = CompiledStylesheet::Compile(**ss);
+  ASSERT_TRUE(compiled.ok());
+
+  schema::StructureBuilder b;
+  auto* emp = b.Element("emp");
+  b.AddText(b.AddChild(emp, "empno"));
+  auto sample = schema::GenerateSampleDocument(b.Build(emp));
+
+  Vm vm(**compiled);
+  RecordingListener listener;
+  ASSERT_TRUE(vm.TraceRun(sample->root(), &listener).ok());
+
+  bool found = false;
+  for (const auto& d : listener.dispatches) {
+    if (d.node_name == "empno") {
+      found = true;
+      // Both candidates, best (predicated, index 0) first, then index 1;
+      // no builtin fallback because the second is unconditional.
+      ASSERT_EQ(d.candidates.size(), 2u);
+      EXPECT_EQ(d.candidates[0], 0);
+      EXPECT_EQ(d.candidates[1], 1);
+      EXPECT_FALSE(d.builtin_fallback);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(VmTraceTest, IfAndChooseBranchesAllExplored) {
+  auto ss = Stylesheet::Parse(Wrap(
+      "<xsl:template match=\"r\">"
+      "<xsl:if test=\"x = 'never'\"><xsl:call-template name=\"a\"/></xsl:if>"
+      "<xsl:choose><xsl:when test=\"false()\">"
+      "<xsl:call-template name=\"b\"/></xsl:when>"
+      "<xsl:otherwise><xsl:call-template name=\"c\"/></xsl:otherwise>"
+      "</xsl:choose></xsl:template>"
+      "<xsl:template name=\"a\">a</xsl:template>"
+      "<xsl:template name=\"b\">b</xsl:template>"
+      "<xsl:template name=\"c\">c</xsl:template>"));
+  ASSERT_TRUE(ss.ok());
+  auto compiled = CompiledStylesheet::Compile(**ss);
+  ASSERT_TRUE(compiled.ok());
+
+  schema::StructureBuilder b;
+  auto* r = b.Element("r");
+  b.AddText(b.AddChild(r, "x"));
+  auto sample = schema::GenerateSampleDocument(b.Build(r));
+
+  Vm vm(**compiled);
+  RecordingListener listener;
+  ASSERT_TRUE(vm.TraceRun(sample->root(), &listener).ok());
+  // All three named templates activated (1=a, 2=b, 3=c).
+  std::set<int> activated(listener.activations.begin(), listener.activations.end());
+  EXPECT_TRUE(activated.count(1));
+  EXPECT_TRUE(activated.count(2));
+  EXPECT_TRUE(activated.count(3));
+}
+
+TEST(VmTraceTest, RecursiveTemplateDetected) {
+  auto ss = Stylesheet::Parse(Wrap(
+      "<xsl:template match=\"section\"><s><xsl:apply-templates "
+      "select=\"section\"/></s></xsl:template>"));
+  ASSERT_TRUE(ss.ok());
+  auto compiled = CompiledStylesheet::Compile(**ss);
+  ASSERT_TRUE(compiled.ok());
+
+  schema::StructureBuilder b;
+  auto* section = b.Element("section");
+  b.AddRecursiveChild(section, section);
+  auto sample = schema::GenerateSampleDocument(b.Build(section));
+
+  Vm vm(**compiled);
+  RecordingListener listener;
+  ASSERT_TRUE(vm.TraceRun(sample->root(), &listener).ok());
+  EXPECT_GE(listener.recursion_events, 1);
+}
+
+TEST(VmTraceTest, NamedTemplateRecursionGuard) {
+  auto ss = Stylesheet::Parse(Wrap(
+      "<xsl:template match=\"/\"><xsl:call-template name=\"loop\"/>"
+      "</xsl:template>"
+      "<xsl:template name=\"loop\"><xsl:call-template name=\"loop\"/>"
+      "</xsl:template>"));
+  ASSERT_TRUE(ss.ok());
+  auto compiled = CompiledStylesheet::Compile(**ss);
+  ASSERT_TRUE(compiled.ok());
+
+  auto doc = xml::ParseDocument("<r/>");
+  Vm vm(**compiled);
+  RecordingListener listener;
+  // Trace terminates (no infinite loop) and records the recursion.
+  ASSERT_TRUE(vm.TraceRun((*doc)->root(), &listener).ok());
+  EXPECT_GE(listener.recursion_events, 1);
+}
+
+TEST(StripPredicatesTest, RemovesAllPredicates) {
+  auto check = [](const char* in, const char* expected) {
+    auto e = xpath::ParseXPath(in);
+    ASSERT_TRUE(e.ok());
+    EXPECT_EQ(StripPredicates(**e)->ToString(), expected) << in;
+  };
+  check("emp[sal > 2000]", "emp");
+  check("a/b[1]/c[@x]", "a/b/c");
+  check("//x[y]", "//x");
+  check("$v[2]/w", "$v/w");
+  check("a | b[1]", "a | b");
+  check("count(emp[sal > 10])", "count(emp[sal > 10])");  // inside fn args kept
+}
+
+}  // namespace
+}  // namespace xdb::xslt

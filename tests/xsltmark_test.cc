@@ -1,0 +1,120 @@
+#include "xsltmark/suite.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace xdb::xsltmark {
+namespace {
+
+TEST(XsltMarkSuiteTest, HasFortyCases) {
+  EXPECT_EQ(AllCases().size(), 40u);
+  std::set<std::string> names;
+  for (const BenchCase& c : AllCases()) {
+    EXPECT_TRUE(names.insert(c.name).second) << "duplicate case " << c.name;
+    EXPECT_FALSE(c.stylesheet.empty());
+    EXPECT_FALSE(c.category.empty());
+  }
+  EXPECT_NE(FindCase("dbonerow"), nullptr);
+  EXPECT_NE(FindCase("avts"), nullptr);
+  EXPECT_NE(FindCase("chart"), nullptr);
+  EXPECT_NE(FindCase("metric"), nullptr);
+  EXPECT_NE(FindCase("total"), nullptr);
+  EXPECT_EQ(FindCase("nope"), nullptr);
+}
+
+TEST(XsltMarkSuiteTest, AllStylesheetsParseAndCompile) {
+  for (const BenchCase& c : AllCases()) {
+    auto ss = xslt::Stylesheet::Parse(c.stylesheet);
+    ASSERT_TRUE(ss.ok()) << c.name << ": " << ss.status().ToString();
+    auto compiled = xslt::CompiledStylesheet::Compile(**ss);
+    ASSERT_TRUE(compiled.ok()) << c.name << ": " << compiled.status().ToString();
+  }
+}
+
+TEST(XsltMarkSuiteTest, FamiliesSetUp) {
+  for (const char* family : {"db", "sales", "product", "tree"}) {
+    XmlDb db;
+    ASSERT_TRUE(SetupFamily(&db, family, 50).ok()) << family;
+    auto xml = db.MaterializeView(FamilyViewName(family));
+    ASSERT_TRUE(xml.ok()) << family << ": " << xml.status().ToString();
+    ASSERT_EQ(xml->size(), 1u);
+    EXPECT_GT((*xml)[0].size(), 100u) << family;
+  }
+  XmlDb db;
+  EXPECT_FALSE(SetupFamily(&db, "bogus", 10).ok());
+}
+
+// Per-case: the rewrite pipeline must agree with the functional baseline.
+class XsltMarkCaseTest : public ::testing::TestWithParam<BenchCase> {};
+
+TEST_P(XsltMarkCaseTest, RewriteAgreesWithFunctional) {
+  const BenchCase& c = GetParam();
+  XmlDb db;
+  ASSERT_TRUE(SetupFamily(&db, c.family, 30).ok());
+  const std::string view = FamilyViewName(c.family);
+
+  ExecOptions functional;
+  functional.enable_rewrite = false;
+  ExecStats fstats;
+  auto fref = db.TransformView(view, c.stylesheet, functional, &fstats);
+  ASSERT_TRUE(fref.ok()) << c.name << ": " << fref.status().ToString();
+
+  ExecStats rstats;
+  auto rout = db.TransformView(view, c.stylesheet, {}, &rstats);
+  ASSERT_TRUE(rout.ok()) << c.name << ": " << rout.status().ToString();
+
+  EXPECT_EQ(*rout, *fref) << c.name << " diverged on path "
+                          << ExecutionPathName(rstats.path)
+                          << "\nxquery:\n" << rstats.xquery_text;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCases, XsltMarkCaseTest,
+                         ::testing::ValuesIn(AllCases()),
+                         [](const ::testing::TestParamInfo<BenchCase>& info) {
+                           return info.param.name;
+                         });
+
+// The paper's §5 statistic: 23 of 40 cases compile in full inline mode.
+TEST(XsltMarkSuiteTest, InlineModeStatistic) {
+  int inline_count = 0;
+  int non_inline = 0;
+  int unrewritable = 0;
+  for (const BenchCase& c : AllCases()) {
+    XmlDb db;
+    ASSERT_TRUE(SetupFamily(&db, c.family, 10).ok());
+    auto result = CompileCase(c, &db);
+    ASSERT_TRUE(result.ok()) << c.name << ": " << result.status().ToString();
+    if (!result->rewritable) {
+      ++unrewritable;
+    } else if (result->report.mode == rewrite::RewriteReport::Mode::kInline) {
+      ++inline_count;
+    } else {
+      ++non_inline;
+    }
+  }
+  // The paper reports 23/40 in inline mode ("more than 50%"); our suite is a
+  // reconstruction, so require the same ballpark and record exact numbers in
+  // EXPERIMENTS.md.
+  EXPECT_GE(inline_count, 20) << "inline=" << inline_count
+                              << " non-inline=" << non_inline
+                              << " unrewritable=" << unrewritable;
+  EXPECT_LE(inline_count, 28);
+  EXPECT_EQ(inline_count + non_inline + unrewritable, 40);
+  EXPECT_GE(non_inline, 5);
+  EXPECT_GE(unrewritable, 5);
+}
+
+TEST(XsltMarkSuiteTest, DbOneRowUsesIndex) {
+  XmlDb db;
+  ASSERT_TRUE(SetupFamily(&db, "db", 100).ok());
+  ExecStats stats;
+  auto r = db.TransformView("db_view", FindCase("dbonerow")->stylesheet, {},
+                            &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(stats.path, ExecutionPath::kSqlRewritten) << stats.fallback_reason;
+  EXPECT_TRUE(stats.used_index);
+}
+
+}  // namespace
+}  // namespace xdb::xsltmark
