@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_engines.dir/bench_ablation_engines.cc.o"
+  "CMakeFiles/bench_ablation_engines.dir/bench_ablation_engines.cc.o.d"
+  "bench_ablation_engines"
+  "bench_ablation_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_dbonerow.dir/bench_fig2_dbonerow.cc.o"
+  "CMakeFiles/bench_fig2_dbonerow.dir/bench_fig2_dbonerow.cc.o.d"
+  "bench_fig2_dbonerow"
+  "bench_fig2_dbonerow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_dbonerow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_xsltmark.dir/bench_fig3_xsltmark.cc.o"
+  "CMakeFiles/bench_fig3_xsltmark.dir/bench_fig3_xsltmark.cc.o.d"
+  "bench_fig3_xsltmark"
+  "bench_fig3_xsltmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_xsltmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

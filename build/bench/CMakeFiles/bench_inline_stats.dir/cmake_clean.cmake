@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inline_stats.dir/bench_inline_stats.cc.o"
+  "CMakeFiles/bench_inline_stats.dir/bench_inline_stats.cc.o.d"
+  "bench_inline_stats"
+  "bench_inline_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inline_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

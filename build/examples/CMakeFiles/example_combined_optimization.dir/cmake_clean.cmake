@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_combined_optimization.dir/combined_optimization.cpp.o"
+  "CMakeFiles/example_combined_optimization.dir/combined_optimization.cpp.o.d"
+  "example_combined_optimization"
+  "example_combined_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_combined_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dept_report.dir/dept_report.cpp.o"
+  "CMakeFiles/example_dept_report.dir/dept_report.cpp.o.d"
+  "example_dept_report"
+  "example_dept_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dept_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

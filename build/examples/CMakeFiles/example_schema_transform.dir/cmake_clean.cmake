@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_schema_transform.dir/schema_transform.cpp.o"
+  "CMakeFiles/example_schema_transform.dir/schema_transform.cpp.o.d"
+  "example_schema_transform"
+  "example_schema_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_schema_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/xdb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/xdb.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/xdb.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/xdb.dir/common/strings.cc.o.d"
+  "/root/repo/src/core/xmldb.cc" "src/CMakeFiles/xdb.dir/core/xmldb.cc.o" "gcc" "src/CMakeFiles/xdb.dir/core/xmldb.cc.o.d"
+  "/root/repo/src/rel/btree.cc" "src/CMakeFiles/xdb.dir/rel/btree.cc.o" "gcc" "src/CMakeFiles/xdb.dir/rel/btree.cc.o.d"
+  "/root/repo/src/rel/catalog.cc" "src/CMakeFiles/xdb.dir/rel/catalog.cc.o" "gcc" "src/CMakeFiles/xdb.dir/rel/catalog.cc.o.d"
+  "/root/repo/src/rel/datum.cc" "src/CMakeFiles/xdb.dir/rel/datum.cc.o" "gcc" "src/CMakeFiles/xdb.dir/rel/datum.cc.o.d"
+  "/root/repo/src/rel/exec.cc" "src/CMakeFiles/xdb.dir/rel/exec.cc.o" "gcc" "src/CMakeFiles/xdb.dir/rel/exec.cc.o.d"
+  "/root/repo/src/rel/expr.cc" "src/CMakeFiles/xdb.dir/rel/expr.cc.o" "gcc" "src/CMakeFiles/xdb.dir/rel/expr.cc.o.d"
+  "/root/repo/src/rel/publish.cc" "src/CMakeFiles/xdb.dir/rel/publish.cc.o" "gcc" "src/CMakeFiles/xdb.dir/rel/publish.cc.o.d"
+  "/root/repo/src/rel/table.cc" "src/CMakeFiles/xdb.dir/rel/table.cc.o" "gcc" "src/CMakeFiles/xdb.dir/rel/table.cc.o.d"
+  "/root/repo/src/rewrite/compose.cc" "src/CMakeFiles/xdb.dir/rewrite/compose.cc.o" "gcc" "src/CMakeFiles/xdb.dir/rewrite/compose.cc.o.d"
+  "/root/repo/src/rewrite/static_type.cc" "src/CMakeFiles/xdb.dir/rewrite/static_type.cc.o" "gcc" "src/CMakeFiles/xdb.dir/rewrite/static_type.cc.o.d"
+  "/root/repo/src/rewrite/xquery_rewriter.cc" "src/CMakeFiles/xdb.dir/rewrite/xquery_rewriter.cc.o" "gcc" "src/CMakeFiles/xdb.dir/rewrite/xquery_rewriter.cc.o.d"
+  "/root/repo/src/rewrite/xslt_rewriter.cc" "src/CMakeFiles/xdb.dir/rewrite/xslt_rewriter.cc.o" "gcc" "src/CMakeFiles/xdb.dir/rewrite/xslt_rewriter.cc.o.d"
+  "/root/repo/src/schema/sample_doc.cc" "src/CMakeFiles/xdb.dir/schema/sample_doc.cc.o" "gcc" "src/CMakeFiles/xdb.dir/schema/sample_doc.cc.o.d"
+  "/root/repo/src/schema/structure.cc" "src/CMakeFiles/xdb.dir/schema/structure.cc.o" "gcc" "src/CMakeFiles/xdb.dir/schema/structure.cc.o.d"
+  "/root/repo/src/schema/xsd_parser.cc" "src/CMakeFiles/xdb.dir/schema/xsd_parser.cc.o" "gcc" "src/CMakeFiles/xdb.dir/schema/xsd_parser.cc.o.d"
+  "/root/repo/src/xml/dom.cc" "src/CMakeFiles/xdb.dir/xml/dom.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xml/dom.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "src/CMakeFiles/xdb.dir/xml/parser.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xml/parser.cc.o.d"
+  "/root/repo/src/xml/serializer.cc" "src/CMakeFiles/xdb.dir/xml/serializer.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xml/serializer.cc.o.d"
+  "/root/repo/src/xpath/ast.cc" "src/CMakeFiles/xdb.dir/xpath/ast.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xpath/ast.cc.o.d"
+  "/root/repo/src/xpath/evaluator.cc" "src/CMakeFiles/xdb.dir/xpath/evaluator.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xpath/evaluator.cc.o.d"
+  "/root/repo/src/xpath/parser.cc" "src/CMakeFiles/xdb.dir/xpath/parser.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xpath/parser.cc.o.d"
+  "/root/repo/src/xpath/pattern.cc" "src/CMakeFiles/xdb.dir/xpath/pattern.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xpath/pattern.cc.o.d"
+  "/root/repo/src/xpath/value.cc" "src/CMakeFiles/xdb.dir/xpath/value.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xpath/value.cc.o.d"
+  "/root/repo/src/xquery/ast.cc" "src/CMakeFiles/xdb.dir/xquery/ast.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xquery/ast.cc.o.d"
+  "/root/repo/src/xquery/evaluator.cc" "src/CMakeFiles/xdb.dir/xquery/evaluator.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xquery/evaluator.cc.o.d"
+  "/root/repo/src/xquery/parser.cc" "src/CMakeFiles/xdb.dir/xquery/parser.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xquery/parser.cc.o.d"
+  "/root/repo/src/xslt/avt.cc" "src/CMakeFiles/xdb.dir/xslt/avt.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xslt/avt.cc.o.d"
+  "/root/repo/src/xslt/interpreter.cc" "src/CMakeFiles/xdb.dir/xslt/interpreter.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xslt/interpreter.cc.o.d"
+  "/root/repo/src/xslt/stylesheet.cc" "src/CMakeFiles/xdb.dir/xslt/stylesheet.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xslt/stylesheet.cc.o.d"
+  "/root/repo/src/xslt/vm.cc" "src/CMakeFiles/xdb.dir/xslt/vm.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xslt/vm.cc.o.d"
+  "/root/repo/src/xsltmark/suite.cc" "src/CMakeFiles/xdb.dir/xsltmark/suite.cc.o" "gcc" "src/CMakeFiles/xdb.dir/xsltmark/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

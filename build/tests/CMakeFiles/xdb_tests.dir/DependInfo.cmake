@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/edge_cases_test.cc" "tests/CMakeFiles/xdb_tests.dir/edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/edge_cases_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/xdb_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/rel_test.cc" "tests/CMakeFiles/xdb_tests.dir/rel_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/rel_test.cc.o.d"
+  "/root/repo/tests/schema_test.cc" "tests/CMakeFiles/xdb_tests.dir/schema_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/schema_test.cc.o.d"
+  "/root/repo/tests/static_type_test.cc" "tests/CMakeFiles/xdb_tests.dir/static_type_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/static_type_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/xdb_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/status_test.cc.o.d"
+  "/root/repo/tests/xml_test.cc" "tests/CMakeFiles/xdb_tests.dir/xml_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/xml_test.cc.o.d"
+  "/root/repo/tests/xmldb_test.cc" "tests/CMakeFiles/xdb_tests.dir/xmldb_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/xmldb_test.cc.o.d"
+  "/root/repo/tests/xpath_test.cc" "tests/CMakeFiles/xdb_tests.dir/xpath_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/xpath_test.cc.o.d"
+  "/root/repo/tests/xquery_rewriter_test.cc" "tests/CMakeFiles/xdb_tests.dir/xquery_rewriter_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/xquery_rewriter_test.cc.o.d"
+  "/root/repo/tests/xquery_test.cc" "tests/CMakeFiles/xdb_tests.dir/xquery_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/xquery_test.cc.o.d"
+  "/root/repo/tests/xslt_interpreter_test.cc" "tests/CMakeFiles/xdb_tests.dir/xslt_interpreter_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/xslt_interpreter_test.cc.o.d"
+  "/root/repo/tests/xslt_rewriter_test.cc" "tests/CMakeFiles/xdb_tests.dir/xslt_rewriter_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/xslt_rewriter_test.cc.o.d"
+  "/root/repo/tests/xslt_vm_test.cc" "tests/CMakeFiles/xdb_tests.dir/xslt_vm_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/xslt_vm_test.cc.o.d"
+  "/root/repo/tests/xsltmark_test.cc" "tests/CMakeFiles/xdb_tests.dir/xsltmark_test.cc.o" "gcc" "tests/CMakeFiles/xdb_tests.dir/xsltmark_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xdb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
