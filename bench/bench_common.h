@@ -4,6 +4,8 @@
 #ifndef XDB_BENCH_BENCH_COMMON_H_
 #define XDB_BENCH_BENCH_COMMON_H_
 
+#include <benchmark/benchmark.h>
+
 #include <map>
 #include <memory>
 #include <string>
@@ -36,6 +38,19 @@ inline ExecOptions NoRewriteArm() {
   ExecOptions o;
   o.enable_rewrite = false;
   return o;
+}
+
+/// Attaches the execution-path label and the prepared-transform
+/// instrumentation (cache hit, prepare/execute split, thread count) to the
+/// benchmark's counters so every bench line is self-describing.
+inline void ReportExecStats(benchmark::State& state, const ExecStats& stats) {
+  state.SetLabel(ExecutionPathName(stats.path));
+  state.counters["cache_hit"] = stats.cache_hit ? 1 : 0;
+  state.counters["prepare_ms"] =
+      static_cast<double>(stats.prepare_ns) / 1e6;
+  state.counters["execute_ms"] =
+      static_cast<double>(stats.execute_ns) / 1e6;
+  state.counters["threads"] = static_cast<double>(stats.threads_used);
 }
 
 }  // namespace xdb::bench

@@ -31,7 +31,7 @@ void BM_DbOneRow_Rewrite(benchmark::State& state) {
   }
   state.counters["rows"] = static_cast<double>(state.range(0));
   state.counters["used_index"] = stats.used_index ? 1 : 0;
-  state.SetLabel(ExecutionPathName(stats.path));
+  ReportExecStats(state, stats);
 }
 
 void BM_DbOneRow_NoRewrite(benchmark::State& state) {
@@ -44,7 +44,7 @@ void BM_DbOneRow_NoRewrite(benchmark::State& state) {
     benchmark::DoNotOptimize(r);
   }
   state.counters["rows"] = static_cast<double>(state.range(0));
-  state.SetLabel(ExecutionPathName(stats.path));
+  ReportExecStats(state, stats);
 }
 
 // The four doubling scale points of Figure 2 (8M/16M/32M/64M analogs).

@@ -1,0 +1,63 @@
+// Execution paths, per-execution statistics and options for the XmlDb query
+// entry points. Split out of xmldb.h so the plan cache can describe prepared
+// transforms without a circular include.
+#ifndef XDB_CORE_EXEC_STATS_H_
+#define XDB_CORE_EXEC_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "rewrite/xquery_rewriter.h"
+#include "rewrite/xslt_rewriter.h"
+
+namespace xdb {
+
+/// Which pipeline stage finally executed a query.
+enum class ExecutionPath {
+  kSqlRewritten,      ///< plan A: pure relational execution
+  kXQueryRewritten,   ///< plan B: rewritten XQuery over materialized XML
+  kFunctional,        ///< plan C: functional XSLT / XQuery evaluation
+};
+
+const char* ExecutionPathName(ExecutionPath path);
+
+/// Per-execution statistics and artifacts (inspected by tests, examples and
+/// EXPERIMENTS.md generators).
+struct ExecStats {
+  ExecutionPath path = ExecutionPath::kFunctional;
+  rewrite::RewriteReport xslt_report;
+  bool used_index = false;
+  int predicates_pushed = 0;
+  std::string xquery_text;   ///< the intermediate XQuery (when produced)
+  std::string sql_text;      ///< the final relational expression (when produced)
+  std::string fallback_reason;  ///< why a stage was skipped (diagnostics)
+
+  // -- prepared-transform instrumentation ------------------------------------
+  bool cache_hit = false;    ///< the plan came out of the plan cache
+  int64_t prepare_ns = 0;    ///< parse + rewrite + plan (or cache lookup) time
+  int64_t execute_ns = 0;    ///< per-row execution time
+  int threads_used = 1;      ///< parallelism applied by the row executor
+};
+
+struct ExecOptions {
+  /// Master switch: false = the paper's "no rewrite" baseline (functional
+  /// XSLT over the materialized DOM).
+  bool enable_rewrite = true;
+  /// Allow the XQuery -> SQL/XML stage.
+  bool enable_sql_rewrite = true;
+  rewrite::XsltRewriteOptions xslt;
+  rewrite::SqlRewriteOptions sql;
+
+  /// Consult/populate the shared plan cache (prepared transforms). Off =
+  /// every call re-parses, re-compiles and re-plans (the pre-cache behavior;
+  /// used by cold-path benchmarks).
+  bool use_plan_cache = true;
+  /// Row-executor parallelism for the per-row loop: 0 = auto (XDB_THREADS
+  /// env var, else hardware_concurrency), 1 = serial, N = exactly N threads.
+  /// Execution-time only — does not participate in the plan-cache key.
+  int threads = 0;
+};
+
+}  // namespace xdb
+
+#endif  // XDB_CORE_EXEC_STATS_H_

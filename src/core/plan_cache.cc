@@ -1,0 +1,114 @@
+#include "core/plan_cache.h"
+
+namespace xdb::core {
+
+uint64_t OptionsFingerprint(const ExecOptions& options) {
+  uint64_t fp = 0;
+  auto bit = [&fp, i = 0](bool b) mutable { fp |= (b ? 1ull : 0ull) << i++; };
+  bit(options.enable_rewrite);
+  bit(options.enable_sql_rewrite);
+  bit(options.xslt.force_straightforward);
+  bit(options.xslt.enable_inline);
+  bit(options.xslt.enable_cardinality);
+  bit(options.xslt.enable_parent_test_removal);
+  bit(options.xslt.enable_builtin_compaction);
+  bit(options.xslt.enable_dead_template_removal);
+  bit(options.sql.enable_index_selection);
+  return fp;
+}
+
+std::shared_ptr<const PreparedTransform> PlanCache::Lookup(const PlanKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // move to MRU
+  return it->second->second;
+}
+
+void PlanCache::Insert(const PlanKey& key,
+                       std::shared_ptr<const PreparedTransform> plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(plan));
+  index_[key] = lru_.begin();
+  EvictPastCapacityLocked();
+}
+
+void PlanCache::EvictPastCapacityLocked() {
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+void PlanCache::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  EvictPastCapacityLocked();
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Stats{hits_, misses_, evictions_, invalidations_, lru_.size()};
+}
+
+void PlanCache::InvalidateTableLocked(const std::string& table,
+                                      bool stats_only) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    const PreparedTransform& p = *it->second;
+    if (p.ReferencesTable(table) && (!stats_only || p.depends_on_stats)) {
+      index_.erase(it->first);
+      it = lru_.erase(it);
+      ++invalidations_;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PlanCache::OnTableCreated(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  InvalidateTableLocked(table, /*stats_only=*/false);
+}
+
+void PlanCache::OnIndexCreated(const std::string& table,
+                               const std::string& /*column*/) {
+  std::lock_guard<std::mutex> lock(mu_);
+  InvalidateTableLocked(table, /*stats_only=*/false);
+}
+
+void PlanCache::OnViewCreated(const std::string& view) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->second->view_name == view) {
+      index_.erase(it->first);
+      it = lru_.erase(it);
+      ++invalidations_;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PlanCache::OnRowsInserted(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  InvalidateTableLocked(table, /*stats_only=*/true);
+}
+
+}  // namespace xdb::core

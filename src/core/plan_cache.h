@@ -1,0 +1,183 @@
+// PlanCache: an LRU cache of prepared transforms, the shared-cursor-cache
+// analog of what Oracle XML DB does for repeated XMLTransform()/XMLQuery()
+// calls. A cold TransformView call parses the stylesheet, compiles it to
+// bytecode, runs the XSLT->XQuery->SQL/XML rewrite pipeline and picks an
+// execution path; all of that is row-count independent, so a warm call can
+// skip straight to per-row execution.
+//
+// Keying: (view name, FNV-1a hash of the stylesheet/xquery text, fingerprint
+// of the prepare-relevant ExecOptions, entry kind). Two views with identical
+// stylesheet text get distinct entries — the plan bakes in the view's
+// structure and base table.
+//
+// Invalidation: the cache registers as a rel::DdlListener on the catalog.
+//  * CreateIndex on a table  -> drop every plan referencing that table (base
+//    or nested detail table — the physical plan may upgrade from a seq scan
+//    to an index probe on either side of the publishing join).
+//  * CreateTable / view creation -> drop plans naming that object (a fresh
+//    name cannot match an existing plan, so this is a no-op today, but the
+//    hook is where DROP/REPLACE would plug in).
+//  * Insert -> drop only plans that depend on table *statistics*. All current
+//    plan shapes are structure-derived (the rewrite consumes the view's
+//    structural information, never row counts), so they survive inserts and
+//    a warm plan sees newly inserted rows on its next execution.
+#ifndef XDB_CORE_PLAN_CACHE_H_
+#define XDB_CORE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/exec_stats.h"
+#include "rel/catalog.h"
+#include "xquery/ast.h"
+#include "xslt/vm.h"
+
+namespace xdb::core {
+
+/// 64-bit FNV-1a (the plan-key text hash).
+inline uint64_t Fnv1aHash(std::string_view text) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+enum class PreparedKind { kTransform, kQuery };
+
+/// Bit-packs the prepare-relevant ExecOptions (execution-time options like
+/// `threads` are deliberately excluded).
+uint64_t OptionsFingerprint(const ExecOptions& options);
+
+struct PlanKey {
+  std::string view;
+  uint64_t text_hash = 0;
+  uint64_t options_fp = 0;
+  PreparedKind kind = PreparedKind::kTransform;
+
+  bool operator==(const PlanKey& o) const {
+    return text_hash == o.text_hash && options_fp == o.options_fp &&
+           kind == o.kind && view == o.view;
+  }
+};
+
+struct PlanKeyHash {
+  size_t operator()(const PlanKey& k) const {
+    uint64_t h = k.text_hash ^ (k.options_fp * 0x9e3779b97f4a7c15ull) ^
+                 (static_cast<uint64_t>(k.kind) << 62);
+    h ^= Fnv1aHash(k.view);
+    return static_cast<size_t>(h);
+  }
+};
+
+/// A fully prepared TransformView/QueryView call: plan A/B/C artifacts plus
+/// the chosen execution path. Immutable after prepare; safe to execute from
+/// many threads concurrently (all evaluation state lives in per-row
+/// ExecCtx/arena instances).
+struct PreparedTransform {
+  PreparedKind kind = PreparedKind::kTransform;
+  ExecutionPath path = ExecutionPath::kFunctional;
+
+  std::string view_name;
+  std::string base_table;
+  /// Invalidation match targets: the base table plus every nested detail
+  /// table the publishing spec joins (a DDL event on any of them can change
+  /// the best plan — e.g. an index on a joined column).
+  std::vector<std::string> referenced_tables;
+
+  bool ReferencesTable(const std::string& table) const {
+    for (const auto& t : referenced_tables) {
+      if (t == table) return true;
+    }
+    return false;
+  }
+
+  // Pinned catalog objects (the catalog never drops objects, so raw
+  // pointers stay valid for the database's lifetime).
+  const rel::XmlView* view = nullptr;
+  const rel::XmlView* pub = nullptr;   // publishing view ending the chain
+  const rel::Table* base = nullptr;
+
+  // -- plan artifacts ---------------------------------------------------------
+  // The user stylesheet (kTransform): parsed + compiled. The compiled form
+  // holds a pointer into the parsed form, so both are kept.
+  std::shared_ptr<const xslt::Stylesheet> stylesheet;
+  std::shared_ptr<const xslt::CompiledStylesheet> compiled;
+  // Plan B / functional-query: the rewritten (or user/composed) XQuery.
+  std::shared_ptr<const xquery::Query> query;
+  // Plan A: the final relational expression over the base table.
+  std::shared_ptr<const rewrite::SqlRewriteResult> sql;
+
+  // -- stats template (copied into the caller's ExecStats per execution) ------
+  rewrite::RewriteReport xslt_report;
+  bool used_index = false;
+  int predicates_pushed = 0;
+  std::string xquery_text;
+  std::string sql_text;
+  std::string fallback_reason;
+
+  /// True when the plan choice consumed table statistics (row counts,
+  /// selectivities). No current plan shape does — the rewrite is driven by
+  /// the view's *structure* — so inserts never invalidate; kept explicit so
+  /// a future cost-based path can flip it per plan.
+  bool depends_on_stats = false;
+};
+
+/// \brief Thread-safe LRU plan cache with DDL-driven invalidation.
+class PlanCache : public rel::DdlListener {
+ public:
+  static constexpr size_t kDefaultCapacity = 64;
+
+  explicit PlanCache(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  /// Cache hit moves the entry to the MRU position. Counts a hit or miss.
+  std::shared_ptr<const PreparedTransform> Lookup(const PlanKey& key);
+  /// Inserts (or replaces) the entry; evicts from the LRU end past capacity.
+  void Insert(const PlanKey& key, std::shared_ptr<const PreparedTransform> plan);
+
+  void Clear();
+  void set_capacity(size_t capacity);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;  // entries dropped by DDL hooks
+    size_t entries = 0;
+  };
+  Stats stats() const;
+
+  // -- rel::DdlListener (invalidation hooks) ----------------------------------
+  void OnTableCreated(const std::string& table) override;
+  void OnIndexCreated(const std::string& table,
+                      const std::string& column) override;
+  void OnViewCreated(const std::string& view) override;
+  void OnRowsInserted(const std::string& table) override;
+
+ private:
+  using Entry = std::pair<PlanKey, std::shared_ptr<const PreparedTransform>>;
+
+  void InvalidateTableLocked(const std::string& table, bool stats_only);
+  void EvictPastCapacityLocked();
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<PlanKey, std::list<Entry>::iterator, PlanKeyHash> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t invalidations_ = 0;
+};
+
+}  // namespace xdb::core
+
+#endif  // XDB_CORE_PLAN_CACHE_H_

@@ -1,0 +1,73 @@
+// RowExecutor: a small persistent worker pool for data-parallel per-row
+// loops. The per-row bodies of plans A, B and C are independent — each row
+// evaluates against its own xml::Document arena and ExecCtx — so the loop
+// over base-table rows parallelizes trivially. Results are written into a
+// caller-pre-sized output slot by row index, which keeps the output ordering
+// deterministic and byte-identical to the serial loop.
+//
+// Scheduling: the row range is split into chunks, dealt round-robin onto
+// per-worker deques; each worker drains its own deque from the front and
+// steals from the back of a victim's deque when it runs dry. The first row
+// error (lowest row index among observed failures) cancels all remaining
+// chunks.
+//
+// Sizing: `XDB_THREADS` overrides the default of hardware_concurrency; a
+// per-call `threads` argument overrides both (tests and benchmarks pin it).
+// Workers are started lazily and parked on a condition variable between
+// jobs, so an idle pool costs nothing on the query path.
+#ifndef XDB_CORE_ROW_EXECUTOR_H_
+#define XDB_CORE_ROW_EXECUTOR_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xdb::core {
+
+class RowExecutor {
+ public:
+  /// The process-wide pool (workers are shared across XmlDb instances).
+  static RowExecutor& Global();
+
+  RowExecutor() = default;
+  ~RowExecutor();
+
+  RowExecutor(const RowExecutor&) = delete;
+  RowExecutor& operator=(const RowExecutor&) = delete;
+
+  /// Runs `body(row)` for every row in [0, n). `threads <= 0` means auto
+  /// (XDB_THREADS env var, else hardware_concurrency). Returns the error of
+  /// the lowest failing row index observed; later chunks are cancelled after
+  /// the first failure. `threads_used` (optional) reports the parallelism
+  /// actually applied, including the calling thread.
+  Status ParallelFor(size_t n, const std::function<Status(size_t)>& body,
+                     int threads = 0, int* threads_used = nullptr);
+
+  /// Resolved auto thread count (env override or hardware concurrency).
+  static int DefaultThreads();
+
+ private:
+  struct Job;
+
+  void EnsureWorkers(int count);
+  void WorkerLoop(int worker_id);
+  static void RunWorker(Job* job, int slot);
+
+  std::mutex submit_mu_;  // serializes jobs (one parallel loop in flight);
+                          // nested ParallelFor from a body would self-deadlock
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::vector<std::thread> workers_;
+  Job* job_ = nullptr;        // current job, guarded by mu_
+  int job_waiting_ = 0;       // workers still expected to pick up job_
+  bool shutdown_ = false;
+};
+
+}  // namespace xdb::core
+
+#endif  // XDB_CORE_ROW_EXECUTOR_H_

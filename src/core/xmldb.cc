@@ -1,5 +1,9 @@
 #include "core/xmldb.h"
 
+#include <chrono>
+#include <functional>
+
+#include "core/row_executor.h"
 #include "rewrite/compose.h"
 #include "rewrite/static_type.h"
 #include "xml/serializer.h"
@@ -22,11 +26,30 @@ const char* ExecutionPathName(ExecutionPath path) {
       return "xquery-rewritten";
     case ExecutionPath::kFunctional:
       return "functional";
+    default:  // out-of-range cast from untrusted int
+      return "?";
   }
-  return "?";
 }
 
 namespace {
+
+int64_t ElapsedNs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+// Copies the plan-template half of the stats (the runtime half — cache_hit,
+// prepare_ns, execute_ns, threads_used — is owned by Prepare*/Execute).
+void CopyPlanTemplate(const core::PreparedTransform& prepared, ExecStats* stats) {
+  stats->path = prepared.path;
+  stats->xslt_report = prepared.xslt_report;
+  stats->used_index = prepared.used_index;
+  stats->predicates_pushed = prepared.predicates_pushed;
+  stats->xquery_text = prepared.xquery_text;
+  stats->sql_text = prepared.sql_text;
+  stats->fallback_reason = prepared.fallback_reason;
+}
 
 std::string SerializeDatum(const Datum& d) {
   if (d.type() != rel::DataType::kXml || d.AsXml() == nullptr) return d.ToString();
@@ -86,6 +109,10 @@ Result<std::string> ApplyXQuery(const xquery::Query& query, const Datum& in) {
 
 }  // namespace
 
+XmlDb::XmlDb() { catalog_.AddDdlListener(&plan_cache_); }
+
+XmlDb::~XmlDb() { catalog_.RemoveDdlListener(&plan_cache_); }
+
 Status XmlDb::Insert(const std::string& table, rel::Row row) {
   XDB_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(table));
   return t->Insert(std::move(row));
@@ -130,37 +157,58 @@ Result<Datum> XmlDb::ViewValueForRow(const XmlView* view, int64_t row_id,
   return v;
 }
 
-Result<std::vector<std::string>> XmlDb::MaterializeView(const std::string& view) {
-  XDB_ASSIGN_OR_RETURN(const XmlView* v, catalog_.GetView(view));
-  std::vector<const XmlView*> xslt_views;
-  XDB_ASSIGN_OR_RETURN(const XmlView* pub, ResolveChain(v, &xslt_views));
-  XDB_ASSIGN_OR_RETURN(Table * base, catalog_.GetTable(pub->base_table));
-  std::vector<std::string> out;
-  for (size_t i = 0; i < base->row_count(); ++i) {
-    xml::Document arena;
-    ExecCtx ctx;
-    ctx.arena = &arena;
-    XDB_ASSIGN_OR_RETURN(Datum d,
-                         ViewValueForRow(v, static_cast<int64_t>(i), &ctx));
-    out.push_back(SerializeDatum(d));
+// ---------------------------------------------------------------------------
+// Prepare: build (or fetch) the plan.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Every table a publishing spec touches: the base table plus the detail
+// table of each kNested node, recursively. These are the plan's DDL
+// invalidation targets.
+void CollectSpecTables(const rel::PublishSpec& spec,
+                       std::vector<std::string>* out) {
+  if (spec.kind == rel::PublishSpec::Kind::kNested) {
+    out->push_back(spec.child_table);
+    if (spec.row_element != nullptr) CollectSpecTables(*spec.row_element, out);
   }
-  return out;
+  for (const auto& child : spec.children) {
+    CollectSpecTables(*child, out);
+  }
 }
 
-Result<std::vector<std::string>> XmlDb::TransformView(
+std::vector<std::string> ReferencedTables(const XmlView& pub) {
+  std::vector<std::string> tables{pub.base_table};
+  if (pub.publish != nullptr) CollectSpecTables(*pub.publish, &tables);
+  return tables;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const core::PreparedTransform>> XmlDb::BuildTransformPlan(
     const std::string& view, std::string_view stylesheet_text,
-    const ExecOptions& options, ExecStats* stats) {
-  ExecStats local;
-  if (stats == nullptr) stats = &local;
-  *stats = ExecStats();
+    const ExecOptions& options) {
+  auto prepared = std::make_shared<core::PreparedTransform>();
+  prepared->kind = core::PreparedKind::kTransform;
+  prepared->view_name = view;
 
   XDB_ASSIGN_OR_RETURN(const XmlView* v, catalog_.GetView(view));
   XDB_ASSIGN_OR_RETURN(auto parsed, xslt::Stylesheet::Parse(stylesheet_text));
-  XDB_ASSIGN_OR_RETURN(auto compiled, xslt::CompiledStylesheet::Compile(*parsed));
+  prepared->stylesheet =
+      std::shared_ptr<const xslt::Stylesheet>(std::move(parsed));
+  XDB_ASSIGN_OR_RETURN(auto compiled,
+                       xslt::CompiledStylesheet::Compile(*prepared->stylesheet));
+  prepared->compiled =
+      std::shared_ptr<const xslt::CompiledStylesheet>(std::move(compiled));
 
   std::vector<const XmlView*> xslt_views;
   XDB_ASSIGN_OR_RETURN(const XmlView* pub, ResolveChain(v, &xslt_views));
   XDB_ASSIGN_OR_RETURN(Table * base, catalog_.GetTable(pub->base_table));
+  prepared->view = v;
+  prepared->pub = pub;
+  prepared->base = base;
+  prepared->base_table = pub->base_table;
+  prepared->referenced_tables = ReferencedTables(*pub);
 
   // ---- rewrite pipeline -----------------------------------------------------
   if (options.enable_rewrite && xslt_views.size() <= 1) {
@@ -171,8 +219,9 @@ Result<std::vector<std::string>> XmlDb::TransformView(
     // both queries composed.
     Result<xquery::Query> query = Status::Internal("unset");
     if (xslt_views.empty()) {
-      query = rewrite::RewriteXsltToXQuery(*compiled, &pub->info->structure,
-                                           options.xslt, &stats->xslt_report);
+      query = rewrite::RewriteXsltToXQuery(*prepared->compiled,
+                                           &pub->info->structure, options.xslt,
+                                           &prepared->xslt_report);
     } else {
       rewrite::RewriteReport upstream_report;
       auto q1 = rewrite::RewriteXsltToXQuery(
@@ -186,9 +235,9 @@ Result<std::vector<std::string>> XmlDb::TransformView(
         if (!inferred.ok()) {
           query = inferred.status();
         } else {
-          auto q2 = rewrite::RewriteXsltToXQuery(*compiled, &*inferred,
+          auto q2 = rewrite::RewriteXsltToXQuery(*prepared->compiled, &*inferred,
                                                  options.xslt,
-                                                 &stats->xslt_report);
+                                                 &prepared->xslt_report);
           if (!q2.ok()) {
             query = q2.status();
           } else {
@@ -198,84 +247,59 @@ Result<std::vector<std::string>> XmlDb::TransformView(
       }
     }
     if (query.ok()) {
-      stats->xquery_text = query->ToString();
+      prepared->xquery_text = query->ToString();
       if (options.enable_sql_rewrite) {
-        auto sql = rewrite::RewriteXQueryToSql(*query, *pub, catalog_, options.sql);
+        auto sql =
+            rewrite::RewriteXQueryToSql(*query, *pub, catalog_, options.sql);
         if (sql.ok()) {
-          stats->path = ExecutionPath::kSqlRewritten;
-          stats->used_index = sql->used_index;
-          stats->predicates_pushed = sql->predicates_pushed;
-          stats->sql_text = sql->expr->ToSql();
-          std::vector<std::string> out;
-          for (size_t i = 0; i < base->row_count(); ++i) {
-            xml::Document arena;
-            ExecCtx ctx;
-            ctx.arena = &arena;
-            const rel::Row& row = base->row(static_cast<int64_t>(i));
-            ctx.rows.push_back(&row);
-            auto d = sql->expr->Eval(ctx);
-            ctx.rows.pop_back();
-            XDB_RETURN_NOT_OK(d.status());
-            out.push_back(SerializeDatum(*d));
-          }
-          return out;
+          prepared->path = ExecutionPath::kSqlRewritten;
+          prepared->used_index = sql->used_index;
+          prepared->predicates_pushed = sql->predicates_pushed;
+          prepared->sql_text = sql->expr->ToSql();
+          prepared->sql = std::make_shared<const rewrite::SqlRewriteResult>(
+              sql.MoveValue());
+          return std::shared_ptr<const core::PreparedTransform>(prepared);
         }
-        stats->fallback_reason = sql.status().message();
+        prepared->fallback_reason = sql.status().message();
       }
       // Plan B: rewritten XQuery over the materialized *publishing* value
       // (for view chains, the composed query re-applies the upstream
       // transformation itself).
-      stats->path = ExecutionPath::kXQueryRewritten;
-      std::vector<std::string> out;
-      for (size_t i = 0; i < base->row_count(); ++i) {
-        xml::Document arena;
-        ExecCtx ctx;
-        ctx.arena = &arena;
-        const rel::Row& row = base->row(static_cast<int64_t>(i));
-        ctx.rows.push_back(&row);
-        auto value = pub->publish_expr->Eval(ctx);
-        ctx.rows.pop_back();
-        XDB_RETURN_NOT_OK(value.status());
-        XDB_ASSIGN_OR_RETURN(std::string s, ApplyXQuery(*query, *value));
-        out.push_back(std::move(s));
-      }
-      return out;
+      prepared->path = ExecutionPath::kXQueryRewritten;
+      prepared->query =
+          std::make_shared<const xquery::Query>(query.MoveValue());
+      return std::shared_ptr<const core::PreparedTransform>(prepared);
     }
-    stats->fallback_reason = query.status().message();
+    prepared->fallback_reason = query.status().message();
   } else if (options.enable_rewrite) {
-    stats->fallback_reason =
+    prepared->fallback_reason =
         "multi-level XSLT view chains are evaluated functionally";
   }
 
   // ---- plan C: functional (the paper's "no rewrite") --------------------------
-  stats->path = ExecutionPath::kFunctional;
-  std::vector<std::string> out;
-  for (size_t i = 0; i < base->row_count(); ++i) {
-    xml::Document arena;
-    ExecCtx ctx;
-    ctx.arena = &arena;
-    XDB_ASSIGN_OR_RETURN(Datum value,
-                         ViewValueForRow(v, static_cast<int64_t>(i), &ctx));
-    XDB_ASSIGN_OR_RETURN(Datum result, ApplyStylesheet(*compiled, value, &arena));
-    out.push_back(SerializeDatum(result));
-  }
-  return out;
+  prepared->path = ExecutionPath::kFunctional;
+  return std::shared_ptr<const core::PreparedTransform>(prepared);
 }
 
-Result<std::vector<std::string>> XmlDb::QueryView(const std::string& view,
-                                                  std::string_view xquery_text,
-                                                  const ExecOptions& options,
-                                                  ExecStats* stats) {
-  ExecStats local;
-  if (stats == nullptr) stats = &local;
-  *stats = ExecStats();
+Result<std::shared_ptr<const core::PreparedTransform>> XmlDb::BuildQueryPlan(
+    const std::string& view, std::string_view xquery_text,
+    const ExecOptions& options) {
+  auto prepared = std::make_shared<core::PreparedTransform>();
+  prepared->kind = core::PreparedKind::kQuery;
+  prepared->view_name = view;
 
   XDB_ASSIGN_OR_RETURN(const XmlView* v, catalog_.GetView(view));
-  XDB_ASSIGN_OR_RETURN(xquery::Query user_query, xquery::ParseQuery(xquery_text));
+  XDB_ASSIGN_OR_RETURN(xquery::Query user_query,
+                       xquery::ParseQuery(xquery_text));
 
   std::vector<const XmlView*> xslt_views;
   XDB_ASSIGN_OR_RETURN(const XmlView* pub, ResolveChain(v, &xslt_views));
   XDB_ASSIGN_OR_RETURN(Table * base, catalog_.GetTable(pub->base_table));
+  prepared->view = v;
+  prepared->pub = pub;
+  prepared->base = base;
+  prepared->base_table = pub->base_table;
+  prepared->referenced_tables = ReferencedTables(*pub);
 
   if (options.enable_rewrite && xslt_views.size() <= 1) {
     // Compose through a single XSLT view (Example 2), or use the user query
@@ -299,7 +323,7 @@ Result<std::vector<std::string>> XmlDb::QueryView(const std::string& view,
     } else {
       auto view_query = rewrite::RewriteXsltToXQuery(
           *xslt_views[0]->compiled_stylesheet, &pub->info->structure,
-          options.xslt, &stats->xslt_report);
+          options.xslt, &prepared->xslt_report);
       if (view_query.ok()) {
         auto c = rewrite::ComposeQueries(*view_query, user_query);
         if (c.ok()) {
@@ -312,70 +336,201 @@ Result<std::vector<std::string>> XmlDb::QueryView(const std::string& view,
       }
     }
     if (composed != nullptr) {
-      stats->xquery_text = composed->ToString();
+      prepared->xquery_text = composed->ToString();
       if (options.enable_sql_rewrite) {
         auto sql =
             rewrite::RewriteXQueryToSql(*composed, *pub, catalog_, options.sql);
         if (sql.ok()) {
-          stats->path = ExecutionPath::kSqlRewritten;
-          stats->used_index = sql->used_index;
-          stats->predicates_pushed = sql->predicates_pushed;
-          stats->sql_text = sql->expr->ToSql();
-          std::vector<std::string> out;
-          for (size_t i = 0; i < base->row_count(); ++i) {
-            xml::Document arena;
-            ExecCtx ctx;
-            ctx.arena = &arena;
-            const rel::Row& row = base->row(static_cast<int64_t>(i));
-            ctx.rows.push_back(&row);
-            auto d = sql->expr->Eval(ctx);
-            ctx.rows.pop_back();
-            XDB_RETURN_NOT_OK(d.status());
-            out.push_back(SerializeDatum(*d));
-          }
-          return out;
+          prepared->path = ExecutionPath::kSqlRewritten;
+          prepared->used_index = sql->used_index;
+          prepared->predicates_pushed = sql->predicates_pushed;
+          prepared->sql_text = sql->expr->ToSql();
+          prepared->sql = std::make_shared<const rewrite::SqlRewriteResult>(
+              sql.MoveValue());
+          return std::shared_ptr<const core::PreparedTransform>(prepared);
         }
-        stats->fallback_reason = sql.status().message();
+        prepared->fallback_reason = sql.status().message();
       }
       // Plan B: composed XQuery over the publishing view's value.
-      stats->path = ExecutionPath::kXQueryRewritten;
-      std::vector<std::string> out;
-      for (size_t i = 0; i < base->row_count(); ++i) {
-        xml::Document arena;
-        ExecCtx ctx;
-        ctx.arena = &arena;
-        // The composed query navigates from the *publishing* value.
-        std::vector<const XmlView*> none;
-        XDB_ASSIGN_OR_RETURN(const XmlView* p2, ResolveChain(pub, &none));
-        (void)p2;
-        const rel::Row& row = base->row(static_cast<int64_t>(i));
-        ctx.rows.push_back(&row);
-        auto value = pub->publish_expr->Eval(ctx);
-        ctx.rows.pop_back();
-        XDB_RETURN_NOT_OK(value.status());
-        XDB_ASSIGN_OR_RETURN(std::string s, ApplyXQuery(*composed, *value));
-        out.push_back(std::move(s));
-      }
-      return out;
+      prepared->path = ExecutionPath::kXQueryRewritten;
+      prepared->query =
+          std::shared_ptr<const xquery::Query>(std::move(composed));
+      return std::shared_ptr<const core::PreparedTransform>(prepared);
     }
-    stats->fallback_reason = compose_status.message();
+    prepared->fallback_reason = compose_status.message();
   } else if (options.enable_rewrite) {
-    stats->fallback_reason = "multi-level XSLT view chains are evaluated "
-                             "functionally";
+    prepared->fallback_reason = "multi-level XSLT view chains are evaluated "
+                                "functionally";
   }
 
   // Functional: user XQuery over the fully materialized view value.
-  stats->path = ExecutionPath::kFunctional;
-  std::vector<std::string> out;
-  for (size_t i = 0; i < base->row_count(); ++i) {
+  prepared->path = ExecutionPath::kFunctional;
+  prepared->query =
+      std::make_shared<const xquery::Query>(std::move(user_query));
+  return std::shared_ptr<const core::PreparedTransform>(prepared);
+}
+
+Result<std::shared_ptr<const core::PreparedTransform>> XmlDb::PrepareTransform(
+    const std::string& view, std::string_view stylesheet_text,
+    const ExecOptions& options, ExecStats* stats) {
+  ExecStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = ExecStats();
+  auto start = std::chrono::steady_clock::now();
+
+  core::PlanKey key{view, core::Fnv1aHash(stylesheet_text),
+                    core::OptionsFingerprint(options),
+                    core::PreparedKind::kTransform};
+  std::shared_ptr<const core::PreparedTransform> prepared;
+  if (options.use_plan_cache) prepared = plan_cache_.Lookup(key);
+  if (prepared != nullptr) {
+    stats->cache_hit = true;
+  } else {
+    XDB_ASSIGN_OR_RETURN(prepared,
+                         BuildTransformPlan(view, stylesheet_text, options));
+    if (options.use_plan_cache) plan_cache_.Insert(key, prepared);
+  }
+  CopyPlanTemplate(*prepared, stats);
+  stats->prepare_ns = ElapsedNs(start);
+  return std::shared_ptr<const core::PreparedTransform>(prepared);
+}
+
+Result<std::shared_ptr<const core::PreparedTransform>> XmlDb::PrepareQuery(
+    const std::string& view, std::string_view xquery_text,
+    const ExecOptions& options, ExecStats* stats) {
+  ExecStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = ExecStats();
+  auto start = std::chrono::steady_clock::now();
+
+  core::PlanKey key{view, core::Fnv1aHash(xquery_text),
+                    core::OptionsFingerprint(options),
+                    core::PreparedKind::kQuery};
+  std::shared_ptr<const core::PreparedTransform> prepared;
+  if (options.use_plan_cache) prepared = plan_cache_.Lookup(key);
+  if (prepared != nullptr) {
+    stats->cache_hit = true;
+  } else {
+    XDB_ASSIGN_OR_RETURN(prepared, BuildQueryPlan(view, xquery_text, options));
+    if (options.use_plan_cache) plan_cache_.Insert(key, prepared);
+  }
+  CopyPlanTemplate(*prepared, stats);
+  stats->prepare_ns = ElapsedNs(start);
+  return std::shared_ptr<const core::PreparedTransform>(prepared);
+}
+
+// ---------------------------------------------------------------------------
+// Execute: the per-row loop (shared by plans A, B and C; parallelized).
+// ---------------------------------------------------------------------------
+
+Result<std::string> XmlDb::EvalPreparedRow(
+    const core::PreparedTransform& prepared, int64_t row_id, ExecCtx* ctx) {
+  switch (prepared.path) {
+    case ExecutionPath::kSqlRewritten: {
+      const rel::Row& row = prepared.base->row(row_id);
+      ctx->rows.push_back(&row);
+      auto d = prepared.sql->expr->Eval(*ctx);
+      ctx->rows.pop_back();
+      XDB_RETURN_NOT_OK(d.status());
+      return SerializeDatum(*d);
+    }
+    case ExecutionPath::kXQueryRewritten: {
+      // The (rewritten/composed) query navigates from the *publishing* value.
+      const rel::Row& row = prepared.base->row(row_id);
+      ctx->rows.push_back(&row);
+      auto value = prepared.pub->publish_expr->Eval(*ctx);
+      ctx->rows.pop_back();
+      XDB_RETURN_NOT_OK(value.status());
+      return ApplyXQuery(*prepared.query, *value);
+    }
+    case ExecutionPath::kFunctional: {
+      XDB_ASSIGN_OR_RETURN(Datum value,
+                           ViewValueForRow(prepared.view, row_id, ctx));
+      if (prepared.kind == core::PreparedKind::kTransform) {
+        XDB_ASSIGN_OR_RETURN(
+            Datum result, ApplyStylesheet(*prepared.compiled, value, ctx->arena));
+        return SerializeDatum(result);
+      }
+      return ApplyXQuery(*prepared.query, value);
+    }
+  }
+  return Status::Internal("unknown execution path");
+}
+
+Result<std::vector<std::string>> XmlDb::Execute(
+    const core::PreparedTransform& prepared, const ExecOptions& options,
+    ExecStats* stats) {
+  ExecStats local;
+  if (stats == nullptr) stats = &local;
+  CopyPlanTemplate(prepared, stats);
+  auto start = std::chrono::steady_clock::now();
+
+  // Row count is read at execute time: a cached plan sees rows inserted
+  // after it was prepared (structure-derived plans survive inserts).
+  const size_t n = prepared.base->row_count();
+  std::vector<std::string> out(n);
+  std::function<Status(size_t)> body = [&](size_t i) -> Status {
+    // One arena + ExecCtx per row keeps rows independent (and the loop
+    // embarrassingly parallel); results land in their row's slot so output
+    // order is deterministic at any thread count.
+    xml::Document arena;
+    ExecCtx ctx;
+    ctx.arena = &arena;
+    XDB_ASSIGN_OR_RETURN(
+        out[i], EvalPreparedRow(prepared, static_cast<int64_t>(i), &ctx));
+    return Status::OK();
+  };
+  int threads_used = 1;
+  Status s = core::RowExecutor::Global().ParallelFor(n, body, options.threads,
+                                                     &threads_used);
+  stats->threads_used = threads_used;
+  stats->execute_ns = ElapsedNs(start);
+  XDB_RETURN_NOT_OK(s);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// One-shot entry points: thin prepare-then-execute wrappers.
+// ---------------------------------------------------------------------------
+
+Result<std::vector<std::string>> XmlDb::TransformView(
+    const std::string& view, std::string_view stylesheet_text,
+    const ExecOptions& options, ExecStats* stats) {
+  ExecStats local;
+  if (stats == nullptr) stats = &local;
+  XDB_ASSIGN_OR_RETURN(auto prepared,
+                       PrepareTransform(view, stylesheet_text, options, stats));
+  return Execute(*prepared, options, stats);
+}
+
+Result<std::vector<std::string>> XmlDb::QueryView(const std::string& view,
+                                                  std::string_view xquery_text,
+                                                  const ExecOptions& options,
+                                                  ExecStats* stats) {
+  ExecStats local;
+  if (stats == nullptr) stats = &local;
+  XDB_ASSIGN_OR_RETURN(auto prepared,
+                       PrepareQuery(view, xquery_text, options, stats));
+  return Execute(*prepared, options, stats);
+}
+
+Result<std::vector<std::string>> XmlDb::MaterializeView(const std::string& view) {
+  XDB_ASSIGN_OR_RETURN(const XmlView* v, catalog_.GetView(view));
+  std::vector<const XmlView*> xslt_views;
+  XDB_ASSIGN_OR_RETURN(const XmlView* pub, ResolveChain(v, &xslt_views));
+  XDB_ASSIGN_OR_RETURN(Table * base, catalog_.GetTable(pub->base_table));
+  const size_t n = base->row_count();
+  std::vector<std::string> out(n);
+  std::function<Status(size_t)> body = [&](size_t i) -> Status {
     xml::Document arena;
     ExecCtx ctx;
     ctx.arena = &arena;
     XDB_ASSIGN_OR_RETURN(Datum d,
                          ViewValueForRow(v, static_cast<int64_t>(i), &ctx));
-    XDB_ASSIGN_OR_RETURN(std::string s, ApplyXQuery(user_query, d));
-    out.push_back(std::move(s));
-  }
+    out[i] = SerializeDatum(d);
+    return Status::OK();
+  };
+  XDB_RETURN_NOT_OK(core::RowExecutor::Global().ParallelFor(n, body));
   return out;
 }
 

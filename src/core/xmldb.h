@@ -10,6 +10,12 @@
 //   plan A: full SQL/XML execution (index-driven, no XML materialization)
 //   plan B: XQuery execution over the materialized view value
 //   plan C: functional XSLT (XSLTVM over the DOM) — the paper's baseline
+//
+// Query execution is split DBMS-style into Prepare (parse + compile +
+// rewrite + path choice, amortized through an LRU plan cache keyed on view,
+// query text and options) and Execute (the per-row loop, parallelized by a
+// persistent worker pool). TransformView/QueryView are thin
+// prepare-then-execute wrappers kept for the one-shot API.
 #ifndef XDB_CORE_XMLDB_H_
 #define XDB_CORE_XMLDB_H_
 
@@ -18,49 +24,25 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/exec_stats.h"
+#include "core/plan_cache.h"
 #include "rel/catalog.h"
 #include "rewrite/xquery_rewriter.h"
 #include "rewrite/xslt_rewriter.h"
 
 namespace xdb {
 
-/// Which pipeline stage finally executed a query.
-enum class ExecutionPath {
-  kSqlRewritten,      ///< plan A: pure relational execution
-  kXQueryRewritten,   ///< plan B: rewritten XQuery over materialized XML
-  kFunctional,        ///< plan C: functional XSLT / XQuery evaluation
-};
-
-const char* ExecutionPathName(ExecutionPath path);
-
-/// Per-execution statistics and artifacts (inspected by tests, examples and
-/// EXPERIMENTS.md generators).
-struct ExecStats {
-  ExecutionPath path = ExecutionPath::kFunctional;
-  rewrite::RewriteReport xslt_report;
-  bool used_index = false;
-  int predicates_pushed = 0;
-  std::string xquery_text;   ///< the intermediate XQuery (when produced)
-  std::string sql_text;      ///< the final relational expression (when produced)
-  std::string fallback_reason;  ///< why a stage was skipped (diagnostics)
-};
-
-struct ExecOptions {
-  /// Master switch: false = the paper's "no rewrite" baseline (functional
-  /// XSLT over the materialized DOM).
-  bool enable_rewrite = true;
-  /// Allow the XQuery -> SQL/XML stage.
-  bool enable_sql_rewrite = true;
-  rewrite::XsltRewriteOptions xslt;
-  rewrite::SqlRewriteOptions sql;
-};
-
 /// \brief One database instance.
 class XmlDb {
  public:
-  XmlDb() = default;
+  XmlDb();
+  ~XmlDb();
+
+  XmlDb(const XmlDb&) = delete;
+  XmlDb& operator=(const XmlDb&) = delete;
 
   rel::Catalog* catalog() { return &catalog_; }
+  core::PlanCache* plan_cache() { return &plan_cache_; }
 
   // ---- DDL convenience ------------------------------------------------------
   Result<rel::Table*> CreateTable(const std::string& name, rel::Schema schema) {
@@ -83,7 +65,31 @@ class XmlDb {
                                    xml_column);
   }
 
-  // ---- query entry points ----------------------------------------------------
+  // ---- prepared execution ----------------------------------------------------
+
+  /// Prepares (or fetches from the plan cache) the plan for
+  /// SELECT XMLTransform(view.xml_column, stylesheet) FROM view.
+  /// Fills the prepare-side stats: path, reports, cache_hit, prepare_ns.
+  Result<std::shared_ptr<const core::PreparedTransform>> PrepareTransform(
+      const std::string& view, std::string_view stylesheet_text,
+      const ExecOptions& options = {}, ExecStats* stats = nullptr);
+
+  /// Prepares (or fetches) the plan for
+  /// SELECT XMLQuery(query PASSING view.xml_column) FROM view.
+  Result<std::shared_ptr<const core::PreparedTransform>> PrepareQuery(
+      const std::string& view, std::string_view xquery_text,
+      const ExecOptions& options = {}, ExecStats* stats = nullptr);
+
+  /// Runs a prepared plan over the base table's *current* rows: one result
+  /// string per base row, in row order. `options.threads` selects the
+  /// row-executor parallelism; output is byte-identical at any thread count.
+  /// Fills the execute-side stats (and re-fills the plan-template fields, so
+  /// Execute with a fresh ExecStats is self-describing).
+  Result<std::vector<std::string>> Execute(
+      const core::PreparedTransform& prepared, const ExecOptions& options = {},
+      ExecStats* stats = nullptr);
+
+  // ---- one-shot query entry points (prepare + execute) -----------------------
 
   /// SELECT XMLTransform(view.xml_column, stylesheet) FROM view:
   /// one serialized XML result per base-table row.
@@ -105,6 +111,19 @@ class XmlDb {
   Result<std::vector<std::string>> MaterializeView(const std::string& view);
 
  private:
+  // Builds a PreparedTransform from scratch (the cold path of Prepare*).
+  Result<std::shared_ptr<const core::PreparedTransform>> BuildTransformPlan(
+      const std::string& view, std::string_view stylesheet_text,
+      const ExecOptions& options);
+  Result<std::shared_ptr<const core::PreparedTransform>> BuildQueryPlan(
+      const std::string& view, std::string_view xquery_text,
+      const ExecOptions& options);
+
+  // Evaluates one base row of a prepared plan (the shared per-row body of
+  // plans A, B and C; also the seam the row executor parallelizes over).
+  Result<std::string> EvalPreparedRow(const core::PreparedTransform& prepared,
+                                      int64_t row_id, rel::ExecCtx* ctx);
+
   // Functional view value for one base row (follows XSLT-view chains).
   Result<rel::Datum> ViewValueForRow(const rel::XmlView* view, int64_t row_id,
                                      rel::ExecCtx* ctx);
@@ -115,6 +134,7 @@ class XmlDb {
       std::vector<const rel::XmlView*>* xslt_views) const;
 
   rel::Catalog catalog_;
+  core::PlanCache plan_cache_;
 };
 
 }  // namespace xdb

@@ -1,5 +1,7 @@
 #include "rel/catalog.h"
 
+#include <algorithm>
+
 namespace xdb::rel {
 
 Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
@@ -8,7 +10,9 @@ Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
   }
   auto table = std::make_unique<Table>(name, std::move(schema));
   Table* raw = table.get();
+  raw->set_ddl_listener(this);
   tables_[name] = std::move(table);
+  OnTableCreated(name);
   return raw;
 }
 
@@ -36,6 +40,7 @@ Result<XmlView*> Catalog::CreatePublishingView(const std::string& name,
   view->publish = std::move(spec);
   XmlView* raw = view.get();
   views_[name] = std::move(view);
+  OnViewCreated(name);
   return raw;
 }
 
@@ -61,6 +66,7 @@ Result<XmlView*> Catalog::CreateXsltView(const std::string& name,
       std::shared_ptr<const xslt::CompiledStylesheet>(std::move(compiled));
   XmlView* raw = view.get();
   views_[name] = std::move(view);
+  OnViewCreated(name);
   return raw;
 }
 
@@ -68,6 +74,32 @@ Result<const XmlView*> Catalog::GetView(const std::string& name) const {
   auto it = views_.find(name);
   if (it == views_.end()) return Status::NotFound("no view '" + name + "'");
   return it->second.get();
+}
+
+void Catalog::AddDdlListener(DdlListener* listener) {
+  listeners_.push_back(listener);
+}
+
+void Catalog::RemoveDdlListener(DdlListener* listener) {
+  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), listener),
+                   listeners_.end());
+}
+
+void Catalog::OnTableCreated(const std::string& table) {
+  for (DdlListener* l : listeners_) l->OnTableCreated(table);
+}
+
+void Catalog::OnIndexCreated(const std::string& table,
+                             const std::string& column) {
+  for (DdlListener* l : listeners_) l->OnIndexCreated(table, column);
+}
+
+void Catalog::OnViewCreated(const std::string& view) {
+  for (DdlListener* l : listeners_) l->OnViewCreated(view);
+}
+
+void Catalog::OnRowsInserted(const std::string& table) {
+  for (DdlListener* l : listeners_) l->OnRowsInserted(table);
 }
 
 }  // namespace xdb::rel

@@ -36,7 +36,13 @@ struct XmlView {
 };
 
 /// \brief Owns all persistent objects of one database instance.
-class Catalog {
+///
+/// The catalog is also the DDL notification hub: tables forward their
+/// index-creation and insert events here (via Table::set_ddl_listener), the
+/// catalog adds its own table-/view-creation events, and fans everything out
+/// to registered listeners (the plan cache registers itself to invalidate
+/// stale prepared transforms).
+class Catalog : public DdlListener {
  public:
   Result<Table*> CreateTable(const std::string& name, Schema schema);
   Result<Table*> GetTable(const std::string& name) const;
@@ -56,9 +62,23 @@ class Catalog {
 
   Result<const XmlView*> GetView(const std::string& name) const;
 
+  /// Registers a DDL listener (not owned; must outlive the catalog or be
+  /// removed first).
+  void AddDdlListener(DdlListener* listener);
+  void RemoveDdlListener(DdlListener* listener);
+
+  // DdlListener fan-out (tables call the index/insert events; the catalog
+  // itself fires the creation events).
+  void OnTableCreated(const std::string& table) override;
+  void OnIndexCreated(const std::string& table,
+                      const std::string& column) override;
+  void OnViewCreated(const std::string& view) override;
+  void OnRowsInserted(const std::string& table) override;
+
  private:
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::map<std::string, std::unique_ptr<XmlView>> views_;
+  std::vector<DdlListener*> listeners_;
 };
 
 }  // namespace xdb::rel

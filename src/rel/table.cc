@@ -21,6 +21,7 @@ Status Table::Insert(Row row) {
     index->Insert(row[static_cast<size_t>(ci)], id);
   }
   rows_.push_back(std::move(row));
+  if (ddl_listener_ != nullptr) ddl_listener_->OnRowsInserted(name_);
   return Status::OK();
 }
 
@@ -34,6 +35,7 @@ Status Table::CreateIndex(const std::string& column) {
     index->Insert(rows_[id][static_cast<size_t>(ci)], static_cast<int64_t>(id));
   }
   indexes_[column] = std::move(index);
+  if (ddl_listener_ != nullptr) ddl_listener_->OnIndexCreated(name_, column);
   return Status::OK();
 }
 

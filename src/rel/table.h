@@ -16,6 +16,21 @@ namespace xdb::rel {
 /// One row of column values.
 using Row = std::vector<Datum>;
 
+/// Observes catalog/table DDL and data changes. Cached query plans register
+/// one of these to invalidate themselves: index creation can change the
+/// chosen physical plan (seq scan -> index probe), table/view creation can
+/// shadow names a plan resolved, and inserts only matter to plans derived
+/// from table *statistics* (structure-derived plans survive them).
+class DdlListener {
+ public:
+  virtual ~DdlListener() = default;
+  virtual void OnTableCreated(const std::string& table) = 0;
+  virtual void OnIndexCreated(const std::string& table,
+                              const std::string& column) = 0;
+  virtual void OnViewCreated(const std::string& view) = 0;
+  virtual void OnRowsInserted(const std::string& table) = 0;
+};
+
 struct Column {
   std::string name;
   DataType type = DataType::kString;
@@ -60,11 +75,15 @@ class Table {
     return GetIndex(column) != nullptr;
   }
 
+  /// Set by the owning Catalog; DDL/DML on this table is forwarded to it.
+  void set_ddl_listener(DdlListener* listener) { ddl_listener_ = listener; }
+
  private:
   std::string name_;
   Schema schema_;
   std::vector<Row> rows_;
   std::map<std::string, std::unique_ptr<BTreeIndex>> indexes_;  // by column
+  DdlListener* ddl_listener_ = nullptr;
 };
 
 }  // namespace xdb::rel

@@ -79,6 +79,62 @@ Status SetupDbFamily(XmlDb* db, int rows) {
       .status();
 }
 
+// Multi-row variant of the paper's Example 1 storage: `rows` departments,
+// three employees each, published one <dept> document per base row. Unlike
+// the "db" family (one mark_doc row, everything nested inside), the base
+// table itself scales, which is what the parallel row executor and the
+// prepared-transform benchmarks fan out over.
+Status SetupDeptFarmFamily(XmlDb* db, int rows) {
+  XDB_RETURN_NOT_OK(
+      db->CreateTable("dept", rel::Schema({{"deptno", DataType::kInt},
+                                           {"dname", DataType::kString},
+                                           {"loc", DataType::kString}}))
+          .status());
+  XDB_RETURN_NOT_OK(
+      db->CreateTable("emp", rel::Schema({{"empno", DataType::kInt},
+                                          {"ename", DataType::kString},
+                                          {"sal", DataType::kInt},
+                                          {"deptno", DataType::kInt}}))
+          .status());
+  Lcg rng(11);
+  for (int i = 0; i < rows; ++i) {
+    int64_t deptno = i + 1;
+    XDB_RETURN_NOT_OK(db->Insert(
+        "dept", {Datum(deptno), Datum("DEPT" + std::to_string(deptno)),
+                 Datum(kCities[rng.Range(0, 4)])}));
+    for (int e = 0; e < 3; ++e) {
+      XDB_RETURN_NOT_OK(db->Insert(
+          "emp", {Datum(deptno * 10 + e),
+                  Datum(std::string(kFirstNames[rng.Range(0, 9)]) + "_" +
+                        std::to_string(deptno)),
+                  Datum(static_cast<int64_t>(1000 + rng.Range(0, 3999))),
+                  Datum(deptno)}));
+    }
+  }
+  XDB_RETURN_NOT_OK(db->CreateIndex("emp", "sal"));
+  XDB_RETURN_NOT_OK(db->CreateIndex("emp", "deptno"));
+
+  auto dept = PublishSpec::Element("dept");
+  dept->AddChild(PublishSpec::Element("dname"))
+      ->AddChild(PublishSpec::Column("dname"));
+  dept->AddChild(PublishSpec::Element("loc"))
+      ->AddChild(PublishSpec::Column("loc"));
+  auto emp_elem = PublishSpec::Element("emp");
+  emp_elem->AddChild(PublishSpec::Element("empno"))
+      ->AddChild(PublishSpec::Column("empno"));
+  emp_elem->AddChild(PublishSpec::Element("ename"))
+      ->AddChild(PublishSpec::Column("ename"));
+  emp_elem->AddChild(PublishSpec::Element("sal"))
+      ->AddChild(PublishSpec::Column("sal"));
+  auto employees = PublishSpec::Element("employees");
+  employees->AddChild(
+      PublishSpec::Nested("emp", "deptno", "deptno", std::move(emp_elem)));
+  dept->children.push_back(std::move(employees));
+  return db->CreatePublishingView("deptfarm_view", "dept", std::move(dept),
+                                  "dept_content")
+      .status();
+}
+
 Status SetupSalesFamily(XmlDb* db, int rows) {
   XDB_RETURN_NOT_OK(
       db->CreateTable("mark_doc", rel::Schema({{"docid", DataType::kInt}}))
@@ -489,6 +545,7 @@ std::string FamilyViewName(const std::string& family) {
 
 Status SetupFamily(XmlDb* db, const std::string& family, int rows) {
   if (family == "db") return SetupDbFamily(db, rows);
+  if (family == "deptfarm") return SetupDeptFarmFamily(db, rows);
   if (family == "sales") return SetupSalesFamily(db, rows);
   if (family == "product") return SetupProductFamily(db, rows);
   if (family == "tree") return SetupTreeFamily(db, rows);

