@@ -57,7 +57,7 @@ void BM_Pipeline_InlineNoSql(benchmark::State& state) {
 
 void BM_Pipeline_SqlNoIndex(benchmark::State& state) {
   ExecOptions o;
-  o.sql.enable_index_selection = false;
+  o.optimizer.enable_index_selection = false;
   Run(state, o);
 }
 

@@ -40,11 +40,14 @@ inline ExecOptions NoRewriteArm() {
   return o;
 }
 
-/// Attaches the execution-path label and the prepared-transform
-/// instrumentation (cache hit, prepare/execute split, thread count) to the
-/// benchmark's counters so every bench line is self-describing.
+/// Attaches the execution-path label, the optimizer-rule outputs (index use,
+/// pushed-predicate count) and the prepared-transform instrumentation (cache
+/// hit, prepare/execute split, thread count) to the benchmark's counters so
+/// every bench line is self-describing.
 inline void ReportExecStats(benchmark::State& state, const ExecStats& stats) {
   state.SetLabel(ExecutionPathName(stats.path));
+  state.counters["used_index"] = stats.used_index ? 1 : 0;
+  state.counters["preds_pushed"] = static_cast<double>(stats.predicates_pushed);
   state.counters["cache_hit"] = stats.cache_hit ? 1 : 0;
   state.counters["prepare_ms"] =
       static_cast<double>(stats.prepare_ns) / 1e6;

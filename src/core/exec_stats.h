@@ -6,7 +6,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "rel/optimizer.h"
 #include "rewrite/xquery_rewriter.h"
 #include "rewrite/xslt_rewriter.h"
 
@@ -26,10 +28,14 @@ const char* ExecutionPathName(ExecutionPath path);
 struct ExecStats {
   ExecutionPath path = ExecutionPath::kFunctional;
   rewrite::RewriteReport xslt_report;
+  // Optimizer rule outputs (plan A only): did the index-range-scan rule fire,
+  // and how many value predicates did predicate-pushdown split out.
   bool used_index = false;
   int predicates_pushed = 0;
   std::string xquery_text;   ///< the intermediate XQuery (when produced)
   std::string sql_text;      ///< the final relational expression (when produced)
+  std::string logical_plan;  ///< pre-lowering logical plan (plan A)
+  std::vector<rel::RuleTrace> opt_trace;  ///< per-rule node counts (plan A)
   std::string fallback_reason;  ///< why a stage was skipped (diagnostics)
 
   // -- prepared-transform instrumentation ------------------------------------
@@ -46,7 +52,9 @@ struct ExecOptions {
   /// Allow the XQuery -> SQL/XML stage.
   bool enable_sql_rewrite = true;
   rewrite::XsltRewriteOptions xslt;
-  rewrite::SqlRewriteOptions sql;
+  /// Rule toggles for the logical-plan optimizer (plan A). Defaults honor
+  /// the XDB_DISABLE_OPT_RULES environment variable.
+  rel::OptimizerOptions optimizer = rel::OptimizerOptionsFromEnv();
 
   /// Consult/populate the shared plan cache (prepared transforms). Off =
   /// every call re-parses, re-compiles and re-plans (the pre-cache behavior;

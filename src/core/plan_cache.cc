@@ -13,7 +13,11 @@ uint64_t OptionsFingerprint(const ExecOptions& options) {
   bit(options.xslt.enable_parent_test_removal);
   bit(options.xslt.enable_builtin_compaction);
   bit(options.xslt.enable_dead_template_removal);
-  bit(options.sql.enable_index_selection);
+  bit(options.optimizer.enable_predicate_pushdown);
+  bit(options.optimizer.enable_index_selection);
+  bit(options.optimizer.enable_constant_folding);
+  bit(options.optimizer.enable_column_pruning);
+  bit(options.optimizer.enable_subplan_dedup);
   return fp;
 }
 

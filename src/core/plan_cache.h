@@ -112,8 +112,9 @@ struct PreparedTransform {
   std::shared_ptr<const xslt::CompiledStylesheet> compiled;
   // Plan B / functional-query: the rewritten (or user/composed) XQuery.
   std::shared_ptr<const xquery::Query> query;
-  // Plan A: the final relational expression over the base table.
-  std::shared_ptr<const rewrite::SqlRewriteResult> sql;
+  // Plan A: the optimized physical relational expression over the base table
+  // (lowered from the rewriter's logical plan by rel::Optimizer).
+  std::shared_ptr<const rel::RelExpr> sql_expr;
 
   // -- stats template (copied into the caller's ExecStats per execution) ------
   rewrite::RewriteReport xslt_report;
@@ -121,6 +122,8 @@ struct PreparedTransform {
   int predicates_pushed = 0;
   std::string xquery_text;
   std::string sql_text;
+  std::string logical_plan;
+  std::vector<rel::RuleTrace> opt_trace;
   std::string fallback_reason;
 
   /// True when the plan choice consumed table statistics (row counts,

@@ -26,9 +26,8 @@ const char* ExecutionPathName(ExecutionPath path) {
       return "xquery-rewritten";
     case ExecutionPath::kFunctional:
       return "functional";
-    default:  // out-of-range cast from untrusted int
-      return "?";
   }
+  return "?";  // out-of-range cast from untrusted int
 }
 
 namespace {
@@ -48,7 +47,26 @@ void CopyPlanTemplate(const core::PreparedTransform& prepared, ExecStats* stats)
   stats->predicates_pushed = prepared.predicates_pushed;
   stats->xquery_text = prepared.xquery_text;
   stats->sql_text = prepared.sql_text;
+  stats->logical_plan = prepared.logical_plan;
+  stats->opt_trace = prepared.opt_trace;
   stats->fallback_reason = prepared.fallback_reason;
+}
+
+// Runs the logical-plan optimizer over a rewrite result and installs the
+// lowered plan (plus the EXPLAIN/stats artifacts) as the prepared plan A.
+Status InstallSqlPlan(rewrite::SqlRewriteResult sql, const ExecOptions& options,
+                      core::PreparedTransform* prepared) {
+  rel::Optimizer optimizer(options.optimizer);
+  XDB_ASSIGN_OR_RETURN(rel::OptimizedQuery opt,
+                       optimizer.Run(std::move(sql.expr)));
+  prepared->path = ExecutionPath::kSqlRewritten;
+  prepared->used_index = opt.used_index;
+  prepared->predicates_pushed = opt.predicates_pushed;
+  prepared->logical_plan = std::move(opt.logical_plan);
+  prepared->opt_trace = std::move(opt.trace);
+  prepared->sql_text = opt.expr->ToSql();
+  prepared->sql_expr = std::shared_ptr<const rel::RelExpr>(std::move(opt.expr));
+  return Status::OK();
 }
 
 std::string SerializeDatum(const Datum& d) {
@@ -249,18 +267,15 @@ Result<std::shared_ptr<const core::PreparedTransform>> XmlDb::BuildTransformPlan
     if (query.ok()) {
       prepared->xquery_text = query->ToString();
       if (options.enable_sql_rewrite) {
-        auto sql =
-            rewrite::RewriteXQueryToSql(*query, *pub, catalog_, options.sql);
-        if (sql.ok()) {
-          prepared->path = ExecutionPath::kSqlRewritten;
-          prepared->used_index = sql->used_index;
-          prepared->predicates_pushed = sql->predicates_pushed;
-          prepared->sql_text = sql->expr->ToSql();
-          prepared->sql = std::make_shared<const rewrite::SqlRewriteResult>(
-              sql.MoveValue());
+        auto sql = rewrite::RewriteXQueryToSql(*query, *pub, catalog_);
+        Status install = sql.ok()
+                             ? InstallSqlPlan(sql.MoveValue(), options,
+                                              prepared.get())
+                             : sql.status();
+        if (install.ok()) {
           return std::shared_ptr<const core::PreparedTransform>(prepared);
         }
-        prepared->fallback_reason = sql.status().message();
+        prepared->fallback_reason = install.message();
       }
       // Plan B: rewritten XQuery over the materialized *publishing* value
       // (for view chains, the composed query re-applies the upstream
@@ -338,18 +353,15 @@ Result<std::shared_ptr<const core::PreparedTransform>> XmlDb::BuildQueryPlan(
     if (composed != nullptr) {
       prepared->xquery_text = composed->ToString();
       if (options.enable_sql_rewrite) {
-        auto sql =
-            rewrite::RewriteXQueryToSql(*composed, *pub, catalog_, options.sql);
-        if (sql.ok()) {
-          prepared->path = ExecutionPath::kSqlRewritten;
-          prepared->used_index = sql->used_index;
-          prepared->predicates_pushed = sql->predicates_pushed;
-          prepared->sql_text = sql->expr->ToSql();
-          prepared->sql = std::make_shared<const rewrite::SqlRewriteResult>(
-              sql.MoveValue());
+        auto sql = rewrite::RewriteXQueryToSql(*composed, *pub, catalog_);
+        Status install = sql.ok()
+                             ? InstallSqlPlan(sql.MoveValue(), options,
+                                              prepared.get())
+                             : sql.status();
+        if (install.ok()) {
           return std::shared_ptr<const core::PreparedTransform>(prepared);
         }
-        prepared->fallback_reason = sql.status().message();
+        prepared->fallback_reason = install.message();
       }
       // Plan B: composed XQuery over the publishing view's value.
       prepared->path = ExecutionPath::kXQueryRewritten;
@@ -429,7 +441,7 @@ Result<std::string> XmlDb::EvalPreparedRow(
     case ExecutionPath::kSqlRewritten: {
       const rel::Row& row = prepared.base->row(row_id);
       ctx->rows.push_back(&row);
-      auto d = prepared.sql->expr->Eval(*ctx);
+      auto d = prepared.sql_expr->Eval(*ctx);
       ctx->rows.pop_back();
       XDB_RETURN_NOT_OK(d.status());
       return SerializeDatum(*d);
@@ -512,6 +524,26 @@ Result<std::vector<std::string>> XmlDb::QueryView(const std::string& view,
   XDB_ASSIGN_OR_RETURN(auto prepared,
                        PrepareQuery(view, xquery_text, options, stats));
   return Execute(*prepared, options, stats);
+}
+
+std::string ExplainPrepared(const core::PreparedTransform& prepared) {
+  std::string out = "path: ";
+  out += ExecutionPathName(prepared.path);
+  out += "\n";
+  if (!prepared.fallback_reason.empty()) {
+    out += "fallback: " + prepared.fallback_reason + "\n";
+  }
+  if (!prepared.logical_plan.empty()) {
+    out += "logical plan:\n" + prepared.logical_plan + "\n";
+  }
+  for (const rel::RuleTrace& t : prepared.opt_trace) {
+    out += "rule " + t.rule + ": " + std::to_string(t.nodes_before) + " -> " +
+           std::to_string(t.nodes_after) + " nodes\n";
+  }
+  if (!prepared.sql_text.empty()) {
+    out += "physical plan:\n" + prepared.sql_text + "\n";
+  }
+  return out;
 }
 
 Result<std::vector<std::string>> XmlDb::MaterializeView(const std::string& view) {

@@ -137,6 +137,11 @@ class XmlDb {
   core::PlanCache plan_cache_;
 };
 
+/// Two-level EXPLAIN of a prepared plan: execution path, fallback reason (if
+/// any), the logical plan the rewriters produced, the optimizer's per-rule
+/// trace (`rule <name>: N -> M nodes`), and the lowered physical plan.
+std::string ExplainPrepared(const core::PreparedTransform& prepared);
+
 }  // namespace xdb
 
 #endif  // XDB_CORE_XMLDB_H_

@@ -231,7 +231,7 @@ std::string XmlConcatExpr::ToSql() const {
   return out + ")";
 }
 
-ScalarSubqueryExpr::ScalarSubqueryExpr(std::unique_ptr<PlanNode> plan)
+ScalarSubqueryExpr::ScalarSubqueryExpr(std::shared_ptr<const PlanNode> plan)
     : RelExpr(RelExprKind::kScalarSubquery), plan(std::move(plan)) {}
 ScalarSubqueryExpr::~ScalarSubqueryExpr() = default;
 

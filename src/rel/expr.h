@@ -48,6 +48,7 @@ enum class RelExprKind {
   kScalarSubquery,
   kXmlQuery,
   kXmlTransform,
+  kLogicalApply,  ///< correlated subquery over a logical plan (rel/logical.h)
 };
 
 class RelExpr {
@@ -161,14 +162,16 @@ class XmlConcatExpr : public RelExpr {
 
 /// Correlated scalar subquery: executes `plan` with the current row stack
 /// visible to inner ColumnRefs (level >= 1); yields the single value of the
-/// single output column (NULL when the subquery produces no rows).
+/// single output column (NULL when the subquery produces no rows). The plan
+/// is shared: the optimizer's subplan-dedup rule lowers identical correlated
+/// subplans to one physical plan aliased by several subquery expressions.
 class ScalarSubqueryExpr : public RelExpr {
  public:
-  explicit ScalarSubqueryExpr(std::unique_ptr<PlanNode> plan);
+  explicit ScalarSubqueryExpr(std::shared_ptr<const PlanNode> plan);
   ~ScalarSubqueryExpr() override;
   Result<Datum> Eval(ExecCtx& ctx) const override;
   std::string ToSql() const override;
-  std::unique_ptr<PlanNode> plan;
+  std::shared_ptr<const PlanNode> plan;
 };
 
 /// XMLQuery(query PASSING input RETURNING CONTENT) — functional evaluation

@@ -1,0 +1,111 @@
+#include "rel/logical.h"
+
+namespace xdb::rel {
+
+const char* LogicalKindName(LogicalKind kind) {
+  switch (kind) {
+    case LogicalKind::kScan:
+      return "Scan";
+    case LogicalKind::kFilter:
+      return "Filter";
+    case LogicalKind::kProject:
+      return "Project";
+    case LogicalKind::kXmlAgg:
+      return "XMLAgg";
+    case LogicalKind::kScalarAgg:
+      return "ScalarAgg";
+  }
+  return "?";  // out-of-range cast from untrusted int
+}
+
+LogicalApplyExpr::LogicalApplyExpr(std::shared_ptr<LogicalNode> plan)
+    : RelExpr(RelExprKind::kLogicalApply), plan(std::move(plan)) {}
+LogicalApplyExpr::~LogicalApplyExpr() = default;
+
+Result<Datum> LogicalApplyExpr::Eval(ExecCtx&) const {
+  return Status::Internal(
+      "logical plan evaluated without lowering; run rel::Optimizer first");
+}
+
+std::string LogicalApplyExpr::ToSql() const {
+  std::string inner;
+  ExplainLogical(*plan, 1, &inner);
+  return "(SELECT\n" + inner + ")";
+}
+
+namespace {
+std::string Pad(int indent) {
+  return std::string(static_cast<size_t>(indent) * 2, ' ');
+}
+}  // namespace
+
+void ExplainLogical(const LogicalNode& node, int indent, std::string* out) {
+  switch (node.kind()) {
+    case LogicalKind::kScan: {
+      const auto& s = static_cast<const LogicalScanNode&>(node);
+      if (s.index_range.has_value()) {
+        const IndexRange& r = *s.index_range;
+        *out += Pad(indent) + "IndexScan(" + s.table->name() + "." + r.column;
+        if (r.lo != nullptr) {
+          *out += std::string(r.lo_inclusive ? " >= " : " > ") + r.lo->ToSql();
+        }
+        if (r.hi != nullptr) {
+          *out += std::string(r.hi_inclusive ? " <= " : " < ") + r.hi->ToSql();
+        }
+        *out += ")\n";
+      } else {
+        *out += Pad(indent) + "Scan(" + s.table->name() + ")\n";
+      }
+      return;
+    }
+    case LogicalKind::kFilter: {
+      const auto& f = static_cast<const LogicalFilterNode&>(node);
+      *out += Pad(indent) + "Filter(" + f.predicate->ToSql() + ")\n";
+      ExplainLogical(*f.child, indent + 1, out);
+      return;
+    }
+    case LogicalKind::kProject: {
+      const auto& p = static_cast<const LogicalProjectNode&>(node);
+      *out += Pad(indent) + "Project(";
+      for (size_t i = 0; i < p.exprs.size(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += p.exprs[i]->ToSql();
+      }
+      *out += ")\n";
+      ExplainLogical(*p.child, indent + 1, out);
+      return;
+    }
+    case LogicalKind::kXmlAgg: {
+      const auto& a = static_cast<const LogicalXmlAggNode&>(node);
+      *out += Pad(indent) + "XMLAgg(";
+      if (a.order_by != nullptr) {
+        *out += "ORDER BY " + a.order_by->ToSql();
+        if (a.descending) *out += " DESC";
+      }
+      *out += ")\n";
+      ExplainLogical(*a.child, indent + 1, out);
+      return;
+    }
+    case LogicalKind::kScalarAgg: {
+      const auto& a = static_cast<const LogicalScalarAggNode&>(node);
+      const char* name = a.agg == AggKind::kSum
+                             ? "SUM"
+                             : (a.agg == AggKind::kCount
+                                    ? "COUNT"
+                                    : (a.agg == AggKind::kMin ? "MIN" : "MAX"));
+      *out += Pad(indent) + std::string(name) + "(" +
+              (a.arg != nullptr ? a.arg->ToSql() : "*") + ")\n";
+      ExplainLogical(*a.child, indent + 1, out);
+      return;
+    }
+  }
+  *out += Pad(indent) + "?\n";  // out-of-range kind
+}
+
+std::string ExplainLogicalPlan(const LogicalNode& node) {
+  std::string out;
+  ExplainLogical(node, 0, &out);
+  return out;
+}
+
+}  // namespace xdb::rel

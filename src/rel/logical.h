@@ -1,0 +1,136 @@
+// Logical relational algebra: the plan IR the rewriters emit and the
+// rule-based optimizer (rel/optimizer.h) transforms before lowering to the
+// physical PlanNode/Cursor layer (rel/exec.h).
+//
+// The algebra mirrors the paper's SQL/XML operator vocabulary:
+//   Scan        — access to a base table (no access-path choice: an index
+//                 range is an *annotation* the optimizer may add);
+//   Filter      — predicate over the scan row, correlation predicates and
+//                 pushed value predicates alike;
+//   Project     — per-row value expressions (the publishing Construct
+//                 operators XMLElement/XMLConcat live in the expression
+//                 layer, shared between logical and physical plans);
+//   XmlAgg      — XMLAgg over the child rows, optionally ordered;
+//   ScalarAgg   — SUM/COUNT/MIN/MAX over the child rows;
+//   Apply       — the correlated scalar subquery *expression*
+//                 (LogicalApplyExpr), binding a logical subplan into an
+//                 enclosing expression tree.
+//
+// Logical plans carry no execution decisions: the rewriter produces one
+// Filter with the full conjunction and a bare Scan; predicate pushdown,
+// index-range selection, pruning and subplan dedup are optimizer rules.
+#ifndef XDB_REL_LOGICAL_H_
+#define XDB_REL_LOGICAL_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rel/exec.h"
+#include "rel/expr.h"
+#include "rel/table.h"
+
+namespace xdb::rel {
+
+enum class LogicalKind { kScan, kFilter, kProject, kXmlAgg, kScalarAgg };
+const char* LogicalKindName(LogicalKind kind);
+
+/// \brief A logical plan operator.
+class LogicalNode {
+ public:
+  explicit LogicalNode(LogicalKind kind) : kind_(kind) {}
+  virtual ~LogicalNode() = default;
+  LogicalKind kind() const { return kind_; }
+
+ private:
+  LogicalKind kind_;
+};
+
+using LogicalPlanPtr = std::unique_ptr<LogicalNode>;
+
+/// Index-range annotation placed on a scan by the optimizer's
+/// index-range-scan rule. Bounds are constant expressions; a null bound is
+/// unbounded on that side.
+struct IndexRange {
+  std::string column;
+  RelExprPtr lo;
+  bool lo_inclusive = true;
+  RelExprPtr hi;
+  bool hi_inclusive = true;
+};
+
+class LogicalScanNode : public LogicalNode {
+ public:
+  explicit LogicalScanNode(const Table* table)
+      : LogicalNode(LogicalKind::kScan), table(table) {}
+  const Table* table;
+  /// Set only by the optimizer; the rewriters never choose an access path.
+  std::optional<IndexRange> index_range;
+};
+
+class LogicalFilterNode : public LogicalNode {
+ public:
+  LogicalFilterNode(LogicalPlanPtr child, RelExprPtr predicate)
+      : LogicalNode(LogicalKind::kFilter),
+        child(std::move(child)),
+        predicate(std::move(predicate)) {}
+  LogicalPlanPtr child;
+  RelExprPtr predicate;
+};
+
+class LogicalProjectNode : public LogicalNode {
+ public:
+  LogicalProjectNode(LogicalPlanPtr child, std::vector<RelExprPtr> exprs)
+      : LogicalNode(LogicalKind::kProject),
+        child(std::move(child)),
+        exprs(std::move(exprs)) {}
+  LogicalPlanPtr child;
+  std::vector<RelExprPtr> exprs;
+};
+
+class LogicalXmlAggNode : public LogicalNode {
+ public:
+  LogicalXmlAggNode(LogicalPlanPtr child, RelExprPtr order_by, bool descending)
+      : LogicalNode(LogicalKind::kXmlAgg),
+        child(std::move(child)),
+        order_by(std::move(order_by)),
+        descending(descending) {}
+  LogicalPlanPtr child;
+  RelExprPtr order_by;  // may be null => document (row-id) order required
+  bool descending;
+};
+
+class LogicalScalarAggNode : public LogicalNode {
+ public:
+  LogicalScalarAggNode(LogicalPlanPtr child, AggKind agg, RelExprPtr arg)
+      : LogicalNode(LogicalKind::kScalarAgg),
+        child(std::move(child)),
+        agg(agg),
+        arg(std::move(arg)) {}
+  LogicalPlanPtr child;
+  AggKind agg;
+  RelExprPtr arg;  // null for COUNT(*)
+};
+
+/// Correlated scalar subquery over a *logical* plan: the logical analog of
+/// ScalarSubqueryExpr. The plan is shared so the subplan-dedup rule can
+/// alias identical subplans; lowering memoizes per plan object. Evaluating
+/// an un-lowered apply is an error — run the optimizer first.
+class LogicalApplyExpr : public RelExpr {
+ public:
+  explicit LogicalApplyExpr(std::shared_ptr<LogicalNode> plan);
+  ~LogicalApplyExpr() override;
+  Result<Datum> Eval(ExecCtx& ctx) const override;
+  std::string ToSql() const override;
+  std::shared_ptr<LogicalNode> plan;
+};
+
+/// One-line-per-node rendering of a logical plan (EXPLAIN style, parallel to
+/// PlanNode::Explain). Every node kind renders explicitly — no fallthrough.
+void ExplainLogical(const LogicalNode& node, int indent, std::string* out);
+std::string ExplainLogicalPlan(const LogicalNode& node);
+
+}  // namespace xdb::rel
+
+#endif  // XDB_REL_LOGICAL_H_

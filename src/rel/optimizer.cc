@@ -1,0 +1,812 @@
+#include "rel/optimizer.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string_view>
+#include <utility>
+
+namespace xdb::rel {
+
+OptimizerOptions OptimizerOptionsFromEnv() {
+  OptimizerOptions o;
+  const char* env = std::getenv("XDB_DISABLE_OPT_RULES");
+  if (env == nullptr) return o;
+  auto disable = [&o](std::string_view name) {
+    if (name == "all") {
+      o = OptimizerOptions{false, false, false, false, false};
+    } else if (name == kRulePredicatePushdown) {
+      o.enable_predicate_pushdown = false;
+    } else if (name == kRuleIndexRangeScan) {
+      o.enable_index_selection = false;
+    } else if (name == kRuleConstantFold) {
+      o.enable_constant_folding = false;
+    } else if (name == kRuleColumnPruning) {
+      o.enable_column_pruning = false;
+    } else if (name == kRuleSubplanDedup) {
+      o.enable_subplan_dedup = false;
+    }  // unknown names are ignored
+  };
+  std::string_view v(env);
+  while (true) {
+    size_t comma = v.find(',');
+    std::string_view tok = v.substr(0, comma);
+    while (!tok.empty() && tok.front() == ' ') tok.remove_prefix(1);
+    while (!tok.empty() && tok.back() == ' ') tok.remove_suffix(1);
+    if (!tok.empty()) disable(tok);
+    if (comma == std::string_view::npos) break;
+    v.remove_prefix(comma + 1);
+  }
+  return o;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Generic traversal
+// ---------------------------------------------------------------------------
+
+// Visits every direct child expression slot of `e` (plan subtrees of a
+// LogicalApplyExpr are not expression slots; callers handle them explicitly).
+void ForEachChildSlot(RelExpr& e, const std::function<void(RelExprPtr&)>& fn) {
+  switch (e.kind()) {
+    case RelExprKind::kBinary: {
+      auto& b = static_cast<BinaryRelExpr&>(e);
+      fn(b.lhs);
+      fn(b.rhs);
+      return;
+    }
+    case RelExprKind::kCase: {
+      auto& c = static_cast<CaseRelExpr&>(e);
+      for (auto& br : c.branches) {
+        fn(br.cond);
+        fn(br.value);
+      }
+      if (c.else_value != nullptr) fn(c.else_value);
+      return;
+    }
+    case RelExprKind::kXmlElement: {
+      auto& x = static_cast<XmlElementExpr&>(e);
+      for (auto& attr : x.attributes) fn(attr.second);
+      for (auto& child : x.children) fn(child);
+      return;
+    }
+    case RelExprKind::kXmlConcat: {
+      for (auto& child : static_cast<XmlConcatExpr&>(e).children) fn(child);
+      return;
+    }
+    case RelExprKind::kXmlQuery:
+      fn(static_cast<XmlQueryExpr&>(e).input);
+      return;
+    case RelExprKind::kXmlTransform:
+      fn(static_cast<XmlTransformExpr&>(e).input);
+      return;
+    case RelExprKind::kColumnRef:
+    case RelExprKind::kConst:
+    case RelExprKind::kScalarSubquery:
+    case RelExprKind::kLogicalApply:
+      return;  // leaves (apply's plan is traversed by the caller)
+  }
+}
+
+// The single plan-child slot of a logical node (null for Scan).
+LogicalPlanPtr* ChildSlot(LogicalNode& n) {
+  switch (n.kind()) {
+    case LogicalKind::kScan:
+      return nullptr;
+    case LogicalKind::kFilter:
+      return &static_cast<LogicalFilterNode&>(n).child;
+    case LogicalKind::kProject:
+      return &static_cast<LogicalProjectNode&>(n).child;
+    case LogicalKind::kXmlAgg:
+      return &static_cast<LogicalXmlAggNode&>(n).child;
+    case LogicalKind::kScalarAgg:
+      return &static_cast<LogicalScalarAggNode&>(n).child;
+  }
+  return nullptr;
+}
+
+// Visits every expression slot owned by one logical node (non-recursive;
+// index-range bounds are constants and excluded). Slots may be null.
+void ForEachNodeExprSlot(LogicalNode& n,
+                         const std::function<void(RelExprPtr&)>& fn) {
+  switch (n.kind()) {
+    case LogicalKind::kScan:
+      return;
+    case LogicalKind::kFilter:
+      fn(static_cast<LogicalFilterNode&>(n).predicate);
+      return;
+    case LogicalKind::kProject:
+      for (auto& e : static_cast<LogicalProjectNode&>(n).exprs) fn(e);
+      return;
+    case LogicalKind::kXmlAgg:
+      fn(static_cast<LogicalXmlAggNode&>(n).order_by);
+      return;
+    case LogicalKind::kScalarAgg:
+      fn(static_cast<LogicalScalarAggNode&>(n).arg);
+      return;
+  }
+}
+
+// Total node count (expressions + logical plan nodes) with shared subplans
+// counted once — the quantity reported in RuleTrace.
+int CountPlanNodes(LogicalNode& n, std::set<const LogicalNode*>& seen_plans);
+
+int CountExprNodes(RelExpr& e, std::set<const LogicalNode*>& seen_plans) {
+  int count = 1;
+  ForEachChildSlot(e, [&](RelExprPtr& c) {
+    if (c != nullptr) count += CountExprNodes(*c, seen_plans);
+  });
+  if (e.kind() == RelExprKind::kLogicalApply) {
+    auto& a = static_cast<LogicalApplyExpr&>(e);
+    if (a.plan != nullptr && seen_plans.insert(a.plan.get()).second) {
+      count += CountPlanNodes(*a.plan, seen_plans);
+    }
+  }
+  return count;
+}
+
+int CountPlanNodes(LogicalNode& n, std::set<const LogicalNode*>& seen_plans) {
+  int count = 1;
+  ForEachNodeExprSlot(n, [&](RelExprPtr& e) {
+    if (e != nullptr) count += CountExprNodes(*e, seen_plans);
+  });
+  LogicalPlanPtr* child = ChildSlot(n);
+  if (child != nullptr && *child != nullptr) {
+    count += CountPlanNodes(**child, seen_plans);
+  }
+  return count;
+}
+
+// Visits every distinct logical subplan root reachable from `root`,
+// enclosing plans before the plans nested in their expressions. Rules that
+// restructure a plan operate per-root and do not recurse into nested
+// applies — those get their own visit.
+void ForEachPlanRoot(RelExpr& root,
+                     const std::function<void(LogicalNode&)>& fn) {
+  std::set<const LogicalNode*> seen;
+  std::function<void(RelExpr&)> walk_expr = [&](RelExpr& e) {
+    if (e.kind() == RelExprKind::kLogicalApply) {
+      auto& a = static_cast<LogicalApplyExpr&>(e);
+      if (a.plan != nullptr && seen.insert(a.plan.get()).second) {
+        fn(*a.plan);
+        // Nested applies live in the plan's expressions.
+        LogicalNode* n = a.plan.get();
+        while (n != nullptr) {
+          ForEachNodeExprSlot(*n, [&](RelExprPtr& s) {
+            if (s != nullptr) walk_expr(*s);
+          });
+          LogicalPlanPtr* child = ChildSlot(*n);
+          n = (child != nullptr) ? child->get() : nullptr;
+        }
+      }
+      return;
+    }
+    ForEachChildSlot(e, [&](RelExprPtr& c) {
+      if (c != nullptr) walk_expr(*c);
+    });
+  };
+  walk_expr(root);
+}
+
+bool IsTruthyConst(const RelExpr& e) {
+  if (e.kind() != RelExprKind::kConst) return false;
+  const Datum& v = static_cast<const ConstExpr&>(e).value;
+  return !v.is_null() && v.ToDouble() != 0;
+}
+
+bool IsFalsyConst(const RelExpr& e) {
+  if (e.kind() != RelExprKind::kConst) return false;
+  const Datum& v = static_cast<const ConstExpr&>(e).value;
+  return v.is_null() || v.ToDouble() == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Rule: predicate-pushdown
+// ---------------------------------------------------------------------------
+
+// child.key = outer.key — the correlation predicate of a nested scope (not
+// counted as a *pushed* predicate; it defines the scope itself).
+bool IsCorrelationPredicate(const RelExpr& e) {
+  if (e.kind() != RelExprKind::kBinary) return false;
+  const auto& b = static_cast<const BinaryRelExpr&>(e);
+  if (b.op != RelOp::kEq) return false;
+  auto level_of = [](const RelExpr& side) {
+    return side.kind() == RelExprKind::kColumnRef
+               ? static_cast<const ColumnRefExpr&>(side).level
+               : -1;
+  };
+  int l = level_of(*b.lhs);
+  int r = level_of(*b.rhs);
+  return (l == 0 && r >= 1) || (r == 0 && l >= 1);
+}
+
+void FlattenAnd(RelExprPtr e, std::vector<RelExprPtr>* out) {
+  if (e->kind() == RelExprKind::kBinary &&
+      static_cast<BinaryRelExpr&>(*e).op == RelOp::kAnd) {
+    auto& b = static_cast<BinaryRelExpr&>(*e);
+    FlattenAnd(std::move(b.lhs), out);
+    FlattenAnd(std::move(b.rhs), out);
+    return;
+  }
+  out->push_back(std::move(e));
+}
+
+class OptimizerPass {
+ public:
+  explicit OptimizerPass(const OptimizerOptions& options)
+      : options_(options) {}
+
+  Result<OptimizedQuery> Run(RelExprPtr root);
+
+ private:
+  void RunRule(const char* name, bool enabled,
+               const std::function<void()>& body) {
+    if (!enabled) return;
+    std::set<const LogicalNode*> seen;
+    int before = CountExprNodes(*root_, seen);
+    body();
+    seen.clear();
+    int after = CountExprNodes(*root_, seen);
+    trace_.push_back(RuleTrace{name, before, after});
+  }
+
+  // Splits each Filter whose predicate is a conjunction into a chain of
+  // single-predicate Filters. The rewriter emits the correlation predicate
+  // first, so it lands innermost (directly above the scan) — the same shape
+  // the pre-optimizer translator produced.
+  void RulePredicatePushdown() {
+    ForEachPlanRoot(*root_, [this](LogicalNode& plan_root) {
+      LogicalPlanPtr* slot = ChildSlot(plan_root);
+      while (slot != nullptr && *slot != nullptr) {
+        if ((*slot)->kind() == LogicalKind::kFilter) {
+          auto* f = static_cast<LogicalFilterNode*>(slot->get());
+          std::vector<RelExprPtr> conjuncts;
+          FlattenAnd(std::move(f->predicate), &conjuncts);
+          if (conjuncts.size() > 1) {
+            LogicalPlanPtr chain = std::move(f->child);
+            for (auto& c : conjuncts) {
+              if (!IsCorrelationPredicate(*c)) ++predicates_pushed_;
+              chain = std::make_unique<LogicalFilterNode>(std::move(chain),
+                                                          std::move(c));
+            }
+            *slot = std::move(chain);
+            continue;  // re-examine the (new outermost) filter's child later
+          }
+          f->predicate = std::move(conjuncts[0]);
+        }
+        slot = ChildSlot(**slot);
+      }
+    });
+  }
+
+  // Recognizes `column CMP constant` over an indexed column of the scan's
+  // table; removes that Filter and annotates the scan with the range.
+  // Innermost filters are preferred (they match the pre-optimizer behavior
+  // of probing on navigation predicates first). Depends on pushdown having
+  // split conjunctions — a conjoined predicate never matches.
+  void RuleIndexRangeScan() {
+    ForEachPlanRoot(*root_, [this](LogicalNode& plan_root) {
+      LogicalPlanPtr* slot = ChildSlot(plan_root);
+      while (slot != nullptr && *slot != nullptr) {
+        if ((*slot)->kind() == LogicalKind::kFilter) {
+          TryIndexFilterChain(slot);
+          // Continue below whatever now heads the chain.
+        }
+        slot = ChildSlot(**slot);
+      }
+    });
+  }
+
+  void TryIndexFilterChain(LogicalPlanPtr* top) {
+    // Collect the Filter* -> Scan chain (outermost first).
+    std::vector<LogicalPlanPtr*> chain;
+    LogicalPlanPtr* cur = top;
+    while (*cur != nullptr && (*cur)->kind() == LogicalKind::kFilter) {
+      chain.push_back(cur);
+      cur = &static_cast<LogicalFilterNode&>(**cur).child;
+    }
+    if (*cur == nullptr || (*cur)->kind() != LogicalKind::kScan) return;
+    auto* scan = static_cast<LogicalScanNode*>(cur->get());
+    if (scan->index_range.has_value()) return;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {  // innermost first
+      auto* f = static_cast<LogicalFilterNode*>((*it)->get());
+      std::optional<IndexRange> range =
+          MatchIndexablePredicate(*f->predicate, *scan->table);
+      if (!range.has_value()) continue;
+      scan->index_range = std::move(range);
+      used_index_ = true;
+      // Unlink the matched filter from the chain.
+      LogicalPlanPtr child = std::move(f->child);
+      **it = std::move(child);
+      return;
+    }
+  }
+
+  static std::optional<IndexRange> MatchIndexablePredicate(
+      const RelExpr& pred, const Table& table) {
+    if (pred.kind() != RelExprKind::kBinary) return std::nullopt;
+    const auto& b = static_cast<const BinaryRelExpr&>(pred);
+    RelOp op = b.op;
+    switch (op) {
+      case RelOp::kEq:
+      case RelOp::kLt:
+      case RelOp::kLe:
+      case RelOp::kGt:
+      case RelOp::kGe:
+        break;
+      default:
+        return std::nullopt;
+    }
+    auto column_of = [&table](const RelExpr& side) -> std::optional<std::string> {
+      if (side.kind() != RelExprKind::kColumnRef) return std::nullopt;
+      const auto& ref = static_cast<const ColumnRefExpr&>(side);
+      if (ref.level != 0) return std::nullopt;  // outer refs probe nothing here
+      if (ref.column < 0 ||
+          static_cast<size_t>(ref.column) >= table.schema().column_count()) {
+        return std::nullopt;
+      }
+      return table.schema().column(static_cast<size_t>(ref.column)).name;
+    };
+    auto const_of = [](const RelExpr& side) -> const Datum* {
+      return side.kind() == RelExprKind::kConst
+                 ? &static_cast<const ConstExpr&>(side).value
+                 : nullptr;
+    };
+
+    std::optional<std::string> col = column_of(*b.lhs);
+    const Datum* konst = const_of(*b.rhs);
+    if (!col.has_value() || konst == nullptr) {
+      col = column_of(*b.rhs);
+      konst = const_of(*b.lhs);
+      // constant CMP column: flip the comparison.
+      switch (op) {
+        case RelOp::kLt:
+          op = RelOp::kGt;
+          break;
+        case RelOp::kLe:
+          op = RelOp::kGe;
+          break;
+        case RelOp::kGt:
+          op = RelOp::kLt;
+          break;
+        case RelOp::kGe:
+          op = RelOp::kLe;
+          break;
+        default:
+          break;
+      }
+    }
+    if (!col.has_value() || konst == nullptr) return std::nullopt;
+    if (!table.HasIndex(*col)) return std::nullopt;
+
+    IndexRange range;
+    range.column = *col;
+    auto konst_expr = [konst]() {
+      return std::make_unique<ConstExpr>(*konst);
+    };
+    switch (op) {
+      case RelOp::kEq:
+        range.lo = konst_expr();
+        range.hi = konst_expr();
+        break;
+      case RelOp::kGt:
+        range.lo = konst_expr();
+        range.lo_inclusive = false;
+        break;
+      case RelOp::kGe:
+        range.lo = konst_expr();
+        break;
+      case RelOp::kLt:
+        range.hi = konst_expr();
+        range.hi_inclusive = false;
+        break;
+      case RelOp::kLe:
+        range.hi = konst_expr();
+        break;
+      default:
+        return std::nullopt;
+    }
+    return range;
+  }
+
+  // Bottom-up constant folding over every expression slot, including the
+  // slots inside logical subplans.
+  void RuleConstantFold() {
+    folded_plans_.clear();
+    FoldSlot(root_);
+  }
+
+  void FoldSlot(RelExprPtr& slot) {
+    if (slot == nullptr) return;
+    ForEachChildSlot(*slot, [this](RelExprPtr& c) { FoldSlot(c); });
+    if (slot->kind() == RelExprKind::kLogicalApply) {
+      auto& a = static_cast<LogicalApplyExpr&>(*slot);
+      if (a.plan != nullptr && folded_plans_.insert(a.plan.get()).second) {
+        LogicalNode* n = a.plan.get();
+        while (n != nullptr) {
+          ForEachNodeExprSlot(*n, [this](RelExprPtr& s) { FoldSlot(s); });
+          LogicalPlanPtr* child = ChildSlot(*n);
+          n = (child != nullptr) ? child->get() : nullptr;
+        }
+      }
+      return;
+    }
+    if (slot->kind() == RelExprKind::kBinary) {
+      auto& b = static_cast<BinaryRelExpr&>(*slot);
+      // Short-circuit: a falsy AND / truthy OR side decides the result
+      // regardless of the other side. (true AND x is NOT x — AND/OR
+      // normalize truthiness to 0/1, so the other side must still run.)
+      if (b.op == RelOp::kAnd && (IsFalsyConst(*b.lhs) || IsFalsyConst(*b.rhs))) {
+        slot = std::make_unique<ConstExpr>(Datum(int64_t{0}));
+        return;
+      }
+      if (b.op == RelOp::kOr && (IsTruthyConst(*b.lhs) || IsTruthyConst(*b.rhs))) {
+        slot = std::make_unique<ConstExpr>(Datum(int64_t{1}));
+        return;
+      }
+      if (b.lhs->kind() == RelExprKind::kConst &&
+          b.rhs->kind() == RelExprKind::kConst) {
+        ExecCtx ctx;  // constant subtrees reference no rows and no arena
+        auto v = b.Eval(ctx);
+        if (v.ok()) slot = std::make_unique<ConstExpr>(v.MoveValue());
+      }
+      return;
+    }
+    if (slot->kind() == RelExprKind::kCase) {
+      auto& c = static_cast<CaseRelExpr&>(*slot);
+      std::vector<CaseRelExpr::Branch> kept;
+      for (auto& br : c.branches) {
+        if (IsFalsyConst(*br.cond)) continue;  // branch never taken
+        if (IsTruthyConst(*br.cond)) {
+          // Always taken once reached: it becomes the ELSE; later branches
+          // and the original ELSE are dead.
+          if (kept.empty()) {
+            RelExprPtr value = std::move(br.value);
+            slot = std::move(value);
+            return;
+          }
+          c.else_value = std::move(br.value);
+          c.branches = std::move(kept);
+          return;
+        }
+        kept.push_back(std::move(br));
+      }
+      c.branches = std::move(kept);
+      if (c.branches.empty()) {
+        RelExprPtr value = c.else_value != nullptr
+                               ? std::move(c.else_value)
+                               : std::make_unique<ConstExpr>(Datum::Null());
+        slot = std::move(value);
+      }
+      return;
+    }
+  }
+
+  // Drops projection columns no consumer reads (an unordered XMLAgg only
+  // reads column 0) and removes constant-true filters (often the residue of
+  // constant folding).
+  void RuleColumnPruning() {
+    ForEachPlanRoot(*root_, [](LogicalNode& plan_root) {
+      LogicalNode* n = &plan_root;
+      while (n != nullptr) {
+        if (n->kind() == LogicalKind::kXmlAgg) {
+          auto& agg = static_cast<LogicalXmlAggNode&>(*n);
+          if (agg.order_by == nullptr && agg.child != nullptr &&
+              agg.child->kind() == LogicalKind::kProject) {
+            auto& p = static_cast<LogicalProjectNode&>(*agg.child);
+            if (p.exprs.size() > 1) p.exprs.resize(1);
+          }
+        }
+        LogicalPlanPtr* slot = ChildSlot(*n);
+        if (slot == nullptr) break;
+        while (*slot != nullptr && (*slot)->kind() == LogicalKind::kFilter &&
+               IsTruthyConst(
+                   *static_cast<LogicalFilterNode&>(**slot).predicate)) {
+          LogicalPlanPtr child =
+              std::move(static_cast<LogicalFilterNode&>(**slot).child);
+          *slot = std::move(child);
+        }
+        n = slot->get();
+      }
+    });
+  }
+
+  // Aliases structurally identical subplans (canonical form keyed on node
+  // structure with explicit column level/index — display names alone are
+  // ambiguous across nesting depths). Runs last, after the mutating rules.
+  void RuleSubplanDedup() {
+    std::map<std::string, std::shared_ptr<LogicalNode>> canonical;
+    std::set<const LogicalNode*> walked;
+    std::function<void(RelExpr&)> walk = [&](RelExpr& e) {
+      ForEachChildSlot(e, [&](RelExprPtr& c) {
+        if (c != nullptr) walk(*c);
+      });
+      if (e.kind() != RelExprKind::kLogicalApply) return;
+      auto& a = static_cast<LogicalApplyExpr&>(e);
+      if (a.plan == nullptr) return;
+      if (walked.insert(a.plan.get()).second) {
+        // Dedup nested applies first (bottom-up).
+        LogicalNode* n = a.plan.get();
+        while (n != nullptr) {
+          ForEachNodeExprSlot(*n, [&](RelExprPtr& s) {
+            if (s != nullptr) walk(*s);
+          });
+          LogicalPlanPtr* child = ChildSlot(*n);
+          n = (child != nullptr) ? child->get() : nullptr;
+        }
+      }
+      std::string key;
+      CanonicalPlan(*a.plan, &key);
+      auto [it, inserted] = canonical.emplace(key, a.plan);
+      if (!inserted) a.plan = it->second;
+    };
+    walk(*root_);
+  }
+
+  static void CanonicalExpr(const RelExpr& e, std::string* out) {
+    switch (e.kind()) {
+      case RelExprKind::kColumnRef: {
+        const auto& r = static_cast<const ColumnRefExpr&>(e);
+        *out += "col(" + std::to_string(r.level) + "," +
+                std::to_string(r.column) + ")";
+        return;
+      }
+      case RelExprKind::kConst: {
+        const auto& c = static_cast<const ConstExpr&>(e);
+        *out += "const(" + std::string(DataTypeName(c.value.type())) + ":" +
+                c.value.ToString() + ")";
+        return;
+      }
+      case RelExprKind::kBinary: {
+        const auto& b = static_cast<const BinaryRelExpr&>(e);
+        *out += "bin(" + std::string(RelOpName(b.op)) + ",";
+        CanonicalExpr(*b.lhs, out);
+        *out += ",";
+        CanonicalExpr(*b.rhs, out);
+        *out += ")";
+        return;
+      }
+      case RelExprKind::kCase: {
+        const auto& c = static_cast<const CaseRelExpr&>(e);
+        *out += "case(";
+        for (const auto& br : c.branches) {
+          CanonicalExpr(*br.cond, out);
+          *out += "?";
+          CanonicalExpr(*br.value, out);
+          *out += ";";
+        }
+        if (c.else_value != nullptr) CanonicalExpr(*c.else_value, out);
+        *out += ")";
+        return;
+      }
+      case RelExprKind::kXmlElement: {
+        const auto& x = static_cast<const XmlElementExpr&>(e);
+        *out += "elem(" + x.name;
+        for (const auto& attr : x.attributes) {
+          *out += ",@" + attr.first + "=";
+          CanonicalExpr(*attr.second, out);
+        }
+        for (const auto& child : x.children) {
+          *out += ",";
+          CanonicalExpr(*child, out);
+        }
+        *out += ")";
+        return;
+      }
+      case RelExprKind::kXmlConcat: {
+        *out += "concat(";
+        for (const auto& child :
+             static_cast<const XmlConcatExpr&>(e).children) {
+          CanonicalExpr(*child, out);
+          *out += ",";
+        }
+        *out += ")";
+        return;
+      }
+      case RelExprKind::kLogicalApply: {
+        const auto& a = static_cast<const LogicalApplyExpr&>(e);
+        *out += "apply(";
+        CanonicalPlan(*a.plan, out);
+        *out += ")";
+        return;
+      }
+      case RelExprKind::kScalarSubquery:
+      case RelExprKind::kXmlQuery:
+      case RelExprKind::kXmlTransform:
+        // Opaque payloads (compiled queries/stylesheets): never considered
+        // equal, keyed by identity.
+        *out += "opaque(" +
+                std::to_string(reinterpret_cast<uintptr_t>(&e)) + ")";
+        return;
+    }
+  }
+
+  static void CanonicalPlan(const LogicalNode& n, std::string* out) {
+    *out += std::string(LogicalKindName(n.kind())) + "[";
+    switch (n.kind()) {
+      case LogicalKind::kScan: {
+        const auto& s = static_cast<const LogicalScanNode&>(n);
+        *out += s.table->name();
+        if (s.index_range.has_value()) {
+          const IndexRange& r = *s.index_range;
+          *out += ",idx(" + r.column + ",";
+          if (r.lo != nullptr) {
+            *out += (r.lo_inclusive ? ">=" : ">");
+            CanonicalExpr(*r.lo, out);
+          }
+          if (r.hi != nullptr) {
+            *out += (r.hi_inclusive ? "<=" : "<");
+            CanonicalExpr(*r.hi, out);
+          }
+          *out += ")";
+        }
+        break;
+      }
+      case LogicalKind::kFilter:
+        CanonicalExpr(*static_cast<const LogicalFilterNode&>(n).predicate, out);
+        break;
+      case LogicalKind::kProject:
+        for (const auto& e : static_cast<const LogicalProjectNode&>(n).exprs) {
+          CanonicalExpr(*e, out);
+          *out += ",";
+        }
+        break;
+      case LogicalKind::kXmlAgg: {
+        const auto& a = static_cast<const LogicalXmlAggNode&>(n);
+        if (a.order_by != nullptr) CanonicalExpr(*a.order_by, out);
+        if (a.descending) *out += ",desc";
+        break;
+      }
+      case LogicalKind::kScalarAgg: {
+        const auto& a = static_cast<const LogicalScalarAggNode&>(n);
+        *out += std::to_string(static_cast<int>(a.agg)) + ",";
+        if (a.arg != nullptr) CanonicalExpr(*a.arg, out);
+        break;
+      }
+    }
+    *out += "]";
+    const LogicalNode* base = &n;
+    LogicalPlanPtr* child = ChildSlot(const_cast<LogicalNode&>(*base));
+    if (child != nullptr && *child != nullptr) CanonicalPlan(**child, out);
+  }
+
+  const OptimizerOptions& options_;
+  RelExprPtr root_;
+  std::vector<RuleTrace> trace_;
+  std::set<const LogicalNode*> folded_plans_;
+  bool used_index_ = false;
+  int predicates_pushed_ = 0;
+
+  friend class ::xdb::rel::Optimizer;
+};
+
+// ---------------------------------------------------------------------------
+// Lowering
+// ---------------------------------------------------------------------------
+
+class Lowerer {
+ public:
+  Status LowerExprSlot(RelExprPtr& slot) {
+    if (slot == nullptr) return Status::OK();
+    Status st = Status::OK();
+    ForEachChildSlot(*slot, [&](RelExprPtr& c) {
+      if (st.ok()) st = LowerExprSlot(c);
+    });
+    XDB_RETURN_NOT_OK(st);
+    if (slot->kind() == RelExprKind::kLogicalApply) {
+      auto& a = static_cast<LogicalApplyExpr&>(*slot);
+      XDB_ASSIGN_OR_RETURN(std::shared_ptr<const PlanNode> plan,
+                           LowerShared(a.plan));
+      slot = std::make_unique<ScalarSubqueryExpr>(std::move(plan));
+    }
+    return Status::OK();
+  }
+
+ private:
+  Result<std::shared_ptr<const PlanNode>> LowerShared(
+      const std::shared_ptr<LogicalNode>& plan) {
+    if (plan == nullptr) return Status::Internal("null logical subplan");
+    auto it = memo_.find(plan.get());
+    if (it != memo_.end()) return it->second;
+    // Subquery roots are aggregates; document-order requirements originate
+    // at an unordered XMLAgg inside, so the root itself starts unordered.
+    XDB_ASSIGN_OR_RETURN(PlanPtr lowered,
+                         LowerNode(*plan, /*doc_order=*/false));
+    std::shared_ptr<const PlanNode> shared(std::move(lowered));
+    memo_[plan.get()] = shared;
+    return shared;
+  }
+
+  // Lowering consumes the logical node's expressions (they move into the
+  // physical node); shared subplans are lowered exactly once via the memo.
+  Result<PlanPtr> LowerNode(LogicalNode& n, bool doc_order) {
+    switch (n.kind()) {
+      case LogicalKind::kScan: {
+        auto& s = static_cast<LogicalScanNode&>(n);
+        if (s.index_range.has_value()) {
+          IndexRange& r = *s.index_range;
+          return PlanPtr(new IndexRangeScanNode(
+              s.table, r.column, std::move(r.lo), r.lo_inclusive,
+              std::move(r.hi), r.hi_inclusive, doc_order));
+        }
+        return PlanPtr(new SeqScanNode(s.table));
+      }
+      case LogicalKind::kFilter: {
+        auto& f = static_cast<LogicalFilterNode&>(n);
+        XDB_ASSIGN_OR_RETURN(PlanPtr child, LowerNode(*f.child, doc_order));
+        XDB_RETURN_NOT_OK(LowerExprSlot(f.predicate));
+        return PlanPtr(new FilterNode(std::move(child), std::move(f.predicate)));
+      }
+      case LogicalKind::kProject: {
+        auto& p = static_cast<LogicalProjectNode&>(n);
+        XDB_ASSIGN_OR_RETURN(PlanPtr child, LowerNode(*p.child, doc_order));
+        for (auto& e : p.exprs) XDB_RETURN_NOT_OK(LowerExprSlot(e));
+        return PlanPtr(new ProjectNode(std::move(child), std::move(p.exprs)));
+      }
+      case LogicalKind::kXmlAgg: {
+        auto& a = static_cast<LogicalXmlAggNode&>(n);
+        // No explicit order: the aggregate relies on the child stream's
+        // document (row-id) order, which any index access below must keep.
+        bool child_doc_order = a.order_by == nullptr;
+        XDB_ASSIGN_OR_RETURN(PlanPtr child,
+                             LowerNode(*a.child, child_doc_order));
+        XDB_RETURN_NOT_OK(LowerExprSlot(a.order_by));
+        return PlanPtr(new XmlAggNode(std::move(child), std::move(a.order_by),
+                                      a.descending));
+      }
+      case LogicalKind::kScalarAgg: {
+        auto& a = static_cast<LogicalScalarAggNode&>(n);
+        XDB_ASSIGN_OR_RETURN(PlanPtr child,
+                             LowerNode(*a.child, /*doc_order=*/false));
+        XDB_RETURN_NOT_OK(LowerExprSlot(a.arg));
+        return PlanPtr(
+            new ScalarAggNode(std::move(child), a.agg, std::move(a.arg)));
+      }
+    }
+    return Status::Internal("unknown logical node kind");
+  }
+
+  std::map<const LogicalNode*, std::shared_ptr<const PlanNode>> memo_;
+};
+
+Result<OptimizedQuery> OptimizerPass::Run(RelExprPtr root) {
+  root_ = std::move(root);
+
+  RunRule(kRulePredicatePushdown, options_.enable_predicate_pushdown,
+          [this] { RulePredicatePushdown(); });
+  RunRule(kRuleIndexRangeScan, options_.enable_index_selection,
+          [this] { RuleIndexRangeScan(); });
+  RunRule(kRuleConstantFold, options_.enable_constant_folding,
+          [this] { RuleConstantFold(); });
+  RunRule(kRuleColumnPruning, options_.enable_column_pruning,
+          [this] { RuleColumnPruning(); });
+  RunRule(kRuleSubplanDedup, options_.enable_subplan_dedup,
+          [this] { RuleSubplanDedup(); });
+
+  OptimizedQuery out;
+  // Render the logical level before lowering (lowering consumes the tree).
+  out.logical_plan = root_->ToSql();
+  Lowerer lowerer;
+  XDB_RETURN_NOT_OK(lowerer.LowerExprSlot(root_));
+  out.expr = std::move(root_);
+  out.trace = std::move(trace_);
+  out.used_index = used_index_;
+  out.predicates_pushed = predicates_pushed_;
+  return out;
+}
+
+}  // namespace
+
+Result<OptimizedQuery> Optimizer::Run(RelExprPtr logical_root) const {
+  if (logical_root == nullptr) {
+    return Status::InvalidArgument("optimizer: null logical expression");
+  }
+  OptimizerPass pass(options_);
+  return pass.Run(std::move(logical_root));
+}
+
+}  // namespace xdb::rel

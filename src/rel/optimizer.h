@@ -1,0 +1,92 @@
+// Rule-based optimizer over the logical algebra (rel/logical.h): runs a
+// fixed catalog of named rules, records a per-rule trace (node counts before
+// and after), then lowers the optimized logical plan to the physical
+// PlanNode/RelExpr layer.
+//
+// Rule catalog (applied in this order; each individually toggleable):
+//   predicate-pushdown  splits a Filter's conjunction into a chain of
+//                       single-predicate Filters (correlation predicate
+//                       innermost) and counts the pushed value predicates;
+//   index-range-scan    turns the innermost `column CMP constant` filter
+//                       over an indexed column into an index-range
+//                       annotation on the scan;
+//   constant-fold       folds constant BinaryRelExpr/CaseRelExpr subtrees
+//                       (including short-circuit AND/OR and CASE branch
+//                       pruning);
+//   column-pruning      drops unused projection columns under an unordered
+//                       XMLAgg and removes constant-true filters;
+//   subplan-dedup       aliases structurally identical correlated subplans
+//                       (repeated inlined templates) to one shared plan.
+//
+// Lowering contract: Scan becomes SeqScanNode (or IndexRangeScanNode when
+// annotated, with rowid_order propagated from the nearest enclosing
+// unordered XMLAgg so document order survives the access path);
+// Filter/Project/XmlAgg/ScalarAgg map 1:1 onto their physical nodes;
+// LogicalApplyExpr becomes ScalarSubqueryExpr, with shared logical subplans
+// lowered once and aliased.
+#ifndef XDB_REL_OPTIMIZER_H_
+#define XDB_REL_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rel/logical.h"
+
+namespace xdb::rel {
+
+/// Per-rule toggles. Defaults enable everything; OptimizerOptionsFromEnv
+/// honors XDB_DISABLE_OPT_RULES (comma-separated rule names, or "all").
+struct OptimizerOptions {
+  bool enable_predicate_pushdown = true;
+  bool enable_index_selection = true;
+  bool enable_constant_folding = true;
+  bool enable_column_pruning = true;
+  bool enable_subplan_dedup = true;
+};
+
+/// Rule names as spelled in traces and in XDB_DISABLE_OPT_RULES.
+inline constexpr const char* kRulePredicatePushdown = "predicate-pushdown";
+inline constexpr const char* kRuleIndexRangeScan = "index-range-scan";
+inline constexpr const char* kRuleConstantFold = "constant-fold";
+inline constexpr const char* kRuleColumnPruning = "column-pruning";
+inline constexpr const char* kRuleSubplanDedup = "subplan-dedup";
+
+/// Default options with XDB_DISABLE_OPT_RULES applied.
+OptimizerOptions OptimizerOptionsFromEnv();
+
+/// One trace entry per enabled rule: total logical-plan + expression node
+/// count before and after the rule ran (equal counts = the rule declined).
+struct RuleTrace {
+  std::string rule;
+  int nodes_before = 0;
+  int nodes_after = 0;
+};
+
+/// The optimizer's output: the lowered physical expression plus the
+/// artifacts surfaced through ExecStats/EXPLAIN.
+struct OptimizedQuery {
+  RelExprPtr expr;           ///< physical (ScalarSubqueryExpr over PlanNodes)
+  std::string logical_plan;  ///< post-rule logical rendering (two-level EXPLAIN)
+  std::vector<RuleTrace> trace;
+  bool used_index = false;      ///< index-range-scan rule fired somewhere
+  int predicates_pushed = 0;    ///< value predicates split out by pushdown
+};
+
+class Optimizer {
+ public:
+  explicit Optimizer(const OptimizerOptions& options = {})
+      : options_(options) {}
+
+  /// Runs the rule catalog over the logical expression tree and lowers it.
+  /// The root may contain any number of LogicalApplyExpr subplans (including
+  /// none — a pure scalar query lowers to itself).
+  Result<OptimizedQuery> Run(RelExprPtr logical_root) const;
+
+ private:
+  OptimizerOptions options_;
+};
+
+}  // namespace xdb::rel
+
+#endif  // XDB_REL_OPTIMIZER_H_

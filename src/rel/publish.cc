@@ -1,6 +1,7 @@
 #include "rel/publish.h"
 
 #include "rel/catalog.h"
+#include "rel/logical.h"
 
 namespace xdb::rel {
 
@@ -63,7 +64,10 @@ struct Scope {
 
 class PublishCompiler {
  public:
-  explicit PublishCompiler(const Catalog& catalog) : catalog_(catalog) {}
+  /// With `logical`, kNested subtrees compile to LogicalApplyExpr over a
+  /// logical plan instead of a ScalarSubqueryExpr over a physical one.
+  explicit PublishCompiler(const Catalog& catalog, bool logical = false)
+      : catalog_(catalog), logical_(logical) {}
 
   Result<RelExprPtr> Compile(const PublishSpec& spec, const Table* base) {
     scopes_.push_back(Scope{base});
@@ -129,8 +133,6 @@ class PublishCompiler {
             0, inner_ci, spec.child_table + "." + spec.inner_key);
         auto pred = std::make_unique<BinaryRelExpr>(RelOp::kEq, std::move(inner_ref),
                                                     std::move(outer_ref));
-        PlanPtr scan(new SeqScanNode(child));
-        PlanPtr filtered(new FilterNode(std::move(scan), std::move(pred)));
         XDB_ASSIGN_OR_RETURN(RelExprPtr row_expr, CompileNode(*spec.row_element));
         std::vector<RelExprPtr> exprs;
         exprs.push_back(std::move(row_expr));
@@ -143,8 +145,21 @@ class PublishCompiler {
           order_expr = std::make_unique<ColumnRefExpr>(
               0, 1, spec.child_table + "." + spec.order_by_column);
         }
-        PlanPtr projected(new ProjectNode(std::move(filtered), std::move(exprs)));
         scopes_.pop_back();
+        if (logical_) {
+          LogicalPlanPtr plan = std::make_unique<LogicalScanNode>(child);
+          plan = std::make_unique<LogicalFilterNode>(std::move(plan),
+                                                     std::move(pred));
+          plan = std::make_unique<LogicalProjectNode>(std::move(plan),
+                                                      std::move(exprs));
+          plan = std::make_unique<LogicalXmlAggNode>(
+              std::move(plan), std::move(order_expr), /*descending=*/false);
+          return RelExprPtr(std::make_unique<LogicalApplyExpr>(
+              std::shared_ptr<LogicalNode>(std::move(plan))));
+        }
+        PlanPtr scan(new SeqScanNode(child));
+        PlanPtr filtered(new FilterNode(std::move(scan), std::move(pred)));
+        PlanPtr projected(new ProjectNode(std::move(filtered), std::move(exprs)));
         PlanPtr agg(new XmlAggNode(std::move(projected), std::move(order_expr),
                                    /*descending=*/false));
         return RelExprPtr(std::make_unique<ScalarSubqueryExpr>(std::move(agg)));
@@ -154,6 +169,7 @@ class PublishCompiler {
   }
 
   const Catalog& catalog_;
+  bool logical_;
   std::vector<Scope> scopes_;
 };
 
@@ -207,6 +223,13 @@ Result<RelExprPtr> CompilePublishSubtree(
     const PublishSpec& spec, const Catalog& catalog,
     const std::vector<const Table*>& scope_tables) {
   PublishCompiler compiler(catalog);
+  return compiler.CompileInScope(spec, scope_tables);
+}
+
+Result<RelExprPtr> CompileLogicalPublishSubtree(
+    const PublishSpec& spec, const Catalog& catalog,
+    const std::vector<const Table*>& scope_tables) {
+  PublishCompiler compiler(catalog, /*logical=*/true);
   return compiler.CompileInScope(spec, scope_tables);
 }
 

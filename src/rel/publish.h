@@ -105,6 +105,14 @@ Result<RelExprPtr> CompilePublishSubtree(const PublishSpec& spec,
                                          const Catalog& catalog,
                                          const std::vector<const Table*>& scope_tables);
 
+/// Like CompilePublishSubtree, but kNested subtrees compile to *logical*
+/// plans (LogicalApplyExpr over Scan/Filter/Project/XmlAgg) instead of
+/// physical ones. The XQuery->SQL/XML rewriter emits logical plans only; the
+/// optimizer (rel/optimizer.h) chooses access paths and lowers them.
+Result<RelExprPtr> CompileLogicalPublishSubtree(
+    const PublishSpec& spec, const Catalog& catalog,
+    const std::vector<const Table*>& scope_tables);
+
 }  // namespace xdb::rel
 
 #endif  // XDB_REL_PUBLISH_H_

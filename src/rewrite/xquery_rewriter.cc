@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 
+#include "rel/logical.h"
 #include "rel/publish.h"
 
 namespace xdb::rewrite {
@@ -15,20 +16,20 @@ using rel::Catalog;
 using rel::ColumnRefExpr;
 using rel::ConstExpr;
 using rel::Datum;
-using rel::FilterNode;
-using rel::IndexRangeScanNode;
-using rel::PlanPtr;
-using rel::ProjectNode;
+using rel::LogicalApplyExpr;
+using rel::LogicalFilterNode;
+using rel::LogicalNode;
+using rel::LogicalPlanPtr;
+using rel::LogicalProjectNode;
+using rel::LogicalScalarAggNode;
+using rel::LogicalScanNode;
+using rel::LogicalXmlAggNode;
 using rel::PublishBinding;
 using rel::PublishSpec;
 using rel::RelExpr;
 using rel::RelExprPtr;
 using rel::RelOp;
-using rel::ScalarAggNode;
-using rel::ScalarSubqueryExpr;
-using rel::SeqScanNode;
 using rel::Table;
-using rel::XmlAggNode;
 using rel::XmlConcatExpr;
 using rel::XmlElementExpr;
 using rel::XmlView;
@@ -101,9 +102,8 @@ SymEnvPtr Extend(SymEnvPtr parent) {
 
 class SqlTranslator {
  public:
-  SqlTranslator(const XmlView& view, const Catalog& catalog,
-                const SqlRewriteOptions& options, SqlRewriteResult* result)
-      : view_(view), catalog_(catalog), options_(options), result_(result) {}
+  SqlTranslator(const XmlView& view, const Catalog& catalog)
+      : view_(view), catalog_(catalog) {}
 
   Status Init() {
     if (!view_.is_publishing()) {
@@ -686,8 +686,8 @@ class SqlTranslator {
     std::vector<const Table*> tables(scope_tables_.begin(),
                                      scope_tables_.begin() + chain_len + 1);
     // Elements below the current scope rebuild with the full subtree
-    // (including their own nested aggregations).
-    return rel::CompilePublishSubtree(*binding->spec, catalog_, tables);
+    // (including their own nested aggregations), as logical plans.
+    return rel::CompileLogicalPublishSubtree(*binding->spec, catalog_, tables);
   }
 
   // Rebuilds a repeating sequence copy: XMLAgg over the repeat scope.
@@ -982,8 +982,11 @@ class SqlTranslator {
 
   // ---- the core scope-entry + aggregation builder ----------------------------
 
-  // Builds: ScalarSubquery( XmlAgg|ScalarAgg ( Project [value]
-  //           ( Filter* ( IndexRangeScan | SeqScan(child_table) )) ) )
+  // Builds: LogicalApply( XmlAgg|ScalarAgg ( Project [value]
+  //           ( Filter(corr AND p1 AND ... AND pn) ( Scan(child_table) )) ) )
+  // One Filter carries the whole conjunction (correlation predicate first);
+  // the optimizer's predicate-pushdown rule splits it, and index-range-scan
+  // chooses the access path.
   Result<RelExprPtr> TranslateSeqAggregate(
       const SymVal& seq, const std::function<Result<RelExprPtr>()>& build_value,
       std::optional<AggKind> agg, const FlworQExpr::OrderSpec* order,
@@ -1013,20 +1016,31 @@ class SqlTranslator {
       scope_tables_.pop_back();
     };
 
-    // Gather predicates: navigation predicates (relative to the repeating
-    // element) + where conjuncts.
-    struct Pred {
-      RelExprPtr expr;
-      const xpath::Expr* source = nullptr;  // for index analysis
-    };
-    std::vector<Pred> filters;
+    // Correlation predicate, first in the conjunction.
+    RelExprPtr predicate;
+    {
+      int inner_ci = child->schema().ColumnIndex(nested->inner_key);
+      auto outer = ColumnAtOuter(nested->outer_key);
+      if (!outer.ok() || inner_ci < 0) {
+        cleanup();
+        return !outer.ok() ? outer.status()
+                           : Untranslatable("bad correlation key");
+      }
+      predicate = std::make_unique<BinaryRelExpr>(
+          RelOp::kEq,
+          std::make_unique<ColumnRefExpr>(0, inner_ci,
+                                          child->name() + "." + nested->inner_key),
+          outer.MoveValue());
+    }
+
+    // Conjoin value predicates: navigation predicates (relative to the
+    // repeating element) + where conjuncts.
     auto translate_preds = [&]() -> Status {
       for (const xpath::Expr* p : seq.preds) {
-        Pred pred;
-        XDB_ASSIGN_OR_RETURN(pred.expr, TranslateRelativePredicate(*p, seq.decl));
-        pred.source = p;
-        filters.push_back(std::move(pred));
-        ++result_->predicates_pushed;
+        XDB_ASSIGN_OR_RETURN(RelExprPtr pred,
+                             TranslateRelativePredicate(*p, seq.decl));
+        predicate = std::make_unique<BinaryRelExpr>(
+            RelOp::kAnd, std::move(predicate), std::move(pred));
       }
       if (where_conjuncts != nullptr && loop_var != nullptr) {
         SymEnvPtr env = std::make_shared<SymEnv>();
@@ -1035,10 +1049,9 @@ class SqlTranslator {
         bound.decl = seq.decl;
         env->vars[*loop_var] = std::move(bound);
         for (const QExpr* w : *where_conjuncts) {
-          Pred pred;
-          XDB_ASSIGN_OR_RETURN(pred.expr, TranslateScalar(*w, env));
-          filters.push_back(std::move(pred));
-          ++result_->predicates_pushed;
+          XDB_ASSIGN_OR_RETURN(RelExprPtr pred, TranslateScalar(*w, env));
+          predicate = std::make_unique<BinaryRelExpr>(
+              RelOp::kAnd, std::move(predicate), std::move(pred));
         }
       }
       return Status::OK();
@@ -1049,51 +1062,9 @@ class SqlTranslator {
       return st;
     }
 
-    // Document order: the view's publish order. An explicit user order or a
-    // spec order column re-establishes order after any access path; otherwise
-    // the index scan emits rows in row-id (heap/document) order.
-    bool need_rowid_order = !agg.has_value() && order == nullptr &&
-                            nested->order_by_column.empty();
-
-    // Index selection: a navigation predicate of shape leaf CMP const over an
-    // indexed column becomes the scan's range bounds.
-    PlanPtr scan;
-    int index_pred = -1;
-    if (options_.enable_index_selection) {
-      for (size_t i = 0; i < filters.size(); ++i) {
-        if (filters[i].source == nullptr) continue;
-        auto bounds = AnalyzeIndexablePredicate(*filters[i].source, seq.decl,
-                                                child, need_rowid_order);
-        if (bounds.has_value()) {
-          scan = std::move(bounds->plan);
-          index_pred = static_cast<int>(i);
-          result_->used_index = true;
-          break;
-        }
-      }
-    }
-    if (scan == nullptr) scan = PlanPtr(new SeqScanNode(child));
-
-    // Correlation predicate.
-    {
-      int inner_ci = child->schema().ColumnIndex(nested->inner_key);
-      auto outer = ColumnAtOuter(nested->outer_key);
-      if (!outer.ok() || inner_ci < 0) {
-        cleanup();
-        return !outer.ok() ? outer.status()
-                           : Untranslatable("bad correlation key");
-      }
-      auto corr = std::make_unique<BinaryRelExpr>(
-          RelOp::kEq,
-          std::make_unique<ColumnRefExpr>(0, inner_ci,
-                                          child->name() + "." + nested->inner_key),
-          outer.MoveValue());
-      scan = PlanPtr(new FilterNode(std::move(scan), std::move(corr)));
-    }
-    for (size_t i = 0; i < filters.size(); ++i) {
-      if (static_cast<int>(i) == index_pred) continue;
-      scan = PlanPtr(new FilterNode(std::move(scan), std::move(filters[i].expr)));
-    }
+    LogicalPlanPtr plan = std::make_unique<LogicalScanNode>(child);
+    plan = std::make_unique<LogicalFilterNode>(std::move(plan),
+                                               std::move(predicate));
 
     // Value expression per row (COUNT needs no value).
     RelExprPtr value_expr;
@@ -1107,10 +1078,11 @@ class SqlTranslator {
     }
 
     if (agg.has_value()) {
-      PlanPtr plan(
-          new ScalarAggNode(std::move(scan), *agg, std::move(value_expr)));
+      plan = std::make_unique<LogicalScalarAggNode>(std::move(plan), *agg,
+                                                    std::move(value_expr));
       cleanup();
-      return RelExprPtr(std::make_unique<ScalarSubqueryExpr>(std::move(plan)));
+      return RelExprPtr(std::make_unique<LogicalApplyExpr>(
+          std::shared_ptr<LogicalNode>(std::move(plan))));
     }
 
     std::vector<RelExprPtr> exprs;
@@ -1145,11 +1117,13 @@ class SqlTranslator {
           0, oc, child->name() + "." + nested->order_by_column));
       order_ref = std::make_unique<ColumnRefExpr>(0, 1, "doc_order");
     }
-    PlanPtr projected(new ProjectNode(std::move(scan), std::move(exprs)));
-    PlanPtr aggd(new XmlAggNode(std::move(projected), std::move(order_ref),
-                                order_desc));
+    plan = std::make_unique<LogicalProjectNode>(std::move(plan),
+                                                std::move(exprs));
+    plan = std::make_unique<LogicalXmlAggNode>(
+        std::move(plan), std::move(order_ref), order_desc);
     cleanup();
-    return RelExprPtr(std::make_unique<ScalarSubqueryExpr>(std::move(aggd)));
+    return RelExprPtr(std::make_unique<LogicalApplyExpr>(
+        std::shared_ptr<LogicalNode>(std::move(plan))));
   }
 
   // Outer correlation key: resolve in the *current* scope chain (scope depth
@@ -1272,110 +1246,8 @@ class SqlTranslator {
     }
   }
 
-  // Recognizes `leaf CMP const` (or reversed) over an indexed column and
-  // builds the IndexRangeScan.
-  struct IndexBounds {
-    PlanPtr plan;
-  };
-  std::optional<IndexBounds> AnalyzeIndexablePredicate(
-      const xpath::Expr& e, const ElementStructure* decl, const Table* child,
-      bool rowid_order) {
-    using namespace xpath;
-    if (e.kind() != ExprKind::kBinary) return std::nullopt;
-    const auto& b = static_cast<const BinaryExpr&>(e);
-    auto leaf_column = [&](const Expr& side) -> std::optional<std::string> {
-      if (side.kind() != ExprKind::kPath) return std::nullopt;
-      const auto& p = static_cast<const PathExpr&>(side);
-      if (p.start != nullptr || p.absolute || p.steps.size() != 1) {
-        return std::nullopt;
-      }
-      const Step& s = p.steps[0];
-      if (s.axis != Axis::kChild || s.test.kind != NodeTest::Kind::kName ||
-          !s.predicates.empty()) {
-        return std::nullopt;
-      }
-      const ChildRef* c = decl->FindChild(s.test.local);
-      if (c == nullptr || c->repeating()) return std::nullopt;
-      // The leaf must be a single Column spec.
-      const PublishBinding* binding = BindingOf(c->elem);
-      if (binding == nullptr || binding->spec->children.size() != 1 ||
-          binding->spec->children[0]->kind != PublishSpec::Kind::kColumn) {
-        return std::nullopt;
-      }
-      return binding->spec->children[0]->column;
-    };
-    auto const_of = [](const Expr& side) -> std::optional<Datum> {
-      if (side.kind() == ExprKind::kNumber) {
-        return Datum(static_cast<const NumberExpr&>(side).value);
-      }
-      if (side.kind() == ExprKind::kLiteral) {
-        return Datum(static_cast<const LiteralExpr&>(side).value);
-      }
-      return std::nullopt;
-    };
-
-    std::optional<std::string> col = leaf_column(*b.lhs);
-    std::optional<Datum> konst = const_of(*b.rhs);
-    BinaryOp op = b.op;
-    if (!col.has_value() || !konst.has_value()) {
-      col = leaf_column(*b.rhs);
-      konst = const_of(*b.lhs);
-      // Reverse the comparison.
-      switch (op) {
-        case BinaryOp::kLt:
-          op = BinaryOp::kGt;
-          break;
-        case BinaryOp::kLe:
-          op = BinaryOp::kGe;
-          break;
-        case BinaryOp::kGt:
-          op = BinaryOp::kLt;
-          break;
-        case BinaryOp::kGe:
-          op = BinaryOp::kLe;
-          break;
-        default:
-          break;
-      }
-    }
-    if (!col.has_value() || !konst.has_value()) return std::nullopt;
-    if (!child->HasIndex(*col)) return std::nullopt;
-
-    auto konst_expr = [&]() {
-      return std::make_unique<ConstExpr>(*konst);
-    };
-    PlanPtr plan;
-    switch (op) {
-      case BinaryOp::kEq:
-        plan = PlanPtr(new IndexRangeScanNode(child, *col, konst_expr(), true,
-                                              konst_expr(), true, rowid_order));
-        break;
-      case BinaryOp::kGt:
-        plan = PlanPtr(new IndexRangeScanNode(child, *col, konst_expr(), false,
-                                              nullptr, true, rowid_order));
-        break;
-      case BinaryOp::kGe:
-        plan = PlanPtr(new IndexRangeScanNode(child, *col, konst_expr(), true,
-                                              nullptr, true, rowid_order));
-        break;
-      case BinaryOp::kLt:
-        plan = PlanPtr(new IndexRangeScanNode(child, *col, nullptr, true,
-                                              konst_expr(), false, rowid_order));
-        break;
-      case BinaryOp::kLe:
-        plan = PlanPtr(new IndexRangeScanNode(child, *col, nullptr, true,
-                                              konst_expr(), true, rowid_order));
-        break;
-      default:
-        return std::nullopt;
-    }
-    return IndexBounds{std::move(plan)};
-  }
-
   const XmlView& view_;
   const Catalog& catalog_;
-  SqlRewriteOptions options_;
-  SqlRewriteResult* result_;
   const Table* base_ = nullptr;
   SymVal context_;
   std::vector<const PublishSpec*> scope_chain_;
@@ -1387,11 +1259,10 @@ class SqlTranslator {
 
 Result<SqlRewriteResult> RewriteXQueryToSql(const Query& query,
                                             const XmlView& view,
-                                            const Catalog& catalog,
-                                            const SqlRewriteOptions& options) {
+                                            const Catalog& catalog) {
   SqlRewriteResult result;
   result.base_table = view.base_table;
-  SqlTranslator translator(view, catalog, options, &result);
+  SqlTranslator translator(view, catalog);
   XDB_RETURN_NOT_OK(translator.Init());
   XDB_ASSIGN_OR_RETURN(result.expr, translator.Translate(query));
   return result;

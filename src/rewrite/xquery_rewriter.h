@@ -4,9 +4,11 @@
 // the view's derived structure and provenance — into a pure relational
 // expression over the base tables. Path navigation becomes column
 // references, FLWOR iteration over repeating content becomes a correlated
-// XMLAgg scalar subquery, value predicates are pushed into the subquery
-// (where the optimizer selects a B-tree index when one exists), and element
-// constructors become SQL/XML publishing functions.
+// XMLAgg subquery over a *logical* plan (rel/logical.h), and element
+// constructors become SQL/XML publishing functions. The rewriter makes no
+// execution decisions: predicate pushdown and B-tree index selection are
+// rules of the rel::Optimizer, which lowers the logical plan to the
+// physical executor.
 //
 // Queries outside the translatable shape return a RewriteError; the caller
 // (the combined optimizer) then keeps the XQuery execution stage instead.
@@ -23,27 +25,17 @@ namespace xdb::rewrite {
 
 struct SqlRewriteResult {
   /// The per-base-row value expression of the rewritten query
-  /// (SELECT <expr> FROM <base_table>).
+  /// (SELECT <expr> FROM <base_table>). Correlated subqueries inside are
+  /// logical plans (LogicalApplyExpr); run rel::Optimizer to lower them.
   rel::RelExprPtr expr;
   std::string base_table;
-  /// True when at least one pushed predicate was turned into a B-tree
-  /// index range probe.
-  bool used_index = false;
-  /// Number of predicates pushed into relational filters.
-  int predicates_pushed = 0;
-};
-
-struct SqlRewriteOptions {
-  /// Allow IndexRangeScan selection for pushed column-vs-constant predicates.
-  bool enable_index_selection = true;
 };
 
 /// Rewrites `query` (whose "." is the XML column of the publishing view) into
-/// a relational expression over the view's base table.
+/// a logical relational expression over the view's base table.
 Result<SqlRewriteResult> RewriteXQueryToSql(const xquery::Query& query,
                                             const rel::XmlView& view,
-                                            const rel::Catalog& catalog,
-                                            const SqlRewriteOptions& options = {});
+                                            const rel::Catalog& catalog);
 
 }  // namespace xdb::rewrite
 

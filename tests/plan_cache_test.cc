@@ -226,6 +226,41 @@ TEST_F(PlanCacheFixture, DifferentOptionsGetDistinctEntries) {
   EXPECT_EQ(db_.plan_cache()->stats().entries, 2u);
 }
 
+TEST_F(PlanCacheFixture, OptimizerRuleTogglesAreInTheFingerprint) {
+  // Flipping any optimizer rule must miss the cache: the cached physical plan
+  // was produced under the old rule set. Results stay identical — the rules
+  // are pure optimizations.
+  ExecStats s1;
+  auto r1 = db_.TransformView("dept_emp", kPaperStylesheet, {}, &s1);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_EQ(s1.path, ExecutionPath::kSqlRewritten);
+
+  const char* toggled[] = {rel::kRulePredicatePushdown, rel::kRuleIndexRangeScan,
+                           rel::kRuleConstantFold, rel::kRuleColumnPruning,
+                           rel::kRuleSubplanDedup};
+  size_t expected_entries = 1;
+  for (const char* rule : toggled) {
+    SCOPED_TRACE(rule);
+    ExecOptions o;
+    if (rule == rel::kRulePredicatePushdown)
+      o.optimizer.enable_predicate_pushdown = false;
+    else if (rule == rel::kRuleIndexRangeScan)
+      o.optimizer.enable_index_selection = false;
+    else if (rule == rel::kRuleConstantFold)
+      o.optimizer.enable_constant_folding = false;
+    else if (rule == rel::kRuleColumnPruning)
+      o.optimizer.enable_column_pruning = false;
+    else
+      o.optimizer.enable_subplan_dedup = false;
+    ExecStats s;
+    auto r = db_.TransformView("dept_emp", kPaperStylesheet, o, &s);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_FALSE(s.cache_hit);
+    EXPECT_EQ(*r1, *r);
+    EXPECT_EQ(db_.plan_cache()->stats().entries, ++expected_entries);
+  }
+}
+
 TEST_F(PlanCacheFixture, LruCapacityEviction) {
   db_.plan_cache()->set_capacity(2);
 

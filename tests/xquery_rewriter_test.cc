@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "rel/optimizer.h"
 #include "rewrite/xslt_rewriter.h"
 #include "xml/serializer.h"
 #include "xquery/evaluator.h"
@@ -79,14 +80,19 @@ class SqlRewriteFixture : public ::testing::Test {
   }
 
   // Functional: run `query_text` through XMLQuery over the materialized view
-  // XML for each base row; rewritten: evaluate the relational expression.
+  // XML for each base row; rewritten: optimize + lower the logical plan and
+  // evaluate the physical relational expression.
   void ExpectSqlEquivalent(const std::string& query_text,
-                           SqlRewriteResult* out_result = nullptr,
-                           const SqlRewriteOptions& options = {}) {
+                           rel::OptimizedQuery* out_result = nullptr,
+                           const rel::OptimizerOptions& options = {}) {
     auto q = xquery::ParseQuery(query_text);
     ASSERT_TRUE(q.ok()) << q.status().ToString();
 
-    auto rewritten = RewriteXQueryToSql(*q, *view_, catalog_, options);
+    auto logical = RewriteXQueryToSql(*q, *view_, catalog_);
+    ASSERT_TRUE(logical.ok()) << logical.status().ToString();
+
+    rel::Optimizer optimizer(options);
+    auto rewritten = optimizer.Run(std::move(logical->expr));
     ASSERT_TRUE(rewritten.ok()) << rewritten.status().ToString();
 
     rel::Table* dept = *catalog_.GetTable("dept");
@@ -117,11 +123,7 @@ class SqlRewriteFixture : public ::testing::Test {
               : actual_v->ToString();
       EXPECT_EQ(actual, expected) << "row " << i << " query: " << query_text;
     }
-    if (out_result != nullptr) {
-      out_result->used_index = rewritten->used_index;
-      out_result->predicates_pushed = rewritten->predicates_pushed;
-      out_result->base_table = rewritten->base_table;
-    }
+    if (out_result != nullptr) *out_result = rewritten.MoveValue();
   }
 
   rel::Catalog catalog_;
@@ -134,7 +136,7 @@ TEST_F(SqlRewriteFixture, LeafNavigationBecomesColumns) {
 }
 
 TEST_F(SqlRewriteFixture, FlworOverEmpBecomesSubquery) {
-  SqlRewriteResult r;
+  rel::OptimizedQuery r;
   ExpectSqlEquivalent(
       "declare variable $var000 := .;\n"
       "for $e in $var000/dept/employees/emp return "
@@ -144,7 +146,7 @@ TEST_F(SqlRewriteFixture, FlworOverEmpBecomesSubquery) {
 }
 
 TEST_F(SqlRewriteFixture, PredicatePushdownSelectsIndex) {
-  SqlRewriteResult r;
+  rel::OptimizedQuery r;
   ExpectSqlEquivalent(
       "for $e in ./dept/employees/emp[sal > 2000] return "
       "<n>{fn:string($e/ename)}</n>",
@@ -154,8 +156,8 @@ TEST_F(SqlRewriteFixture, PredicatePushdownSelectsIndex) {
 }
 
 TEST_F(SqlRewriteFixture, IndexSelectionCanBeDisabled) {
-  SqlRewriteResult r;
-  SqlRewriteOptions options;
+  rel::OptimizedQuery r;
+  rel::OptimizerOptions options;
   options.enable_index_selection = false;
   ExpectSqlEquivalent(
       "for $e in ./dept/employees/emp[sal > 2000] return "
@@ -165,7 +167,7 @@ TEST_F(SqlRewriteFixture, IndexSelectionCanBeDisabled) {
 }
 
 TEST_F(SqlRewriteFixture, WhereClausePushed) {
-  SqlRewriteResult r;
+  rel::OptimizedQuery r;
   ExpectSqlEquivalent(
       "for $e in ./dept/employees/emp where $e/sal > 2000 return "
       "<n>{fn:string($e/ename)}</n>",
@@ -239,7 +241,7 @@ return
   )
 )
 )q";
-  SqlRewriteResult r;
+  rel::OptimizedQuery r;
   ExpectSqlEquivalent(query, &r);
   EXPECT_TRUE(r.used_index);
 }
@@ -272,7 +274,7 @@ TEST_F(SqlRewriteFixture, FullPipelineXsltToSql) {
   ASSERT_TRUE(query.ok()) << query.status().ToString();
   EXPECT_EQ(report.mode, RewriteReport::Mode::kInline);
 
-  SqlRewriteResult r;
+  rel::OptimizedQuery r;
   ExpectSqlEquivalent(query->ToString(), &r);
   EXPECT_TRUE(r.used_index);
 }
@@ -309,7 +311,7 @@ let $view :=
 return
   for $tr in $view/table/tr return $tr
 )q";
-  SqlRewriteResult r;
+  rel::OptimizedQuery r;
   ExpectSqlEquivalent(query, &r);
   EXPECT_TRUE(r.used_index);
 }
