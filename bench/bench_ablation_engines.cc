@@ -87,4 +87,4 @@ BENCHMARK(BM_Compile_XsltRewrite)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace xdb::bench
 
-BENCHMARK_MAIN();
+XDB_BENCH_MAIN();

@@ -72,4 +72,4 @@ BENCHMARK(BM_Pipeline_SqlFull)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace xdb::bench
 
-BENCHMARK_MAIN();
+XDB_BENCH_MAIN();

@@ -1,14 +1,18 @@
 // Shared helpers for the benchmark binaries: cached dataset setup per
 // (family, scale) so google-benchmark iterations measure only query
-// execution, never data generation.
+// execution, never data generation — plus the `--json=<path>` flag every
+// bench binary supports for machine-readable results (XDB_BENCH_MAIN).
 #ifndef XDB_BENCH_BENCH_COMMON_H_
 #define XDB_BENCH_BENCH_COMMON_H_
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "xsltmark/suite.h"
 
@@ -56,6 +60,136 @@ inline void ReportExecStats(benchmark::State& state, const ExecStats& stats) {
   state.counters["threads"] = static_cast<double>(stats.threads_used);
 }
 
+// ---------------------------------------------------------------------------
+// --json=<path>: machine-readable results
+// ---------------------------------------------------------------------------
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// File reporter passed to RunSpecifiedBenchmarks alongside the console
+/// reporter: collects every per-iteration run and writes one JSON document
+/// of {name, label, iterations, real_time_ns, counters} records — the shape
+/// EXPERIMENTS.md tooling and CI artifacts consume.
+class JsonCounterReporter : public benchmark::BenchmarkReporter {
+ public:
+  bool ReportContext(const Context&) override { return true; }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      double iters = run.iterations > 0
+                         ? static_cast<double>(run.iterations)
+                         : 1.0;
+      std::string rec = "    {\"name\": \"" + JsonEscape(run.benchmark_name()) +
+                        "\", \"label\": \"" + JsonEscape(run.report_label) +
+                        "\", \"iterations\": " +
+                        std::to_string(run.iterations) +
+                        ", \"real_time_ns\": " +
+                        std::to_string(run.real_accumulated_time / iters * 1e9);
+      rec += ", \"counters\": {";
+      bool first = true;
+      for (const auto& [key, counter] : run.counters) {
+        if (!first) rec += ", ";
+        first = false;
+        rec += "\"" + JsonEscape(key) + "\": " + std::to_string(counter.value);
+      }
+      rec += "}}";
+      records_.push_back(std::move(rec));
+    }
+  }
+
+  // The runner opens --benchmark_out and points GetOutputStream() at it.
+  void Finalize() override {
+    std::ostream& out = GetOutputStream();
+    out << "{\n  \"benchmarks\": [\n";
+    for (size_t i = 0; i < records_.size(); ++i) {
+      out << records_[i] << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    out.flush();
+  }
+
+ private:
+  std::vector<std::string> records_;
+};
+
+/// Pulls `--json=<path>` (or bare `--json`, which derives
+/// `BENCH_<binary>.json`) out of argv before google-benchmark parses the
+/// rest. Returns the output path, or "" when the flag is absent.
+inline std::string ExtractJsonFlag(int* argc, char** argv) {
+  std::string path;
+  int w = 1;
+  for (int r = 1; r < *argc; ++r) {
+    if (std::strncmp(argv[r], "--json=", 7) == 0) {
+      path = argv[r] + 7;
+    } else if (std::strcmp(argv[r], "--json") == 0) {
+      const char* base = std::strrchr(argv[0], '/');
+      path = "BENCH_" + std::string(base != nullptr ? base + 1 : argv[0]) +
+             ".json";
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  *argc = w;
+  return path;
+}
+
 }  // namespace xdb::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() that adds the --json flag. All
+/// other flags still go to google-benchmark.
+#define XDB_BENCH_MAIN()                                                     \
+  int main(int argc, char** argv) {                                          \
+    std::string xdb_json_path = ::xdb::bench::ExtractJsonFlag(&argc, argv);  \
+    /* The runner only opens a file reporter stream for --benchmark_out,   */\
+    /* so map --json onto that flag before Initialize() parses argv.       */\
+    std::vector<char*> xdb_args(argv, argv + argc);                          \
+    std::string xdb_out_flag = "--benchmark_out=" + xdb_json_path;           \
+    if (!xdb_json_path.empty()) xdb_args.push_back(xdb_out_flag.data());     \
+    xdb_args.push_back(nullptr);                                             \
+    int xdb_argc = static_cast<int>(xdb_args.size()) - 1;                    \
+    ::benchmark::Initialize(&xdb_argc, xdb_args.data());                     \
+    if (::benchmark::ReportUnrecognizedArguments(xdb_argc, xdb_args.data())) \
+      return 1;                                                              \
+    if (xdb_json_path.empty()) {                                             \
+      ::benchmark::RunSpecifiedBenchmarks();                                 \
+    } else {                                                                 \
+      ::benchmark::ConsoleReporter display;                                  \
+      ::xdb::bench::JsonCounterReporter json;                                \
+      ::benchmark::RunSpecifiedBenchmarks(&display, &json);                  \
+    }                                                                        \
+    ::benchmark::Shutdown();                                                 \
+    return 0;                                                                \
+  }                                                                          \
+  int xdb_bench_main_semicolon_swallower_ [[maybe_unused]] = 0
 
 #endif  // XDB_BENCH_BENCH_COMMON_H_

@@ -56,4 +56,4 @@ BENCHMARK(BM_DbOneRow_NoRewrite)->Arg(2000)->Arg(4000)->Arg(8000)->Arg(16000)
 }  // namespace
 }  // namespace xdb::bench
 
-BENCHMARK_MAIN();
+XDB_BENCH_MAIN();

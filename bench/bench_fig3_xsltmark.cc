@@ -50,4 +50,4 @@ BENCHMARK(BM_Total_NoRewrite)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace xdb::bench
 
-BENCHMARK_MAIN();
+XDB_BENCH_MAIN();

@@ -156,4 +156,4 @@ BENCHMARK(BM_Execute_PlanC_Threads)->Apply(ThreadArgs)
 }  // namespace
 }  // namespace xdb::bench
 
-BENCHMARK_MAIN();
+XDB_BENCH_MAIN();

@@ -1,0 +1,165 @@
+// End-to-end over shredded storage: the Figure-2 'dbonerow' workload where
+// the base tables come from the shredding bulk loader instead of hand-built
+// relational data. Measures (a) document load throughput (parse + shred +
+// array insert + index build, reported as MB/s) and (b) warm prepared
+// transform latency over the generated publishing view — the number that
+// must stay in the same regime as bench_fig2_dbonerow's hand-built view
+// (the generated view reaches the same plan A + index probe).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "bench_common.h"
+#include "schema/structure.h"
+
+namespace xdb::bench {
+namespace {
+
+// Same stylesheet as the XSLTMark 'dbonerow' case.
+constexpr const char* kDbOneRowStylesheet =
+    "<xsl:stylesheet version=\"1.0\" "
+    "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+    "<xsl:template match=\"table\">"
+    "<out><xsl:apply-templates select=\"row[id = 9]\"/></out></xsl:template>"
+    "<xsl:template match=\"row\"><hit><xsl:value-of select=\"firstname\"/> "
+    "<xsl:value-of select=\"lastname\"/></hit></xsl:template>"
+    "<xsl:template match=\"text()\"/>"
+    "</xsl:stylesheet>";
+
+// table { row* { id, firstname, lastname, city, zip } } — the document-side
+// shape of the db family.
+schema::StructuralInfo TableRowStructure() {
+  schema::StructureBuilder b;
+  auto* table = b.Element("table");
+  auto* row = b.AddChild(table, "row", 0, -1);
+  for (const char* leaf : {"id", "firstname", "lastname", "city", "zip"}) {
+    b.AddText(b.AddChild(row, leaf));
+  }
+  return b.Build(table);
+}
+
+shred::ShredOptions RowIndexOptions() {
+  shred::ShredOptions options;
+  options.value_indexes = {"row/id", "row/zip"};
+  return options;
+}
+
+// Deterministic document text for one scale point (~120 bytes of XML per
+// row, mirroring the hand-built view's output volume).
+const std::string& TableDocument(int rows) {
+  static auto* cache = new std::map<int, std::string>();
+  auto it = cache->find(rows);
+  if (it != cache->end()) return it->second;
+  const char* first[] = {"Al", "Bo", "Cy", "Di", "Ed", "Fay", "Gus", "Hal",
+                         "Ida", "Joy"};
+  const char* last[] = {"Ames", "Bond", "Cole", "Dean", "Estes", "Ford",
+                        "Gray", "Hale", "Ivey", "Jones"};
+  const char* city[] = {"BOSTON", "DALLAS", "CHICAGO", "NEW YORK", "AUSTIN"};
+  uint64_t seed = 7;
+  auto next = [&seed]() {
+    seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<uint32_t>(seed >> 33);
+  };
+  std::string doc = "<table>";
+  for (int i = 0; i < rows; ++i) {
+    doc += "<row><id>" + std::to_string(i + 1) + "</id><firstname>" +
+           first[next() % 10] + "</firstname><lastname>" + last[next() % 10] +
+           "</lastname><city>" + city[next() % 5] + "</city><zip>" +
+           std::to_string(10000 + next() % 89999) + "</zip></row>";
+  }
+  doc += "</table>";
+  return cache->emplace(rows, std::move(doc)).first->second;
+}
+
+// Lazily created, cached database with the document already shredded in.
+XmlDb* GetShreddedDb(int rows) {
+  static auto* cache = new std::map<int, std::unique_ptr<XmlDb>>();
+  auto it = cache->find(rows);
+  if (it == cache->end()) {
+    auto db = std::make_unique<XmlDb>();
+    Status s = db->RegisterShreddedSchema("shred_view", TableRowStructure(),
+                                          RowIndexOptions());
+    if (s.ok()) s = db->LoadDocument("shred_view", TableDocument(rows)).status();
+    if (!s.ok()) {
+      fprintf(stderr, "shred setup failed: %s\n", s.ToString().c_str());
+      abort();
+    }
+    it = cache->emplace(rows, std::move(db)).first;
+  }
+  return it->second.get();
+}
+
+// (a) Load throughput: parse + shred + batched insert + index rebuild of one
+// document into a fresh database. MB/s comes out as bytes_per_second.
+void BM_ShreddedLoad(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const std::string& doc = TableDocument(rows);
+  shred::LoadStats last;
+  for (auto _ : state) {
+    state.PauseTiming();
+    XmlDb db;
+    Status s =
+        db.RegisterShreddedSchema("shred_view", TableRowStructure(),
+                                  RowIndexOptions());
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    state.ResumeTiming();
+    auto stats = db.LoadDocument("shred_view", doc);
+    if (!stats.ok()) state.SkipWithError(stats.status().ToString().c_str());
+    last = *stats;
+    benchmark::DoNotOptimize(last);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()));
+  state.counters["rows_loaded"] = static_cast<double>(last.rows);
+  state.counters["parse_ms"] = static_cast<double>(last.parse_ns) / 1e6;
+  state.counters["shred_ms"] = static_cast<double>(last.shred_ns) / 1e6;
+  state.counters["insert_ms"] = static_cast<double>(last.insert_ns) / 1e6;
+  state.counters["index_ms"] = static_cast<double>(last.index_ns) / 1e6;
+}
+
+// (b) Warm transform latency over the shredded view (plan cache hit after
+// the first iteration), rewrite arm.
+void BM_ShreddedDbOneRow_Rewrite(benchmark::State& state) {
+  XmlDb* db = GetShreddedDb(static_cast<int>(state.range(0)));
+  ExecStats stats;
+  for (auto _ : state) {
+    auto r = db->TransformView("shred_view", kDbOneRowStylesheet, RewriteArm(),
+                               &stats);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rows"] = static_cast<double>(state.range(0));
+  ReportExecStats(state, stats);
+}
+
+void BM_ShreddedDbOneRow_NoRewrite(benchmark::State& state) {
+  XmlDb* db = GetShreddedDb(static_cast<int>(state.range(0)));
+  ExecStats stats;
+  for (auto _ : state) {
+    auto r = db->TransformView("shred_view", kDbOneRowStylesheet,
+                               NoRewriteArm(), &stats);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rows"] = static_cast<double>(state.range(0));
+  ReportExecStats(state, stats);
+}
+
+// Same 4-point doubling sweep as bench_fig2_dbonerow.
+BENCHMARK(BM_ShreddedLoad)->Arg(2000)->Arg(4000)->Arg(8000)->Arg(16000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ShreddedDbOneRow_Rewrite)
+    ->Arg(2000)->Arg(4000)->Arg(8000)->Arg(16000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ShreddedDbOneRow_NoRewrite)
+    ->Arg(2000)->Arg(4000)->Arg(8000)->Arg(16000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xdb::bench
+
+XDB_BENCH_MAIN();

@@ -2,6 +2,7 @@
 // the building blocks whose costs the end-to-end numbers decompose into.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "rel/btree.h"
 #include "xml/parser.h"
 #include "xpath/evaluator.h"
@@ -100,4 +101,4 @@ BENCHMARK(BM_XPath_PredicateScan)->Arg(1000)->Arg(10000)
 }  // namespace
 }  // namespace xdb::bench
 
-BENCHMARK_MAIN();
+XDB_BENCH_MAIN();

@@ -6,6 +6,8 @@
 #include "core/row_executor.h"
 #include "rewrite/compose.h"
 #include "rewrite/static_type.h"
+#include "schema/xsd_parser.h"
+#include "shred/view_gen.h"
 #include "xml/serializer.h"
 #include "xquery/evaluator.h"
 #include "xquery/parser.h"
@@ -544,6 +546,66 @@ std::string ExplainPrepared(const core::PreparedTransform& prepared) {
     out += "physical plan:\n" + prepared.sql_text + "\n";
   }
   return out;
+}
+
+Status XmlDb::RegisterShreddedSchema(const std::string& view_name,
+                                     const schema::StructuralInfo& structure,
+                                     const shred::ShredOptions& options) {
+  if (shredded_.count(view_name) > 0) {
+    return Status::InvalidArgument("shredded schema '" + view_name +
+                                   "' is already registered");
+  }
+  XDB_ASSIGN_OR_RETURN(
+      shred::ShredMapping mapping,
+      shred::ShredMapping::Derive(structure, view_name, options));
+  auto entry =
+      std::make_unique<ShreddedSchema>(std::move(mapping), &catalog_);
+  XDB_RETURN_NOT_OK(entry->loader.CreateTables());
+  XDB_ASSIGN_OR_RETURN(std::unique_ptr<rel::PublishSpec> spec,
+                       shred::GeneratePublishSpec(entry->mapping));
+  XDB_RETURN_NOT_OK(catalog_
+                        .CreatePublishingView(
+                            view_name, entry->mapping.root_table()->name,
+                            std::move(spec), "xml_content")
+                        .status());
+  shredded_[view_name] = std::move(entry);
+  return Status::OK();
+}
+
+Status XmlDb::RegisterShreddedSchemaFromXsd(const std::string& view_name,
+                                            std::string_view xsd_text,
+                                            const shred::ShredOptions& options) {
+  XDB_ASSIGN_OR_RETURN(schema::StructuralInfo structure,
+                       schema::ParseXsd(xsd_text));
+  return RegisterShreddedSchema(view_name, structure, options);
+}
+
+Result<XmlDb::ShreddedSchema*> XmlDb::GetShredded(
+    const std::string& view_name) {
+  auto it = shredded_.find(view_name);
+  if (it == shredded_.end()) {
+    return Status::NotFound("no shredded schema registered as '" + view_name +
+                            "'");
+  }
+  return it->second.get();
+}
+
+Result<shred::LoadStats> XmlDb::LoadDocument(const std::string& view_name,
+                                             std::string_view xml_text) {
+  XDB_ASSIGN_OR_RETURN(ShreddedSchema * entry, GetShredded(view_name));
+  return entry->loader.LoadText(xml_text);
+}
+
+Result<shred::LoadStats> XmlDb::LoadParsedDocument(const std::string& view_name,
+                                                   const xml::Node* node) {
+  XDB_ASSIGN_OR_RETURN(ShreddedSchema * entry, GetShredded(view_name));
+  return entry->loader.LoadParsed(node);
+}
+
+const shred::ShredMapping* XmlDb::shredded_mapping(
+    const std::string& view_name) const {
+  auto it = shredded_.find(view_name);
+  return it != shredded_.end() ? &it->second->mapping : nullptr;
 }
 
 Result<std::vector<std::string>> XmlDb::MaterializeView(const std::string& view) {

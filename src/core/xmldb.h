@@ -19,6 +19,7 @@
 #ifndef XDB_CORE_XMLDB_H_
 #define XDB_CORE_XMLDB_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -29,6 +30,7 @@
 #include "rel/catalog.h"
 #include "rewrite/xquery_rewriter.h"
 #include "rewrite/xslt_rewriter.h"
+#include "shred/bulk_loader.h"
 
 namespace xdb {
 
@@ -64,6 +66,38 @@ class XmlDb {
     return catalog_.CreateXsltView(name, upstream_view, stylesheet_text,
                                    xml_column);
   }
+
+  // ---- shredded storage (src/shred) -----------------------------------------
+
+  /// Derives the relational shred mapping for `structure`, creates its base
+  /// tables (named `<view_name>_<elem>`) with lineage + value indexes, and
+  /// registers the publishing view `view_name` that reconstructs the
+  /// canonical document — after which LoadDocument fills the tables and
+  /// every existing entry point (XMLTransform/XMLQuery, prepared plans,
+  /// EXPLAIN) works on the shredded data unchanged.
+  Status RegisterShreddedSchema(const std::string& view_name,
+                                const schema::StructuralInfo& structure,
+                                const shred::ShredOptions& options = {});
+
+  /// Same, but parses the structure from XSD text first.
+  Status RegisterShreddedSchemaFromXsd(const std::string& view_name,
+                                       std::string_view xsd_text,
+                                       const shred::ShredOptions& options = {});
+
+  /// Parses `xml_text` and bulk-loads it into `view_name`'s shred tables.
+  /// Each load rebuilds the mapping's indexes, which invalidates any cached
+  /// plan over the view's tables.
+  Result<shred::LoadStats> LoadDocument(const std::string& view_name,
+                                        std::string_view xml_text);
+
+  /// Loads an already-parsed document (or its root element).
+  Result<shred::LoadStats> LoadParsedDocument(const std::string& view_name,
+                                              const xml::Node* node);
+
+  /// The mapping backing a shredded view, or nullptr when `view_name` was
+  /// not registered via RegisterShreddedSchema.
+  const shred::ShredMapping* shredded_mapping(
+      const std::string& view_name) const;
 
   // ---- prepared execution ----------------------------------------------------
 
@@ -133,8 +167,20 @@ class XmlDb {
       const rel::XmlView* view,
       std::vector<const rel::XmlView*>* xslt_views) const;
 
+  // One registered shredded schema: the derived mapping plus its loader.
+  // Heap-allocated so the loader's back-pointer into the mapping survives
+  // map rehashing.
+  struct ShreddedSchema {
+    ShreddedSchema(shred::ShredMapping m, rel::Catalog* cat)
+        : mapping(std::move(m)), loader(cat, &mapping) {}
+    shred::ShredMapping mapping;
+    shred::BulkLoader loader;
+  };
+  Result<ShreddedSchema*> GetShredded(const std::string& view_name);
+
   rel::Catalog catalog_;
   core::PlanCache plan_cache_;
+  std::map<std::string, std::unique_ptr<ShreddedSchema>> shredded_;
 };
 
 /// Two-level EXPLAIN of a prepared plan: execution path, fallback reason (if

@@ -61,28 +61,57 @@ std::string Datum::ToString() const {
   return "";
 }
 
+namespace {
+
+// True when the entire (non-empty) string is one number. Partial parses
+// ("9abc") do NOT qualify: the same predicate must hold on both sides of any
+// comparison or the order stops being transitive.
+bool ParsesAsNumber(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  double d = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size() || std::isnan(d)) return false;
+  *out = d;
+  return true;
+}
+
+}  // namespace
+
 int Datum::Compare(const Datum& other) const {
   bool lnull = is_null(), rnull = other.is_null();
   if (lnull || rnull) return lnull == rnull ? 0 : (lnull ? -1 : 1);
 
-  auto numeric = [](const Datum& d) {
-    return d.type() == DataType::kInt || d.type() == DataType::kDouble;
+  // A datum is a "numeric key" when it is an int/double or a string that is
+  // entirely one number. Classifying each side independently with the same
+  // predicate keeps the order a genuine total order: numbers (of any
+  // physical type) sort first by value, everything else by text. This is
+  // what makes numeric index probes against string-typed shredded columns
+  // land correctly.
+  auto numeric_key = [](const Datum& d, double* out) {
+    switch (d.type()) {
+      case DataType::kInt:
+        *out = static_cast<double>(d.AsInt());
+        return true;
+      case DataType::kDouble:
+        *out = d.AsDouble();
+        return true;
+      case DataType::kString:
+        return ParsesAsNumber(d.AsString(), out);
+      default:
+        return false;
+    }
   };
-  if (numeric(*this) && numeric(other)) {
+  double a = 0, b = 0;
+  bool anum = numeric_key(*this, &a), bnum = numeric_key(other, &b);
+  if (anum && bnum) {
     // Avoid double rounding for large ints: compare ints directly.
     if (type() == DataType::kInt && other.type() == DataType::kInt) {
-      int64_t a = AsInt(), b = other.AsInt();
-      return a < b ? -1 : (a > b ? 1 : 0);
+      int64_t ai = AsInt(), bi = other.AsInt();
+      return ai < bi ? -1 : (ai > bi ? 1 : 0);
     }
-    double a = ToDouble(), b = other.ToDouble();
     return a < b ? -1 : (a > b ? 1 : 0);
   }
-  if (numeric(*this) != numeric(other)) {
-    // Mixed: try numeric comparison, else numeric sorts first.
-    double a = ToDouble(), b = other.ToDouble();
-    if (!std::isnan(a) && !std::isnan(b)) return a < b ? -1 : (a > b ? 1 : 0);
-    return numeric(*this) ? -1 : 1;
-  }
+  if (anum != bnum) return anum ? -1 : 1;
   return ToString().compare(other.ToString());
 }
 

@@ -55,10 +55,12 @@ class Datum {
   /// Text rendering (XML values serialize to markup).
   std::string ToString() const;
 
-  /// Total order for B-tree keys and ORDER BY: NULLs first, then numeric,
-  /// then string (cross-type numeric/string compares numerically when both
-  /// parse, else lexically). XML values are not orderable (compares by
-  /// serialized text).
+  /// Total order for B-tree keys and ORDER BY: NULLs first, then numeric
+  /// keys — ints, doubles, and strings that parse *entirely* as one number —
+  /// by numeric value, then remaining text lexically. Classifying each side
+  /// independently keeps the order transitive across mixed types (a string
+  /// column holding "9" probes correctly against an int 9 bound). XML values
+  /// are not orderable (compares by serialized text).
   int Compare(const Datum& other) const;
 
   bool operator==(const Datum& other) const { return Compare(other) == 0; }

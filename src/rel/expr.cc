@@ -66,12 +66,17 @@ const char* RelOpName(RelOp op) {
       return "/";
     case RelOp::kConcat:
       return "||";
+    case RelOp::kIsNotNull:
+      return "IS NOT NULL";
   }
   return "?";
 }
 
 Result<Datum> BinaryRelExpr::Eval(ExecCtx& ctx) const {
   XDB_ASSIGN_OR_RETURN(Datum l, lhs->Eval(ctx));
+  if (op == RelOp::kIsNotNull) {
+    return Datum(static_cast<int64_t>(l.is_null() ? 0 : 1));
+  }
   // Short-circuit logic ops (SQL three-valued logic approximated two-valued:
   // NULL comparisons yield false).
   if (op == RelOp::kAnd) {
@@ -142,6 +147,7 @@ Result<Datum> BinaryRelExpr::Eval(ExecCtx& ctx) const {
 }
 
 std::string BinaryRelExpr::ToSql() const {
+  if (op == RelOp::kIsNotNull) return lhs->ToSql() + " IS NOT NULL";
   return lhs->ToSql() + " " + RelOpName(op) + " " + rhs->ToSql();
 }
 
@@ -188,6 +194,8 @@ Result<Datum> XmlElementExpr::Eval(ExecCtx& ctx) const {
   Node* elem = ctx.arena->CreateElement(name);
   for (const auto& [attr_name, expr] : attributes) {
     XDB_ASSIGN_OR_RETURN(Datum v, expr->Eval(ctx));
+    // SQL/XML XMLAttributes semantics: a NULL value omits the attribute.
+    if (v.is_null()) continue;
     elem->SetAttribute(attr_name, v.ToString());
   }
   for (const RelExprPtr& child : children) {

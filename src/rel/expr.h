@@ -105,6 +105,10 @@ enum class RelOp {
   kMul,
   kDiv,
   kConcat,  // string ||
+  /// `lhs IS NOT NULL` — unary in SQL; rhs carries a never-evaluated NULL
+  /// constant placeholder so the expression keeps the binary shape every
+  /// tree walker already handles. Yields int 1/0.
+  kIsNotNull,
 };
 const char* RelOpName(RelOp op);
 

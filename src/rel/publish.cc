@@ -43,6 +43,7 @@ std::unique_ptr<PublishSpec> PublishSpec::Clone() const {
   s->kind = kind;
   s->name = name;
   s->attr_columns = attr_columns;
+  s->present_if_column = present_if_column;
   for (const auto& c : children) s->children.push_back(c->Clone());
   s->column = column;
   s->text = text;
@@ -110,6 +111,19 @@ class PublishCompiler {
         for (const auto& child : spec.children) {
           XDB_ASSIGN_OR_RETURN(RelExprPtr e, CompileNode(*child));
           elem->children.push_back(std::move(e));
+        }
+        if (!spec.present_if_column.empty()) {
+          // CASE WHEN col IS NOT NULL THEN XMLElement(...) END — absent
+          // optional/choice content publishes nothing, not an empty element.
+          XDB_ASSIGN_OR_RETURN(RelExprPtr guard,
+                               ColumnRef(spec.present_if_column));
+          auto cond = std::make_unique<BinaryRelExpr>(
+              RelOp::kIsNotNull, std::move(guard),
+              std::make_unique<ConstExpr>(Datum::Null()));
+          auto guarded = std::make_unique<CaseRelExpr>();
+          guarded->branches.push_back(
+              CaseRelExpr::Branch{std::move(cond), std::move(elem)});
+          return RelExprPtr(std::move(guarded));
         }
         return RelExprPtr(std::move(elem));
       }
@@ -181,7 +195,8 @@ void DeriveNode(const PublishSpec& spec, schema::ElementStructure* parent,
       for (const auto& [attr, col] : spec.attr_columns) e->attributes.push_back(attr);
       info->bindings[e] = PublishBinding{&spec, *nested_chain};
       if (parent != nullptr) {
-        parent->children.push_back(schema::ChildRef{e, 1, 1, false});
+        int min_occurs = spec.present_if_column.empty() ? 1 : 0;
+        parent->children.push_back(schema::ChildRef{e, min_occurs, 1, false});
       } else {
         info->structure.set_root(e);
       }

@@ -41,6 +41,12 @@ struct PublishSpec {
   std::string name;
   std::vector<std::pair<std::string, std::string>> attr_columns;  // attr -> column
   std::vector<std::unique_ptr<PublishSpec>> children;
+  /// When non-empty, the element is published only when this column (resolved
+  /// in the innermost relational scope) is non-NULL — the SQL/XML idiom
+  /// `CASE WHEN col IS NOT NULL THEN XMLElement(...) END` used for optional
+  /// scalar children and choice branches of shredded storage. Structure
+  /// derivation marks such elements minOccurs=0.
+  std::string present_if_column;
 
   // kColumn
   std::string column;

@@ -25,6 +25,29 @@ Status Table::Insert(Row row) {
   return Status::OK();
 }
 
+Status Table::AppendRows(std::vector<Row> rows) {
+  for (const Row& row : rows) {
+    if (row.size() != schema_.column_count()) {
+      return Status::InvalidArgument("table " + name_ + ": batch row arity " +
+                                     std::to_string(row.size()) + " != schema " +
+                                     std::to_string(schema_.column_count()));
+    }
+  }
+  rows_.reserve(rows_.size() + rows.size());
+  for (Row& row : rows) {
+    int64_t id = static_cast<int64_t>(rows_.size());
+    for (auto& [col, index] : indexes_) {
+      int ci = schema_.ColumnIndex(col);
+      index->Insert(row[static_cast<size_t>(ci)], id);
+    }
+    rows_.push_back(std::move(row));
+  }
+  if (!rows.empty() && ddl_listener_ != nullptr) {
+    ddl_listener_->OnRowsInserted(name_);
+  }
+  return Status::OK();
+}
+
 Status Table::CreateIndex(const std::string& column) {
   int ci = schema_.ColumnIndex(column);
   if (ci < 0) {

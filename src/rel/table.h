@@ -64,6 +64,12 @@ class Table {
   /// Appends a row (must match schema arity); maintains indexes.
   Status Insert(Row row);
 
+  /// Appends a batch of rows in order (each must match schema arity);
+  /// maintains indexes but fires OnRowsInserted once for the whole batch —
+  /// the bulk-load fast path. Validates every row before mutating anything,
+  /// so a bad batch leaves the table untouched.
+  Status AppendRows(std::vector<Row> rows);
+
   size_t row_count() const { return rows_.size(); }
   const Row& row(int64_t id) const { return rows_[static_cast<size_t>(id)]; }
 

@@ -1,0 +1,98 @@
+#include "shred/bulk_loader.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "xml/parser.h"
+
+namespace xdb::shred {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Status BulkLoader::CreateTables() {
+  for (const auto& t : mapping_->tables()) {
+    XDB_RETURN_NOT_OK(
+        catalog_->CreateTable(t->name, t->RelSchema()).status());
+  }
+  // Empty initial indexes so the very first prepared transform already sees
+  // the index-nested-loop access path.
+  return RebuildIndexes(nullptr);
+}
+
+Result<LoadStats> BulkLoader::LoadText(std::string_view xml_text) {
+  LoadStats stats;
+  stats.bytes = xml_text.size();
+  int64_t t0 = NowNs();
+  XDB_ASSIGN_OR_RETURN(std::unique_ptr<xml::Document> doc,
+                       xml::ParseDocument(xml_text));
+  stats.parse_ns = NowNs() - t0;
+  XDB_ASSIGN_OR_RETURN(LoadStats loaded, LoadParsed(doc->root()));
+  loaded.bytes = stats.bytes;
+  loaded.parse_ns = stats.parse_ns;
+  return loaded;
+}
+
+Result<LoadStats> BulkLoader::LoadParsed(const xml::Node* node) {
+  LoadStats stats;
+  int64_t t0 = NowNs();
+  XDB_ASSIGN_OR_RETURN(ShredBatch batch,
+                       shredder_.Shred(node, documents_loaded_));
+  stats.shred_ns = NowNs() - t0;
+  stats.elements = batch.elements;
+  XDB_RETURN_NOT_OK(InsertBatch(std::move(batch), &stats));
+  XDB_RETURN_NOT_OK(RebuildIndexes(&stats));
+  documents_loaded_ += 1;
+  stats.documents = documents_loaded_;
+  return stats;
+}
+
+Status BulkLoader::InsertBatch(ShredBatch batch, LoadStats* stats) {
+  int64_t t0 = NowNs();
+  size_t batch_rows = mapping_->batch_rows();
+  for (size_t ti = 0; ti < batch.rows.size(); ++ti) {
+    std::vector<rel::Row>& rows = batch.rows[ti];
+    if (rows.empty()) continue;
+    XDB_ASSIGN_OR_RETURN(rel::Table * table,
+                         catalog_->GetTable(mapping_->tables()[ti]->name));
+    stats->rows += rows.size();
+    // Flush in mapping-sized chunks: bounds peak copy footprint and mirrors
+    // how an array-insert loader would page rows to the engine.
+    for (size_t begin = 0; begin < rows.size(); begin += batch_rows) {
+      size_t end = std::min(begin + batch_rows, rows.size());
+      std::vector<rel::Row> chunk(
+          std::make_move_iterator(rows.begin() + static_cast<long>(begin)),
+          std::make_move_iterator(rows.begin() + static_cast<long>(end)));
+      XDB_RETURN_NOT_OK(table->AppendRows(std::move(chunk)));
+    }
+  }
+  stats->insert_ns += NowNs() - t0;
+  return Status::OK();
+}
+
+Status BulkLoader::RebuildIndexes(LoadStats* stats) {
+  int64_t t0 = NowNs();
+  for (const auto& t : mapping_->tables()) {
+    if (t->is_root) continue;
+    XDB_ASSIGN_OR_RETURN(rel::Table * table, catalog_->GetTable(t->name));
+    XDB_RETURN_NOT_OK(
+        table->CreateIndex(std::string(kParentRowIdColumn)));
+  }
+  for (const auto& [table_name, column] : mapping_->value_indexes()) {
+    XDB_ASSIGN_OR_RETURN(rel::Table * table, catalog_->GetTable(table_name));
+    XDB_RETURN_NOT_OK(table->CreateIndex(column));
+  }
+  if (stats != nullptr) stats->index_ns += NowNs() - t0;
+  return Status::OK();
+}
+
+}  // namespace xdb::shred

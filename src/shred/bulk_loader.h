@@ -1,0 +1,66 @@
+// Bulk loader: ties a ShredMapping to a live catalog. Creates the mapped
+// base tables, streams shredded documents into them in row batches, and
+// (re)builds the B+tree indexes the publishing joins and nominated value
+// predicates need. Index rebuilds run after every load so the catalog's DDL
+// fan-out (OnIndexCreated) invalidates any prepared transform compiled over
+// the now-stale data — the shredded analogue of the plan-cache contract
+// hand-written views already observe.
+#ifndef XDB_SHRED_BULK_LOADER_H_
+#define XDB_SHRED_BULK_LOADER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "rel/catalog.h"
+#include "shred/mapping.h"
+#include "shred/shredder.h"
+
+namespace xdb::shred {
+
+/// Counters for one Load call (cumulative fields say so).
+struct LoadStats {
+  int64_t documents = 0;  ///< cumulative documents loaded via this loader
+  size_t elements = 0;    ///< element occurrences in THIS document
+  size_t rows = 0;        ///< rows inserted by THIS load
+  size_t bytes = 0;       ///< source text size (0 for pre-parsed loads)
+  int64_t parse_ns = 0;
+  int64_t shred_ns = 0;
+  int64_t insert_ns = 0;
+  int64_t index_ns = 0;
+};
+
+/// \brief Streams documents into the mapping's base tables.
+class BulkLoader {
+ public:
+  /// Neither pointer is owned; both must outlive the loader.
+  BulkLoader(rel::Catalog* catalog, const ShredMapping* mapping)
+      : catalog_(catalog), mapping_(mapping), shredder_(mapping) {}
+
+  /// Creates every mapped table plus the initial indexes (parent_rowid on
+  /// non-root tables, nominated value columns). Fails if any table name is
+  /// taken.
+  Status CreateTables();
+
+  /// Parses and loads one document.
+  Result<LoadStats> LoadText(std::string_view xml_text);
+
+  /// Loads an already-parsed document (or root element). The DOM is only
+  /// read; values are copied into the tables.
+  Result<LoadStats> LoadParsed(const xml::Node* node);
+
+  int64_t documents_loaded() const { return documents_loaded_; }
+
+ private:
+  Status InsertBatch(ShredBatch batch, LoadStats* stats);
+  Status RebuildIndexes(LoadStats* stats);
+
+  rel::Catalog* catalog_;
+  const ShredMapping* mapping_;
+  Shredder shredder_;
+  int64_t documents_loaded_ = 0;
+};
+
+}  // namespace xdb::shred
+
+#endif  // XDB_SHRED_BULK_LOADER_H_

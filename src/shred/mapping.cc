@@ -1,0 +1,240 @@
+#include "shred/mapping.h"
+
+#include <algorithm>
+#include <set>
+
+namespace xdb::shred {
+
+using schema::ChildRef;
+using schema::ElementStructure;
+using schema::ModelGroup;
+
+std::string AttrColumnName(const std::string& attribute) {
+  std::string name(kAttrColumnPrefix);
+  name += attribute;
+  // Attribute QNames may carry a prefix; ':' is legal in a column name here,
+  // but normalize it anyway so generated SQL stays readable.
+  std::replace(name.begin(), name.end(), ':', '_');
+  return name;
+}
+
+std::string InlineChildColumnName(const std::string& child_name) {
+  std::string name(kChildColumnPrefix);
+  name += child_name;
+  return name;
+}
+
+rel::Schema ShredTable::RelSchema() const {
+  std::vector<rel::Column> cols;
+  cols.reserve(columns.size());
+  for (const ShredColumn& c : columns) cols.push_back({c.name, c.type});
+  return rel::Schema(std::move(cols));
+}
+
+int ShredTable::ColumnIndex(std::string_view column_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == column_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const ShredColumn* ShredTable::FindInlineChild(
+    const std::string& child_name) const {
+  for (const ShredColumn& c : columns) {
+    if (c.kind == ShredColumn::Kind::kInlineChild && c.child != nullptr &&
+        c.child->name == child_name) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+const ShredTable* ShredMapping::table_for(
+    const schema::ElementStructure* decl) const {
+  auto it = table_for_elem_.find(decl);
+  return it != table_for_elem_.end() ? it->second : nullptr;
+}
+
+int ShredMapping::TableIndex(const ShredTable* table) const {
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    if (tables_[i].get() == table) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+
+// Depth-first visit of every reachable declaration (recursive edges are
+// rejected before this runs, but guard against revisiting shared decls).
+void CollectDecls(const ElementStructure* decl,
+                  std::vector<const ElementStructure*>* order,
+                  std::set<const ElementStructure*>* seen) {
+  if (decl == nullptr || !seen->insert(decl).second) return;
+  order->push_back(decl);
+  for (const ChildRef& ref : decl->children) {
+    if (!ref.recursive_edge) CollectDecls(ref.elem, order, seen);
+  }
+}
+
+Status ValidateShreddable(const ElementStructure* decl) {
+  if (decl->has_text && !decl->children.empty()) {
+    return Status::NotImplemented("element '" + decl->name +
+                                  "' has mixed content; mixed content is not "
+                                  "shreddable");
+  }
+  std::set<std::string> child_names;
+  for (const ChildRef& ref : decl->children) {
+    if (!child_names.insert(ref.elem->name).second) {
+      return Status::NotImplemented(
+          "element '" + decl->name + "' declares child '" + ref.elem->name +
+          "' in two content-model slots; ambiguous for shredding");
+    }
+  }
+  std::set<std::string> attr_names;
+  for (const std::string& attr : decl->attributes) {
+    if (!attr_names.insert(attr).second) {
+      return Status::InvalidArgument("element '" + decl->name +
+                                     "' declares duplicate attribute '" + attr +
+                                     "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ShredMapping> ShredMapping::Derive(
+    const schema::StructuralInfo& structure, std::string table_prefix,
+    const ShredOptions& options) {
+  if (structure.root() == nullptr) {
+    return Status::InvalidArgument("shred mapping: structure has no root");
+  }
+  if (structure.root()->name == schema::kFragmentRootName) {
+    return Status::NotImplemented(
+        "shred mapping: fragment structures have no storable root element");
+  }
+  if (structure.HasRecursion()) {
+    return Status::NotImplemented(
+        "shred mapping: recursive content models are not shreddable (the "
+        "publishing view would be unbounded)");
+  }
+
+  ShredMapping mapping;
+  mapping.prefix_ = std::move(table_prefix);
+  mapping.structure_ = structure.Clone();
+  mapping.batch_rows_ = options.batch_rows == 0 ? 1024 : options.batch_rows;
+
+  std::vector<const ElementStructure*> decls;
+  {
+    std::set<const ElementStructure*> seen;
+    CollectDecls(mapping.structure_.root(), &decls, &seen);
+  }
+  for (const ElementStructure* decl : decls) {
+    XDB_RETURN_NOT_OK(ValidateShreddable(decl));
+  }
+
+  // Classification: a declaration gets its own table when it is the root,
+  // is complex (element children or attributes), or repeats in ANY slot that
+  // references it. Everything else is a singleton text-only leaf and inlines
+  // into every parent's table.
+  std::set<const ElementStructure*> needs_table;
+  needs_table.insert(mapping.structure_.root());
+  for (const ElementStructure* decl : decls) {
+    if (!decl->children.empty() || !decl->attributes.empty()) {
+      needs_table.insert(decl);
+    }
+    for (const ChildRef& ref : decl->children) {
+      if (ref.repeating()) needs_table.insert(ref.elem);
+    }
+  }
+
+  // Build tables depth-first so tables_[0] is the root and parents precede
+  // children (the bulk loader flushes in this order).
+  std::set<std::string> used_names;
+  for (const ElementStructure* decl : decls) {
+    if (needs_table.count(decl) == 0) continue;
+    auto table = std::make_unique<ShredTable>();
+    table->elem = decl;
+    table->is_root = decl == mapping.structure_.root();
+    std::string base = mapping.prefix_ + "_" + decl->name;
+    table->name = base;
+    for (int n = 2; !used_names.insert(table->name).second; ++n) {
+      table->name = base + "_" + std::to_string(n);
+    }
+
+    auto add = [&table](ShredColumn col) {
+      table->columns.push_back(std::move(col));
+    };
+    add({ShredColumn::Kind::kRowId, std::string(kRowIdColumn),
+         rel::DataType::kInt, "", nullptr, false});
+    add({ShredColumn::Kind::kParentRowId, std::string(kParentRowIdColumn),
+         rel::DataType::kInt, "", nullptr, table->is_root});
+    add({ShredColumn::Kind::kOrd, std::string(kOrdColumn), rel::DataType::kInt,
+         "", nullptr, false});
+    for (const std::string& attr : decl->attributes) {
+      add({ShredColumn::Kind::kAttribute, AttrColumnName(attr),
+           rel::DataType::kString, attr, nullptr, true});
+    }
+    if (decl->has_text) {
+      add({ShredColumn::Kind::kText, std::string(kTextColumn),
+           rel::DataType::kString, "", nullptr, false});
+    }
+    if (decl->group == ModelGroup::kChoice && !decl->children.empty()) {
+      add({ShredColumn::Kind::kDiscriminator, std::string(kDiscriminatorColumn),
+           rel::DataType::kString, "", nullptr, true});
+    }
+    for (const ChildRef& ref : decl->children) {
+      if (needs_table.count(ref.elem) > 0) continue;  // becomes a child table
+      bool nullable = ref.optional() || decl->group == ModelGroup::kChoice;
+      add({ShredColumn::Kind::kInlineChild,
+           InlineChildColumnName(ref.elem->name), rel::DataType::kString, "",
+           ref.elem, nullable});
+    }
+    mapping.table_for_elem_[decl] = table.get();
+    mapping.tables_.push_back(std::move(table));
+  }
+
+  // Resolve nominated value indexes against the derived tables.
+  for (const std::string& path : options.value_indexes) {
+    size_t slash = path.find('/');
+    if (slash == std::string::npos || slash == 0 || slash + 1 >= path.size()) {
+      return Status::InvalidArgument(
+          "shred value index '" + path +
+          "': expected \"elem/child\", \"elem/@attr\" or \"elem/text()\"");
+    }
+    std::string elem_name = path.substr(0, slash);
+    std::string rest = path.substr(slash + 1);
+    const ShredTable* target = nullptr;
+    for (const auto& t : mapping.tables_) {
+      if (t->elem->name != elem_name) continue;
+      if (target != nullptr) {
+        return Status::InvalidArgument("shred value index '" + path +
+                                       "': element name '" + elem_name +
+                                       "' maps to several tables");
+      }
+      target = t.get();
+    }
+    if (target == nullptr) {
+      return Status::NotFound("shred value index '" + path + "': no table for '" +
+                              elem_name + "'");
+    }
+    std::string column;
+    if (rest == "text()") {
+      column = std::string(kTextColumn);
+    } else if (rest[0] == '@') {
+      column = AttrColumnName(rest.substr(1));
+    } else {
+      column = InlineChildColumnName(rest);
+    }
+    if (target->ColumnIndex(column) < 0) {
+      return Status::NotFound("shred value index '" + path + "': table " +
+                              target->name + " has no column '" + column +
+                              "' (is the child stored in its own table?)");
+    }
+    mapping.value_indexes_.emplace_back(target->name, column);
+  }
+
+  return mapping;
+}
+
+}  // namespace xdb::shred

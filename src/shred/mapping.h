@@ -1,0 +1,141 @@
+// Schema-driven XML shredding: derives the object-relational mapping the
+// paper's storage model assumes (Oracle's schema-based XMLType storage) from
+// registered structural information. The derived mapping is the contract the
+// whole subsystem shares:
+//   * every "table-worthy" element declaration (the root, any repeating
+//     occurrence, and any element with element children or attributes) gets a
+//     base table with (rowid, parent_rowid, ord) lineage columns;
+//   * singleton text-only leaf children inline into the parent table as
+//     nullable string columns (absent optional child = NULL);
+//   * attributes inline as nullable string columns; declared text content
+//     gets its own column;
+//   * choice model groups add a discriminator column recording which branch
+//     a stored occurrence took, alongside the branches' nullable columns /
+//     child tables.
+// The shredder (shredder.h) fills these tables from a DOM, the view
+// generator (view_gen.h) emits the inverse SQL/XML publishing view, and the
+// bulk loader (bulk_loader.h) ties both to a live catalog.
+#ifndef XDB_SHRED_MAPPING_H_
+#define XDB_SHRED_MAPPING_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "rel/table.h"
+#include "schema/structure.h"
+
+namespace xdb::shred {
+
+// Reserved lineage / metadata column names. Value columns carry a kind
+// prefix ("a_", "v_", "t_") so they can never collide with these.
+inline constexpr std::string_view kRowIdColumn = "rowid";
+inline constexpr std::string_view kParentRowIdColumn = "parent_rowid";
+inline constexpr std::string_view kOrdColumn = "ord";
+inline constexpr std::string_view kDiscriminatorColumn = "branch";
+inline constexpr std::string_view kTextColumn = "t_text";
+inline constexpr std::string_view kAttrColumnPrefix = "a_";
+inline constexpr std::string_view kChildColumnPrefix = "v_";
+
+/// One column of a shred table.
+struct ShredColumn {
+  enum class Kind {
+    kRowId,          ///< globally unique id of this occurrence (join target)
+    kParentRowId,    ///< rowid of the enclosing occurrence (NULL for roots)
+    kOrd,            ///< occurrence order within the parent's child slot
+    kAttribute,      ///< declared attribute value (NULL = absent)
+    kText,           ///< declared character content
+    kInlineChild,    ///< singleton text-only child (NULL = absent)
+    kDiscriminator,  ///< choice groups: local name of the stored branch
+  };
+  Kind kind = Kind::kInlineChild;
+  std::string name;
+  rel::DataType type = rel::DataType::kString;
+  std::string attribute;  ///< kAttribute: the attribute QName as declared
+  const schema::ElementStructure* child = nullptr;  ///< kInlineChild decl
+  bool nullable = false;
+};
+
+/// One derived base table.
+struct ShredTable {
+  std::string name;
+  const schema::ElementStructure* elem = nullptr;
+  bool is_root = false;
+  std::vector<ShredColumn> columns;
+
+  rel::Schema RelSchema() const;
+  /// Index of the column with `name`, or -1.
+  int ColumnIndex(std::string_view column_name) const;
+  /// The kInlineChild column storing `child_name`, or nullptr.
+  const ShredColumn* FindInlineChild(const std::string& child_name) const;
+};
+
+/// User knobs for mapping derivation and loading.
+struct ShredOptions {
+  /// Value columns to carry a B+tree index, nominated as paths resolved
+  /// against the mapping: "elem/child" (inlined child text), "elem/@attr"
+  /// (attribute) or "elem/text()" (declared text content).
+  std::vector<std::string> value_indexes;
+  /// Bulk-load batch size (rows buffered per table before AppendRows).
+  size_t batch_rows = 1024;
+};
+
+/// \brief The derived relational mapping for one registered schema.
+///
+/// Owns a clone of the structural information; all ElementStructure pointers
+/// in the mapping refer into that clone and stay valid for the mapping's
+/// lifetime (moves included — declarations are pool-allocated).
+class ShredMapping {
+ public:
+  /// Derives the mapping. Rejects (kNotImplemented) structures outside the
+  /// shreddable subset: fragment roots, recursive content models, mixed
+  /// content, and parents with two same-named child slots.
+  static Result<ShredMapping> Derive(const schema::StructuralInfo& structure,
+                                     std::string table_prefix,
+                                     const ShredOptions& options = {});
+
+  ShredMapping(ShredMapping&&) = default;
+  ShredMapping& operator=(ShredMapping&&) = default;
+  ShredMapping(const ShredMapping&) = delete;
+  ShredMapping& operator=(const ShredMapping&) = delete;
+
+  const std::string& prefix() const { return prefix_; }
+  const schema::StructuralInfo& structure() const { return structure_; }
+  /// All tables, root first, then depth-first in declaration order.
+  const std::vector<std::unique_ptr<ShredTable>>& tables() const {
+    return tables_;
+  }
+  const ShredTable* root_table() const { return tables_.front().get(); }
+  /// The table storing occurrences of `decl`, or nullptr when the
+  /// declaration inlines into its parent.
+  const ShredTable* table_for(const schema::ElementStructure* decl) const;
+  /// Position of `table` in tables(), or -1.
+  int TableIndex(const ShredTable* table) const;
+  /// Resolved (table name, column name) pairs for the nominated value
+  /// indexes, in nomination order.
+  const std::vector<std::pair<std::string, std::string>>& value_indexes() const {
+    return value_indexes_;
+  }
+  size_t batch_rows() const { return batch_rows_; }
+
+ private:
+  ShredMapping() = default;
+
+  std::string prefix_;
+  schema::StructuralInfo structure_;
+  std::vector<std::unique_ptr<ShredTable>> tables_;
+  std::map<const schema::ElementStructure*, ShredTable*> table_for_elem_;
+  std::vector<std::pair<std::string, std::string>> value_indexes_;
+  size_t batch_rows_ = 1024;
+};
+
+/// Column name helpers (shared by the shredder and the view generator).
+std::string AttrColumnName(const std::string& attribute);
+std::string InlineChildColumnName(const std::string& child_name);
+
+}  // namespace xdb::shred
+
+#endif  // XDB_SHRED_MAPPING_H_

@@ -1,0 +1,299 @@
+#include "shred/shredder.h"
+
+#include <cctype>
+#include <map>
+#include <utility>
+
+#include "schema/sample_doc.h"
+#include "xml/serializer.h"
+
+namespace xdb::shred {
+
+using schema::ChildRef;
+using schema::ElementStructure;
+using schema::ModelGroup;
+
+namespace {
+
+bool IsWhitespace(const std::string& s) {
+  for (char c : s) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+/// The structural decomposition of one element occurrence against its
+/// declaration: per-slot occurrence lists (slot order = declaration order)
+/// plus concatenated direct character data.
+struct MatchedContent {
+  std::vector<std::vector<const xml::Node*>> slots;
+  std::string text;
+};
+
+/// Matches `elem`'s direct content against `decl`'s content model. Shared by
+/// the shredder and the canonicalizer so both reject exactly the same
+/// documents.
+Result<MatchedContent> MatchContent(const ElementStructure* decl,
+                                    const xml::Node* elem) {
+  MatchedContent out;
+  out.slots.resize(decl->children.size());
+  for (const xml::Node* child : elem->children()) {
+    switch (child->type()) {
+      case xml::NodeType::kElement: {
+        size_t slot = 0;
+        for (; slot < decl->children.size(); ++slot) {
+          if (decl->children[slot].elem->name == child->local_name()) break;
+        }
+        if (slot == decl->children.size()) {
+          return Status::InvalidArgument(
+              "shred: element '" + child->local_name() +
+              "' is not declared as a child of '" + decl->name + "'");
+        }
+        out.slots[slot].push_back(child);
+        break;
+      }
+      case xml::NodeType::kText:
+        if (decl->has_text) {
+          out.text += child->value();
+        } else if (!IsWhitespace(child->value())) {
+          return Status::InvalidArgument(
+              "shred: element '" + decl->name +
+              "' is not declared with text content but contains character "
+              "data");
+        }
+        break;
+      case xml::NodeType::kComment:
+      case xml::NodeType::kProcessingInstruction:
+        break;  // not stored; dropped by canonicalization too
+      default:
+        return Status::InvalidArgument("shred: unexpected node type inside '" +
+                                       decl->name + "'");
+    }
+  }
+  for (size_t slot = 0; slot < decl->children.size(); ++slot) {
+    const ChildRef& ref = decl->children[slot];
+    // Choice groups are handled leniently (every present branch is stored),
+    // so occurrence bounds are only enforced per slot.
+    if (!ref.repeating() && out.slots[slot].size() > 1) {
+      return Status::InvalidArgument(
+          "shred: child '" + ref.elem->name + "' of '" + decl->name +
+          "' occurs " + std::to_string(out.slots[slot].size()) +
+          " times but is declared maxOccurs=1");
+    }
+    if (decl->group != ModelGroup::kChoice && !ref.optional() &&
+        out.slots[slot].empty()) {
+      return Status::InvalidArgument("shred: required child '" +
+                                     ref.elem->name + "' of '" + decl->name +
+                                     "' is missing");
+    }
+  }
+  return out;
+}
+
+/// Checks `elem`'s attributes against the declaration: annotation attributes
+/// (xdbs:*) from the sample-document generator are ignored, anything else
+/// undeclared is an error.
+Status CheckAttributes(const ElementStructure* decl, const xml::Node* elem) {
+  for (const xml::Node* attr : elem->attributes()) {
+    std::string qname = attr->qualified_name();
+    if (schema::IsAnnotationAttribute(qname)) continue;
+    bool declared = false;
+    for (const std::string& a : decl->attributes) {
+      if (a == qname) {
+        declared = true;
+        break;
+      }
+    }
+    if (!declared) {
+      return Status::InvalidArgument("shred: attribute '" + qname +
+                                     "' is not declared on element '" +
+                                     decl->name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+/// Extracts the stored value of a text-only leaf occurrence: concatenated
+/// direct character data (element children are impossible here by
+/// construction — the declaration is a leaf — but malformed input is still
+/// rejected by MatchContent).
+Result<std::string> LeafValue(const ElementStructure* decl,
+                              const xml::Node* elem) {
+  XDB_RETURN_NOT_OK(CheckAttributes(decl, elem));
+  XDB_ASSIGN_OR_RETURN(MatchedContent content, MatchContent(decl, elem));
+  return std::move(content.text);
+}
+
+/// Resolves the element to shred/canonicalize from a document or element
+/// node and checks its name against the mapping root.
+Result<const xml::Node*> ResolveRoot(const ShredMapping& mapping,
+                                     const xml::Node* node) {
+  const xml::Node* elem = node;
+  if (node == nullptr) {
+    return Status::InvalidArgument("shred: null document");
+  }
+  if (node->type() == xml::NodeType::kDocument) {
+    elem = node->document()->document_element();
+    if (elem == nullptr) {
+      return Status::InvalidArgument("shred: document has no root element");
+    }
+  }
+  if (!elem->is_element()) {
+    return Status::InvalidArgument("shred: node is not an element");
+  }
+  const std::string& expect = mapping.structure().root()->name;
+  if (elem->local_name() != expect) {
+    return Status::InvalidArgument("shred: root element '" +
+                                   elem->local_name() +
+                                   "' does not match registered root '" +
+                                   expect + "'");
+  }
+  return elem;
+}
+
+}  // namespace
+
+Result<ShredBatch> Shredder::Shred(const xml::Node* node,
+                                   int64_t next_document_ord) {
+  XDB_ASSIGN_OR_RETURN(const xml::Node* root, ResolveRoot(*mapping_, node));
+  ShredBatch out;
+  out.rows.resize(mapping_->tables().size());
+  // Roll back rowid allocation on failure so a rejected document leaves the
+  // shredder reusable.
+  int64_t saved = next_rowid_;
+  Status st = ShredElement(mapping_->structure().root(), root, rel::Datum(),
+                           next_document_ord, &out);
+  if (!st.ok()) {
+    next_rowid_ = saved;
+    return st;
+  }
+  return out;
+}
+
+Status Shredder::ShredElement(const ElementStructure* decl,
+                              const xml::Node* elem, rel::Datum parent_rowid,
+                              int64_t ord, ShredBatch* out) {
+  const ShredTable* table = mapping_->table_for(decl);
+  if (table == nullptr) {
+    return Status::Internal("shred: no table for element '" + decl->name +
+                            "' (inline leaves are handled by the parent)");
+  }
+  XDB_RETURN_NOT_OK(CheckAttributes(decl, elem));
+  XDB_ASSIGN_OR_RETURN(MatchedContent content, MatchContent(decl, elem));
+
+  int64_t rowid = next_rowid_++;
+  rel::Row row;
+  row.reserve(table->columns.size());
+  for (const ShredColumn& col : table->columns) {
+    switch (col.kind) {
+      case ShredColumn::Kind::kRowId:
+        row.push_back(rel::Datum(rowid));
+        break;
+      case ShredColumn::Kind::kParentRowId:
+        row.push_back(parent_rowid);
+        break;
+      case ShredColumn::Kind::kOrd:
+        row.push_back(rel::Datum(ord));
+        break;
+      case ShredColumn::Kind::kAttribute: {
+        const xml::Node* attr = elem->FindAttribute(col.attribute);
+        row.push_back(attr != nullptr ? rel::Datum(attr->value())
+                                      : rel::Datum::Null());
+        break;
+      }
+      case ShredColumn::Kind::kText:
+        row.push_back(rel::Datum(content.text));
+        break;
+      case ShredColumn::Kind::kDiscriminator: {
+        // Lenient choice handling: record the first present branch; the
+        // sample-document generator materializes several.
+        rel::Datum branch = rel::Datum::Null();
+        for (size_t slot = 0; slot < decl->children.size(); ++slot) {
+          if (!content.slots[slot].empty()) {
+            branch = rel::Datum(decl->children[slot].elem->name);
+            break;
+          }
+        }
+        row.push_back(std::move(branch));
+        break;
+      }
+      case ShredColumn::Kind::kInlineChild: {
+        size_t slot = 0;
+        for (; slot < decl->children.size(); ++slot) {
+          if (decl->children[slot].elem == col.child) break;
+        }
+        if (slot == decl->children.size() || content.slots[slot].empty()) {
+          row.push_back(rel::Datum::Null());
+          break;
+        }
+        XDB_ASSIGN_OR_RETURN(std::string value,
+                             LeafValue(col.child, content.slots[slot][0]));
+        row.push_back(rel::Datum(std::move(value)));
+        break;
+      }
+    }
+  }
+  int ti = mapping_->TableIndex(table);
+  out->rows[static_cast<size_t>(ti)].push_back(std::move(row));
+  out->elements += 1;
+
+  // Recurse into table-worthy children; ord restarts per slot so sibling
+  // order within a slot is the ORDER BY key of the publishing view.
+  for (size_t slot = 0; slot < decl->children.size(); ++slot) {
+    const ChildRef& ref = decl->children[slot];
+    if (mapping_->table_for(ref.elem) == nullptr) {
+      out->elements += content.slots[slot].size();
+      continue;  // inlined above
+    }
+    int64_t child_ord = 0;
+    for (const xml::Node* child : content.slots[slot]) {
+      XDB_RETURN_NOT_OK(ShredElement(ref.elem, child, rel::Datum(rowid),
+                                     child_ord++, out));
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Rebuilds `elem` in canonical form inside `doc`.
+Result<xml::Node*> CanonicalElement(const ElementStructure* decl,
+                                    const xml::Node* elem,
+                                    xml::Document* doc) {
+  XDB_RETURN_NOT_OK(CheckAttributes(decl, elem));
+  XDB_ASSIGN_OR_RETURN(MatchedContent content, MatchContent(decl, elem));
+  xml::Node* out = doc->CreateElement(decl->name);
+  // Declared attribute order, absent attributes omitted — exactly what the
+  // publishing view's XMLAttributes clause emits.
+  for (const std::string& attr : decl->attributes) {
+    const xml::Node* a = elem->FindAttribute(attr);
+    if (a != nullptr) out->SetAttribute(attr, a->value());
+  }
+  if (!content.text.empty()) {
+    out->AppendChild(doc->CreateText(content.text));
+  }
+  for (size_t slot = 0; slot < decl->children.size(); ++slot) {
+    const ChildRef& ref = decl->children[slot];
+    for (const xml::Node* child : content.slots[slot]) {
+      XDB_ASSIGN_OR_RETURN(xml::Node* c,
+                           CanonicalElement(ref.elem, child, doc));
+      out->AppendChild(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> CanonicalizeDocument(const ShredMapping& mapping,
+                                         const xml::Node* node) {
+  XDB_ASSIGN_OR_RETURN(const xml::Node* root, ResolveRoot(mapping, node));
+  xml::Document doc;
+  XDB_ASSIGN_OR_RETURN(
+      xml::Node* canon,
+      CanonicalElement(mapping.structure().root(), root, &doc));
+  doc.root()->AppendChild(canon);
+  return xml::Serialize(canon);
+}
+
+}  // namespace xdb::shred

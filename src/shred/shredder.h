@@ -1,0 +1,73 @@
+// DOM-driven shredding (in the style of Atay et al.'s DOM-based XML-to-
+// relational mapping): decomposes a parsed document into per-table row
+// batches following a ShredMapping, assigning globally unique rowids so the
+// (parent.rowid = child.parent_rowid) publishing joins are unambiguous even
+// when a declaration is shared by several parents.
+//
+// Also provides the schema-aware canonicalizer the round-trip contract is
+// stated against: shred -> publish -> serialize must be byte-identical to
+// CanonicalizeDocument of the input. Canonical form = declared slot order
+// (identity for valid sequence/choice content, declaration order for <all>
+// groups), declared attribute order, annotation attributes / comments / PIs
+// dropped, whitespace-only text outside text-bearing elements dropped.
+#ifndef XDB_SHRED_SHREDDER_H_
+#define XDB_SHRED_SHREDDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "shred/mapping.h"
+#include "xml/dom.h"
+
+namespace xdb::shred {
+
+/// Rows produced by shredding one document.
+struct ShredBatch {
+  /// Per-table rows, parallel to ShredMapping::tables().
+  std::vector<std::vector<rel::Row>> rows;
+  size_t elements = 0;  ///< element occurrences visited
+  size_t total_rows() const {
+    size_t n = 0;
+    for (const auto& t : rows) n += t.size();
+    return n;
+  }
+};
+
+/// \brief Streams DOM trees into relational row batches.
+///
+/// One Shredder persists per registered schema so rowids keep increasing
+/// across documents loaded into the same tables.
+class Shredder {
+ public:
+  explicit Shredder(const ShredMapping* mapping, int64_t first_rowid = 0)
+      : mapping_(mapping), next_rowid_(first_rowid) {}
+
+  /// Shreds one document. `node` may be the document node or the root
+  /// element itself; the root element must match the mapping's root
+  /// declaration. `next_document_ord` becomes the root row's ord (document
+  /// sequence number within the root table).
+  Result<ShredBatch> Shred(const xml::Node* node, int64_t next_document_ord);
+
+  /// Next rowid that will be assigned (persist across Shred calls).
+  int64_t next_rowid() const { return next_rowid_; }
+
+ private:
+  Status ShredElement(const schema::ElementStructure* decl,
+                      const xml::Node* elem, rel::Datum parent_rowid,
+                      int64_t ord, ShredBatch* out);
+
+  const ShredMapping* mapping_;
+  int64_t next_rowid_;
+};
+
+/// Serializes the schema-canonical form of `node` (document or root
+/// element) under `mapping`'s structure. Errors mirror the shredder's
+/// (undeclared elements/attributes, character data outside text content).
+Result<std::string> CanonicalizeDocument(const ShredMapping& mapping,
+                                         const xml::Node* node);
+
+}  // namespace xdb::shred
+
+#endif  // XDB_SHRED_SHREDDER_H_

@@ -1,0 +1,65 @@
+#include "shred/view_gen.h"
+
+#include <string>
+#include <utility>
+
+namespace xdb::shred {
+
+using rel::PublishSpec;
+using schema::ChildRef;
+using schema::ElementStructure;
+
+namespace {
+
+/// Emits the XMLElement subtree reconstructing occurrences of `decl` from
+/// its shred table row (the innermost relational scope at this point).
+Result<std::unique_ptr<PublishSpec>> ElementSpec(const ShredMapping& mapping,
+                                                 const ElementStructure* decl) {
+  const ShredTable* table = mapping.table_for(decl);
+  if (table == nullptr) {
+    return Status::Internal("view_gen: element '" + decl->name +
+                            "' has no shred table");
+  }
+  auto spec = PublishSpec::Element(decl->name);
+  for (const std::string& attr : decl->attributes) {
+    spec->attr_columns.emplace_back(attr, AttrColumnName(attr));
+  }
+  if (decl->has_text) {
+    spec->AddChild(PublishSpec::Column(std::string(kTextColumn)));
+  }
+  // Children in declared slot order — this is what makes the published form
+  // canonical. Choice branches and optional leaves carry presence guards;
+  // absent table children simply aggregate zero rows.
+  for (const ChildRef& ref : decl->children) {
+    const ShredTable* child_table = mapping.table_for(ref.elem);
+    if (child_table != nullptr) {
+      XDB_ASSIGN_OR_RETURN(std::unique_ptr<PublishSpec> row_elem,
+                           ElementSpec(mapping, ref.elem));
+      auto nested = PublishSpec::Nested(
+          child_table->name, std::string(kRowIdColumn),
+          std::string(kParentRowIdColumn), std::move(row_elem));
+      nested->order_by_column = std::string(kOrdColumn);
+      spec->AddChild(std::move(nested));
+    } else {
+      const ShredColumn* col = table->FindInlineChild(ref.elem->name);
+      if (col == nullptr) {
+        return Status::Internal("view_gen: no inline column for child '" +
+                                ref.elem->name + "' of '" + decl->name + "'");
+      }
+      auto leaf = PublishSpec::Element(ref.elem->name);
+      leaf->AddChild(PublishSpec::Column(col->name));
+      if (col->nullable) leaf->present_if_column = col->name;
+      spec->AddChild(std::move(leaf));
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PublishSpec>> GeneratePublishSpec(
+    const ShredMapping& mapping) {
+  return ElementSpec(mapping, mapping.structure().root());
+}
+
+}  // namespace xdb::shred

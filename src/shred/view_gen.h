@@ -1,0 +1,28 @@
+// Publishing-view generation: the inverse of the shredder. From a
+// ShredMapping it emits the SQL/XML PublishSpec (Table 3 style: XMLElement +
+// correlated XMLAgg over the lineage join, ORDER BY ord) that reconstructs
+// the canonical document from the shred tables. The generated spec is
+// registered like any hand-written publishing view, so the whole
+// XSLT -> XQuery -> SQL rewrite / optimizer / plan-cache stack applies to
+// shredded storage with no special cases.
+#ifndef XDB_SHRED_VIEW_GEN_H_
+#define XDB_SHRED_VIEW_GEN_H_
+
+#include <memory>
+
+#include "rel/publish.h"
+#include "shred/mapping.h"
+
+namespace xdb::shred {
+
+/// Builds the publishing spec for the mapping's root element. The spec's
+/// base table is `mapping.root_table()->name`; each table-worthy child
+/// becomes a kNested XMLAgg (outer rowid = inner parent_rowid, ORDER BY ord),
+/// inlined leaves become guarded scalar XMLElements, attributes map onto
+/// their a_* columns.
+Result<std::unique_ptr<rel::PublishSpec>> GeneratePublishSpec(
+    const ShredMapping& mapping);
+
+}  // namespace xdb::shred
+
+#endif  // XDB_SHRED_VIEW_GEN_H_

@@ -9,6 +9,7 @@
 
 #include "core/row_executor.h"
 #include "core/xmldb.h"
+#include "schema/structure.h"
 #include "xsltmark/suite.h"
 
 namespace xdb {
@@ -316,6 +317,62 @@ TEST_F(PlanCacheFixture, PrepareExecuteSplitApi) {
   auto out2 = db_.Execute(**prepared);
   ASSERT_TRUE(out2.ok());
   EXPECT_EQ(*out1, *out2);
+}
+
+TEST(ShreddedPlanCacheTest, LoadDocumentInvalidatesCachedPlans) {
+  // Bulk loads rebuild the mapping's B-tree indexes, and an index rebuild is
+  // DDL as far as cached plans are concerned: a prepared transform over a
+  // shredded view must miss after the next LoadDocument, then execute over
+  // the enlarged table.
+  XmlDb db;
+  schema::StructureBuilder b;
+  auto* table = b.Element("table");
+  auto* row = b.AddChild(table, "row", 0, -1);
+  b.AddText(b.AddChild(row, "id"));
+  b.AddText(b.AddChild(row, "name"));
+  shred::ShredOptions options;
+  options.value_indexes = {"row/id"};
+  ASSERT_TRUE(db.RegisterShreddedSchema("t", b.Build(table), options).ok());
+  ASSERT_TRUE(
+      db.LoadDocument("t", "<table><row><id>9</id><name>ADA</name></row>"
+                           "</table>")
+          .ok());
+
+  const char* stylesheet =
+      "<xsl:stylesheet version=\"1.0\" "
+      "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+      "<xsl:template match=\"table\"><out><xsl:apply-templates "
+      "select=\"row[id = 9]\"/></out></xsl:template>"
+      "<xsl:template match=\"row\"><hit><xsl:value-of select=\"name\"/>"
+      "</hit></xsl:template>"
+      "<xsl:template match=\"text()\"/>"
+      "</xsl:stylesheet>";
+
+  ExecStats cold, warm;
+  auto r1 = db.TransformView("t", stylesheet, {}, &cold);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_FALSE(cold.cache_hit);
+  ASSERT_TRUE(db.TransformView("t", stylesheet, {}, &warm).ok());
+  EXPECT_TRUE(warm.cache_hit);
+
+  // Second document into the same tables: the load's index rebuild must
+  // drop the cached plan.
+  ASSERT_TRUE(
+      db.LoadDocument("t", "<table><row><id>9</id><name>BOB</name></row>"
+                           "</table>")
+          .ok());
+
+  ExecStats after;
+  auto r2 = db.TransformView("t", stylesheet, {}, &after);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_FALSE(after.cache_hit);
+  EXPECT_GE(db.plan_cache()->stats().invalidations, 1u);
+  // The re-prepared plan runs over both loaded documents (one view row per
+  // document) and still probes the rebuilt index.
+  ASSERT_EQ(r2->size(), 2u);
+  EXPECT_EQ((*r2)[0], "<out><hit>ADA</hit></out>");
+  EXPECT_EQ((*r2)[1], "<out><hit>BOB</hit></out>");
+  EXPECT_TRUE(after.used_index) << after.sql_text;
 }
 
 // ---------------------------------------------------------------------------

@@ -3,10 +3,14 @@
 // differentials.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <map>
 #include <random>
 
+#include "core/xmldb.h"
 #include "rel/btree.h"
+#include "schema/sample_doc.h"
+#include "shred/shredder.h"
 #include "xpath/parser.h"
 #include "xquery/parser.h"
 #include "rewrite/xslt_rewriter.h"
@@ -223,6 +227,75 @@ INSTANTIATE_TEST_SUITE_P(Matrix, RewriteFuzzTest, ::testing::ValuesIn(FuzzMatrix
                            return "seed" + std::to_string(info.param.seed) + "_ss" +
                                   std::to_string(info.param.stylesheet);
                          });
+
+// ---------------------------------------------------------------------------
+// Shredded storage round-trip over random structures
+// ---------------------------------------------------------------------------
+
+// Random structure inside the shreddable subset *by construction*: globally
+// unique element/attribute names (no duplicate slots, no accidental
+// recursion), text only on childless leaves (no mixed content), random
+// model groups, cardinalities and attribute counts.
+schema::StructuralInfo RandomShreddableStructure(std::mt19937& rng) {
+  schema::StructureBuilder b;
+  int counter = 0;
+  auto fresh = [&counter](const char* prefix) {
+    return std::string(prefix) + std::to_string(counter++);
+  };
+  schema::ElementStructure* root = b.Element("r");
+  std::function<void(schema::ElementStructure*, int)> fill =
+      [&](schema::ElementStructure* e, int depth) {
+        for (uint32_t i = rng() % 3; i > 0; --i) {
+          e->attributes.push_back(fresh("a"));
+        }
+        uint32_t n_children = depth >= 3 ? 0 : rng() % 4;
+        if (n_children == 0) {
+          b.AddText(e);
+          return;
+        }
+        if (n_children >= 2 && rng() % 4 == 0) {
+          e->group = rng() % 2 == 0 ? schema::ModelGroup::kChoice
+                                    : schema::ModelGroup::kAll;
+        }
+        for (uint32_t i = 0; i < n_children; ++i) {
+          int min_occurs = static_cast<int>(rng() % 2);
+          int max_occurs = rng() % 3 == 0 ? -1 : 1;
+          fill(b.AddChild(e, fresh("e"), min_occurs, max_occurs), depth + 1);
+        }
+      };
+  fill(root, 0);
+  return b.Build(root);
+}
+
+class ShredRoundTripPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShredRoundTripPropertyTest, SampleDocLoadsAndPublishesCanonically) {
+  std::mt19937 rng(static_cast<uint32_t>(GetParam()) * 2654435761u + 11);
+  schema::StructuralInfo info = RandomShreddableStructure(rng);
+  // The generator stamps xdbs:* annotation attributes (unbound prefix), so
+  // the document must be shredded as a DOM, never serialized and re-parsed.
+  std::unique_ptr<xml::Document> sample = schema::GenerateSampleDocument(info);
+  ASSERT_NE(sample, nullptr);
+
+  XmlDb db;
+  Status reg = db.RegisterShreddedSchema("v", info);
+  ASSERT_TRUE(reg.ok()) << reg.ToString();
+  auto stats = db.LoadParsedDocument("v", sample->root());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  const shred::ShredMapping* mapping = db.shredded_mapping("v");
+  ASSERT_NE(mapping, nullptr);
+  auto canonical = shred::CanonicalizeDocument(*mapping, sample->root());
+  ASSERT_TRUE(canonical.ok()) << canonical.status().ToString();
+
+  auto rows = db.MaterializeView("v");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], *canonical);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShredRoundTripPropertyTest,
+                         ::testing::Range(0, 16));
 
 // ---------------------------------------------------------------------------
 // XML round-trip property over random trees

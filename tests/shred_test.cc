@@ -1,0 +1,438 @@
+// Tests for the schema-driven shredding subsystem (src/shred): mapping
+// derivation rules, DOM shredding, publishing-view generation, bulk loading
+// through XmlDb, and the shred -> publish round-trip contract.
+#include <gtest/gtest.h>
+
+#include "core/xmldb.h"
+#include "schema/sample_doc.h"
+#include "shred/bulk_loader.h"
+#include "shred/mapping.h"
+#include "shred/shredder.h"
+#include "shred/view_gen.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xdb {
+namespace {
+
+using schema::StructureBuilder;
+using shred::ShredMapping;
+using shred::ShredOptions;
+
+// dept(deptno=...) { dname, loc, employees { emp* { empno, ename, sal } } }
+schema::StructuralInfo DeptStructure() {
+  StructureBuilder b;
+  auto* dept = b.Element("dept");
+  dept->attributes.push_back("deptno");
+  b.AddText(b.AddChild(dept, "dname"));
+  b.AddText(b.AddChild(dept, "loc", 0, 1));  // optional leaf
+  auto* employees = b.AddChild(dept, "employees");
+  auto* emp = b.AddChild(employees, "emp", 0, -1);
+  b.AddText(b.AddChild(emp, "empno"));
+  b.AddText(b.AddChild(emp, "ename"));
+  b.AddText(b.AddChild(emp, "sal"));
+  return b.Build(dept);
+}
+
+constexpr const char* kDeptDoc =
+    "<dept deptno=\"10\"><dname>ACCOUNTING</dname><loc>NEW YORK</loc>"
+    "<employees>"
+    "<emp><empno>7782</empno><ename>CLARK</ename><sal>2450</sal></emp>"
+    "<emp><empno>7934</empno><ename>MILLER</ename><sal>1300</sal></emp>"
+    "</employees></dept>";
+
+TEST(ShredMappingTest, DeptDerivesThreeTablesWithLineage) {
+  auto m = ShredMapping::Derive(DeptStructure(), "d");
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  ASSERT_EQ(m->tables().size(), 3u);
+  // Root first, then depth-first: dept, employees, emp.
+  EXPECT_EQ(m->tables()[0]->name, "d_dept");
+  EXPECT_EQ(m->tables()[1]->name, "d_employees");
+  EXPECT_EQ(m->tables()[2]->name, "d_emp");
+  EXPECT_TRUE(m->tables()[0]->is_root);
+
+  // dept: lineage + attribute + two inlined singleton leaves.
+  const shred::ShredTable& dept = *m->tables()[0];
+  ASSERT_EQ(dept.columns.size(), 6u);
+  EXPECT_EQ(dept.columns[0].name, "rowid");
+  EXPECT_EQ(dept.columns[1].name, "parent_rowid");
+  EXPECT_TRUE(dept.columns[1].nullable);  // root has no parent
+  EXPECT_EQ(dept.columns[2].name, "ord");
+  EXPECT_EQ(dept.columns[3].name, "a_deptno");
+  EXPECT_EQ(dept.columns[4].name, "v_dname");
+  EXPECT_FALSE(dept.columns[4].nullable);  // required singleton
+  EXPECT_EQ(dept.columns[5].name, "v_loc");
+  EXPECT_TRUE(dept.columns[5].nullable);  // optional singleton
+
+  // emp repeats -> own table; its leaves inline there.
+  const shred::ShredTable& emp = *m->tables()[2];
+  ASSERT_EQ(emp.columns.size(), 6u);
+  EXPECT_EQ(emp.columns[3].name, "v_empno");
+  EXPECT_EQ(emp.columns[5].name, "v_sal");
+}
+
+TEST(ShredMappingTest, RejectsStructuresOutsideTheSubset) {
+  {  // recursive content model
+    StructureBuilder b;
+    auto* sec = b.Element("section");
+    b.AddText(b.AddChild(sec, "title"));
+    b.AddRecursiveChild(sec, sec);
+    auto m = ShredMapping::Derive(b.Build(sec), "t");
+    EXPECT_EQ(m.status().code(), StatusCode::kNotImplemented);
+  }
+  {  // mixed content
+    StructureBuilder b;
+    auto* p = b.Element("p");
+    p->has_text = true;
+    b.AddChild(p, "b");
+    auto m = ShredMapping::Derive(b.Build(p), "t");
+    EXPECT_EQ(m.status().code(), StatusCode::kNotImplemented);
+  }
+  {  // duplicate child slot names
+    StructureBuilder b;
+    auto* r = b.Element("r");
+    b.AddChild(r, "x");
+    b.AddChild(r, "x");
+    auto m = ShredMapping::Derive(b.Build(r), "t");
+    EXPECT_EQ(m.status().code(), StatusCode::kNotImplemented);
+  }
+  {  // fragment root
+    StructureBuilder b;
+    auto* frag = b.Element(std::string(schema::kFragmentRootName));
+    b.AddChild(frag, "a");
+    auto m = ShredMapping::Derive(b.Build(frag), "t");
+    EXPECT_EQ(m.status().code(), StatusCode::kNotImplemented);
+  }
+}
+
+TEST(ShredMappingTest, ChoiceGroupGetsDiscriminatorAndNullableBranches) {
+  StructureBuilder b;
+  auto* pay = b.Element("payment");
+  pay->group = schema::ModelGroup::kChoice;
+  b.AddText(b.AddChild(pay, "cash"));
+  b.AddText(b.AddChild(pay, "card"));
+  auto m = ShredMapping::Derive(b.Build(pay), "t");
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  const shred::ShredTable& t = *m->root_table();
+  int branch = t.ColumnIndex("branch");
+  ASSERT_GE(branch, 0);
+  EXPECT_EQ(t.columns[static_cast<size_t>(branch)].kind,
+            shred::ShredColumn::Kind::kDiscriminator);
+  EXPECT_TRUE(t.columns[static_cast<size_t>(t.ColumnIndex("v_cash"))].nullable);
+  EXPECT_TRUE(t.columns[static_cast<size_t>(t.ColumnIndex("v_card"))].nullable);
+}
+
+TEST(ShredMappingTest, ValueIndexPathsResolveToColumns) {
+  ShredOptions options;
+  options.value_indexes = {"emp/sal", "dept/@deptno", "dname/text()"};
+  auto bad = ShredMapping::Derive(DeptStructure(), "d", options);
+  // dname inlines into dept, so "dname/text()" cannot resolve to a table.
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+
+  options.value_indexes = {"emp/sal", "dept/@deptno"};
+  auto m = ShredMapping::Derive(DeptStructure(), "d", options);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  ASSERT_EQ(m->value_indexes().size(), 2u);
+  EXPECT_EQ(m->value_indexes()[0], std::make_pair(std::string("d_emp"),
+                                                  std::string("v_sal")));
+  EXPECT_EQ(m->value_indexes()[1], std::make_pair(std::string("d_dept"),
+                                                  std::string("a_deptno")));
+}
+
+TEST(ShredderTest, LineageAndOrdColumns) {
+  auto m = ShredMapping::Derive(DeptStructure(), "d");
+  ASSERT_TRUE(m.ok());
+  auto doc = xml::ParseDocument(kDeptDoc);
+  ASSERT_TRUE(doc.ok());
+  shred::Shredder shredder(&*m, /*first_rowid=*/100);
+  auto batch = shredder.Shred((*doc)->root(), /*next_document_ord=*/0);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->rows.size(), 3u);
+  ASSERT_EQ(batch->rows[0].size(), 1u);  // one dept
+  ASSERT_EQ(batch->rows[1].size(), 1u);  // one employees
+  ASSERT_EQ(batch->rows[2].size(), 2u);  // two emps
+  EXPECT_EQ(batch->elements, 12u);       // dept,dname,loc,employees + 2*4
+  // Rowids are globally unique starting at 100; parent links line up.
+  const rel::Row& dept = batch->rows[0][0];
+  const rel::Row& employees = batch->rows[1][0];
+  EXPECT_EQ(dept[0].AsInt(), 100);
+  EXPECT_TRUE(dept[1].is_null());
+  EXPECT_EQ(employees[1].AsInt(), dept[0].AsInt());
+  EXPECT_EQ(batch->rows[2][0][1].AsInt(), employees[0].AsInt());
+  EXPECT_EQ(batch->rows[2][0][2].AsInt(), 0);  // ord within slot
+  EXPECT_EQ(batch->rows[2][1][2].AsInt(), 1);
+  EXPECT_EQ(batch->rows[2][1][4].AsString(), "MILLER");  // v_ename
+  EXPECT_EQ(shredder.next_rowid(), 104);
+}
+
+TEST(ShredderTest, RejectsDocumentsOutsideTheDeclaredShape) {
+  auto m = ShredMapping::Derive(DeptStructure(), "d");
+  ASSERT_TRUE(m.ok());
+  shred::Shredder shredder(&*m);
+  auto expect_bad = [&](const char* xml) {
+    auto doc = xml::ParseDocument(xml);
+    ASSERT_TRUE(doc.ok());
+    auto batch = shredder.Shred((*doc)->root(), 0);
+    EXPECT_FALSE(batch.ok()) << xml;
+    EXPECT_EQ(batch.status().code(), StatusCode::kInvalidArgument);
+  };
+  expect_bad("<branch/>");                               // wrong root
+  expect_bad("<dept><dname>A</dname><boss/></dept>");    // undeclared child
+  expect_bad("<dept><loc>X</loc></dept>");               // missing required
+  expect_bad("<dept x=\"1\"><dname>A</dname></dept>");   // undeclared attr
+  expect_bad("<dept><dname>A</dname>oops</dept>");       // undeclared text
+  // A failed document must not leak rowids.
+  EXPECT_EQ(shredder.next_rowid(), 0);
+}
+
+// Registers DeptStructure as a shredded schema and loads kDeptDoc.
+class ShreddedDbFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ShredOptions options;
+    options.value_indexes = {"emp/sal"};
+    ASSERT_TRUE(
+        db_.RegisterShreddedSchema("dept_emp", DeptStructure(), options).ok());
+    auto stats = db_.LoadDocument("dept_emp", kDeptDoc);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->documents, 1);
+    EXPECT_EQ(stats->rows, 4u);
+    EXPECT_GT(stats->bytes, 0u);
+  }
+
+  XmlDb db_;
+};
+
+TEST_F(ShreddedDbFixture, PublishingViewReconstructsTheDocument) {
+  auto rows = db_.MaterializeView("dept_emp");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], kDeptDoc);
+}
+
+TEST_F(ShreddedDbFixture, RoundTripMatchesCanonicalForm) {
+  const shred::ShredMapping* mapping = db_.shredded_mapping("dept_emp");
+  ASSERT_NE(mapping, nullptr);
+  auto doc = xml::ParseDocument(kDeptDoc);
+  ASSERT_TRUE(doc.ok());
+  auto canonical = shred::CanonicalizeDocument(*mapping, (*doc)->root());
+  ASSERT_TRUE(canonical.ok()) << canonical.status().ToString();
+  auto rows = db_.MaterializeView("dept_emp");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0], *canonical);
+}
+
+TEST_F(ShreddedDbFixture, LoadsCreateLineageAndValueIndexes) {
+  auto emp = db_.catalog()->GetTable("dept_emp_emp");
+  ASSERT_TRUE(emp.ok());
+  EXPECT_TRUE((*emp)->HasIndex("parent_rowid"));
+  EXPECT_TRUE((*emp)->HasIndex("v_sal"));
+  auto dept = db_.catalog()->GetTable("dept_emp_dept");
+  ASSERT_TRUE(dept.ok());
+  EXPECT_FALSE((*dept)->HasIndex("parent_rowid"));  // root table
+}
+
+TEST_F(ShreddedDbFixture, SecondDocumentBecomesSecondViewRow) {
+  const char* second =
+      "<dept deptno=\"40\"><dname>OPERATIONS</dname>"
+      "<employees></employees></dept>";
+  auto stats = db_.LoadDocument("dept_emp", second);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->documents, 2);
+  auto rows = db_.MaterializeView("dept_emp");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], kDeptDoc);
+  // The optional <loc> was absent and the guarded publish omits it; the
+  // empty <employees> aggregates zero rows.
+  EXPECT_EQ((*rows)[1],
+            "<dept deptno=\"40\"><dname>OPERATIONS</dname>"
+            "<employees/></dept>");
+}
+
+TEST_F(ShreddedDbFixture, TransformOverDeepNestingAgreesWithFunctional) {
+  // employees/emp crosses two nested scopes (employees is table-worthy in the
+  // shredded mapping), which the XQuery->SQL stage does not translate yet —
+  // the pipeline must fall back to plan B and still produce the same answer.
+  const char* stylesheet =
+      "<xsl:stylesheet version=\"1.0\" "
+      "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+      "<xsl:template match=\"dept\"><rich><xsl:apply-templates "
+      "select=\"employees/emp[sal &gt; 2000]\"/></rich></xsl:template>"
+      "<xsl:template match=\"emp\"><e><xsl:value-of select=\"ename\"/></e>"
+      "</xsl:template>"
+      "<xsl:template match=\"text()\"/>"
+      "</xsl:stylesheet>";
+  ExecStats stats;
+  auto out = db_.TransformView("dept_emp", stylesheet, {}, &stats);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0], "<rich><e>CLARK</e></rich>");
+  EXPECT_EQ(stats.path, ExecutionPath::kXQueryRewritten)
+      << stats.fallback_reason;
+
+  ExecOptions functional;
+  functional.enable_rewrite = false;
+  auto ref = db_.TransformView("dept_emp", stylesheet, functional);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(*out, *ref);
+}
+
+// The Figure-2 workload shape: one repeating element directly under the
+// root, leaf children inlined. This is the shape where the shredded view
+// reaches plan A with an index probe, exactly like the hand-built view.
+TEST(ShreddedSchemaTest, Figure2ShapeReachesPlanAWithIndexProbe) {
+  XmlDb db;
+  StructureBuilder b;
+  auto* table = b.Element("table");
+  auto* row = b.AddChild(table, "row", 0, -1);
+  for (const char* leaf : {"id", "firstname", "lastname", "city", "zip"}) {
+    b.AddText(b.AddChild(row, leaf));
+  }
+  ShredOptions options;
+  options.value_indexes = {"row/id"};
+  ASSERT_TRUE(db.RegisterShreddedSchema("t", b.Build(table), options).ok());
+
+  std::string doc = "<table>";
+  for (int i = 1; i <= 20; ++i) {
+    std::string n = std::to_string(i);
+    doc += "<row><id>" + n + "</id><firstname>F" + n +
+           "</firstname><lastname>L" + n + "</lastname><city>C" + n +
+           "</city><zip>" + std::to_string(90000 + i) + "</zip></row>";
+  }
+  doc += "</table>";
+  ASSERT_TRUE(db.LoadDocument("t", doc).ok());
+
+  const char* stylesheet =
+      "<xsl:stylesheet version=\"1.0\" "
+      "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+      "<xsl:template match=\"table\"><out><xsl:apply-templates "
+      "select=\"row[id = 9]\"/></out></xsl:template>"
+      "<xsl:template match=\"row\"><hit><xsl:value-of select=\"lastname\"/>"
+      "</hit></xsl:template>"
+      "<xsl:template match=\"text()\"/>"
+      "</xsl:stylesheet>";
+  ExecStats stats;
+  auto out = db.TransformView("t", stylesheet, {}, &stats);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0], "<out><hit>L9</hit></out>");
+  EXPECT_EQ(stats.path, ExecutionPath::kSqlRewritten)
+      << stats.fallback_reason;
+  EXPECT_TRUE(stats.used_index) << stats.sql_text;
+
+  ExecOptions functional;
+  functional.enable_rewrite = false;
+  auto ref = db.TransformView("t", stylesheet, functional);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(*out, *ref);
+}
+
+TEST_F(ShreddedDbFixture, FailedLoadLeavesTablesUntouched) {
+  auto emp = db_.catalog()->GetTable("dept_emp_emp");
+  ASSERT_TRUE(emp.ok());
+  size_t before = (*emp)->row_count();
+  auto stats = db_.LoadDocument("dept_emp", "<dept><bogus/></dept>");
+  EXPECT_FALSE(stats.ok());
+  EXPECT_EQ((*emp)->row_count(), before);
+  auto rows = db_.MaterializeView("dept_emp");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+}
+
+TEST(ShreddedSchemaTest, ChoiceRoundTripKeepsPresentBranch) {
+  XmlDb db;
+  StructureBuilder b;
+  auto* order = b.Element("order");
+  b.AddText(b.AddChild(order, "oid"));
+  auto* pay = b.AddChild(order, "payment");
+  pay->group = schema::ModelGroup::kChoice;
+  b.AddText(b.AddChild(pay, "cash"));
+  auto* card = b.AddChild(pay, "card");
+  card->attributes.push_back("issuer");
+  b.AddText(b.AddChild(card, "number"));
+  ASSERT_TRUE(db.RegisterShreddedSchema("orders", b.Build(order)).ok());
+
+  const char* cash_doc =
+      "<order><oid>1</oid><payment><cash>30</cash></payment></order>";
+  const char* card_doc =
+      "<order><oid>2</oid><payment><card issuer=\"V\">"
+      "<number>4111</number></card></payment></order>";
+  ASSERT_TRUE(db.LoadDocument("orders", cash_doc).ok());
+  ASSERT_TRUE(db.LoadDocument("orders", card_doc).ok());
+
+  auto rows = db.MaterializeView("orders");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], cash_doc);
+  EXPECT_EQ((*rows)[1], card_doc);
+
+  // The discriminator records the branch taken.
+  auto pay_table = db.catalog()->GetTable("orders_payment");
+  ASSERT_TRUE(pay_table.ok());
+  const shred::ShredMapping* mapping = db.shredded_mapping("orders");
+  ASSERT_NE(mapping, nullptr);
+  int branch = -1;
+  for (const auto& t : mapping->tables()) {
+    if (t->name == "orders_payment") branch = t->ColumnIndex("branch");
+  }
+  ASSERT_GE(branch, 0);
+  EXPECT_EQ((*pay_table)->row(0)[static_cast<size_t>(branch)].AsString(),
+            "cash");
+  EXPECT_EQ((*pay_table)->row(1)[static_cast<size_t>(branch)].AsString(),
+            "card");
+}
+
+TEST(ShreddedSchemaTest, RegisterFromXsdText) {
+  XmlDb db;
+  const char* xsd =
+      "<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\">"
+      "<xs:element name=\"lib\"><xs:complexType><xs:sequence>"
+      "<xs:element name=\"book\" minOccurs=\"0\" maxOccurs=\"unbounded\">"
+      "<xs:complexType><xs:sequence>"
+      "<xs:element name=\"title\" type=\"xs:string\"/>"
+      "</xs:sequence><xs:attribute name=\"isbn\"/></xs:complexType>"
+      "</xs:element>"
+      "</xs:sequence></xs:complexType></xs:element>"
+      "</xs:schema>";
+  ASSERT_TRUE(db.RegisterShreddedSchemaFromXsd("lib", xsd).ok());
+  const char* doc =
+      "<lib><book isbn=\"1\"><title>A</title></book>"
+      "<book isbn=\"2\"><title>B</title></book></lib>";
+  ASSERT_TRUE(db.LoadDocument("lib", doc).ok());
+  auto rows = db.MaterializeView("lib");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], doc);
+}
+
+TEST(ShredCanonicalizeTest, DropsAnnotationsCommentsAndReordersAllGroups) {
+  StructureBuilder b;
+  auto* r = b.Element("r");
+  r->group = schema::ModelGroup::kAll;
+  b.AddText(b.AddChild(r, "a"));
+  b.AddText(b.AddChild(r, "b"));
+  auto m = ShredMapping::Derive(b.Build(r), "t");
+  ASSERT_TRUE(m.ok());
+  // <all> children out of declared order, plus noise to strip: an xdbs:*
+  // annotation attribute (as GenerateSampleDocument emits), a comment and a
+  // PI. Built via the DOM API because the annotation prefix is unbound.
+  xml::Document doc;
+  xml::Node* r_elem = doc.CreateElement("r");
+  doc.root()->AppendChild(r_elem);
+  r_elem->SetAttribute("xdbs:group", "all");
+  r_elem->AppendChild(doc.CreateComment("note"));
+  xml::Node* b_elem = doc.CreateElement("b");
+  b_elem->AppendChild(doc.CreateText("2"));
+  r_elem->AppendChild(b_elem);
+  r_elem->AppendChild(doc.CreateProcessingInstruction("pi", "data"));
+  xml::Node* a_elem = doc.CreateElement("a");
+  a_elem->AppendChild(doc.CreateText("1"));
+  r_elem->AppendChild(a_elem);
+  auto canon = shred::CanonicalizeDocument(*m, doc.root());
+  ASSERT_TRUE(canon.ok()) << canon.status().ToString();
+  EXPECT_EQ(*canon, "<r><a>1</a><b>2</b></r>");
+}
+
+}  // namespace
+}  // namespace xdb
