@@ -115,4 +115,18 @@ void PlanCache::OnRowsInserted(const std::string& table) {
   InvalidateTableLocked(table, /*stats_only=*/true);
 }
 
+void PlanCache::OnTableLoaded(const std::string& table) {
+  // A bulk load is DDL as far as cached plans are concerned (the shredded
+  // analogue of the invalidation CREATE INDEX fires): drop even
+  // structure-derived plans over the loaded table.
+  std::lock_guard<std::mutex> lock(mu_);
+  InvalidateTableLocked(table, /*stats_only=*/false);
+}
+
+void PlanCache::OnTableDropped(const std::string& table) {
+  // Cached plans hold a Table*; keeping them past the drop would dangle.
+  std::lock_guard<std::mutex> lock(mu_);
+  InvalidateTableLocked(table, /*stats_only=*/false);
+}
+
 }  // namespace xdb::core

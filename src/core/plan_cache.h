@@ -164,6 +164,8 @@ class PlanCache : public rel::DdlListener {
                       const std::string& column) override;
   void OnViewCreated(const std::string& view) override;
   void OnRowsInserted(const std::string& table) override;
+  void OnTableLoaded(const std::string& table) override;
+  void OnTableDropped(const std::string& table) override;
 
  private:
   using Entry = std::pair<PlanKey, std::shared_ptr<const PreparedTransform>>;

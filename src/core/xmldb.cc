@@ -561,13 +561,30 @@ Status XmlDb::RegisterShreddedSchema(const std::string& view_name,
   auto entry =
       std::make_unique<ShreddedSchema>(std::move(mapping), &catalog_);
   XDB_RETURN_NOT_OK(entry->loader.CreateTables());
-  XDB_ASSIGN_OR_RETURN(std::unique_ptr<rel::PublishSpec> spec,
-                       shred::GeneratePublishSpec(entry->mapping));
-  XDB_RETURN_NOT_OK(catalog_
-                        .CreatePublishingView(
-                            view_name, entry->mapping.root_table()->name,
-                            std::move(spec), "xml_content")
-                        .status());
+  // From here on the tables exist but shredded_ is not yet updated: any
+  // failure must drop them again, or a corrected retry under the same
+  // view_name would die on CreateTable "already exists" with no way to
+  // clean up.
+  auto drop_tables = [&] {
+    for (const auto& t : entry->mapping.tables()) {
+      (void)catalog_.DropTable(t->name);
+    }
+  };
+  Result<std::unique_ptr<rel::PublishSpec>> spec =
+      shred::GeneratePublishSpec(entry->mapping);
+  if (!spec.ok()) {
+    drop_tables();
+    return spec.status();
+  }
+  Status view_st = catalog_
+                       .CreatePublishingView(
+                           view_name, entry->mapping.root_table()->name,
+                           std::move(*spec), "xml_content")
+                       .status();
+  if (!view_st.ok()) {
+    drop_tables();
+    return view_st;
+  }
   shredded_[view_name] = std::move(entry);
   return Status::OK();
 }

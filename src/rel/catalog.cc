@@ -22,6 +22,16 @@ Result<Table*> Catalog::GetTable(const std::string& name) const {
   return it->second.get();
 }
 
+Status Catalog::DropTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table '" + name + "'");
+  // Notify before erasing: listeners may still dereference the table while
+  // deciding what to invalidate.
+  OnTableDropped(name);
+  tables_.erase(it);
+  return Status::OK();
+}
+
 Result<XmlView*> Catalog::CreatePublishingView(const std::string& name,
                                                const std::string& base_table,
                                                std::unique_ptr<PublishSpec> spec,
@@ -100,6 +110,14 @@ void Catalog::OnViewCreated(const std::string& view) {
 
 void Catalog::OnRowsInserted(const std::string& table) {
   for (DdlListener* l : listeners_) l->OnRowsInserted(table);
+}
+
+void Catalog::OnTableLoaded(const std::string& table) {
+  for (DdlListener* l : listeners_) l->OnTableLoaded(table);
+}
+
+void Catalog::OnTableDropped(const std::string& table) {
+  for (DdlListener* l : listeners_) l->OnTableDropped(table);
 }
 
 }  // namespace xdb::rel

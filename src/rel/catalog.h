@@ -47,6 +47,11 @@ class Catalog : public DdlListener {
   Result<Table*> CreateTable(const std::string& name, Schema schema);
   Result<Table*> GetTable(const std::string& name) const;
 
+  /// Removes `name` from the catalog (used to roll back partially completed
+  /// registrations). Fires OnTableDropped so cached plans holding a pointer
+  /// to the table are invalidated before it is destroyed.
+  Status DropTable(const std::string& name);
+
   /// Registers a publishing view; derives structure and compiles the
   /// publishing expression.
   Result<XmlView*> CreatePublishingView(const std::string& name,
@@ -74,6 +79,8 @@ class Catalog : public DdlListener {
                       const std::string& column) override;
   void OnViewCreated(const std::string& view) override;
   void OnRowsInserted(const std::string& table) override;
+  void OnTableLoaded(const std::string& table) override;
+  void OnTableDropped(const std::string& table) override;
 
  private:
   std::map<std::string, std::unique_ptr<Table>> tables_;

@@ -1,7 +1,7 @@
 #include "rel/datum.h"
 
+#include <charconv>
 #include <cmath>
-#include <cstdlib>
 
 #include "common/strings.h"
 #include "xml/serializer.h"
@@ -33,10 +33,31 @@ double Datum::ToDouble() const {
     case DataType::kDouble:
       return AsDouble();
     case DataType::kString: {
-      char* end = nullptr;
+      // XPath number(): optional leading whitespace, then the longest
+      // numeric prefix. std::from_chars is locale-independent — "1.5" parses
+      // the same under a comma-decimal locale (strtod would stop at '.').
       const std::string& s = AsString();
-      double d = std::strtod(s.c_str(), &end);
-      if (end == s.c_str()) return std::nan("");
+      size_t i = 0;
+      while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                              s[i] == '\r')) {
+        ++i;
+      }
+      double d = 0;
+      auto [ptr, ec] = std::from_chars(s.data() + i, s.data() + s.size(), d);
+      if (ptr == s.data() + i) return std::nan("");
+      if (ec == std::errc::result_out_of_range) {
+        // from_chars reports overflow and underflow alike; a negative
+        // exponent means the magnitude vanished, not exploded.
+        bool underflow = false;
+        for (const char* p = s.data() + i; p != ptr; ++p) {
+          if ((*p == 'e' || *p == 'E') && p + 1 != ptr && *(p + 1) == '-') {
+            underflow = true;
+            break;
+          }
+        }
+        if (underflow) return s[i] == '-' ? -0.0 : 0.0;
+        return s[i] == '-' ? -HUGE_VAL : HUGE_VAL;
+      }
       return d;
     }
     case DataType::kXml:
@@ -65,12 +86,16 @@ namespace {
 
 // True when the entire (non-empty) string is one number. Partial parses
 // ("9abc") do NOT qualify: the same predicate must hold on both sides of any
-// comparison or the order stops being transitive.
+// comparison or the order stops being transitive. std::from_chars keeps the
+// classification locale-independent and rejects leading whitespace, so " 7"
+// is a plain string rather than a second spelling of 7.
 bool ParsesAsNumber(const std::string& s, double* out) {
   if (s.empty()) return false;
-  char* end = nullptr;
-  double d = std::strtod(s.c_str(), &end);
-  if (end != s.c_str() + s.size() || std::isnan(d)) return false;
+  double d = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), d);
+  if (ec != std::errc() || ptr != s.data() + s.size() || std::isnan(d)) {
+    return false;
+  }
   *out = d;
   return true;
 }
@@ -109,7 +134,15 @@ int Datum::Compare(const Datum& other) const {
       int64_t ai = AsInt(), bi = other.AsInt();
       return ai < bi ? -1 : (ai > bi ? 1 : 0);
     }
-    return a < b ? -1 : (a > b ? 1 : 0);
+    if (a < b) return -1;
+    if (a > b) return 1;
+    // Numerically equal, but equality must not conflate distinct text:
+    // "01", "1.0" and "1e2"-style spellings stay distinct strings under
+    // `=` / B-tree probes. Tie-breaking on the canonical text makes the
+    // full key (value, text) lexicographic — still a genuine total order —
+    // while a typed bound (int 9) keeps matching the text it prints as
+    // ("9"), which is what the shredded numeric index probe needs.
+    return ToString().compare(other.ToString());
   }
   if (anum != bnum) return anum ? -1 : 1;
   return ToString().compare(other.ToString());

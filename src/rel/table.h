@@ -29,6 +29,14 @@ class DdlListener {
                               const std::string& column) = 0;
   virtual void OnViewCreated(const std::string& view) = 0;
   virtual void OnRowsInserted(const std::string& table) = 0;
+  /// A bulk load into `table` completed. Stronger than OnRowsInserted:
+  /// a whole document landed, so even structure-derived plans are dropped
+  /// (the bulk-load analogue of the DDL contract hand-written views get
+  /// from CREATE INDEX).
+  virtual void OnTableLoaded(const std::string& /*table*/) {}
+  /// `table` was removed from the catalog; any plan referencing it holds a
+  /// dangling pointer and must be dropped.
+  virtual void OnTableDropped(const std::string& /*table*/) {}
 };
 
 struct Column {

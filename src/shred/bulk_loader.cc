@@ -20,13 +20,24 @@ int64_t NowNs() {
 }  // namespace
 
 Status BulkLoader::CreateTables() {
+  std::vector<std::string> created;
+  created.reserve(mapping_->tables().size());
+  Status st = Status::OK();
   for (const auto& t : mapping_->tables()) {
-    XDB_RETURN_NOT_OK(
-        catalog_->CreateTable(t->name, t->RelSchema()).status());
+    st = catalog_->CreateTable(t->name, t->RelSchema()).status();
+    if (!st.ok()) break;
+    created.push_back(t->name);
   }
   // Empty initial indexes so the very first prepared transform already sees
-  // the index-nested-loop access path.
-  return RebuildIndexes(nullptr);
+  // the index-nested-loop access path; AppendRows maintains them
+  // incrementally from then on.
+  if (st.ok()) st = CreateIndexes();
+  if (!st.ok()) {
+    for (const std::string& name : created) {
+      (void)catalog_->DropTable(name);
+    }
+  }
+  return st;
 }
 
 Result<LoadStats> BulkLoader::LoadText(std::string_view xml_text) {
@@ -50,9 +61,14 @@ Result<LoadStats> BulkLoader::LoadParsed(const xml::Node* node) {
   stats.shred_ns = NowNs() - t0;
   stats.elements = batch.elements;
   XDB_RETURN_NOT_OK(InsertBatch(std::move(batch), &stats));
-  XDB_RETURN_NOT_OK(RebuildIndexes(&stats));
   documents_loaded_ += 1;
   stats.documents = documents_loaded_;
+  // Indexes were maintained in place by AppendRows; announce the completed
+  // load so cached plans over these tables are invalidated (plain inserts
+  // deliberately don't do that — see DdlListener::OnTableLoaded).
+  for (const auto& t : mapping_->tables()) {
+    catalog_->OnTableLoaded(t->name);
+  }
   return stats;
 }
 
@@ -79,19 +95,19 @@ Status BulkLoader::InsertBatch(ShredBatch batch, LoadStats* stats) {
   return Status::OK();
 }
 
-Status BulkLoader::RebuildIndexes(LoadStats* stats) {
-  int64_t t0 = NowNs();
+Status BulkLoader::CreateIndexes() {
   for (const auto& t : mapping_->tables()) {
     if (t->is_root) continue;
     XDB_ASSIGN_OR_RETURN(rel::Table * table, catalog_->GetTable(t->name));
+    if (table->HasIndex(std::string(kParentRowIdColumn))) continue;
     XDB_RETURN_NOT_OK(
         table->CreateIndex(std::string(kParentRowIdColumn)));
   }
   for (const auto& [table_name, column] : mapping_->value_indexes()) {
     XDB_ASSIGN_OR_RETURN(rel::Table * table, catalog_->GetTable(table_name));
+    if (table->HasIndex(column)) continue;
     XDB_RETURN_NOT_OK(table->CreateIndex(column));
   }
-  if (stats != nullptr) stats->index_ns += NowNs() - t0;
   return Status::OK();
 }
 

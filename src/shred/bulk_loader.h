@@ -1,10 +1,11 @@
 // Bulk loader: ties a ShredMapping to a live catalog. Creates the mapped
-// base tables, streams shredded documents into them in row batches, and
-// (re)builds the B+tree indexes the publishing joins and nominated value
-// predicates need. Index rebuilds run after every load so the catalog's DDL
-// fan-out (OnIndexCreated) invalidates any prepared transform compiled over
-// the now-stale data — the shredded analogue of the plan-cache contract
-// hand-written views already observe.
+// base tables plus the B+tree indexes the publishing joins and nominated
+// value predicates need (once, at registration — AppendRows maintains them
+// incrementally per load, so loading N documents stays O(N) total index
+// work). Each completed load fires the catalog's OnTableLoaded fan-out so
+// any prepared transform compiled over the now-stale data is invalidated —
+// the shredded analogue of the plan-cache contract hand-written views
+// observe for CREATE INDEX.
 #ifndef XDB_SHRED_BULK_LOADER_H_
 #define XDB_SHRED_BULK_LOADER_H_
 
@@ -26,8 +27,9 @@ struct LoadStats {
   size_t bytes = 0;       ///< source text size (0 for pre-parsed loads)
   int64_t parse_ns = 0;
   int64_t shred_ns = 0;
+  /// Batched append including incremental B+tree index maintenance (indexes
+  /// are built once at CreateTables and updated in place per row).
   int64_t insert_ns = 0;
-  int64_t index_ns = 0;
 };
 
 /// \brief Streams documents into the mapping's base tables.
@@ -37,9 +39,10 @@ class BulkLoader {
   BulkLoader(rel::Catalog* catalog, const ShredMapping* mapping)
       : catalog_(catalog), mapping_(mapping), shredder_(mapping) {}
 
-  /// Creates every mapped table plus the initial indexes (parent_rowid on
-  /// non-root tables, nominated value columns). Fails if any table name is
-  /// taken.
+  /// Creates every mapped table plus the indexes (parent_rowid on non-root
+  /// tables, nominated value columns). Fails if any table name is taken;
+  /// tables created by the failed call are dropped again so a corrected
+  /// retry does not trip over its own leftovers.
   Status CreateTables();
 
   /// Parses and loads one document.
@@ -53,7 +56,7 @@ class BulkLoader {
 
  private:
   Status InsertBatch(ShredBatch batch, LoadStats* stats);
-  Status RebuildIndexes(LoadStats* stats);
+  Status CreateIndexes();
 
   rel::Catalog* catalog_;
   const ShredMapping* mapping_;

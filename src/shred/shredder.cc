@@ -37,6 +37,11 @@ Result<MatchedContent> MatchContent(const ElementStructure* decl,
                                     const xml::Node* elem) {
   MatchedContent out;
   out.slots.resize(decl->children.size());
+  // Sequence groups prescribe sibling order: matched slot indices must be
+  // non-decreasing or the document is rejected (silently reordering it to
+  // declaration order would make the round-trip hold only by accident).
+  // Choice and <all> groups are order-free.
+  size_t last_slot = 0;
   for (const xml::Node* child : elem->children()) {
     switch (child->type()) {
       case xml::NodeType::kElement: {
@@ -49,6 +54,13 @@ Result<MatchedContent> MatchContent(const ElementStructure* decl,
               "shred: element '" + child->local_name() +
               "' is not declared as a child of '" + decl->name + "'");
         }
+        if (decl->group == ModelGroup::kSequence && slot < last_slot) {
+          return Status::InvalidArgument(
+              "shred: child '" + child->local_name() + "' of '" + decl->name +
+              "' appears after '" + decl->children[last_slot].elem->name +
+              "', out of declared sequence order");
+        }
+        last_slot = slot;
         out.slots[slot].push_back(child);
         break;
       }

@@ -320,10 +320,10 @@ TEST_F(PlanCacheFixture, PrepareExecuteSplitApi) {
 }
 
 TEST(ShreddedPlanCacheTest, LoadDocumentInvalidatesCachedPlans) {
-  // Bulk loads rebuild the mapping's B-tree indexes, and an index rebuild is
-  // DDL as far as cached plans are concerned: a prepared transform over a
-  // shredded view must miss after the next LoadDocument, then execute over
-  // the enlarged table.
+  // A completed bulk load fires OnTableLoaded, which is DDL as far as
+  // cached plans are concerned: a prepared transform over a shredded view
+  // must miss after the next LoadDocument, then execute over the enlarged
+  // table.
   XmlDb db;
   schema::StructureBuilder b;
   auto* table = b.Element("table");
@@ -355,7 +355,7 @@ TEST(ShreddedPlanCacheTest, LoadDocumentInvalidatesCachedPlans) {
   ASSERT_TRUE(db.TransformView("t", stylesheet, {}, &warm).ok());
   EXPECT_TRUE(warm.cache_hit);
 
-  // Second document into the same tables: the load's index rebuild must
+  // Second document into the same tables: the load-completion event must
   // drop the cached plan.
   ASSERT_TRUE(
       db.LoadDocument("t", "<table><row><id>9</id><name>BOB</name></row>"
@@ -368,7 +368,7 @@ TEST(ShreddedPlanCacheTest, LoadDocumentInvalidatesCachedPlans) {
   EXPECT_FALSE(after.cache_hit);
   EXPECT_GE(db.plan_cache()->stats().invalidations, 1u);
   // The re-prepared plan runs over both loaded documents (one view row per
-  // document) and still probes the rebuilt index.
+  // document) and still probes the incrementally maintained index.
   ASSERT_EQ(r2->size(), 2u);
   EXPECT_EQ((*r2)[0], "<out><hit>ADA</hit></out>");
   EXPECT_EQ((*r2)[1], "<out><hit>BOB</hit></out>");

@@ -31,6 +31,26 @@ TEST(DatumTest, Ordering) {
   EXPECT_EQ(Datum("10").Compare(Datum(static_cast<int64_t>(10))), 0);
 }
 
+TEST(DatumTest, NumericallyEqualStringsOfDifferentFormStayDistinct) {
+  // Equality must not conflate distinct text that parses to the same double:
+  // the effective key is (numeric value, canonical text).
+  EXPECT_NE(Datum("01").Compare(Datum("1")), 0);
+  EXPECT_NE(Datum("007").Compare(Datum("7")), 0);
+  EXPECT_NE(Datum("1.0").Compare(Datum("1")), 0);
+  EXPECT_NE(Datum("1e2").Compare(Datum("100")), 0);
+  EXPECT_NE(Datum(" 7").Compare(Datum("7")), 0);  // whitespace is not numeric
+  // A typed bound still matches the text it prints as, which is what the
+  // shredded numeric index probe relies on.
+  EXPECT_EQ(Datum("9").Compare(Datum(static_cast<int64_t>(9))), 0);
+  EXPECT_NE(Datum("09").Compare(Datum(static_cast<int64_t>(9))), 0);
+  // Value still dominates the order; text only breaks exact-value ties, so
+  // the order stays total and transitive.
+  EXPECT_LT(Datum("01").Compare(Datum("2")), 0);
+  EXPECT_LT(Datum("1").Compare(Datum("01")) *
+                Datum("01").Compare(Datum("1")),
+            0);  // antisymmetric
+}
+
 TEST(BTreeTest, InsertAndPointLookup) {
   BTreeIndex index(8);
   for (int i = 0; i < 100; ++i) {

@@ -383,6 +383,71 @@ TEST(ShreddedSchemaTest, ChoiceRoundTripKeepsPresentBranch) {
             "card");
 }
 
+TEST(ShredValidationTest, RejectsOutOfOrderSequenceContent) {
+  // Sequence groups prescribe sibling order: a document with <loc> before
+  // <dname> must be rejected, not silently reordered to declaration order.
+  XmlDb db;
+  ASSERT_TRUE(db.RegisterShreddedSchema("d", DeptStructure()).ok());
+  auto stats = db.LoadDocument(
+      "d",
+      "<dept deptno=\"10\"><loc>NEW YORK</loc><dname>ACCOUNTING</dname>"
+      "<employees/></dept>");
+  ASSERT_FALSE(stats.ok());
+  EXPECT_NE(stats.status().ToString().find("sequence order"),
+            std::string::npos)
+      << stats.status().ToString();
+  // The canonicalizer shares the matcher, so it rejects the same document.
+  auto m = ShredMapping::Derive(DeptStructure(), "d");
+  ASSERT_TRUE(m.ok());
+  auto doc = xml::ParseDocument(
+      "<dept deptno=\"10\"><loc>NEW YORK</loc><dname>ACCOUNTING</dname>"
+      "<employees/></dept>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(shred::CanonicalizeDocument(*m, (*doc)->root()).ok());
+  // Repeats within one slot are still fine (they are in declared order).
+  ASSERT_TRUE(db.LoadDocument("d", kDeptDoc).ok());
+}
+
+TEST(ShreddedSchemaTest, FailedRegistrationLeavesNoTablesAndRetrySucceeds) {
+  XmlDb db;
+  // Occupy one of the mapping's table names so registration fails after the
+  // root table was already created.
+  ASSERT_TRUE(
+      db.CreateTable("w_employees", rel::Schema({{"x", rel::DataType::kInt}}))
+          .ok());
+  Status st = db.RegisterShreddedSchema("w", DeptStructure());
+  ASSERT_FALSE(st.ok());
+  // The failed attempt dropped the tables it had created...
+  EXPECT_FALSE(db.catalog()->GetTable("w_dept").ok());
+  EXPECT_FALSE(db.catalog()->GetTable("w_emp").ok());
+  // ...so clearing the conflict lets a retry under the same name succeed.
+  ASSERT_TRUE(db.catalog()->DropTable("w_employees").ok());
+  ASSERT_TRUE(db.RegisterShreddedSchema("w", DeptStructure()).ok());
+  ASSERT_TRUE(db.LoadDocument("w", kDeptDoc).ok());
+  auto rows = db.MaterializeView("w");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], kDeptDoc);
+}
+
+TEST(ShreddedSchemaTest, ViewNameCollisionDropsCreatedTables) {
+  // Late failure path: every table exists, but the publishing view name is
+  // taken by a view outside the shredded registry.
+  XmlDb db;
+  ASSERT_TRUE(db.RegisterShreddedSchema("a", DeptStructure()).ok());
+  const char* identity =
+      "<xsl:stylesheet version=\"1.0\" "
+      "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+      "<xsl:template match=\"/\"><xsl:copy-of select=\".\"/></xsl:template>"
+      "</xsl:stylesheet>";
+  ASSERT_TRUE(db.CreateXsltView("b", "a", identity, "xml_content").ok());
+  Status st = db.RegisterShreddedSchema("b", DeptStructure());
+  ASSERT_FALSE(st.ok());
+  EXPECT_FALSE(db.catalog()->GetTable("b_dept").ok());
+  EXPECT_FALSE(db.catalog()->GetTable("b_employees").ok());
+  EXPECT_FALSE(db.catalog()->GetTable("b_emp").ok());
+}
+
 TEST(ShreddedSchemaTest, RegisterFromXsdText) {
   XmlDb db;
   const char* xsd =
