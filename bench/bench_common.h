@@ -58,6 +58,11 @@ inline void ReportExecStats(benchmark::State& state, const ExecStats& stats) {
   state.counters["execute_ms"] =
       static_cast<double>(stats.execute_ns) / 1e6;
   state.counters["threads"] = static_cast<double>(stats.threads_used);
+  // Resource-governor counters (all zero for ungoverned runs).
+  state.counters["ticks"] = static_cast<double>(stats.ticks);
+  state.counters["mem_peak_bytes"] = static_cast<double>(stats.mem_peak_bytes);
+  state.counters["timed_out"] = stats.timed_out ? 1 : 0;
+  state.counters["cancelled"] = stats.cancelled ? 1 : 0;
 }
 
 // ---------------------------------------------------------------------------

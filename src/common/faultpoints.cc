@@ -1,0 +1,115 @@
+#include "common/faultpoints.h"
+
+#include <atomic>
+#include <charconv>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+
+namespace xdb::fault {
+
+namespace {
+
+struct ArmedSite {
+  int trigger = 1;  // 1-based hit number that starts failing
+  int hits = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::set<std::string> sites;          // every site that executed
+  std::map<std::string, ArmedSite> armed;
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+// Count of armed sites; the fast-path gate every XDB_FAULT_POINT checks.
+std::atomic<int> g_armed_count{0};
+
+// Arms sites from XDB_FAULT once, before any site is hit.
+const bool g_env_armed = [] {
+  const char* spec = std::getenv("XDB_FAULT");
+  if (spec != nullptr && *spec != '\0') (void)ArmFromSpec(spec);
+  return true;
+}();
+
+}  // namespace
+
+bool Enabled() { return g_armed_count.load(std::memory_order_relaxed) > 0; }
+
+void RegisterSite(const char* site) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.sites.insert(site);
+}
+
+Status Inject(const char* site) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.armed.find(site);
+  if (it == r.armed.end()) return Status::OK();
+  it->second.hits += 1;
+  if (it->second.hits < it->second.trigger) return Status::OK();
+  return Status::ResourceExhausted(std::string("fault injected: ") + site);
+}
+
+void Arm(const std::string& site, int trigger) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ArmedSite& slot = r.armed[site];
+  slot.trigger = trigger < 1 ? 1 : trigger;
+  slot.hits = 0;
+  g_armed_count.store(static_cast<int>(r.armed.size()),
+                      std::memory_order_relaxed);
+}
+
+void DisarmAll() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.armed.clear();
+  g_armed_count.store(0, std::memory_order_relaxed);
+}
+
+std::vector<std::string> RegisteredSites() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return {r.sites.begin(), r.sites.end()};
+}
+
+bool ArmFromSpec(const std::string& spec) {
+  struct Parsed {
+    std::string site;
+    int trigger;
+  };
+  std::vector<Parsed> parsed;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) return false;
+    std::string site = entry.substr(0, eq);
+    std::string action = entry.substr(eq + 1);
+    int trigger = 1;
+    if (action.rfind("fail", 0) != 0) return false;
+    if (action.size() > 4) {
+      if (action[4] != ':') return false;
+      const char* begin = action.data() + 5;
+      const char* end = action.data() + action.size();
+      auto [ptr, ec] = std::from_chars(begin, end, trigger);
+      if (ec != std::errc() || ptr != end || trigger < 1) return false;
+    }
+    parsed.push_back({std::move(site), trigger});
+  }
+  for (const Parsed& p : parsed) Arm(p.site, p.trigger);
+  return true;
+}
+
+}  // namespace xdb::fault

@@ -1,0 +1,73 @@
+// Fault-point injection: named sites on cold mutation paths (bulk load,
+// index build, plan-cache install, publish compilation) where tests can
+// force a clean failure and prove the engine recovers.
+//
+//   XDB_FAULT_POINT("shred.append_rows");
+//
+// expands to a registration of the site name (once) plus a check that is a
+// single relaxed atomic load when nothing is armed — near-zero cost, so the
+// macro can stay in release builds. Sites are armed either programmatically
+// (fault::Arm in tests) or via the environment:
+//
+//   XDB_FAULT="shred.append_rows=fail:2"   # fail the 2nd hit of that site
+//   XDB_FAULT="a=fail:1,b=fail:3"          # several sites
+//
+// `fail:N` trips the N-th hit (N >= 1, default 1) and every hit after it
+// until the site is disarmed. An injected fault surfaces as
+// Status::ResourceExhausted("fault injected: <site>") — deliberately a
+// non-kInternal code, since tests assert that injected failures are
+// indistinguishable from ordinary resource errors.
+#ifndef XDB_COMMON_FAULTPOINTS_H_
+#define XDB_COMMON_FAULTPOINTS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xdb::fault {
+
+/// True when at least one site is armed (relaxed load; the fast-path gate).
+bool Enabled();
+
+/// Registers `site` in the process-wide registry (idempotent). Called once
+/// per site through the macro's static-local.
+void RegisterSite(const char* site);
+
+/// Slow path: returns the injected failure if `site` is armed and this hit
+/// reaches its trigger count, OK otherwise.
+Status Inject(const char* site);
+
+/// Arms `site`: the `trigger`-th hit (and all later ones) fail. Sites not
+/// yet registered may be armed ahead of their first execution.
+void Arm(const std::string& site, int trigger = 1);
+
+/// Disarms everything and resets hit counters.
+void DisarmAll();
+
+/// Every site name that has executed at least once, sorted. Tests sweep
+/// this after priming the paths under test with one clean run.
+std::vector<std::string> RegisteredSites();
+
+/// Parses an XDB_FAULT-style spec ("site=fail:N,site2=fail:M") and arms the
+/// listed sites. Returns false on malformed input (nothing armed).
+bool ArmFromSpec(const std::string& spec);
+
+}  // namespace xdb::fault
+
+// Evaluates to a `return <error>;` from the enclosing function (which must
+// return Status or Result<T>) when the named site is armed and triggered.
+#define XDB_FAULT_POINT(site)                                   \
+  do {                                                          \
+    static const bool _xdb_fault_registered = [] {              \
+      ::xdb::fault::RegisterSite(site);                         \
+      return true;                                              \
+    }();                                                        \
+    (void)_xdb_fault_registered;                                \
+    if (::xdb::fault::Enabled()) {                              \
+      ::xdb::Status _xdb_fault_st = ::xdb::fault::Inject(site); \
+      if (!_xdb_fault_st.ok()) return _xdb_fault_st;            \
+    }                                                           \
+  } while (false)
+
+#endif  // XDB_COMMON_FAULTPOINTS_H_

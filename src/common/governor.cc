@@ -1,0 +1,214 @@
+#include "common/governor.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <string>
+
+// Sanitizer instrumentation inflates the recursive engines' stack frames
+// (the XSLT interpreter most of all) far past what an 8 MiB thread stack
+// fits at the release-build caps, so the depth defaults scale down when
+// ASan/TSan is active. XDB_MAX_*_DEPTH still overrides either way.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define XDB_SANITIZER_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define XDB_SANITIZER_BUILD 1
+#endif
+#endif
+
+namespace xdb::governor {
+
+namespace {
+
+#ifdef XDB_SANITIZER_BUILD
+constexpr int kDefaultMaxTemplateDepth = 512;
+constexpr int kDefaultMaxXmlDepth = 512;
+#else
+constexpr int kDefaultMaxTemplateDepth = 2000;
+constexpr int kDefaultMaxXmlDepth = 1000;
+#endif
+
+/// Reads an integral env var once per process; `fallback` on unset or
+/// unparsable values.
+int64_t EnvInt64(const char* name, int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(raw, raw + std::string_view(raw).size(), value);
+  if (ec != std::errc() || *ptr != '\0') return fallback;
+  return value;
+}
+
+uint64_t EnvByteSize(const char* name, uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  uint64_t bytes = 0;
+  if (!ParseByteSize(raw, &bytes)) return fallback;
+  return bytes;
+}
+
+}  // namespace
+
+void ExecBudget::set_timeout_ms(int64_t ms) {
+  if (ms <= 0) {
+    has_deadline_ = false;
+    return;
+  }
+  has_deadline_ = true;
+  deadline_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+}
+
+bool ExecBudget::active() const {
+  return has_deadline_ || cancel_ != nullptr || mem_limit_ != 0 ||
+         out_limit_ != 0 || tick_limit_ != 0 || max_template_depth_ > 0;
+}
+
+int ExecBudget::max_template_depth() const {
+  return max_template_depth_ > 0 ? max_template_depth_ : MaxTemplateDepth();
+}
+
+Status ExecBudget::Trip(Status status, std::atomic<bool>* flag) {
+  std::lock_guard<std::mutex> lock(trip_mu_);
+  if (!tripped_.load(std::memory_order_relaxed)) {
+    trip_status_ = std::move(status);
+    if (flag != nullptr) flag->store(true, std::memory_order_relaxed);
+    tripped_.store(true, std::memory_order_release);
+  }
+  return trip_status_;
+}
+
+Status ExecBudget::trip_status() const {
+  std::lock_guard<std::mutex> lock(trip_mu_);
+  return trip_status_;
+}
+
+Status ExecBudget::Admit(uint64_t tick_delta, int64_t mem_delta,
+                         uint64_t out_delta) {
+  uint64_t ticks = tick_delta != 0
+                       ? ticks_.fetch_add(tick_delta,
+                                          std::memory_order_relaxed) +
+                             tick_delta
+                       : ticks_.load(std::memory_order_relaxed);
+  int64_t mem = mem_delta != 0
+                    ? mem_bytes_.fetch_add(mem_delta,
+                                           std::memory_order_relaxed) +
+                          mem_delta
+                    : mem_bytes_.load(std::memory_order_relaxed);
+  if (mem_delta > 0) {
+    uint64_t observed = mem > 0 ? static_cast<uint64_t>(mem) : 0;
+    uint64_t peak = mem_peak_.load(std::memory_order_relaxed);
+    while (observed > peak && !mem_peak_.compare_exchange_weak(
+                                  peak, observed, std::memory_order_relaxed)) {
+    }
+  }
+  uint64_t out = out_delta != 0
+                     ? out_bytes_.fetch_add(out_delta,
+                                            std::memory_order_relaxed) +
+                           out_delta
+                     : out_bytes_.load(std::memory_order_relaxed);
+
+  if (tripped_.load(std::memory_order_acquire)) return trip_status();
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    return Trip(Status::Cancelled("execution cancelled by caller"),
+                &cancelled_flag_);
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    return Trip(Status::ResourceExhausted("execution deadline exceeded"),
+                &timed_out_);
+  }
+  if (mem_limit_ != 0 && mem > 0 && static_cast<uint64_t>(mem) > mem_limit_) {
+    return Trip(Status::ResourceExhausted(
+                    "memory budget exceeded (" + std::to_string(mem) + " > " +
+                    std::to_string(mem_limit_) + " bytes)"),
+                nullptr);
+  }
+  if (out_limit_ != 0 && out > out_limit_) {
+    return Trip(Status::ResourceExhausted(
+                    "output budget exceeded (" + std::to_string(out) + " > " +
+                    std::to_string(out_limit_) + " bytes)"),
+                nullptr);
+  }
+  if (tick_limit_ != 0 && ticks > tick_limit_) {
+    return Trip(Status::ResourceExhausted(
+                    "tick budget exceeded (" + std::to_string(ticks) + " > " +
+                    std::to_string(tick_limit_) + ")"),
+                nullptr);
+  }
+  return Status::OK();
+}
+
+void ExecBudget::AdmitRelaxed(uint64_t tick_delta, int64_t mem_delta) {
+  if (tick_delta != 0) ticks_.fetch_add(tick_delta, std::memory_order_relaxed);
+  if (mem_delta != 0) mem_bytes_.fetch_add(mem_delta, std::memory_order_relaxed);
+}
+
+int BudgetScope::max_template_depth() const {
+  return budget_ != nullptr ? budget_->max_template_depth()
+                            : MaxTemplateDepth();
+}
+
+int MaxTemplateDepth() {
+  static const int depth = [] {
+    int64_t v = EnvInt64("XDB_MAX_TEMPLATE_DEPTH", kDefaultMaxTemplateDepth);
+    return v > 0 ? static_cast<int>(v) : kDefaultMaxTemplateDepth;
+  }();
+  return depth;
+}
+
+int MaxXmlDepth() {
+  static const int depth = [] {
+    int64_t v = EnvInt64("XDB_MAX_XML_DEPTH", kDefaultMaxXmlDepth);
+    return v > 0 ? static_cast<int>(v) : kDefaultMaxXmlDepth;
+  }();
+  return depth;
+}
+
+uint64_t MaxXmlInputBytes() {
+  static const uint64_t bytes =
+      EnvByteSize("XDB_MAX_XML_BYTES", uint64_t{1} << 30);
+  return bytes;
+}
+
+int64_t EnvDefaultTimeoutMs() {
+  static const int64_t ms = [] {
+    int64_t v = EnvInt64("XDB_TIMEOUT_MS", 0);
+    return v > 0 ? v : 0;
+  }();
+  return ms;
+}
+
+uint64_t EnvDefaultMemBudgetBytes() {
+  static const uint64_t bytes = EnvByteSize("XDB_MEM_BUDGET", 0);
+  return bytes;
+}
+
+bool ParseByteSize(const std::string& text, uint64_t* bytes) {
+  if (text.empty()) return false;
+  size_t len = text.size();
+  uint64_t multiplier = 1;
+  switch (std::toupper(static_cast<unsigned char>(text[len - 1]))) {
+    case 'K':
+      multiplier = uint64_t{1} << 10;
+      --len;
+      break;
+    case 'M':
+      multiplier = uint64_t{1} << 20;
+      --len;
+      break;
+    case 'G':
+      multiplier = uint64_t{1} << 30;
+      --len;
+      break;
+    default:
+      break;
+  }
+  if (len == 0) return false;
+  uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + len, value);
+  if (ec != std::errc() || ptr != text.data() + len) return false;
+  *bytes = value * multiplier;
+  return true;
+}
+
+}  // namespace xdb::governor

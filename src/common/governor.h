@@ -1,0 +1,245 @@
+// Resource governor: cooperative deadlines, cancellation, memory/output
+// budgets and tick limits shared by every execution engine (XML parser,
+// XSLT VM + interpreter, XPath/XQuery evaluators, relational cursors and
+// the parallel row executor).
+//
+// Two-level design, mirroring how database engines amortize interrupt
+// checks:
+//
+//   * ExecBudget  — one shared, thread-safe control block per top-level
+//     execution (an XmlDb::Execute call). Holds the limits (deadline,
+//     memory, output, ticks) and the global atomic counters. The first
+//     limit violation "trips" the budget; the trip status is sticky and
+//     every subsequent check returns it.
+//
+//   * BudgetScope — a per-thread, non-shared view over an ExecBudget.
+//     Engines call Tick() on their hot paths (per VM instruction, per
+//     XPath step input node, per cursor row, per parsed element). Ticks
+//     and memory charges accumulate in plain local counters and are
+//     flushed to the shared atomics only every ~1k ticks / 256 KiB, so
+//     the steady-state cost is an increment and a compare — no per-node
+//     atomics. A null-budget scope reduces every hook to one pointer
+//     test, which keeps the ungoverned warm path within noise.
+//
+// Budget trips map to the two new status codes: a missed deadline or an
+// exceeded memory/output/tick budget returns kResourceExhausted, an
+// observed CancelToken returns kCancelled. ExecStats reports ticks,
+// mem_peak_bytes, timed_out and cancelled from the shared block.
+#ifndef XDB_COMMON_GOVERNOR_H_
+#define XDB_COMMON_GOVERNOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace xdb::governor {
+
+/// Cooperative cancellation flag. The owner keeps it alive for the whole
+/// execution and may flip it from any thread; engines poll it through
+/// their BudgetScope.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+  void Reset() { cancelled_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Shared per-execution control block: limits + global counters + sticky
+/// trip state. Configure on one thread before execution starts; all other
+/// members are thread-safe.
+class ExecBudget {
+ public:
+  ExecBudget() = default;
+  ExecBudget(const ExecBudget&) = delete;
+  ExecBudget& operator=(const ExecBudget&) = delete;
+
+  // --- configuration (before execution; not thread-safe) -------------------
+  /// Wall-clock deadline, `ms` from now. <= 0 means no deadline.
+  void set_timeout_ms(int64_t ms);
+  void set_cancel_token(const CancelToken* token) { cancel_ = token; }
+  /// 0 means unlimited.
+  void set_mem_limit_bytes(uint64_t bytes) { mem_limit_ = bytes; }
+  void set_output_limit_bytes(uint64_t bytes) { out_limit_ = bytes; }
+  void set_tick_limit(uint64_t ticks) { tick_limit_ = ticks; }
+  /// Template/apply nesting cap for the XSLT engines; <= 0 keeps the
+  /// process-wide default (MaxTemplateDepth()).
+  void set_max_template_depth(int depth) { max_template_depth_ = depth; }
+
+  /// True if any limit or token is configured; an inactive budget is never
+  /// consulted (XmlDb passes a null BudgetScope instead).
+  bool active() const;
+
+  int max_template_depth() const;
+
+  // --- shared accounting (thread-safe) -------------------------------------
+  /// Adds the deltas to the global counters and runs every limit check.
+  /// Returns OK or the (sticky) trip status.
+  Status Admit(uint64_t tick_delta, int64_t mem_delta, uint64_t out_delta);
+  /// Adds deltas without checking limits — destructor/unwind path.
+  void AdmitRelaxed(uint64_t tick_delta, int64_t mem_delta);
+  Status CheckNow() { return Admit(0, 0, 0); }
+
+  bool tripped() const { return tripped_.load(std::memory_order_acquire); }
+
+  // --- stats ----------------------------------------------------------------
+  uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+  uint64_t mem_peak_bytes() const {
+    return mem_peak_.load(std::memory_order_relaxed);
+  }
+  uint64_t output_bytes() const {
+    return out_bytes_.load(std::memory_order_relaxed);
+  }
+  bool timed_out() const { return timed_out_.load(std::memory_order_relaxed); }
+  bool was_cancelled() const {
+    return cancelled_flag_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Records the first trip (later trips keep the original status) and
+  /// returns the winning status.
+  Status Trip(Status status, std::atomic<bool>* flag);
+  Status trip_status() const;
+
+  // Limits: const after configuration.
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  const CancelToken* cancel_ = nullptr;
+  uint64_t mem_limit_ = 0;
+  uint64_t out_limit_ = 0;
+  uint64_t tick_limit_ = 0;
+  int max_template_depth_ = 0;
+
+  // Counters.
+  std::atomic<uint64_t> ticks_{0};
+  std::atomic<int64_t> mem_bytes_{0};
+  std::atomic<uint64_t> mem_peak_{0};
+  std::atomic<uint64_t> out_bytes_{0};
+
+  // Trip state.
+  std::atomic<bool> tripped_{false};
+  std::atomic<bool> timed_out_{false};
+  std::atomic<bool> cancelled_flag_{false};
+  mutable std::mutex trip_mu_;
+  Status trip_status_;  // guarded by trip_mu_
+};
+
+/// Per-thread amortized view over an ExecBudget. Not thread-safe; create
+/// one per worker (the parallel row executor's row body does). A scope
+/// constructed over nullptr is inert: every hook is a single pointer test.
+class BudgetScope {
+ public:
+  /// Ticks between flushes to the shared block (and thus between limit
+  /// checks). Small enough that a deadline is noticed promptly even on
+  /// cheap ticks, large enough to amortize the atomics away.
+  static constexpr uint32_t kCheckIntervalTicks = 1024;
+  /// Locally accumulated memory that forces a check at the next Tick().
+  static constexpr int64_t kMemFlushBytes = 256 * 1024;
+
+  explicit BudgetScope(ExecBudget* budget) : budget_(budget) {}
+  BudgetScope(const BudgetScope&) = delete;
+  BudgetScope& operator=(const BudgetScope&) = delete;
+  ~BudgetScope() {
+    if (budget_ != nullptr && (tick_local_ != 0 || mem_local_ != 0)) {
+      budget_->AdmitRelaxed(tick_local_, mem_local_);
+    }
+  }
+
+  bool enabled() const { return budget_ != nullptr; }
+  ExecBudget* budget() const { return budget_; }
+
+  /// One unit of engine work. O(1) amortized: flushes + checks limits every
+  /// kCheckIntervalTicks (or sooner if memory charges piled up).
+  Status Tick() {
+    if (budget_ == nullptr) return Status::OK();
+    ++tick_local_;
+    if (tick_local_ < kCheckIntervalTicks && mem_local_ < kMemFlushBytes) {
+      return Status::OK();
+    }
+    return Flush();
+  }
+
+  /// Memory charge/release hooks for the DOM arena and row batches. Void
+  /// (callers are constructors/destructors); the charge is observed by the
+  /// next Tick()/CheckNow() on any scope of this budget.
+  void ChargeMemory(uint64_t bytes) {
+    if (budget_ != nullptr) mem_local_ += static_cast<int64_t>(bytes);
+  }
+  void ReleaseMemory(uint64_t bytes) {
+    if (budget_ != nullptr) mem_local_ -= static_cast<int64_t>(bytes);
+  }
+
+  /// Charges produced output bytes and runs a full check (per result row,
+  /// so the atomics here are cheap relative to the row).
+  Status ChargeOutput(uint64_t bytes) {
+    if (budget_ == nullptr) return Status::OK();
+    uint64_t t = tick_local_;
+    int64_t m = mem_local_;
+    tick_local_ = 0;
+    mem_local_ = 0;
+    return budget_->Admit(t, m, bytes);
+  }
+
+  /// Immediate flush + limit check.
+  Status CheckNow() {
+    if (budget_ == nullptr) return Status::OK();
+    return Flush();
+  }
+
+  int max_template_depth() const;
+
+ private:
+  Status Flush() {
+    uint64_t t = tick_local_;
+    int64_t m = mem_local_;
+    tick_local_ = 0;
+    mem_local_ = 0;
+    return budget_->Admit(t, m, 0);
+  }
+
+  ExecBudget* budget_;
+  uint32_t tick_local_ = 0;
+  int64_t mem_local_ = 0;
+};
+
+/// Tick through a possibly-null scope — the form engines use.
+inline Status Tick(BudgetScope* scope) {
+  return scope != nullptr ? scope->Tick() : Status::OK();
+}
+
+// --- process-wide limits & env defaults -------------------------------------
+
+/// Shared XSLT template/apply nesting cap (both the VM and the tree-walking
+/// interpreter enforce this identical limit; it replaced their private
+/// kMaxDepth copies). Default 2000, overridable via XDB_MAX_TEMPLATE_DEPTH.
+int MaxTemplateDepth();
+
+/// XML parser element-nesting cap. Default 1000, env XDB_MAX_XML_DEPTH.
+int MaxXmlDepth();
+
+/// XML parser input-size cap in bytes. Default 1 GiB, env XDB_MAX_XML_BYTES
+/// (accepts K/M/G suffixes).
+uint64_t MaxXmlInputBytes();
+
+/// Process-default timeout applied when ExecOptions::timeout_ms is -1.
+/// Reads XDB_TIMEOUT_MS once; 0 / unset / unparsable means "no deadline".
+int64_t EnvDefaultTimeoutMs();
+
+/// Process-default memory budget applied when ExecOptions::mem_budget_bytes
+/// is -1. Reads XDB_MEM_BUDGET once (accepts K/M/G suffixes); 0 / unset /
+/// unparsable means "unlimited".
+uint64_t EnvDefaultMemBudgetBytes();
+
+/// Parses "123", "64K", "16M", "2G" (case-insensitive suffix) into bytes.
+/// Returns false on malformed input.
+bool ParseByteSize(const std::string& text, uint64_t* bytes);
+
+}  // namespace xdb::governor
+
+#endif  // XDB_COMMON_GOVERNOR_H_

@@ -23,6 +23,8 @@ enum class StatusCode {
   kTypeError,         // dynamic type mismatch during evaluation
   kRewriteError,      // rewrite pipeline could not produce a plan
   kInternal,          // invariant violation inside the library
+  kResourceExhausted, // budget trip: deadline, memory, output or tick limit
+  kCancelled,         // execution observed a cooperative cancellation token
 };
 
 /// \brief Outcome of a fallible operation that produces no value.
@@ -56,6 +58,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/governor.h"
 #include "rel/optimizer.h"
 #include "rewrite/xquery_rewriter.h"
 #include "rewrite/xslt_rewriter.h"
@@ -43,6 +44,13 @@ struct ExecStats {
   int64_t prepare_ns = 0;    ///< parse + rewrite + plan (or cache lookup) time
   int64_t execute_ns = 0;    ///< per-row execution time
   int threads_used = 1;      ///< parallelism applied by the row executor
+
+  // -- resource governor (populated whenever a budget was active, including
+  //    on kResourceExhausted / kCancelled returns) ---------------------------
+  bool timed_out = false;        ///< the wall-clock deadline tripped
+  bool cancelled = false;        ///< a CancelToken was observed
+  uint64_t mem_peak_bytes = 0;   ///< peak tracked DOM/arena memory
+  uint64_t ticks = 0;            ///< engine work units admitted
 };
 
 struct ExecOptions {
@@ -64,6 +72,29 @@ struct ExecOptions {
   /// env var, else hardware_concurrency), 1 = serial, N = exactly N threads.
   /// Execution-time only — does not participate in the plan-cache key.
   int threads = 0;
+
+  // -- resource governor -----------------------------------------------------
+  // Runtime-only limits: none of these participate in the plan-cache key
+  // (the same prepared plan serves governed and ungoverned executions).
+  /// Wall-clock deadline in milliseconds. -1 = use the XDB_TIMEOUT_MS env
+  /// default; 0 = no deadline. A missed deadline returns kResourceExhausted
+  /// with ExecStats::timed_out set.
+  int64_t timeout_ms = -1;
+  /// Tracked-memory budget in bytes (DOM nodes, intermediate XML text).
+  /// -1 = use the XDB_MEM_BUDGET env default; 0 = unlimited.
+  int64_t mem_budget_bytes = -1;
+  /// Serialized-output cap in bytes across all result rows. 0 = unlimited.
+  uint64_t output_budget_bytes = 0;
+  /// Engine work-unit cap (VM instructions, XPath step nodes, cursor rows).
+  /// 0 = unlimited. Deterministic alternative to a wall-clock deadline.
+  uint64_t tick_budget = 0;
+  /// Template/apply nesting cap for the XSLT engines; 0 keeps the shared
+  /// default (governor::MaxTemplateDepth(), env XDB_MAX_TEMPLATE_DEPTH).
+  int max_template_depth = 0;
+  /// Cooperative cancellation: the caller keeps the token alive for the
+  /// whole call and may Cancel() it from any thread; execution returns
+  /// kCancelled with ExecStats::cancelled set.
+  const governor::CancelToken* cancel = nullptr;
 };
 
 }  // namespace xdb

@@ -2,6 +2,9 @@
 
 namespace xdb::core {
 
+// Only plan-shaping options participate: runtime-only knobs (threads and
+// the resource-governor budgets/cancel token) deliberately stay out so the
+// same prepared plan serves governed and ungoverned executions.
 uint64_t OptionsFingerprint(const ExecOptions& options) {
   uint64_t fp = 0;
   auto bit = [&fp, i = 0](bool b) mutable { fp |= (b ? 1ull : 0ull) << i++; };

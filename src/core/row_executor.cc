@@ -15,6 +15,7 @@ struct RowExecutor::Job {
   };
 
   const std::function<Status(size_t)>* body = nullptr;
+  const governor::CancelToken* cancel = nullptr;
   std::vector<std::unique_ptr<Slot>> slots;
 
   std::atomic<bool> cancelled{false};
@@ -123,6 +124,10 @@ void RowExecutor::RunWorker(Job* job, int slot) {
          (pop_own(&chunk) || steal(&chunk))) {
     for (size_t row = chunk.first; row < chunk.second; ++row) {
       if (job->cancelled.load(std::memory_order_relaxed)) return;
+      if (job->cancel != nullptr && job->cancel->cancelled()) {
+        job->RecordError(row, CancelledStatus());
+        return;
+      }
       Status s = (*job->body)(row);
       if (!s.ok()) {
         job->RecordError(row, std::move(s));
@@ -132,8 +137,13 @@ void RowExecutor::RunWorker(Job* job, int slot) {
   }
 }
 
+Status RowExecutor::CancelledStatus() {
+  return Status::Cancelled("execution cancelled by caller");
+}
+
 Status RowExecutor::ParallelFor(size_t n, const std::function<Status(size_t)>& body,
-                                int threads, int* threads_used) {
+                                int threads, int* threads_used,
+                                const governor::CancelToken* cancel) {
   if (threads_used != nullptr) *threads_used = 1;
   if (n == 0) return Status::OK();
 
@@ -141,6 +151,7 @@ Status RowExecutor::ParallelFor(size_t n, const std::function<Status(size_t)>& b
   if (t > static_cast<int>(n)) t = static_cast<int>(n);
   if (t <= 1) {
     for (size_t row = 0; row < n; ++row) {
+      if (cancel != nullptr && cancel->cancelled()) return CancelledStatus();
       XDB_RETURN_NOT_OK(body(row));
     }
     return Status::OK();
@@ -149,6 +160,7 @@ Status RowExecutor::ParallelFor(size_t n, const std::function<Status(size_t)>& b
   std::lock_guard<std::mutex> submit_lock(submit_mu_);
   Job job;
   job.body = &body;
+  job.cancel = cancel;
   job.slots.reserve(static_cast<size_t>(t));
   for (int i = 0; i < t; ++i) job.slots.push_back(std::make_unique<Job::Slot>());
 

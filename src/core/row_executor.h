@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/governor.h"
 #include "common/status.h"
 
 namespace xdb::core {
@@ -43,10 +44,14 @@ class RowExecutor {
   /// Runs `body(row)` for every row in [0, n). `threads <= 0` means auto
   /// (XDB_THREADS env var, else hardware_concurrency). Returns the error of
   /// the lowest failing row index observed; later chunks are cancelled after
-  /// the first failure. `threads_used` (optional) reports the parallelism
-  /// actually applied, including the calling thread.
+  /// the first failure — a tripped resource budget surfaces as a row error
+  /// and cancels the same way. `threads_used` (optional) reports the
+  /// parallelism actually applied, including the calling thread. `cancel`
+  /// (optional) is additionally polled before every row so cancellation is
+  /// prompt even for bodies that never consult a budget.
   Status ParallelFor(size_t n, const std::function<Status(size_t)>& body,
-                     int threads = 0, int* threads_used = nullptr);
+                     int threads = 0, int* threads_used = nullptr,
+                     const governor::CancelToken* cancel = nullptr);
 
   /// Resolved auto thread count (env override or hardware concurrency).
   static int DefaultThreads();
@@ -57,6 +62,7 @@ class RowExecutor {
   void EnsureWorkers(int count);
   void WorkerLoop(int worker_id);
   static void RunWorker(Job* job, int slot);
+  static Status CancelledStatus();
 
   std::mutex submit_mu_;  // serializes jobs (one parallel loop in flight);
                           // nested ParallelFor from a body would self-deadlock

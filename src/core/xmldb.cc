@@ -3,6 +3,8 @@
 #include <chrono>
 #include <functional>
 
+#include "common/faultpoints.h"
+#include "common/governor.h"
 #include "core/row_executor.h"
 #include "rewrite/compose.h"
 #include "rewrite/static_type.h"
@@ -83,11 +85,13 @@ std::string SerializeDatum(const Datum& d) {
 
 // Applies a compiled stylesheet to an XMLType value (functional path).
 Result<Datum> ApplyStylesheet(const xslt::CompiledStylesheet& compiled,
-                              const Datum& in, xml::Document* arena) {
+                              const Datum& in, xml::Document* arena,
+                              governor::BudgetScope* budget) {
   if (in.type() != rel::DataType::kXml || in.AsXml() == nullptr) {
     return Status::TypeError("XMLTransform input is not XMLType");
   }
   xml::Document wrapper;
+  wrapper.set_budget(budget);
   xml::Node* source = in.AsXml();
   if (source->type() != xml::NodeType::kDocument && source->parent() == nullptr) {
     if (source->local_name() == rel::kFragmentName) {
@@ -100,7 +104,7 @@ Result<Datum> ApplyStylesheet(const xslt::CompiledStylesheet& compiled,
     source = wrapper.root();
   }
   xslt::Vm vm(compiled);
-  XDB_ASSIGN_OR_RETURN(auto result_doc, vm.Transform(source));
+  XDB_ASSIGN_OR_RETURN(auto result_doc, vm.Transform(source, {}, budget));
   xml::Node* frag = arena->CreateElement(rel::kFragmentName);
   for (xml::Node* child : result_doc->root()->children()) {
     frag->AppendChild(arena->ImportNode(child));
@@ -109,8 +113,10 @@ Result<Datum> ApplyStylesheet(const xslt::CompiledStylesheet& compiled,
 }
 
 // Evaluates a parsed XQuery against an XMLType value (plan B).
-Result<std::string> ApplyXQuery(const xquery::Query& query, const Datum& in) {
+Result<std::string> ApplyXQuery(const xquery::Query& query, const Datum& in,
+                                governor::BudgetScope* budget) {
   xml::Document wrapper;
+  wrapper.set_budget(budget);
   xml::Node* ctx = in.AsXml();
   if (ctx->type() != xml::NodeType::kDocument) {
     if (ctx->local_name() == rel::kFragmentName) {
@@ -123,8 +129,26 @@ Result<std::string> ApplyXQuery(const xquery::Query& query, const Datum& in) {
     ctx = wrapper.root();
   }
   xquery::QueryEvaluator qe;
-  XDB_ASSIGN_OR_RETURN(auto doc, qe.EvaluateToDocument(query, ctx));
+  XDB_ASSIGN_OR_RETURN(auto doc, qe.EvaluateToDocument(query, ctx, budget));
   return xml::Serialize(doc->root());
+}
+
+// Resolves ExecOptions into a configured budget (-1 fields fall back to the
+// XDB_TIMEOUT_MS / XDB_MEM_BUDGET env defaults). Returns true when any limit
+// or token ended up active.
+bool ConfigureBudget(const ExecOptions& options, governor::ExecBudget* budget) {
+  budget->set_timeout_ms(options.timeout_ms >= 0
+                             ? options.timeout_ms
+                             : governor::EnvDefaultTimeoutMs());
+  budget->set_mem_limit_bytes(
+      options.mem_budget_bytes >= 0
+          ? static_cast<uint64_t>(options.mem_budget_bytes)
+          : governor::EnvDefaultMemBudgetBytes());
+  budget->set_output_limit_bytes(options.output_budget_bytes);
+  budget->set_tick_limit(options.tick_budget);
+  budget->set_cancel_token(options.cancel);
+  budget->set_max_template_depth(options.max_template_depth);
+  return budget->active();
 }
 
 }  // namespace
@@ -172,7 +196,7 @@ Result<Datum> XmlDb::ViewValueForRow(const XmlView* view, int64_t row_id,
   Datum v = value.MoveValue();
   for (const XmlView* xv : xslt_views) {
     XDB_ASSIGN_OR_RETURN(v, ApplyStylesheet(*xv->compiled_stylesheet, v,
-                                            ctx->arena));
+                                            ctx->arena, ctx->budget));
   }
   return v;
 }
@@ -402,7 +426,10 @@ Result<std::shared_ptr<const core::PreparedTransform>> XmlDb::PrepareTransform(
   } else {
     XDB_ASSIGN_OR_RETURN(prepared,
                          BuildTransformPlan(view, stylesheet_text, options));
-    if (options.use_plan_cache) plan_cache_.Insert(key, prepared);
+    if (options.use_plan_cache) {
+      XDB_FAULT_POINT("plan_cache.install");
+      plan_cache_.Insert(key, prepared);
+    }
   }
   CopyPlanTemplate(*prepared, stats);
   stats->prepare_ns = ElapsedNs(start);
@@ -426,7 +453,10 @@ Result<std::shared_ptr<const core::PreparedTransform>> XmlDb::PrepareQuery(
     stats->cache_hit = true;
   } else {
     XDB_ASSIGN_OR_RETURN(prepared, BuildQueryPlan(view, xquery_text, options));
-    if (options.use_plan_cache) plan_cache_.Insert(key, prepared);
+    if (options.use_plan_cache) {
+      XDB_FAULT_POINT("plan_cache.install");
+      plan_cache_.Insert(key, prepared);
+    }
   }
   CopyPlanTemplate(*prepared, stats);
   stats->prepare_ns = ElapsedNs(start);
@@ -455,17 +485,18 @@ Result<std::string> XmlDb::EvalPreparedRow(
       auto value = prepared.pub->publish_expr->Eval(*ctx);
       ctx->rows.pop_back();
       XDB_RETURN_NOT_OK(value.status());
-      return ApplyXQuery(*prepared.query, *value);
+      return ApplyXQuery(*prepared.query, *value, ctx->budget);
     }
     case ExecutionPath::kFunctional: {
       XDB_ASSIGN_OR_RETURN(Datum value,
                            ViewValueForRow(prepared.view, row_id, ctx));
       if (prepared.kind == core::PreparedKind::kTransform) {
         XDB_ASSIGN_OR_RETURN(
-            Datum result, ApplyStylesheet(*prepared.compiled, value, ctx->arena));
+            Datum result, ApplyStylesheet(*prepared.compiled, value, ctx->arena,
+                                          ctx->budget));
         return SerializeDatum(result);
       }
-      return ApplyXQuery(*prepared.query, value);
+      return ApplyXQuery(*prepared.query, value, ctx->budget);
     }
   }
   return Status::Internal("unknown execution path");
@@ -479,6 +510,14 @@ Result<std::vector<std::string>> XmlDb::Execute(
   CopyPlanTemplate(prepared, stats);
   auto start = std::chrono::steady_clock::now();
 
+  // The budget (when any limit or token is configured) is shared by every
+  // worker thread; each per-row body opens its own amortizing BudgetScope
+  // over it. Ungoverned executions pass a null scope, which reduces every
+  // engine hook to a single pointer test.
+  governor::ExecBudget budget;
+  governor::ExecBudget* shared =
+      ConfigureBudget(options, &budget) ? &budget : nullptr;
+
   // Row count is read at execute time: a cached plan sees rows inserted
   // after it was prepared (structure-derived plans survive inserts).
   const size_t n = prepared.base->row_count();
@@ -486,19 +525,34 @@ Result<std::vector<std::string>> XmlDb::Execute(
   std::function<Status(size_t)> body = [&](size_t i) -> Status {
     // One arena + ExecCtx per row keeps rows independent (and the loop
     // embarrassingly parallel); results land in their row's slot so output
-    // order is deterministic at any thread count.
+    // order is deterministic at any thread count. The scope is declared
+    // before the arena: the arena releases its tracked bytes through the
+    // scope on unwind, so the scope must outlive it.
+    governor::BudgetScope scope(shared);
     xml::Document arena;
+    arena.set_budget(&scope);
     ExecCtx ctx;
     ctx.arena = &arena;
+    ctx.budget = &scope;
+    XDB_RETURN_NOT_OK(scope.CheckNow());
     XDB_ASSIGN_OR_RETURN(
         out[i], EvalPreparedRow(prepared, static_cast<int64_t>(i), &ctx));
-    return Status::OK();
+    return scope.ChargeOutput(out[i].size());
   };
   int threads_used = 1;
-  Status s = core::RowExecutor::Global().ParallelFor(n, body, options.threads,
-                                                     &threads_used);
+  Status s = core::RowExecutor::Global().ParallelFor(
+      n, body, options.threads, &threads_used, options.cancel);
   stats->threads_used = threads_used;
   stats->execute_ns = ElapsedNs(start);
+  if (shared != nullptr) {
+    stats->timed_out = budget.timed_out();
+    stats->cancelled =
+        budget.was_cancelled() || s.code() == StatusCode::kCancelled;
+    stats->mem_peak_bytes = budget.mem_peak_bytes();
+    stats->ticks = budget.ticks();
+  } else if (s.code() == StatusCode::kCancelled) {
+    stats->cancelled = true;
+  }
   XDB_RETURN_NOT_OK(s);
   return out;
 }
@@ -576,11 +630,13 @@ Status XmlDb::RegisterShreddedSchema(const std::string& view_name,
     drop_tables();
     return spec.status();
   }
-  Status view_st = catalog_
-                       .CreatePublishingView(
-                           view_name, entry->mapping.root_table()->name,
-                           std::move(*spec), "xml_content")
-                       .status();
+  Status view_st = [&]() -> Status {
+    XDB_FAULT_POINT("shred.register_view");
+    return catalog_
+        .CreatePublishingView(view_name, entry->mapping.root_table()->name,
+                              std::move(*spec), "xml_content")
+        .status();
+  }();
   if (!view_st.ok()) {
     drop_tables();
     return view_st;

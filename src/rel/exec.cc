@@ -10,6 +10,7 @@ Result<std::vector<Row>> ExecuteAll(const PlanNode& plan, ExecCtx& ctx) {
   std::vector<Row> rows;
   Row row;
   for (;;) {
+    XDB_RETURN_NOT_OK(governor::Tick(ctx.budget));
     XDB_ASSIGN_OR_RETURN(bool has, cursor->Next(ctx, &row));
     if (!has) break;
     rows.push_back(row);
@@ -47,7 +48,8 @@ namespace {
 class SeqScanCursor : public Cursor {
  public:
   explicit SeqScanCursor(const Table* table) : table_(table) {}
-  Result<bool> Next(ExecCtx&, Row* row) override {
+  Result<bool> Next(ExecCtx& ctx, Row* row) override {
+    XDB_RETURN_NOT_OK(governor::Tick(ctx.budget));
     if (id_ >= static_cast<int64_t>(table_->row_count())) return false;
     *row = table_->row(id_++);
     return true;
@@ -74,7 +76,8 @@ class IndexScanCursor : public Cursor {
  public:
   IndexScanCursor(const Table* table, std::vector<int64_t> ids)
       : table_(table), ids_(std::move(ids)) {}
-  Result<bool> Next(ExecCtx&, Row* row) override {
+  Result<bool> Next(ExecCtx& ctx, Row* row) override {
+    XDB_RETURN_NOT_OK(governor::Tick(ctx.budget));
     if (i_ >= ids_.size()) return false;
     *row = table_->row(ids_[i_++]);
     return true;

@@ -286,8 +286,9 @@ Result<Datum> XmlQueryExpr::Eval(ExecCtx& ctx) const {
     context_node = wrapper.root();
   }
   xquery::QueryEvaluator evaluator;
-  XDB_ASSIGN_OR_RETURN(xquery::Sequence seq,
-                       evaluator.Evaluate(*query, context_node, ctx.arena));
+  XDB_ASSIGN_OR_RETURN(
+      xquery::Sequence seq,
+      evaluator.Evaluate(*query, context_node, ctx.arena, ctx.budget));
   // RETURNING CONTENT: wrap as fragment.
   Node* frag = ctx.arena->CreateElement(kFragmentName);
   bool prev_atomic = false;
@@ -344,7 +345,7 @@ Result<Datum> XmlTransformExpr::Eval(ExecCtx& ctx) const {
     source = wrapper.root();
   }
   xslt::Vm vm(*stylesheet);
-  XDB_ASSIGN_OR_RETURN(auto result_doc, vm.Transform(source));
+  XDB_ASSIGN_OR_RETURN(auto result_doc, vm.Transform(source, {}, ctx.budget));
   Node* frag = ctx.arena->CreateElement(kFragmentName);
   for (Node* child : result_doc->root()->children()) {
     frag->AppendChild(ctx.arena->ImportNode(child));

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/governor.h"
 #include "common/status.h"
 #include "rel/datum.h"
 #include "rel/table.h"
@@ -32,6 +33,9 @@ class PlanNode;
 struct ExecCtx {
   xml::Document* arena = nullptr;
   std::vector<const Row*> rows;
+  /// Resource-governor scope for this row's evaluation (null = ungoverned);
+  /// cursors tick per produced row, XML expressions pass it to the engines.
+  governor::BudgetScope* budget = nullptr;
 
   const Row& RowAt(int level) const {
     return *rows[rows.size() - 1 - static_cast<size_t>(level)];

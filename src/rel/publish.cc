@@ -1,5 +1,6 @@
 #include "rel/publish.h"
 
+#include "common/faultpoints.h"
 #include "rel/catalog.h"
 #include "rel/logical.h"
 
@@ -71,6 +72,7 @@ class PublishCompiler {
       : catalog_(catalog), logical_(logical) {}
 
   Result<RelExprPtr> Compile(const PublishSpec& spec, const Table* base) {
+    XDB_FAULT_POINT("publish.compile");
     scopes_.push_back(Scope{base});
     auto result = CompileNode(spec);
     scopes_.pop_back();

@@ -48,6 +48,24 @@ Status Table::AppendRows(std::vector<Row> rows) {
   return Status::OK();
 }
 
+Status Table::TruncateTo(size_t n) {
+  if (n >= rows_.size()) return Status::OK();
+  rows_.resize(n);
+  // Rebuild indexes from scratch: rollback is an exceptional path, so the
+  // O(rows) rebuild is preferred over per-index deletion support.
+  for (auto& [col, index] : indexes_) {
+    int ci = schema_.ColumnIndex(col);
+    auto rebuilt = std::make_unique<BTreeIndex>();
+    for (size_t id = 0; id < rows_.size(); ++id) {
+      rebuilt->Insert(rows_[id][static_cast<size_t>(ci)],
+                      static_cast<int64_t>(id));
+    }
+    index = std::move(rebuilt);
+  }
+  if (ddl_listener_ != nullptr) ddl_listener_->OnTableLoaded(name_);
+  return Status::OK();
+}
+
 Status Table::CreateIndex(const std::string& column) {
   int ci = schema_.ColumnIndex(column);
   if (ci < 0) {

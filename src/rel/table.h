@@ -81,6 +81,13 @@ class Table {
   size_t row_count() const { return rows_.size(); }
   const Row& row(int64_t id) const { return rows_[static_cast<size_t>(id)]; }
 
+  /// Drops every row past the first `n` and rebuilds the indexes — the
+  /// bulk-load rollback primitive (a failed load truncates each touched
+  /// table back to its pre-load row count so a retry starts clean). Fires
+  /// OnTableLoaded so cached plans over the shrunk table are invalidated.
+  /// No-op when `n` >= row_count().
+  Status TruncateTo(size_t n);
+
   /// Builds (or rebuilds) a B+tree index on `column`.
   Status CreateIndex(const std::string& column);
   /// The index on `column`, or nullptr.

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/faultpoints.h"
 #include "xml/parser.h"
 
 namespace xdb::shred {
@@ -24,7 +25,10 @@ Status BulkLoader::CreateTables() {
   created.reserve(mapping_->tables().size());
   Status st = Status::OK();
   for (const auto& t : mapping_->tables()) {
-    st = catalog_->CreateTable(t->name, t->RelSchema()).status();
+    st = [&]() -> Status {
+      XDB_FAULT_POINT("shred.create_table");
+      return catalog_->CreateTable(t->name, t->RelSchema()).status();
+    }();
     if (!st.ok()) break;
     created.push_back(t->name);
   }
@@ -60,7 +64,21 @@ Result<LoadStats> BulkLoader::LoadParsed(const xml::Node* node) {
                        shredder_.Shred(node, documents_loaded_));
   stats.shred_ns = NowNs() - t0;
   stats.elements = batch.elements;
-  XDB_RETURN_NOT_OK(InsertBatch(std::move(batch), &stats));
+  // Snapshot per-table row counts so a mid-batch failure rolls every table
+  // back to its pre-load state (a retry then starts without duplicates).
+  std::vector<std::pair<rel::Table*, size_t>> marks;
+  marks.reserve(mapping_->tables().size());
+  for (const auto& t : mapping_->tables()) {
+    XDB_ASSIGN_OR_RETURN(rel::Table * table, catalog_->GetTable(t->name));
+    marks.emplace_back(table, table->row_count());
+  }
+  Status insert_st = InsertBatch(std::move(batch), &stats);
+  if (!insert_st.ok()) {
+    for (auto& [table, row_count] : marks) {
+      (void)table->TruncateTo(row_count);
+    }
+    return insert_st;
+  }
   documents_loaded_ += 1;
   stats.documents = documents_loaded_;
   // Indexes were maintained in place by AppendRows; announce the completed
@@ -84,6 +102,7 @@ Status BulkLoader::InsertBatch(ShredBatch batch, LoadStats* stats) {
     // Flush in mapping-sized chunks: bounds peak copy footprint and mirrors
     // how an array-insert loader would page rows to the engine.
     for (size_t begin = 0; begin < rows.size(); begin += batch_rows) {
+      XDB_FAULT_POINT("shred.append_rows");
       size_t end = std::min(begin + batch_rows, rows.size());
       std::vector<rel::Row> chunk(
           std::make_move_iterator(rows.begin() + static_cast<long>(begin)),
@@ -100,12 +119,14 @@ Status BulkLoader::CreateIndexes() {
     if (t->is_root) continue;
     XDB_ASSIGN_OR_RETURN(rel::Table * table, catalog_->GetTable(t->name));
     if (table->HasIndex(std::string(kParentRowIdColumn))) continue;
+    XDB_FAULT_POINT("shred.index_build");
     XDB_RETURN_NOT_OK(
         table->CreateIndex(std::string(kParentRowIdColumn)));
   }
   for (const auto& [table_name, column] : mapping_->value_indexes()) {
     XDB_ASSIGN_OR_RETURN(rel::Table * table, catalog_->GetTable(table_name));
     if (table->HasIndex(column)) continue;
+    XDB_FAULT_POINT("shred.index_build");
     XDB_RETURN_NOT_OK(table->CreateIndex(column));
   }
   return Status::OK();

@@ -67,6 +67,7 @@ Node* Node::SetAttribute(std::string_view qname, std::string_view value) {
   Node* attr = doc_->NewNode(NodeType::kAttribute);
   SplitQName(qname, &attr->prefix_, &attr->local_name_);
   attr->value_.assign(value);
+  doc_->ChargeBytes(qname.size() + value.size());
   attr->parent_ = this;
   attr->index_in_parent_ = static_cast<int>(attributes_.size());
   attributes_.push_back(attr);
@@ -148,8 +149,15 @@ int Node::CompareDocumentOrder(const Node* other) const {
 
 Document::Document() { root_ = NewNode(NodeType::kDocument); }
 
+Document::~Document() {
+  if (budget_ != nullptr && charged_bytes_ != 0) {
+    budget_->ReleaseMemory(charged_bytes_);
+  }
+}
+
 Node* Document::NewNode(NodeType type) {
   nodes_.emplace_back(Node(this, type));
+  ChargeBytes(sizeof(Node));
   return &nodes_.back();
 }
 
@@ -161,18 +169,21 @@ Node* Document::CreateElement(std::string_view qname, std::string_view ns_uri) {
   Node* n = NewNode(NodeType::kElement);
   SplitQName(qname, &n->prefix_, &n->local_name_);
   n->ns_uri_.assign(ns_uri);
+  ChargeBytes(qname.size() + ns_uri.size());
   return n;
 }
 
 Node* Document::CreateText(std::string_view text) {
   Node* n = NewNode(NodeType::kText);
   n->value_.assign(text);
+  ChargeBytes(text.size());
   return n;
 }
 
 Node* Document::CreateComment(std::string_view text) {
   Node* n = NewNode(NodeType::kComment);
   n->value_.assign(text);
+  ChargeBytes(text.size());
   return n;
 }
 
@@ -181,6 +192,7 @@ Node* Document::CreateProcessingInstruction(std::string_view target,
   Node* n = NewNode(NodeType::kProcessingInstruction);
   n->local_name_.assign(target);
   n->value_.assign(data);
+  ChargeBytes(target.size() + data.size());
   return n;
 }
 

@@ -16,6 +16,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/governor.h"
+
 namespace xdb::xml {
 
 class Document;
@@ -115,8 +117,17 @@ class Node {
 class Document {
  public:
   Document();
+  ~Document();
   Document(const Document&) = delete;
   Document& operator=(const Document&) = delete;
+
+  /// Attaches a resource-governor scope: from now on node and string
+  /// allocations in this document are charged against the scope's memory
+  /// budget, and the total is released when the Document is destroyed. The
+  /// scope must outlive the Document. Null detaches (nothing is released
+  /// for bytes charged so far).
+  void set_budget(governor::BudgetScope* budget) { budget_ = budget; }
+  governor::BudgetScope* budget() const { return budget_; }
 
   /// The document node (root of the tree, XPath "/").
   Node* root() const { return root_; }
@@ -140,9 +151,18 @@ class Document {
  private:
   friend class Node;
   Node* NewNode(NodeType type);
+  /// Charges `bytes` of string payload to the attached budget scope.
+  void ChargeBytes(size_t bytes) {
+    if (budget_ != nullptr) {
+      budget_->ChargeMemory(bytes);
+      charged_bytes_ += bytes;
+    }
+  }
 
   std::deque<Node> nodes_;
   Node* root_;
+  governor::BudgetScope* budget_ = nullptr;
+  uint64_t charged_bytes_ = 0;
 };
 
 /// Splits a QName into (prefix, local). No validation.

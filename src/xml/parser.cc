@@ -24,7 +24,18 @@ class Parser {
       : in_(input), options_(options) {}
 
   Result<std::unique_ptr<Document>> Parse() {
+    size_t max_bytes = options_.max_input_bytes != 0
+                           ? options_.max_input_bytes
+                           : governor::MaxXmlInputBytes();
+    if (in_.size() > max_bytes) {
+      return Status::ResourceExhausted(
+          "XML input of " + std::to_string(in_.size()) +
+          " bytes exceeds the maximum of " + std::to_string(max_bytes));
+    }
+    max_depth_ = options_.max_depth > 0 ? options_.max_depth
+                                        : governor::MaxXmlDepth();
     doc_ = std::make_unique<Document>();
+    if (options_.budget != nullptr) doc_->set_budget(options_.budget);
     // Standard bindings: "xml" is always bound.
     ns_stack_.push_back({"xml", "http://www.w3.org/XML/1998/namespace"});
     SkipMisc();
@@ -259,6 +270,18 @@ class Parser {
   }
 
   Status ParseElement(Node* parent) {
+    if (++depth_ > max_depth_) {
+      --depth_;
+      return Error("element nesting exceeds the maximum depth of " +
+                   std::to_string(max_depth_));
+    }
+    XDB_RETURN_NOT_OK(governor::Tick(options_.budget));
+    Status st = ParseElementBody(parent);
+    --depth_;
+    return st;
+  }
+
+  Status ParseElementBody(Node* parent) {
     Advance();  // '<'
     XDB_ASSIGN_OR_RETURN(std::string qname, ParseName());
 
@@ -325,6 +348,8 @@ class Parser {
   ParseOptions options_;
   size_t pos_ = 0;
   int line_ = 1;
+  int depth_ = 0;
+  int max_depth_ = 0;
   std::unique_ptr<Document> doc_;
   std::vector<NsBinding> ns_stack_;
 };

@@ -13,6 +13,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/governor.h"
 #include "common/status.h"
 #include "xml/dom.h"
 
@@ -27,6 +28,16 @@ struct ParseOptions {
   /// even when strip_whitespace_text is on (XSLT uses {"text"} so that
   /// <xsl:text> </xsl:text> survives).
   std::set<std::string> preserve_whitespace_elements;
+  /// Element-nesting cap (the parser recurses per element). 0 uses the
+  /// process default governor::MaxXmlDepth(); exceeding it is a ParseError.
+  int max_depth = 0;
+  /// Input-size cap in bytes; oversized input returns kResourceExhausted
+  /// before any parsing work. 0 uses governor::MaxXmlInputBytes().
+  size_t max_input_bytes = 0;
+  /// Optional resource-governor scope: the parser ticks per element and the
+  /// produced Document charges its allocations against the scope's memory
+  /// budget. The scope must outlive the returned Document.
+  governor::BudgetScope* budget = nullptr;
 };
 
 /// Parses `input` into a new Document.

@@ -453,6 +453,7 @@ Result<NodeSet> Evaluator::FilterByPredicate(NodeSet candidates, const Expr& pre
   NodeSet out;
   size_t size = candidates.size();
   for (size_t i = 0; i < size; ++i) {
+    XDB_RETURN_NOT_OK(governor::Tick(ctx.budget));
     EvalContext sub = ctx;
     sub.node = candidates[i];
     sub.position = i + 1;  // candidates are already in axis order
@@ -474,6 +475,7 @@ Result<NodeSet> Evaluator::ApplyStep(const NodeSet& input, const Step& step,
                                      const EvalContext& ctx) const {
   NodeSet result;
   for (Node* origin : input) {
+    XDB_RETURN_NOT_OK(governor::Tick(ctx.budget));
     NodeSet selected;
     Evaluator::CollectAxis(origin, step, &selected);
     for (const auto& pred : step.predicates) {

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/governor.h"
 #include "common/status.h"
 #include "xpath/ast.h"
 #include "xpath/value.h"
@@ -45,6 +46,9 @@ struct EvalContext {
   /// XSLT's current() node: the node being processed by the innermost
   /// template/for-each, as opposed to the predicate-local context node.
   xml::Node* current = nullptr;
+  /// Resource-governor scope for this evaluation (null = ungoverned). The
+  /// evaluator ticks per path step and per stepped/filtered input node.
+  governor::BudgetScope* budget = nullptr;
 };
 
 /// \brief Evaluates XPath expression trees.

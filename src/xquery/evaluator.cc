@@ -118,7 +118,9 @@ class QEvalEngine {
  public:
   // Copies the base evaluator so per-query user functions can be registered
   // without leaking closures into the shared evaluator.
-  explicit QEvalEngine(const xpath::Evaluator& base) : xev_(base) {}
+  explicit QEvalEngine(const xpath::Evaluator& base,
+                       governor::BudgetScope* budget = nullptr)
+      : xev_(base), budget_(budget) {}
 
   Result<Sequence> Run(const Query& query, Node* context_item,
                        xml::Document* out) {
@@ -133,7 +135,8 @@ class QEvalEngine {
           [this, fd, qp, out](std::vector<Value>& args,
                               const EvalContext& ectx) -> Result<Value> {
             if (call_depth_ >= kMaxCallDepth) {
-              return Status::Internal("XQuery: function call depth exceeded");
+              return Status::ResourceExhausted(
+                  "XQuery: function call depth exceeded");
             }
             VariableEnv params_frame(FindGlobals(ectx.env));
             for (size_t i = 0; i < args.size(); ++i) {
@@ -157,6 +160,7 @@ class QEvalEngine {
   }
 
   Result<Sequence> Eval(const QExpr& e, QCtx& ctx) {
+    XDB_RETURN_NOT_OK(governor::Tick(budget_));
     switch (e.kind()) {
       case QExprKind::kXPath: {
         const auto& x = static_cast<const XPathQExpr&>(e);
@@ -164,6 +168,7 @@ class QEvalEngine {
         xctx.node = ctx.context_item;
         xctx.env = ctx.env;
         xctx.current = ctx.context_item;
+        xctx.budget = budget_;
         XDB_ASSIGN_OR_RETURN(Value v, xev_.Evaluate(*x.expr, xctx));
         return ValueToSequence(v);
       }
@@ -443,7 +448,8 @@ class QEvalEngine {
         return Status::InvalidArgument("XQuery: wrong arity for " + call.name);
       }
       if (ctx.depth >= kMaxCallDepth || call_depth_ >= kMaxCallDepth) {
-        return Status::Internal("XQuery: function call depth exceeded");
+        return Status::ResourceExhausted(
+            "XQuery: function call depth exceeded");
       }
       // Rebind globals beneath params: chain via a globals frame.
       VariableEnv globals_frame(FindGlobals(ctx.env));
@@ -525,6 +531,7 @@ class QEvalEngine {
   }
 
   xpath::Evaluator xev_;
+  governor::BudgetScope* budget_;
   int call_depth_ = 0;
 };
 
@@ -561,15 +568,18 @@ QueryEvaluator::QueryEvaluator() {
 }
 
 Result<Sequence> QueryEvaluator::Evaluate(const Query& query, Node* context_item,
-                                          xml::Document* result_doc) {
-  QEvalEngine engine(xpath_evaluator_);
+                                          xml::Document* result_doc,
+                                          governor::BudgetScope* budget) {
+  QEvalEngine engine(xpath_evaluator_, budget);
   return engine.Run(query, context_item, result_doc);
 }
 
 Result<std::unique_ptr<xml::Document>> QueryEvaluator::EvaluateToDocument(
-    const Query& query, Node* context_item) {
+    const Query& query, Node* context_item, governor::BudgetScope* budget) {
   auto doc = std::make_unique<xml::Document>();
-  XDB_ASSIGN_OR_RETURN(Sequence seq, Evaluate(query, context_item, doc.get()));
+  if (budget != nullptr) doc->set_budget(budget);
+  XDB_ASSIGN_OR_RETURN(Sequence seq,
+                       Evaluate(query, context_item, doc.get(), budget));
   // Materialize: RETURNING CONTENT semantics.
   bool prev_atomic = false;
   for (const Item& item : seq) {

@@ -12,6 +12,7 @@
 #include <variant>
 #include <vector>
 
+#include "common/governor.h"
 #include "common/status.h"
 #include "xml/dom.h"
 #include "xpath/evaluator.h"
@@ -45,14 +46,18 @@ class QueryEvaluator {
   /// Evaluates `query` with `context_item` as the initial context item
   /// (the value PASSED into XMLQuery(...) in the paper's examples).
   /// Returns the result sequence; constructed nodes live in `*result_doc`.
+  /// When `budget` is set the engine ticks per evaluated expression and
+  /// embedded XPath evaluations inherit the scope.
   Result<Sequence> Evaluate(const Query& query, xml::Node* context_item,
-                            xml::Document* result_doc);
+                            xml::Document* result_doc,
+                            governor::BudgetScope* budget = nullptr);
 
   /// Convenience: evaluates and materializes the sequence as a document
   /// (nodes copied in order; adjacent atomics joined with spaces) —
   /// "RETURNING CONTENT" semantics.
   Result<std::unique_ptr<xml::Document>> EvaluateToDocument(
-      const Query& query, xml::Node* context_item);
+      const Query& query, xml::Node* context_item,
+      governor::BudgetScope* budget = nullptr);
 
   /// Access to the underlying XPath evaluator (to register extra functions).
   xpath::Evaluator* xpath_evaluator() { return &xpath_evaluator_; }

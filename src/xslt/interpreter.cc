@@ -20,7 +20,9 @@ using xpath::VariableEnv;
 
 namespace {
 
-constexpr int kMaxDepth = 2000;
+// Template nesting is capped by the shared governor limit
+// (governor::MaxTemplateDepth(), identical to the XSLTVM), or by the
+// per-execution budget's override.
 
 /// Per-instantiation execution state.
 struct ExecState {
@@ -32,6 +34,7 @@ struct ExecState {
   VariableEnv* env;    ///< innermost variable frame
   std::string mode;
   int depth = 0;
+  governor::BudgetScope* budget = nullptr;
 
   EvalContext XPathCtx() const {
     EvalContext ctx;
@@ -40,6 +43,7 @@ struct ExecState {
     ctx.size = size;
     ctx.env = env;
     ctx.current = node;
+    ctx.budget = budget;
     return ctx;
   }
 };
@@ -54,8 +58,13 @@ struct SortKey {
 /// Implementation engine; exists per Transform() call.
 class Engine {
  public:
-  Engine(const Stylesheet& ss, Evaluator* evaluator)
-      : ss_(ss), evaluator_(*evaluator) {}
+  Engine(const Stylesheet& ss, Evaluator* evaluator,
+         governor::BudgetScope* budget = nullptr)
+      : ss_(ss),
+        evaluator_(*evaluator),
+        budget_(budget),
+        max_depth_(budget != nullptr ? budget->max_template_depth()
+                                     : governor::MaxTemplateDepth()) {}
 
   Status Run(Node* source_root, const TransformParams& params,
              xml::Document* out) {
@@ -66,6 +75,7 @@ class Engine {
     st.sink = out->root();
     st.node = source_root;
     st.env = &globals;
+    st.budget = budget_;
     XDB_RETURN_NOT_OK(BindGlobals(&globals, params, st));
     return ApplyTemplatesTo(source_root, st, /*params_env=*/nullptr);
   }
@@ -130,9 +140,12 @@ class Engine {
 
   // ---- Template application ----
   Status ApplyTemplatesTo(Node* node, ExecState& st, VariableEnv* params_env) {
-    if (st.depth > kMaxDepth) {
-      return Status::Internal("XSLT: maximum template nesting depth exceeded");
+    if (st.depth > max_depth_) {
+      return Status::ResourceExhausted(
+          "XSLT: maximum template nesting depth (" +
+          std::to_string(max_depth_) + ") exceeded");
     }
+    XDB_RETURN_NOT_OK(governor::Tick(budget_));
     XDB_ASSIGN_OR_RETURN(
         int idx, ss_.FindMatch(node, st.mode, evaluator_, st.XPathCtx()));
     if (idx < 0) return ExecBuiltin(node, st);
@@ -202,6 +215,7 @@ class Engine {
   }
 
   Status ExecNode(const Node* instr, ExecState& st, VariableEnv* frame) {
+    XDB_RETURN_NOT_OK(governor::Tick(budget_));
     switch (instr->type()) {
       case NodeType::kText:
         st.sink->AppendChild(st.out->CreateText(instr->value()));
@@ -527,8 +541,10 @@ class Engine {
     XDB_ASSIGN_OR_RETURN(auto params, CollectWithParams(instr, st));
     ExecState sub = st;
     sub.depth = st.depth + 1;
-    if (sub.depth > kMaxDepth) {
-      return Status::Internal("XSLT: maximum template nesting depth exceeded");
+    if (sub.depth > max_depth_) {
+      return Status::ResourceExhausted(
+          "XSLT: maximum template nesting depth (" +
+          std::to_string(max_depth_) + ") exceeded");
     }
     return InstantiateTemplate(ss_.templates()[idx], st.node, sub, params.get());
   }
@@ -573,6 +589,8 @@ class Engine {
 
   const Stylesheet& ss_;
   Evaluator& evaluator_;
+  governor::BudgetScope* budget_;
+  int max_depth_;
   std::unordered_map<const Node*, ExprPtr> expr_cache_;
   std::unordered_map<const Node*, Avt> avt_cache_;
   ExprPtr self_expr_;
@@ -610,12 +628,14 @@ Interpreter::Interpreter(const Stylesheet& stylesheet) : stylesheet_(stylesheet)
 }
 
 Result<std::unique_ptr<xml::Document>> Interpreter::Transform(
-    xml::Node* source_root, const TransformParams& params) {
+    xml::Node* source_root, const TransformParams& params,
+    governor::BudgetScope* budget) {
   auto out = std::make_unique<xml::Document>();
+  if (budget != nullptr) out->set_budget(budget);
   // Processing starts at the owning document's root node.
   Node* root = source_root;
   while (root->parent() != nullptr) root = root->parent();
-  Engine engine(stylesheet_, &evaluator_);
+  Engine engine(stylesheet_, &evaluator_, budget);
   XDB_RETURN_NOT_OK(engine.Run(root, params, out.get()));
   return out;
 }

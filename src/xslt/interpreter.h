@@ -11,6 +11,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/governor.h"
 #include "common/status.h"
 #include "xml/dom.h"
 #include "xpath/evaluator.h"
@@ -29,8 +30,12 @@ class Interpreter {
   /// Transforms the document containing `source` (processing starts at the
   /// document root, per XSLT §5.1). Returns a new result document whose
   /// top-level children form the result tree (possibly a fragment).
+  /// When `budget` is set the interpreter ticks per executed instruction,
+  /// enforces the budget's template-depth cap, and the result document
+  /// charges allocations against the scope (which must outlive it).
   Result<std::unique_ptr<xml::Document>> Transform(
-      xml::Node* source_root, const TransformParams& params = {});
+      xml::Node* source_root, const TransformParams& params = {},
+      governor::BudgetScope* budget = nullptr);
 
  private:
   struct Frame;  // defined in .cc

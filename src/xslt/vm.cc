@@ -308,7 +308,9 @@ Result<std::unique_ptr<CompiledStylesheet>> CompiledStylesheet::Compile(
 
 namespace {
 
-constexpr int kMaxDepth = 2000;
+// Template nesting is capped by the shared governor limit
+// (governor::MaxTemplateDepth(), identical to the tree-walking
+// Interpreter), or by the per-execution budget's override.
 constexpr int kBuiltinSite = -1;
 
 struct VmState {
@@ -320,6 +322,7 @@ struct VmState {
   VariableEnv* env;
   std::string mode;
   int depth = 0;
+  governor::BudgetScope* budget = nullptr;
 
   EvalContext XPathCtx() const {
     EvalContext ctx;
@@ -328,6 +331,7 @@ struct VmState {
     ctx.size = size;
     ctx.env = env;
     ctx.current = node;
+    ctx.budget = budget;
     return ctx;
   }
 };
@@ -335,8 +339,14 @@ struct VmState {
 class VmEngine {
  public:
   VmEngine(const CompiledStylesheet& cs, Evaluator* evaluator, bool trace,
-           TraceListener* listener)
-      : cs_(cs), ev_(*evaluator), trace_(trace), listener_(listener) {}
+           TraceListener* listener, governor::BudgetScope* budget = nullptr)
+      : cs_(cs),
+        ev_(*evaluator),
+        trace_(trace),
+        listener_(listener),
+        budget_(budget),
+        max_depth_(budget != nullptr ? budget->max_template_depth()
+                                     : governor::MaxTemplateDepth()) {}
 
   Status Run(Node* source_root, const TransformParams& params,
              xml::Document* out) {
@@ -346,6 +356,7 @@ class VmEngine {
     st.sink = out->root();
     st.node = source_root;
     st.env = &globals;
+    st.budget = budget_;
     // Bind globals in declaration order.
     const auto& gdecls = cs_.globals();
     for (size_t i = 0; i < gdecls.size(); ++i) {
@@ -387,9 +398,12 @@ class VmEngine {
   // ---- dispatch ----
   Status DispatchNode(Node* node, VmState& st, VariableEnv* params_env,
                       int site_id) {
-    if (st.depth > kMaxDepth) {
-      return Status::Internal("XSLTVM: maximum template nesting depth exceeded");
+    if (st.depth > max_depth_) {
+      return Status::ResourceExhausted(
+          "XSLTVM: maximum template nesting depth (" +
+          std::to_string(max_depth_) + ") exceeded");
     }
+    XDB_RETURN_NOT_OK(governor::Tick(budget_));
     if (!trace_) {
       XDB_ASSIGN_OR_RETURN(
           int idx, cs_.source().FindMatch(node, st.mode, ev_, st.XPathCtx()));
@@ -491,6 +505,7 @@ class VmEngine {
   }
 
   Status Exec(const Instruction& instr, VmState& st, VariableEnv* frame) {
+    XDB_RETURN_NOT_OK(governor::Tick(budget_));
     switch (instr.op) {
       case Instruction::Op::kText:
         st.sink->AppendChild(st.out->CreateText(instr.text));
@@ -778,8 +793,10 @@ class VmEngine {
     XDB_ASSIGN_OR_RETURN(auto params, EvalWithParams(instr.params, st));
     VmState sub = st;
     sub.depth = st.depth + 1;
-    if (sub.depth > kMaxDepth) {
-      return Status::Internal("XSLTVM: maximum template nesting depth exceeded");
+    if (sub.depth > max_depth_) {
+      return Status::ResourceExhausted(
+          "XSLTVM: maximum template nesting depth (" +
+          std::to_string(max_depth_) + ") exceeded");
     }
     if (!trace_) {
       return Instantiate(instr.target_template, st.node, sub, params.get());
@@ -811,6 +828,8 @@ class VmEngine {
   Evaluator& ev_;
   bool trace_;
   TraceListener* listener_;
+  governor::BudgetScope* budget_;
+  int max_depth_;
   std::vector<std::pair<int, std::string>> activation_stack_;
 };
 
@@ -845,11 +864,13 @@ Vm::Vm(const CompiledStylesheet& compiled) : compiled_(compiled) {
 }
 
 Result<std::unique_ptr<xml::Document>> Vm::Transform(
-    xml::Node* source_root, const TransformParams& params) {
+    xml::Node* source_root, const TransformParams& params,
+    governor::BudgetScope* budget) {
   auto out = std::make_unique<xml::Document>();
+  if (budget != nullptr) out->set_budget(budget);
   Node* root = source_root;
   while (root->parent() != nullptr) root = root->parent();
-  VmEngine engine(compiled_, &evaluator_, /*trace=*/false, nullptr);
+  VmEngine engine(compiled_, &evaluator_, /*trace=*/false, nullptr, budget);
   XDB_RETURN_NOT_OK(engine.Run(root, params, out.get()));
   return out;
 }

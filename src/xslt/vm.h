@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/governor.h"
 #include "common/status.h"
 #include "xml/dom.h"
 #include "xpath/evaluator.h"
@@ -157,8 +158,13 @@ class Vm {
   explicit Vm(const CompiledStylesheet& compiled);
 
   /// Normal execution (semantics identical to Interpreter::Transform).
+  /// When `budget` is set the VM ticks per instruction/dispatch, enforces
+  /// the budget's template-depth cap, and the output document charges its
+  /// allocations against the scope (which must then outlive the returned
+  /// document).
   Result<std::unique_ptr<xml::Document>> Transform(
-      xml::Node* source_root, const TransformParams& params = {});
+      xml::Node* source_root, const TransformParams& params = {},
+      governor::BudgetScope* budget = nullptr);
 
   /// Trace execution over a sample document (output is discarded).
   Status TraceRun(xml::Node* sample_root, TraceListener* listener);

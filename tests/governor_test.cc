@@ -1,0 +1,472 @@
+// Resource governor: budget trips (deadline, ticks, memory, output),
+// cooperative cross-thread cancellation, the shared template-depth cap,
+// parser input hardening, ExecStats reporting, and proof that a tripped
+// engine serves the next query untouched.
+#include "common/governor.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/xmldb.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xslt/interpreter.h"
+#include "xslt/vm.h"
+
+namespace xdb {
+namespace {
+
+using rel::DataType;
+using rel::Datum;
+using rel::PublishSpec;
+
+int64_t ElapsedMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// ExecBudget / BudgetScope units.
+// ---------------------------------------------------------------------------
+
+TEST(GovernorTest, ParseByteSizeSuffixes) {
+  uint64_t v = 0;
+  EXPECT_TRUE(governor::ParseByteSize("123", &v));
+  EXPECT_EQ(v, 123u);
+  EXPECT_TRUE(governor::ParseByteSize("64K", &v));
+  EXPECT_EQ(v, 64u * 1024u);
+  EXPECT_TRUE(governor::ParseByteSize("16m", &v));
+  EXPECT_EQ(v, 16u * 1024u * 1024u);
+  EXPECT_TRUE(governor::ParseByteSize("2G", &v));
+  EXPECT_EQ(v, 2u * 1024u * 1024u * 1024u);
+  EXPECT_FALSE(governor::ParseByteSize("", &v));
+  EXPECT_FALSE(governor::ParseByteSize("K", &v));
+  EXPECT_FALSE(governor::ParseByteSize("12X", &v));
+  EXPECT_FALSE(governor::ParseByteSize("x12", &v));
+}
+
+TEST(GovernorTest, InactiveBudgetAndNullScopeAreNoops) {
+  governor::ExecBudget budget;
+  EXPECT_FALSE(budget.active());
+  governor::BudgetScope null_scope(nullptr);
+  EXPECT_FALSE(null_scope.enabled());
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(null_scope.Tick().ok());
+  }
+  ASSERT_TRUE(null_scope.CheckNow().ok());
+  ASSERT_TRUE(governor::Tick(nullptr).ok());
+}
+
+TEST(GovernorTest, TickBudgetTripsDeterministically) {
+  governor::ExecBudget budget;
+  budget.set_tick_limit(2000);
+  EXPECT_TRUE(budget.active());
+  governor::BudgetScope scope(&budget);
+  Status st;
+  int i = 0;
+  for (; i < 100000 && st.ok(); ++i) st = scope.Tick();
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_LT(i, 5000);  // trips at the first flush past the limit, not later
+  EXPECT_TRUE(budget.tripped());
+  EXPECT_GT(budget.ticks(), 2000u);
+  // The trip is sticky: an immediate re-check fails with the same status.
+  EXPECT_EQ(scope.CheckNow().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GovernorTest, MemoryChargeTripsBudget) {
+  governor::ExecBudget budget;
+  budget.set_mem_limit_bytes(64 * 1024);
+  governor::BudgetScope scope(&budget);
+  scope.ChargeMemory(100 * 1024);
+  Status st = scope.CheckNow();
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(budget.mem_peak_bytes(), 64u * 1024u);
+  EXPECT_FALSE(budget.timed_out());
+}
+
+TEST(GovernorTest, DomArenaChargesAgainstMemoryBudget) {
+  governor::ExecBudget budget;
+  budget.set_mem_limit_bytes(64 * 1024);
+  governor::BudgetScope scope(&budget);
+  Status st;
+  {
+    xml::Document doc;
+    doc.set_budget(&scope);
+    std::string blob(1024, 'x');
+    for (int i = 0; i < 1000 && st.ok(); ++i) {
+      doc.root()->AppendChild(doc.CreateText(blob));
+      st = scope.CheckNow();
+    }
+  }
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(budget.mem_peak_bytes(), 64u * 1024u);
+}
+
+TEST(GovernorTest, OutputBudgetTrips) {
+  governor::ExecBudget budget;
+  budget.set_output_limit_bytes(1000);
+  governor::BudgetScope scope(&budget);
+  EXPECT_TRUE(scope.ChargeOutput(900).ok());
+  Status st = scope.ChargeOutput(900);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_GE(budget.output_bytes(), 1800u);
+}
+
+TEST(GovernorTest, CancelTokenMapsToCancelled) {
+  governor::CancelToken token;
+  governor::ExecBudget budget;
+  budget.set_cancel_token(&token);
+  governor::BudgetScope scope(&budget);
+  EXPECT_TRUE(scope.CheckNow().ok());
+  token.Cancel();
+  Status st = scope.CheckNow();
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  EXPECT_TRUE(budget.was_cancelled());
+  EXPECT_FALSE(budget.timed_out());
+}
+
+TEST(GovernorTest, DeadlineTripsPromptly) {
+  governor::ExecBudget budget;
+  budget.set_timeout_ms(5);
+  governor::BudgetScope scope(&budget);
+  auto start = std::chrono::steady_clock::now();
+  Status st;
+  while (st.ok() && ElapsedMs(start) < 2000) st = scope.Tick();
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(budget.timed_out());
+  // Amortized checks still notice a 5ms deadline far inside 2x + slack.
+  EXPECT_LT(ElapsedMs(start), 1000);
+}
+
+// ---------------------------------------------------------------------------
+// Shared XSLT template-depth cap (satellite: the two private kMaxDepth
+// copies are gone; both engines enforce governor::MaxTemplateDepth()).
+// ---------------------------------------------------------------------------
+
+std::string Wrap(std::string_view body) {
+  return std::string(
+             "<xsl:stylesheet version=\"1.0\" "
+             "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">") +
+         std::string(body) + "</xsl:stylesheet>";
+}
+
+TEST(GovernorTest, VmAndInterpreterShareDepthCap) {
+  auto ss = xslt::Stylesheet::Parse(
+      Wrap("<xsl:template match=\"/\"><xsl:call-template name=\"loop\"/>"
+           "</xsl:template>"
+           "<xsl:template name=\"loop\"><xsl:call-template name=\"loop\"/>"
+           "</xsl:template>"));
+  ASSERT_TRUE(ss.ok());
+  auto doc = xml::ParseDocument("<r/>");
+  ASSERT_TRUE(doc.ok());
+  const std::string depth = std::to_string(governor::MaxTemplateDepth());
+
+  xslt::Interpreter interp(**ss);
+  auto iout = interp.Transform((*doc)->root());
+  ASSERT_FALSE(iout.ok());
+  EXPECT_EQ(iout.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(iout.status().message().find(depth), std::string::npos)
+      << iout.status().ToString();
+
+  auto compiled = xslt::CompiledStylesheet::Compile(**ss);
+  ASSERT_TRUE(compiled.ok());
+  xslt::Vm vm(**compiled);
+  auto vout = vm.Transform((*doc)->root());
+  ASSERT_FALSE(vout.ok());
+  EXPECT_EQ(vout.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(vout.status().message().find(depth), std::string::npos)
+      << vout.status().ToString();
+}
+
+TEST(GovernorTest, BudgetOverridesTemplateDepth) {
+  // A 12-deep input under the recursive identity-ish template needs 12
+  // apply levels: fine by default, a trip under a depth-5 budget.
+  auto ss = xslt::Stylesheet::Parse(
+      Wrap("<xsl:template match=\"*\"><e><xsl:apply-templates/></e>"
+           "</xsl:template>"));
+  ASSERT_TRUE(ss.ok());
+  std::string input;
+  for (int i = 0; i < 12; ++i) input += "<a>";
+  for (int i = 0; i < 12; ++i) input += "</a>";
+  auto doc = xml::ParseDocument(input);
+  ASSERT_TRUE(doc.ok());
+  auto compiled = xslt::CompiledStylesheet::Compile(**ss);
+  ASSERT_TRUE(compiled.ok());
+  xslt::Vm vm(**compiled);
+
+  ASSERT_TRUE(vm.Transform((*doc)->root()).ok());
+
+  governor::ExecBudget budget;
+  budget.set_max_template_depth(5);
+  governor::BudgetScope scope(&budget);
+  auto out = vm.Transform((*doc)->root(), {}, &scope);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+
+  xslt::Interpreter interp(**ss);
+  governor::BudgetScope iscope(&budget);
+  auto iout = interp.Transform((*doc)->root(), {}, &iscope);
+  ASSERT_FALSE(iout.ok());
+  EXPECT_EQ(iout.status().code(), StatusCode::kResourceExhausted);
+}
+
+// ---------------------------------------------------------------------------
+// Parser hardening (satellite).
+// ---------------------------------------------------------------------------
+
+TEST(GovernorTest, ParserEnforcesNestingDepth) {
+  std::string deep;
+  for (int i = 0; i < 50; ++i) deep += "<a>";
+  for (int i = 0; i < 50; ++i) deep += "</a>";
+  ASSERT_TRUE(xml::ParseDocument(deep).ok());  // default cap is 1000
+
+  xml::ParseOptions opts;
+  opts.max_depth = 10;
+  auto out = xml::ParseDocument(deep, opts);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kParseError);
+  EXPECT_NE(out.status().message().find("depth"), std::string::npos);
+}
+
+TEST(GovernorTest, ParserEnforcesInputSize) {
+  xml::ParseOptions opts;
+  opts.max_input_bytes = 16;
+  auto out = xml::ParseDocument("<r><c>0123456789</c></r>", opts);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GovernorTest, ParserTicksAndChargesBudget) {
+  governor::ExecBudget budget;
+  budget.set_mem_limit_bytes(1024);
+  governor::BudgetScope scope(&budget);
+  xml::ParseOptions opts;
+  opts.budget = &scope;
+  std::string doc = "<r>";
+  for (int i = 0; i < 200; ++i) doc += "<item>some text content</item>";
+  doc += "</r>";
+  {
+    auto out = xml::ParseDocument(doc, opts);
+    // The parsed DOM is far over 1 KiB of tracked memory; either the parse
+    // itself trips or the very next check does.
+    Status st = out.ok() ? scope.CheckNow() : out.status();
+    EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  }
+  EXPECT_GT(budget.mem_peak_bytes(), 1024u);
+}
+
+// ---------------------------------------------------------------------------
+// XmlDb end-to-end governance.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kPaperStylesheet = R"xsl(<?xml version="1.0"?>
+<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+<xsl:template match="dept">
+<H1>HIGHLY PAID DEPT EMPLOYEES</H1>
+<xsl:apply-templates/>
+</xsl:template>
+<xsl:template match="dname">
+<H2>Department name: <xsl:value-of select="."/></H2>
+</xsl:template>
+<xsl:template match="loc">
+<H2>Department location: <xsl:value-of select="."/></H2>
+</xsl:template>
+<xsl:template match="employees">
+<H2>Employees Table</H2>
+<table border="2">
+<xsl:apply-templates select="emp[sal > 2000]"/>
+</table>
+</xsl:template>
+<xsl:template match = "emp">
+<tr>
+<td><xsl:value-of select="empno"/></td>
+<td><xsl:value-of select="ename"/></td>
+<td><xsl:value-of select="sal"/></td>
+</tr>
+</xsl:template>
+<xsl:template match="text()">
+<xsl:value-of select="."/>
+</xsl:template>
+</xsl:stylesheet>)xsl";
+
+std::unique_ptr<PublishSpec> DeptEmpSpec() {
+  auto dept = PublishSpec::Element("dept");
+  dept->AddChild(PublishSpec::Element("dname"))
+      ->AddChild(PublishSpec::Column("dname"));
+  dept->AddChild(PublishSpec::Element("loc"))
+      ->AddChild(PublishSpec::Column("loc"));
+  auto emp_elem = PublishSpec::Element("emp");
+  emp_elem->AddChild(PublishSpec::Element("empno"))
+      ->AddChild(PublishSpec::Column("empno"));
+  emp_elem->AddChild(PublishSpec::Element("ename"))
+      ->AddChild(PublishSpec::Column("ename"));
+  emp_elem->AddChild(PublishSpec::Element("sal"))
+      ->AddChild(PublishSpec::Column("sal"));
+  auto employees = PublishSpec::Element("employees");
+  employees->AddChild(
+      PublishSpec::Nested("emp", "deptno", "deptno", std::move(emp_elem)));
+  dept->children.push_back(std::move(employees));
+  return dept;
+}
+
+// dept/emp database sized by the test: `emp_per_dept` controls how much
+// work one TransformView call does.
+class GovernorDbTest : public ::testing::Test {
+ protected:
+  void Populate(int depts, int emp_per_dept) {
+    ASSERT_TRUE(db_.CreateTable("dept", rel::Schema({{"deptno", DataType::kInt},
+                                                     {"dname", DataType::kString},
+                                                     {"loc", DataType::kString}}))
+                    .ok());
+    ASSERT_TRUE(db_.CreateTable("emp", rel::Schema({{"empno", DataType::kInt},
+                                                    {"ename", DataType::kString},
+                                                    {"job", DataType::kString},
+                                                    {"sal", DataType::kInt},
+                                                    {"deptno", DataType::kInt}}))
+                    .ok());
+    int64_t empno = 7000;
+    for (int d = 0; d < depts; ++d) {
+      int64_t deptno = 10 + d;
+      ASSERT_TRUE(db_.Insert("dept", {Datum(deptno), Datum("DEPT" + std::to_string(d)),
+                                      Datum("CITY" + std::to_string(d))})
+                      .ok());
+      for (int e = 0; e < emp_per_dept; ++e) {
+        ASSERT_TRUE(db_.Insert("emp", {Datum(empno++), Datum("E" + std::to_string(e)),
+                                       Datum("CLERK"), Datum(int64_t{2100 + e}),
+                                       Datum(deptno)})
+                        .ok());
+      }
+    }
+    ASSERT_TRUE(
+        db_.CreatePublishingView("dept_emp", "dept", DeptEmpSpec(), "dept_content")
+            .ok());
+  }
+
+  XmlDb db_;
+};
+
+TEST_F(GovernorDbTest, TickBudgetTripsAndEngineStaysUsable) {
+  Populate(/*depts=*/2, /*emp_per_dept=*/20);
+  ExecOptions governed;
+  governed.tick_budget = 1;
+  ExecStats stats;
+  auto out = db_.TransformView("dept_emp", kPaperStylesheet, governed, &stats);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(stats.ticks, 1u);
+  EXPECT_FALSE(stats.timed_out);
+  EXPECT_FALSE(stats.cancelled);
+
+  // The same XmlDb serves the next, ungoverned call — and from the cache:
+  // the trip poisoned neither the catalog nor the prepared plan.
+  ExecStats clean;
+  auto retry = db_.TransformView("dept_emp", kPaperStylesheet, {}, &clean);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_TRUE(clean.cache_hit);
+  EXPECT_EQ(retry->size(), 2u);
+}
+
+TEST_F(GovernorDbTest, DeadlineTerminatesPathologicalTransform) {
+  // Big enough that an ungoverned run takes well over the deadline.
+  Populate(/*depts=*/8, /*emp_per_dept=*/3000);
+  ExecOptions governed;
+  governed.timeout_ms = 5;
+  ExecStats stats;
+  auto start = std::chrono::steady_clock::now();
+  auto out = db_.TransformView("dept_emp", kPaperStylesheet, governed, &stats);
+  int64_t elapsed = ElapsedMs(start);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(stats.timed_out);
+  EXPECT_GT(stats.ticks, 0u);
+  // Terminates promptly: ~2x the deadline, with generous CI slack.
+  EXPECT_LT(elapsed, 2000);
+
+  // Engine unharmed: ungoverned retry completes.
+  auto retry = db_.TransformView("dept_emp", kPaperStylesheet, {});
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_EQ(retry->size(), 8u);
+}
+
+TEST_F(GovernorDbTest, MemoryBudgetTripsOnLargeMaterialization) {
+  Populate(/*depts=*/2, /*emp_per_dept=*/2000);
+  ExecOptions governed;
+  governed.mem_budget_bytes = 32 * 1024;
+  ExecStats stats;
+  auto out = db_.TransformView("dept_emp", kPaperStylesheet, governed, &stats);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(stats.mem_peak_bytes, 0u);
+}
+
+TEST_F(GovernorDbTest, OutputBudgetCapsResultBytes) {
+  Populate(/*depts=*/2, /*emp_per_dept=*/20);
+  ExecOptions governed;
+  governed.output_budget_bytes = 64;
+  auto out = db_.TransformView("dept_emp", kPaperStylesheet, governed);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(GovernorDbTest, PreCancelledTokenShortCircuits) {
+  Populate(/*depts=*/2, /*emp_per_dept=*/20);
+  governor::CancelToken token;
+  token.Cancel();
+  ExecOptions governed;
+  governed.cancel = &token;
+  ExecStats stats;
+  auto out = db_.TransformView("dept_emp", kPaperStylesheet, governed, &stats);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(stats.cancelled);
+}
+
+TEST_F(GovernorDbTest, CrossThreadCancelStopsParallelTransform) {
+  // An ungoverned run of this workload takes hundreds of milliseconds; the
+  // canceller fires after ~1ms, so the cancel always lands mid-execution.
+  Populate(/*depts=*/8, /*emp_per_dept=*/3000);
+  governor::CancelToken token;
+  ExecOptions governed;
+  governed.cancel = &token;
+  governed.threads = 4;
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    token.Cancel();
+  });
+  ExecStats stats;
+  auto start = std::chrono::steady_clock::now();
+  auto out = db_.TransformView("dept_emp", kPaperStylesheet, governed, &stats);
+  int64_t elapsed = ElapsedMs(start);
+  canceller.join();
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(stats.cancelled);
+  EXPECT_LT(elapsed, 2000);
+
+  // Reset + retry with the same token object: the engine and the token are
+  // both reusable.
+  token.Reset();
+  auto retry = db_.TransformView("dept_emp", kPaperStylesheet, governed);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_EQ(retry->size(), 8u);
+}
+
+TEST_F(GovernorDbTest, QueryViewIsGovernedToo) {
+  Populate(/*depts=*/2, /*emp_per_dept=*/20);
+  ExecOptions governed;
+  governed.tick_budget = 1;
+  ExecStats stats;
+  auto out = db_.QueryView("dept_emp",
+                           "for $e in ./dept/employees/emp[sal > 2000] return "
+                           "<who>{fn:string($e/ename)}</who>",
+                           governed, &stats);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(stats.ticks, 1u);
+}
+
+}  // namespace
+}  // namespace xdb

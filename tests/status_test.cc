@@ -31,6 +31,20 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
   EXPECT_EQ(Status::TypeError("x").code(), StatusCode::kTypeError);
   EXPECT_EQ(Status::RewriteError("x").code(), StatusCode::kRewriteError);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+}
+
+TEST(StatusTest, GovernorCodesRoundTrip) {
+  Status exhausted = Status::ResourceExhausted("memory budget exceeded");
+  EXPECT_FALSE(exhausted.ok());
+  EXPECT_EQ(exhausted.ToString(), "ResourceExhausted: memory budget exceeded");
+
+  Status cancelled = Status::Cancelled("cancelled by caller");
+  EXPECT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.ToString(), "Cancelled: cancelled by caller");
+  EXPECT_NE(exhausted.code(), cancelled.code());
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -153,7 +153,7 @@ TEST(XQueryEvalTest, InfiniteRecursionCaught) {
   xml::Document doc;
   auto out = ev.Evaluate(*q, doc.root(), &doc);
   ASSERT_FALSE(out.ok());
-  EXPECT_EQ(out.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
 }
 
 TEST(XQueryEvalTest, DeclaredVariables) {

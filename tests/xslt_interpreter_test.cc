@@ -292,7 +292,7 @@ TEST(InterpreterTest, InfiniteRecursionIsCaught) {
   Interpreter interp(**ss);
   auto out = interp.Transform((*doc)->root());
   ASSERT_FALSE(out.ok());
-  EXPECT_EQ(out.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
 }
 
 TEST(InterpreterTest, TextPatternTemplate) {
