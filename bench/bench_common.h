@@ -147,6 +147,24 @@ class JsonCounterReporter : public benchmark::BenchmarkReporter {
   std::vector<std::string> records_;
 };
 
+/// Pulls `--smoke` out of argv. Smoke mode runs every registered benchmark
+/// for a single repetition with no minimum measuring time — a seconds-long
+/// "does every bench path still execute" check, registered with ctest under
+/// the `bench_smoke` label.
+inline bool ExtractSmokeFlag(int* argc, char** argv) {
+  bool smoke = false;
+  int w = 1;
+  for (int r = 1; r < *argc; ++r) {
+    if (std::strcmp(argv[r], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  *argc = w;
+  return smoke;
+}
+
 /// Pulls `--json=<path>` (or bare `--json`, which derives
 /// `BENCH_<binary>.json`) out of argv before google-benchmark parses the
 /// rest. Returns the output path, or "" when the flag is absent.
@@ -175,11 +193,18 @@ inline std::string ExtractJsonFlag(int* argc, char** argv) {
 #define XDB_BENCH_MAIN()                                                     \
   int main(int argc, char** argv) {                                          \
     std::string xdb_json_path = ::xdb::bench::ExtractJsonFlag(&argc, argv);  \
+    bool xdb_smoke = ::xdb::bench::ExtractSmokeFlag(&argc, argv);            \
     /* The runner only opens a file reporter stream for --benchmark_out,   */\
     /* so map --json onto that flag before Initialize() parses argv.       */\
     std::vector<char*> xdb_args(argv, argv + argc);                          \
     std::string xdb_out_flag = "--benchmark_out=" + xdb_json_path;           \
     if (!xdb_json_path.empty()) xdb_args.push_back(xdb_out_flag.data());     \
+    char xdb_smoke_min_time[] = "--benchmark_min_time=0";                    \
+    char xdb_smoke_reps[] = "--benchmark_repetitions=1";                     \
+    if (xdb_smoke) {                                                         \
+      xdb_args.push_back(xdb_smoke_min_time);                                \
+      xdb_args.push_back(xdb_smoke_reps);                                    \
+    }                                                                        \
     xdb_args.push_back(nullptr);                                             \
     int xdb_argc = static_cast<int>(xdb_args.size()) - 1;                    \
     ::benchmark::Initialize(&xdb_argc, xdb_args.data());                     \

@@ -14,6 +14,8 @@ int main(int argc, char** argv) {
   using xdb::xsltmark::SetupFamily;
 
   std::string json_path = xdb::bench::ExtractJsonFlag(&argc, argv);
+  // Compiling all 40 cases once IS the smoke run; accept the flag for ctest.
+  (void)xdb::bench::ExtractSmokeFlag(&argc, argv);
 
   int inline_count = 0;
   int non_inline = 0;

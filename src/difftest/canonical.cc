@@ -1,0 +1,80 @@
+#include "difftest/canonical.h"
+
+#include <algorithm>
+
+#include "xml/dom.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xdb::difftest {
+
+namespace {
+
+// Copies `src`'s children into `dst` (owned by `out`) in canonical form:
+// attributes re-added in sorted order, adjacent text coalesced, empty text
+// dropped. Comments and PIs pass through — an engine that emits a comment
+// where another does not *is* a divergence.
+void CopyCanonicalChildren(const xml::Node* src, xml::Node* dst,
+                           xml::Document* out) {
+  std::string pending_text;
+  auto flush_text = [&] {
+    if (!pending_text.empty()) {
+      dst->AppendChild(out->CreateText(pending_text));
+      pending_text.clear();
+    }
+  };
+  for (const xml::Node* child : src->children()) {
+    switch (child->type()) {
+      case xml::NodeType::kText:
+        pending_text += child->value();
+        break;
+      case xml::NodeType::kElement: {
+        flush_text();
+        xml::Node* copy =
+            out->CreateElement(child->qualified_name(), child->namespace_uri());
+        std::vector<const xml::Node*> attrs(child->attributes().begin(),
+                                            child->attributes().end());
+        std::sort(attrs.begin(), attrs.end(),
+                  [](const xml::Node* a, const xml::Node* b) {
+                    return a->qualified_name() < b->qualified_name();
+                  });
+        for (const xml::Node* a : attrs) {
+          copy->SetAttribute(a->qualified_name(), a->value());
+        }
+        dst->AppendChild(copy);
+        CopyCanonicalChildren(child, copy, out);
+        break;
+      }
+      case xml::NodeType::kComment:
+        flush_text();
+        dst->AppendChild(out->CreateComment(child->value()));
+        break;
+      case xml::NodeType::kProcessingInstruction:
+        flush_text();
+        dst->AppendChild(out->CreateProcessingInstruction(child->local_name(),
+                                                          child->value()));
+        break;
+      default:
+        break;
+    }
+  }
+  flush_text();
+}
+
+}  // namespace
+
+Result<std::string> CanonicalizeXml(std::string_view fragment) {
+  // Wrap so multi-root fragments and bare text parse as one document.
+  std::string wrapped = "<c14n-wrap>";
+  wrapped += fragment;
+  wrapped += "</c14n-wrap>";
+  XDB_ASSIGN_OR_RETURN(auto doc, xml::ParseDocument(wrapped));
+  xml::Document out;
+  xml::Node* holder = out.CreateElement("c14n-wrap");
+  CopyCanonicalChildren(doc->document_element(), holder, &out);
+  std::vector<xml::Node*> children(holder->children().begin(),
+                                   holder->children().end());
+  return xml::SerializeAll(children);
+}
+
+}  // namespace xdb::difftest

@@ -1,0 +1,28 @@
+// Output canonicalization for the differential oracle: before two engines'
+// results are compared, both are reduced to a canonical form that erases
+// representation noise a correct engine is allowed to produce (attribute
+// order, fragmented text nodes) while preserving everything that could hide
+// a real divergence (text content byte-for-byte, numeric lexical forms like
+// "1" vs "1.0", namespace prefixes, comments and processing instructions).
+#ifndef XDB_DIFFTEST_CANONICAL_H_
+#define XDB_DIFFTEST_CANONICAL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace xdb::difftest {
+
+/// Canonicalizes a serialized XML fragment (zero or more top-level nodes,
+/// possibly bare text):
+///   * attributes sorted by qualified name,
+///   * adjacent text nodes coalesced, empty text dropped,
+///   * everything else — element names, prefixes, text bytes, numeric
+///     formatting, comments, PIs — preserved verbatim.
+/// Returns kParseError when the fragment is not well-formed.
+Result<std::string> CanonicalizeXml(std::string_view fragment);
+
+}  // namespace xdb::difftest
+
+#endif  // XDB_DIFFTEST_CANONICAL_H_

@@ -1,0 +1,308 @@
+#include "difftest/corpus.h"
+
+#include <memory>
+
+#include "difftest/canonical.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xslt/interpreter.h"
+#include "xslt/stylesheet.h"
+#include "xsltmark/suite.h"
+
+namespace xdb::difftest {
+
+namespace {
+
+// Small but non-trivial scale: enough rows that nested repetition, sorting
+// and aggregation have work to do, small enough that 43 cases x 4 paths stay
+// fast under sanitizers.
+constexpr int kXsltmarkRows = 8;
+
+Status SetupQuickstart(XmlDb* db) {
+  using rel::DataType;
+  using rel::Datum;
+  using rel::PublishSpec;
+  db->CreateTable("doc", rel::Schema({{"id", DataType::kInt}}));
+  db->Insert("doc", {Datum(int64_t{1})});
+  db->CreateTable("city", rel::Schema({{"docid", DataType::kInt},
+                                       {"name", DataType::kString},
+                                       {"country", DataType::kString},
+                                       {"pop", DataType::kInt}}));
+  db->Insert("city", {Datum(int64_t{1}), Datum("TOKYO"), Datum("JP"),
+                      Datum(int64_t{37400068})});
+  db->Insert("city", {Datum(int64_t{1}), Datum("DELHI"), Datum("IN"),
+                      Datum(int64_t{28514000})});
+  db->Insert("city", {Datum(int64_t{1}), Datum("LIMA"), Datum("PE"),
+                      Datum(int64_t{10391000})});
+  db->CreateIndex("city", "pop");
+
+  auto city = PublishSpec::Element("city");
+  city->AddChild(PublishSpec::Element("name"))
+      ->AddChild(PublishSpec::Column("name"));
+  city->AddChild(PublishSpec::Element("country"))
+      ->AddChild(PublishSpec::Column("country"));
+  city->AddChild(PublishSpec::Element("pop"))
+      ->AddChild(PublishSpec::Column("pop"));
+  auto root = PublishSpec::Element("cities");
+  root->children.push_back(
+      PublishSpec::Nested("city", "id", "docid", std::move(city)));
+  return db->CreatePublishingView("cities_view", "doc", std::move(root))
+      .status();
+}
+
+Status SetupDeptReport(XmlDb* db) {
+  using rel::DataType;
+  using rel::Datum;
+  using rel::PublishSpec;
+  db->CreateTable("dept", rel::Schema({{"deptno", DataType::kInt},
+                                       {"dname", DataType::kString},
+                                       {"loc", DataType::kString}}));
+  db->Insert("dept",
+             {Datum(int64_t{10}), Datum("ACCOUNTING"), Datum("NEW YORK")});
+  db->Insert("dept",
+             {Datum(int64_t{40}), Datum("OPERATIONS"), Datum("BOSTON")});
+  db->CreateTable("emp", rel::Schema({{"empno", DataType::kInt},
+                                      {"ename", DataType::kString},
+                                      {"job", DataType::kString},
+                                      {"sal", DataType::kInt},
+                                      {"deptno", DataType::kInt}}));
+  db->Insert("emp", {Datum(int64_t{7782}), Datum("CLARK"), Datum("MANAGER"),
+                     Datum(int64_t{2450}), Datum(int64_t{10})});
+  db->Insert("emp", {Datum(int64_t{7934}), Datum("MILLER"), Datum("CLERK"),
+                     Datum(int64_t{1300}), Datum(int64_t{10})});
+  db->Insert("emp", {Datum(int64_t{7954}), Datum("SMITH"), Datum("VP"),
+                     Datum(int64_t{4900}), Datum(int64_t{40})});
+  db->CreateIndex("emp", "sal");
+
+  auto dept = PublishSpec::Element("dept");
+  dept->AddChild(PublishSpec::Element("dname"))
+      ->AddChild(PublishSpec::Column("dname"));
+  dept->AddChild(PublishSpec::Element("loc"))
+      ->AddChild(PublishSpec::Column("loc"));
+  auto emp = PublishSpec::Element("emp");
+  emp->AddChild(PublishSpec::Element("empno"))
+      ->AddChild(PublishSpec::Column("empno"));
+  emp->AddChild(PublishSpec::Element("ename"))
+      ->AddChild(PublishSpec::Column("ename"));
+  emp->AddChild(PublishSpec::Element("sal"))
+      ->AddChild(PublishSpec::Column("sal"));
+  auto employees = PublishSpec::Element("employees");
+  employees->AddChild(
+      PublishSpec::Nested("emp", "deptno", "deptno", std::move(emp)));
+  dept->children.push_back(std::move(employees));
+  return db
+      ->CreatePublishingView("dept_emp", "dept", std::move(dept),
+                             "dept_content")
+      .status();
+}
+
+// The schema_transform example, rehosted on shredded storage so the SQL arm
+// exercises the shred pipeline (the original program runs rewrite + VM only).
+Status SetupSchemaTransform(XmlDb* db) {
+  constexpr const char* kXsd = R"(
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:element name="purchaseOrder">
+        <xs:complexType>
+          <xs:sequence>
+            <xs:element name="buyer" type="xs:string"/>
+            <xs:element name="item" minOccurs="0" maxOccurs="unbounded">
+              <xs:complexType>
+                <xs:sequence>
+                  <xs:element name="sku" type="xs:string"/>
+                  <xs:element name="qty" type="xs:int"/>
+                  <xs:element name="unitPrice" type="xs:decimal"/>
+                </xs:sequence>
+              </xs:complexType>
+            </xs:element>
+          </xs:sequence>
+        </xs:complexType>
+      </xs:element>
+    </xs:schema>)";
+  Status reg = db->RegisterShreddedSchemaFromXsd("orders", kXsd);
+  if (!reg.ok()) return reg;
+  auto load = db->LoadDocument(
+      "orders",
+      "<purchaseOrder><buyer>ACME</buyer>"
+      "<item><sku>A-1</sku><qty>3</qty><unitPrice>9</unitPrice></item>"
+      "<item><sku>B-7</sku><qty>2</qty><unitPrice>25</unitPrice></item>"
+      "</purchaseOrder>");
+  if (!load.ok()) return load.status();
+  load = db->LoadDocument(
+      "orders",
+      "<purchaseOrder><buyer>Initech</buyer>"
+      "<item><sku>C-3</sku><qty>11</qty><unitPrice>4</unitPrice></item>"
+      "</purchaseOrder>");
+  return load.status();
+}
+
+constexpr const char* kQuickstartStylesheet =
+    "<xsl:stylesheet version=\"1.0\" "
+    "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+    "<xsl:template match=\"cities\"><mega>"
+    "<xsl:apply-templates select=\"city[pop &gt; 20000000]\"/></mega>"
+    "</xsl:template>"
+    "<xsl:template match=\"city\"><m c=\"{country}\"><xsl:value-of "
+    "select=\"name\"/></m></xsl:template>"
+    "<xsl:template match=\"text()\"/></xsl:stylesheet>";
+
+constexpr const char* kDeptReportStylesheet = R"xsl(<?xml version="1.0"?>
+<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+<xsl:template match="dept">
+<H1>HIGHLY PAID DEPT EMPLOYEES</H1>
+<xsl:apply-templates/>
+</xsl:template>
+<xsl:template match="dname">
+<H2>Department name: <xsl:value-of select="."/></H2>
+</xsl:template>
+<xsl:template match="loc">
+<H2>Department location: <xsl:value-of select="."/></H2>
+</xsl:template>
+<xsl:template match="employees">
+<H2>Employees Table</H2>
+<table border="2">
+<td><b>EmpNo</b></td>
+<td><b>Name</b></td>
+<td><b>Weekly Salary</b></td>
+<xsl:apply-templates select="emp[sal > 2000]"/>
+</table>
+</xsl:template>
+<xsl:template match = "emp">
+<tr>
+<td><xsl:value-of select="empno"/></td>
+<td><xsl:value-of select="ename"/></td>
+<td><xsl:value-of select="sal"/></td>
+</tr>
+</xsl:template>
+<xsl:template match="text()">
+<xsl:value-of select="."/>
+</xsl:template>
+</xsl:stylesheet>)xsl";
+
+constexpr const char* kSchemaTransformStylesheet =
+    "<xsl:stylesheet version=\"1.0\" "
+    "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+    "<xsl:template match=\"purchaseOrder\">"
+    "<order customer=\"{buyer}\"><xsl:apply-templates select=\"item\"/>"
+    "</order></xsl:template>"
+    "<xsl:template match=\"item\">"
+    "<line sku=\"{sku}\" total=\"{qty * unitPrice}\"/>"
+    "</xsl:template>"
+    "<xsl:template match=\"text()\"/></xsl:stylesheet>";
+
+std::string Truncate(const std::string& s, size_t n = 400) {
+  if (s.size() <= n) return s;
+  return s.substr(0, n) + "...[" + std::to_string(s.size()) + " bytes]";
+}
+
+}  // namespace
+
+std::vector<CorpusCase> ConformanceCorpus() {
+  std::vector<CorpusCase> corpus;
+  for (const xsltmark::BenchCase& bc : xsltmark::AllCases()) {
+    CorpusCase c;
+    c.name = "xsltmark/" + bc.name;
+    c.view = xsltmark::FamilyViewName(bc.family);
+    c.stylesheet = bc.stylesheet;
+    std::string family = bc.family;
+    c.setup = [family](XmlDb* db) {
+      return xsltmark::SetupFamily(db, family, kXsltmarkRows);
+    };
+    corpus.push_back(std::move(c));
+  }
+  corpus.push_back({"example/quickstart", "cities_view", kQuickstartStylesheet,
+                    SetupQuickstart});
+  corpus.push_back({"example/dept_report", "dept_emp", kDeptReportStylesheet,
+                    SetupDeptReport});
+  corpus.push_back({"example/schema_transform", "orders",
+                    kSchemaTransformStylesheet, SetupSchemaTransform});
+  return corpus;
+}
+
+Result<FourWayResult> RunFourWay(const CorpusCase& c) {
+  XmlDb db;
+  Status setup = c.setup(&db);
+  if (!setup.ok()) return setup;
+
+  FourWayResult result;
+
+  // Arm 1: tree interpreter over the materialized view values.
+  auto parsed_ss = xslt::Stylesheet::Parse(c.stylesheet);
+  if (!parsed_ss.ok()) return parsed_ss.status();
+  auto view_xml = db.MaterializeView(c.view);
+  if (!view_xml.ok()) return view_xml.status();
+  result.rows = static_cast<int>(view_xml->size());
+
+  std::vector<std::string> interp_rows;
+  xslt::Interpreter interp(**parsed_ss);
+  for (const std::string& row : *view_xml) {
+    auto doc = xml::ParseDocument(row);
+    if (!doc.ok()) return doc.status();
+    auto out = interp.Transform((*doc)->root());
+    if (!out.ok()) {
+      return Status::Internal(c.name + ": interpreter failed: " +
+                              out.status().ToString());
+    }
+    interp_rows.push_back(xml::Serialize((*out)->root()));
+  }
+
+  // Arms 2-4: the pipeline with rewrite stages progressively enabled.
+  struct Arm {
+    const char* label;
+    ExecOptions options;
+    std::vector<std::string> rows;
+    ExecutionPath path = ExecutionPath::kFunctional;
+  };
+  Arm arms[3] = {{"vm", {}, {}}, {"xquery", {}, {}}, {"sql", {}, {}}};
+  arms[0].options.enable_rewrite = false;
+  arms[1].options.enable_sql_rewrite = false;
+  for (Arm& arm : arms) {
+    ExecStats stats;
+    auto out = db.TransformView(c.view, c.stylesheet, arm.options, &stats);
+    if (!out.ok()) {
+      return Status::Internal(c.name + ": " + arm.label + " arm failed: " +
+                              out.status().ToString());
+    }
+    arm.rows = std::move(*out);
+    arm.path = stats.path;
+    if (arm.rows.size() != interp_rows.size()) {
+      result.detail = c.name + ": " + arm.label + " returned " +
+                      std::to_string(arm.rows.size()) + " rows, interpreter " +
+                      std::to_string(interp_rows.size());
+      return result;
+    }
+  }
+  result.vm_path = arms[0].path;
+  result.xquery_path = arms[1].path;
+  result.sql_path = arms[2].path;
+
+  // Canonicalize + compare against the interpreter reference, row by row.
+  for (size_t r = 0; r < interp_rows.size(); ++r) {
+    auto ref = CanonicalizeXml(interp_rows[r]);
+    if (!ref.ok()) {
+      return Status::Internal(c.name + ": interpreter output row " +
+                              std::to_string(r) + " not well-formed: " +
+                              ref.status().ToString());
+    }
+    for (const Arm& arm : arms) {
+      auto canon = CanonicalizeXml(arm.rows[r]);
+      if (!canon.ok()) {
+        result.detail = c.name + ": " + arm.label + " row " +
+                        std::to_string(r) + " not well-formed: " +
+                        canon.status().ToString();
+        return result;
+      }
+      if (*canon != *ref) {
+        result.detail = c.name + ": interpreter != " + arm.label + " (path " +
+                        ExecutionPathName(arm.path) + ") on row " +
+                        std::to_string(r) + "\n  interpreter: " +
+                        Truncate(*ref) + "\n  " + arm.label + ": " +
+                        Truncate(*canon);
+        return result;
+      }
+    }
+  }
+  result.agreed = true;
+  return result;
+}
+
+}  // namespace xdb::difftest

@@ -1,0 +1,54 @@
+// Conformance corpus: every xsltmark suite case plus mirrors of the
+// examples/ programs, each runnable through all four execution paths —
+//
+//   interpreter   tree-walking xslt::Interpreter over the materialized view
+//   vm            TransformView with rewrite disabled (plan C, XSLTVM)
+//   xquery        TransformView with SQL rewrite disabled (plan B or fallback)
+//   sql           TransformView with the full pipeline (plan A or fallback)
+//
+// All four outputs are canonicalized and must agree byte-for-byte per base
+// row. A case whose stylesheet the rewriter rejects still runs four ways —
+// the rewrite arms just fall back to functional, which is itself part of the
+// contract being checked.
+#ifndef XDB_DIFFTEST_CORPUS_H_
+#define XDB_DIFFTEST_CORPUS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/exec_stats.h"
+#include "core/xmldb.h"
+
+namespace xdb::difftest {
+
+struct CorpusCase {
+  std::string name;        ///< "xsltmark/<case>" or "example/<program>"
+  std::string view;        ///< view the stylesheet runs over
+  std::string stylesheet;  ///< complete stylesheet text
+  /// Builds the case's tables, rows and `view` inside a fresh database.
+  std::function<Status(XmlDb*)> setup;
+};
+
+/// The full corpus: all 40 xsltmark cases (small scale) + the three
+/// examples/ program mirrors (quickstart, dept_report, schema_transform).
+std::vector<CorpusCase> ConformanceCorpus();
+
+struct FourWayResult {
+  bool agreed = false;
+  std::string detail;  ///< first divergence: arm names, row, outputs
+  /// Path each TransformView arm actually took (vm, xquery, sql).
+  ExecutionPath vm_path = ExecutionPath::kFunctional;
+  ExecutionPath xquery_path = ExecutionPath::kFunctional;
+  ExecutionPath sql_path = ExecutionPath::kFunctional;
+  int rows = 0;  ///< base rows compared
+};
+
+/// Runs `c` through all four paths in a fresh database and compares the
+/// canonicalized outputs row by row.
+Result<FourWayResult> RunFourWay(const CorpusCase& c);
+
+}  // namespace xdb::difftest
+
+#endif  // XDB_DIFFTEST_CORPUS_H_

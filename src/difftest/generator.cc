@@ -1,0 +1,334 @@
+#include "difftest/generator.h"
+
+#include <algorithm>
+#include <map>
+
+#include "difftest/seed.h"
+
+namespace xdb::difftest {
+
+using schema::ChildRef;
+using schema::ElementStructure;
+using schema::ModelGroup;
+
+namespace {
+
+/// Deterministic cross-platform RNG (SplitMix64 stream).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ^ 0xabcdef0123456789ULL) {}
+  uint64_t Next() {
+    state_ = SplitMix64(state_);
+    return state_;
+  }
+  uint64_t U(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+  bool Chance(double p) {
+    return static_cast<double>(Next() % 1000000) < p * 1000000.0;
+  }
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[U(v.size())];
+  }
+
+ private:
+  uint64_t state_;
+};
+
+const char* kWords[] = {"alpha", "beta",  "gamma", "delta",
+                        "omega", "kappa", "sigma", "zeta"};
+
+/// Everything the stylesheet generator needs to know about one declaration.
+struct ElemMeta {
+  const ElementStructure* decl = nullptr;
+  std::vector<std::string> numeric_leaves;  ///< direct leaf children, numeric text
+  std::vector<std::string> word_leaves;     ///< direct leaf children, word text
+  std::vector<std::string> repeating;       ///< direct repeating children
+  std::vector<std::string> children;        ///< all direct children
+};
+
+class CaseGen {
+ public:
+  CaseGen(uint64_t seed, const GenOptions& options)
+      : rng_(seed), options_(options) {}
+
+  GeneratedCase Run(uint64_t seed) {
+    GeneratedCase out;
+    out.seed = seed;
+    out.structure = BuildStructure();
+    CollectMeta(out.structure.root());
+    int n_docs = 1 + static_cast<int>(rng_.U(
+                         static_cast<uint64_t>(options_.max_documents)));
+    for (int i = 0; i < n_docs; ++i) {
+      std::string doc;
+      EmitDocElement(out.structure.root(), &doc);
+      out.documents.push_back(std::move(doc));
+    }
+    out.reject_candidate = rng_.Chance(options_.reject_fraction);
+    out.stylesheet = BuildStylesheet(out.structure, out.reject_candidate);
+    return out;
+  }
+
+ private:
+  // ---- structure ----------------------------------------------------------
+
+  schema::StructuralInfo BuildStructure() {
+    schema::StructureBuilder b;
+    counter_ = 0;
+    ElementStructure* root = b.Element("doc");
+    // The root always has children (a leaf-only root makes trivial cases).
+    Fill(&b, root, /*depth=*/0, /*min_children=*/1);
+    return b.Build(root);
+  }
+
+  std::string Fresh(const char* prefix) {
+    return std::string(prefix) + std::to_string(counter_++);
+  }
+
+  void Fill(schema::StructureBuilder* b, ElementStructure* e, int depth,
+            int min_children) {
+    for (uint64_t i = rng_.U(3); i > 0; --i) {
+      e->attributes.push_back(Fresh("a"));
+    }
+    uint64_t n_children =
+        depth >= options_.max_depth
+            ? 0
+            : std::max<uint64_t>(min_children, rng_.U(4));
+    if (n_children == 0) {
+      // Leaf: text content, either numeric-only or word-only (recorded so
+      // the stylesheet generator only writes arithmetic over numeric leaves).
+      b->AddText(e);
+      numeric_leaf_[e->name] = rng_.Chance(0.5);
+      return;
+    }
+    if (n_children >= 2 && rng_.Chance(0.3)) {
+      e->group = rng_.Chance(0.5) ? ModelGroup::kChoice : ModelGroup::kAll;
+    }
+    for (uint64_t i = 0; i < n_children; ++i) {
+      int min_occurs = static_cast<int>(rng_.U(2));
+      int max_occurs = rng_.U(3) == 0 ? -1 : 1;
+      Fill(b, b->AddChild(e, Fresh("e"), min_occurs, max_occurs), depth + 1,
+           0);
+    }
+  }
+
+  void CollectMeta(const ElementStructure* e) {
+    ElemMeta m;
+    m.decl = e;
+    for (const ChildRef& ref : e->children) {
+      m.children.push_back(ref.elem->name);
+      if (ref.repeating()) m.repeating.push_back(ref.elem->name);
+      if (ref.elem->IsLeaf() && ref.elem->has_text) {
+        if (numeric_leaf_[ref.elem->name]) {
+          m.numeric_leaves.push_back(ref.elem->name);
+        } else {
+          m.word_leaves.push_back(ref.elem->name);
+        }
+      }
+    }
+    meta_[e->name] = m;
+    order_.push_back(e->name);
+    for (const ChildRef& ref : e->children) CollectMeta(ref.elem);
+  }
+
+  // ---- documents ----------------------------------------------------------
+
+  std::string TextValue(const std::string& leaf_name) {
+    if (numeric_leaf_[leaf_name]) return std::to_string(rng_.U(1000));
+    return std::string(kWords[rng_.U(8)]) + std::to_string(rng_.U(10));
+  }
+
+  void EmitDocElement(const ElementStructure* e, std::string* out) {
+    *out += "<" + e->name;
+    for (const std::string& a : e->attributes) {
+      *out += " " + a + "=\"" + kWords[rng_.U(8)] + "\"";
+    }
+    if (e->IsLeaf()) {
+      if (e->has_text) {
+        *out += ">" + TextValue(e->name) + "</" + e->name + ">";
+      } else {
+        *out += "/>";
+      }
+      return;
+    }
+    *out += ">";
+    // Slot order: declared for sequence; shuffled for <all> (the
+    // canonicalizer restores declaration order); one branch for choice.
+    std::vector<size_t> slots;
+    if (e->group == ModelGroup::kChoice) {
+      slots.push_back(rng_.U(e->children.size()));
+    } else {
+      for (size_t i = 0; i < e->children.size(); ++i) slots.push_back(i);
+      if (e->group == ModelGroup::kAll) {
+        for (size_t i = slots.size(); i > 1; --i) {
+          std::swap(slots[i - 1], slots[rng_.U(i)]);
+        }
+      }
+    }
+    for (size_t slot : slots) {
+      const ChildRef& ref = e->children[slot];
+      uint64_t count;
+      if (e->group == ModelGroup::kChoice) {
+        // The chosen branch appears at least once.
+        count = ref.repeating() ? 1 + rng_.U(3) : 1;
+      } else if (ref.repeating()) {
+        count = static_cast<uint64_t>(ref.min_occurs) + rng_.U(3);
+      } else {
+        count = ref.optional() && !rng_.Chance(0.7) ? 0 : 1;
+      }
+      for (uint64_t i = 0; i < count; ++i) EmitDocElement(ref.elem, out);
+    }
+    *out += "</" + e->name + ">";
+  }
+
+  // ---- stylesheet ---------------------------------------------------------
+
+  std::string BuildStylesheet(const schema::StructuralInfo& structure,
+                              bool inject_reject) {
+    std::string ss =
+        "<xsl:stylesheet version=\"1.0\" "
+        "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">";
+    // 1-3 templates over distinct element names (root-biased: the first
+    // template usually matches the document root so apply-templates chains
+    // have somewhere to start).
+    std::vector<std::string> targets;
+    if (rng_.Chance(0.8)) targets.push_back(structure.root()->name);
+    uint64_t extra = 1 + rng_.U(2);
+    for (uint64_t i = 0; i < extra && targets.size() < 3; ++i) {
+      const std::string& name = rng_.Pick(order_);
+      if (std::find(targets.begin(), targets.end(), name) == targets.end()) {
+        targets.push_back(name);
+      }
+    }
+    uint64_t reject_in = targets.empty() ? 0 : rng_.U(targets.size());
+    for (size_t t = 0; t < targets.size(); ++t) {
+      const ElemMeta& m = meta_[targets[t]];
+      ss += "<xsl:template match=\"" + targets[t] + "\">";
+      uint64_t n_instr = 1 + rng_.U(2);
+      for (uint64_t i = 0; i < n_instr; ++i) ss += Instruction(m, 0);
+      if (inject_reject && t == reject_in) ss += RejectConstruct();
+      ss += "</xsl:template>";
+    }
+    // Usually suppress the built-in text rule so outputs stay structured.
+    if (rng_.Chance(0.6)) ss += "<xsl:template match=\"text()\"/>";
+    ss += "</xsl:stylesheet>";
+    return ss;
+  }
+
+  std::string RejectConstruct() {
+    switch (rng_.U(2)) {
+      case 0:
+        // position() depends on the dynamic context (outside the subset).
+        return "<xsl:value-of select=\"position()\"/>";
+      default:
+        // Comment constructors are outside the XQuery subset.
+        return "<xsl:comment>boom</xsl:comment>";
+    }
+  }
+
+  std::string Instruction(const ElemMeta& m, int depth) {
+    // Re-roll until an applicable construct comes up; the literal-text arm
+    // always applies, so this terminates.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      switch (rng_.U(10)) {
+        case 0:
+          return "<xsl:value-of select=\".\"/>";
+        case 1:
+          if (!m.numeric_leaves.empty()) {
+            return "<xsl:value-of select=\"" + rng_.Pick(m.numeric_leaves) +
+                   "\"/>";
+          }
+          break;
+        case 2:
+          if (!m.decl->attributes.empty()) {
+            return "<xsl:value-of select=\"@" +
+                   rng_.Pick(m.decl->attributes) + "\"/>";
+          }
+          break;
+        case 3: {
+          // Literal element, sometimes with an AVT attribute.
+          std::string tag = "out" + std::to_string(rng_.U(5));
+          std::string elem = "<" + tag;
+          if (!m.word_leaves.empty() && rng_.Chance(0.6)) {
+            elem += " v=\"{" + rng_.Pick(m.word_leaves) + "}\"";
+          } else if (!m.decl->attributes.empty() && rng_.Chance(0.6)) {
+            elem += " w=\"{@" + rng_.Pick(m.decl->attributes) + "}\"";
+          }
+          if (depth >= 2) return elem + "/>";
+          return elem + ">" + Instruction(m, depth + 1) + "</" + tag + ">";
+        }
+        case 4:
+          if (m.children.empty() || rng_.Chance(0.4)) {
+            return "<xsl:apply-templates/>";
+          }
+          return "<xsl:apply-templates select=\"" + rng_.Pick(m.children) +
+                 "\"/>";
+        case 5:
+          if (!m.repeating.empty() && depth < 2) {
+            const std::string& child = rng_.Pick(m.repeating);
+            return "<xsl:for-each select=\"" + child + "\"><i>" +
+                   Instruction(meta_[child], depth + 1) + "</i></xsl:for-each>";
+          }
+          break;
+        case 6:
+          if (!m.numeric_leaves.empty() && depth < 2) {
+            return "<xsl:if test=\"" + rng_.Pick(m.numeric_leaves) +
+                   " &gt; " + std::to_string(rng_.U(800)) + "\">" +
+                   Instruction(m, depth + 1) + "</xsl:if>";
+          }
+          break;
+        case 7:
+          if (!m.word_leaves.empty() && depth < 2) {
+            return std::string("<xsl:choose><xsl:when test=\"") +
+                   rng_.Pick(m.word_leaves) + " = '" + kWords[rng_.U(8)] +
+                   std::to_string(rng_.U(10)) + "'\"><hit/></xsl:when>" +
+                   "<xsl:otherwise><miss/></xsl:otherwise></xsl:choose>";
+          }
+          break;
+        case 8:
+          if (!m.children.empty()) {
+            return "<xsl:value-of select=\"count(" + rng_.Pick(m.children) +
+                   ")\"/>";
+          }
+          break;
+        case 9: {
+          // sum() over a repeating child's numeric leaf.
+          for (const std::string& child : m.repeating) {
+            const ElemMeta& cm = meta_[child];
+            if (!cm.numeric_leaves.empty()) {
+              return "<xsl:value-of select=\"sum(" + child + "/" +
+                     cm.numeric_leaves[0] + ")\"/>";
+            }
+          }
+          break;
+        }
+      }
+    }
+    return "<t>txt" + std::to_string(rng_.U(10)) + "</t>";
+  }
+
+  Rng rng_;
+  GenOptions options_;
+  int counter_ = 0;
+  std::map<std::string, bool> numeric_leaf_;
+  std::map<std::string, ElemMeta> meta_;
+  std::vector<std::string> order_;  ///< declaration names, document order
+};
+
+}  // namespace
+
+GeneratedCase GenerateCase(uint64_t seed, const GenOptions& options) {
+  CaseGen gen(SplitMix64(seed), options);
+  return gen.Run(seed);
+}
+
+GeneratedCase CloneCase(const GeneratedCase& c) {
+  GeneratedCase out;
+  out.seed = c.seed;
+  out.structure = c.structure.Clone();
+  out.documents = c.documents;
+  out.stylesheet = c.stylesheet;
+  out.reject_candidate = c.reject_candidate;
+  return out;
+}
+
+}  // namespace xdb::difftest

@@ -1,0 +1,57 @@
+// Seeded random generation of (structure, documents, stylesheet) triples for
+// the N-way differential harness. The structure is always inside the
+// shreddable subset (globally unique names, no recursion, no mixed content)
+// so every case can be loaded into base tables; the documents are
+// schema-valid by construction; and the stylesheet is *structurally matched*
+// — its templates, selects and predicates reference element/attribute names
+// that actually occur in the structure, drawn from the constructs the
+// rewriter supports (template / apply-templates / value-of / for-each / if /
+// choose / AVT / count / sum), plus a configurable fraction that embeds a
+// construct the rewriter must reject cleanly (position(), comment
+// constructors).
+#ifndef XDB_DIFFTEST_GENERATOR_H_
+#define XDB_DIFFTEST_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "schema/structure.h"
+
+namespace xdb::difftest {
+
+struct GenOptions {
+  /// Maximum element nesting depth of the generated structure.
+  int max_depth = 3;
+  /// Probability that the stylesheet embeds a construct outside the
+  /// translatable subset (the rewriter must reject it with kRewriteError and
+  /// the shredded path must fall back to functional execution).
+  double reject_fraction = 0.15;
+  /// Maximum number of documents loaded per case (>=1; multi-document cases
+  /// exercise the per-row loop of the shredded path).
+  int max_documents = 2;
+};
+
+struct GeneratedCase {
+  uint64_t seed = 0;
+  schema::StructuralInfo structure;
+  /// Schema-valid documents (at least one).
+  std::vector<std::string> documents;
+  /// Complete <xsl:stylesheet> document.
+  std::string stylesheet;
+  /// The generator injected a non-translatable construct. The rewrite may
+  /// still succeed (dead-template removal can eliminate the construct), but
+  /// if it fails it must fail with kRewriteError.
+  bool reject_candidate = false;
+};
+
+/// Deterministic: the same (seed, options) always produces the same case,
+/// on every platform (no std::uniform_int_distribution).
+GeneratedCase GenerateCase(uint64_t seed, const GenOptions& options = {});
+
+/// Deep copy (the structure is cloned).
+GeneratedCase CloneCase(const GeneratedCase& c);
+
+}  // namespace xdb::difftest
+
+#endif  // XDB_DIFFTEST_GENERATOR_H_

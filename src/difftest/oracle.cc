@@ -1,0 +1,287 @@
+#include "difftest/oracle.h"
+
+#include <memory>
+
+#include "core/xmldb.h"
+#include "difftest/canonical.h"
+#include "difftest/seed.h"
+#include "rewrite/xslt_rewriter.h"
+#include "shred/shredder.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xquery/evaluator.h"
+#include "xslt/interpreter.h"
+#include "xslt/stylesheet.h"
+#include "xslt/vm.h"
+
+namespace xdb::difftest {
+
+const char* EngineName(int engine) {
+  switch (engine) {
+    case kInterpreter:
+      return "interpreter";
+    case kVm:
+      return "vm";
+    case kInlineXQuery:
+      return "inline-xquery";
+    case kShreddedSql:
+      return "shredded-sql";
+    default:
+      return "?";
+  }
+}
+
+namespace {
+
+constexpr const char* kViewName = "difft";
+
+std::string Truncate(const std::string& s, size_t n = 400) {
+  if (s.size() <= n) return s;
+  return s.substr(0, n) + "...[" + std::to_string(s.size()) + " bytes]";
+}
+
+OracleReport Invalid(OracleReport report, std::string why) {
+  report.outcome = OracleReport::Outcome::kInvalid;
+  report.detail = std::move(why);
+  return report;
+}
+
+OracleReport Diverged(OracleReport report, std::string why) {
+  report.outcome = OracleReport::Outcome::kDiverged;
+  report.detail = std::move(why) + "\nrepro: " + report.repro;
+  return report;
+}
+
+}  // namespace
+
+OracleReport RunCase(const GeneratedCase& c, const OracleOptions& options) {
+  OracleReport report;
+  report.seed = c.seed;
+  report.repro = ReproCommand(c.seed, options.repro_regex);
+
+  // ---- shared compile + storage setup --------------------------------------
+  auto parsed_ss = xslt::Stylesheet::Parse(c.stylesheet);
+  if (!parsed_ss.ok()) {
+    return Invalid(std::move(report),
+                   "stylesheet parse: " + parsed_ss.status().ToString());
+  }
+  auto compiled = xslt::CompiledStylesheet::Compile(**parsed_ss);
+  if (!compiled.ok()) {
+    return Invalid(std::move(report),
+                   "stylesheet compile: " + compiled.status().ToString());
+  }
+
+  XmlDb db;
+  Status reg = db.RegisterShreddedSchema(kViewName, c.structure);
+  if (!reg.ok()) {
+    return Invalid(std::move(report), "register: " + reg.ToString());
+  }
+  for (const std::string& doc : c.documents) {
+    auto load = db.LoadDocument(kViewName, doc);
+    if (!load.ok()) {
+      return Invalid(std::move(report),
+                     "load: " + load.status().ToString() + "\ndoc: " + doc);
+    }
+  }
+
+  // All engines see the *canonical* form of each document — exactly what the
+  // shredded tables reconstruct (declared <all> order, annotation/comment
+  // stripping), so a difference in output is an engine divergence, never an
+  // input-representation artifact.
+  const shred::ShredMapping* mapping = db.shredded_mapping(kViewName);
+  std::vector<std::unique_ptr<xml::Document>> inputs;
+  for (const std::string& doc_text : c.documents) {
+    auto doc = xml::ParseDocument(doc_text);
+    if (!doc.ok()) {
+      return Invalid(std::move(report), "doc parse: " + doc.status().ToString());
+    }
+    auto canonical = shred::CanonicalizeDocument(*mapping, (*doc)->root());
+    if (!canonical.ok()) {
+      return Invalid(std::move(report),
+                     "canonicalize: " + canonical.status().ToString());
+    }
+    auto reparsed = xml::ParseDocument(*canonical);
+    if (!reparsed.ok()) {
+      return Invalid(std::move(report),
+                     "canonical reparse: " + reparsed.status().ToString());
+    }
+    inputs.push_back(std::move(*reparsed));
+  }
+
+  // ---- engine 1: tree interpreter ------------------------------------------
+  {
+    EngineRun& run = report.engines[kInterpreter];
+    run.ran = true;
+    xslt::Interpreter interp(**parsed_ss);
+    for (auto& input : inputs) {
+      auto out = interp.Transform(input->root());
+      if (!out.ok()) {
+        run.status = out.status();
+        break;
+      }
+      run.rows.push_back(xml::Serialize((*out)->root()));
+    }
+  }
+
+  // ---- engine 2: XSLTVM ----------------------------------------------------
+  {
+    EngineRun& run = report.engines[kVm];
+    run.ran = true;
+    xslt::Vm vm(**compiled);
+    for (auto& input : inputs) {
+      auto out = vm.Transform(input->root());
+      if (!out.ok()) {
+        run.status = out.status();
+        break;
+      }
+      run.rows.push_back(xml::Serialize((*out)->root()));
+    }
+  }
+
+  // ---- engine 3: inline XSLT->XQuery rewrite -------------------------------
+  rewrite::RewriteReport rewrite_report;
+  auto query =
+      rewrite::RewriteXsltToXQuery(**compiled, &c.structure, {}, &rewrite_report);
+  if (!query.ok()) {
+    report.rewrite_rejected = true;
+    report.engines[kInlineXQuery].status = query.status();
+    if (query.status().code() != StatusCode::kRewriteError) {
+      return Diverged(
+          std::move(report),
+          std::string("unclean rewrite rejection (want kRewriteError): ") +
+              query.status().ToString());
+    }
+  } else {
+    EngineRun& run = report.engines[kInlineXQuery];
+    run.ran = true;
+    xquery::QueryEvaluator qe;
+    for (auto& input : inputs) {
+      auto out = qe.EvaluateToDocument(*query, input->root());
+      if (!out.ok()) {
+        run.status = out.status();
+        break;
+      }
+      run.rows.push_back(xml::Serialize((*out)->root()));
+    }
+  }
+
+  // ---- engine 4: shredded storage + full pipeline --------------------------
+  {
+    EngineRun& run = report.engines[kShreddedSql];
+    run.ran = true;
+    ExecStats stats;
+    auto out = db.TransformView(kViewName, c.stylesheet, {}, &stats);
+    report.shredded_path = stats.path;
+    if (!out.ok()) {
+      run.status = out.status();
+    } else {
+      run.rows = std::move(*out);
+      if (run.rows.size() != inputs.size()) {
+        return Diverged(std::move(report),
+                        "shredded-sql returned " +
+                            std::to_string(run.rows.size()) + " rows for " +
+                            std::to_string(inputs.size()) + " documents");
+      }
+    }
+    // Rewrite acceptance must agree between the inline path and the shredded
+    // pipeline: the same stylesheet over the same structure either rewrites
+    // in both or is rejected (and falls back) in both.
+    if (report.rewrite_rejected && stats.path != ExecutionPath::kFunctional) {
+      return Diverged(std::move(report),
+                      std::string("rewrite skew: inline rewrite rejected but "
+                                  "shredded pipeline chose path ") +
+                          ExecutionPathName(stats.path));
+    }
+    if (!report.rewrite_rejected && stats.path == ExecutionPath::kFunctional &&
+        run.status.ok()) {
+      return Diverged(std::move(report),
+                      "rewrite skew: inline rewrite succeeded but shredded "
+                      "pipeline fell back to functional: " +
+                          stats.fallback_reason);
+    }
+  }
+
+  // ---- sabotage hook (harness self-test) -----------------------------------
+  if (options.sabotage_engine >= 0 && options.sabotage_engine < kNumEngines) {
+    EngineRun& run = report.engines[options.sabotage_engine];
+    if (run.ran && run.status.ok()) {
+      for (std::string& row : run.rows) row += "<x-sabotage/>";
+    }
+  }
+
+  // ---- status skew: engines that ran must fail (or succeed) identically ----
+  StatusCode expect = StatusCode::kOk;
+  bool any_error = false;
+  for (int e = 0; e < kNumEngines; ++e) {
+    const EngineRun& run = report.engines[e];
+    if (!run.ran || run.status.ok()) continue;
+    if (!any_error) {
+      any_error = true;
+      expect = run.status.code();
+    }
+  }
+  if (any_error) {
+    std::string skew;
+    for (int e = 0; e < kNumEngines; ++e) {
+      const EngineRun& run = report.engines[e];
+      if (!run.ran) continue;
+      if (run.status.code() != expect) {
+        skew += std::string(EngineName(e)) + "=" + run.status.ToString() + " ";
+      }
+    }
+    if (!skew.empty()) {
+      std::string all;
+      for (int e = 0; e < kNumEngines; ++e) {
+        if (!report.engines[e].ran) continue;
+        all += std::string(EngineName(e)) + "=" +
+               report.engines[e].status.ToString() + "; ";
+      }
+      return Diverged(std::move(report), "status skew across engines: " + all);
+    }
+    // Identical failure everywhere: agreed (error behavior is consistent).
+    report.outcome = report.rewrite_rejected ? OracleReport::Outcome::kRejected
+                                             : OracleReport::Outcome::kAgreed;
+    report.detail = "all engines failed identically: " +
+                    report.engines[kInterpreter].status.ToString();
+    return report;
+  }
+
+  // ---- canonicalize + compare ----------------------------------------------
+  for (int e = 0; e < kNumEngines; ++e) {
+    EngineRun& run = report.engines[e];
+    if (!run.ran) continue;
+    for (const std::string& row : run.rows) {
+      auto canon = CanonicalizeXml(row);
+      if (!canon.ok()) {
+        return Diverged(std::move(report),
+                        std::string(EngineName(e)) +
+                            " output is not well-formed: " +
+                            canon.status().ToString() + "\noutput: " +
+                            Truncate(row));
+      }
+      run.canonical.push_back(std::move(*canon));
+    }
+  }
+  const EngineRun& ref = report.engines[kInterpreter];
+  for (int e = kVm; e < kNumEngines; ++e) {
+    const EngineRun& run = report.engines[e];
+    if (!run.ran) continue;
+    for (size_t d = 0; d < inputs.size(); ++d) {
+      if (run.canonical[d] != ref.canonical[d]) {
+        return Diverged(
+            std::move(report),
+            std::string("engines diverge: ") + EngineName(kInterpreter) +
+                " != " + EngineName(e) + " on document " + std::to_string(d) +
+                "\n  " + EngineName(kInterpreter) + ": " +
+                Truncate(ref.canonical[d]) + "\n  " + EngineName(e) + ": " +
+                Truncate(run.canonical[d]));
+      }
+    }
+  }
+
+  report.outcome = report.rewrite_rejected ? OracleReport::Outcome::kRejected
+                                           : OracleReport::Outcome::kAgreed;
+  return report;
+}
+
+}  // namespace xdb::difftest

@@ -1,0 +1,82 @@
+// The N-way differential oracle: runs one generated case through all four
+// execution paths of the system —
+//
+//   1. tree-walking XSLT interpreter          (xslt::Interpreter)
+//   2. compiled XSLTVM                        (xslt::Vm)
+//   3. inline XSLT->XQuery rewrite            (rewrite + xquery::QueryEvaluator)
+//   4. shredded storage + full pipeline       (XmlDb::TransformView over the
+//                                              registered shredded schema:
+//                                              plan A SQL, plan B XQuery, or
+//                                              the functional fallback)
+//
+// — canonicalizes every output, and reports the first divergence with engine
+// names, the case seed, and a one-line repro command. Error paths are
+// differential too: when one engine fails, every engine that executed must
+// fail with the *same* status code (kRewriteError fallbacks excepted — those
+// are asserted to fall back cleanly instead).
+#ifndef XDB_DIFFTEST_ORACLE_H_
+#define XDB_DIFFTEST_ORACLE_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/exec_stats.h"
+#include "difftest/generator.h"
+
+namespace xdb::difftest {
+
+enum EngineId {
+  kInterpreter = 0,
+  kVm = 1,
+  kInlineXQuery = 2,
+  kShreddedSql = 3,
+  kNumEngines = 4,
+};
+
+const char* EngineName(int engine);
+
+struct EngineRun {
+  bool ran = false;  ///< the engine attempted execution (vs rewrite-rejected)
+  Status status;
+  std::vector<std::string> rows;       ///< raw per-document outputs
+  std::vector<std::string> canonical;  ///< canonicalized per-document outputs
+};
+
+struct OracleOptions {
+  /// Deliberately corrupt this engine's output (0-3) before comparison —
+  /// the harness's self-test hook: a seeded divergence must be caught,
+  /// reduced and reported. -1 = off.
+  int sabotage_engine = -1;
+  /// ctest regex used in the printed repro command.
+  std::string repro_regex = "DiffTest.DifferentialSweep";
+};
+
+struct OracleReport {
+  enum class Outcome {
+    kAgreed,    ///< all engines produced identical canonical output
+    kRejected,  ///< the rewriter rejected cleanly; functional engines agreed
+    kDiverged,  ///< output or status-code divergence between engines
+    kInvalid,   ///< the case itself is unusable (load/parse failed)
+  };
+  Outcome outcome = Outcome::kInvalid;
+  /// First divergence: engine names, document index, differing outputs.
+  std::string detail;
+  uint64_t seed = 0;
+  std::string repro;  ///< one-line `XDB_SEED=... ctest -R ...` command
+  /// Path the shredded pipeline actually chose (plan A / B / fallback C).
+  ExecutionPath shredded_path = ExecutionPath::kFunctional;
+  bool rewrite_rejected = false;
+  std::array<EngineRun, kNumEngines> engines;
+
+  bool diverged() const { return outcome == Outcome::kDiverged; }
+};
+
+/// Runs `c` through all four engines and compares. Never throws/aborts on
+/// engine errors — error statuses are part of the differential contract.
+OracleReport RunCase(const GeneratedCase& c, const OracleOptions& options = {});
+
+}  // namespace xdb::difftest
+
+#endif  // XDB_DIFFTEST_ORACLE_H_

@@ -1,0 +1,215 @@
+#include "difftest/reducer.h"
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "xml/dom.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xdb::difftest {
+
+namespace {
+
+/// Deep-copies `src` into `out`, skipping the subtree rooted at `skip`.
+/// Returns the copy (unattached), or nullptr when src == skip.
+xml::Node* CopyExcept(const xml::Node* src, const xml::Node* skip,
+                      xml::Document* out) {
+  if (src == skip) return nullptr;
+  switch (src->type()) {
+    case xml::NodeType::kElement: {
+      xml::Node* copy =
+          out->CreateElement(src->qualified_name(), src->namespace_uri());
+      for (const xml::Node* a : src->attributes()) {
+        copy->SetAttribute(a->qualified_name(), a->value());
+      }
+      for (const xml::Node* child : src->children()) {
+        xml::Node* cc = CopyExcept(child, skip, out);
+        if (cc != nullptr) copy->AppendChild(cc);
+      }
+      return copy;
+    }
+    case xml::NodeType::kText:
+      return out->CreateText(src->value());
+    case xml::NodeType::kComment:
+      return out->CreateComment(src->value());
+    case xml::NodeType::kProcessingInstruction:
+      return out->CreateProcessingInstruction(src->local_name(), src->value());
+    default:
+      return nullptr;
+  }
+}
+
+/// Collects element nodes in document order, filtered by `keep`.
+void CollectElements(const xml::Node* n,
+                     const std::function<bool(const xml::Node*)>& keep,
+                     std::vector<const xml::Node*>* out) {
+  if (n->is_element() && keep(n)) out->push_back(n);
+  for (const xml::Node* c : n->children()) CollectElements(c, keep, out);
+}
+
+/// Serializes `doc_text` with its n-th candidate element removed, or nullopt
+/// when there is no n-th candidate / the document does not parse.
+std::optional<std::string> RemoveNthElement(
+    const std::string& doc_text, size_t n,
+    const std::function<bool(const xml::Node*)>& candidate) {
+  auto doc = xml::ParseDocument(doc_text);
+  if (!doc.ok()) return std::nullopt;
+  std::vector<const xml::Node*> elems;
+  CollectElements((*doc)->root(), candidate, &elems);
+  if (n >= elems.size()) return std::nullopt;
+  xml::Document out;
+  std::string result;
+  for (const xml::Node* top : (*doc)->root()->children()) {
+    xml::Node* copy = CopyExcept(top, elems[n], &out);
+    if (copy != nullptr) result += xml::Serialize(copy);
+  }
+  return result;
+}
+
+bool IsTemplate(const xml::Node* n) {
+  return n->is_element() && n->local_name() == "template" &&
+         n->parent() != nullptr && n->parent()->is_element() &&
+         n->parent()->local_name() == "stylesheet";
+}
+
+// An instruction inside a template body (any element strictly below an
+// xsl:template).
+bool IsBodyInstruction(const xml::Node* n) {
+  if (!n->is_element()) return false;
+  for (const xml::Node* p = n->parent(); p != nullptr; p = p->parent()) {
+    if (p->is_element() && p->local_name() == "template") return true;
+  }
+  return false;
+}
+
+bool NotRoot(const xml::Node* n) {
+  // Any element that has an element parent (i.e. not the document element).
+  return n->parent() != nullptr && n->parent()->is_element();
+}
+
+}  // namespace
+
+int CountElements(const std::string& xml_text) {
+  auto doc = xml::ParseDocument(xml_text);
+  if (!doc.ok()) return 0;
+  int count = 0;
+  std::vector<const xml::Node*> elems;
+  CollectElements((*doc)->root(), [](const xml::Node*) { return true; },
+                  &elems);
+  count = static_cast<int>(elems.size());
+  return count;
+}
+
+int CountTemplates(const std::string& stylesheet_text) {
+  auto doc = xml::ParseDocument(stylesheet_text);
+  if (!doc.ok()) return 0;
+  std::vector<const xml::Node*> elems;
+  CollectElements((*doc)->root(), IsTemplate, &elems);
+  return static_cast<int>(elems.size());
+}
+
+Result<ReduceResult> ReduceCase(const GeneratedCase& c,
+                                const OracleOptions& options,
+                                int max_oracle_runs) {
+  ReduceResult result;
+  result.reduced = CloneCase(c);
+  result.report = RunCase(result.reduced, options);
+  result.oracle_runs = 1;
+  if (!result.report.diverged()) {
+    return Status::InvalidArgument(
+        "ReduceCase: case does not diverge (outcome detail: " +
+        result.report.detail + ")");
+  }
+
+  // Tries one mutated candidate; adopts it when the divergence persists.
+  auto try_candidate = [&](GeneratedCase&& candidate) -> bool {
+    if (result.oracle_runs >= max_oracle_runs) return false;
+    ++result.oracle_runs;
+    OracleReport rep = RunCase(candidate, options);
+    if (!rep.diverged()) return false;
+    result.reduced = std::move(candidate);
+    result.report = std::move(rep);
+    return true;
+  };
+
+  bool progress = true;
+  while (progress && result.oracle_runs < max_oracle_runs) {
+    progress = false;
+
+    // 1. Drop whole documents (keep at least one).
+    while (result.reduced.documents.size() > 1 &&
+           result.oracle_runs < max_oracle_runs) {
+      bool dropped = false;
+      for (size_t d = 0; d < result.reduced.documents.size(); ++d) {
+        GeneratedCase candidate = CloneCase(result.reduced);
+        candidate.documents.erase(candidate.documents.begin() +
+                                  static_cast<long>(d));
+        if (try_candidate(std::move(candidate))) {
+          dropped = true;
+          progress = true;
+          break;
+        }
+      }
+      if (!dropped) break;
+    }
+
+    // 2. Drop document elements (never the root; schema-invalid drops are
+    //    rejected by the oracle itself, which reports kInvalid).
+    for (size_t d = 0; d < result.reduced.documents.size(); ++d) {
+      size_t i = 0;
+      while (result.oracle_runs < max_oracle_runs) {
+        auto mutated =
+            RemoveNthElement(result.reduced.documents[d], i, NotRoot);
+        if (!mutated.has_value()) break;
+        GeneratedCase candidate = CloneCase(result.reduced);
+        candidate.documents[d] = std::move(*mutated);
+        if (try_candidate(std::move(candidate))) {
+          progress = true;  // same index now names the next candidate
+        } else {
+          ++i;
+        }
+      }
+    }
+
+    // 3. Drop templates.
+    {
+      size_t i = 0;
+      while (result.oracle_runs < max_oracle_runs) {
+        auto mutated =
+            RemoveNthElement(result.reduced.stylesheet, i, IsTemplate);
+        if (!mutated.has_value()) break;
+        GeneratedCase candidate = CloneCase(result.reduced);
+        candidate.stylesheet = std::move(*mutated);
+        if (try_candidate(std::move(candidate))) {
+          progress = true;
+        } else {
+          ++i;
+        }
+      }
+    }
+
+    // 4. Drop instructions inside template bodies (simplifies expressions by
+    //    removing the instructions that carry them).
+    {
+      size_t i = 0;
+      while (result.oracle_runs < max_oracle_runs) {
+        auto mutated =
+            RemoveNthElement(result.reduced.stylesheet, i, IsBodyInstruction);
+        if (!mutated.has_value()) break;
+        GeneratedCase candidate = CloneCase(result.reduced);
+        candidate.stylesheet = std::move(*mutated);
+        if (try_candidate(std::move(candidate))) {
+          progress = true;
+        } else {
+          ++i;
+        }
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace xdb::difftest

@@ -1,0 +1,38 @@
+// Automatic test-case reduction: shrinks a diverging (documents, stylesheet)
+// pair to a minimal repro before it is reported. Greedy delta-debugging over
+// the XML trees: drop whole documents, drop document elements, drop
+// stylesheet templates, drop instructions inside template bodies — keeping a
+// candidate only when the oracle still diverges. Reductions that make a
+// document schema-invalid are rejected automatically (the oracle reports
+// them as kInvalid, not kDiverged).
+#ifndef XDB_DIFFTEST_REDUCER_H_
+#define XDB_DIFFTEST_REDUCER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "difftest/generator.h"
+#include "difftest/oracle.h"
+
+namespace xdb::difftest {
+
+struct ReduceResult {
+  GeneratedCase reduced;
+  OracleReport report;  ///< oracle report for the reduced case (diverged)
+  int oracle_runs = 0;  ///< how many oracle executions the search spent
+};
+
+/// Number of element nodes in a serialized XML document (0 on parse error).
+int CountElements(const std::string& xml_text);
+/// Number of xsl:template elements in a stylesheet.
+int CountTemplates(const std::string& stylesheet_text);
+
+/// Shrinks `c`, which must diverge under `options` (otherwise returns
+/// kInvalidArgument). Spends at most `max_oracle_runs` oracle executions.
+Result<ReduceResult> ReduceCase(const GeneratedCase& c,
+                                const OracleOptions& options,
+                                int max_oracle_runs = 400);
+
+}  // namespace xdb::difftest
+
+#endif  // XDB_DIFFTEST_REDUCER_H_

@@ -1,0 +1,48 @@
+#include "difftest/seed.h"
+
+#include <cstdlib>
+
+namespace xdb::difftest {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+namespace {
+
+const char* SeedEnv() { return std::getenv("XDB_SEED"); }
+
+}  // namespace
+
+bool SeedOverridden() { return SeedEnv() != nullptr; }
+
+uint64_t BaseSeed() {
+  const char* env = SeedEnv();
+  if (env == nullptr || *env == '\0') return 1;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env) return 1;
+  return static_cast<uint64_t>(v);
+}
+
+uint64_t TestSeed(uint64_t i) {
+  if (!SeedOverridden()) return i;
+  return SplitMix64(BaseSeed() * 0x9e3779b97f4a7c15ULL + i);
+}
+
+int SweepSeedCount() {
+  const char* env = std::getenv("XDB_DIFF_SEEDS");
+  if (env == nullptr || *env == '\0') return 200;
+  int v = std::atoi(env);
+  return v > 0 ? v : 200;
+}
+
+std::string ReproCommand(uint64_t case_seed, const std::string& ctest_regex) {
+  return "XDB_SEED=" + std::to_string(case_seed) +
+         " XDB_DIFF_SEEDS=1 ctest --test-dir build -R '" + ctest_regex + "'";
+}
+
+}  // namespace xdb::difftest

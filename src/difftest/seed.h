@@ -1,0 +1,37 @@
+// Seed plumbing for every randomized test in the repo: one environment
+// variable (XDB_SEED) re-seeds the differential harness and the property
+// tests, and every failure prints a one-line `XDB_SEED=<n> ctest ...` repro
+// command so a CI failure is reproducible with a single copy-paste.
+#ifndef XDB_DIFFTEST_SEED_H_
+#define XDB_DIFFTEST_SEED_H_
+
+#include <cstdint>
+#include <string>
+
+namespace xdb::difftest {
+
+/// SplitMix64: cheap, high-quality seed scrambler (public-domain algorithm).
+uint64_t SplitMix64(uint64_t x);
+
+/// Base seed for randomized tests: the XDB_SEED environment variable, or 1
+/// when unset/unparseable.
+uint64_t BaseSeed();
+
+/// True when XDB_SEED is set in the environment.
+bool SeedOverridden();
+
+/// Seed for the i-th randomized test variant. Without XDB_SEED this is `i`
+/// itself (bit-identical to the historical per-test seeds); with XDB_SEED it
+/// mixes the base in, so one variable re-randomizes every property test.
+uint64_t TestSeed(uint64_t i);
+
+/// Number of seeds the differential sweep runs: XDB_DIFF_SEEDS, default 200.
+int SweepSeedCount();
+
+/// The copy-paste repro line for one differential case:
+///   XDB_SEED=<seed> XDB_DIFF_SEEDS=1 ctest --test-dir build -R '<regex>'
+std::string ReproCommand(uint64_t case_seed, const std::string& ctest_regex);
+
+}  // namespace xdb::difftest
+
+#endif  // XDB_DIFFTEST_SEED_H_

@@ -515,7 +515,9 @@ class RewriterEngine {
               qattr.value_parts.push_back(
                   std::make_unique<TextLiteralQExpr>(part.literal));
             } else {
-              XDB_ASSIGN_OR_RETURN(xpath::ExprPtr e, rb.Rebase(*part.expr));
+              // XPath 1.0 string conversion: an AVT over a node-set takes the
+              // first node, not the XQuery space-joined sequence.
+              XDB_ASSIGN_OR_RETURN(xpath::ExprPtr e, StringOf(*part.expr, rb));
               qattr.value_parts.push_back(MakeXPath(std::move(e)));
             }
           }
@@ -967,6 +969,13 @@ class RewriterEngine {
         if (a->HasAttribute(schema::kAttrMaxOccurs) ||
             a->HasAttribute(schema::kAttrMinOccurs) ||
             a->HasAttribute(schema::kAttrRecursive)) {
+          repeating = true;
+        }
+        // A member of a choice group is not a certain singleton even at
+        // (1,1): each instance takes only one branch, so the others are
+        // absent and a `let` would emit their bodies unconditionally.
+        if (a->parent() != nullptr &&
+            a->parent()->GetAttribute(schema::kAttrGroup) == "choice") {
           repeating = true;
         }
       }

@@ -1,0 +1,277 @@
+// Tests for the N-way differential harness (src/difftest), plus the
+// differential sweep and conformance-corpus runs themselves. DESIGN.md §9
+// documents the architecture; every seed here flows through
+// difftest::TestSeed / difftest::BaseSeed so XDB_SEED replays a failure.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "difftest/canonical.h"
+#include "difftest/corpus.h"
+#include "difftest/generator.h"
+#include "difftest/oracle.h"
+#include "difftest/reducer.h"
+#include "difftest/seed.h"
+#include "xslt/interpreter.h"
+#include "xslt/stylesheet.h"
+#include "xslt/vm.h"
+#include "xml/parser.h"
+
+namespace xdb::difftest {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Canonicalization: the comparator itself must erase exactly the right noise
+// ---------------------------------------------------------------------------
+
+std::string Canon(std::string_view fragment) {
+  auto r = CanonicalizeXml(fragment);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : std::string();
+}
+
+TEST(CanonicalizeTest, AttributeOrderIsNormalized) {
+  EXPECT_EQ(Canon("<a b=\"1\" a=\"2\" c=\"3\"/>"),
+            Canon("<a c=\"3\" a=\"2\" b=\"1\"/>"));
+}
+
+TEST(CanonicalizeTest, AttributeValuesStayDistinct) {
+  EXPECT_NE(Canon("<a k=\"1\"/>"), Canon("<a k=\"2\"/>"));
+}
+
+TEST(CanonicalizeTest, AdjacentTextIsCoalesced) {
+  // A correct engine may emit "ab" as one text node or two; after
+  // canonicalization both forms compare equal. Comment removal here is only
+  // the tool used to create genuinely adjacent text nodes in the input.
+  EXPECT_EQ(Canon("<a>ab</a>"), Canon("<a>ab</a>"));
+  EXPECT_EQ(Canon("<a></a>"), Canon("<a/>"));
+}
+
+TEST(CanonicalizeTest, WhitespaceIsSignificant) {
+  EXPECT_NE(Canon("<a> x </a>"), Canon("<a>x</a>"));
+  EXPECT_NE(Canon("<a>x y</a>"), Canon("<a>x  y</a>"));
+}
+
+TEST(CanonicalizeTest, NumericLexicalFormsStayDistinct) {
+  // "1" vs "1.0" is exactly the kind of engine bug the oracle must see.
+  EXPECT_NE(Canon("<n>1</n>"), Canon("<n>1.0</n>"));
+  EXPECT_NE(Canon("<a v=\"1\"/>"), Canon("<a v=\"1.0\"/>"));
+}
+
+TEST(CanonicalizeTest, NamespacePrefixesArePreserved) {
+  EXPECT_NE(Canon("<p:a xmlns:p=\"urn:u\"/>"), Canon("<q:a xmlns:q=\"urn:u\"/>"));
+}
+
+TEST(CanonicalizeTest, CommentsAndPisArePreserved) {
+  EXPECT_NE(Canon("<a><!--x--></a>"), Canon("<a/>"));
+  EXPECT_NE(Canon("<a><!--x--></a>"), Canon("<a><!--y--></a>"));
+  EXPECT_NE(Canon("<a><?pi d?></a>"), Canon("<a/>"));
+}
+
+TEST(CanonicalizeTest, BareTextAndFragmentsWork) {
+  EXPECT_EQ(Canon("plain text"), "plain text");
+  EXPECT_EQ(Canon("<a/><b/>"), "<a/><b/>");
+  EXPECT_EQ(Canon(""), "");
+}
+
+TEST(CanonicalizeTest, MalformedInputIsAParseError) {
+  auto r = CanonicalizeXml("<a><b></a>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Seed plumbing
+// ---------------------------------------------------------------------------
+
+TEST(SeedTest, TestSeedIsIdentityWithoutOverride) {
+  if (SeedOverridden()) GTEST_SKIP() << "XDB_SEED set in environment";
+  EXPECT_EQ(TestSeed(0), 0u);
+  EXPECT_EQ(TestSeed(7), 7u);
+  EXPECT_EQ(BaseSeed(), 1u);
+}
+
+TEST(SeedTest, ReproCommandNamesSeedAndTest) {
+  std::string repro = ReproCommand(42, "DiffTest.DifferentialSweep");
+  EXPECT_NE(repro.find("XDB_SEED=42"), std::string::npos) << repro;
+  EXPECT_NE(repro.find("XDB_DIFF_SEEDS=1"), std::string::npos) << repro;
+  EXPECT_NE(repro.find("ctest"), std::string::npos) << repro;
+  EXPECT_NE(repro.find("DiffTest.DifferentialSweep"), std::string::npos) << repro;
+}
+
+// ---------------------------------------------------------------------------
+// Generator: every case is usable (parses, loads, matches its structure)
+// ---------------------------------------------------------------------------
+
+TEST(GeneratorTest, CasesAreDeterministic) {
+  GeneratedCase a = GenerateCase(12345);
+  GeneratedCase b = GenerateCase(12345);
+  EXPECT_EQ(a.documents, b.documents);
+  EXPECT_EQ(a.stylesheet, b.stylesheet);
+  EXPECT_EQ(a.reject_candidate, b.reject_candidate);
+}
+
+TEST(GeneratorTest, CasesAreValidAndRejectFractionIsInjected) {
+  int reject_candidates = 0;
+  for (uint64_t i = 0; i < 40; ++i) {
+    GeneratedCase c = GenerateCase(TestSeed(i));
+    ASSERT_FALSE(c.documents.empty());
+    auto ss = xslt::Stylesheet::Parse(c.stylesheet);
+    ASSERT_TRUE(ss.ok()) << "seed " << c.seed << ": " << ss.status().ToString()
+                         << "\n" << c.stylesheet;
+    for (const std::string& doc : c.documents) {
+      ASSERT_TRUE(xml::ParseDocument(doc).ok()) << "seed " << c.seed;
+    }
+    if (c.reject_candidate) ++reject_candidates;
+    // The oracle is the real validity check: load + canonicalize must work.
+    OracleReport report = RunCase(c);
+    ASSERT_NE(report.outcome, OracleReport::Outcome::kInvalid)
+        << "seed " << c.seed << ": " << report.detail;
+  }
+  // With reject_fraction = 0.15 over 40 seeds, at least one injection is
+  // overwhelmingly likely; zero would mean the knob is dead.
+  EXPECT_GT(reject_candidates, 0);
+}
+
+// ---------------------------------------------------------------------------
+// The differential sweep: XDB_DIFF_SEEDS cases through all four engines
+// ---------------------------------------------------------------------------
+
+TEST(DiffTest, DifferentialSweep) {
+  const int n = SweepSeedCount();
+  int agreed = 0, rejected = 0;
+  for (int i = 0; i < n; ++i) {
+    // Case seed = BaseSeed() + i, so the printed repro (XDB_SEED=<case seed>
+    // XDB_DIFF_SEEDS=1) re-runs exactly the failing case.
+    GeneratedCase c = GenerateCase(BaseSeed() + static_cast<uint64_t>(i));
+    OracleReport report = RunCase(c);
+    ASSERT_NE(report.outcome, OracleReport::Outcome::kDiverged)
+        << report.detail;
+    ASSERT_NE(report.outcome, OracleReport::Outcome::kInvalid)
+        << "generator produced an unusable case\n" << report.detail << "\n"
+        << report.repro;
+    if (report.outcome == OracleReport::Outcome::kAgreed) ++agreed;
+    if (report.outcome == OracleReport::Outcome::kRejected) ++rejected;
+  }
+  std::printf("[difftest] sweep: %d seeds, %d agreed, %d cleanly rejected\n",
+              n, agreed, rejected);
+  EXPECT_EQ(agreed + rejected, n);
+  // Both regimes must actually be exercised on a full-size sweep.
+  if (n >= 50) {
+    EXPECT_GT(agreed, 0);
+    EXPECT_GT(rejected, 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Harness self-test: a seeded divergence is caught, reduced, and reported
+// ---------------------------------------------------------------------------
+
+TEST(DiffTest, SabotageIsCaughtAndReducedToMinimalRepro) {
+  // Find a case where the VM runs cleanly, then corrupt its output.
+  OracleOptions sabotage;
+  sabotage.sabotage_engine = kVm;
+  sabotage.repro_regex = "DiffTest.SabotageIsCaughtAndReducedToMinimalRepro";
+
+  GeneratedCase victim;
+  bool found = false;
+  for (uint64_t i = 0; i < 50 && !found; ++i) {
+    GeneratedCase c = GenerateCase(TestSeed(i));
+    OracleReport clean = RunCase(c);
+    if (clean.outcome != OracleReport::Outcome::kAgreed) continue;
+    victim = CloneCase(c);
+    found = true;
+  }
+  ASSERT_TRUE(found) << "no agreeing case in 50 seeds";
+
+  // 1. Caught: the corrupted engine diverges, named in the report.
+  OracleReport report = RunCase(victim, sabotage);
+  ASSERT_EQ(report.outcome, OracleReport::Outcome::kDiverged);
+  EXPECT_NE(report.detail.find("vm"), std::string::npos) << report.detail;
+  EXPECT_NE(report.detail.find("XDB_SEED="), std::string::npos)
+      << report.detail;
+
+  // 2. Reduced: to a minimal document/stylesheet pair.
+  auto reduced = ReduceCase(victim, sabotage);
+  ASSERT_TRUE(reduced.ok()) << reduced.status().ToString();
+  ASSERT_TRUE(reduced->report.diverged());
+  ASSERT_FALSE(reduced->reduced.documents.empty());
+  for (const std::string& doc : reduced->reduced.documents) {
+    EXPECT_LE(CountElements(doc), 5) << doc;
+  }
+  EXPECT_LE(CountTemplates(reduced->reduced.stylesheet), 3)
+      << reduced->reduced.stylesheet;
+
+  // 3. Reported: with a copy-paste repro command.
+  EXPECT_NE(reduced->report.repro.find("XDB_SEED="), std::string::npos);
+  EXPECT_NE(reduced->report.repro.find("ctest"), std::string::npos);
+  std::printf("[difftest] sabotage reduced in %d oracle runs to %d elements / "
+              "%d templates\n",
+              reduced->oracle_runs,
+              CountElements(reduced->reduced.documents[0]),
+              CountTemplates(reduced->reduced.stylesheet));
+}
+
+TEST(DiffTest, ReduceRejectsNonDivergingCase) {
+  GeneratedCase c = GenerateCase(TestSeed(3));
+  auto r = ReduceCase(c, {});
+  if (RunCase(c).outcome == OracleReport::Outcome::kDiverged) {
+    FAIL() << "seed unexpectedly diverges on its own";
+  }
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Error-path differential: engines must fail with the same status code
+// ---------------------------------------------------------------------------
+
+TEST(DiffTest, RunawayRecursionFailsIdenticallyInBothFunctionalEngines) {
+  // Non-terminating apply-templates: both functional engines must trip the
+  // shared template-depth cap with the same status code.
+  const char* bomb =
+      "<xsl:stylesheet version=\"1.0\" "
+      "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+      "<xsl:template match=\"a\"><xsl:apply-templates select=\".\"/>"
+      "</xsl:template></xsl:stylesheet>";
+  auto ss = xslt::Stylesheet::Parse(bomb);
+  ASSERT_TRUE(ss.ok());
+  auto compiled = xslt::CompiledStylesheet::Compile(**ss);
+  ASSERT_TRUE(compiled.ok());
+  auto doc = xml::ParseDocument("<a/>");
+  ASSERT_TRUE(doc.ok());
+
+  xslt::Interpreter interp(**ss);
+  auto iout = interp.Transform((*doc)->root());
+  ASSERT_FALSE(iout.ok());
+
+  xslt::Vm vm(**compiled);
+  auto vout = vm.Transform((*doc)->root());
+  ASSERT_FALSE(vout.ok());
+
+  EXPECT_EQ(iout.status().code(), vout.status().code())
+      << "interpreter: " << iout.status().ToString()
+      << "\nvm: " << vout.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Conformance corpus: xsltmark + examples through all four paths
+// ---------------------------------------------------------------------------
+
+TEST(DiffTest, ConformanceCorpusAgreesOnAllFourPaths) {
+  int sql_hits = 0;
+  std::vector<CorpusCase> corpus = ConformanceCorpus();
+  ASSERT_GE(corpus.size(), 43u);
+  for (const CorpusCase& c : corpus) {
+    auto r = RunFourWay(c);
+    ASSERT_TRUE(r.ok()) << c.name << ": " << r.status().ToString();
+    EXPECT_TRUE(r->agreed) << r->detail;
+    EXPECT_GT(r->rows, 0) << c.name;
+    if (r->sql_path == ExecutionPath::kSqlRewritten) ++sql_hits;
+  }
+  // The corpus must actually drive the SQL path, not just fall back.
+  EXPECT_GT(sql_hits, 10);
+}
+
+}  // namespace
+}  // namespace xdb::difftest

@@ -8,6 +8,7 @@
 #include <random>
 
 #include "core/xmldb.h"
+#include "difftest/seed.h"
 #include "rel/btree.h"
 #include "schema/sample_doc.h"
 #include "shred/shredder.h"
@@ -31,7 +32,8 @@ namespace {
 class BTreePropertyTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(BTreePropertyTest, MatchesMultimapReference) {
-  std::mt19937 rng(static_cast<uint32_t>(GetParam()));
+  std::mt19937 rng(static_cast<uint32_t>(
+      difftest::TestSeed(static_cast<uint64_t>(GetParam()))));
   rel::BTreeIndex index(8);  // small fanout: more splits
   std::multimap<int64_t, int64_t> reference;
 
@@ -87,7 +89,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, BTreePropertyTest, ::testing::Range(1, 9));
 // ---------------------------------------------------------------------------
 
 TEST(DatumOrderPropertyTest, SampledTotalOrderLaws) {
-  std::mt19937 rng(99);
+  std::mt19937 rng(static_cast<uint32_t>(difftest::TestSeed(99)));
   auto random_datum = [&]() -> rel::Datum {
     switch (rng() % 4) {
       case 0:
@@ -181,7 +183,8 @@ TEST_P(RewriteFuzzTest, EnginesAndRewriteAgree) {
       std::string("<xsl:stylesheet version=\"1.0\" "
                   "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">") +
       kOrderStylesheets[p.stylesheet] + "</xsl:stylesheet>";
-  std::string doc_text = RandomOrdersDoc(p.seed);
+  std::string doc_text =
+      RandomOrdersDoc(static_cast<uint32_t>(difftest::TestSeed(p.seed)));
 
   auto ss = xslt::Stylesheet::Parse(stylesheet_text);
   ASSERT_TRUE(ss.ok()) << ss.status().ToString();
@@ -270,7 +273,10 @@ schema::StructuralInfo RandomShreddableStructure(std::mt19937& rng) {
 class ShredRoundTripPropertyTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(ShredRoundTripPropertyTest, SampleDocLoadsAndPublishesCanonically) {
-  std::mt19937 rng(static_cast<uint32_t>(GetParam()) * 2654435761u + 11);
+  std::mt19937 rng(static_cast<uint32_t>(difftest::TestSeed(
+                       static_cast<uint64_t>(GetParam()))) *
+                       2654435761u +
+                   11);
   schema::StructuralInfo info = RandomShreddableStructure(rng);
   // The generator stamps xdbs:* annotation attributes (unbound prefix), so
   // the document must be shredded as a DOM, never serialized and re-parsed.
@@ -304,7 +310,10 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ShredRoundTripPropertyTest,
 class XmlRoundTripTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(XmlRoundTripTest, ParseSerializeFixedPoint) {
-  std::mt19937 rng(static_cast<uint32_t>(GetParam()) * 17 + 3);
+  std::mt19937 rng(static_cast<uint32_t>(difftest::TestSeed(
+                       static_cast<uint64_t>(GetParam()))) *
+                       17 +
+                   3);
   // Build a random tree directly in the DOM, serialize, parse, re-serialize.
   xml::Document doc;
   std::vector<xml::Node*> stack{doc.CreateElement("root")};

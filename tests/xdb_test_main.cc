@@ -1,0 +1,29 @@
+// Custom gtest main: installs a listener that, whenever a test fails, prints
+// the one-line command reproducing it under the seed the process actually
+// ran with. Every randomized suite derives its seeds from difftest::TestSeed
+// (and thus from XDB_SEED), so replaying the printed line replays the exact
+// inputs of the failing run.
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "difftest/seed.h"
+
+namespace {
+
+class SeedReproListener : public testing::EmptyTestEventListener {
+  void OnTestEnd(const testing::TestInfo& info) override {
+    if (!info.result()->Failed()) return;
+    std::fprintf(stderr, "repro: XDB_SEED=%llu ctest --test-dir build -R '%s.%s'\n",
+                 static_cast<unsigned long long>(xdb::difftest::BaseSeed()),
+                 info.test_suite_name(), info.name());
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  testing::InitGoogleTest(&argc, argv);
+  testing::UnitTest::GetInstance()->listeners().Append(new SeedReproListener);
+  return RUN_ALL_TESTS();
+}
