@@ -58,6 +58,17 @@ inline void ReportExecStats(benchmark::State& state, const ExecStats& stats) {
   state.counters["execute_ms"] =
       static_cast<double>(stats.execute_ns) / 1e6;
   state.counters["threads"] = static_cast<double>(stats.threads_used);
+  // Intra-query parallelism counters: total forked tasks / partitions across
+  // all operators, plus a per-operator breakdown keyed by the operator label
+  // ("rel:scan", "xslt:for-each", ...). All zero for serial runs.
+  state.counters["par_tasks"] = static_cast<double>(stats.parallel_tasks);
+  state.counters["par_partitions"] = static_cast<double>(stats.partitions);
+  for (const core::OpParallelStats& op : stats.op_parallel) {
+    state.counters["par_tasks[" + op.op + "]"] =
+        static_cast<double>(op.parallel_tasks);
+    state.counters["par_threads[" + op.op + "]"] =
+        static_cast<double>(op.threads_used);
+  }
   // Resource-governor counters (all zero for ungoverned runs).
   state.counters["ticks"] = static_cast<double>(stats.ticks);
   state.counters["mem_peak_bytes"] = static_cast<double>(stats.mem_peak_bytes);

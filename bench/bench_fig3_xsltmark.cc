@@ -26,7 +26,31 @@ void RunCase(benchmark::State& state, const char* name, bool rewrite) {
     if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
     benchmark::DoNotOptimize(r);
   }
-  state.SetLabel(ExecutionPathName(stats.path));
+  ReportExecStats(state, stats);
+}
+
+// Thread-scaling arm: the same no-rewrite (functional-path) cases with an
+// explicit intra-query thread count in Arg(0), so one bench run produces the
+// 1/2/4-thread scaling curve without env juggling. The rewrite/no-rewrite
+// arms above leave ExecOptions::threads at 0 (= XDB_THREADS), which is what
+// the CI scaling smoke job sweeps.
+void RunScaled(benchmark::State& state, const char* name) {
+  const auto* c = xsltmark::FindCase(name);
+  if (c == nullptr) {
+    state.SkipWithError("unknown case");
+    return;
+  }
+  XmlDb* db = GetDb(c->family, kScale);
+  ExecOptions options = NoRewriteArm();
+  options.threads = static_cast<int>(state.range(0));
+  ExecStats stats;
+  for (auto _ : state) {
+    auto r = db->TransformView(xsltmark::FamilyViewName(c->family),
+                               c->stylesheet, options, &stats);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  ReportExecStats(state, stats);
 }
 
 void BM_Avts_Rewrite(benchmark::State& s) { RunCase(s, "avts", true); }
@@ -38,6 +62,11 @@ void BM_Metric_NoRewrite(benchmark::State& s) { RunCase(s, "metric", false); }
 void BM_Total_Rewrite(benchmark::State& s) { RunCase(s, "total", true); }
 void BM_Total_NoRewrite(benchmark::State& s) { RunCase(s, "total", false); }
 
+void BM_Avts_Scale(benchmark::State& s) { RunScaled(s, "avts"); }
+void BM_Chart_Scale(benchmark::State& s) { RunScaled(s, "chart"); }
+void BM_Metric_Scale(benchmark::State& s) { RunScaled(s, "metric"); }
+void BM_Total_Scale(benchmark::State& s) { RunScaled(s, "total"); }
+
 BENCHMARK(BM_Avts_Rewrite)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Avts_NoRewrite)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Chart_Rewrite)->Unit(benchmark::kMillisecond);
@@ -46,6 +75,10 @@ BENCHMARK(BM_Metric_Rewrite)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Metric_NoRewrite)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Total_Rewrite)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Total_NoRewrite)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Avts_Scale)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Chart_Scale)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Metric_Scale)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Total_Scale)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace xdb::bench

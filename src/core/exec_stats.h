@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/governor.h"
+#include "core/task_graph.h"
 #include "rel/optimizer.h"
 #include "rewrite/xquery_rewriter.h"
 #include "rewrite/xslt_rewriter.h"
@@ -45,6 +46,13 @@ struct ExecStats {
   int64_t execute_ns = 0;    ///< per-row execution time
   int threads_used = 1;      ///< parallelism applied by the row executor
 
+  // -- intra-query parallelism -----------------------------------------------
+  /// Per-operator parallelism: which operators forked, at what width, into
+  /// how many tasks (see core::ParallelStatsCollector).
+  std::vector<core::OpParallelStats> op_parallel;
+  uint64_t parallel_tasks = 0;  ///< total tasks forked by all operators
+  uint64_t partitions = 0;      ///< total partitioned operator invocations
+
   // -- resource governor (populated whenever a budget was active, including
   //    on kResourceExhausted / kCancelled returns) ---------------------------
   bool timed_out = false;        ///< the wall-clock deadline tripped
@@ -72,6 +80,15 @@ struct ExecOptions {
   /// env var, else hardware_concurrency), 1 = serial, N = exactly N threads.
   /// Execution-time only — does not participate in the plan-cache key.
   int threads = 0;
+  /// Intra-query parallelism: allow individual operators (apply-templates /
+  /// for-each fan-out, partitioned scans, XMLAgg merge, FLWOR return loops)
+  /// to fork onto the shared pool. Gated additionally by the XDB_PARALLEL
+  /// env switch. Execution-time only — not part of the plan-cache key, and
+  /// the output is byte-identical either way (difftest-enforced).
+  bool parallel = true;
+  /// Minimum items per parallel chunk (0 = XDB_MIN_PARALLEL_CHUNK env, else
+  /// scheduler default): loops smaller than two chunks stay serial.
+  size_t min_parallel_chunk = 0;
 
   // -- resource governor -----------------------------------------------------
   // Runtime-only limits: none of these participate in the plan-cache key

@@ -1,203 +1,27 @@
 #include "core/row_executor.h"
 
-#include <atomic>
-#include <cstdlib>
-#include <limits>
+#include "core/task_graph.h"
 
 namespace xdb::core {
 
-// One parallel loop in flight. Chunks are dealt round-robin across per-slot
-// deques; slot 0 belongs to the calling thread.
-struct RowExecutor::Job {
-  struct Slot {
-    std::mutex mu;
-    std::deque<std::pair<size_t, size_t>> chunks;  // [begin, end)
-  };
-
-  const std::function<Status(size_t)>* body = nullptr;
-  const governor::CancelToken* cancel = nullptr;
-  std::vector<std::unique_ptr<Slot>> slots;
-
-  std::atomic<bool> cancelled{false};
-  std::atomic<int> next_slot{1};  // helper workers claim slots 1..t-1
-
-  std::mutex err_mu;
-  size_t error_row = std::numeric_limits<size_t>::max();
-  Status error = Status::OK();
-
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  int finished_helpers = 0;
-
-  void RecordError(size_t row, Status s) {
-    std::lock_guard<std::mutex> lock(err_mu);
-    if (row < error_row) {
-      error_row = row;
-      error = std::move(s);
-    }
-    cancelled.store(true, std::memory_order_relaxed);
-  }
-};
-
 RowExecutor& RowExecutor::Global() {
-  // Leaked intentionally: worker threads must outlive static destruction.
-  static RowExecutor* pool = new RowExecutor();
-  return *pool;
+  static RowExecutor* wrapper = new RowExecutor();
+  return *wrapper;
 }
 
-RowExecutor::~RowExecutor() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    shutdown_ = true;
-  }
-  wake_.notify_all();
-  for (auto& w : workers_) w.join();
-}
-
-int RowExecutor::DefaultThreads() {
-  static int cached = [] {
-    if (const char* env = std::getenv("XDB_THREADS")) {
-      int v = std::atoi(env);
-      if (v > 0) return v;
-    }
-    unsigned hw = std::thread::hardware_concurrency();
-    return hw > 0 ? static_cast<int>(hw) : 1;
-  }();
-  return cached;
-}
-
-void RowExecutor::EnsureWorkers(int count) {
-  std::lock_guard<std::mutex> lock(mu_);
-  while (static_cast<int>(workers_.size()) < count) {
-    int id = static_cast<int>(workers_.size());
-    workers_.emplace_back([this, id] { WorkerLoop(id); });
-  }
-}
-
-void RowExecutor::WorkerLoop(int) {
-  for (;;) {
-    Job* job = nullptr;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      wake_.wait(lock, [this] { return shutdown_ || (job_ != nullptr && job_waiting_ > 0); });
-      if (shutdown_) return;
-      job = job_;
-      --job_waiting_;
-    }
-    int slot = job->next_slot.fetch_add(1, std::memory_order_relaxed);
-    RunWorker(job, slot);
-    {
-      // Notify under the lock: the caller destroys the Job (and this cv) as
-      // soon as its wait() observes the final count, so the notify must
-      // complete before the caller can reacquire done_mu and return.
-      std::lock_guard<std::mutex> lock(job->done_mu);
-      ++job->finished_helpers;
-      job->done_cv.notify_one();
-    }
-  }
-}
-
-void RowExecutor::RunWorker(Job* job, int slot) {
-  const size_t nslots = job->slots.size();
-  auto pop_own = [&](std::pair<size_t, size_t>* chunk) {
-    Job::Slot& s = *job->slots[static_cast<size_t>(slot)];
-    std::lock_guard<std::mutex> lock(s.mu);
-    if (s.chunks.empty()) return false;
-    *chunk = s.chunks.front();
-    s.chunks.pop_front();
-    return true;
-  };
-  auto steal = [&](std::pair<size_t, size_t>* chunk) {
-    for (size_t i = 1; i < nslots; ++i) {
-      Job::Slot& s = *job->slots[(static_cast<size_t>(slot) + i) % nslots];
-      std::lock_guard<std::mutex> lock(s.mu);
-      if (s.chunks.empty()) continue;
-      *chunk = s.chunks.back();  // steal from the cold end
-      s.chunks.pop_back();
-      return true;
-    }
-    return false;
-  };
-
-  std::pair<size_t, size_t> chunk;
-  while (!job->cancelled.load(std::memory_order_relaxed) &&
-         (pop_own(&chunk) || steal(&chunk))) {
-    for (size_t row = chunk.first; row < chunk.second; ++row) {
-      if (job->cancelled.load(std::memory_order_relaxed)) return;
-      if (job->cancel != nullptr && job->cancel->cancelled()) {
-        job->RecordError(row, CancelledStatus());
-        return;
-      }
-      Status s = (*job->body)(row);
-      if (!s.ok()) {
-        job->RecordError(row, std::move(s));
-        return;
-      }
-    }
-  }
-}
-
-Status RowExecutor::CancelledStatus() {
-  return Status::Cancelled("execution cancelled by caller");
-}
+int RowExecutor::DefaultThreads() { return TaskScheduler::DefaultThreads(); }
 
 Status RowExecutor::ParallelFor(size_t n, const std::function<Status(size_t)>& body,
                                 int threads, int* threads_used,
-                                const governor::CancelToken* cancel) {
-  if (threads_used != nullptr) *threads_used = 1;
-  if (n == 0) return Status::OK();
-
-  int t = threads > 0 ? threads : DefaultThreads();
-  if (t > static_cast<int>(n)) t = static_cast<int>(n);
-  if (t <= 1) {
-    for (size_t row = 0; row < n; ++row) {
-      if (cancel != nullptr && cancel->cancelled()) return CancelledStatus();
-      XDB_RETURN_NOT_OK(body(row));
-    }
-    return Status::OK();
-  }
-
-  std::lock_guard<std::mutex> submit_lock(submit_mu_);
-  Job job;
-  job.body = &body;
-  job.cancel = cancel;
-  job.slots.reserve(static_cast<size_t>(t));
-  for (int i = 0; i < t; ++i) job.slots.push_back(std::make_unique<Job::Slot>());
-
-  // ~4 chunks per participant bounds steal traffic while keeping the tail
-  // balanced when row costs are skewed.
-  size_t chunk = n / (static_cast<size_t>(t) * 4);
-  if (chunk == 0) chunk = 1;
-  size_t slot = 0;
-  for (size_t begin = 0; begin < n; begin += chunk) {
-    size_t end = begin + chunk < n ? begin + chunk : n;
-    job.slots[slot]->chunks.emplace_back(begin, end);
-    slot = (slot + 1) % static_cast<size_t>(t);
-  }
-
-  EnsureWorkers(t - 1);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    job_ = &job;
-    job_waiting_ = t - 1;
-  }
-  wake_.notify_all();
-
-  RunWorker(&job, /*slot=*/0);
-
-  {
-    std::unique_lock<std::mutex> lock(job.done_mu);
-    job.done_cv.wait(lock, [&] { return job.finished_helpers == t - 1; });
-  }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    job_ = nullptr;
-    job_waiting_ = 0;
-  }
-
-  if (threads_used != nullptr) *threads_used = t;
-  std::lock_guard<std::mutex> lock(job.err_mu);
-  return job.error;
+                                const governor::CancelToken* cancel,
+                                size_t min_chunk) {
+  TaskOptions opts;
+  opts.threads = threads;
+  opts.min_chunk = min_chunk;
+  opts.cancel = cancel;
+  opts.threads_used = threads_used;
+  opts.cancel_on_error = true;
+  return TaskScheduler::Global().ParallelFor(n, body, opts);
 }
 
 }  // namespace xdb::core

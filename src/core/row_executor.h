@@ -1,29 +1,28 @@
-// RowExecutor: a small persistent worker pool for data-parallel per-row
-// loops. The per-row bodies of plans A, B and C are independent — each row
-// evaluates against its own xml::Document arena and ExecCtx — so the loop
-// over base-table rows parallelizes trivially. Results are written into a
-// caller-pre-sized output slot by row index, which keeps the output ordering
-// deterministic and byte-identical to the serial loop.
+// RowExecutor: the data-parallel per-row loop API used by XmlDb's prepared
+// execution paths. The per-row bodies of plans A, B and C are independent —
+// each row evaluates against its own xml::Document arena and ExecCtx — so
+// the loop over base-table rows parallelizes trivially. Results are written
+// into a caller-pre-sized output slot by row index, which keeps the output
+// ordering deterministic and byte-identical to the serial loop.
 //
-// Scheduling: the row range is split into chunks, dealt round-robin onto
-// per-worker deques; each worker drains its own deque from the front and
-// steals from the back of a victim's deque when it runs dry. The first row
-// error (lowest row index among observed failures) cancels all remaining
-// chunks.
+// Since the intra-query parallelism work this is a thin compatibility
+// wrapper over core::TaskScheduler, which owns the shared worker pool (see
+// task_graph.h for the scheduling model). Two behaviours changed from the
+// original standalone pool, both for the better:
+//   * A body that re-enters ParallelFor (directly or via an engine that
+//     forks template work) degrades to serial in-thread execution instead
+//     of deadlocking.
+//   * `min_chunk` floors the chunk granularity so tiny loops skip pool
+//     overhead; cancellation is still polled per row, so a governor trip
+//     propagates within roughly one chunk.
 //
 // Sizing: `XDB_THREADS` overrides the default of hardware_concurrency; a
 // per-call `threads` argument overrides both (tests and benchmarks pin it).
-// Workers are started lazily and parked on a condition variable between
-// jobs, so an idle pool costs nothing on the query path.
 #ifndef XDB_CORE_ROW_EXECUTOR_H_
 #define XDB_CORE_ROW_EXECUTOR_H_
 
-#include <condition_variable>
-#include <deque>
+#include <cstddef>
 #include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
 
 #include "common/governor.h"
 #include "common/status.h"
@@ -32,11 +31,10 @@ namespace xdb::core {
 
 class RowExecutor {
  public:
-  /// The process-wide pool (workers are shared across XmlDb instances).
+  /// The process-wide instance (shares TaskScheduler::Global()'s workers).
   static RowExecutor& Global();
 
   RowExecutor() = default;
-  ~RowExecutor();
 
   RowExecutor(const RowExecutor&) = delete;
   RowExecutor& operator=(const RowExecutor&) = delete;
@@ -48,30 +46,16 @@ class RowExecutor {
   /// and cancels the same way. `threads_used` (optional) reports the
   /// parallelism actually applied, including the calling thread. `cancel`
   /// (optional) is additionally polled before every row so cancellation is
-  /// prompt even for bodies that never consult a budget.
+  /// prompt even for bodies that never consult a budget. `min_chunk`
+  /// (0 = XDB_MIN_PARALLEL_CHUNK env var, else 1) floors the rows-per-chunk
+  /// granularity; loops under two minimum chunks run serially.
   Status ParallelFor(size_t n, const std::function<Status(size_t)>& body,
                      int threads = 0, int* threads_used = nullptr,
-                     const governor::CancelToken* cancel = nullptr);
+                     const governor::CancelToken* cancel = nullptr,
+                     size_t min_chunk = 0);
 
   /// Resolved auto thread count (env override or hardware concurrency).
   static int DefaultThreads();
-
- private:
-  struct Job;
-
-  void EnsureWorkers(int count);
-  void WorkerLoop(int worker_id);
-  static void RunWorker(Job* job, int slot);
-  static Status CancelledStatus();
-
-  std::mutex submit_mu_;  // serializes jobs (one parallel loop in flight);
-                          // nested ParallelFor from a body would self-deadlock
-  std::mutex mu_;
-  std::condition_variable wake_;
-  std::vector<std::thread> workers_;
-  Job* job_ = nullptr;        // current job, guarded by mu_
-  int job_waiting_ = 0;       // workers still expected to pick up job_
-  bool shutdown_ = false;
 };
 
 }  // namespace xdb::core

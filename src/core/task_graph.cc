@@ -1,0 +1,308 @@
+#include "core/task_graph.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <utility>
+
+namespace xdb::core {
+
+namespace {
+// Depth of pool task bodies executing on this thread. Non-zero means a
+// nested ParallelFor/RunTasks must degrade to serial in-thread execution:
+// the submission lock admits one job at a time, so re-entering it from a
+// body would self-deadlock (and helper threads must not block on it either).
+thread_local int tls_parallel_depth = 0;
+
+struct ParallelRegionGuard {
+  ParallelRegionGuard() { ++tls_parallel_depth; }
+  ~ParallelRegionGuard() { --tls_parallel_depth; }
+};
+}  // namespace
+
+// One parallel loop in flight. Chunks are dealt round-robin across per-slot
+// deques; slot 0 belongs to the calling thread.
+struct TaskScheduler::Job {
+  struct Slot {
+    std::mutex mu;
+    std::deque<std::pair<size_t, size_t>> chunks;  // [begin, end)
+  };
+
+  const std::function<Status(size_t)>* body = nullptr;
+  const governor::CancelToken* cancel = nullptr;
+  bool cancel_on_error = true;
+  std::vector<std::unique_ptr<Slot>> slots;
+
+  std::atomic<bool> cancelled{false};
+  std::atomic<int> next_slot{1};  // helper workers claim slots 1..t-1
+
+  std::mutex err_mu;
+  size_t error_index = std::numeric_limits<size_t>::max();
+  Status error = Status::OK();
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  int finished_helpers = 0;
+
+  void RecordError(size_t index, Status s, bool cancel_siblings) {
+    {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (index < error_index) {
+        error_index = index;
+        error = std::move(s);
+      }
+    }
+    if (cancel_siblings) cancelled.store(true, std::memory_order_relaxed);
+  }
+};
+
+TaskScheduler& TaskScheduler::Global() {
+  // Leaked intentionally: worker threads must outlive static destruction.
+  static TaskScheduler* pool = new TaskScheduler();
+  return *pool;
+}
+
+TaskScheduler::~TaskScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+int TaskScheduler::DefaultThreads() {
+  static int cached = [] {
+    if (const char* env = std::getenv("XDB_THREADS")) {
+      int v = std::atoi(env);
+      if (v > 0) return v;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+  }();
+  return cached;
+}
+
+size_t TaskScheduler::DefaultMinChunk() {
+  static size_t cached = [] {
+    if (const char* env = std::getenv("XDB_MIN_PARALLEL_CHUNK")) {
+      long v = std::atol(env);
+      if (v > 0) return static_cast<size_t>(v);
+    }
+    return static_cast<size_t>(1);
+  }();
+  return cached;
+}
+
+bool TaskScheduler::ParallelEnabled() {
+  static bool cached = [] {
+    const char* env = std::getenv("XDB_PARALLEL");
+    if (env == nullptr) return true;
+    std::string v(env);
+    return !(v == "0" || v == "off" || v == "false" || v == "no");
+  }();
+  return cached;
+}
+
+bool TaskScheduler::InParallelRegion() { return tls_parallel_depth > 0; }
+
+void TaskScheduler::EnsureWorkers(int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (static_cast<int>(workers_.size()) < count) {
+    int id = static_cast<int>(workers_.size());
+    workers_.emplace_back([this, id] { WorkerLoop(id); });
+  }
+}
+
+void TaskScheduler::WorkerLoop(int) {
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [this] { return shutdown_ || (job_ != nullptr && job_waiting_ > 0); });
+      if (shutdown_) return;
+      job = job_;
+      --job_waiting_;
+    }
+    int slot = job->next_slot.fetch_add(1, std::memory_order_relaxed);
+    RunWorker(job, slot);
+    {
+      // Notify under the lock: the caller destroys the Job (and this cv) as
+      // soon as its wait() observes the final count, so the notify must
+      // complete before the caller can reacquire done_mu and return.
+      std::lock_guard<std::mutex> lock(job->done_mu);
+      ++job->finished_helpers;
+      job->done_cv.notify_one();
+    }
+  }
+}
+
+void TaskScheduler::RunWorker(Job* job, int slot) {
+  ParallelRegionGuard in_region;
+  const size_t nslots = job->slots.size();
+  auto pop_own = [&](std::pair<size_t, size_t>* chunk) {
+    Job::Slot& s = *job->slots[static_cast<size_t>(slot)];
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.chunks.empty()) return false;
+    *chunk = s.chunks.front();
+    s.chunks.pop_front();
+    return true;
+  };
+  auto steal = [&](std::pair<size_t, size_t>* chunk) {
+    for (size_t i = 1; i < nslots; ++i) {
+      Job::Slot& s = *job->slots[(static_cast<size_t>(slot) + i) % nslots];
+      std::lock_guard<std::mutex> lock(s.mu);
+      if (s.chunks.empty()) continue;
+      *chunk = s.chunks.back();  // steal from the cold end
+      s.chunks.pop_back();
+      return true;
+    }
+    return false;
+  };
+
+  std::pair<size_t, size_t> chunk;
+  while (!job->cancelled.load(std::memory_order_relaxed) &&
+         (pop_own(&chunk) || steal(&chunk))) {
+    for (size_t index = chunk.first; index < chunk.second; ++index) {
+      if (job->cancelled.load(std::memory_order_relaxed)) return;
+      if (job->cancel != nullptr && job->cancel->cancelled()) {
+        job->RecordError(index, CancelledStatus(), /*cancel_siblings=*/true);
+        return;
+      }
+      Status s = (*job->body)(index);
+      if (!s.ok()) {
+        job->RecordError(index, std::move(s), job->cancel_on_error);
+        if (job->cancel_on_error) return;
+        // Run-to-completion mode: remaining indices of this chunk are
+        // skipped (they follow the failure in index order) but sibling
+        // chunks finish, so the lowest-index error always wins.
+        break;
+      }
+    }
+  }
+}
+
+Status TaskScheduler::CancelledStatus() {
+  return Status::Cancelled("execution cancelled by caller");
+}
+
+Status TaskScheduler::RunSerial(size_t n, const std::function<Status(size_t)>& body,
+                                const TaskOptions& opts) {
+  for (size_t i = 0; i < n; ++i) {
+    if (opts.cancel != nullptr && opts.cancel->cancelled()) return CancelledStatus();
+    XDB_RETURN_NOT_OK(body(i));
+  }
+  return Status::OK();
+}
+
+Status TaskScheduler::ParallelFor(size_t n, const std::function<Status(size_t)>& body,
+                                  const TaskOptions& opts) {
+  if (opts.threads_used != nullptr) *opts.threads_used = 1;
+  if (n == 0) return Status::OK();
+
+  size_t min_chunk = opts.min_chunk != 0 ? opts.min_chunk : DefaultMinChunk();
+  int t = opts.threads > 0 ? opts.threads : DefaultThreads();
+  if (t > static_cast<int>(n)) t = static_cast<int>(n);
+  // Cap participants so every thread gets at least one minimum-size chunk;
+  // loops under two minimum chunks aren't worth waking the pool for.
+  if (min_chunk > 1 && static_cast<size_t>(t) > n / min_chunk) {
+    t = static_cast<int>(n / min_chunk);
+  }
+  if (t <= 1 || InParallelRegion()) return RunSerial(n, body, opts);
+
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  Job job;
+  job.body = &body;
+  job.cancel = opts.cancel;
+  job.cancel_on_error = opts.cancel_on_error;
+  job.slots.reserve(static_cast<size_t>(t));
+  for (int i = 0; i < t; ++i) job.slots.push_back(std::make_unique<Job::Slot>());
+
+  // ~4 chunks per participant bounds steal traffic while keeping the tail
+  // balanced when row costs are skewed; min_chunk floors the granularity.
+  size_t chunk = n / (static_cast<size_t>(t) * 4);
+  if (chunk < min_chunk) chunk = min_chunk;
+  if (chunk == 0) chunk = 1;
+  size_t slot = 0;
+  for (size_t begin = 0; begin < n; begin += chunk) {
+    size_t end = begin + chunk < n ? begin + chunk : n;
+    job.slots[slot]->chunks.emplace_back(begin, end);
+    slot = (slot + 1) % static_cast<size_t>(t);
+  }
+
+  EnsureWorkers(t - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+    job_waiting_ = t - 1;
+  }
+  wake_.notify_all();
+
+  RunWorker(&job, /*slot=*/0);
+
+  {
+    std::unique_lock<std::mutex> lock(job.done_mu);
+    job.done_cv.wait(lock, [&] { return job.finished_helpers == t - 1; });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = nullptr;
+    job_waiting_ = 0;
+  }
+
+  if (opts.threads_used != nullptr) *opts.threads_used = t;
+  std::lock_guard<std::mutex> lock(job.err_mu);
+  return job.error;
+}
+
+Status TaskScheduler::RunTasks(size_t n, const std::function<Status(size_t)>& task,
+                               const TaskOptions& opts) {
+  TaskOptions o = opts;
+  o.min_chunk = 1;
+  // One index per chunk: force the chunk size down by capping the divisor.
+  // ParallelFor's n/(t*4) sizing already yields 1 for small n; for larger n
+  // we want whole-task stealing, so run it through a dedicated path.
+  if (o.threads_used != nullptr) *o.threads_used = 1;
+  if (n == 0) return Status::OK();
+  int t = o.threads > 0 ? o.threads : DefaultThreads();
+  if (t > static_cast<int>(n)) t = static_cast<int>(n);
+  if (t <= 1 || InParallelRegion()) return RunSerial(n, task, o);
+
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  Job job;
+  job.body = &task;
+  job.cancel = o.cancel;
+  job.cancel_on_error = o.cancel_on_error;
+  job.slots.reserve(static_cast<size_t>(t));
+  for (int i = 0; i < t; ++i) job.slots.push_back(std::make_unique<Job::Slot>());
+  for (size_t i = 0; i < n; ++i) {
+    job.slots[i % static_cast<size_t>(t)]->chunks.emplace_back(i, i + 1);
+  }
+
+  EnsureWorkers(t - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+    job_waiting_ = t - 1;
+  }
+  wake_.notify_all();
+
+  RunWorker(&job, /*slot=*/0);
+
+  {
+    std::unique_lock<std::mutex> lock(job.done_mu);
+    job.done_cv.wait(lock, [&] { return job.finished_helpers == t - 1; });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = nullptr;
+    job_waiting_ = 0;
+  }
+
+  if (o.threads_used != nullptr) *o.threads_used = t;
+  std::lock_guard<std::mutex> lock(job.err_mu);
+  return job.error;
+}
+
+}  // namespace xdb::core

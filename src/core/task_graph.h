@@ -1,0 +1,183 @@
+// TaskScheduler: the process-wide fork-join pool shared by every execution
+// engine (row loops, XSLT template application, partitioned relational
+// operators, XQuery FLWOR bodies). It generalizes the original RowExecutor
+// (which survives as a thin compatibility wrapper) in three ways:
+//
+//   * Nested parallel regions are safe. A task body that re-enters the
+//     scheduler runs its inner loop serially in-thread instead of
+//     deadlocking on the single-job submission lock. Engines can therefore
+//     fork at any instruction without tracking whether a caller already did.
+//   * Chunking honours a minimum chunk size so tiny loops skip pool
+//     overhead entirely, while cancellation is still polled per index so a
+//     governor trip propagates within roughly one chunk.
+//   * Error ordering is selectable: cancel-on-first-error (the row-loop
+//     default) or run-to-completion per chunk (`cancel_on_error = false`),
+//     which the engines use so the reported failure is always the lowest
+//     failing index — byte-identical error behaviour to the serial loop.
+//
+// Scheduling is unchanged from the original design: the index range is
+// split into chunks dealt round-robin onto per-slot deques; slot 0 belongs
+// to the calling thread; workers drain their own deque from the front and
+// steal from the back of a victim when dry. Workers are lazy-started and
+// parked between jobs.
+#ifndef XDB_CORE_TASK_GRAPH_H_
+#define XDB_CORE_TASK_GRAPH_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/governor.h"
+#include "common/status.h"
+
+namespace xdb::core {
+
+/// Per-call scheduling options.
+struct TaskOptions {
+  /// Worker count including the caller; <= 0 means auto (XDB_THREADS env
+  /// var, else hardware_concurrency).
+  int threads = 0;
+  /// Minimum indices per chunk; 0 means TaskScheduler::DefaultMinChunk().
+  /// Loops smaller than two minimum chunks run serially in the caller.
+  size_t min_chunk = 0;
+  /// Polled before every index; cancellation surfaces as Status::Cancelled.
+  const governor::CancelToken* cancel = nullptr;
+  /// Out: parallelism actually applied, including the caller (1 = serial).
+  int* threads_used = nullptr;
+  /// When true (row-loop semantics) the first failure cancels all remaining
+  /// chunks. When false every chunk runs to its own first failure and the
+  /// error with the lowest index wins — deterministic regardless of thread
+  /// interleaving, at the cost of finishing in-flight sibling chunks.
+  bool cancel_on_error = true;
+};
+
+class TaskScheduler {
+ public:
+  /// The process-wide pool (workers are shared across engines/instances).
+  static TaskScheduler& Global();
+
+  TaskScheduler() = default;
+  ~TaskScheduler();
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  /// Runs `body(i)` for every index in [0, n) under `opts`. Returns OK, or
+  /// the error of the lowest failing index among those observed. Re-entrant:
+  /// when called from inside another parallel region (any scheduler, this
+  /// thread) the loop degrades to serial in-thread execution.
+  Status ParallelFor(size_t n, const std::function<Status(size_t)>& body,
+                     const TaskOptions& opts = {});
+
+  /// ParallelFor with one index per chunk — for coarse task graphs (operator
+  /// partitions, per-chunk template buffers) where each index is already a
+  /// batch of work and stealing granularity should be a whole task.
+  Status RunTasks(size_t n, const std::function<Status(size_t)>& task,
+                  const TaskOptions& opts = {});
+
+  /// Resolved auto thread count (env override or hardware concurrency).
+  static int DefaultThreads();
+  /// Resolved default minimum chunk (XDB_MIN_PARALLEL_CHUNK, else 1).
+  static size_t DefaultMinChunk();
+  /// Master parallelism switch: false when XDB_PARALLEL is 0/off/false.
+  /// Runtime-only — never part of the plan-cache key.
+  static bool ParallelEnabled();
+  /// True while the calling thread is executing a task body on this pool —
+  /// the condition under which a nested call runs serially.
+  static bool InParallelRegion();
+
+ private:
+  struct Job;
+
+  Status RunSerial(size_t n, const std::function<Status(size_t)>& body,
+                   const TaskOptions& opts);
+  void EnsureWorkers(int count);
+  void WorkerLoop(int worker_id);
+  static void RunWorker(Job* job, int slot);
+  static Status CancelledStatus();
+
+  std::mutex submit_mu_;  // serializes jobs (one parallel loop in flight);
+                          // nested calls bypass it via the serial fallback
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::vector<std::thread> workers_;
+  Job* job_ = nullptr;        // current job, guarded by mu_
+  int job_waiting_ = 0;       // workers still expected to pick up job_
+  bool shutdown_ = false;
+};
+
+/// Aggregated per-operator parallelism counters, filled by the collector
+/// below and copied into ExecStats after a query.
+struct OpParallelStats {
+  std::string op;             ///< operator label, e.g. "xslt:apply-templates"
+  int threads_used = 1;       ///< max parallelism observed for this operator
+  uint64_t parallel_tasks = 0;  ///< tasks (chunks/partitions) forked
+  uint64_t partitions = 0;      ///< partitioned invocations of the operator
+};
+
+/// \brief Thread-safe sink for per-operator parallelism stats.
+///
+/// Engines call Record() at each fork site; XmlDb snapshots the collector
+/// into ExecStats once the query finishes. Aggregation is by operator label:
+/// threads_used keeps the max, task/partition counts accumulate.
+class ParallelStatsCollector {
+ public:
+  void Record(const std::string& op, int threads_used, uint64_t tasks) {
+    std::lock_guard<std::mutex> lock(mu_);
+    OpParallelStats& s = by_op_[op];
+    s.op = op;
+    if (threads_used > s.threads_used) s.threads_used = threads_used;
+    s.parallel_tasks += tasks;
+    s.partitions += 1;
+  }
+
+  std::vector<OpParallelStats> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<OpParallelStats> out;
+    out.reserve(by_op_.size());
+    for (const auto& [_, s] : by_op_) out.push_back(s);
+    return out;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, OpParallelStats> by_op_;
+};
+
+/// \brief Per-query parallel execution policy, threaded through ExecCtx and
+/// the engine entry points. A null policy pointer (or threads <= 1) means
+/// serial execution everywhere.
+struct ParallelPolicy {
+  int threads = 1;            ///< resolved worker count for this query
+  size_t min_fanout = 0;      ///< smallest node-set/partition worth forking;
+                              ///< 0 = 2 * TaskScheduler::DefaultMinChunk()
+  int max_fork_depth = 4;     ///< template/instruction nesting depth cap for
+                              ///< forking — deeper regions stay serial
+  const governor::CancelToken* cancel = nullptr;
+  ParallelStatsCollector* stats = nullptr;
+
+  bool enabled() const { return threads > 1; }
+
+  /// Fork decision for an instruction/operator over `n` items at template
+  /// nesting `depth`. Refuses inside an existing parallel region (the
+  /// scheduler would serialize anyway; refusing early skips buffer setup).
+  bool ShouldFork(size_t n, int depth = 0) const {
+    if (!enabled() || depth > max_fork_depth) return false;
+    size_t fanout = min_fanout != 0
+                        ? min_fanout
+                        : 2 * TaskScheduler::DefaultMinChunk();
+    if (fanout < 2) fanout = 2;
+    if (n < fanout) return false;
+    return !TaskScheduler::InParallelRegion();
+  }
+};
+
+}  // namespace xdb::core
+
+#endif  // XDB_CORE_TASK_GRAPH_H_

@@ -83,53 +83,90 @@ std::string SerializeDatum(const Datum& d) {
   return xml::Serialize(n);
 }
 
+// Gives `value` a document root to evaluate against, without copying when
+// possible. A detached arena-local value (the per-row publish result) is
+// spliced under the arena's own root node — same document, so a plain
+// AppendChild — and detached again on destruction, leaving the arena root
+// empty for the next consumer. Anything else (stored XML, attached nodes,
+// occupied arena root) is deep-copied into a private wrapper document, the
+// pre-splice behaviour.
+class DocRootView {
+ public:
+  DocRootView(const Datum& in, xml::Document* arena,
+              governor::BudgetScope* budget)
+      : arena_(arena) {
+    xml::Node* source = in.AsXml();
+    if (source->type() == xml::NodeType::kDocument) {
+      root_ = source;
+      return;
+    }
+    bool fragment = source->local_name() == rel::kFragmentName;
+    if (arena != nullptr && source->document() == arena &&
+        source->parent() == nullptr && arena->root()->children().empty()) {
+      if (fragment) {
+        for (xml::Node* c : arena->DetachChildren(source)) {
+          arena->root()->AppendChild(c);
+        }
+      } else {
+        arena->root()->AppendChild(source);
+      }
+      root_ = arena->root();
+      spliced_ = true;
+      return;
+    }
+    wrapper_ = std::make_unique<xml::Document>();
+    wrapper_->set_budget(budget);
+    if (fragment) {
+      for (xml::Node* c : source->children()) {
+        wrapper_->root()->AppendChild(wrapper_->ImportNode(c));
+      }
+    } else {
+      wrapper_->root()->AppendChild(wrapper_->ImportNode(source));
+    }
+    root_ = wrapper_->root();
+  }
+
+  ~DocRootView() {
+    if (spliced_) arena_->DetachChildren(arena_->root());
+  }
+
+  xml::Node* root() const { return root_; }
+
+ private:
+  xml::Document* arena_;
+  std::unique_ptr<xml::Document> wrapper_;
+  xml::Node* root_ = nullptr;
+  bool spliced_ = false;
+};
+
 // Applies a compiled stylesheet to an XMLType value (functional path).
 Result<Datum> ApplyStylesheet(const xslt::CompiledStylesheet& compiled,
                               const Datum& in, xml::Document* arena,
-                              governor::BudgetScope* budget) {
+                              governor::BudgetScope* budget,
+                              const core::ParallelPolicy* parallel) {
   if (in.type() != rel::DataType::kXml || in.AsXml() == nullptr) {
     return Status::TypeError("XMLTransform input is not XMLType");
   }
-  xml::Document wrapper;
-  wrapper.set_budget(budget);
-  xml::Node* source = in.AsXml();
-  if (source->type() != xml::NodeType::kDocument && source->parent() == nullptr) {
-    if (source->local_name() == rel::kFragmentName) {
-      for (xml::Node* c : source->children()) {
-        wrapper.root()->AppendChild(wrapper.ImportNode(c));
-      }
-    } else {
-      wrapper.root()->AppendChild(wrapper.ImportNode(source));
-    }
-    source = wrapper.root();
-  }
+  DocRootView source(in, arena, budget);
   xslt::Vm vm(compiled);
-  XDB_ASSIGN_OR_RETURN(auto result_doc, vm.Transform(source, {}, budget));
+  XDB_ASSIGN_OR_RETURN(auto result_doc,
+                       vm.Transform(source.root(), {}, budget, parallel));
+  // The result document is exclusively ours: absorb it into the arena and
+  // splice its children under the fragment instead of deep-copying.
   xml::Node* frag = arena->CreateElement(rel::kFragmentName);
-  for (xml::Node* child : result_doc->root()->children()) {
-    frag->AppendChild(arena->ImportNode(child));
-  }
+  arena->AbsorbChildren(result_doc.get(), result_doc->root(), frag);
   return Datum(frag);
 }
 
 // Evaluates a parsed XQuery against an XMLType value (plan B).
 Result<std::string> ApplyXQuery(const xquery::Query& query, const Datum& in,
-                                governor::BudgetScope* budget) {
-  xml::Document wrapper;
-  wrapper.set_budget(budget);
-  xml::Node* ctx = in.AsXml();
-  if (ctx->type() != xml::NodeType::kDocument) {
-    if (ctx->local_name() == rel::kFragmentName) {
-      for (xml::Node* c : ctx->children()) {
-        wrapper.root()->AppendChild(wrapper.ImportNode(c));
-      }
-    } else {
-      wrapper.root()->AppendChild(wrapper.ImportNode(ctx));
-    }
-    ctx = wrapper.root();
-  }
+                                xml::Document* arena,
+                                governor::BudgetScope* budget,
+                                const core::ParallelPolicy* parallel) {
+  DocRootView ctx(in, arena, budget);
   xquery::QueryEvaluator qe;
-  XDB_ASSIGN_OR_RETURN(auto doc, qe.EvaluateToDocument(query, ctx, budget));
+  XDB_ASSIGN_OR_RETURN(
+      auto doc, qe.EvaluateToDocument(query, ctx.root(), budget, parallel));
   return xml::Serialize(doc->root());
 }
 
@@ -196,7 +233,8 @@ Result<Datum> XmlDb::ViewValueForRow(const XmlView* view, int64_t row_id,
   Datum v = value.MoveValue();
   for (const XmlView* xv : xslt_views) {
     XDB_ASSIGN_OR_RETURN(v, ApplyStylesheet(*xv->compiled_stylesheet, v,
-                                            ctx->arena, ctx->budget));
+                                            ctx->arena, ctx->budget,
+                                            ctx->parallel));
   }
   return v;
 }
@@ -485,7 +523,8 @@ Result<std::string> XmlDb::EvalPreparedRow(
       auto value = prepared.pub->publish_expr->Eval(*ctx);
       ctx->rows.pop_back();
       XDB_RETURN_NOT_OK(value.status());
-      return ApplyXQuery(*prepared.query, *value, ctx->budget);
+      return ApplyXQuery(*prepared.query, *value, ctx->arena, ctx->budget,
+                         ctx->parallel);
     }
     case ExecutionPath::kFunctional: {
       XDB_ASSIGN_OR_RETURN(Datum value,
@@ -493,10 +532,11 @@ Result<std::string> XmlDb::EvalPreparedRow(
       if (prepared.kind == core::PreparedKind::kTransform) {
         XDB_ASSIGN_OR_RETURN(
             Datum result, ApplyStylesheet(*prepared.compiled, value, ctx->arena,
-                                          ctx->budget));
+                                          ctx->budget, ctx->parallel));
         return SerializeDatum(result);
       }
-      return ApplyXQuery(*prepared.query, value, ctx->budget);
+      return ApplyXQuery(*prepared.query, value, ctx->arena, ctx->budget,
+                         ctx->parallel);
     }
   }
   return Status::Internal("unknown execution path");
@@ -518,6 +558,26 @@ Result<std::vector<std::string>> XmlDb::Execute(
   governor::ExecBudget* shared =
       ConfigureBudget(options, &budget) ? &budget : nullptr;
 
+  // Intra-query parallel policy: individual operators (apply-templates /
+  // for-each fan-out, partitioned scans, XMLAgg merge, FLWOR return loops)
+  // fork onto the shared pool. Always safe to hand to the engines even when
+  // the row loop itself is parallel: ShouldFork() refuses inside a parallel
+  // region, so the two levels never compound.
+  core::ParallelStatsCollector pstats;
+  core::ParallelPolicy policy;
+  policy.threads = options.threads > 0 ? options.threads
+                                       : core::TaskScheduler::DefaultThreads();
+  if (options.min_parallel_chunk > 0) {
+    policy.min_fanout = 2 * options.min_parallel_chunk;
+  }
+  policy.cancel = options.cancel;
+  policy.stats = &pstats;
+  const core::ParallelPolicy* pp =
+      options.parallel && core::TaskScheduler::ParallelEnabled() &&
+              policy.enabled()
+          ? &policy
+          : nullptr;
+
   // Row count is read at execute time: a cached plan sees rows inserted
   // after it was prepared (structure-derived plans survive inserts).
   const size_t n = prepared.base->row_count();
@@ -534,6 +594,7 @@ Result<std::vector<std::string>> XmlDb::Execute(
     ExecCtx ctx;
     ctx.arena = &arena;
     ctx.budget = &scope;
+    ctx.parallel = pp;
     XDB_RETURN_NOT_OK(scope.CheckNow());
     XDB_ASSIGN_OR_RETURN(
         out[i], EvalPreparedRow(prepared, static_cast<int64_t>(i), &ctx));
@@ -544,6 +605,14 @@ Result<std::vector<std::string>> XmlDb::Execute(
       n, body, options.threads, &threads_used, options.cancel);
   stats->threads_used = threads_used;
   stats->execute_ns = ElapsedNs(start);
+  stats->op_parallel = pstats.Snapshot();
+  for (const core::OpParallelStats& op : stats->op_parallel) {
+    stats->parallel_tasks += op.parallel_tasks;
+    stats->partitions += op.partitions;
+    if (op.threads_used > stats->threads_used) {
+      stats->threads_used = op.threads_used;
+    }
+  }
   if (shared != nullptr) {
     stats->timed_out = budget.timed_out();
     stats->cancelled =
@@ -599,6 +668,24 @@ std::string ExplainPrepared(const core::PreparedTransform& prepared) {
   if (!prepared.sql_text.empty()) {
     out += "physical plan:\n" + prepared.sql_text + "\n";
   }
+  // Which operators of this plan can fork onto the shared pool at execute
+  // time (gated by ExecOptions::parallel / XDB_PARALLEL / thread count, so
+  // eligibility — a plan property — is what EXPLAIN reports).
+  out += "parallel: ";
+  switch (prepared.path) {
+    case ExecutionPath::kSqlRewritten:
+      out += "eligible operators rel:scan, rel:xmlagg";
+      break;
+    case ExecutionPath::kXQueryRewritten:
+      out += "eligible operators xquery:flwor";
+      break;
+    case ExecutionPath::kFunctional:
+      out += prepared.kind == core::PreparedKind::kTransform
+                 ? "eligible operators xslt:apply-templates, xslt:for-each"
+                 : "eligible operators xquery:flwor";
+      break;
+  }
+  out += "\n";
   return out;
 }
 
@@ -688,10 +775,16 @@ Result<std::vector<std::string>> XmlDb::MaterializeView(const std::string& view)
   XDB_ASSIGN_OR_RETURN(Table * base, catalog_.GetTable(pub->base_table));
   const size_t n = base->row_count();
   std::vector<std::string> out(n);
+  core::ParallelPolicy policy;
+  policy.threads = core::TaskScheduler::DefaultThreads();
+  const core::ParallelPolicy* pp =
+      core::TaskScheduler::ParallelEnabled() && policy.enabled() ? &policy
+                                                                 : nullptr;
   std::function<Status(size_t)> body = [&](size_t i) -> Status {
     xml::Document arena;
     ExecCtx ctx;
     ctx.arena = &arena;
+    ctx.parallel = pp;
     XDB_ASSIGN_OR_RETURN(Datum d,
                          ViewValueForRow(v, static_cast<int64_t>(i), &ctx));
     out[i] = SerializeDatum(d);

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "core/task_graph.h"
 #include "core/xmldb.h"
 #include "difftest/canonical.h"
 #include "difftest/seed.h"
@@ -108,13 +109,20 @@ OracleReport RunCase(const GeneratedCase& c, const OracleOptions& options) {
     inputs.push_back(std::move(*reparsed));
   }
 
+  // Intra-query parallel policy shared by all four engines (null = serial).
+  core::ParallelPolicy policy;
+  policy.threads = options.threads;
+  const core::ParallelPolicy* pp =
+      options.threads > 1 && core::TaskScheduler::ParallelEnabled() ? &policy
+                                                                    : nullptr;
+
   // ---- engine 1: tree interpreter ------------------------------------------
   {
     EngineRun& run = report.engines[kInterpreter];
     run.ran = true;
     xslt::Interpreter interp(**parsed_ss);
     for (auto& input : inputs) {
-      auto out = interp.Transform(input->root());
+      auto out = interp.Transform(input->root(), {}, nullptr, pp);
       if (!out.ok()) {
         run.status = out.status();
         break;
@@ -129,7 +137,7 @@ OracleReport RunCase(const GeneratedCase& c, const OracleOptions& options) {
     run.ran = true;
     xslt::Vm vm(**compiled);
     for (auto& input : inputs) {
-      auto out = vm.Transform(input->root());
+      auto out = vm.Transform(input->root(), {}, nullptr, pp);
       if (!out.ok()) {
         run.status = out.status();
         break;
@@ -156,7 +164,7 @@ OracleReport RunCase(const GeneratedCase& c, const OracleOptions& options) {
     run.ran = true;
     xquery::QueryEvaluator qe;
     for (auto& input : inputs) {
-      auto out = qe.EvaluateToDocument(*query, input->root());
+      auto out = qe.EvaluateToDocument(*query, input->root(), nullptr, pp);
       if (!out.ok()) {
         run.status = out.status();
         break;
@@ -170,7 +178,12 @@ OracleReport RunCase(const GeneratedCase& c, const OracleOptions& options) {
     EngineRun& run = report.engines[kShreddedSql];
     run.ran = true;
     ExecStats stats;
-    auto out = db.TransformView(kViewName, c.stylesheet, {}, &stats);
+    ExecOptions eo;
+    if (options.threads >= 1) {
+      eo.threads = options.threads;
+      eo.parallel = options.threads > 1;
+    }
+    auto out = db.TransformView(kViewName, c.stylesheet, eo, &stats);
     report.shredded_path = stats.path;
     if (!out.ok()) {
       run.status = out.status();

@@ -51,6 +51,12 @@ struct OracleOptions {
   int sabotage_engine = -1;
   /// ctest regex used in the printed repro command.
   std::string repro_regex = "DiffTest.DifferentialSweep";
+  /// Intra-query parallelism for every engine: <= 1 runs the engines
+  /// serially (the default, and the reference behaviour); N > 1 hands each
+  /// engine an N-thread ParallelPolicy, so a sweep at N threads differential-
+  /// checks the parallel execution paths against each other — and a caller
+  /// comparing N-thread vs 1-thread reports checks them against serial.
+  int threads = 1;
 };
 
 struct OracleReport {

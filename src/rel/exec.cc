@@ -3,9 +3,17 @@
 #include <algorithm>
 #include <cmath>
 
+#include "rel/parallel.h"
+
 namespace xdb::rel {
 
 Result<std::vector<Row>> ExecuteAll(const PlanNode& plan, ExecCtx& ctx) {
+  {
+    std::vector<Row> rows;
+    XDB_ASSIGN_OR_RETURN(bool partitioned,
+                         TryCollectPartitioned(plan, ctx, "rel:scan", &rows));
+    if (partitioned) return rows;
+  }
   XDB_ASSIGN_OR_RETURN(auto cursor, plan.Open(ctx));
   std::vector<Row> rows;
   Row row;
@@ -208,7 +216,79 @@ void ProjectNode::Explain(int indent, std::string* out) const {
 
 // ---- XmlAgg --------------------------------------------------------------------
 
+namespace {
+// Appends one aggregated value to the fragment, splicing absorbed same-arena
+// detached nodes directly (identical serialization to the serial ImportNode
+// copy, without re-walking the subtree).
+void AppendAggValue(ExecCtx& ctx, xml::Node* frag, const Datum& v) {
+  if (v.is_null()) return;
+  if (v.type() == DataType::kXml && v.AsXml() != nullptr) {
+    xml::Node* n = v.AsXml();
+    bool local = n->document() == ctx.arena && n->parent() == nullptr;
+    if (n->local_name() == kFragmentName) {
+      if (local) {
+        for (xml::Node* c : ctx.arena->DetachChildren(n)) frag->AppendChild(c);
+      } else {
+        for (xml::Node* c : n->children()) {
+          frag->AppendChild(ctx.arena->ImportNode(c));
+        }
+      }
+    } else if (local) {
+      frag->AppendChild(n);
+    } else {
+      frag->AppendChild(ctx.arena->ImportNode(n));
+    }
+  } else {
+    frag->AppendChild(ctx.arena->CreateText(v.ToString()));
+  }
+}
+}  // namespace
+
 Result<std::unique_ptr<Cursor>> XmlAggNode::Open(ExecCtx& ctx) const {
+  // Partition-parallel path: the child pipeline evaluates per partition and
+  // each run arrives locally sorted; the k-way merge below over
+  // (key, partition, in-partition position) reproduces the serial global
+  // stable sort, so the output fragment is byte-identical.
+  {
+    std::vector<std::vector<AggItem>> runs;
+    XDB_ASSIGN_OR_RETURN(
+        bool partitioned,
+        TryCollectAggRuns(*child_, order_by_.get(), descending_, ctx, &runs));
+    if (partitioned) {
+      xml::Node* frag = ctx.arena->CreateElement(kFragmentName);
+      if (order_by_ == nullptr) {
+        for (const auto& run : runs) {
+          for (const AggItem& item : run) AppendAggValue(ctx, frag, item.value);
+        }
+      } else {
+        std::vector<size_t> pos(runs.size(), 0);
+        for (;;) {
+          int best = -1;
+          for (size_t p = 0; p < runs.size(); ++p) {
+            if (pos[p] >= runs[p].size()) continue;
+            if (best < 0) {
+              best = static_cast<int>(p);
+              continue;
+            }
+            int cmp = runs[p][pos[p]].key.Compare(
+                runs[static_cast<size_t>(best)][pos[static_cast<size_t>(best)]].key);
+            if (descending_) cmp = -cmp;
+            // Strictly-less only: on ties the lower partition (earlier
+            // original rows) wins, matching the stable sort.
+            if (cmp < 0) best = static_cast<int>(p);
+          }
+          if (best < 0) break;
+          auto& bp = pos[static_cast<size_t>(best)];
+          AppendAggValue(ctx, frag, runs[static_cast<size_t>(best)][bp].value);
+          ++bp;
+        }
+      }
+      std::vector<Row> result;
+      result.push_back(Row{Datum(frag)});
+      return std::unique_ptr<Cursor>(new RowVectorCursor(std::move(result)));
+    }
+  }
+
   XDB_ASSIGN_OR_RETURN(auto child, child_->Open(ctx));
   struct Item {
     Datum value;
@@ -275,7 +355,22 @@ void XmlAggNode::Explain(int indent, std::string* out) const {
 // ---- ScalarAgg -----------------------------------------------------------------
 
 Result<std::unique_ptr<Cursor>> ScalarAggNode::Open(ExecCtx& ctx) const {
-  XDB_ASSIGN_OR_RETURN(auto child, child_->Open(ctx));
+  std::unique_ptr<Cursor> child;
+  {
+    // Partition-parallel path: materialize the child pipeline concurrently,
+    // then feed the rows — in serial order — through the unchanged
+    // accumulation loop below, so floating-point summation order (and thus
+    // the result) is identical to the serial walk.
+    std::vector<Row> rows;
+    XDB_ASSIGN_OR_RETURN(
+        bool partitioned,
+        TryCollectPartitioned(*child_, ctx, "rel:scalar-agg", &rows));
+    if (partitioned) {
+      child = std::make_unique<RowVectorCursor>(std::move(rows));
+    } else {
+      XDB_ASSIGN_OR_RETURN(child, child_->Open(ctx));
+    }
+  }
   double sum = 0;
   int64_t count = 0;
   Datum min_v, max_v;

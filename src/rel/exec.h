@@ -96,6 +96,8 @@ class FilterNode : public PlanNode {
   Result<std::unique_ptr<Cursor>> Open(ExecCtx& ctx) const override;
   void Explain(int indent, std::string* out) const override;
   size_t output_arity() const override { return child_->output_arity(); }
+  const PlanNode* child() const { return child_.get(); }
+  const RelExpr* predicate() const { return predicate_.get(); }
 
  private:
   PlanPtr child_;
@@ -112,6 +114,7 @@ class ProjectNode : public PlanNode {
   void Explain(int indent, std::string* out) const override;
   size_t output_arity() const override { return exprs_.size(); }
   const std::vector<RelExprPtr>& exprs() const { return exprs_; }
+  const PlanNode* child() const { return child_.get(); }
 
  private:
   PlanPtr child_;
@@ -129,6 +132,9 @@ class XmlAggNode : public PlanNode {
   Result<std::unique_ptr<Cursor>> Open(ExecCtx& ctx) const override;
   void Explain(int indent, std::string* out) const override;
   size_t output_arity() const override { return 1; }
+  const PlanNode* child() const { return child_.get(); }
+  const RelExpr* order_by() const { return order_by_.get(); }
+  bool descending() const { return descending_; }
 
  private:
   PlanPtr child_;
@@ -146,6 +152,7 @@ class ScalarAggNode : public PlanNode {
   Result<std::unique_ptr<Cursor>> Open(ExecCtx& ctx) const override;
   void Explain(int indent, std::string* out) const override;
   size_t output_arity() const override { return 1; }
+  const PlanNode* child() const { return child_.get(); }
 
  private:
   PlanPtr child_;

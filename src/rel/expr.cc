@@ -170,16 +170,26 @@ std::string CaseRelExpr::ToSql() const {
 }
 
 namespace {
-// Appends datum content to an element under construction.
+// Appends datum content to an element under construction. Arena-local
+// detached nodes — freshly built by a nested constructor or aggregate, so
+// provably single-use — are spliced in place; anything else (stored table
+// XML, attached nodes) is deep-copied, since the source must survive.
 void AppendContent(Node* elem, const Datum& d, xml::Document* arena) {
   if (d.is_null()) return;
   if (d.type() == DataType::kXml) {
     Node* n = d.AsXml();
     if (n == nullptr) return;
+    bool local = n->document() == arena && n->parent() == nullptr;
     if (n->local_name() == kFragmentName || n->type() == xml::NodeType::kDocument) {
-      for (Node* child : n->children()) {
-        elem->AppendChild(arena->ImportNode(child));
+      if (local && n->type() != xml::NodeType::kDocument) {
+        for (Node* child : arena->DetachChildren(n)) elem->AppendChild(child);
+      } else {
+        for (Node* child : n->children()) {
+          elem->AppendChild(arena->ImportNode(child));
+        }
       }
+    } else if (local) {
+      elem->AppendChild(n);
     } else {
       elem->AppendChild(arena->ImportNode(n));
     }

@@ -23,6 +23,9 @@ namespace xdb::xslt {
 class Vm;
 class CompiledStylesheet;
 }  // namespace xdb::xslt
+namespace xdb::core {
+struct ParallelPolicy;
+}  // namespace xdb::core
 
 namespace xdb::rel {
 
@@ -36,6 +39,10 @@ struct ExecCtx {
   /// Resource-governor scope for this row's evaluation (null = ungoverned);
   /// cursors tick per produced row, XML expressions pass it to the engines.
   governor::BudgetScope* budget = nullptr;
+  /// Intra-query parallelism policy (null or threads <= 1 = serial).
+  /// Partitionable operators (XmlAgg, ScalarAgg, top-level scans) consult it
+  /// before forking onto the shared pool.
+  const core::ParallelPolicy* parallel = nullptr;
 
   const Row& RowAt(int level) const {
     return *rows[rows.size() - 1 - static_cast<size_t>(level)];

@@ -1,0 +1,221 @@
+#include "rel/parallel.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace xdb::rel {
+
+bool MatchScanPipeline(const PlanNode& plan, ScanPipeline* out) {
+  ScanPipeline p;
+  const PlanNode* node = &plan;
+  // Collect stages top-down, then reverse so they apply leaf-upward.
+  for (;;) {
+    if (const auto* scan = dynamic_cast<const SeqScanNode*>(node)) {
+      p.table = scan->table();
+      break;
+    }
+    if (const auto* filter = dynamic_cast<const FilterNode*>(node)) {
+      ScanPipeline::Stage s;
+      s.predicate = filter->predicate();
+      p.stages.push_back(s);
+      node = filter->child();
+      continue;
+    }
+    if (const auto* project = dynamic_cast<const ProjectNode*>(node)) {
+      ScanPipeline::Stage s;
+      s.exprs = &project->exprs();
+      p.stages.push_back(s);
+      node = project->child();
+      continue;
+    }
+    return false;
+  }
+  std::reverse(p.stages.begin(), p.stages.end());
+  *out = std::move(p);
+  return true;
+}
+
+Status RunPipelineRange(const ScanPipeline& p, ExecCtx& ctx, size_t begin,
+                        size_t end, std::vector<Row>* rows) {
+  for (size_t i = begin; i < end; ++i) {
+    XDB_RETURN_NOT_OK(governor::Tick(ctx.budget));
+    Row row = p.table->row(static_cast<int64_t>(i));
+    bool keep = true;
+    for (const ScanPipeline::Stage& stage : p.stages) {
+      if (stage.predicate != nullptr) {
+        ctx.rows.push_back(&row);
+        auto v = stage.predicate->Eval(ctx);
+        ctx.rows.pop_back();
+        if (!v.ok()) return v.status();
+        if (v->is_null() || v->ToDouble() == 0) {
+          keep = false;
+          break;
+        }
+      } else {
+        Row projected;
+        projected.reserve(stage.exprs->size());
+        ctx.rows.push_back(&row);
+        for (const RelExprPtr& e : *stage.exprs) {
+          auto v = e->Eval(ctx);
+          if (!v.ok()) {
+            ctx.rows.pop_back();
+            return v.status();
+          }
+          projected.push_back(v.MoveValue());
+        }
+        ctx.rows.pop_back();
+        row = std::move(projected);
+      }
+    }
+    if (keep) rows->push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Contiguous, balanced partition bounds over [0, n).
+std::vector<std::pair<size_t, size_t>> PartitionRanges(size_t n, int parts) {
+  std::vector<std::pair<size_t, size_t>> ranges;
+  size_t p = static_cast<size_t>(parts);
+  size_t base = n / p, extra = n % p;
+  size_t begin = 0;
+  for (size_t i = 0; i < p; ++i) {
+    size_t len = base + (i < extra ? 1 : 0);
+    ranges.emplace_back(begin, begin + len);
+    begin += len;
+  }
+  return ranges;
+}
+
+// Runs `per_partition(index, partition_ctx, range)` across partitions on the
+// shared pool. Each partition gets a fresh arena (returned through *arenas
+// with its budget pointer already detached) and its own BudgetScope over the
+// caller's shared ExecBudget. Errors use run-to-completion ordering so the
+// lowest partition's failure — the row the serial loop would have hit first
+// — is reported.
+template <typename PerPartition>
+Status RunPartitioned(ExecCtx& ctx, const core::ParallelPolicy& policy,
+                      const std::vector<std::pair<size_t, size_t>>& ranges,
+                      int* threads_used,
+                      std::vector<std::unique_ptr<xml::Document>>* arenas,
+                      PerPartition&& per_partition) {
+  arenas->resize(ranges.size());
+  governor::ExecBudget* shared =
+      ctx.budget != nullptr ? ctx.budget->budget() : nullptr;
+  auto task = [&](size_t i) -> Status {
+    governor::BudgetScope scope(shared);
+    auto arena = std::make_unique<xml::Document>();
+    if (scope.enabled()) arena->set_budget(&scope);
+    ExecCtx pctx;
+    pctx.arena = arena.get();
+    pctx.rows = ctx.rows;  // outer rows: read-only shared borrow
+    pctx.budget = scope.enabled() ? &scope : nullptr;
+    pctx.parallel = nullptr;  // partitions never re-fork
+    Status s = per_partition(i, pctx, ranges[i]);
+    // Detach before the scope dies; the absorbing document takes over the
+    // release duty for bytes this partition charged to the shared budget.
+    arena->set_budget(nullptr);
+    (*arenas)[i] = std::move(arena);
+    return s;
+  };
+  core::TaskOptions opts;
+  opts.threads = policy.threads;
+  opts.cancel = policy.cancel;
+  opts.threads_used = threads_used;
+  opts.cancel_on_error = false;
+  return core::TaskScheduler::Global().RunTasks(ranges.size(), task, opts);
+}
+
+}  // namespace
+
+Result<bool> TryCollectPartitioned(const PlanNode& plan, ExecCtx& ctx,
+                                   const char* op_label,
+                                   std::vector<Row>* out_rows) {
+  if (ctx.parallel == nullptr || ctx.arena == nullptr) return false;
+  const core::ParallelPolicy& policy = *ctx.parallel;
+  ScanPipeline pipe;
+  if (!MatchScanPipeline(plan, &pipe)) return false;
+  size_t n = pipe.table->row_count();
+  if (!policy.ShouldFork(n)) return false;
+
+  auto ranges = PartitionRanges(n, std::min<int>(policy.threads, static_cast<int>(n)));
+  std::vector<std::vector<Row>> part_rows(ranges.size());
+  std::vector<std::unique_ptr<xml::Document>> arenas;
+  int threads_used = 1;
+  XDB_RETURN_NOT_OK(RunPartitioned(
+      ctx, policy, ranges, &threads_used, &arenas,
+      [&](size_t i, ExecCtx& pctx, const std::pair<size_t, size_t>& r) {
+        return RunPipelineRange(pipe, pctx, r.first, r.second, &part_rows[i]);
+      }));
+
+  out_rows->clear();
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    ctx.arena->AbsorbNodes(arenas[i].get());
+    out_rows->insert(out_rows->end(),
+                     std::make_move_iterator(part_rows[i].begin()),
+                     std::make_move_iterator(part_rows[i].end()));
+  }
+  if (policy.stats != nullptr) {
+    policy.stats->Record(op_label, threads_used, ranges.size());
+  }
+  return true;
+}
+
+Result<bool> TryCollectAggRuns(const PlanNode& child, const RelExpr* order_by,
+                               bool descending, ExecCtx& ctx,
+                               std::vector<std::vector<AggItem>>* runs) {
+  if (ctx.parallel == nullptr || ctx.arena == nullptr) return false;
+  const core::ParallelPolicy& policy = *ctx.parallel;
+  ScanPipeline pipe;
+  if (!MatchScanPipeline(child, &pipe)) return false;
+  size_t n = pipe.table->row_count();
+  if (!policy.ShouldFork(n)) return false;
+
+  auto ranges = PartitionRanges(n, std::min<int>(policy.threads, static_cast<int>(n)));
+  runs->assign(ranges.size(), {});
+  std::vector<std::unique_ptr<xml::Document>> arenas;
+  int threads_used = 1;
+  XDB_RETURN_NOT_OK(RunPartitioned(
+      ctx, policy, ranges, &threads_used, &arenas,
+      [&](size_t i, ExecCtx& pctx, const std::pair<size_t, size_t>& r) -> Status {
+        std::vector<Row> rows;
+        XDB_RETURN_NOT_OK(RunPipelineRange(pipe, pctx, r.first, r.second, &rows));
+        std::vector<AggItem>& run = (*runs)[i];
+        run.reserve(rows.size());
+        for (Row& row : rows) {
+          AggItem item;
+          item.value = row.empty() ? Datum::Null() : row[0];
+          item.original = run.size();
+          if (order_by != nullptr) {
+            pctx.rows.push_back(&row);
+            auto k = order_by->Eval(pctx);
+            pctx.rows.pop_back();
+            if (!k.ok()) return k.status();
+            item.key = k.MoveValue();
+          }
+          run.push_back(std::move(item));
+        }
+        if (order_by != nullptr) {
+          // Local sort; the caller's k-way merge over (key, partition,
+          // original) then reproduces the serial global stable sort exactly.
+          std::stable_sort(run.begin(), run.end(),
+                           [descending](const AggItem& a, const AggItem& b) {
+                             int cmp = a.key.Compare(b.key);
+                             if (descending) cmp = -cmp;
+                             if (cmp != 0) return cmp < 0;
+                             return a.original < b.original;
+                           });
+        }
+        return Status::OK();
+      }));
+
+  for (auto& arena : arenas) ctx.arena->AbsorbNodes(arena.get());
+  if (policy.stats != nullptr) {
+    policy.stats->Record("rel:xmlagg", threads_used, ranges.size());
+  }
+  return true;
+}
+
+}  // namespace xdb::rel

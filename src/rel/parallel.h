@@ -1,0 +1,78 @@
+// Partition-parallel execution of relational scan pipelines.
+//
+// A "scan pipeline" is the shape every Figure-3 plan bottoms out in: a
+// SeqScan leaf under a stack of Filter/Project operators. Its rows are
+// independent, so the table's row range splits into contiguous partitions
+// that evaluate filter + projection concurrently, each against its own
+// xml::Document arena and governor::BudgetScope. Partition arenas are then
+// absorbed into the caller's arena (xml::Document::AbsorbNodes — a pointer
+// fix-up, not a copy), so the returned rows' XML values live in the caller's
+// arena exactly as if the pipeline had run serially.
+//
+// Determinism: partitions are contiguous and results are concatenated in
+// partition order, so row order is identical to the serial cursor walk; the
+// parallel XMLAgg sorts partitions locally and k-way merges by
+// (key, partition, local position), which is equivalent to the serial
+// global stable sort. Errors run each partition to its own first failure
+// and report the lowest partition's error — the same row the serial loop
+// would have failed on.
+#ifndef XDB_REL_PARALLEL_H_
+#define XDB_REL_PARALLEL_H_
+
+#include <vector>
+
+#include "core/task_graph.h"
+#include "rel/exec.h"
+
+namespace xdb::rel {
+
+/// A recognized Project*/Filter* stack over a SeqScan. `stages` apply
+/// leaf-upward; exactly one of {predicate, exprs} is set per stage.
+struct ScanPipeline {
+  const Table* table = nullptr;
+  struct Stage {
+    const RelExpr* predicate = nullptr;             // Filter stage
+    const std::vector<RelExprPtr>* exprs = nullptr; // Project stage
+  };
+  std::vector<Stage> stages;
+};
+
+/// Matches `plan` against the partitionable pipeline shape. Returns false
+/// (leaving *out untouched) for any other operator tree.
+bool MatchScanPipeline(const PlanNode& plan, ScanPipeline* out);
+
+/// Evaluates `p` over table rows [begin, end) into `rows` using `ctx`
+/// verbatim (caller supplies a partition-local arena/budget when running on
+/// a worker). Ticks the budget once per scanned row, like SeqScanCursor.
+Status RunPipelineRange(const ScanPipeline& p, ExecCtx& ctx, size_t begin,
+                        size_t end, std::vector<Row>* rows);
+
+/// Partition-parallel materialization of `plan`'s row stream. Returns false
+/// when the plan is not a scan pipeline or the policy declines to fork
+/// (caller falls back to the serial cursor walk); on true, `*out_rows`
+/// holds the full result in serial order and every XML value lives in
+/// `ctx.arena`. Records `op_label` in the policy's stats collector.
+Result<bool> TryCollectPartitioned(const PlanNode& plan, ExecCtx& ctx,
+                                   const char* op_label,
+                                   std::vector<Row>* out_rows);
+
+/// One partition's sorted item run for the parallel XMLAgg merge.
+struct AggItem {
+  Datum value;
+  Datum key;
+  size_t original = 0;  // position within the partition
+};
+
+/// Partition-parallel XMLAgg input: evaluates the child pipeline per
+/// partition, computes ORDER BY keys in-task and sorts each partition run
+/// locally. Returns false when not partitionable; on true, `runs` holds one
+/// locally-sorted (or scan-ordered, when `order_by` is null) run per
+/// partition, with all XML values absorbed into `ctx.arena`. The caller
+/// k-way merges the runs.
+Result<bool> TryCollectAggRuns(const PlanNode& child, const RelExpr* order_by,
+                               bool descending, ExecCtx& ctx,
+                               std::vector<std::vector<AggItem>>* runs);
+
+}  // namespace xdb::rel
+
+#endif  // XDB_REL_PARALLEL_H_

@@ -196,6 +196,64 @@ Node* Document::CreateProcessingInstruction(std::string_view target,
   return n;
 }
 
+void Document::AbsorbNodes(Document* donor) {
+  assert(donor != this);
+  for (Node& n : donor->nodes_) n.doc_ = this;
+  for (auto& block : donor->absorbed_) {
+    for (Node& n : block) n.doc_ = this;
+  }
+  if (donor->charged_bytes_ != 0) {
+    if (budget_ != nullptr) {
+      // Take over the release duty; the donor's scope already charged the
+      // shared block (or will flush its residue at scope destruction).
+      charged_bytes_ += donor->charged_bytes_;
+    } else if (donor->budget_ != nullptr) {
+      // This document is untracked: settle the donor's charge now so its
+      // scope can be destroyed balanced.
+      donor->budget_->ReleaseMemory(donor->charged_bytes_);
+    }
+    donor->charged_bytes_ = 0;
+  }
+  donor->budget_ = nullptr;
+  absorbed_node_count_ += donor->nodes_.size() + donor->absorbed_node_count_;
+  absorbed_.push_back(std::move(donor->nodes_));
+  for (auto& block : donor->absorbed_) absorbed_.push_back(std::move(block));
+  donor->absorbed_.clear();
+  donor->absorbed_node_count_ = 0;
+  donor->nodes_.clear();
+  donor->root_ = nullptr;
+}
+
+void Document::AbsorbChildren(Document* donor, Node* donor_parent,
+                              Node* target_parent) {
+  assert(donor_parent->doc_ == donor);
+  assert(target_parent->doc_ == this);
+  std::vector<Node*> children = std::move(donor_parent->children_);
+  donor_parent->children_.clear();
+  std::vector<Node*> attributes = donor_parent->attributes_;
+  AbsorbNodes(donor);
+  for (Node* child : children) {
+    child->parent_ = nullptr;
+    target_parent->AppendChild(child);
+  }
+  if (target_parent->is_element()) {
+    for (const Node* attr : attributes) {
+      target_parent->SetAttribute(attr->qualified_name(), attr->value());
+    }
+  }
+}
+
+std::vector<Node*> Document::DetachChildren(Node* parent) {
+  assert(parent->doc_ == this);
+  std::vector<Node*> children = std::move(parent->children_);
+  parent->children_.clear();
+  for (Node* child : children) {
+    child->parent_ = nullptr;
+    child->index_in_parent_ = -1;
+  }
+  return children;
+}
+
 Node* Document::ImportNode(const Node* node) {
   Node* copy = nullptr;
   switch (node->type()) {

@@ -145,8 +145,33 @@ class Document {
   /// new copy, unattached.
   Node* ImportNode(const Node* node);
 
+  /// Transfers ownership of every node in `donor` into this document without
+  /// copying. Node records keep their addresses (moving the underlying deque
+  /// moves whole blocks), their document() becomes this, and the donor's
+  /// tracked memory charge moves to this document's release duty — both
+  /// documents' budget scopes must share the same underlying ExecBudget (or
+  /// the donor's charge is released immediately when this document has no
+  /// budget attached). The donor is left empty: destructible but unusable.
+  /// Parent/child links are not touched — detached donor roots stay
+  /// detached, which is what the parallel engines' output buffers need.
+  void AbsorbNodes(Document* donor);
+
+  /// AbsorbNodes(donor), then splices the children of `donor_parent` onto
+  /// `target_parent` in order and re-applies donor_parent's attributes to it
+  /// (replace-in-place, matching serial xsl:attribute semantics; skipped
+  /// when `target_parent` is not an element). The parallel engines use this
+  /// to merge per-task output buffers back into the shared result tree in
+  /// document order.
+  void AbsorbChildren(Document* donor, Node* donor_parent, Node* target_parent);
+
+  /// Detaches all children of `parent` (a node of this document) and returns
+  /// them in order, each with a null parent — ready to AppendChild elsewhere
+  /// in this document. The parallel XMLAgg merge uses this to flatten
+  /// absorbed fragment wrappers without re-copying subtrees.
+  std::vector<Node*> DetachChildren(Node* parent);
+
   /// Number of nodes allocated in this document (diagnostics / tests).
-  size_t node_count() const { return nodes_.size(); }
+  size_t node_count() const { return nodes_.size() + absorbed_node_count_; }
 
  private:
   friend class Node;
@@ -160,6 +185,9 @@ class Document {
   }
 
   std::deque<Node> nodes_;
+  std::vector<std::deque<Node>> absorbed_;  // node storage taken over from
+                                            // donor documents (AbsorbNodes)
+  size_t absorbed_node_count_ = 0;
   Node* root_;
   governor::BudgetScope* budget_ = nullptr;
   uint64_t charged_bytes_ = 0;

@@ -119,8 +119,9 @@ class QEvalEngine {
   // Copies the base evaluator so per-query user functions can be registered
   // without leaking closures into the shared evaluator.
   explicit QEvalEngine(const xpath::Evaluator& base,
-                       governor::BudgetScope* budget = nullptr)
-      : xev_(base), budget_(budget) {}
+                       governor::BudgetScope* budget = nullptr,
+                       const core::ParallelPolicy* policy = nullptr)
+      : xev_(base), budget_(budget), policy_(policy) {}
 
   Result<Sequence> Run(const Query& query, Node* context_item,
                        xml::Document* out) {
@@ -377,7 +378,76 @@ class QEvalEngine {
       for (Keyed& k : keyed) tuples.push_back(std::move(k.tuple));
     }
 
-    // return
+    // return — parallel when the policy allows it. Each chunk of tuples is
+    // evaluated by a fresh engine copy into its own buffer document; buffers
+    // are absorbed into ctx.out and item sequences concatenated in chunk
+    // order, so the result is identical to the serial loop. Queries that
+    // declare user functions always run serially: the functions registered
+    // in Run() capture this engine and the live output document.
+    if (policy_ != nullptr && ctx.query->functions.empty() &&
+        policy_->ShouldFork(tuples.size(), ctx.depth)) {
+      governor::ExecBudget* shared =
+          budget_ != nullptr ? budget_->budget() : nullptr;
+      size_t n = tuples.size();
+      size_t min_chunk = core::TaskScheduler::DefaultMinChunk();
+      size_t chunk = n / (static_cast<size_t>(policy_->threads) * 4);
+      if (chunk < min_chunk) chunk = min_chunk;
+      if (chunk == 0) chunk = 1;
+      std::vector<std::pair<size_t, size_t>> ranges;
+      for (size_t b = 0; b < n; b += chunk) {
+        ranges.emplace_back(b, std::min(b + chunk, n));
+      }
+      struct ChunkResult {
+        std::unique_ptr<xml::Document> doc;
+        Sequence items;
+      };
+      std::vector<ChunkResult> results(ranges.size());
+      auto task = [&](size_t ci) -> Status {
+        governor::BudgetScope scope(shared);
+        auto doc = std::make_unique<xml::Document>();
+        if (scope.enabled()) doc->set_budget(&scope);
+        QEvalEngine sub_engine(xev_, scope.enabled() ? &scope : nullptr);
+        Status s = Status::OK();
+        Sequence items;
+        for (size_t ti = ranges[ci].first;
+             ti < ranges[ci].second && s.ok(); ++ti) {
+          VariableEnv frame(ctx.env);
+          make_env(tuples[ti], &frame);
+          QCtx sub = ctx;
+          sub.env = &frame;
+          sub.out = doc.get();
+          auto r = sub_engine.Eval(*f.return_expr, sub);
+          if (!r.ok()) {
+            s = r.status();
+            break;
+          }
+          Sequence rs = r.MoveValue();
+          items.insert(items.end(), rs.begin(), rs.end());
+        }
+        doc->set_budget(nullptr);
+        results[ci].doc = std::move(doc);
+        results[ci].items = std::move(items);
+        return s;
+      };
+      core::TaskOptions opts;
+      opts.threads = policy_->threads;
+      opts.cancel = policy_->cancel;
+      opts.cancel_on_error = false;
+      int used = 1;
+      opts.threads_used = &used;
+      XDB_RETURN_NOT_OK(
+          core::TaskScheduler::Global().RunTasks(ranges.size(), task, opts));
+      Sequence out;
+      for (ChunkResult& cr : results) {
+        // Node addresses survive the absorb, so item pointers stay valid.
+        ctx.out->AbsorbNodes(cr.doc.get());
+        out.insert(out.end(), cr.items.begin(), cr.items.end());
+      }
+      if (policy_->stats != nullptr) {
+        policy_->stats->Record("xquery:flwor", used, ranges.size());
+      }
+      return out;
+    }
     Sequence out;
     for (const Tuple& t : tuples) {
       VariableEnv frame(ctx.env);
@@ -532,6 +602,7 @@ class QEvalEngine {
 
   xpath::Evaluator xev_;
   governor::BudgetScope* budget_;
+  const core::ParallelPolicy* policy_ = nullptr;
   int call_depth_ = 0;
 };
 
@@ -569,17 +640,19 @@ QueryEvaluator::QueryEvaluator() {
 
 Result<Sequence> QueryEvaluator::Evaluate(const Query& query, Node* context_item,
                                           xml::Document* result_doc,
-                                          governor::BudgetScope* budget) {
-  QEvalEngine engine(xpath_evaluator_, budget);
+                                          governor::BudgetScope* budget,
+                                          const core::ParallelPolicy* parallel) {
+  QEvalEngine engine(xpath_evaluator_, budget, parallel);
   return engine.Run(query, context_item, result_doc);
 }
 
 Result<std::unique_ptr<xml::Document>> QueryEvaluator::EvaluateToDocument(
-    const Query& query, Node* context_item, governor::BudgetScope* budget) {
+    const Query& query, Node* context_item, governor::BudgetScope* budget,
+    const core::ParallelPolicy* parallel) {
   auto doc = std::make_unique<xml::Document>();
   if (budget != nullptr) doc->set_budget(budget);
   XDB_ASSIGN_OR_RETURN(Sequence seq,
-                       Evaluate(query, context_item, doc.get(), budget));
+                       Evaluate(query, context_item, doc.get(), budget, parallel));
   // Materialize: RETURNING CONTENT semantics.
   bool prev_atomic = false;
   for (const Item& item : seq) {

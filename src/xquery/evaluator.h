@@ -14,6 +14,7 @@
 
 #include "common/governor.h"
 #include "common/status.h"
+#include "core/task_graph.h"
 #include "xml/dom.h"
 #include "xpath/evaluator.h"
 #include "xquery/ast.h"
@@ -48,16 +49,21 @@ class QueryEvaluator {
   /// Returns the result sequence; constructed nodes live in `*result_doc`.
   /// When `budget` is set the engine ticks per evaluated expression and
   /// embedded XPath evaluations inherit the scope.
+  /// When `parallel` is set (and enabled), large FLWOR return loops fork
+  /// per-chunk tasks onto the shared pool (skipped for queries declaring
+  /// user functions); the result sequence is identical to serial order.
   Result<Sequence> Evaluate(const Query& query, xml::Node* context_item,
                             xml::Document* result_doc,
-                            governor::BudgetScope* budget = nullptr);
+                            governor::BudgetScope* budget = nullptr,
+                            const core::ParallelPolicy* parallel = nullptr);
 
   /// Convenience: evaluates and materializes the sequence as a document
   /// (nodes copied in order; adjacent atomics joined with spaces) —
   /// "RETURNING CONTENT" semantics.
   Result<std::unique_ptr<xml::Document>> EvaluateToDocument(
       const Query& query, xml::Node* context_item,
-      governor::BudgetScope* budget = nullptr);
+      governor::BudgetScope* budget = nullptr,
+      const core::ParallelPolicy* parallel = nullptr);
 
   /// Access to the underlying XPath evaluator (to register extra functions).
   xpath::Evaluator* xpath_evaluator() { return &xpath_evaluator_; }

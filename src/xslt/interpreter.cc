@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <mutex>
+#include <shared_mutex>
 
 #include "common/strings.h"
+#include "core/task_graph.h"
 #include "xpath/parser.h"
 #include "xslt/avt.h"
 
@@ -55,16 +58,24 @@ struct SortKey {
   bool descending = false;
 };
 
+// Synthetic sink wrapping one parallel chunk's output; its children are
+// spliced onto the real sink (and its attributes transferred) at the join.
+constexpr const char* kChunkSinkName = "#chunk";
+
 /// Implementation engine; exists per Transform() call.
 class Engine {
  public:
   Engine(const Stylesheet& ss, Evaluator* evaluator,
-         governor::BudgetScope* budget = nullptr)
+         governor::BudgetScope* budget = nullptr,
+         const core::ParallelPolicy* policy = nullptr)
       : ss_(ss),
         evaluator_(*evaluator),
         budget_(budget),
+        policy_(policy),
         max_depth_(budget != nullptr ? budget->max_template_depth()
-                                     : governor::MaxTemplateDepth()) {}
+                                     : governor::MaxTemplateDepth()) {
+    self_expr_ = xpath::ParseXPath(".").MoveValue();
+  }
 
   Status Run(Node* source_root, const TransformParams& params,
              xml::Document* out) {
@@ -82,25 +93,37 @@ class Engine {
 
  private:
   // ---- XPath compilation cache (keyed by attribute owner + attr name) ----
+  // Guarded by cache_mu_: parallel chunk tasks compile lazily through the
+  // same engine. On a racey double-parse the first insert wins (both parses
+  // of the same attribute are equivalent); unordered_map node stability
+  // keeps returned pointers valid across rehashes.
   Result<const xpath::Expr*> CompiledExpr(const Node* elem, const char* attr) {
     const Node* attr_node = elem->FindAttribute(attr);
     if (attr_node == nullptr) {
       return Status::ParseError("XSLT: <xsl:" + elem->local_name() +
                                 "> requires @" + attr);
     }
-    auto it = expr_cache_.find(attr_node);
-    if (it != expr_cache_.end()) return it->second.get();
+    {
+      std::shared_lock<std::shared_mutex> lock(cache_mu_);
+      auto it = expr_cache_.find(attr_node);
+      if (it != expr_cache_.end()) return it->second.get();
+    }
     XDB_ASSIGN_OR_RETURN(ExprPtr e, xpath::ParseXPath(attr_node->value()));
-    const xpath::Expr* raw = e.get();
-    expr_cache_[attr_node] = std::move(e);
-    return raw;
+    std::unique_lock<std::shared_mutex> lock(cache_mu_);
+    auto [it, _] = expr_cache_.emplace(attr_node, std::move(e));
+    return it->second.get();
   }
 
   Result<const Avt*> CompiledAvt(const Node* attr_node) {
-    auto it = avt_cache_.find(attr_node);
-    if (it != avt_cache_.end()) return &it->second;
+    {
+      std::shared_lock<std::shared_mutex> lock(cache_mu_);
+      auto it = avt_cache_.find(attr_node);
+      if (it != avt_cache_.end()) return &it->second;
+    }
     XDB_ASSIGN_OR_RETURN(Avt avt, Avt::Parse(attr_node->value()));
-    return &(avt_cache_[attr_node] = std::move(avt));
+    std::unique_lock<std::shared_mutex> lock(cache_mu_);
+    auto [it, _] = avt_cache_.emplace(attr_node, std::move(avt));
+    return &it->second;
   }
 
   // ---- Globals ----
@@ -145,7 +168,7 @@ class Engine {
           "XSLT: maximum template nesting depth (" +
           std::to_string(max_depth_) + ") exceeded");
     }
-    XDB_RETURN_NOT_OK(governor::Tick(budget_));
+    XDB_RETURN_NOT_OK(governor::Tick(st.budget));
     XDB_ASSIGN_OR_RETURN(
         int idx, ss_.FindMatch(node, st.mode, evaluator_, st.XPathCtx()));
     if (idx < 0) return ExecBuiltin(node, st);
@@ -156,6 +179,19 @@ class Engine {
     switch (BuiltinActionFor(node)) {
       case BuiltinAction::kApplyToChildren: {
         const auto& children = node->children();
+        // The built-in rule is the dominant fan-out for match-driven
+        // stylesheets (no explicit apply-templates select), so it forks
+        // exactly like the explicit instruction.
+        if (ShouldFork(children.size(), st.depth)) {
+          return ForkNodes(st, children.size(), "xslt:apply-templates",
+                           [&](size_t i, ExecState& sub) {
+                             sub.node = children[i];
+                             sub.position = i + 1;
+                             sub.size = children.size();
+                             sub.depth = st.depth + 1;
+                             return ApplyTemplatesTo(children[i], sub, nullptr);
+                           });
+        }
         for (size_t i = 0; i < children.size(); ++i) {
           ExecState sub = st;
           sub.node = children[i];
@@ -215,7 +251,7 @@ class Engine {
   }
 
   Status ExecNode(const Node* instr, ExecState& st, VariableEnv* frame) {
-    XDB_RETURN_NOT_OK(governor::Tick(budget_));
+    XDB_RETURN_NOT_OK(governor::Tick(st.budget));
     switch (instr->type()) {
       case NodeType::kText:
         st.sink->AppendChild(st.out->CreateText(instr->value()));
@@ -440,10 +476,8 @@ class Engine {
     return keys;
   }
 
-  const xpath::Expr* SelfExpr() {
-    if (self_expr_ == nullptr) self_expr_ = xpath::ParseXPath(".").MoveValue();
-    return self_expr_.get();
-  }
+  // Precomputed in the constructor so parallel tasks can read it freely.
+  const xpath::Expr* SelfExpr() const { return self_expr_.get(); }
 
   Status SortNodes(NodeSet* nodes, const std::vector<SortKey>& keys,
                    ExecState& st) {
@@ -508,6 +542,71 @@ class Engine {
     return env;
   }
 
+  // True when `n` selected nodes at nesting depth `depth` should be split
+  // into parallel chunk tasks (policy thresholds + not already in a region).
+  bool ShouldFork(size_t n, int depth) const {
+    return policy_ != nullptr && policy_->ShouldFork(n, depth);
+  }
+
+  // Executes `per_node(i, sub)` for each of `n` selected nodes across
+  // parallel chunk tasks. Each chunk builds into its own buffer document
+  // under a synthetic "#chunk" element; buffers are spliced back onto
+  // st.sink in chunk order, so output is byte-identical to the serial loop.
+  // Errors run-to-completion per chunk and the lowest-index failure wins,
+  // matching the serial first-failure.
+  template <typename PerNode>
+  Status ForkNodes(ExecState& st, size_t n, const char* label,
+                   PerNode&& per_node) {
+    governor::ExecBudget* shared =
+        budget_ != nullptr ? budget_->budget() : nullptr;
+    size_t min_chunk = core::TaskScheduler::DefaultMinChunk();
+    size_t chunk = n / (static_cast<size_t>(policy_->threads) * 4);
+    if (chunk < min_chunk) chunk = min_chunk;
+    if (chunk == 0) chunk = 1;
+    std::vector<std::pair<size_t, size_t>> ranges;
+    for (size_t b = 0; b < n; b += chunk) {
+      ranges.emplace_back(b, std::min(b + chunk, n));
+    }
+    struct ChunkBuffer {
+      std::unique_ptr<xml::Document> doc;
+      Node* sink = nullptr;
+    };
+    std::vector<ChunkBuffer> buffers(ranges.size());
+    auto task = [&](size_t ci) -> Status {
+      governor::BudgetScope scope(shared);
+      auto doc = std::make_unique<xml::Document>();
+      if (scope.enabled()) doc->set_budget(&scope);
+      Node* sink = doc->CreateElement(kChunkSinkName);
+      Status s = Status::OK();
+      for (size_t i = ranges[ci].first; i < ranges[ci].second && s.ok(); ++i) {
+        ExecState sub = st;
+        sub.out = doc.get();
+        sub.sink = sink;
+        sub.budget = scope.enabled() ? &scope : nullptr;
+        s = per_node(i, sub);
+      }
+      doc->set_budget(nullptr);
+      buffers[ci].doc = std::move(doc);
+      buffers[ci].sink = sink;
+      return s;
+    };
+    core::TaskOptions opts;
+    opts.threads = policy_->threads;
+    opts.cancel = policy_->cancel;
+    opts.cancel_on_error = false;
+    int used = 1;
+    opts.threads_used = &used;
+    XDB_RETURN_NOT_OK(
+        core::TaskScheduler::Global().RunTasks(ranges.size(), task, opts));
+    for (ChunkBuffer& cb : buffers) {
+      st.out->AbsorbChildren(cb.doc.get(), cb.sink, st.sink);
+    }
+    if (policy_->stats != nullptr) {
+      policy_->stats->Record(label, used, ranges.size());
+    }
+    return Status::OK();
+  }
+
   Status ExecApplyTemplates(const Node* instr, ExecState& st) {
     NodeSet selected;
     if (instr->HasAttribute("select")) {
@@ -521,13 +620,26 @@ class Engine {
     XDB_ASSIGN_OR_RETURN(auto params, CollectWithParams(instr, st));
 
     std::string mode = instr->GetAttribute("mode");
+    bool has_mode = instr->HasAttribute("mode");
+    if (ShouldFork(selected.size(), st.depth)) {
+      return ForkNodes(st, selected.size(), "xslt:apply-templates",
+                       [&](size_t i, ExecState& sub) {
+                         sub.node = selected[i];
+                         sub.position = i + 1;
+                         sub.size = selected.size();
+                         sub.mode = has_mode ? mode : "";
+                         sub.depth = st.depth + 1;
+                         return ApplyTemplatesTo(selected[i], sub,
+                                                 params.get());
+                       });
+    }
     for (size_t i = 0; i < selected.size(); ++i) {
       ExecState sub = st;
       sub.node = selected[i];
       sub.position = i + 1;
       sub.size = selected.size();
       // XSLT 1.0 5.4: no mode attribute means the default (no) mode.
-      sub.mode = instr->HasAttribute("mode") ? mode : "";
+      sub.mode = has_mode ? mode : "";
       sub.depth = st.depth + 1;
       XDB_RETURN_NOT_OK(ApplyTemplatesTo(selected[i], sub, params.get()));
     }
@@ -555,6 +667,16 @@ class Engine {
                          evaluator_.EvaluateNodeSet(*e, st.XPathCtx()));
     XDB_ASSIGN_OR_RETURN(std::vector<SortKey> keys, CollectSortKeys(instr));
     XDB_RETURN_NOT_OK(SortNodes(&selected, keys, st));
+    if (ShouldFork(selected.size(), st.depth)) {
+      return ForkNodes(st, selected.size(), "xslt:for-each",
+                       [&](size_t i, ExecState& sub) {
+                         sub.node = selected[i];
+                         sub.position = i + 1;
+                         sub.size = selected.size();
+                         sub.depth = st.depth + 1;
+                         return ExecBody(instr, sub, false);
+                       });
+    }
     for (size_t i = 0; i < selected.size(); ++i) {
       ExecState sub = st;
       sub.node = selected[i];
@@ -590,7 +712,9 @@ class Engine {
   const Stylesheet& ss_;
   Evaluator& evaluator_;
   governor::BudgetScope* budget_;
+  const core::ParallelPolicy* policy_;
   int max_depth_;
+  std::shared_mutex cache_mu_;  // guards expr_cache_ / avt_cache_
   std::unordered_map<const Node*, ExprPtr> expr_cache_;
   std::unordered_map<const Node*, Avt> avt_cache_;
   ExprPtr self_expr_;
@@ -629,13 +753,13 @@ Interpreter::Interpreter(const Stylesheet& stylesheet) : stylesheet_(stylesheet)
 
 Result<std::unique_ptr<xml::Document>> Interpreter::Transform(
     xml::Node* source_root, const TransformParams& params,
-    governor::BudgetScope* budget) {
+    governor::BudgetScope* budget, const core::ParallelPolicy* parallel) {
   auto out = std::make_unique<xml::Document>();
   if (budget != nullptr) out->set_budget(budget);
   // Processing starts at the owning document's root node.
   Node* root = source_root;
   while (root->parent() != nullptr) root = root->parent();
-  Engine engine(stylesheet_, &evaluator_, budget);
+  Engine engine(stylesheet_, &evaluator_, budget, parallel);
   XDB_RETURN_NOT_OK(engine.Run(root, params, out.get()));
   return out;
 }

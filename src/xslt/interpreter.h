@@ -13,6 +13,7 @@
 
 #include "common/governor.h"
 #include "common/status.h"
+#include "core/task_graph.h"
 #include "xml/dom.h"
 #include "xpath/evaluator.h"
 #include "xslt/stylesheet.h"
@@ -33,9 +34,14 @@ class Interpreter {
   /// When `budget` is set the interpreter ticks per executed instruction,
   /// enforces the budget's template-depth cap, and the result document
   /// charges allocations against the scope (which must outlive it).
+  /// When `parallel` is set (and enabled), apply-templates / for-each over
+  /// large node-sets fork per-chunk tasks onto the shared pool, each
+  /// building into a buffer document spliced back in document order — the
+  /// output is byte-identical to serial execution.
   Result<std::unique_ptr<xml::Document>> Transform(
       xml::Node* source_root, const TransformParams& params = {},
-      governor::BudgetScope* budget = nullptr);
+      governor::BudgetScope* budget = nullptr,
+      const core::ParallelPolicy* parallel = nullptr);
 
  private:
   struct Frame;  // defined in .cc

@@ -336,15 +336,22 @@ struct VmState {
   }
 };
 
+// Synthetic sink wrapping one parallel chunk's output; its children are
+// spliced onto the real sink (and its attributes transferred) at the join,
+// after which the wrapper is discarded.
+constexpr const char* kChunkSinkName = "#chunk";
+
 class VmEngine {
  public:
   VmEngine(const CompiledStylesheet& cs, Evaluator* evaluator, bool trace,
-           TraceListener* listener, governor::BudgetScope* budget = nullptr)
+           TraceListener* listener, governor::BudgetScope* budget = nullptr,
+           const core::ParallelPolicy* policy = nullptr)
       : cs_(cs),
         ev_(*evaluator),
         trace_(trace),
         listener_(listener),
         budget_(budget),
+        policy_(policy),
         max_depth_(budget != nullptr ? budget->max_template_depth()
                                      : governor::MaxTemplateDepth()) {}
 
@@ -403,7 +410,9 @@ class VmEngine {
           "XSLTVM: maximum template nesting depth (" +
           std::to_string(max_depth_) + ") exceeded");
     }
-    XDB_RETURN_NOT_OK(governor::Tick(budget_));
+    // Tick through the state's scope, not the engine's: parallel chunk
+    // tasks carry their own per-thread BudgetScope over the shared budget.
+    XDB_RETURN_NOT_OK(governor::Tick(st.budget));
     if (!trace_) {
       XDB_ASSIGN_OR_RETURN(
           int idx, cs_.source().FindMatch(node, st.mode, ev_, st.XPathCtx()));
@@ -452,6 +461,20 @@ class VmEngine {
     switch (BuiltinActionFor(node)) {
       case BuiltinAction::kApplyToChildren: {
         const auto& children = node->children();
+        // The built-in rule is the dominant fan-out for match-driven
+        // stylesheets (no explicit apply-templates select), so it forks
+        // exactly like the explicit instruction.
+        if (ShouldFork(children.size(), st.depth)) {
+          return ForkNodes(st, children.size(), "xslt:apply-templates",
+                           [&](size_t i, VmState& sub) {
+                             sub.node = children[i];
+                             sub.position = i + 1;
+                             sub.size = children.size();
+                             sub.depth = st.depth + 1;
+                             return DispatchNode(children[i], sub, nullptr,
+                                                 kBuiltinSite);
+                           });
+        }
         for (size_t i = 0; i < children.size(); ++i) {
           VmState sub = st;
           sub.node = children[i];
@@ -505,7 +528,7 @@ class VmEngine {
   }
 
   Status Exec(const Instruction& instr, VmState& st, VariableEnv* frame) {
-    XDB_RETURN_NOT_OK(governor::Tick(budget_));
+    XDB_RETURN_NOT_OK(governor::Tick(st.budget));
     switch (instr.op) {
       case Instruction::Op::kText:
         st.sink->AppendChild(st.out->CreateText(instr.text));
@@ -763,6 +786,73 @@ class VmEngine {
     return env;
   }
 
+  // Fork decision for one instruction: per-instruction fan-out and nesting
+  // depth, never in trace mode (the activation stack is engine state).
+  bool ShouldFork(size_t n, int depth) const {
+    return !trace_ && policy_ != nullptr && policy_->ShouldFork(n, depth);
+  }
+
+  // Runs `per_node(i, sub)` for all selected nodes, chunked onto the shared
+  // pool. Each chunk executes into its own buffer document under a per-task
+  // BudgetScope; buffers are spliced back into st.sink in chunk order, so
+  // the result tree is byte-identical to the serial loop. Errors use
+  // run-to-completion ordering: the lowest failing node index wins, the
+  // same node the serial loop would have failed on.
+  template <typename PerNode>
+  Status ForkNodes(VmState& st, size_t n, const char* label,
+                   PerNode&& per_node) {
+    governor::ExecBudget* shared =
+        budget_ != nullptr ? budget_->budget() : nullptr;
+    size_t min_chunk = core::TaskScheduler::DefaultMinChunk();
+    size_t chunk = n / (static_cast<size_t>(policy_->threads) * 4);
+    if (chunk < min_chunk) chunk = min_chunk;
+    if (chunk == 0) chunk = 1;
+    std::vector<std::pair<size_t, size_t>> ranges;
+    for (size_t b = 0; b < n; b += chunk) {
+      ranges.emplace_back(b, std::min(b + chunk, n));
+    }
+    struct ChunkBuffer {
+      std::unique_ptr<xml::Document> doc;
+      Node* sink = nullptr;
+    };
+    std::vector<ChunkBuffer> buffers(ranges.size());
+    auto task = [&](size_t ci) -> Status {
+      governor::BudgetScope scope(shared);
+      auto doc = std::make_unique<xml::Document>();
+      if (scope.enabled()) doc->set_budget(&scope);
+      Node* sink = doc->CreateElement(kChunkSinkName);
+      Status s = Status::OK();
+      for (size_t i = ranges[ci].first; i < ranges[ci].second && s.ok(); ++i) {
+        VmState sub = st;
+        sub.out = doc.get();
+        sub.sink = sink;
+        sub.budget = scope.enabled() ? &scope : nullptr;
+        s = per_node(i, sub);
+      }
+      // Detach before the scope dies: the output document absorbs the
+      // buffer (and its memory charge) at the join.
+      doc->set_budget(nullptr);
+      buffers[ci].doc = std::move(doc);
+      buffers[ci].sink = sink;
+      return s;
+    };
+    core::TaskOptions opts;
+    opts.threads = policy_->threads;
+    opts.cancel = policy_->cancel;
+    opts.cancel_on_error = false;
+    int used = 1;
+    opts.threads_used = &used;
+    XDB_RETURN_NOT_OK(
+        core::TaskScheduler::Global().RunTasks(ranges.size(), task, opts));
+    for (ChunkBuffer& cb : buffers) {
+      st.out->AbsorbChildren(cb.doc.get(), cb.sink, st.sink);
+    }
+    if (policy_->stats != nullptr) {
+      policy_->stats->Record(label, used, ranges.size());
+    }
+    return Status::OK();
+  }
+
   Status ExecApplyTemplates(const Instruction& instr, VmState& st) {
     NodeSet selected;
     if (instr.expr != nullptr) {
@@ -773,6 +863,19 @@ class VmEngine {
     }
     XDB_RETURN_NOT_OK(SortNodes(&selected, instr.sorts, st));
     XDB_ASSIGN_OR_RETURN(auto params, EvalWithParams(instr.params, st));
+
+    if (ShouldFork(selected.size(), st.depth)) {
+      return ForkNodes(
+          st, selected.size(), "xslt:apply-templates",
+          [&](size_t i, VmState& sub) {
+            sub.node = selected[i];
+            sub.position = i + 1;
+            sub.size = selected.size();
+            sub.mode = instr.has_mode ? instr.mode : "";
+            sub.depth = st.depth + 1;
+            return DispatchNode(selected[i], sub, params.get(), instr.site_id);
+          });
+    }
 
     for (size_t i = 0; i < selected.size(); ++i) {
       VmState sub = st;
@@ -813,6 +916,16 @@ class VmEngine {
     XDB_ASSIGN_OR_RETURN(NodeSet selected,
                          ev_.EvaluateNodeSet(*SelectExpr(instr), st.XPathCtx()));
     XDB_RETURN_NOT_OK(SortNodes(&selected, instr.sorts, st));
+    if (ShouldFork(selected.size(), st.depth)) {
+      return ForkNodes(st, selected.size(), "xslt:for-each",
+                       [&](size_t i, VmState& sub) {
+                         sub.node = selected[i];
+                         sub.position = i + 1;
+                         sub.size = selected.size();
+                         sub.depth = st.depth + 1;
+                         return ExecBody(instr.body, sub);
+                       });
+    }
     for (size_t i = 0; i < selected.size(); ++i) {
       VmState sub = st;
       sub.node = selected[i];
@@ -829,6 +942,7 @@ class VmEngine {
   bool trace_;
   TraceListener* listener_;
   governor::BudgetScope* budget_;
+  const core::ParallelPolicy* policy_;
   int max_depth_;
   std::vector<std::pair<int, std::string>> activation_stack_;
 };
@@ -865,12 +979,13 @@ Vm::Vm(const CompiledStylesheet& compiled) : compiled_(compiled) {
 
 Result<std::unique_ptr<xml::Document>> Vm::Transform(
     xml::Node* source_root, const TransformParams& params,
-    governor::BudgetScope* budget) {
+    governor::BudgetScope* budget, const core::ParallelPolicy* parallel) {
   auto out = std::make_unique<xml::Document>();
   if (budget != nullptr) out->set_budget(budget);
   Node* root = source_root;
   while (root->parent() != nullptr) root = root->parent();
-  VmEngine engine(compiled_, &evaluator_, /*trace=*/false, nullptr, budget);
+  VmEngine engine(compiled_, &evaluator_, /*trace=*/false, nullptr, budget,
+                  parallel);
   XDB_RETURN_NOT_OK(engine.Run(root, params, out.get()));
   return out;
 }

@@ -24,6 +24,7 @@
 
 #include "common/governor.h"
 #include "common/status.h"
+#include "core/task_graph.h"
 #include "xml/dom.h"
 #include "xpath/evaluator.h"
 #include "xslt/avt.h"
@@ -161,10 +162,14 @@ class Vm {
   /// When `budget` is set the VM ticks per instruction/dispatch, enforces
   /// the budget's template-depth cap, and the output document charges its
   /// allocations against the scope (which must then outlive the returned
-  /// document).
+  /// document). When `parallel` is set (and enabled), apply-templates /
+  /// for-each instructions over large node-sets fork per-chunk tasks onto
+  /// the shared pool, each appending into a buffer document spliced back in
+  /// document order — the output is byte-identical to serial execution.
   Result<std::unique_ptr<xml::Document>> Transform(
       xml::Node* source_root, const TransformParams& params = {},
-      governor::BudgetScope* budget = nullptr);
+      governor::BudgetScope* budget = nullptr,
+      const core::ParallelPolicy* parallel = nullptr);
 
   /// Trace execution over a sample document (output is discarded).
   Status TraceRun(xml::Node* sample_root, TraceListener* listener);

@@ -496,6 +496,7 @@ XMLElement("out", (SELECT
       Filter(person.docid = mark_doc.docid)
         IndexRangeScan(person.id >= 9 <= 9)
 ))
+parallel: eligible operators rel:scan, rel:xmlagg
 )");
 }
 

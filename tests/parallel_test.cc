@@ -1,0 +1,490 @@
+// Tests for the intra-query parallelism layer: the TaskScheduler (nested
+// regions, min-chunk sizing, cancellation latency), the parallel XSLT /
+// XQuery / relational execution paths (byte-identical to serial at every
+// thread count), the per-operator ExecStats counters, and the determinism
+// sweep that runs the N-way differential oracle at 1 vs 8 threads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/governor.h"
+#include "core/row_executor.h"
+#include "core/task_graph.h"
+#include "core/xmldb.h"
+#include "difftest/generator.h"
+#include "difftest/oracle.h"
+#include "difftest/seed.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xquery/evaluator.h"
+#include "xquery/parser.h"
+#include "xslt/interpreter.h"
+#include "xslt/stylesheet.h"
+#include "xslt/vm.h"
+#include "xsltmark/suite.h"
+
+namespace xdb {
+namespace {
+
+using core::TaskOptions;
+using core::TaskScheduler;
+
+// ---------------------------------------------------------------------------
+// TaskScheduler: nesting, chunking, cancellation
+// ---------------------------------------------------------------------------
+
+TEST(TaskSchedulerTest, NestedParallelForDegradesToSerial) {
+  TaskScheduler& sched = TaskScheduler::Global();
+  std::atomic<int> outer{0};
+  std::atomic<int> inner_total{0};
+  TaskOptions outer_opts;
+  outer_opts.threads = 4;
+  Status s = sched.ParallelFor(
+      8,
+      [&](size_t) -> Status {
+        outer.fetch_add(1);
+        EXPECT_TRUE(TaskScheduler::InParallelRegion());
+        // Re-entering the scheduler from a task body must not deadlock on
+        // the submission lock; it degrades to serial in-thread execution.
+        TaskOptions inner_opts;
+        inner_opts.threads = 4;
+        int inner_used = 0;
+        inner_opts.threads_used = &inner_used;
+        Status is = sched.ParallelFor(
+            100, [&](size_t) -> Status {
+              inner_total.fetch_add(1);
+              return Status::OK();
+            },
+            inner_opts);
+        EXPECT_EQ(inner_used, 1);
+        return is;
+      },
+      outer_opts);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(outer.load(), 8);
+  EXPECT_EQ(inner_total.load(), 800);
+  EXPECT_FALSE(TaskScheduler::InParallelRegion());
+}
+
+TEST(RowExecutorTest, NestedCallDegradesToSerialInsteadOfDeadlocking) {
+  // Regression: the original RowExecutor deadlocked if a row body started
+  // another row loop; the wrapper now inherits the scheduler's fallback.
+  core::RowExecutor& pool = core::RowExecutor::Global();
+  std::atomic<int> total{0};
+  int outer_used = 0;
+  Status s = pool.ParallelFor(
+      4,
+      [&](size_t) -> Status {
+        int used = 0;
+        Status is = pool.ParallelFor(
+            50, [&](size_t) -> Status {
+              total.fetch_add(1);
+              return Status::OK();
+            },
+            /*threads=*/4, &used);
+        EXPECT_EQ(used, 1);
+        return is;
+      },
+      /*threads=*/4, &outer_used);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(total.load(), 200);
+}
+
+TEST(TaskSchedulerTest, MinChunkKeepsSmallLoopsSerial) {
+  TaskScheduler& sched = TaskScheduler::Global();
+  // 100 indices at a 64-index minimum chunk leave room for one participant:
+  // the loop must not wake the pool at all.
+  int used = 0;
+  TaskOptions opts;
+  opts.threads = 8;
+  opts.min_chunk = 64;
+  opts.threads_used = &used;
+  Status s =
+      sched.ParallelFor(100, [](size_t) { return Status::OK(); }, opts);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(used, 1);
+
+  // 1024 indices admit 8 participants with >= 64 indices each.
+  std::atomic<size_t> count{0};
+  s = sched.ParallelFor(
+      1024,
+      [&](size_t) -> Status {
+        count.fetch_add(1);
+        return Status::OK();
+      },
+      opts);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(count.load(), 1024u);
+  EXPECT_GT(used, 1);
+}
+
+TEST(TaskSchedulerTest, MinChunkCapsParticipants) {
+  // 130 indices / 64 min chunk -> at most 2 participants.
+  int used = 0;
+  TaskOptions opts;
+  opts.threads = 8;
+  opts.min_chunk = 64;
+  opts.threads_used = &used;
+  Status s = TaskScheduler::Global().ParallelFor(
+      130, [](size_t) { return Status::OK(); }, opts);
+  ASSERT_TRUE(s.ok());
+  EXPECT_LE(used, 2);
+}
+
+TEST(TaskSchedulerTest, CancelPropagatesWithinOneChunk) {
+  governor::CancelToken token;
+  std::atomic<size_t> executed{0};
+  std::atomic<size_t> after_cancel{0};
+  TaskOptions opts;
+  opts.threads = 4;
+  opts.cancel = &token;
+  const size_t n = 100000;
+  Status s = TaskScheduler::Global().ParallelFor(
+      n,
+      [&](size_t i) -> Status {
+        if (token.cancelled()) after_cancel.fetch_add(1);
+        executed.fetch_add(1);
+        if (i == 500) token.Cancel();
+        return Status::OK();
+      },
+      opts);
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+  // The loop stopped well short of completion...
+  EXPECT_LT(executed.load(), n);
+  // ...and the token is polled before every index, so each worker runs at
+  // most the one body it had in flight when the token fired — far inside
+  // the one-chunk propagation bound the scheduler guarantees.
+  EXPECT_LE(after_cancel.load(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level parallel execution: byte-identical to serial
+// ---------------------------------------------------------------------------
+
+// A stylesheet exercising the forking instructions: sorted apply-templates,
+// a positional for-each, nested templates (the inner apply-templates runs
+// inside the parallel region and must degrade to serial), conditionals and
+// attribute construction.
+constexpr const char* kFanoutStylesheet = R"(<?xml version="1.0"?>
+<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+  <xsl:template match="/">
+    <out>
+      <xsl:apply-templates select="root/group">
+        <xsl:sort select="@id" data-type="number" order="descending"/>
+      </xsl:apply-templates>
+      <xsl:for-each select="root/group/item">
+        <flat p="{position()}"><xsl:value-of select="@k"/></flat>
+      </xsl:for-each>
+    </out>
+  </xsl:template>
+  <xsl:template match="group">
+    <g id="{@id}" pos="{position()}" of="{last()}">
+      <xsl:apply-templates select="item"/>
+    </g>
+  </xsl:template>
+  <xsl:template match="item">
+    <it pos="{position()}">
+      <xsl:value-of select="."/>
+      <xsl:if test="@k mod 7 = 0"><seven/></xsl:if>
+    </it>
+  </xsl:template>
+</xsl:stylesheet>)";
+
+std::string FanoutDocument(int groups, int items_per_group) {
+  std::string doc = "<root>";
+  int k = 0;
+  for (int g = 0; g < groups; ++g) {
+    doc += "<group id=\"" + std::to_string(g) + "\">";
+    for (int i = 0; i < items_per_group; ++i, ++k) {
+      doc += "<item k=\"" + std::to_string(k) + "\">v" + std::to_string(k) +
+             "</item>";
+    }
+    doc += "</group>";
+  }
+  doc += "</root>";
+  return doc;
+}
+
+core::ParallelPolicy FourThreadPolicy() {
+  core::ParallelPolicy policy;
+  policy.threads = 4;
+  return policy;
+}
+
+TEST(ParallelXsltTest, InterpreterOutputIsByteIdenticalToSerial) {
+  auto ss = xslt::Stylesheet::Parse(kFanoutStylesheet);
+  ASSERT_TRUE(ss.ok()) << ss.status().ToString();
+  auto doc = xml::ParseDocument(FanoutDocument(24, 10));
+  ASSERT_TRUE(doc.ok());
+  xslt::Interpreter interp(**ss);
+
+  auto serial = interp.Transform((*doc)->root());
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  core::ParallelPolicy policy = FourThreadPolicy();
+  auto parallel = interp.Transform((*doc)->root(), {}, nullptr, &policy);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  EXPECT_EQ(xml::Serialize((*serial)->root()),
+            xml::Serialize((*parallel)->root()));
+}
+
+TEST(ParallelXsltTest, VmOutputIsByteIdenticalToSerial) {
+  auto ss = xslt::Stylesheet::Parse(kFanoutStylesheet);
+  ASSERT_TRUE(ss.ok()) << ss.status().ToString();
+  auto compiled = xslt::CompiledStylesheet::Compile(**ss);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  auto doc = xml::ParseDocument(FanoutDocument(24, 10));
+  ASSERT_TRUE(doc.ok());
+  xslt::Vm vm(**compiled);
+
+  auto serial = vm.Transform((*doc)->root());
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  core::ParallelPolicy policy = FourThreadPolicy();
+  auto parallel = vm.Transform((*doc)->root(), {}, nullptr, &policy);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  EXPECT_EQ(xml::Serialize((*serial)->root()),
+            xml::Serialize((*parallel)->root()));
+}
+
+TEST(ParallelXsltTest, GovernedParallelRunMatchesSerialAndBalancesBudget) {
+  auto ss = xslt::Stylesheet::Parse(kFanoutStylesheet);
+  ASSERT_TRUE(ss.ok());
+  auto compiled = xslt::CompiledStylesheet::Compile(**ss);
+  ASSERT_TRUE(compiled.ok());
+  auto doc = xml::ParseDocument(FanoutDocument(16, 8));
+  ASSERT_TRUE(doc.ok());
+  xslt::Vm vm(**compiled);
+
+  std::string serial_out;
+  {
+    governor::ExecBudget budget;
+    budget.set_mem_limit_bytes(64 << 20);
+    governor::BudgetScope scope(&budget);
+    auto out = vm.Transform((*doc)->root(), {}, &scope);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    serial_out = xml::Serialize((*out)->root());
+  }
+  {
+    governor::ExecBudget budget;
+    budget.set_mem_limit_bytes(64 << 20);
+    governor::BudgetScope scope(&budget);
+    core::ParallelPolicy policy = FourThreadPolicy();
+    std::string parallel_out;
+    {
+      auto out = vm.Transform((*doc)->root(), {}, &scope, &policy);
+      ASSERT_TRUE(out.ok()) << out.status().ToString();
+      parallel_out = xml::Serialize((*out)->root());
+      EXPECT_GT(budget.ticks(), 0u);
+    }
+    EXPECT_EQ(serial_out, parallel_out);
+  }
+}
+
+TEST(ParallelXQueryTest, FlworReturnIsByteIdenticalToSerial) {
+  auto doc = xml::ParseDocument(FanoutDocument(20, 8));
+  ASSERT_TRUE(doc.ok());
+  auto query = xquery::ParseQuery(
+      "for $i in ./root/group/item order by $i/@k descending return "
+      "<v k=\"{fn:string($i/@k)}\">{fn:string($i)}</v>");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  xquery::QueryEvaluator qe;
+
+  auto serial = qe.EvaluateToDocument(*query, (*doc)->root());
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  core::ParallelPolicy policy = FourThreadPolicy();
+  auto parallel =
+      qe.EvaluateToDocument(*query, (*doc)->root(), nullptr, &policy);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  EXPECT_EQ(xml::Serialize((*serial)->root()),
+            xml::Serialize((*parallel)->root()));
+}
+
+// ---------------------------------------------------------------------------
+// XmlDb integration: per-operator stats, knobs, EXPLAIN
+// ---------------------------------------------------------------------------
+
+TEST(ParallelStatsTest, FunctionalPathReportsOperatorParallelism) {
+  XmlDb db;
+  ASSERT_TRUE(xsltmark::SetupFamily(&db, "db", 128).ok());
+  ExecOptions eo;
+  eo.enable_rewrite = false;  // force plan C: the VM runs with the policy
+  eo.use_plan_cache = false;
+  eo.threads = 4;
+  ExecStats stats;
+  auto out = db.TransformView(
+      xsltmark::FamilyViewName("db"),
+      R"(<?xml version="1.0"?>
+<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+  <xsl:template match="/">
+    <out><xsl:for-each select="table/row"><p><xsl:value-of select="lastname"/></p></xsl:for-each></out>
+  </xsl:template>
+</xsl:stylesheet>)",
+      eo, &stats);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_FALSE(stats.op_parallel.empty());
+  bool saw_for_each = false;
+  std::string labels;
+  for (const core::OpParallelStats& op : stats.op_parallel) {
+    labels += op.op + " ";
+    if (op.op == "xslt:for-each") {
+      saw_for_each = true;
+      EXPECT_GT(op.threads_used, 1);
+      EXPECT_GT(op.parallel_tasks, 1u);
+      EXPECT_GE(op.partitions, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_for_each) << "recorded ops: " << labels;
+  EXPECT_GT(stats.parallel_tasks, 0u);
+  EXPECT_GT(stats.partitions, 0u);
+  EXPECT_GT(stats.threads_used, 1);
+}
+
+TEST(ParallelStatsTest, ParallelOffAndMinChunkKnobsSuppressForking) {
+  XmlDb db;
+  ASSERT_TRUE(xsltmark::SetupFamily(&db, "db", 64).ok());
+  const std::string view = xsltmark::FamilyViewName("db");
+  const char* ss =
+      R"(<?xml version="1.0"?>
+<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+  <xsl:template match="/">
+    <out><xsl:for-each select="table/row"><p><xsl:value-of select="id"/></p></xsl:for-each></out>
+  </xsl:template>
+</xsl:stylesheet>)";
+
+  ExecOptions base;
+  base.enable_rewrite = false;
+  base.use_plan_cache = false;
+  base.threads = 4;
+
+  ExecStats on_stats;
+  auto on = db.TransformView(view, ss, base, &on_stats);
+  ASSERT_TRUE(on.ok());
+
+  ExecOptions off = base;
+  off.parallel = false;
+  ExecStats off_stats;
+  auto off_out = db.TransformView(view, ss, off, &off_stats);
+  ASSERT_TRUE(off_out.ok());
+  EXPECT_TRUE(off_stats.op_parallel.empty());
+  EXPECT_EQ(*on, *off_out);  // knob changes scheduling, never output
+
+  ExecOptions coarse = base;
+  coarse.min_parallel_chunk = 1 << 20;  // chunks larger than any node-set
+  ExecStats coarse_stats;
+  auto coarse_out = db.TransformView(view, ss, coarse, &coarse_stats);
+  ASSERT_TRUE(coarse_out.ok());
+  EXPECT_TRUE(coarse_stats.op_parallel.empty());
+  EXPECT_EQ(*on, *coarse_out);
+}
+
+TEST(ParallelStatsTest, SqlPathPartitionsScanAndAggregate) {
+  XmlDb db;
+  ASSERT_TRUE(xsltmark::SetupFamily(&db, "db", 256).ok());
+  const xsltmark::BenchCase* c = xsltmark::FindCase("dbtail");
+  if (c == nullptr) GTEST_SKIP() << "dbtail case not in suite";
+  ExecOptions eo;
+  eo.use_plan_cache = false;
+  eo.threads = 4;
+  ExecStats stats;
+  auto out = db.TransformView(xsltmark::FamilyViewName("db"), c->stylesheet,
+                              eo, &stats);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  if (stats.path != ExecutionPath::kSqlRewritten) {
+    GTEST_SKIP() << "case no longer reaches plan A";
+  }
+  // Serial execution of the same plan must agree byte-for-byte.
+  ExecOptions serial = eo;
+  serial.threads = 1;
+  ExecStats serial_stats;
+  auto serial_out = db.TransformView(xsltmark::FamilyViewName("db"),
+                                     c->stylesheet, serial, &serial_stats);
+  ASSERT_TRUE(serial_out.ok());
+  EXPECT_EQ(*out, *serial_out);
+  EXPECT_TRUE(serial_stats.op_parallel.empty());
+}
+
+TEST(ParallelExplainTest, ExplainReportsEligibleOperators) {
+  XmlDb db;
+  ASSERT_TRUE(xsltmark::SetupFamily(&db, "db", 32).ok());
+  const xsltmark::BenchCase* c = xsltmark::FindCase("dbonerow");
+  ASSERT_NE(c, nullptr);
+  auto prepared =
+      db.PrepareTransform(xsltmark::FamilyViewName("db"), c->stylesheet);
+  ASSERT_TRUE(prepared.ok());
+  std::string explain = ExplainPrepared(**prepared);
+  EXPECT_NE(explain.find("parallel: eligible operators"), std::string::npos)
+      << explain;
+}
+
+// ---------------------------------------------------------------------------
+// Determinism sweeps: N threads == 1 thread, output and status codes
+// ---------------------------------------------------------------------------
+
+TEST(ParallelDeterminismTest, OracleSweepMatchesSerialAtEightThreads) {
+  using difftest::GeneratedCase;
+  using difftest::OracleOptions;
+  using difftest::OracleReport;
+  const int n = difftest::SweepSeedCount();
+  for (int i = 0; i < n; ++i) {
+    GeneratedCase c =
+        difftest::GenerateCase(difftest::BaseSeed() + static_cast<uint64_t>(i));
+    OracleOptions serial;
+    serial.threads = 1;
+    OracleOptions parallel;
+    parallel.threads = 8;
+    OracleReport a = difftest::RunCase(c, serial);
+    OracleReport b = difftest::RunCase(c, parallel);
+    ASSERT_NE(a.outcome, OracleReport::Outcome::kDiverged)
+        << "serial: " << a.detail << "\n" << a.repro;
+    ASSERT_NE(b.outcome, OracleReport::Outcome::kDiverged)
+        << "parallel: " << b.detail << "\n" << b.repro;
+    ASSERT_EQ(a.outcome, b.outcome) << "seed " << c.seed;
+    for (int e = 0; e < difftest::kNumEngines; ++e) {
+      ASSERT_EQ(a.engines[e].status.code(), b.engines[e].status.code())
+          << difftest::EngineName(e) << " status diverged at seed " << c.seed
+          << ": serial=" << a.engines[e].status.ToString()
+          << " parallel=" << b.engines[e].status.ToString();
+      ASSERT_EQ(a.engines[e].canonical, b.engines[e].canonical)
+          << difftest::EngineName(e) << " output diverged at seed " << c.seed;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, XsltMarkByteIdenticalAcrossThreadCounts) {
+  std::map<std::string, std::unique_ptr<XmlDb>> dbs;
+  for (const xsltmark::BenchCase& c : xsltmark::AllCases()) {
+    auto it = dbs.find(c.family);
+    if (it == dbs.end()) {
+      auto db = std::make_unique<XmlDb>();
+      ASSERT_TRUE(xsltmark::SetupFamily(db.get(), c.family, 24).ok())
+          << c.family;
+      it = dbs.emplace(c.family, std::move(db)).first;
+    }
+    XmlDb& db = *it->second;
+    const std::string view = xsltmark::FamilyViewName(c.family);
+
+    ExecOptions serial;
+    serial.threads = 1;
+    ExecStats serial_stats;
+    auto a = db.TransformView(view, c.stylesheet, serial, &serial_stats);
+
+    ExecOptions parallel;
+    parallel.threads = 8;
+    ExecStats parallel_stats;
+    auto b = db.TransformView(view, c.stylesheet, parallel, &parallel_stats);
+
+    ASSERT_EQ(a.ok(), b.ok())
+        << c.name << ": serial=" << a.status().ToString()
+        << " parallel=" << b.status().ToString();
+    if (!a.ok()) {
+      EXPECT_EQ(a.status().code(), b.status().code()) << c.name;
+      continue;
+    }
+    EXPECT_EQ(*a, *b) << c.name << " output diverged at 8 threads";
+  }
+}
+
+}  // namespace
+}  // namespace xdb
