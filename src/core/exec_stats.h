@@ -39,6 +39,16 @@ struct ExecStats {
   std::string logical_plan;  ///< pre-lowering logical plan (plan A)
   std::vector<rel::RuleTrace> opt_trace;  ///< per-rule node counts (plan A)
   std::string fallback_reason;  ///< why a stage was skipped (diagnostics)
+  // Join lowering (plan A): the access-path choices with their estimates,
+  // plus one entry per apply the join-lowering rule unnested.
+  std::vector<rel::JoinChoice> joins;
+  int joins_lowered = 0;
+
+  // -- group-join runtime counters (summed over every join in the plan and
+  //    every executed row; compare against the estimates in `joins`) ---------
+  uint64_t join_build_rows = 0;  ///< right-side rows scanned into hash builds
+  uint64_t join_probe_rows = 0;  ///< left rows probed
+  uint64_t join_match_rows = 0;  ///< right rows matched (post-residual)
 
   // -- prepared-transform instrumentation ------------------------------------
   bool cache_hit = false;    ///< the plan came out of the plan cache

@@ -17,10 +17,10 @@
 //  * CreateTable / view creation -> drop plans naming that object (a fresh
 //    name cannot match an existing plan, so this is a no-op today, but the
 //    hook is where DROP/REPLACE would plug in).
-//  * Insert -> drop only plans that depend on table *statistics*. All current
-//    plan shapes are structure-derived (the rewrite consumes the view's
-//    structural information, never row counts), so they survive inserts and
-//    a warm plan sees newly inserted rows on its next execution.
+//  * Insert -> drop only plans that depend on table *statistics*
+//    (depends_on_stats): plans whose group-join access path was costed from
+//    row counts/NDV. Structure-derived plans survive inserts and a warm plan
+//    sees newly inserted rows on its next execution.
 #ifndef XDB_CORE_PLAN_CACHE_H_
 #define XDB_CORE_PLAN_CACHE_H_
 
@@ -125,11 +125,14 @@ struct PreparedTransform {
   std::string logical_plan;
   std::vector<rel::RuleTrace> opt_trace;
   std::string fallback_reason;
+  std::vector<rel::JoinChoice> joins;
+  int joins_lowered = 0;
 
   /// True when the plan choice consumed table statistics (row counts,
-  /// selectivities). No current plan shape does — the rewrite is driven by
-  /// the view's *structure* — so inserts never invalidate; kept explicit so
-  /// a future cost-based path can flip it per plan.
+  /// selectivities). Structure-derived plans leave it false and survive
+  /// inserts; plans with cost-based group joins set it, so an insert (which
+  /// moves the statistics the hash-vs-index-NL choice was priced on) drops
+  /// them and the next prepare re-costs.
   bool depends_on_stats = false;
 };
 

@@ -1,6 +1,7 @@
 #include "core/xmldb.h"
 
 #include <chrono>
+#include <cmath>
 #include <functional>
 
 #include "common/faultpoints.h"
@@ -54,13 +55,16 @@ void CopyPlanTemplate(const core::PreparedTransform& prepared, ExecStats* stats)
   stats->logical_plan = prepared.logical_plan;
   stats->opt_trace = prepared.opt_trace;
   stats->fallback_reason = prepared.fallback_reason;
+  stats->joins = prepared.joins;
+  stats->joins_lowered = prepared.joins_lowered;
 }
 
 // Runs the logical-plan optimizer over a rewrite result and installs the
 // lowered plan (plus the EXPLAIN/stats artifacts) as the prepared plan A.
 Status InstallSqlPlan(rewrite::SqlRewriteResult sql, const ExecOptions& options,
+                      const rel::Catalog& catalog,
                       core::PreparedTransform* prepared) {
-  rel::Optimizer optimizer(options.optimizer);
+  rel::Optimizer optimizer(options.optimizer, &catalog);
   XDB_ASSIGN_OR_RETURN(rel::OptimizedQuery opt,
                        optimizer.Run(std::move(sql.expr)));
   prepared->path = ExecutionPath::kSqlRewritten;
@@ -68,6 +72,11 @@ Status InstallSqlPlan(rewrite::SqlRewriteResult sql, const ExecOptions& options,
   prepared->predicates_pushed = opt.predicates_pushed;
   prepared->logical_plan = std::move(opt.logical_plan);
   prepared->opt_trace = std::move(opt.trace);
+  prepared->joins = std::move(opt.joins);
+  prepared->joins_lowered = opt.joins_lowered;
+  // A costed join priced the hash-vs-index-NL choice from table statistics;
+  // an insert moves those, so such plans must not outlive it in the cache.
+  prepared->depends_on_stats = !prepared->joins.empty();
   prepared->sql_text = opt.expr->ToSql();
   prepared->sql_expr = std::shared_ptr<const rel::RelExpr>(std::move(opt.expr));
   return Status::OK();
@@ -334,7 +343,7 @@ Result<std::shared_ptr<const core::PreparedTransform>> XmlDb::BuildTransformPlan
         auto sql = rewrite::RewriteXQueryToSql(*query, *pub, catalog_);
         Status install = sql.ok()
                              ? InstallSqlPlan(sql.MoveValue(), options,
-                                              prepared.get())
+                                              catalog_, prepared.get())
                              : sql.status();
         if (install.ok()) {
           return std::shared_ptr<const core::PreparedTransform>(prepared);
@@ -420,7 +429,7 @@ Result<std::shared_ptr<const core::PreparedTransform>> XmlDb::BuildQueryPlan(
         auto sql = rewrite::RewriteXQueryToSql(*composed, *pub, catalog_);
         Status install = sql.ok()
                              ? InstallSqlPlan(sql.MoveValue(), options,
-                                              prepared.get())
+                                              catalog_, prepared.get())
                              : sql.status();
         if (install.ok()) {
           return std::shared_ptr<const core::PreparedTransform>(prepared);
@@ -582,6 +591,9 @@ Result<std::vector<std::string>> XmlDb::Execute(
   // after it was prepared (structure-derived plans survive inserts).
   const size_t n = prepared.base->row_count();
   std::vector<std::string> out(n);
+  // One collector for every group join across all rows and threads (the
+  // counters are atomics); summed into ExecStats after the loop.
+  rel::JoinRuntimeStats jstats;
   std::function<Status(size_t)> body = [&](size_t i) -> Status {
     // One arena + ExecCtx per row keeps rows independent (and the loop
     // embarrassingly parallel); results land in their row's slot so output
@@ -595,6 +607,7 @@ Result<std::vector<std::string>> XmlDb::Execute(
     ctx.arena = &arena;
     ctx.budget = &scope;
     ctx.parallel = pp;
+    ctx.join_stats = &jstats;
     XDB_RETURN_NOT_OK(scope.CheckNow());
     XDB_ASSIGN_OR_RETURN(
         out[i], EvalPreparedRow(prepared, static_cast<int64_t>(i), &ctx));
@@ -605,6 +618,9 @@ Result<std::vector<std::string>> XmlDb::Execute(
       n, body, options.threads, &threads_used, options.cancel);
   stats->threads_used = threads_used;
   stats->execute_ns = ElapsedNs(start);
+  stats->join_build_rows = jstats.build_rows.load(std::memory_order_relaxed);
+  stats->join_probe_rows = jstats.probe_rows.load(std::memory_order_relaxed);
+  stats->join_match_rows = jstats.match_rows.load(std::memory_order_relaxed);
   stats->op_parallel = pstats.Snapshot();
   for (const core::OpParallelStats& op : stats->op_parallel) {
     stats->parallel_tasks += op.parallel_tasks;
@@ -665,6 +681,13 @@ std::string ExplainPrepared(const core::PreparedTransform& prepared) {
     out += "rule " + t.rule + ": " + std::to_string(t.nodes_before) + " -> " +
            std::to_string(t.nodes_after) + " nodes\n";
   }
+  for (const rel::JoinChoice& j : prepared.joins) {
+    out += "join strategy: " + j.strategy +
+           " (est_build_rows=" + std::to_string(llround(j.est_build_rows)) +
+           " est_probe_rows=" + std::to_string(llround(j.est_probe_rows)) +
+           " est_match_rows=" + std::to_string(llround(j.est_match_rows)) +
+           ")\n";
+  }
   if (!prepared.sql_text.empty()) {
     out += "physical plan:\n" + prepared.sql_text + "\n";
   }
@@ -675,6 +698,7 @@ std::string ExplainPrepared(const core::PreparedTransform& prepared) {
   switch (prepared.path) {
     case ExecutionPath::kSqlRewritten:
       out += "eligible operators rel:scan, rel:xmlagg";
+      if (!prepared.joins.empty()) out += ", rel:join-probe";
       break;
     case ExecutionPath::kXQueryRewritten:
       out += "eligible operators xquery:flwor";

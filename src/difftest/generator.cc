@@ -54,7 +54,8 @@ class CaseGen {
   GeneratedCase Run(uint64_t seed) {
     GeneratedCase out;
     out.seed = seed;
-    out.structure = BuildStructure();
+    out.structure =
+        options_.correlated ? BuildCorrelatedStructure() : BuildStructure();
     CollectMeta(out.structure.root());
     int n_docs = 1 + static_cast<int>(rng_.U(
                          static_cast<uint64_t>(options_.max_documents)));
@@ -64,7 +65,10 @@ class CaseGen {
       out.documents.push_back(std::move(doc));
     }
     out.reject_candidate = rng_.Chance(options_.reject_fraction);
-    out.stylesheet = BuildStylesheet(out.structure, out.reject_candidate);
+    out.stylesheet =
+        options_.correlated
+            ? BuildCorrelatedStylesheet(out.reject_candidate)
+            : BuildStylesheet(out.structure, out.reject_candidate);
     return out;
   }
 
@@ -109,6 +113,69 @@ class CaseGen {
       Fill(b, b->AddChild(e, Fresh("e"), min_occurs, max_occurs), depth + 1,
            0);
     }
+  }
+
+  // Correlated mode: doc -> parent* -> child*, each level with 1-2 text
+  // leaves. Every repeating level lands in its own shred table, so the
+  // nested for-each below iterates child rows correlated to the parent row —
+  // the apply shape join-lowering turns into a group join.
+  schema::StructuralInfo BuildCorrelatedStructure() {
+    schema::StructureBuilder b;
+    counter_ = 0;
+    ElementStructure* root = b.Element("doc");
+    ElementStructure* parent = b.AddChild(root, Fresh("e"), 0, -1);
+    auto add_leaves = [&](ElementStructure* e) {
+      for (uint64_t i = 1 + rng_.U(2); i > 0; --i) {
+        ElementStructure* leaf = b.AddChild(e, Fresh("e"));
+        b.AddText(leaf);
+        numeric_leaf_[leaf->name] = rng_.Chance(0.5);
+      }
+    };
+    add_leaves(parent);
+    ElementStructure* child = b.AddChild(parent, Fresh("e"), 0, -1);
+    add_leaves(child);
+    correlated_parent_ = parent->name;
+    correlated_child_ = child->name;
+    return b.Build(root);
+  }
+
+  // Nested for-each joining the parent and child shred tables, with an
+  // optional per-parent aggregate over the child level (count/sum lower into
+  // scalar group joins; the bare nested loop lowers into an XMLAgg join).
+  std::string BuildCorrelatedStylesheet(bool inject_reject) {
+    const ElemMeta& pm = meta_[correlated_parent_];
+    const ElemMeta& cm = meta_[correlated_child_];
+    std::string ss =
+        "<xsl:stylesheet version=\"1.0\" "
+        "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+        "<xsl:template match=\"doc\"><r>";
+    ss += "<xsl:for-each select=\"" + correlated_parent_ + "\"><p>";
+    if (!pm.word_leaves.empty() || !pm.numeric_leaves.empty()) {
+      const std::vector<std::string>& leaves =
+          pm.word_leaves.empty() ? pm.numeric_leaves : pm.word_leaves;
+      ss += "<xsl:value-of select=\"" + rng_.Pick(leaves) + "\"/>";
+    }
+    if (rng_.Chance(0.4)) {
+      ss += "<n><xsl:value-of select=\"count(" + correlated_child_ +
+            ")\"/></n>";
+    }
+    if (!cm.numeric_leaves.empty() && rng_.Chance(0.4)) {
+      ss += "<s><xsl:value-of select=\"sum(" + correlated_child_ + "/" +
+            cm.numeric_leaves[0] + ")\"/></s>";
+    }
+    if (inject_reject) ss += RejectConstruct();
+    ss += "<xsl:for-each select=\"" + correlated_child_ + "\"><c>";
+    const std::vector<std::string>& cleaves =
+        cm.word_leaves.empty() ? cm.numeric_leaves : cm.word_leaves;
+    if (cleaves.empty()) {
+      ss += "<xsl:value-of select=\".\"/>";
+    } else {
+      ss += "<xsl:value-of select=\"" + rng_.Pick(cleaves) + "\"/>";
+    }
+    ss += "</c></xsl:for-each></p></xsl:for-each>";
+    ss += "</r></xsl:template><xsl:template match=\"text()\"/>"
+          "</xsl:stylesheet>";
+    return ss;
   }
 
   void CollectMeta(const ElementStructure* e) {
@@ -308,6 +375,8 @@ class CaseGen {
 
   Rng rng_;
   GenOptions options_;
+  std::string correlated_parent_;
+  std::string correlated_child_;
   int counter_ = 0;
   std::map<std::string, bool> numeric_leaf_;
   std::map<std::string, ElemMeta> meta_;

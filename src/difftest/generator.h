@@ -30,6 +30,13 @@ struct GenOptions {
   /// Maximum number of documents loaded per case (>=1; multi-document cases
   /// exercise the per-row loop of the shredded path).
   int max_documents = 2;
+  /// Correlated mode: force a two-level repeating structure
+  /// (doc -> parent* -> child*) and a nested for-each stylesheet whose inner
+  /// iteration correlates to the outer one — the shape the optimizer's
+  /// join-lowering rule unnests into a group join over the parent/child
+  /// shredded tables. Used by the join-lowering differential sweep and the
+  /// nightly fuzz rotation.
+  bool correlated = false;
 };
 
 struct GeneratedCase {

@@ -29,7 +29,23 @@ Status Catalog::DropTable(const std::string& name) {
   // deciding what to invalidate.
   OnTableDropped(name);
   tables_.erase(it);
+  stats_.erase(name);
   return Status::OK();
+}
+
+void Catalog::UpdateTableStats(const std::string& table, TableStats stats) {
+  stats_[table] = std::move(stats);
+}
+
+Status Catalog::AnalyzeTable(const std::string& table) {
+  XDB_ASSIGN_OR_RETURN(Table * t, GetTable(table));
+  stats_[table] = ComputeTableStats(*t);
+  return Status::OK();
+}
+
+const TableStats* Catalog::GetTableStats(const std::string& table) const {
+  auto it = stats_.find(table);
+  return it == stats_.end() ? nullptr : &it->second;
 }
 
 Result<XmlView*> Catalog::CreatePublishingView(const std::string& name,

@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "rel/publish.h"
+#include "rel/stats.h"
 #include "rel/table.h"
 #include "xslt/vm.h"
 
@@ -67,6 +68,16 @@ class Catalog : public DdlListener {
 
   Result<const XmlView*> GetView(const std::string& name) const;
 
+  // -- table statistics (the optimizer's cost-model input) --------------------
+  /// Publishes a statistics snapshot for `table` (shred::BulkLoader does this
+  /// incrementally per completed load). Replaces any previous snapshot.
+  void UpdateTableStats(const std::string& table, TableStats stats);
+  /// One-shot ANALYZE: full-scans `table` and stores the snapshot.
+  Status AnalyzeTable(const std::string& table);
+  /// The stored snapshot, or nullptr when the table was never analyzed/loaded
+  /// (the cost model then falls back to live row counts + default NDV).
+  const TableStats* GetTableStats(const std::string& table) const;
+
   /// Registers a DDL listener (not owned; must outlive the catalog or be
   /// removed first).
   void AddDdlListener(DdlListener* listener);
@@ -85,6 +96,7 @@ class Catalog : public DdlListener {
  private:
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::map<std::string, std::unique_ptr<XmlView>> views_;
+  std::map<std::string, TableStats> stats_;
   std::vector<DdlListener*> listeners_;
 };
 

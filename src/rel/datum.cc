@@ -102,6 +102,22 @@ bool ParsesAsNumber(const std::string& s, double* out) {
 
 }  // namespace
 
+uint64_t Datum::Hash() const {
+  // FNV-1a over the canonical text. NULL gets its own salt: it renders as ""
+  // but Compare keeps it apart from the empty string. Equal datums always
+  // share a canonical text (numeric ties break on it; int 1, double 1.0 and
+  // string "1" all print "1"), so equal implies equal hash. Unequal datums
+  // may still collide (an XML text node serializing to "1" vs string "1");
+  // hash consumers re-check with Compare.
+  if (is_null()) return 0x9e3779b97f4a7c15ull;
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : ToString()) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 int Datum::Compare(const Datum& other) const {
   bool lnull = is_null(), rnull = other.is_null();
   if (lnull || rnull) return lnull == rnull ? 0 : (lnull ? -1 : 1);

@@ -63,6 +63,15 @@ class Datum {
   /// are not orderable (compares by serialized text).
   int Compare(const Datum& other) const;
 
+  /// Stable hash consistent with Compare: Compare(o) == 0 implies
+  /// Hash() == o.Hash(). The (value, text) key's equality collapses to "same
+  /// canonical text" — numeric ties break on ToString(), int 1 / double 1.0 /
+  /// string "1" all print as "1", while distinct spellings ("01", "1e2")
+  /// stay distinct — so hashing the canonical text (with a separate NULL
+  /// salt; NULL prints as "" like the empty string, but compares apart) is
+  /// exactly equality-compatible. This is the hash-join build/probe key.
+  uint64_t Hash() const;
+
   bool operator==(const Datum& other) const { return Compare(other) == 0; }
   bool operator<(const Datum& other) const { return Compare(other) < 0; }
 

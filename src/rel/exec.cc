@@ -1,11 +1,22 @@
 #include "rel/exec.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <unordered_map>
 
 #include "rel/parallel.h"
 
 namespace xdb::rel {
+
+std::string PlanNode::EstimateSuffix() const {
+  if (!has_estimate_) return "";
+  auto fmt = [](double v) {
+    double r = v < 0 ? 0 : (v > 1e15 ? 1e15 : v);
+    return std::to_string(static_cast<long long>(std::llround(r)));
+  };
+  return " [est_rows=" + fmt(est_rows_) + " cost=" + fmt(est_cost_) + "]";
+}
 
 Result<std::vector<Row>> ExecuteAll(const PlanNode& plan, ExecCtx& ctx) {
   {
@@ -74,7 +85,8 @@ Result<std::unique_ptr<Cursor>> SeqScanNode::Open(ExecCtx&) const {
 }
 
 void SeqScanNode::Explain(int indent, std::string* out) const {
-  *out += Pad(indent) + "SeqScan(" + table_->name() + ")\n";
+  *out += Pad(indent) + "SeqScan(" + table_->name() + ")" + EstimateSuffix() +
+          "\n";
 }
 
 // ---- IndexRangeScan ---------------------------------------------------------
@@ -130,7 +142,7 @@ void IndexRangeScanNode::Explain(int indent, std::string* out) const {
   if (hi_ != nullptr) {
     *out += std::string(hi_inclusive_ ? " <= " : " < ") + hi_->ToSql();
   }
-  *out += ")\n";
+  *out += ")" + EstimateSuffix() + "\n";
 }
 
 // ---- Filter ------------------------------------------------------------------
@@ -164,7 +176,8 @@ Result<std::unique_ptr<Cursor>> FilterNode::Open(ExecCtx& ctx) const {
 }
 
 void FilterNode::Explain(int indent, std::string* out) const {
-  *out += Pad(indent) + "Filter(" + predicate_->ToSql() + ")\n";
+  *out += Pad(indent) + "Filter(" + predicate_->ToSql() + ")" +
+          EstimateSuffix() + "\n";
   child_->Explain(indent + 1, out);
 }
 
@@ -210,7 +223,7 @@ void ProjectNode::Explain(int indent, std::string* out) const {
     if (i > 0) *out += ", ";
     *out += exprs_[i]->ToSql();
   }
-  *out += ")\n";
+  *out += ")" + EstimateSuffix() + "\n";
   child_->Explain(indent + 1, out);
 }
 
@@ -348,7 +361,7 @@ void XmlAggNode::Explain(int indent, std::string* out) const {
     *out += "ORDER BY " + order_by_->ToSql();
     if (descending_) *out += " DESC";
   }
-  *out += ")\n";
+  *out += ")" + EstimateSuffix() + "\n";
   child_->Explain(indent + 1, out);
 }
 
@@ -422,8 +435,280 @@ void ScalarAggNode::Explain(int indent, std::string* out) const {
                                 ? "COUNT"
                                 : (kind_ == AggKind::kMin ? "MIN" : "MAX"));
   *out += Pad(indent) + std::string(name) + "(" +
-          (arg_ != nullptr ? arg_->ToSql() : "*") + ")\n";
+          (arg_ != nullptr ? arg_->ToSql() : "*") + ")" + EstimateSuffix() +
+          "\n";
   child_->Explain(indent + 1, out);
+}
+
+// ---- GroupJoin -----------------------------------------------------------------
+
+const char* JoinStrategyName(JoinStrategy strategy) {
+  return strategy == JoinStrategy::kHash ? "hash" : "index-nl";
+}
+
+namespace {
+struct DatumHash {
+  size_t operator()(const Datum& d) const {
+    return static_cast<size_t>(d.Hash());
+  }
+};
+struct DatumKeyEq {
+  bool operator()(const Datum& a, const Datum& b) const {
+    return a.Compare(b) == 0;
+  }
+};
+
+void BumpJoinCounter(ExecCtx& ctx, std::atomic<uint64_t> JoinRuntimeStats::*f,
+                     uint64_t n = 1) {
+  if (ctx.join_stats != nullptr) {
+    (ctx.join_stats->*f).fetch_add(n, std::memory_order_relaxed);
+  }
+}
+}  // namespace
+
+struct GroupJoinNode::Probe {
+  /// kHash: right-table row ids grouped by join key, residuals already
+  /// applied. Ids are ascending because the build scans in row-id order —
+  /// the aggregation then sees matches in document order without a sort.
+  std::unordered_map<Datum, std::vector<int64_t>, DatumHash, DatumKeyEq>
+      groups;
+};
+
+Result<std::shared_ptr<const GroupJoinNode::Probe>> GroupJoinNode::PrepareProbe(
+    ExecCtx& ctx) const {
+  auto probe = std::make_shared<Probe>();
+  if (strategy_ == JoinStrategy::kHash) {
+    int64_t rows = static_cast<int64_t>(right_table_->row_count());
+    for (int64_t id = 0; id < rows; ++id) {
+      XDB_RETURN_NOT_OK(governor::Tick(ctx.budget));
+      BumpJoinCounter(ctx, &JoinRuntimeStats::build_rows);
+      const Row& r = right_table_->row(id);
+      XDB_ASSIGN_OR_RETURN(bool keep, EvalResiduals(ctx, r));
+      if (!keep) continue;
+      const Datum& key = r[static_cast<size_t>(right_key_)];
+      if (key.is_null()) continue;  // an equi-join never matches NULL
+      probe->groups[key].push_back(id);
+    }
+  } else if (right_table_->GetIndex(right_key_name_) == nullptr) {
+    return Status::NotFound("no index on " + right_table_->name() + "." +
+                            right_key_name_);
+  }
+  return std::shared_ptr<const Probe>(std::move(probe));
+}
+
+Result<bool> GroupJoinNode::EvalResiduals(ExecCtx& ctx,
+                                          const Row& right_row) const {
+  if (residual_.empty()) return true;
+  ctx.rows.push_back(&right_row);
+  for (const RelExprPtr& e : residual_) {
+    auto v = e->Eval(ctx);
+    if (!v.ok()) {
+      ctx.rows.pop_back();
+      return v.status();
+    }
+    if (v->is_null() || v->ToDouble() == 0) {
+      ctx.rows.pop_back();
+      return false;
+    }
+  }
+  ctx.rows.pop_back();
+  return true;
+}
+
+Result<Datum> GroupJoinNode::AggregateGroup(ExecCtx& ctx,
+                                            const std::vector<int64_t>& ids,
+                                            bool apply_residual) const {
+  if (spec_.is_xmlagg) {
+    struct Item {
+      Datum value;
+      Datum key;
+      size_t original;
+    };
+    std::vector<Item> items;
+    for (int64_t id : ids) {
+      XDB_RETURN_NOT_OK(governor::Tick(ctx.budget));
+      const Row& rrow = right_table_->row(id);
+      if (apply_residual) {
+        XDB_ASSIGN_OR_RETURN(bool keep, EvalResiduals(ctx, rrow));
+        if (!keep) continue;
+      }
+      BumpJoinCounter(ctx, &JoinRuntimeStats::match_rows);
+      Row proj;
+      ctx.rows.push_back(&rrow);
+      for (const RelExprPtr& e : spec_.project) {
+        auto v = e->Eval(ctx);
+        if (!v.ok()) {
+          ctx.rows.pop_back();
+          return v.status();
+        }
+        proj.push_back(v.MoveValue());
+      }
+      ctx.rows.pop_back();
+      Item item;
+      item.original = items.size();
+      if (spec_.order_by != nullptr) {
+        // The order key sees the projected row, mirroring Project -> XMLAgg.
+        ctx.rows.push_back(&proj);
+        auto k = spec_.order_by->Eval(ctx);
+        ctx.rows.pop_back();
+        if (!k.ok()) return k.status();
+        item.key = k.MoveValue();
+      }
+      item.value = proj.empty() ? Datum::Null() : std::move(proj[0]);
+      items.push_back(std::move(item));
+    }
+    if (spec_.order_by != nullptr) {
+      std::stable_sort(items.begin(), items.end(),
+                       [this](const Item& a, const Item& b) {
+                         int cmp = a.key.Compare(b.key);
+                         if (spec_.descending) cmp = -cmp;
+                         if (cmp != 0) return cmp < 0;
+                         return a.original < b.original;
+                       });
+    }
+    xml::Node* frag = ctx.arena->CreateElement(kFragmentName);
+    for (const Item& item : items) AppendAggValue(ctx, frag, item.value);
+    return Datum(frag);
+  }
+  // Scalar aggregation: same accumulation (and empty-group results: SUM=0,
+  // COUNT=0, MIN/MAX=NULL) as ScalarAggNode.
+  double sum = 0;
+  int64_t count = 0;
+  Datum min_v, max_v;
+  for (int64_t id : ids) {
+    XDB_RETURN_NOT_OK(governor::Tick(ctx.budget));
+    const Row& rrow = right_table_->row(id);
+    if (apply_residual) {
+      XDB_ASSIGN_OR_RETURN(bool keep, EvalResiduals(ctx, rrow));
+      if (!keep) continue;
+    }
+    BumpJoinCounter(ctx, &JoinRuntimeStats::match_rows);
+    Datum v;
+    if (spec_.arg != nullptr) {
+      ctx.rows.push_back(&rrow);
+      auto r = spec_.arg->Eval(ctx);
+      ctx.rows.pop_back();
+      if (!r.ok()) return r.status();
+      v = r.MoveValue();
+    } else if (!rrow.empty()) {
+      v = rrow[0];
+    }
+    if (v.is_null()) continue;
+    ++count;
+    double d = v.ToDouble();
+    if (!std::isnan(d)) sum += d;
+    if (min_v.is_null() || v.Compare(min_v) < 0) min_v = v;
+    if (max_v.is_null() || v.Compare(max_v) > 0) max_v = v;
+  }
+  switch (spec_.agg) {
+    case AggKind::kSum:
+      return Datum(sum);
+    case AggKind::kCount:
+      return Datum(count);
+    case AggKind::kMin:
+      return min_v;
+    case AggKind::kMax:
+      return max_v;
+  }
+  return Datum::Null();
+}
+
+Result<Datum> GroupJoinNode::ProbeOne(ExecCtx& ctx, const Probe& probe,
+                                      const Row& left_row) const {
+  BumpJoinCounter(ctx, &JoinRuntimeStats::probe_rows);
+  ctx.rows.push_back(&left_row);
+  auto key_r = left_key_->Eval(ctx);
+  ctx.rows.pop_back();
+  if (!key_r.ok()) return key_r.status();
+  Datum key = key_r.MoveValue();
+  static const std::vector<int64_t> kEmptyGroup;
+  const std::vector<int64_t>* ids = &kEmptyGroup;
+  std::vector<int64_t> looked_up;
+  if (!key.is_null()) {
+    if (strategy_ == JoinStrategy::kHash) {
+      auto it = probe.groups.find(key);
+      if (it != probe.groups.end()) ids = &it->second;
+    } else {
+      const BTreeIndex* index = right_table_->GetIndex(right_key_name_);
+      if (index == nullptr) {
+        return Status::NotFound("no index on " + right_table_->name() + "." +
+                                right_key_name_);
+      }
+      Bound lo{key, true};
+      Bound hi{key, true};
+      index->Scan(&lo, &hi, &looked_up);
+      // Key-equal entries come back in index order; document order is what
+      // the aggregate must see.
+      std::sort(looked_up.begin(), looked_up.end());
+      ids = &looked_up;
+    }
+  }
+  return AggregateGroup(ctx, *ids,
+                        /*apply_residual=*/strategy_ == JoinStrategy::kIndexNl);
+}
+
+namespace {
+class GroupJoinCursor : public Cursor {
+ public:
+  GroupJoinCursor(const GroupJoinNode* node, std::unique_ptr<Cursor> left,
+                  std::shared_ptr<const GroupJoinNode::Probe> probe)
+      : node_(node), left_(std::move(left)), probe_(std::move(probe)) {}
+  Result<bool> Next(ExecCtx& ctx, Row* row) override {
+    Row left_row;
+    XDB_ASSIGN_OR_RETURN(bool has, left_->Next(ctx, &left_row));
+    if (!has) return false;
+    XDB_ASSIGN_OR_RETURN(Datum agg, node_->ProbeOne(ctx, *probe_, left_row));
+    *row = std::move(left_row);
+    row->push_back(std::move(agg));
+    return true;
+  }
+
+ private:
+  const GroupJoinNode* node_;
+  std::unique_ptr<Cursor> left_;
+  std::shared_ptr<const GroupJoinNode::Probe> probe_;
+};
+}  // namespace
+
+Result<std::unique_ptr<Cursor>> GroupJoinNode::Open(ExecCtx& ctx) const {
+  XDB_ASSIGN_OR_RETURN(std::shared_ptr<const Probe> probe, PrepareProbe(ctx));
+  XDB_ASSIGN_OR_RETURN(auto left, left_->Open(ctx));
+  return std::unique_ptr<Cursor>(
+      new GroupJoinCursor(this, std::move(left), std::move(probe)));
+}
+
+void GroupJoinNode::Explain(int indent, std::string* out) const {
+  std::string agg;
+  if (spec_.is_xmlagg) {
+    agg = "XMLAgg";
+    if (spec_.order_by != nullptr) {
+      agg += " ORDER BY " + spec_.order_by->ToSql();
+      if (spec_.descending) agg += " DESC";
+    }
+  } else {
+    const char* name =
+        spec_.agg == AggKind::kSum
+            ? "SUM"
+            : (spec_.agg == AggKind::kCount
+                   ? "COUNT"
+                   : (spec_.agg == AggKind::kMin ? "MIN" : "MAX"));
+    agg = std::string(name) + "(" +
+          (spec_.arg != nullptr ? spec_.arg->ToSql() : "*") + ")";
+  }
+  *out += Pad(indent) +
+          (strategy_ == JoinStrategy::kHash ? "HashGroupJoin("
+                                            : "IndexNLGroupJoin(") +
+          right_table_->name() + "." + right_key_name_ + " = " +
+          left_key_->ToSql() + ", " + agg + ")" + EstimateSuffix() + "\n";
+  if (!residual_.empty()) {
+    *out += Pad(indent + 1) + "Residual(";
+    for (size_t i = 0; i < residual_.size(); ++i) {
+      if (i > 0) *out += " AND ";
+      *out += residual_[i]->ToSql();
+    }
+    *out += ")\n";
+  }
+  left_->Explain(indent + 1, out);
 }
 
 // ---- Sort ----------------------------------------------------------------------
@@ -477,7 +762,7 @@ void SortNode::Explain(int indent, std::string* out) const {
     *out += keys_[i].expr->ToSql();
     if (keys_[i].descending) *out += " DESC";
   }
-  *out += ")\n";
+  *out += ")" + EstimateSuffix() + "\n";
   child_->Explain(indent + 1, out);
 }
 

@@ -32,6 +32,27 @@ class PlanNode {
   virtual void Explain(int indent, std::string* out) const = 0;
   /// Number of output columns.
   virtual size_t output_arity() const = 0;
+
+  /// Cost-model annotation attached by the optimizer's lowerer; Explain
+  /// renders it as " [est_rows=N cost=C]". Hand-built plans leave it unset.
+  void set_estimate(double rows, double cost) {
+    has_estimate_ = true;
+    est_rows_ = rows;
+    est_cost_ = cost;
+  }
+  bool has_estimate() const { return has_estimate_; }
+  double est_rows() const { return est_rows_; }
+  double est_cost() const { return est_cost_; }
+
+ protected:
+  /// The " [est_rows=N cost=C]" suffix (empty when unset), appended by each
+  /// node's Explain after its closing paren.
+  std::string EstimateSuffix() const;
+
+ private:
+  bool has_estimate_ = false;
+  double est_rows_ = 0;
+  double est_cost_ = 0;
 };
 
 using PlanPtr = std::unique_ptr<PlanNode>;
@@ -158,6 +179,90 @@ class ScalarAggNode : public PlanNode {
   PlanPtr child_;
   AggKind kind_;
   RelExprPtr arg_;  // evaluated per child row (child row at level 0)
+};
+
+/// Physical strategy of a group join (chosen by the optimizer's
+/// join-access-path rule from the catalog statistics).
+enum class JoinStrategy {
+  kHash,     ///< build a hash table over the right table once, probe per row
+  kIndexNl,  ///< per left row, equality-probe the right table's B+tree
+};
+const char* JoinStrategyName(JoinStrategy strategy);
+
+/// \brief Group join: the unnested form of a correlated aggregate subquery.
+///
+/// For every left row it finds the right-table rows whose `right_key` column
+/// equals the probe key (`left_key` evaluated against the left row), applies
+/// the residual predicates, aggregates the matches (XMLAgg or a scalar
+/// aggregate — exactly the semantics of the correlated apply it replaces,
+/// including empty-group behaviour), and emits the left row with the
+/// aggregate value appended as one extra trailing column. Matches are
+/// processed in row-id (document) order under both strategies, so the output
+/// is byte-identical to the apply form and independent of the strategy.
+///
+/// NULL probe keys and NULL right keys never join (SQL equality semantics):
+/// the hash build skips NULL keys and a NULL probe key yields the empty
+/// group — the index path must not consult the B+tree for NULL, since index
+/// Compare would happily match stored NULLs.
+class GroupJoinNode : public PlanNode {
+ public:
+  /// The aggregate computed over one probe's matching right rows. XMLAgg
+  /// mode projects `project` per match (the projected row is what the order
+  /// key sees, mirroring Project -> XMLAgg); scalar mode evaluates `arg`
+  /// against the right row (null arg falls back to the first right column,
+  /// mirroring ScalarAggNode).
+  struct AggSpec {
+    bool is_xmlagg = true;
+    std::vector<RelExprPtr> project;
+    RelExprPtr order_by;  // over the projected row; null = row-id order
+    bool descending = false;
+    AggKind agg = AggKind::kCount;
+    RelExprPtr arg;
+  };
+
+  GroupJoinNode(PlanPtr left, const Table* right_table, int right_key,
+                std::string right_key_name, RelExprPtr left_key,
+                std::vector<RelExprPtr> residual, AggSpec spec,
+                JoinStrategy strategy)
+      : left_(std::move(left)),
+        right_table_(right_table),
+        right_key_(right_key),
+        right_key_name_(std::move(right_key_name)),
+        left_key_(std::move(left_key)),
+        residual_(std::move(residual)),
+        spec_(std::move(spec)),
+        strategy_(strategy) {}
+
+  Result<std::unique_ptr<Cursor>> Open(ExecCtx& ctx) const override;
+  void Explain(int indent, std::string* out) const override;
+  size_t output_arity() const override { return left_->output_arity() + 1; }
+
+  const PlanNode* left() const { return left_.get(); }
+  const Table* right_table() const { return right_table_; }
+  JoinStrategy strategy() const { return strategy_; }
+
+  /// Build-side state (the hash table under kHash), prepared once and shared
+  /// read-only across probe partitions by the parallel executor.
+  struct Probe;
+  Result<std::shared_ptr<const Probe>> PrepareProbe(ExecCtx& ctx) const;
+  /// Joins one left row against the prepared build side and returns the
+  /// aggregate column value to append. Thread-safe w.r.t. `probe`.
+  Result<Datum> ProbeOne(ExecCtx& ctx, const Probe& probe,
+                         const Row& left_row) const;
+
+ private:
+  Result<bool> EvalResiduals(ExecCtx& ctx, const Row& right_row) const;
+  Result<Datum> AggregateGroup(ExecCtx& ctx, const std::vector<int64_t>& ids,
+                               bool apply_residual) const;
+
+  PlanPtr left_;
+  const Table* right_table_;
+  int right_key_;
+  std::string right_key_name_;
+  RelExprPtr left_key_;                 // evaluated with the left row at level 0
+  std::vector<RelExprPtr> residual_;    // evaluated with the right row at level 0
+  AggSpec spec_;
+  JoinStrategy strategy_;
 };
 
 /// Sorts child rows by key expressions.

@@ -6,6 +6,8 @@
 #ifndef XDB_REL_EXPR_H_
 #define XDB_REL_EXPR_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,6 +33,15 @@ namespace xdb::rel {
 
 class PlanNode;
 
+/// Runtime counters for group-join operators (rel/exec.h GroupJoinNode),
+/// aggregated across every join in the plan and across probe partitions.
+/// Atomics because the parallel probe path updates them from pool workers.
+struct JoinRuntimeStats {
+  std::atomic<uint64_t> build_rows{0};  ///< hash-build input rows scanned
+  std::atomic<uint64_t> probe_rows{0};  ///< left (probe-side) rows joined
+  std::atomic<uint64_t> match_rows{0};  ///< right rows matched across probes
+};
+
 /// Evaluation context: the row stack (innermost last; ColumnRef levels count
 /// from the innermost) plus the XML construction arena.
 struct ExecCtx {
@@ -43,6 +54,9 @@ struct ExecCtx {
   /// Partitionable operators (XmlAgg, ScalarAgg, top-level scans) consult it
   /// before forking onto the shared pool.
   const core::ParallelPolicy* parallel = nullptr;
+  /// Join runtime-counter sink (null = not collected). Shared across the
+  /// per-row contexts and probe partitions of one execution.
+  JoinRuntimeStats* join_stats = nullptr;
 
   const Row& RowAt(int level) const {
     return *rows[rows.size() - 1 - static_cast<size_t>(level)];

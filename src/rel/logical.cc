@@ -14,6 +14,8 @@ const char* LogicalKindName(LogicalKind kind) {
       return "XMLAgg";
     case LogicalKind::kScalarAgg:
       return "ScalarAgg";
+    case LogicalKind::kJoin:
+      return "GroupJoin";
   }
   return "?";  // out-of-range cast from untrusted int
 }
@@ -96,6 +98,39 @@ void ExplainLogical(const LogicalNode& node, int indent, std::string* out) {
       *out += Pad(indent) + std::string(name) + "(" +
               (a.arg != nullptr ? a.arg->ToSql() : "*") + ")\n";
       ExplainLogical(*a.child, indent + 1, out);
+      return;
+    }
+    case LogicalKind::kJoin: {
+      const auto& j = static_cast<const LogicalJoinNode&>(node);
+      std::string agg;
+      if (j.is_xmlagg) {
+        agg = "XMLAgg";
+        if (j.xml_order_by != nullptr) {
+          agg += " ORDER BY " + j.xml_order_by->ToSql();
+          if (j.descending) agg += " DESC";
+        }
+      } else {
+        const char* name =
+            j.agg == AggKind::kSum
+                ? "SUM"
+                : (j.agg == AggKind::kCount
+                       ? "COUNT"
+                       : (j.agg == AggKind::kMin ? "MIN" : "MAX"));
+        agg = std::string(name) + "(" +
+              (j.agg_arg != nullptr ? j.agg_arg->ToSql() : "*") + ")";
+      }
+      *out += Pad(indent) + "GroupJoin(" + j.right_table->name() + "." +
+              j.right_key_name + " = " + j.left_key->ToSql() + ", " + agg +
+              ", strategy=" + JoinStrategyName(j.strategy) + ")\n";
+      if (!j.residual.empty()) {
+        *out += Pad(indent + 1) + "Residual(";
+        for (size_t i = 0; i < j.residual.size(); ++i) {
+          if (i > 0) *out += " AND ";
+          *out += j.residual[i]->ToSql();
+        }
+        *out += ")\n";
+      }
+      ExplainLogical(*j.left, indent + 1, out);
       return;
     }
   }

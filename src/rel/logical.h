@@ -33,7 +33,7 @@
 
 namespace xdb::rel {
 
-enum class LogicalKind { kScan, kFilter, kProject, kXmlAgg, kScalarAgg };
+enum class LogicalKind { kScan, kFilter, kProject, kXmlAgg, kScalarAgg, kJoin };
 const char* LogicalKindName(LogicalKind kind);
 
 /// \brief A logical plan operator.
@@ -111,6 +111,47 @@ class LogicalScalarAggNode : public LogicalNode {
   LogicalPlanPtr child;
   AggKind agg;
   RelExprPtr arg;  // null for COUNT(*)
+};
+
+/// Group join produced by the optimizer's join-lowering (unnesting) rule
+/// from a correlated aggregate apply. The right side is deliberately flat —
+/// a base table plus the residual predicates — because that is the only
+/// shape unnesting produces; the join-graph stays isolated per Grust-style
+/// unnesting instead of re-deriving it from a nested plan.
+///
+/// Semantics: for each left row, the right rows with
+/// `right_table.right_key = left_key(left row)` and passing every residual
+/// predicate are aggregated (XMLAgg over the projected row, or a scalar
+/// aggregate over `agg_arg`), and the single aggregate value is appended to
+/// the left row as one extra trailing column. `left_key` sees the left row
+/// at level 0; `residual`/`project`/`agg_arg` see the right row at level 0
+/// (outer query rows keep their higher levels); `xml_order_by` sees the
+/// projected row. The equi-key is typically the structural lineage predicate
+/// `child.parent_rowid = parent.rowid`, residuals carry value predicates.
+class LogicalJoinNode : public LogicalNode {
+ public:
+  LogicalJoinNode() : LogicalNode(LogicalKind::kJoin) {}
+
+  LogicalPlanPtr left;
+  const Table* right_table = nullptr;
+  int right_key = -1;               ///< column index in right_table
+  std::string right_key_name;       ///< column name (index lookup + display)
+  RelExprPtr left_key;
+  std::vector<RelExprPtr> residual;
+
+  // Aggregate over one left row's matches.
+  bool is_xmlagg = true;
+  std::vector<RelExprPtr> project;  ///< XMLAgg mode: per-match projected row
+  RelExprPtr xml_order_by;          ///< null = document (row-id) order
+  bool descending = false;
+  AggKind agg = AggKind::kCount;    ///< scalar mode
+  RelExprPtr agg_arg;               ///< null = first right column
+
+  /// Physical choice + estimates filled by the join-access-path rule.
+  JoinStrategy strategy = JoinStrategy::kHash;
+  double est_left_rows = 0;   ///< estimated probe-side rows
+  double est_match_rows = 0;  ///< estimated matches per probe
+  double est_cost = 0;        ///< cost of the chosen strategy
 };
 
 /// Correlated scalar subquery over a *logical* plan: the logical analog of

@@ -1,5 +1,6 @@
 #include "rel/optimizer.h"
 
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <functional>
@@ -9,6 +10,8 @@
 #include <string_view>
 #include <utility>
 
+#include "rel/catalog.h"
+
 namespace xdb::rel {
 
 OptimizerOptions OptimizerOptionsFromEnv() {
@@ -17,7 +20,14 @@ OptimizerOptions OptimizerOptionsFromEnv() {
   if (env == nullptr) return o;
   auto disable = [&o](std::string_view name) {
     if (name == "all") {
-      o = OptimizerOptions{false, false, false, false, false};
+      o.enable_predicate_pushdown = false;
+      o.enable_index_selection = false;
+      o.enable_constant_folding = false;
+      o.enable_column_pruning = false;
+      o.enable_subplan_dedup = false;
+      o.enable_join_lowering = false;
+      o.enable_join_access_path = false;
+      o.enable_join_order = false;
     } else if (name == kRulePredicatePushdown) {
       o.enable_predicate_pushdown = false;
     } else if (name == kRuleIndexRangeScan) {
@@ -28,6 +38,12 @@ OptimizerOptions OptimizerOptionsFromEnv() {
       o.enable_column_pruning = false;
     } else if (name == kRuleSubplanDedup) {
       o.enable_subplan_dedup = false;
+    } else if (name == kRuleJoinLowering) {
+      o.enable_join_lowering = false;
+    } else if (name == kRuleJoinAccessPath) {
+      o.enable_join_access_path = false;
+    } else if (name == kRuleJoinOrder) {
+      o.enable_join_order = false;
     }  // unknown names are ignored
   };
   std::string_view v(env);
@@ -105,6 +121,8 @@ LogicalPlanPtr* ChildSlot(LogicalNode& n) {
       return &static_cast<LogicalXmlAggNode&>(n).child;
     case LogicalKind::kScalarAgg:
       return &static_cast<LogicalScalarAggNode&>(n).child;
+    case LogicalKind::kJoin:
+      return &static_cast<LogicalJoinNode&>(n).left;
   }
   return nullptr;
 }
@@ -128,6 +146,62 @@ void ForEachNodeExprSlot(LogicalNode& n,
     case LogicalKind::kScalarAgg:
       fn(static_cast<LogicalScalarAggNode&>(n).arg);
       return;
+    case LogicalKind::kJoin: {
+      auto& j = static_cast<LogicalJoinNode&>(n);
+      fn(j.left_key);
+      for (auto& r : j.residual) fn(r);
+      for (auto& p : j.project) fn(p);
+      fn(j.xml_order_by);
+      fn(j.agg_arg);
+      return;
+    }
+  }
+}
+
+// Number of output columns of a logical node. Filter passes its child's row
+// through; a join appends exactly one aggregate column to its left input.
+size_t LogicalArity(const LogicalNode& n) {
+  switch (n.kind()) {
+    case LogicalKind::kScan:
+      return static_cast<const LogicalScanNode&>(n)
+          .table->schema()
+          .column_count();
+    case LogicalKind::kFilter:
+      return LogicalArity(*static_cast<const LogicalFilterNode&>(n).child);
+    case LogicalKind::kProject:
+      return static_cast<const LogicalProjectNode&>(n).exprs.size();
+    case LogicalKind::kXmlAgg:
+    case LogicalKind::kScalarAgg:
+      return 1;
+    case LogicalKind::kJoin:
+      return LogicalArity(*static_cast<const LogicalJoinNode&>(n).left) + 1;
+  }
+  return 0;
+}
+
+// Visits every ColumnRef inside `e`, descending into nested apply subplans.
+// `depth` counts the apply boundaries crossed: a ref with level == depth
+// denotes the local row of the scope `e` is evaluated in, level == depth + 1
+// the row one scope out, and so on.
+void VisitColumnRefs(RelExpr& e, int depth,
+                     const std::function<void(ColumnRefExpr&, int)>& fn) {
+  if (e.kind() == RelExprKind::kColumnRef) {
+    fn(static_cast<ColumnRefExpr&>(e), depth);
+    return;
+  }
+  ForEachChildSlot(e, [&](RelExprPtr& c) {
+    if (c != nullptr) VisitColumnRefs(*c, depth, fn);
+  });
+  if (e.kind() == RelExprKind::kLogicalApply) {
+    auto& a = static_cast<LogicalApplyExpr&>(e);
+    LogicalNode* n = a.plan.get();
+    while (n != nullptr) {
+      ForEachNodeExprSlot(*n, [&](RelExprPtr& s) {
+        if (s != nullptr) VisitColumnRefs(*s, depth + 1, fn);
+      });
+      LogicalPlanPtr* child = ChildSlot(*n);
+      n = (child != nullptr) ? child->get() : nullptr;
+    }
   }
 }
 
@@ -235,10 +309,293 @@ void FlattenAnd(RelExprPtr e, std::vector<RelExprPtr>* out) {
   out->push_back(std::move(e));
 }
 
+// Non-destructive view of a conjunction (same order as FlattenAnd).
+void FlattenAndView(RelExpr* e, std::vector<RelExpr*>* out) {
+  if (e->kind() == RelExprKind::kBinary &&
+      static_cast<BinaryRelExpr*>(e)->op == RelOp::kAnd) {
+    auto* b = static_cast<BinaryRelExpr*>(e);
+    FlattenAndView(b->lhs.get(), out);
+    FlattenAndView(b->rhs.get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+// ---------------------------------------------------------------------------
+// Cardinality / cost model
+// ---------------------------------------------------------------------------
+
+// Cost unit: rows touched (scanned, probed, or evaluated). Row counts come
+// from the live tables (exact at prepare time); NDV, null counts and value
+// ranges come from the catalog statistics published by shred::BulkLoader /
+// ANALYZE, with coarse fallbacks when a table was never analyzed. Memoizes
+// per logical node, so build one estimator per rule invocation (plan
+// mutation invalidates the memo).
+class CostEstimator {
+ public:
+  explicit CostEstimator(const Catalog* catalog) : catalog_(catalog) {}
+
+  double Rows(const LogicalNode& n) {
+    auto it = rows_.find(&n);
+    if (it != rows_.end()) return it->second;
+    double r = ComputeRows(n);
+    rows_[&n] = r;
+    return r;
+  }
+
+  double Cost(const LogicalNode& n) {
+    auto it = cost_.find(&n);
+    if (it != cost_.end()) return it->second;
+    double c = ComputeCost(n);
+    cost_[&n] = c;
+    return c;
+  }
+
+  /// Estimated right-table matches for one probe of `j` (after residuals).
+  double MatchRows(const LogicalJoinNode& j) {
+    double right_rows = static_cast<double>(j.right_table->row_count());
+    double ndv = Ndv(*j.right_table, j.right_key, right_rows);
+    double sel = 1.0;
+    for (const auto& r : j.residual) sel *= Selectivity(*r, j.right_table);
+    return right_rows / std::max(1.0, ndv) * sel;
+  }
+
+  /// Join-local cost (excluding the left subtree) of running `j` with
+  /// strategy `s` over `left_rows` probe rows. Hash pays one right-table
+  /// build scan plus per-probe matches; index-NL pays a B+tree descent plus
+  /// matches per probe.
+  double StrategyCost(const LogicalJoinNode& j, JoinStrategy s,
+                      double left_rows) {
+    double right_rows = static_cast<double>(j.right_table->row_count());
+    double m = MatchRows(j);
+    if (s == JoinStrategy::kHash) {
+      return right_rows + left_rows * (1.0 + m);
+    }
+    return left_rows * (std::log2(std::max(2.0, right_rows)) + 1.0 + m);
+  }
+
+  /// Distinct values of a column; catalog statistics when analyzed, else a
+  /// coarse rows/10 guess.
+  double Ndv(const Table& table, int column, double rows) {
+    const ColumnStats* cs = Stats(table, column);
+    if (cs != nullptr && cs->ndv > 0) return static_cast<double>(cs->ndv);
+    return std::max(1.0, rows / 10.0);
+  }
+
+  /// Fraction of `table` rows satisfying `pred` (pred sees the table row at
+  /// level 0). `table` may be null when the predicate's base row is not a
+  /// direct table row — defaults apply.
+  double Selectivity(const RelExpr& pred, const Table* table) {
+    if (pred.kind() != RelExprKind::kBinary) return 0.5;
+    const auto& b = static_cast<const BinaryRelExpr&>(pred);
+    if (b.op == RelOp::kAnd) {
+      return Selectivity(*b.lhs, table) * Selectivity(*b.rhs, table);
+    }
+    if (b.op == RelOp::kOr) {
+      return std::min(1.0,
+                      Selectivity(*b.lhs, table) + Selectivity(*b.rhs, table));
+    }
+    const ColumnRefExpr* col = nullptr;
+    const Datum* konst = nullptr;
+    bool flipped = false;  // constant CMP column
+    auto local_col = [&](const RelExpr& side) -> const ColumnRefExpr* {
+      if (side.kind() != RelExprKind::kColumnRef) return nullptr;
+      const auto& r = static_cast<const ColumnRefExpr&>(side);
+      return r.level == 0 ? &r : nullptr;
+    };
+    auto const_of = [](const RelExpr& side) -> const Datum* {
+      return side.kind() == RelExprKind::kConst
+                 ? &static_cast<const ConstExpr&>(side).value
+                 : nullptr;
+    };
+    col = local_col(*b.lhs);
+    konst = const_of(*b.rhs);
+    if (col == nullptr) {
+      col = local_col(*b.rhs);
+      konst = const_of(*b.lhs);
+      flipped = true;
+    }
+    double rows = table != nullptr
+                      ? static_cast<double>(table->row_count())
+                      : 0;
+    switch (b.op) {
+      case RelOp::kEq:
+        // Equality against anything (a constant or an outer row's value):
+        // one distinct value's share of the rows.
+        if (col != nullptr && table != nullptr) {
+          return 1.0 / std::max(1.0, Ndv(*table, col->column, rows));
+        }
+        return 0.1;
+      case RelOp::kNe:
+        return 0.9;
+      case RelOp::kLt:
+      case RelOp::kLe:
+      case RelOp::kGt:
+      case RelOp::kGe: {
+        bool upper = (b.op == RelOp::kLt || b.op == RelOp::kLe) != flipped;
+        if (col != nullptr && konst != nullptr && table != nullptr) {
+          return RangeSelectivity(*table, col->column, konst, upper);
+        }
+        return 1.0 / 3.0;
+      }
+      case RelOp::kIsNotNull: {
+        if (col != nullptr && table != nullptr && rows > 0) {
+          const ColumnStats* cs = Stats(*table, col->column);
+          if (cs != nullptr) {
+            return std::max(
+                0.0, 1.0 - static_cast<double>(cs->null_count) / rows);
+          }
+        }
+        return 0.9;
+      }
+      default:
+        return 0.5;
+    }
+  }
+
+  /// `column < bound` (upper=true) or `column > bound` (upper=false) via
+  /// linear interpolation over the statistics' [min, max] value range.
+  double RangeSelectivity(const Table& table, int column, const Datum* bound,
+                          bool upper) {
+    const ColumnStats* cs = Stats(table, column);
+    if (cs == nullptr || cs->min.is_null() || cs->max.is_null() ||
+        bound == nullptr) {
+      return 1.0 / 3.0;
+    }
+    double lo = cs->min.ToDouble();
+    double hi = cs->max.ToDouble();
+    double v = bound->ToDouble();
+    if (std::isnan(lo) || std::isnan(hi) || std::isnan(v) || hi <= lo) {
+      return 1.0 / 3.0;
+    }
+    double frac = (v - lo) / (hi - lo);
+    if (!upper) frac = 1.0 - frac;
+    return std::min(1.0, std::max(0.01, frac));
+  }
+
+ private:
+  const ColumnStats* Stats(const Table& table, int column) {
+    if (catalog_ == nullptr || column < 0 ||
+        static_cast<size_t>(column) >= table.schema().column_count()) {
+      return nullptr;
+    }
+    const TableStats* ts = catalog_->GetTableStats(table.name());
+    if (ts == nullptr) return nullptr;
+    return ts->column(table.schema().column(static_cast<size_t>(column)).name);
+  }
+
+  // The base table whose rows flow through a Filter chain (null when a
+  // Project/aggregate intervenes — the row is no longer a table row).
+  static const Table* TableBelow(const LogicalNode& n) {
+    const LogicalNode* cur = &n;
+    while (cur->kind() == LogicalKind::kFilter) {
+      cur = static_cast<const LogicalFilterNode*>(cur)->child.get();
+    }
+    if (cur->kind() != LogicalKind::kScan) return nullptr;
+    return static_cast<const LogicalScanNode*>(cur)->table;
+  }
+
+  double ComputeRows(const LogicalNode& n) {
+    switch (n.kind()) {
+      case LogicalKind::kScan: {
+        const auto& s = static_cast<const LogicalScanNode&>(n);
+        double rows = static_cast<double>(s.table->row_count());
+        if (!s.index_range.has_value()) return rows;
+        return rows * IndexRangeSelectivity(s, rows);
+      }
+      case LogicalKind::kFilter: {
+        const auto& f = static_cast<const LogicalFilterNode&>(n);
+        return Rows(*f.child) *
+               Selectivity(*f.predicate, TableBelow(*f.child));
+      }
+      case LogicalKind::kProject:
+        return Rows(*static_cast<const LogicalProjectNode&>(n).child);
+      case LogicalKind::kXmlAgg:
+      case LogicalKind::kScalarAgg:
+        return 1;
+      case LogicalKind::kJoin:
+        return Rows(*static_cast<const LogicalJoinNode&>(n).left);
+    }
+    return 1;
+  }
+
+  double IndexRangeSelectivity(const LogicalScanNode& s, double rows) {
+    const IndexRange& r = *s.index_range;
+    int column = -1;
+    for (size_t i = 0; i < s.table->schema().column_count(); ++i) {
+      if (s.table->schema().column(i).name == r.column) {
+        column = static_cast<int>(i);
+        break;
+      }
+    }
+    auto const_of = [](const RelExprPtr& e) -> const Datum* {
+      return e != nullptr && e->kind() == RelExprKind::kConst
+                 ? &static_cast<const ConstExpr&>(*e).value
+                 : nullptr;
+    };
+    const Datum* lo = const_of(r.lo);
+    const Datum* hi = const_of(r.hi);
+    if (lo != nullptr && hi != nullptr && lo->Compare(*hi) == 0) {
+      return 1.0 / std::max(1.0, Ndv(*s.table, column, rows));
+    }
+    double sel = 1.0;
+    if (hi != nullptr) {
+      sel = std::min(sel, RangeSelectivity(*s.table, column, hi, true));
+    }
+    if (lo != nullptr) {
+      sel = std::min(sel, RangeSelectivity(*s.table, column, lo, false));
+    }
+    // A correlated/equality probe with non-constant bounds estimates like
+    // equality; unbounded sides leave sel at 1.
+    if (lo == nullptr && hi == nullptr &&
+        (r.lo != nullptr || r.hi != nullptr)) {
+      sel = 1.0 / std::max(1.0, Ndv(*s.table, column, rows));
+    }
+    return sel;
+  }
+
+  double ComputeCost(const LogicalNode& n) {
+    switch (n.kind()) {
+      case LogicalKind::kScan: {
+        const auto& s = static_cast<const LogicalScanNode&>(n);
+        double table_rows = static_cast<double>(s.table->row_count());
+        if (!s.index_range.has_value()) return table_rows;
+        return std::log2(std::max(2.0, table_rows)) + Rows(n);
+      }
+      case LogicalKind::kFilter: {
+        const auto& f = static_cast<const LogicalFilterNode&>(n);
+        return Cost(*f.child) + Rows(*f.child);
+      }
+      case LogicalKind::kProject: {
+        const auto& p = static_cast<const LogicalProjectNode&>(n);
+        return Cost(*p.child) + Rows(*p.child);
+      }
+      case LogicalKind::kXmlAgg: {
+        const auto& a = static_cast<const LogicalXmlAggNode&>(n);
+        return Cost(*a.child) + Rows(*a.child);
+      }
+      case LogicalKind::kScalarAgg: {
+        const auto& a = static_cast<const LogicalScalarAggNode&>(n);
+        return Cost(*a.child) + Rows(*a.child);
+      }
+      case LogicalKind::kJoin: {
+        const auto& j = static_cast<const LogicalJoinNode&>(n);
+        return Cost(*j.left) +
+               StrategyCost(j, j.strategy, Rows(*j.left));
+      }
+    }
+    return 0;
+  }
+
+  const Catalog* catalog_;
+  std::map<const LogicalNode*, double> rows_;
+  std::map<const LogicalNode*, double> cost_;
+};
+
 class OptimizerPass {
  public:
-  explicit OptimizerPass(const OptimizerOptions& options)
-      : options_(options) {}
+  OptimizerPass(const OptimizerOptions& options, const Catalog* catalog)
+      : options_(options), catalog_(catalog) {}
 
   Result<OptimizedQuery> Run(RelExprPtr root);
 
@@ -280,6 +637,329 @@ class OptimizerPass {
         }
         slot = ChildSlot(**slot);
       }
+    });
+  }
+
+  // ---- join-lowering (unnesting) ------------------------------------------
+
+  // After the left row vanishes from the stack of an unnested expression,
+  // refs to it (level == depth + 1, where depth counts nested apply
+  // boundaries) are unrepresentable; refs to scopes further out shift down
+  // one level. CanRenumber rejects, Renumber shifts.
+  static bool CanRenumber(RelExpr& e) {
+    bool ok = true;
+    VisitColumnRefs(e, 0, [&ok](ColumnRefExpr& ref, int depth) {
+      if (ref.level == depth + 1) ok = false;
+    });
+    return ok;
+  }
+
+  static void Renumber(RelExpr& e) {
+    VisitColumnRefs(e, 0, [](ColumnRefExpr& ref, int depth) {
+      if (ref.level > depth + 1) --ref.level;
+    });
+  }
+
+  // Unnests correlated aggregate applies into group joins, host node by
+  // host node along each plan chain (join-graph isolation: every unnested
+  // apply contributes one flat right side; chained applies on the same host
+  // become a left-deep join chain appending one column each).
+  void RuleJoinLowering() {
+    ForEachPlanRoot(*root_, [this](LogicalNode& plan_root) {
+      LogicalNode* n = &plan_root;
+      while (n != nullptr) {
+        TryLowerAppliesIn(*n);
+        LogicalPlanPtr* slot = ChildSlot(*n);
+        n = (slot != nullptr) ? slot->get() : nullptr;
+      }
+    });
+  }
+
+  void TryLowerAppliesIn(LogicalNode& host) {
+    if (ChildSlot(host) == nullptr) return;  // Scan: no left input to join
+    // Collect apply slots first (recursing into expressions but not into
+    // apply plans — those are deeper scopes with their own visit), then
+    // process: each success replaces the slot, invalidating iteration state.
+    std::vector<RelExprPtr*> applies;
+    std::function<void(RelExprPtr&)> collect = [&](RelExprPtr& slot) {
+      if (slot == nullptr) return;
+      if (slot->kind() == RelExprKind::kLogicalApply) {
+        applies.push_back(&slot);
+        return;
+      }
+      ForEachChildSlot(*slot, collect);
+    };
+    ForEachNodeExprSlot(host, collect);
+    for (RelExprPtr* slot : applies) TryUnnestApply(host, *slot);
+  }
+
+  bool TryUnnestApply(LogicalNode& host, RelExprPtr& slot) {
+    auto& a = static_cast<LogicalApplyExpr&>(*slot);
+    // A shared plan (subplan-dedup runs later, but be safe) would be
+    // corrupted by the destructive rewrite below.
+    if (a.plan == nullptr || a.plan.use_count() > 1) return false;
+
+    // Match the unnestable shape:
+    //   XMLAgg -> Project -> Filter* -> Scan   (no index-range annotation)
+    //   ScalarAgg -> Filter* -> Scan
+    auto* xmlagg = a.plan->kind() == LogicalKind::kXmlAgg
+                       ? static_cast<LogicalXmlAggNode*>(a.plan.get())
+                       : nullptr;
+    auto* sagg = a.plan->kind() == LogicalKind::kScalarAgg
+                     ? static_cast<LogicalScalarAggNode*>(a.plan.get())
+                     : nullptr;
+    if (xmlagg == nullptr && sagg == nullptr) return false;
+    LogicalNode* cur =
+        xmlagg != nullptr ? xmlagg->child.get() : sagg->child.get();
+    LogicalProjectNode* proj = nullptr;
+    if (xmlagg != nullptr) {
+      if (cur == nullptr || cur->kind() != LogicalKind::kProject) return false;
+      proj = static_cast<LogicalProjectNode*>(cur);
+      cur = proj->child.get();
+    }
+    std::vector<LogicalFilterNode*> filters;  // outermost first
+    while (cur != nullptr && cur->kind() == LogicalKind::kFilter) {
+      filters.push_back(static_cast<LogicalFilterNode*>(cur));
+      cur = filters.back()->child.get();
+    }
+    if (cur == nullptr || cur->kind() != LogicalKind::kScan) return false;
+    auto* scan = static_cast<LogicalScanNode*>(cur);
+    if (scan->index_range.has_value()) return false;
+
+    // Exactly one correlation predicate binding the immediate parent row
+    // (level 1). Correlations to deeper scopes renumber into residuals.
+    std::vector<RelExpr*> conjuncts;
+    for (LogicalFilterNode* f : filters) {
+      FlattenAndView(f->predicate.get(), &conjuncts);
+    }
+    const BinaryRelExpr* corr = nullptr;
+    for (RelExpr* c : conjuncts) {
+      if (!IsCorrelationPredicate(*c)) continue;
+      const auto& b = static_cast<const BinaryRelExpr&>(*c);
+      int outer_level =
+          std::max(static_cast<const ColumnRefExpr&>(*b.lhs).level,
+                   static_cast<const ColumnRefExpr&>(*b.rhs).level);
+      if (outer_level != 1) continue;
+      if (corr != nullptr) return false;  // composite keys not handled
+      corr = &b;
+    }
+    if (corr == nullptr) return false;
+    const auto& corr_lhs = static_cast<const ColumnRefExpr&>(*corr->lhs);
+    const auto& corr_rhs = static_cast<const ColumnRefExpr&>(*corr->rhs);
+    const ColumnRefExpr& inner_ref = corr_lhs.level == 0 ? corr_lhs : corr_rhs;
+    const ColumnRefExpr& outer_ref = corr_lhs.level == 0 ? corr_rhs : corr_lhs;
+    if (inner_ref.column < 0 ||
+        static_cast<size_t>(inner_ref.column) >=
+            scan->table->schema().column_count()) {
+      return false;
+    }
+
+    // Every expression that moves to the join must survive the removal of
+    // the left row from its stack. All-or-nothing: check before mutating.
+    for (RelExpr* c : conjuncts) {
+      if (c != corr && !CanRenumber(*c)) return false;
+    }
+    if (proj != nullptr) {
+      for (auto& e : proj->exprs) {
+        if (e != nullptr && !CanRenumber(*e)) return false;
+      }
+    }
+    if (xmlagg != nullptr && xmlagg->order_by != nullptr &&
+        !CanRenumber(*xmlagg->order_by)) {
+      return false;
+    }
+    if (sagg != nullptr && sagg->arg != nullptr && !CanRenumber(*sagg->arg)) {
+      return false;
+    }
+
+    // Build the join (destructive from here on).
+    auto join = std::make_unique<LogicalJoinNode>();
+    join->right_table = scan->table;
+    join->right_key = inner_ref.column;
+    join->right_key_name =
+        scan->table->schema().column(static_cast<size_t>(inner_ref.column))
+            .name;
+    join->left_key = std::make_unique<ColumnRefExpr>(0, outer_ref.column,
+                                                     outer_ref.display);
+    for (LogicalFilterNode* f : filters) {
+      std::vector<RelExprPtr> owned;
+      FlattenAnd(std::move(f->predicate), &owned);
+      for (RelExprPtr& c : owned) {
+        if (c.get() == static_cast<const RelExpr*>(corr)) continue;
+        Renumber(*c);
+        join->residual.push_back(std::move(c));
+      }
+    }
+    if (xmlagg != nullptr) {
+      join->is_xmlagg = true;
+      for (auto& e : proj->exprs) {
+        if (e != nullptr) Renumber(*e);
+        join->project.push_back(std::move(e));
+      }
+      if (xmlagg->order_by != nullptr) Renumber(*xmlagg->order_by);
+      join->xml_order_by = std::move(xmlagg->order_by);
+      join->descending = xmlagg->descending;
+    } else {
+      join->is_xmlagg = false;
+      join->agg = sagg->agg;
+      if (sagg->arg != nullptr) Renumber(*sagg->arg);
+      join->agg_arg = std::move(sagg->arg);
+    }
+
+    // Splice below the host; the apply becomes a reference to the appended
+    // aggregate column.
+    LogicalPlanPtr* host_slot = ChildSlot(host);
+    size_t left_arity = LogicalArity(**host_slot);
+    join->left = std::move(*host_slot);
+    std::string display = "agg(" + join->right_table->name() + ")";
+    *host_slot = std::move(join);
+    slot = std::make_unique<ColumnRefExpr>(0, static_cast<int>(left_arity),
+                                           std::move(display));
+    ++joins_lowered_;
+    return true;
+  }
+
+  // ---- join-access-path -----------------------------------------------------
+
+  void ForEachJoin(const std::function<void(LogicalJoinNode&)>& fn) {
+    ForEachPlanRoot(*root_, [&fn](LogicalNode& plan_root) {
+      LogicalNode* n = &plan_root;
+      while (n != nullptr) {
+        if (n->kind() == LogicalKind::kJoin) {
+          fn(static_cast<LogicalJoinNode&>(*n));
+        }
+        LogicalPlanPtr* slot = ChildSlot(*n);
+        n = (slot != nullptr) ? slot->get() : nullptr;
+      }
+    });
+  }
+
+  // Costs hash vs index nested-loop per join and keeps the cheaper one.
+  // Index-NL needs a B+tree on the right key; hash always works, so it is
+  // also the fallback. Records the estimates on the join node for EXPLAIN.
+  void RuleJoinAccessPath() {
+    CostEstimator est(catalog_);
+    int force = options_.force_join_strategy;
+    ForEachJoin([&est, force](LogicalJoinNode& j) {
+      double left_rows = est.Rows(*j.left);
+      double hash_cost = est.StrategyCost(j, JoinStrategy::kHash, left_rows);
+      double best_cost = hash_cost;
+      JoinStrategy best = JoinStrategy::kHash;
+      bool indexable = j.right_table->HasIndex(j.right_key_name);
+      if (force == 2 && indexable) {
+        best = JoinStrategy::kIndexNl;
+        best_cost = est.StrategyCost(j, JoinStrategy::kIndexNl, left_rows);
+      } else if (force == 0 && indexable) {
+        double inl_cost =
+            est.StrategyCost(j, JoinStrategy::kIndexNl, left_rows);
+        if (inl_cost < hash_cost) {
+          best = JoinStrategy::kIndexNl;
+          best_cost = inl_cost;
+        }
+      }
+      j.strategy = best;
+      j.est_left_rows = left_rows;
+      j.est_match_rows = est.MatchRows(j);
+      j.est_cost = best_cost;
+    });
+  }
+
+  // ---- join-order -----------------------------------------------------------
+
+  // Group joins each append one column and preserve the left row count, so
+  // any order of a sibling chain computes the same rows at the same total
+  // cost per join — ordering cheapest-innermost canonicalizes the chain and
+  // front-loads cheap builds. The consumer's references to the appended
+  // columns are remapped to the permuted positions.
+  void RuleJoinOrder() {
+    CostEstimator est(catalog_);
+    ForEachPlanRoot(*root_, [&](LogicalNode& plan_root) {
+      LogicalNode* n = &plan_root;
+      while (n != nullptr) {
+        LogicalPlanPtr* slot = ChildSlot(*n);
+        if (n->kind() != LogicalKind::kJoin && slot != nullptr &&
+            *slot != nullptr && (*slot)->kind() == LogicalKind::kJoin) {
+          ReorderJoinChain(*n, slot, est);
+        }
+        n = (slot != nullptr) ? slot->get() : nullptr;
+      }
+    });
+  }
+
+  void ReorderJoinChain(LogicalNode& parent, LogicalPlanPtr* top,
+                        CostEstimator& est) {
+    // Only reorder when the parent is the sole consumer of the appended
+    // columns: Project re-bases the row, aggregates emit one column. (A
+    // Filter parent would pass the columns further up.)
+    if (parent.kind() != LogicalKind::kProject &&
+        parent.kind() != LogicalKind::kXmlAgg &&
+        parent.kind() != LogicalKind::kScalarAgg) {
+      return;
+    }
+    std::vector<LogicalJoinNode*> outer_first;
+    LogicalNode* cur = top->get();
+    while (cur->kind() == LogicalKind::kJoin) {
+      outer_first.push_back(static_cast<LogicalJoinNode*>(cur));
+      cur = outer_first.back()->left.get();
+    }
+    size_t k = outer_first.size();
+    if (k < 2) return;
+    size_t base_arity = LogicalArity(*cur);
+    double base_rows = est.Rows(*cur);
+
+    // Innermost-first with original position; stable sort by join-local cost.
+    struct Entry {
+      LogicalJoinNode* join;
+      size_t old_pos;  // 0 = innermost; output column = base_arity + pos
+      double cost;
+    };
+    std::vector<Entry> order;
+    order.reserve(k);
+    for (size_t p = 0; p < k; ++p) {
+      LogicalJoinNode* j = outer_first[k - 1 - p];
+      order.push_back(Entry{j, p, est.StrategyCost(*j, j->strategy, base_rows)});
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [](const Entry& a, const Entry& b) {
+                       return a.cost < b.cost;
+                     });
+    bool changed = false;
+    for (size_t p = 0; p < k; ++p) changed |= order[p].old_pos != p;
+    if (!changed) return;
+
+    // Detach the chain into owned pointers, then relink cheapest innermost.
+    std::vector<LogicalPlanPtr> owned;  // outermost first
+    owned.reserve(k);
+    LogicalPlanPtr chain = std::move(*top);
+    for (size_t i = 0; i < k; ++i) {
+      auto* j = static_cast<LogicalJoinNode*>(chain.get());
+      LogicalPlanPtr next = std::move(j->left);
+      owned.push_back(std::move(chain));
+      chain = std::move(next);
+    }
+    LogicalPlanPtr rebuilt = std::move(chain);  // the non-join base
+    std::vector<size_t> new_pos(k);             // old position -> new position
+    for (size_t p = 0; p < k; ++p) {
+      size_t old_outer_index = k - 1 - order[p].old_pos;
+      auto* j = static_cast<LogicalJoinNode*>(owned[old_outer_index].get());
+      j->left = std::move(rebuilt);
+      rebuilt = std::move(owned[old_outer_index]);
+      new_pos[order[p].old_pos] = p;
+    }
+    *top = std::move(rebuilt);
+
+    // Remap the parent's references to the appended columns.
+    ForEachNodeExprSlot(parent, [&](RelExprPtr& e) {
+      if (e == nullptr) return;
+      VisitColumnRefs(*e, 0, [&](ColumnRefExpr& ref, int depth) {
+        if (ref.level != depth) return;
+        if (ref.column < static_cast<int>(base_arity) ||
+            ref.column >= static_cast<int>(base_arity + k)) {
+          return;
+        }
+        ref.column = static_cast<int>(
+            base_arity + new_pos[static_cast<size_t>(ref.column) - base_arity]);
+      });
     });
   }
 
@@ -667,6 +1347,33 @@ class OptimizerPass {
         if (a.arg != nullptr) CanonicalExpr(*a.arg, out);
         break;
       }
+      case LogicalKind::kJoin: {
+        const auto& j = static_cast<const LogicalJoinNode&>(n);
+        *out += j.right_table->name() + "." + std::to_string(j.right_key) +
+                "=";
+        CanonicalExpr(*j.left_key, out);
+        for (const auto& r : j.residual) {
+          *out += ",r:";
+          CanonicalExpr(*r, out);
+        }
+        if (j.is_xmlagg) {
+          *out += ",x:";
+          for (const auto& p : j.project) {
+            if (p != nullptr) CanonicalExpr(*p, out);
+            *out += ",";
+          }
+          if (j.xml_order_by != nullptr) {
+            *out += "o:";
+            CanonicalExpr(*j.xml_order_by, out);
+          }
+          if (j.descending) *out += ",desc";
+        } else {
+          *out += ",a:" + std::to_string(static_cast<int>(j.agg)) + ",";
+          if (j.agg_arg != nullptr) CanonicalExpr(*j.agg_arg, out);
+        }
+        *out += ",s:" + std::string(JoinStrategyName(j.strategy));
+        break;
+      }
     }
     *out += "]";
     const LogicalNode* base = &n;
@@ -675,11 +1382,13 @@ class OptimizerPass {
   }
 
   const OptimizerOptions& options_;
+  const Catalog* catalog_;
   RelExprPtr root_;
   std::vector<RuleTrace> trace_;
   std::set<const LogicalNode*> folded_plans_;
   bool used_index_ = false;
   int predicates_pushed_ = 0;
+  int joins_lowered_ = 0;
 
   friend class ::xdb::rel::Optimizer;
 };
@@ -690,6 +1399,8 @@ class OptimizerPass {
 
 class Lowerer {
  public:
+  explicit Lowerer(CostEstimator* est) : est_(est) {}
+
   Status LowerExprSlot(RelExprPtr& slot) {
     if (slot == nullptr) return Status::OK();
     Status st = Status::OK();
@@ -723,7 +1434,17 @@ class Lowerer {
 
   // Lowering consumes the logical node's expressions (they move into the
   // physical node); shared subplans are lowered exactly once via the memo.
+  // The cost model's estimates are read before the node is consumed and
+  // stamped onto the physical node for EXPLAIN.
   Result<PlanPtr> LowerNode(LogicalNode& n, bool doc_order) {
+    double est_rows = est_->Rows(n);
+    double est_cost = est_->Cost(n);
+    XDB_ASSIGN_OR_RETURN(PlanPtr lowered, LowerNodeImpl(n, doc_order));
+    lowered->set_estimate(est_rows, est_cost);
+    return lowered;
+  }
+
+  Result<PlanPtr> LowerNodeImpl(LogicalNode& n, bool doc_order) {
     switch (n.kind()) {
       case LogicalKind::kScan: {
         auto& s = static_cast<LogicalScanNode&>(n);
@@ -766,10 +1487,33 @@ class Lowerer {
         return PlanPtr(
             new ScalarAggNode(std::move(child), a.agg, std::move(a.arg)));
       }
+      case LogicalKind::kJoin: {
+        auto& j = static_cast<LogicalJoinNode&>(n);
+        // The join preserves left row order (it only appends a column), so
+        // a document-order requirement passes straight through to the left.
+        XDB_ASSIGN_OR_RETURN(PlanPtr left, LowerNode(*j.left, doc_order));
+        XDB_RETURN_NOT_OK(LowerExprSlot(j.left_key));
+        for (auto& r : j.residual) XDB_RETURN_NOT_OK(LowerExprSlot(r));
+        for (auto& p : j.project) XDB_RETURN_NOT_OK(LowerExprSlot(p));
+        XDB_RETURN_NOT_OK(LowerExprSlot(j.xml_order_by));
+        XDB_RETURN_NOT_OK(LowerExprSlot(j.agg_arg));
+        GroupJoinNode::AggSpec spec;
+        spec.is_xmlagg = j.is_xmlagg;
+        spec.project = std::move(j.project);
+        spec.order_by = std::move(j.xml_order_by);
+        spec.descending = j.descending;
+        spec.agg = j.agg;
+        spec.arg = std::move(j.agg_arg);
+        return PlanPtr(new GroupJoinNode(
+            std::move(left), j.right_table, j.right_key, j.right_key_name,
+            std::move(j.left_key), std::move(j.residual), std::move(spec),
+            j.strategy));
+      }
     }
     return Status::Internal("unknown logical node kind");
   }
 
+  CostEstimator* est_;
   std::map<const LogicalNode*, std::shared_ptr<const PlanNode>> memo_;
 };
 
@@ -778,24 +1522,48 @@ Result<OptimizedQuery> OptimizerPass::Run(RelExprPtr root) {
 
   RunRule(kRulePredicatePushdown, options_.enable_predicate_pushdown,
           [this] { RulePredicatePushdown(); });
+  // Unnesting runs on the pristine shape (before index selection folds value
+  // predicates into the scan); index selection then still serves the probe
+  // side and any apply that declined to unnest.
+  RunRule(kRuleJoinLowering, options_.enable_join_lowering,
+          [this] { RuleJoinLowering(); });
   RunRule(kRuleIndexRangeScan, options_.enable_index_selection,
           [this] { RuleIndexRangeScan(); });
   RunRule(kRuleConstantFold, options_.enable_constant_folding,
           [this] { RuleConstantFold(); });
   RunRule(kRuleColumnPruning, options_.enable_column_pruning,
           [this] { RuleColumnPruning(); });
+  // Access-path choice is order-invariant (a group join preserves its left
+  // row count), so it can run before join-order and feed it final costs.
+  RunRule(kRuleJoinAccessPath, options_.enable_join_access_path,
+          [this] { RuleJoinAccessPath(); });
+  RunRule(kRuleJoinOrder, options_.enable_join_order,
+          [this] { RuleJoinOrder(); });
   RunRule(kRuleSubplanDedup, options_.enable_subplan_dedup,
           [this] { RuleSubplanDedup(); });
 
   OptimizedQuery out;
+  ForEachJoin([&out](LogicalJoinNode& j) {
+    JoinChoice choice;
+    choice.strategy = JoinStrategyName(j.strategy);
+    choice.est_build_rows =
+        j.strategy == JoinStrategy::kHash
+            ? static_cast<double>(j.right_table->row_count())
+            : 0;
+    choice.est_probe_rows = j.est_left_rows;
+    choice.est_match_rows = j.est_match_rows;
+    out.joins.push_back(std::move(choice));
+  });
   // Render the logical level before lowering (lowering consumes the tree).
   out.logical_plan = root_->ToSql();
-  Lowerer lowerer;
+  CostEstimator est(catalog_);
+  Lowerer lowerer(&est);
   XDB_RETURN_NOT_OK(lowerer.LowerExprSlot(root_));
   out.expr = std::move(root_);
   out.trace = std::move(trace_);
   out.used_index = used_index_;
   out.predicates_pushed = predicates_pushed_;
+  out.joins_lowered = joins_lowered_;
   return out;
 }
 
@@ -805,7 +1573,7 @@ Result<OptimizedQuery> Optimizer::Run(RelExprPtr logical_root) const {
   if (logical_root == nullptr) {
     return Status::InvalidArgument("optimizer: null logical expression");
   }
-  OptimizerPass pass(options_);
+  OptimizerPass pass(options_, catalog_);
   return pass.Run(std::move(logical_root));
 }
 

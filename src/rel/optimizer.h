@@ -7,6 +7,13 @@
 //   predicate-pushdown  splits a Filter's conjunction into a chain of
 //                       single-predicate Filters (correlation predicate
 //                       innermost) and counts the pushed value predicates;
+//   join-lowering       unnests a correlated aggregate apply whose plan is
+//                       [XMLAgg|ScalarAgg] -> Project? -> Filter* -> Scan
+//                       with exactly one immediate-parent correlation
+//                       predicate into a LogicalJoinNode below the apply's
+//                       host node (join-graph isolation: the right side
+//                       stays a flat table + residuals), replacing the
+//                       apply with a reference to the appended column;
 //   index-range-scan    turns the innermost `column CMP constant` filter
 //                       over an indexed column into an index-range
 //                       annotation on the scan;
@@ -15,6 +22,13 @@
 //                       pruning);
 //   column-pruning      drops unused projection columns under an unordered
 //                       XMLAgg and removes constant-true filters;
+//   join-access-path    picks hash vs index-NL per join from the catalog
+//                       statistics (row count, NDV, min/max) and records
+//                       the cardinality/cost estimates on the join;
+//   join-order          reorders chains of sibling group joins cheapest
+//                       innermost (costs are order-invariant for group
+//                       joins, so this canonicalizes and front-loads cheap
+//                       work), remapping the consumer's column references;
 //   subplan-dedup       aliases structurally identical correlated subplans
 //                       (repeated inlined templates) to one shared plan.
 //
@@ -22,8 +36,9 @@
 // annotated, with rowid_order propagated from the nearest enclosing
 // unordered XMLAgg so document order survives the access path);
 // Filter/Project/XmlAgg/ScalarAgg map 1:1 onto their physical nodes;
-// LogicalApplyExpr becomes ScalarSubqueryExpr, with shared logical subplans
-// lowered once and aliased.
+// Join becomes GroupJoinNode; LogicalApplyExpr becomes ScalarSubqueryExpr,
+// with shared logical subplans lowered once and aliased. Every lowered node
+// carries the cost model's est_rows/cost annotation.
 #ifndef XDB_REL_OPTIMIZER_H_
 #define XDB_REL_OPTIMIZER_H_
 
@@ -35,6 +50,8 @@
 
 namespace xdb::rel {
 
+class Catalog;
+
 /// Per-rule toggles. Defaults enable everything; OptimizerOptionsFromEnv
 /// honors XDB_DISABLE_OPT_RULES (comma-separated rule names, or "all").
 struct OptimizerOptions {
@@ -43,13 +60,24 @@ struct OptimizerOptions {
   bool enable_constant_folding = true;
   bool enable_column_pruning = true;
   bool enable_subplan_dedup = true;
+  bool enable_join_lowering = true;
+  bool enable_join_access_path = true;
+  bool enable_join_order = true;
+  /// Overrides the join-access-path rule's costed choice: 0 = cost model,
+  /// 1 = hash, 2 = index-NL (falls back to hash when the right key has no
+  /// index). Benchmarks use this to measure both strategies over the same
+  /// data; part of the plan-cache fingerprint like the rule toggles.
+  int force_join_strategy = 0;
 };
 
 /// Rule names as spelled in traces and in XDB_DISABLE_OPT_RULES.
 inline constexpr const char* kRulePredicatePushdown = "predicate-pushdown";
+inline constexpr const char* kRuleJoinLowering = "join-lowering";
 inline constexpr const char* kRuleIndexRangeScan = "index-range-scan";
 inline constexpr const char* kRuleConstantFold = "constant-fold";
 inline constexpr const char* kRuleColumnPruning = "column-pruning";
+inline constexpr const char* kRuleJoinAccessPath = "join-access-path";
+inline constexpr const char* kRuleJoinOrder = "join-order";
 inline constexpr const char* kRuleSubplanDedup = "subplan-dedup";
 
 /// Default options with XDB_DISABLE_OPT_RULES applied.
@@ -63,6 +91,16 @@ struct RuleTrace {
   int nodes_after = 0;
 };
 
+/// One group join in the final plan: the access-path choice and the
+/// estimates behind it (surfaced through ExecStats/EXPLAIN next to the
+/// runtime counters, so estimated vs. actual rows is one diff away).
+struct JoinChoice {
+  std::string strategy;       ///< "hash" or "index-nl"
+  double est_build_rows = 0;  ///< right-table rows scanned by a hash build
+  double est_probe_rows = 0;  ///< estimated left (probe-side) rows
+  double est_match_rows = 0;  ///< estimated matches per probe
+};
+
 /// The optimizer's output: the lowered physical expression plus the
 /// artifacts surfaced through ExecStats/EXPLAIN.
 struct OptimizedQuery {
@@ -71,12 +109,18 @@ struct OptimizedQuery {
   std::vector<RuleTrace> trace;
   bool used_index = false;      ///< index-range-scan rule fired somewhere
   int predicates_pushed = 0;    ///< value predicates split out by pushdown
+  int joins_lowered = 0;        ///< applies unnested into group joins
+  std::vector<JoinChoice> joins;  ///< one entry per distinct join in the plan
 };
 
 class Optimizer {
  public:
-  explicit Optimizer(const OptimizerOptions& options = {})
-      : options_(options) {}
+  /// `catalog` (optional, not owned) supplies the table statistics behind
+  /// the join cost model; without it the model falls back to live row
+  /// counts and default selectivities.
+  explicit Optimizer(const OptimizerOptions& options = {},
+                     const Catalog* catalog = nullptr)
+      : options_(options), catalog_(catalog) {}
 
   /// Runs the rule catalog over the logical expression tree and lowers it.
   /// The root may contain any number of LogicalApplyExpr subplans (including
@@ -85,6 +129,7 @@ class Optimizer {
 
  private:
   OptimizerOptions options_;
+  const Catalog* catalog_;
 };
 
 }  // namespace xdb::rel

@@ -29,11 +29,26 @@ bool MatchScanPipeline(const PlanNode& plan, ScanPipeline* out) {
       node = project->child();
       continue;
     }
+    if (const auto* join = dynamic_cast<const GroupJoinNode*>(node)) {
+      ScanPipeline::Stage s;
+      s.join = join;
+      p.stages.push_back(s);
+      node = join->left();
+      continue;
+    }
     return false;
   }
   std::reverse(p.stages.begin(), p.stages.end());
   *out = std::move(p);
   return true;
+}
+
+Status PrepareJoinProbes(ScanPipeline* p, ExecCtx& ctx) {
+  for (ScanPipeline::Stage& s : p->stages) {
+    if (s.join == nullptr) continue;
+    XDB_ASSIGN_OR_RETURN(s.probe, s.join->PrepareProbe(ctx));
+  }
+  return Status::OK();
 }
 
 Status RunPipelineRange(const ScanPipeline& p, ExecCtx& ctx, size_t begin,
@@ -43,7 +58,15 @@ Status RunPipelineRange(const ScanPipeline& p, ExecCtx& ctx, size_t begin,
     Row row = p.table->row(static_cast<int64_t>(i));
     bool keep = true;
     for (const ScanPipeline::Stage& stage : p.stages) {
-      if (stage.predicate != nullptr) {
+      if (stage.join != nullptr) {
+        if (stage.probe == nullptr) {
+          return Status::Internal(
+              "join stage probe not prepared; call PrepareJoinProbes first");
+        }
+        auto agg = stage.join->ProbeOne(ctx, *stage.probe, row);
+        if (!agg.ok()) return agg.status();
+        row.push_back(agg.MoveValue());
+      } else if (stage.predicate != nullptr) {
         ctx.rows.push_back(&row);
         auto v = stage.predicate->Eval(ctx);
         ctx.rows.pop_back();
@@ -113,6 +136,7 @@ Status RunPartitioned(ExecCtx& ctx, const core::ParallelPolicy& policy,
     pctx.rows = ctx.rows;  // outer rows: read-only shared borrow
     pctx.budget = scope.enabled() ? &scope : nullptr;
     pctx.parallel = nullptr;  // partitions never re-fork
+    pctx.join_stats = ctx.join_stats;  // atomics: safe shared sink
     Status s = per_partition(i, pctx, ranges[i]);
     // Detach before the scope dies; the absorbing document takes over the
     // release duty for bytes this partition charged to the shared budget.
@@ -139,6 +163,9 @@ Result<bool> TryCollectPartitioned(const PlanNode& plan, ExecCtx& ctx,
   if (!MatchScanPipeline(plan, &pipe)) return false;
   size_t n = pipe.table->row_count();
   if (!policy.ShouldFork(n)) return false;
+  // Hash builds happen once here, serially; partitions probe read-only.
+  XDB_RETURN_NOT_OK(PrepareJoinProbes(&pipe, ctx));
+  if (pipe.has_join()) op_label = "rel:join-probe";
 
   auto ranges = PartitionRanges(n, std::min<int>(policy.threads, static_cast<int>(n)));
   std::vector<std::vector<Row>> part_rows(ranges.size());
@@ -172,6 +199,7 @@ Result<bool> TryCollectAggRuns(const PlanNode& child, const RelExpr* order_by,
   if (!MatchScanPipeline(child, &pipe)) return false;
   size_t n = pipe.table->row_count();
   if (!policy.ShouldFork(n)) return false;
+  XDB_RETURN_NOT_OK(PrepareJoinProbes(&pipe, ctx));
 
   auto ranges = PartitionRanges(n, std::min<int>(policy.threads, static_cast<int>(n)));
   runs->assign(ranges.size(), {});

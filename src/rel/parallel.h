@@ -19,6 +19,7 @@
 #ifndef XDB_REL_PARALLEL_H_
 #define XDB_REL_PARALLEL_H_
 
+#include <memory>
 #include <vector>
 
 #include "core/task_graph.h"
@@ -26,20 +27,38 @@
 
 namespace xdb::rel {
 
-/// A recognized Project*/Filter* stack over a SeqScan. `stages` apply
-/// leaf-upward; exactly one of {predicate, exprs} is set per stage.
+/// A recognized Project*/Filter*/GroupJoin* stack over a SeqScan. `stages`
+/// apply leaf-upward; exactly one of {predicate, exprs, join} is set per
+/// stage. A join stage appends the group-aggregate column to the row by
+/// probing `probe`, which the caller prepares ONCE (serially, before
+/// forking — a hash build or an index check) via PrepareJoinProbes and which
+/// partitions then share read-only.
 struct ScanPipeline {
   const Table* table = nullptr;
   struct Stage {
     const RelExpr* predicate = nullptr;             // Filter stage
     const std::vector<RelExprPtr>* exprs = nullptr; // Project stage
+    const GroupJoinNode* join = nullptr;            // GroupJoin stage
+    std::shared_ptr<const GroupJoinNode::Probe> probe;
   };
   std::vector<Stage> stages;
+
+  bool has_join() const {
+    for (const Stage& s : stages) {
+      if (s.join != nullptr) return true;
+    }
+    return false;
+  }
 };
 
 /// Matches `plan` against the partitionable pipeline shape. Returns false
 /// (leaving *out untouched) for any other operator tree.
 bool MatchScanPipeline(const PlanNode& plan, ScanPipeline* out);
+
+/// Prepares the shared probe state of every join stage (hash builds run here,
+/// in the caller's context, exactly once). Must be called before handing the
+/// pipeline to RunPipelineRange when it has join stages.
+Status PrepareJoinProbes(ScanPipeline* p, ExecCtx& ctx);
 
 /// Evaluates `p` over table rows [begin, end) into `rows` using `ctx`
 /// verbatim (caller supplies a partition-local arena/budget when running on

@@ -1,0 +1,48 @@
+#include "rel/stats.h"
+
+namespace xdb::rel {
+
+StatsBuilder::StatsBuilder(const Schema* schema) : schema_(schema) {
+  columns_.resize(schema->column_count());
+}
+
+void StatsBuilder::AddRows(const Table& table, size_t begin, size_t end) {
+  for (size_t r = begin; r < end && r < table.row_count(); ++r) {
+    const Row& row = table.row(static_cast<int64_t>(r));
+    ++rows_seen_;
+    for (size_t c = 0; c < columns_.size() && c < row.size(); ++c) {
+      const Datum& v = row[c];
+      ColumnAcc& acc = columns_[c];
+      if (v.is_null()) {
+        ++acc.null_count;
+        continue;
+      }
+      if (v.type() == DataType::kXml) continue;  // not a key domain
+      acc.hashes.insert(v.Hash());
+      if (acc.min.is_null() || v.Compare(acc.min) < 0) acc.min = v;
+      if (acc.max.is_null() || v.Compare(acc.max) > 0) acc.max = v;
+    }
+  }
+}
+
+TableStats StatsBuilder::Snapshot() const {
+  TableStats stats;
+  stats.row_count = rows_seen_;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    ColumnStats cs;
+    cs.ndv = static_cast<int64_t>(columns_[c].hashes.size());
+    cs.null_count = columns_[c].null_count;
+    cs.min = columns_[c].min;
+    cs.max = columns_[c].max;
+    stats.columns[schema_->column(c).name] = std::move(cs);
+  }
+  return stats;
+}
+
+TableStats ComputeTableStats(const Table& table) {
+  StatsBuilder builder(&table.schema());
+  builder.AddRows(table, 0, table.row_count());
+  return builder.Snapshot();
+}
+
+}  // namespace xdb::rel

@@ -1,0 +1,74 @@
+// Per-table statistics feeding the optimizer's cardinality/cost model
+// (join-order and join-access-path rules): row count plus per-column NDV and
+// min/max. Collected incrementally by shred::BulkLoader as documents land
+// (each load folds only the newly appended rows into the accumulators) and
+// stored in the catalog; ComputeTableStats is the one-shot ANALYZE for
+// hand-built tables.
+#ifndef XDB_REL_STATS_H_
+#define XDB_REL_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "rel/datum.h"
+#include "rel/table.h"
+
+namespace xdb::rel {
+
+/// Statistics for one column. NDV counts distinct non-NULL values via
+/// Datum::Hash (hash-distinct — collisions undercount by a vanishing
+/// fraction); min/max use the Datum::Compare total order. XML-typed values
+/// are ignored (they never appear in shredded base tables).
+struct ColumnStats {
+  int64_t ndv = 0;
+  int64_t null_count = 0;
+  Datum min;  ///< NULL until a non-NULL value was seen
+  Datum max;
+};
+
+/// Statistics snapshot for one table, keyed by column name.
+struct TableStats {
+  size_t row_count = 0;
+  std::map<std::string, ColumnStats> columns;
+
+  const ColumnStats* column(const std::string& name) const {
+    auto it = columns.find(name);
+    return it == columns.end() ? nullptr : &it->second;
+  }
+};
+
+/// \brief Incremental statistics accumulator for one table.
+///
+/// BulkLoader keeps one per shredded table and feeds it the rows appended by
+/// each completed load, so stats stay O(rows loaded) total — no per-load
+/// re-scan. Snapshot() publishes the current state.
+class StatsBuilder {
+ public:
+  explicit StatsBuilder(const Schema* schema);
+
+  /// Folds table rows [begin, end) into the accumulators.
+  void AddRows(const Table& table, size_t begin, size_t end);
+
+  TableStats Snapshot() const;
+
+ private:
+  struct ColumnAcc {
+    std::unordered_set<uint64_t> hashes;  // distinct non-NULL value hashes
+    int64_t null_count = 0;
+    Datum min;
+    Datum max;
+  };
+  const Schema* schema_;
+  size_t rows_seen_ = 0;
+  std::vector<ColumnAcc> columns_;
+};
+
+/// One-shot ANALYZE: full-scan statistics for `table`.
+TableStats ComputeTableStats(const Table& table);
+
+}  // namespace xdb::rel
+
+#endif  // XDB_REL_STATS_H_

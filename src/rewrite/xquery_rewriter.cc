@@ -987,6 +987,16 @@ class SqlTranslator {
   // One Filter carries the whole conjunction (correlation predicate first);
   // the optimizer's predicate-pushdown rule splits it, and index-range-scan
   // chooses the access path.
+  //
+  // Correlation-first contract: the leading conjunct is always the single
+  // equi-predicate `child.inner_key = <outer column ref at level 1>` tying
+  // the scan to its immediate enclosing scope (the structural lineage edge,
+  // typically parent_rowid = rowid). This is the join-graph-isolation handle
+  // the optimizer's join-lowering rule keys on: any apply of this shape with
+  // exactly one such conjunct unnests into a LogicalJoinNode (the remaining
+  // conjuncts become join residuals). Deeper outer references (level >= 2)
+  // are allowed anywhere in the conjunction but never in the correlation
+  // slot — TranslateSeqAggregate only ever correlates one level up.
   Result<RelExprPtr> TranslateSeqAggregate(
       const SymVal& seq, const std::function<Result<RelExprPtr>()>& build_value,
       std::optional<AggKind> agg, const FlworQExpr::OrderSpec* order,

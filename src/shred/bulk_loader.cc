@@ -81,6 +81,10 @@ Result<LoadStats> BulkLoader::LoadParsed(const xml::Node* node) {
   }
   documents_loaded_ += 1;
   stats.documents = documents_loaded_;
+  // Fold the appended rows into the incremental statistics and publish the
+  // snapshots before announcing the load, so plans re-prepared by the
+  // invalidation below already cost against fresh numbers.
+  PublishStats(marks);
   // Indexes were maintained in place by AppendRows; announce the completed
   // load so cached plans over these tables are invalidated (plain inserts
   // deliberately don't do that — see DdlListener::OnTableLoaded).
@@ -88,6 +92,20 @@ Result<LoadStats> BulkLoader::LoadParsed(const xml::Node* node) {
     catalog_->OnTableLoaded(t->name);
   }
   return stats;
+}
+
+void BulkLoader::PublishStats(
+    const std::vector<std::pair<rel::Table*, size_t>>& loaded_marks) {
+  for (const auto& [table, pre_load_rows] : loaded_marks) {
+    auto it = stats_builders_.find(table->name());
+    if (it == stats_builders_.end()) {
+      it = stats_builders_
+               .emplace(table->name(), rel::StatsBuilder(&table->schema()))
+               .first;
+    }
+    it->second.AddRows(*table, pre_load_rows, table->row_count());
+    catalog_->UpdateTableStats(table->name(), it->second.Snapshot());
+  }
 }
 
 Status BulkLoader::InsertBatch(ShredBatch batch, LoadStats* stats) {

@@ -10,10 +10,12 @@
 #define XDB_SHRED_BULK_LOADER_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
 
 #include "rel/catalog.h"
+#include "rel/stats.h"
 #include "shred/mapping.h"
 #include "shred/shredder.h"
 
@@ -57,11 +59,20 @@ class BulkLoader {
  private:
   Status InsertBatch(ShredBatch batch, LoadStats* stats);
   Status CreateIndexes();
+  /// Folds the rows a completed load appended (per-table [mark, row_count))
+  /// into the incremental statistics accumulators and publishes fresh
+  /// TableStats snapshots to the catalog — the cost model's input. O(rows
+  /// appended), never a re-scan; a failed (rolled back) load publishes
+  /// nothing, so the catalog keeps the last good snapshot.
+  void PublishStats(
+      const std::vector<std::pair<rel::Table*, size_t>>& loaded_marks);
 
   rel::Catalog* catalog_;
   const ShredMapping* mapping_;
   Shredder shredder_;
   int64_t documents_loaded_ = 0;
+  /// Incremental per-table statistics accumulators, keyed by table name.
+  std::map<std::string, rel::StatsBuilder> stats_builders_;
 };
 
 }  // namespace xdb::shred

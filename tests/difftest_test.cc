@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "difftest/canonical.h"
 #include "difftest/corpus.h"
@@ -160,6 +162,57 @@ TEST(DiffTest, DifferentialSweep) {
   if (n >= 50) {
     EXPECT_GT(agreed, 0);
     EXPECT_GT(rejected, 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Correlated-structure sweep: join lowering on vs off, all four engines
+// ---------------------------------------------------------------------------
+
+TEST(DiffTest, CorrelatedJoinLoweringSweep) {
+  // Correlated cases (doc -> parent* -> child*, nested for-each) run twice
+  // per seed: once with the optimizer's join-lowering enabled and once with
+  // it disabled through XDB_DISABLE_OPT_RULES. Within each run all four
+  // engines must agree; across the runs the shredded engine's output must be
+  // byte-identical — the group join is a pure plan transformation.
+  const char* saved = std::getenv("XDB_DISABLE_OPT_RULES");
+  std::string saved_value = saved != nullptr ? saved : "";
+  const int n = SweepSeedCount();
+  GenOptions gen;
+  gen.correlated = true;
+  gen.reject_fraction = 0.0;  // keep every seed on the rewrite path
+  OracleOptions oracle;
+  oracle.repro_regex = "DiffTest.CorrelatedJoinLoweringSweep";
+  int sql_path = 0;
+  for (int i = 0; i < n; ++i) {
+    GeneratedCase c =
+        GenerateCase(BaseSeed() + static_cast<uint64_t>(i), gen);
+    unsetenv("XDB_DISABLE_OPT_RULES");
+    OracleReport on = RunCase(c, oracle);
+    setenv("XDB_DISABLE_OPT_RULES", "join-lowering,join-access-path,join-order",
+           1);
+    OracleReport off = RunCase(c, oracle);
+    unsetenv("XDB_DISABLE_OPT_RULES");
+    for (const OracleReport* r : {&on, &off}) {
+      ASSERT_NE(r->outcome, OracleReport::Outcome::kDiverged) << r->detail
+                                                              << "\n"
+                                                              << r->repro;
+      ASSERT_NE(r->outcome, OracleReport::Outcome::kInvalid)
+          << r->detail << "\n" << r->repro;
+    }
+    ASSERT_EQ(on.engines[kShreddedSql].canonical,
+              off.engines[kShreddedSql].canonical)
+        << "join lowering changed the shredded output\n" << on.repro;
+    if (on.shredded_path == ExecutionPath::kSqlRewritten) ++sql_path;
+  }
+  if (saved != nullptr) {
+    setenv("XDB_DISABLE_OPT_RULES", saved_value.c_str(), 1);
+  }
+  std::printf("[difftest] correlated sweep: %d seeds, %d on plan A\n", n,
+              sql_path);
+  // The mode exists to exercise lowered joins: most cases must reach plan A.
+  if (n >= 50) {
+    EXPECT_GT(sql_path, n / 2);
   }
 }
 

@@ -1,0 +1,581 @@
+// Group-join lowering end to end: Datum::Hash's agreement with the
+// (value, text) total order, the GroupJoinNode physical operator under both
+// access paths (hash build vs B+tree index-NL), the optimizer's
+// join-lowering rule over nested correlated applies, the stats-driven
+// access-path flip, and XmlDb execution of nested for-each stylesheets over
+// shredded tables (plan equivalence, runtime counters, cache invalidation).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/xmldb.h"
+#include "rel/catalog.h"
+#include "rel/exec.h"
+#include "rel/logical.h"
+#include "rel/optimizer.h"
+#include "rel/stats.h"
+#include "schema/structure.h"
+
+namespace xdb::rel {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Datum::Hash — must agree with the PR-3 (value, text) total order.
+// ---------------------------------------------------------------------------
+
+TEST(JoinDatumHashTest, CompareEqualImpliesHashEqual) {
+  // Pairs that compare equal under the total order must hash identically —
+  // the hash-join build/probe contract.
+  Datum a(int64_t{42}), b(42.0);
+  ASSERT_EQ(a.Compare(b), 0);
+  EXPECT_EQ(a.Hash(), b.Hash());
+
+  Datum s1("hello"), s2("hello");
+  ASSERT_EQ(s1.Compare(s2), 0);
+  EXPECT_EQ(s1.Hash(), s2.Hash());
+
+  Datum n1 = Datum::Null(), n2 = Datum::Null();
+  ASSERT_EQ(n1.Compare(n2), 0);
+  EXPECT_EQ(n1.Hash(), n2.Hash());
+}
+
+TEST(JoinDatumHashTest, TextTiebreakKeepsNumericSpellingsDistinct) {
+  // "01" and "1" share the numeric value 1 but differ in text, so the
+  // (value, text) order keeps them distinct — and the hash must too, or a
+  // hash join would merge groups the index-NL path keeps apart.
+  Datum a("01"), b("1");
+  ASSERT_NE(a.Compare(b), 0);
+  EXPECT_NE(a.Hash(), b.Hash());
+}
+
+TEST(JoinDatumHashTest, NullHashesDifferentlyFromEmptyAndZero) {
+  Datum null = Datum::Null();
+  EXPECT_NE(null.Hash(), Datum("").Hash());
+  EXPECT_NE(null.Hash(), Datum(int64_t{0}).Hash());
+}
+
+// ---------------------------------------------------------------------------
+// GroupJoinNode: physical operator.
+// ---------------------------------------------------------------------------
+
+// parent(pid, name) x child(ppid, v): pid 1 has two children, pid 2 one,
+// pid 3 none; one child row carries a NULL key and must never join.
+class JoinExecFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto parent = catalog_.CreateTable(
+        "parent", Schema({{"pid", DataType::kInt},
+                          {"name", DataType::kString}}));
+    ASSERT_TRUE(parent.ok());
+    parent_ = *parent;
+    ASSERT_TRUE(parent_->Insert({Datum(int64_t{1}), Datum("a")}).ok());
+    ASSERT_TRUE(parent_->Insert({Datum(int64_t{2}), Datum("b")}).ok());
+    ASSERT_TRUE(parent_->Insert({Datum(int64_t{3}), Datum("c")}).ok());
+
+    auto child = catalog_.CreateTable(
+        "child", Schema({{"ppid", DataType::kInt},
+                         {"v", DataType::kInt}}));
+    ASSERT_TRUE(child.ok());
+    child_ = *child;
+    ASSERT_TRUE(child_->Insert({Datum(int64_t{1}), Datum(int64_t{10})}).ok());
+    ASSERT_TRUE(child_->Insert({Datum(int64_t{2}), Datum(int64_t{20})}).ok());
+    ASSERT_TRUE(child_->Insert({Datum(int64_t{1}), Datum(int64_t{30})}).ok());
+    ASSERT_TRUE(child_->Insert({Datum::Null(), Datum(int64_t{40})}).ok());
+  }
+
+  static RelExprPtr Col(int level, int column, const char* display) {
+    return std::make_unique<ColumnRefExpr>(level, column, display);
+  }
+
+  PlanPtr MakeJoin(JoinStrategy strategy, GroupJoinNode::AggSpec spec,
+                   std::vector<RelExprPtr> residual = {}) {
+    return std::make_unique<GroupJoinNode>(
+        std::make_unique<SeqScanNode>(parent_), child_, /*right_key=*/0,
+        "ppid", Col(0, 0, "parent.pid"), std::move(residual), std::move(spec),
+        strategy);
+  }
+
+  static GroupJoinNode::AggSpec CountSpec() {
+    GroupJoinNode::AggSpec spec;
+    spec.is_xmlagg = false;
+    spec.agg = AggKind::kCount;
+    return spec;
+  }
+
+  // Flattened ToString of every row the plan produces.
+  std::vector<std::string> Run(const PlanNode& plan,
+                               JoinRuntimeStats* jstats = nullptr) {
+    xml::Document arena;
+    ExecCtx ctx;
+    ctx.arena = &arena;
+    ctx.join_stats = jstats;
+    auto rows = ExecuteAll(plan, ctx);
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    std::vector<std::string> out;
+    if (!rows.ok()) return out;
+    for (const Row& r : *rows) {
+      std::string line;
+      for (const Datum& d : r) {
+        if (!line.empty()) line += "|";
+        line += d.is_null() ? "NULL" : d.ToString();
+      }
+      out.push_back(std::move(line));
+    }
+    return out;
+  }
+
+  Catalog catalog_;
+  Table* parent_ = nullptr;
+  Table* child_ = nullptr;
+};
+
+TEST_F(JoinExecFixture, HashCountsPerGroupIncludingEmpty) {
+  JoinRuntimeStats jstats;
+  auto rows = Run(*MakeJoin(JoinStrategy::kHash, CountSpec()), &jstats);
+  EXPECT_EQ(rows, (std::vector<std::string>{"1|a|2", "2|b|1", "3|c|0"}));
+  EXPECT_EQ(jstats.build_rows.load(), 4u);   // full right scan
+  EXPECT_EQ(jstats.probe_rows.load(), 3u);   // one per left row
+  EXPECT_EQ(jstats.match_rows.load(), 3u);   // NULL-key child never joins
+}
+
+TEST_F(JoinExecFixture, IndexNlMatchesHashByteForByte) {
+  ASSERT_TRUE(child_->CreateIndex("ppid").ok());
+  auto hash = Run(*MakeJoin(JoinStrategy::kHash, CountSpec()));
+  JoinRuntimeStats jstats;
+  auto inl = Run(*MakeJoin(JoinStrategy::kIndexNl, CountSpec()), &jstats);
+  EXPECT_EQ(hash, inl);
+  EXPECT_EQ(jstats.build_rows.load(), 0u);  // no build under index-NL
+  EXPECT_EQ(jstats.probe_rows.load(), 3u);
+}
+
+TEST_F(JoinExecFixture, IndexNlWithoutIndexIsAnError) {
+  xml::Document arena;
+  ExecCtx ctx;
+  ctx.arena = &arena;
+  auto plan = MakeJoin(JoinStrategy::kIndexNl, CountSpec());
+  auto cursor = plan->Open(ctx);
+  EXPECT_FALSE(cursor.ok());
+  EXPECT_EQ(cursor.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(JoinExecFixture, NullProbeKeyYieldsEmptyGroupUnderBothStrategies) {
+  // A NULL left key must produce an empty group (SQL equality semantics),
+  // even though the right side stores NULL keys — the index path must not
+  // consult the B+tree, where Compare(NULL, NULL) == 0 would match them.
+  ASSERT_TRUE(parent_->Insert({Datum::Null(), Datum("d")}).ok());
+  ASSERT_TRUE(child_->CreateIndex("ppid").ok());
+  auto hash = Run(*MakeJoin(JoinStrategy::kHash, CountSpec()));
+  auto inl = Run(*MakeJoin(JoinStrategy::kIndexNl, CountSpec()));
+  EXPECT_EQ(hash, inl);
+  ASSERT_EQ(hash.size(), 4u);
+  EXPECT_EQ(hash[3], "NULL|d|0");
+}
+
+TEST_F(JoinExecFixture, ScalarAggregatesMatchApplySemantics) {
+  // SUM / MIN / MAX over child.v per group; empty group => SUM 0, MIN NULL.
+  for (auto strategy : {JoinStrategy::kHash, JoinStrategy::kIndexNl}) {
+    if (strategy == JoinStrategy::kIndexNl) {
+      ASSERT_TRUE(child_->CreateIndex("ppid").ok());
+    }
+    GroupJoinNode::AggSpec sum;
+    sum.is_xmlagg = false;
+    sum.agg = AggKind::kSum;
+    sum.arg = Col(0, 1, "child.v");
+    EXPECT_EQ(Run(*MakeJoin(strategy, std::move(sum))),
+              (std::vector<std::string>{"1|a|40", "2|b|20", "3|c|0"}));
+
+    GroupJoinNode::AggSpec mn;
+    mn.is_xmlagg = false;
+    mn.agg = AggKind::kMin;
+    mn.arg = Col(0, 1, "child.v");
+    EXPECT_EQ(Run(*MakeJoin(strategy, std::move(mn))),
+              (std::vector<std::string>{"1|a|10", "2|b|20", "3|c|NULL"}));
+  }
+}
+
+TEST_F(JoinExecFixture, ResidualFiltersMatchesBeforeAggregation) {
+  std::vector<RelExprPtr> residual;
+  residual.push_back(std::make_unique<BinaryRelExpr>(
+      RelOp::kGt, Col(0, 1, "child.v"),
+      std::make_unique<ConstExpr>(Datum(int64_t{15}))));
+  auto rows = Run(*MakeJoin(JoinStrategy::kHash, CountSpec(),
+                            std::move(residual)));
+  EXPECT_EQ(rows, (std::vector<std::string>{"1|a|1", "2|b|1", "3|c|0"}));
+}
+
+TEST_F(JoinExecFixture, XmlAggPreservesDocumentOrderAndSupportsOrderBy) {
+  ASSERT_TRUE(child_->CreateIndex("ppid").ok());
+  auto make_spec = [&](bool ordered, bool descending) {
+    GroupJoinNode::AggSpec spec;
+    spec.is_xmlagg = true;
+    spec.project.push_back(Col(0, 1, "child.v"));
+    if (ordered) {
+      spec.order_by = Col(0, 0, "sort_key");  // over the projected row
+      spec.descending = descending;
+    }
+    return spec;
+  };
+  // Document (row-id) order: pid 1 aggregates v=10 then v=30.
+  for (auto strategy : {JoinStrategy::kHash, JoinStrategy::kIndexNl}) {
+    auto rows = Run(*MakeJoin(strategy, make_spec(false, false)));
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_NE(rows[0].find("1030"), std::string::npos) << rows[0];
+  }
+  // Explicit descending ORDER BY over the projected value flips the pair.
+  auto rows = Run(*MakeJoin(JoinStrategy::kHash, make_spec(true, true)));
+  EXPECT_NE(rows[0].find("3010"), std::string::npos) << rows[0];
+}
+
+// ---------------------------------------------------------------------------
+// Optimizer: join-lowering over nested correlated applies.
+// ---------------------------------------------------------------------------
+
+// dept(deptno, dname) x emp(empno, sal, deptno): the nested-apply shape the
+// rewriter emits for a two-level iteration — an outer apply over dept whose
+// aggregate argument is an inner apply correlated on deptno.
+class JoinLoweringFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dept = catalog_.CreateTable(
+        "dept", Schema({{"deptno", DataType::kInt},
+                        {"dname", DataType::kString}}));
+    ASSERT_TRUE(dept.ok());
+    dept_ = *dept;
+    auto emp = catalog_.CreateTable(
+        "emp", Schema({{"empno", DataType::kInt},
+                       {"sal", DataType::kInt},
+                       {"deptno", DataType::kInt}}));
+    ASSERT_TRUE(emp.ok());
+    emp_ = *emp;
+    for (int d = 0; d < 5; ++d) {
+      ASSERT_TRUE(dept_->Insert({Datum(int64_t{d}),
+                                 Datum("d" + std::to_string(d))})
+                      .ok());
+    }
+    for (int e = 0; e < 20; ++e) {
+      ASSERT_TRUE(emp_->Insert({Datum(int64_t{e}),
+                                Datum(int64_t{1000 + e * 100}),
+                                Datum(int64_t{e % 5})})
+                      .ok());
+    }
+  }
+
+  static RelExprPtr Col(int level, int column, const char* display) {
+    return std::make_unique<ColumnRefExpr>(level, column, display);
+  }
+  static RelExprPtr Int(int64_t v) {
+    return std::make_unique<ConstExpr>(Datum(v));
+  }
+  static RelExprPtr Bin(RelOp op, RelExprPtr l, RelExprPtr r) {
+    return std::make_unique<BinaryRelExpr>(op, std::move(l), std::move(r));
+  }
+
+  // Inner apply: COUNT(*) over emp where emp.deptno = dept.deptno (level 1)
+  // AND the optional extra predicate.
+  RelExprPtr InnerCount(RelExprPtr extra = nullptr) {
+    RelExprPtr pred =
+        Bin(RelOp::kEq, Col(0, 2, "emp.deptno"), Col(1, 0, "dept.deptno"));
+    if (extra != nullptr) {
+      pred = Bin(RelOp::kAnd, std::move(pred), std::move(extra));
+    }
+    LogicalPlanPtr plan = std::make_unique<LogicalScanNode>(emp_);
+    plan = std::make_unique<LogicalFilterNode>(std::move(plan),
+                                               std::move(pred));
+    plan = std::make_unique<LogicalScalarAggNode>(std::move(plan),
+                                                  AggKind::kCount, nullptr);
+    return std::make_unique<LogicalApplyExpr>(
+        std::shared_ptr<LogicalNode>(std::move(plan)));
+  }
+
+  // Outer apply: SUM of the inner count over all dept rows (optionally
+  // filtered). Evaluates with no outer context — a root-level plan.
+  RelExprPtr NestedSum(RelExprPtr inner, RelExprPtr dept_filter = nullptr) {
+    LogicalPlanPtr plan = std::make_unique<LogicalScanNode>(dept_);
+    if (dept_filter != nullptr) {
+      plan = std::make_unique<LogicalFilterNode>(std::move(plan),
+                                                 std::move(dept_filter));
+    }
+    plan = std::make_unique<LogicalScalarAggNode>(std::move(plan),
+                                                  AggKind::kSum,
+                                                  std::move(inner));
+    return std::make_unique<LogicalApplyExpr>(
+        std::shared_ptr<LogicalNode>(std::move(plan)));
+  }
+
+  std::string Eval(const RelExpr& expr) {
+    xml::Document arena;
+    ExecCtx ctx;
+    ctx.arena = &arena;
+    auto v = expr.Eval(ctx);
+    EXPECT_TRUE(v.ok()) << v.status().ToString();
+    return v.ok() ? v->ToString() : "<error>";
+  }
+
+  OptimizedQuery Optimize(RelExprPtr root, const OptimizerOptions& options) {
+    Optimizer optimizer(options, &catalog_);
+    auto r = optimizer.Run(std::move(root));
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.MoveValue();
+  }
+
+  static OptimizerOptions NoRules() {
+    return OptimizerOptions{false, false, false, false,
+                            false, false, false, false};
+  }
+
+  Catalog catalog_;
+  Table* dept_ = nullptr;
+  Table* emp_ = nullptr;
+};
+
+TEST_F(JoinLoweringFixture, LowersNestedCorrelatedApplyIntoGroupJoin) {
+  std::string baseline =
+      Eval(*Optimize(NestedSum(InnerCount()), NoRules()).expr);
+  EXPECT_EQ(baseline, "20");  // every emp counted exactly once
+
+  OptimizedQuery q = Optimize(NestedSum(InnerCount()), OptimizerOptions());
+  EXPECT_EQ(q.joins_lowered, 1);
+  ASSERT_EQ(q.joins.size(), 1u);
+  EXPECT_NE(q.logical_plan.find("GroupJoin(emp.deptno = dept.deptno"),
+            std::string::npos)
+      << q.logical_plan;
+  EXPECT_EQ(Eval(*q.expr), baseline);
+}
+
+TEST_F(JoinLoweringFixture, ValuePredicateBecomesResidual) {
+  auto build = [this] {
+    return NestedSum(
+        InnerCount(Bin(RelOp::kGt, Col(0, 1, "emp.sal"), Int(2000))));
+  };
+  std::string baseline = Eval(*Optimize(build(), NoRules()).expr);
+  OptimizedQuery q = Optimize(build(), OptimizerOptions());
+  EXPECT_EQ(q.joins_lowered, 1);
+  EXPECT_NE(q.logical_plan.find("Residual(emp.sal > 2000)"),
+            std::string::npos)
+      << q.logical_plan;
+  EXPECT_EQ(Eval(*q.expr), baseline);
+}
+
+TEST_F(JoinLoweringFixture, DeclinesWithoutCorrelation) {
+  // An uncorrelated inner aggregate has no join key — nothing to unnest.
+  auto inner = [this] {
+    LogicalPlanPtr plan = std::make_unique<LogicalScanNode>(emp_);
+    plan = std::make_unique<LogicalFilterNode>(
+        std::move(plan), Bin(RelOp::kGt, Col(0, 1, "emp.sal"), Int(2000)));
+    plan = std::make_unique<LogicalScalarAggNode>(std::move(plan),
+                                                  AggKind::kCount, nullptr);
+    return std::make_unique<LogicalApplyExpr>(
+        std::shared_ptr<LogicalNode>(std::move(plan)));
+  };
+  OptimizedQuery q = Optimize(NestedSum(inner()), OptimizerOptions());
+  EXPECT_EQ(q.joins_lowered, 0);
+  EXPECT_EQ(q.logical_plan.find("GroupJoin"), std::string::npos)
+      << q.logical_plan;
+}
+
+TEST_F(JoinLoweringFixture, DeclinesOnRootLevelApply) {
+  // The root apply has no enclosing plan to host a join: it stays an apply
+  // (the executor's per-row loop is its "left side").
+  OptimizedQuery q = Optimize(InnerCount(), OptimizerOptions());
+  EXPECT_EQ(q.joins_lowered, 0);
+}
+
+TEST_F(JoinLoweringFixture, DisabledRuleLeavesApplyInPlace) {
+  OptimizerOptions o;  // all on ...
+  o.enable_join_lowering = false;
+  OptimizedQuery q = Optimize(NestedSum(InnerCount()), o);
+  EXPECT_EQ(q.joins_lowered, 0);
+  EXPECT_TRUE(q.joins.empty());
+  EXPECT_EQ(q.logical_plan.find("GroupJoin"), std::string::npos);
+  EXPECT_EQ(Eval(*q.expr), "20");
+}
+
+TEST_F(JoinLoweringFixture, AccessPathFlipsWithProbeSideStats) {
+  ASSERT_TRUE(emp_->CreateIndex("deptno").ok());
+
+  // Unselective probe side (no stats: the dname filter defaults to a broad
+  // estimate over 5 dept rows... make the left big enough to prefer hash by
+  // telling the estimator dname is constant).
+  auto build = [this] {
+    return NestedSum(InnerCount(),
+                     Bin(RelOp::kEq, Col(0, 1, "dept.dname"), Int(0)));
+  };
+
+  {
+    // dname NDV 1 => the filter keeps every dept row; 5 probes against a
+    // 20-row build: hash = 20 + 5*(1+4) = 45 < index-NL = 5*(log2(20)+1+4).
+    TableStats ts;
+    ts.row_count = dept_->row_count();
+    ts.columns["dname"].ndv = 1;
+    catalog_.UpdateTableStats("dept", std::move(ts));
+    OptimizedQuery q = Optimize(build(), OptimizerOptions());
+    ASSERT_EQ(q.joins.size(), 1u);
+    EXPECT_EQ(q.joins[0].strategy, "hash") << q.logical_plan;
+  }
+  {
+    // Selective probe side: dname NDV 5 => ~1 probe row; an index descent
+    // per probe is far cheaper than scanning the whole right table.
+    TableStats ts;
+    ts.row_count = dept_->row_count();
+    ts.columns["dname"].ndv = 5;
+    catalog_.UpdateTableStats("dept", std::move(ts));
+    OptimizedQuery q = Optimize(build(), OptimizerOptions());
+    ASSERT_EQ(q.joins.size(), 1u);
+    EXPECT_EQ(q.joins[0].strategy, "index-nl") << q.logical_plan;
+  }
+}
+
+TEST_F(JoinLoweringFixture, LoweredPlanCarriesEstimates) {
+  OptimizedQuery q = Optimize(NestedSum(InnerCount()), OptimizerOptions());
+  ASSERT_EQ(q.joins_lowered, 1);
+  std::string sql = q.expr->ToSql();
+  EXPECT_NE(sql.find("GroupJoin("), std::string::npos) << sql;
+  EXPECT_NE(sql.find("est_rows="), std::string::npos) << sql;
+  EXPECT_NE(sql.find("cost="), std::string::npos) << sql;
+}
+
+// ---------------------------------------------------------------------------
+// End to end: nested for-each stylesheets over shredded storage.
+// ---------------------------------------------------------------------------
+
+// shop { customer* { name, order* { item } } } — two repeating levels, so
+// the inner iteration correlates to the outer one (not to the per-row base),
+// which is exactly the shape join-lowering unnests.
+schema::StructuralInfo ShopStructure() {
+  schema::StructureBuilder b;
+  auto* shop = b.Element("shop");
+  auto* customer = b.AddChild(shop, "customer", 0, -1);
+  b.AddText(b.AddChild(customer, "name"));
+  auto* order = b.AddChild(customer, "order", 0, -1);
+  b.AddText(b.AddChild(order, "item"));
+  return b.Build(shop);
+}
+
+std::string ShopDocument(int customers, int orders_per_customer) {
+  std::string doc = "<shop>";
+  for (int c = 0; c < customers; ++c) {
+    doc += "<customer><name>c" + std::to_string(c) + "</name>";
+    for (int o = 0; o < orders_per_customer; ++o) {
+      doc += "<order><item>i" + std::to_string(c * 100 + o) + "</item></order>";
+    }
+    doc += "</customer>";
+  }
+  doc += "</shop>";
+  return doc;
+}
+
+constexpr const char* kNestedStylesheet =
+    "<xsl:stylesheet version=\"1.0\" "
+    "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+    "<xsl:template match=\"shop\"><out>"
+    "<xsl:for-each select=\"customer\"><c>"
+    "<xsl:value-of select=\"name\"/>"
+    "<xsl:for-each select=\"order\"><o><xsl:value-of select=\"item\"/></o>"
+    "</xsl:for-each>"
+    "</c></xsl:for-each>"
+    "</out></xsl:template>"
+    "<xsl:template match=\"text()\"/>"
+    "</xsl:stylesheet>";
+
+class JoinEndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.RegisterShreddedSchema("shop_view", ShopStructure()).ok());
+    ASSERT_TRUE(db_.LoadDocument("shop_view", ShopDocument(6, 4)).ok());
+  }
+
+  XmlDb db_;
+};
+
+TEST_F(JoinEndToEndTest, NestedForEachLowersToJoinWithIdenticalOutput) {
+  ExecOptions off;
+  off.optimizer.enable_join_lowering = false;
+  off.use_plan_cache = false;
+  ExecStats off_stats;
+  auto legacy = db_.TransformView("shop_view", kNestedStylesheet, off,
+                                  &off_stats);
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  EXPECT_EQ(off_stats.joins_lowered, 0);
+
+  ExecOptions on;
+  on.use_plan_cache = false;
+  ExecStats on_stats;
+  auto lowered = db_.TransformView("shop_view", kNestedStylesheet, on,
+                                   &on_stats);
+  ASSERT_TRUE(lowered.ok()) << lowered.status().ToString();
+  EXPECT_EQ(on_stats.path, ExecutionPath::kSqlRewritten);
+  EXPECT_GE(on_stats.joins_lowered, 1);
+  ASSERT_GE(on_stats.joins.size(), 1u);
+  EXPECT_EQ(*legacy, *lowered);  // byte-identical transform output
+
+  // Runtime counters flowed back: the probe side is the customer table.
+  EXPECT_GT(on_stats.join_probe_rows, 0u);
+  EXPECT_EQ(on_stats.join_match_rows, 24u);  // 6 customers x 4 orders
+}
+
+TEST_F(JoinEndToEndTest, ExplainReportsJoinStrategyAndEstimates) {
+  auto prepared = db_.PrepareTransform("shop_view", kNestedStylesheet);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  EXPECT_TRUE((*prepared)->depends_on_stats);
+  std::string explain = ExplainPrepared(**prepared);
+  SCOPED_TRACE(explain);
+  EXPECT_NE(explain.find("join strategy: "), std::string::npos);
+  EXPECT_NE(explain.find("est_probe_rows="), std::string::npos);
+  EXPECT_NE(explain.find("GroupJoin("), std::string::npos);
+  EXPECT_NE(explain.find("rel:join-probe"), std::string::npos);
+}
+
+TEST_F(JoinEndToEndTest, InsertInvalidatesStatsDependentJoinPlan) {
+  ExecStats cold, warm;
+  ASSERT_TRUE(
+      db_.TransformView("shop_view", kNestedStylesheet, {}, &cold).ok());
+  EXPECT_FALSE(cold.cache_hit);
+  ASSERT_TRUE(
+      db_.TransformView("shop_view", kNestedStylesheet, {}, &warm).ok());
+  EXPECT_TRUE(warm.cache_hit);
+
+  // An insert into any referenced table moves the statistics the access-path
+  // choice was priced on: the costed plan must leave the cache.
+  const shred::ShredMapping* mapping = db_.shredded_mapping("shop_view");
+  ASSERT_NE(mapping, nullptr);
+  const shred::ShredTable* customer = nullptr;
+  for (const auto& t : mapping->tables()) {
+    if (!t->is_root) {
+      customer = t.get();
+      break;
+    }
+  }
+  ASSERT_NE(customer, nullptr);
+  Row row;
+  for (size_t i = 0; i < customer->RelSchema().column_count(); ++i) {
+    row.push_back(Datum::Null());
+  }
+  ASSERT_TRUE(db_.Insert(customer->name, std::move(row)).ok());
+
+  ExecStats after;
+  ASSERT_TRUE(
+      db_.TransformView("shop_view", kNestedStylesheet, {}, &after).ok());
+  EXPECT_FALSE(after.cache_hit);  // re-costed against the new statistics
+}
+
+TEST_F(JoinEndToEndTest, ParallelExecutionIsByteIdentical) {
+  ExecOptions serial;
+  serial.parallel = false;
+  serial.threads = 1;
+  serial.use_plan_cache = false;
+  auto s = db_.TransformView("shop_view", kNestedStylesheet, serial);
+  ASSERT_TRUE(s.ok());
+
+  ExecOptions par;
+  par.threads = 4;
+  par.min_parallel_chunk = 1;
+  par.use_plan_cache = false;
+  auto p = db_.TransformView("shop_view", kNestedStylesheet, par);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(*s, *p);
+}
+
+}  // namespace
+}  // namespace xdb::rel

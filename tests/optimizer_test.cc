@@ -143,6 +143,13 @@ TEST(OptimizerOptionsTest, FromEnvParsesDisableList) {
   EXPECT_FALSE(o.enable_constant_folding);  // spaces trimmed
   EXPECT_TRUE(o.enable_column_pruning);     // unknown names ignored
   EXPECT_TRUE(o.enable_subplan_dedup);
+  EXPECT_TRUE(o.enable_join_lowering);
+
+  setenv("XDB_DISABLE_OPT_RULES", "join-lowering,join-order", 1);
+  o = OptimizerOptionsFromEnv();
+  EXPECT_FALSE(o.enable_join_lowering);
+  EXPECT_TRUE(o.enable_join_access_path);
+  EXPECT_FALSE(o.enable_join_order);
 
   setenv("XDB_DISABLE_OPT_RULES", "all", 1);
   o = OptimizerOptionsFromEnv();
@@ -151,6 +158,9 @@ TEST(OptimizerOptionsTest, FromEnvParsesDisableList) {
   EXPECT_FALSE(o.enable_constant_folding);
   EXPECT_FALSE(o.enable_column_pruning);
   EXPECT_FALSE(o.enable_subplan_dedup);
+  EXPECT_FALSE(o.enable_join_lowering);
+  EXPECT_FALSE(o.enable_join_access_path);
+  EXPECT_FALSE(o.enable_join_order);
 
   unsetenv("XDB_DISABLE_OPT_RULES");
   o = OptimizerOptionsFromEnv();
@@ -159,6 +169,9 @@ TEST(OptimizerOptionsTest, FromEnvParsesDisableList) {
   EXPECT_TRUE(o.enable_constant_folding);
   EXPECT_TRUE(o.enable_column_pruning);
   EXPECT_TRUE(o.enable_subplan_dedup);
+  EXPECT_TRUE(o.enable_join_lowering);
+  EXPECT_TRUE(o.enable_join_access_path);
+  EXPECT_TRUE(o.enable_join_order);
 }
 
 TEST(OptimizerTest, RejectsNullRoot) {
@@ -272,7 +285,7 @@ TEST_F(OptimizerFixture, PushdownThenIndexSelectionComposes) {
   OptimizedQuery q = Optimize(build(), OptimizerOptions());
   EXPECT_TRUE(q.used_index);
   EXPECT_EQ(q.predicates_pushed, 1);
-  EXPECT_EQ(q.trace.size(), 5u);  // all rules ran and traced
+  EXPECT_EQ(q.trace.size(), 8u);  // all rules ran and traced
   EXPECT_EQ(EvalPerDeptRow(*q.expr), baseline);
   EXPECT_EQ(baseline, (std::vector<std::string>{"1", "1"}));  // CLARK; SMITH
 }
@@ -462,9 +475,12 @@ TEST(ExplainGoldenTest, Table8WorkloadTwoLevelExplain) {
   EXPECT_NE(explain.find("IndexScan(emp.sal > 2000)"), std::string::npos);
   // ...and each rule reports a trace line, fired or declined.
   EXPECT_NE(explain.find("rule predicate-pushdown: "), std::string::npos);
+  EXPECT_NE(explain.find("rule join-lowering: "), std::string::npos);
   EXPECT_NE(explain.find("rule index-range-scan: "), std::string::npos);
   EXPECT_NE(explain.find("rule constant-fold: "), std::string::npos);
   EXPECT_NE(explain.find("rule column-pruning: "), std::string::npos);
+  EXPECT_NE(explain.find("rule join-access-path: "), std::string::npos);
+  EXPECT_NE(explain.find("rule join-order: "), std::string::npos);
   EXPECT_NE(explain.find("rule subplan-dedup: "), std::string::npos);
 }
 
@@ -485,16 +501,19 @@ XMLElement("out", (SELECT
         IndexScan(person.id >= 9 <= 9)
 ))
 rule predicate-pushdown: 19 -> 19 nodes
+rule join-lowering: 19 -> 19 nodes
 rule index-range-scan: 19 -> 15 nodes
 rule constant-fold: 15 -> 15 nodes
 rule column-pruning: 15 -> 15 nodes
+rule join-access-path: 15 -> 15 nodes
+rule join-order: 15 -> 15 nodes
 rule subplan-dedup: 15 -> 15 nodes
 physical plan:
 XMLElement("out", (SELECT
-  XMLAgg(ORDER BY doc_order)
-    Project(XMLElement("hit", person.firstname || person.lastname), person.id)
-      Filter(person.docid = mark_doc.docid)
-        IndexRangeScan(person.id >= 9 <= 9)
+  XMLAgg(ORDER BY doc_order) [est_rows=1 cost=31]
+    Project(XMLElement("hit", person.firstname || person.lastname), person.id) [est_rows=3 cost=28]
+      Filter(person.docid = mark_doc.docid) [est_rows=3 cost=25]
+        IndexRangeScan(person.id >= 9 <= 9) [est_rows=10 cost=15]
 ))
 parallel: eligible operators rel:scan, rel:xmlagg
 )");
@@ -506,7 +525,8 @@ TEST(ExplainGoldenTest, DisabledRulesLeaveNoTraceAndNoIndex) {
   const xsltmark::BenchCase* c = xsltmark::FindCase("dbonerow");
   ASSERT_NE(c, nullptr);
   ExecOptions o;
-  o.optimizer = rel::OptimizerOptions{false, false, false, false, false};
+  o.optimizer = rel::OptimizerOptions{false, false, false, false,
+                                      false, false, false, false};
   o.use_plan_cache = false;
   ExecStats disabled_stats;
   auto disabled = db.TransformView(xsltmark::FamilyViewName("db"),
@@ -522,8 +542,82 @@ TEST(ExplainGoldenTest, DisabledRulesLeaveNoTraceAndNoIndex) {
                                   c->stylesheet, {}, &enabled_stats);
   ASSERT_TRUE(enabled.ok());
   EXPECT_TRUE(enabled_stats.used_index);
-  EXPECT_EQ(enabled_stats.opt_trace.size(), 5u);
+  EXPECT_EQ(enabled_stats.opt_trace.size(), 8u);
   EXPECT_EQ(*disabled, *enabled);
+}
+
+// The join-access-path rule must flip hash -> index-NL when the catalog
+// statistics say the probe (left) side is selective. The cost difference is
+// hash - indexNL = R - L*log2(R) (per-probe match work cancels), so the flip
+// lever is L: an equality filter on the left estimates L = rows/ndv from the
+// stats, and raising the column's NDV shrinks L until the per-probe B+tree
+// descent beats the one-time build scan.
+TEST(JoinAccessPathFlipTest, StatsFlipHashToIndexNl) {
+  Catalog catalog;
+  auto dept = catalog.CreateTable(
+      "dept", Schema({{"deptno", DataType::kInt},
+                      {"dname", DataType::kString}}));
+  ASSERT_TRUE(dept.ok());
+  auto emp = catalog.CreateTable(
+      "emp", Schema({{"empno", DataType::kInt},
+                     {"deptno", DataType::kInt}}));
+  ASSERT_TRUE(emp.ok());
+  for (int d = 0; d < 5; ++d) {
+    ASSERT_TRUE((*dept)->Insert({Datum(int64_t{d}),
+                                 Datum("d" + std::to_string(d))})
+                    .ok());
+  }
+  for (int e = 0; e < 20; ++e) {
+    ASSERT_TRUE(
+        (*emp)->Insert({Datum(int64_t{e}), Datum(int64_t{e % 5})}).ok());
+  }
+  ASSERT_TRUE((*emp)->CreateIndex("deptno").ok());
+
+  // for each dept with dname = 'd0': COUNT(emp where emp.deptno = dept.deptno)
+  // — the nested-apply shape join-lowering unnests into a group join.
+  auto build = [&]() -> RelExprPtr {
+    LogicalPlanPtr inner = std::make_unique<LogicalScanNode>(*emp);
+    inner = std::make_unique<LogicalFilterNode>(
+        std::move(inner),
+        Bin(RelOp::kEq, Col(0, 1, "emp.deptno"), Col(1, 0, "dept.deptno")));
+    inner = std::make_unique<LogicalScalarAggNode>(std::move(inner),
+                                                   AggKind::kCount, nullptr);
+    LogicalPlanPtr outer = std::make_unique<LogicalScanNode>(*dept);
+    outer = std::make_unique<LogicalFilterNode>(
+        std::move(outer),
+        Bin(RelOp::kEq, Col(0, 1, "dept.dname"), Str("d0")));
+    outer = std::make_unique<LogicalScalarAggNode>(
+        std::move(outer), AggKind::kSum, Apply(std::move(inner)));
+    return Apply(std::move(outer));
+  };
+  auto optimize = [&](const char* trace) -> std::string {
+    SCOPED_TRACE(trace);
+    Optimizer optimizer(OptimizerOptions(), &catalog);
+    auto q = optimizer.Run(build());
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    if (!q.ok()) return "<error>";
+    EXPECT_EQ(q->joins_lowered, 1);
+    EXPECT_EQ(q->joins.size(), 1u);
+    return q->joins.empty() ? "<none>" : q->joins[0].strategy;
+  };
+
+  {
+    // NDV 1: the dname filter keeps all 5 dept rows — 5 probes amortize one
+    // 20-row hash build better than 5 index descents with their matches.
+    TableStats ts;
+    ts.row_count = 5;
+    ts.columns["dname"].ndv = 1;
+    catalog.UpdateTableStats("dept", ts);
+    EXPECT_EQ(optimize("ndv=1 keeps every probe row"), "hash");
+  }
+  {
+    // NDV 5: ~1 probe row survives; one B+tree descent beats the build scan.
+    TableStats ts;
+    ts.row_count = 5;
+    ts.columns["dname"].ndv = 5;
+    catalog.UpdateTableStats("dept", ts);
+    EXPECT_EQ(optimize("ndv=5 leaves one probe row"), "index-nl");
+  }
 }
 
 }  // namespace

@@ -238,7 +238,8 @@ TEST_F(PlanCacheFixture, OptimizerRuleTogglesAreInTheFingerprint) {
 
   const char* toggled[] = {rel::kRulePredicatePushdown, rel::kRuleIndexRangeScan,
                            rel::kRuleConstantFold, rel::kRuleColumnPruning,
-                           rel::kRuleSubplanDedup};
+                           rel::kRuleSubplanDedup, rel::kRuleJoinLowering,
+                           rel::kRuleJoinAccessPath, rel::kRuleJoinOrder};
   size_t expected_entries = 1;
   for (const char* rule : toggled) {
     SCOPED_TRACE(rule);
@@ -251,6 +252,12 @@ TEST_F(PlanCacheFixture, OptimizerRuleTogglesAreInTheFingerprint) {
       o.optimizer.enable_constant_folding = false;
     else if (rule == rel::kRuleColumnPruning)
       o.optimizer.enable_column_pruning = false;
+    else if (rule == rel::kRuleJoinLowering)
+      o.optimizer.enable_join_lowering = false;
+    else if (rule == rel::kRuleJoinAccessPath)
+      o.optimizer.enable_join_access_path = false;
+    else if (rule == rel::kRuleJoinOrder)
+      o.optimizer.enable_join_order = false;
     else
       o.optimizer.enable_subplan_dedup = false;
     ExecStats s;
