@@ -74,6 +74,12 @@ inline void ReportExecStats(benchmark::State& state, const ExecStats& stats) {
   state.counters["mem_peak_bytes"] = static_cast<double>(stats.mem_peak_bytes);
   state.counters["timed_out"] = stats.timed_out ? 1 : 0;
   state.counters["cancelled"] = stats.cancelled ? 1 : 0;
+  // Session-layer gauges (all zero outside a SessionManager execution).
+  state.counters["snapshot_epoch"] = static_cast<double>(stats.snapshot_epoch);
+  state.counters["sessions_active"] =
+      static_cast<double>(stats.sessions_active);
+  state.counters["admission_queue_depth"] =
+      static_cast<double>(stats.admission_queue_depth);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,247 @@
+// Concurrent-serving benchmark: warm prepared-transform throughput through
+// the session layer at 1/4/8 sessions, with and without a background load
+// loop publishing new snapshot epochs while the sessions execute. Every
+// session stays pinned to the epoch it began on, so the with-load arm
+// measures the *isolation* cost of concurrent publishes (COW versioning,
+// epoch-keyed plan cache), not growing inputs — each session's output is
+// byte-checked against a serial reference every iteration.
+//
+// Also measures Session begin/pin latency under a publish storm: Begin is
+// one atomic snapshot load, so the racing-writer arm should not move it.
+//
+// CI runs `bench_server --smoke --json=BENCH_server.json` and asserts the
+// sessions_active counter in the JSON artifact.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "schema/structure.h"
+#include "server/session.h"
+
+namespace xdb::bench {
+namespace {
+
+constexpr const char* kView = "orders";
+
+// Per-row transform over the shredded order: list the line-item skus.
+constexpr const char* kStylesheet =
+    "<xsl:stylesheet version=\"1.0\" "
+    "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+    "<xsl:template match=\"/\"><picklist>"
+    "<xsl:for-each select=\"order/line\">"
+    "<sku><xsl:value-of select=\"sku\"/></sku>"
+    "</xsl:for-each>"
+    "</picklist></xsl:template></xsl:stylesheet>";
+
+schema::StructuralInfo OrderStructure() {
+  schema::StructureBuilder b;
+  auto* order = b.Element("order");
+  auto* line = b.AddChild(order, "line", 0, -1);
+  b.AddText(b.AddChild(line, "sku"));
+  b.AddText(b.AddChild(line, "qty"));
+  return b.Build(order);
+}
+
+std::string OrderDocument(int first_sku, int lines) {
+  std::string doc = "<order>";
+  for (int i = 0; i < lines; ++i) {
+    doc += "<line><sku>p" + std::to_string(first_sku + i) +
+           "</sku><qty>" + std::to_string(i % 9 + 1) + "</qty></line>";
+  }
+  doc += "</order>";
+  return doc;
+}
+
+/// Fresh database per benchmark run (the with-load arm mutates it; the
+/// GetDb cache would leak growth across runs).
+std::unique_ptr<XmlDb> MakeDb(int docs, int lines_per_doc) {
+  auto db = std::make_unique<XmlDb>();
+  Status reg = db->RegisterShreddedSchema(kView, OrderStructure());
+  if (!reg.ok()) return nullptr;
+  for (int d = 0; d < docs; ++d) {
+    if (!db->LoadDocument(kView, OrderDocument(d * lines_per_doc, lines_per_doc))
+             .ok()) {
+      return nullptr;
+    }
+  }
+  return db;
+}
+
+/// Keeps publishing fresh epochs (tiny one-line orders) until stopped.
+class BackgroundLoader {
+ public:
+  explicit BackgroundLoader(server::SessionManager* mgr) : mgr_(mgr) {
+    thread_ = std::thread([this] {
+      int sku = 1000000;
+      while (!stop_.load(std::memory_order_acquire)) {
+        if (!mgr_->LoadDocument(kView, OrderDocument(sku++, 1)).ok()) break;
+        loads_.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  ~BackgroundLoader() {
+    stop_.store(true, std::memory_order_release);
+    thread_.join();
+  }
+  uint64_t loads() const { return loads_.load(std::memory_order_relaxed); }
+
+ private:
+  server::SessionManager* mgr_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> loads_{0};
+  std::thread thread_;
+};
+
+// ---------------------------------------------------------------------------
+// BM_Server_WarmTransform/<sessions>/<bg_load>
+// ---------------------------------------------------------------------------
+
+void BM_Server_WarmTransform(benchmark::State& state) {
+  const int sessions = static_cast<int>(state.range(0));
+  const bool bg_load = state.range(1) != 0;
+  constexpr int kDocs = 16;
+  constexpr int kLines = 32;
+
+  auto db = MakeDb(kDocs, kLines);
+  if (db == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  // A serial reference over the initial state — what every pinned session
+  // must keep producing even while the loader publishes new epochs.
+  auto reference = db->TransformView(kView, kStylesheet);
+  if (!reference.ok()) {
+    state.SkipWithError(reference.status().ToString().c_str());
+    return;
+  }
+
+  server::SessionManager::Options opts;
+  opts.max_sessions = static_cast<size_t>(sessions) + 2;
+  opts.max_concurrent = static_cast<size_t>(sessions);
+  opts.admission_queue = static_cast<size_t>(sessions) * 2;
+  server::SessionManager mgr(db.get(), opts);
+
+  std::vector<server::SessionPtr> pool;
+  std::vector<server::StatementHandle> handles;
+  for (int s = 0; s < sessions; ++s) {
+    auto begun = mgr.Begin();
+    if (!begun.ok()) {
+      state.SkipWithError(begun.status().ToString().c_str());
+      return;
+    }
+    auto h = (*begun)->PrepareTransform(kView, kStylesheet);
+    if (!h.ok()) {
+      state.SkipWithError(h.status().ToString().c_str());
+      return;
+    }
+    // One untimed execution so the measured loop is warm (cache_hit).
+    auto warm = (*begun)->Execute(*h);
+    if (!warm.ok() || *warm != *reference) {
+      state.SkipWithError("warm-up diverged from serial reference");
+      return;
+    }
+    pool.push_back(std::move(*begun));
+    handles.push_back(*h);
+  }
+
+  std::unique_ptr<BackgroundLoader> loader;
+  if (bg_load) loader = std::make_unique<BackgroundLoader>(&mgr);
+
+  ExecStats stats;
+  std::atomic<int> failures{0};
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(sessions));
+    for (int s = 0; s < sessions; ++s) {
+      threads.emplace_back([&, s] {
+        auto rows = pool[static_cast<size_t>(s)]->Execute(
+            handles[static_cast<size_t>(s)], {}, s == 0 ? &stats : nullptr);
+        if (!rows.ok() || *rows != *reference) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    if (failures.load(std::memory_order_relaxed) != 0) {
+      state.SkipWithError("pinned session diverged from serial reference");
+      break;
+    }
+  }
+
+  uint64_t loads = 0;
+  if (loader != nullptr) {
+    loads = loader->loads();
+    loader.reset();  // joins the loader before the manager goes away
+  }
+
+  // One transform per session per iteration.
+  state.SetItemsProcessed(state.iterations() * sessions);
+  ReportExecStats(state, stats);
+  state.counters["sessions"] = sessions;
+  state.counters["bg_loads"] = static_cast<double>(loads);
+  state.counters["epochs_published"] =
+      static_cast<double>(mgr.head_epoch() - 1);
+}
+
+BENCHMARK(BM_Server_WarmTransform)
+    ->ArgNames({"sessions", "bg_load"})
+    ->Args({1, 0})
+    ->Args({4, 0})
+    ->Args({8, 0})
+    ->Args({1, 1})
+    ->Args({4, 1})
+    ->Args({8, 1})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// BM_Server_BeginPin/<bg_load> — session open + epoch pin latency
+// ---------------------------------------------------------------------------
+
+void BM_Server_BeginPin(benchmark::State& state) {
+  const bool bg_load = state.range(0) != 0;
+  auto db = MakeDb(/*docs=*/4, /*lines_per_doc=*/8);
+  if (db == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  server::SessionManager mgr(db.get());
+
+  std::unique_ptr<BackgroundLoader> loader;
+  if (bg_load) loader = std::make_unique<BackgroundLoader>(&mgr);
+
+  for (auto _ : state) {
+    auto session = mgr.Begin();
+    if (!session.ok()) {
+      state.SkipWithError(session.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize((*session)->epoch());
+  }
+
+  uint64_t loads = 0;
+  if (loader != nullptr) {
+    loads = loader->loads();
+    loader.reset();
+  }
+  state.counters["bg_loads"] = static_cast<double>(loads);
+  state.counters["epochs_published"] =
+      static_cast<double>(mgr.head_epoch() - 1);
+}
+
+BENCHMARK(BM_Server_BeginPin)
+    ->ArgNames({"bg_load"})
+    ->Arg(0)
+    ->Arg(1)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace xdb::bench
+
+XDB_BENCH_MAIN();

@@ -14,6 +14,10 @@
 #include "rewrite/xquery_rewriter.h"
 #include "rewrite/xslt_rewriter.h"
 
+namespace xdb::rel {
+class Snapshot;  // rel/snapshot.h
+}  // namespace xdb::rel
+
 namespace xdb {
 
 /// Which pipeline stage finally executed a query.
@@ -69,6 +73,11 @@ struct ExecStats {
   bool cancelled = false;        ///< a CancelToken was observed
   uint64_t mem_peak_bytes = 0;   ///< peak tracked DOM/arena memory
   uint64_t ticks = 0;            ///< engine work units admitted
+
+  // -- session / snapshot layer (src/server; zero outside a session) ---------
+  uint64_t snapshot_epoch = 0;        ///< pinned epoch this execution read
+  uint64_t sessions_active = 0;       ///< live sessions when execution started
+  uint64_t admission_queue_depth = 0; ///< executions queued behind admission
 };
 
 struct ExecOptions {
@@ -122,6 +131,14 @@ struct ExecOptions {
   /// whole call and may Cancel() it from any thread; execution returns
   /// kCancelled with ExecStats::cancelled set.
   const governor::CancelToken* cancel = nullptr;
+
+  // -- snapshot isolation (src/server session layer) -------------------------
+  /// Pinned epoch snapshot: execution reads rows/indexes exclusively from
+  /// it, so concurrent bulk loads are invisible until the session re-pins.
+  /// The caller keeps the snapshot alive for the whole call. Prepared plans
+  /// are cached per-epoch (the epoch joins the plan-cache key, not the
+  /// options fingerprint), so a publish invalidates only newer epochs.
+  const rel::Snapshot* snapshot = nullptr;
 };
 
 }  // namespace xdb

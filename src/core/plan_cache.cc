@@ -82,9 +82,30 @@ PlanCache::Stats PlanCache::stats() const {
   return Stats{hits_, misses_, evictions_, invalidations_, lru_.size()};
 }
 
+void PlanCache::PurgeEpochsBelow(uint64_t min_epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    uint64_t e = it->first.epoch;
+    if (e != 0 && e < min_epoch) {
+      index_.erase(it->first);
+      it = lru_.erase(it);
+      ++invalidations_;
+    } else {
+      ++it;
+    }
+  }
+}
+
 void PlanCache::InvalidateTableLocked(const std::string& table,
                                       bool stats_only) {
   for (auto it = lru_.begin(); it != lru_.end();) {
+    // Epoch-keyed entries read immutable snapshot data: DDL/DML on the live
+    // table cannot change what they compute, so they survive until their
+    // epoch drains (PurgeEpochsBelow).
+    if (it->first.epoch != 0) {
+      ++it;
+      continue;
+    }
     const PreparedTransform& p = *it->second;
     if (p.ReferencesTable(table) && (!stats_only || p.depends_on_stats)) {
       index_.erase(it->first);
@@ -110,7 +131,7 @@ void PlanCache::OnIndexCreated(const std::string& table,
 void PlanCache::OnViewCreated(const std::string& view) {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto it = lru_.begin(); it != lru_.end();) {
-    if (it->second->view_name == view) {
+    if (it->first.epoch == 0 && it->second->view_name == view) {
       index_.erase(it->first);
       it = lru_.erase(it);
       ++invalidations_;

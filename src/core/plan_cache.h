@@ -61,10 +61,16 @@ struct PlanKey {
   uint64_t text_hash = 0;
   uint64_t options_fp = 0;
   PreparedKind kind = PreparedKind::kTransform;
+  /// Snapshot epoch the plan was prepared under; 0 = live (non-session)
+  /// execution. Epoch-keyed entries read immutable versioned data, so the
+  /// DDL invalidation hooks skip them — a publish simply keys new prepares
+  /// under the new epoch, and PurgeEpochsBelow drops entries once no
+  /// session can pin their epoch anymore.
+  uint64_t epoch = 0;
 
   bool operator==(const PlanKey& o) const {
     return text_hash == o.text_hash && options_fp == o.options_fp &&
-           kind == o.kind && view == o.view;
+           kind == o.kind && epoch == o.epoch && view == o.view;
   }
 };
 
@@ -72,6 +78,7 @@ struct PlanKeyHash {
   size_t operator()(const PlanKey& k) const {
     uint64_t h = k.text_hash ^ (k.options_fp * 0x9e3779b97f4a7c15ull) ^
                  (static_cast<uint64_t>(k.kind) << 62);
+    h ^= k.epoch * 0xff51afd7ed558ccdull;
     h ^= Fnv1aHash(k.view);
     return static_cast<size_t>(h);
   }
@@ -151,6 +158,13 @@ class PlanCache : public rel::DdlListener {
 
   void Clear();
   void set_capacity(size_t capacity);
+
+  /// Drops every epoch-keyed entry with 0 < epoch < min_epoch. The session
+  /// layer calls this when the oldest pinned epoch advances: no session can
+  /// execute against those epochs anymore, so their plans (which pin
+  /// retired table versions through ExecOptions::snapshot keying) are dead
+  /// weight. Live entries (epoch 0) are never touched.
+  void PurgeEpochsBelow(uint64_t min_epoch);
 
   struct Stats {
     uint64_t hits = 0;

@@ -7,6 +7,7 @@
 #include "common/faultpoints.h"
 #include "common/governor.h"
 #include "core/row_executor.h"
+#include "rel/snapshot.h"
 #include "rewrite/compose.h"
 #include "rewrite/static_type.h"
 #include "schema/xsd_parser.h"
@@ -234,7 +235,8 @@ Result<Datum> XmlDb::ViewValueForRow(const XmlView* view, int64_t row_id,
   std::vector<const XmlView*> xslt_views;
   XDB_ASSIGN_OR_RETURN(const XmlView* pub, ResolveChain(view, &xslt_views));
   XDB_ASSIGN_OR_RETURN(Table * base, catalog_.GetTable(pub->base_table));
-  const rel::Row& row = base->row(row_id);
+  rel::TableRead base_read(base, ctx->snapshot);
+  const rel::Row& row = base_read.row(row_id);
   ctx->rows.push_back(&row);
   auto value = pub->publish_expr->Eval(*ctx);
   ctx->rows.pop_back();
@@ -465,7 +467,9 @@ Result<std::shared_ptr<const core::PreparedTransform>> XmlDb::PrepareTransform(
 
   core::PlanKey key{view, core::Fnv1aHash(stylesheet_text),
                     core::OptionsFingerprint(options),
-                    core::PreparedKind::kTransform};
+                    core::PreparedKind::kTransform,
+                    options.snapshot != nullptr ? options.snapshot->epoch()
+                                                : 0};
   std::shared_ptr<const core::PreparedTransform> prepared;
   if (options.use_plan_cache) prepared = plan_cache_.Lookup(key);
   if (prepared != nullptr) {
@@ -493,7 +497,9 @@ Result<std::shared_ptr<const core::PreparedTransform>> XmlDb::PrepareQuery(
 
   core::PlanKey key{view, core::Fnv1aHash(xquery_text),
                     core::OptionsFingerprint(options),
-                    core::PreparedKind::kQuery};
+                    core::PreparedKind::kQuery,
+                    options.snapshot != nullptr ? options.snapshot->epoch()
+                                                : 0};
   std::shared_ptr<const core::PreparedTransform> prepared;
   if (options.use_plan_cache) prepared = plan_cache_.Lookup(key);
   if (prepared != nullptr) {
@@ -518,7 +524,8 @@ Result<std::string> XmlDb::EvalPreparedRow(
     const core::PreparedTransform& prepared, int64_t row_id, ExecCtx* ctx) {
   switch (prepared.path) {
     case ExecutionPath::kSqlRewritten: {
-      const rel::Row& row = prepared.base->row(row_id);
+      rel::TableRead base_read(prepared.base, ctx->snapshot);
+      const rel::Row& row = base_read.row(row_id);
       ctx->rows.push_back(&row);
       auto d = prepared.sql_expr->Eval(*ctx);
       ctx->rows.pop_back();
@@ -527,7 +534,8 @@ Result<std::string> XmlDb::EvalPreparedRow(
     }
     case ExecutionPath::kXQueryRewritten: {
       // The (rewritten/composed) query navigates from the *publishing* value.
-      const rel::Row& row = prepared.base->row(row_id);
+      rel::TableRead base_read(prepared.base, ctx->snapshot);
+      const rel::Row& row = base_read.row(row_id);
       ctx->rows.push_back(&row);
       auto value = prepared.pub->publish_expr->Eval(*ctx);
       ctx->rows.pop_back();
@@ -588,8 +596,13 @@ Result<std::vector<std::string>> XmlDb::Execute(
           : nullptr;
 
   // Row count is read at execute time: a cached plan sees rows inserted
-  // after it was prepared (structure-derived plans survive inserts).
-  const size_t n = prepared.base->row_count();
+  // after it was prepared (structure-derived plans survive inserts). Under
+  // a pinned snapshot the count comes from the frozen version instead, so
+  // a racing load can neither add nor remove rows from this execution.
+  const size_t n =
+      rel::TableRead(prepared.base, options.snapshot).row_count();
+  stats->snapshot_epoch =
+      options.snapshot != nullptr ? options.snapshot->epoch() : 0;
   std::vector<std::string> out(n);
   // One collector for every group join across all rows and threads (the
   // counters are atomics); summed into ExecStats after the loop.
@@ -608,6 +621,7 @@ Result<std::vector<std::string>> XmlDb::Execute(
     ctx.budget = &scope;
     ctx.parallel = pp;
     ctx.join_stats = &jstats;
+    ctx.snapshot = options.snapshot;
     XDB_RETURN_NOT_OK(scope.CheckNow());
     XDB_ASSIGN_OR_RETURN(
         out[i], EvalPreparedRow(prepared, static_cast<int64_t>(i), &ctx));

@@ -1,0 +1,199 @@
+#include "difftest/concurrent.h"
+
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/xmldb.h"
+#include "difftest/seed.h"
+#include "server/session.h"
+
+namespace xdb::difftest {
+
+namespace {
+
+constexpr const char* kViewName = "difft";
+
+ConcurrentReport Invalid(ConcurrentReport report, std::string why) {
+  report.outcome = ConcurrentReport::Outcome::kInvalid;
+  report.detail = std::move(why);
+  return report;
+}
+
+/// First-divergence collector shared by the session threads.
+struct Divergence {
+  std::mutex mu;
+  bool hit = false;
+  std::string detail;
+
+  void Record(std::string why) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (hit) return;
+    hit = true;
+    detail = std::move(why);
+  }
+};
+
+}  // namespace
+
+ConcurrentReport RunConcurrentCase(const GeneratedCase& c,
+                                   const ConcurrentOptions& options) {
+  ConcurrentReport report;
+  report.seed = c.seed;
+  report.repro = ReproCommand(c.seed, options.repro_regex);
+
+  XmlDb db;
+  Status reg = db.RegisterShreddedSchema(kViewName, c.structure);
+  if (!reg.ok()) {
+    return Invalid(std::move(report), "register: " + reg.ToString());
+  }
+  for (const std::string& doc : c.documents) {
+    auto load = db.LoadDocument(kViewName, doc);
+    if (!load.ok()) {
+      return Invalid(std::move(report), "load: " + load.status().ToString());
+    }
+  }
+
+  // Serial reference over the fully loaded state — the output every pinned
+  // session must reproduce byte-for-byte regardless of racing loads.
+  auto reference = db.TransformView(kViewName, c.stylesheet);
+  report.reference_failed = !reference.ok();
+
+  // The manager's construction publishes epoch 1 over the loaded state;
+  // every session beginning before the writer thread runs pins it.
+  server::SessionManager::Options mgr_opts;
+  mgr_opts.max_sessions = static_cast<size_t>(options.sessions) + 1;
+  mgr_opts.max_concurrent = static_cast<size_t>(options.sessions);
+  mgr_opts.admission_queue = static_cast<size_t>(options.sessions) * 2 + 4;
+  server::SessionManager mgr(&db, mgr_opts);
+
+  std::vector<server::SessionPtr> sessions;
+  for (int s = 0; s < options.sessions; ++s) {
+    auto begun = mgr.Begin();
+    if (!begun.ok()) {
+      return Invalid(std::move(report),
+                     "session begin: " + begun.status().ToString());
+    }
+    sessions.push_back(std::move(*begun));
+  }
+  report.pinned_epoch = sessions.front()->epoch();
+
+  Divergence div;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(options.sessions) + 1);
+
+  for (int s = 0; s < options.sessions; ++s) {
+    server::Session* session = sessions[static_cast<size_t>(s)].get();
+    threads.emplace_back([&, session, s] {
+      auto handle = session->PrepareTransform(kViewName, c.stylesheet);
+      if (!handle.ok()) {
+        if (!reference.ok() &&
+            handle.status().code() == reference.status().code()) {
+          return;  // identical failure: agreed
+        }
+        div.Record("session " + std::to_string(s) + " prepare: " +
+                   handle.status().ToString() + " vs reference " +
+                   reference.status().ToString());
+        return;
+      }
+      for (int r = 0; r < options.executions_per_session; ++r) {
+        ExecStats stats;
+        auto rows = session->Execute(*handle, {}, &stats);
+        if (!rows.ok()) {
+          if (!reference.ok() &&
+              rows.status().code() == reference.status().code()) {
+            continue;  // identical failure on the same pinned state
+          }
+          div.Record("session " + std::to_string(s) + " run " +
+                     std::to_string(r) + ": " + rows.status().ToString() +
+                     " vs reference " + reference.status().ToString());
+          return;
+        }
+        if (!reference.ok()) {
+          div.Record("session " + std::to_string(s) + " run " +
+                     std::to_string(r) +
+                     " succeeded but serial reference failed: " +
+                     reference.status().ToString());
+          return;
+        }
+        if (stats.snapshot_epoch != report.pinned_epoch) {
+          div.Record("session " + std::to_string(s) +
+                     " executed against epoch " +
+                     std::to_string(stats.snapshot_epoch) + ", pinned " +
+                     std::to_string(report.pinned_epoch));
+          return;
+        }
+        if (*rows != *reference) {
+          std::string why = "session " + std::to_string(s) + " run " +
+                            std::to_string(r) + " diverged from reference (" +
+                            std::to_string(rows->size()) + " vs " +
+                            std::to_string(reference->size()) + " rows";
+          for (size_t d = 0; d < rows->size() && d < reference->size(); ++d) {
+            if ((*rows)[d] != (*reference)[d]) {
+              why += "; first diff at row " + std::to_string(d);
+              break;
+            }
+          }
+          div.Record(why + ")");
+          return;
+        }
+      }
+    });
+  }
+
+  // The racing writer: commits fresh documents and publishes new epochs
+  // while every session above is mid-execution.
+  Status writer_status;
+  threads.emplace_back([&] {
+    for (int i = 0; i < options.background_loads; ++i) {
+      const std::string& doc =
+          c.documents[static_cast<size_t>(i) % c.documents.size()];
+      auto load = mgr.LoadDocument(kViewName, doc);
+      if (!load.ok()) {
+        writer_status = load.status();
+        return;
+      }
+    }
+  });
+
+  for (std::thread& t : threads) t.join();
+  report.final_epoch = mgr.head_epoch();
+
+  if (!writer_status.ok()) {
+    return Invalid(std::move(report),
+                   "background load: " + writer_status.ToString());
+  }
+  if (div.hit) {
+    report.outcome = ConcurrentReport::Outcome::kDiverged;
+    report.detail = div.detail + "\nrepro: " + report.repro;
+    return report;
+  }
+
+  // A *fresh* session must see the background loads (one extra base row per
+  // load) — snapshot isolation, not staleness.
+  if (reference.ok() && options.background_loads > 0) {
+    auto fresh = mgr.Begin();
+    if (fresh.ok()) {
+      auto rows = (*fresh)->Transform(kViewName, c.stylesheet);
+      size_t want =
+          reference->size() + static_cast<size_t>(options.background_loads);
+      if (rows.ok() && rows->size() != want) {
+        report.outcome = ConcurrentReport::Outcome::kDiverged;
+        report.detail = "fresh session saw " + std::to_string(rows->size()) +
+                        " rows, want " + std::to_string(want) +
+                        " after background loads\nrepro: " + report.repro;
+        return report;
+      }
+    }
+  }
+
+  // Reclamation: dropping every pin leaves only the head epoch readable.
+  sessions.clear();
+  report.live_epochs_after = mgr.live_epochs();
+
+  report.outcome = ConcurrentReport::Outcome::kAgreed;
+  return report;
+}
+
+}  // namespace xdb::difftest

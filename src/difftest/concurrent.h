@@ -1,0 +1,60 @@
+// Concurrent mode for the differential oracle: N sessions execute one
+// generated case against a pinned snapshot epoch while background loads
+// commit and publish newer epochs underneath them. The invariant under
+// test is the session layer's snapshot isolation: every execution of every
+// session must be *byte-identical* to the serial reference taken before
+// the racing loads started — a session can never observe a half-loaded
+// document, a moved row, or a rebuilt index. (Engine-level agreement for
+// the same seeds is established by the serial four-way sweep; this mode
+// checks that concurrency adds nothing on top of it.)
+//
+// Error paths are differential too: when the serial pipeline fails, every
+// session must fail with the same status code.
+#ifndef XDB_DIFFTEST_CONCURRENT_H_
+#define XDB_DIFFTEST_CONCURRENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "difftest/generator.h"
+
+namespace xdb::difftest {
+
+struct ConcurrentOptions {
+  /// Concurrent sessions executing the pinned-epoch transform.
+  int sessions = 8;
+  /// Warm re-executions per session (the first run is the cold prepare).
+  int executions_per_session = 2;
+  /// Bulk loads committed (and published) while the sessions execute.
+  int background_loads = 3;
+  /// ctest regex used in the printed repro command.
+  std::string repro_regex = "DiffTest.ConcurrentSessionSweep";
+};
+
+struct ConcurrentReport {
+  enum class Outcome {
+    kAgreed,    ///< every session's every execution matched the reference
+    kDiverged,  ///< a pinned-session output or status differed
+    kInvalid,   ///< the case itself is unusable (load/register failed)
+  };
+  Outcome outcome = Outcome::kInvalid;
+  std::string detail;
+  uint64_t seed = 0;
+  std::string repro;
+
+  uint64_t pinned_epoch = 0;   ///< epoch every session read
+  uint64_t final_epoch = 0;    ///< head epoch after the background loads
+  size_t live_epochs_after = 0;  ///< readable epochs once sessions drained
+  bool reference_failed = false;  ///< serial pipeline errored (status diff'd)
+
+  bool diverged() const { return outcome == Outcome::kDiverged; }
+};
+
+/// Runs `c` through the concurrent session harness. Never throws on engine
+/// errors — status codes are part of the differential contract.
+ConcurrentReport RunConcurrentCase(const GeneratedCase& c,
+                                   const ConcurrentOptions& options = {});
+
+}  // namespace xdb::difftest
+
+#endif  // XDB_DIFFTEST_CONCURRENT_H_

@@ -104,6 +104,37 @@ void BTreeIndex::Insert(const Datum& key, int64_t row_id) {
   ++entries_;
 }
 
+std::unique_ptr<BTreeIndex::Node> BTreeIndex::CloneNode(
+    const Node& node, std::vector<Node*>* leaves) {
+  auto copy = std::make_unique<Node>();
+  copy->leaf = node.leaf;
+  copy->keys = node.keys;
+  copy->values = node.values;
+  if (node.leaf) {
+    leaves->push_back(copy.get());
+  } else {
+    copy->children.reserve(node.children.size());
+    for (const auto& child : node.children) {
+      copy->children.push_back(CloneNode(*child, leaves));
+    }
+  }
+  return copy;
+}
+
+std::unique_ptr<BTreeIndex> BTreeIndex::Clone() const {
+  auto copy = std::make_unique<BTreeIndex>(fanout_);
+  std::vector<Node*> leaves;
+  copy->root_ = CloneNode(*root_, &leaves);
+  // The recursion visits leaves left-to-right; relink the scan chain.
+  for (size_t i = 0; i + 1 < leaves.size(); ++i) {
+    leaves[i]->next = leaves[i + 1];
+  }
+  copy->entries_ = entries_;
+  copy->nodes_ = nodes_;
+  copy->height_ = height_;
+  return copy;
+}
+
 const BTreeIndex::Node* BTreeIndex::FindLeaf(const Datum& key) const {
   const Node* node = root_.get();
   while (!node->leaf) {

@@ -29,6 +29,11 @@ class BTreeIndex {
 
   void Insert(const Datum& key, int64_t row_id);
 
+  /// Deep copy (nodes + leaf chain). The copy shares no state with the
+  /// original, so one side can keep inserting while the other is read —
+  /// the copy-on-write primitive behind snapshot-versioned tables.
+  std::unique_ptr<BTreeIndex> Clone() const;
+
   /// Appends row ids whose key lies within [lo, hi] (null pointer = open
   /// end) in key order.
   void Scan(const Bound* lo, const Bound* hi, std::vector<int64_t>* out) const;
@@ -60,6 +65,10 @@ class BTreeIndex {
                                           int64_t row_id);
   const Node* FindLeaf(const Datum& key) const;
   const Node* LeftmostLeaf() const;
+  // Recursive node copy; appends copied leaves to *leaves in left-to-right
+  // order so Clone can relink the leaf chain afterwards.
+  static std::unique_ptr<Node> CloneNode(const Node& node,
+                                         std::vector<Node*>* leaves);
 
   int fanout_;
   std::unique_ptr<Node> root_;

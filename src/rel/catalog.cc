@@ -1,71 +1,165 @@
 #include "rel/catalog.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace xdb::rel {
 
-Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
-  if (tables_.count(name) > 0) {
-    return Status::InvalidArgument("table '" + name + "' already exists");
+Catalog::NotificationBatch::NotificationBatch(Catalog* catalog)
+    : catalog_(catalog) {
+  std::lock_guard<std::mutex> lock(catalog_->notify_mu_);
+  ++catalog_->batch_depth_;
+}
+
+Catalog::NotificationBatch::~NotificationBatch() { catalog_->CloseBatch(); }
+
+void Catalog::CloseBatch() {
+  std::vector<PendingEvent> to_fire;
+  {
+    std::lock_guard<std::mutex> lock(notify_mu_);
+    if (--batch_depth_ > 0) return;  // inner batch: outermost close fires
+    to_fire.swap(pending_);
   }
-  auto table = std::make_unique<Table>(name, std::move(schema));
-  Table* raw = table.get();
-  raw->set_ddl_listener(this);
-  tables_[name] = std::move(table);
+  // Fired with no lock held: listeners may re-enter the catalog.
+  for (const PendingEvent& e : to_fire) Dispatch(e);
+}
+
+bool Catalog::EnqueueIfBatched(PendingEvent event) {
+  std::lock_guard<std::mutex> lock(notify_mu_);
+  if (batch_depth_ == 0) return false;
+  // A bulk load announces the same table once per append batch; collapse
+  // the consecutive duplicates so listeners see one event per table.
+  if (!pending_.empty() && pending_.back() == event) return true;
+  pending_.push_back(std::move(event));
+  return true;
+}
+
+std::vector<DdlListener*> Catalog::ListenersSnapshot() const {
+  std::lock_guard<std::mutex> lock(notify_mu_);
+  return listeners_;
+}
+
+void Catalog::Dispatch(const PendingEvent& event) {
+  using Kind = PendingEvent::Kind;
+  for (DdlListener* l : ListenersSnapshot()) {
+    switch (event.kind) {
+      case Kind::kTableCreated:
+        l->OnTableCreated(event.name);
+        break;
+      case Kind::kIndexCreated:
+        l->OnIndexCreated(event.name, event.column);
+        break;
+      case Kind::kViewCreated:
+        l->OnViewCreated(event.name);
+        break;
+      case Kind::kRowsInserted:
+        l->OnRowsInserted(event.name);
+        break;
+      case Kind::kTableLoaded:
+        l->OnTableLoaded(event.name);
+        break;
+    }
+  }
+}
+
+Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  Table* raw = nullptr;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (tables_.count(name) > 0) {
+      return Status::InvalidArgument("table '" + name + "' already exists");
+    }
+    auto table = std::make_unique<Table>(name, std::move(schema));
+    raw = table.get();
+    raw->set_ddl_listener(this);
+    tables_[name] = std::move(table);
+  }
   OnTableCreated(name);
   return raw;
 }
 
 Result<Table*> Catalog::GetTable(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("no table '" + name + "'");
   return it->second.get();
 }
 
 Status Catalog::DropTable(const std::string& name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (tables_.count(name) == 0) {
+      return Status::NotFound("no table '" + name + "'");
+    }
+  }
+  // Notify before erasing: listeners may still dereference the table while
+  // deciding what to invalidate. Deliberately synchronous even inside a
+  // NotificationBatch (see OnTableDropped).
+  OnTableDropped(name);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("no table '" + name + "'");
-  // Notify before erasing: listeners may still dereference the table while
-  // deciding what to invalidate.
-  OnTableDropped(name);
   tables_.erase(it);
   stats_.erase(name);
   return Status::OK();
 }
 
+std::vector<Table*> Catalog::AllTables() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<Table*> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) out.push_back(table.get());
+  return out;
+}
+
 void Catalog::UpdateTableStats(const std::string& table, TableStats stats) {
-  stats_[table] = std::move(stats);
+  auto snapshot = std::make_shared<const TableStats>(std::move(stats));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  stats_[table] = std::move(snapshot);
 }
 
 Status Catalog::AnalyzeTable(const std::string& table) {
   XDB_ASSIGN_OR_RETURN(Table * t, GetTable(table));
-  stats_[table] = ComputeTableStats(*t);
+  UpdateTableStats(table, ComputeTableStats(*t));
   return Status::OK();
 }
 
-const TableStats* Catalog::GetTableStats(const std::string& table) const {
+std::shared_ptr<const TableStats> Catalog::GetTableStats(
+    const std::string& table) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = stats_.find(table);
-  return it == stats_.end() ? nullptr : &it->second;
+  return it == stats_.end() ? nullptr : it->second;
 }
 
 Result<XmlView*> Catalog::CreatePublishingView(const std::string& name,
                                                const std::string& base_table,
                                                std::unique_ptr<PublishSpec> spec,
                                                const std::string& xml_column) {
-  if (views_.count(name) > 0) {
-    return Status::InvalidArgument("view '" + name + "' already exists");
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (views_.count(name) > 0) {
+      return Status::InvalidArgument("view '" + name + "' already exists");
+    }
   }
   auto view = std::make_unique<XmlView>();
   view->name = name;
   view->xml_column = xml_column;
   view->base_table = base_table;
+  // Compile outside the catalog lock: BuildPublishExpr re-enters the catalog
+  // (GetTable on the base + every joined detail table).
   XDB_ASSIGN_OR_RETURN(view->publish_expr,
                        BuildPublishExpr(*spec, *this, base_table));
   XDB_ASSIGN_OR_RETURN(PublishInfo info, DerivePublishStructure(*spec));
   view->info = std::make_unique<PublishInfo>(std::move(info));
   view->publish = std::move(spec);
   XmlView* raw = view.get();
-  views_[name] = std::move(view);
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto [it, inserted] = views_.emplace(name, std::move(view));
+    if (!inserted) {
+      return Status::InvalidArgument("view '" + name + "' already exists");
+    }
+  }
   OnViewCreated(name);
   return raw;
 }
@@ -74,11 +168,14 @@ Result<XmlView*> Catalog::CreateXsltView(const std::string& name,
                                          const std::string& upstream_view,
                                          std::string_view stylesheet_text,
                                          const std::string& xml_column) {
-  if (views_.count(name) > 0) {
-    return Status::InvalidArgument("view '" + name + "' already exists");
-  }
-  if (views_.count(upstream_view) == 0) {
-    return Status::NotFound("no view '" + upstream_view + "'");
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (views_.count(name) > 0) {
+      return Status::InvalidArgument("view '" + name + "' already exists");
+    }
+    if (views_.count(upstream_view) == 0) {
+      return Status::NotFound("no view '" + upstream_view + "'");
+    }
   }
   auto view = std::make_unique<XmlView>();
   view->name = name;
@@ -91,49 +188,65 @@ Result<XmlView*> Catalog::CreateXsltView(const std::string& name,
   view->compiled_stylesheet =
       std::shared_ptr<const xslt::CompiledStylesheet>(std::move(compiled));
   XmlView* raw = view.get();
-  views_[name] = std::move(view);
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto [it, inserted] = views_.emplace(name, std::move(view));
+    if (!inserted) {
+      return Status::InvalidArgument("view '" + name + "' already exists");
+    }
+  }
   OnViewCreated(name);
   return raw;
 }
 
 Result<const XmlView*> Catalog::GetView(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = views_.find(name);
   if (it == views_.end()) return Status::NotFound("no view '" + name + "'");
   return it->second.get();
 }
 
 void Catalog::AddDdlListener(DdlListener* listener) {
+  std::lock_guard<std::mutex> lock(notify_mu_);
   listeners_.push_back(listener);
 }
 
 void Catalog::RemoveDdlListener(DdlListener* listener) {
+  std::lock_guard<std::mutex> lock(notify_mu_);
   listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), listener),
                    listeners_.end());
 }
 
 void Catalog::OnTableCreated(const std::string& table) {
-  for (DdlListener* l : listeners_) l->OnTableCreated(table);
+  PendingEvent e{PendingEvent::Kind::kTableCreated, table, {}};
+  if (!EnqueueIfBatched(e)) Dispatch(e);
 }
 
 void Catalog::OnIndexCreated(const std::string& table,
                              const std::string& column) {
-  for (DdlListener* l : listeners_) l->OnIndexCreated(table, column);
+  PendingEvent e{PendingEvent::Kind::kIndexCreated, table, column};
+  if (!EnqueueIfBatched(e)) Dispatch(e);
 }
 
 void Catalog::OnViewCreated(const std::string& view) {
-  for (DdlListener* l : listeners_) l->OnViewCreated(view);
+  PendingEvent e{PendingEvent::Kind::kViewCreated, view, {}};
+  if (!EnqueueIfBatched(e)) Dispatch(e);
 }
 
 void Catalog::OnRowsInserted(const std::string& table) {
-  for (DdlListener* l : listeners_) l->OnRowsInserted(table);
+  PendingEvent e{PendingEvent::Kind::kRowsInserted, table, {}};
+  if (!EnqueueIfBatched(e)) Dispatch(e);
 }
 
 void Catalog::OnTableLoaded(const std::string& table) {
-  for (DdlListener* l : listeners_) l->OnTableLoaded(table);
+  PendingEvent e{PendingEvent::Kind::kTableLoaded, table, {}};
+  if (!EnqueueIfBatched(e)) Dispatch(e);
 }
 
 void Catalog::OnTableDropped(const std::string& table) {
-  for (DdlListener* l : listeners_) l->OnTableDropped(table);
+  // Never deferred: listeners caching Table* must invalidate before the
+  // object is destroyed, and a batched drop would fire after the erase.
+  for (DdlListener* l : ListenersSnapshot()) l->OnTableDropped(table);
 }
 
 }  // namespace xdb::rel

@@ -6,7 +6,9 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "rel/publish.h"
@@ -43,8 +45,35 @@ struct XmlView {
 /// catalog adds its own table-/view-creation events, and fans everything out
 /// to registered listeners (the plan cache registers itself to invalidate
 /// stale prepared transforms).
+///
+/// Thread safety: object lookups and registrations are guarded by an
+/// internal shared mutex (many concurrent readers, exclusive writers), and
+/// listener fan-out always runs with no catalog lock held — a listener can
+/// safely call back into the catalog. Publish-then-notify is the load-path
+/// invariant: a NotificationBatch defers every event recorded while it is
+/// alive until it closes, so listeners never observe a catalog (or table
+/// state) that is still mid-mutation.
 class Catalog : public DdlListener {
  public:
+  /// RAII event deferral. While at least one batch is alive on the catalog,
+  /// DDL/DML events queue (consecutive duplicates collapsed) instead of
+  /// firing; the outermost batch's destructor fires them in order, after
+  /// every mutation — and, in the session layer, after the new snapshot
+  /// epoch — has been published. Nesting is supported (a bulk load inside a
+  /// session-level batch defers to the outermost close). Table drops are
+  /// exempt: they fire synchronously, because listeners holding pointers to
+  /// the table must drop them before the object dies.
+  class NotificationBatch {
+   public:
+    explicit NotificationBatch(Catalog* catalog);
+    ~NotificationBatch();
+    NotificationBatch(const NotificationBatch&) = delete;
+    NotificationBatch& operator=(const NotificationBatch&) = delete;
+
+   private:
+    Catalog* catalog_;
+  };
+
   Result<Table*> CreateTable(const std::string& name, Schema schema);
   Result<Table*> GetTable(const std::string& name) const;
 
@@ -68,15 +97,22 @@ class Catalog : public DdlListener {
 
   Result<const XmlView*> GetView(const std::string& name) const;
 
+  /// Every table currently registered (stable iteration order). Used by the
+  /// session layer to capture a whole-catalog snapshot at publish time.
+  std::vector<Table*> AllTables() const;
+
   // -- table statistics (the optimizer's cost-model input) --------------------
   /// Publishes a statistics snapshot for `table` (shred::BulkLoader does this
   /// incrementally per completed load). Replaces any previous snapshot.
   void UpdateTableStats(const std::string& table, TableStats stats);
   /// One-shot ANALYZE: full-scans `table` and stores the snapshot.
   Status AnalyzeTable(const std::string& table);
-  /// The stored snapshot, or nullptr when the table was never analyzed/loaded
+  /// The stored snapshot, or null when the table was never analyzed/loaded
   /// (the cost model then falls back to live row counts + default NDV).
-  const TableStats* GetTableStats(const std::string& table) const;
+  /// Shared ownership: the snapshot stays valid even if a concurrent load
+  /// publishes a fresh one.
+  std::shared_ptr<const TableStats> GetTableStats(
+      const std::string& table) const;
 
   /// Registers a DDL listener (not owned; must outlive the catalog or be
   /// removed first).
@@ -84,7 +120,8 @@ class Catalog : public DdlListener {
   void RemoveDdlListener(DdlListener* listener);
 
   // DdlListener fan-out (tables call the index/insert events; the catalog
-  // itself fires the creation events).
+  // itself fires the creation events). Inside a NotificationBatch all but
+  // OnTableDropped are deferred to the batch close.
   void OnTableCreated(const std::string& table) override;
   void OnIndexCreated(const std::string& table,
                       const std::string& column) override;
@@ -94,10 +131,37 @@ class Catalog : public DdlListener {
   void OnTableDropped(const std::string& table) override;
 
  private:
+  struct PendingEvent {
+    enum class Kind {
+      kTableCreated,
+      kIndexCreated,
+      kViewCreated,
+      kRowsInserted,
+      kTableLoaded,
+    };
+    Kind kind;
+    std::string name;    // table or view
+    std::string column;  // kIndexCreated only
+    bool operator==(const PendingEvent&) const = default;
+  };
+
+  // Queues the event when a batch is open (collapsing exact duplicates) and
+  // returns true; returns false when the caller should fire immediately.
+  bool EnqueueIfBatched(PendingEvent event);
+  void Dispatch(const PendingEvent& event);
+  // Listener-list snapshot for a lock-free dispatch loop.
+  std::vector<DdlListener*> ListenersSnapshot() const;
+  void CloseBatch();
+
+  mutable std::shared_mutex mu_;  // guards tables_/views_/stats_
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::map<std::string, std::unique_ptr<XmlView>> views_;
-  std::map<std::string, TableStats> stats_;
+  std::map<std::string, std::shared_ptr<const TableStats>> stats_;
+
+  mutable std::mutex notify_mu_;  // guards listeners_/batch_depth_/pending_
   std::vector<DdlListener*> listeners_;
+  int batch_depth_ = 0;
+  std::vector<PendingEvent> pending_;
 };
 
 }  // namespace xdb::rel

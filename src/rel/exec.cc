@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "rel/parallel.h"
+#include "rel/snapshot.h"
 
 namespace xdb::rel {
 
@@ -66,22 +67,23 @@ class RowVectorCursor : public Cursor {
 namespace {
 class SeqScanCursor : public Cursor {
  public:
-  explicit SeqScanCursor(const Table* table) : table_(table) {}
+  explicit SeqScanCursor(TableRead read) : read_(std::move(read)) {}
   Result<bool> Next(ExecCtx& ctx, Row* row) override {
     XDB_RETURN_NOT_OK(governor::Tick(ctx.budget));
-    if (id_ >= static_cast<int64_t>(table_->row_count())) return false;
-    *row = table_->row(id_++);
+    if (id_ >= static_cast<int64_t>(read_.row_count())) return false;
+    *row = read_.row(id_++);
     return true;
   }
 
  private:
-  const Table* table_;
+  TableRead read_;
   int64_t id_ = 0;
 };
 }  // namespace
 
-Result<std::unique_ptr<Cursor>> SeqScanNode::Open(ExecCtx&) const {
-  return std::unique_ptr<Cursor>(new SeqScanCursor(table_));
+Result<std::unique_ptr<Cursor>> SeqScanNode::Open(ExecCtx& ctx) const {
+  return std::unique_ptr<Cursor>(
+      new SeqScanCursor(TableRead(table_, ctx.snapshot)));
 }
 
 void SeqScanNode::Explain(int indent, std::string* out) const {
@@ -94,24 +96,25 @@ void SeqScanNode::Explain(int indent, std::string* out) const {
 namespace {
 class IndexScanCursor : public Cursor {
  public:
-  IndexScanCursor(const Table* table, std::vector<int64_t> ids)
-      : table_(table), ids_(std::move(ids)) {}
+  IndexScanCursor(TableRead read, std::vector<int64_t> ids)
+      : read_(std::move(read)), ids_(std::move(ids)) {}
   Result<bool> Next(ExecCtx& ctx, Row* row) override {
     XDB_RETURN_NOT_OK(governor::Tick(ctx.budget));
     if (i_ >= ids_.size()) return false;
-    *row = table_->row(ids_[i_++]);
+    *row = read_.row(ids_[i_++]);
     return true;
   }
 
  private:
-  const Table* table_;
+  TableRead read_;
   std::vector<int64_t> ids_;
   size_t i_ = 0;
 };
 }  // namespace
 
 Result<std::unique_ptr<Cursor>> IndexRangeScanNode::Open(ExecCtx& ctx) const {
-  const BTreeIndex* index = table_->GetIndex(column_);
+  TableRead read(table_, ctx.snapshot);
+  const BTreeIndex* index = read.index(column_);
   if (index == nullptr) {
     return Status::NotFound("no index on " + table_->name() + "." + column_);
   }
@@ -131,7 +134,8 @@ Result<std::unique_ptr<Cursor>> IndexRangeScanNode::Open(ExecCtx& ctx) const {
   std::vector<int64_t> ids;
   index->Scan(lo_ptr, hi_ptr, &ids);
   if (rowid_order_) std::sort(ids.begin(), ids.end());
-  return std::unique_ptr<Cursor>(new IndexScanCursor(table_, std::move(ids)));
+  return std::unique_ptr<Cursor>(
+      new IndexScanCursor(std::move(read), std::move(ids)));
 }
 
 void IndexRangeScanNode::Explain(int indent, std::string* out) const {
@@ -472,24 +476,28 @@ struct GroupJoinNode::Probe {
   /// the aggregation then sees matches in document order without a sort.
   std::unordered_map<Datum, std::vector<int64_t>, DatumHash, DatumKeyEq>
       groups;
+  /// Right-table read handle (pinned version or live), resolved once at
+  /// probe build; row ids above refer to it.
+  TableRead right;
 };
 
 Result<std::shared_ptr<const GroupJoinNode::Probe>> GroupJoinNode::PrepareProbe(
     ExecCtx& ctx) const {
   auto probe = std::make_shared<Probe>();
+  probe->right = TableRead(right_table_, ctx.snapshot);
   if (strategy_ == JoinStrategy::kHash) {
-    int64_t rows = static_cast<int64_t>(right_table_->row_count());
+    int64_t rows = static_cast<int64_t>(probe->right.row_count());
     for (int64_t id = 0; id < rows; ++id) {
       XDB_RETURN_NOT_OK(governor::Tick(ctx.budget));
       BumpJoinCounter(ctx, &JoinRuntimeStats::build_rows);
-      const Row& r = right_table_->row(id);
+      const Row& r = probe->right.row(id);
       XDB_ASSIGN_OR_RETURN(bool keep, EvalResiduals(ctx, r));
       if (!keep) continue;
       const Datum& key = r[static_cast<size_t>(right_key_)];
       if (key.is_null()) continue;  // an equi-join never matches NULL
       probe->groups[key].push_back(id);
     }
-  } else if (right_table_->GetIndex(right_key_name_) == nullptr) {
+  } else if (probe->right.index(right_key_name_) == nullptr) {
     return Status::NotFound("no index on " + right_table_->name() + "." +
                             right_key_name_);
   }
@@ -516,6 +524,7 @@ Result<bool> GroupJoinNode::EvalResiduals(ExecCtx& ctx,
 }
 
 Result<Datum> GroupJoinNode::AggregateGroup(ExecCtx& ctx,
+                                            const TableRead& right,
                                             const std::vector<int64_t>& ids,
                                             bool apply_residual) const {
   if (spec_.is_xmlagg) {
@@ -527,7 +536,7 @@ Result<Datum> GroupJoinNode::AggregateGroup(ExecCtx& ctx,
     std::vector<Item> items;
     for (int64_t id : ids) {
       XDB_RETURN_NOT_OK(governor::Tick(ctx.budget));
-      const Row& rrow = right_table_->row(id);
+      const Row& rrow = right.row(id);
       if (apply_residual) {
         XDB_ASSIGN_OR_RETURN(bool keep, EvalResiduals(ctx, rrow));
         if (!keep) continue;
@@ -577,7 +586,7 @@ Result<Datum> GroupJoinNode::AggregateGroup(ExecCtx& ctx,
   Datum min_v, max_v;
   for (int64_t id : ids) {
     XDB_RETURN_NOT_OK(governor::Tick(ctx.budget));
-    const Row& rrow = right_table_->row(id);
+    const Row& rrow = right.row(id);
     if (apply_residual) {
       XDB_ASSIGN_OR_RETURN(bool keep, EvalResiduals(ctx, rrow));
       if (!keep) continue;
@@ -629,7 +638,7 @@ Result<Datum> GroupJoinNode::ProbeOne(ExecCtx& ctx, const Probe& probe,
       auto it = probe.groups.find(key);
       if (it != probe.groups.end()) ids = &it->second;
     } else {
-      const BTreeIndex* index = right_table_->GetIndex(right_key_name_);
+      const BTreeIndex* index = probe.right.index(right_key_name_);
       if (index == nullptr) {
         return Status::NotFound("no index on " + right_table_->name() + "." +
                                 right_key_name_);
@@ -643,7 +652,7 @@ Result<Datum> GroupJoinNode::ProbeOne(ExecCtx& ctx, const Probe& probe,
       ids = &looked_up;
     }
   }
-  return AggregateGroup(ctx, *ids,
+  return AggregateGroup(ctx, probe.right, *ids,
                         /*apply_residual=*/strategy_ == JoinStrategy::kIndexNl);
 }
 

@@ -15,6 +15,8 @@
 
 namespace xdb::rel {
 
+class TableRead;  // rel/snapshot.h
+
 /// Pull cursor over a plan subtree.
 class Cursor {
  public:
@@ -252,7 +254,8 @@ class GroupJoinNode : public PlanNode {
 
  private:
   Result<bool> EvalResiduals(ExecCtx& ctx, const Row& right_row) const;
-  Result<Datum> AggregateGroup(ExecCtx& ctx, const std::vector<int64_t>& ids,
+  Result<Datum> AggregateGroup(ExecCtx& ctx, const TableRead& right,
+                               const std::vector<int64_t>& ids,
                                bool apply_residual) const;
 
   PlanPtr left_;

@@ -32,6 +32,7 @@ struct ParallelPolicy;
 namespace xdb::rel {
 
 class PlanNode;
+class Snapshot;
 
 /// Runtime counters for group-join operators (rel/exec.h GroupJoinNode),
 /// aggregated across every join in the plan and across probe partitions.
@@ -57,6 +58,10 @@ struct ExecCtx {
   /// Join runtime-counter sink (null = not collected). Shared across the
   /// per-row contexts and probe partitions of one execution.
   JoinRuntimeStats* join_stats = nullptr;
+  /// Pinned epoch snapshot (null = live reads). Cursors resolve their
+  /// table reads through it (rel/snapshot.h TableRead), so an execution
+  /// carrying a snapshot never observes rows a concurrent load appends.
+  const Snapshot* snapshot = nullptr;
 
   const Row& RowAt(int level) const {
     return *rows[rows.size() - 1 - static_cast<size_t>(level)];

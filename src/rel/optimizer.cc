@@ -479,7 +479,16 @@ class CostEstimator {
         static_cast<size_t>(column) >= table.schema().column_count()) {
       return nullptr;
     }
-    const TableStats* ts = catalog_->GetTableStats(table.name());
+    // Pin the snapshot for the cost model's lifetime: the catalog may
+    // publish fresh statistics concurrently, and the ColumnStats pointers
+    // handed out below borrow from the snapshot we costed against.
+    auto it = stats_cache_.find(table.name());
+    if (it == stats_cache_.end()) {
+      it = stats_cache_.emplace(table.name(),
+                                catalog_->GetTableStats(table.name()))
+               .first;
+    }
+    const TableStats* ts = it->second.get();
     if (ts == nullptr) return nullptr;
     return ts->column(table.schema().column(static_cast<size_t>(column)).name);
   }
@@ -588,6 +597,7 @@ class CostEstimator {
   }
 
   const Catalog* catalog_;
+  std::map<std::string, std::shared_ptr<const TableStats>> stats_cache_;
   std::map<const LogicalNode*, double> rows_;
   std::map<const LogicalNode*, double> cost_;
 };

@@ -4,6 +4,8 @@
 #include <memory>
 #include <utility>
 
+#include "rel/snapshot.h"
+
 namespace xdb::rel {
 
 bool MatchScanPipeline(const PlanNode& plan, ScanPipeline* out) {
@@ -55,7 +57,7 @@ Status RunPipelineRange(const ScanPipeline& p, ExecCtx& ctx, size_t begin,
                         size_t end, std::vector<Row>* rows) {
   for (size_t i = begin; i < end; ++i) {
     XDB_RETURN_NOT_OK(governor::Tick(ctx.budget));
-    Row row = p.table->row(static_cast<int64_t>(i));
+    Row row = p.read.row(static_cast<int64_t>(i));
     bool keep = true;
     for (const ScanPipeline::Stage& stage : p.stages) {
       if (stage.join != nullptr) {
@@ -137,6 +139,7 @@ Status RunPartitioned(ExecCtx& ctx, const core::ParallelPolicy& policy,
     pctx.budget = scope.enabled() ? &scope : nullptr;
     pctx.parallel = nullptr;  // partitions never re-fork
     pctx.join_stats = ctx.join_stats;  // atomics: safe shared sink
+    pctx.snapshot = ctx.snapshot;  // partitions read the same pinned epoch
     Status s = per_partition(i, pctx, ranges[i]);
     // Detach before the scope dies; the absorbing document takes over the
     // release duty for bytes this partition charged to the shared budget.
@@ -161,7 +164,8 @@ Result<bool> TryCollectPartitioned(const PlanNode& plan, ExecCtx& ctx,
   const core::ParallelPolicy& policy = *ctx.parallel;
   ScanPipeline pipe;
   if (!MatchScanPipeline(plan, &pipe)) return false;
-  size_t n = pipe.table->row_count();
+  pipe.read = TableRead(pipe.table, ctx.snapshot);
+  size_t n = pipe.read.row_count();
   if (!policy.ShouldFork(n)) return false;
   // Hash builds happen once here, serially; partitions probe read-only.
   XDB_RETURN_NOT_OK(PrepareJoinProbes(&pipe, ctx));
@@ -197,7 +201,8 @@ Result<bool> TryCollectAggRuns(const PlanNode& child, const RelExpr* order_by,
   const core::ParallelPolicy& policy = *ctx.parallel;
   ScanPipeline pipe;
   if (!MatchScanPipeline(child, &pipe)) return false;
-  size_t n = pipe.table->row_count();
+  pipe.read = TableRead(pipe.table, ctx.snapshot);
+  size_t n = pipe.read.row_count();
   if (!policy.ShouldFork(n)) return false;
   XDB_RETURN_NOT_OK(PrepareJoinProbes(&pipe, ctx));
 

@@ -24,6 +24,7 @@
 
 #include "core/task_graph.h"
 #include "rel/exec.h"
+#include "rel/snapshot.h"
 
 namespace xdb::rel {
 
@@ -35,6 +36,9 @@ namespace xdb::rel {
 /// partitions then share read-only.
 struct ScanPipeline {
   const Table* table = nullptr;
+  /// Read handle over `table` (pinned version or live), resolved by the
+  /// TryCollect* entry points from ctx.snapshot before any partition runs.
+  TableRead read;
   struct Stage {
     const RelExpr* predicate = nullptr;             // Filter stage
     const std::vector<RelExprPtr>* exprs = nullptr; // Project stage

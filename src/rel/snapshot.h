@@ -1,0 +1,91 @@
+// Epoch-versioned snapshots over the catalog's tables. A Snapshot freezes
+// one TableVersion per table at publish time; executions carrying a
+// snapshot (ExecCtx::snapshot) read rows and indexes exclusively through
+// it, so a bulk load committing concurrently is invisible until the next
+// publish. Snapshots are immutable and reference-counted: retired versions
+// are reclaimed automatically when the last session holding the snapshot
+// drains (the shared_ptr chain keeps chunk directories and index trees
+// alive exactly as long as someone can still read them).
+#ifndef XDB_REL_SNAPSHOT_H_
+#define XDB_REL_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "rel/table.h"
+
+namespace xdb::rel {
+
+/// \brief An immutable, epoch-stamped view over every table of one catalog.
+class Snapshot {
+ public:
+  Snapshot(uint64_t epoch, std::map<const Table*, TableVersion> versions)
+      : epoch_(epoch), versions_(std::move(versions)) {}
+
+  uint64_t epoch() const { return epoch_; }
+
+  /// The frozen version of `table`, or nullptr when the table was created
+  /// after this snapshot was published (readers then see it empty — the
+  /// deterministic choice; falling back to live data would race the load
+  /// that is filling it).
+  const TableVersion* Find(const Table* table) const {
+    auto it = versions_.find(table);
+    return it != versions_.end() ? &it->second : nullptr;
+  }
+
+  size_t table_count() const { return versions_.size(); }
+
+ private:
+  uint64_t epoch_;
+  std::map<const Table*, TableVersion> versions_;
+};
+
+/// \brief Resolved read handle over one table: pinned version or live state.
+///
+/// Cursors resolve a TableRead once at Open (or probe-build) time and then
+/// index rows with plain loads — no per-row atomics, no locks. Live mode
+/// (null snapshot) loads the chunk directory and watermark once, which is
+/// also what makes concurrent appends safe to scan: the count is fixed for
+/// the cursor's lifetime and rows below it are immutable.
+class TableRead {
+ public:
+  TableRead() = default;
+  TableRead(const Table* table, const Snapshot* snapshot) : table_(table) {
+    if (snapshot != nullptr) {
+      const TableVersion* v = snapshot->Find(table);
+      if (v != nullptr) version_ = *v;
+      // Table missing from the snapshot: keep the empty version (count 0,
+      // no chunks, no indexes) — see Snapshot::Find.
+      pinned_ = true;
+    } else if (table != nullptr) {
+      version_.row_count = table->row_count();
+      // Writer publishes the directory before the count, so a directory
+      // loaded after the count covers every row below it.
+      version_.chunks = table->LoadDirForRead();
+    }
+  }
+
+  size_t row_count() const { return version_.row_count; }
+  const Row& row(int64_t id) const { return version_.row(id); }
+  /// Pinned-version index, or the table's live index in live mode. A
+  /// pinned read never consults the live table — a table absent from the
+  /// snapshot has no rows and no indexes.
+  const BTreeIndex* index(const std::string& column) const {
+    if (pinned_) {
+      return version_.indexes != nullptr ? version_.index(column) : nullptr;
+    }
+    return table_ != nullptr ? table_->GetIndex(column) : nullptr;
+  }
+  const Table* table() const { return table_; }
+
+ private:
+  const Table* table_ = nullptr;
+  TableVersion version_;
+  bool pinned_ = false;
+};
+
+}  // namespace xdb::rel
+
+#endif  // XDB_REL_SNAPSHOT_H_

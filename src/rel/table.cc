@@ -9,18 +9,73 @@ int Schema::ColumnIndex(const std::string& name) const {
   return -1;
 }
 
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  dir_.store(std::make_shared<const ChunkDir>(), std::memory_order_release);
+}
+
+std::shared_ptr<const ChunkDir> Table::LoadDir() const {
+  return dir_.load(std::memory_order_acquire);
+}
+
+void Table::PublishDir(std::shared_ptr<const ChunkDir> dir) {
+  dir_.store(std::move(dir), std::memory_order_release);
+}
+
+const Row& Table::row(int64_t id) const {
+  auto dir = LoadDir();
+  // The chunk outlives the directory snapshot: chunks are only dropped by
+  // TruncateTo, which the single-writer contract keeps off concurrent read
+  // paths (snapshot readers hold their own TableVersion).
+  return (*(*dir)[static_cast<size_t>(id) >> kChunkShift])
+      [static_cast<size_t>(id) & (kChunkSize - 1)];
+}
+
+BTreeIndex* Table::MutableIndex(IndexSlot* slot) {
+  if (slot->shared) {
+    // A captured version still references this tree; give the writer a
+    // private copy so the version stays immutable. The old tree is kept
+    // alive by the version's IndexMap.
+    slot->tree = std::shared_ptr<BTreeIndex>(slot->tree->Clone());
+    slot->shared = false;
+  }
+  return slot->tree.get();
+}
+
+void Table::AppendRowLocked(Row row) {
+  size_t count = row_count_.load(std::memory_order_relaxed);
+  int64_t id = static_cast<int64_t>(count);
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    for (auto& [col, slot] : indexes_) {
+      int ci = schema_.ColumnIndex(col);
+      MutableIndex(&slot)->Insert(row[static_cast<size_t>(ci)], id);
+    }
+  }
+  auto dir = LoadDir();
+  if (count == dir->size() * kChunkSize) {
+    // Current chunks are full: publish a grown directory. Existing chunk
+    // pointers are shared, so published rows never move.
+    auto grown = std::make_shared<ChunkDir>(*dir);
+    auto chunk = std::make_shared<Chunk>();
+    chunk->reserve(kChunkSize);  // push_back below never reallocates
+    grown->push_back(std::move(chunk));
+    PublishDir(grown);
+    dir = std::move(grown);
+  }
+  // Safe concurrent with readers: the slot is beyond every published
+  // watermark, and the chunk's capacity is pre-reserved.
+  dir->back()->push_back(std::move(row));
+  row_count_.store(count + 1, std::memory_order_release);
+}
+
 Status Table::Insert(Row row) {
   if (row.size() != schema_.column_count()) {
     return Status::InvalidArgument("table " + name_ + ": row arity " +
                                    std::to_string(row.size()) + " != schema " +
                                    std::to_string(schema_.column_count()));
   }
-  int64_t id = static_cast<int64_t>(rows_.size());
-  for (auto& [col, index] : indexes_) {
-    int ci = schema_.ColumnIndex(col);
-    index->Insert(row[static_cast<size_t>(ci)], id);
-  }
-  rows_.push_back(std::move(row));
+  AppendRowLocked(std::move(row));
   if (ddl_listener_ != nullptr) ddl_listener_->OnRowsInserted(name_);
   return Status::OK();
 }
@@ -33,15 +88,7 @@ Status Table::AppendRows(std::vector<Row> rows) {
                                      std::to_string(schema_.column_count()));
     }
   }
-  rows_.reserve(rows_.size() + rows.size());
-  for (Row& row : rows) {
-    int64_t id = static_cast<int64_t>(rows_.size());
-    for (auto& [col, index] : indexes_) {
-      int ci = schema_.ColumnIndex(col);
-      index->Insert(row[static_cast<size_t>(ci)], id);
-    }
-    rows_.push_back(std::move(row));
-  }
+  for (Row& row : rows) AppendRowLocked(std::move(row));
   if (!rows.empty() && ddl_listener_ != nullptr) {
     ddl_listener_->OnRowsInserted(name_);
   }
@@ -49,18 +96,37 @@ Status Table::AppendRows(std::vector<Row> rows) {
 }
 
 Status Table::TruncateTo(size_t n) {
-  if (n >= rows_.size()) return Status::OK();
-  rows_.resize(n);
+  if (n >= row_count_.load(std::memory_order_relaxed)) return Status::OK();
+  auto dir = LoadDir();
+  size_t keep_chunks = (n + kChunkSize - 1) >> kChunkShift;
+  auto trimmed = std::make_shared<ChunkDir>(dir->begin(),
+                                            dir->begin() + static_cast<long>(keep_chunks));
+  if (!trimmed->empty()) {
+    Chunk& last = *trimmed->back();
+    size_t keep_rows = n - (keep_chunks - 1) * kChunkSize;
+    // Destroys only rows above every published watermark (versions were
+    // captured before the rows being rolled back were appended); data()
+    // never moves, so readers below the watermark are unaffected.
+    last.resize(keep_rows);
+  }
+  // Publish the count first so no live reader computes a row id past the
+  // shrunk storage, then the directory.
+  row_count_.store(n, std::memory_order_release);
+  PublishDir(std::move(trimmed));
   // Rebuild indexes from scratch: rollback is an exceptional path, so the
   // O(rows) rebuild is preferred over per-index deletion support.
-  for (auto& [col, index] : indexes_) {
-    int ci = schema_.ColumnIndex(col);
-    auto rebuilt = std::make_unique<BTreeIndex>();
-    for (size_t id = 0; id < rows_.size(); ++id) {
-      rebuilt->Insert(rows_[id][static_cast<size_t>(ci)],
-                      static_cast<int64_t>(id));
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    for (auto& [col, slot] : indexes_) {
+      int ci = schema_.ColumnIndex(col);
+      auto rebuilt = std::make_shared<BTreeIndex>();
+      for (size_t id = 0; id < n; ++id) {
+        rebuilt->Insert(row(static_cast<int64_t>(id))[static_cast<size_t>(ci)],
+                        static_cast<int64_t>(id));
+      }
+      slot.tree = std::move(rebuilt);
+      slot.shared = false;
     }
-    index = std::move(rebuilt);
   }
   if (ddl_listener_ != nullptr) ddl_listener_->OnTableLoaded(name_);
   return Status::OK();
@@ -71,18 +137,40 @@ Status Table::CreateIndex(const std::string& column) {
   if (ci < 0) {
     return Status::NotFound("table " + name_ + ": no column '" + column + "'");
   }
-  auto index = std::make_unique<BTreeIndex>();
-  for (size_t id = 0; id < rows_.size(); ++id) {
-    index->Insert(rows_[id][static_cast<size_t>(ci)], static_cast<int64_t>(id));
+  auto index = std::make_shared<BTreeIndex>();
+  size_t count = row_count_.load(std::memory_order_relaxed);
+  for (size_t id = 0; id < count; ++id) {
+    index->Insert(row(static_cast<int64_t>(id))[static_cast<size_t>(ci)],
+                  static_cast<int64_t>(id));
   }
-  indexes_[column] = std::move(index);
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    indexes_[column] = IndexSlot{std::move(index), false};
+  }
   if (ddl_listener_ != nullptr) ddl_listener_->OnIndexCreated(name_, column);
   return Status::OK();
 }
 
 const BTreeIndex* Table::GetIndex(const std::string& column) const {
+  std::lock_guard<std::mutex> lock(index_mu_);
   auto it = indexes_.find(column);
-  return it != indexes_.end() ? it->second.get() : nullptr;
+  return it != indexes_.end() ? it->second.tree.get() : nullptr;
+}
+
+TableVersion Table::CaptureVersion() {
+  TableVersion v;
+  v.row_count = row_count_.load(std::memory_order_acquire);
+  v.chunks = LoadDir();
+  auto map = std::make_shared<IndexMap>();
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    for (auto& [col, slot] : indexes_) {
+      slot.shared = true;  // next mutation clones before touching the tree
+      (*map)[col] = slot.tree;
+    }
+  }
+  v.indexes = std::move(map);
+  return v;
 }
 
 }  // namespace xdb::rel

@@ -1,9 +1,30 @@
 // Heap tables with positional row ids, plus per-column B+tree indexes.
+//
+// Row storage is chunked and append-only: rows live in fixed-capacity
+// chunks (capacity reserved up front, so appending never relocates a
+// published row) reached through a copy-on-write chunk directory that is
+// swapped atomically when a chunk is added. Together with copy-on-write
+// index publication this gives snapshot semantics for free: CaptureVersion()
+// freezes (row_count, chunk directory, index map) into an immutable
+// TableVersion; readers pinned to a version never observe later appends,
+// and the writer never waits for readers.
+//
+// Concurrency contract:
+//   * Mutators (Insert/AppendRows/CreateIndex/TruncateTo) and
+//     CaptureVersion must be externally serialized (one writer at a time —
+//     the session layer's writer lock, or the single caller of the
+//     embedded API).
+//   * Readers holding a TableVersion are safe against any concurrent
+//     mutator. Readers using the live accessors (row/row_count/GetIndex)
+//     are safe against concurrent *appends* but not against TruncateTo —
+//     the pre-existing single-caller contract for rollbacks.
 #ifndef XDB_REL_TABLE_H_
 #define XDB_REL_TABLE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -60,11 +81,40 @@ class Schema {
   std::vector<Column> columns_;
 };
 
-/// \brief A heap table: schema + row storage + secondary indexes.
+/// Immutable per-column index set as of one published version.
+using IndexMap = std::map<std::string, std::shared_ptr<const BTreeIndex>>;
+
+/// Row storage chunk / chunk directory (see Table).
+using Chunk = std::vector<Row>;
+using ChunkDir = std::vector<std::shared_ptr<Chunk>>;
+
+/// Rows per storage chunk (power of two; row id -> chunk via shift/mask).
+inline constexpr size_t kChunkShift = 10;
+inline constexpr size_t kChunkSize = size_t{1} << kChunkShift;
+
+/// One frozen version of a table's data: the row watermark plus the chunk
+/// directory and index map that were current when it was captured. Readers
+/// holding a TableVersion see exactly `row_count` rows forever; the shared
+/// pointers keep the storage alive past any later truncate/replace.
+struct TableVersion {
+  size_t row_count = 0;
+  std::shared_ptr<const ChunkDir> chunks;
+  std::shared_ptr<const IndexMap> indexes;
+
+  const Row& row(int64_t id) const {
+    return (*(*chunks)[static_cast<size_t>(id) >> kChunkShift])
+        [static_cast<size_t>(id) & (kChunkSize - 1)];
+  }
+  const BTreeIndex* index(const std::string& column) const {
+    auto it = indexes->find(column);
+    return it != indexes->end() ? it->second.get() : nullptr;
+  }
+};
+
+/// \brief A heap table: schema + chunked row storage + secondary indexes.
 class Table {
  public:
-  Table(std::string name, Schema schema)
-      : name_(std::move(name)), schema_(std::move(schema)) {}
+  Table(std::string name, Schema schema);
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
@@ -78,32 +128,76 @@ class Table {
   /// so a bad batch leaves the table untouched.
   Status AppendRows(std::vector<Row> rows);
 
-  size_t row_count() const { return rows_.size(); }
-  const Row& row(int64_t id) const { return rows_[static_cast<size_t>(id)]; }
+  size_t row_count() const {
+    return row_count_.load(std::memory_order_acquire);
+  }
+  /// The row with positional id `id`. Safe against concurrent appends;
+  /// callers that need a stable view across calls should go through a
+  /// TableVersion (see CaptureVersion) instead.
+  const Row& row(int64_t id) const;
 
   /// Drops every row past the first `n` and rebuilds the indexes — the
   /// bulk-load rollback primitive (a failed load truncates each touched
   /// table back to its pre-load row count so a retry starts clean). Fires
   /// OnTableLoaded so cached plans over the shrunk table are invalidated.
-  /// No-op when `n` >= row_count().
+  /// No-op when `n` >= row_count(). Published versions are unaffected:
+  /// they hold their own chunk directory.
   Status TruncateTo(size_t n);
 
   /// Builds (or rebuilds) a B+tree index on `column`.
   Status CreateIndex(const std::string& column);
-  /// The index on `column`, or nullptr.
+  /// The index on `column`, or nullptr. The pointer stays valid while the
+  /// table (and, once versioning is on, any version that captured it) lives.
   const BTreeIndex* GetIndex(const std::string& column) const;
   bool HasIndex(const std::string& column) const {
     return GetIndex(column) != nullptr;
   }
 
+  /// Freezes the current (row_count, chunks, indexes) into an immutable
+  /// version. Must be called from the (serialized) writer side. The first
+  /// capture permanently switches the table to copy-on-write index
+  /// maintenance: a mutator clones any index object that a version holds
+  /// before touching it, so captured versions stay immutable.
+  TableVersion CaptureVersion();
+
   /// Set by the owning Catalog; DDL/DML on this table is forwarded to it.
   void set_ddl_listener(DdlListener* listener) { ddl_listener_ = listener; }
 
+  /// The current chunk directory. For a consistent lock-free live read,
+  /// load row_count() first, then the directory (the writer publishes the
+  /// directory before the count, so the directory covers every row below
+  /// the loaded count).
+  std::shared_ptr<const ChunkDir> LoadDirForRead() const { return LoadDir(); }
+
  private:
+  // Appends one validated row: maintains indexes (cloning shared ones
+  // first), grows the chunk directory as needed, publishes the new row
+  // count last. Writer-side only.
+  void AppendRowLocked(Row row);
+  // Clones `slot`'s tree if a captured version still shares it.
+  struct IndexSlot {
+    std::shared_ptr<BTreeIndex> tree;
+    bool shared = false;  // captured by a version since the last clone
+  };
+  BTreeIndex* MutableIndex(IndexSlot* slot);
+  // Publishes a new chunk directory (copy of the current one, for growth
+  // or truncation). Writer-side only.
+  void PublishDir(std::shared_ptr<const ChunkDir> dir);
+  std::shared_ptr<const ChunkDir> LoadDir() const;
+
   std::string name_;
   Schema schema_;
-  std::vector<Row> rows_;
-  std::map<std::string, std::unique_ptr<BTreeIndex>> indexes_;  // by column
+  // Row storage: directory of fixed-capacity chunks, swapped atomically on
+  // growth. Readers index published rows without locks; the writer appends
+  // into reserved capacity, so published Row objects never move.
+  std::atomic<std::shared_ptr<const ChunkDir>> dir_;
+  std::atomic<size_t> row_count_{0};
+  // Secondary indexes. The slot map structure (and the tree pointers in it)
+  // are guarded by index_mu_: GetIndex can race CreateIndex / clone swaps
+  // from the writer. Tree *contents* are only mutated while the tree is
+  // private to the writer (not captured by any version).
+  mutable std::mutex index_mu_;
+  std::map<std::string, IndexSlot> indexes_;  // by column
   DdlListener* ddl_listener_ = nullptr;
 };
 

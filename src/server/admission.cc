@@ -1,0 +1,77 @@
+#include "server/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace xdb::server {
+
+AdmissionController::AdmissionController(size_t max_concurrent,
+                                         size_t max_queue)
+    : max_concurrent_(std::max<size_t>(1, max_concurrent)),
+      max_queue_(max_queue) {}
+
+void AdmissionController::Ticket::Release() {
+  if (controller_ != nullptr) {
+    controller_->Release();
+    controller_ = nullptr;
+  }
+}
+
+Result<AdmissionController::Ticket> AdmissionController::Acquire(
+    const governor::CancelToken* cancel) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (cancel != nullptr && cancel->cancelled()) {
+    return Status::Cancelled("cancelled before admission");
+  }
+  // Fast path: a free slot and nobody queued ahead.
+  if (running_ < max_concurrent_ && queue_.empty()) {
+    ++running_;
+    return Ticket(this);
+  }
+  if (queue_.size() >= max_queue_) {
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(queue_.size()) + "/" +
+        std::to_string(max_queue_) + " waiting, " +
+        std::to_string(running_) + " running)");
+  }
+  Waiter self;
+  queue_.push_back(&self);
+  auto it = std::prev(queue_.end());
+  // The cancel token has no wake-up hook, so poll it on a short period;
+  // admissions themselves are signalled and wake immediately.
+  while (!self.admitted) {
+    cv_.wait_for(lock, std::chrono::milliseconds(1));
+    if (self.admitted) break;
+    if (cancel != nullptr && cancel->cancelled()) {
+      queue_.erase(it);
+      return Status::Cancelled("cancelled while queued for admission");
+    }
+  }
+  // Release() transferred the slot (running_ stayed up on its behalf).
+  return Ticket(this);
+}
+
+void AdmissionController::Release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!queue_.empty()) {
+    // Hand the slot straight to the head waiter: running_ is unchanged.
+    Waiter* next = queue_.front();
+    queue_.pop_front();
+    next->admitted = true;
+    cv_.notify_all();
+    return;
+  }
+  --running_;
+}
+
+size_t AdmissionController::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+size_t AdmissionController::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+}  // namespace xdb::server

@@ -1,0 +1,92 @@
+// AdmissionController: the governor's front door for concurrent serving.
+//
+// Per-execution budgets (common/governor.h) bound what a query may consume
+// once it runs; admission control bounds how many run at all. A fixed
+// number of execution slots is handed out FIFO; when every slot is busy,
+// callers queue up to a configurable depth and block until a slot frees.
+// Past that depth the controller rejects immediately with
+// kResourceExhausted — shedding load at the door instead of thrashing —
+// and a CancelToken observed while queued dequeues the caller with
+// kCancelled (a client can abandon a request it no longer wants without
+// consuming a slot).
+#ifndef XDB_SERVER_ADMISSION_H_
+#define XDB_SERVER_ADMISSION_H_
+
+#include <condition_variable>
+#include <list>
+#include <mutex>
+
+#include "common/governor.h"
+#include "common/status.h"
+
+namespace xdb::server {
+
+class AdmissionController {
+ public:
+  /// `max_concurrent` execution slots (floored at 1); up to `max_queue`
+  /// callers wait for one (0 = reject as soon as all slots are busy).
+  AdmissionController(size_t max_concurrent, size_t max_queue);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// RAII slot: releasing it hands the slot to the longest-waiting caller.
+  class Ticket {
+   public:
+    Ticket() = default;
+    ~Ticket() { Release(); }
+    Ticket(Ticket&& o) noexcept : controller_(o.controller_) {
+      o.controller_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& o) noexcept {
+      if (this != &o) {
+        Release();
+        controller_ = o.controller_;
+        o.controller_ = nullptr;
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+
+    bool valid() const { return controller_ != nullptr; }
+    /// Returns the slot early (idempotent; the destructor is a no-op after).
+    void Release();
+
+   private:
+    friend class AdmissionController;
+    explicit Ticket(AdmissionController* c) : controller_(c) {}
+    AdmissionController* controller_ = nullptr;
+  };
+
+  /// Acquires a slot, queueing (FIFO) when all are busy. Returns
+  /// kResourceExhausted when the wait queue is already full, kCancelled
+  /// when `cancel` fires while queued. `cancel` may be null.
+  Result<Ticket> Acquire(const governor::CancelToken* cancel);
+
+  /// Callers currently blocked waiting for a slot.
+  size_t queue_depth() const;
+  /// Slots currently handed out.
+  size_t running() const;
+
+ private:
+  // One queued caller; lives on the waiting thread's stack, linked into
+  // queue_ in arrival order. Admission flips `admitted` (the slot transfers
+  // to the waiter at that moment — Release never double-frees it).
+  struct Waiter {
+    bool admitted = false;
+  };
+
+  void Release();
+
+  const size_t max_concurrent_;
+  const size_t max_queue_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t running_ = 0;
+  std::list<Waiter*> queue_;
+};
+
+}  // namespace xdb::server
+
+#endif  // XDB_SERVER_ADMISSION_H_

@@ -1,0 +1,224 @@
+#include "server/session.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+namespace xdb::server {
+
+namespace {
+
+size_t EnvCount(const char* name, size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  long v = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || v < 0) return fallback;
+  return static_cast<size_t>(v);
+}
+
+}  // namespace
+
+SessionManager::Options SessionManager::Options::FromEnv() {
+  Options o;
+  o.max_sessions = EnvCount("XDB_MAX_SESSIONS", o.max_sessions);
+  o.admission_queue = EnvCount("XDB_ADMISSION_QUEUE", o.admission_queue);
+  const char* mem = std::getenv("XDB_SESSION_MEM_BUDGET");
+  if (mem != nullptr && *mem != '\0') {
+    uint64_t bytes = 0;
+    if (governor::ParseByteSize(mem, &bytes)) o.session_mem_budget = bytes;
+  }
+  return o;
+}
+
+SessionManager::SessionManager(XmlDb* db)
+    : SessionManager(db, Options::FromEnv()) {}
+
+SessionManager::SessionManager(XmlDb* db, const Options& options)
+    : db_(db),
+      options_(options),
+      snapshots_(db->catalog()),
+      admission_(options.max_concurrent != 0
+                     ? options.max_concurrent
+                     : std::max(2u, std::thread::hardware_concurrency()),
+                 options.admission_queue) {}
+
+SessionManager::~SessionManager() = default;
+
+Result<SessionPtr> SessionManager::Begin() {
+  size_t cur = sessions_active_.load(std::memory_order_relaxed);
+  do {
+    if (cur >= options_.max_sessions) {
+      return Status::ResourceExhausted(
+          "session limit reached (" + std::to_string(cur) + "/" +
+          std::to_string(options_.max_sessions) + ")");
+    }
+  } while (!sessions_active_.compare_exchange_weak(
+      cur, cur + 1, std::memory_order_acq_rel, std::memory_order_relaxed));
+  // Pinning is one atomic head load — Begin never waits on a writer and
+  // can never observe a mid-flight load (the head only ever points at
+  // fully published epochs).
+  return SessionPtr(new Session(
+      this, next_session_id_.fetch_add(1, std::memory_order_relaxed),
+      PinHead()));
+}
+
+void SessionManager::ReleaseSession(Session* /*session*/) {
+  sessions_active_.fetch_sub(1, std::memory_order_acq_rel);
+  ReclaimEpochs();
+}
+
+void SessionManager::ReclaimEpochs() {
+  // Epochs below the oldest still-pinned one are unreachable: no session
+  // can execute against them anymore, so their per-epoch plans are dead.
+  db_->plan_cache()->PurgeEpochsBelow(snapshots_.MinLiveEpoch());
+}
+
+Result<shred::LoadStats> SessionManager::LoadDocument(
+    const std::string& view_name, std::string_view xml_text) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  Result<shred::LoadStats> loaded = shred::LoadStats{};
+  {
+    // Publish-then-notify: the batch holds back every DDL/DML event the
+    // load produces until the new epoch is the head, so a listener (plan
+    // cache) re-preparing on invalidation already sees the committed state,
+    // and no reader can pin a half-loaded epoch.
+    rel::Catalog::NotificationBatch batch(db_->catalog());
+    loaded = db_->LoadDocument(view_name, xml_text);
+    snapshots_.Publish();
+  }
+  ReclaimEpochs();
+  return loaded;
+}
+
+Status SessionManager::Apply(const std::function<Status()>& ddl) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  Status st;
+  {
+    rel::Catalog::NotificationBatch batch(db_->catalog());
+    st = ddl();
+    snapshots_.Publish();
+  }
+  ReclaimEpochs();
+  return st;
+}
+
+Result<std::shared_ptr<const core::PreparedTransform>> SessionManager::Prepare(
+    bool transform, const rel::Snapshot* snapshot, const std::string& view,
+    std::string_view text, ExecOptions options, ExecStats* stats) {
+  options.snapshot = snapshot;
+  auto prepared = transform
+                      ? db_->PrepareTransform(view, text, options, stats)
+                      : db_->PrepareQuery(view, text, options, stats);
+  if (stats != nullptr) {
+    stats->snapshot_epoch = snapshot->epoch();
+    stats->sessions_active = sessions_active();
+    stats->admission_queue_depth = admission_.queue_depth();
+  }
+  return prepared;
+}
+
+Result<std::vector<std::string>> SessionManager::Execute(
+    const core::PreparedTransform& prepared, const rel::Snapshot* snapshot,
+    ExecOptions options, ExecStats* stats) {
+  XDB_ASSIGN_OR_RETURN(AdmissionController::Ticket ticket,
+                       admission_.Acquire(options.cancel));
+  options.snapshot = snapshot;
+  // Session quotas ride the per-execution governor: the memory quota fills
+  // the budget slot the caller left at its env default, and the fair-share
+  // pool divides engine ticks across live sessions so one cannot starve
+  // the rest.
+  if (options_.session_mem_budget > 0 && options.mem_budget_bytes < 0) {
+    options.mem_budget_bytes =
+        static_cast<int64_t>(options_.session_mem_budget);
+  }
+  size_t active = std::max<size_t>(1, sessions_active());
+  if (options_.fair_share_ticks > 0 && options.tick_budget == 0) {
+    options.tick_budget =
+        std::max<uint64_t>(1, options_.fair_share_ticks / active);
+  }
+  size_t queued_behind = admission_.queue_depth();
+  auto result = db_->Execute(prepared, options, stats);
+  if (stats != nullptr) {
+    stats->sessions_active = active;
+    stats->admission_queue_depth = queued_behind;
+  }
+  return result;
+}
+
+// ---- Session ----------------------------------------------------------------
+
+Session::~Session() {
+  statements_.clear();
+  snapshot_.reset();  // drop the pin before the manager recomputes epochs
+  mgr_->ReleaseSession(this);
+}
+
+Result<StatementHandle> Session::PrepareTransform(
+    const std::string& view, std::string_view stylesheet_text,
+    const ExecOptions& options, ExecStats* stats) {
+  XDB_ASSIGN_OR_RETURN(auto prepared,
+                       mgr_->Prepare(/*transform=*/true, snapshot_.get(), view,
+                                     stylesheet_text, options, stats));
+  StatementHandle handle{next_statement_++};
+  statements_[handle.id] = std::move(prepared);
+  return handle;
+}
+
+Result<StatementHandle> Session::PrepareQuery(const std::string& view,
+                                              std::string_view xquery_text,
+                                              const ExecOptions& options,
+                                              ExecStats* stats) {
+  XDB_ASSIGN_OR_RETURN(auto prepared,
+                       mgr_->Prepare(/*transform=*/false, snapshot_.get(),
+                                     view, xquery_text, options, stats));
+  StatementHandle handle{next_statement_++};
+  statements_[handle.id] = std::move(prepared);
+  return handle;
+}
+
+Result<std::shared_ptr<const core::PreparedTransform>> Session::Find(
+    StatementHandle handle) const {
+  auto it = statements_.find(handle.id);
+  if (it == statements_.end()) {
+    return Status::NotFound("no prepared statement #" +
+                            std::to_string(handle.id) + " in session " +
+                            std::to_string(id_));
+  }
+  return it->second;
+}
+
+Result<std::vector<std::string>> Session::Execute(StatementHandle handle,
+                                                  const ExecOptions& options,
+                                                  ExecStats* stats) {
+  XDB_ASSIGN_OR_RETURN(auto prepared, Find(handle));
+  return mgr_->Execute(*prepared, snapshot_.get(), options, stats);
+}
+
+Result<std::vector<std::string>> Session::Transform(
+    const std::string& view, std::string_view stylesheet_text,
+    const ExecOptions& options, ExecStats* stats) {
+  XDB_ASSIGN_OR_RETURN(auto prepared,
+                       mgr_->Prepare(/*transform=*/true, snapshot_.get(), view,
+                                     stylesheet_text, options, stats));
+  return mgr_->Execute(*prepared, snapshot_.get(), options, stats);
+}
+
+Result<std::vector<std::string>> Session::Query(const std::string& view,
+                                                std::string_view xquery_text,
+                                                const ExecOptions& options,
+                                                ExecStats* stats) {
+  XDB_ASSIGN_OR_RETURN(auto prepared,
+                       mgr_->Prepare(/*transform=*/false, snapshot_.get(),
+                                     view, xquery_text, options, stats));
+  return mgr_->Execute(*prepared, snapshot_.get(), options, stats);
+}
+
+void Session::Repin() {
+  statements_.clear();
+  snapshot_ = mgr_->PinHead();
+  mgr_->ReclaimEpochs();
+}
+
+}  // namespace xdb::server

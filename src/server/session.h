@@ -1,0 +1,223 @@
+// Session layer: concurrent serving over one XmlDb under snapshot
+// isolation.
+//
+//   SessionManager mgr(&db);
+//   auto session = *mgr.Begin();              // pins the current epoch
+//   auto h = *session->PrepareTransform("v", xsl);
+//   auto rows = *session->Execute(h);         // reads the pinned epoch only
+//   ... meanwhile: mgr.LoadDocument("v", doc) // commits + publishes epoch+1
+//   rows == *session->Execute(h);             // byte-identical: still pinned
+//   session->Repin();                         // opt in to the new epoch
+//
+// Division of labor:
+//  * SnapshotManager (snapshot_manager.h) versions the storage: every
+//    writer commit publishes a new immutable epoch; Session::Begin pins the
+//    head with one atomic load and never blocks on — or observes — a
+//    mid-flight load.
+//  * AdmissionController (admission.h) bounds concurrency: execution slots
+//    are handed out FIFO, the wait queue is capped (kResourceExhausted past
+//    the cap), and queued requests honor cancellation.
+//  * SessionManager fronts XmlDb: per-session prepared-statement handles
+//    (plans cached per-epoch in the shared plan cache — a publish
+//    invalidates only newer epochs), per-session memory quotas and
+//    fair-share tick budgets applied at execution, and the writer API
+//    (LoadDocument) serialized under one writer mutex with the
+//    publish-then-notify protocol: the new epoch is published *before* the
+//    load's batched DDL notifications reach any listener.
+//
+// Reclamation: a session's pins are dropped when it is released; when the
+// oldest pinned epoch advances, retired table versions free themselves
+// (shared_ptr chains) and the plan cache purges the unreachable epochs.
+#ifndef XDB_SERVER_SESSION_H_
+#define XDB_SERVER_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/xmldb.h"
+#include "server/admission.h"
+#include "server/snapshot_manager.h"
+
+namespace xdb::server {
+
+class SessionManager;
+
+/// A prepared statement registered with one session. Plain value handle:
+/// cheap to copy, invalid (id 0) when default-constructed.
+struct StatementHandle {
+  uint64_t id = 0;
+  bool valid() const { return id != 0; }
+};
+
+/// \brief One client's view of the database: a pinned snapshot epoch plus
+/// its prepared statements.
+///
+/// A session is not thread-safe — one client drives it. Cross-session
+/// concurrency (many sessions executing while loads commit) is the
+/// supported mode and is what the TSan'd session tests exercise.
+class Session {
+ public:
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  uint64_t id() const { return id_; }
+  /// The epoch every read of this session observes (until Repin).
+  uint64_t epoch() const { return snapshot_->epoch(); }
+  const std::shared_ptr<const rel::Snapshot>& snapshot() const {
+    return snapshot_;
+  }
+
+  /// Prepares SELECT XMLTransform(view.xml_column, stylesheet) FROM view
+  /// against the pinned epoch. The plan lands in the shared plan cache
+  /// keyed by this epoch, so a concurrent publish leaves it valid.
+  Result<StatementHandle> PrepareTransform(const std::string& view,
+                                           std::string_view stylesheet_text,
+                                           const ExecOptions& options = {},
+                                           ExecStats* stats = nullptr);
+  /// Prepares SELECT XMLQuery(query PASSING view.xml_column) FROM view.
+  Result<StatementHandle> PrepareQuery(const std::string& view,
+                                       std::string_view xquery_text,
+                                       const ExecOptions& options = {},
+                                       ExecStats* stats = nullptr);
+
+  /// Executes a prepared statement over the pinned epoch: one result per
+  /// base row as of that epoch. Subject to admission control and the
+  /// session quotas; fills the queue/epoch/session gauges in `stats`.
+  Result<std::vector<std::string>> Execute(StatementHandle handle,
+                                           const ExecOptions& options = {},
+                                           ExecStats* stats = nullptr);
+
+  /// One-shot prepare + execute (per-epoch plan cache makes it warm).
+  Result<std::vector<std::string>> Transform(const std::string& view,
+                                             std::string_view stylesheet_text,
+                                             const ExecOptions& options = {},
+                                             ExecStats* stats = nullptr);
+  Result<std::vector<std::string>> Query(const std::string& view,
+                                         std::string_view xquery_text,
+                                         const ExecOptions& options = {},
+                                         ExecStats* stats = nullptr);
+
+  /// Drops all statements and re-pins the current head epoch — the
+  /// session-level "refresh snapshot" (statements bake in their epoch, so
+  /// they cannot survive a re-pin).
+  void Repin();
+
+ private:
+  friend class SessionManager;
+  Session(SessionManager* mgr, uint64_t id,
+          std::shared_ptr<const rel::Snapshot> snapshot)
+      : mgr_(mgr), id_(id), snapshot_(std::move(snapshot)) {}
+
+  Result<std::shared_ptr<const core::PreparedTransform>> Find(
+      StatementHandle handle) const;
+
+  SessionManager* mgr_;
+  uint64_t id_;
+  std::shared_ptr<const rel::Snapshot> snapshot_;
+  uint64_t next_statement_ = 1;
+  std::map<uint64_t, std::shared_ptr<const core::PreparedTransform>>
+      statements_;
+};
+
+using SessionPtr = std::unique_ptr<Session>;
+
+/// \brief Fronts one XmlDb for N concurrent sessions + background writers.
+class SessionManager {
+ public:
+  struct Options {
+    /// Live-session cap; Begin past it returns kResourceExhausted.
+    /// Env: XDB_MAX_SESSIONS (default 64).
+    size_t max_sessions = 64;
+    /// Concurrent execution slots (0 = hardware concurrency).
+    size_t max_concurrent = 0;
+    /// Executions queued behind the slots before load shedding.
+    /// Env: XDB_ADMISSION_QUEUE (default 64).
+    size_t admission_queue = 64;
+    /// Per-execution tracked-memory quota in bytes (0 = unlimited; a
+    /// session exceeding it gets kResourceExhausted, others are
+    /// unaffected). Env: XDB_SESSION_MEM_BUDGET (K/M/G suffixes).
+    uint64_t session_mem_budget = 0;
+    /// Fair-share tick pool: when set, each execution's tick budget is
+    /// pool / live-sessions, so one session cannot monopolize engine work
+    /// while others are active. 0 = disabled.
+    uint64_t fair_share_ticks = 0;
+
+    /// Defaults with the XDB_* environment overrides applied.
+    static Options FromEnv();
+  };
+
+  explicit SessionManager(XmlDb* db);
+  SessionManager(XmlDb* db, const Options& options);
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Opens a session pinned to the current head epoch. Wait-free against
+  /// writers (one atomic snapshot load). kResourceExhausted at the session
+  /// cap. The returned session must not outlive the manager.
+  Result<SessionPtr> Begin();
+
+  // ---- writer API (serialized; any number may be queued behind the lock) ----
+
+  /// Parses and bulk-loads `xml_text` into `view_name`'s shred tables,
+  /// then publishes the next snapshot epoch. Existing sessions keep their
+  /// pinned epoch (byte-identical reads); new sessions see the load. DDL
+  /// notifications (plan-cache invalidation) fire only after the publish —
+  /// the publish-then-notify protocol.
+  Result<shred::LoadStats> LoadDocument(const std::string& view_name,
+                                        std::string_view xml_text);
+
+  /// Runs `ddl` (any catalog/table mutation, e.g. schema registration or
+  /// index creation) under the writer lock and publishes the next epoch.
+  Status Apply(const std::function<Status()>& ddl);
+
+  // ---- gauges ---------------------------------------------------------------
+  size_t sessions_active() const {
+    return sessions_active_.load(std::memory_order_relaxed);
+  }
+  size_t admission_queue_depth() const { return admission_.queue_depth(); }
+  uint64_t head_epoch() const { return snapshots_.head_epoch(); }
+  /// Distinct epochs still readable: head + retired-but-pinned.
+  size_t live_epochs() const { return 1 + snapshots_.RetiredLiveCount(); }
+
+  XmlDb* db() { return db_; }
+
+ private:
+  friend class Session;
+
+  // Session-side entry points (see Session's public wrappers).
+  Result<std::shared_ptr<const core::PreparedTransform>> Prepare(
+      bool transform, const rel::Snapshot* snapshot, const std::string& view,
+      std::string_view text, ExecOptions options, ExecStats* stats);
+  Result<std::vector<std::string>> Execute(
+      const core::PreparedTransform& prepared, const rel::Snapshot* snapshot,
+      ExecOptions options, ExecStats* stats);
+
+  void ReleaseSession(Session* session);
+  std::shared_ptr<const rel::Snapshot> PinHead() { return snapshots_.Pin(); }
+  // Drops plan-cache entries for epochs no session can pin anymore.
+  void ReclaimEpochs();
+
+  XmlDb* db_;
+  Options options_;
+  SnapshotManager snapshots_;
+  AdmissionController admission_;
+
+  std::mutex writer_mu_;  // serializes loads/DDL + publishes
+
+  std::atomic<size_t> sessions_active_{0};
+  std::atomic<uint64_t> next_session_id_{1};
+};
+
+}  // namespace xdb::server
+
+#endif  // XDB_SERVER_SESSION_H_

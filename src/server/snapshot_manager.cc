@@ -1,0 +1,69 @@
+#include "server/snapshot_manager.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace xdb::server {
+
+namespace {
+
+std::shared_ptr<const rel::Snapshot> Capture(rel::Catalog* catalog,
+                                             uint64_t epoch) {
+  std::map<const rel::Table*, rel::TableVersion> versions;
+  for (rel::Table* table : catalog->AllTables()) {
+    versions.emplace(table, table->CaptureVersion());
+  }
+  return std::make_shared<const rel::Snapshot>(epoch, std::move(versions));
+}
+
+}  // namespace
+
+SnapshotManager::SnapshotManager(rel::Catalog* catalog) : catalog_(catalog) {
+  head_.store(Capture(catalog_, 1), std::memory_order_release);
+}
+
+std::shared_ptr<const rel::Snapshot> SnapshotManager::Publish() {
+  std::shared_ptr<const rel::Snapshot> old =
+      head_.load(std::memory_order_acquire);
+  std::shared_ptr<const rel::Snapshot> next =
+      Capture(catalog_, old->epoch() + 1);
+  {
+    std::lock_guard<std::mutex> lock(retired_mu_);
+    retired_.push_back(old);
+  }
+  head_.store(next, std::memory_order_release);
+  return next;
+}
+
+uint64_t SnapshotManager::MinLiveEpoch() const {
+  uint64_t min_epoch = head_epoch();
+  std::lock_guard<std::mutex> lock(retired_mu_);
+  auto it = retired_.begin();
+  while (it != retired_.end()) {
+    if (std::shared_ptr<const rel::Snapshot> s = it->lock()) {
+      min_epoch = std::min(min_epoch, s->epoch());
+      ++it;
+    } else {
+      it = retired_.erase(it);
+    }
+  }
+  return min_epoch;
+}
+
+size_t SnapshotManager::RetiredLiveCount() const {
+  std::lock_guard<std::mutex> lock(retired_mu_);
+  size_t live = 0;
+  auto it = retired_.begin();
+  while (it != retired_.end()) {
+    if (!it->expired()) {
+      ++live;
+      ++it;
+    } else {
+      it = retired_.erase(it);
+    }
+  }
+  return live;
+}
+
+}  // namespace xdb::server

@@ -1,0 +1,75 @@
+// SnapshotManager: epoch-versioned publication of whole-catalog snapshots.
+//
+// The session layer's MVCC spine. A Publish() captures one TableVersion per
+// catalog table (copy-on-write: chunk directories and index trees are
+// shared, not copied — see rel::Table::CaptureVersion) and swaps the result
+// in as the new head atomically. Pin() is wait-free with respect to
+// writers: it loads the head shared_ptr and never touches the writer
+// serialization, so a reader beginning a session mid-load observes either
+// the epoch before the load or the epoch after it, never a half-loaded
+// state.
+//
+// Reclamation is reference-counted: the manager keeps only weak references
+// to retired heads, so a retired epoch's chunk directories and index trees
+// are freed the moment the last pinning session drains. MinLiveEpoch() is
+// what the session layer feeds to PlanCache::PurgeEpochsBelow.
+#ifndef XDB_SERVER_SNAPSHOT_MANAGER_H_
+#define XDB_SERVER_SNAPSHOT_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "rel/catalog.h"
+#include "rel/snapshot.h"
+
+namespace xdb::server {
+
+class SnapshotManager {
+ public:
+  /// Publishes epoch 1 (a snapshot of the catalog's current state) so the
+  /// very first Pin() already has a head to return.
+  explicit SnapshotManager(rel::Catalog* catalog);
+
+  SnapshotManager(const SnapshotManager&) = delete;
+  SnapshotManager& operator=(const SnapshotManager&) = delete;
+
+  /// The current head. Never blocks on a concurrent Publish: this is a
+  /// single atomic shared_ptr load (the publish path's only shared state
+  /// with readers).
+  std::shared_ptr<const rel::Snapshot> Pin() const {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  /// Captures every catalog table at its current watermark and publishes
+  /// the result as the new head (epoch = previous + 1). The caller must
+  /// hold the writer serialization (SessionManager's writer mutex): table
+  /// version capture and table mutation may not overlap.
+  std::shared_ptr<const rel::Snapshot> Publish();
+
+  uint64_t head_epoch() const {
+    return head_.load(std::memory_order_acquire)->epoch();
+  }
+
+  /// The oldest epoch any holder can still read: the minimum over the head
+  /// and every retired snapshot that is still referenced. Epochs below it
+  /// are unreachable — their plan-cache entries are dead weight.
+  uint64_t MinLiveEpoch() const;
+
+  /// Retired snapshots still kept alive by a pin (the `live_epochs` gauge:
+  /// head + this = distinct readable epochs). Prunes dead entries.
+  size_t RetiredLiveCount() const;
+
+ private:
+  rel::Catalog* catalog_;
+  std::atomic<std::shared_ptr<const rel::Snapshot>> head_;
+  // Retired heads, weakly held: pruned on the gauge/reclamation paths.
+  mutable std::mutex retired_mu_;
+  mutable std::vector<std::weak_ptr<const rel::Snapshot>> retired_;
+};
+
+}  // namespace xdb::server
+
+#endif  // XDB_SERVER_SNAPSHOT_MANAGER_H_

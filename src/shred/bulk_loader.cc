@@ -72,6 +72,11 @@ Result<LoadStats> BulkLoader::LoadParsed(const xml::Node* node) {
     XDB_ASSIGN_OR_RETURN(rel::Table * table, catalog_->GetTable(t->name));
     marks.emplace_back(table, table->row_count());
   }
+  // Publish-then-notify: AppendRows fires OnRowsInserted per flushed chunk,
+  // which used to reach listeners while sibling tables of the same document
+  // were still mid-load. Batch every event until the load (or its rollback)
+  // has fully published, then fire them in order.
+  rel::Catalog::NotificationBatch batch_guard(catalog_);
   Status insert_st = InsertBatch(std::move(batch), &stats);
   if (!insert_st.ok()) {
     for (auto& [table, row_count] : marks) {

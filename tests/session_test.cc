@@ -1,0 +1,437 @@
+// Session-layer tests: snapshot pin/publish/reclaim, admission control,
+// per-session quotas and the epoch-keyed plan cache. The suite names
+// (Session*/Snapshot*) are part of the CI TSan filter — everything here
+// must stay clean under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/xmldb.h"
+#include "schema/structure.h"
+#include "server/admission.h"
+#include "server/session.h"
+#include "server/snapshot_manager.h"
+
+namespace xdb::server {
+namespace {
+
+constexpr const char* kView = "items_view";
+
+constexpr const char* kStylesheet =
+    "<xsl:stylesheet version=\"1.0\" "
+    "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+    "<xsl:template match=\"/\"><out>"
+    "<xsl:for-each select=\"items/item\">"
+    "<v><xsl:value-of select=\"sku\"/></v>"
+    "</xsl:for-each>"
+    "</out></xsl:template></xsl:stylesheet>";
+
+schema::StructuralInfo ItemsStructure() {
+  schema::StructureBuilder b;
+  auto* items = b.Element("items");
+  auto* item = b.AddChild(items, "item", 0, -1);
+  b.AddText(b.AddChild(item, "sku"));
+  return b.Build(items);
+}
+
+std::string ItemsDocument(int first_sku, int count) {
+  std::string doc = "<items>";
+  for (int i = 0; i < count; ++i) {
+    doc += "<item><sku>s" + std::to_string(first_sku + i) + "</sku></item>";
+  }
+  doc += "</items>";
+  return doc;
+}
+
+class SessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.RegisterShreddedSchema(kView, ItemsStructure()).ok());
+    ASSERT_TRUE(db_.LoadDocument(kView, ItemsDocument(0, 4)).ok());
+  }
+
+  XmlDb db_;
+};
+
+// ---------------------------------------------------------------------------
+// SnapshotManager: publish, pin, reclamation accounting
+// ---------------------------------------------------------------------------
+
+TEST_F(SessionTest, SnapshotManagerPublishesMonotoneEpochs) {
+  SnapshotManager snaps(db_.catalog());
+  EXPECT_EQ(snaps.head_epoch(), 1u);
+  auto pinned = snaps.Pin();
+  EXPECT_EQ(pinned->epoch(), 1u);
+  EXPECT_GT(pinned->table_count(), 0u);
+
+  auto e2 = snaps.Publish();
+  EXPECT_EQ(e2->epoch(), 2u);
+  EXPECT_EQ(snaps.head_epoch(), 2u);
+  // The old pin still reads epoch 1 and keeps it alive.
+  EXPECT_EQ(pinned->epoch(), 1u);
+  EXPECT_EQ(snaps.MinLiveEpoch(), 1u);
+  EXPECT_EQ(snaps.RetiredLiveCount(), 1u);
+
+  pinned.reset();
+  EXPECT_EQ(snaps.MinLiveEpoch(), 2u);
+  EXPECT_EQ(snaps.RetiredLiveCount(), 0u);
+}
+
+TEST(SnapshotManagerTest, PinIsStableAcrossConcurrentPublishes) {
+  XmlDb db;
+  ASSERT_TRUE(db.RegisterShreddedSchema(kView, ItemsStructure()).ok());
+  ASSERT_TRUE(db.LoadDocument(kView, ItemsDocument(0, 2)).ok());
+  SnapshotManager snaps(db.catalog());
+
+  std::atomic<bool> stop{false};
+  std::thread publisher([&] {
+    // Publisher-only mutation: Publish requires writer serialization, which
+    // this single thread provides.
+    while (!stop.load(std::memory_order_acquire)) {
+      snaps.Publish();
+    }
+  });
+  for (int i = 0; i < 2000; ++i) {
+    auto pin = snaps.Pin();
+    ASSERT_NE(pin, nullptr);
+    // Epoch and table set are immutable once pinned.
+    ASSERT_GT(pin->epoch(), 0u);
+    ASSERT_GT(pin->table_count(), 0u);
+  }
+  stop.store(true, std::memory_order_release);
+  publisher.join();
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionController: slots, queueing, shedding, cancellation
+// ---------------------------------------------------------------------------
+
+TEST(SessionAdmissionTest, RejectsWhenQueueIsFull) {
+  AdmissionController adm(/*max_concurrent=*/1, /*max_queue=*/0);
+  auto t1 = adm.Acquire(nullptr);
+  ASSERT_TRUE(t1.ok());
+  EXPECT_EQ(adm.running(), 1u);
+
+  auto t2 = adm.Acquire(nullptr);
+  ASSERT_FALSE(t2.ok());
+  EXPECT_EQ(t2.status().code(), StatusCode::kResourceExhausted);
+
+  t1->Release();
+  EXPECT_EQ(adm.running(), 0u);
+  auto t3 = adm.Acquire(nullptr);
+  EXPECT_TRUE(t3.ok());
+}
+
+TEST(SessionAdmissionTest, QueuedCallerGetsTheFreedSlot) {
+  AdmissionController adm(1, 4);
+  auto held = adm.Acquire(nullptr);
+  ASSERT_TRUE(held.ok());
+
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] {
+    auto t = adm.Acquire(nullptr);
+    ASSERT_TRUE(t.ok());
+    admitted.store(true, std::memory_order_release);
+  });
+  // The waiter must be parked, not admitted.
+  while (adm.queue_depth() == 0) std::this_thread::yield();
+  EXPECT_FALSE(admitted.load(std::memory_order_acquire));
+
+  held->Release();
+  waiter.join();
+  EXPECT_TRUE(admitted.load(std::memory_order_acquire));
+  EXPECT_EQ(adm.running(), 0u);
+}
+
+TEST(SessionAdmissionTest, CancelWhileQueuedReturnsCancelled) {
+  AdmissionController adm(1, 4);
+  auto held = adm.Acquire(nullptr);
+  ASSERT_TRUE(held.ok());
+
+  governor::CancelToken cancel;
+  Status queued_status;
+  std::thread waiter([&] {
+    auto t = adm.Acquire(&cancel);
+    queued_status = t.status();
+  });
+  while (adm.queue_depth() == 0) std::this_thread::yield();
+  cancel.Cancel();
+  waiter.join();
+  EXPECT_EQ(queued_status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(adm.queue_depth(), 0u);
+
+  // The abandoned wait consumed nothing: the slot frees cleanly.
+  held->Release();
+  auto next = adm.Acquire(nullptr);
+  EXPECT_TRUE(next.ok());
+  EXPECT_EQ(adm.running(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Session lifecycle: pin, publish, isolation, repin, reclaim
+// ---------------------------------------------------------------------------
+
+TEST_F(SessionTest, PinnedSessionIsIsolatedFromConcurrentLoads) {
+  SessionManager mgr(&db_);
+  auto s1 = mgr.Begin();
+  ASSERT_TRUE(s1.ok());
+  uint64_t epoch = (*s1)->epoch();
+
+  ExecStats stats;
+  auto before = (*s1)->Transform(kView, kStylesheet, {}, &stats);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  ASSERT_EQ(before->size(), 1u);  // one loaded document = one base row
+  EXPECT_EQ(stats.snapshot_epoch, epoch);
+
+  // A load commits and publishes underneath the pinned session.
+  ASSERT_TRUE(mgr.LoadDocument(kView, ItemsDocument(100, 3)).ok());
+  EXPECT_GT(mgr.head_epoch(), epoch);
+
+  // Byte-identical replay: the pinned session cannot see the load.
+  auto after = (*s1)->Transform(kView, kStylesheet);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*before, *after);
+
+  // A fresh session pins the new head and sees both documents.
+  auto s2 = mgr.Begin();
+  ASSERT_TRUE(s2.ok());
+  EXPECT_GT((*s2)->epoch(), epoch);
+  auto fresh = (*s2)->Transform(kView, kStylesheet);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->size(), 2u);
+}
+
+TEST_F(SessionTest, RepinAdvancesToTheHeadEpoch) {
+  SessionManager mgr(&db_);
+  auto s = mgr.Begin();
+  ASSERT_TRUE(s.ok());
+  uint64_t old_epoch = (*s)->epoch();
+
+  ASSERT_TRUE(mgr.LoadDocument(kView, ItemsDocument(50, 2)).ok());
+  EXPECT_EQ((*s)->epoch(), old_epoch);
+
+  (*s)->Repin();
+  EXPECT_GT((*s)->epoch(), old_epoch);
+  auto rows = (*s)->Transform(kView, kStylesheet);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST_F(SessionTest, ReclaimDropsRetiredEpochsWhenSessionsDrain) {
+  SessionManager mgr(&db_);
+  auto s1 = mgr.Begin();
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(mgr.LoadDocument(kView, ItemsDocument(10, 1)).ok());
+  ASSERT_TRUE(mgr.LoadDocument(kView, ItemsDocument(20, 1)).ok());
+
+  // s1 pins the oldest epoch; the intermediate publish retired with no pins.
+  EXPECT_EQ(mgr.live_epochs(), 2u);
+  s1->reset();
+  EXPECT_EQ(mgr.live_epochs(), 1u);
+  EXPECT_EQ(mgr.sessions_active(), 0u);
+}
+
+TEST_F(SessionTest, SessionCapReturnsResourceExhausted) {
+  SessionManager::Options opts;
+  opts.max_sessions = 2;
+  SessionManager mgr(&db_, opts);
+  auto s1 = mgr.Begin();
+  auto s2 = mgr.Begin();
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+
+  auto s3 = mgr.Begin();
+  ASSERT_FALSE(s3.ok());
+  EXPECT_EQ(s3.status().code(), StatusCode::kResourceExhausted);
+
+  // Draining one frees the slot.
+  s1->reset();
+  auto s4 = mgr.Begin();
+  EXPECT_TRUE(s4.ok());
+}
+
+TEST_F(SessionTest, UnknownStatementHandleIsNotFound) {
+  SessionManager mgr(&db_);
+  auto s = mgr.Begin();
+  ASSERT_TRUE(s.ok());
+  auto rows = (*s)->Execute(StatementHandle{42});
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Quotas: the governor doubled as admission control
+// ---------------------------------------------------------------------------
+
+TEST_F(SessionTest, SessionMemoryQuotaTripsExecution) {
+  SessionManager::Options opts;
+  opts.session_mem_budget = 1;  // one byte: any materializing plan trips
+  SessionManager mgr(&db_, opts);
+  auto s = mgr.Begin();
+  ASSERT_TRUE(s.ok());
+
+  // Force the functional path so the execution materializes (and charges)
+  // the DOM.
+  ExecOptions eo;
+  eo.enable_rewrite = false;
+  ExecStats stats;
+  auto rows = (*s)->Transform(kView, kStylesheet, eo, &stats);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kResourceExhausted);
+
+  // An explicit caller-side budget wins over the session quota.
+  ExecOptions generous = eo;
+  generous.mem_budget_bytes = 64 * 1024 * 1024;
+  auto ok_rows = (*s)->Transform(kView, kStylesheet, generous);
+  EXPECT_TRUE(ok_rows.ok()) << ok_rows.status().ToString();
+}
+
+TEST_F(SessionTest, FairShareTickBudgetTripsExecution) {
+  // Load enough rows that the per-row engines tick well past the quota.
+  ASSERT_TRUE(db_.LoadDocument(kView, ItemsDocument(1000, 200)).ok());
+  SessionManager::Options opts;
+  opts.fair_share_ticks = 8;  // pool of 8 ticks across all live sessions
+  SessionManager mgr(&db_, opts);
+  auto s = mgr.Begin();
+  ASSERT_TRUE(s.ok());
+
+  auto rows = (*s)->Transform(kView, kStylesheet);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kResourceExhausted);
+
+  // A caller-specified tick budget bypasses the fair-share division.
+  ExecOptions generous;
+  generous.tick_budget = 100'000'000;
+  auto ok_rows = (*s)->Transform(kView, kStylesheet, generous);
+  EXPECT_TRUE(ok_rows.ok()) << ok_rows.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Epoch-keyed plan cache
+// ---------------------------------------------------------------------------
+
+TEST_F(SessionTest, EpochKeyedPlanSurvivesAConcurrentLoad) {
+  SessionManager mgr(&db_);
+  auto s = mgr.Begin();
+  ASSERT_TRUE(s.ok());
+
+  ExecStats cold;
+  auto h1 = (*s)->PrepareTransform(kView, kStylesheet, {}, &cold);
+  ASSERT_TRUE(h1.ok());
+  EXPECT_FALSE(cold.cache_hit);
+
+  // The load invalidates live (epoch-0) plans over the view's tables, but
+  // the session's epoch-keyed entry reads immutable versioned data and
+  // survives.
+  ASSERT_TRUE(mgr.LoadDocument(kView, ItemsDocument(70, 1)).ok());
+
+  ExecStats warm;
+  auto h2 = (*s)->PrepareTransform(kView, kStylesheet, {}, &warm);
+  ASSERT_TRUE(h2.ok());
+  EXPECT_TRUE(warm.cache_hit);
+
+  // Both handles execute against the pinned epoch.
+  auto r1 = (*s)->Execute(*h1);
+  auto r2 = (*s)->Execute(*h2);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r1, *r2);
+  EXPECT_EQ(r1->size(), 1u);
+}
+
+TEST_F(SessionTest, DrainedEpochsArePurgedFromThePlanCache) {
+  SessionManager mgr(&db_);
+  auto s = mgr.Begin();
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE((*s)->PrepareTransform(kView, kStylesheet).ok());
+
+  ASSERT_TRUE(mgr.LoadDocument(kView, ItemsDocument(80, 1)).ok());
+  uint64_t invalidations_before = db_.plan_cache()->stats().invalidations;
+
+  // Draining the only session holding the old epoch purges its plans.
+  s->reset();
+  EXPECT_GT(db_.plan_cache()->stats().invalidations, invalidations_before);
+}
+
+// ---------------------------------------------------------------------------
+// Gauges
+// ---------------------------------------------------------------------------
+
+TEST_F(SessionTest, ExecStatsCarriesSessionGauges) {
+  SessionManager mgr(&db_);
+  auto s1 = mgr.Begin();
+  auto s2 = mgr.Begin();
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+
+  ExecStats stats;
+  auto rows = (*s1)->Transform(kView, kStylesheet, {}, &stats);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(stats.snapshot_epoch, (*s1)->epoch());
+  EXPECT_EQ(stats.sessions_active, 2u);
+  EXPECT_EQ(stats.admission_queue_depth, 0u);
+
+  // Outside the session layer the gauges stay zero.
+  ExecStats plain;
+  ASSERT_TRUE(db_.TransformView(kView, kStylesheet, {}, &plain).ok());
+  EXPECT_EQ(plain.snapshot_epoch, 0u);
+  EXPECT_EQ(plain.sessions_active, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent smoke: sessions execute while loads publish (TSan target)
+// ---------------------------------------------------------------------------
+
+TEST_F(SessionTest, ConcurrentSessionsAndLoadsStayIsolated) {
+  SessionManager mgr(&db_);
+  constexpr int kSessions = 4;
+  constexpr int kRunsPerSession = 8;
+
+  std::vector<SessionPtr> sessions;
+  for (int i = 0; i < kSessions; ++i) {
+    auto s = mgr.Begin();
+    ASSERT_TRUE(s.ok());
+    sessions.push_back(std::move(*s));
+  }
+  auto reference = db_.TransformView(kView, kStylesheet);
+  ASSERT_TRUE(reference.ok());
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kSessions; ++i) {
+    Session* session = sessions[static_cast<size_t>(i)].get();
+    threads.emplace_back([&, session] {
+      for (int r = 0; r < kRunsPerSession; ++r) {
+        auto rows = session->Transform(kView, kStylesheet);
+        if (!rows.ok() || *rows != *reference) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 0; i < 6; ++i) {
+      auto load = mgr.LoadDocument(kView, ItemsDocument(200 + 10 * i, 2));
+      if (!load.ok()) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+  });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Fresh pin sees all six background loads.
+  auto fresh = mgr.Begin();
+  ASSERT_TRUE(fresh.ok());
+  auto rows = (*fresh)->Transform(kView, kStylesheet);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 7u);
+}
+
+}  // namespace
+}  // namespace xdb::server

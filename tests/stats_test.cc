@@ -95,7 +95,7 @@ TEST_F(StatsBuilderTest, CatalogStoresAndAnalyzesStats) {
   InsertEmp(1, "a", Datum(int64_t{100}));
   InsertEmp(2, "b", Datum(int64_t{200}));
   ASSERT_TRUE(catalog_.AnalyzeTable("emp").ok());
-  const TableStats* ts = catalog_.GetTableStats("emp");
+  std::shared_ptr<const TableStats> ts = catalog_.GetTableStats("emp");
   ASSERT_NE(ts, nullptr);
   EXPECT_EQ(ts->row_count, 2u);
   EXPECT_EQ(ts->column("ename")->ndv, 2);
@@ -147,7 +147,7 @@ TEST(StatsBulkLoadTest, LoadDocumentPublishesStatsIncrementally) {
   }
   ASSERT_NE(item, nullptr);
 
-  const TableStats* ts = db.catalog()->GetTableStats(item->name);
+  std::shared_ptr<const TableStats> ts = db.catalog()->GetTableStats(item->name);
   ASSERT_NE(ts, nullptr) << "BulkLoader should publish stats on load";
   EXPECT_EQ(ts->row_count, 5u);
   const ColumnStats* sku = ts->column("v_sku");
