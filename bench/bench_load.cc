@@ -1,0 +1,338 @@
+// Durability cost model: what the WAL adds to bulk load, and what it does
+// NOT add to warm reads. Three measurements:
+//
+//   (a) BM_Load_* — one-document bulk load (parse + shred + insert + index
+//       build + WAL append/commit) into a fresh database at 1k/8k/64k rows,
+//       across the InMemory baseline and the three XDB_WAL_SYNC modes.
+//       Counters: wal_bytes, fsyncs, commit_latency_us (per commit),
+//       throughput as bytes_per_second.
+//   (b) BM_Recovery_* — OpenDurable on a prepared data directory: replay
+//       from a pure WAL tail and from a checkpoint. Counter: recovery_ms.
+//   (c) BM_WarmTransform_* — warm prepared-transform latency over the same
+//       shredded view, in-memory vs durable-batch. The read path never
+//       touches the log, so the durable arm must stay within 10% of the
+//       baseline (checked offline from the JSON artifact).
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "schema/structure.h"
+#include "wal/manager.h"
+
+namespace xdb::bench {
+namespace {
+
+constexpr const char* kViewName = "load_view";
+
+// Same dbonerow-style stylesheet as bench_shredded_e2e: index-probe-friendly
+// single-row lookup, so the warm arm measures the cached-plan read path.
+constexpr const char* kDbOneRowStylesheet =
+    "<xsl:stylesheet version=\"1.0\" "
+    "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+    "<xsl:template match=\"table\">"
+    "<out><xsl:apply-templates select=\"row[id = 9]\"/></out></xsl:template>"
+    "<xsl:template match=\"row\"><hit><xsl:value-of select=\"firstname\"/> "
+    "<xsl:value-of select=\"lastname\"/></hit></xsl:template>"
+    "<xsl:template match=\"text()\"/>"
+    "</xsl:stylesheet>";
+
+schema::StructuralInfo TableRowStructure() {
+  schema::StructureBuilder b;
+  auto* table = b.Element("table");
+  auto* row = b.AddChild(table, "row", 0, -1);
+  for (const char* leaf : {"id", "firstname", "lastname", "city", "zip"}) {
+    b.AddText(b.AddChild(row, leaf));
+  }
+  return b.Build(table);
+}
+
+shred::ShredOptions RowIndexOptions() {
+  shred::ShredOptions options;
+  options.value_indexes = {"row/id", "row/zip"};
+  return options;
+}
+
+// Deterministic ~120-bytes-per-row document, cached per scale point.
+const std::string& TableDocument(int rows) {
+  static auto* cache = new std::map<int, std::string>();
+  auto it = cache->find(rows);
+  if (it != cache->end()) return it->second;
+  const char* first[] = {"Al", "Bo", "Cy", "Di", "Ed", "Fay", "Gus", "Hal",
+                         "Ida", "Joy"};
+  const char* last[] = {"Ames", "Bond", "Cole", "Dean", "Estes", "Ford",
+                        "Gray", "Hale", "Ivey", "Jones"};
+  const char* city[] = {"BOSTON", "DALLAS", "CHICAGO", "NEW YORK", "AUSTIN"};
+  uint64_t seed = 11;
+  auto next = [&seed]() {
+    seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<uint32_t>(seed >> 33);
+  };
+  std::string doc = "<table>";
+  for (int i = 0; i < rows; ++i) {
+    doc += "<row><id>" + std::to_string(i + 1) + "</id><firstname>" +
+           first[next() % 10] + "</firstname><lastname>" + last[next() % 10] +
+           "</lastname><city>" + city[next() % 5] + "</city><zip>" +
+           std::to_string(10000 + next() % 89999) + "</zip></row>";
+  }
+  doc += "</table>";
+  return cache->emplace(rows, std::move(doc)).first->second;
+}
+
+// ---------------------------------------------------------------------------
+// Temp data directories
+// ---------------------------------------------------------------------------
+
+std::string MakeTempDir() {
+  const char* base = std::getenv("TMPDIR");
+  std::string tmpl =
+      std::string(base != nullptr && *base != '\0' ? base : "/tmp") +
+      "/xdb_bench_load_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (mkdtemp(buf.data()) == nullptr) return "";
+  return std::string(buf.data());
+}
+
+void RemoveDataDir(const std::string& dir) {
+  if (dir.empty()) return;
+  for (const char* f : {"/wal.log", "/checkpoint.xck", "/checkpoint.xck.tmp"}) {
+    ::unlink((dir + f).c_str());
+  }
+  ::rmdir(dir.c_str());
+}
+
+/// Process-lifetime directories (recovery fixtures, the warm durable db)
+/// are swept on exit so repeated smoke runs don't litter TMPDIR.
+void SweepRegisteredDirs();
+std::vector<std::string>& RegisteredDirs() {
+  static auto* dirs = new std::vector<std::string>();
+  static bool registered = (std::atexit(SweepRegisteredDirs), true);
+  (void)registered;
+  return *dirs;
+}
+void SweepRegisteredDirs() {
+  for (const std::string& dir : RegisteredDirs()) RemoveDataDir(dir);
+}
+
+wal::DurabilityOptions DirOptions(const std::string& dir, wal::SyncMode sync) {
+  wal::DurabilityOptions opts;
+  opts.data_dir = dir;
+  opts.sync = sync;
+  opts.checkpoint_bytes = 0;  // no auto checkpoints mid-measurement
+  return opts;
+}
+
+// ---------------------------------------------------------------------------
+// (a) Load throughput across sync modes
+// ---------------------------------------------------------------------------
+
+/// One measured load: fresh database (durable when `durable`), register +
+/// load the whole document. Registration/setup is outside the timed region;
+/// the timed region is LoadDocument — parse + shred + insert + index build
+/// plus, on the durable arms, WAL framing and the commit fsync policy.
+void RunLoadArm(benchmark::State& state, bool durable, wal::SyncMode sync) {
+  const int rows = static_cast<int>(state.range(0));
+  const std::string& doc = TableDocument(rows);
+  wal::WalMetrics metrics;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::string dir;
+    auto db = std::make_unique<XmlDb>();
+    Status s;
+    if (durable) {
+      dir = MakeTempDir();
+      if (dir.empty()) {
+        state.SkipWithError("mkdtemp failed");
+        break;
+      }
+      s = db->OpenDurable(DirOptions(dir, sync));
+    }
+    if (s.ok()) {
+      s = db->RegisterShreddedSchema(kViewName, TableRowStructure(),
+                                     RowIndexOptions());
+    }
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    state.ResumeTiming();
+    auto stats = db->LoadDocument(kViewName, doc);
+    if (!stats.ok()) state.SkipWithError(stats.status().ToString().c_str());
+    state.PauseTiming();
+    metrics = db->wal_metrics();
+    db.reset();
+    RemoveDataDir(dir);
+    state.ResumeTiming();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()));
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["wal_bytes"] = static_cast<double>(metrics.wal_bytes);
+  state.counters["fsyncs"] = static_cast<double>(metrics.fsyncs);
+  state.counters["commits"] = static_cast<double>(metrics.commits);
+  state.counters["commit_latency_us"] =
+      metrics.commits > 0
+          ? static_cast<double>(metrics.commit_latency_us) /
+                static_cast<double>(metrics.commits)
+          : 0.0;
+}
+
+void BM_Load_InMemory(benchmark::State& state) {
+  RunLoadArm(state, /*durable=*/false, wal::SyncMode::kOff);
+}
+void BM_Load_WalOff(benchmark::State& state) {
+  RunLoadArm(state, /*durable=*/true, wal::SyncMode::kOff);
+}
+void BM_Load_WalBatch(benchmark::State& state) {
+  RunLoadArm(state, /*durable=*/true, wal::SyncMode::kBatch);
+}
+void BM_Load_WalAlways(benchmark::State& state) {
+  RunLoadArm(state, /*durable=*/true, wal::SyncMode::kAlways);
+}
+
+// ---------------------------------------------------------------------------
+// (b) Recovery latency: WAL-tail replay vs checkpoint restore
+// ---------------------------------------------------------------------------
+
+/// A durable directory prepared once per (rows, checkpointed) point; every
+/// iteration re-opens it and replays recovery from scratch. Recovery never
+/// mutates a clean log, so re-opening is idempotent.
+const std::string& PreparedDir(int rows, bool checkpointed) {
+  static auto* cache = new std::map<std::pair<int, bool>, std::string>();
+  auto key = std::make_pair(rows, checkpointed);
+  auto it = cache->find(key);
+  if (it != cache->end()) return it->second;
+  std::string dir = MakeTempDir();
+  if (!dir.empty()) {
+    RegisteredDirs().push_back(dir);
+    XmlDb db;
+    Status s = db.OpenDurable(DirOptions(dir, wal::SyncMode::kOff));
+    if (s.ok()) {
+      s = db.RegisterShreddedSchema(kViewName, TableRowStructure(),
+                                    RowIndexOptions());
+    }
+    if (s.ok()) s = db.LoadDocument(kViewName, TableDocument(rows)).status();
+    if (s.ok() && checkpointed) s = db.Checkpoint();
+    if (!s.ok()) {
+      fprintf(stderr, "recovery setup failed: %s\n", s.ToString().c_str());
+      abort();
+    }
+  }
+  return cache->emplace(key, std::move(dir)).first->second;
+}
+
+void RunRecoveryArm(benchmark::State& state, bool checkpointed) {
+  const int rows = static_cast<int>(state.range(0));
+  const std::string& dir = PreparedDir(rows, checkpointed);
+  if (dir.empty()) {
+    state.SkipWithError("mkdtemp failed");
+    return;
+  }
+  wal::RecoveryReport report;
+  for (auto _ : state) {
+    XmlDb db;
+    Status s = db.OpenDurable(DirOptions(dir, wal::SyncMode::kOff));
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    report = db.last_recovery();
+    benchmark::DoNotOptimize(db);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["recovery_ms"] = static_cast<double>(report.recovery_ms);
+  state.counters["committed_batches"] =
+      static_cast<double>(report.committed_batches);
+  state.counters["from_checkpoint"] = report.recovered_checkpoint ? 1 : 0;
+}
+
+void BM_Recovery_WalTail(benchmark::State& state) {
+  RunRecoveryArm(state, /*checkpointed=*/false);
+}
+void BM_Recovery_Checkpoint(benchmark::State& state) {
+  RunRecoveryArm(state, /*checkpointed=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// (c) Warm prepared transform: durable-batch vs in-memory baseline
+// ---------------------------------------------------------------------------
+
+/// Cached per-mode database with the 8k-row document loaded. The durable
+/// instance keeps its directory open for the whole process (swept on exit);
+/// the read path shares every byte of the
+/// execution pipeline with the in-memory arm.
+XmlDb* WarmDb(bool durable, std::string* dir_out) {
+  struct Entry {
+    std::unique_ptr<XmlDb> db;
+    std::string dir;
+  };
+  static auto* cache = new std::map<bool, Entry>();
+  auto it = cache->find(durable);
+  if (it == cache->end()) {
+    Entry e;
+    e.db = std::make_unique<XmlDb>();
+    Status s;
+    if (durable) {
+      e.dir = MakeTempDir();
+      if (!e.dir.empty()) RegisteredDirs().push_back(e.dir);
+      s = e.dir.empty()
+              ? Status::Internal("mkdtemp failed")
+              : e.db->OpenDurable(DirOptions(e.dir, wal::SyncMode::kBatch));
+    }
+    if (s.ok()) {
+      s = e.db->RegisterShreddedSchema(kViewName, TableRowStructure(),
+                                       RowIndexOptions());
+    }
+    if (s.ok()) s = e.db->LoadDocument(kViewName, TableDocument(8000)).status();
+    if (!s.ok()) {
+      fprintf(stderr, "warm setup failed: %s\n", s.ToString().c_str());
+      abort();
+    }
+    it = cache->emplace(durable, std::move(e)).first;
+  }
+  if (dir_out != nullptr) *dir_out = it->second.dir;
+  return it->second.db.get();
+}
+
+void RunWarmArm(benchmark::State& state, bool durable) {
+  XmlDb* db = WarmDb(durable, nullptr);
+  ExecStats stats;
+  for (auto _ : state) {
+    auto r = db->TransformView(kViewName, kDbOneRowStylesheet, RewriteArm(),
+                               &stats);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["durable"] = durable ? 1 : 0;
+  ReportExecStats(state, stats);
+}
+
+void BM_WarmTransform_Baseline(benchmark::State& state) {
+  RunWarmArm(state, /*durable=*/false);
+}
+void BM_WarmTransform_WalBatch(benchmark::State& state) {
+  RunWarmArm(state, /*durable=*/true);
+}
+
+// The issue's three scale points: 1k / 8k / 64k rows.
+BENCHMARK(BM_Load_InMemory)->Arg(1000)->Arg(8000)->Arg(64000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Load_WalOff)->Arg(1000)->Arg(8000)->Arg(64000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Load_WalBatch)->Arg(1000)->Arg(8000)->Arg(64000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Load_WalAlways)->Arg(1000)->Arg(8000)->Arg(64000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Recovery_WalTail)->Arg(1000)->Arg(8000)->Arg(64000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Recovery_Checkpoint)->Arg(1000)->Arg(8000)->Arg(64000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WarmTransform_Baseline)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WarmTransform_WalBatch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xdb::bench
+
+XDB_BENCH_MAIN();

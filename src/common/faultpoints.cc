@@ -1,5 +1,7 @@
 #include "common/faultpoints.h"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <charconv>
 #include <cstdlib>
@@ -14,6 +16,7 @@ namespace {
 struct ArmedSite {
   int trigger = 1;  // 1-based hit number that starts failing
   int hits = 0;
+  Action action = Action::kFail;
 };
 
 struct Registry {
@@ -54,15 +57,21 @@ Status Inject(const char* site) {
   if (it == r.armed.end()) return Status::OK();
   it->second.hits += 1;
   if (it->second.hits < it->second.trigger) return Status::OK();
+  if (it->second.action == Action::kCrash) {
+    // Simulated power failure: no destructors, no stream flushing, no
+    // atexit handlers — the process vanishes exactly here.
+    _exit(kCrashExitCode);
+  }
   return Status::ResourceExhausted(std::string("fault injected: ") + site);
 }
 
-void Arm(const std::string& site, int trigger) {
+void Arm(const std::string& site, int trigger, Action action) {
   Registry& r = GetRegistry();
   std::lock_guard<std::mutex> lock(r.mu);
   ArmedSite& slot = r.armed[site];
   slot.trigger = trigger < 1 ? 1 : trigger;
   slot.hits = 0;
+  slot.action = action;
   g_armed_count.store(static_cast<int>(r.armed.size()),
                       std::memory_order_relaxed);
 }
@@ -80,35 +89,65 @@ std::vector<std::string> RegisteredSites() {
   return {r.sites.begin(), r.sites.end()};
 }
 
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+// Parses "fail", "fail:N", "crash", "crash:N".
+bool ParseAction(const std::string& text, Action* action, int* trigger) {
+  std::string verb = text;
+  *trigger = 1;
+  size_t colon = text.find(':');
+  if (colon != std::string::npos) {
+    verb = text.substr(0, colon);
+    const char* begin = text.data() + colon + 1;
+    const char* end = text.data() + text.size();
+    auto [ptr, ec] = std::from_chars(begin, end, *trigger);
+    if (ec != std::errc() || ptr != end || *trigger < 1) return false;
+  }
+  if (verb == "fail") {
+    *action = Action::kFail;
+  } else if (verb == "crash") {
+    *action = Action::kCrash;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 bool ArmFromSpec(const std::string& spec) {
   struct Parsed {
     std::string site;
     int trigger;
+    Action action;
   };
   std::vector<Parsed> parsed;
   size_t pos = 0;
   while (pos < spec.size()) {
     size_t comma = spec.find(',', pos);
     if (comma == std::string::npos) comma = spec.size();
-    std::string entry = spec.substr(pos, comma - pos);
+    std::string entry = Trim(spec.substr(pos, comma - pos));
     pos = comma + 1;
     if (entry.empty()) continue;
     size_t eq = entry.find('=');
-    if (eq == std::string::npos || eq == 0) return false;
-    std::string site = entry.substr(0, eq);
-    std::string action = entry.substr(eq + 1);
+    if (eq == std::string::npos) return false;
+    std::string site = Trim(entry.substr(0, eq));
+    if (site.empty()) return false;
+    Action action = Action::kFail;
     int trigger = 1;
-    if (action.rfind("fail", 0) != 0) return false;
-    if (action.size() > 4) {
-      if (action[4] != ':') return false;
-      const char* begin = action.data() + 5;
-      const char* end = action.data() + action.size();
-      auto [ptr, ec] = std::from_chars(begin, end, trigger);
-      if (ec != std::errc() || ptr != end || trigger < 1) return false;
+    if (!ParseAction(Trim(entry.substr(eq + 1)), &action, &trigger)) {
+      return false;
     }
-    parsed.push_back({std::move(site), trigger});
+    parsed.push_back({std::move(site), trigger, action});
   }
-  for (const Parsed& p : parsed) Arm(p.site, p.trigger);
+  for (const Parsed& p : parsed) Arm(p.site, p.trigger, p.action);
   return true;
 }
 

@@ -10,13 +10,20 @@
 // (fault::Arm in tests) or via the environment:
 //
 //   XDB_FAULT="shred.append_rows=fail:2"   # fail the 2nd hit of that site
-//   XDB_FAULT="a=fail:1,b=fail:3"          # several sites
+//   XDB_FAULT="a=fail:1,b=fail:3"          # several sites, mixed triggers
+//   XDB_FAULT="wal.fsync=crash:2"          # _exit(42) on the 2nd hit
 //
 // `fail:N` trips the N-th hit (N >= 1, default 1) and every hit after it
 // until the site is disarmed. An injected fault surfaces as
 // Status::ResourceExhausted("fault injected: <site>") — deliberately a
 // non-kInternal code, since tests assert that injected failures are
 // indistinguishable from ordinary resource errors.
+//
+// `crash:N` instead terminates the process with _exit(kCrashExitCode) on
+// the N-th hit — no destructors, no atexit, no flushing — simulating a
+// power failure at exactly that point. The crash-recovery sweep forks a
+// child per (site, hit-count), lets it die here, and recovers in the
+// parent.
 #ifndef XDB_COMMON_FAULTPOINTS_H_
 #define XDB_COMMON_FAULTPOINTS_H_
 
@@ -26,6 +33,16 @@
 #include "common/status.h"
 
 namespace xdb::fault {
+
+/// What an armed site does when its trigger count is reached.
+enum class Action {
+  kFail,   // return Status::ResourceExhausted from the fault point
+  kCrash,  // _exit(kCrashExitCode): simulated power failure
+};
+
+/// Exit code of a `crash` action; sweeps use it to distinguish an injected
+/// crash from an ordinary child failure.
+inline constexpr int kCrashExitCode = 42;
 
 /// True when at least one site is armed (relaxed load; the fast-path gate).
 bool Enabled();
@@ -38,9 +55,11 @@ void RegisterSite(const char* site);
 /// reaches its trigger count, OK otherwise.
 Status Inject(const char* site);
 
-/// Arms `site`: the `trigger`-th hit (and all later ones) fail. Sites not
+/// Arms `site`: the `trigger`-th hit (and all later ones) fail — or, with
+/// Action::kCrash, the `trigger`-th hit terminates the process. Sites not
 /// yet registered may be armed ahead of their first execution.
-void Arm(const std::string& site, int trigger = 1);
+void Arm(const std::string& site, int trigger = 1,
+         Action action = Action::kFail);
 
 /// Disarms everything and resets hit counters.
 void DisarmAll();
@@ -49,8 +68,11 @@ void DisarmAll();
 /// this after priming the paths under test with one clean run.
 std::vector<std::string> RegisteredSites();
 
-/// Parses an XDB_FAULT-style spec ("site=fail:N,site2=fail:M") and arms the
-/// listed sites. Returns false on malformed input (nothing armed).
+/// Parses an XDB_FAULT-style spec and arms every listed site. The grammar
+/// is a comma-separated list of `site=action` entries, where action is
+/// `fail[:N]` or `crash[:N]`; whitespace around entries, sites and actions
+/// is ignored. All-or-nothing: returns false on malformed input with no
+/// site armed.
 bool ArmFromSpec(const std::string& spec);
 
 }  // namespace xdb::fault

@@ -25,6 +25,7 @@ enum class StatusCode {
   kInternal,          // invariant violation inside the library
   kResourceExhausted, // budget trip: deadline, memory, output or tick limit
   kCancelled,         // execution observed a cooperative cancellation token
+  kDataLoss,          // unrecoverable corruption: torn WAL frame, bad CRC
 };
 
 /// \brief Outcome of a fallible operation that produces no value.
@@ -64,6 +65,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

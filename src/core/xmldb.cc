@@ -4,12 +4,16 @@
 #include <cmath>
 #include <functional>
 
+#include <algorithm>
+#include <set>
+
 #include "common/faultpoints.h"
 #include "common/governor.h"
 #include "core/row_executor.h"
 #include "rel/snapshot.h"
 #include "rewrite/compose.h"
 #include "rewrite/static_type.h"
+#include "schema/structure.h"
 #include "schema/xsd_parser.h"
 #include "shred/view_gen.h"
 #include "xml/serializer.h"
@@ -198,6 +202,19 @@ bool ConfigureBudget(const ExecOptions& options, governor::ExecBudget* budget) {
   return budget->active();
 }
 
+// One single-statement WAL batch (DDL): begin, log, commit — aborting (which
+// scrubs the partial batch from the log) on any failure so the next
+// statement can open its own batch.
+Status CommitWalBatch(wal::Manager* wal, const std::function<Status()>& log) {
+  XDB_RETURN_NOT_OK(wal->BeginBatch().status());
+  Status st = log();
+  if (!st.ok()) {
+    wal->Abort();
+    return st;
+  }
+  return wal->Commit();
+}
+
 }  // namespace
 
 XmlDb::XmlDb() { catalog_.AddDdlListener(&plan_cache_); }
@@ -211,7 +228,48 @@ Status XmlDb::Insert(const std::string& table, rel::Row row) {
 
 Status XmlDb::CreateIndex(const std::string& table, const std::string& column) {
   XDB_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(table));
-  return t->CreateIndex(column);
+  XDB_RETURN_NOT_OK(t->CreateIndex(column));
+  if (wal_ == nullptr) return Status::OK();
+  // Logged after the build succeeds: replay re-creates the index (skipping
+  // it when the checkpoint's manifest already did). A failed commit leaves
+  // the in-memory index ahead of the log until the next checkpoint — an
+  // acceptable divergence, since indexes never change query results.
+  return CommitWalBatch(wal_.get(),
+                        [&] { return wal_->LogCreateIndex(table, column); });
+}
+
+Result<XmlView*> XmlDb::CreateXsltView(const std::string& name,
+                                       const std::string& upstream_view,
+                                       std::string_view stylesheet_text,
+                                       const std::string& xml_column) {
+  XDB_ASSIGN_OR_RETURN(XmlView * view,
+                       catalog_.CreateXsltView(name, upstream_view,
+                                               stylesheet_text, xml_column));
+  if (wal_ != nullptr) {
+    Status st = CommitWalBatch(wal_.get(), [&] {
+      return wal_->LogCreateXsltView(name, upstream_view, xml_column,
+                                     std::string(stylesheet_text));
+    });
+    if (!st.ok()) {
+      // Roll the registration back: nothing can have compiled against the
+      // view yet (the statement has not returned).
+      (void)catalog_.DropView(name);
+      return st;
+    }
+  }
+  return view;
+}
+
+Status XmlDb::DropTable(const std::string& name) {
+  XDB_RETURN_NOT_OK(catalog_.GetTable(name).status());
+  if (wal_ != nullptr) {
+    // Log ahead of the drop: a logged-but-unapplied drop is re-applied at
+    // replay (idempotently), while an applied-but-unlogged drop would
+    // resurrect the table after a crash.
+    XDB_RETURN_NOT_OK(CommitWalBatch(
+        wal_.get(), [&] { return wal_->LogDropTable(name); }));
+  }
+  return catalog_.DropTable(name);
 }
 
 Result<const XmlView*> XmlDb::ResolveChain(
@@ -766,7 +824,32 @@ Status XmlDb::RegisterShreddedSchema(const std::string& view_name,
     drop_tables();
     return view_st;
   }
+  ShreddedSchema* raw = entry.get();
   shredded_[view_name] = std::move(entry);
+  if (wal_ != nullptr) {
+    // Logged only on the live path: recovery replays through this method
+    // with wal_ still unattached, so nothing re-logs. On failure the whole
+    // registration unwinds (tables, view, entry) exactly like the earlier
+    // error paths — the WAL batch itself was already scrubbed by Abort.
+    Status wal_st = CommitWalBatch(wal_.get(), [&] {
+      return wal_->LogRegisterSchema(
+          view_name, schema::SerializeStructuralInfo(raw->mapping.structure()),
+          raw->mapping.batch_rows(), raw->mapping.nominated_indexes());
+    });
+    if (!wal_st.ok()) {
+      std::vector<std::string> table_names;
+      for (const auto& t : raw->mapping.tables()) {
+        table_names.push_back(t->name);
+      }
+      shredded_.erase(view_name);
+      (void)catalog_.DropView(view_name);
+      for (const std::string& name : table_names) {
+        (void)catalog_.DropTable(name);
+      }
+      return wal_st;
+    }
+    raw->loader.set_wal(wal_.get());
+  }
   return Status::OK();
 }
 
@@ -791,19 +874,245 @@ Result<XmlDb::ShreddedSchema*> XmlDb::GetShredded(
 Result<shred::LoadStats> XmlDb::LoadDocument(const std::string& view_name,
                                              std::string_view xml_text) {
   XDB_ASSIGN_OR_RETURN(ShreddedSchema * entry, GetShredded(view_name));
-  return entry->loader.LoadText(xml_text);
+  if (wal_ == nullptr) return entry->loader.LoadText(xml_text);
+  return DurableLoad(entry, [&] { return entry->loader.LoadText(xml_text); });
 }
 
 Result<shred::LoadStats> XmlDb::LoadParsedDocument(const std::string& view_name,
                                                    const xml::Node* node) {
   XDB_ASSIGN_OR_RETURN(ShreddedSchema * entry, GetShredded(view_name));
-  return entry->loader.LoadParsed(node);
+  if (wal_ == nullptr) return entry->loader.LoadParsed(node);
+  return DurableLoad(entry, [&] { return entry->loader.LoadParsed(node); });
+}
+
+Result<shred::LoadStats> XmlDb::DurableLoad(
+    ShreddedSchema* entry,
+    const std::function<Result<shred::LoadStats>()>& load) {
+  wal::WalMetrics before = wal_->metrics();
+  std::vector<std::pair<Table*, size_t>> marks;
+  marks.reserve(entry->mapping.tables().size());
+  for (const auto& t : entry->mapping.tables()) {
+    XDB_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(t->name));
+    marks.emplace_back(table, table->row_count());
+  }
+  XDB_RETURN_NOT_OK(wal_->BeginBatch().status());
+  Result<shred::LoadStats> loaded = load();
+  if (!loaded.ok()) {
+    // The loader rolled its tables back already; scrub the log to match.
+    wal_->Abort();
+    return loaded.status();
+  }
+  Status commit = wal_->Commit();
+  if (!commit.ok()) {
+    // Commit scrubbed the batch from the log — undo the in-memory load too
+    // (rows, loader cursors, stats accumulators), so memory, the log, and
+    // what a post-crash recovery would rebuild all agree.
+    for (auto& [table, row_count] : marks) {
+      (void)table->TruncateTo(row_count);
+    }
+    (void)entry->loader.SyncWithTables();
+    return commit;
+  }
+  shred::LoadStats stats = loaded.MoveValue();
+  wal::WalMetrics after = wal_->metrics();
+  stats.wal_bytes = after.wal_bytes - before.wal_bytes;
+  stats.wal_fsyncs = after.fsyncs - before.fsyncs;
+  stats.commit_latency_us =
+      static_cast<int64_t>(after.commit_latency_us - before.commit_latency_us);
+  // The load is durable and visible; a checkpoint failure must not fail it.
+  if (wal_->ShouldCheckpoint()) auto_checkpoint_ = Checkpoint();
+  return stats;
 }
 
 const shred::ShredMapping* XmlDb::shredded_mapping(
     const std::string& view_name) const {
   auto it = shredded_.find(view_name);
   return it != shredded_.end() ? &it->second->mapping : nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Durability: recovery bridge, OpenDurable, Checkpoint.
+
+/// Adapts recovery's catalog operations onto XmlDb. Replayed registrations
+/// run through the public RegisterShreddedSchema with wal_ still unattached,
+/// so nothing re-logs.
+class XmlDb::RecoveryBridge : public wal::RecoveryHooks {
+ public:
+  explicit RecoveryBridge(XmlDb* db) : db_(db) {}
+
+  Status RegisterSchema(const wal::Record& record) override {
+    XDB_ASSIGN_OR_RETURN(schema::StructuralInfo structure,
+                         schema::ParseStructuralInfo(record.text));
+    shred::ShredOptions options;
+    options.value_indexes = record.value_indexes;
+    options.batch_rows = record.batch_rows == 0
+                             ? size_t{1024}
+                             : static_cast<size_t>(record.batch_rows);
+    return db_->RegisterShreddedSchema(record.view, structure, options);
+  }
+
+  Status CreateXsltView(const wal::Record& record) override {
+    return db_->catalog_
+        .CreateXsltView(record.view, record.upstream, record.text,
+                        record.xml_column)
+        .status();
+  }
+
+  Status CreateTable(const wal::Record& record) override {
+    XDB_ASSIGN_OR_RETURN(Table * table,
+                         db_->catalog_.CreateTable(record.table, record.schema));
+    for (const std::string& column : record.value_indexes) {
+      XDB_RETURN_NOT_OK(table->CreateIndex(column));
+    }
+    return Status::OK();
+  }
+
+  Status DropTable(const std::string& table) override {
+    return db_->catalog_.DropTable(table);
+  }
+
+  void PublishStats(const std::string& table, rel::TableStats stats) override {
+    db_->catalog_.UpdateTableStats(table, std::move(stats));
+  }
+
+  bool HasView(const std::string& view) const override {
+    return db_->catalog_.HasView(view);
+  }
+
+  Table* FindTable(const std::string& table) const override {
+    auto result = db_->catalog_.GetTable(table);
+    return result.ok() ? *result : nullptr;
+  }
+
+ private:
+  XmlDb* db_;
+};
+
+Status XmlDb::OpenDurable(const wal::DurabilityOptions& options) {
+  if (wal_ != nullptr) {
+    return Status::InvalidArgument("database is already durable");
+  }
+  XDB_RETURN_NOT_OK(wal::EnsureDataDir(options.data_dir));
+  RecoveryBridge hooks(this);
+  last_recovery_ = wal::RecoveryReport();
+  XDB_RETURN_NOT_OK(
+      wal::RunRecovery(options.data_dir, &hooks, &last_recovery_));
+  XDB_ASSIGN_OR_RETURN(
+      wal_, wal::Manager::Open(options, last_recovery_.next_lsn,
+                               last_recovery_.next_batch_id,
+                               last_recovery_.committed_batches));
+  // Point every recovered loader at its restored tables and at the log.
+  for (auto& [name, entry] : shredded_) {
+    XDB_RETURN_NOT_OK(entry->loader.SyncWithTables());
+    entry->loader.set_wal(wal_.get());
+  }
+  return Status::OK();
+}
+
+Status XmlDb::Checkpoint() {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument("Checkpoint on a non-durable database");
+  }
+  XDB_ASSIGN_OR_RETURN(std::vector<wal::Record> body, BuildCheckpointBody());
+  return wal_->WriteCheckpoint(std::move(body));
+}
+
+Result<std::vector<wal::Record>> XmlDb::BuildCheckpointBody() {
+  std::vector<wal::Record> body;
+  std::set<std::string> shredded_tables;
+  std::set<std::string> serialized_views;
+
+  // 1. Shredded schemas: one register record per schema re-creates the
+  // mapped tables, their lineage/value indexes and the publishing view.
+  for (const auto& [view_name, entry] : shredded_) {
+    wal::Record r;
+    r.type = wal::RecordType::kRegisterSchema;
+    r.view = view_name;
+    r.text = schema::SerializeStructuralInfo(entry->mapping.structure());
+    r.batch_rows = entry->mapping.batch_rows();
+    r.value_indexes = entry->mapping.nominated_indexes();
+    body.push_back(std::move(r));
+    serialized_views.insert(view_name);
+    for (const auto& t : entry->mapping.tables()) {
+      shredded_tables.insert(t->name);
+    }
+  }
+
+  // 2. Plain tables (created outside any shredded mapping): schema plus the
+  // full index manifest in one record.
+  std::vector<Table*> tables = catalog_.AllTables();
+  for (Table* table : tables) {
+    if (shredded_tables.count(table->name()) > 0) continue;
+    wal::Record r;
+    r.type = wal::RecordType::kCreateTable;
+    r.table = table->name();
+    r.schema = table->schema();
+    r.value_indexes = table->IndexedColumns();
+    body.push_back(std::move(r));
+  }
+
+  // 3. Every table's rows, chunked, from a pinned version — one consistent
+  // cut, exactly what a session publish freezes. For shredded tables also
+  // re-list the indexes: replay skips the ones the register record already
+  // built and adds any ad-hoc CreateIndex beyond them. Stats snapshots ride
+  // along so the optimizer costs against recovered numbers immediately.
+  for (Table* table : tables) {
+    rel::TableVersion version = table->CaptureVersion();
+    constexpr size_t kRowsPerRecord = 1024;
+    for (size_t begin = 0; begin < version.row_count; begin += kRowsPerRecord) {
+      size_t end = std::min(begin + kRowsPerRecord, version.row_count);
+      wal::Record r;
+      r.type = wal::RecordType::kRowBatch;
+      r.table = table->name();
+      r.first_rowid = begin;
+      r.rows.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        r.rows.push_back(version.row(static_cast<int64_t>(i)));
+      }
+      body.push_back(std::move(r));
+    }
+    if (shredded_tables.count(table->name()) > 0) {
+      for (const std::string& column : table->IndexedColumns()) {
+        wal::Record r;
+        r.type = wal::RecordType::kCreateIndex;
+        r.table = table->name();
+        r.column = column;
+        body.push_back(std::move(r));
+      }
+    }
+    auto stats = catalog_.GetTableStats(table->name());
+    if (stats != nullptr) {
+      wal::Record r;
+      r.type = wal::RecordType::kStats;
+      r.table = table->name();
+      r.stats = *stats;
+      body.push_back(std::move(r));
+    }
+  }
+
+  // 4. XSLT views whose upstream chain is itself serialized. Hand-built
+  // publishing views are not durable (documented limitation), so an XSLT
+  // view stacked on one is skipped too. Iterate to a fixpoint so chains
+  // serialize regardless of name order.
+  std::vector<const XmlView*> views = catalog_.AllViews();
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const XmlView* view : views) {
+      if (!view->is_xslt() || serialized_views.count(view->name) > 0) continue;
+      if (serialized_views.count(view->upstream_view) == 0) continue;
+      wal::Record r;
+      r.type = wal::RecordType::kCreateXsltView;
+      r.view = view->name;
+      r.upstream = view->upstream_view;
+      r.xml_column = view->xml_column;
+      r.text = view->stylesheet_text;
+      body.push_back(std::move(r));
+      serialized_views.insert(view->name);
+      progress = true;
+    }
+  }
+  return body;
 }
 
 Result<std::vector<std::string>> XmlDb::MaterializeView(const std::string& view) {

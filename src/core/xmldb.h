@@ -19,6 +19,7 @@
 #ifndef XDB_CORE_XMLDB_H_
 #define XDB_CORE_XMLDB_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -31,6 +32,8 @@
 #include "rewrite/xquery_rewriter.h"
 #include "rewrite/xslt_rewriter.h"
 #include "shred/bulk_loader.h"
+#include "wal/manager.h"
+#include "wal/recovery.h"
 
 namespace xdb {
 
@@ -62,9 +65,47 @@ class XmlDb {
   Result<rel::XmlView*> CreateXsltView(const std::string& name,
                                        const std::string& upstream_view,
                                        std::string_view stylesheet_text,
-                                       const std::string& xml_column = "xslt_rslt") {
-    return catalog_.CreateXsltView(name, upstream_view, stylesheet_text,
-                                   xml_column);
+                                       const std::string& xml_column = "xslt_rslt");
+  /// Removes `table` from the catalog (and, when durable, logs the drop so
+  /// it survives restart).
+  Status DropTable(const std::string& name);
+
+  // ---- durability (src/wal) -------------------------------------------------
+
+  /// Attaches a write-ahead log + checkpoint directory to this database.
+  /// Must be called on a freshly constructed (still empty) instance: any
+  /// state found in `options.data_dir` is recovered into the catalog first
+  /// (checkpoint + WAL tail replay), then the log is opened for appending
+  /// and every subsequent RegisterShreddedSchema / LoadDocument /
+  /// CreateXsltView / CreateIndex / DropTable commits through it *before*
+  /// returning — which is what lets the session layer order durability
+  /// before epoch publication. Returns kDataLoss on unrecoverable
+  /// corruption (torn checkpoint, record gap).
+  Status OpenDurable(const wal::DurabilityOptions& options);
+
+  bool durable() const { return wal_ != nullptr; }
+
+  /// Serializes the whole catalog (schemas, tables, rows, index manifests,
+  /// stats, XSLT views) to `<data_dir>/checkpoint.xck` via the tmp+rename
+  /// protocol and truncates the log. Also runs automatically once the log
+  /// outgrows DurabilityOptions::checkpoint_bytes. Limitation: publishing
+  /// views registered via CreatePublishingView (hand-built PublishSpec) are
+  /// not serialized — shredded views are re-derived from their logged
+  /// structure instead; XSLT views over unserialized upstreams are skipped.
+  Status Checkpoint();
+
+  /// What recovery found when OpenDurable attached (zero-value report for a
+  /// fresh directory).
+  const wal::RecoveryReport& last_recovery() const { return last_recovery_; }
+  /// Outcome of the most recent auto-checkpoint (OK until one runs).
+  const Status& last_auto_checkpoint() const { return auto_checkpoint_; }
+  /// Committed batches over this database's lifetime: batches restored by
+  /// recovery plus batches committed since. The session layer seeds its
+  /// epoch counter from this so epochs stay monotone across restarts.
+  uint64_t wal_commits() const { return wal_ != nullptr ? wal_->commits() : 0; }
+  /// Writer-side counters (zeros when not durable).
+  wal::WalMetrics wal_metrics() const {
+    return wal_ != nullptr ? wal_->metrics() : wal::WalMetrics{};
   }
 
   // ---- shredded storage (src/shred) -----------------------------------------
@@ -178,9 +219,25 @@ class XmlDb {
   };
   Result<ShreddedSchema*> GetShredded(const std::string& view_name);
 
+  // RecoveryHooks bridge (defined in xmldb.cc; nested so it reaches the
+  // catalog and shredded_ directly).
+  class RecoveryBridge;
+
+  // The durable load path: wraps one loader call in a WAL batch, rolls the
+  // tables (and the loader's cursors) back when the commit fails, fills the
+  // LoadStats durability counters, and auto-checkpoints afterwards.
+  Result<shred::LoadStats> DurableLoad(
+      ShreddedSchema* entry,
+      const std::function<Result<shred::LoadStats>()>& load);
+  // Builds the checkpoint body: one consistent cut over every table.
+  Result<std::vector<wal::Record>> BuildCheckpointBody();
+
   rel::Catalog catalog_;
   core::PlanCache plan_cache_;
   std::map<std::string, std::unique_ptr<ShreddedSchema>> shredded_;
+  std::unique_ptr<wal::Manager> wal_;  ///< null = in-memory database
+  wal::RecoveryReport last_recovery_;
+  Status auto_checkpoint_ = Status::OK();
 };
 
 /// Two-level EXPLAIN of a prepared plan: execution path, fallback reason (if

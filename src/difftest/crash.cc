@@ -1,0 +1,290 @@
+#include "difftest/crash.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "common/faultpoints.h"
+#include "core/xmldb.h"
+#include "difftest/seed.h"
+
+namespace xdb::difftest {
+
+namespace {
+
+constexpr const char* kViewName = "crasht";
+/// Child exit code for a workload failure that is NOT the armed crash —
+/// distinguishes a broken case from a simulated power failure.
+constexpr int kChildBrokenExit = 3;
+
+CrashReport Finish(CrashReport report, CrashReport::Outcome outcome,
+                   std::string why) {
+  report.outcome = outcome;
+  report.detail = std::move(why);
+  if (outcome != CrashReport::Outcome::kAgreed) {
+    report.detail += "\nrepro: " + report.repro;
+  }
+  return report;
+}
+
+std::string MakeTempDir() {
+  const char* base = std::getenv("TMPDIR");
+  std::string tmpl = std::string(base != nullptr && *base != '\0' ? base
+                                                                  : "/tmp") +
+                     "/xdb_crash_XXXXXX";
+  std::unique_ptr<char[]> buf(new char[tmpl.size() + 1]);
+  std::memcpy(buf.get(), tmpl.c_str(), tmpl.size() + 1);
+  if (mkdtemp(buf.get()) == nullptr) return "";
+  return std::string(buf.get());
+}
+
+void RemoveDirRecursive(const std::string& dir) {
+  if (dir.empty()) return;
+  DIR* d = opendir(dir.c_str());
+  if (d != nullptr) {
+    while (dirent* e = readdir(d)) {
+      std::string name = e->d_name;
+      if (name == "." || name == "..") continue;
+      ::unlink((dir + "/" + name).c_str());
+    }
+    closedir(d);
+  }
+  ::rmdir(dir.c_str());
+}
+
+wal::DurabilityOptions DirOptions(const std::string& dir, wal::SyncMode sync) {
+  wal::DurabilityOptions opts;
+  opts.data_dir = dir;
+  opts.sync = sync;
+  opts.checkpoint_bytes = 0;  // manual checkpoints only: deterministic workload
+  return opts;
+}
+
+/// The durable workload the child dies inside: register the case's schema,
+/// load every document (with a mid-workload checkpoint so post-checkpoint
+/// WAL tails are exercised), and checkpoint again at the end. Never
+/// returns; any non-crash failure exits kChildBrokenExit.
+[[noreturn]] void RunChildWorkload(const GeneratedCase& c,
+                                   const CrashOptions& options,
+                                   const std::string& dir,
+                                   const std::string& site, int hit) {
+  fault::DisarmAll();
+  fault::Arm(site, hit, fault::Action::kCrash);
+  {
+    XmlDb db;
+    if (!db.OpenDurable(DirOptions(dir, options.sync)).ok()) {
+      _exit(kChildBrokenExit);
+    }
+    if (!db.RegisterShreddedSchema(kViewName, c.structure).ok()) {
+      _exit(kChildBrokenExit);
+    }
+    const size_t mid = (c.documents.size() + 1) / 2;
+    for (size_t i = 0; i < c.documents.size(); ++i) {
+      if (!db.LoadDocument(kViewName, c.documents[i]).ok()) {
+        _exit(kChildBrokenExit);
+      }
+      if (i + 1 == mid && !db.Checkpoint().ok()) _exit(kChildBrokenExit);
+    }
+    if (!db.Checkpoint().ok()) _exit(kChildBrokenExit);
+  }
+  _exit(0);
+}
+
+/// What the parent sees after recovering a (possibly crashed) directory.
+struct RecoveredState {
+  bool view_exists = false;
+  std::vector<std::string> rows;
+  uint64_t commits = 0;
+};
+
+Result<RecoveredState> Recover(XmlDb* db, const std::string& dir,
+                               wal::SyncMode sync) {
+  XDB_RETURN_NOT_OK(db->OpenDurable(DirOptions(dir, sync)));
+  RecoveredState state;
+  state.commits = db->wal_commits();
+  auto rows = db->MaterializeView(kViewName);
+  if (rows.ok()) {
+    state.view_exists = true;
+    state.rows = std::move(*rows);
+  } else if (rows.status().code() != StatusCode::kNotFound) {
+    return rows.status();
+  }
+  return state;
+}
+
+/// The committed prefix `state` corresponds to, or -1 when the state
+/// matches no prefix (torn). Prefix k means "registration plus the first k
+/// document loads committed"; the pre-registration state is the view not
+/// existing at all (with zero commits).
+int MatchPrefix(const RecoveredState& state,
+                const std::vector<std::vector<std::string>>& refs) {
+  if (!state.view_exists) return state.commits == 0 ? 0 : -1;
+  for (size_t k = 0; k < refs.size(); ++k) {
+    // Registration is commit #1, each load one more.
+    if (state.rows == refs[k] && state.commits == k + 1) {
+      return static_cast<int>(k) + 1;
+    }
+  }
+  return -1;
+}
+
+std::string DescribeState(const RecoveredState& state) {
+  if (!state.view_exists) {
+    return "view absent, " + std::to_string(state.commits) + " commits";
+  }
+  return std::to_string(state.rows.size()) + " rows, " +
+         std::to_string(state.commits) + " commits";
+}
+
+}  // namespace
+
+CrashReport RunCrashCase(const GeneratedCase& c, const CrashOptions& options) {
+  CrashReport report;
+  report.seed = c.seed;
+  report.repro = ReproCommand(c.seed, options.repro_regex);
+
+  // Serial references over an in-memory database: refs[k] is the published
+  // view output once registration plus the first k loads have committed.
+  std::vector<std::vector<std::string>> refs;
+  {
+    XmlDb ref_db;
+    Status reg = ref_db.RegisterShreddedSchema(kViewName, c.structure);
+    if (!reg.ok()) {
+      return Finish(std::move(report), CrashReport::Outcome::kInvalid,
+                    "register: " + reg.ToString());
+    }
+    for (size_t i = 0; i <= c.documents.size(); ++i) {
+      if (i > 0) {
+        auto load = ref_db.LoadDocument(kViewName, c.documents[i - 1]);
+        if (!load.ok()) {
+          return Finish(std::move(report), CrashReport::Outcome::kInvalid,
+                        "load: " + load.status().ToString());
+        }
+      }
+      auto rows = ref_db.MaterializeView(kViewName);
+      if (!rows.ok()) {
+        return Finish(std::move(report), CrashReport::Outcome::kInvalid,
+                      "reference: " + rows.status().ToString());
+      }
+      refs.push_back(std::move(*rows));
+    }
+  }
+
+  for (const std::string& site : options.sites) {
+    bool completed = false;
+    for (int hit = 1; hit <= options.max_hits_per_site && !completed; ++hit) {
+      const std::string where = site + " hit " + std::to_string(hit);
+      std::string dir = MakeTempDir();
+      if (dir.empty()) {
+        return Finish(std::move(report), CrashReport::Outcome::kInvalid,
+                      "mkdtemp failed for " + where);
+      }
+      pid_t pid = fork();
+      if (pid < 0) {
+        RemoveDirRecursive(dir);
+        return Finish(std::move(report), CrashReport::Outcome::kInvalid,
+                      "fork failed for " + where);
+      }
+      if (pid == 0) RunChildWorkload(c, options, dir, site, hit);
+
+      int wstatus = 0;
+      if (waitpid(pid, &wstatus, 0) != pid || !WIFEXITED(wstatus)) {
+        RemoveDirRecursive(dir);
+        return Finish(std::move(report), CrashReport::Outcome::kInvalid,
+                      "child died abnormally at " + where);
+      }
+      const int code = WEXITSTATUS(wstatus);
+      if (code != 0 && code != fault::kCrashExitCode) {
+        RemoveDirRecursive(dir);
+        return Finish(std::move(report), CrashReport::Outcome::kInvalid,
+                      "child workload broke (exit " + std::to_string(code) +
+                          ") at " + where);
+      }
+      const bool crashed = code == fault::kCrashExitCode;
+      if (crashed) {
+        ++report.crashes;
+        ++report.crashes_per_site[site];
+      } else {
+        ++report.clean_exits;
+        completed = true;  // the site fires fewer than `hit` times — done
+      }
+
+      // First recovery: the recovered output must be exactly one committed
+      // prefix (for a clean exit, exactly the full workload).
+      RecoveredState first;
+      {
+        XmlDb db;
+        auto state = Recover(&db, dir, options.sync);
+        if (!state.ok()) {
+          std::string why = "recovery failed after " + where + ": " +
+                            state.status().ToString();
+          RemoveDirRecursive(dir);
+          return Finish(std::move(report), CrashReport::Outcome::kTorn, why);
+        }
+        first = std::move(*state);
+        int prefix = MatchPrefix(first, refs);
+        if (prefix < 0 ||
+            (!crashed &&
+             prefix != static_cast<int>(c.documents.size()) + 1)) {
+          std::string why = "recovered state after " + where +
+                            " matches no committed prefix (" +
+                            DescribeState(first) + "; " +
+                            std::to_string(c.documents.size()) + " docs)";
+          RemoveDirRecursive(dir);
+          return Finish(std::move(report), CrashReport::Outcome::kTorn, why);
+        }
+
+        // Writability: the workload can continue from the recovered state.
+        Status cont = first.view_exists
+                          ? db.LoadDocument(kViewName, c.documents[0]).status()
+                          : db.RegisterShreddedSchema(kViewName, c.structure);
+        if (!cont.ok()) {
+          std::string why = "recovered database not writable after " + where +
+                            ": " + cont.ToString();
+          RemoveDirRecursive(dir);
+          return Finish(std::move(report), CrashReport::Outcome::kTorn, why);
+        }
+      }
+
+      // Second recovery of the same directory (the first one already
+      // truncated any torn tail and appended the writability batch):
+      // recovery must be deterministic and idempotent — same bytes out.
+      {
+        XmlDb db;
+        auto state = Recover(&db, dir, options.sync);
+        if (!state.ok()) {
+          std::string why = "re-recovery failed after " + where + ": " +
+                            state.status().ToString();
+          RemoveDirRecursive(dir);
+          return Finish(std::move(report), CrashReport::Outcome::kTorn, why);
+        }
+        size_t want_rows =
+            first.view_exists ? first.rows.size() + 1 : refs[0].size();
+        if (!state->view_exists || state->rows.size() != want_rows) {
+          std::string why = "re-recovery diverged after " + where + " (" +
+                            DescribeState(*state) + ", want " +
+                            std::to_string(want_rows) + " rows)";
+          RemoveDirRecursive(dir);
+          return Finish(std::move(report), CrashReport::Outcome::kTorn, why);
+        }
+      }
+      ++report.recoveries;
+      RemoveDirRecursive(dir);
+    }
+    if (!completed) {
+      return Finish(std::move(report), CrashReport::Outcome::kInvalid,
+                    "site " + site + " still firing after " +
+                        std::to_string(options.max_hits_per_site) + " hits");
+    }
+  }
+
+  return Finish(std::move(report), CrashReport::Outcome::kAgreed, "");
+}
+
+}  // namespace xdb::difftest

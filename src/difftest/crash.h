@@ -1,0 +1,72 @@
+// Crash-recovery mode for the differential oracle: a child process is
+// forked per (WAL fault site, hit count), armed to _exit(42) at exactly
+// that point of a register -> load* -> checkpoint workload against a
+// durable data directory, and the parent recovers the directory and checks
+// the invariant the WAL exists for: the recovered published view output is
+// byte-identical to the output after *some* committed prefix of the
+// workload — never a torn in-between state. On top of that single
+// invariant the parent checks that recovery is deterministic (recovering
+// the same directory twice yields identical output and commit counts) and
+// that the recovered database is writable (the workload can continue).
+//
+// The serial reference outputs refs[0..n] (after registration, after each
+// of the n document loads) come from an in-memory XmlDb over the same
+// generated case, so the check is differential: durable-crash-recover vs
+// never-crashed, byte for byte.
+#ifndef XDB_DIFFTEST_CRASH_H_
+#define XDB_DIFFTEST_CRASH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "difftest/generator.h"
+#include "wal/manager.h"
+
+namespace xdb::difftest {
+
+struct CrashOptions {
+  /// Fault sites to kill the child at, hit by hit, until the workload
+  /// completes without the site firing that often.
+  std::vector<std::string> sites = {"wal.append", "wal.fsync",
+                                    "wal.checkpoint_write",
+                                    "wal.checkpoint_rename", "wal.truncate"};
+  /// Child sync mode. kAlways makes every commit cross wal.fsync, so the
+  /// sweep exercises the durability point itself.
+  wal::SyncMode sync = wal::SyncMode::kAlways;
+  /// Upper bound on the per-site hit loop (a site firing more often than
+  /// this on one small workload indicates a bug, not coverage).
+  int max_hits_per_site = 200;
+  /// ctest regex used in the printed repro command.
+  std::string repro_regex = "CrashRecovery.KillAtEveryWalFaultSite";
+};
+
+struct CrashReport {
+  enum class Outcome {
+    kAgreed,   ///< every crash recovered to a committed-prefix state
+    kTorn,     ///< a recovery surfaced a state no committed prefix produced
+    kInvalid,  ///< the case or harness is unusable (load failed, bad child)
+  };
+  Outcome outcome = Outcome::kInvalid;
+  std::string detail;
+  uint64_t seed = 0;
+  std::string repro;
+
+  int crashes = 0;      ///< children killed by an armed site
+  int clean_exits = 0;  ///< children that completed the whole workload
+  int recoveries = 0;   ///< recoveries validated against the references
+  std::map<std::string, int> crashes_per_site;
+
+  bool torn() const { return outcome == Outcome::kTorn; }
+};
+
+/// Runs `c` through the fork/kill/recover sweep. Creates (and removes) one
+/// temporary data directory per child. Not safe to call concurrently with
+/// other threads of the *test* — it forks.
+CrashReport RunCrashCase(const GeneratedCase& c,
+                         const CrashOptions& options = {});
+
+}  // namespace xdb::difftest
+
+#endif  // XDB_DIFFTEST_CRASH_H_

@@ -112,6 +112,19 @@ std::vector<Table*> Catalog::AllTables() const {
   return out;
 }
 
+std::vector<const XmlView*> Catalog::AllViews() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<const XmlView*> out;
+  out.reserve(views_.size());
+  for (const auto& [name, view] : views_) out.push_back(view.get());
+  return out;
+}
+
+bool Catalog::HasView(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return views_.count(name) > 0;
+}
+
 void Catalog::UpdateTableStats(const std::string& table, TableStats stats) {
   auto snapshot = std::make_shared<const TableStats>(std::move(stats));
   std::unique_lock<std::shared_mutex> lock(mu_);
@@ -181,6 +194,7 @@ Result<XmlView*> Catalog::CreateXsltView(const std::string& name,
   view->name = name;
   view->xml_column = xml_column;
   view->upstream_view = upstream_view;
+  view->stylesheet_text = std::string(stylesheet_text);
   XDB_ASSIGN_OR_RETURN(auto parsed, xslt::Stylesheet::Parse(stylesheet_text));
   view->stylesheet = std::shared_ptr<const xslt::Stylesheet>(std::move(parsed));
   XDB_ASSIGN_OR_RETURN(auto compiled,
@@ -197,6 +211,14 @@ Result<XmlView*> Catalog::CreateXsltView(const std::string& name,
   }
   OnViewCreated(name);
   return raw;
+}
+
+Status Catalog::DropView(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = views_.find(name);
+  if (it == views_.end()) return Status::NotFound("no view '" + name + "'");
+  views_.erase(it);
+  return Status::OK();
 }
 
 Result<const XmlView*> Catalog::GetView(const std::string& name) const {

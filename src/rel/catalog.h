@@ -31,6 +31,7 @@ struct XmlView {
 
   // -- XSLT view over another view (Table 9) --------------------------------
   std::string upstream_view;  // non-empty => XSLT view
+  std::string stylesheet_text;  // source, retained for checkpoint replay
   std::shared_ptr<const xslt::Stylesheet> stylesheet;
   std::shared_ptr<const xslt::CompiledStylesheet> compiled_stylesheet;
 
@@ -97,9 +98,22 @@ class Catalog : public DdlListener {
 
   Result<const XmlView*> GetView(const std::string& name) const;
 
+  /// Unregisters a view. STRICTLY a registration-rollback hook (a WAL
+  /// commit failing after the view was created): there is no drop-view
+  /// listener event, so it must not be called once queries may have
+  /// compiled plans against the view.
+  Status DropView(const std::string& name);
+
   /// Every table currently registered (stable iteration order). Used by the
   /// session layer to capture a whole-catalog snapshot at publish time.
   std::vector<Table*> AllTables() const;
+
+  /// Every view currently registered (stable iteration order). Used by the
+  /// checkpoint writer to serialize the catalog's view definitions.
+  std::vector<const XmlView*> AllViews() const;
+
+  /// True when a view named `name` exists (recovery's idempotence probe).
+  bool HasView(const std::string& name) const;
 
   // -- table statistics (the optimizer's cost-model input) --------------------
   /// Publishes a statistics snapshot for `table` (shred::BulkLoader does this

@@ -37,6 +37,12 @@ class Snapshot {
 
   size_t table_count() const { return versions_.size(); }
 
+  /// Every frozen version (the checkpoint writer iterates these to
+  /// serialize one consistent cut of the whole catalog).
+  const std::map<const Table*, TableVersion>& versions() const {
+    return versions_;
+  }
+
  private:
   uint64_t epoch_;
   std::map<const Table*, TableVersion> versions_;

@@ -157,6 +157,14 @@ const BTreeIndex* Table::GetIndex(const std::string& column) const {
   return it != indexes_.end() ? it->second.tree.get() : nullptr;
 }
 
+std::vector<std::string> Table::IndexedColumns() const {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  std::vector<std::string> out;
+  out.reserve(indexes_.size());
+  for (const auto& [column, slot] : indexes_) out.push_back(column);
+  return out;
+}
+
 TableVersion Table::CaptureVersion() {
   TableVersion v;
   v.row_count = row_count_.load(std::memory_order_acquire);

@@ -152,6 +152,9 @@ class Table {
   bool HasIndex(const std::string& column) const {
     return GetIndex(column) != nullptr;
   }
+  /// Columns carrying an index, sorted — the checkpoint's index manifest
+  /// (recovery re-runs CreateIndex per listed column, a bulk rebuild).
+  std::vector<std::string> IndexedColumns() const;
 
   /// Freezes the current (row_count, chunks, indexes) into an immutable
   /// version. Must be called from the (serialized) writer side. The first

@@ -103,4 +103,194 @@ StructuralInfo StructuralInfo::Clone() const {
   return copy;
 }
 
+namespace {
+
+// Names come from XML and can never contain whitespace or '%', but the
+// storage format stays safe for arbitrary bytes anyway.
+std::string EscapeToken(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    if (c == '%' || c == ' ' || c == '\n' || c == '\r' || c == '\t') {
+      static const char* hex = "0123456789ABCDEF";
+      out += '%';
+      out += hex[c >> 4];
+      out += hex[c & 0xF];
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  return out;
+}
+
+int HexVal(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+Result<std::string> UnescapeToken(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out += s[i];
+      continue;
+    }
+    if (i + 2 >= s.size()) {
+      return Status::DataLoss("truncated escape in structure blob");
+    }
+    int hi = HexVal(s[i + 1]);
+    int lo = HexVal(s[i + 2]);
+    if (hi < 0 || lo < 0) {
+      return Status::DataLoss("bad escape in structure blob");
+    }
+    out += static_cast<char>((hi << 4) | lo);
+    i += 2;
+  }
+  return out;
+}
+
+// Splits one line into whitespace-separated tokens.
+std::vector<std::string> Tokens(const std::string& line) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    size_t start = i;
+    while (i < line.size() && line[i] != ' ') ++i;
+    if (i > start) out.push_back(line.substr(start, i - start));
+  }
+  return out;
+}
+
+Result<int64_t> ParseInt(const std::string& token) {
+  try {
+    size_t pos = 0;
+    int64_t v = std::stoll(token, &pos);
+    if (pos != token.size()) {
+      return Status::DataLoss("bad integer in structure blob: " + token);
+    }
+    return v;
+  } catch (...) {
+    return Status::DataLoss("bad integer in structure blob: " + token);
+  }
+}
+
+}  // namespace
+
+std::string SerializeStructuralInfo(const StructuralInfo& info) {
+  // Pass 1: deterministic ids in DFS pre-order (the order Visit yields —
+  // recursion edges not descended, so the walk terminates; their targets
+  // are ancestors and already numbered).
+  std::map<const ElementStructure*, int> ids;
+  std::vector<const ElementStructure*> order;
+  std::set<const ElementStructure*> seen;
+  Visit(info.root(), &seen, [&](const ElementStructure* e) {
+    ids[e] = static_cast<int>(order.size());
+    order.push_back(e);
+  });
+  std::string out = "xdbstruct 1\n";
+  out += "elems " + std::to_string(order.size()) + "\n";
+  out += "root " + std::to_string(info.root() == nullptr ? -1 : 0) + "\n";
+  for (const ElementStructure* e : order) {
+    out += "e " + EscapeToken(e->name) + " " +
+           std::to_string(static_cast<int>(e->group)) + " " +
+           std::to_string(e->has_text ? 1 : 0) + " " +
+           std::to_string(e->attributes.size());
+    for (const std::string& a : e->attributes) out += " " + EscapeToken(a);
+    out += "\n";
+  }
+  // Pass 2: child edges, in declaration order per parent.
+  for (const ElementStructure* e : order) {
+    for (const ChildRef& c : e->children) {
+      auto it = ids.find(c.elem);
+      if (it == ids.end()) continue;  // unreachable target (as in Clone)
+      out += "c " + std::to_string(ids[e]) + " " + std::to_string(it->second) +
+             " " + std::to_string(c.min_occurs) + " " +
+             std::to_string(c.max_occurs) + " " +
+             std::to_string(c.recursive_edge ? 1 : 0) + "\n";
+    }
+  }
+  return out;
+}
+
+Result<StructuralInfo> ParseStructuralInfo(std::string_view text) {
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) nl = text.size();
+    if (nl > pos) lines.emplace_back(text.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  if (lines.size() < 3 || lines[0] != "xdbstruct 1") {
+    return Status::DataLoss("unrecognized structure blob header");
+  }
+  std::vector<std::string> elems_line = Tokens(lines[1]);
+  std::vector<std::string> root_line = Tokens(lines[2]);
+  if (elems_line.size() != 2 || elems_line[0] != "elems" ||
+      root_line.size() != 2 || root_line[0] != "root") {
+    return Status::DataLoss("malformed structure blob preamble");
+  }
+  XDB_ASSIGN_OR_RETURN(int64_t count, ParseInt(elems_line[1]));
+  XDB_ASSIGN_OR_RETURN(int64_t root_id, ParseInt(root_line[1]));
+  StructuralInfo info;
+  std::vector<ElementStructure*> decls;
+  decls.reserve(static_cast<size_t>(count));
+  size_t line_no = 3;
+  for (int64_t i = 0; i < count; ++i, ++line_no) {
+    if (line_no >= lines.size()) {
+      return Status::DataLoss("structure blob ends before element list");
+    }
+    std::vector<std::string> t = Tokens(lines[line_no]);
+    if (t.size() < 5 || t[0] != "e") {
+      return Status::DataLoss("malformed element line in structure blob");
+    }
+    XDB_ASSIGN_OR_RETURN(std::string name, UnescapeToken(t[1]));
+    XDB_ASSIGN_OR_RETURN(int64_t group, ParseInt(t[2]));
+    XDB_ASSIGN_OR_RETURN(int64_t has_text, ParseInt(t[3]));
+    XDB_ASSIGN_OR_RETURN(int64_t nattrs, ParseInt(t[4]));
+    if (group < 0 || group > 2 ||
+        t.size() != 5 + static_cast<size_t>(nattrs)) {
+      return Status::DataLoss("malformed element line in structure blob");
+    }
+    ElementStructure* e = info.NewElement(std::move(name));
+    e->group = static_cast<ModelGroup>(group);
+    e->has_text = has_text != 0;
+    for (int64_t a = 0; a < nattrs; ++a) {
+      XDB_ASSIGN_OR_RETURN(std::string attr,
+                           UnescapeToken(t[5 + static_cast<size_t>(a)]));
+      e->attributes.push_back(std::move(attr));
+    }
+    decls.push_back(e);
+  }
+  for (; line_no < lines.size(); ++line_no) {
+    std::vector<std::string> t = Tokens(lines[line_no]);
+    if (t.size() != 6 || t[0] != "c") {
+      return Status::DataLoss("malformed child edge in structure blob");
+    }
+    XDB_ASSIGN_OR_RETURN(int64_t parent, ParseInt(t[1]));
+    XDB_ASSIGN_OR_RETURN(int64_t child, ParseInt(t[2]));
+    XDB_ASSIGN_OR_RETURN(int64_t min_occurs, ParseInt(t[3]));
+    XDB_ASSIGN_OR_RETURN(int64_t max_occurs, ParseInt(t[4]));
+    XDB_ASSIGN_OR_RETURN(int64_t recursive, ParseInt(t[5]));
+    if (parent < 0 || parent >= count || child < 0 || child >= count) {
+      return Status::DataLoss("child edge out of range in structure blob");
+    }
+    decls[static_cast<size_t>(parent)]->children.push_back(
+        ChildRef{decls[static_cast<size_t>(child)],
+                 static_cast<int>(min_occurs), static_cast<int>(max_occurs),
+                 recursive != 0});
+  }
+  if (root_id >= 0) {
+    if (root_id >= count) {
+      return Status::DataLoss("root id out of range in structure blob");
+    }
+    info.set_root(decls[static_cast<size_t>(root_id)]);
+  }
+  return info;
+}
+
 }  // namespace xdb::schema

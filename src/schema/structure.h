@@ -105,6 +105,16 @@ class StructuralInfo {
   ElementStructure* root_ = nullptr;
 };
 
+/// Serializes the reachable structure (root plus every declaration
+/// reachable from it, recursion edges included) into a self-contained,
+/// deterministic text blob — the WAL/checkpoint representation of a
+/// registered schema. Round-trips through ParseStructuralInfo.
+std::string SerializeStructuralInfo(const StructuralInfo& info);
+
+/// Parses a SerializeStructuralInfo blob. The blob only ever comes from
+/// the WAL or a checkpoint, so malformed input reports kDataLoss.
+Result<StructuralInfo> ParseStructuralInfo(std::string_view text);
+
 /// Convenience builder for tests and examples:
 ///   StructureBuilder b;
 ///   auto* dept = b.Element("dept");

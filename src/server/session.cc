@@ -38,7 +38,9 @@ SessionManager::SessionManager(XmlDb* db)
 SessionManager::SessionManager(XmlDb* db, const Options& options)
     : db_(db),
       options_(options),
-      snapshots_(db->catalog()),
+      // A durable database seeds the first epoch past its recovered commit
+      // count so epoch numbers stay monotone across restarts.
+      snapshots_(db->catalog(), db->wal_commits() + 1),
       admission_(options.max_concurrent != 0
                      ? options.max_concurrent
                      : std::max(2u, std::thread::hardware_concurrency()),
@@ -90,6 +92,13 @@ Result<shred::LoadStats> SessionManager::LoadDocument(
   }
   ReclaimEpochs();
   return loaded;
+}
+
+Status SessionManager::Checkpoint() {
+  // The writer lock gives the checkpoint its consistent cut: no load or DDL
+  // can interleave with the table-version capture.
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return db_->Checkpoint();
 }
 
 Status SessionManager::Apply(const std::function<Status()>& ddl) {

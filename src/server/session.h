@@ -180,6 +180,11 @@ class SessionManager {
   /// index creation) under the writer lock and publishes the next epoch.
   Status Apply(const std::function<Status()>& ddl);
 
+  /// Serializes a checkpoint of the durable database under the writer lock
+  /// (no epoch is published — a checkpoint changes no visible state).
+  /// kInvalidArgument when the database is not durable.
+  Status Checkpoint();
+
   // ---- gauges ---------------------------------------------------------------
   size_t sessions_active() const {
     return sessions_active_.load(std::memory_order_relaxed);

@@ -19,8 +19,10 @@ std::shared_ptr<const rel::Snapshot> Capture(rel::Catalog* catalog,
 
 }  // namespace
 
-SnapshotManager::SnapshotManager(rel::Catalog* catalog) : catalog_(catalog) {
-  head_.store(Capture(catalog_, 1), std::memory_order_release);
+SnapshotManager::SnapshotManager(rel::Catalog* catalog, uint64_t first_epoch)
+    : catalog_(catalog) {
+  head_.store(Capture(catalog_, first_epoch == 0 ? 1 : first_epoch),
+              std::memory_order_release);
 }
 
 std::shared_ptr<const rel::Snapshot> SnapshotManager::Publish() {

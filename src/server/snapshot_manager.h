@@ -29,9 +29,11 @@ namespace xdb::server {
 
 class SnapshotManager {
  public:
-  /// Publishes epoch 1 (a snapshot of the catalog's current state) so the
-  /// very first Pin() already has a head to return.
-  explicit SnapshotManager(rel::Catalog* catalog);
+  /// Publishes `first_epoch` (a snapshot of the catalog's current state) so
+  /// the very first Pin() already has a head to return. A durable database
+  /// seeds this with its recovered commit count + 1 so epochs stay monotone
+  /// across restarts (an epoch number never refers to two different states).
+  explicit SnapshotManager(rel::Catalog* catalog, uint64_t first_epoch = 1);
 
   SnapshotManager(const SnapshotManager&) = delete;
   SnapshotManager& operator=(const SnapshotManager&) = delete;

@@ -107,10 +107,50 @@ void BulkLoader::PublishStats(
       it = stats_builders_
                .emplace(table->name(), rel::StatsBuilder(&table->schema()))
                .first;
+      // A builder created mid-life (after crash recovery restored rows this
+      // loader never saw) must first fold the pre-existing rows, or the
+      // published NDV/min/max would describe only the newest load.
+      if (pre_load_rows > 0) it->second.AddRows(*table, 0, pre_load_rows);
     }
     it->second.AddRows(*table, pre_load_rows, table->row_count());
-    catalog_->UpdateTableStats(table->name(), it->second.Snapshot());
+    rel::TableStats snapshot = it->second.Snapshot();
+    if (wal_ != nullptr) {
+      (void)wal_->LogStats(table->name(), snapshot);
+    }
+    catalog_->UpdateTableStats(table->name(), std::move(snapshot));
   }
+}
+
+Status BulkLoader::SyncWithTables() {
+  XDB_ASSIGN_OR_RETURN(rel::Table * root,
+                       catalog_->GetTable(mapping_->root_table()->name));
+  documents_loaded_ = static_cast<int64_t>(root->row_count());
+  int64_t max_rowid = -1;
+  for (const auto& t : mapping_->tables()) {
+    XDB_ASSIGN_OR_RETURN(rel::Table * table, catalog_->GetTable(t->name));
+    int rowid_col = t->ColumnIndex(kRowIdColumn);
+    if (rowid_col < 0) continue;
+    for (size_t i = 0; i < table->row_count(); ++i) {
+      const rel::Datum& d = table->row(static_cast<int64_t>(i))
+                                [static_cast<size_t>(rowid_col)];
+      if (d.type() == rel::DataType::kInt && d.AsInt() > max_rowid) {
+        max_rowid = d.AsInt();
+      }
+    }
+  }
+  shredder_.set_next_rowid(max_rowid + 1);
+  // The incremental accumulators may have folded rows that no longer exist
+  // (a rolled-back commit) or may never have seen the recovered rows. Drop
+  // them (they reseed from the tables on the next load) and republish
+  // full-scan snapshots so the catalog's stats match the rows.
+  stats_builders_.clear();
+  for (const auto& t : mapping_->tables()) {
+    XDB_ASSIGN_OR_RETURN(rel::Table * table, catalog_->GetTable(t->name));
+    if (table->row_count() > 0 || catalog_->GetTableStats(t->name) != nullptr) {
+      catalog_->UpdateTableStats(t->name, rel::ComputeTableStats(*table));
+    }
+  }
+  return Status::OK();
 }
 
 Status BulkLoader::InsertBatch(ShredBatch batch, LoadStats* stats) {
@@ -130,6 +170,14 @@ Status BulkLoader::InsertBatch(ShredBatch batch, LoadStats* stats) {
       std::vector<rel::Row> chunk(
           std::make_move_iterator(rows.begin() + static_cast<long>(begin)),
           std::make_move_iterator(rows.begin() + static_cast<long>(end)));
+      // Write-ahead: the chunk's log record (keyed by its position, the
+      // replay idempotence anchor) must be on disk-bound media before the
+      // in-memory append — a crash after the append but before the log
+      // would lose committed-looking rows.
+      if (wal_ != nullptr) {
+        XDB_RETURN_NOT_OK(
+            wal_->LogRowBatch(table->name(), table->row_count(), chunk));
+      }
       XDB_RETURN_NOT_OK(table->AppendRows(std::move(chunk)));
     }
   }

@@ -18,6 +18,7 @@
 #include "rel/stats.h"
 #include "shred/mapping.h"
 #include "shred/shredder.h"
+#include "wal/manager.h"
 
 namespace xdb::shred {
 
@@ -32,6 +33,10 @@ struct LoadStats {
   /// Batched append including incremental B+tree index maintenance (indexes
   /// are built once at CreateTables and updated in place per row).
   int64_t insert_ns = 0;
+  // -- durability counters (zero for in-memory databases) -------------------
+  size_t wal_bytes = 0;          ///< WAL frame bytes THIS load appended
+  size_t wal_fsyncs = 0;         ///< fsyncs issued committing THIS load
+  int64_t commit_latency_us = 0; ///< wall time of the WAL commit
 };
 
 /// \brief Streams documents into the mapping's base tables.
@@ -56,6 +61,19 @@ class BulkLoader {
 
   int64_t documents_loaded() const { return documents_loaded_; }
 
+  /// Attaches the write-ahead log: every subsequent load logs its row
+  /// batches and stats into one WAL batch the caller commits. Null detaches
+  /// (recovery replays through a detached loader so nothing re-logs).
+  void set_wal(wal::Manager* wal) { wal_ = wal; }
+
+  /// Re-derives loader state from the tables after crash recovery or a
+  /// rolled-back commit: documents_loaded_ (the root table's row count —
+  /// one root row per document), the shredder's rowid cursor (max stored
+  /// rowid + 1 across all tables), and the statistics accumulators
+  /// (dropped and republished from a full scan), so post-recovery loads
+  /// continue exactly where an uninterrupted loader would be.
+  Status SyncWithTables();
+
  private:
   Status InsertBatch(ShredBatch batch, LoadStats* stats);
   Status CreateIndexes();
@@ -70,6 +88,7 @@ class BulkLoader {
   rel::Catalog* catalog_;
   const ShredMapping* mapping_;
   Shredder shredder_;
+  wal::Manager* wal_ = nullptr;  ///< not owned; null = in-memory database
   int64_t documents_loaded_ = 0;
   /// Incremental per-table statistics accumulators, keyed by table name.
   std::map<std::string, rel::StatsBuilder> stats_builders_;

@@ -123,6 +123,7 @@ Result<ShredMapping> ShredMapping::Derive(
   mapping.prefix_ = std::move(table_prefix);
   mapping.structure_ = structure.Clone();
   mapping.batch_rows_ = options.batch_rows == 0 ? 1024 : options.batch_rows;
+  mapping.nominated_indexes_ = options.value_indexes;
 
   std::vector<const ElementStructure*> decls;
   {

@@ -119,6 +119,12 @@ class ShredMapping {
   const std::vector<std::pair<std::string, std::string>>& value_indexes() const {
     return value_indexes_;
   }
+  /// The nominated value-index paths exactly as passed to Derive — the
+  /// checkpoint writer serializes these (not the resolved pairs) so replay
+  /// re-derives an identical mapping.
+  const std::vector<std::string>& nominated_indexes() const {
+    return nominated_indexes_;
+  }
   size_t batch_rows() const { return batch_rows_; }
 
  private:
@@ -129,6 +135,7 @@ class ShredMapping {
   std::vector<std::unique_ptr<ShredTable>> tables_;
   std::map<const schema::ElementStructure*, ShredTable*> table_for_elem_;
   std::vector<std::pair<std::string, std::string>> value_indexes_;
+  std::vector<std::string> nominated_indexes_;
   size_t batch_rows_ = 1024;
 };
 

@@ -52,6 +52,10 @@ class Shredder {
 
   /// Next rowid that will be assigned (persist across Shred calls).
   int64_t next_rowid() const { return next_rowid_; }
+  /// Restores the rowid cursor after crash recovery (max stored rowid + 1),
+  /// so post-recovery loads continue the same id sequence an uninterrupted
+  /// loader would have produced.
+  void set_next_rowid(int64_t next) { next_rowid_ = next; }
 
  private:
   Status ShredElement(const schema::ElementStructure* decl,

@@ -1,0 +1,37 @@
+#include "wal/crc32c.h"
+
+namespace xdb::wal {
+
+namespace {
+
+// Table for the Castagnoli polynomial 0x1EDC6F41 (reflected 0x82F63B78),
+// built once at first use.
+const uint32_t* Crc32cTable() {
+  static uint32_t table[256];
+  static const bool built = [] {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) != 0 ? 0x82F63B78u : 0u);
+      }
+      table[i] = crc;
+    }
+    return true;
+  }();
+  (void)built;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size, uint32_t init) {
+  const uint32_t* table = Crc32cTable();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~init;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ p[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace xdb::wal

@@ -1,0 +1,33 @@
+// CRC32C (Castagnoli) — the checksum framing every WAL and checkpoint
+// record. Software slice-by-one implementation: ~1 GB/s, far above the
+// fsync-bound write path it protects, and dependency-free.
+#ifndef XDB_WAL_CRC32C_H_
+#define XDB_WAL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace xdb::wal {
+
+/// CRC32C of `data`, seeded with `init` (pass a previous result to extend).
+uint32_t Crc32c(const void* data, size_t size, uint32_t init = 0);
+
+inline uint32_t Crc32c(std::string_view data, uint32_t init = 0) {
+  return Crc32c(data.data(), data.size(), init);
+}
+
+/// Masked CRC in the RocksDB/LevelDB style: storing the CRC of data that
+/// itself embeds CRCs (a checkpoint of a log) would otherwise make the
+/// checksum degenerate. All frames store the masked value.
+inline uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+inline uint32_t UnmaskCrc(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace xdb::wal
+
+#endif  // XDB_WAL_CRC32C_H_

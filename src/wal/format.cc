@@ -1,0 +1,442 @@
+#include "wal/format.h"
+
+#include <cstring>
+
+#include "wal/crc32c.h"
+
+namespace xdb::wal {
+
+const char* RecordTypeName(RecordType t) {
+  switch (t) {
+    case RecordType::kBatchBegin:
+      return "BatchBegin";
+    case RecordType::kRowBatch:
+      return "RowBatch";
+    case RecordType::kCreateIndex:
+      return "CreateIndex";
+    case RecordType::kRegisterSchema:
+      return "RegisterSchema";
+    case RecordType::kCreateXsltView:
+      return "CreateXsltView";
+    case RecordType::kDropTable:
+      return "DropTable";
+    case RecordType::kStats:
+      return "Stats";
+    case RecordType::kCommit:
+      return "Commit";
+    case RecordType::kAbort:
+      return "Abort";
+    case RecordType::kCreateTable:
+      return "CreateTable";
+    case RecordType::kCheckpointHeader:
+      return "CheckpointHeader";
+    case RecordType::kCheckpointFooter:
+      return "CheckpointFooter";
+  }
+  return "Unknown";
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t GetU32(const unsigned char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t GetU64(const unsigned char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+namespace {
+
+void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+// Datum tags. kXml is unencodable by design: XML values never live in base
+// tables, only in view results.
+enum : uint8_t { kTagNull = 0, kTagInt = 1, kTagDouble = 2, kTagString = 3 };
+
+Status PutDatum(std::string* out, const rel::Datum& d) {
+  switch (d.type()) {
+    case rel::DataType::kNull:
+      out->push_back(static_cast<char>(kTagNull));
+      return Status::OK();
+    case rel::DataType::kInt:
+      out->push_back(static_cast<char>(kTagInt));
+      PutU64(out, static_cast<uint64_t>(d.AsInt()));
+      return Status::OK();
+    case rel::DataType::kDouble: {
+      out->push_back(static_cast<char>(kTagDouble));
+      double v = d.AsDouble();
+      uint64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(v));
+      std::memcpy(&bits, &v, sizeof(bits));
+      PutU64(out, bits);
+      return Status::OK();
+    }
+    case rel::DataType::kString:
+      out->push_back(static_cast<char>(kTagString));
+      PutString(out, d.AsString());
+      return Status::OK();
+    case rel::DataType::kXml:
+      return Status::InvalidArgument(
+          "XML datum is not WAL-encodable (base tables never hold XML)");
+  }
+  return Status::InvalidArgument("unknown datum type");
+}
+
+// Bounds-checked cursor over a frame payload. Every getter fails with
+// kDataLoss on underrun — inside a CRC-valid frame that means version skew
+// or an encoder bug, and recovery surfaces it as corruption either way.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data)
+      : p_(reinterpret_cast<const unsigned char*>(data.data())),
+        end_(p_ + data.size()) {}
+
+  Status GetU8(uint8_t* v) {
+    XDB_RETURN_NOT_OK(Need(1));
+    *v = *p_++;
+    return Status::OK();
+  }
+  Status Get32(uint32_t* v) {
+    XDB_RETURN_NOT_OK(Need(4));
+    *v = GetU32(p_);
+    p_ += 4;
+    return Status::OK();
+  }
+  Status Get64(uint64_t* v) {
+    XDB_RETURN_NOT_OK(Need(8));
+    *v = GetU64(p_);
+    p_ += 8;
+    return Status::OK();
+  }
+  Status GetString(std::string* s) {
+    uint32_t n = 0;
+    XDB_RETURN_NOT_OK(Get32(&n));
+    XDB_RETURN_NOT_OK(Need(n));
+    s->assign(reinterpret_cast<const char*>(p_), n);
+    p_ += n;
+    return Status::OK();
+  }
+  Status GetDatum(rel::Datum* d) {
+    uint8_t tag = 0;
+    XDB_RETURN_NOT_OK(GetU8(&tag));
+    switch (tag) {
+      case kTagNull:
+        *d = rel::Datum::Null();
+        return Status::OK();
+      case kTagInt: {
+        uint64_t v = 0;
+        XDB_RETURN_NOT_OK(Get64(&v));
+        *d = rel::Datum(static_cast<int64_t>(v));
+        return Status::OK();
+      }
+      case kTagDouble: {
+        uint64_t bits = 0;
+        XDB_RETURN_NOT_OK(Get64(&bits));
+        double v = 0;
+        std::memcpy(&v, &bits, sizeof(v));
+        *d = rel::Datum(v);
+        return Status::OK();
+      }
+      case kTagString: {
+        std::string s;
+        XDB_RETURN_NOT_OK(GetString(&s));
+        *d = rel::Datum(std::move(s));
+        return Status::OK();
+      }
+      default:
+        return Status::DataLoss("unknown datum tag in WAL record");
+    }
+  }
+  bool exhausted() const { return p_ == end_; }
+
+ private:
+  Status Need(size_t n) {
+    if (static_cast<size_t>(end_ - p_) < n) {
+      return Status::DataLoss("truncated WAL record payload");
+    }
+    return Status::OK();
+  }
+  const unsigned char* p_;
+  const unsigned char* end_;
+};
+
+uint8_t DataTypeTag(rel::DataType t) {
+  switch (t) {
+    case rel::DataType::kNull:
+      return 0;
+    case rel::DataType::kInt:
+      return 1;
+    case rel::DataType::kDouble:
+      return 2;
+    case rel::DataType::kString:
+      return 3;
+    case rel::DataType::kXml:
+      return 4;
+  }
+  return 3;
+}
+
+Result<rel::DataType> DataTypeFromTag(uint8_t tag) {
+  switch (tag) {
+    case 0:
+      return rel::DataType::kNull;
+    case 1:
+      return rel::DataType::kInt;
+    case 2:
+      return rel::DataType::kDouble;
+    case 3:
+      return rel::DataType::kString;
+    case 4:
+      return rel::DataType::kXml;
+    default:
+      return Status::DataLoss("unknown column type tag in WAL record");
+  }
+}
+
+Status PutRows(std::string* out, const std::vector<rel::Row>& rows) {
+  PutU32(out, static_cast<uint32_t>(rows.size()));
+  for (const rel::Row& row : rows) {
+    PutU32(out, static_cast<uint32_t>(row.size()));
+    for (const rel::Datum& d : row) XDB_RETURN_NOT_OK(PutDatum(out, d));
+  }
+  return Status::OK();
+}
+
+Status GetRows(Cursor* cur, std::vector<rel::Row>* rows) {
+  uint32_t n = 0;
+  XDB_RETURN_NOT_OK(cur->Get32(&n));
+  rows->clear();
+  rows->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t cols = 0;
+    XDB_RETURN_NOT_OK(cur->Get32(&cols));
+    rel::Row row(cols);
+    for (uint32_t c = 0; c < cols; ++c) {
+      XDB_RETURN_NOT_OK(cur->GetDatum(&row[c]));
+    }
+    rows->push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+void PutStringList(std::string* out, const std::vector<std::string>& list) {
+  PutU32(out, static_cast<uint32_t>(list.size()));
+  for (const std::string& s : list) PutString(out, s);
+}
+
+Status GetStringList(Cursor* cur, std::vector<std::string>* list) {
+  uint32_t n = 0;
+  XDB_RETURN_NOT_OK(cur->Get32(&n));
+  list->clear();
+  list->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string s;
+    XDB_RETURN_NOT_OK(cur->GetString(&s));
+    list->push_back(std::move(s));
+  }
+  return Status::OK();
+}
+
+Status PutStats(std::string* out, const rel::TableStats& stats) {
+  PutU64(out, stats.row_count);
+  PutU32(out, static_cast<uint32_t>(stats.columns.size()));
+  for (const auto& [name, col] : stats.columns) {
+    PutString(out, name);
+    PutU64(out, static_cast<uint64_t>(col.ndv));
+    PutU64(out, static_cast<uint64_t>(col.null_count));
+    XDB_RETURN_NOT_OK(PutDatum(out, col.min));
+    XDB_RETURN_NOT_OK(PutDatum(out, col.max));
+  }
+  return Status::OK();
+}
+
+Status GetStats(Cursor* cur, rel::TableStats* stats) {
+  uint64_t row_count = 0;
+  XDB_RETURN_NOT_OK(cur->Get64(&row_count));
+  stats->row_count = static_cast<size_t>(row_count);
+  uint32_t n = 0;
+  XDB_RETURN_NOT_OK(cur->Get32(&n));
+  stats->columns.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    XDB_RETURN_NOT_OK(cur->GetString(&name));
+    rel::ColumnStats col;
+    uint64_t v = 0;
+    XDB_RETURN_NOT_OK(cur->Get64(&v));
+    col.ndv = static_cast<int64_t>(v);
+    XDB_RETURN_NOT_OK(cur->Get64(&v));
+    col.null_count = static_cast<int64_t>(v);
+    XDB_RETURN_NOT_OK(cur->GetDatum(&col.min));
+    XDB_RETURN_NOT_OK(cur->GetDatum(&col.max));
+    stats->columns.emplace(std::move(name), std::move(col));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> EncodeRecord(const Record& r) {
+  std::string out;
+  PutU64(&out, r.lsn);
+  out.push_back(static_cast<char>(r.type));
+  PutU64(&out, r.batch_id);
+  switch (r.type) {
+    case RecordType::kBatchBegin:
+    case RecordType::kAbort:
+      break;
+    case RecordType::kRowBatch:
+      PutString(&out, r.table);
+      PutU64(&out, r.first_rowid);
+      XDB_RETURN_NOT_OK(PutRows(&out, r.rows));
+      break;
+    case RecordType::kCreateIndex:
+      PutString(&out, r.table);
+      PutString(&out, r.column);
+      break;
+    case RecordType::kRegisterSchema:
+      PutString(&out, r.view);
+      PutString(&out, r.text);
+      PutU64(&out, r.batch_rows);
+      PutStringList(&out, r.value_indexes);
+      break;
+    case RecordType::kCreateXsltView:
+      PutString(&out, r.view);
+      PutString(&out, r.upstream);
+      PutString(&out, r.xml_column);
+      PutString(&out, r.text);
+      break;
+    case RecordType::kDropTable:
+      PutString(&out, r.table);
+      break;
+    case RecordType::kStats:
+      PutString(&out, r.table);
+      XDB_RETURN_NOT_OK(PutStats(&out, r.stats));
+      break;
+    case RecordType::kCommit:
+      PutU64(&out, r.epoch);
+      break;
+    case RecordType::kCreateTable: {
+      PutString(&out, r.table);
+      PutU32(&out, static_cast<uint32_t>(r.schema.columns().size()));
+      for (const rel::Column& c : r.schema.columns()) {
+        PutString(&out, c.name);
+        out.push_back(static_cast<char>(DataTypeTag(c.type)));
+      }
+      PutStringList(&out, r.value_indexes);
+      break;
+    }
+    case RecordType::kCheckpointHeader:
+      PutU64(&out, r.last_lsn);
+      PutU64(&out, r.commits);
+      PutU64(&out, r.epoch);
+      break;
+    case RecordType::kCheckpointFooter:
+      PutU64(&out, r.record_count);
+      break;
+  }
+  return out;
+}
+
+Result<Record> DecodeRecord(std::string_view payload) {
+  Cursor cur(payload);
+  Record r;
+  XDB_RETURN_NOT_OK(cur.Get64(&r.lsn));
+  uint8_t type = 0;
+  XDB_RETURN_NOT_OK(cur.GetU8(&type));
+  r.type = static_cast<RecordType>(type);
+  XDB_RETURN_NOT_OK(cur.Get64(&r.batch_id));
+  switch (r.type) {
+    case RecordType::kBatchBegin:
+    case RecordType::kAbort:
+      break;
+    case RecordType::kRowBatch:
+      XDB_RETURN_NOT_OK(cur.GetString(&r.table));
+      XDB_RETURN_NOT_OK(cur.Get64(&r.first_rowid));
+      XDB_RETURN_NOT_OK(GetRows(&cur, &r.rows));
+      break;
+    case RecordType::kCreateIndex:
+      XDB_RETURN_NOT_OK(cur.GetString(&r.table));
+      XDB_RETURN_NOT_OK(cur.GetString(&r.column));
+      break;
+    case RecordType::kRegisterSchema:
+      XDB_RETURN_NOT_OK(cur.GetString(&r.view));
+      XDB_RETURN_NOT_OK(cur.GetString(&r.text));
+      XDB_RETURN_NOT_OK(cur.Get64(&r.batch_rows));
+      XDB_RETURN_NOT_OK(GetStringList(&cur, &r.value_indexes));
+      break;
+    case RecordType::kCreateXsltView:
+      XDB_RETURN_NOT_OK(cur.GetString(&r.view));
+      XDB_RETURN_NOT_OK(cur.GetString(&r.upstream));
+      XDB_RETURN_NOT_OK(cur.GetString(&r.xml_column));
+      XDB_RETURN_NOT_OK(cur.GetString(&r.text));
+      break;
+    case RecordType::kDropTable:
+      XDB_RETURN_NOT_OK(cur.GetString(&r.table));
+      break;
+    case RecordType::kStats:
+      XDB_RETURN_NOT_OK(cur.GetString(&r.table));
+      XDB_RETURN_NOT_OK(GetStats(&cur, &r.stats));
+      break;
+    case RecordType::kCommit:
+      XDB_RETURN_NOT_OK(cur.Get64(&r.epoch));
+      break;
+    case RecordType::kCreateTable: {
+      XDB_RETURN_NOT_OK(cur.GetString(&r.table));
+      uint32_t cols = 0;
+      XDB_RETURN_NOT_OK(cur.Get32(&cols));
+      std::vector<rel::Column> columns;
+      columns.reserve(cols);
+      for (uint32_t i = 0; i < cols; ++i) {
+        rel::Column c;
+        XDB_RETURN_NOT_OK(cur.GetString(&c.name));
+        uint8_t tag = 0;
+        XDB_RETURN_NOT_OK(cur.GetU8(&tag));
+        XDB_ASSIGN_OR_RETURN(c.type, DataTypeFromTag(tag));
+        columns.push_back(std::move(c));
+      }
+      r.schema = rel::Schema(std::move(columns));
+      XDB_RETURN_NOT_OK(GetStringList(&cur, &r.value_indexes));
+      break;
+    }
+    case RecordType::kCheckpointHeader:
+      XDB_RETURN_NOT_OK(cur.Get64(&r.last_lsn));
+      XDB_RETURN_NOT_OK(cur.Get64(&r.commits));
+      XDB_RETURN_NOT_OK(cur.Get64(&r.epoch));
+      break;
+    case RecordType::kCheckpointFooter:
+      XDB_RETURN_NOT_OK(cur.Get64(&r.record_count));
+      break;
+    default:
+      return Status::DataLoss("unknown WAL record type " +
+                              std::to_string(type));
+  }
+  if (!cur.exhausted()) {
+    return Status::DataLoss("trailing bytes after WAL record payload");
+  }
+  return r;
+}
+
+std::string EncodeFrame(std::string_view payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame, MaskCrc(Crc32c(payload)));
+  frame.append(payload.data(), payload.size());
+  return frame;
+}
+
+}  // namespace xdb::wal

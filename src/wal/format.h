@@ -1,0 +1,108 @@
+// WAL record model and binary encoding.
+//
+// On disk, both the log (`wal.log`) and checkpoint files (`checkpoint.xck`)
+// are sequences of *frames*:
+//
+//   [u32 payload_len][u32 masked_crc32c(payload)][payload bytes]
+//
+// (all integers little-endian). A frame whose header is short, whose length
+// overruns the file, or whose CRC mismatches marks the torn tail: recovery
+// truncates the log there (and reports the finding as kDataLoss). The
+// payload is one Record:
+//
+//   [u64 lsn][u8 type][u64 batch_id][type-specific fields]
+//
+// LSNs are monotone within one log; batch records between a kBatchBegin and
+// its kCommit form one atomic unit (a document load, a DDL statement) —
+// recovery rolls back any batch whose commit never made it to disk.
+// Checkpoint files reuse the same Record encoding with a private LSN space
+// starting at 1; kCheckpointHeader carries the WAL watermark the checkpoint
+// covers and kCheckpointFooter proves the file is complete.
+#ifndef XDB_WAL_FORMAT_H_
+#define XDB_WAL_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "rel/stats.h"
+#include "rel/table.h"
+
+namespace xdb::wal {
+
+/// Size of the [len][crc] frame header.
+inline constexpr size_t kFrameHeaderSize = 8;
+/// Hard per-frame payload bound; anything larger is treated as corruption
+/// rather than an allocation request (a torn length field must never make
+/// the reader try to allocate 4 GB).
+inline constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+enum class RecordType : uint8_t {
+  kBatchBegin = 1,     ///< opens batch `batch_id`
+  kRowBatch = 2,       ///< rows appended to `table` at position `first_rowid`
+  kCreateIndex = 3,    ///< B+tree built on (table, column)
+  kRegisterSchema = 4, ///< shredded schema: view + structure blob + options
+  kCreateXsltView = 5, ///< XSLT view: view, upstream, xml_column, stylesheet
+  kDropTable = 6,      ///< table removed from the catalog
+  kStats = 7,          ///< TableStats snapshot published for `table`
+  kCommit = 8,         ///< closes batch `batch_id`; the durability point
+  kAbort = 9,          ///< batch abandoned (written on clean failure paths)
+  kCreateTable = 10,   ///< checkpoint: non-shredded table schema + indexes
+
+  kCheckpointHeader = 32,  ///< last_lsn/commits/epoch the checkpoint covers
+  kCheckpointFooter = 33,  ///< record_count; absence = incomplete checkpoint
+};
+
+const char* RecordTypeName(RecordType t);
+
+/// One decoded WAL/checkpoint record. A kitchen-sink struct (only the
+/// fields of the record's type are meaningful) so replay code can switch on
+/// `type` without a class hierarchy.
+struct Record {
+  uint64_t lsn = 0;
+  RecordType type = RecordType::kBatchBegin;
+  uint64_t batch_id = 0;
+
+  std::string table;    // kRowBatch/kCreateIndex/kDropTable/kStats/kCreateTable
+  std::string column;   // kCreateIndex
+  std::string view;     // kRegisterSchema/kCreateXsltView
+  std::string upstream; // kCreateXsltView
+  std::string xml_column;  // kCreateXsltView
+  std::string text;     // kRegisterSchema: structure blob; kCreateXsltView:
+                        // stylesheet text
+  std::vector<std::string> value_indexes;  // kRegisterSchema (nominated
+                                           // paths), kCreateTable (columns)
+  uint64_t batch_rows = 0;   // kRegisterSchema
+  uint64_t first_rowid = 0;  // kRowBatch: position of rows[0] in the table
+  std::vector<rel::Row> rows;  // kRowBatch
+  rel::Schema schema;          // kCreateTable
+  rel::TableStats stats;       // kStats
+  uint64_t epoch = 0;          // kCommit/kCheckpointHeader
+  uint64_t last_lsn = 0;       // kCheckpointHeader: WAL LSN watermark
+  uint64_t commits = 0;        // kCheckpointHeader: committed batches so far
+  uint64_t record_count = 0;   // kCheckpointFooter
+};
+
+/// Encodes `record` into a frame payload (no frame header). Fails with
+/// kInvalidArgument on values outside the storable model (XML datums).
+Result<std::string> EncodeRecord(const Record& record);
+
+/// Decodes one frame payload. A CRC-valid payload that fails to decode is a
+/// bug or version skew, reported as kDataLoss.
+Result<Record> DecodeRecord(std::string_view payload);
+
+/// Wraps `payload` into a complete frame (header + payload).
+std::string EncodeFrame(std::string_view payload);
+
+// -- low-level byte helpers (shared with the checkpoint writer/tests) -------
+
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+uint32_t GetU32(const unsigned char* p);
+uint64_t GetU64(const unsigned char* p);
+
+}  // namespace xdb::wal
+
+#endif  // XDB_WAL_FORMAT_H_

@@ -1,0 +1,62 @@
+#include "wal/log_reader.h"
+
+#include <cstdio>
+
+#include "wal/crc32c.h"
+#include "wal/format.h"
+
+namespace xdb::wal {
+
+Result<LogReader> LogReader::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return LogReader(std::string());  // absent => empty log
+  std::string data;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::Internal("error reading log file '" + path + "'");
+  }
+  return LogReader(std::move(data));
+}
+
+bool LogReader::Next(std::string_view* payload) {
+  if (done_) return false;
+  const auto* base = reinterpret_cast<const unsigned char*>(data_.data());
+  uint64_t remaining = data_.size() - pos_;
+  auto torn = [&](const std::string& why) {
+    tail_finding_ = Status::DataLoss(
+        "torn log frame at offset " + std::to_string(pos_) + ": " + why +
+        " (" + std::to_string(data_.size() - good_prefix_) +
+        " trailing bytes dropped)");
+    done_ = true;
+    return false;
+  };
+  if (remaining == 0) {
+    done_ = true;
+    return false;
+  }
+  if (remaining < kFrameHeaderSize) {
+    return torn("short frame header");
+  }
+  uint32_t len = GetU32(base + pos_);
+  uint32_t stored_crc = GetU32(base + pos_ + 4);
+  if (len > kMaxFramePayload) {
+    return torn("implausible payload length " + std::to_string(len));
+  }
+  if (remaining - kFrameHeaderSize < len) {
+    return torn("payload overruns file (len " + std::to_string(len) + ")");
+  }
+  std::string_view body(data_.data() + pos_ + kFrameHeaderSize, len);
+  if (MaskCrc(Crc32c(body)) != stored_crc) {
+    return torn("CRC mismatch");
+  }
+  pos_ += kFrameHeaderSize + len;
+  good_prefix_ = pos_;
+  *payload = body;
+  return true;
+}
+
+}  // namespace xdb::wal

@@ -1,0 +1,50 @@
+// Frame reader: scans a log or checkpoint file front to back, validating
+// each frame's length and CRC. The first invalid frame marks the torn
+// tail; `good_prefix()` is the byte offset recovery truncates to, and
+// `tail_finding()` describes what was wrong (kDataLoss) for the recovery
+// report. A missing file reads as empty.
+#ifndef XDB_WAL_LOG_READER_H_
+#define XDB_WAL_LOG_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace xdb::wal {
+
+class LogReader {
+ public:
+  /// Reads the whole file into memory (logs are truncated at every
+  /// checkpoint, so the buffered size is bounded by the checkpoint
+  /// threshold plus one batch). Missing file => empty reader.
+  static Result<LogReader> Open(const std::string& path);
+
+  /// Advances to the next valid frame. Returns true and fills `payload`
+  /// (valid until the next call / reader destruction); returns false at
+  /// the end of the valid prefix — clean EOF or torn tail, see
+  /// tail_finding().
+  bool Next(std::string_view* payload);
+
+  /// Byte offset just past the last valid frame.
+  uint64_t good_prefix() const { return good_prefix_; }
+  /// OK for a clean EOF; kDataLoss describing the first bad frame when the
+  /// file ends in garbage.
+  const Status& tail_finding() const { return tail_finding_; }
+  /// Total file size (== good_prefix() iff the tail is clean).
+  uint64_t file_size() const { return data_.size(); }
+
+ private:
+  explicit LogReader(std::string data) : data_(std::move(data)) {}
+
+  std::string data_;
+  uint64_t pos_ = 0;
+  uint64_t good_prefix_ = 0;
+  Status tail_finding_;
+  bool done_ = false;
+};
+
+}  // namespace xdb::wal
+
+#endif  // XDB_WAL_LOG_READER_H_

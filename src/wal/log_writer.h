@@ -1,0 +1,68 @@
+// Append-only frame writer over one fd. Owns the torn-write discipline:
+// a failed or crashed append may leave a partial frame at the tail, which
+// the *reader* treats as the torn tail — the writer itself self-heals by
+// truncating back to the last good frame boundary before the next append,
+// so one injected fault never wedges the log.
+//
+// Fault sites (see common/faultpoints): `wal.append` fires mid-frame (half
+// the frame is already on disk — a genuinely torn write, not a clean
+// no-op), `wal.fsync` before the fsync, `wal.truncate` before a truncate.
+#ifndef XDB_WAL_LOG_WRITER_H_
+#define XDB_WAL_LOG_WRITER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace xdb::wal {
+
+class LogWriter {
+ public:
+  /// Opens (creating if needed) `path` for appending at `offset` — the
+  /// recovered good-prefix length, or the current file size for a fresh
+  /// log. Bytes past `offset` (a torn tail) are truncated away first.
+  static Result<std::unique_ptr<LogWriter>> Open(const std::string& path,
+                                                 uint64_t offset);
+
+  ~LogWriter();
+  LogWriter(const LogWriter&) = delete;
+  LogWriter& operator=(const LogWriter&) = delete;
+
+  /// Appends one frame around `payload`. On failure the file is restored
+  /// to the previous frame boundary (best effort) and the error returned.
+  Status AppendFrame(std::string_view payload);
+
+  /// fsync. The durability point of every commit and checkpoint.
+  Status Sync();
+
+  /// Truncates the log to zero length and syncs — the post-checkpoint
+  /// reset. The write offset restarts at 0.
+  Status Reset();
+
+  /// Rewinds to an earlier frame boundary (no fault site, no fsync): the
+  /// commit-failure scrub that erases a half-durable batch so the log
+  /// agrees with the caller's in-memory rollback.
+  Status TruncateTo(uint64_t offset);
+
+  /// Bytes of frames written and surviving (the checkpoint trigger input).
+  uint64_t size() const { return offset_; }
+
+ private:
+  LogWriter(int fd, std::string path, uint64_t offset)
+      : fd_(fd), path_(std::move(path)), offset_(offset) {}
+
+  int fd_ = -1;
+  std::string path_;
+  uint64_t offset_ = 0;
+};
+
+/// fsyncs the directory containing `path` so a rename/create in it is
+/// durable (POSIX requires syncing the directory entry separately).
+Status SyncParentDir(const std::string& path);
+
+}  // namespace xdb::wal
+
+#endif  // XDB_WAL_LOG_WRITER_H_

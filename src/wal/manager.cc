@@ -1,0 +1,346 @@
+#include "wal/manager.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/faultpoints.h"
+#include "common/governor.h"
+
+namespace xdb::wal {
+
+namespace {
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint64_t FileSize(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<uint64_t>(st.st_size);
+}
+
+}  // namespace
+
+const char* SyncModeName(SyncMode m) {
+  switch (m) {
+    case SyncMode::kOff:
+      return "off";
+    case SyncMode::kBatch:
+      return "batch";
+    case SyncMode::kAlways:
+      return "always";
+  }
+  return "unknown";
+}
+
+bool ParseSyncMode(const std::string& text, SyncMode* mode) {
+  if (text == "off") {
+    *mode = SyncMode::kOff;
+  } else if (text == "batch") {
+    *mode = SyncMode::kBatch;
+  } else if (text == "always") {
+    *mode = SyncMode::kAlways;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Status EnsureDataDir(const std::string& dir) {
+  if (dir.empty()) {
+    return Status::InvalidArgument("durability requires a data directory");
+  }
+  std::string partial;
+  size_t pos = 0;
+  while (pos <= dir.size()) {
+    size_t slash = dir.find('/', pos);
+    if (slash == std::string::npos) slash = dir.size();
+    partial = dir.substr(0, slash);
+    pos = slash + 1;
+    if (partial.empty()) continue;  // leading '/'
+    if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::Internal("mkdir '" + partial + "': " +
+                              std::strerror(errno));
+    }
+  }
+  struct stat st{};
+  if (::stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    return Status::InvalidArgument("data directory '" + dir +
+                                   "' is not a directory");
+  }
+  return Status::OK();
+}
+
+DurabilityOptions DurabilityOptions::FromEnv() {
+  DurabilityOptions o;
+  if (const char* dir = std::getenv("XDB_DATA_DIR"); dir != nullptr) {
+    o.data_dir = dir;
+  }
+  if (const char* sync = std::getenv("XDB_WAL_SYNC");
+      sync != nullptr && *sync != '\0') {
+    (void)ParseSyncMode(sync, &o.sync);
+  }
+  if (const char* bytes = std::getenv("XDB_CHECKPOINT_BYTES");
+      bytes != nullptr && *bytes != '\0') {
+    uint64_t parsed = 0;
+    if (governor::ParseByteSize(bytes, &parsed)) o.checkpoint_bytes = parsed;
+  }
+  return o;
+}
+
+Result<std::unique_ptr<Manager>> Manager::Open(const DurabilityOptions& options,
+                                               uint64_t next_lsn,
+                                               uint64_t next_batch_id,
+                                               uint64_t commits) {
+  if (options.data_dir.empty()) {
+    return Status::InvalidArgument("durability requires a data directory");
+  }
+  std::string path = WalPath(options.data_dir);
+  XDB_ASSIGN_OR_RETURN(std::unique_ptr<LogWriter> writer,
+                       LogWriter::Open(path, FileSize(path)));
+  return std::unique_ptr<Manager>(new Manager(options, std::move(writer),
+                                              next_lsn == 0 ? 1 : next_lsn,
+                                              next_batch_id == 0 ? 1 : next_batch_id,
+                                              commits));
+}
+
+Status Manager::Append(Record record) {
+  record.lsn = next_lsn_;
+  record.batch_id = batch_id_;
+  XDB_ASSIGN_OR_RETURN(std::string payload, EncodeRecord(record));
+  uint64_t before = writer_->size();
+  XDB_RETURN_NOT_OK(writer_->AppendFrame(payload));
+  next_lsn_ += 1;
+  metrics_.wal_bytes += writer_->size() - before;
+  return Status::OK();
+}
+
+Result<uint64_t> Manager::BeginBatch() {
+  if (in_batch_) {
+    return Status::Internal("WAL batch already open (writer not serialized?)");
+  }
+  batch_id_ = next_batch_id_++;
+  in_batch_ = true;
+  batch_start_offset_ = writer_->size();
+  Record r;
+  r.type = RecordType::kBatchBegin;
+  Status st = Append(std::move(r));
+  if (!st.ok()) {
+    in_batch_ = false;
+    return st;
+  }
+  return batch_id_;
+}
+
+#define XDB_WAL_REQUIRE_BATCH()                                         \
+  do {                                                                  \
+    if (!in_batch_) {                                                   \
+      return Status::Internal("WAL record logged outside a batch");     \
+    }                                                                   \
+  } while (false)
+
+Status Manager::LogRowBatch(const std::string& table, uint64_t first_rowid,
+                            const std::vector<rel::Row>& rows) {
+  XDB_WAL_REQUIRE_BATCH();
+  Record r;
+  r.type = RecordType::kRowBatch;
+  r.table = table;
+  r.first_rowid = first_rowid;
+  r.rows = rows;
+  return Append(std::move(r));
+}
+
+Status Manager::LogCreateIndex(const std::string& table,
+                               const std::string& column) {
+  XDB_WAL_REQUIRE_BATCH();
+  Record r;
+  r.type = RecordType::kCreateIndex;
+  r.table = table;
+  r.column = column;
+  return Append(std::move(r));
+}
+
+Status Manager::LogRegisterSchema(const std::string& view,
+                                  const std::string& structure_blob,
+                                  uint64_t batch_rows,
+                                  const std::vector<std::string>& value_indexes) {
+  XDB_WAL_REQUIRE_BATCH();
+  Record r;
+  r.type = RecordType::kRegisterSchema;
+  r.view = view;
+  r.text = structure_blob;
+  r.batch_rows = batch_rows;
+  r.value_indexes = value_indexes;
+  return Append(std::move(r));
+}
+
+Status Manager::LogCreateXsltView(const std::string& view,
+                                  const std::string& upstream,
+                                  const std::string& xml_column,
+                                  const std::string& stylesheet) {
+  XDB_WAL_REQUIRE_BATCH();
+  Record r;
+  r.type = RecordType::kCreateXsltView;
+  r.view = view;
+  r.upstream = upstream;
+  r.xml_column = xml_column;
+  r.text = stylesheet;
+  return Append(std::move(r));
+}
+
+Status Manager::LogDropTable(const std::string& table) {
+  XDB_WAL_REQUIRE_BATCH();
+  Record r;
+  r.type = RecordType::kDropTable;
+  r.table = table;
+  return Append(std::move(r));
+}
+
+Status Manager::LogStats(const std::string& table,
+                         const rel::TableStats& stats) {
+  XDB_WAL_REQUIRE_BATCH();
+  Record r;
+  r.type = RecordType::kStats;
+  r.table = table;
+  r.stats = stats;
+  return Append(std::move(r));
+}
+
+#undef XDB_WAL_REQUIRE_BATCH
+
+Status Manager::SyncLog() {
+  XDB_RETURN_NOT_OK(writer_->Sync());
+  metrics_.fsyncs += 1;
+  last_sync_us_ = NowUs();
+  return Status::OK();
+}
+
+Status Manager::Commit() {
+  if (!in_batch_) {
+    return Status::Internal("WAL commit without an open batch");
+  }
+  int64_t t0 = NowUs();
+  Status st = [&]() -> Status {
+    Record r;
+    r.type = RecordType::kCommit;
+    r.epoch = commits_ + 1;
+    XDB_RETURN_NOT_OK(Append(std::move(r)));
+    switch (options_.sync) {
+      case SyncMode::kAlways:
+        return SyncLog();
+      case SyncMode::kBatch:
+        // Group commit: the first commit after a quiet period syncs; a burst
+        // within the window rides the next commit's (or checkpoint's) fsync.
+        if (NowUs() - last_sync_us_ >= options_.group_window_us) {
+          return SyncLog();
+        }
+        break;
+      case SyncMode::kOff:
+        break;
+    }
+    return Status::OK();
+  }();
+  if (!st.ok()) {
+    // The commit record may be partially durable (a failed fsync promises
+    // nothing either way). Scrub the whole batch so the log matches the
+    // in-memory rollback the caller performs on this error.
+    uint64_t scrubbed = writer_->size() - batch_start_offset_;
+    if (writer_->TruncateTo(batch_start_offset_).ok()) {
+      metrics_.wal_bytes -= scrubbed;
+    }
+    in_batch_ = false;
+    batch_id_ = 0;
+    return st;
+  }
+  in_batch_ = false;
+  batch_id_ = 0;
+  commits_ += 1;
+  metrics_.commits += 1;
+  metrics_.commit_latency_us += static_cast<uint64_t>(NowUs() - t0);
+  return Status::OK();
+}
+
+void Manager::Abort() {
+  if (!in_batch_) return;
+  // Prefer scrubbing the batch outright (reclaims the space and spares
+  // recovery the replay-then-rollback work); fall back to an explicit abort
+  // record — and if even that fails, the missing commit still rolls the
+  // batch back at recovery.
+  uint64_t scrubbed = writer_->size() - batch_start_offset_;
+  if (writer_->TruncateTo(batch_start_offset_).ok()) {
+    metrics_.wal_bytes -= scrubbed;
+  } else {
+    Record r;
+    r.type = RecordType::kAbort;
+    (void)Append(std::move(r));
+  }
+  in_batch_ = false;
+  batch_id_ = 0;
+}
+
+bool Manager::ShouldCheckpoint() const {
+  return options_.checkpoint_bytes > 0 &&
+         writer_->size() >= options_.checkpoint_bytes;
+}
+
+Status Manager::WriteCheckpoint(std::vector<Record> body) {
+  if (in_batch_) {
+    return Status::Internal("checkpoint inside an open WAL batch");
+  }
+  const std::string tmp = CheckpointTmpPath(options_.data_dir);
+  const std::string final_path = CheckpointPath(options_.data_dir);
+  {
+    XDB_ASSIGN_OR_RETURN(std::unique_ptr<LogWriter> ck,
+                         LogWriter::Open(tmp, 0));
+    // Checkpoint records live in a private LSN space starting at 1; the
+    // header carries the *log* watermark this state covers.
+    uint64_t ck_lsn = 1;
+    Record header;
+    header.type = RecordType::kCheckpointHeader;
+    header.last_lsn = next_lsn_ - 1;
+    header.commits = commits_;
+    header.epoch = commits_;
+    auto append = [&](Record rec) -> Status {
+      XDB_FAULT_POINT("wal.checkpoint_write");
+      rec.lsn = ck_lsn++;
+      rec.batch_id = 0;
+      XDB_ASSIGN_OR_RETURN(std::string payload, EncodeRecord(rec));
+      return ck->AppendFrame(payload);
+    };
+    XDB_RETURN_NOT_OK(append(std::move(header)));
+    for (Record& rec : body) XDB_RETURN_NOT_OK(append(std::move(rec)));
+    Record footer;
+    footer.type = RecordType::kCheckpointFooter;
+    footer.record_count = static_cast<uint64_t>(body.size()) + 2;
+    XDB_RETURN_NOT_OK(append(std::move(footer)));
+    XDB_RETURN_NOT_OK(ck->Sync());
+    metrics_.fsyncs += 1;
+  }
+  // Atomic cutover: after the rename either the old or the new checkpoint
+  // is the one complete file named checkpoint.xck.
+  {
+    XDB_FAULT_POINT("wal.checkpoint_rename");
+    if (::rename(tmp.c_str(), final_path.c_str()) != 0) {
+      return Status::Internal(std::string("checkpoint rename: ") +
+                              std::strerror(errno));
+    }
+  }
+  XDB_RETURN_NOT_OK(SyncParentDir(final_path));
+  // The checkpoint now covers every logged record: drop the log. A crash
+  // before this point replays the (now redundant, LSN-skipped) tail.
+  XDB_RETURN_NOT_OK(writer_->Reset());
+  metrics_.fsyncs += 1;  // Reset fsyncs the truncated log
+  metrics_.checkpoints += 1;
+  return Status::OK();
+}
+
+}  // namespace xdb::wal

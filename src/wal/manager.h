@@ -1,0 +1,167 @@
+// WAL manager: the writer-side API the engine logs through. One Manager
+// owns one data directory:
+//
+//   <XDB_DATA_DIR>/wal.log             frame log (truncated at checkpoints)
+//   <XDB_DATA_DIR>/checkpoint.xck      last complete checkpoint
+//   <XDB_DATA_DIR>/checkpoint.xck.tmp  in-flight checkpoint (ignored/
+//                                      deleted by recovery)
+//
+// Mutations group into batches (one document load, one DDL statement):
+// BeginBatch / Log* / Commit. Commit appends the kCommit record and — per
+// the sync mode — fsyncs before returning, which is the durability point
+// the session layer orders *before* publishing the new epoch: a published
+// epoch is always durable (XDB_WAL_SYNC=always), durable within the group
+// commit window (=batch), or best-effort (=off).
+//
+// Checkpoints follow the classic tmp + rename protocol: write every record
+// to checkpoint.xck.tmp, fsync it, rename over checkpoint.xck, fsync the
+// directory, then truncate the log. A crash between any two steps leaves
+// either the old checkpoint + full log or the new checkpoint (+ a log tail
+// whose records the header's LSN watermark makes idempotent to replay).
+//
+// Thread safety: none. Callers serialize all writer-side calls exactly as
+// they already serialize catalog mutations (the session writer lock).
+#ifndef XDB_WAL_MANAGER_H_
+#define XDB_WAL_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "wal/format.h"
+#include "wal/log_writer.h"
+
+namespace xdb::wal {
+
+enum class SyncMode {
+  kOff,     ///< never fsync (durability up to the OS page cache)
+  kBatch,   ///< group commit: fsync at most once per window
+  kAlways,  ///< fsync every commit
+};
+
+const char* SyncModeName(SyncMode m);
+bool ParseSyncMode(const std::string& text, SyncMode* mode);
+
+/// mkdir -p for the data directory (each missing path component in turn).
+Status EnsureDataDir(const std::string& dir);
+
+struct DurabilityOptions {
+  std::string data_dir;  ///< required; created if absent
+  SyncMode sync = SyncMode::kBatch;
+  /// Auto-checkpoint once the log exceeds this many bytes (0 = manual
+  /// checkpoints only).
+  uint64_t checkpoint_bytes = 16ull << 20;
+  /// kBatch group-commit window: a commit fsyncs only when the last fsync
+  /// is at least this old, so a burst of loads shares one fsync per window.
+  int64_t group_window_us = 1000;
+
+  /// Reads XDB_DATA_DIR, XDB_WAL_SYNC (always|batch|off) and
+  /// XDB_CHECKPOINT_BYTES ("64K"/"16M"/... — governor::ParseByteSize).
+  /// data_dir stays empty when XDB_DATA_DIR is unset.
+  static DurabilityOptions FromEnv();
+};
+
+/// Writer-side counters (cumulative since Open).
+struct WalMetrics {
+  uint64_t wal_bytes = 0;           ///< frame bytes appended to the log
+  uint64_t fsyncs = 0;              ///< log + checkpoint fsyncs issued
+  uint64_t commits = 0;             ///< batches committed
+  uint64_t commit_latency_us = 0;   ///< total Commit() wall time
+  uint64_t checkpoints = 0;
+};
+
+class Manager {
+ public:
+  /// Opens the log for appending. `next_lsn`/`next_batch_id`/`commits` come
+  /// from recovery (1/1/0 for a fresh directory); the log file's current
+  /// size must already be a clean frame boundary (recovery truncates torn
+  /// tails before this).
+  static Result<std::unique_ptr<Manager>> Open(const DurabilityOptions& options,
+                                               uint64_t next_lsn,
+                                               uint64_t next_batch_id,
+                                               uint64_t commits);
+
+  // -- batch lifecycle (one open batch at a time) ---------------------------
+
+  /// Appends kBatchBegin; returns the batch id.
+  Result<uint64_t> BeginBatch();
+  Status LogRowBatch(const std::string& table, uint64_t first_rowid,
+                     const std::vector<rel::Row>& rows);
+  Status LogCreateIndex(const std::string& table, const std::string& column);
+  Status LogRegisterSchema(const std::string& view,
+                           const std::string& structure_blob,
+                           uint64_t batch_rows,
+                           const std::vector<std::string>& value_indexes);
+  Status LogCreateXsltView(const std::string& view, const std::string& upstream,
+                           const std::string& xml_column,
+                           const std::string& stylesheet);
+  Status LogDropTable(const std::string& table);
+  Status LogStats(const std::string& table, const rel::TableStats& stats);
+
+  /// Appends kCommit and applies the sync policy. After an OK return the
+  /// batch is durable (to the configured degree) and the caller may publish.
+  /// On failure the whole batch is scrubbed from the log (truncated back to
+  /// its begin offset): the commit record may already be half-durable, and
+  /// a caller rolling back in memory must not leave a batch on disk that a
+  /// later crash would replay as committed.
+  Status Commit();
+  /// Scrubs the open batch from the log (falling back to an appended kAbort
+  /// record when the truncate fails — recovery also rolls back batches
+  /// whose commit is simply missing) and closes the batch.
+  void Abort();
+  bool in_batch() const { return in_batch_; }
+
+  // -- checkpointing --------------------------------------------------------
+
+  /// True once the log has outgrown options().checkpoint_bytes.
+  bool ShouldCheckpoint() const;
+
+  /// Writes `body` (already-built records; LSNs are assigned here) between
+  /// a header and footer via the tmp+rename protocol, then truncates the
+  /// log. The header's watermark covers every LSN assigned so far.
+  Status WriteCheckpoint(std::vector<Record> body);
+
+  const DurabilityOptions& options() const { return options_; }
+  WalMetrics metrics() const { return metrics_; }
+  uint64_t next_lsn() const { return next_lsn_; }
+  uint64_t commits() const { return commits_; }
+  uint64_t wal_size() const { return writer_->size(); }
+
+  static std::string WalPath(const std::string& dir) { return dir + "/wal.log"; }
+  static std::string CheckpointPath(const std::string& dir) {
+    return dir + "/checkpoint.xck";
+  }
+  static std::string CheckpointTmpPath(const std::string& dir) {
+    return dir + "/checkpoint.xck.tmp";
+  }
+
+ private:
+  Manager(DurabilityOptions options, std::unique_ptr<LogWriter> writer,
+          uint64_t next_lsn, uint64_t next_batch_id, uint64_t commits)
+      : options_(std::move(options)),
+        writer_(std::move(writer)),
+        next_lsn_(next_lsn),
+        next_batch_id_(next_batch_id),
+        commits_(commits) {}
+
+  /// Stamps the next LSN + current batch id and appends the record.
+  Status Append(Record record);
+  Status SyncLog();
+
+  DurabilityOptions options_;
+  std::unique_ptr<LogWriter> writer_;
+  uint64_t next_lsn_ = 1;
+  uint64_t next_batch_id_ = 1;
+  uint64_t commits_ = 0;
+  bool in_batch_ = false;
+  uint64_t batch_id_ = 0;
+  uint64_t batch_start_offset_ = 0;  // log size when the open batch began
+  int64_t last_sync_us_ = 0;  // kBatch: steady-clock stamp of the last fsync
+  WalMetrics metrics_;
+};
+
+}  // namespace xdb::wal
+
+#endif  // XDB_WAL_MANAGER_H_

@@ -1,0 +1,83 @@
+// Crash recovery: rebuilds the in-memory catalog from the last complete
+// checkpoint plus the WAL tail. The state machine per WAL batch:
+//
+//   (no batch) --kBatchBegin--> (open: per-table row-count marks captured)
+//   (open) --kRowBatch--> rows applied immediately (positionally idempotent)
+//   (open) --DDL/stats record--> deferred until the commit
+//   (open) --kCommit--> deferred records applied, batch durable
+//   (open) --kAbort / new kBatchBegin / EOF / torn tail--> every touched
+//            table truncated back to its mark (Table::TruncateTo)
+//
+// Idempotence is two-layered: records at or below the checkpoint header's
+// LSN watermark are skipped outright (covers a crash between checkpoint
+// rename and log truncate), and row batches are positional — a batch whose
+// first_rowid is below the table's current row count was already applied
+// (covers replaying the same WAL twice, i.e. a crash during recovery
+// itself). A first_rowid *above* the row count means a lost frame inside
+// the valid prefix and fails recovery with kDataLoss.
+//
+// Torn or CRC-corrupt log tails are truncated at the first bad frame and
+// reported as kDataLoss findings; a torn *checkpoint* (missing footer) is a
+// hard kDataLoss error, because the rename protocol guarantees a complete
+// file — absence of the footer means real corruption, not a crash artifact.
+#ifndef XDB_WAL_RECOVERY_H_
+#define XDB_WAL_RECOVERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rel/table.h"
+#include "wal/format.h"
+
+namespace xdb::wal {
+
+/// Catalog-side operations recovery drives. Implemented by XmlDb; every
+/// method is invoked only after recovery checked the existence queries, so
+/// implementations need no idempotence logic of their own.
+class RecoveryHooks {
+ public:
+  virtual ~RecoveryHooks() = default;
+
+  /// Re-registers a shredded schema from its serialized structure (creates
+  /// tables + mapped indexes + publishing view, must NOT re-log to the WAL).
+  virtual Status RegisterSchema(const Record& record) = 0;
+  /// Re-creates an XSLT view from its logged stylesheet text.
+  virtual Status CreateXsltView(const Record& record) = 0;
+  /// Re-creates a plain (checkpoint-only) table: schema + listed indexes.
+  virtual Status CreateTable(const Record& record) = 0;
+  virtual Status DropTable(const std::string& table) = 0;
+  virtual void PublishStats(const std::string& table,
+                            rel::TableStats stats) = 0;
+
+  virtual bool HasView(const std::string& view) const = 0;
+  /// The live table, or nullptr when absent.
+  virtual rel::Table* FindTable(const std::string& table) const = 0;
+};
+
+struct RecoveryReport {
+  bool recovered_checkpoint = false;
+  uint64_t checkpoint_records = 0;
+  uint64_t replayed_records = 0;   ///< WAL records decoded from the tail
+  uint64_t skipped_records = 0;    ///< below the checkpoint LSN watermark
+  uint64_t committed_batches = 0;  ///< total restored (checkpoint + tail)
+  uint64_t rolled_back_batches = 0;
+  uint64_t next_lsn = 1;
+  uint64_t next_batch_id = 1;
+  uint64_t wal_good_prefix = 0;  ///< valid log bytes retained on disk
+  int64_t recovery_ms = 0;
+  /// kDataLoss findings that did not abort recovery (torn log tails,
+  /// truncated at the first bad frame).
+  std::vector<Status> findings;
+};
+
+/// Replays `data_dir` into the (empty or previously recovered) catalog
+/// behind `hooks`. Returns kDataLoss on unrecoverable corruption: a torn
+/// checkpoint, a record gap, or a replay application error.
+Status RunRecovery(const std::string& data_dir, RecoveryHooks* hooks,
+                   RecoveryReport* report);
+
+}  // namespace xdb::wal
+
+#endif  // XDB_WAL_RECOVERY_H_

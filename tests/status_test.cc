@@ -34,6 +34,15 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
   EXPECT_EQ(Status::ResourceExhausted("x").code(),
             StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+}
+
+TEST(StatusTest, DataLossFormatsAndStaysDistinct) {
+  Status torn = Status::DataLoss("torn WAL frame at offset 12");
+  EXPECT_FALSE(torn.ok());
+  EXPECT_EQ(torn.ToString(), "DataLoss: torn WAL frame at offset 12");
+  EXPECT_NE(torn.code(), Status::Internal("x").code());
+  EXPECT_NE(torn.code(), Status::ResourceExhausted("x").code());
 }
 
 TEST(StatusTest, GovernorCodesRoundTrip) {

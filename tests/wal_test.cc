@@ -1,0 +1,451 @@
+// WAL unit tests: frame encoding round trips, CRC/torn-tail detection and
+// the kDataLoss mapping, the checkpoint tmp+rename protocol, sync-mode
+// policies (always / group-commit batch / off), auto-checkpointing, the
+// commit-failure batch scrub, and structure-blob serialization.
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "common/faultpoints.h"
+#include "core/xmldb.h"
+#include "schema/structure.h"
+#include "shred/mapping.h"
+#include "wal/format.h"
+#include "wal/log_reader.h"
+#include "wal/log_writer.h"
+#include "wal/manager.h"
+#include "wal/recovery.h"
+
+namespace xdb {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::DisarmAll();
+    char tmpl[] = "/tmp/xdb_wal_XXXXXX";
+    const char* made = mkdtemp(tmpl);
+    ASSERT_NE(made, nullptr);
+    dir_ = made;
+  }
+  void TearDown() override {
+    fault::DisarmAll();
+    for (const char* f :
+         {"/wal.log", "/checkpoint.xck", "/checkpoint.xck.tmp", "/extra"}) {
+      ::unlink((dir_ + f).c_str());
+    }
+    ::rmdir(dir_.c_str());
+  }
+
+  wal::DurabilityOptions Options(wal::SyncMode sync = wal::SyncMode::kAlways,
+                                 uint64_t checkpoint_bytes = 0) {
+    wal::DurabilityOptions o;
+    o.data_dir = dir_;
+    o.sync = sync;
+    o.checkpoint_bytes = checkpoint_bytes;
+    return o;
+  }
+
+  std::string WalPath() const { return wal::Manager::WalPath(dir_); }
+
+  static uint64_t SizeOf(const std::string& path) {
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0 ? static_cast<uint64_t>(st.st_size)
+                                          : 0;
+  }
+  static bool Exists(const std::string& path) {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+  static void AppendBytes(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string dir_;
+};
+
+// ---------------------------------------------------------------------------
+// Frame encoding
+// ---------------------------------------------------------------------------
+
+TEST_F(WalTest, FrameRoundTripAllRecordTypes) {
+  std::vector<wal::Record> records;
+  {
+    wal::Record r;
+    r.lsn = 1;
+    r.type = wal::RecordType::kBatchBegin;
+    r.batch_id = 7;
+    records.push_back(r);
+  }
+  {
+    wal::Record r;
+    r.lsn = 2;
+    r.type = wal::RecordType::kRowBatch;
+    r.batch_id = 7;
+    r.table = "t";
+    r.first_rowid = 42;
+    r.rows = {{rel::Datum(int64_t{1}), rel::Datum(2.5), rel::Datum("x"),
+               rel::Datum::Null()}};
+    records.push_back(r);
+  }
+  {
+    wal::Record r;
+    r.lsn = 3;
+    r.type = wal::RecordType::kRegisterSchema;
+    r.batch_id = 7;
+    r.view = "v";
+    r.text = "blob";
+    r.batch_rows = 512;
+    r.value_indexes = {"a/b", "a/@c"};
+    records.push_back(r);
+  }
+  {
+    wal::Record r;
+    r.lsn = 4;
+    r.type = wal::RecordType::kCommit;
+    r.batch_id = 7;
+    r.epoch = 3;
+    records.push_back(r);
+  }
+
+  {
+    auto writer = wal::LogWriter::Open(WalPath(), 0);
+    ASSERT_TRUE(writer.ok());
+    for (const wal::Record& r : records) {
+      auto payload = wal::EncodeRecord(r);
+      ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+      ASSERT_TRUE((*writer)->AppendFrame(*payload).ok());
+    }
+  }
+
+  auto reader = wal::LogReader::Open(WalPath());
+  ASSERT_TRUE(reader.ok());
+  std::string_view payload;
+  size_t i = 0;
+  while (reader->Next(&payload)) {
+    auto decoded = wal::DecodeRecord(payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    ASSERT_LT(i, records.size());
+    const wal::Record& want = records[i++];
+    EXPECT_EQ(decoded->lsn, want.lsn);
+    EXPECT_EQ(decoded->type, want.type);
+    EXPECT_EQ(decoded->batch_id, want.batch_id);
+    EXPECT_EQ(decoded->table, want.table);
+    EXPECT_EQ(decoded->view, want.view);
+    EXPECT_EQ(decoded->text, want.text);
+    EXPECT_EQ(decoded->batch_rows, want.batch_rows);
+    EXPECT_EQ(decoded->first_rowid, want.first_rowid);
+    EXPECT_EQ(decoded->value_indexes, want.value_indexes);
+    EXPECT_EQ(decoded->epoch, want.epoch);
+    EXPECT_EQ(decoded->rows.size(), want.rows.size());
+  }
+  EXPECT_EQ(i, records.size());
+  EXPECT_TRUE(reader->tail_finding().ok());
+  EXPECT_EQ(reader->good_prefix(), reader->file_size());
+
+  // The row datums survived with type and value.
+  // (Row 1 of the decoded kRowBatch record checked via a fresh read.)
+  auto reader2 = wal::LogReader::Open(WalPath());
+  ASSERT_TRUE(reader2.ok());
+  ASSERT_TRUE(reader2->Next(&payload));  // begin
+  ASSERT_TRUE(reader2->Next(&payload));  // row batch
+  auto rows = wal::DecodeRecord(payload);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->rows.size(), 1u);
+  const rel::Row& row = rows->rows[0];
+  ASSERT_EQ(row.size(), 4u);
+  EXPECT_EQ(row[0].AsInt(), 1);
+  EXPECT_EQ(row[1].AsDouble(), 2.5);
+  EXPECT_EQ(row[2].AsString(), "x");
+  EXPECT_TRUE(row[3].is_null());
+}
+
+TEST_F(WalTest, XmlDatumIsNotEncodable) {
+  wal::Record r;
+  r.type = wal::RecordType::kRowBatch;
+  r.table = "t";
+  r.rows = {{rel::Datum(static_cast<xml::Node*>(nullptr))}};
+  auto payload = wal::EncodeRecord(r);
+  ASSERT_FALSE(payload.ok());
+  EXPECT_EQ(payload.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption detection
+// ---------------------------------------------------------------------------
+
+TEST_F(WalTest, CrcCorruptionMarksTornTailAsDataLoss) {
+  uint64_t first_end = 0;
+  {
+    auto writer = wal::LogWriter::Open(WalPath(), 0);
+    ASSERT_TRUE(writer.ok());
+    wal::Record r;
+    r.lsn = 1;
+    r.type = wal::RecordType::kBatchBegin;
+    ASSERT_TRUE((*writer)->AppendFrame(*wal::EncodeRecord(r)).ok());
+    first_end = (*writer)->size();
+    r.lsn = 2;
+    r.type = wal::RecordType::kCommit;
+    ASSERT_TRUE((*writer)->AppendFrame(*wal::EncodeRecord(r)).ok());
+  }
+  // Flip one payload byte of the second frame: its CRC must catch it.
+  {
+    std::ifstream in(WalPath(), std::ios::binary);
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    data[first_end + wal::kFrameHeaderSize + 2] ^= 0x40;
+    std::ofstream out(WalPath(), std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  }
+  auto reader = wal::LogReader::Open(WalPath());
+  ASSERT_TRUE(reader.ok());
+  std::string_view payload;
+  int valid = 0;
+  while (reader->Next(&payload)) ++valid;
+  EXPECT_EQ(valid, 1);
+  EXPECT_EQ(reader->good_prefix(), first_end);
+  EXPECT_EQ(reader->tail_finding().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(WalTest, ShortHeaderAndOversizedLengthAreTornTails) {
+  // A 3-byte stub after a valid frame: too short for a frame header.
+  {
+    auto writer = wal::LogWriter::Open(WalPath(), 0);
+    ASSERT_TRUE(writer.ok());
+    wal::Record r;
+    r.lsn = 1;
+    r.type = wal::RecordType::kBatchBegin;
+    ASSERT_TRUE((*writer)->AppendFrame(*wal::EncodeRecord(r)).ok());
+  }
+  uint64_t good = SizeOf(WalPath());
+  AppendBytes(WalPath(), std::string("\x01\x02\x03", 3));
+  {
+    auto reader = wal::LogReader::Open(WalPath());
+    ASSERT_TRUE(reader.ok());
+    std::string_view payload;
+    while (reader->Next(&payload)) {
+    }
+    EXPECT_EQ(reader->good_prefix(), good);
+    EXPECT_EQ(reader->tail_finding().code(), StatusCode::kDataLoss);
+  }
+  // A length field far past kMaxFramePayload must be treated as corruption,
+  // not as an allocation request.
+  std::string huge;
+  wal::PutU32(&huge, 0x7fffffffu);
+  wal::PutU32(&huge, 0);
+  ::truncate(WalPath().c_str(), static_cast<off_t>(good));
+  AppendBytes(WalPath(), huge);
+  auto reader = wal::LogReader::Open(WalPath());
+  ASSERT_TRUE(reader.ok());
+  std::string_view payload;
+  while (reader->Next(&payload)) {
+  }
+  EXPECT_EQ(reader->good_prefix(), good);
+  EXPECT_EQ(reader->tail_finding().code(), StatusCode::kDataLoss);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level durability: shared fixtures
+// ---------------------------------------------------------------------------
+
+schema::StructuralInfo ItemStructure() {
+  schema::StructureBuilder b;
+  auto* item = b.Element("item");
+  item->attributes.push_back("id");
+  b.AddText(b.AddChild(item, "name"));
+  return b.Build(item);
+}
+
+std::string ItemDoc(int id) {
+  return "<item id=\"" + std::to_string(id) + "\"><name>n" +
+         std::to_string(id) + "</name></item>";
+}
+
+TEST_F(WalTest, RecoveryTruncatesTornTailAndReportsDataLoss) {
+  {
+    XmlDb db;
+    ASSERT_TRUE(db.OpenDurable(Options()).ok());
+    ASSERT_TRUE(db.RegisterShreddedSchema("v", ItemStructure()).ok());
+    ASSERT_TRUE(db.LoadDocument("v", ItemDoc(1)).ok());
+  }
+  uint64_t committed = SizeOf(WalPath());
+  AppendBytes(WalPath(), "torn-garbage-not-a-frame");
+
+  XmlDb db;
+  Status st = db.OpenDurable(Options());
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_FALSE(db.last_recovery().findings.empty());
+  EXPECT_EQ(db.last_recovery().findings.front().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(db.last_recovery().wal_good_prefix, committed);
+  // The torn tail was physically truncated and the committed state is intact.
+  EXPECT_EQ(SizeOf(WalPath()), committed);
+  auto rows = db.MaterializeView("v");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+  // The log stayed appendable after the truncation.
+  ASSERT_TRUE(db.LoadDocument("v", ItemDoc(2)).ok());
+}
+
+TEST_F(WalTest, CheckpointFollowsTmpRenameProtocolAndTruncatesLog) {
+  XmlDb db;
+  ASSERT_TRUE(db.OpenDurable(Options()).ok());
+  ASSERT_TRUE(db.RegisterShreddedSchema("v", ItemStructure()).ok());
+  ASSERT_TRUE(db.LoadDocument("v", ItemDoc(1)).ok());
+  ASSERT_GT(SizeOf(WalPath()), 0u);
+
+  ASSERT_TRUE(db.Checkpoint().ok());
+  EXPECT_TRUE(Exists(wal::Manager::CheckpointPath(dir_)));
+  EXPECT_FALSE(Exists(wal::Manager::CheckpointTmpPath(dir_)));
+  EXPECT_EQ(SizeOf(WalPath()), 0u);
+  EXPECT_EQ(db.wal_metrics().checkpoints, 1u);
+
+  // A stale tmp (interrupted checkpoint write of a crashed incarnation) is
+  // discarded by the next recovery, which restores from the real checkpoint.
+  AppendBytes(wal::Manager::CheckpointTmpPath(dir_), "half-written");
+  XmlDb db2;
+  ASSERT_TRUE(db2.OpenDurable(Options()).ok());
+  EXPECT_FALSE(Exists(wal::Manager::CheckpointTmpPath(dir_)));
+  EXPECT_TRUE(db2.last_recovery().recovered_checkpoint);
+  auto rows = db2.MaterializeView("v");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+}
+
+TEST_F(WalTest, AutoCheckpointFiresPastThreshold) {
+  XmlDb db;
+  ASSERT_TRUE(db.OpenDurable(Options(wal::SyncMode::kAlways, 1)).ok());
+  ASSERT_TRUE(db.RegisterShreddedSchema("v", ItemStructure()).ok());
+  ASSERT_TRUE(db.LoadDocument("v", ItemDoc(1)).ok());
+  EXPECT_TRUE(db.last_auto_checkpoint().ok());
+  EXPECT_GE(db.wal_metrics().checkpoints, 1u);
+  EXPECT_EQ(SizeOf(WalPath()), 0u);  // the log was truncated at the cut
+}
+
+// ---------------------------------------------------------------------------
+// Sync modes
+// ---------------------------------------------------------------------------
+
+TEST_F(WalTest, SyncModeNamesParseAndRoundTrip) {
+  for (wal::SyncMode m :
+       {wal::SyncMode::kOff, wal::SyncMode::kBatch, wal::SyncMode::kAlways}) {
+    wal::SyncMode parsed = wal::SyncMode::kOff;
+    ASSERT_TRUE(wal::ParseSyncMode(wal::SyncModeName(m), &parsed));
+    EXPECT_EQ(parsed, m);
+  }
+  wal::SyncMode parsed = wal::SyncMode::kOff;
+  EXPECT_FALSE(wal::ParseSyncMode("sometimes", &parsed));
+  EXPECT_FALSE(wal::ParseSyncMode("", &parsed));
+}
+
+TEST_F(WalTest, AlwaysSyncsEveryCommitOffNeverBatchGroups) {
+  auto run = [&](wal::DurabilityOptions o) -> wal::WalMetrics {
+    XmlDb db;
+    EXPECT_TRUE(db.OpenDurable(o).ok());
+    EXPECT_TRUE(db.RegisterShreddedSchema("v", ItemStructure()).ok());
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_TRUE(db.LoadDocument("v", ItemDoc(i)).ok());
+    }
+    wal::WalMetrics m = db.wal_metrics();
+    TearDown();
+    SetUp();
+    return m;
+  };
+
+  wal::WalMetrics always = run(Options(wal::SyncMode::kAlways));
+  EXPECT_EQ(always.commits, 5u);  // register + 4 loads
+  EXPECT_GE(always.fsyncs, always.commits);
+
+  wal::WalMetrics off = run(Options(wal::SyncMode::kOff));
+  EXPECT_EQ(off.commits, 5u);
+  EXPECT_EQ(off.fsyncs, 0u);
+
+  wal::DurabilityOptions batch = Options(wal::SyncMode::kBatch);
+  batch.group_window_us = 60'000'000;  // one window spans the whole burst
+  wal::WalMetrics grouped = run(batch);
+  EXPECT_EQ(grouped.commits, 5u);
+  EXPECT_EQ(grouped.fsyncs, 1u);  // the burst shared one group-commit fsync
+}
+
+// ---------------------------------------------------------------------------
+// Commit-failure scrub
+// ---------------------------------------------------------------------------
+
+TEST_F(WalTest, FailedCommitScrubsTheBatchFromTheLog) {
+  XmlDb db;
+  ASSERT_TRUE(db.OpenDurable(Options(wal::SyncMode::kAlways)).ok());
+  ASSERT_TRUE(db.RegisterShreddedSchema("v", ItemStructure()).ok());
+  ASSERT_TRUE(db.LoadDocument("v", ItemDoc(1)).ok());
+  const uint64_t committed_bytes = db.wal_metrics().wal_bytes;
+  const uint64_t committed_size = SizeOf(WalPath());
+
+  // Fail the commit fsync: the load must roll back in memory AND the whole
+  // batch — including the possibly-half-durable commit record — must be
+  // scrubbed from the log so a later crash cannot resurrect it.
+  fault::Arm("wal.fsync", 1);
+  auto load = db.LoadDocument("v", ItemDoc(2));
+  ASSERT_FALSE(load.ok());
+  EXPECT_NE(load.status().code(), StatusCode::kInternal);
+  fault::DisarmAll();
+
+  EXPECT_EQ(db.wal_metrics().wal_bytes, committed_bytes);
+  EXPECT_EQ(SizeOf(WalPath()), committed_size);
+  auto rows = db.MaterializeView("v");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+
+  // A retry commits cleanly on the scrubbed log...
+  ASSERT_TRUE(db.LoadDocument("v", ItemDoc(2)).ok());
+  rows = db.MaterializeView("v");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+  const std::vector<std::string> live = *rows;
+
+  // ...and recovery agrees byte for byte: exactly the two committed loads.
+  XmlDb recovered;
+  ASSERT_TRUE(recovered.OpenDurable(Options()).ok());
+  auto rec_rows = recovered.MaterializeView("v");
+  ASSERT_TRUE(rec_rows.ok());
+  EXPECT_EQ(*rec_rows, live);
+  EXPECT_EQ(recovered.wal_commits(), 3u);  // register + 2 committed loads
+}
+
+// ---------------------------------------------------------------------------
+// Structure blob round trip (the WAL representation of a registered schema)
+// ---------------------------------------------------------------------------
+
+TEST_F(WalTest, StructureBlobRoundTripsThroughSerialization) {
+  schema::StructuralInfo info = ItemStructure();
+  std::string blob = schema::SerializeStructuralInfo(info);
+  ASSERT_FALSE(blob.empty());
+  auto parsed = schema::ParseStructuralInfo(blob);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(schema::SerializeStructuralInfo(*parsed), blob);
+
+  auto bad = schema::ParseStructuralInfo("not a structure blob");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(WalTest, EnsureDataDirCreatesNestedPaths) {
+  std::string nested = dir_ + "/a/b";
+  ASSERT_TRUE(wal::EnsureDataDir(nested).ok());
+  struct stat st{};
+  ASSERT_EQ(::stat(nested.c_str(), &st), 0);
+  EXPECT_TRUE(S_ISDIR(st.st_mode));
+  ::rmdir(nested.c_str());
+  ::rmdir((dir_ + "/a").c_str());
+
+  EXPECT_FALSE(wal::EnsureDataDir("").ok());
+}
+
+}  // namespace
+}  // namespace xdb
