@@ -164,6 +164,85 @@ BENCHMARK(BM_JoinTransform)
     ->ArgsProduct({{1000, 8000, 64000}, {0, 1, 2, 3}})
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Structural (interval) join: the `//order` sweep under three regimes
+// ---------------------------------------------------------------------------
+
+constexpr const char* kSweepStylesheet =
+    "<xsl:stylesheet version=\"1.0\" "
+    "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+    "<xsl:template match=\"shop\"><out><xsl:apply-templates "
+    "select=\".//order\"/></out></xsl:template>"
+    "<xsl:template match=\"order\"><o><xsl:value-of select=\"item\"/></o>"
+    "</xsl:template>"
+    "<xsl:template match=\"text()\"/>"
+    "</xsl:stylesheet>";
+
+// Arm selector. 0 = functional baseline (no rewrite: per-row DOM walk),
+// 1 = interval full scan (pricing rule off), 2 = interval range scan.
+ExecOptions StructuralArmOptions(int arm) {
+  ExecOptions o;
+  switch (arm) {
+    case 0:
+      o.enable_rewrite = false;
+      break;
+    case 1:
+      o.optimizer.enable_structural_join = false;
+      break;
+    default:
+      break;
+  }
+  return o;
+}
+
+const char* StructuralArmName(int arm) {
+  switch (arm) {
+    case 0:
+      return "functional";
+    case 1:
+      return "interval-scan";
+    default:
+      return "interval-range";
+  }
+}
+
+// Warm `//`-sweep latency per (child rows, arm). The functional arm walks
+// the materialized DOM per row (linear in document size per anchor); the
+// interval arms answer from the shredded (start, end) columns — the range
+// arm through the B+tree on `start`. EXPERIMENTS.md quotes the flat-vs-
+// linear growth of these curves.
+void BM_StructuralSweep(benchmark::State& state) {
+  const int orders = static_cast<int>(state.range(0));
+  const int arm = static_cast<int>(state.range(1));
+  XmlDb* db = GetJoinDb(orders);
+  ExecOptions options = StructuralArmOptions(arm);
+  options.parallel = false;
+  options.threads = 1;
+  ExecStats stats;
+  for (auto _ : state) {
+    auto r = db->TransformView("shop_view", kSweepStylesheet, options, &stats);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rows"] = static_cast<double>(orders);
+  std::string label = std::string(ExecutionPathName(stats.path)) + "/" +
+                      StructuralArmName(arm);
+  state.SetLabel(label);
+  state.counters["structural_joins"] =
+      static_cast<double>(stats.structural_joins);
+  state.counters["structural_est_rows"] =
+      static_cast<double>(stats.structural_est_rows);
+  state.counters["structural_match_rows"] =
+      static_cast<double>(stats.structural_match_rows);
+  state.counters["used_index"] = stats.used_index ? 1 : 0;
+  state.counters["cache_hit"] = stats.cache_hit ? 1 : 0;
+  state.counters["execute_ms"] = static_cast<double>(stats.execute_ns) / 1e6;
+}
+
+BENCHMARK(BM_StructuralSweep)
+    ->ArgsProduct({{1000, 8000, 64000}, {0, 1, 2}})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace xdb::bench
 

@@ -54,6 +54,12 @@ struct ExecStats {
   uint64_t join_probe_rows = 0;  ///< left rows probed
   uint64_t join_match_rows = 0;  ///< right rows matched (post-residual)
 
+  // -- structural-join runtime counters (interval containment joins over the
+  //    shredded (start, end, level) columns) ---------------------------------
+  uint64_t structural_joins = 0;      ///< structural-join operator opens
+  uint64_t structural_est_rows = 0;   ///< optimizer row estimates, summed
+  uint64_t structural_match_rows = 0; ///< rows actually matched by the axis
+
   // -- prepared-transform instrumentation ------------------------------------
   bool cache_hit = false;    ///< the plan came out of the plan cache
   int64_t prepare_ns = 0;    ///< parse + rewrite + plan (or cache lookup) time

@@ -24,6 +24,7 @@ uint64_t OptionsFingerprint(const ExecOptions& options) {
   bit(options.optimizer.enable_join_lowering);
   bit(options.optimizer.enable_join_access_path);
   bit(options.optimizer.enable_join_order);
+  bit(options.optimizer.enable_structural_join);
   // Two bits for the forced-strategy override (0 auto / 1 hash / 2 index-NL):
   // a forced plan must never serve a costed lookup or vice versa.
   bit((options.optimizer.force_join_strategy & 1) != 0);

@@ -693,6 +693,12 @@ Result<std::vector<std::string>> XmlDb::Execute(
   stats->join_build_rows = jstats.build_rows.load(std::memory_order_relaxed);
   stats->join_probe_rows = jstats.probe_rows.load(std::memory_order_relaxed);
   stats->join_match_rows = jstats.match_rows.load(std::memory_order_relaxed);
+  stats->structural_joins =
+      jstats.structural_joins.load(std::memory_order_relaxed);
+  stats->structural_est_rows =
+      jstats.structural_est_rows.load(std::memory_order_relaxed);
+  stats->structural_match_rows =
+      jstats.structural_match_rows.load(std::memory_order_relaxed);
   stats->op_parallel = pstats.Snapshot();
   for (const core::OpParallelStats& op : stats->op_parallel) {
     stats->parallel_tasks += op.parallel_tasks;

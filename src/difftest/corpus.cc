@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "difftest/canonical.h"
+#include "schema/structure.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
 #include "xslt/interpreter.h"
@@ -189,6 +190,120 @@ constexpr const char* kSchemaTransformStylesheet =
     "</xsl:template>"
     "<xsl:template match=\"text()\"/></xsl:stylesheet>";
 
+// catalog { shelf* { label, book* { title, pages } } } — `//book` crosses two
+// repeating levels, which only the structural (interval) join keeps on the
+// shredded SQL path; the lexical path analysis cannot place it.
+Status SetupStructuralDescendant(XmlDb* db) {
+  schema::StructureBuilder b;
+  auto* catalog = b.Element("catalog");
+  auto* shelf = b.AddChild(catalog, "shelf", 0, -1);
+  b.AddText(b.AddChild(shelf, "label"));
+  auto* book = b.AddChild(shelf, "book", 0, -1);
+  b.AddText(b.AddChild(book, "title"));
+  b.AddText(b.AddChild(book, "pages"));
+  Status reg = db->RegisterShreddedSchema("lib", b.Build(catalog));
+  if (!reg.ok()) return reg;
+  std::string doc = "<catalog>";
+  int serial = 0;
+  for (int s = 1; s <= 3; ++s) {
+    doc += "<shelf><label>S" + std::to_string(s) + "</label>";
+    for (int k = 1; k <= 4; ++k) {
+      ++serial;
+      doc += "<book><title>T" + std::to_string(serial) + "</title><pages>" +
+             std::to_string(serial * 7) + "</pages></book>";
+    }
+    doc += "</shelf>";
+  }
+  doc += "</catalog>";
+  return db->LoadDocument("lib", doc).status();
+}
+
+// part { assembly(recursive), name } — self-nesting assemblies: the `//name`
+// sweep must enumerate every depth from the one interval-indexed table.
+Status SetupStructuralRecursive(XmlDb* db) {
+  schema::StructureBuilder b;
+  auto* bom = b.Element("bom");
+  auto* assembly = b.AddChild(bom, "assembly", 0, -1);
+  b.AddText(b.AddChild(assembly, "pname"));
+  b.AddRecursiveChild(assembly, assembly);
+  Status reg = db->RegisterShreddedSchema("bom", b.Build(bom));
+  if (!reg.ok()) return reg;
+  return db
+      ->LoadDocument("bom",
+                     "<bom>"
+                     "<assembly><pname>CHASSIS</pname>"
+                     "<assembly><pname>FRAME</pname>"
+                     "<assembly><pname>BOLT</pname></assembly></assembly>"
+                     "<assembly><pname>PANEL</pname></assembly>"
+                     "</assembly>"
+                     "<assembly><pname>ENGINE</pname></assembly>"
+                     "</bom>")
+      .status();
+}
+
+// firm { branch* { bname, team* { tname, member* { mname } } } } — ancestor::
+// staircase scans from the innermost repetition level.
+Status SetupStructuralAncestor(XmlDb* db) {
+  schema::StructureBuilder b;
+  auto* firm = b.Element("firm");
+  auto* branch = b.AddChild(firm, "branch", 0, -1);
+  b.AddText(b.AddChild(branch, "bname"));
+  auto* team = b.AddChild(branch, "team", 0, -1);
+  b.AddText(b.AddChild(team, "tname"));
+  auto* member = b.AddChild(team, "member", 0, -1);
+  b.AddText(b.AddChild(member, "mname"));
+  Status reg = db->RegisterShreddedSchema("firm", b.Build(firm));
+  if (!reg.ok()) return reg;
+  // Enough members that the optimizer prices the interval range scan below
+  // the full scan (log2(n) + n/2 < n needs n above the single digits).
+  std::string doc = "<firm>";
+  int serial = 0;
+  for (int br = 1; br <= 3; ++br) {
+    doc += "<branch><bname>B" + std::to_string(br) + "</bname>";
+    for (int t = 1; t <= 3; ++t) {
+      doc += "<team><tname>T" + std::to_string(br) + std::to_string(t) +
+             "</tname>";
+      for (int m = 1; m <= 4; ++m) {
+        ++serial;
+        doc += "<member><mname>M" + std::to_string(serial) +
+               "</mname></member>";
+      }
+      doc += "</team>";
+    }
+    doc += "</branch>";
+  }
+  doc += "</firm>";
+  return db->LoadDocument("firm", doc).status();
+}
+
+constexpr const char* kStructuralDescendantStylesheet =
+    "<xsl:stylesheet version=\"1.0\" "
+    "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+    "<xsl:template match=\"catalog\"><index><xsl:apply-templates "
+    "select=\".//book\"/></index></xsl:template>"
+    "<xsl:template match=\"book\"><b p=\"{pages}\"><xsl:value-of "
+    "select=\"title\"/></b></xsl:template>"
+    "<xsl:template match=\"text()\"/></xsl:stylesheet>";
+
+constexpr const char* kStructuralRecursiveStylesheet =
+    "<xsl:stylesheet version=\"1.0\" "
+    "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+    "<xsl:template match=\"bom\"><parts><xsl:apply-templates "
+    "select=\".//assembly\"/></parts></xsl:template>"
+    "<xsl:template match=\"assembly\"><p><xsl:value-of select=\"pname\"/>"
+    "</p></xsl:template>"
+    "<xsl:template match=\"text()\"/></xsl:stylesheet>";
+
+constexpr const char* kStructuralAncestorStylesheet =
+    "<xsl:stylesheet version=\"1.0\" "
+    "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+    "<xsl:template match=\"firm\"><roster><xsl:apply-templates "
+    "select=\".//member\"/></roster></xsl:template>"
+    "<xsl:template match=\"member\"><m t=\"{count(ancestor::team)}\" "
+    "b=\"{count(ancestor::branch)}\"><xsl:value-of select=\"mname\"/>"
+    "</m></xsl:template>"
+    "<xsl:template match=\"text()\"/></xsl:stylesheet>";
+
 std::string Truncate(const std::string& s, size_t n = 400) {
   if (s.size() <= n) return s;
   return s.substr(0, n) + "...[" + std::to_string(s.size()) + " bytes]";
@@ -215,6 +330,13 @@ std::vector<CorpusCase> ConformanceCorpus() {
                     SetupDeptReport});
   corpus.push_back({"example/schema_transform", "orders",
                     kSchemaTransformStylesheet, SetupSchemaTransform});
+  corpus.push_back({"structural/descendant_sweep", "lib",
+                    kStructuralDescendantStylesheet,
+                    SetupStructuralDescendant});
+  corpus.push_back({"structural/recursive_sweep", "bom",
+                    kStructuralRecursiveStylesheet, SetupStructuralRecursive});
+  corpus.push_back({"structural/ancestor_counts", "firm",
+                    kStructuralAncestorStylesheet, SetupStructuralAncestor});
   return corpus;
 }
 
@@ -264,6 +386,10 @@ Result<FourWayResult> RunFourWay(const CorpusCase& c) {
     }
     arm.rows = std::move(*out);
     arm.path = stats.path;
+    if (std::string(arm.label) == "sql") {
+      result.sql_used_index = stats.used_index;
+      result.sql_structural_joins = stats.structural_joins;
+    }
     if (arm.rows.size() != interp_rows.size()) {
       result.detail = c.name + ": " + arm.label + " returned " +
                       std::to_string(arm.rows.size()) + " rows, interpreter " +

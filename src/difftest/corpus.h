@@ -31,8 +31,11 @@ struct CorpusCase {
   std::function<Status(XmlDb*)> setup;
 };
 
-/// The full corpus: all 40 xsltmark cases (small scale) + the three
-/// examples/ program mirrors (quickstart, dept_report, schema_transform).
+/// The full corpus: all 40 xsltmark cases (small scale), the three examples/
+/// program mirrors (quickstart, dept_report, schema_transform), and the
+/// structural-axis cases (`structural/` prefix: `//`-heavy descendant sweeps
+/// and ancestor:: counting over shredded storage — these must stay on the
+/// shredded SQL path with the interval index engaged).
 std::vector<CorpusCase> ConformanceCorpus();
 
 struct FourWayResult {
@@ -42,6 +45,9 @@ struct FourWayResult {
   ExecutionPath vm_path = ExecutionPath::kFunctional;
   ExecutionPath xquery_path = ExecutionPath::kFunctional;
   ExecutionPath sql_path = ExecutionPath::kFunctional;
+  bool sql_used_index = false;  ///< the sql arm's plan engaged an index
+  /// Structural-join operators opened by the sql arm (interval joins).
+  uint64_t sql_structural_joins = 0;
   int rows = 0;  ///< base rows compared
 };
 

@@ -54,8 +54,13 @@ class CaseGen {
   GeneratedCase Run(uint64_t seed) {
     GeneratedCase out;
     out.seed = seed;
-    out.structure =
-        options_.correlated ? BuildCorrelatedStructure() : BuildStructure();
+    if (options_.recursive) {
+      out.structure = BuildRecursiveStructure();
+    } else if (options_.correlated) {
+      out.structure = BuildCorrelatedStructure();
+    } else {
+      out.structure = BuildStructure();
+    }
     CollectMeta(out.structure.root());
     int n_docs = 1 + static_cast<int>(rng_.U(
                          static_cast<uint64_t>(options_.max_documents)));
@@ -65,10 +70,13 @@ class CaseGen {
       out.documents.push_back(std::move(doc));
     }
     out.reject_candidate = rng_.Chance(options_.reject_fraction);
-    out.stylesheet =
-        options_.correlated
-            ? BuildCorrelatedStylesheet(out.reject_candidate)
-            : BuildStylesheet(out.structure, out.reject_candidate);
+    if (options_.recursive) {
+      out.stylesheet = BuildRecursiveStylesheet(out.reject_candidate);
+    } else if (options_.correlated) {
+      out.stylesheet = BuildCorrelatedStylesheet(out.reject_candidate);
+    } else {
+      out.stylesheet = BuildStylesheet(out.structure, out.reject_candidate);
+    }
     return out;
   }
 
@@ -178,10 +186,98 @@ class CaseGen {
     return ss;
   }
 
+  // Recursive mode: doc -> rec* where rec nests into itself, either directly
+  // (self-recursive: rec -> rec*) or through an intermediate (mutually
+  // recursive: rec -> mid* -> rec*). Both land every depth of the recursion
+  // in the same interval-indexed shred table, which is exactly what the
+  // structural join has to untangle.
+  schema::StructuralInfo BuildRecursiveStructure() {
+    schema::StructureBuilder b;
+    counter_ = 0;
+    ElementStructure* root = b.Element("doc");
+    ElementStructure* rec = b.AddChild(root, Fresh("e"), 0, -1);
+    auto add_leaves = [&](ElementStructure* e) {
+      for (uint64_t i = 1 + rng_.U(2); i > 0; --i) {
+        ElementStructure* leaf = b.AddChild(e, Fresh("e"));
+        b.AddText(leaf);
+        numeric_leaf_[leaf->name] = rng_.Chance(0.5);
+      }
+    };
+    add_leaves(rec);
+    recursive_elem_ = rec->name;
+    recursive_mid_.clear();
+    if (rng_.Chance(0.4)) {
+      ElementStructure* mid = b.AddChild(rec, Fresh("e"), 0, -1);
+      add_leaves(mid);
+      b.AddRecursiveChild(mid, rec);
+      recursive_mid_ = mid->name;
+    } else {
+      b.AddRecursiveChild(rec, rec);
+    }
+    return b.Build(root);
+  }
+
+  // The recursive stylesheet leans on what only the interval join answers on
+  // shredded storage: a `.//rec` sweep from the root (every depth, document
+  // order), ancestor:: counts from inside the recursion, and occasionally a
+  // recursive apply-templates chain instead of the flat sweep.
+  std::string BuildRecursiveStylesheet(bool inject_reject) {
+    const ElemMeta& rm = meta_[recursive_elem_];
+    const std::vector<std::string>& leaves =
+        rm.word_leaves.empty() ? rm.numeric_leaves : rm.word_leaves;
+    std::string ss =
+        "<xsl:stylesheet version=\"1.0\" "
+        "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">";
+    ss += "<xsl:template match=\"doc\"><r>";
+    if (rng_.Chance(0.3)) {
+      ss += "<n><xsl:value-of select=\"count(.//" + recursive_elem_ +
+            ")\"/></n>";
+    }
+    bool chained = rng_.Chance(0.25);
+    if (chained) {
+      // Recursive chain: the doc template starts at the top level and each
+      // rec template re-applies into its own nested recs.
+      ss += "<xsl:apply-templates select=\"" + recursive_elem_ + "\"/>";
+    } else {
+      ss += "<xsl:apply-templates select=\".//" + recursive_elem_ + "\"/>";
+    }
+    if (inject_reject) ss += RejectConstruct();
+    ss += "</r></xsl:template>";
+
+    ss += "<xsl:template match=\"" + recursive_elem_ + "\"><p>";
+    if (leaves.empty()) {
+      ss += "<xsl:value-of select=\".\"/>";
+    } else {
+      ss += "<xsl:value-of select=\"" + rng_.Pick(leaves) + "\"/>";
+    }
+    if (rng_.Chance(0.4)) {
+      ss += "<d a=\"{count(ancestor::" + recursive_elem_ + ")}\"/>";
+    }
+    if (!recursive_mid_.empty() && rng_.Chance(0.4)) {
+      ss += "<m><xsl:value-of select=\"count(ancestor::" + recursive_mid_ +
+            ")\"/></m>";
+    }
+    if (chained) {
+      if (recursive_mid_.empty()) {
+        ss += "<xsl:apply-templates select=\"" + recursive_elem_ + "\"/>";
+      } else {
+        ss += "<xsl:apply-templates select=\"" + recursive_mid_ + "/" +
+              recursive_elem_ + "\"/>";
+      }
+    }
+    ss += "</p></xsl:template>";
+    ss += "<xsl:template match=\"text()\"/></xsl:stylesheet>";
+    return ss;
+  }
+
   void CollectMeta(const ElementStructure* e) {
     ElemMeta m;
     m.decl = e;
     for (const ChildRef& ref : e->children) {
+      // Recursive edges point back at an ancestor declaration: skip them in
+      // the stylesheet metadata (the recursive stylesheet builder references
+      // them explicitly) and never traverse them.
+      if (ref.recursive_edge) continue;
       m.children.push_back(ref.elem->name);
       if (ref.repeating()) m.repeating.push_back(ref.elem->name);
       if (ref.elem->IsLeaf() && ref.elem->has_text) {
@@ -194,7 +290,9 @@ class CaseGen {
     }
     meta_[e->name] = m;
     order_.push_back(e->name);
-    for (const ChildRef& ref : e->children) CollectMeta(ref.elem);
+    for (const ChildRef& ref : e->children) {
+      if (!ref.recursive_edge) CollectMeta(ref.elem);
+    }
   }
 
   // ---- documents ----------------------------------------------------------
@@ -204,7 +302,8 @@ class CaseGen {
     return std::string(kWords[rng_.U(8)]) + std::to_string(rng_.U(10));
   }
 
-  void EmitDocElement(const ElementStructure* e, std::string* out) {
+  void EmitDocElement(const ElementStructure* e, std::string* out,
+                      int rec_depth = 0) {
     *out += "<" + e->name;
     for (const std::string& a : e->attributes) {
       *out += " " + a + "=\"" + kWords[rng_.U(8)] + "\"";
@@ -234,7 +333,11 @@ class CaseGen {
     for (size_t slot : slots) {
       const ChildRef& ref = e->children[slot];
       uint64_t count;
-      if (e->group == ModelGroup::kChoice) {
+      if (ref.recursive_edge) {
+        // Recursive nesting: 0-2 occurrences, bounded by the depth budget
+        // (each cycle through the content model crosses this edge once).
+        count = rec_depth >= options_.max_recursion_depth ? 0 : rng_.U(3);
+      } else if (e->group == ModelGroup::kChoice) {
         // The chosen branch appears at least once.
         count = ref.repeating() ? 1 + rng_.U(3) : 1;
       } else if (ref.repeating()) {
@@ -242,7 +345,10 @@ class CaseGen {
       } else {
         count = ref.optional() && !rng_.Chance(0.7) ? 0 : 1;
       }
-      for (uint64_t i = 0; i < count; ++i) EmitDocElement(ref.elem, out);
+      for (uint64_t i = 0; i < count; ++i) {
+        EmitDocElement(ref.elem, out,
+                       ref.recursive_edge ? rec_depth + 1 : rec_depth);
+      }
     }
     *out += "</" + e->name + ">";
   }
@@ -377,6 +483,8 @@ class CaseGen {
   GenOptions options_;
   std::string correlated_parent_;
   std::string correlated_child_;
+  std::string recursive_elem_;
+  std::string recursive_mid_;  ///< empty = self-recursive
   int counter_ = 0;
   std::map<std::string, bool> numeric_leaf_;
   std::map<std::string, ElemMeta> meta_;

@@ -37,6 +37,16 @@ struct GenOptions {
   /// shredded tables. Used by the join-lowering differential sweep and the
   /// nightly fuzz rotation.
   bool correlated = false;
+  /// Recursive mode: the structure contains a seeded self- or mutually-
+  /// recursive content model (element nesting into itself, directly or
+  /// through an intermediate), documents nest to a bounded random depth, and
+  /// the stylesheet leans on the axes only the interval-encoded structural
+  /// join can answer on shredded storage: `.//x` sweeps, ancestor:: counts,
+  /// and recursive apply-templates chains. Used by the structural-join
+  /// differential sweep.
+  bool recursive = false;
+  /// Maximum recursion depth of generated documents in recursive mode.
+  int max_recursion_depth = 3;
 };
 
 struct GeneratedCase {

@@ -720,6 +720,182 @@ void GroupJoinNode::Explain(int indent, std::string* out) const {
   left_->Explain(indent + 1, out);
 }
 
+// ---- StructuralJoin ------------------------------------------------------------
+
+const char* StructuralAxisName(StructuralAxis axis) {
+  switch (axis) {
+    case StructuralAxis::kDescendant:
+      return "descendant";
+    case StructuralAxis::kDescendantOrSelf:
+      return "descendant-or-self";
+    case StructuralAxis::kAncestor:
+      return "ancestor";
+    case StructuralAxis::kChildLevel:
+      return "child";
+  }
+  return "?";
+}
+
+const char* StructuralStrategyName(StructuralStrategy strategy) {
+  return strategy == StructuralStrategy::kRange ? "interval-range"
+                                                : "interval-scan";
+}
+
+Result<std::unique_ptr<Cursor>> StructuralJoinNode::Open(ExecCtx& ctx) const {
+  BumpJoinCounter(ctx, &JoinRuntimeStats::structural_joins);
+  if (has_estimate()) {
+    BumpJoinCounter(ctx, &JoinRuntimeStats::structural_est_rows,
+                    static_cast<uint64_t>(est_rows() < 0 ? 0 : est_rows()));
+  }
+  XDB_ASSIGN_OR_RETURN(Datum start_d, outer_start_->Eval(ctx));
+  XDB_ASSIGN_OR_RETURN(Datum end_d, outer_end_->Eval(ctx));
+  if (start_d.is_null() || end_d.is_null()) {
+    return Status::Internal("structural join anchor interval is NULL");
+  }
+  int64_t anchor_start = start_d.AsInt();
+  int64_t anchor_end = end_d.AsInt();
+  int64_t anchor_level = 0;
+  if (axis_ == StructuralAxis::kChildLevel) {
+    XDB_ASSIGN_OR_RETURN(Datum level_d, outer_level_->Eval(ctx));
+    if (level_d.is_null()) {
+      return Status::Internal("structural join anchor level is NULL");
+    }
+    anchor_level = level_d.AsInt();
+  }
+
+  TableRead read(table_, ctx.snapshot);
+  // Qualifies `id` against the axis predicate the `start` range alone does
+  // not imply: the ancestor staircase's end condition and the child axis'
+  // level equality. Range bounds below make the start comparisons redundant
+  // for kRange; kScan applies everything here.
+  auto qualifies = [&](int64_t id, bool check_start) -> bool {
+    const Row& r = read.row(id);
+    int64_t start = r[static_cast<size_t>(start_col_)].AsInt();
+    int64_t end = r[static_cast<size_t>(end_col_)].AsInt();
+    switch (axis_) {
+      case StructuralAxis::kDescendant:
+        return !check_start || (anchor_start < start && start < anchor_end);
+      case StructuralAxis::kDescendantOrSelf:
+        return !check_start || (anchor_start <= start && start <= anchor_end);
+      case StructuralAxis::kAncestor:
+        if (check_start && start >= anchor_start) return false;
+        return end > anchor_end;
+      case StructuralAxis::kChildLevel:
+        if (check_start && !(anchor_start < start && start < anchor_end)) {
+          return false;
+        }
+        return r[static_cast<size_t>(level_col_)].AsInt() == anchor_level + 1;
+    }
+    return false;
+  };
+
+  std::vector<int64_t> ids;
+  if (strategy_ == StructuralStrategy::kRange) {
+    const BTreeIndex* index = read.index(start_name_);
+    if (index == nullptr) {
+      return Status::NotFound("no index on " + table_->name() + "." +
+                              start_name_);
+    }
+    bool inclusive = axis_ == StructuralAxis::kDescendantOrSelf;
+    std::vector<int64_t> candidates;
+    if (axis_ == StructuralAxis::kAncestor) {
+      // Ancestors have start < anchor_start; the end > anchor_end residual
+      // prunes the preceding (non-enclosing) intervals from the prefix.
+      Bound hi{Datum(anchor_start), false};
+      index->Scan(nullptr, &hi, &candidates);
+    } else {
+      Bound lo{Datum(anchor_start), inclusive};
+      Bound hi{Datum(anchor_end), inclusive};
+      index->Scan(&lo, &hi, &candidates);
+    }
+    for (int64_t id : candidates) {
+      XDB_RETURN_NOT_OK(governor::Tick(ctx.budget));
+      if (qualifies(id, /*check_start=*/false)) ids.push_back(id);
+    }
+  } else {
+    int64_t rows = static_cast<int64_t>(read.row_count());
+    for (int64_t id = 0; id < rows; ++id) {
+      XDB_RETURN_NOT_OK(governor::Tick(ctx.budget));
+      if (qualifies(id, /*check_start=*/true)) ids.push_back(id);
+    }
+  }
+  // Preorder numbering makes start order == rowid order == document order;
+  // sorting ids restores it after the index scan (kScan is already sorted).
+  std::sort(ids.begin(), ids.end());
+  BumpJoinCounter(ctx, &JoinRuntimeStats::structural_match_rows,
+                  static_cast<uint64_t>(ids.size()));
+  return std::unique_ptr<Cursor>(
+      new IndexScanCursor(std::move(read), std::move(ids)));
+}
+
+void StructuralJoinNode::Explain(int indent, std::string* out) const {
+  *out += Pad(indent) + "StructuralJoin(" + table_->name() + ", axis=" +
+          StructuralAxisName(axis_) + ", anchor=[" + outer_start_->ToSql() +
+          ", " + outer_end_->ToSql() + "], strategy=" +
+          StructuralStrategyName(strategy_) + ")" + EstimateSuffix() + "\n";
+}
+
+// ---- RecursiveApply ------------------------------------------------------------
+
+Result<Datum> RecursiveApplyExpr::Eval(ExecCtx& ctx) const {
+  if (slot == nullptr || slot->target == nullptr) {
+    return Status::Internal(
+        "recursive publish slot unresolved (compiler bug: target element "
+        "expression was never registered)");
+  }
+  XDB_ASSIGN_OR_RETURN(Datum key, outer_key->Eval(ctx));
+  TableRead read(table, ctx.snapshot);
+  std::vector<int64_t> ids;
+  if (!key.is_null()) {
+    const std::string& key_name =
+        table->schema().column(static_cast<size_t>(inner_key_column)).name;
+    const BTreeIndex* index = read.index(key_name);
+    if (index != nullptr) {
+      Bound lo{key, true};
+      Bound hi{key, true};
+      index->Scan(&lo, &hi, &ids);
+      std::sort(ids.begin(), ids.end());
+    } else {
+      int64_t rows = static_cast<int64_t>(read.row_count());
+      for (int64_t id = 0; id < rows; ++id) {
+        XDB_RETURN_NOT_OK(governor::Tick(ctx.budget));
+        const Row& r = read.row(id);
+        if (r[static_cast<size_t>(inner_key_column)].Compare(key) == 0) {
+          ids.push_back(id);
+        }
+      }
+    }
+  }
+  if (order_column >= 0) {
+    // Sibling order: ord column ascending, row id as the stable tiebreak.
+    std::stable_sort(ids.begin(), ids.end(), [&](int64_t a, int64_t b) {
+      return read.row(a)[static_cast<size_t>(order_column)].Compare(
+                 read.row(b)[static_cast<size_t>(order_column)]) < 0;
+    });
+  }
+  // Re-apply the recursion target's element expression per child row. Depth
+  // is bounded: each level descends to rows whose parent link is the current
+  // row, and the shredder's parent links form a forest.
+  xml::Node* frag = ctx.arena->CreateElement(kFragmentName);
+  for (int64_t id : ids) {
+    XDB_RETURN_NOT_OK(governor::Tick(ctx.budget));
+    const Row& child_row = read.row(id);
+    ctx.rows.push_back(&child_row);
+    auto v = slot->target->Eval(ctx);
+    ctx.rows.pop_back();
+    if (!v.ok()) return v.status();
+    AppendAggValue(ctx, frag, *v);
+  }
+  return Datum(frag);
+}
+
+std::string RecursiveApplyExpr::ToSql() const {
+  const std::string& key_name =
+      table->schema().column(static_cast<size_t>(inner_key_column)).name;
+  return "RECURSIVE_XMLAGG(" + table->name() + " WHERE " + table->name() +
+         "." + key_name + " = " + outer_key->ToSql() + ")";
+}
+
 // ---- Sort ----------------------------------------------------------------------
 
 Result<std::unique_ptr<Cursor>> SortNode::Open(ExecCtx& ctx) const {

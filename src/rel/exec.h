@@ -268,6 +268,75 @@ class GroupJoinNode : public PlanNode {
   JoinStrategy strategy_;
 };
 
+/// XPath axis answered by a structural (interval containment) join over the
+/// shredder's (start, end, level) encoding. With anchor interval (S, E) at
+/// depth L, a right row r qualifies when:
+///   kDescendant:        S < r.start AND r.start < E
+///   kDescendantOrSelf:  S <= r.start AND r.start <= E
+///   kAncestor:          r.start < S AND r.end > E    (the "staircase")
+///   kChildLevel:        descendant AND r.level = L + 1
+enum class StructuralAxis {
+  kDescendant,
+  kDescendantOrSelf,
+  kAncestor,
+  kChildLevel,
+};
+const char* StructuralAxisName(StructuralAxis axis);
+
+/// Physical strategy of a structural join (chosen by the optimizer's
+/// structural-join rule): a full scan with the interval predicate applied
+/// per row, or a B+tree range scan over the `start` index.
+enum class StructuralStrategy { kScan, kRange };
+const char* StructuralStrategyName(StructuralStrategy strategy);
+
+/// \brief Structural join leaf: emits the rows of a shredded table standing
+/// in the given axis relation to the anchor interval.
+///
+/// The anchor expressions are evaluated once at Open against the enclosing
+/// row stack (level 0 = innermost outer row; nothing local is pushed), so
+/// the node behaves like a correlated index probe. Rows are produced in
+/// ascending `start` order, which equals rowid — and hence document — order
+/// by the shredder's preorder numbering; an XMLAgg consumer therefore needs
+/// no extra sort. Interval positions increase monotonically across loaded
+/// documents, so rows of other documents never fall inside the anchor range.
+class StructuralJoinNode : public PlanNode {
+ public:
+  StructuralJoinNode(const Table* table, StructuralAxis axis, int start_col,
+                     std::string start_name, int end_col, int level_col,
+                     RelExprPtr outer_start, RelExprPtr outer_end,
+                     RelExprPtr outer_level, StructuralStrategy strategy)
+      : table_(table),
+        axis_(axis),
+        start_col_(start_col),
+        start_name_(std::move(start_name)),
+        end_col_(end_col),
+        level_col_(level_col),
+        outer_start_(std::move(outer_start)),
+        outer_end_(std::move(outer_end)),
+        outer_level_(std::move(outer_level)),
+        strategy_(strategy) {}
+
+  Result<std::unique_ptr<Cursor>> Open(ExecCtx& ctx) const override;
+  void Explain(int indent, std::string* out) const override;
+  size_t output_arity() const override { return table_->schema().column_count(); }
+
+  const Table* table() const { return table_; }
+  StructuralAxis axis() const { return axis_; }
+  StructuralStrategy strategy() const { return strategy_; }
+
+ private:
+  const Table* table_;
+  StructuralAxis axis_;
+  int start_col_;
+  std::string start_name_;  ///< `start` column name (index lookup + display)
+  int end_col_;
+  int level_col_;
+  RelExprPtr outer_start_;  ///< anchor interval entry position
+  RelExprPtr outer_end_;    ///< anchor interval exit position
+  RelExprPtr outer_level_;  ///< anchor depth (kChildLevel only; else null)
+  StructuralStrategy strategy_;
+};
+
 /// Sorts child rows by key expressions.
 class SortNode : public PlanNode {
  public:

@@ -41,6 +41,12 @@ struct JoinRuntimeStats {
   std::atomic<uint64_t> build_rows{0};  ///< hash-build input rows scanned
   std::atomic<uint64_t> probe_rows{0};  ///< left (probe-side) rows joined
   std::atomic<uint64_t> match_rows{0};  ///< right rows matched across probes
+  /// Structural (interval containment) join counters (rel/exec.h
+  /// StructuralJoinNode): probes opened, optimizer-estimated result rows
+  /// summed across probes, and actual rows matched.
+  std::atomic<uint64_t> structural_joins{0};
+  std::atomic<uint64_t> structural_est_rows{0};
+  std::atomic<uint64_t> structural_match_rows{0};
 };
 
 /// Evaluation context: the row stack (innermost last; ColumnRef levels count
@@ -79,6 +85,7 @@ enum class RelExprKind {
   kXmlQuery,
   kXmlTransform,
   kLogicalApply,  ///< correlated subquery over a logical plan (rel/logical.h)
+  kRecursiveApply,  ///< self-referencing XMLAgg for recursive shredded storage
 };
 
 class RelExpr {
@@ -233,6 +240,43 @@ class XmlTransformExpr : public RelExpr {
   std::string ToSql() const override;
   std::shared_ptr<const xslt::CompiledStylesheet> stylesheet;
   RelExprPtr input;
+};
+
+/// Recursive correlated aggregate for self-referencing shredded storage: a
+/// recursive content model stores its occurrences in the recursion target's
+/// own table, so the publishing view cannot be expanded statically (it would
+/// be unbounded). Instead this expression re-evaluates the target element's
+/// publishing expression — resolved through a shared slot filled once that
+/// ancestor expression has been built — for each row of `table` whose
+/// `inner_key_column` equals the current row's key, ordered by
+/// `order_column`, and concatenates the results into an XML fragment.
+/// Evaluation depth is bounded by the stored data.
+class RecursiveApplyExpr : public RelExpr {
+ public:
+  /// Non-owning back-reference to the recursion target's compiled element
+  /// expression (owned by an enclosing expression tree; heap addresses are
+  /// stable across unique_ptr moves).
+  struct Slot {
+    const RelExpr* target = nullptr;
+  };
+
+  RecursiveApplyExpr(const Table* table, RelExprPtr outer_key,
+                     int inner_key_column, int order_column,
+                     std::shared_ptr<Slot> slot)
+      : RelExpr(RelExprKind::kRecursiveApply),
+        table(table),
+        outer_key(std::move(outer_key)),
+        inner_key_column(inner_key_column),
+        order_column(order_column),
+        slot(std::move(slot)) {}
+  Result<Datum> Eval(ExecCtx& ctx) const override;
+  std::string ToSql() const override;
+
+  const Table* table;       ///< the recursion target's shred table
+  RelExprPtr outer_key;     ///< current row's key (the parent rowid to probe)
+  int inner_key_column;     ///< child rows: table.column == outer_key
+  int order_column;         ///< sibling order within the slot (-1 = none)
+  std::shared_ptr<Slot> slot;
 };
 
 /// Name of the synthetic element wrapping XML fragments (XMLConcat/XMLAgg

@@ -16,6 +16,8 @@ const char* LogicalKindName(LogicalKind kind) {
       return "ScalarAgg";
     case LogicalKind::kJoin:
       return "GroupJoin";
+    case LogicalKind::kStructuralJoin:
+      return "StructuralJoin";
   }
   return "?";  // out-of-range cast from untrusted int
 }
@@ -131,6 +133,14 @@ void ExplainLogical(const LogicalNode& node, int indent, std::string* out) {
         *out += ")\n";
       }
       ExplainLogical(*j.left, indent + 1, out);
+      return;
+    }
+    case LogicalKind::kStructuralJoin: {
+      const auto& j = static_cast<const LogicalStructuralJoinNode&>(node);
+      *out += Pad(indent) + "StructuralJoin(" + j.table->name() + ", axis=" +
+              StructuralAxisName(j.axis) + ", anchor=[" +
+              j.outer_start->ToSql() + ", " + j.outer_end->ToSql() +
+              "], strategy=" + StructuralStrategyName(j.strategy) + ")\n";
       return;
     }
   }

@@ -33,7 +33,15 @@
 
 namespace xdb::rel {
 
-enum class LogicalKind { kScan, kFilter, kProject, kXmlAgg, kScalarAgg, kJoin };
+enum class LogicalKind {
+  kScan,
+  kFilter,
+  kProject,
+  kXmlAgg,
+  kScalarAgg,
+  kJoin,
+  kStructuralJoin,
+};
 const char* LogicalKindName(LogicalKind kind);
 
 /// \brief A logical plan operator.
@@ -151,6 +159,36 @@ class LogicalJoinNode : public LogicalNode {
   JoinStrategy strategy = JoinStrategy::kHash;
   double est_left_rows = 0;   ///< estimated probe-side rows
   double est_match_rows = 0;  ///< estimated matches per probe
+  double est_cost = 0;        ///< cost of the chosen strategy
+};
+
+/// Structural join leaf emitted by the XQuery->SQL/XML rewriter for
+/// descendant/ancestor axis steps over shredded storage: produces the rows
+/// of `table` standing in `axis` relation to the anchor interval, in
+/// document order. It is a *source* node (like Scan) — the rewriter stacks
+/// Filter/Project/XmlAgg/ScalarAgg on top for residual predicates and
+/// aggregation. The anchor expressions are evaluated against the enclosing
+/// row stack at Open (level 0 = innermost outer row), making the node a
+/// correlated interval probe; the optimizer's structural-join rule picks
+/// kRange (B+tree range scan on `start`) vs kScan from table statistics.
+class LogicalStructuralJoinNode : public LogicalNode {
+ public:
+  LogicalStructuralJoinNode()
+      : LogicalNode(LogicalKind::kStructuralJoin) {}
+
+  const Table* table = nullptr;
+  StructuralAxis axis = StructuralAxis::kDescendant;
+  int start_col = -1;
+  std::string start_name;  ///< `start` column name (index lookup + display)
+  int end_col = -1;
+  int level_col = -1;
+  RelExprPtr outer_start;  ///< anchor interval entry position
+  RelExprPtr outer_end;    ///< anchor interval exit position
+  RelExprPtr outer_level;  ///< anchor depth (kChildLevel only; else null)
+
+  /// Physical choice + estimates filled by the structural-join rule.
+  StructuralStrategy strategy = StructuralStrategy::kScan;
+  double est_match_rows = 0;  ///< estimated qualifying rows per probe
   double est_cost = 0;        ///< cost of the chosen strategy
 };
 

@@ -28,6 +28,7 @@ OptimizerOptions OptimizerOptionsFromEnv() {
       o.enable_join_lowering = false;
       o.enable_join_access_path = false;
       o.enable_join_order = false;
+      o.enable_structural_join = false;
     } else if (name == kRulePredicatePushdown) {
       o.enable_predicate_pushdown = false;
     } else if (name == kRuleIndexRangeScan) {
@@ -44,6 +45,8 @@ OptimizerOptions OptimizerOptionsFromEnv() {
       o.enable_join_access_path = false;
     } else if (name == kRuleJoinOrder) {
       o.enable_join_order = false;
+    } else if (name == kRuleStructuralJoin) {
+      o.enable_structural_join = false;
     }  // unknown names are ignored
   };
   std::string_view v(env);
@@ -100,6 +103,11 @@ void ForEachChildSlot(RelExpr& e, const std::function<void(RelExprPtr&)>& fn) {
     case RelExprKind::kXmlTransform:
       fn(static_cast<XmlTransformExpr&>(e).input);
       return;
+    case RelExprKind::kRecursiveApply:
+      // The slot target is a non-owning back-reference into an enclosing
+      // expression tree, not a child slot; only the probe key is owned.
+      fn(static_cast<RecursiveApplyExpr&>(e).outer_key);
+      return;
     case RelExprKind::kColumnRef:
     case RelExprKind::kConst:
     case RelExprKind::kScalarSubquery:
@@ -123,6 +131,8 @@ LogicalPlanPtr* ChildSlot(LogicalNode& n) {
       return &static_cast<LogicalScalarAggNode&>(n).child;
     case LogicalKind::kJoin:
       return &static_cast<LogicalJoinNode&>(n).left;
+    case LogicalKind::kStructuralJoin:
+      return nullptr;  // leaf: a correlated interval probe, like Scan
   }
   return nullptr;
 }
@@ -155,6 +165,13 @@ void ForEachNodeExprSlot(LogicalNode& n,
       fn(j.agg_arg);
       return;
     }
+    case LogicalKind::kStructuralJoin: {
+      auto& j = static_cast<LogicalStructuralJoinNode&>(n);
+      fn(j.outer_start);
+      fn(j.outer_end);
+      fn(j.outer_level);
+      return;
+    }
   }
 }
 
@@ -175,6 +192,10 @@ size_t LogicalArity(const LogicalNode& n) {
       return 1;
     case LogicalKind::kJoin:
       return LogicalArity(*static_cast<const LogicalJoinNode&>(n).left) + 1;
+    case LogicalKind::kStructuralJoin:
+      return static_cast<const LogicalStructuralJoinNode&>(n)
+          .table->schema()
+          .column_count();
   }
   return 0;
 }
@@ -374,6 +395,41 @@ class CostEstimator {
     return left_rows * (std::log2(std::max(2.0, right_rows)) + 1.0 + m);
   }
 
+  /// Estimated qualifying rows for one probe of a structural join. The
+  /// interval-encoding geometry gives the estimates: an average anchor holds
+  /// rows/NDV(level) of the table's subtree levels inside its interval
+  /// (descendant and child axes), while the ancestor staircase yields at most
+  /// one row per distinct level above the anchor.
+  double StructuralMatchRows(const LogicalStructuralJoinNode& j) {
+    double rows = static_cast<double>(j.table->row_count());
+    double level_ndv = Ndv(*j.table, j.level_col, rows);
+    switch (j.axis) {
+      case StructuralAxis::kDescendant:
+      case StructuralAxis::kDescendantOrSelf:
+        return rows / std::max(2.0, level_ndv);
+      case StructuralAxis::kAncestor:
+        return std::min(rows, level_ndv);
+      case StructuralAxis::kChildLevel:
+        // One level's share of the descendant estimate.
+        return rows / std::max(2.0, level_ndv * level_ndv);
+    }
+    return rows;
+  }
+
+  /// Per-probe cost of a structural join under strategy `s`. A scan touches
+  /// every row; a range scan pays the B+tree descent plus the candidate rows
+  /// the `start` range admits — the full anchor interval for descendant
+  /// axes, half the table on average for the ancestor staircase's prefix.
+  double StructuralStrategyCost(const LogicalStructuralJoinNode& j,
+                                StructuralStrategy s) {
+    double rows = static_cast<double>(j.table->row_count());
+    if (s == StructuralStrategy::kScan) return rows;
+    double candidates = j.axis == StructuralAxis::kAncestor
+                            ? rows / 2.0
+                            : StructuralMatchRows(j);
+    return std::log2(std::max(2.0, rows)) + candidates;
+  }
+
   /// Distinct values of a column; catalog statistics when analyzed, else a
   /// coarse rows/10 guess.
   double Ndv(const Table& table, int column, double rows) {
@@ -524,6 +580,9 @@ class CostEstimator {
         return 1;
       case LogicalKind::kJoin:
         return Rows(*static_cast<const LogicalJoinNode&>(n).left);
+      case LogicalKind::kStructuralJoin:
+        return StructuralMatchRows(
+            static_cast<const LogicalStructuralJoinNode&>(n));
     }
     return 1;
   }
@@ -591,6 +650,10 @@ class CostEstimator {
         const auto& j = static_cast<const LogicalJoinNode&>(n);
         return Cost(*j.left) +
                StrategyCost(j, j.strategy, Rows(*j.left));
+      }
+      case LogicalKind::kStructuralJoin: {
+        const auto& j = static_cast<const LogicalStructuralJoinNode&>(n);
+        return StructuralStrategyCost(j, j.strategy);
       }
     }
     return 0;
@@ -871,6 +934,48 @@ class OptimizerPass {
       j.est_left_rows = left_rows;
       j.est_match_rows = est.MatchRows(j);
       j.est_cost = best_cost;
+    });
+  }
+
+  // ---- structural-join ------------------------------------------------------
+
+  void ForEachStructuralJoin(
+      const std::function<void(LogicalStructuralJoinNode&)>& fn) {
+    ForEachPlanRoot(*root_, [&fn](LogicalNode& plan_root) {
+      LogicalNode* n = &plan_root;
+      while (n != nullptr) {
+        if (n->kind() == LogicalKind::kStructuralJoin) {
+          fn(static_cast<LogicalStructuralJoinNode&>(*n));
+        }
+        LogicalPlanPtr* slot = ChildSlot(*n);
+        n = (slot != nullptr) ? slot->get() : nullptr;
+      }
+    });
+  }
+
+  // Prices the B+tree range scan over `start` against the full interval scan
+  // per structural join and keeps the cheaper strategy. The range scan needs
+  // the index the bulk loader maintains; the scan is always correct, so it
+  // is also the fallback (and the resting state when the rule is disabled).
+  void RuleStructuralJoin() {
+    CostEstimator est(catalog_);
+    ForEachStructuralJoin([this, &est](LogicalStructuralJoinNode& j) {
+      double scan_cost = est.StructuralStrategyCost(
+          j, StructuralStrategy::kScan);
+      double best_cost = scan_cost;
+      StructuralStrategy best = StructuralStrategy::kScan;
+      if (j.table->HasIndex(j.start_name)) {
+        double range_cost = est.StructuralStrategyCost(
+            j, StructuralStrategy::kRange);
+        if (range_cost < scan_cost) {
+          best = StructuralStrategy::kRange;
+          best_cost = range_cost;
+        }
+      }
+      j.strategy = best;
+      j.est_match_rows = est.StructuralMatchRows(j);
+      j.est_cost = best_cost;
+      if (best == StructuralStrategy::kRange) used_index_ = true;
     });
   }
 
@@ -1307,8 +1412,9 @@ class OptimizerPass {
       case RelExprKind::kScalarSubquery:
       case RelExprKind::kXmlQuery:
       case RelExprKind::kXmlTransform:
-        // Opaque payloads (compiled queries/stylesheets): never considered
-        // equal, keyed by identity.
+      case RelExprKind::kRecursiveApply:
+        // Opaque payloads (compiled queries/stylesheets, recursive publish
+        // slots): never considered equal, keyed by identity.
         *out += "opaque(" +
                 std::to_string(reinterpret_cast<uintptr_t>(&e)) + ")";
         return;
@@ -1382,6 +1488,19 @@ class OptimizerPass {
           if (j.agg_arg != nullptr) CanonicalExpr(*j.agg_arg, out);
         }
         *out += ",s:" + std::string(JoinStrategyName(j.strategy));
+        break;
+      }
+      case LogicalKind::kStructuralJoin: {
+        const auto& j = static_cast<const LogicalStructuralJoinNode&>(n);
+        *out += j.table->name() + "," + StructuralAxisName(j.axis) + ",";
+        CanonicalExpr(*j.outer_start, out);
+        *out += ",";
+        CanonicalExpr(*j.outer_end, out);
+        if (j.outer_level != nullptr) {
+          *out += ",";
+          CanonicalExpr(*j.outer_level, out);
+        }
+        *out += ",s:" + std::string(StructuralStrategyName(j.strategy));
         break;
       }
     }
@@ -1519,6 +1638,16 @@ class Lowerer {
             std::move(j.left_key), std::move(j.residual), std::move(spec),
             j.strategy));
       }
+      case LogicalKind::kStructuralJoin: {
+        auto& j = static_cast<LogicalStructuralJoinNode&>(n);
+        XDB_RETURN_NOT_OK(LowerExprSlot(j.outer_start));
+        XDB_RETURN_NOT_OK(LowerExprSlot(j.outer_end));
+        XDB_RETURN_NOT_OK(LowerExprSlot(j.outer_level));
+        return PlanPtr(new StructuralJoinNode(
+            j.table, j.axis, j.start_col, std::move(j.start_name), j.end_col,
+            j.level_col, std::move(j.outer_start), std::move(j.outer_end),
+            std::move(j.outer_level), j.strategy));
+      }
     }
     return Status::Internal("unknown logical node kind");
   }
@@ -1547,6 +1676,8 @@ Result<OptimizedQuery> OptimizerPass::Run(RelExprPtr root) {
   // row count), so it can run before join-order and feed it final costs.
   RunRule(kRuleJoinAccessPath, options_.enable_join_access_path,
           [this] { RuleJoinAccessPath(); });
+  RunRule(kRuleStructuralJoin, options_.enable_structural_join,
+          [this] { RuleStructuralJoin(); });
   RunRule(kRuleJoinOrder, options_.enable_join_order,
           [this] { RuleJoinOrder(); });
   RunRule(kRuleSubplanDedup, options_.enable_subplan_dedup,
@@ -1561,6 +1692,12 @@ Result<OptimizedQuery> OptimizerPass::Run(RelExprPtr root) {
             ? static_cast<double>(j.right_table->row_count())
             : 0;
     choice.est_probe_rows = j.est_left_rows;
+    choice.est_match_rows = j.est_match_rows;
+    out.joins.push_back(std::move(choice));
+  });
+  ForEachStructuralJoin([&out](LogicalStructuralJoinNode& j) {
+    JoinChoice choice;
+    choice.strategy = StructuralStrategyName(j.strategy);
     choice.est_match_rows = j.est_match_rows;
     out.joins.push_back(std::move(choice));
   });

@@ -25,6 +25,9 @@
 //   join-access-path    picks hash vs index-NL per join from the catalog
 //                       statistics (row count, NDV, min/max) and records
 //                       the cardinality/cost estimates on the join;
+//   structural-join     prices each structural (interval containment) join
+//                       leaf: B+tree range scan over the `start` index vs a
+//                       full interval scan, from load-time statistics;
 //   join-order          reorders chains of sibling group joins cheapest
 //                       innermost (costs are order-invariant for group
 //                       joins, so this canonicalizes and front-loads cheap
@@ -63,6 +66,9 @@ struct OptimizerOptions {
   bool enable_join_lowering = true;
   bool enable_join_access_path = true;
   bool enable_join_order = true;
+  /// Structural-join strategy pricing. When disabled every structural join
+  /// stays on the always-correct full-scan strategy.
+  bool enable_structural_join = true;
   /// Overrides the join-access-path rule's costed choice: 0 = cost model,
   /// 1 = hash, 2 = index-NL (falls back to hash when the right key has no
   /// index). Benchmarks use this to measure both strategies over the same
@@ -79,6 +85,7 @@ inline constexpr const char* kRuleColumnPruning = "column-pruning";
 inline constexpr const char* kRuleJoinAccessPath = "join-access-path";
 inline constexpr const char* kRuleJoinOrder = "join-order";
 inline constexpr const char* kRuleSubplanDedup = "subplan-dedup";
+inline constexpr const char* kRuleStructuralJoin = "structural-join";
 
 /// Default options with XDB_DISABLE_OPT_RULES applied.
 OptimizerOptions OptimizerOptionsFromEnv();
@@ -95,7 +102,9 @@ struct RuleTrace {
 /// estimates behind it (surfaced through ExecStats/EXPLAIN next to the
 /// runtime counters, so estimated vs. actual rows is one diff away).
 struct JoinChoice {
-  std::string strategy;       ///< "hash" or "index-nl"
+  /// "hash" / "index-nl" for group joins, "interval-range" /
+  /// "interval-scan" for structural joins.
+  std::string strategy;
   double est_build_rows = 0;  ///< right-table rows scanned by a hash build
   double est_probe_rows = 0;  ///< estimated left (probe-side) rows
   double est_match_rows = 0;  ///< estimated matches per probe

@@ -39,20 +39,64 @@ std::unique_ptr<PublishSpec> PublishSpec::Nested(
   return s;
 }
 
-std::unique_ptr<PublishSpec> PublishSpec::Clone() const {
+std::unique_ptr<PublishSpec> PublishSpec::RecursiveNested(
+    std::string child_table, std::string outer_key, std::string inner_key,
+    const PublishSpec* recursive_element) {
   auto s = std::make_unique<PublishSpec>();
-  s->kind = kind;
-  s->name = name;
-  s->attr_columns = attr_columns;
-  s->present_if_column = present_if_column;
-  for (const auto& c : children) s->children.push_back(c->Clone());
-  s->column = column;
-  s->text = text;
-  s->child_table = child_table;
-  s->outer_key = outer_key;
-  s->inner_key = inner_key;
-  s->order_by_column = order_by_column;
-  if (row_element) s->row_element = row_element->Clone();
+  s->kind = Kind::kNested;
+  s->child_table = std::move(child_table);
+  s->outer_key = std::move(outer_key);
+  s->inner_key = std::move(inner_key);
+  s->recursive_element = recursive_element;
+  return s;
+}
+
+namespace {
+
+std::unique_ptr<PublishSpec> CloneSpecTree(
+    const PublishSpec& from,
+    std::map<const PublishSpec*, PublishSpec*>* old_to_new) {
+  auto s = std::make_unique<PublishSpec>();
+  s->kind = from.kind;
+  s->name = from.name;
+  s->attr_columns = from.attr_columns;
+  s->present_if_column = from.present_if_column;
+  for (const auto& c : from.children) {
+    s->children.push_back(CloneSpecTree(*c, old_to_new));
+  }
+  s->column = from.column;
+  s->text = from.text;
+  s->child_table = from.child_table;
+  s->outer_key = from.outer_key;
+  s->inner_key = from.inner_key;
+  s->order_by_column = from.order_by_column;
+  if (from.row_element) {
+    s->row_element = CloneSpecTree(*from.row_element, old_to_new);
+  }
+  s->recursive_element = from.recursive_element;  // fixed up by the caller
+  (*old_to_new)[&from] = s.get();
+  return s;
+}
+
+void FixupRecursiveRefs(PublishSpec* spec,
+                        const std::map<const PublishSpec*, PublishSpec*>& map) {
+  if (spec->recursive_element != nullptr) {
+    auto it = map.find(spec->recursive_element);
+    // A recursion target outside the cloned subtree keeps its old pointer —
+    // the clone stays tied to the original's lifetime, exactly like the
+    // non-owning reference it copies.
+    if (it != map.end()) spec->recursive_element = it->second;
+  }
+  for (auto& c : spec->children) FixupRecursiveRefs(c.get(), map);
+  if (spec->row_element) FixupRecursiveRefs(spec->row_element.get(), map);
+}
+
+}  // namespace
+
+std::unique_ptr<PublishSpec> PublishSpec::Clone() const {
+  std::map<const PublishSpec*, PublishSpec*> old_to_new;
+  std::unique_ptr<PublishSpec> s = CloneSpecTree(*this, &old_to_new);
+  FixupRecursiveRefs(s.get(), old_to_new);
   return s;
 }
 
@@ -76,6 +120,7 @@ class PublishCompiler {
     scopes_.push_back(Scope{base});
     auto result = CompileNode(spec);
     scopes_.pop_back();
+    XDB_RETURN_NOT_OK(CheckSlotsResolved());
     return result;
   }
 
@@ -83,7 +128,9 @@ class PublishCompiler {
                                     const std::vector<const Table*>& tables) {
     scopes_.clear();
     for (const Table* t : tables) scopes_.push_back(Scope{t});
-    return CompileNode(spec);
+    auto result = CompileNode(spec);
+    XDB_RETURN_NOT_OK(CheckSlotsResolved());
+    return result;
   }
 
  private:
@@ -114,6 +161,16 @@ class PublishCompiler {
           XDB_ASSIGN_OR_RETURN(RelExprPtr e, CompileNode(*child));
           elem->children.push_back(std::move(e));
         }
+        // Resolve recursive back-references registered while compiling the
+        // subtree: the slots point at this element's compiled expression.
+        // The heap address is stable across unique_ptr moves, and the
+        // optimizer only ever replaces kBinary/kCase nodes in place, so the
+        // non-owning pointer stays valid for the expression's lifetime.
+        auto slots = pending_slots_.find(&spec);
+        if (slots != pending_slots_.end()) {
+          for (auto& slot : slots->second) slot->target = elem.get();
+          pending_slots_.erase(slots);
+        }
         if (!spec.present_if_column.empty()) {
           // CASE WHEN col IS NOT NULL THEN XMLElement(...) END — absent
           // optional/choice content publishes nothing, not an empty element.
@@ -135,6 +192,27 @@ class PublishCompiler {
         return RelExprPtr(std::make_unique<ConstExpr>(Datum(spec.text)));
       case PublishSpec::Kind::kNested: {
         XDB_ASSIGN_OR_RETURN(Table * child, catalog_.GetTable(spec.child_table));
+        if (spec.recursive_element != nullptr) {
+          // Recursive occurrence: child rows live in the recursion target's
+          // table and republish through the target's own element expression
+          // (resolved via a slot once that ancestor has been compiled).
+          int inner_ci = child->schema().ColumnIndex(spec.inner_key);
+          if (inner_ci < 0) {
+            return Status::NotFound("recursive publish: no column '" +
+                                    spec.inner_key + "' in " +
+                                    spec.child_table);
+          }
+          int order_ci = -1;
+          if (!spec.order_by_column.empty()) {
+            order_ci = child->schema().ColumnIndex(spec.order_by_column);
+          }
+          XDB_ASSIGN_OR_RETURN(RelExprPtr outer_ref, ColumnRef(spec.outer_key));
+          auto slot = std::make_shared<RecursiveApplyExpr::Slot>();
+          pending_slots_[spec.recursive_element].push_back(slot);
+          return RelExprPtr(std::make_unique<RecursiveApplyExpr>(
+              child, std::move(outer_ref), inner_ci, order_ci,
+              std::move(slot)));
+        }
         // Correlation predicate: child.inner_key = outer.outer_key.
         int inner_ci = child->schema().ColumnIndex(spec.inner_key);
         if (inner_ci < 0) {
@@ -184,18 +262,35 @@ class PublishCompiler {
     return Status::Internal("unknown publish spec kind");
   }
 
+  Status CheckSlotsResolved() const {
+    if (pending_slots_.empty()) return Status::OK();
+    // A recursion target outside the compiled subtree cannot be resolved —
+    // the caller (e.g. the rewriter rebuilding a copied subtree) must fall
+    // back to functional evaluation.
+    return Status::NotImplemented(
+        "publishing subtree contains a recursive reference to an element "
+        "outside the subtree");
+  }
+
   const Catalog& catalog_;
   bool logical_;
   std::vector<Scope> scopes_;
+  /// Recursion-target element spec -> slots awaiting its compiled expr.
+  std::map<const PublishSpec*,
+           std::vector<std::shared_ptr<RecursiveApplyExpr::Slot>>>
+      pending_slots_;
 };
 
 void DeriveNode(const PublishSpec& spec, schema::ElementStructure* parent,
-                std::vector<const PublishSpec*>* nested_chain, PublishInfo* info) {
+                std::vector<const PublishSpec*>* nested_chain, PublishInfo* info,
+                std::map<const PublishSpec*, schema::ElementStructure*>*
+                    elem_of_spec) {
   switch (spec.kind) {
     case PublishSpec::Kind::kElement: {
       schema::ElementStructure* e = info->structure.NewElement(spec.name);
       for (const auto& [attr, col] : spec.attr_columns) e->attributes.push_back(attr);
       info->bindings[e] = PublishBinding{&spec, *nested_chain};
+      (*elem_of_spec)[&spec] = e;
       if (parent != nullptr) {
         int min_occurs = spec.present_if_column.empty() ? 1 : 0;
         parent->children.push_back(schema::ChildRef{e, min_occurs, 1, false});
@@ -203,7 +298,7 @@ void DeriveNode(const PublishSpec& spec, schema::ElementStructure* parent,
         info->structure.set_root(e);
       }
       for (const auto& child : spec.children) {
-        DeriveNode(*child, e, nested_chain, info);
+        DeriveNode(*child, e, nested_chain, info, elem_of_spec);
       }
       break;
     }
@@ -212,10 +307,19 @@ void DeriveNode(const PublishSpec& spec, schema::ElementStructure* parent,
       if (parent != nullptr) parent->has_text = true;
       break;
     case PublishSpec::Kind::kNested: {
+      if (spec.recursive_element != nullptr) {
+        // The recursion target is an enclosing element, already derived
+        // (derivation walks top-down): mirror it as a recursive edge.
+        auto it = elem_of_spec->find(spec.recursive_element);
+        if (it != elem_of_spec->end() && parent != nullptr) {
+          parent->children.push_back(schema::ChildRef{it->second, 0, -1, true});
+        }
+        break;
+      }
       nested_chain->push_back(&spec);
       // The repeating row element.
       size_t before = parent->children.size();
-      DeriveNode(*spec.row_element, parent, nested_chain, info);
+      DeriveNode(*spec.row_element, parent, nested_chain, info, elem_of_spec);
       // Mark it 0..unbounded.
       if (parent->children.size() > before) {
         parent->children[before].min_occurs = 0;
@@ -256,7 +360,8 @@ Result<PublishInfo> DerivePublishStructure(const PublishSpec& spec) {
   }
   PublishInfo info;
   std::vector<const PublishSpec*> chain;
-  DeriveNode(spec, nullptr, &chain, &info);
+  std::map<const PublishSpec*, schema::ElementStructure*> elem_of_spec;
+  DeriveNode(spec, nullptr, &chain, &info, &elem_of_spec);
   return info;
 }
 

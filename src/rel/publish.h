@@ -62,6 +62,12 @@ struct PublishSpec {
   std::string inner_key;
   std::string order_by_column;
   std::unique_ptr<PublishSpec> row_element;
+  /// Recursive kNested: instead of owning a row_element, publish each
+  /// matching child row by re-applying the element spec of an *enclosing*
+  /// node (the recursion target; non-owning, points into the same spec
+  /// tree). Compiles to RecursiveApplyExpr — the static expansion of a
+  /// recursive content model would be unbounded, the data is not.
+  const PublishSpec* recursive_element = nullptr;
 
   // -- builders ------------------------------------------------------------
   static std::unique_ptr<PublishSpec> Element(std::string name);
@@ -71,6 +77,9 @@ struct PublishSpec {
                                              std::string outer_key,
                                              std::string inner_key,
                                              std::unique_ptr<PublishSpec> row_elem);
+  static std::unique_ptr<PublishSpec> RecursiveNested(
+      std::string child_table, std::string outer_key, std::string inner_key,
+      const PublishSpec* recursive_element);
 
   PublishSpec* AddChild(std::unique_ptr<PublishSpec> child) {
     children.push_back(std::move(child));

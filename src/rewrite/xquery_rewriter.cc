@@ -4,9 +4,11 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 
 #include "rel/logical.h"
 #include "rel/publish.h"
+#include "shred/mapping.h"
 
 namespace xdb::rewrite {
 
@@ -75,6 +77,15 @@ struct SymVal {
   std::string attr;                             // kAttribute
   const QExpr* src = nullptr;                   // kAtomic/kConstructed/kFlworSeq
   std::shared_ptr<SymEnv> env;
+
+  // Structural navigation: a kElementSeq produced by a `//` or ancestor::
+  // step that does not resolve to a unique child path (recursive schemas,
+  // paths crossing nested repetition). The sequence is every row of `decl`'s
+  // table whose (start, end) interval matches `axis` against the interval of
+  // `anchor` — a table-backed element in the current scope.
+  bool structural = false;
+  rel::StructuralAxis axis = rel::StructuralAxis::kDescendant;
+  const ElementStructure* anchor = nullptr;
 };
 
 struct SymEnv {
@@ -147,6 +158,10 @@ class SqlTranslator {
     if (chain_len > scope_chain_.size()) {
       return Untranslatable("value of repeating content used outside its "
                             "iteration scope");
+    }
+    if (chain_len < structural_floor_) {
+      // Scopes outside a structural join are not on its execution stack.
+      return Untranslatable("reference across a structural-join scope");
     }
     const Table* table = chain_len == 0 ? base_ : scope_tables_[chain_len];
     int ci = table->schema().ColumnIndex(column);
@@ -351,7 +366,20 @@ class SqlTranslator {
       }
       return Untranslatable("unsupported attribute navigation");
     }
-    if (step.axis != Axis::kChild) {
+    if (step.axis == Axis::kAncestor &&
+        step.test.kind == NodeTest::Kind::kName) {
+      // Structural: every row of the named table whose interval contains the
+      // anchor's interval.
+      if (cur.kind != SymVal::Kind::kElement) {
+        return Untranslatable("ancestor:: from a non-element context");
+      }
+      return MakeStructuralSym(cur.decl, step.test.local,
+                               rel::StructuralAxis::kAncestor, step);
+    }
+    if (step.axis == Axis::kDescendant &&
+        step.test.kind == NodeTest::Kind::kName) {
+      descendant = true;  // spelled-out descendant::name == `//name`
+    } else if (step.axis != Axis::kChild) {
       return Untranslatable("axis '" + std::string(AxisName(step.axis)) +
                             "' is outside the translatable subset");
     }
@@ -429,9 +457,32 @@ class SqlTranslator {
     return v;
   }
 
-  // "//name" below `cur`: the unique reachable decl named `name`.
+  // "//name" below `cur`: the unique reachable decl named `name`. When the
+  // lexical resolution fails (recursive schemas, several occurrences, paths
+  // crossing more than one repeating level), fall back to a structural
+  // descendant-axis sequence — the interval join finds the rows the static
+  // path analysis cannot name.
   Result<SymVal> DescendantNavigate(const SymVal& cur, const std::string& name,
                                     const xpath::Step& step) {
+    // A recursive edge targeting `name` anywhere below the anchor means the
+    // lexical path misses the nested occurrences: the target can sit below
+    // itself, so only the interval join enumerates it completely.
+    bool recursive_target = false;
+    {
+      std::set<const ElementStructure*> seen;
+      std::function<void(const ElementStructure*)> scan =
+          [&](const ElementStructure* e) {
+            if (e == nullptr || !seen.insert(e).second) return;
+            for (const ChildRef& c : e->children) {
+              if (c.recursive_edge) {
+                if (c.elem->name == name) recursive_target = true;
+                continue;
+              }
+              scan(c.elem);
+            }
+          };
+      scan(cur.decl);
+    }
     std::vector<const ChildRef*> path;
     bool found = false;
     std::function<bool(const ElementStructure*)> dfs =
@@ -449,15 +500,19 @@ class SqlTranslator {
       }
       return false;
     };
-    if (cur.decl == nullptr || !dfs(cur.decl)) {
-      return Untranslatable("'//" + name + "' has no unique target");
+    if (cur.decl == nullptr || !dfs(cur.decl) || recursive_target) {
+      return MakeStructuralSym(cur.decl, name,
+                               rel::StructuralAxis::kDescendant, step,
+                               "'//" + name + "' has no unique target");
     }
     // Count repeating crossings.
     const ChildRef* repeat = nullptr;
     for (const ChildRef* c : path) {
       if (c->repeating() || c->optional()) {
         if (repeat != nullptr) {
-          return Untranslatable("'//" + name + "' crosses nested repetition");
+          return MakeStructuralSym(
+              cur.decl, name, rel::StructuralAxis::kDescendant, step,
+              "'//" + name + "' crosses nested repetition");
         }
         repeat = c;
       }
@@ -482,6 +537,74 @@ class SqlTranslator {
     if (!v.suffix.empty() && !step.predicates.empty()) {
       return Untranslatable("predicate below repeating content");
     }
+    return v;
+  }
+
+  // ---- structural (interval) navigation --------------------------------------
+
+  // A decl whose occurrences are exactly the rows of one shredded table —
+  // the row element of its innermost nested scope (the base table for the
+  // root). Only such decls carry (start, end, level) interval columns a
+  // structural join can scan.
+  bool IsTableWorthy(const ElementStructure* decl) const {
+    const PublishBinding* b = BindingOf(decl);
+    if (b == nullptr) return false;
+    if (b->nested_chain.empty()) {
+      return decl == view_.info->structure.root();
+    }
+    const PublishSpec* nested = b->nested_chain.back();
+    return nested->row_element != nullptr &&
+           nested->row_element.get() == b->spec;
+  }
+
+  // Builds the structural sequence for `axis::name` anchored at `anchor`.
+  // Requires a table-backed anchor and a unique table-backed decl named
+  // `name` (rows of other decls with that name would be invisible to the
+  // interval join, so any such decl rejects the rewrite to plan B).
+  Result<SymVal> MakeStructuralSym(const ElementStructure* anchor,
+                                   const std::string& name,
+                                   rel::StructuralAxis axis,
+                                   const xpath::Step& step,
+                                   const std::string& lexical_error = "") {
+    auto fail = [&](const std::string& why) {
+      return Untranslatable(
+          lexical_error.empty() ? why : lexical_error + " (" + why + ")");
+    };
+    if (anchor == nullptr || !IsTableWorthy(anchor)) {
+      return fail("structural axis anchored at an element without its own "
+                  "table");
+    }
+    const ElementStructure* target = nullptr;
+    bool ambiguous = false;
+    bool untabled = false;
+    std::set<const ElementStructure*> seen;
+    std::function<void(const ElementStructure*)> scan =
+        [&](const ElementStructure* e) {
+          if (e == nullptr || !seen.insert(e).second) return;
+          if (e->name == name) {
+            if (target != nullptr) ambiguous = true;
+            if (!IsTableWorthy(e)) untabled = true;
+            target = e;
+          }
+          for (const ChildRef& c : e->children) {
+            if (!c.recursive_edge) scan(c.elem);
+          }
+        };
+    scan(view_.info->structure.root());
+    if (target == nullptr) return fail("no element '" + name + "' in view");
+    if (ambiguous) {
+      return fail("several distinct elements named '" + name + "'");
+    }
+    if (untabled) {
+      return fail("element '" + name + "' has no table of its own");
+    }
+    SymVal v;
+    v.kind = SymVal::Kind::kElementSeq;
+    v.decl = target;
+    v.structural = true;
+    v.axis = axis;
+    v.anchor = anchor;
+    for (const auto& p : step.predicates) v.preds.push_back(p.get());
     return v;
   }
 
@@ -1002,6 +1125,10 @@ class SqlTranslator {
       std::optional<AggKind> agg, const FlworQExpr::OrderSpec* order,
       std::vector<const QExpr*>* where_conjuncts = nullptr,
       const std::string* loop_var = nullptr) {
+    if (seq.structural) {
+      return TranslateStructuralAggregate(seq, build_value, agg, order,
+                                          where_conjuncts, loop_var);
+    }
     const PublishBinding* binding = BindingOf(seq.decl);
     if (binding == nullptr || binding->nested_chain.empty()) {
       return Untranslatable("repeating element without a nested scope");
@@ -1136,12 +1263,161 @@ class SqlTranslator {
         std::shared_ptr<LogicalNode>(std::move(plan))));
   }
 
+  // Structural variant of TranslateSeqAggregate: the sequence is an interval
+  // axis over one shredded table, so the plan is
+  //   LogicalApply( XmlAgg|ScalarAgg ( Project [value]
+  //     ( Filter(p1 AND ... AND pn)? ( StructuralJoin(child_table) ))))
+  // with no correlation predicate — the anchor's (start, end) columns are
+  // evaluated once at the join's Open against the *enclosing* row stack, so
+  // they are emitted against the current scope BEFORE the swap below.
+  //
+  // Scope swap: rows inside the plan are rows of the target table, whose
+  // nested chain generally does not extend the current scope (that is what
+  // made the navigation structural). The translator therefore re-roots its
+  // scope at the target's own chain and fences everything outside it with
+  // structural_floor_ — any reference to an enclosing scope's value rejects
+  // the rewrite and the query stays on plan B. Document order is global here
+  // (matches may span repeating parents), so XMLAgg orders by the target's
+  // own `start` column, never the per-parent ordinal.
+  Result<RelExprPtr> TranslateStructuralAggregate(
+      const SymVal& seq, const std::function<Result<RelExprPtr>()>& build_value,
+      std::optional<AggKind> agg, const FlworQExpr::OrderSpec* order,
+      std::vector<const QExpr*>* where_conjuncts,
+      const std::string* loop_var) {
+    if (order != nullptr) {
+      return Untranslatable("explicit sort over a structural axis");
+    }
+    // Anchor interval, in the current (pre-swap) scope.
+    if (seq.anchor == nullptr || !IsTableWorthy(seq.anchor)) {
+      return Untranslatable("structural anchor without interval columns");
+    }
+    XDB_ASSIGN_OR_RETURN(size_t anchor_len, ChainLenOf(seq.anchor));
+    XDB_ASSIGN_OR_RETURN(
+        RelExprPtr anchor_start,
+        ColumnAt(anchor_len, std::string(shred::kStartColumn)));
+    XDB_ASSIGN_OR_RETURN(RelExprPtr anchor_end,
+                         ColumnAt(anchor_len, std::string(shred::kEndColumn)));
+
+    // Target table + interval columns.
+    const PublishBinding* binding = BindingOf(seq.decl);
+    if (binding == nullptr || binding->nested_chain.empty()) {
+      return Untranslatable("structural target without a nested scope");
+    }
+    XDB_ASSIGN_OR_RETURN(
+        Table * child,
+        catalog_.GetTable(binding->nested_chain.back()->child_table));
+    int start_col =
+        child->schema().ColumnIndex(std::string(shred::kStartColumn));
+    int end_col =
+        child->schema().ColumnIndex(std::string(shred::kEndColumn));
+    int level_col =
+        child->schema().ColumnIndex(std::string(shred::kLevelColumn));
+    if (start_col < 0 || end_col < 0 || level_col < 0) {
+      return Untranslatable("table " + child->name() +
+                            " has no interval columns");
+    }
+
+    auto join = std::make_unique<rel::LogicalStructuralJoinNode>();
+    join->table = child;
+    join->axis = seq.axis;
+    join->start_col = start_col;
+    join->start_name = std::string(shred::kStartColumn);
+    join->end_col = end_col;
+    join->level_col = level_col;
+    join->outer_start = std::move(anchor_start);
+    join->outer_end = std::move(anchor_end);
+
+    // Swap the translator's scope to the target's own chain (restored on
+    // every exit path).
+    struct ScopeSwap {
+      SqlTranslator* t;
+      std::vector<const PublishSpec*> chain;
+      std::vector<const Table*> tables;
+      SymVal context;
+      size_t floor;
+      ~ScopeSwap() {
+        t->scope_chain_ = std::move(chain);
+        t->scope_tables_ = std::move(tables);
+        t->context_ = std::move(context);
+        t->structural_floor_ = floor;
+      }
+    } saved{this, std::move(scope_chain_), std::move(scope_tables_),
+            std::move(context_), structural_floor_};
+    scope_chain_.clear();
+    scope_tables_.clear();
+    scope_tables_.push_back(base_);
+    for (const PublishSpec* s : binding->nested_chain) {
+      XDB_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(s->child_table));
+      scope_chain_.push_back(s);
+      scope_tables_.push_back(t);
+    }
+    structural_floor_ = scope_chain_.size();
+    context_ = SymVal{};  // "." has no meaning inside the structural scope
+
+    // Value predicates: navigation predicates + where conjuncts over the
+    // loop variable, all relative to the target row.
+    RelExprPtr predicate;
+    auto conjoin = [&predicate](RelExprPtr p) {
+      predicate = predicate == nullptr
+                      ? std::move(p)
+                      : std::make_unique<BinaryRelExpr>(
+                            RelOp::kAnd, std::move(predicate), std::move(p));
+    };
+    for (const xpath::Expr* p : seq.preds) {
+      XDB_ASSIGN_OR_RETURN(RelExprPtr pred,
+                           TranslateRelativePredicate(*p, seq.decl));
+      conjoin(std::move(pred));
+    }
+    if (where_conjuncts != nullptr && loop_var != nullptr) {
+      SymEnvPtr env = std::make_shared<SymEnv>();
+      SymVal bound;
+      bound.kind = SymVal::Kind::kElement;
+      bound.decl = seq.decl;
+      env->vars[*loop_var] = std::move(bound);
+      for (const QExpr* w : *where_conjuncts) {
+        XDB_ASSIGN_OR_RETURN(RelExprPtr pred, TranslateScalar(*w, env));
+        conjoin(std::move(pred));
+      }
+    }
+
+    LogicalPlanPtr plan = std::move(join);
+    if (predicate != nullptr) {
+      plan = std::make_unique<LogicalFilterNode>(std::move(plan),
+                                                 std::move(predicate));
+    }
+
+    RelExprPtr value_expr;
+    if (!(agg.has_value() && *agg == AggKind::kCount)) {
+      XDB_ASSIGN_OR_RETURN(value_expr, build_value());
+    }
+
+    if (agg.has_value()) {
+      plan = std::make_unique<LogicalScalarAggNode>(std::move(plan), *agg,
+                                                    std::move(value_expr));
+      return RelExprPtr(std::make_unique<LogicalApplyExpr>(
+          std::shared_ptr<LogicalNode>(std::move(plan))));
+    }
+
+    std::vector<RelExprPtr> exprs;
+    exprs.push_back(std::move(value_expr));
+    exprs.push_back(std::make_unique<ColumnRefExpr>(
+        0, start_col, child->name() + "." + std::string(shred::kStartColumn)));
+    plan = std::make_unique<LogicalProjectNode>(std::move(plan),
+                                                std::move(exprs));
+    plan = std::make_unique<LogicalXmlAggNode>(
+        std::move(plan), std::make_unique<ColumnRefExpr>(0, 1, "doc_order"),
+        /*descending=*/false);
+    return RelExprPtr(std::make_unique<LogicalApplyExpr>(
+        std::shared_ptr<LogicalNode>(std::move(plan))));
+  }
+
   // Outer correlation key: resolve in the *current* scope chain (scope depth
   // includes the just-entered child at level 0).
   Result<RelExprPtr> ColumnAtOuter(const std::string& column) {
     for (size_t level = 1; level < scope_tables_.size() + 1; ++level) {
       size_t pos = scope_tables_.size() - 1 - level;
       if (pos >= scope_tables_.size()) break;  // unsigned wrap guard
+      if (pos < structural_floor_) break;      // outside the structural scope
       const Table* t = scope_tables_[pos];
       int ci = t->schema().ColumnIndex(column);
       if (ci >= 0) {
@@ -1262,6 +1538,11 @@ class SqlTranslator {
   SymVal context_;
   std::vector<const PublishSpec*> scope_chain_;
   std::vector<const Table*> scope_tables_;
+  /// Scope chain positions below this index belong to scopes outside the
+  /// innermost structural join: they are not on the execution stack inside
+  /// its plan, so references to them reject the rewrite (plan B picks the
+  /// query up). 0 whenever no structural scope is active.
+  size_t structural_floor_ = 0;
 
 };
 

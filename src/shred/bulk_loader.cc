@@ -126,19 +126,28 @@ Status BulkLoader::SyncWithTables() {
                        catalog_->GetTable(mapping_->root_table()->name));
   documents_loaded_ = static_cast<int64_t>(root->row_count());
   int64_t max_rowid = -1;
+  int64_t max_pos = -1;
   for (const auto& t : mapping_->tables()) {
     XDB_ASSIGN_OR_RETURN(rel::Table * table, catalog_->GetTable(t->name));
     int rowid_col = t->ColumnIndex(kRowIdColumn);
+    int end_col = t->ColumnIndex(kEndColumn);
     if (rowid_col < 0) continue;
     for (size_t i = 0; i < table->row_count(); ++i) {
-      const rel::Datum& d = table->row(static_cast<int64_t>(i))
-                                [static_cast<size_t>(rowid_col)];
+      const rel::Row& row = table->row(static_cast<int64_t>(i));
+      const rel::Datum& d = row[static_cast<size_t>(rowid_col)];
       if (d.type() == rel::DataType::kInt && d.AsInt() > max_rowid) {
         max_rowid = d.AsInt();
+      }
+      if (end_col >= 0) {
+        const rel::Datum& e = row[static_cast<size_t>(end_col)];
+        if (e.type() == rel::DataType::kInt && e.AsInt() > max_pos) {
+          max_pos = e.AsInt();
+        }
       }
     }
   }
   shredder_.set_next_rowid(max_rowid + 1);
+  shredder_.set_next_pos(max_pos + 1);
   // The incremental accumulators may have folded rows that no longer exist
   // (a rolled-back commit) or may never have seen the recovered rows. Drop
   // them (they reseed from the tables on the next load) and republish
@@ -193,6 +202,15 @@ Status BulkLoader::CreateIndexes() {
     XDB_FAULT_POINT("shred.index_build");
     XDB_RETURN_NOT_OK(
         table->CreateIndex(std::string(kParentRowIdColumn)));
+  }
+  // Every shred table (root included) carries a B+tree on `start`: the
+  // structural-join operators answer descendant/ancestor axes with range
+  // scans over it, and key order doubles as document order.
+  for (const auto& t : mapping_->tables()) {
+    XDB_ASSIGN_OR_RETURN(rel::Table * table, catalog_->GetTable(t->name));
+    if (table->HasIndex(std::string(kStartColumn))) continue;
+    XDB_FAULT_POINT("shred.index_build");
+    XDB_RETURN_NOT_OK(table->CreateIndex(std::string(kStartColumn)));
   }
   for (const auto& [table_name, column] : mapping_->value_indexes()) {
     XDB_ASSIGN_OR_RETURN(rel::Table * table, catalog_->GetTable(table_name));

@@ -64,8 +64,9 @@ int ShredMapping::TableIndex(const ShredTable* table) const {
 
 namespace {
 
-// Depth-first visit of every reachable declaration (recursive edges are
-// rejected before this runs, but guard against revisiting shared decls).
+// Depth-first visit of every reachable declaration. Recursive edges point
+// back at an already-visited ancestor, so skipping them (plus the seen-set
+// guard) makes the walk terminate while still reaching every declaration.
 void CollectDecls(const ElementStructure* decl,
                   std::vector<const ElementStructure*>* order,
                   std::set<const ElementStructure*>* seen) {
@@ -113,11 +114,12 @@ Result<ShredMapping> ShredMapping::Derive(
     return Status::NotImplemented(
         "shred mapping: fragment structures have no storable root element");
   }
-  if (structure.HasRecursion()) {
-    return Status::NotImplemented(
-        "shred mapping: recursive content models are not shreddable (the "
-        "publishing view would be unbounded)");
-  }
+  // Recursive content models are shreddable: a recursive ChildRef targets an
+  // ancestor declaration which always owns a table (it has children), so the
+  // recursion stores as self-referencing rows keyed by lineage + interval.
+  // The one exception is recursion to the document root element: the root
+  // table doubles as the document enumeration (one view row per stored row),
+  // so nested root occurrences would surface as phantom documents.
 
   ShredMapping mapping;
   mapping.prefix_ = std::move(table_prefix);
@@ -132,6 +134,15 @@ Result<ShredMapping> ShredMapping::Derive(
   }
   for (const ElementStructure* decl : decls) {
     XDB_RETURN_NOT_OK(ValidateShreddable(decl));
+    for (const ChildRef& ref : decl->children) {
+      if (ref.recursive_edge && ref.elem == mapping.structure_.root()) {
+        return Status::NotImplemented(
+            "shred mapping: recursive reference to the document root element "
+            "'" +
+            ref.elem->name +
+            "' (wrap the recursion in a non-root element)");
+      }
+    }
   }
 
   // Classification: a declaration gets its own table when it is the root,
@@ -172,6 +183,12 @@ Result<ShredMapping> ShredMapping::Derive(
          rel::DataType::kInt, "", nullptr, table->is_root});
     add({ShredColumn::Kind::kOrd, std::string(kOrdColumn), rel::DataType::kInt,
          "", nullptr, false});
+    add({ShredColumn::Kind::kStart, std::string(kStartColumn),
+         rel::DataType::kInt, "", nullptr, false});
+    add({ShredColumn::Kind::kEnd, std::string(kEndColumn), rel::DataType::kInt,
+         "", nullptr, false});
+    add({ShredColumn::Kind::kLevel, std::string(kLevelColumn),
+         rel::DataType::kInt, "", nullptr, false});
     for (const std::string& attr : decl->attributes) {
       add({ShredColumn::Kind::kAttribute, AttrColumnName(attr),
            rel::DataType::kString, attr, nullptr, true});

@@ -4,7 +4,11 @@
 // whole subsystem shares:
 //   * every "table-worthy" element declaration (the root, any repeating
 //     occurrence, and any element with element children or attributes) gets a
-//     base table with (rowid, parent_rowid, ord) lineage columns;
+//     base table with (rowid, parent_rowid, ord) lineage columns plus
+//     (start, end, level) interval columns encoding the pre/post region of
+//     each occurrence — descendant/ancestor axes become range predicates;
+//   * recursive content models map to self-referencing rows in the table of
+//     the recursion target, keyed by lineage + interval;
 //   * singleton text-only leaf children inline into the parent table as
 //     nullable string columns (absent optional child = NULL);
 //   * attributes inline as nullable string columns; declared text content
@@ -35,6 +39,9 @@ namespace xdb::shred {
 inline constexpr std::string_view kRowIdColumn = "rowid";
 inline constexpr std::string_view kParentRowIdColumn = "parent_rowid";
 inline constexpr std::string_view kOrdColumn = "ord";
+inline constexpr std::string_view kStartColumn = "start";
+inline constexpr std::string_view kEndColumn = "end";
+inline constexpr std::string_view kLevelColumn = "level";
 inline constexpr std::string_view kDiscriminatorColumn = "branch";
 inline constexpr std::string_view kTextColumn = "t_text";
 inline constexpr std::string_view kAttrColumnPrefix = "a_";
@@ -46,6 +53,9 @@ struct ShredColumn {
     kRowId,          ///< globally unique id of this occurrence (join target)
     kParentRowId,    ///< rowid of the enclosing occurrence (NULL for roots)
     kOrd,            ///< occurrence order within the parent's child slot
+    kStart,          ///< preorder interval entry position (document order)
+    kEnd,            ///< interval exit position; descendants nest strictly
+    kLevel,          ///< absolute element depth (document root element = 0)
     kAttribute,      ///< declared attribute value (NULL = absent)
     kText,           ///< declared character content
     kInlineChild,    ///< singleton text-only child (NULL = absent)
@@ -91,8 +101,10 @@ struct ShredOptions {
 class ShredMapping {
  public:
   /// Derives the mapping. Rejects (kNotImplemented) structures outside the
-  /// shreddable subset: fragment roots, recursive content models, mixed
-  /// content, and parents with two same-named child slots.
+  /// shreddable subset: fragment roots, mixed content, and parents with two
+  /// same-named child slots. Recursive content models are accepted: a
+  /// recursive ChildRef stores its occurrences as self-referencing rows in
+  /// the recursion target's table (the target is always table-worthy).
   static Result<ShredMapping> Derive(const schema::StructuralInfo& structure,
                                      std::string table_prefix,
                                      const ShredOptions& options = {});

@@ -170,13 +170,15 @@ Result<ShredBatch> Shredder::Shred(const xml::Node* node,
   XDB_ASSIGN_OR_RETURN(const xml::Node* root, ResolveRoot(*mapping_, node));
   ShredBatch out;
   out.rows.resize(mapping_->tables().size());
-  // Roll back rowid allocation on failure so a rejected document leaves the
-  // shredder reusable.
+  // Roll back rowid/interval allocation on failure so a rejected document
+  // leaves the shredder reusable.
   int64_t saved = next_rowid_;
+  int64_t saved_pos = next_pos_;
   Status st = ShredElement(mapping_->structure().root(), root, rel::Datum(),
-                           next_document_ord, &out);
+                           next_document_ord, /*level=*/0, &out);
   if (!st.ok()) {
     next_rowid_ = saved;
+    next_pos_ = saved_pos;
     return st;
   }
   return out;
@@ -184,7 +186,7 @@ Result<ShredBatch> Shredder::Shred(const xml::Node* node,
 
 Status Shredder::ShredElement(const ElementStructure* decl,
                               const xml::Node* elem, rel::Datum parent_rowid,
-                              int64_t ord, ShredBatch* out) {
+                              int64_t ord, int64_t level, ShredBatch* out) {
   const ShredTable* table = mapping_->table_for(decl);
   if (table == nullptr) {
     return Status::Internal("shred: no table for element '" + decl->name +
@@ -194,6 +196,7 @@ Status Shredder::ShredElement(const ElementStructure* decl,
   XDB_ASSIGN_OR_RETURN(MatchedContent content, MatchContent(decl, elem));
 
   int64_t rowid = next_rowid_++;
+  int64_t start = next_pos_++;
   rel::Row row;
   row.reserve(table->columns.size());
   for (const ShredColumn& col : table->columns) {
@@ -206,6 +209,17 @@ Status Shredder::ShredElement(const ElementStructure* decl,
         break;
       case ShredColumn::Kind::kOrd:
         row.push_back(rel::Datum(ord));
+        break;
+      case ShredColumn::Kind::kStart:
+        row.push_back(rel::Datum(start));
+        break;
+      case ShredColumn::Kind::kEnd:
+        // Placeholder; patched to the exit position once the subtree below
+        // this occurrence has been walked.
+        row.push_back(rel::Datum(int64_t{0}));
+        break;
+      case ShredColumn::Kind::kLevel:
+        row.push_back(rel::Datum(level));
         break;
       case ShredColumn::Kind::kAttribute: {
         const xml::Node* attr = elem->FindAttribute(col.attribute);
@@ -246,11 +260,14 @@ Status Shredder::ShredElement(const ElementStructure* decl,
     }
   }
   int ti = mapping_->TableIndex(table);
+  size_t row_index = out->rows[static_cast<size_t>(ti)].size();
   out->rows[static_cast<size_t>(ti)].push_back(std::move(row));
   out->elements += 1;
 
   // Recurse into table-worthy children; ord restarts per slot so sibling
   // order within a slot is the ORDER BY key of the publishing view.
+  // Recursive slots work unchanged: the child declaration maps to the
+  // recursion target's table and the walk is bounded by the document.
   for (size_t slot = 0; slot < decl->children.size(); ++slot) {
     const ChildRef& ref = decl->children[slot];
     if (mapping_->table_for(ref.elem) == nullptr) {
@@ -260,9 +277,15 @@ Status Shredder::ShredElement(const ElementStructure* decl,
     int64_t child_ord = 0;
     for (const xml::Node* child : content.slots[slot]) {
       XDB_RETURN_NOT_OK(ShredElement(ref.elem, child, rel::Datum(rowid),
-                                     child_ord++, out));
+                                     child_ord++, level + 1, out));
     }
   }
+
+  // Patch the exit position now that every stored descendant has consumed
+  // its interval. Child intervals nest strictly inside (start, end).
+  int end_ci = table->ColumnIndex(kEndColumn);
+  out->rows[static_cast<size_t>(ti)][row_index][static_cast<size_t>(end_ci)] =
+      rel::Datum(next_pos_++);
   return Status::OK();
 }
 

@@ -2,7 +2,11 @@
 // relational mapping): decomposes a parsed document into per-table row
 // batches following a ShredMapping, assigning globally unique rowids so the
 // (parent.rowid = child.parent_rowid) publishing joins are unambiguous even
-// when a declaration is shared by several parents.
+// when a declaration is shared by several parents. Each stored occurrence
+// also receives a pre/post interval: start at entry, end at exit of the
+// document walk, level = depth of the stored row (root row = 0). Descendant
+// containment is then (d.start, d.end) strictly inside (a.start, a.end),
+// which the structural-join operators turn into range scans on `start`.
 //
 // Also provides the schema-aware canonicalizer the round-trip contract is
 // stated against: shred -> publish -> serialize must be byte-identical to
@@ -57,13 +61,21 @@ class Shredder {
   /// loader would have produced.
   void set_next_rowid(int64_t next) { next_rowid_ = next; }
 
+  /// Next interval position that will be assigned. Positions increase
+  /// monotonically across documents, so rows of different documents never
+  /// have overlapping (start, end) regions.
+  int64_t next_pos() const { return next_pos_; }
+  /// Restores the interval cursor after crash recovery (max stored end + 1).
+  void set_next_pos(int64_t next) { next_pos_ = next; }
+
  private:
   Status ShredElement(const schema::ElementStructure* decl,
                       const xml::Node* elem, rel::Datum parent_rowid,
-                      int64_t ord, ShredBatch* out);
+                      int64_t ord, int64_t level, ShredBatch* out);
 
   const ShredMapping* mapping_;
   int64_t next_rowid_;
+  int64_t next_pos_ = 0;
 };
 
 /// Serializes the schema-canonical form of `node` (document or root

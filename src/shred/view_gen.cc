@@ -1,5 +1,6 @@
 #include "shred/view_gen.h"
 
+#include <map>
 #include <string>
 #include <utility>
 
@@ -13,14 +14,19 @@ namespace {
 
 /// Emits the XMLElement subtree reconstructing occurrences of `decl` from
 /// its shred table row (the innermost relational scope at this point).
-Result<std::unique_ptr<PublishSpec>> ElementSpec(const ShredMapping& mapping,
-                                                 const ElementStructure* decl) {
+/// `on_path` maps the declarations currently under construction to their
+/// element specs: a recursive ChildRef targets one of them and publishes as
+/// a recursive nested aggregate instead of expanding (unboundedly) in place.
+Result<std::unique_ptr<PublishSpec>> ElementSpec(
+    const ShredMapping& mapping, const ElementStructure* decl,
+    std::map<const ElementStructure*, PublishSpec*>* on_path) {
   const ShredTable* table = mapping.table_for(decl);
   if (table == nullptr) {
     return Status::Internal("view_gen: element '" + decl->name +
                             "' has no shred table");
   }
   auto spec = PublishSpec::Element(decl->name);
+  (*on_path)[decl] = spec.get();
   for (const std::string& attr : decl->attributes) {
     spec->attr_columns.emplace_back(attr, AttrColumnName(attr));
   }
@@ -32,9 +38,23 @@ Result<std::unique_ptr<PublishSpec>> ElementSpec(const ShredMapping& mapping,
   // absent table children simply aggregate zero rows.
   for (const ChildRef& ref : decl->children) {
     const ShredTable* child_table = mapping.table_for(ref.elem);
-    if (child_table != nullptr) {
+    if (ref.recursive_edge) {
+      // The target's spec is an ancestor of this one (recursive edges point
+      // up the declaration tree): publish its child rows by re-applying it.
+      auto target = on_path->find(ref.elem);
+      if (target == on_path->end() || child_table == nullptr) {
+        return Status::Internal("view_gen: recursive child '" +
+                                ref.elem->name + "' of '" + decl->name +
+                                "' has no enclosing element spec");
+      }
+      auto nested = PublishSpec::RecursiveNested(
+          child_table->name, std::string(kRowIdColumn),
+          std::string(kParentRowIdColumn), target->second);
+      nested->order_by_column = std::string(kOrdColumn);
+      spec->AddChild(std::move(nested));
+    } else if (child_table != nullptr) {
       XDB_ASSIGN_OR_RETURN(std::unique_ptr<PublishSpec> row_elem,
-                           ElementSpec(mapping, ref.elem));
+                           ElementSpec(mapping, ref.elem, on_path));
       auto nested = PublishSpec::Nested(
           child_table->name, std::string(kRowIdColumn),
           std::string(kParentRowIdColumn), std::move(row_elem));
@@ -52,6 +72,7 @@ Result<std::unique_ptr<PublishSpec>> ElementSpec(const ShredMapping& mapping,
       spec->AddChild(std::move(leaf));
     }
   }
+  on_path->erase(decl);
   return spec;
 }
 
@@ -59,7 +80,8 @@ Result<std::unique_ptr<PublishSpec>> ElementSpec(const ShredMapping& mapping,
 
 Result<std::unique_ptr<PublishSpec>> GeneratePublishSpec(
     const ShredMapping& mapping) {
-  return ElementSpec(mapping, mapping.structure().root());
+  std::map<const ElementStructure*, PublishSpec*> on_path;
+  return ElementSpec(mapping, mapping.structure().root(), &on_path);
 }
 
 }  // namespace xdb::shred

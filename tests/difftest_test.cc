@@ -253,6 +253,58 @@ TEST(DiffTest, CorrelatedJoinLoweringSweep) {
 }
 
 // ---------------------------------------------------------------------------
+// Recursive-structure sweep: structural-join pricing on vs off, four engines
+// ---------------------------------------------------------------------------
+
+TEST(DiffTest, RecursiveStructuralSweep) {
+  // Recursive cases (self- or mutually-recursive content models, `.//x` and
+  // ancestor:: stylesheets) run twice per seed: once with the structural-join
+  // pricing rule enabled and once with it disabled through
+  // XDB_DISABLE_OPT_RULES (interval range scan vs full interval scan). Within
+  // each run all four engines must agree; across the runs the shredded
+  // engine's output must be byte-identical — the access-path choice is a pure
+  // plan transformation.
+  const char* saved = std::getenv("XDB_DISABLE_OPT_RULES");
+  std::string saved_value = saved != nullptr ? saved : "";
+  const int n = SweepSeedCount();
+  GenOptions gen;
+  gen.recursive = true;
+  gen.reject_fraction = 0.0;  // keep every seed on the rewrite path
+  OracleOptions oracle;
+  oracle.repro_regex = "DiffTest.RecursiveStructuralSweep";
+  int sql_path = 0;
+  for (int i = 0; i < n; ++i) {
+    GeneratedCase c =
+        GenerateCase(BaseSeed() + static_cast<uint64_t>(i), gen);
+    unsetenv("XDB_DISABLE_OPT_RULES");
+    OracleReport on = RunCase(c, oracle);
+    setenv("XDB_DISABLE_OPT_RULES", "structural-join", 1);
+    OracleReport off = RunCase(c, oracle);
+    unsetenv("XDB_DISABLE_OPT_RULES");
+    for (const OracleReport* r : {&on, &off}) {
+      ASSERT_NE(r->outcome, OracleReport::Outcome::kDiverged) << r->detail
+                                                              << "\n"
+                                                              << r->repro;
+      ASSERT_NE(r->outcome, OracleReport::Outcome::kInvalid)
+          << r->detail << "\n" << r->repro;
+    }
+    ASSERT_EQ(on.engines[kShreddedSql].canonical,
+              off.engines[kShreddedSql].canonical)
+        << "structural-join pricing changed the shredded output\n" << on.repro;
+    if (on.shredded_path == ExecutionPath::kSqlRewritten) ++sql_path;
+  }
+  if (saved != nullptr) {
+    setenv("XDB_DISABLE_OPT_RULES", saved_value.c_str(), 1);
+  }
+  std::printf("[difftest] recursive sweep: %d seeds, %d on plan A\n", n,
+              sql_path);
+  // The mode exists to exercise interval joins: most cases must reach plan A.
+  if (n >= 50) {
+    EXPECT_GT(sql_path, n / 2);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Harness self-test: a seeded divergence is caught, reduced, and reported
 // ---------------------------------------------------------------------------
 
@@ -360,6 +412,25 @@ TEST(DiffTest, ConformanceCorpusAgreesOnAllFourPaths) {
   }
   // The corpus must actually drive the SQL path, not just fall back.
   EXPECT_GT(sql_hits, 10);
+}
+
+TEST(DiffTest, StructuralCorpusStaysOnShreddedSqlPath) {
+  // The `structural/` cases exist to pin the interval-join pipeline: each
+  // `//`/ancestor:: stylesheet must be accepted by the SQL rewrite (no plan-B
+  // fallback), engage an index, and open at least one structural join —
+  // while still agreeing with the other three engines byte-for-byte.
+  int structural = 0;
+  for (const CorpusCase& c : ConformanceCorpus()) {
+    if (c.name.rfind("structural/", 0) != 0) continue;
+    ++structural;
+    auto r = RunFourWay(c);
+    ASSERT_TRUE(r.ok()) << c.name << ": " << r.status().ToString();
+    EXPECT_TRUE(r->agreed) << r->detail;
+    EXPECT_EQ(r->sql_path, ExecutionPath::kSqlRewritten) << c.name;
+    EXPECT_TRUE(r->sql_used_index) << c.name;
+    EXPECT_GE(r->sql_structural_joins, 1u) << c.name;
+  }
+  EXPECT_EQ(structural, 3);
 }
 
 }  // namespace

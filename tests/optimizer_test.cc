@@ -285,7 +285,7 @@ TEST_F(OptimizerFixture, PushdownThenIndexSelectionComposes) {
   OptimizedQuery q = Optimize(build(), OptimizerOptions());
   EXPECT_TRUE(q.used_index);
   EXPECT_EQ(q.predicates_pushed, 1);
-  EXPECT_EQ(q.trace.size(), 8u);  // all rules ran and traced
+  EXPECT_EQ(q.trace.size(), 9u);  // all rules ran and traced
   EXPECT_EQ(EvalPerDeptRow(*q.expr), baseline);
   EXPECT_EQ(baseline, (std::vector<std::string>{"1", "1"}));  // CLARK; SMITH
 }
@@ -480,6 +480,7 @@ TEST(ExplainGoldenTest, Table8WorkloadTwoLevelExplain) {
   EXPECT_NE(explain.find("rule constant-fold: "), std::string::npos);
   EXPECT_NE(explain.find("rule column-pruning: "), std::string::npos);
   EXPECT_NE(explain.find("rule join-access-path: "), std::string::npos);
+  EXPECT_NE(explain.find("rule structural-join: "), std::string::npos);
   EXPECT_NE(explain.find("rule join-order: "), std::string::npos);
   EXPECT_NE(explain.find("rule subplan-dedup: "), std::string::npos);
 }
@@ -506,6 +507,7 @@ rule index-range-scan: 19 -> 15 nodes
 rule constant-fold: 15 -> 15 nodes
 rule column-pruning: 15 -> 15 nodes
 rule join-access-path: 15 -> 15 nodes
+rule structural-join: 15 -> 15 nodes
 rule join-order: 15 -> 15 nodes
 rule subplan-dedup: 15 -> 15 nodes
 physical plan:
@@ -525,7 +527,7 @@ TEST(ExplainGoldenTest, DisabledRulesLeaveNoTraceAndNoIndex) {
   const xsltmark::BenchCase* c = xsltmark::FindCase("dbonerow");
   ASSERT_NE(c, nullptr);
   ExecOptions o;
-  o.optimizer = rel::OptimizerOptions{false, false, false, false,
+  o.optimizer = rel::OptimizerOptions{false, false, false, false, false,
                                       false, false, false, false};
   o.use_plan_cache = false;
   ExecStats disabled_stats;
@@ -542,7 +544,7 @@ TEST(ExplainGoldenTest, DisabledRulesLeaveNoTraceAndNoIndex) {
                                   c->stylesheet, {}, &enabled_stats);
   ASSERT_TRUE(enabled.ok());
   EXPECT_TRUE(enabled_stats.used_index);
-  EXPECT_EQ(enabled_stats.opt_trace.size(), 8u);
+  EXPECT_EQ(enabled_stats.opt_trace.size(), 9u);
   EXPECT_EQ(*disabled, *enabled);
 }
 

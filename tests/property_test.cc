@@ -396,5 +396,205 @@ TEST(FailureInjectionTest, TruncatedStylesheetNeverCrashes) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Interval-encoding invariants: after every load the (start, end, level)
+// columns of every shred table nest properly — children strictly inside
+// their parent, siblings disjoint, level = parent level + 1 — and agree
+// with an independent DOM walk of the loaded document.
+// ---------------------------------------------------------------------------
+
+struct IntervalTriple {
+  int64_t start = 0;
+  int64_t end = 0;
+  int64_t level = 0;
+  std::string table;
+};
+
+// Expected intervals of the stored (table-worthy) occurrences under `node`,
+// positions starting at *next_pos, preorder = document order.
+void ExpectedIntervals(const shred::ShredMapping& mapping,
+                       const xml::Node* node,
+                       const schema::ElementStructure* decl, int64_t level,
+                       int64_t* next_pos, std::vector<IntervalTriple>* out) {
+  const shred::ShredTable* table = mapping.table_for(decl);
+  if (table == nullptr) return;  // inlined leaf: no row, no positions
+  size_t self = out->size();
+  out->push_back({(*next_pos)++, -1, level, table->name});
+  for (const xml::Node* child : node->children()) {
+    if (!child->is_element()) continue;
+    const schema::ChildRef* ref = decl->FindChild(child->local_name());
+    if (ref == nullptr) continue;
+    ExpectedIntervals(mapping, child, ref->elem, level + 1, next_pos, out);
+  }
+  (*out)[self].end = (*next_pos)++;
+}
+
+// Full invariant sweep over every row of every table of `view`, plus a DOM
+// cross-check of the rows `doc_elem` just added (`rows_before` holds the
+// per-table row counts captured before the load).
+void CheckIntervalInvariants(XmlDb& db, const std::string& view,
+                             const std::vector<size_t>& rows_before,
+                             const xml::Node* doc_elem) {
+  const shred::ShredMapping* mapping = db.shredded_mapping(view);
+  ASSERT_NE(mapping, nullptr);
+  struct DbRow {
+    int64_t rowid, parent, start, end, level;
+    std::string table;
+  };
+  std::vector<DbRow> all;
+  std::vector<DbRow> fresh;
+  for (size_t ti = 0; ti < mapping->tables().size(); ++ti) {
+    const shred::ShredTable& t = *mapping->tables()[ti];
+    auto table = db.catalog()->GetTable(t.name);
+    ASSERT_TRUE(table.ok()) << t.name;
+    int si = t.ColumnIndex(shred::kStartColumn);
+    int ei = t.ColumnIndex(shred::kEndColumn);
+    int li = t.ColumnIndex(shred::kLevelColumn);
+    ASSERT_GE(si, 0);
+    ASSERT_GE(ei, 0);
+    ASSERT_GE(li, 0);
+    for (int64_t id = 0; id < static_cast<int64_t>((*table)->row_count());
+         ++id) {
+      const rel::Row& r = (*table)->row(id);
+      DbRow d{r[0].AsInt(), r[1].is_null() ? -1 : r[1].AsInt(),
+              r[si].AsInt(), r[ei].AsInt(),  r[li].AsInt(), t.name};
+      all.push_back(d);
+      if (id >= static_cast<int64_t>(rows_before[ti])) fresh.push_back(d);
+    }
+  }
+
+  // Positions are distinct, entry strictly before exit.
+  std::set<int64_t> positions;
+  for (const DbRow& d : all) {
+    EXPECT_LT(d.start, d.end) << d.table << " rowid " << d.rowid;
+    EXPECT_TRUE(positions.insert(d.start).second) << "duplicate " << d.start;
+    EXPECT_TRUE(positions.insert(d.end).second) << "duplicate " << d.end;
+  }
+
+  // Lineage agrees with intervals: child strictly inside its parent, one
+  // level deeper; roots at level 0.
+  std::map<int64_t, const DbRow*> by_rowid;
+  for (const DbRow& d : all) by_rowid[d.rowid] = &d;
+  for (const DbRow& d : all) {
+    if (d.parent < 0) {
+      EXPECT_EQ(d.level, 0) << d.table << " rowid " << d.rowid;
+      continue;
+    }
+    auto it = by_rowid.find(d.parent);
+    ASSERT_NE(it, by_rowid.end()) << "dangling parent " << d.parent;
+    EXPECT_GT(d.start, it->second->start);
+    EXPECT_LT(d.end, it->second->end);
+    EXPECT_EQ(d.level, it->second->level + 1);
+  }
+
+  // Global sweep in start order: every interval either nests strictly
+  // inside the enclosing open one or starts after it ends (siblings and
+  // separate documents are disjoint).
+  std::vector<DbRow> sorted = all;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const DbRow& a, const DbRow& b) { return a.start < b.start; });
+  std::vector<const DbRow*> stack;
+  for (const DbRow& d : sorted) {
+    while (!stack.empty() && stack.back()->end < d.start) stack.pop_back();
+    if (!stack.empty()) {
+      EXPECT_LT(d.end, stack.back()->end)
+          << d.table << " rowid " << d.rowid << " straddles "
+          << stack.back()->table << " rowid " << stack.back()->rowid;
+    }
+    stack.push_back(&d);
+  }
+
+  // The fresh rows agree with the DOM walk (same shape, same relative
+  // positions, same tables).
+  std::vector<IntervalTriple> expected;
+  int64_t next = 0;
+  ExpectedIntervals(*mapping, doc_elem, mapping->structure().root(), 0, &next,
+                    &expected);
+  std::sort(fresh.begin(), fresh.end(),
+            [](const DbRow& a, const DbRow& b) { return a.start < b.start; });
+  ASSERT_EQ(fresh.size(), expected.size());
+  if (fresh.empty()) return;
+  int64_t base = fresh[0].start;
+  for (size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(fresh[i].start - base, expected[i].start) << "row " << i;
+    EXPECT_EQ(fresh[i].end - base, expected[i].end) << "row " << i;
+    EXPECT_EQ(fresh[i].level, expected[i].level) << "row " << i;
+    EXPECT_EQ(fresh[i].table, expected[i].table) << "row " << i;
+  }
+}
+
+std::vector<size_t> TableRowCounts(XmlDb& db, const std::string& view) {
+  std::vector<size_t> counts;
+  const shred::ShredMapping* mapping = db.shredded_mapping(view);
+  if (mapping == nullptr) return counts;
+  for (const auto& t : mapping->tables()) {
+    auto table = db.catalog()->GetTable(t->name);
+    counts.push_back(table.ok() ? (*table)->row_count() : 0);
+  }
+  return counts;
+}
+
+class IntervalInvariantPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalInvariantPropertyTest, RecursiveRandomDocsNestProperly) {
+  std::mt19937 rng(static_cast<uint32_t>(difftest::TestSeed(
+                       static_cast<uint64_t>(GetParam()))) *
+                       40503 +
+                   7);
+  // doc { node* { @id, v, node... } } — self-recursive storage.
+  schema::StructureBuilder b;
+  auto* doc = b.Element("doc");
+  auto* node = b.AddChild(doc, "node", 0, -1);
+  node->attributes.push_back("id");
+  b.AddText(b.AddChild(node, "v"));
+  b.AddRecursiveChild(node, node);
+
+  XmlDb db;
+  ASSERT_TRUE(db.RegisterShreddedSchema("p", b.Build(doc)).ok());
+
+  int serial = 0;
+  std::function<std::string(int)> random_node = [&](int depth) {
+    std::string out = "<node id=\"n" + std::to_string(serial++) + "\"><v>" +
+                      std::to_string(serial) + "</v>";
+    if (depth < 4) {
+      for (uint32_t i = rng() % 3; i > 0; --i) out += random_node(depth + 1);
+    }
+    out += "</node>";
+    return out;
+  };
+
+  for (int load = 0; load < 3; ++load) {
+    std::string text = "<doc>";
+    for (uint32_t i = 1 + rng() % 3; i > 0; --i) text += random_node(0);
+    text += "</doc>";
+
+    std::vector<size_t> before = TableRowCounts(db, "p");
+    ASSERT_TRUE(db.LoadDocument("p", text).ok()) << text;
+    auto parsed = xml::ParseDocument(text);
+    ASSERT_TRUE(parsed.ok());
+    CheckIntervalInvariants(db, "p", before, (*parsed)->document_element());
+  }
+}
+
+TEST_P(IntervalInvariantPropertyTest, RandomStructuresAgreeWithDomWalk) {
+  std::mt19937 rng(static_cast<uint32_t>(difftest::TestSeed(
+                       static_cast<uint64_t>(GetParam()))) *
+                       2246822519u +
+                   5);
+  schema::StructuralInfo info = RandomShreddableStructure(rng);
+  std::unique_ptr<xml::Document> sample = schema::GenerateSampleDocument(info);
+  ASSERT_NE(sample, nullptr);
+
+  XmlDb db;
+  ASSERT_TRUE(db.RegisterShreddedSchema("q", info).ok());
+  std::vector<size_t> before = TableRowCounts(db, "q");
+  auto stats = db.LoadParsedDocument("q", sample->root());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  CheckIntervalInvariants(db, "q", before, sample->document_element());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalInvariantPropertyTest,
+                         ::testing::Range(0, 8));
+
 }  // namespace
 }  // namespace xdb

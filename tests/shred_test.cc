@@ -51,28 +51,51 @@ TEST(ShredMappingTest, DeptDerivesThreeTablesWithLineage) {
   EXPECT_EQ(m->tables()[2]->name, "d_emp");
   EXPECT_TRUE(m->tables()[0]->is_root);
 
-  // dept: lineage + attribute + two inlined singleton leaves.
+  // dept: lineage + interval encoding + attribute + two inlined singleton
+  // leaves.
   const shred::ShredTable& dept = *m->tables()[0];
-  ASSERT_EQ(dept.columns.size(), 6u);
+  ASSERT_EQ(dept.columns.size(), 9u);
   EXPECT_EQ(dept.columns[0].name, "rowid");
   EXPECT_EQ(dept.columns[1].name, "parent_rowid");
   EXPECT_TRUE(dept.columns[1].nullable);  // root has no parent
   EXPECT_EQ(dept.columns[2].name, "ord");
-  EXPECT_EQ(dept.columns[3].name, "a_deptno");
-  EXPECT_EQ(dept.columns[4].name, "v_dname");
-  EXPECT_FALSE(dept.columns[4].nullable);  // required singleton
-  EXPECT_EQ(dept.columns[5].name, "v_loc");
-  EXPECT_TRUE(dept.columns[5].nullable);  // optional singleton
+  EXPECT_EQ(dept.columns[3].name, "start");
+  EXPECT_EQ(dept.columns[4].name, "end");
+  EXPECT_EQ(dept.columns[5].name, "level");
+  EXPECT_EQ(dept.columns[6].name, "a_deptno");
+  EXPECT_EQ(dept.columns[7].name, "v_dname");
+  EXPECT_FALSE(dept.columns[7].nullable);  // required singleton
+  EXPECT_EQ(dept.columns[8].name, "v_loc");
+  EXPECT_TRUE(dept.columns[8].nullable);  // optional singleton
 
   // emp repeats -> own table; its leaves inline there.
   const shred::ShredTable& emp = *m->tables()[2];
-  ASSERT_EQ(emp.columns.size(), 6u);
-  EXPECT_EQ(emp.columns[3].name, "v_empno");
-  EXPECT_EQ(emp.columns[5].name, "v_sal");
+  ASSERT_EQ(emp.columns.size(), 9u);
+  EXPECT_EQ(emp.columns[6].name, "v_empno");
+  EXPECT_EQ(emp.columns[8].name, "v_sal");
+}
+
+TEST(ShredMappingTest, AcceptsRecursiveContentModels) {
+  // doc { section* { title, section* (recursive) } } — the recursive edge
+  // stores occurrences back into the target's own table (keyed by lineage +
+  // interval), so derivation yields one table for `doc` and one for
+  // `section`, never expanding the recursion.
+  StructureBuilder b;
+  auto* doc = b.Element("doc");
+  auto* sec = b.AddChild(doc, "section", 0, -1);
+  b.AddText(b.AddChild(sec, "title"));
+  b.AddRecursiveChild(sec, sec);
+  auto m = ShredMapping::Derive(b.Build(doc), "t");
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  ASSERT_EQ(m->tables().size(), 2u);
+  EXPECT_EQ(m->tables()[1]->name, "t_section");
+  EXPECT_GE(m->tables()[1]->ColumnIndex("start"), 0);
+  EXPECT_GE(m->tables()[1]->ColumnIndex("end"), 0);
+  EXPECT_GE(m->tables()[1]->ColumnIndex("level"), 0);
 }
 
 TEST(ShredMappingTest, RejectsStructuresOutsideTheSubset) {
-  {  // recursive content model
+  {  // recursion to the document root element (phantom documents otherwise)
     StructureBuilder b;
     auto* sec = b.Element("section");
     b.AddText(b.AddChild(sec, "title"));
@@ -161,8 +184,22 @@ TEST(ShredderTest, LineageAndOrdColumns) {
   EXPECT_EQ(batch->rows[2][0][1].AsInt(), employees[0].AsInt());
   EXPECT_EQ(batch->rows[2][0][2].AsInt(), 0);  // ord within slot
   EXPECT_EQ(batch->rows[2][1][2].AsInt(), 1);
-  EXPECT_EQ(batch->rows[2][1][4].AsString(), "MILLER");  // v_ename
+  EXPECT_EQ(batch->rows[2][1][7].AsString(), "MILLER");  // v_ename
   EXPECT_EQ(shredder.next_rowid(), 104);
+  // Interval encoding: stored rows are dept(0,7,0), employees(1,6,1),
+  // emp(2,3,2), emp(4,5,2) — children strictly inside the parent, siblings
+  // disjoint, level = parent level + 1.
+  EXPECT_EQ(dept[3].AsInt(), 0);
+  EXPECT_EQ(dept[4].AsInt(), 7);
+  EXPECT_EQ(dept[5].AsInt(), 0);
+  EXPECT_EQ(employees[3].AsInt(), 1);
+  EXPECT_EQ(employees[4].AsInt(), 6);
+  EXPECT_EQ(employees[5].AsInt(), 1);
+  EXPECT_EQ(batch->rows[2][0][3].AsInt(), 2);
+  EXPECT_EQ(batch->rows[2][0][4].AsInt(), 3);
+  EXPECT_EQ(batch->rows[2][1][3].AsInt(), 4);
+  EXPECT_EQ(batch->rows[2][1][4].AsInt(), 5);
+  EXPECT_EQ(batch->rows[2][1][5].AsInt(), 2);
 }
 
 TEST(ShredderTest, RejectsDocumentsOutsideTheDeclaredShape) {
@@ -381,6 +418,36 @@ TEST(ShreddedSchemaTest, ChoiceRoundTripKeepsPresentBranch) {
             "cash");
   EXPECT_EQ((*pay_table)->row(1)[static_cast<size_t>(branch)].AsString(),
             "card");
+}
+
+TEST(ShreddedSchemaTest, RecursiveSchemaRoundTrips) {
+  XmlDb db;
+  StructureBuilder b;
+  auto* doc = b.Element("doc");
+  auto* sec = b.AddChild(doc, "section", 0, -1);
+  sec->attributes.push_back("id");
+  b.AddText(b.AddChild(sec, "title"));
+  b.AddRecursiveChild(sec, sec);
+  ASSERT_TRUE(db.RegisterShreddedSchema("r", b.Build(doc)).ok());
+  const char* nested =
+      "<doc>"
+      "<section id=\"1\"><title>A</title>"
+      "<section id=\"1.1\"><title>B</title>"
+      "<section id=\"1.1.1\"><title>C</title></section>"
+      "</section>"
+      "<section id=\"1.2\"><title>D</title></section>"
+      "</section>"
+      "<section id=\"2\"><title>E</title></section>"
+      "</doc>";
+  ASSERT_TRUE(db.LoadDocument("r", nested).ok());
+  // All five sections land in one self-referencing table.
+  auto sec_table = db.catalog()->GetTable("r_section");
+  ASSERT_TRUE(sec_table.ok());
+  EXPECT_EQ((*sec_table)->row_count(), 5u);
+  auto rows = db.MaterializeView("r");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], nested);
 }
 
 TEST(ShredValidationTest, RejectsOutOfOrderSequenceContent) {

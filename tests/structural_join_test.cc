@@ -1,0 +1,259 @@
+// Structural (interval containment) joins over shredded storage: `//` and
+// ancestor:: axes compile to LogicalStructuralJoinNode range scans over the
+// (start, end, level) interval columns instead of rejecting the SQL rewrite.
+// Every case cross-checks the shredded SQL answer against the functional
+// arm byte-for-byte.
+#include <gtest/gtest.h>
+
+#include "core/xmldb.h"
+#include "rel/exec.h"
+#include "rel/optimizer.h"
+#include "shred/mapping.h"
+#include "xml/parser.h"
+
+namespace xdb {
+namespace {
+
+using schema::StructureBuilder;
+
+// doc { group* { gname, item* { iname, price } } } — `//item` crosses two
+// repeating levels, so the lexical path analysis cannot place it and only
+// the structural fallback keeps the query on plan A.
+void RegisterGroupItems(XmlDb* db) {
+  StructureBuilder b;
+  auto* doc = b.Element("doc");
+  auto* group = b.AddChild(doc, "group", 0, -1);
+  b.AddText(b.AddChild(group, "gname"));
+  auto* item = b.AddChild(group, "item", 0, -1);
+  b.AddText(b.AddChild(item, "iname"));
+  b.AddText(b.AddChild(item, "price"));
+  ASSERT_TRUE(db->RegisterShreddedSchema("g", b.Build(doc)).ok());
+}
+
+std::string GroupItemsDoc(int groups, int items_per_group) {
+  std::string doc = "<doc>";
+  int serial = 0;
+  for (int g = 1; g <= groups; ++g) {
+    doc += "<group><gname>G" + std::to_string(g) + "</gname>";
+    for (int i = 1; i <= items_per_group; ++i) {
+      ++serial;
+      doc += "<item><iname>I" + std::to_string(serial) + "</iname><price>" +
+             std::to_string(serial * 10) + "</price></item>";
+    }
+    doc += "</group>";
+  }
+  doc += "</doc>";
+  return doc;
+}
+
+constexpr const char* kItemSweepStylesheet =
+    "<xsl:stylesheet version=\"1.0\" "
+    "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+    "<xsl:template match=\"doc\"><flat><xsl:apply-templates "
+    "select=\".//item\"/></flat></xsl:template>"
+    "<xsl:template match=\"item\"><i><xsl:value-of select=\"iname\"/>"
+    "</i></xsl:template>"
+    "<xsl:template match=\"text()\"/>"
+    "</xsl:stylesheet>";
+
+TEST(StructuralJoinTest, DescendantAcrossNestedRepetitionTakesPlanA) {
+  XmlDb db;
+  RegisterGroupItems(&db);
+  ASSERT_TRUE(db.LoadDocument("g", GroupItemsDoc(3, 4)).ok());
+
+  ExecStats stats;
+  auto out = db.TransformView("g", kItemSweepStylesheet, {}, &stats);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ(stats.path, ExecutionPath::kSqlRewritten)
+      << stats.fallback_reason;
+  EXPECT_TRUE(stats.used_index) << stats.sql_text;
+  EXPECT_GE(stats.structural_joins, 1u);
+  EXPECT_EQ(stats.structural_match_rows, 12u);  // 3 groups x 4 items
+
+  // Document order: items in load order, across group boundaries.
+  std::string expect = "<flat>";
+  for (int i = 1; i <= 12; ++i) {
+    expect += "<i>I" + std::to_string(i) + "</i>";
+  }
+  expect += "</flat>";
+  EXPECT_EQ((*out)[0], expect);
+
+  ExecOptions functional;
+  functional.enable_rewrite = false;
+  auto ref = db.TransformView("g", kItemSweepStylesheet, functional);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(*out, *ref);
+}
+
+TEST(StructuralJoinTest, IntervalScanStrategyAgreesWithRangeScan) {
+  XmlDb db;
+  RegisterGroupItems(&db);
+  ASSERT_TRUE(db.LoadDocument("g", GroupItemsDoc(4, 3)).ok());
+
+  ExecStats range_stats;
+  auto ranged = db.TransformView("g", kItemSweepStylesheet, {}, &range_stats);
+  ASSERT_TRUE(ranged.ok()) << ranged.status().ToString();
+  ASSERT_EQ(range_stats.path, ExecutionPath::kSqlRewritten)
+      << range_stats.fallback_reason;
+
+  // With the pricing rule off the join stays on the full interval scan —
+  // same rows, same order, different access path.
+  ExecOptions scan_opts;
+  scan_opts.optimizer.enable_structural_join = false;
+  scan_opts.use_plan_cache = false;
+  ExecStats scan_stats;
+  auto scanned =
+      db.TransformView("g", kItemSweepStylesheet, scan_opts, &scan_stats);
+  ASSERT_TRUE(scanned.ok()) << scanned.status().ToString();
+  EXPECT_EQ(scan_stats.path, ExecutionPath::kSqlRewritten)
+      << scan_stats.fallback_reason;
+  EXPECT_EQ(*ranged, *scanned);
+  EXPECT_GE(scan_stats.structural_joins, 1u);
+
+  bool saw_range = false;
+  for (const auto& j : range_stats.joins) {
+    if (j.strategy == "interval-range") saw_range = true;
+  }
+  EXPECT_TRUE(saw_range);
+  for (const auto& j : scan_stats.joins) {
+    EXPECT_NE(j.strategy, "interval-range");
+  }
+}
+
+// sections nest into themselves: only the interval join can enumerate every
+// depth (static path expansion of the recursion is unbounded).
+TEST(StructuralJoinTest, RecursiveDescendantEnumeratesAllDepths) {
+  XmlDb db;
+  StructureBuilder b;
+  auto* doc = b.Element("doc");
+  auto* sec = b.AddChild(doc, "sec", 0, -1);
+  b.AddText(b.AddChild(sec, "title"));
+  b.AddRecursiveChild(sec, sec);
+  ASSERT_TRUE(db.RegisterShreddedSchema("r", b.Build(doc)).ok());
+
+  const char* nested =
+      "<doc>"
+      "<sec><title>1</title>"
+      "<sec><title>1.1</title><sec><title>1.1.1</title></sec></sec>"
+      "<sec><title>1.2</title></sec>"
+      "</sec>"
+      "<sec><title>2</title></sec>"
+      "</doc>";
+  ASSERT_TRUE(db.LoadDocument("r", nested).ok());
+
+  const char* stylesheet =
+      "<xsl:stylesheet version=\"1.0\" "
+      "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+      "<xsl:template match=\"doc\"><toc><xsl:apply-templates "
+      "select=\".//sec\"/></toc></xsl:template>"
+      "<xsl:template match=\"sec\"><s><xsl:value-of select=\"title\"/>"
+      "</s></xsl:template>"
+      "<xsl:template match=\"text()\"/>"
+      "</xsl:stylesheet>";
+  ExecStats stats;
+  auto out = db.TransformView("r", stylesheet, {}, &stats);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ(stats.path, ExecutionPath::kSqlRewritten)
+      << stats.fallback_reason;
+  // All five sections, in document order, from one self-referencing table.
+  EXPECT_EQ((*out)[0],
+            "<toc><s>1</s><s>1.1</s><s>1.1.1</s><s>1.2</s><s>2</s></toc>");
+  EXPECT_EQ(stats.structural_match_rows, 5u);
+
+  ExecOptions functional;
+  functional.enable_rewrite = false;
+  auto ref = db.TransformView("r", stylesheet, functional);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(*out, *ref);
+}
+
+// shop { region* { rname, dept* { dname, emp* { ename } } } } — the
+// ancestor:: axis runs as the staircase range scan (start < anchor.start,
+// end > anchor.end).
+TEST(StructuralJoinTest, AncestorAxisCountsEnclosingElements) {
+  XmlDb db;
+  StructureBuilder b;
+  auto* shop = b.Element("shop");
+  auto* region = b.AddChild(shop, "region", 0, -1);
+  b.AddText(b.AddChild(region, "rname"));
+  auto* dept = b.AddChild(region, "dept", 0, -1);
+  b.AddText(b.AddChild(dept, "dname"));
+  auto* emp = b.AddChild(dept, "emp", 0, -1);
+  b.AddText(b.AddChild(emp, "ename"));
+  ASSERT_TRUE(db.RegisterShreddedSchema("s", b.Build(shop)).ok());
+
+  ASSERT_TRUE(db.LoadDocument(
+                    "s",
+                    "<shop>"
+                    "<region><rname>EAST</rname>"
+                    "<dept><dname>TOYS</dname><emp><ename>ANN</ename></emp>"
+                    "<emp><ename>BOB</ename></emp></dept>"
+                    "<dept><dname>BOOKS</dname><emp><ename>CAT</ename></emp>"
+                    "</dept></region>"
+                    "<region><rname>WEST</rname>"
+                    "<dept><dname>GAMES</dname><emp><ename>DAN</ename></emp>"
+                    "</dept></region>"
+                    "</shop>")
+                  .ok());
+
+  const char* stylesheet =
+      "<xsl:stylesheet version=\"1.0\" "
+      "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+      "<xsl:template match=\"shop\"><out><xsl:apply-templates "
+      "select=\".//emp\"/></out></xsl:template>"
+      "<xsl:template match=\"emp\"><e d=\"{count(ancestor::dept)}\" "
+      "r=\"{count(ancestor::region)}\"><xsl:value-of select=\"ename\"/>"
+      "</e></xsl:template>"
+      "<xsl:template match=\"text()\"/>"
+      "</xsl:stylesheet>";
+  ExecStats stats;
+  auto out = db.TransformView("s", stylesheet, {}, &stats);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ(stats.path, ExecutionPath::kSqlRewritten)
+      << stats.fallback_reason;
+  EXPECT_EQ((*out)[0],
+            "<out>"
+            "<e d=\"1\" r=\"1\">ANN</e><e d=\"1\" r=\"1\">BOB</e>"
+            "<e d=\"1\" r=\"1\">CAT</e><e d=\"1\" r=\"1\">DAN</e>"
+            "</out>");
+
+  ExecOptions functional;
+  functional.enable_rewrite = false;
+  auto ref = db.TransformView("s", stylesheet, functional);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(*out, *ref);
+}
+
+// References that escape the structural scope (values of the enclosing row)
+// must reject the SQL rewrite — plan B answers them, byte-identically.
+TEST(StructuralJoinTest, OuterScopeReferenceFallsBackToPlanB) {
+  XmlDb db;
+  RegisterGroupItems(&db);
+  ASSERT_TRUE(db.LoadDocument("g", GroupItemsDoc(2, 2)).ok());
+
+  // gname lives on the group row — outside the item structural scope.
+  const char* stylesheet =
+      "<xsl:stylesheet version=\"1.0\" "
+      "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+      "<xsl:template match=\"doc\"><flat><xsl:for-each select=\".//item\">"
+      "<i><xsl:value-of select=\"../gname\"/></i>"
+      "</xsl:for-each></flat></xsl:template>"
+      "<xsl:template match=\"text()\"/>"
+      "</xsl:stylesheet>";
+  ExecStats stats;
+  auto out = db.TransformView("g", stylesheet, {}, &stats);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_NE(stats.path, ExecutionPath::kSqlRewritten);
+
+  ExecOptions functional;
+  functional.enable_rewrite = false;
+  auto ref = db.TransformView("g", stylesheet, functional);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(*out, *ref);
+}
+
+}  // namespace
+}  // namespace xdb

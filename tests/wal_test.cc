@@ -435,6 +435,76 @@ TEST_F(WalTest, StructureBlobRoundTripsThroughSerialization) {
   EXPECT_EQ(bad.status().code(), StatusCode::kDataLoss);
 }
 
+// A registered *recursive* schema survives the full durability cycle: the
+// structure blob keeps the recursive edge, recovery re-derives the interval-
+// encoded mapping from it, and a `//` sweep over the recovered database
+// answers identically to the live one — both through WAL replay and through
+// a checkpoint restore.
+TEST_F(WalTest, RecursiveStructureRoundTripsThroughRecovery) {
+  schema::StructureBuilder b;
+  auto* doc = b.Element("doc");
+  auto* sec = b.AddChild(doc, "sec", 0, -1);
+  b.AddText(b.AddChild(sec, "title"));
+  b.AddRecursiveChild(sec, sec);
+  schema::StructuralInfo info = b.Build(doc);
+
+  // The blob itself round-trips with the recursive edge intact.
+  std::string blob = schema::SerializeStructuralInfo(info);
+  auto parsed = schema::ParseStructuralInfo(blob);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->HasRecursion());
+  EXPECT_EQ(schema::SerializeStructuralInfo(*parsed), blob);
+
+  const char* nested =
+      "<doc><sec><title>1</title>"
+      "<sec><title>1.1</title><sec><title>1.1.1</title></sec></sec>"
+      "</sec><sec><title>2</title></sec></doc>";
+  const char* sweep =
+      "<xsl:stylesheet version=\"1.0\" "
+      "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+      "<xsl:template match=\"doc\"><toc><xsl:apply-templates "
+      "select=\".//sec\"/></toc></xsl:template>"
+      "<xsl:template match=\"sec\"><s><xsl:value-of select=\"title\"/>"
+      "</s></xsl:template>"
+      "<xsl:template match=\"text()\"/></xsl:stylesheet>";
+
+  std::vector<std::string> live;
+  {
+    XmlDb db;
+    ASSERT_TRUE(db.OpenDurable(Options()).ok());
+    ASSERT_TRUE(db.RegisterShreddedSchema("r", std::move(info)).ok());
+    ASSERT_TRUE(db.LoadDocument("r", nested).ok());
+    auto out = db.TransformView("r", sweep);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    live = *out;
+  }
+
+  // WAL replay: the mapping (interval columns included) is re-derived from
+  // the logged structure blob, and the interval sweep still answers.
+  {
+    XmlDb recovered;
+    ASSERT_TRUE(recovered.OpenDurable(Options()).ok());
+    ExecStats stats;
+    auto out = recovered.TransformView("r", sweep, {}, &stats);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_EQ(*out, live);
+    EXPECT_EQ(stats.path, ExecutionPath::kSqlRewritten)
+        << stats.fallback_reason;
+    EXPECT_GE(stats.structural_match_rows, 4u);
+    // Checkpoint, so the next recovery restores from the snapshot instead.
+    ASSERT_TRUE(recovered.Checkpoint().ok());
+    EXPECT_EQ(SizeOf(WalPath()), 0u);
+  }
+  {
+    XmlDb restored;
+    ASSERT_TRUE(restored.OpenDurable(Options()).ok());
+    EXPECT_TRUE(restored.last_recovery().recovered_checkpoint);
+    auto out = restored.TransformView("r", sweep);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_EQ(*out, live);
+  }
+}
+
 TEST_F(WalTest, EnsureDataDirCreatesNestedPaths) {
   std::string nested = dir_ + "/a/b";
   ASSERT_TRUE(wal::EnsureDataDir(nested).ok());
